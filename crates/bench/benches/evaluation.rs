@@ -1,0 +1,62 @@
+//! Latency of single-design dependability evaluations — the framework is
+//! meant to sit in an optimizer's inner loop (§1), so evaluations/second
+//! is its headline performance number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdep_core::analysis::{evaluate, expected_annual_cost, WeightedScenario};
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::units::{Bytes, TimeDelta};
+use std::hint::black_box;
+
+fn bench_evaluation(c: &mut Criterion) {
+    let workload = ssdep_core::presets::cello_workload();
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+
+    let mut group = c.benchmark_group("evaluate");
+    group.sample_size(60);
+
+    let array = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+    group.bench_function("baseline_array_failure", |b| {
+        b.iter(|| {
+            evaluate(
+                black_box(&design),
+                black_box(&workload),
+                &requirements,
+                black_box(&array),
+            )
+            .unwrap()
+        })
+    });
+
+    let object = FailureScenario::new(
+        FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+        RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+    );
+    group.bench_function("baseline_object_rollback", |b| {
+        b.iter(|| evaluate(&design, &workload, &requirements, black_box(&object)).unwrap())
+    });
+
+    let scenarios = vec![
+        WeightedScenario::new(object.clone(), 12.0),
+        WeightedScenario::new(array.clone(), 0.1),
+        WeightedScenario::new(
+            FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+            0.02,
+        ),
+    ];
+    group.bench_function("expected_cost_three_scenarios", |b| {
+        b.iter(|| {
+            expected_annual_cost(&design, &workload, &requirements, black_box(&scenarios)).unwrap()
+        })
+    });
+
+    group.bench_function("demands_only", |b| {
+        b.iter(|| design.demands(black_box(&workload)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Latency of the extension analyses: degraded-mode matrices, risk
+//! profiles, coverage ladders, multi-object recovery, and growth sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdep_core::analysis::{self, WeightedScenario};
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::multi::{evaluate_multi, MultiObjectWorkload, ObjectSpec};
+use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+use ssdep_core::workload::Workload;
+use std::hint::black_box;
+
+fn catalog() -> Vec<WeightedScenario> {
+    vec![
+        WeightedScenario::new(
+            FailureScenario::new(
+                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+                RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            ),
+            12.0,
+        ),
+        WeightedScenario::new(
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            0.1,
+        ),
+        WeightedScenario::new(
+            FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+            0.02,
+        ),
+    ]
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let workload = ssdep_core::presets::cello_workload();
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenarios: Vec<FailureScenario> =
+        catalog().into_iter().map(|w| w.scenario).collect();
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(40);
+
+    group.bench_function("degraded_exposure_3x3", |b| {
+        b.iter(|| {
+            analysis::degraded_exposure(
+                black_box(&design),
+                &workload,
+                &requirements,
+                &scenarios,
+            )
+            .unwrap()
+        })
+    });
+
+    let weighted = catalog();
+    group.bench_function("risk_profile", |b| {
+        b.iter(|| {
+            analysis::risk_profile(&design, &workload, &requirements, black_box(&weighted))
+                .unwrap()
+        })
+    });
+
+    let ladder = analysis::coverage::default_ladder();
+    group.bench_function("coverage_ladder", |b| {
+        b.iter(|| {
+            analysis::coverage(&design, &workload, &requirements, black_box(&ladder)).unwrap()
+        })
+    });
+
+    let object = |name: &str, gib: f64| {
+        ObjectSpec::new(
+            Workload::builder(name)
+                .data_capacity(Bytes::from_gib(gib))
+                .avg_access_rate(Bandwidth::from_kib_per_sec(400.0))
+                .avg_update_rate(Bandwidth::from_kib_per_sec(300.0))
+                .build()
+                .unwrap(),
+        )
+    };
+    let multi = MultiObjectWorkload::new(vec![
+        object("a", 500.0),
+        object("b", 300.0),
+        object("c", 200.0),
+    ])
+    .unwrap();
+    let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+    group.bench_function("multi_object_three", |b| {
+        b.iter(|| evaluate_multi(&design, black_box(&multi), &requirements, &scenario).unwrap())
+    });
+
+    group.bench_function("growth_sweep_five_points", |b| {
+        b.iter(|| {
+            ssdep_opt::sweep::sweep_growth(
+                black_box(&[0.5, 0.75, 1.0, 1.25, 1.5]),
+                &design,
+                &workload,
+                &requirements,
+                &weighted,
+            )
+            .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Throughput of the automated design search (the paper's optimization
+//! loop use case).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdep_opt::search::{exhaustive, hill_climb, paper_scenarios};
+use ssdep_opt::space::DesignSpace;
+use std::hint::black_box;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenarios = paper_scenarios();
+
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(20);
+
+    let minimal = DesignSpace::minimal();
+    group.bench_function("exhaustive_minimal_16", |b| {
+        b.iter(|| {
+            exhaustive(black_box(&minimal), &workload, &requirements, &scenarios).unwrap()
+        })
+    });
+
+    let broad = DesignSpace::broad();
+    group.bench_function("exhaustive_broad", |b| {
+        b.iter(|| exhaustive(black_box(&broad), &workload, &requirements, &scenarios).unwrap())
+    });
+
+    group.bench_function("hill_climb_broad", |b| {
+        b.iter(|| hill_climb(black_box(&broad), &workload, &requirements, &scenarios).unwrap())
+    });
+
+    group.bench_function("materialize_candidate", |b| {
+        let candidate = minimal.candidates().next().unwrap();
+        b.iter(|| black_box(&candidate).materialize().unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Latency of the propagation / data-loss / recovery sub-models in
+//! isolation — the pieces an optimizer may call orders of magnitude more
+//! often than full evaluations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdep_core::analysis;
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use std::hint::black_box;
+
+fn bench_submodels(c: &mut Criterion) {
+    let workload = ssdep_core::presets::cello_workload();
+    let design = ssdep_core::presets::baseline_design();
+    let demands = design.demands(&workload).unwrap();
+    let scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+    let loss = analysis::data_loss(&design, &scenario).unwrap();
+
+    let mut group = c.benchmark_group("submodels");
+    group.sample_size(60);
+
+    group.bench_function("level_ranges", |b| {
+        b.iter(|| analysis::level_ranges(black_box(&design)))
+    });
+    group.bench_function("data_loss_site", |b| {
+        b.iter(|| analysis::data_loss(&design, black_box(&scenario)).unwrap())
+    });
+    group.bench_function("recovery_site", |b| {
+        b.iter(|| {
+            analysis::recovery(&design, &workload, &demands, &scenario, loss.source_level)
+                .unwrap()
+        })
+    });
+    group.bench_function("utilization", |b| {
+        b.iter(|| analysis::utilization_from_demands(&design, black_box(&demands)))
+    });
+    group.bench_function("batch_update_rate_curve", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for hours in 1..=168 {
+                total += workload
+                    .batch_update_rate(ssdep_core::units::TimeDelta::from_hours(hours as f64))
+                    .value();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_submodels);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Discrete-event simulator throughput: pipeline execution and failure
+//! injection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::units::TimeDelta;
+use ssdep_sim::recovery::simulate_failure;
+use ssdep_sim::{SimConfig, Simulation};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let workload = ssdep_core::presets::cello_workload();
+    let design = ssdep_core::presets::baseline_design();
+    let demands = design.demands(&workload).unwrap();
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+
+    group.bench_function("run_26_weeks_baseline", |b| {
+        b.iter(|| {
+            Simulation::new(
+                black_box(&design),
+                &workload,
+                SimConfig::new(TimeDelta::from_weeks(26.0)),
+            )
+            .unwrap()
+            .run()
+        })
+    });
+
+    let report = Simulation::new(&design, &workload, SimConfig::new(TimeDelta::from_weeks(26.0)))
+        .unwrap()
+        .run();
+    let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+    group.bench_function("inject_failure_and_recover", |b| {
+        b.iter(|| {
+            simulate_failure(
+                &design,
+                &workload,
+                &demands,
+                black_box(&report),
+                &scenario,
+                TimeDelta::from_weeks(20.0).as_secs(),
+            )
+            .unwrap()
+        })
+    });
+
+    let mirror = ssdep_core::presets::async_batch_mirror_design(1);
+    group.bench_function("run_1_week_minute_batches", |b| {
+        // One-minute batches mean ~10k events per simulated week.
+        b.iter(|| {
+            Simulation::new(
+                black_box(&mirror),
+                &workload,
+                SimConfig::new(TimeDelta::from_weeks(1.0)),
+            )
+            .unwrap()
+            .run()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Synthetic trace generation and estimation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdep_core::units::TimeDelta;
+use ssdep_workload::{estimate, TraceGenerator};
+use std::hint::black_box;
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(20);
+
+    let generator = TraceGenerator::builder()
+        .duration(TimeDelta::from_hours(6.0))
+        .extent_count(100_000)
+        .updates_per_sec(10.0)
+        .burst_multiplier(10.0)
+        .burst_duty(0.05)
+        .locality(0.7, 1_000)
+        .seed(7)
+        .build()
+        .unwrap();
+
+    group.bench_function("generate_6h_trace", |b| {
+        b.iter(|| black_box(&generator).generate())
+    });
+
+    let trace = generator.generate();
+    group.bench_function("measure_unique_1h_windows", |b| {
+        b.iter(|| {
+            estimate::unique_bytes_per_window(black_box(&trace), TimeDelta::from_hours(1.0))
+                .unwrap()
+        })
+    });
+    group.bench_function("burst_multiplier", |b| {
+        b.iter(|| estimate::burst_multiplier(black_box(&trace), TimeDelta::from_secs(1.0)))
+    });
+    group.bench_function("cello_locality_fit", |b| {
+        b.iter(ssdep_workload::cello::cello_fit)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Prints the paper's Figure 1: the baseline design's hierarchy.
+
+fn main() {
+    println!("{}", ssdep_bench::figure1());
+}

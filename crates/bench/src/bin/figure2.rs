@@ -1,0 +1,5 @@
+//! Prints the paper's Figure 2: the baseline policies' cadence.
+
+fn main() {
+    println!("{}", ssdep_bench::figure2());
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Figure 3: the guaranteed RP time range per level.
+
+fn main() {
+    println!("{}", ssdep_bench::figure3());
+}

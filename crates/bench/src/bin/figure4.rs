@@ -1,0 +1,11 @@
+//! Regenerates paper Figure 4: the site-disaster recovery timeline.
+
+fn main() {
+    match ssdep_bench::figure4() {
+        Ok(output) => println!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Figure 5: the overall cost breakdown per failure
+//! scenario.
+
+fn main() {
+    match ssdep_bench::figure5() {
+        Ok(output) => println!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    }
+}

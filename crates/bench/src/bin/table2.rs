@@ -1,0 +1,12 @@
+//! Regenerates paper Table 2: measured workload statistics from the
+//! synthetic cello-like trace.
+
+fn main() {
+    match ssdep_bench::table2(4.0, 42) {
+        Ok(output) => println!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    }
+}

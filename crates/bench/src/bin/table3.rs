@@ -1,0 +1,6 @@
+//! Prints the paper's Table 3 (policy) and Table 4 (device) inputs as
+//! the presets encode them.
+
+fn main() {
+    println!("{}", ssdep_bench::table3_table4());
+}

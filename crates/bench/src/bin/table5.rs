@@ -1,0 +1,12 @@
+//! Regenerates paper Table 5: normal-mode utilization of the baseline
+//! design.
+
+fn main() {
+    match ssdep_bench::table5() {
+        Ok(output) => println!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Table 6: worst-case recovery time and recent data
+//! loss for the baseline design.
+
+fn main() {
+    match ssdep_bench::table6() {
+        Ok(output) => println!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates paper Table 7: the what-if design comparison.
+
+fn main() {
+    match ssdep_bench::table7() {
+        Ok(output) => println!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    }
+}

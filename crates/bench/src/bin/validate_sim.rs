@@ -1,0 +1,12 @@
+//! Runs the simulator-versus-analytic validation sweep (the paper's §5
+//! future-work validation, done against the discrete-event simulator).
+
+fn main() {
+    match ssdep_bench::validate_sim(40.0, 128) {
+        Ok(output) => println!("{output}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,740 @@
+//! Command dispatch for the `ssdep` binary.
+//!
+//! Subcommands:
+//!
+//! * `init` — print the paper's baseline system as a JSON spec to edit;
+//! * `validate <spec.json>` — demands, utilization, and convention
+//!   warnings;
+//! * `evaluate <spec.json> --scenario <scope> [--age HOURS] [--json]` —
+//!   full dependability evaluation under one failure scenario;
+//! * `baseline` — the paper's §4.1 case study tables;
+//! * `whatif` — the paper's Table 7 comparison;
+//! * `optimize [--broad]` — search the candidate space for the cheapest
+//!   design under the case-study scenario mix.
+
+use crate::spec::SystemSpec;
+use ssdep_core::analysis::evaluate;
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::report;
+use ssdep_core::units::{Bytes, TimeDelta};
+use std::fmt::Write as _;
+
+/// Runs the CLI for the given arguments (without the binary name) and
+/// returns the text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing error message.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut iter = args.iter();
+    let command = iter.next().map(String::as_str).unwrap_or("help");
+    match command {
+        "init" => Ok(SystemSpec::baseline().to_json()),
+        "validate" => {
+            let path = iter.next().ok_or("usage: ssdep validate <spec.json>")?;
+            let spec = load(path)?;
+            validate(&spec)
+        }
+        "evaluate" => {
+            let path = iter.next().ok_or_else(usage_evaluate)?;
+            let rest: Vec<&String> = iter.collect();
+            let spec = load(path)?;
+            evaluate_command(&spec, &rest)
+        }
+        "baseline" => baseline(),
+        "whatif" => whatif(),
+        "optimize" => optimize(args.contains(&"--broad".to_string())),
+        "degraded" => {
+            let path = iter.next().ok_or("usage: ssdep degraded <spec.json> [--catalog <file>]")?;
+            let rest: Vec<&String> = iter.collect();
+            let spec = load(path)?;
+            degraded(&spec, load_catalog(&rest)?)
+        }
+        "risk" => {
+            let path = iter.next().ok_or("usage: ssdep risk <spec.json> [--catalog <file>]")?;
+            let rest: Vec<&String> = iter.collect();
+            let spec = load(path)?;
+            risk(&spec, load_catalog(&rest)?)
+        }
+        "coverage" => {
+            let path = iter.next().ok_or("usage: ssdep coverage <spec.json>")?;
+            let spec = load(path)?;
+            coverage(&spec)
+        }
+        "sweep" => {
+            let axis = iter.next().map(String::as_str).unwrap_or("growth");
+            sweep(axis)
+        }
+        "compare" => {
+            let path_a = iter.next().ok_or("usage: ssdep compare <a.json> <b.json>")?;
+            let path_b = iter.next().ok_or("usage: ssdep compare <a.json> <b.json>")?;
+            compare(&load(path_a)?, &load(path_b)?)
+        }
+        "report" => {
+            let path = iter.next().ok_or("usage: ssdep report <spec.json>")?;
+            let spec = load(path)?;
+            report::render_full_report(&spec.design, &spec.workload, &spec.requirements)
+                .map_err(|e| e.to_string())
+        }
+        "help" | "--help" | "-h" => Ok(help()),
+        other => Err(format!("unknown command `{other}`\n\n{}", help())),
+    }
+}
+
+fn usage_evaluate() -> String {
+    "usage: ssdep evaluate <spec.json> [--scenario object|array|building|site|region] \
+     [--age HOURS] [--size MIB] [--json]"
+        .to_string()
+}
+
+fn help() -> String {
+    "ssdep — storage system dependability evaluation\n\
+     \n\
+     commands:\n\
+       init                         print the baseline system spec (JSON)\n\
+       validate <spec.json>         check utilization and conventions\n\
+       evaluate <spec.json> [opts]  evaluate one failure scenario\n\
+         --scenario <scope>         object|array|building|site|region (default array)\n\
+         --age <hours>              recovery target age (default 0 = now)\n\
+         --size <mib>               corrupted object size for `object` (default 1)\n\
+         --json                     emit the evaluation as JSON\n\
+       baseline                     the paper's §4.1 case study\n\
+       whatif                       the paper's Table 7 comparison\n\
+       optimize [--broad]           search candidate designs for lowest cost\n\
+       degraded <spec.json>         exposure matrix with each level out of service\n\
+       risk <spec.json>             annualized availability / loss profile\n\
+       coverage <spec.json>         which failure scopes the design survives\n\
+       sweep [growth|links|vault|backup]  sensitivity sweep on the case study\n\
+       compare <a.json> <b.json>    side-by-side evaluation of two designs\n\
+       report <spec.json>           the full dependability dossier\n"
+        .to_string()
+}
+
+fn load(path: &str) -> Result<SystemSpec, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    SystemSpec::from_json(&json)
+}
+
+fn parse_scenario(args: &[&String]) -> Result<FailureScenario, String> {
+    let mut scope_name = "array".to_string();
+    let mut age_hours = 0.0f64;
+    let mut size_mib = 1.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scenario" => {
+                scope_name = iter.next().ok_or("--scenario needs a value")?.to_string();
+            }
+            "--age" => {
+                age_hours = iter
+                    .next()
+                    .ok_or("--age needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --age: {e}"))?;
+            }
+            "--size" => {
+                size_mib = iter
+                    .next()
+                    .ok_or("--size needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --size: {e}"))?;
+            }
+            "--json" => {}
+            other => return Err(format!("unknown option `{other}`\n{}", usage_evaluate())),
+        }
+    }
+    let scope = match scope_name.as_str() {
+        "object" => FailureScope::DataObject { size: Bytes::from_mib(size_mib) },
+        "array" => FailureScope::Array,
+        "building" => FailureScope::Building,
+        "site" => FailureScope::Site,
+        "region" => FailureScope::Region,
+        other => return Err(format!("unknown scenario `{other}`")),
+    };
+    let target = if age_hours > 0.0 {
+        RecoveryTarget::Before { age: TimeDelta::from_hours(age_hours) }
+    } else {
+        RecoveryTarget::Now
+    };
+    Ok(FailureScenario::new(scope, target))
+}
+
+fn validate(spec: &SystemSpec) -> Result<String, String> {
+    let mut out = String::new();
+    let utilization = ssdep_core::analysis::utilization(&spec.design, &spec.workload)
+        .map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "design: {}", spec.design.name());
+    for warning in spec.design.convention_warnings() {
+        let _ = writeln!(out, "warning: {warning}");
+    }
+    for device in &utilization.devices {
+        let _ = writeln!(
+            out,
+            "{:<16} bandwidth {:>8}   capacity {:>8}",
+            device.device_name, device.bandwidth_utilization, device.capacity_utilization
+        );
+    }
+    let _ = writeln!(
+        out,
+        "system: bandwidth {} capacity {}",
+        utilization.system_bandwidth, utilization.system_capacity
+    );
+    match utilization.check() {
+        Ok(()) => {
+            let _ = writeln!(out, "feasible: yes");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "feasible: NO — {e}");
+        }
+    }
+    Ok(out)
+}
+
+fn evaluate_command(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
+    let scenario = parse_scenario(args)?;
+    let evaluation = evaluate(&spec.design, &spec.workload, &spec.requirements, &scenario)
+        .map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a.as_str() == "--json") {
+        return serde_json::to_string_pretty(&evaluation).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "design: {}   scenario: {}", spec.design.name(), scenario);
+    let _ = writeln!(out, "\n== Utilization ==\n{}", report::render_utilization(&evaluation));
+    let _ = writeln!(
+        out,
+        "== Dependability ==\n{}",
+        report::render_dependability(std::slice::from_ref(&evaluation))
+    );
+    let _ = writeln!(
+        out,
+        "== Recovery timeline ==\n{}",
+        report::render_recovery_timeline(&evaluation)
+    );
+    let _ = writeln!(out, "== Costs ==\n{}", report::render_costs(&evaluation));
+    if evaluation.meets_objectives(&spec.requirements) {
+        let _ = writeln!(out, "objectives: met");
+    } else {
+        let _ = writeln!(out, "objectives: MISSED");
+    }
+    Ok(out)
+}
+
+fn baseline() -> Result<String, String> {
+    let spec = SystemSpec::baseline();
+    let scenarios = [
+        FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        ),
+        FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+    ];
+    let mut evaluations = Vec::new();
+    for scenario in &scenarios {
+        evaluations.push(
+            evaluate(&spec.design, &spec.workload, &spec.requirements, scenario)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Normal mode utilization (paper Table 5) ==\n{}",
+        report::render_utilization(&evaluations[0])
+    );
+    let _ = writeln!(
+        out,
+        "== Dependability (paper Table 6) ==\n{}",
+        report::render_dependability(&evaluations)
+    );
+    for evaluation in &evaluations {
+        let _ = writeln!(
+            out,
+            "== Costs under {} failure (paper Figure 5) ==\n{}",
+            evaluation.scenario.scope.name(),
+            report::render_costs(evaluation)
+        );
+    }
+    Ok(out)
+}
+
+fn whatif() -> Result<String, String> {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let mut table = report::TextTable::new([
+        "Storage system design",
+        "Outlays",
+        "Array RT",
+        "Array DL",
+        "Array total",
+        "Site RT",
+        "Site DL",
+        "Site total",
+    ]);
+    for design in ssdep_core::presets::what_if_designs() {
+        let array = evaluate(
+            &design,
+            &workload,
+            &requirements,
+            &FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        )
+        .map_err(|e| format!("{}: {e}", design.name()))?;
+        let site = evaluate(
+            &design,
+            &workload,
+            &requirements,
+            &FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+        )
+        .map_err(|e| format!("{}: {e}", design.name()))?;
+        table.row([
+            design.name().to_string(),
+            array.cost.total_outlays.to_string(),
+            format!("{:.1} hr", array.recovery.total_time.as_hours()),
+            format!("{:.2} hr", array.loss.worst_loss.as_hours()),
+            array.cost.total_cost.to_string(),
+            format!("{:.1} hr", site.recovery.total_time.as_hours()),
+            format!("{:.2} hr", site.loss.worst_loss.as_hours()),
+            site.cost.total_cost.to_string(),
+        ]);
+    }
+    Ok(format!("== What-if scenarios (paper Table 7) ==\n{}", table.render()))
+}
+
+/// Parses an optional `--catalog <file>` argument: a JSON array of
+/// weighted scenarios, falling back to [`default_catalog`].
+fn load_catalog(
+    args: &[&String],
+) -> Result<Vec<ssdep_core::analysis::WeightedScenario>, String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg.as_str() == "--catalog" {
+            let path = iter.next().ok_or("--catalog needs a file path")?;
+            let json = std::fs::read_to_string(path.as_str())
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            return serde_json::from_str(&json).map_err(|e| format!("invalid catalog: {e}"));
+        }
+    }
+    Ok(default_catalog())
+}
+
+/// The default weighted scenario catalog used by `degraded` and `risk`:
+/// monthly object corruption, an array loss per decade, a site disaster
+/// per half-century.
+fn default_catalog() -> Vec<ssdep_core::analysis::WeightedScenario> {
+    use ssdep_core::analysis::WeightedScenario;
+    vec![
+        WeightedScenario::new(
+            FailureScenario::new(
+                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+                RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            ),
+            12.0,
+        ),
+        WeightedScenario::new(
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            0.1,
+        ),
+        WeightedScenario::new(
+            FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+            0.02,
+        ),
+    ]
+}
+
+fn degraded(
+    spec: &SystemSpec,
+    catalog: Vec<ssdep_core::analysis::WeightedScenario>,
+) -> Result<String, String> {
+    use ssdep_core::analysis::{degraded_exposure, DegradedOutcome};
+    let scenarios: Vec<FailureScenario> =
+        catalog.into_iter().map(|w| w.scenario).collect();
+    let report = degraded_exposure(&spec.design, &spec.workload, &spec.requirements, &scenarios)
+        .map_err(|e| e.to_string())?;
+    let mut headers = vec!["Degraded level".to_string()];
+    headers.extend(scenarios.iter().map(|s| format!("{} failure", s.scope.name())));
+    let mut table = report::TextTable::new(headers);
+    for row in &report.rows {
+        let mut cells = vec![row.level_name.clone()];
+        for outcome in &row.outcomes {
+            cells.push(match outcome {
+                DegradedOutcome::Recoverable { extra_loss, .. } if extra_loss.is_zero() => {
+                    "no change".to_string()
+                }
+                DegradedOutcome::Recoverable { extra_loss, .. } => {
+                    format!("+{:.0} hr loss", extra_loss.as_hours())
+                }
+                DegradedOutcome::Unrecoverable => "UNRECOVERABLE".to_string(),
+            });
+        }
+        table.row(cells);
+    }
+    let mut out = format!("== Degraded-mode exposure: {} ==\n{}", spec.design.name(), table.render());
+    if let Some(critical) = report.most_critical_level() {
+        out.push_str(&format!("most critical level: {}\n", critical.level_name));
+    }
+    Ok(out)
+}
+
+fn risk(
+    spec: &SystemSpec,
+    catalog: Vec<ssdep_core::analysis::WeightedScenario>,
+) -> Result<String, String> {
+    let summary: Vec<String> = catalog
+        .iter()
+        .map(|w| format!("{} x{}/yr", w.scenario.scope.name(), w.annual_frequency))
+        .collect();
+    let profile = ssdep_core::analysis::risk_profile(
+        &spec.design,
+        &spec.workload,
+        &spec.requirements,
+        &catalog,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "== Annualized risk profile: {} ==\n\
+         availability:        {:.6} ({:.1} nines)\n\
+         expected downtime:   {:.2} hr/yr\n\
+         expected data loss:  {:.0} hr/yr of updates\n\
+         expected total cost: {}/yr\n\
+         worst-case recovery: {:.1} hr   worst-case loss: {:.0} hr\n\
+         (catalog: {catalog_summary})\n",
+        spec.design.name(),
+        profile.availability,
+        profile.nines(),
+        profile.expected_annual_downtime.as_hours(),
+        profile.expected_annual_loss.as_hours(),
+        profile.expected_annual_cost,
+        profile.worst_case_recovery.as_hours(),
+        profile.worst_case_loss.as_hours(),
+        catalog_summary = summary.join(", "),
+    ))
+}
+
+fn compare(spec_a: &SystemSpec, spec_b: &SystemSpec) -> Result<String, String> {
+    // Apples to apples: design B is evaluated under design A's workload
+    // and requirements.
+    let comparison = ssdep_core::analysis::compare::compare(
+        &spec_a.design,
+        &spec_b.design,
+        &spec_a.workload,
+        &spec_a.requirements,
+        &ssdep_core::presets::paper_failure_scenarios(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "== Comparing `{}` (A) with `{}` (B) ==\n{}",
+        comparison.name_a,
+        comparison.name_b,
+        ssdep_core::analysis::compare::render(&comparison)
+    );
+    if comparison.b_dominates() {
+        out.push_str("B dominates A: better or equal everywhere, strictly better somewhere\n");
+    }
+    Ok(out)
+}
+
+fn coverage(spec: &SystemSpec) -> Result<String, String> {
+    use ssdep_core::analysis::coverage::{coverage, default_ladder, ScopeCoverage};
+    let report = coverage(
+        &spec.design,
+        &spec.workload,
+        &spec.requirements,
+        &default_ladder(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut table = report::TextTable::new(["Failure scope", "Covered", "Recovery time", "Data loss"]);
+    for row in &report.rows {
+        match &row.coverage {
+            ScopeCoverage::Covered { evaluation } => table.row([
+                row.scope.name().to_string(),
+                "yes".to_string(),
+                report::paper_time(evaluation.recovery.total_time),
+                format!("{:.0} hr", evaluation.loss.worst_loss.as_hours()),
+            ]),
+            ScopeCoverage::NotCovered { reason } => table.row([
+                row.scope.name().to_string(),
+                format!("NO — {reason}"),
+                String::new(),
+                String::new(),
+            ]),
+        };
+    }
+    let mut out = format!("== Failure coverage: {} ==\n{}", spec.design.name(), table.render());
+    out.push_str(if report.fully_covered() {
+        "every scope on the ladder is covered\n"
+    } else {
+        "some scopes are NOT covered — see rows above\n"
+    });
+    Ok(out)
+}
+
+fn sweep(axis: &str) -> Result<String, String> {
+    use ssdep_opt::sweep::{self, GrowthPoint};
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenarios = default_catalog();
+    match axis {
+        "growth" => {
+            let design = ssdep_core::presets::baseline_design();
+            let points = sweep::sweep_growth(
+                &[0.5, 0.75, 1.0, 1.05, 1.1, 1.25, 1.5],
+                &design,
+                &workload,
+                &requirements,
+                &scenarios,
+            )
+            .map_err(|e| e.to_string())?;
+            let mut table = report::TextTable::new(["Growth", "Outcome"]);
+            for point in &points {
+                match point {
+                    GrowthPoint::Feasible { factor, point } => table.row([
+                        format!("{factor:.2}x"),
+                        format!(
+                            "outlays {}, E[total] {}",
+                            point.outlays, point.expected_total
+                        ),
+                    ]),
+                    GrowthPoint::Infeasible { factor, reason } => {
+                        table.row([format!("{factor:.2}x"), format!("INFEASIBLE — {reason}")])
+                    }
+                };
+            }
+            Ok(format!("== Dataset growth sweep (baseline design) ==\n{}", table.render()))
+        }
+        "links" => {
+            let hw: Vec<_> = scenarios.into_iter().skip(1).collect();
+            let points =
+                sweep::sweep_mirror_links(&[1, 2, 4, 8, 16], &workload, &requirements, &hw)
+                    .map_err(|e| e.to_string())?;
+            Ok(format!("== WAN link sweep ==\n{}", sweep::render(&points, "links")))
+        }
+        "vault" => {
+            let points = sweep::sweep_vault_interval(
+                &[1.0, 2.0, 4.0, 8.0],
+                &workload,
+                &requirements,
+                &scenarios,
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(format!("== Vault interval sweep ==\n{}", sweep::render(&points, "weeks")))
+        }
+        "backup" => {
+            let points = sweep::sweep_backup_interval(
+                &[24.0, 48.0, 96.0, 168.0],
+                &workload,
+                &requirements,
+                &scenarios,
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(format!("== Backup interval sweep ==\n{}", sweep::render(&points, "hours")))
+        }
+        other => Err(format!("unknown sweep axis `{other}` (growth|links|vault|backup)")),
+    }
+}
+
+fn optimize(broad: bool) -> Result<String, String> {
+    use ssdep_opt::search::{exhaustive, paper_scenarios};
+    use ssdep_opt::space::DesignSpace;
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let space = if broad { DesignSpace::broad() } else { DesignSpace::minimal() };
+    let result = exhaustive(&space, &workload, &requirements, &paper_scenarios())
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} candidates evaluated, {} feasible",
+        result.evaluations,
+        result.ranked.len()
+    );
+    let mut table = report::TextTable::new(["Rank", "Design", "E[total]/yr"]);
+    for (rank, outcome) in result.ranked.iter().take(10).enumerate() {
+        table.row([
+            format!("{}", rank + 1),
+            outcome.label.clone(),
+            outcome.expected_total.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn init_emits_a_parsable_spec() {
+        let json = run(&args(&["init"])).unwrap();
+        let spec = SystemSpec::from_json(&json).unwrap();
+        assert_eq!(spec.design.name(), "baseline");
+    }
+
+    #[test]
+    fn evaluate_roundtrip_through_a_temp_file() {
+        let path = std::env::temp_dir().join("ssdep-test-spec.json");
+        std::fs::write(&path, SystemSpec::baseline().to_json()).unwrap();
+        let out = run(&args(&[
+            "evaluate",
+            path.to_str().unwrap(),
+            "--scenario",
+            "site",
+        ]))
+        .unwrap();
+        assert!(out.contains("remote vaulting"));
+        assert!(out.contains("1429 hr"));
+        let json_out = run(&args(&[
+            "evaluate",
+            path.to_str().unwrap(),
+            "--scenario",
+            "array",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json_out.trim_start().starts_with('{'));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_reports_feasibility() {
+        let path = std::env::temp_dir().join("ssdep-test-validate.json");
+        std::fs::write(&path, SystemSpec::baseline().to_json()).unwrap();
+        let out = run(&args(&["validate", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("feasible: yes"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn baseline_and_whatif_render_tables() {
+        let out = run(&args(&["baseline"])).unwrap();
+        assert!(out.contains("Table 5"));
+        assert!(out.contains("tape backup"));
+        let out = run(&args(&["whatif"])).unwrap();
+        assert!(out.contains("asyncB mirror"));
+    }
+
+    #[test]
+    fn degraded_and_risk_commands_report() {
+        let path = std::env::temp_dir().join("ssdep-test-degraded.json");
+        std::fs::write(&path, SystemSpec::baseline().to_json()).unwrap();
+        let out = run(&args(&["degraded", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("UNRECOVERABLE"));
+        assert!(out.contains("most critical level: remote vaulting"));
+        let out = run(&args(&["risk", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("nines"));
+        assert!(out.contains("expected data loss"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn coverage_command_walks_the_ladder() {
+        let path = std::env::temp_dir().join("ssdep-test-coverage.json");
+        std::fs::write(&path, SystemSpec::baseline().to_json()).unwrap();
+        let out = run(&args(&["coverage", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("region"));
+        assert!(out.contains("every scope on the ladder is covered"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_command_emits_the_dossier() {
+        let path = std::env::temp_dir().join("ssdep-test-report.json");
+        std::fs::write(&path, SystemSpec::baseline().to_json()).unwrap();
+        let out = run(&args(&["report", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("== Failure coverage =="));
+        assert!(out.contains("== Annualized risk =="));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compare_command_diffs_two_specs() {
+        let a = std::env::temp_dir().join("ssdep-test-cmp-a.json");
+        std::fs::write(&a, SystemSpec::baseline().to_json()).unwrap();
+        let b = std::env::temp_dir().join("ssdep-test-cmp-b.json");
+        let mut spec = SystemSpec::baseline();
+        spec.design = ssdep_core::presets::weekly_vault_design();
+        std::fs::write(&b, spec.to_json()).unwrap();
+        let out = run(&args(&[
+            "compare",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("Comparing `baseline` (A) with `weekly vault` (B)"));
+        assert!(out.contains("outlay change"));
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn custom_catalogs_flow_through_risk() {
+        let spec_path = std::env::temp_dir().join("ssdep-test-catalog-spec.json");
+        std::fs::write(&spec_path, SystemSpec::baseline().to_json()).unwrap();
+        let catalog_path = std::env::temp_dir().join("ssdep-test-catalog.json");
+        let catalog = r#"[{
+            "scenario": {"scope": "Array", "target": "Now"},
+            "annual_frequency": 2.0
+        }]"#;
+        std::fs::write(&catalog_path, catalog).unwrap();
+        let out = run(&args(&[
+            "risk",
+            spec_path.to_str().unwrap(),
+            "--catalog",
+            catalog_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("array x2/yr"), "{out}");
+        std::fs::remove_file(&spec_path).ok();
+        std::fs::remove_file(&catalog_path).ok();
+    }
+
+    #[test]
+    fn sweep_command_covers_every_axis() {
+        let out = run(&args(&["sweep", "growth"])).unwrap();
+        assert!(out.contains("INFEASIBLE"));
+        let out = run(&args(&["sweep", "links"])).unwrap();
+        assert!(out.contains("links"));
+        let out = run(&args(&["sweep"])).unwrap();
+        assert!(out.contains("growth sweep"));
+        assert!(run(&args(&["sweep", "nonsense"])).is_err());
+    }
+
+    #[test]
+    fn optimize_minimal_runs() {
+        let out = run(&args(&["optimize"])).unwrap();
+        assert!(out.contains("candidates evaluated"));
+        assert!(out.contains("Rank"));
+    }
+
+    #[test]
+    fn unknown_inputs_are_rejected_with_usage() {
+        assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown command"));
+        assert!(run(&args(&["evaluate"])).unwrap_err().contains("usage"));
+        assert!(run(&args(&["validate", "/nonexistent/x.json"]))
+            .unwrap_err()
+            .contains("cannot read"));
+        let help_text = run(&args(&["help"])).unwrap();
+        assert!(help_text.contains("commands:"));
+        let empty = run(&[]).unwrap();
+        assert!(empty.contains("commands:"));
+    }
+
+    #[test]
+    fn scenario_parsing_covers_scopes_and_options() {
+        let a = String::from("--scenario");
+        let b = String::from("object");
+        let c = String::from("--age");
+        let d = String::from("24");
+        let scenario = parse_scenario(&[&a, &b, &c, &d]).unwrap();
+        assert!(matches!(scenario.scope, FailureScope::DataObject { .. }));
+        assert_eq!(scenario.target.age(), TimeDelta::from_hours(24.0));
+
+        let bad = String::from("--scenario");
+        let worse = String::from("meteor");
+        assert!(parse_scenario(&[&bad, &worse]).is_err());
+    }
+}

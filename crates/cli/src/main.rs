@@ -1,0 +1,22 @@
+//! `ssdep` — command-line storage system dependability evaluation.
+//!
+//! See `ssdep help` for usage; the command logic lives in [`app`].
+
+mod app;
+mod spec;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match app::run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

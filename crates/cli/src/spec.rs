@@ -1,0 +1,79 @@
+//! The JSON system-spec file format: everything an evaluation needs in
+//! one document.
+
+use serde::{Deserialize, Serialize};
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::requirements::BusinessRequirements;
+use ssdep_core::workload::Workload;
+
+/// A complete evaluable system: workload + design + requirements.
+///
+/// Produced by `ssdep init`, consumed by `ssdep evaluate` and
+/// `ssdep validate`. All fields use the library types' serde
+/// representations directly, so specs round-trip losslessly through the
+/// API.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// The protected workload.
+    pub workload: Workload,
+    /// The storage system design.
+    pub design: StorageDesign,
+    /// Penalty rates and objectives.
+    pub requirements: BusinessRequirements,
+}
+
+impl SystemSpec {
+    /// The paper's baseline system, as a starting spec.
+    pub fn baseline() -> SystemSpec {
+        SystemSpec {
+            workload: ssdep_core::presets::cello_workload(),
+            design: ssdep_core::presets::baseline_design(),
+            requirements: ssdep_core::presets::paper_requirements(),
+        }
+    }
+
+    /// Serializes the spec as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never: the spec types serialize infallibly to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec types serialize to JSON")
+    }
+
+    /// Parses a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse/shape error, stringified.
+    pub fn from_json(json: &str) -> Result<SystemSpec, String> {
+        serde_json::from_str(json).map_err(|e| format!("invalid spec: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_spec_roundtrips_through_json() {
+        let spec = SystemSpec::baseline();
+        let json = spec.to_json();
+        let back = SystemSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn malformed_json_reports_an_error() {
+        let err = SystemSpec::from_json("{not json").unwrap_err();
+        assert!(err.contains("invalid spec"));
+    }
+
+    #[test]
+    fn json_is_human_skimmable() {
+        let json = SystemSpec::baseline().to_json();
+        assert!(json.contains("\"workload\""));
+        assert!(json.contains("split mirror"));
+        assert!(json.contains("tape library"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Side-by-side comparison of two designs (a one-row-at-a-time
+//! Table 7).
+//!
+//! Administrators rarely evaluate one design in a vacuum; the question
+//! is "what does the change buy me?". [`compare`] evaluates two designs
+//! under the same workload, requirements, and scenario list, and reports
+//! the per-scenario deltas.
+
+use crate::analysis::{evaluate, Evaluation};
+use crate::error::Error;
+use crate::failure::FailureScenario;
+use crate::hierarchy::StorageDesign;
+use crate::requirements::BusinessRequirements;
+use crate::units::{Money, TimeDelta};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One scenario's outcomes for both designs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// The evaluated scenario.
+    pub scenario: FailureScenario,
+    /// Design A's evaluation.
+    pub a: Evaluation,
+    /// Design B's evaluation.
+    pub b: Evaluation,
+}
+
+impl ComparisonRow {
+    /// Recovery-time change going from A to B (negative = B faster).
+    pub fn recovery_delta(&self) -> TimeDelta {
+        self.b.recovery.total_time - self.a.recovery.total_time
+    }
+
+    /// Data-loss change going from A to B (negative = B loses less).
+    pub fn loss_delta(&self) -> TimeDelta {
+        self.b.loss.worst_loss - self.a.loss.worst_loss
+    }
+
+    /// Total-cost change going from A to B (negative = B cheaper).
+    pub fn cost_delta(&self) -> Money {
+        self.b.cost.total_cost - self.a.cost.total_cost
+    }
+}
+
+/// The full comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignComparison {
+    /// Design A's name.
+    pub name_a: String,
+    /// Design B's name.
+    pub name_b: String,
+    /// Annual-outlay change going from A to B.
+    pub outlay_delta: Money,
+    /// Per-scenario rows, in input order.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl DesignComparison {
+    /// Whether B dominates A: no scenario worse on loss, recovery, or
+    /// total cost, and at least one strictly better.
+    pub fn b_dominates(&self) -> bool {
+        let epsilon = TimeDelta::from_secs(1e-6);
+        let mut strictly_better = false;
+        for row in &self.rows {
+            if row.loss_delta() > epsilon
+                || row.recovery_delta() > epsilon
+                || row.cost_delta() > Money::from_dollars(1e-3)
+            {
+                return false;
+            }
+            if row.loss_delta() < -epsilon
+                || row.recovery_delta() < -epsilon
+                || row.cost_delta() < Money::from_dollars(-1e-3)
+            {
+                strictly_better = true;
+            }
+        }
+        strictly_better
+    }
+}
+
+/// Evaluates both designs under every scenario and pairs the outcomes.
+///
+/// # Errors
+///
+/// Propagates evaluation errors from either design (an unrecoverable
+/// scenario for one design is a comparison-stopping finding; run
+/// [`coverage`](super::coverage()) first when that is expected).
+pub fn compare(
+    design_a: &StorageDesign,
+    design_b: &StorageDesign,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[FailureScenario],
+) -> Result<DesignComparison, Error> {
+    let mut rows = Vec::with_capacity(scenarios.len());
+    let mut outlay_delta = Money::ZERO;
+    for scenario in scenarios {
+        let a = evaluate(design_a, workload, requirements, scenario)?;
+        let b = evaluate(design_b, workload, requirements, scenario)?;
+        outlay_delta = b.cost.total_outlays - a.cost.total_outlays;
+        rows.push(ComparisonRow { scenario: scenario.clone(), a, b });
+    }
+    Ok(DesignComparison {
+        name_a: design_a.name().to_string(),
+        name_b: design_b.name().to_string(),
+        outlay_delta,
+        rows,
+    })
+}
+
+/// Renders the comparison as a fixed-width table.
+pub fn render(comparison: &DesignComparison) -> String {
+    let mut table = crate::report::TextTable::new([
+        "Scenario",
+        &format!("RT: {}", comparison.name_a),
+        &format!("RT: {}", comparison.name_b),
+        &format!("DL: {}", comparison.name_a),
+        &format!("DL: {}", comparison.name_b),
+        "Δ total cost",
+    ]);
+    for row in &comparison.rows {
+        table.row([
+            row.scenario.scope.name().to_string(),
+            crate::report::paper_time(row.a.recovery.total_time),
+            crate::report::paper_time(row.b.recovery.total_time),
+            format!("{:.0} hr", row.a.loss.worst_loss.as_hours()),
+            format!("{:.0} hr", row.b.loss.worst_loss.as_hours()),
+            row.cost_delta().to_string(),
+        ]);
+    }
+    format!(
+        "{}\noutlay change {} -> {}: {}\n",
+        table.render(),
+        comparison.name_a,
+        comparison.name_b,
+        comparison.outlay_delta
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{FailureScope, RecoveryTarget};
+
+    fn run(b: StorageDesign, scenarios: &[FailureScenario]) -> DesignComparison {
+        let workload = crate::presets::cello_workload();
+        let requirements = crate::presets::paper_requirements();
+        compare(
+            &crate::presets::baseline_design(),
+            &b,
+            &workload,
+            &requirements,
+            scenarios,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn weekly_vault_beats_the_baseline_on_site_disasters() {
+        let comparison = run(
+            crate::presets::weekly_vault_design(),
+            &crate::presets::paper_failure_scenarios(),
+        );
+        let site = &comparison.rows[2];
+        assert!(site.loss_delta() < TimeDelta::from_hours(-1000.0));
+        assert!(site.cost_delta() < Money::from_dollars(-50e6));
+        // Object and array rows are unchanged on loss.
+        assert!(comparison.rows[0].loss_delta().value().abs() < 1.0);
+        assert!(comparison.rows[1].loss_delta().value().abs() < 1.0);
+        // Weekly vaulting costs slightly more in outlays.
+        assert!(comparison.outlay_delta > Money::ZERO);
+        // It does NOT dominate: outlays (hence object-row total) rise.
+        assert!(!comparison.b_dominates());
+    }
+
+    #[test]
+    fn a_design_compared_with_itself_changes_nothing() {
+        let comparison = run(
+            crate::presets::baseline_design(),
+            &crate::presets::paper_failure_scenarios(),
+        );
+        for row in &comparison.rows {
+            assert!(row.loss_delta().value().abs() < 1e-9);
+            assert!(row.recovery_delta().value().abs() < 1e-9);
+        }
+        assert!(!comparison.b_dominates(), "no strict improvement anywhere");
+        assert!(comparison.outlay_delta.value().abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_shows_both_columns_and_the_outlay_line() {
+        let comparison = run(
+            crate::presets::weekly_vault_design(),
+            &crate::presets::paper_failure_scenarios(),
+        );
+        let text = render(&comparison);
+        assert!(text.contains("RT: baseline"));
+        assert!(text.contains("RT: weekly vault"));
+        assert!(text.contains("outlay change"));
+    }
+
+    #[test]
+    fn comparison_respects_the_scenario_list() {
+        let scenarios = vec![FailureScenario::new(FailureScope::Array, RecoveryTarget::Now)];
+        let comparison = run(crate::presets::snapshot_design(), &scenarios);
+        assert_eq!(comparison.rows.len(), 1);
+        // Snapshots cut outlays versus split mirrors.
+        assert!(comparison.outlay_delta < Money::ZERO);
+    }
+}

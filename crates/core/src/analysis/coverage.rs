@@ -1,0 +1,194 @@
+//! Failure-scope coverage: which of the named failure scopes can this
+//! design recover from at all, and at what worst-case outcome?
+//!
+//! The paper's framework evaluates one hypothesized scenario at a time;
+//! coverage runs the whole named-scope ladder (object → array →
+//! building → site → region) and reports, per rung, either the
+//! recovery-time / data-loss pair or *why* the design cannot recover —
+//! the first question an administrator asks of a design.
+
+use crate::analysis::{evaluate, Evaluation};
+use crate::error::Error;
+use crate::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use crate::hierarchy::StorageDesign;
+use crate::requirements::BusinessRequirements;
+use crate::units::{Bytes, TimeDelta};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The outcome for one failure scope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScopeCoverage {
+    /// The design recovers from this scope.
+    Covered {
+        /// The full evaluation.
+        evaluation: Box<Evaluation>,
+    },
+    /// The design cannot recover from this scope.
+    NotCovered {
+        /// Why recovery fails (no surviving source, no replacement
+        /// hardware, …).
+        reason: String,
+    },
+}
+
+impl ScopeCoverage {
+    /// Whether the scope is covered.
+    pub fn is_covered(&self) -> bool {
+        matches!(self, ScopeCoverage::Covered { .. })
+    }
+
+    /// The worst-case data loss when covered.
+    pub fn data_loss(&self) -> Option<TimeDelta> {
+        match self {
+            ScopeCoverage::Covered { evaluation } => Some(evaluation.loss.worst_loss),
+            ScopeCoverage::NotCovered { .. } => None,
+        }
+    }
+}
+
+/// One rung of the coverage ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageRow {
+    /// The evaluated scope.
+    pub scope: FailureScope,
+    /// The outcome.
+    pub coverage: ScopeCoverage,
+}
+
+/// The design's coverage across the named scope ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// One row per scope, narrowest first.
+    pub rows: Vec<CoverageRow>,
+}
+
+impl CoverageReport {
+    /// The widest covered scope, in ladder order (`None` if nothing is
+    /// covered).
+    pub fn widest_covered(&self) -> Option<&FailureScope> {
+        self.rows
+            .iter()
+            .rev()
+            .find(|row| row.coverage.is_covered())
+            .map(|row| &row.scope)
+    }
+
+    /// Whether every rung of the ladder is covered.
+    pub fn fully_covered(&self) -> bool {
+        self.rows.iter().all(|row| row.coverage.is_covered())
+    }
+}
+
+/// The default coverage ladder: a 1 MiB object corrupted a day ago, then
+/// array, building, site, and region failures recovering to "now".
+pub fn default_ladder() -> Vec<FailureScenario> {
+    vec![
+        FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        ),
+        FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        FailureScenario::new(FailureScope::Building, RecoveryTarget::Now),
+        FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+        FailureScenario::new(FailureScope::Region, RecoveryTarget::Now),
+    ]
+}
+
+/// Evaluates the design against every scenario of the ladder.
+///
+/// Recovery failures ([`Error::NoRecoverySource`],
+/// [`Error::NoReplacement`], [`Error::AllCopiesLost`]) become
+/// [`ScopeCoverage::NotCovered`] rows; structural errors (an infeasible
+/// design) still abort.
+///
+/// # Errors
+///
+/// Returns utilization/validation errors that make the design
+/// unevaluable under *any* scenario.
+pub fn coverage(
+    design: &StorageDesign,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    ladder: &[FailureScenario],
+) -> Result<CoverageReport, Error> {
+    let mut rows = Vec::with_capacity(ladder.len());
+    for scenario in ladder {
+        let coverage = match evaluate(design, workload, requirements, scenario) {
+            Ok(evaluation) => ScopeCoverage::Covered { evaluation: Box::new(evaluation) },
+            Err(
+                error @ (Error::NoRecoverySource { .. }
+                | Error::NoReplacement { .. }
+                | Error::AllCopiesLost),
+            ) => ScopeCoverage::NotCovered { reason: error.to_string() },
+            Err(other) => return Err(other),
+        };
+        rows.push(CoverageRow { scope: scenario.scope.clone(), coverage });
+    }
+    Ok(CoverageReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(design: &StorageDesign) -> CoverageReport {
+        let workload = crate::presets::cello_workload();
+        let requirements = crate::presets::paper_requirements();
+        coverage(design, &workload, &requirements, &default_ladder()).unwrap()
+    }
+
+    #[test]
+    fn baseline_covers_the_entire_ladder() {
+        // The vault is in another region and the recovery facility can
+        // rebuild the site, so even a regional disaster is covered.
+        let report = run(&crate::presets::baseline_design());
+        assert!(report.fully_covered(), "{report:#?}");
+        assert!(matches!(report.widest_covered(), Some(FailureScope::Region)));
+        // Loss grows (weakly) as scopes widen.
+        let losses: Vec<f64> = report
+            .rows
+            .iter()
+            .skip(1) // the object row has a different target
+            .map(|r| r.coverage.data_loss().unwrap().as_hours())
+            .collect();
+        for pair in losses.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+    }
+
+    #[test]
+    fn mirror_design_does_not_cover_object_rollback() {
+        let report = run(&crate::presets::async_batch_mirror_design(1));
+        assert!(!report.fully_covered());
+        assert!(!report.rows[0].coverage.is_covered(), "mirrors keep no history");
+        assert!(report.rows[1].coverage.is_covered(), "array failures are covered");
+        // Building/site/region: the remote array survives (other
+        // region) and the facility rebuilds the primary.
+        assert!(report.rows[4].coverage.is_covered());
+    }
+
+    #[test]
+    fn removing_the_recovery_site_uncovers_disasters() {
+        let reference = crate::presets::baseline_design();
+        let mut builder = StorageDesign::builder("no facility");
+        for spec in reference.devices() {
+            builder.add_device(spec.clone()).unwrap();
+        }
+        for level in reference.levels() {
+            builder.add_level(level.clone());
+        }
+        let design = builder.build().unwrap();
+        let report = run(&design);
+        assert!(report.rows[0].coverage.is_covered(), "object rollback is local");
+        assert!(report.rows[1].coverage.is_covered(), "array spare survives");
+        assert!(!report.rows[3].coverage.is_covered(), "site: nowhere to rebuild");
+        match &report.rows[3].coverage {
+            ScopeCoverage::NotCovered { reason } => {
+                assert!(reason.contains("neither a spare nor a recovery facility"));
+            }
+            other => panic!("expected uncovered, got {other:?}"),
+        }
+        assert!(matches!(report.widest_covered(), Some(FailureScope::Array)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Recent-data-loss analysis and recovery-source selection (§3.3.3,
+//! paper Table 6's "recent data loss" and "recovery source" columns).
+//!
+//! For each level that survives the failure, three cases apply to the
+//! recovery target:
+//!
+//! 1. **Not yet propagated** — the target is more recent than the level's
+//!    freshest guaranteed RP; restoring loses the level's whole time lag
+//!    (relative to the target).
+//! 2. **Retained** — the target falls inside the guaranteed range; the
+//!    worst-case loss is one arrival period (`accW`).
+//! 3. **Expired** — the target has aged out; the level cannot serve.
+//!
+//! The surviving level with the smallest loss (ties going to the faster,
+//! higher level) becomes the recovery source.
+
+use crate::analysis::propagation::{level_ranges, LevelRange};
+use crate::error::Error;
+use crate::failure::{FailureScenario, FailureScope};
+use crate::hierarchy::StorageDesign;
+use crate::units::TimeDelta;
+use serde::{Deserialize, Serialize};
+
+/// Which of §3.3.3's three cases applies to a level for a given target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossCase {
+    /// The level's RPs were destroyed by the failure (or the level is
+    /// degraded); it cannot serve.
+    Destroyed,
+    /// The target is more recent than the level's freshest guaranteed RP.
+    NotYetPropagated,
+    /// The target falls within the level's guaranteed range.
+    Retained,
+    /// The target is older than the level's retention.
+    Expired,
+}
+
+/// One level's ability to serve the recovery target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelLoss {
+    /// The level's index.
+    pub level: usize,
+    /// The level's display name.
+    pub level_name: String,
+    /// Which case applies.
+    pub case: LossCase,
+    /// Worst-case recent data loss if this level serves (`None` when it
+    /// cannot).
+    pub loss: Option<TimeDelta>,
+    /// The level's guaranteed RP range (ages).
+    pub range: LevelRange,
+}
+
+/// The data-loss outcome for a failure scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossReport {
+    /// Every level's assessment, in level order.
+    pub per_level: Vec<LevelLoss>,
+    /// The chosen recovery source level.
+    pub source_level: usize,
+    /// Worst-case recent data loss when recovering from the source.
+    pub worst_loss: TimeDelta,
+}
+
+impl LossReport {
+    /// The chosen source level's display name.
+    pub fn source_level_name(&self) -> Option<&str> {
+        self.per_level
+            .iter()
+            .find(|l| l.level == self.source_level)
+            .map(|l| l.level_name.as_str())
+    }
+}
+
+/// Determines the recovery source and worst-case recent data loss for
+/// `scenario` (§3.3.3).
+///
+/// # Errors
+///
+/// Returns [`Error::NoRecoverySource`] when no surviving level retains an
+/// RP usable for the target — the recent updates (or, past every
+/// retention window, the entire object) are unrecoverable.
+pub fn data_loss(design: &StorageDesign, scenario: &FailureScenario) -> Result<LossReport, Error> {
+    let target_age = scenario.target.age();
+    let ranges = level_ranges(design);
+    let mut per_level = Vec::with_capacity(ranges.len());
+    let mut best: Option<(usize, TimeDelta)> = None;
+
+    for range in ranges {
+        let index = range.level;
+        let level = &design.levels()[index];
+        let destroyed = design.level_unavailable(index, scenario)
+            || (index == 0 && matches!(scenario.scope, FailureScope::DataObject { .. }));
+        let (case, loss) = if destroyed {
+            (LossCase::Destroyed, None)
+        } else if index == 0 {
+            // The live primary: serves only "now", with no loss.
+            if target_age.is_zero() {
+                (LossCase::Retained, Some(TimeDelta::ZERO))
+            } else {
+                (LossCase::Expired, None)
+            }
+        } else if range.too_recent(target_age) {
+            let lag = (range.max_lag - target_age).clamp_non_negative();
+            (LossCase::NotYetPropagated, Some(lag))
+        } else if range.covers(target_age) {
+            (
+                LossCase::Retained,
+                Some(level.technique().arrival_period()),
+            )
+        } else {
+            (LossCase::Expired, None)
+        };
+
+        if let Some(loss) = loss {
+            let better = match best {
+                None => true,
+                Some((_, best_loss)) => loss < best_loss,
+            };
+            if better {
+                best = Some((index, loss));
+            }
+        }
+
+        per_level.push(LevelLoss {
+            level: index,
+            level_name: level.name().to_string(),
+            case,
+            loss,
+            range,
+        });
+    }
+
+    match best {
+        Some((source_level, worst_loss)) => Ok(LossReport { per_level, source_level, worst_loss }),
+        None => Err(Error::NoRecoverySource { target: scenario.to_string() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::RecoveryTarget;
+    use crate::units::Bytes;
+
+    fn baseline() -> StorageDesign {
+        crate::presets::baseline_design()
+    }
+
+    fn object_scenario() -> FailureScenario {
+        FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        )
+    }
+
+    #[test]
+    fn object_failure_recovers_from_split_mirror_losing_12_hours() {
+        let report = data_loss(&baseline(), &object_scenario()).unwrap();
+        assert_eq!(report.source_level_name(), Some("split mirror"));
+        assert_eq!(report.worst_loss, TimeDelta::from_hours(12.0));
+        // The corrupted primary cannot serve.
+        assert_eq!(report.per_level[0].case, LossCase::Destroyed);
+    }
+
+    #[test]
+    fn array_failure_recovers_from_backup_losing_217_hours() {
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let report = data_loss(&baseline(), &scenario).unwrap();
+        assert_eq!(report.source_level_name(), Some("tape backup"));
+        assert!((report.worst_loss.as_hours() - 217.0).abs() < 1e-9);
+        assert_eq!(report.per_level[1].case, LossCase::Destroyed);
+    }
+
+    #[test]
+    fn site_failure_recovers_from_vault_losing_1429_hours() {
+        let scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+        let report = data_loss(&baseline(), &scenario).unwrap();
+        assert_eq!(report.source_level_name(), Some("remote vaulting"));
+        assert!((report.worst_loss.as_hours() - 1429.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intact_primary_serves_now_with_zero_loss() {
+        let scenario = FailureScenario::new(
+            FailureScope::ProtectionLevel { level: 2 },
+            RecoveryTarget::Now,
+        );
+        let report = data_loss(&baseline(), &scenario).unwrap();
+        assert_eq!(report.source_level, 0);
+        assert_eq!(report.worst_loss, TimeDelta::ZERO);
+        assert_eq!(report.per_level[2].case, LossCase::Destroyed);
+    }
+
+    #[test]
+    fn ancient_target_is_unrecoverable() {
+        let scenario = FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_years(10.0) },
+        );
+        let err = data_loss(&baseline(), &scenario).unwrap_err();
+        assert!(matches!(err, Error::NoRecoverySource { .. }));
+    }
+
+    #[test]
+    fn old_target_skips_to_the_vault() {
+        // A six-month-old version is long gone from mirrors and backups
+        // but still vaulted.
+        let scenario = FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_weeks(26.0) },
+        );
+        let report = data_loss(&baseline(), &scenario).unwrap();
+        assert_eq!(report.source_level_name(), Some("remote vaulting"));
+        assert_eq!(report.per_level[1].case, LossCase::Expired);
+        assert_eq!(report.per_level[2].case, LossCase::Expired);
+        // Retained at the vault: one four-week arrival period of loss.
+        assert_eq!(report.worst_loss, TimeDelta::from_weeks(4.0));
+    }
+
+    #[test]
+    fn mirror_design_loses_only_two_minutes() {
+        let design = crate::presets::async_batch_mirror_design(1);
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let report = data_loss(&design, &scenario).unwrap();
+        assert_eq!(report.source_level_name(), Some("async batch mirror"));
+        assert!((report.worst_loss.as_minutes() - 2.0).abs() < 1e-9);
+        // 0.03 hours, as Table 7 reports.
+        assert!((report.worst_loss.as_hours() - 0.033).abs() < 0.01);
+    }
+}

@@ -1,0 +1,237 @@
+//! Degraded-mode evaluation (paper §5 future work).
+//!
+//! Protection levels go out of service — a broken tape library, a mirror
+//! being resynchronized, a vault courier strike. Degraded-mode analysis
+//! answers: *if a failure strikes while level ℓ is down, how much worse
+//! is the outcome?* The result is an exposure matrix over
+//! (degraded level × failure scenario), highlighting which technique
+//! outage silently removes the most protection.
+
+use crate::analysis::{evaluate, Evaluation};
+use crate::error::Error;
+use crate::failure::FailureScenario;
+use crate::hierarchy::StorageDesign;
+use crate::requirements::BusinessRequirements;
+use crate::units::TimeDelta;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one (degraded level, scenario) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DegradedOutcome {
+    /// Recovery still succeeds, with possibly worse numbers.
+    Recoverable {
+        /// The evaluation with the level degraded.
+        evaluation: Box<Evaluation>,
+        /// Additional recent data loss versus the healthy system.
+        extra_loss: TimeDelta,
+        /// Additional recovery time versus the healthy system.
+        extra_recovery_time: TimeDelta,
+    },
+    /// With the level down, no surviving source covers the target: the
+    /// failure becomes unrecoverable.
+    Unrecoverable,
+}
+
+impl DegradedOutcome {
+    /// Whether the cell is recoverable.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, DegradedOutcome::Recoverable { .. })
+    }
+}
+
+/// One row of the exposure matrix: one degraded level across the
+/// scenario set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedRow {
+    /// The degraded hierarchy level.
+    pub level: usize,
+    /// Its display name.
+    pub level_name: String,
+    /// One outcome per input scenario, in order.
+    pub outcomes: Vec<DegradedOutcome>,
+}
+
+impl DegradedRow {
+    /// The worst extra data loss this level's outage causes across the
+    /// scenarios (`None` if some scenario becomes unrecoverable — that
+    /// is strictly worse than any finite increase).
+    pub fn worst_extra_loss(&self) -> Option<TimeDelta> {
+        let mut worst = TimeDelta::ZERO;
+        for outcome in &self.outcomes {
+            match outcome {
+                DegradedOutcome::Recoverable { extra_loss, .. } => {
+                    worst = worst.max(*extra_loss);
+                }
+                DegradedOutcome::Unrecoverable => return None,
+            }
+        }
+        Some(worst)
+    }
+}
+
+/// The exposure matrix for a design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedReport {
+    /// The healthy-system evaluations, one per scenario.
+    pub healthy: Vec<Evaluation>,
+    /// One row per secondary protection level (level 0 is the primary
+    /// copy, not a protection technique).
+    pub rows: Vec<DegradedRow>,
+}
+
+impl DegradedReport {
+    /// The level whose outage causes the worst exposure: unrecoverable
+    /// cells rank above any finite loss increase; finite rows rank by
+    /// worst extra loss.
+    pub fn most_critical_level(&self) -> Option<&DegradedRow> {
+        self.rows.iter().max_by(|a, b| {
+            match (a.worst_extra_loss(), b.worst_extra_loss()) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite losses"),
+            }
+        })
+    }
+}
+
+/// Evaluates every (secondary level × scenario) degraded combination.
+///
+/// # Errors
+///
+/// Propagates healthy-system evaluation errors; *degraded* evaluations
+/// that fail with [`Error::NoRecoverySource`] become
+/// [`DegradedOutcome::Unrecoverable`] cells rather than errors.
+pub fn degraded_exposure(
+    design: &StorageDesign,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[FailureScenario],
+) -> Result<DegradedReport, Error> {
+    let healthy: Vec<Evaluation> = scenarios
+        .iter()
+        .map(|s| evaluate(design, workload, requirements, s))
+        .collect::<Result<_, _>>()?;
+
+    let mut rows = Vec::new();
+    for (level, spec) in design.levels().iter().enumerate().skip(1) {
+        let mut outcomes = Vec::with_capacity(scenarios.len());
+        for (scenario, baseline) in scenarios.iter().zip(&healthy) {
+            let degraded_scenario = scenario.clone().with_degraded_level(level);
+            match evaluate(design, workload, requirements, &degraded_scenario) {
+                Ok(evaluation) => {
+                    let extra_loss =
+                        (evaluation.loss.worst_loss - baseline.loss.worst_loss)
+                            .clamp_non_negative();
+                    let extra_recovery_time = (evaluation.recovery.total_time
+                        - baseline.recovery.total_time)
+                        .clamp_non_negative();
+                    outcomes.push(DegradedOutcome::Recoverable {
+                        evaluation: Box::new(evaluation),
+                        extra_loss,
+                        extra_recovery_time,
+                    });
+                }
+                Err(Error::NoRecoverySource { .. }) => {
+                    outcomes.push(DegradedOutcome::Unrecoverable);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        rows.push(DegradedRow {
+            level,
+            level_name: spec.name().to_string(),
+            outcomes,
+        });
+    }
+    Ok(DegradedReport { healthy, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{FailureScope, RecoveryTarget};
+    use crate::units::Bytes;
+
+    fn report() -> DegradedReport {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let scenarios = vec![
+            FailureScenario::new(
+                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+                RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            ),
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+        ];
+        degraded_exposure(&design, &workload, &requirements, &scenarios).unwrap()
+    }
+
+    #[test]
+    fn one_row_per_secondary_level() {
+        let report = report();
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows[0].level_name, "split mirror");
+        assert_eq!(report.rows[2].level_name, "remote vaulting");
+        assert_eq!(report.healthy.len(), 3);
+    }
+
+    #[test]
+    fn degraded_mirror_pushes_object_recovery_to_tape() {
+        let report = report();
+        let mirror_row = &report.rows[0];
+        // Object rollback with the mirror down falls back to tape:
+        // loss jumps from 12 h (mirror retained) to 193 h (backup lag
+        // of 217 h minus the 24 h target age).
+        match &mirror_row.outcomes[0] {
+            DegradedOutcome::Recoverable { evaluation, extra_loss, .. } => {
+                assert_eq!(evaluation.loss.source_level_name(), Some("tape backup"));
+                assert!((extra_loss.as_hours() - 181.0).abs() < 1e-6);
+            }
+            other => panic!("expected recoverable, got {other:?}"),
+        }
+        // But array failures never used the mirror (it dies with the
+        // array), so its outage adds nothing there.
+        match &mirror_row.outcomes[1] {
+            DegradedOutcome::Recoverable { extra_loss, extra_recovery_time, .. } => {
+                assert!(extra_loss.is_zero());
+                assert!(extra_recovery_time.is_zero());
+            }
+            other => panic!("expected recoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_backup_makes_array_failures_fall_to_the_vault() {
+        let report = report();
+        let backup_row = &report.rows[1];
+        match &backup_row.outcomes[1] {
+            DegradedOutcome::Recoverable { evaluation, extra_loss, .. } => {
+                assert_eq!(evaluation.loss.source_level_name(), Some("remote vaulting"));
+                // 1429 − 217 = 1212 hours of extra exposure.
+                assert!((extra_loss.as_hours() - 1212.0).abs() < 1e-6);
+            }
+            other => panic!("expected recoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_vault_makes_site_disasters_unrecoverable() {
+        let report = report();
+        let vault_row = &report.rows[2];
+        assert!(matches!(vault_row.outcomes[2], DegradedOutcome::Unrecoverable));
+        assert_eq!(vault_row.worst_extra_loss(), None);
+        // And the vault is therefore the most critical level.
+        let critical = report.most_critical_level().unwrap();
+        assert_eq!(critical.level_name, "remote vaulting");
+    }
+
+    #[test]
+    fn healthy_rows_match_direct_evaluations() {
+        let report = report();
+        assert!((report.healthy[1].loss.worst_loss.as_hours() - 217.0).abs() < 1e-6);
+        assert!((report.healthy[2].loss.worst_loss.as_hours() - 1429.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,165 @@
+//! Frequency-weighted evaluation over multiple failure scenarios.
+//!
+//! The paper deliberately evaluates a single hypothesized failure at a
+//! time (§3.1.3) but notes (§5) that its automated-design work weights
+//! scenarios by frequency to consider several failures concurrently. This
+//! module provides that extension: given scenarios annotated with annual
+//! frequencies, it reports the design's expected annual cost — outlays
+//! plus frequency-weighted penalties.
+
+use crate::analysis::{evaluate, Evaluation};
+use crate::error::Error;
+use crate::failure::FailureScenario;
+use crate::hierarchy::StorageDesign;
+use crate::requirements::BusinessRequirements;
+use crate::units::Money;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// A failure scenario annotated with how often it is expected per year.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedScenario {
+    /// The scenario.
+    pub scenario: FailureScenario,
+    /// Expected occurrences per year (may be far below one).
+    pub annual_frequency: f64,
+}
+
+impl WeightedScenario {
+    /// Creates a weighted scenario.
+    pub fn new(scenario: FailureScenario, annual_frequency: f64) -> WeightedScenario {
+        WeightedScenario { scenario, annual_frequency }
+    }
+}
+
+/// The expected-annual-cost outcome across weighted scenarios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpectedCost {
+    /// Annual outlays (scenario-independent).
+    pub outlays: Money,
+    /// Frequency-weighted expected annual penalties.
+    pub expected_penalties: Money,
+    /// Per-scenario evaluations, in input order.
+    pub evaluations: Vec<(f64, Evaluation)>,
+}
+
+impl ExpectedCost {
+    /// Expected total annual cost: outlays + expected penalties.
+    pub fn total(&self) -> Money {
+        self.outlays + self.expected_penalties
+    }
+}
+
+/// Evaluates `design` under every weighted scenario and aggregates the
+/// expected annual cost.
+///
+/// # Errors
+///
+/// Returns the first scenario's evaluation error, or
+/// [`Error::InvalidParameter`] for a negative or non-finite frequency.
+pub fn expected_annual_cost(
+    design: &StorageDesign,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<ExpectedCost, Error> {
+    let mut outlays = Money::ZERO;
+    let mut expected_penalties = Money::ZERO;
+    let mut evaluations = Vec::with_capacity(scenarios.len());
+    for (index, weighted) in scenarios.iter().enumerate() {
+        if !(weighted.annual_frequency >= 0.0 && weighted.annual_frequency.is_finite()) {
+            return Err(Error::invalid(
+                format!("scenarios[{index}].annualFrequency"),
+                "must be non-negative and finite",
+            ));
+        }
+        let evaluation = evaluate(design, workload, requirements, &weighted.scenario)?;
+        outlays = evaluation.cost.total_outlays;
+        expected_penalties += evaluation.cost.total_penalties() * weighted.annual_frequency;
+        evaluations.push((weighted.annual_frequency, evaluation));
+    }
+    Ok(ExpectedCost { outlays, expected_penalties, evaluations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{FailureScope, RecoveryTarget};
+    use crate::units::{Bytes, TimeDelta};
+
+    fn scenarios() -> Vec<WeightedScenario> {
+        vec![
+            WeightedScenario::new(
+                FailureScenario::new(
+                    FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+                    RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+                ),
+                12.0, // monthly user errors
+            ),
+            WeightedScenario::new(
+                FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+                0.1, // one array loss per decade
+            ),
+            WeightedScenario::new(
+                FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+                0.01, // one site disaster per century
+            ),
+        ]
+    }
+
+    #[test]
+    fn expected_cost_weights_penalties_by_frequency() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let expected =
+            expected_annual_cost(&design, &workload, &requirements, &scenarios()).unwrap();
+        assert_eq!(expected.evaluations.len(), 3);
+        // Cross-check against a manual weighting.
+        let manual: Money = expected
+            .evaluations
+            .iter()
+            .map(|(f, e)| e.cost.total_penalties() * *f)
+            .sum();
+        assert!(expected.expected_penalties.approx_eq(manual, 1e-9));
+        assert_eq!(expected.total(), expected.outlays + expected.expected_penalties);
+        assert!(expected.total() > expected.outlays);
+    }
+
+    #[test]
+    fn frequent_small_failures_can_outweigh_rare_disasters() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let expected =
+            expected_annual_cost(&design, &workload, &requirements, &scenarios()).unwrap();
+        let object_contrib =
+            expected.evaluations[0].1.cost.total_penalties() * expected.evaluations[0].0;
+        let site_contrib =
+            expected.evaluations[2].1.cost.total_penalties() * expected.evaluations[2].0;
+        // 12 object rollbacks/yr at ~$0.6M beat a 1-in-100-year ~$73M
+        // disaster.
+        assert!(object_contrib > site_contrib);
+    }
+
+    #[test]
+    fn negative_frequency_is_rejected() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let bad = vec![WeightedScenario::new(
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            -1.0,
+        )];
+        assert!(expected_annual_cost(&design, &workload, &requirements, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_scenarios_cost_nothing() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let expected = expected_annual_cost(&design, &workload, &requirements, &[]).unwrap();
+        assert_eq!(expected.total(), Money::ZERO);
+    }
+}

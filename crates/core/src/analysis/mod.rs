@@ -1,0 +1,200 @@
+//! Composing the technique and device models into the overall
+//! dependability evaluation (§3.3).
+//!
+//! [`evaluate`] runs the full pipeline for one failure scenario:
+//!
+//! 1. convert every level's policy into device demands (§3.2.3),
+//! 2. check normal-mode utilization (§3.3.1),
+//! 3. pick the recovery source and worst-case recent data loss (§3.3.3),
+//! 4. compute the worst-case recovery time along the recovery path
+//!    (§3.3.4),
+//! 5. price the design: outlays + penalties (§3.3.5).
+
+pub mod compare;
+pub mod cost;
+pub mod coverage;
+pub mod data_loss;
+pub mod degraded;
+pub mod expected;
+pub mod propagation;
+pub mod recovery;
+pub mod risk;
+pub mod utilization;
+
+pub use compare::{compare, ComparisonRow, DesignComparison};
+pub use cost::{CostReport, LevelOutlay};
+pub use coverage::{coverage, CoverageReport, CoverageRow, ScopeCoverage};
+pub use data_loss::{data_loss, LevelLoss, LossCase, LossReport};
+pub use degraded::{degraded_exposure, DegradedOutcome, DegradedReport, DegradedRow};
+pub use expected::{expected_annual_cost, ExpectedCost, WeightedScenario};
+pub use risk::{risk_profile, RiskProfile};
+pub use propagation::{level_ranges, LevelRange};
+pub use recovery::{recovery, recovery_with_bytes, RecoveryReport, RecoveryStep, StepKind};
+pub use utilization::{
+    utilization, utilization_from_demands, DeviceUtilization, UtilizationReport,
+};
+
+use crate::error::Error;
+use crate::failure::FailureScenario;
+use crate::hierarchy::StorageDesign;
+use crate::requirements::BusinessRequirements;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The complete dependability evaluation of one design under one failure
+/// scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The evaluated scenario.
+    pub scenario: FailureScenario,
+    /// Normal-mode device and system utilization (paper Table 5).
+    pub utilization: UtilizationReport,
+    /// Recovery source and worst-case recent data loss (Table 6).
+    pub loss: LossReport,
+    /// Worst-case recovery timeline (Table 6, Figure 4).
+    pub recovery: RecoveryReport,
+    /// Outlays and penalties (Figure 5, Table 7).
+    pub cost: CostReport,
+}
+
+impl Evaluation {
+    /// Whether the outcome meets the requirements' RTO/RPO objectives.
+    pub fn meets_objectives(&self, requirements: &BusinessRequirements) -> bool {
+        requirements.meets_objectives(self.recovery.total_time, self.loss.worst_loss)
+    }
+}
+
+/// Evaluates `design` for `workload` and `requirements` under the given
+/// failure scenario.
+///
+/// # Errors
+///
+/// * [`Error::Overutilized`] — the design cannot even sustain its
+///   normal-mode RP workload (§3.3.1's feasibility check).
+/// * [`Error::NoRecoverySource`] — no surviving level retains an RP for
+///   the recovery target.
+/// * [`Error::NoReplacement`] — a destroyed device on the recovery path
+///   has neither a spare nor a recovery facility.
+/// * Technique/structure errors propagated from the demand models.
+///
+/// # Examples
+///
+/// ```
+/// use ssdep_core::prelude::*;
+///
+/// # fn main() -> Result<(), ssdep_core::Error> {
+/// let workload = ssdep_core::presets::cello_workload();
+/// let design = ssdep_core::presets::baseline_design();
+/// let requirements = ssdep_core::presets::paper_requirements();
+/// let scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+/// let eval = evaluate(&design, &workload, &requirements, &scenario)?;
+/// assert!(eval.loss.worst_loss > TimeDelta::from_weeks(4.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(
+    design: &StorageDesign,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenario: &FailureScenario,
+) -> Result<Evaluation, Error> {
+    let demands = design.demands(workload)?;
+    let utilization = utilization::utilization_from_demands(design, &demands);
+    utilization.check()?;
+    let loss = data_loss::data_loss(design, scenario)?;
+    let recovery = recovery::recovery(design, workload, &demands, scenario, loss.source_level)?;
+    let cost = cost::costs(
+        design,
+        &demands,
+        requirements,
+        recovery.total_time,
+        loss.worst_loss,
+    );
+    Ok(Evaluation {
+        scenario: scenario.clone(),
+        utilization,
+        loss,
+        recovery,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{FailureScope, RecoveryTarget};
+    use crate::units::{Bytes, TimeDelta};
+
+    fn evaluate_baseline(scope: FailureScope, target: RecoveryTarget) -> Evaluation {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let scenario = FailureScenario::new(scope, target);
+        evaluate(&design, &workload, &requirements, &scenario).unwrap()
+    }
+
+    #[test]
+    fn table_6_object_row() {
+        let eval = evaluate_baseline(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        );
+        assert_eq!(eval.loss.source_level_name(), Some("split mirror"));
+        assert!(eval.recovery.total_time < TimeDelta::from_secs(0.01));
+        assert_eq!(eval.loss.worst_loss, TimeDelta::from_hours(12.0));
+    }
+
+    #[test]
+    fn table_6_array_row() {
+        let eval = evaluate_baseline(FailureScope::Array, RecoveryTarget::Now);
+        assert_eq!(eval.loss.source_level_name(), Some("tape backup"));
+        assert!((eval.loss.worst_loss.as_hours() - 217.0).abs() < 1e-9);
+        let hours = eval.recovery.total_time.as_hours();
+        assert!(hours > 1.5 && hours < 2.5, "array recovery {hours:.2} h");
+    }
+
+    #[test]
+    fn table_6_site_row() {
+        let eval = evaluate_baseline(FailureScope::Site, RecoveryTarget::Now);
+        assert_eq!(eval.loss.source_level_name(), Some("remote vaulting"));
+        assert!((eval.loss.worst_loss.as_hours() - 1429.0).abs() < 1e-9);
+        let hours = eval.recovery.total_time.as_hours();
+        assert!(hours > 25.0 && hours < 27.0, "site recovery {hours:.2} h");
+    }
+
+    #[test]
+    fn figure_5_penalties_dominate_disasters() {
+        let object = evaluate_baseline(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        );
+        let array = evaluate_baseline(FailureScope::Array, RecoveryTarget::Now);
+        let site = evaluate_baseline(FailureScope::Site, RecoveryTarget::Now);
+
+        // Outlays are scenario-independent.
+        assert_eq!(object.cost.total_outlays, array.cost.total_outlays);
+        assert_eq!(array.cost.total_outlays, site.cost.total_outlays);
+
+        // Penalties dwarf outlays for array and site failures…
+        assert!(array.cost.total_penalties() > array.cost.total_outlays * 5.0);
+        assert!(site.cost.total_penalties() > site.cost.total_outlays * 50.0);
+        // …but not for object failures.
+        assert!(object.cost.total_penalties() < object.cost.total_outlays);
+        // Ordering of total cost follows failure scope severity.
+        assert!(object.cost.total_cost < array.cost.total_cost);
+        assert!(array.cost.total_cost < site.cost.total_cost);
+    }
+
+    #[test]
+    fn objectives_are_checked_against_outcomes() {
+        let eval = evaluate_baseline(FailureScope::Array, RecoveryTarget::Now);
+        let strict = BusinessRequirements::builder()
+            .unavailability_penalty_rate(crate::units::MoneyRate::from_dollars_per_hour(1.0))
+            .loss_penalty_rate(crate::units::MoneyRate::from_dollars_per_hour(1.0))
+            .recovery_point_objective(TimeDelta::from_hours(1.0))
+            .build()
+            .unwrap();
+        assert!(!eval.meets_objectives(&strict));
+        assert!(eval.meets_objectives(&crate::presets::paper_requirements()));
+    }
+}

@@ -1,0 +1,140 @@
+//! Retrieval-point propagation analysis (§3.3.2, paper Figure 3).
+//!
+//! To know where a recovery target can be served from, we need the range
+//! of past time each level is *guaranteed* to retain. A level's freshest
+//! guaranteed RP is `Σ(holdW + propW)` of every level on the way plus its
+//! own worst-case lag; its oldest is the minimum lag plus the retention
+//! span `(retCnt − 1) × cyclePer`.
+
+use crate::hierarchy::StorageDesign;
+use crate::units::TimeDelta;
+use serde::{Deserialize, Serialize};
+
+/// The RP time range guaranteed present at one hierarchy level, expressed
+/// as *ages* (time before now).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelRange {
+    /// The level's index.
+    pub level: usize,
+    /// The level's display name.
+    pub level_name: String,
+    /// Minimum possible age of the freshest RP (just after an arrival):
+    /// the cumulative `holdW + propW`.
+    pub min_lag: TimeDelta,
+    /// Worst-case age of the freshest *guaranteed* RP (just before the
+    /// next arrival): `min_lag` plus the level's arrival period.
+    pub max_lag: TimeDelta,
+    /// Worst-case age of the oldest guaranteed RP: `min_lag` plus the
+    /// retention span.
+    pub oldest_guaranteed: TimeDelta,
+}
+
+impl LevelRange {
+    /// Whether a recovery target `age` before the failure is guaranteed
+    /// to be retrievable from this level.
+    pub fn covers(&self, age: TimeDelta) -> bool {
+        age >= self.max_lag && age <= self.oldest_guaranteed
+    }
+
+    /// Whether the target is newer than anything guaranteed here.
+    pub fn too_recent(&self, age: TimeDelta) -> bool {
+        age < self.max_lag
+    }
+
+    /// Whether the target has aged out of this level's retention.
+    pub fn expired(&self, age: TimeDelta) -> bool {
+        age > self.oldest_guaranteed
+    }
+}
+
+/// Computes the guaranteed RP range for every level of the design.
+///
+/// Level 0 (the primary copy) has a degenerate range: it is the live
+/// data — zero lag and zero retention.
+pub fn level_ranges(design: &StorageDesign) -> Vec<LevelRange> {
+    let mut ranges = Vec::with_capacity(design.levels().len());
+    let mut cumulative_transit = TimeDelta::ZERO;
+    for (index, level) in design.levels().iter().enumerate() {
+        let technique = level.technique();
+        let min_lag = cumulative_transit + technique.transit_lag();
+        let max_lag = cumulative_transit + technique.worst_own_lag();
+        let oldest_guaranteed = min_lag + technique.retention_span();
+        ranges.push(LevelRange {
+            level: index,
+            level_name: level.name().to_string(),
+            min_lag,
+            max_lag,
+            oldest_guaranteed,
+        });
+        cumulative_transit = min_lag;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_ranges() -> Vec<LevelRange> {
+        level_ranges(&crate::presets::baseline_design())
+    }
+
+    #[test]
+    fn primary_has_zero_lag_and_retention() {
+        let ranges = baseline_ranges();
+        assert_eq!(ranges[0].min_lag, TimeDelta::ZERO);
+        assert_eq!(ranges[0].max_lag, TimeDelta::ZERO);
+        assert_eq!(ranges[0].oldest_guaranteed, TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn split_mirror_range_matches_figure_3_arithmetic() {
+        let ranges = baseline_ranges();
+        let mirror = &ranges[1];
+        // holdW = propW = 0, accW = 12 h, retention (4−1)×12 h = 36 h.
+        assert_eq!(mirror.min_lag, TimeDelta::ZERO);
+        assert_eq!(mirror.max_lag, TimeDelta::from_hours(12.0));
+        assert_eq!(mirror.oldest_guaranteed, TimeDelta::from_hours(36.0));
+        assert!(mirror.covers(TimeDelta::from_hours(24.0)));
+        assert!(mirror.too_recent(TimeDelta::from_hours(1.0)));
+        assert!(mirror.expired(TimeDelta::from_days(2.0)));
+    }
+
+    #[test]
+    fn backup_lag_accumulates_mirror_transit() {
+        let ranges = baseline_ranges();
+        let backup = &ranges[2];
+        // Mirror transit 0; backup hold 1 h + prop 48 h; accW 1 wk.
+        assert_eq!(backup.min_lag, TimeDelta::from_hours(49.0));
+        assert_eq!(backup.max_lag, TimeDelta::from_hours(217.0));
+        // Retention (4−1) weeks on top of min lag.
+        assert_eq!(
+            backup.oldest_guaranteed,
+            TimeDelta::from_hours(49.0) + TimeDelta::from_weeks(3.0)
+        );
+    }
+
+    #[test]
+    fn vault_lag_matches_paper_1429_hours() {
+        let ranges = baseline_ranges();
+        let vault = &ranges[3];
+        assert!(
+            (vault.max_lag.as_hours() - 1429.0).abs() < 1e-9,
+            "vault max lag {} hr",
+            vault.max_lag.as_hours()
+        );
+        // min lag: backup transit 49 h + vault hold (4 wk + 12 h) + prop 24 h.
+        assert!((vault.min_lag.as_hours() - 757.0).abs() < 1e-9);
+        // 38 cycles of 4 weeks on top.
+        assert!((vault.oldest_guaranteed.as_weeks() - (757.0 / 168.0 + 152.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranges_get_older_down_the_hierarchy() {
+        let ranges = baseline_ranges();
+        for pair in ranges.windows(2) {
+            assert!(pair[1].max_lag >= pair[0].max_lag);
+            assert!(pair[1].oldest_guaranteed >= pair[0].oldest_guaranteed);
+        }
+    }
+}

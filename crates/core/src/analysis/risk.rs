@@ -1,0 +1,168 @@
+//! Annualized risk profile: availability and expected-loss metrics over
+//! a frequency-weighted scenario catalog.
+//!
+//! The paper's outputs are per-scenario worst cases; operators also ask
+//! annualized questions — "how many nines is this design?", "how many
+//! hours of updates do we expect to lose per year?". This module folds
+//! the per-scenario evaluations with annual frequencies into those
+//! numbers.
+
+use crate::analysis::expected::{expected_annual_cost, WeightedScenario};
+use crate::error::Error;
+use crate::hierarchy::StorageDesign;
+use crate::requirements::BusinessRequirements;
+use crate::units::{Money, TimeDelta};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Annualized dependability metrics for one design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskProfile {
+    /// Expected hours of data unavailability per year.
+    pub expected_annual_downtime: TimeDelta,
+    /// Expected hours' worth of lost updates per year.
+    pub expected_annual_loss: TimeDelta,
+    /// Fraction of the year the data is expected to be available.
+    pub availability: f64,
+    /// Expected annual cost (outlays + frequency-weighted penalties).
+    pub expected_annual_cost: Money,
+    /// Largest single-scenario recovery time in the catalog.
+    pub worst_case_recovery: TimeDelta,
+    /// Largest single-scenario data loss in the catalog.
+    pub worst_case_loss: TimeDelta,
+}
+
+impl RiskProfile {
+    /// The availability expressed as "nines": `2.0` means 99 %, `3.0`
+    /// means 99.9 %, and so on. Perfect availability reports infinity.
+    pub fn nines(&self) -> f64 {
+        let unavailability = 1.0 - self.availability;
+        if unavailability <= 0.0 {
+            f64::INFINITY
+        } else {
+            -unavailability.log10()
+        }
+    }
+}
+
+/// Computes the annualized risk profile of `design` over a weighted
+/// scenario catalog.
+///
+/// # Errors
+///
+/// As [`expected_annual_cost`].
+pub fn risk_profile(
+    design: &StorageDesign,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<RiskProfile, Error> {
+    let expected = expected_annual_cost(design, workload, requirements, scenarios)?;
+
+    let mut expected_annual_downtime = TimeDelta::ZERO;
+    let mut expected_annual_loss = TimeDelta::ZERO;
+    let mut worst_case_recovery = TimeDelta::ZERO;
+    let mut worst_case_loss = TimeDelta::ZERO;
+    for (frequency, evaluation) in &expected.evaluations {
+        expected_annual_downtime += evaluation.recovery.total_time * *frequency;
+        expected_annual_loss += evaluation.loss.worst_loss * *frequency;
+        worst_case_recovery = worst_case_recovery.max(evaluation.recovery.total_time);
+        worst_case_loss = worst_case_loss.max(evaluation.loss.worst_loss);
+    }
+    let year = TimeDelta::from_years(1.0);
+    let availability = (1.0 - expected_annual_downtime / year).max(0.0);
+
+    Ok(RiskProfile {
+        expected_annual_downtime,
+        expected_annual_loss,
+        availability,
+        expected_annual_cost: expected.total(),
+        worst_case_recovery,
+        worst_case_loss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{FailureScenario, FailureScope, RecoveryTarget};
+    use crate::units::Bytes;
+
+    fn catalog() -> Vec<WeightedScenario> {
+        vec![
+            WeightedScenario::new(
+                FailureScenario::new(
+                    FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+                    RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+                ),
+                12.0,
+            ),
+            WeightedScenario::new(
+                FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+                0.1,
+            ),
+            WeightedScenario::new(
+                FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+                0.02,
+            ),
+        ]
+    }
+
+    fn baseline_profile() -> RiskProfile {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        risk_profile(&design, &workload, &requirements, &catalog()).unwrap()
+    }
+
+    #[test]
+    fn downtime_is_the_frequency_weighted_sum() {
+        let profile = baseline_profile();
+        // 12 object recoveries (~0 h) + 0.1 array (~1.7 h) + 0.02 site
+        // (~25.6 h) ≈ 0.68 h/yr.
+        let hours = profile.expected_annual_downtime.as_hours();
+        assert!((0.4..1.2).contains(&hours), "downtime {hours:.2} h/yr");
+        assert!(profile.availability > 0.9999);
+        assert!(profile.nines() > 3.5, "nines {:.2}", profile.nines());
+    }
+
+    #[test]
+    fn loss_is_dominated_by_frequent_object_errors() {
+        let profile = baseline_profile();
+        // 12 × 12 h object losses = 144 h/yr; array adds 21.7, site 28.6.
+        let hours = profile.expected_annual_loss.as_hours();
+        assert!((150.0..250.0).contains(&hours), "loss {hours:.0} h/yr");
+        assert!((profile.worst_case_loss.as_hours() - 1429.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mirroring_improves_every_risk_metric_but_cost() {
+        let workload = crate::presets::cello_workload();
+        let requirements = crate::presets::paper_requirements();
+        let baseline = baseline_profile();
+        // Restrict the catalog to hardware failures the mirror covers.
+        let hw: Vec<WeightedScenario> =
+            catalog().into_iter().skip(1).collect();
+        let mirror = risk_profile(
+            &crate::presets::async_batch_mirror_design(10),
+            &workload,
+            &requirements,
+            &hw,
+        )
+        .unwrap();
+        assert!(mirror.expected_annual_loss < TimeDelta::from_hours(1.0));
+        assert!(mirror.worst_case_loss < baseline.worst_case_loss / 100.0);
+        assert!(mirror.expected_annual_cost > Money::from_dollars(4e6));
+    }
+
+    #[test]
+    fn empty_catalog_is_perfectly_available() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let profile = risk_profile(&design, &workload, &requirements, &[]).unwrap();
+        assert_eq!(profile.availability, 1.0);
+        assert!(profile.nines().is_infinite());
+        assert_eq!(profile.expected_annual_loss, TimeDelta::ZERO);
+    }
+}

@@ -1,0 +1,265 @@
+//! Normal-mode utilization analysis (§3.3.1, paper Table 5).
+//!
+//! Each device model computes its own (local) bandwidth and capacity
+//! utilization from the aggregated technique demands; the global model
+//! takes the most heavily utilized device as the system utilization and
+//! flags any device whose demands exceed its capability.
+
+use crate::demands::DemandSet;
+use crate::error::{Error, ResourceKind};
+use crate::hierarchy::StorageDesign;
+use crate::units::{Bandwidth, Bytes, Utilization};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One level's share of one device's utilization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelShare {
+    /// The contributing hierarchy level.
+    pub level: usize,
+    /// The level's display name.
+    pub level_name: String,
+    /// Bandwidth demanded by this level.
+    pub bandwidth: Bandwidth,
+    /// Capacity demanded by this level.
+    pub capacity: Bytes,
+    /// This level's share of the device's bandwidth.
+    pub bandwidth_utilization: Utilization,
+    /// This level's share of the device's capacity.
+    pub capacity_utilization: Utilization,
+}
+
+/// The utilization of a single device, with a per-level breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceUtilization {
+    /// The device's name.
+    pub device_name: String,
+    /// Total bandwidth demanded of the device.
+    pub bandwidth_demand: Bandwidth,
+    /// Total capacity demanded of the device.
+    pub capacity_demand: Bytes,
+    /// Aggregate bandwidth utilization.
+    pub bandwidth_utilization: Utilization,
+    /// Aggregate capacity utilization.
+    pub capacity_utilization: Utilization,
+    /// Per-level shares, in level order (levels contributing nothing are
+    /// omitted).
+    pub shares: Vec<LevelShare>,
+}
+
+/// The normal-mode utilization of the whole design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationReport {
+    /// Per-device utilizations, in device registration order.
+    pub devices: Vec<DeviceUtilization>,
+    /// The system bandwidth utilization: that of the most heavily
+    /// bandwidth-utilized device.
+    pub system_bandwidth: Utilization,
+    /// The system capacity utilization: that of the most heavily
+    /// capacity-utilized device.
+    pub system_capacity: Utilization,
+}
+
+impl UtilizationReport {
+    /// Looks a device's utilization up by name.
+    pub fn device(&self, name: &str) -> Option<&DeviceUtilization> {
+        self.devices.iter().find(|d| d.device_name == name)
+    }
+
+    /// Verifies that no device is overcommitted (§3.3.1's global check).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overutilized`] naming the first offending device
+    /// and resource.
+    pub fn check(&self) -> Result<(), Error> {
+        for device in &self.devices {
+            if device.capacity_utilization.is_overcommitted() {
+                return Err(Error::Overutilized {
+                    device: device.device_name.clone(),
+                    resource: ResourceKind::Capacity,
+                    utilization: device.capacity_utilization,
+                });
+            }
+            if device.bandwidth_utilization.is_overcommitted() {
+                return Err(Error::Overutilized {
+                    device: device.device_name.clone(),
+                    resource: ResourceKind::Bandwidth,
+                    utilization: device.bandwidth_utilization,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the normal-mode utilization of `design` under `workload`.
+///
+/// This never fails on overcommitted devices — call
+/// [`UtilizationReport::check`] for the paper's hard feasibility test —
+/// but propagates structural errors from the demand models.
+///
+/// # Errors
+///
+/// Returns technique demand errors (e.g. a mirror level without a
+/// source).
+pub fn utilization(design: &StorageDesign, workload: &Workload) -> Result<UtilizationReport, Error> {
+    let demands = design.demands(workload)?;
+    Ok(utilization_from_demands(design, &demands))
+}
+
+/// Computes utilization from precomputed demands (avoids recomputing
+/// demands when the caller already has them).
+pub fn utilization_from_demands(design: &StorageDesign, demands: &DemandSet) -> UtilizationReport {
+    let mut devices = Vec::with_capacity(design.devices().len());
+    let mut system_bandwidth = Utilization::ZERO;
+    let mut system_capacity = Utilization::ZERO;
+
+    for (index, spec) in design.devices().iter().enumerate() {
+        let id = crate::device::DeviceId(index);
+        let mut shares = Vec::new();
+        let mut bandwidth_demand = Bandwidth::ZERO;
+        let mut capacity_demand = Bytes::ZERO;
+        for level in demands.levels() {
+            for c in level.contributions.iter().filter(|c| c.device == id) {
+                bandwidth_demand += c.bandwidth;
+                capacity_demand += c.capacity;
+                if c.bandwidth.value() > 0.0 || c.capacity.value() > 0.0 {
+                    shares.push(LevelShare {
+                        level: level.level,
+                        level_name: level.level_name.clone(),
+                        bandwidth: c.bandwidth,
+                        capacity: c.capacity,
+                        bandwidth_utilization: spec.bandwidth_utilization(c.bandwidth),
+                        capacity_utilization: spec.capacity_utilization(c.capacity),
+                    });
+                }
+            }
+        }
+        let bandwidth_utilization = spec.bandwidth_utilization(bandwidth_demand);
+        let capacity_utilization = spec.capacity_utilization(capacity_demand);
+        system_bandwidth = system_bandwidth.max(bandwidth_utilization);
+        system_capacity = system_capacity.max(capacity_utilization);
+        devices.push(DeviceUtilization {
+            device_name: spec.name().to_string(),
+            bandwidth_demand,
+            capacity_demand,
+            bandwidth_utilization,
+            capacity_utilization,
+            shares,
+        });
+    }
+
+    UtilizationReport { devices, system_bandwidth, system_capacity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_report() -> UtilizationReport {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        utilization(&design, &workload).unwrap()
+    }
+
+    #[test]
+    fn array_utilization_matches_paper_table_5() {
+        let report = baseline_report();
+        let array = report.device("primary array").unwrap();
+        // Paper: foreground 0.2 %, split mirror 0.6 %, backup 1.6 %;
+        // overall 2.4 % bandwidth (12.4 MB/s) and 87.4 % capacity (8 TB).
+        assert!(
+            (array.bandwidth_utilization.as_percent() - 2.4).abs() < 0.1,
+            "array bandwidth {}",
+            array.bandwidth_utilization
+        );
+        assert!(
+            (array.capacity_utilization.as_percent() - 87.4).abs() < 0.3,
+            "array capacity {}",
+            array.capacity_utilization
+        );
+        assert!((array.bandwidth_demand.as_mib_per_sec() - 12.3).abs() < 0.2);
+        assert!((array.capacity_demand.as_tib() - 7.97).abs() < 0.05);
+
+        let foreground = &array.shares[0];
+        assert!((foreground.bandwidth_utilization.as_percent() - 0.2).abs() < 0.05);
+        assert!((foreground.capacity_utilization.as_percent() - 14.6).abs() < 0.1);
+        let mirror = array.shares.iter().find(|s| s.level_name == "split mirror").unwrap();
+        assert!((mirror.bandwidth_utilization.as_percent() - 0.6).abs() < 0.05);
+        assert!((mirror.capacity_utilization.as_percent() - 72.8).abs() < 0.2);
+        let backup = array.shares.iter().find(|s| s.level_name == "tape backup").unwrap();
+        assert!((backup.bandwidth_utilization.as_percent() - 1.6).abs() < 0.05);
+        assert_eq!(backup.capacity_utilization, Utilization::ZERO);
+    }
+
+    #[test]
+    fn tape_and_vault_utilization_match_paper_table_5() {
+        let report = baseline_report();
+        let tape = report.device("tape library").unwrap();
+        assert!((tape.bandwidth_utilization.as_percent() - 3.4).abs() < 0.05);
+        assert!((tape.capacity_utilization.as_percent() - 3.4).abs() < 0.05);
+        assert!((tape.bandwidth_demand.as_mib_per_sec() - 8.06).abs() < 0.05);
+        assert!((tape.capacity_demand.as_tib() - 6.64).abs() < 0.05);
+
+        let vault = report.device("tape vault").unwrap();
+        assert!((vault.capacity_utilization.as_percent() - 2.65).abs() < 0.05);
+        assert!((vault.capacity_demand.as_tib() - 51.8).abs() < 0.1);
+        assert_eq!(vault.bandwidth_utilization, Utilization::ZERO);
+    }
+
+    #[test]
+    fn system_utilization_is_the_max_device() {
+        let report = baseline_report();
+        // Bandwidth: tape library leads at 3.4 %; capacity: array at 87 %.
+        assert!((report.system_bandwidth.as_percent() - 3.4).abs() < 0.05);
+        assert!((report.system_capacity.as_percent() - 87.4).abs() < 0.3);
+        assert!(report.check().is_ok());
+    }
+
+    #[test]
+    fn overcommit_is_detected() {
+        // Shrink the workload's home: a tiny array cannot hold six copies
+        // of the dataset.
+        use crate::device::{DeviceKind, DeviceSpec};
+        use crate::hierarchy::{Level, StorageDesign};
+        use crate::protection::{PrimaryCopy, SplitMirror, Technique};
+        use crate::units::TimeDelta;
+
+        let workload = crate::presets::cello_workload();
+        let mut builder = StorageDesign::builder("tiny");
+        let array = builder
+            .add_device(
+                DeviceSpec::builder("small array", DeviceKind::disk_array(1.0))
+                    .capacity_slots(10, Bytes::from_gib(73.0))
+                    .bandwidth_slots(10, Bandwidth::from_mib_per_sec(25.0))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        builder.add_level(Level::new("primary", Technique::PrimaryCopy(PrimaryCopy::new()), array));
+        builder.add_level(Level::new(
+            "split mirror",
+            Technique::SplitMirror(SplitMirror::new(
+                crate::protection::ProtectionParams::builder()
+                    .accumulation_window(TimeDelta::from_hours(12.0))
+                    .propagation_window(TimeDelta::ZERO)
+                    .retention_count(4)
+                    .build()
+                    .unwrap(),
+            )),
+            array,
+        ));
+        let design = builder.build().unwrap();
+        let report = utilization(&design, &workload).unwrap();
+        let err = report.check().unwrap_err();
+        assert!(matches!(err, Error::Overutilized { .. }));
+        assert!(err.to_string().contains("small array"));
+    }
+
+    #[test]
+    fn unknown_device_lookup_returns_none() {
+        let report = baseline_report();
+        assert!(report.device("missing").is_none());
+    }
+}

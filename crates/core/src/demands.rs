@@ -1,0 +1,220 @@
+//! Workload demands that data protection techniques place on devices
+//! (§3.2.3).
+//!
+//! Each technique model converts its policy parameters into bandwidth and
+//! capacity demands on the storage and interconnect devices it touches.
+//! [`DemandSet`] collects every contribution, tagged by the hierarchy
+//! level that caused it, so the utilization and cost analyses can report
+//! per-technique breakdowns (paper Table 5).
+
+use crate::device::DeviceId;
+use crate::units::{Bandwidth, Bytes};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One technique's demand on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandContribution {
+    /// The device being demanded of.
+    pub device: DeviceId,
+    /// Sustained bandwidth required in normal mode.
+    pub bandwidth: Bandwidth,
+    /// Storage capacity held in normal mode.
+    pub capacity: Bytes,
+    /// Physical shipments per year (couriers only; drives per-shipment
+    /// cost).
+    pub shipments_per_year: f64,
+}
+
+impl DemandContribution {
+    /// A contribution with every component zero, on `device`.
+    pub fn none(device: DeviceId) -> DemandContribution {
+        DemandContribution {
+            device,
+            bandwidth: Bandwidth::ZERO,
+            capacity: Bytes::ZERO,
+            shipments_per_year: 0.0,
+        }
+    }
+
+    /// A pure bandwidth demand.
+    pub fn bandwidth(device: DeviceId, bandwidth: Bandwidth) -> DemandContribution {
+        DemandContribution { bandwidth, ..DemandContribution::none(device) }
+    }
+
+    /// A pure capacity demand.
+    pub fn capacity(device: DeviceId, capacity: Bytes) -> DemandContribution {
+        DemandContribution { capacity, ..DemandContribution::none(device) }
+    }
+}
+
+/// The demands of one hierarchy level (one technique instance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelDemands {
+    /// Zero-based hierarchy level that causes these demands.
+    pub level: usize,
+    /// The level's display name (e.g. `"split mirror"`).
+    pub level_name: String,
+    /// Per-device contributions. A device may appear at most once per
+    /// level.
+    pub contributions: Vec<DemandContribution>,
+}
+
+/// All demands of a storage design, level by level.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DemandSet {
+    levels: Vec<LevelDemands>,
+}
+
+/// Aggregate demand on a single device, summed over levels.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeviceTotals {
+    /// Total sustained bandwidth demanded.
+    pub bandwidth: Bandwidth,
+    /// Total capacity held.
+    pub capacity: Bytes,
+    /// Total shipments per year.
+    pub shipments_per_year: f64,
+}
+
+impl DemandSet {
+    /// Creates an empty demand set.
+    pub fn new() -> DemandSet {
+        DemandSet::default()
+    }
+
+    /// Records the demands of one level.
+    pub fn push_level(&mut self, demands: LevelDemands) {
+        self.levels.push(demands);
+    }
+
+    /// Iterates the per-level demand records, in level order.
+    pub fn levels(&self) -> impl Iterator<Item = &LevelDemands> {
+        self.levels.iter()
+    }
+
+    /// The contribution of a specific level to a specific device, if any.
+    pub fn contribution(&self, level: usize, device: DeviceId) -> Option<DemandContribution> {
+        self.levels
+            .iter()
+            .find(|l| l.level == level)?
+            .contributions
+            .iter()
+            .find(|c| c.device == device)
+            .copied()
+    }
+
+    /// Sums demands per device across all levels.
+    pub fn device_totals(&self) -> BTreeMap<DeviceId, DeviceTotals> {
+        let mut totals: BTreeMap<DeviceId, DeviceTotals> = BTreeMap::new();
+        for level in &self.levels {
+            for c in &level.contributions {
+                let entry = totals.entry(c.device).or_default();
+                entry.bandwidth += c.bandwidth;
+                entry.capacity += c.capacity;
+                entry.shipments_per_year += c.shipments_per_year;
+            }
+        }
+        totals
+    }
+
+    /// Total bandwidth demanded of one device across all levels.
+    pub fn bandwidth_on(&self, device: DeviceId) -> Bandwidth {
+        self.levels
+            .iter()
+            .flat_map(|l| &l.contributions)
+            .filter(|c| c.device == device)
+            .map(|c| c.bandwidth)
+            .sum()
+    }
+
+    /// Total capacity demanded of one device across all levels.
+    pub fn capacity_on(&self, device: DeviceId) -> Bytes {
+        self.levels
+            .iter()
+            .flat_map(|l| &l.contributions)
+            .filter(|c| c.device == device)
+            .map(|c| c.capacity)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: usize) -> DeviceId {
+        DeviceId(n)
+    }
+
+    fn sample() -> DemandSet {
+        let mut set = DemandSet::new();
+        set.push_level(LevelDemands {
+            level: 0,
+            level_name: "primary".into(),
+            contributions: vec![DemandContribution {
+                device: id(0),
+                bandwidth: Bandwidth::from_mib_per_sec(1.0),
+                capacity: Bytes::from_gib(1360.0),
+                shipments_per_year: 0.0,
+            }],
+        });
+        set.push_level(LevelDemands {
+            level: 1,
+            level_name: "split mirror".into(),
+            contributions: vec![DemandContribution {
+                device: id(0),
+                bandwidth: Bandwidth::from_mib_per_sec(3.0),
+                capacity: Bytes::from_gib(6800.0),
+                shipments_per_year: 0.0,
+            }],
+        });
+        set.push_level(LevelDemands {
+            level: 2,
+            level_name: "vaulting".into(),
+            contributions: vec![DemandContribution {
+                device: id(1),
+                bandwidth: Bandwidth::ZERO,
+                capacity: Bytes::ZERO,
+                shipments_per_year: 13.0,
+            }],
+        });
+        set
+    }
+
+    #[test]
+    fn totals_sum_across_levels() {
+        let totals = sample().device_totals();
+        let array = totals[&id(0)];
+        assert_eq!(array.bandwidth, Bandwidth::from_mib_per_sec(4.0));
+        assert_eq!(array.capacity, Bytes::from_gib(8160.0));
+        let courier = totals[&id(1)];
+        assert_eq!(courier.shipments_per_year, 13.0);
+    }
+
+    #[test]
+    fn per_device_accessors_match_totals() {
+        let set = sample();
+        assert_eq!(set.bandwidth_on(id(0)), Bandwidth::from_mib_per_sec(4.0));
+        assert_eq!(set.capacity_on(id(0)), Bytes::from_gib(8160.0));
+        assert_eq!(set.bandwidth_on(id(1)), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn contribution_lookup_by_level_and_device() {
+        let set = sample();
+        let c = set.contribution(1, id(0)).unwrap();
+        assert_eq!(c.bandwidth, Bandwidth::from_mib_per_sec(3.0));
+        assert!(set.contribution(1, id(1)).is_none());
+        assert!(set.contribution(9, id(0)).is_none());
+    }
+
+    #[test]
+    fn constructors_zero_unrelated_fields() {
+        let c = DemandContribution::bandwidth(id(0), Bandwidth::from_mib_per_sec(2.0));
+        assert_eq!(c.capacity, Bytes::ZERO);
+        let c = DemandContribution::capacity(id(0), Bytes::from_gib(1.0));
+        assert_eq!(c.bandwidth, Bandwidth::ZERO);
+        assert_eq!(c.shipments_per_year, 0.0);
+    }
+}

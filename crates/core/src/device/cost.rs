@@ -1,0 +1,205 @@
+//! Device outlay cost models (§3.3.5).
+//!
+//! Each device's annualized outlays decompose into a fixed component
+//! (enclosure, service contract, floorspace), a per-capacity component
+//! (disks, tape media, variable cooling/power), a per-bandwidth component
+//! (disks, tape drives, link rental), and — for couriers — a per-shipment
+//! component. The paper's Table 4 quotes these as `fixed + c·X + b·Y + s·Z`
+//! with `c` in GB, `b` in MB/s and `s` in shipments/year; use
+//! [`CostModelBuilder::per_gib`] and [`CostModelBuilder::per_mib_per_sec`]
+//! to enter them directly.
+
+use crate::error::Error;
+use crate::units::{Bandwidth, Bytes, Money};
+use serde::{Deserialize, Serialize};
+
+/// An annualized outlay cost model for one device.
+///
+/// ```
+/// use ssdep_core::device::CostModel;
+/// use ssdep_core::units::{Bandwidth, Bytes, Money};
+///
+/// // The paper's tape library: 98895 + c*0.4 + b*108.6 (c in GB, b in MB/s).
+/// let tape = CostModel::builder()
+///     .fixed(Money::from_dollars(98_895.0))
+///     .per_gib(Money::from_dollars(0.4))
+///     .per_mib_per_sec(Money::from_dollars(108.6))
+///     .build();
+/// let annual = tape.annual_outlay(
+///     Bytes::from_gib(6800.0),
+///     Bandwidth::from_mib_per_sec(8.1),
+///     0.0,
+/// );
+/// assert!((annual.as_dollars() - (98_895.0 + 6800.0 * 0.4 + 8.1 * 108.6)).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    fixed: Money,
+    per_gib: Money,
+    per_mib_per_sec: Money,
+    per_shipment: Money,
+}
+
+impl CostModel {
+    /// A cost model with every component zero.
+    pub fn free() -> CostModel {
+        CostModel {
+            fixed: Money::ZERO,
+            per_gib: Money::ZERO,
+            per_mib_per_sec: Money::ZERO,
+            per_shipment: Money::ZERO,
+        }
+    }
+
+    /// Starts building a cost model (all components default to zero).
+    pub fn builder() -> CostModelBuilder {
+        CostModelBuilder { model: CostModel::free() }
+    }
+
+    /// The fixed annual component (`fixCost`).
+    pub fn fixed(&self) -> Money {
+        self.fixed
+    }
+
+    /// The annual cost of holding `capacity` on this device (`capCost`).
+    pub fn capacity_cost(&self, capacity: Bytes) -> Money {
+        self.per_gib * capacity.as_gib()
+    }
+
+    /// The annual cost of provisioning `bandwidth` on this device
+    /// (`bwCost`).
+    pub fn bandwidth_cost(&self, bandwidth: Bandwidth) -> Money {
+        self.per_mib_per_sec * bandwidth.as_mib_per_sec()
+    }
+
+    /// The annual cost of `shipments_per_year` shipments.
+    pub fn shipment_cost(&self, shipments_per_year: f64) -> Money {
+        self.per_shipment * shipments_per_year
+    }
+
+    /// Total annual outlay for the given usage.
+    pub fn annual_outlay(
+        &self,
+        capacity: Bytes,
+        bandwidth: Bandwidth,
+        shipments_per_year: f64,
+    ) -> Money {
+        self.fixed
+            + self.capacity_cost(capacity)
+            + self.bandwidth_cost(bandwidth)
+            + self.shipment_cost(shipments_per_year)
+    }
+
+    pub(crate) fn validate(&self, device: &str) -> Result<(), Error> {
+        for (field, value) in [
+            ("fixCost", self.fixed),
+            ("capCost", self.per_gib),
+            ("bwCost", self.per_mib_per_sec),
+            ("shipCost", self.per_shipment),
+        ] {
+            if !(value.value() >= 0.0 && value.is_finite()) {
+                return Err(Error::invalid(
+                    format!("device[{device}].{field}"),
+                    "must be non-negative and finite",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`CostModel`]; see [`CostModel::builder`].
+#[derive(Debug, Clone)]
+pub struct CostModelBuilder {
+    model: CostModel,
+}
+
+impl CostModelBuilder {
+    /// Sets the fixed annual cost.
+    pub fn fixed(mut self, cost: Money) -> Self {
+        self.model.fixed = cost;
+        self
+    }
+
+    /// Sets the annual cost per GiB of stored capacity.
+    pub fn per_gib(mut self, cost: Money) -> Self {
+        self.model.per_gib = cost;
+        self
+    }
+
+    /// Sets the annual cost per MiB/s of provisioned bandwidth.
+    pub fn per_mib_per_sec(mut self, cost: Money) -> Self {
+        self.model.per_mib_per_sec = cost;
+        self
+    }
+
+    /// Sets the cost per shipment (couriers).
+    pub fn per_shipment(mut self, cost: Money) -> Self {
+        self.model.per_shipment = cost;
+        self
+    }
+
+    /// Builds the cost model. Validation happens when the owning device
+    /// is built.
+    pub fn build(self) -> CostModel {
+        self.model
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_costs_nothing() {
+        let outlay = CostModel::free().annual_outlay(
+            Bytes::from_tib(100.0),
+            Bandwidth::from_mib_per_sec(1000.0),
+            52.0,
+        );
+        assert_eq!(outlay, Money::ZERO);
+    }
+
+    #[test]
+    fn components_add_independently() {
+        let model = CostModel::builder()
+            .fixed(Money::from_dollars(100.0))
+            .per_gib(Money::from_dollars(2.0))
+            .per_mib_per_sec(Money::from_dollars(5.0))
+            .per_shipment(Money::from_dollars(50.0))
+            .build();
+        assert_eq!(model.fixed(), Money::from_dollars(100.0));
+        assert_eq!(model.capacity_cost(Bytes::from_gib(10.0)), Money::from_dollars(20.0));
+        assert_eq!(
+            model.bandwidth_cost(Bandwidth::from_mib_per_sec(3.0)),
+            Money::from_dollars(15.0)
+        );
+        assert_eq!(model.shipment_cost(13.0), Money::from_dollars(650.0));
+        let total = model.annual_outlay(Bytes::from_gib(10.0), Bandwidth::from_mib_per_sec(3.0), 13.0);
+        assert_eq!(total, Money::from_dollars(785.0));
+    }
+
+    #[test]
+    fn paper_array_cost_formula() {
+        // Disk array: 123297 + c * 17.2.
+        let model = CostModel::builder()
+            .fixed(Money::from_dollars(123_297.0))
+            .per_gib(Money::from_dollars(17.2))
+            .build();
+        let outlay = model.annual_outlay(Bytes::from_gib(8160.0), Bandwidth::ZERO, 0.0);
+        assert!((outlay.as_dollars() - (123_297.0 + 8160.0 * 17.2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validate_rejects_negative_components() {
+        let model = CostModel::builder().fixed(Money::from_dollars(-1.0)).build();
+        assert!(model.validate("x").is_err());
+        assert!(CostModel::free().validate("x").is_ok());
+    }
+}

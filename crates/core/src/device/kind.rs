@@ -1,0 +1,116 @@
+//! The kinds of hardware device the framework distinguishes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What sort of device a [`DeviceSpec`](super::DeviceSpec) describes.
+///
+/// The kind mostly affects interpretation (reporting, recovery semantics);
+/// the quantitative capability comes from the spec's slot/bandwidth/delay
+/// parameters. The one numeric consequence is the disk array's redundancy
+/// overhead: internal RAID protection consumes raw capacity, so usable
+/// capacity is `raw / capacity_overhead`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DeviceKind {
+    /// A disk array holding online (random-access) copies.
+    DiskArray {
+        /// Raw-to-usable capacity factor of the internal RAID scheme:
+        /// `2.0` for RAID-1 mirroring, `1.25` for 4+1 RAID-5, `1.0` for
+        /// unprotected JBOD.
+        capacity_overhead: f64,
+    },
+    /// A tape library: drives provide bandwidth, cartridges capacity.
+    TapeLibrary,
+    /// An off-site vault shelf: capacity only, no online bandwidth.
+    VaultShelf,
+    /// A network interconnect (SAN or WAN links). Bandwidth slots
+    /// represent individual links.
+    NetworkLink,
+    /// A physical transportation method (e.g. overnight air courier):
+    /// no capacity or bandwidth constraint, but a large access delay and
+    /// per-shipment cost.
+    Courier,
+}
+
+impl DeviceKind {
+    /// Convenience constructor for a disk array with the given
+    /// redundancy overhead.
+    pub fn disk_array(capacity_overhead: f64) -> DeviceKind {
+        DeviceKind::DiskArray { capacity_overhead }
+    }
+
+    /// The raw-to-usable capacity factor (1.0 for everything except
+    /// RAID-protected arrays).
+    pub fn capacity_overhead(&self) -> f64 {
+        match self {
+            DeviceKind::DiskArray { capacity_overhead } => *capacity_overhead,
+            _ => 1.0,
+        }
+    }
+
+    /// Whether the device stores data online (can serve as a recovery
+    /// *source or destination* that streams bytes), as opposed to a pure
+    /// transport.
+    pub fn is_storage(&self) -> bool {
+        matches!(
+            self,
+            DeviceKind::DiskArray { .. } | DeviceKind::TapeLibrary | DeviceKind::VaultShelf
+        )
+    }
+
+    /// Whether the device is a transport between storage devices.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, DeviceKind::NetworkLink | DeviceKind::Courier)
+    }
+
+    /// A short lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceKind::DiskArray { .. } => "disk array",
+            DeviceKind::TapeLibrary => "tape library",
+            DeviceKind::VaultShelf => "vault",
+            DeviceKind::NetworkLink => "network link",
+            DeviceKind::Courier => "courier",
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_applies_only_to_arrays() {
+        assert_eq!(DeviceKind::disk_array(2.0).capacity_overhead(), 2.0);
+        assert_eq!(DeviceKind::TapeLibrary.capacity_overhead(), 1.0);
+        assert_eq!(DeviceKind::Courier.capacity_overhead(), 1.0);
+    }
+
+    #[test]
+    fn storage_and_transport_partition_the_kinds() {
+        let kinds = [
+            DeviceKind::disk_array(1.0),
+            DeviceKind::TapeLibrary,
+            DeviceKind::VaultShelf,
+            DeviceKind::NetworkLink,
+            DeviceKind::Courier,
+        ];
+        for kind in kinds {
+            assert_ne!(kind.is_storage(), kind.is_transport(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_terms() {
+        assert_eq!(DeviceKind::disk_array(2.0).to_string(), "disk array");
+        assert_eq!(DeviceKind::TapeLibrary.to_string(), "tape library");
+        assert_eq!(DeviceKind::VaultShelf.to_string(), "vault");
+    }
+}

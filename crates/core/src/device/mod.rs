@@ -1,0 +1,442 @@
+//! Hardware device models (§3.2.2): capability, delay, cost, and sparing.
+//!
+//! Every storage or interconnect device is abstracted into one parameter
+//! set: enclosures provide *capacity slots* (disks, tape cartridges) and
+//! *bandwidth slots* (disks, tape drives), with optional aggregate
+//! enclosure-bandwidth and per-access delay limits, plus a [`CostModel`]
+//! and a [`SpareSpec`]. Couriers (physical tape shipment) are modeled as
+//! interconnect devices with a large delay and per-shipment cost.
+
+mod cost;
+mod kind;
+mod spare;
+
+pub use cost::CostModel;
+pub use kind::DeviceKind;
+pub use spare::SpareSpec;
+
+use crate::error::Error;
+use crate::failure::Location;
+use crate::units::{Bandwidth, Bytes, TimeDelta, Utilization};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a device within one [`StorageDesign`](crate::hierarchy::StorageDesign).
+///
+/// Obtained from [`StorageDesign`](crate::hierarchy::StorageDesign) when a
+/// device is registered; stable for the lifetime of the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub(crate) usize);
+
+impl DeviceId {
+    /// The device's position in the design's registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "device#{}", self.0)
+    }
+}
+
+/// A hardware storage or interconnect device.
+///
+/// Construct with [`DeviceSpec::builder`]:
+///
+/// ```
+/// use ssdep_core::device::{CostModel, DeviceKind, DeviceSpec, SpareSpec};
+/// use ssdep_core::failure::Location;
+/// use ssdep_core::units::{Bandwidth, Bytes, Money, TimeDelta};
+///
+/// # fn main() -> Result<(), ssdep_core::Error> {
+/// let array = DeviceSpec::builder("primary array", DeviceKind::disk_array(2.0))
+///     .location(Location::new("us-west", "palo-alto", "bldg-1"))
+///     .capacity_slots(256, Bytes::from_gib(73.0))
+///     .bandwidth_slots(256, Bandwidth::from_mib_per_sec(25.0))
+///     .enclosure_bandwidth(Bandwidth::from_mib_per_sec(512.0))
+///     .cost(CostModel::builder().fixed(Money::from_dollars(123_297.0)).build())
+///     .spare(SpareSpec::dedicated(TimeDelta::from_secs(60.0), 1.0))
+///     .build()?;
+/// assert_eq!(array.max_bandwidth(), Some(Bandwidth::from_mib_per_sec(512.0)));
+/// // RAID-1 halves the usable capacity.
+/// assert_eq!(array.usable_capacity(), Some(Bytes::from_gib(256.0 * 73.0 / 2.0)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    name: String,
+    kind: DeviceKind,
+    location: Location,
+    capacity_slots: Option<SlotBank<Bytes>>,
+    bandwidth_slots: Option<SlotBank<Bandwidth>>,
+    enclosure_bandwidth: Option<Bandwidth>,
+    access_delay: TimeDelta,
+    cost: CostModel,
+    spare: SpareSpec,
+}
+
+/// A bank of identical slots (disks, drives, cartridges, links).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct SlotBank<T> {
+    count: u32,
+    per_slot: T,
+}
+
+impl DeviceSpec {
+    /// Starts building a device named `name` of the given kind.
+    pub fn builder(name: impl Into<String>, kind: DeviceKind) -> DeviceSpecBuilder {
+        DeviceSpecBuilder {
+            name: name.into(),
+            kind,
+            location: Location::new("default", "default", "default"),
+            capacity_slots: None,
+            bandwidth_slots: None,
+            enclosure_bandwidth: None,
+            access_delay: TimeDelta::ZERO,
+            cost: CostModel::free(),
+            spare: SpareSpec::None,
+        }
+    }
+
+    /// The device's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What sort of device this is.
+    pub fn kind(&self) -> &DeviceKind {
+        &self.kind
+    }
+
+    /// Where the device physically sits.
+    pub fn location(&self) -> &Location {
+        &self.location
+    }
+
+    /// Per-access delay (`devDelay`): tape load + seek, link propagation,
+    /// courier transit.
+    pub fn access_delay(&self) -> TimeDelta {
+        self.access_delay
+    }
+
+    /// The device's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The device's spare-resource specification.
+    pub fn spare(&self) -> &SpareSpec {
+        &self.spare
+    }
+
+    /// Raw capacity: `maxCapSlots × slotCap`, before any redundancy
+    /// overhead. `None` means capacity is unconstrained (interconnects).
+    pub fn raw_capacity(&self) -> Option<Bytes> {
+        self.capacity_slots
+            .map(|bank| bank.per_slot * bank.count as f64)
+    }
+
+    /// Usable capacity after the device kind's redundancy overhead (e.g.
+    /// RAID-1 mirroring halves it). `None` means unconstrained.
+    pub fn usable_capacity(&self) -> Option<Bytes> {
+        self.raw_capacity()
+            .map(|raw| raw / self.kind.capacity_overhead())
+    }
+
+    /// Maximum aggregate bandwidth: the *minimum* of the slot aggregate
+    /// (`maxBWSlots × slotBW`) and the enclosure limit (`enclBW`). `None`
+    /// means unconstrained (couriers).
+    ///
+    /// The paper's §3.3.1 text prints `max(...)`, but its Table 5 results
+    /// (12.4 MB/s ≈ 2.4 % of the 512 MB/s enclosure limit) are only
+    /// consistent with `min`; we follow the numbers.
+    pub fn max_bandwidth(&self) -> Option<Bandwidth> {
+        let slots = self
+            .bandwidth_slots
+            .map(|bank| bank.per_slot * bank.count as f64);
+        match (slots, self.enclosure_bandwidth) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// The capacity utilization a demand of `used` bytes represents.
+    /// Unconstrained devices always report zero.
+    pub fn capacity_utilization(&self, used: Bytes) -> Utilization {
+        match self.usable_capacity() {
+            Some(max) if max.value() > 0.0 => Utilization::from_fraction(used / max),
+            Some(_) => {
+                if used.is_zero() {
+                    Utilization::ZERO
+                } else {
+                    Utilization::from_fraction(f64::INFINITY)
+                }
+            }
+            None => Utilization::ZERO,
+        }
+    }
+
+    /// The bandwidth utilization a demand of `used` represents.
+    /// Unconstrained devices always report zero.
+    pub fn bandwidth_utilization(&self, used: Bandwidth) -> Utilization {
+        match self.max_bandwidth() {
+            Some(max) if max.value() > 0.0 => Utilization::from_fraction(used / max),
+            Some(_) => {
+                if used.is_zero() {
+                    Utilization::ZERO
+                } else {
+                    Utilization::from_fraction(f64::INFINITY)
+                }
+            }
+            None => Utilization::ZERO,
+        }
+    }
+
+    /// Bandwidth left over once `committed` demands are being served;
+    /// `None` when the device's bandwidth is unconstrained.
+    pub fn available_bandwidth(&self, committed: Bandwidth) -> Option<Bandwidth> {
+        self.max_bandwidth()
+            .map(|max| (max - committed).clamp_non_negative())
+    }
+}
+
+/// Incremental builder for [`DeviceSpec`]; see [`DeviceSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct DeviceSpecBuilder {
+    name: String,
+    kind: DeviceKind,
+    location: Location,
+    capacity_slots: Option<SlotBank<Bytes>>,
+    bandwidth_slots: Option<SlotBank<Bandwidth>>,
+    enclosure_bandwidth: Option<Bandwidth>,
+    access_delay: TimeDelta,
+    cost: CostModel,
+    spare: SpareSpec,
+}
+
+impl DeviceSpecBuilder {
+    /// Sets the device's physical location (default: a shared
+    /// `"default"` location, suitable for single-site designs).
+    pub fn location(mut self, location: Location) -> Self {
+        self.location = location;
+        self
+    }
+
+    /// Provides `count` capacity slots of `per_slot` bytes each
+    /// (`maxCapSlots @ slotCap`). Omit for devices without storage
+    /// capacity (links, couriers).
+    pub fn capacity_slots(mut self, count: u32, per_slot: Bytes) -> Self {
+        self.capacity_slots = Some(SlotBank { count, per_slot });
+        self
+    }
+
+    /// Provides `count` bandwidth slots of `per_slot` each
+    /// (`maxBWSlots @ slotBW`). Omit for devices without a bandwidth
+    /// constraint (vault shelves, couriers).
+    pub fn bandwidth_slots(mut self, count: u32, per_slot: Bandwidth) -> Self {
+        self.bandwidth_slots = Some(SlotBank { count, per_slot });
+        self
+    }
+
+    /// Sets the aggregate enclosure bandwidth limit (`enclBW`).
+    pub fn enclosure_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.enclosure_bandwidth = Some(bandwidth);
+        self
+    }
+
+    /// Sets the per-access delay (`devDelay`, default zero).
+    pub fn access_delay(mut self, delay: TimeDelta) -> Self {
+        self.access_delay = delay;
+        self
+    }
+
+    /// Sets the cost model (default: free).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the spare specification (default: no spare).
+    pub fn spare(mut self, spare: SpareSpec) -> Self {
+        self.spare = spare;
+        self
+    }
+
+    /// Validates and builds the [`DeviceSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when a magnitude is negative or
+    /// non-finite, a slot bank has zero slots, or the device has neither a
+    /// capacity nor a bandwidth/delay role (it would be inert).
+    pub fn build(self) -> Result<DeviceSpec, Error> {
+        let prefix = |field: &str| format!("device[{}].{}", self.name, field);
+        if self.name.is_empty() {
+            return Err(Error::invalid("device.name", "must not be empty"));
+        }
+        if let Some(bank) = self.capacity_slots {
+            if bank.count == 0 {
+                return Err(Error::invalid(prefix("maxCapSlots"), "must be at least 1"));
+            }
+            if !(bank.per_slot.value() > 0.0 && bank.per_slot.is_finite()) {
+                return Err(Error::invalid(prefix("slotCap"), "must be positive and finite"));
+            }
+        }
+        if let Some(bank) = self.bandwidth_slots {
+            if bank.count == 0 {
+                return Err(Error::invalid(prefix("maxBWSlots"), "must be at least 1"));
+            }
+            if !(bank.per_slot.value() > 0.0 && bank.per_slot.is_finite()) {
+                return Err(Error::invalid(prefix("slotBW"), "must be positive and finite"));
+            }
+        }
+        if let Some(bw) = self.enclosure_bandwidth {
+            if !(bw.value() > 0.0 && bw.is_finite()) {
+                return Err(Error::invalid(prefix("enclBW"), "must be positive and finite"));
+            }
+        }
+        if !(self.access_delay.value() >= 0.0 && self.access_delay.is_finite()) {
+            return Err(Error::invalid(prefix("devDelay"), "must be non-negative and finite"));
+        }
+        self.cost.validate(&self.name)?;
+        self.spare.validate(&self.name)?;
+        if !(self.kind.capacity_overhead() >= 1.0 && self.kind.capacity_overhead().is_finite()) {
+            return Err(Error::invalid(
+                prefix("capacityOverhead"),
+                "redundancy overhead must be >= 1",
+            ));
+        }
+        Ok(DeviceSpec {
+            name: self.name,
+            kind: self.kind,
+            location: self.location,
+            capacity_slots: self.capacity_slots,
+            bandwidth_slots: self.bandwidth_slots,
+            enclosure_bandwidth: self.enclosure_bandwidth,
+            access_delay: self.access_delay,
+            cost: self.cost,
+            spare: self.spare,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Money;
+
+    fn array() -> DeviceSpec {
+        DeviceSpec::builder("array", DeviceKind::disk_array(2.0))
+            .capacity_slots(256, Bytes::from_gib(73.0))
+            .bandwidth_slots(256, Bandwidth::from_mib_per_sec(25.0))
+            .enclosure_bandwidth(Bandwidth::from_mib_per_sec(512.0))
+            .cost(CostModel::builder().fixed(Money::from_dollars(123_297.0)).build())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bandwidth_takes_min_of_slots_and_enclosure() {
+        let a = array();
+        // 256 × 25 MiB/s = 6400 MiB/s dwarfs the 512 MiB/s enclosure.
+        assert_eq!(a.max_bandwidth(), Some(Bandwidth::from_mib_per_sec(512.0)));
+
+        let tape = DeviceSpec::builder("tape", DeviceKind::TapeLibrary)
+            .capacity_slots(500, Bytes::from_gib(400.0))
+            .bandwidth_slots(2, Bandwidth::from_mib_per_sec(60.0))
+            .enclosure_bandwidth(Bandwidth::from_mib_per_sec(240.0))
+            .build()
+            .unwrap();
+        // Two drives limit below the enclosure.
+        assert_eq!(tape.max_bandwidth(), Some(Bandwidth::from_mib_per_sec(120.0)));
+    }
+
+    #[test]
+    fn raid_overhead_reduces_usable_capacity() {
+        let a = array();
+        assert_eq!(a.raw_capacity(), Some(Bytes::from_gib(256.0 * 73.0)));
+        assert_eq!(a.usable_capacity(), Some(Bytes::from_gib(256.0 * 73.0 / 2.0)));
+    }
+
+    #[test]
+    fn utilization_matches_paper_foreground_share() {
+        let a = array();
+        // 1360 GiB on a 9344 GiB usable array = 14.6 %.
+        let util = a.capacity_utilization(Bytes::from_gib(1360.0));
+        assert!((util.as_percent() - 14.56).abs() < 0.01);
+        // 1028 KiB/s on 512 MiB/s = 0.196 %.
+        let util = a.bandwidth_utilization(Bandwidth::from_kib_per_sec(1028.0));
+        assert!((util.as_percent() - 0.196).abs() < 0.01);
+    }
+
+    #[test]
+    fn unconstrained_resources_report_zero_utilization() {
+        let courier = DeviceSpec::builder("air shipment", DeviceKind::Courier)
+            .access_delay(TimeDelta::from_hours(24.0))
+            .build()
+            .unwrap();
+        assert_eq!(courier.max_bandwidth(), None);
+        assert_eq!(courier.usable_capacity(), None);
+        assert_eq!(
+            courier.bandwidth_utilization(Bandwidth::from_mib_per_sec(1e6)),
+            Utilization::ZERO
+        );
+        assert_eq!(courier.capacity_utilization(Bytes::from_tib(1e6)), Utilization::ZERO);
+    }
+
+    #[test]
+    fn available_bandwidth_saturates_at_zero() {
+        let a = array();
+        let avail = a
+            .available_bandwidth(Bandwidth::from_mib_per_sec(600.0))
+            .unwrap();
+        assert_eq!(avail, Bandwidth::ZERO);
+        let avail = a
+            .available_bandwidth(Bandwidth::from_mib_per_sec(12.0))
+            .unwrap();
+        assert_eq!(avail, Bandwidth::from_mib_per_sec(500.0));
+    }
+
+    #[test]
+    fn builder_rejects_zero_slots() {
+        let err = DeviceSpec::builder("x", DeviceKind::TapeLibrary)
+            .capacity_slots(0, Bytes::from_gib(400.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("maxCapSlots"));
+    }
+
+    #[test]
+    fn builder_rejects_negative_delay() {
+        let err = DeviceSpec::builder("x", DeviceKind::Courier)
+            .access_delay(TimeDelta::from_hours(-1.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("devDelay"));
+    }
+
+    #[test]
+    fn builder_rejects_empty_name() {
+        let err = DeviceSpec::builder("", DeviceKind::Courier).build().unwrap_err();
+        assert!(err.to_string().contains("name"));
+    }
+
+    #[test]
+    fn device_id_display() {
+        assert_eq!(DeviceId(3).to_string(), "device#3");
+        assert_eq!(DeviceId(3).index(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = array();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,153 @@
+//! Spare resource specifications (§3.2.2).
+//!
+//! A device may have a spare that replaces it after a failure. Dedicated
+//! hot spares provision quickly but cost as much as the original; shared
+//! resources (e.g. a remote hosting facility that must be drained and
+//! scrubbed) provision slowly but cost a fraction.
+
+use crate::error::Error;
+use crate::units::TimeDelta;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How (and whether) a device can be replaced after it fails.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum SpareSpec {
+    /// No spare: if the device fails and no wider recovery facility is
+    /// available, recovery cannot rebuild it.
+    #[default]
+    None,
+    /// A dedicated spare reserved for this device.
+    Dedicated {
+        /// Time to bring the spare into service (`spareTime`).
+        provisioning_time: TimeDelta,
+        /// Cost as a fraction of the original device's outlay
+        /// (`spareDisc`, typically `1.0` for dedicated spares).
+        cost_factor: f64,
+    },
+    /// A shared spare pool; slower to provision, cheaper to hold.
+    Shared {
+        /// Time to drain, scrub, and provision shared resources.
+        provisioning_time: TimeDelta,
+        /// Cost as a fraction of the original device's outlay
+        /// (e.g. `0.2` for a 20 % share).
+        cost_factor: f64,
+    },
+}
+
+impl SpareSpec {
+    /// Convenience constructor for [`SpareSpec::Dedicated`].
+    pub fn dedicated(provisioning_time: TimeDelta, cost_factor: f64) -> SpareSpec {
+        SpareSpec::Dedicated { provisioning_time, cost_factor }
+    }
+
+    /// Convenience constructor for [`SpareSpec::Shared`].
+    pub fn shared(provisioning_time: TimeDelta, cost_factor: f64) -> SpareSpec {
+        SpareSpec::Shared { provisioning_time, cost_factor }
+    }
+
+    /// Time to provision the spare, or `None` when there is no spare.
+    pub fn provisioning_time(&self) -> Option<TimeDelta> {
+        match self {
+            SpareSpec::None => None,
+            SpareSpec::Dedicated { provisioning_time, .. }
+            | SpareSpec::Shared { provisioning_time, .. } => Some(*provisioning_time),
+        }
+    }
+
+    /// The spare's annual cost as a fraction of the device outlay (zero
+    /// when there is no spare).
+    pub fn cost_factor(&self) -> f64 {
+        match self {
+            SpareSpec::None => 0.0,
+            SpareSpec::Dedicated { cost_factor, .. } | SpareSpec::Shared { cost_factor, .. } => {
+                *cost_factor
+            }
+        }
+    }
+
+    /// Whether any spare exists.
+    pub fn exists(&self) -> bool {
+        !matches!(self, SpareSpec::None)
+    }
+
+    pub(crate) fn validate(&self, device: &str) -> Result<(), Error> {
+        if let Some(t) = self.provisioning_time() {
+            if !(t.value() >= 0.0 && t.is_finite()) {
+                return Err(Error::invalid(
+                    format!("device[{device}].spareTime"),
+                    "must be non-negative and finite",
+                ));
+            }
+        }
+        let factor = self.cost_factor();
+        if !(factor >= 0.0 && factor.is_finite()) {
+            return Err(Error::invalid(
+                format!("device[{device}].spareDisc"),
+                "must be non-negative and finite",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SpareSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpareSpec::None => f.write_str("no spare"),
+            SpareSpec::Dedicated { provisioning_time, .. } => {
+                write!(f, "dedicated spare ({provisioning_time} to provision)")
+            }
+            SpareSpec::Shared { provisioning_time, cost_factor } => write!(
+                f,
+                "shared spare ({provisioning_time} to provision, {:.0}% cost)",
+                cost_factor * 100.0
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_has_no_time_and_zero_cost() {
+        assert_eq!(SpareSpec::None.provisioning_time(), None);
+        assert_eq!(SpareSpec::None.cost_factor(), 0.0);
+        assert!(!SpareSpec::None.exists());
+    }
+
+    #[test]
+    fn dedicated_hot_spare_provisions_fast_at_full_cost() {
+        let spare = SpareSpec::dedicated(TimeDelta::from_secs(60.0), 1.0);
+        assert_eq!(spare.provisioning_time(), Some(TimeDelta::from_secs(60.0)));
+        assert_eq!(spare.cost_factor(), 1.0);
+        assert!(spare.exists());
+    }
+
+    #[test]
+    fn shared_facility_provisions_slowly_at_discount() {
+        let spare = SpareSpec::shared(TimeDelta::from_hours(9.0), 0.2);
+        assert_eq!(spare.provisioning_time(), Some(TimeDelta::from_hours(9.0)));
+        assert!((spare.cost_factor() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        assert!(SpareSpec::dedicated(TimeDelta::from_secs(-1.0), 1.0)
+            .validate("x")
+            .is_err());
+        assert!(SpareSpec::shared(TimeDelta::from_hours(1.0), -0.5)
+            .validate("x")
+            .is_err());
+        assert!(SpareSpec::None.validate("x").is_ok());
+    }
+
+    #[test]
+    fn display_mentions_provisioning() {
+        let text = SpareSpec::shared(TimeDelta::from_hours(9.0), 0.2).to_string();
+        assert!(text.contains("9.0 hr"));
+        assert!(text.contains("20%"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Error types for design validation and evaluation.
+
+use crate::units::Utilization;
+use std::error;
+use std::fmt;
+
+/// The error type returned by fallible `ssdep-core` operations.
+///
+/// Every variant identifies *which* input was unacceptable so that callers
+/// (interactive tools, the optimizer) can surface actionable messages.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A scalar input failed validation (negative window, zero capacity, …).
+    InvalidParameter {
+        /// Dotted path naming the offending parameter, e.g.
+        /// `"splitMirror.accW"`.
+        parameter: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A design referenced a device that was never registered.
+    UnknownDevice {
+        /// The name used in the dangling reference.
+        name: String,
+    },
+    /// Two devices were registered under the same name.
+    DuplicateDevice {
+        /// The conflicting name.
+        name: String,
+    },
+    /// The level structure violates the framework's composition
+    /// conventions (§3.2.1), e.g. `propW > accW`.
+    InconsistentHierarchy {
+        /// Zero-based level index at fault.
+        level: usize,
+        /// Which convention was violated.
+        reason: String,
+    },
+    /// A device's aggregate workload demands exceed its capability
+    /// (§3.3.1's global model error).
+    Overutilized {
+        /// The offending device's name.
+        device: String,
+        /// Which resource is exhausted.
+        resource: ResourceKind,
+        /// The computed utilization (> 1).
+        utilization: Utilization,
+    },
+    /// No level of the recovery path retains a retrieval point usable for
+    /// the requested recovery target: the data is unrecoverable.
+    NoRecoverySource {
+        /// Human-readable description of the target that could not be met.
+        target: String,
+    },
+    /// A destroyed device has no spare and no recovery facility exists to
+    /// reprovision it, so recovery cannot rebuild the level.
+    NoReplacement {
+        /// The destroyed device's name.
+        device: String,
+    },
+    /// The failure scenario destroyed every copy, including all secondary
+    /// levels, so recovery is impossible.
+    AllCopiesLost,
+}
+
+/// The device resource that an [`Error::Overutilized`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Storage capacity (bytes).
+    Capacity,
+    /// Transfer bandwidth (bytes/second).
+    Bandwidth,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Capacity => f.write_str("capacity"),
+            ResourceKind::Bandwidth => f.write_str("bandwidth"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid parameter `{parameter}`: {reason}")
+            }
+            Error::UnknownDevice { name } => {
+                write!(f, "design references unknown device `{name}`")
+            }
+            Error::DuplicateDevice { name } => {
+                write!(f, "device `{name}` registered more than once")
+            }
+            Error::InconsistentHierarchy { level, reason } => {
+                write!(f, "hierarchy level {level} violates composition conventions: {reason}")
+            }
+            Error::Overutilized { device, resource, utilization } => {
+                write!(
+                    f,
+                    "device `{device}` {resource} overcommitted at {utilization}"
+                )
+            }
+            Error::NoRecoverySource { target } => {
+                write!(f, "no level retains a retrieval point for {target}")
+            }
+            Error::NoReplacement { device } => {
+                write!(
+                    f,
+                    "device `{device}` was destroyed and has neither a spare nor a recovery facility"
+                )
+            }
+            Error::AllCopiesLost => {
+                f.write_str("failure scenario destroys every copy of the data")
+            }
+        }
+    }
+}
+
+impl error::Error for Error {}
+
+impl Error {
+    /// Convenience constructor for [`Error::InvalidParameter`].
+    pub fn invalid(parameter: impl Into<String>, reason: impl Into<String>) -> Error {
+        Error::InvalidParameter {
+            parameter: parameter.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let err = Error::invalid("backup.propW", "must not exceed accW");
+        let msg = err.to_string();
+        assert!(msg.contains("backup.propW"));
+        assert!(msg.starts_with("invalid parameter"));
+
+        let err = Error::Overutilized {
+            device: "tape library".into(),
+            resource: ResourceKind::Bandwidth,
+            utilization: Utilization::from_percent(140.0),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("tape library"));
+        assert!(msg.contains("bandwidth"));
+        assert!(msg.contains("140.0%"));
+    }
+
+    #[test]
+    fn resource_kind_displays() {
+        assert_eq!(ResourceKind::Capacity.to_string(), "capacity");
+        assert_eq!(ResourceKind::Bandwidth.to_string(), "bandwidth");
+    }
+}

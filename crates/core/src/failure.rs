@@ -1,0 +1,363 @@
+//! Failure scenario inputs (§3.1.3): what failed, and what point in time
+//! recovery should restore.
+//!
+//! Following the business-continuity practice the paper adopts, the
+//! framework evaluates dependability *under a specified failure scenario*
+//! rather than integrating over failure frequencies. (Frequency-weighted
+//! evaluation over several scenarios is available as an extension in
+//! [`crate::analysis::expected`].)
+
+use crate::units::{Bytes, TimeDelta};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The physical placement of a device, used to decide which devices a
+/// given [`FailureScope`] destroys.
+///
+/// Placement is hierarchical: a *building* sits on a *site*, which sits in
+/// a geographic *region*. Two devices share a building only if they also
+/// share the site and region, and so on.
+///
+/// ```
+/// use ssdep_core::failure::Location;
+///
+/// let primary = Location::new("us-west", "palo-alto", "bldg-1");
+/// let vault = Location::new("us-east", "newark", "vault-A");
+/// assert!(!primary.same_region(&vault));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    region: String,
+    site: String,
+    building: String,
+}
+
+impl Location {
+    /// Creates a location from its region / site / building coordinates.
+    pub fn new(
+        region: impl Into<String>,
+        site: impl Into<String>,
+        building: impl Into<String>,
+    ) -> Location {
+        Location {
+            region: region.into(),
+            site: site.into(),
+            building: building.into(),
+        }
+    }
+
+    /// The geographic region name.
+    pub fn region(&self) -> &str {
+        &self.region
+    }
+
+    /// The site name.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// The building name.
+    pub fn building(&self) -> &str {
+        &self.building
+    }
+
+    /// `true` when both locations are in the same region.
+    pub fn same_region(&self, other: &Location) -> bool {
+        self.region == other.region
+    }
+
+    /// `true` when both locations are on the same site (implies the same
+    /// region).
+    pub fn same_site(&self, other: &Location) -> bool {
+        self.same_region(other) && self.site == other.site
+    }
+
+    /// `true` when both locations are in the same building (implies the
+    /// same site).
+    pub fn same_building(&self, other: &Location) -> bool {
+        self.same_site(other) && self.building == other.building
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.region, self.site, self.building)
+    }
+}
+
+/// The set of data copies made unavailable by the hypothesized failure
+/// (`failScope`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FailureScope {
+    /// Loss or corruption of (part of) the data object itself — a user
+    /// mistake or software error — with **no** hardware failure. `size` is
+    /// the amount of data that must be rolled back.
+    DataObject {
+        /// The size of the corrupted object.
+        size: Bytes,
+    },
+    /// Failure of the primary disk array (the devices hosting level 0).
+    Array,
+    /// Loss of every device in the primary copy's building.
+    Building,
+    /// Loss of every device on the primary copy's site.
+    Site,
+    /// Loss of every device in the primary copy's geographic region.
+    Region,
+    /// Extension (paper §5 "degraded mode"): the devices of one protection
+    /// level are out of service, with the primary copy intact.
+    ProtectionLevel {
+        /// The zero-based hierarchy level whose devices failed.
+        level: usize,
+    },
+}
+
+impl FailureScope {
+    /// Whether a device at `device_location` is destroyed by this scope,
+    /// given the primary copy's location.
+    ///
+    /// [`FailureScope::Array`] is special-cased by the hierarchy (it
+    /// destroys exactly the level-0 host devices), as is
+    /// [`FailureScope::ProtectionLevel`]; both return `false` here.
+    pub fn destroys_location(&self, device_location: &Location, primary: &Location) -> bool {
+        match self {
+            FailureScope::DataObject { .. }
+            | FailureScope::Array
+            | FailureScope::ProtectionLevel { .. } => false,
+            FailureScope::Building => device_location.same_building(primary),
+            FailureScope::Site => device_location.same_site(primary),
+            FailureScope::Region => device_location.same_region(primary),
+        }
+    }
+
+    /// Whether the primary copy itself is lost under this scope.
+    pub fn destroys_primary(&self) -> bool {
+        !matches!(
+            self,
+            FailureScope::DataObject { .. } | FailureScope::ProtectionLevel { .. }
+        )
+    }
+
+    /// A short human-readable name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureScope::DataObject { .. } => "object",
+            FailureScope::Array => "array",
+            FailureScope::Building => "building",
+            FailureScope::Site => "site",
+            FailureScope::Region => "region",
+            FailureScope::ProtectionLevel { .. } => "protection level",
+        }
+    }
+}
+
+impl fmt::Display for FailureScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureScope::DataObject { size } => write!(f, "object ({size})"),
+            FailureScope::ProtectionLevel { level } => {
+                write!(f, "protection level {level} degraded")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// The point in time to which restoration is requested (`recTargetTime`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryTarget {
+    /// Restore to the moment just before the failure (the usual case).
+    Now,
+    /// Restore to a version from `age` before the failure — e.g. "the
+    /// version from 24 hours ago", for recovering from a user error or a
+    /// virus discovered after the fact.
+    Before {
+        /// How far before the failure the desired version lies.
+        age: TimeDelta,
+    },
+}
+
+impl RecoveryTarget {
+    /// How far in the past the requested version lies (zero for
+    /// [`RecoveryTarget::Now`]).
+    pub fn age(self) -> TimeDelta {
+        match self {
+            RecoveryTarget::Now => TimeDelta::ZERO,
+            RecoveryTarget::Before { age } => age,
+        }
+    }
+}
+
+impl fmt::Display for RecoveryTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryTarget::Now => f.write_str("now"),
+            RecoveryTarget::Before { age } => write!(f, "{age} before the failure"),
+        }
+    }
+}
+
+/// A complete failure scenario: the scope of what failed plus the recovery
+/// target time, and optionally protection levels that were already out of
+/// service when the failure struck (degraded-mode evaluation, paper §5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureScenario {
+    /// The set of failed devices / data copies.
+    pub scope: FailureScope,
+    /// The point in time restoration should reach.
+    pub target: RecoveryTarget,
+    /// Hierarchy levels unavailable *before* the failure (maintenance,
+    /// broken technique) — they cannot serve as recovery sources.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub degraded_levels: Vec<usize>,
+}
+
+impl FailureScenario {
+    /// Creates a scenario from a scope and recovery target.
+    pub fn new(scope: FailureScope, target: RecoveryTarget) -> FailureScenario {
+        FailureScenario { scope, target, degraded_levels: Vec::new() }
+    }
+
+    /// Marks a protection level as already out of service when the
+    /// failure strikes (degraded-mode evaluation).
+    #[must_use]
+    pub fn with_degraded_level(mut self, level: usize) -> FailureScenario {
+        if !self.degraded_levels.contains(&level) {
+            self.degraded_levels.push(level);
+        }
+        self
+    }
+
+    /// The amount of data the recovery must restore: the corrupted object
+    /// for [`FailureScope::DataObject`], the whole dataset otherwise.
+    pub fn recovery_size(&self, data_capacity: Bytes) -> Bytes {
+        match self.scope {
+            FailureScope::DataObject { size } => size.min(data_capacity),
+            _ => data_capacity,
+        }
+    }
+}
+
+impl fmt::Display for FailureScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failure, recover to {}", self.scope, self.target)?;
+        if !self.degraded_levels.is_empty() {
+            write!(f, " (levels {:?} already degraded)", self.degraded_levels)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn primary() -> Location {
+        Location::new("us-west", "palo-alto", "bldg-1")
+    }
+
+    #[test]
+    fn location_hierarchy_is_nested() {
+        let a = primary();
+        let same_building = Location::new("us-west", "palo-alto", "bldg-1");
+        let same_site = Location::new("us-west", "palo-alto", "bldg-2");
+        let same_region = Location::new("us-west", "san-jose", "bldg-1");
+        let elsewhere = Location::new("us-east", "palo-alto", "bldg-1");
+
+        assert!(a.same_building(&same_building));
+        assert!(!a.same_building(&same_site));
+        assert!(a.same_site(&same_site));
+        assert!(!a.same_site(&same_region));
+        assert!(a.same_region(&same_region));
+        // Same site name in a different region is a different site.
+        assert!(!a.same_site(&elsewhere));
+        assert!(!a.same_region(&elsewhere));
+    }
+
+    #[test]
+    fn scope_destruction_widens_with_scope() {
+        let p = primary();
+        let same_site = Location::new("us-west", "palo-alto", "bldg-2");
+        let same_region = Location::new("us-west", "san-jose", "bldg-9");
+
+        assert!(!FailureScope::Building.destroys_location(&same_site, &p));
+        assert!(FailureScope::Site.destroys_location(&same_site, &p));
+        assert!(!FailureScope::Site.destroys_location(&same_region, &p));
+        assert!(FailureScope::Region.destroys_location(&same_region, &p));
+    }
+
+    #[test]
+    fn object_scope_destroys_no_hardware_but_array_destroys_primary() {
+        let p = primary();
+        let scope = FailureScope::DataObject { size: Bytes::from_mib(1.0) };
+        assert!(!scope.destroys_location(&p, &p));
+        assert!(!scope.destroys_primary());
+        assert!(FailureScope::Array.destroys_primary());
+        assert!(!FailureScope::ProtectionLevel { level: 1 }.destroys_primary());
+    }
+
+    #[test]
+    fn recovery_size_depends_on_scope() {
+        let cap = Bytes::from_gib(1360.0);
+        let object = FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        );
+        assert_eq!(object.recovery_size(cap), Bytes::from_mib(1.0));
+
+        let site = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+        assert_eq!(site.recovery_size(cap), cap);
+    }
+
+    #[test]
+    fn object_size_clamped_to_dataset() {
+        let scenario = FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_gib(5000.0) },
+            RecoveryTarget::Now,
+        );
+        assert_eq!(scenario.recovery_size(Bytes::from_gib(10.0)), Bytes::from_gib(10.0));
+    }
+
+    #[test]
+    fn target_age() {
+        assert_eq!(RecoveryTarget::Now.age(), TimeDelta::ZERO);
+        let before = RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) };
+        assert_eq!(before.age(), TimeDelta::from_hours(24.0));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(FailureScope::Site.to_string(), "site");
+        let s = FailureScenario::new(
+            FailureScope::Array,
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        );
+        let text = s.to_string();
+        assert!(text.contains("array"));
+        assert!(text.contains("before the failure"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FailureScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // Scenarios without the field (older specs) still parse.
+        assert!(!json.contains("degraded_levels"));
+    }
+
+    #[test]
+    fn degraded_levels_accumulate_without_duplicates() {
+        let s = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now)
+            .with_degraded_level(2)
+            .with_degraded_level(2)
+            .with_degraded_level(3);
+        assert_eq!(s.degraded_levels, vec![2, 3]);
+        assert!(s.to_string().contains("already degraded"));
+    }
+}

@@ -1,0 +1,530 @@
+//! Composing techniques and devices into a storage system design (§3.2).
+//!
+//! A [`StorageDesign`] is a *hierarchy* of [`Level`]s: level 0 is the
+//! primary copy, and each higher-numbered level receives retrieval points
+//! from the level before it, typically storing less frequent RPs on
+//! larger, slower, or more distant media. Each level names the device
+//! hosting its RPs and the interconnects that carry propagations into it.
+//!
+//! ```
+//! use ssdep_core::prelude::*;
+//! use ssdep_core::device::{CostModel, SpareSpec};
+//! use ssdep_core::protection::{PrimaryCopy, SplitMirror};
+//!
+//! # fn main() -> Result<(), ssdep_core::Error> {
+//! let mut builder = StorageDesign::builder("mirrored workgroup server");
+//! let array = builder.add_device(
+//!     DeviceSpec::builder("array", DeviceKind::disk_array(2.0))
+//!         .capacity_slots(256, Bytes::from_gib(73.0))
+//!         .bandwidth_slots(256, Bandwidth::from_mib_per_sec(25.0))
+//!         .enclosure_bandwidth(Bandwidth::from_mib_per_sec(512.0))
+//!         .build()?,
+//! )?;
+//! builder.add_level(Level::new("primary", Technique::PrimaryCopy(PrimaryCopy::new()), array));
+//! builder.add_level(Level::new(
+//!     "split mirror",
+//!     Technique::SplitMirror(SplitMirror::new(
+//!         ProtectionParams::builder()
+//!             .accumulation_window(TimeDelta::from_hours(12.0))
+//!             .propagation_window(TimeDelta::ZERO)
+//!             .retention_count(4)
+//!             .build()?,
+//!     )),
+//!     array,
+//! ));
+//! let design = builder.build()?;
+//! assert_eq!(design.levels().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::demands::{DemandSet, LevelDemands};
+use crate::device::{DeviceId, DeviceSpec};
+use crate::error::Error;
+use crate::failure::{FailureScope, Location};
+use crate::protection::{LevelContext, Technique};
+use crate::units::TimeDelta;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One level of the protection hierarchy: a technique instance, the
+/// device hosting its RPs, and the transports feeding it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Level {
+    name: String,
+    technique: Technique,
+    host: DeviceId,
+    transports: Vec<DeviceId>,
+}
+
+impl Level {
+    /// Creates a level with no transports (propagation within a site or
+    /// a shared SAN that is not modeled as a constraint).
+    pub fn new(name: impl Into<String>, technique: Technique, host: DeviceId) -> Level {
+        Level {
+            name: name.into(),
+            technique,
+            host,
+            transports: Vec::new(),
+        }
+    }
+
+    /// Adds interconnect devices carrying propagations into this level
+    /// (WAN links, couriers, a modeled SAN).
+    pub fn with_transports(mut self, transports: impl IntoIterator<Item = DeviceId>) -> Level {
+        self.transports.extend(transports);
+        self
+    }
+
+    /// The level's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The technique running at this level.
+    pub fn technique(&self) -> &Technique {
+        &self.technique
+    }
+
+    /// The device hosting this level's RPs.
+    pub fn host(&self) -> DeviceId {
+        self.host
+    }
+
+    /// The interconnects feeding this level.
+    pub fn transports(&self) -> &[DeviceId] {
+        &self.transports
+    }
+}
+
+/// A standby facility that can host replacement devices after a disaster
+/// destroys the primary site (the paper's "remote shared recovery
+/// facility").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySite {
+    /// Where the facility is.
+    pub location: Location,
+    /// Time to drain, scrub, and provision its shared resources.
+    pub provisioning_time: TimeDelta,
+    /// Annual cost as a fraction of the covered devices' outlays.
+    pub cost_factor: f64,
+}
+
+/// A complete storage system design: devices plus the protection
+/// hierarchy over them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageDesign {
+    name: String,
+    devices: Vec<DeviceSpec>,
+    levels: Vec<Level>,
+    recovery_site: Option<RecoverySite>,
+}
+
+impl StorageDesign {
+    /// Starts building a design named `name`.
+    pub fn builder(name: impl Into<String>) -> StorageDesignBuilder {
+        StorageDesignBuilder {
+            name: name.into(),
+            devices: Vec::new(),
+            names: BTreeMap::new(),
+            levels: Vec::new(),
+            recovery_site: None,
+        }
+    }
+
+    /// The design's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered devices, indexable by [`DeviceId`].
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// Looks a device up by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this design's builder.
+    pub fn device(&self, id: DeviceId) -> &DeviceSpec {
+        &self.devices[id.0]
+    }
+
+    /// Iterates every registered device id, in registration order.
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len()).map(DeviceId)
+    }
+
+    /// Finds a device id by name.
+    pub fn device_id(&self, name: &str) -> Option<DeviceId> {
+        self.devices
+            .iter()
+            .position(|d| d.name() == name)
+            .map(DeviceId)
+    }
+
+    /// The protection hierarchy, level 0 first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// The standby recovery facility, if the design has one.
+    pub fn recovery_site(&self) -> Option<&RecoverySite> {
+        self.recovery_site.as_ref()
+    }
+
+    /// Where the primary copy lives.
+    pub fn primary_location(&self) -> &Location {
+        self.device(self.levels[0].host()).location()
+    }
+
+    /// Whether a device is destroyed under the given failure scope.
+    pub fn device_destroyed(&self, id: DeviceId, scope: &FailureScope) -> bool {
+        match scope {
+            FailureScope::Array => id == self.levels[0].host(),
+            _ => scope.destroys_location(self.device(id).location(), self.primary_location()),
+        }
+    }
+
+    /// Whether a level's RPs are unavailable under the given failure
+    /// scope (its host destroyed, or the level itself degraded).
+    pub fn level_destroyed(&self, level: usize, scope: &FailureScope) -> bool {
+        if let FailureScope::ProtectionLevel { level: degraded } = scope {
+            return level == *degraded;
+        }
+        self.device_destroyed(self.levels[level].host(), scope)
+    }
+
+    /// Whether a level can serve a recovery under the full scenario:
+    /// destroyed by the scope, or listed among the scenario's
+    /// already-degraded levels.
+    pub fn level_unavailable(&self, level: usize, scenario: &crate::failure::FailureScenario) -> bool {
+        scenario.degraded_levels.contains(&level) || self.level_destroyed(level, &scenario.scope)
+    }
+
+    /// Converts every level's policy into device demands (§3.2.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates technique errors (e.g. a mirror level without a
+    /// source).
+    pub fn demands(&self, workload: &Workload) -> Result<DemandSet, Error> {
+        let mut set = DemandSet::new();
+        for (index, level) in self.levels.iter().enumerate() {
+            let source = index.checked_sub(1).map(|i| self.levels[i].host());
+            let prev_retention_window = index.checked_sub(1).and_then(|i| {
+                self.levels[i]
+                    .technique()
+                    .params()
+                    .map(|p| p.retention_window())
+            });
+            let ctx = LevelContext {
+                workload,
+                level_index: index,
+                source_host: source,
+                host: level.host(),
+                transports: level.transports(),
+                prev_retention_window,
+            };
+            let contributions = level.technique().demands(&ctx)?;
+            set.push_level(LevelDemands {
+                level: index,
+                level_name: level.name().to_string(),
+                contributions,
+            });
+        }
+        Ok(set)
+    }
+
+    /// Checks the paper's soft composition conventions (§3.2.1) and
+    /// returns a human-readable warning for each violation. These are
+    /// advisory: designs violating them are evaluable but usually
+    /// misconfigured.
+    pub fn convention_warnings(&self) -> Vec<String> {
+        let mut warnings = Vec::new();
+        let with_params: Vec<(usize, &Level)> = self
+            .levels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.technique().params().is_some())
+            .collect();
+        for pair in with_params.windows(2) {
+            let (i, upper) = pair[0];
+            let (j, lower) = pair[1];
+            let up = upper.technique().params().expect("filtered");
+            let low = lower.technique().params().expect("filtered");
+            if low.accumulation_window() < up.cycle_period() {
+                warnings.push(format!(
+                    "level {j} ({}) accumulates faster than level {i} ({}) cycles \
+                     (accW {} < cyclePer {})",
+                    lower.name(),
+                    upper.name(),
+                    low.accumulation_window(),
+                    up.cycle_period(),
+                ));
+            }
+            if low.retention_count() < up.retention_count() {
+                warnings.push(format!(
+                    "level {j} ({}) retains fewer RPs than level {i} ({}) ({} < {})",
+                    lower.name(),
+                    upper.name(),
+                    low.retention_count(),
+                    up.retention_count(),
+                ));
+            }
+            if up.hold_window() > low.retention_window() {
+                warnings.push(format!(
+                    "level {i} ({}) holds RPs longer than level {j} ({}) retains them \
+                     (holdW {} > retW {})",
+                    upper.name(),
+                    lower.name(),
+                    up.hold_window(),
+                    low.retention_window(),
+                ));
+            }
+        }
+        warnings
+    }
+}
+
+/// Incremental builder for [`StorageDesign`]; see
+/// [`StorageDesign::builder`].
+#[derive(Debug, Clone)]
+pub struct StorageDesignBuilder {
+    name: String,
+    devices: Vec<DeviceSpec>,
+    names: BTreeMap<String, DeviceId>,
+    levels: Vec<Level>,
+    recovery_site: Option<RecoverySite>,
+}
+
+impl StorageDesignBuilder {
+    /// Registers a device and returns its id for use in levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateDevice`] when a device of the same name
+    /// was already registered.
+    pub fn add_device(&mut self, spec: DeviceSpec) -> Result<DeviceId, Error> {
+        if self.names.contains_key(spec.name()) {
+            return Err(Error::DuplicateDevice { name: spec.name().to_string() });
+        }
+        let id = DeviceId(self.devices.len());
+        self.names.insert(spec.name().to_string(), id);
+        self.devices.push(spec);
+        Ok(id)
+    }
+
+    /// Appends the next level of the hierarchy (call in level order,
+    /// primary copy first).
+    pub fn add_level(&mut self, level: Level) -> &mut Self {
+        self.levels.push(level);
+        self
+    }
+
+    /// Declares a standby recovery facility for disasters that destroy
+    /// the primary site.
+    pub fn recovery_site(&mut self, site: RecoverySite) -> &mut Self {
+        self.recovery_site = Some(site);
+        self
+    }
+
+    /// Validates the structure and builds the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InconsistentHierarchy`] when there is no level 0,
+    /// level 0 is not a [`Technique::PrimaryCopy`], a primary copy
+    /// appears above level 0, or a level's host is not a storage device;
+    /// [`Error::UnknownDevice`] when a level references an unregistered
+    /// device id; [`Error::InvalidParameter`] for a bad recovery-site
+    /// configuration.
+    pub fn build(self) -> Result<StorageDesign, Error> {
+        if self.levels.is_empty() {
+            return Err(Error::InconsistentHierarchy {
+                level: 0,
+                reason: "a design needs at least the primary copy level".into(),
+            });
+        }
+        for (index, level) in self.levels.iter().enumerate() {
+            let is_primary = matches!(level.technique(), Technique::PrimaryCopy(_));
+            if (index == 0) != is_primary {
+                return Err(Error::InconsistentHierarchy {
+                    level: index,
+                    reason: if index == 0 {
+                        "level 0 must be the primary copy".into()
+                    } else {
+                        "the primary copy may only appear at level 0".into()
+                    },
+                });
+            }
+            for id in std::iter::once(level.host()).chain(level.transports().iter().copied()) {
+                if id.0 >= self.devices.len() {
+                    return Err(Error::UnknownDevice { name: format!("{id}") });
+                }
+            }
+            if !self.devices[level.host().0].kind().is_storage() {
+                return Err(Error::InconsistentHierarchy {
+                    level: index,
+                    reason: format!(
+                        "host `{}` is a {}, not a storage device",
+                        self.devices[level.host().0].name(),
+                        self.devices[level.host().0].kind()
+                    ),
+                });
+            }
+            for &t in level.transports() {
+                if !self.devices[t.0].kind().is_transport() {
+                    return Err(Error::InconsistentHierarchy {
+                        level: index,
+                        reason: format!(
+                            "transport `{}` is a {}, not an interconnect",
+                            self.devices[t.0].name(),
+                            self.devices[t.0].kind()
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(site) = &self.recovery_site {
+            if !(site.provisioning_time.value() >= 0.0 && site.provisioning_time.is_finite()) {
+                return Err(Error::invalid(
+                    "recoverySite.provisioningTime",
+                    "must be non-negative and finite",
+                ));
+            }
+            if !(site.cost_factor >= 0.0 && site.cost_factor.is_finite()) {
+                return Err(Error::invalid(
+                    "recoverySite.costFactor",
+                    "must be non-negative and finite",
+                ));
+            }
+        }
+        Ok(StorageDesign {
+            name: self.name,
+            devices: self.devices,
+            levels: self.levels,
+            recovery_site: self.recovery_site,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FailureScope;
+    use crate::units::Bytes;
+
+    #[test]
+    fn baseline_design_builds_and_exposes_structure() {
+        let design = crate::presets::baseline_design();
+        assert_eq!(design.levels().len(), 4);
+        assert_eq!(design.levels()[0].name(), "primary copy");
+        assert_eq!(design.levels()[3].name(), "remote vaulting");
+        assert!(design.device_id("primary array").is_some());
+        assert!(design.device_id("nonexistent").is_none());
+        assert!(design.convention_warnings().is_empty(), "{:?}", design.convention_warnings());
+    }
+
+    #[test]
+    fn array_scope_destroys_exactly_the_primary_host_levels() {
+        let design = crate::presets::baseline_design();
+        let scope = FailureScope::Array;
+        assert!(design.level_destroyed(0, &scope));
+        assert!(design.level_destroyed(1, &scope), "split mirror shares the array");
+        assert!(!design.level_destroyed(2, &scope), "tape library survives");
+        assert!(!design.level_destroyed(3, &scope), "vault survives");
+    }
+
+    #[test]
+    fn site_scope_destroys_colocated_devices_only() {
+        let design = crate::presets::baseline_design();
+        let scope = FailureScope::Site;
+        assert!(design.level_destroyed(0, &scope));
+        assert!(design.level_destroyed(2, &scope), "tape library is on site");
+        assert!(!design.level_destroyed(3, &scope), "vault is off site");
+    }
+
+    #[test]
+    fn degraded_scope_marks_one_level() {
+        let design = crate::presets::baseline_design();
+        let scope = FailureScope::ProtectionLevel { level: 2 };
+        assert!(!design.level_destroyed(0, &scope));
+        assert!(design.level_destroyed(2, &scope));
+    }
+
+    #[test]
+    fn empty_design_is_rejected() {
+        let err = StorageDesign::builder("empty").build().unwrap_err();
+        assert!(matches!(err, Error::InconsistentHierarchy { .. }));
+    }
+
+    #[test]
+    fn primary_must_be_level_zero_only() {
+        use crate::device::{DeviceKind, DeviceSpec};
+        use crate::protection::PrimaryCopy;
+
+        let mut builder = StorageDesign::builder("bad");
+        let array = builder
+            .add_device(
+                DeviceSpec::builder("a", DeviceKind::disk_array(1.0))
+                    .capacity_slots(1, Bytes::from_gib(100.0))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        builder.add_level(Level::new("p1", Technique::PrimaryCopy(PrimaryCopy::new()), array));
+        builder.add_level(Level::new("p2", Technique::PrimaryCopy(PrimaryCopy::new()), array));
+        let err = builder.build().unwrap_err();
+        assert!(err.to_string().contains("level 0"));
+    }
+
+    #[test]
+    fn duplicate_device_names_are_rejected() {
+        use crate::device::{DeviceKind, DeviceSpec};
+        let mut builder = StorageDesign::builder("dup");
+        let spec = DeviceSpec::builder("a", DeviceKind::Courier).build().unwrap();
+        builder.add_device(spec.clone()).unwrap();
+        let err = builder.add_device(spec).unwrap_err();
+        assert!(matches!(err, Error::DuplicateDevice { .. }));
+    }
+
+    #[test]
+    fn transport_host_role_mismatch_is_rejected() {
+        use crate::device::{DeviceKind, DeviceSpec};
+        use crate::protection::PrimaryCopy;
+        let mut builder = StorageDesign::builder("bad roles");
+        let courier = builder
+            .add_device(DeviceSpec::builder("courier", DeviceKind::Courier).build().unwrap())
+            .unwrap();
+        builder.add_level(Level::new(
+            "primary",
+            Technique::PrimaryCopy(PrimaryCopy::new()),
+            courier,
+        ));
+        let err = builder.build().unwrap_err();
+        assert!(err.to_string().contains("not a storage device"));
+    }
+
+    #[test]
+    fn demands_collect_per_level() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let demands = design.demands(&workload).unwrap();
+        assert_eq!(demands.levels().count(), 4);
+        let array = design.device_id("primary array").unwrap();
+        // Primary + split mirror + backup reads all land on the array.
+        assert!(demands.bandwidth_on(array).value() > 0.0);
+        assert!(demands.capacity_on(array) > workload.data_capacity());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let design = crate::presets::baseline_design();
+        let json = serde_json::to_string(&design).unwrap();
+        let back: StorageDesign = serde_json::from_str(&json).unwrap();
+        assert_eq!(design, back);
+    }
+}

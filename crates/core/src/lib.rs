@@ -1,0 +1,94 @@
+//! # ssdep-core — storage system dependability modeling
+//!
+//! An analytical framework for evaluating the *dependability* of data
+//! storage system designs, reproducing Keeton & Merchant, “A Framework for
+//! Evaluating Storage System Dependability” (DSN 2004).
+//!
+//! A storage system design is a [`hierarchy`] of
+//! *data protection techniques* (split mirrors, virtual snapshots,
+//! synchronous / asynchronous / batched-asynchronous remote mirroring, tape
+//! backup, remote vaulting) layered over *hardware devices* (disk arrays,
+//! tape libraries, vault shelves, network links, couriers). Each technique
+//! periodically creates, retains, and propagates *retrieval points* (RPs) —
+//! consistent versions of the primary data — described by one common
+//! parameter set ([`protection::ProtectionParams`]).
+//!
+//! Given a [`Workload`], [`requirements::BusinessRequirements`], and a
+//! [`failure::FailureScenario`], [`analysis::evaluate`] produces an
+//! [`analysis::Evaluation`] containing:
+//!
+//! * normal-mode bandwidth/capacity **utilization** of every device,
+//! * worst-case **recent data loss** (how many hours of updates are lost),
+//! * worst-case **recovery time** (how long until the application is back),
+//! * overall **cost** (annualized outlays per technique + penalties).
+//!
+//! # Quick example
+//!
+//! Evaluate the paper's baseline design (split mirror + tape backup +
+//! remote vault protecting the *cello* workgroup server) under a primary
+//! disk-array failure:
+//!
+//! ```
+//! use ssdep_core::prelude::*;
+//!
+//! # fn main() -> Result<(), ssdep_core::Error> {
+//! let workload = ssdep_core::presets::cello_workload();
+//! let design = ssdep_core::presets::baseline_design();
+//! let requirements = ssdep_core::presets::paper_requirements();
+//! let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+//!
+//! let eval = evaluate(&design, &workload, &requirements, &scenario)?;
+//! assert!(eval.recovery.total_time > TimeDelta::from_hours(1.0));
+//! assert_eq!(eval.loss.source_level_name(), Some("tape backup"));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Crate layout
+//!
+//! * [`units`] — strongly typed scalar quantities ([`Bytes`], [`Bandwidth`],
+//!   [`TimeDelta`], [`Money`], …).
+//! * [`workload`] — the protected data object and its update behaviour.
+//! * [`requirements`] — penalty rates and recovery objectives.
+//! * [`failure`] — failure scopes, recovery targets, scenarios.
+//! * [`protection`] — models of the individual data protection techniques.
+//! * [`device`] — hardware device capability, cost, and spare models.
+//! * [`hierarchy`] — composing techniques + devices into a design.
+//! * [`analysis`] — the composed dependability evaluation.
+//! * [`presets`] — ready-made workloads, devices, and designs from the
+//!   paper's case study (§4).
+//! * [`report`] — plain-text table rendering of evaluation results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod demands;
+pub mod device;
+pub mod error;
+pub mod failure;
+pub mod hierarchy;
+pub mod multi;
+pub mod presets;
+pub mod protection;
+pub mod report;
+pub mod requirements;
+pub mod units;
+pub mod workload;
+
+pub use error::Error;
+pub use units::{Bandwidth, Bytes, Money, MoneyRate, TimeDelta, Utilization};
+pub use workload::Workload;
+
+/// Commonly used items, importable with `use ssdep_core::prelude::*`.
+pub mod prelude {
+    pub use crate::analysis::{evaluate, Evaluation};
+    pub use crate::device::{DeviceId, DeviceKind, DeviceSpec};
+    pub use crate::failure::{FailureScenario, FailureScope, RecoveryTarget};
+    pub use crate::hierarchy::{Level, StorageDesign};
+    pub use crate::protection::{ProtectionParams, Technique};
+    pub use crate::requirements::BusinessRequirements;
+    pub use crate::units::{Bandwidth, Bytes, Money, MoneyRate, TimeDelta, Utilization};
+    pub use crate::workload::Workload;
+}

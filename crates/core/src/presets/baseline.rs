@@ -1,0 +1,155 @@
+//! The baseline storage system design of the paper's case study
+//! (Figure 1, Table 3) and its business requirements.
+
+use crate::failure::Location;
+use crate::hierarchy::{Level, RecoverySite, StorageDesign};
+use crate::protection::{
+    Backup, PrimaryCopy, ProtectionParams, RemoteVault, SplitMirror, Technique,
+};
+use crate::requirements::BusinessRequirements;
+use crate::units::{MoneyRate, TimeDelta};
+
+use super::devices::{
+    air_courier_spec, primary_array_spec, tape_library_spec, vault_spec, REMOTE_LOCATION,
+};
+
+/// The case study's business requirements: $50,000 per hour for both data
+/// unavailability and recent data loss.
+pub fn paper_requirements() -> BusinessRequirements {
+    BusinessRequirements::builder()
+        .unavailability_penalty_rate(MoneyRate::from_dollars_per_hour(50_000.0))
+        .loss_penalty_rate(MoneyRate::from_dollars_per_hour(50_000.0))
+        .build()
+        .expect("paper penalty rates are valid")
+}
+
+/// The split-mirror parameters of Table 3: a mirror split every 12 hours,
+/// four accessible mirrors retained for two days.
+pub(crate) fn split_mirror_params() -> ProtectionParams {
+    ProtectionParams::builder()
+        .accumulation_window(TimeDelta::from_hours(12.0))
+        .propagation_window(TimeDelta::ZERO)
+        .hold_window(TimeDelta::ZERO)
+        .retention_count(4)
+        .build()
+        .expect("split mirror preset parameters are valid")
+}
+
+/// The tape backup parameters of Table 3: weekend full backups over a
+/// 48-hour window after a one-hour hold, four weekly cycles retained.
+pub(crate) fn weekly_full_backup() -> Backup {
+    let full = ProtectionParams::builder()
+        .accumulation_window(TimeDelta::from_weeks(1.0))
+        .propagation_window(TimeDelta::from_hours(48.0))
+        .hold_window(TimeDelta::from_hours(1.0))
+        .retention_count(4)
+        .build()
+        .expect("backup preset parameters are valid");
+    Backup::full_only(full).expect("backup preset policy is valid")
+}
+
+/// The remote-vaulting parameters of Table 3: a shipment every four
+/// weeks, held four weeks + 12 hours (until backup retention expires),
+/// 39 fulls (three years) retained at the vault.
+pub(crate) fn baseline_vault_params() -> ProtectionParams {
+    ProtectionParams::builder()
+        .accumulation_window(TimeDelta::from_weeks(4.0))
+        .propagation_window(TimeDelta::from_hours(24.0))
+        .hold_window(TimeDelta::from_weeks(4.0) + TimeDelta::from_hours(12.0))
+        .retention_count(39)
+        .build()
+        .expect("vault preset parameters are valid")
+}
+
+/// The shared remote recovery facility assumed by the case study:
+/// provisioned (drained of other workloads and scrubbed) within nine
+/// hours, at 20 % of the dedicated resource cost.
+pub(crate) fn paper_recovery_site() -> RecoverySite {
+    RecoverySite {
+        location: Location::new(REMOTE_LOCATION.0, REMOTE_LOCATION.1, REMOTE_LOCATION.2),
+        provisioning_time: TimeDelta::from_hours(9.0),
+        cost_factor: 0.2,
+    }
+}
+
+/// The baseline design of Figure 1: split mirrors and weekly tape backup
+/// at the primary site, four-weekly vaulting by air shipment.
+pub fn baseline_design() -> StorageDesign {
+    let mut builder = StorageDesign::builder("baseline");
+    let array = builder
+        .add_device(primary_array_spec())
+        .expect("fresh builder has no duplicates");
+    let tape = builder.add_device(tape_library_spec()).expect("unique name");
+    let vault = builder.add_device(vault_spec()).expect("unique name");
+    let courier = builder.add_device(air_courier_spec()).expect("unique name");
+
+    builder.add_level(Level::new(
+        "primary copy",
+        Technique::PrimaryCopy(PrimaryCopy::new()),
+        array,
+    ));
+    builder.add_level(Level::new(
+        "split mirror",
+        Technique::SplitMirror(SplitMirror::new(split_mirror_params())),
+        array,
+    ));
+    builder.add_level(Level::new(
+        "tape backup",
+        Technique::Backup(weekly_full_backup()),
+        tape,
+    ));
+    builder.add_level(
+        Level::new(
+            "remote vaulting",
+            Technique::RemoteVault(RemoteVault::new(baseline_vault_params())),
+            vault,
+        )
+        .with_transports([courier]),
+    );
+    builder.recovery_site(paper_recovery_site());
+    builder.build().expect("baseline preset is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_four_levels_in_figure_1_order() {
+        let design = baseline_design();
+        let names: Vec<&str> = design.levels().iter().map(|l| l.name()).collect();
+        assert_eq!(names, ["primary copy", "split mirror", "tape backup", "remote vaulting"]);
+    }
+
+    #[test]
+    fn split_mirror_and_primary_share_the_array() {
+        let design = baseline_design();
+        assert_eq!(design.levels()[0].host(), design.levels()[1].host());
+        assert_ne!(design.levels()[1].host(), design.levels()[2].host());
+    }
+
+    #[test]
+    fn vault_ships_by_courier() {
+        let design = baseline_design();
+        let vault_level = &design.levels()[3];
+        assert_eq!(vault_level.transports().len(), 1);
+        let courier = design.device(vault_level.transports()[0]);
+        assert_eq!(courier.name(), "air shipment");
+    }
+
+    #[test]
+    fn requirements_are_50k_per_hour() {
+        let reqs = paper_requirements();
+        assert!((reqs.unavailability_penalty_rate().as_dollars_per_hour() - 50_000.0).abs() < 1e-9);
+        assert!((reqs.loss_penalty_rate().as_dollars_per_hour() - 50_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_site_is_remote_shared() {
+        let design = baseline_design();
+        let site = design.recovery_site().expect("baseline has a recovery facility");
+        assert_eq!(site.provisioning_time, TimeDelta::from_hours(9.0));
+        assert!((site.cost_factor - 0.2).abs() < 1e-12);
+        assert!(!site.location.same_region(design.primary_location()));
+    }
+}

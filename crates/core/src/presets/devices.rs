@@ -1,0 +1,210 @@
+//! Device presets (paper Table 4).
+
+use crate::device::{CostModel, DeviceKind, DeviceSpec, SpareSpec};
+use crate::failure::Location;
+use crate::units::{Bandwidth, Bytes, Money, TimeDelta};
+
+/// The primary data center location used by the case-study presets.
+pub const PRIMARY_LOCATION: (&str, &str, &str) = ("us-west", "primary-site", "dc-1");
+
+/// The remote location (vault / mirror target / recovery facility) used
+/// by the case-study presets. A different region, so even a regional
+/// disaster at the primary leaves it intact.
+pub const REMOTE_LOCATION: (&str, &str, &str) = ("us-east", "remote-site", "dc-r");
+
+fn primary_location() -> Location {
+    Location::new(PRIMARY_LOCATION.0, PRIMARY_LOCATION.1, PRIMARY_LOCATION.2)
+}
+
+fn remote_location() -> Location {
+    Location::new(REMOTE_LOCATION.0, REMOTE_LOCATION.1, REMOTE_LOCATION.2)
+}
+
+/// The mid-range primary disk array (modeled on HP's EVA): up to 256
+/// 73-GB disks behind a 512 MB/s enclosure, RAID-1 internally (usable
+/// capacity is half of raw), with a dedicated hot spare.
+///
+/// Cost model: `123297 + c × 17.2` dollars/year (`c` in GB).
+pub fn primary_array_spec() -> DeviceSpec {
+    array_spec("primary array", primary_location())
+}
+
+/// An identical array at the remote site, used as the target of
+/// inter-array mirroring designs. No dedicated spare — it *is* the
+/// redundancy.
+pub fn remote_array_spec() -> DeviceSpec {
+    array_spec("remote array", remote_location())
+}
+
+fn array_spec(name: &str, location: Location) -> DeviceSpec {
+    let spare = if name == "primary array" {
+        SpareSpec::dedicated(TimeDelta::from_hours(0.02), 1.0)
+    } else {
+        SpareSpec::None
+    };
+    DeviceSpec::builder(name, DeviceKind::disk_array(2.0))
+        .location(location)
+        .capacity_slots(256, Bytes::from_gib(73.0))
+        .bandwidth_slots(256, Bandwidth::from_mib_per_sec(25.0))
+        .enclosure_bandwidth(Bandwidth::from_mib_per_sec(512.0))
+        .cost(
+            CostModel::builder()
+                .fixed(Money::from_dollars(123_297.0))
+                .per_gib(Money::from_dollars(17.2))
+                .build(),
+        )
+        .spare(spare)
+        .build()
+        .expect("array preset parameters are valid")
+}
+
+/// The tape library (modeled on HP's ESL9595): up to 500 400-GB LTO
+/// cartridges and 16 60-MB/s drives behind a 240 MB/s enclosure, 0.01 hr
+/// load+seek delay, with a dedicated hot spare.
+///
+/// Cost model: `98895 + c × 0.4 + b × 108.6` dollars/year
+/// (`c` in GB, `b` in MB/s).
+pub fn tape_library_spec() -> DeviceSpec {
+    DeviceSpec::builder("tape library", DeviceKind::TapeLibrary)
+        .location(primary_location())
+        .capacity_slots(500, Bytes::from_gib(400.0))
+        .bandwidth_slots(16, Bandwidth::from_mib_per_sec(60.0))
+        .enclosure_bandwidth(Bandwidth::from_mib_per_sec(240.0))
+        .access_delay(TimeDelta::from_hours(0.01))
+        .cost(
+            CostModel::builder()
+                .fixed(Money::from_dollars(98_895.0))
+                .per_gib(Money::from_dollars(0.4))
+                .per_mib_per_sec(Money::from_dollars(108.6))
+                .build(),
+        )
+        .spare(SpareSpec::dedicated(TimeDelta::from_hours(0.02), 1.0))
+        .build()
+        .expect("tape library preset parameters are valid")
+}
+
+/// The off-site tape vault: 5000 cartridge shelf slots, no online
+/// bandwidth, no sparing.
+///
+/// Cost model: `25000 + c × 0.4` dollars/year (`c` in GB).
+pub fn vault_spec() -> DeviceSpec {
+    DeviceSpec::builder("tape vault", DeviceKind::VaultShelf)
+        .location(remote_location())
+        .capacity_slots(5000, Bytes::from_gib(400.0))
+        .cost(
+            CostModel::builder()
+                .fixed(Money::from_dollars(25_000.0))
+                .per_gib(Money::from_dollars(0.4))
+                .build(),
+        )
+        .build()
+        .expect("vault preset parameters are valid")
+}
+
+/// Overnight air shipment to the vault: a 24-hour transit, $50 per
+/// shipment, no capacity or bandwidth constraint.
+pub fn air_courier_spec() -> DeviceSpec {
+    DeviceSpec::builder("air shipment", DeviceKind::Courier)
+        .location(remote_location())
+        .access_delay(TimeDelta::from_hours(24.0))
+        .cost(CostModel::builder().per_shipment(Money::from_dollars(50.0)).build())
+        .build()
+        .expect("courier preset parameters are valid")
+}
+
+/// A disk-based backup appliance (virtual tape library): 48 bays of
+/// 750-GB nearline disks behind a 400 MB/s enclosure, no mechanical
+/// load/seek delay, with a dedicated hot spare.
+///
+/// Not part of the paper's Table 4 — an extension preset showing how a
+/// disk-to-disk tier changes the recovery-time story (restores stream at
+/// disk speed with no media handling). Cost model:
+/// `40000 + c × 1.1 + b × 60` dollars/year.
+pub fn disk_backup_spec() -> DeviceSpec {
+    DeviceSpec::builder("disk backup appliance", DeviceKind::disk_array(1.25))
+        .location(primary_location())
+        .capacity_slots(48, Bytes::from_gib(750.0))
+        .bandwidth_slots(48, Bandwidth::from_mib_per_sec(70.0))
+        .enclosure_bandwidth(Bandwidth::from_mib_per_sec(400.0))
+        .cost(
+            CostModel::builder()
+                .fixed(Money::from_dollars(40_000.0))
+                .per_gib(Money::from_dollars(1.1))
+                .per_mib_per_sec(Money::from_dollars(60.0))
+                .build(),
+        )
+        .spare(SpareSpec::dedicated(TimeDelta::from_hours(0.02), 1.0))
+        .build()
+        .expect("disk backup preset parameters are valid")
+}
+
+/// A bundle of `count` OC-3 (155 Mbit/s) wide-area links between the
+/// primary and remote arrays.
+///
+/// Cost model: `b × 23535` dollars/year with `b` the *provisioned* link
+/// bandwidth in MB/s — whole links are rented, so the cost analysis
+/// charges network links for their full bandwidth rather than the used
+/// share.
+pub fn oc3_links_spec(count: u32) -> DeviceSpec {
+    DeviceSpec::builder(format!("OC-3 x{count}"), DeviceKind::NetworkLink)
+        .location(remote_location())
+        .bandwidth_slots(count, Bandwidth::from_megabits_per_sec(155.0))
+        .cost(CostModel::builder().per_mib_per_sec(Money::from_dollars(23_535.0)).build())
+        .build()
+        .expect("link preset parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_capability_matches_table_4() {
+        let array = primary_array_spec();
+        assert_eq!(array.max_bandwidth(), Some(Bandwidth::from_mib_per_sec(512.0)));
+        assert_eq!(array.raw_capacity(), Some(Bytes::from_gib(18_688.0)));
+        assert_eq!(array.usable_capacity(), Some(Bytes::from_gib(9_344.0)));
+        assert!(array.spare().exists());
+    }
+
+    #[test]
+    fn tape_library_capability_matches_table_4() {
+        let tape = tape_library_spec();
+        assert_eq!(tape.max_bandwidth(), Some(Bandwidth::from_mib_per_sec(240.0)));
+        assert_eq!(tape.usable_capacity(), Some(Bytes::from_gib(200_000.0)));
+        assert_eq!(tape.access_delay(), TimeDelta::from_hours(0.01));
+    }
+
+    #[test]
+    fn vault_has_capacity_but_no_bandwidth() {
+        let vault = vault_spec();
+        assert_eq!(vault.usable_capacity(), Some(Bytes::from_gib(2_000_000.0)));
+        assert_eq!(vault.max_bandwidth(), None);
+        assert!(!vault.spare().exists());
+    }
+
+    #[test]
+    fn courier_is_delay_and_cost_only() {
+        let courier = air_courier_spec();
+        assert_eq!(courier.access_delay(), TimeDelta::from_hours(24.0));
+        assert_eq!(courier.max_bandwidth(), None);
+        assert_eq!(courier.cost().shipment_cost(13.0), Money::from_dollars(650.0));
+    }
+
+    #[test]
+    fn link_bundles_scale_with_count() {
+        let one = oc3_links_spec(1).max_bandwidth().unwrap();
+        let ten = oc3_links_spec(10).max_bandwidth().unwrap();
+        assert!(ten.approx_eq(one * 10.0, 1e-12));
+        assert!((one.value() - 155.0e6 / 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn locations_separate_primary_from_remote() {
+        let array = primary_array_spec();
+        let vault = vault_spec();
+        assert!(!array.location().same_region(vault.location()));
+        let tape = tape_library_spec();
+        assert!(array.location().same_site(tape.location()));
+    }
+}

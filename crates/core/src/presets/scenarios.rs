@@ -1,0 +1,70 @@
+//! Failure-scenario presets: the case study's three failures (§4) and a
+//! frequency-weighted catalog for annualized analyses.
+
+use crate::analysis::WeightedScenario;
+use crate::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use crate::units::{Bytes, TimeDelta};
+
+/// The §4 case-study scenarios: a 1 MB object corrupted 24 hours ago, a
+/// primary-array failure, and a site disaster (both recovering to
+/// "now").
+pub fn paper_failure_scenarios() -> Vec<FailureScenario> {
+    vec![
+        FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        ),
+        FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+    ]
+}
+
+/// The same scenarios annotated with plausible annual frequencies
+/// (monthly user errors, an array loss per decade, a site disaster per
+/// half-century) — the default catalog for expected-cost, risk-profile,
+/// and optimizer analyses.
+pub fn paper_scenario_catalog() -> Vec<WeightedScenario> {
+    let frequencies = [12.0, 0.1, 0.02];
+    paper_failure_scenarios()
+        .into_iter()
+        .zip(frequencies)
+        .map(|(scenario, frequency)| WeightedScenario::new(scenario, frequency))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_match_the_case_study() {
+        let scenarios = paper_failure_scenarios();
+        assert_eq!(scenarios.len(), 3);
+        assert!(matches!(scenarios[0].scope, FailureScope::DataObject { .. }));
+        assert_eq!(scenarios[0].target.age(), TimeDelta::from_hours(24.0));
+        assert!(matches!(scenarios[2].scope, FailureScope::Site));
+    }
+
+    #[test]
+    fn catalog_weights_are_ordered_by_rarity() {
+        let catalog = paper_scenario_catalog();
+        for pair in catalog.windows(2) {
+            assert!(pair[0].annual_frequency > pair[1].annual_frequency);
+        }
+    }
+
+    #[test]
+    fn catalog_is_usable_end_to_end() {
+        let workload = super::super::cello_workload();
+        let design = super::super::baseline_design();
+        let requirements = super::super::paper_requirements();
+        let profile = crate::analysis::risk_profile(
+            &design,
+            &workload,
+            &requirements,
+            &paper_scenario_catalog(),
+        )
+        .unwrap();
+        assert!(profile.availability > 0.999);
+    }
+}

@@ -1,0 +1,42 @@
+//! Workload presets (paper Table 2).
+
+use crate::units::{Bandwidth, Bytes, TimeDelta};
+use crate::workload::Workload;
+
+/// The *cello* workgroup file server workload of the paper's case study
+/// (Table 2, measured at HP Labs; see also Ji et al., USENIX '03).
+///
+/// 1360 GB of data, 1028 KB/s of accesses, 799 KB/s of updates, 10×
+/// bursts, and a batch-update-rate curve that flattens at 317 KB/s for
+/// windows of a day or more.
+pub fn cello_workload() -> Workload {
+    Workload::builder("cello")
+        .data_capacity(Bytes::from_gib(1360.0))
+        .avg_access_rate(Bandwidth::from_kib_per_sec(1028.0))
+        .avg_update_rate(Bandwidth::from_kib_per_sec(799.0))
+        .burst_multiplier(10.0)
+        .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(727.0))
+        .batch_rate(TimeDelta::from_hours(12.0), Bandwidth::from_kib_per_sec(350.0))
+        .batch_rate(TimeDelta::from_hours(24.0), Bandwidth::from_kib_per_sec(317.0))
+        .batch_rate(TimeDelta::from_hours(48.0), Bandwidth::from_kib_per_sec(317.0))
+        .batch_rate(TimeDelta::from_weeks(1.0), Bandwidth::from_kib_per_sec(317.0))
+        .build()
+        .expect("cello parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cello_matches_table_2() {
+        let wl = cello_workload();
+        assert_eq!(wl.name(), "cello");
+        assert_eq!(wl.data_capacity(), Bytes::from_gib(1360.0));
+        assert_eq!(wl.avg_access_rate(), Bandwidth::from_kib_per_sec(1028.0));
+        assert_eq!(wl.avg_update_rate(), Bandwidth::from_kib_per_sec(799.0));
+        assert_eq!(wl.burst_multiplier(), 10.0);
+        let rate = wl.batch_update_rate(TimeDelta::from_hours(48.0));
+        assert!((rate.as_kib_per_sec() - 317.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,397 @@
+//! Backup to separate hardware (§2, §3.2.3).
+//!
+//! A backup cycle combines one *full* propagation with zero or more
+//! incrementals: **cumulative** incrementals copy everything changed
+//! since the last full (each larger than the previous), **differential**
+//! incrementals copy only what changed since the last backup of any
+//! kind.
+//!
+//! The model assumes a consistent source copy is provided by another
+//! technique (a split mirror or snapshot level above), so backup itself
+//! places only *read bandwidth* on the source array. The backup device
+//! needs bandwidth for the larger of the full and the biggest
+//! incremental, and capacity for `retCnt` full cycles plus one extra full
+//! (so a failure during an in-progress full never leaves the system
+//! without a complete backup).
+
+use crate::demands::DemandContribution;
+use crate::error::Error;
+use crate::protection::{LevelContext, ProtectionParams};
+use crate::units::{Bandwidth, Bytes, TimeDelta};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// How incremental backups accumulate changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IncrementalMode {
+    /// Everything changed since the last **full** backup.
+    Cumulative,
+    /// Everything changed since the last backup of **any** kind.
+    Differential,
+}
+
+/// The incremental half of a backup cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalPolicy {
+    /// Cumulative or differential accumulation.
+    pub mode: IncrementalMode,
+    /// Window over which each incremental accumulates updates.
+    pub accumulation_window: TimeDelta,
+    /// Window during which each incremental is transferred.
+    pub propagation_window: TimeDelta,
+    /// Delay before each incremental's transfer starts.
+    pub hold_window: TimeDelta,
+    /// Number of incrementals between fulls (`cycleCnt`).
+    pub count: u32,
+}
+
+/// A backup level (full, or full + incremental cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Backup {
+    full: ProtectionParams,
+    incremental: Option<IncrementalPolicy>,
+}
+
+impl Backup {
+    /// Creates a fulls-only backup policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the full's propagation
+    /// window is zero (a backup transfer takes real time; the window
+    /// sizes the required bandwidth).
+    pub fn full_only(full: ProtectionParams) -> Result<Backup, Error> {
+        Backup::validate_full(&full)?;
+        Ok(Backup { full, incremental: None })
+    }
+
+    /// Creates a full + incremental cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if either propagation window
+    /// is zero, the incremental has zero count, or the incrementals do
+    /// not fit between fulls
+    /// (`count × incr.accW` must be less than the full cycle period).
+    pub fn with_incrementals(
+        full: ProtectionParams,
+        incremental: IncrementalPolicy,
+    ) -> Result<Backup, Error> {
+        Backup::validate_full(&full)?;
+        if incremental.count == 0 {
+            return Err(Error::invalid(
+                "backup.incremental.count",
+                "use Backup::full_only for a policy without incrementals",
+            ));
+        }
+        for (name, window) in [
+            ("backup.incremental.accW", incremental.accumulation_window),
+            ("backup.incremental.propW", incremental.propagation_window),
+            ("backup.incremental.holdW", incremental.hold_window),
+        ] {
+            if !(window.value() >= 0.0 && window.is_finite()) {
+                return Err(Error::invalid(name, "must be non-negative and finite"));
+            }
+        }
+        if incremental.propagation_window.value() <= 0.0 {
+            return Err(Error::invalid(
+                "backup.incremental.propW",
+                "must be positive to size the transfer bandwidth",
+            ));
+        }
+        if incremental.accumulation_window.value() <= 0.0 {
+            return Err(Error::invalid(
+                "backup.incremental.accW",
+                "must be positive",
+            ));
+        }
+        let incr_span = incremental.accumulation_window * incremental.count as f64;
+        if incr_span >= full.cycle_period() {
+            return Err(Error::invalid(
+                "backup.incremental.count",
+                "incrementals must fit within the full cycle period",
+            ));
+        }
+        Ok(Backup { full, incremental: Some(incremental) })
+    }
+
+    fn validate_full(full: &ProtectionParams) -> Result<(), Error> {
+        if full.propagation_window().value() <= 0.0 {
+            return Err(Error::invalid(
+                "backup.full.propW",
+                "must be positive to size the transfer bandwidth",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The full backup's window/retention parameters.
+    pub fn full_params(&self) -> &ProtectionParams {
+        &self.full
+    }
+
+    /// The incremental policy, when the cycle has one.
+    pub fn incremental(&self) -> Option<&IncrementalPolicy> {
+        self.incremental.as_ref()
+    }
+
+    /// Size of the `k`-th (1-based) incremental in a cycle.
+    pub fn incremental_bytes(&self, workload: &Workload, k: u32) -> Bytes {
+        match &self.incremental {
+            None => Bytes::ZERO,
+            Some(incr) => {
+                let window = match incr.mode {
+                    IncrementalMode::Cumulative => {
+                        incr.accumulation_window * k.min(incr.count) as f64
+                    }
+                    IncrementalMode::Differential => incr.accumulation_window,
+                };
+                workload.unique_bytes(window)
+            }
+        }
+    }
+
+    /// Size of the largest incremental in a cycle (the last cumulative,
+    /// or any differential).
+    pub fn largest_incremental_bytes(&self, workload: &Workload) -> Bytes {
+        match &self.incremental {
+            None => Bytes::ZERO,
+            Some(incr) => self.incremental_bytes(workload, incr.count),
+        }
+    }
+
+    /// The bandwidth the backup needs on both the source array and the
+    /// backup device: the max of the full transfer rate and the largest
+    /// incremental transfer rate.
+    pub fn required_bandwidth(&self, workload: &Workload) -> Bandwidth {
+        let full_rate = workload.data_capacity() / self.full.propagation_window();
+        let incr_rate = match &self.incremental {
+            None => Bandwidth::ZERO,
+            Some(incr) => self.largest_incremental_bytes(workload) / incr.propagation_window,
+        };
+        full_rate.max(incr_rate)
+    }
+
+    /// Bytes stored by one complete cycle: a full plus its incrementals.
+    pub fn cycle_bytes(&self, workload: &Workload) -> Bytes {
+        let mut total = workload.data_capacity();
+        if let Some(incr) = &self.incremental {
+            for k in 1..=incr.count {
+                total += self.incremental_bytes(workload, k);
+            }
+        }
+        total
+    }
+
+    /// Capacity the backup device must hold: `retCnt` cycles plus one
+    /// extra full.
+    pub fn required_capacity(&self, workload: &Workload) -> Bytes {
+        self.cycle_bytes(workload) * self.full.retention_count() as f64
+            + workload.data_capacity()
+    }
+
+    pub(crate) fn arrival_period(&self) -> TimeDelta {
+        match &self.incremental {
+            None => self.full.accumulation_window(),
+            Some(incr) => incr.accumulation_window,
+        }
+    }
+
+    pub(crate) fn worst_own_lag(&self) -> TimeDelta {
+        let full_latency = self.full.transit_lag();
+        let latency = match &self.incremental {
+            None => full_latency,
+            Some(incr) => full_latency.max(incr.hold_window + incr.propagation_window),
+        };
+        latency + self.arrival_period()
+    }
+
+    /// Bytes that must be restored to recover `needed` bytes of data. A
+    /// whole-dataset restore needs the newest full plus, in the worst
+    /// case, the incrementals on top of it.
+    pub fn worst_restore_bytes(&self, workload: &Workload, needed: Bytes) -> Bytes {
+        if needed < workload.data_capacity() {
+            // Object-level restore reads just the object (plus its
+            // incremental deltas, which are negligible by comparison).
+            return needed;
+        }
+        let incrementals = match &self.incremental {
+            None => Bytes::ZERO,
+            Some(incr) => match incr.mode {
+                IncrementalMode::Cumulative => self.largest_incremental_bytes(workload),
+                IncrementalMode::Differential => {
+                    self.incremental_bytes(workload, 1) * incr.count as f64
+                }
+            },
+        };
+        needed + incrementals
+    }
+
+    pub(crate) fn demands(
+        &self,
+        ctx: &LevelContext<'_>,
+    ) -> Result<Vec<DemandContribution>, Error> {
+        let source = ctx.source_host.ok_or_else(|| {
+            Error::invalid("backup.source", "a backup level needs a source copy to read")
+        })?;
+        let rate = self.required_bandwidth(ctx.workload);
+
+        let mut demands = Vec::with_capacity(2 + ctx.transports.len());
+        // Reads on the source array; no capacity (consistency comes from
+        // the PiT level above).
+        demands.push(DemandContribution::bandwidth(source, rate));
+        // Writes plus retention capacity on the backup device.
+        let mut host = DemandContribution::bandwidth(ctx.host, rate);
+        host.capacity = self.required_capacity(ctx.workload);
+        demands.push(host);
+        // Any interconnect in between carries the stream.
+        for &transport in ctx.transports {
+            demands.push(DemandContribution::bandwidth(transport, rate));
+        }
+        Ok(demands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+
+    fn weekly_full() -> ProtectionParams {
+        ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_weeks(1.0))
+            .propagation_window(TimeDelta::from_hours(48.0))
+            .hold_window(TimeDelta::from_hours(1.0))
+            .retention_count(4)
+            .build()
+            .unwrap()
+    }
+
+    fn daily_incrementals(mode: IncrementalMode) -> IncrementalPolicy {
+        IncrementalPolicy {
+            mode,
+            accumulation_window: TimeDelta::from_hours(24.0),
+            propagation_window: TimeDelta::from_hours(12.0),
+            hold_window: TimeDelta::from_hours(1.0),
+            count: 5,
+        }
+    }
+
+    fn ctx(workload: &crate::workload::Workload) -> LevelContext<'_> {
+        LevelContext {
+            workload,
+            level_index: 2,
+            source_host: Some(DeviceId(0)),
+            host: DeviceId(1),
+            transports: &[],
+            prev_retention_window: None,
+        }
+    }
+
+    #[test]
+    fn baseline_full_only_matches_paper_numbers() {
+        let workload = crate::presets::cello_workload();
+        let backup = Backup::full_only(weekly_full()).unwrap();
+        // 1360 GiB over 48 hours ≈ 8.06 MiB/s (paper: 8.1 MB/s).
+        let bw = backup.required_bandwidth(&workload);
+        assert!((bw.as_mib_per_sec() - 8.06).abs() < 0.01);
+        // 4 cycles + 1 extra full = 5 × 1360 GiB = 6.64 TiB (paper 6.6 TB).
+        let cap = backup.required_capacity(&workload);
+        assert!((cap.as_tib() - 6.64).abs() < 0.01);
+        // Worst-case lag 1 wk + 1 hr + 48 hr = 217 hr (paper Table 6).
+        assert!((backup.worst_own_lag().as_hours() - 217.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_incrementals_grow_and_lag_matches_table_7() {
+        let workload = crate::presets::cello_workload();
+        let backup =
+            Backup::with_incrementals(weekly_full(), daily_incrementals(IncrementalMode::Cumulative))
+                .unwrap();
+        let first = backup.incremental_bytes(&workload, 1);
+        let last = backup.incremental_bytes(&workload, 5);
+        assert!(last > first, "cumulative incrementals grow within the cycle");
+        // Worst lag: full completion latency (1 + 48) + daily arrivals
+        // (24) = 73 hr, Table 7's F+I data loss for array failures.
+        assert!((backup.worst_own_lag().as_hours() - 73.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn differential_incrementals_stay_flat() {
+        let workload = crate::presets::cello_workload();
+        let backup = Backup::with_incrementals(
+            weekly_full(),
+            daily_incrementals(IncrementalMode::Differential),
+        )
+        .unwrap();
+        let first = backup.incremental_bytes(&workload, 1);
+        let last = backup.incremental_bytes(&workload, 5);
+        assert_eq!(first, last);
+    }
+
+    #[test]
+    fn restore_needs_full_plus_incrementals() {
+        let workload = crate::presets::cello_workload();
+        let full_only = Backup::full_only(weekly_full()).unwrap();
+        let with_incr =
+            Backup::with_incrementals(weekly_full(), daily_incrementals(IncrementalMode::Cumulative))
+                .unwrap();
+        let cap = workload.data_capacity();
+        assert_eq!(full_only.worst_restore_bytes(&workload, cap), cap);
+        assert!(with_incr.worst_restore_bytes(&workload, cap) > cap);
+        // Object restores read only the object.
+        let object = Bytes::from_mib(1.0);
+        assert_eq!(with_incr.worst_restore_bytes(&workload, object), object);
+    }
+
+    #[test]
+    fn demands_land_on_source_and_destination() {
+        let workload = crate::presets::cello_workload();
+        let backup = Backup::full_only(weekly_full()).unwrap();
+        let demands = backup.demands(&ctx(&workload)).unwrap();
+        assert_eq!(demands.len(), 2);
+        // Source: bandwidth only.
+        assert_eq!(demands[0].device, DeviceId(0));
+        assert!(demands[0].bandwidth.value() > 0.0);
+        assert_eq!(demands[0].capacity, Bytes::ZERO);
+        // Destination: bandwidth + capacity.
+        assert_eq!(demands[1].device, DeviceId(1));
+        assert_eq!(demands[1].bandwidth, demands[0].bandwidth);
+        assert!(demands[1].capacity > Bytes::ZERO);
+    }
+
+    #[test]
+    fn rejects_zero_propagation_window() {
+        let bad = ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_weeks(1.0))
+            .propagation_window(TimeDelta::ZERO)
+            .retention_count(4)
+            .build()
+            .unwrap();
+        assert!(Backup::full_only(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_incrementals_that_do_not_fit() {
+        let mut incr = daily_incrementals(IncrementalMode::Cumulative);
+        incr.count = 8; // 8 days of dailies inside a one-week cycle
+        let err = Backup::with_incrementals(weekly_full(), incr).unwrap_err();
+        assert!(err.to_string().contains("fit"));
+    }
+
+    #[test]
+    fn rejects_zero_count_incrementals() {
+        let mut incr = daily_incrementals(IncrementalMode::Cumulative);
+        incr.count = 0;
+        assert!(Backup::with_incrementals(weekly_full(), incr).is_err());
+    }
+
+    #[test]
+    fn backup_without_source_is_rejected() {
+        let workload = crate::presets::cello_workload();
+        let backup = Backup::full_only(weekly_full()).unwrap();
+        let mut context = ctx(&workload);
+        context.source_host = None;
+        assert!(backup.demands(&context).is_err());
+    }
+}

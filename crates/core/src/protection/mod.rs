@@ -1,0 +1,288 @@
+//! Models of the individual data protection techniques (§3.2).
+//!
+//! Every technique is described by the common
+//! [`ProtectionParams`] vocabulary plus a small amount of
+//! technique-specific configuration, and answers the same three
+//! questions:
+//!
+//! 1. **Demands** — what bandwidth/capacity does maintaining its RPs cost
+//!    on each device ([`Technique::demands`])?
+//! 2. **Timing** — how stale are its RPs ([`Technique::worst_own_lag`],
+//!    [`Technique::transit_lag`]) and how long are they retained
+//!    ([`Technique::retention_span`])?
+//! 3. **Recovery** — how many bytes must be restored from it
+//!    ([`Technique::worst_restore_bytes`])?
+//!
+//! The composition analyses in [`crate::analysis`] are written purely in
+//! terms of these answers, which is what makes new techniques easy to
+//! add.
+
+mod backup;
+mod params;
+mod primary;
+mod remote_mirror;
+mod snapshot;
+mod split_mirror;
+mod vault;
+
+pub use backup::{Backup, IncrementalMode, IncrementalPolicy};
+pub use params::{CopyRepresentation, ProtectionParams};
+pub use primary::PrimaryCopy;
+pub use remote_mirror::{MirrorMode, RemoteMirror};
+pub use snapshot::VirtualSnapshot;
+pub use split_mirror::SplitMirror;
+pub use vault::RemoteVault;
+
+use crate::demands::DemandContribution;
+use crate::device::DeviceId;
+use crate::error::Error;
+use crate::units::{Bytes, TimeDelta};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything a technique model needs to know about its place in the
+/// hierarchy when computing demands.
+#[derive(Debug, Clone)]
+pub struct LevelContext<'a> {
+    /// The foreground workload being protected.
+    pub workload: &'a Workload,
+    /// This level's zero-based index in the hierarchy.
+    pub level_index: usize,
+    /// The device hosting the *previous* (higher, fresher) level's RPs —
+    /// the source this level's propagations read from. `None` for
+    /// level 0.
+    pub source_host: Option<DeviceId>,
+    /// The device hosting this level's RPs.
+    pub host: DeviceId,
+    /// Interconnect devices carrying propagations into this level.
+    pub transports: &'a [DeviceId],
+    /// The previous level's retention window, when there is one — the
+    /// vault model needs it for the extra-copy rule.
+    pub prev_retention_window: Option<TimeDelta>,
+}
+
+/// A data protection technique instance, configured for one hierarchy
+/// level.
+///
+/// This is a closed enum rather than a trait object so that designs are
+/// plain serializable data; the variants delegate to per-technique
+/// modules. (A design with a genuinely novel technique can usually be
+/// expressed by configuring one of these models — that is the point of
+/// the common parameter set.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Technique {
+    /// The primary (level-0) copy serving the foreground workload.
+    PrimaryCopy(PrimaryCopy),
+    /// Split-mirror point-in-time copies on the primary array.
+    SplitMirror(SplitMirror),
+    /// Copy-on-write virtual snapshots on the primary array.
+    VirtualSnapshot(VirtualSnapshot),
+    /// Inter-array mirroring (synchronous, asynchronous, or batched).
+    RemoteMirror(RemoteMirror),
+    /// Backup to separate hardware (tape library, disk, optical).
+    Backup(Backup),
+    /// Periodic shipment of backup media to an off-site vault.
+    RemoteVault(RemoteVault),
+}
+
+impl Technique {
+    /// The technique's display name, matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::PrimaryCopy(_) => "primary copy",
+            Technique::SplitMirror(_) => "split mirror",
+            Technique::VirtualSnapshot(_) => "virtual snapshot",
+            Technique::RemoteMirror(m) => m.name(),
+            Technique::Backup(_) => "backup",
+            Technique::RemoteVault(_) => "remote vaulting",
+        }
+    }
+
+    /// The common window/retention parameters, where the technique has
+    /// them. Level 0 (the live primary copy) and synchronous/plain
+    /// asynchronous mirrors (which track the primary continuously) return
+    /// `None`.
+    pub fn params(&self) -> Option<&ProtectionParams> {
+        match self {
+            Technique::PrimaryCopy(_) => None,
+            Technique::SplitMirror(t) => Some(t.params()),
+            Technique::VirtualSnapshot(t) => Some(t.params()),
+            Technique::RemoteMirror(t) => t.params(),
+            Technique::Backup(t) => Some(t.full_params()),
+            Technique::RemoteVault(t) => Some(t.params()),
+        }
+    }
+
+    /// Worst-case staleness of the freshest RP *restorable from this
+    /// level*, counting only this level's own windows:
+    /// `max_rep(holdW + propW) + arrival period` (§3.3.2–3.3.3).
+    pub fn worst_own_lag(&self) -> TimeDelta {
+        match self {
+            Technique::PrimaryCopy(_) => TimeDelta::ZERO,
+            Technique::SplitMirror(t) => t.params().worst_own_lag(),
+            Technique::VirtualSnapshot(t) => t.params().worst_own_lag(),
+            Technique::RemoteMirror(t) => t.worst_own_lag(),
+            Technique::Backup(t) => t.worst_own_lag(),
+            Technique::RemoteVault(t) => t.params().worst_own_lag(),
+        }
+    }
+
+    /// The lag this level adds to RPs that continue to lower levels:
+    /// `holdW + propW` of the representation that is propagated onward
+    /// (the full, for cyclic policies).
+    pub fn transit_lag(&self) -> TimeDelta {
+        match self {
+            Technique::PrimaryCopy(_) => TimeDelta::ZERO,
+            Technique::SplitMirror(t) => t.params().transit_lag(),
+            Technique::VirtualSnapshot(t) => t.params().transit_lag(),
+            Technique::RemoteMirror(t) => t.transit_lag(),
+            Technique::Backup(t) => t.full_params().transit_lag(),
+            Technique::RemoteVault(t) => t.params().transit_lag(),
+        }
+    }
+
+    /// How often new RPs arrive at this level once running steadily (the
+    /// worst-case data loss when the recovery target is retained here).
+    pub fn arrival_period(&self) -> TimeDelta {
+        match self {
+            Technique::PrimaryCopy(_) => TimeDelta::ZERO,
+            Technique::SplitMirror(t) => t.params().accumulation_window(),
+            Technique::VirtualSnapshot(t) => t.params().accumulation_window(),
+            Technique::RemoteMirror(t) => t.arrival_period(),
+            Technique::Backup(t) => t.arrival_period(),
+            Technique::RemoteVault(t) => t.params().accumulation_window(),
+        }
+    }
+
+    /// The span of past time covered by the RPs guaranteed retained at
+    /// this level: `(retCnt − 1) × cyclePer`. Zero for levels that keep
+    /// only the current state (mirrors, the primary).
+    pub fn retention_span(&self) -> TimeDelta {
+        match self {
+            Technique::PrimaryCopy(_) => TimeDelta::ZERO,
+            Technique::SplitMirror(t) => t.params().retention_span(),
+            Technique::VirtualSnapshot(t) => t.params().retention_span(),
+            Technique::RemoteMirror(t) => t.retention_span(),
+            Technique::Backup(t) => t.full_params().retention_span(),
+            Technique::RemoteVault(t) => t.params().retention_span(),
+        }
+    }
+
+    /// The bytes that must be read from this level to restore `needed`
+    /// bytes of data. Restoring a whole dataset from a cyclic backup may
+    /// need a full *plus* incrementals, so this can exceed `needed`.
+    pub fn worst_restore_bytes(&self, workload: &Workload, needed: Bytes) -> Bytes {
+        match self {
+            Technique::Backup(t) => t.worst_restore_bytes(workload, needed),
+            _ => needed,
+        }
+    }
+
+    /// Converts the technique's policy into normal-mode device demands
+    /// (§3.2.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the context is
+    /// inconsistent with the technique (e.g. a mirror level with no
+    /// source).
+    pub fn demands(
+        &self,
+        ctx: &LevelContext<'_>,
+    ) -> Result<Vec<DemandContribution>, Error> {
+        match self {
+            Technique::PrimaryCopy(t) => t.demands(ctx),
+            Technique::SplitMirror(t) => t.demands(ctx),
+            Technique::VirtualSnapshot(t) => t.demands(ctx),
+            Technique::RemoteMirror(t) => t.demands(ctx),
+            Technique::Backup(t) => t.demands(ctx),
+            Technique::RemoteVault(t) => t.demands(ctx),
+        }
+    }
+
+    /// Whether this level's RPs live on the same device as the primary
+    /// copy (PiT techniques) — such levels are destroyed with the primary
+    /// array and add no transfer hop during full-dataset recovery.
+    pub fn is_point_in_time(&self) -> bool {
+        matches!(
+            self,
+            Technique::SplitMirror(_) | Technique::VirtualSnapshot(_)
+        )
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cello() -> Workload {
+        crate::presets::cello_workload()
+    }
+
+    fn params(acc_hours: f64, ret: u32) -> ProtectionParams {
+        ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_hours(acc_hours))
+            .propagation_window(TimeDelta::ZERO)
+            .retention_count(ret)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn names_match_paper_terminology() {
+        let t = Technique::SplitMirror(SplitMirror::new(params(12.0, 4)));
+        assert_eq!(t.name(), "split mirror");
+        assert_eq!(t.to_string(), "split mirror");
+        let t = Technique::PrimaryCopy(PrimaryCopy::new());
+        assert_eq!(t.name(), "primary copy");
+    }
+
+    #[test]
+    fn primary_copy_has_no_lag_or_retention() {
+        let t = Technique::PrimaryCopy(PrimaryCopy::new());
+        assert_eq!(t.worst_own_lag(), TimeDelta::ZERO);
+        assert_eq!(t.transit_lag(), TimeDelta::ZERO);
+        assert_eq!(t.retention_span(), TimeDelta::ZERO);
+        assert!(t.params().is_none());
+    }
+
+    #[test]
+    fn split_mirror_lag_is_its_accumulation_window() {
+        let t = Technique::SplitMirror(SplitMirror::new(params(12.0, 4)));
+        assert_eq!(t.worst_own_lag(), TimeDelta::from_hours(12.0));
+        assert_eq!(t.transit_lag(), TimeDelta::ZERO);
+        assert_eq!(t.retention_span(), TimeDelta::from_hours(36.0));
+    }
+
+    #[test]
+    fn pit_classification() {
+        assert!(Technique::SplitMirror(SplitMirror::new(params(12.0, 4))).is_point_in_time());
+        assert!(Technique::VirtualSnapshot(VirtualSnapshot::new(params(12.0, 4)))
+            .is_point_in_time());
+        assert!(!Technique::PrimaryCopy(PrimaryCopy::new()).is_point_in_time());
+    }
+
+    #[test]
+    fn non_backup_restore_bytes_equal_need() {
+        let wl = cello();
+        let t = Technique::SplitMirror(SplitMirror::new(params(12.0, 4)));
+        let needed = Bytes::from_mib(1.0);
+        assert_eq!(t.worst_restore_bytes(&wl, needed), needed);
+    }
+
+    #[test]
+    fn serde_roundtrip_for_enum() {
+        let t = Technique::RemoteMirror(RemoteMirror::synchronous());
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Technique = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,423 @@
+//! The common configuration parameter set shared by every data protection
+//! technique (§3.2.1).
+//!
+//! The paper's key insight is that backup, mirroring, point-in-time copies
+//! and vaulting all reduce to the *creation, retention, and propagation of
+//! retrieval points* (RPs), so a single parameter vocabulary describes
+//! them all:
+//!
+//! * every `accW` (accumulation window), a new RP becomes eligible,
+//! * it waits `holdW` (hold window) before transmission,
+//! * it is transferred during `propW` (propagation window),
+//! * the level retains `retCnt` RPs, one per `cyclePer`, for `retW` each.
+
+use crate::error::Error;
+use crate::units::TimeDelta;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a retrieval point is kept / transmitted as a complete copy of
+/// the dataset or as only the changed portion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CopyRepresentation {
+    /// A complete copy of the dataset.
+    Full,
+    /// Only the unique updates since the previous RP.
+    Partial,
+}
+
+impl fmt::Display for CopyRepresentation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CopyRepresentation::Full => f.write_str("full"),
+            CopyRepresentation::Partial => f.write_str("partial"),
+        }
+    }
+}
+
+/// The window/retention parameter set describing one protection level.
+///
+/// Construct with [`ProtectionParams::builder`]. Time relationships are
+/// validated per the paper's composition conventions: `propW ≤ accW` (the
+/// level must keep up with RP arrivals) and
+/// `retW ≥ (retCnt − 1) × cyclePer` (retained RPs must actually span the
+/// advertised retention).
+///
+/// ```
+/// use ssdep_core::protection::ProtectionParams;
+/// use ssdep_core::units::TimeDelta;
+///
+/// # fn main() -> Result<(), ssdep_core::Error> {
+/// // The paper's tape backup level: weekly fulls over a 48-hour window,
+/// // held one hour, four cycles retained.
+/// let backup = ProtectionParams::builder()
+///     .accumulation_window(TimeDelta::from_weeks(1.0))
+///     .propagation_window(TimeDelta::from_hours(48.0))
+///     .hold_window(TimeDelta::from_hours(1.0))
+///     .retention_count(4)
+///     .build()?;
+/// assert_eq!(backup.cycle_period(), TimeDelta::from_weeks(1.0));
+/// assert_eq!(backup.retention_span(), TimeDelta::from_weeks(3.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtectionParams {
+    accumulation_window: TimeDelta,
+    propagation_window: TimeDelta,
+    hold_window: TimeDelta,
+    cycle_count: u32,
+    cycle_period: TimeDelta,
+    retention_count: u32,
+    retention_window: TimeDelta,
+    copy_representation: CopyRepresentation,
+    propagation_representation: CopyRepresentation,
+}
+
+impl ProtectionParams {
+    /// Starts building a parameter set.
+    ///
+    /// Defaults: zero hold window, `propW = accW` (continuous
+    /// propagation), one representation per cycle (`cycleCnt = 1`),
+    /// `cyclePer = accW`, `retW = retCnt × cyclePer`, full copy and
+    /// propagation representations.
+    pub fn builder() -> ProtectionParamsBuilder {
+        ProtectionParamsBuilder::default()
+    }
+
+    /// Period over which updates are batched to create an RP (`accW`).
+    pub fn accumulation_window(&self) -> TimeDelta {
+        self.accumulation_window
+    }
+
+    /// RP transmission period (`propW`).
+    pub fn propagation_window(&self) -> TimeDelta {
+        self.propagation_window
+    }
+
+    /// Delay between an RP becoming eligible and its transmission
+    /// starting (`holdW`).
+    pub fn hold_window(&self) -> TimeDelta {
+        self.hold_window
+    }
+
+    /// Number of secondary windows between primary windows (`cycleCnt`).
+    pub fn cycle_count(&self) -> u32 {
+        self.cycle_count
+    }
+
+    /// Length of one full policy cycle (`cyclePer`).
+    pub fn cycle_period(&self) -> TimeDelta {
+        self.cycle_period
+    }
+
+    /// Number of cycles of RPs simultaneously retained (`retCnt`).
+    pub fn retention_count(&self) -> u32 {
+        self.retention_count
+    }
+
+    /// How long one RP is retained (`retW`).
+    pub fn retention_window(&self) -> TimeDelta {
+        self.retention_window
+    }
+
+    /// How RPs are stored at this level (`copyRep`).
+    pub fn copy_representation(&self) -> CopyRepresentation {
+        self.copy_representation
+    }
+
+    /// How RPs are transmitted to this level (`propRep`).
+    pub fn propagation_representation(&self) -> CopyRepresentation {
+        self.propagation_representation
+    }
+
+    /// The *transit lag* this level adds to RPs passing through it on the
+    /// way to lower levels: `holdW + propW` (Figure 3's minimum
+    /// out-of-dateness).
+    pub fn transit_lag(&self) -> TimeDelta {
+        self.hold_window + self.propagation_window
+    }
+
+    /// The worst-case out-of-dateness contributed by this level just
+    /// before a new RP arrives: `holdW + propW + accW`.
+    pub fn worst_own_lag(&self) -> TimeDelta {
+        self.transit_lag() + self.accumulation_window
+    }
+
+    /// The span of time covered by the RPs *guaranteed* to be retained:
+    /// `(retCnt − 1) × cyclePer`.
+    pub fn retention_span(&self) -> TimeDelta {
+        self.cycle_period * (self.retention_count.saturating_sub(1)) as f64
+    }
+}
+
+/// Incremental builder for [`ProtectionParams`].
+#[derive(Debug, Clone, Default)]
+pub struct ProtectionParamsBuilder {
+    accumulation_window: Option<TimeDelta>,
+    propagation_window: Option<TimeDelta>,
+    hold_window: Option<TimeDelta>,
+    cycle_count: Option<u32>,
+    cycle_period: Option<TimeDelta>,
+    retention_count: Option<u32>,
+    retention_window: Option<TimeDelta>,
+    copy_representation: Option<CopyRepresentation>,
+    propagation_representation: Option<CopyRepresentation>,
+}
+
+impl ProtectionParamsBuilder {
+    /// Sets the accumulation window (`accW`, required).
+    pub fn accumulation_window(mut self, window: TimeDelta) -> Self {
+        self.accumulation_window = Some(window);
+        self
+    }
+
+    /// Sets the propagation window (`propW`, defaults to `accW`).
+    pub fn propagation_window(mut self, window: TimeDelta) -> Self {
+        self.propagation_window = Some(window);
+        self
+    }
+
+    /// Sets the hold window (`holdW`, defaults to zero).
+    pub fn hold_window(mut self, window: TimeDelta) -> Self {
+        self.hold_window = Some(window);
+        self
+    }
+
+    /// Sets the cycle count (`cycleCnt`, defaults to 1).
+    pub fn cycle_count(mut self, count: u32) -> Self {
+        self.cycle_count = Some(count);
+        self
+    }
+
+    /// Sets the cycle period (`cyclePer`, defaults to `accW`).
+    pub fn cycle_period(mut self, period: TimeDelta) -> Self {
+        self.cycle_period = Some(period);
+        self
+    }
+
+    /// Sets the retention count (`retCnt`, required, ≥ 1).
+    pub fn retention_count(mut self, count: u32) -> Self {
+        self.retention_count = Some(count);
+        self
+    }
+
+    /// Sets the retention window (`retW`, defaults to
+    /// `retCnt × cyclePer`).
+    pub fn retention_window(mut self, window: TimeDelta) -> Self {
+        self.retention_window = Some(window);
+        self
+    }
+
+    /// Sets how RPs are stored (`copyRep`, defaults to full).
+    pub fn copy_representation(mut self, rep: CopyRepresentation) -> Self {
+        self.copy_representation = Some(rep);
+        self
+    }
+
+    /// Sets how RPs are transmitted (`propRep`, defaults to full).
+    pub fn propagation_representation(mut self, rep: CopyRepresentation) -> Self {
+        self.propagation_representation = Some(rep);
+        self
+    }
+
+    /// Validates the parameter relationships and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when a window is negative or
+    /// non-finite, `accW` or `retCnt` is missing, `accW` is zero,
+    /// `propW > accW` (the level would fall behind), `cyclePer < accW`,
+    /// or `retW < (retCnt − 1) × cyclePer`.
+    pub fn build(self) -> Result<ProtectionParams, Error> {
+        let accumulation_window = self
+            .accumulation_window
+            .ok_or_else(|| Error::invalid("params.accW", "missing"))?;
+        if !(accumulation_window.value() > 0.0 && accumulation_window.is_finite()) {
+            return Err(Error::invalid("params.accW", "must be positive and finite"));
+        }
+        let propagation_window = self.propagation_window.unwrap_or(accumulation_window);
+        let hold_window = self.hold_window.unwrap_or(TimeDelta::ZERO);
+        let cycle_count = self.cycle_count.unwrap_or(1);
+        let cycle_period = self.cycle_period.unwrap_or(accumulation_window);
+        let retention_count = self
+            .retention_count
+            .ok_or_else(|| Error::invalid("params.retCnt", "missing"))?;
+        if retention_count == 0 {
+            return Err(Error::invalid("params.retCnt", "must retain at least one RP"));
+        }
+        if cycle_count == 0 {
+            return Err(Error::invalid("params.cycleCnt", "must be at least 1"));
+        }
+        for (name, window) in [
+            ("params.propW", propagation_window),
+            ("params.holdW", hold_window),
+            ("params.cyclePer", cycle_period),
+        ] {
+            if !(window.value() >= 0.0 && window.is_finite()) {
+                return Err(Error::invalid(name, "must be non-negative and finite"));
+            }
+        }
+        if propagation_window > accumulation_window {
+            return Err(Error::invalid(
+                "params.propW",
+                "must not exceed accW, or the level cannot keep up with RP arrivals",
+            ));
+        }
+        if cycle_period < accumulation_window {
+            return Err(Error::invalid(
+                "params.cyclePer",
+                "a cycle must span at least one accumulation window",
+            ));
+        }
+        let retention_window = self
+            .retention_window
+            .unwrap_or(cycle_period * retention_count as f64);
+        if !(retention_window.value() >= 0.0 && retention_window.is_finite()) {
+            return Err(Error::invalid("params.retW", "must be non-negative and finite"));
+        }
+        let min_retention = cycle_period * (retention_count - 1) as f64;
+        if retention_window < min_retention {
+            return Err(Error::invalid(
+                "params.retW",
+                format!(
+                    "retaining {retention_count} RPs spaced {cycle_period} apart requires \
+                     retW >= {min_retention}"
+                ),
+            ));
+        }
+        Ok(ProtectionParams {
+            accumulation_window,
+            propagation_window,
+            hold_window,
+            cycle_count,
+            cycle_period,
+            retention_count,
+            retention_window,
+            copy_representation: self.copy_representation.unwrap_or(CopyRepresentation::Full),
+            propagation_representation: self
+                .propagation_representation
+                .unwrap_or(CopyRepresentation::Full),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split_mirror() -> ProtectionParams {
+        ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_hours(12.0))
+            .propagation_window(TimeDelta::ZERO)
+            .retention_count(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn defaults_fill_in_derived_values() {
+        let p = split_mirror();
+        assert_eq!(p.hold_window(), TimeDelta::ZERO);
+        assert_eq!(p.cycle_count(), 1);
+        assert_eq!(p.cycle_period(), TimeDelta::from_hours(12.0));
+        assert_eq!(p.retention_window(), TimeDelta::from_days(2.0));
+        assert_eq!(p.copy_representation(), CopyRepresentation::Full);
+    }
+
+    #[test]
+    fn lag_helpers_match_figure_3() {
+        let backup = ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_weeks(1.0))
+            .propagation_window(TimeDelta::from_hours(48.0))
+            .hold_window(TimeDelta::from_hours(1.0))
+            .retention_count(4)
+            .build()
+            .unwrap();
+        assert_eq!(backup.transit_lag(), TimeDelta::from_hours(49.0));
+        assert_eq!(backup.worst_own_lag(), TimeDelta::from_hours(217.0));
+        assert_eq!(backup.retention_span(), TimeDelta::from_weeks(3.0));
+    }
+
+    #[test]
+    fn vault_retention_spans_three_years() {
+        let vault = ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_weeks(4.0))
+            .propagation_window(TimeDelta::from_hours(24.0))
+            .hold_window(TimeDelta::from_weeks(4.0) + TimeDelta::from_hours(12.0))
+            .retention_count(39)
+            .build()
+            .unwrap();
+        assert_eq!(vault.retention_span(), TimeDelta::from_weeks(152.0));
+        // retW defaults to retCnt × cyclePer = 156 weeks ≈ 3 years.
+        assert!((vault.retention_window().as_years() - 2.99).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_rp_has_zero_retention_span() {
+        let p = ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_hours(1.0))
+            .retention_count(1)
+            .build()
+            .unwrap();
+        assert_eq!(p.retention_span(), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn rejects_propagation_longer_than_accumulation() {
+        let err = ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_hours(1.0))
+            .propagation_window(TimeDelta::from_hours(2.0))
+            .retention_count(1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("propW"));
+    }
+
+    #[test]
+    fn rejects_cycle_shorter_than_accumulation() {
+        let err = ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_hours(4.0))
+            .cycle_period(TimeDelta::from_hours(2.0))
+            .retention_count(1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("cyclePer"));
+    }
+
+    #[test]
+    fn rejects_retention_window_shorter_than_span() {
+        let err = ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_hours(12.0))
+            .retention_count(4)
+            .retention_window(TimeDelta::from_hours(12.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("retW"));
+    }
+
+    #[test]
+    fn rejects_zero_retention_and_missing_fields() {
+        assert!(ProtectionParams::builder().build().is_err());
+        let err = ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_hours(1.0))
+            .retention_count(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("retCnt"));
+    }
+
+    #[test]
+    fn representation_display() {
+        assert_eq!(CopyRepresentation::Full.to_string(), "full");
+        assert_eq!(CopyRepresentation::Partial.to_string(), "partial");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = split_mirror();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProtectionParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

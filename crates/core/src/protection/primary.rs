@@ -1,0 +1,57 @@
+//! The primary copy (hierarchy level 0).
+
+use crate::demands::DemandContribution;
+use crate::error::Error;
+use crate::protection::LevelContext;
+use serde::{Deserialize, Serialize};
+
+/// The primary copy of the data, serving the foreground workload.
+///
+/// Level 0 of every hierarchy. Its demands on the hosting array are the
+/// foreground workload itself: the average access rate in bandwidth and
+/// the dataset size in capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrimaryCopy {}
+
+impl PrimaryCopy {
+    /// Creates the primary-copy model.
+    pub fn new() -> PrimaryCopy {
+        PrimaryCopy {}
+    }
+
+    pub(crate) fn demands(
+        &self,
+        ctx: &LevelContext<'_>,
+    ) -> Result<Vec<DemandContribution>, Error> {
+        let mut contribution = DemandContribution::none(ctx.host);
+        contribution.bandwidth = ctx.workload.avg_access_rate();
+        contribution.capacity = ctx.workload.data_capacity();
+        Ok(vec![contribution])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+    use crate::units::{Bandwidth, Bytes};
+
+    #[test]
+    fn demands_equal_foreground_workload() {
+        let workload = crate::presets::cello_workload();
+        let ctx = LevelContext {
+            workload: &workload,
+            level_index: 0,
+            source_host: None,
+            host: DeviceId(0),
+            transports: &[],
+            prev_retention_window: None,
+        };
+        let demands = PrimaryCopy::new().demands(&ctx).unwrap();
+        assert_eq!(demands.len(), 1);
+        assert_eq!(demands[0].device, DeviceId(0));
+        assert_eq!(demands[0].bandwidth, Bandwidth::from_kib_per_sec(1028.0));
+        assert_eq!(demands[0].capacity, Bytes::from_gib(1360.0));
+        assert_eq!(demands[0].shipments_per_year, 0.0);
+    }
+}

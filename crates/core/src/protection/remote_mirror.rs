@@ -1,0 +1,250 @@
+//! Inter-array mirroring: synchronous, asynchronous, and batched
+//! asynchronous (§2, §3.2.3).
+//!
+//! Mirroring keeps an isolated copy of the *current* data on another
+//! array, placing bandwidth demands on the interconnect links and the
+//! destination array and a full dataset's capacity demand on the
+//! destination. The protocols differ in how much update traffic they
+//! push:
+//!
+//! * **synchronous** — every update is applied remotely before write
+//!   completion, so the links must absorb the *peak* update rate;
+//! * **asynchronous** — updates propagate in the background from a small
+//!   buffer, so the links see the *average* update rate;
+//! * **batched asynchronous** — overwrites within an accumulation window
+//!   coalesce, so the links see only the *unique* update rate of the
+//!   window, smoothed over the propagation window.
+//!
+//! Per the paper, inter-array mirroring uses the array's alternate
+//! (mirror) interface, so no demand lands on the source array's client
+//! interface; asynchronous buffers are a small fraction of array cache
+//! and are not modeled.
+
+use crate::demands::DemandContribution;
+use crate::error::Error;
+use crate::protection::{LevelContext, ProtectionParams};
+use crate::units::{Bandwidth, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// Which mirroring protocol a [`RemoteMirror`] level runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MirrorMode {
+    /// Updates applied to the secondary before write completion.
+    Synchronous,
+    /// Updates propagated in the background; `write_lag` bounds how far
+    /// the secondary trails the primary (the buffer drain time).
+    Asynchronous {
+        /// Worst-case staleness of the secondary copy.
+        write_lag: TimeDelta,
+    },
+    /// Updates coalesced over an accumulation window and sent as an
+    /// atomic batch (e.g. Seneca / SnapMirror).
+    Batched {
+        /// Window/retention parameters of the batch schedule.
+        params: ProtectionParams,
+    },
+}
+
+/// An inter-array mirroring level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteMirror {
+    mode: MirrorMode,
+}
+
+impl RemoteMirror {
+    /// Creates a synchronous mirror.
+    pub fn synchronous() -> RemoteMirror {
+        RemoteMirror { mode: MirrorMode::Synchronous }
+    }
+
+    /// Creates an asynchronous (write-behind) mirror whose secondary
+    /// trails the primary by at most `write_lag`.
+    pub fn asynchronous(write_lag: TimeDelta) -> RemoteMirror {
+        RemoteMirror { mode: MirrorMode::Asynchronous { write_lag } }
+    }
+
+    /// Creates a batched asynchronous mirror with the given batch
+    /// schedule.
+    pub fn batched(params: ProtectionParams) -> RemoteMirror {
+        RemoteMirror { mode: MirrorMode::Batched { params } }
+    }
+
+    /// The protocol this mirror runs.
+    pub fn mode(&self) -> &MirrorMode {
+        &self.mode
+    }
+
+    /// The batch schedule, for batched mirrors.
+    pub fn params(&self) -> Option<&ProtectionParams> {
+        match &self.mode {
+            MirrorMode::Batched { params } => Some(params),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn name(&self) -> &'static str {
+        match self.mode {
+            MirrorMode::Synchronous => "sync mirror",
+            MirrorMode::Asynchronous { .. } => "async mirror",
+            MirrorMode::Batched { .. } => "async batch mirror",
+        }
+    }
+
+    pub(crate) fn worst_own_lag(&self) -> TimeDelta {
+        match &self.mode {
+            MirrorMode::Synchronous => TimeDelta::ZERO,
+            MirrorMode::Asynchronous { write_lag } => *write_lag,
+            MirrorMode::Batched { params } => params.worst_own_lag(),
+        }
+    }
+
+    pub(crate) fn transit_lag(&self) -> TimeDelta {
+        match &self.mode {
+            MirrorMode::Synchronous => TimeDelta::ZERO,
+            MirrorMode::Asynchronous { write_lag } => *write_lag,
+            MirrorMode::Batched { params } => params.transit_lag(),
+        }
+    }
+
+    pub(crate) fn arrival_period(&self) -> TimeDelta {
+        match &self.mode {
+            MirrorMode::Synchronous | MirrorMode::Asynchronous { .. } => TimeDelta::ZERO,
+            MirrorMode::Batched { params } => params.accumulation_window(),
+        }
+    }
+
+    pub(crate) fn retention_span(&self) -> TimeDelta {
+        match &self.mode {
+            MirrorMode::Synchronous | MirrorMode::Asynchronous { .. } => TimeDelta::ZERO,
+            MirrorMode::Batched { params } => params.retention_span(),
+        }
+    }
+
+    /// The sustained rate the mirror pushes over the interconnect.
+    pub fn propagation_rate(&self, workload: &crate::workload::Workload) -> Bandwidth {
+        match &self.mode {
+            MirrorMode::Synchronous => workload.peak_update_rate(),
+            MirrorMode::Asynchronous { .. } => workload.avg_update_rate(),
+            MirrorMode::Batched { params } => {
+                let acc = params.accumulation_window();
+                let batch = workload.unique_bytes(acc);
+                let prop = params.propagation_window();
+                let window = if prop > TimeDelta::ZERO { prop } else { acc };
+                batch / window
+            }
+        }
+    }
+
+    pub(crate) fn demands(
+        &self,
+        ctx: &LevelContext<'_>,
+    ) -> Result<Vec<DemandContribution>, Error> {
+        if ctx.source_host.is_none() {
+            return Err(Error::invalid(
+                "remoteMirror.source",
+                "a mirror level needs a primary copy to mirror",
+            ));
+        }
+        let rate = self.propagation_rate(ctx.workload);
+
+        let mut demands = Vec::with_capacity(1 + ctx.transports.len());
+        // Destination array: mirror writes plus a full dataset of
+        // capacity.
+        let mut host = DemandContribution::bandwidth(ctx.host, rate);
+        host.capacity = ctx.workload.data_capacity();
+        demands.push(host);
+        // Every interconnect link carries the propagation stream.
+        for &transport in ctx.transports {
+            demands.push(DemandContribution::bandwidth(transport, rate));
+        }
+        Ok(demands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+    use crate::units::Bytes;
+
+    fn one_minute_batch() -> ProtectionParams {
+        ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_minutes(1.0))
+            .retention_count(1)
+            .build()
+            .unwrap()
+    }
+
+    fn ctx<'a>(
+        workload: &'a crate::workload::Workload,
+        transports: &'a [DeviceId],
+    ) -> LevelContext<'a> {
+        LevelContext {
+            workload,
+            level_index: 1,
+            source_host: Some(DeviceId(0)),
+            host: DeviceId(1),
+            transports,
+            prev_retention_window: None,
+        }
+    }
+
+    #[test]
+    fn sync_pushes_peak_async_pushes_average_batch_pushes_unique() {
+        let workload = crate::presets::cello_workload();
+        let sync = RemoteMirror::synchronous().propagation_rate(&workload);
+        let asynch =
+            RemoteMirror::asynchronous(TimeDelta::from_minutes(1.0)).propagation_rate(&workload);
+        let batch = RemoteMirror::batched(one_minute_batch()).propagation_rate(&workload);
+        assert!(sync > asynch, "sync must absorb bursts");
+        assert!(asynch > batch, "batching coalesces overwrites");
+        assert!((sync.as_kib_per_sec() - 7990.0).abs() < 1e-6);
+        assert!((asynch.as_kib_per_sec() - 799.0).abs() < 1e-6);
+        assert!((batch.as_kib_per_sec() - 727.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn demands_cover_destination_and_every_link() {
+        let workload = crate::presets::cello_workload();
+        let links = [DeviceId(2), DeviceId(3)];
+        let demands = RemoteMirror::batched(one_minute_batch())
+            .demands(&ctx(&workload, &links))
+            .unwrap();
+        assert_eq!(demands.len(), 3);
+        assert_eq!(demands[0].device, DeviceId(1));
+        assert_eq!(demands[0].capacity, Bytes::from_gib(1360.0));
+        assert_eq!(demands[1].device, DeviceId(2));
+        assert_eq!(demands[1].bandwidth, demands[0].bandwidth);
+        assert_eq!(demands[2].capacity, Bytes::ZERO);
+    }
+
+    #[test]
+    fn lag_semantics_per_mode() {
+        assert_eq!(RemoteMirror::synchronous().worst_own_lag(), TimeDelta::ZERO);
+        let asynch = RemoteMirror::asynchronous(TimeDelta::from_secs(30.0));
+        assert_eq!(asynch.worst_own_lag(), TimeDelta::from_secs(30.0));
+        // One-minute batches, propagated within the next minute: worst
+        // staleness two minutes — the paper's what-if DL of 0.03 hr.
+        let batch = RemoteMirror::batched(one_minute_batch());
+        assert_eq!(batch.worst_own_lag(), TimeDelta::from_minutes(2.0));
+    }
+
+    #[test]
+    fn mirror_without_source_is_rejected() {
+        let workload = crate::presets::cello_workload();
+        let mut context = ctx(&workload, &[]);
+        context.source_host = None;
+        let err = RemoteMirror::synchronous().demands(&context).unwrap_err();
+        assert!(err.to_string().contains("mirror"));
+    }
+
+    #[test]
+    fn names_distinguish_modes() {
+        assert_eq!(RemoteMirror::synchronous().name(), "sync mirror");
+        assert_eq!(
+            RemoteMirror::asynchronous(TimeDelta::from_secs(1.0)).name(),
+            "async mirror"
+        );
+        assert_eq!(RemoteMirror::batched(one_minute_batch()).name(), "async batch mirror");
+    }
+}

@@ -1,0 +1,114 @@
+//! Copy-on-write virtual snapshots (§3.2.3).
+//!
+//! The model is the update-in-place variant: before a foreground write
+//! lands, the old value is copied to a new location, costing one extra
+//! read and one extra write per foreground write. Unmodified data shares
+//! physical storage with the primary copy, so snapshots need only enough
+//! additional capacity for the unique updates accumulated across the
+//! retained snapshots' span.
+
+use crate::demands::DemandContribution;
+use crate::error::Error;
+use crate::protection::{LevelContext, ProtectionParams};
+use serde::{Deserialize, Serialize};
+
+/// A virtual-snapshot PiT level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VirtualSnapshot {
+    params: ProtectionParams,
+}
+
+impl VirtualSnapshot {
+    /// Creates a virtual-snapshot level with the given window/retention
+    /// parameters. A snapshot is taken every
+    /// [`accumulation_window`](ProtectionParams::accumulation_window).
+    pub fn new(params: ProtectionParams) -> VirtualSnapshot {
+        VirtualSnapshot { params }
+    }
+
+    /// The level's window/retention parameters.
+    pub fn params(&self) -> &ProtectionParams {
+        &self.params
+    }
+
+    pub(crate) fn demands(
+        &self,
+        ctx: &LevelContext<'_>,
+    ) -> Result<Vec<DemandContribution>, Error> {
+        let workload = ctx.workload;
+        let mut contribution = DemandContribution::none(ctx.host);
+
+        // Copy-on-write: an extra read + write for every foreground
+        // write.
+        contribution.bandwidth = workload.avg_update_rate() * 2.0;
+
+        // Old values are kept for every block updated across the span the
+        // retained snapshots cover (retention span plus the window
+        // currently accumulating).
+        let covered = self.params.retention_span() + self.params.accumulation_window();
+        contribution.capacity = workload.unique_bytes(covered);
+
+        Ok(vec![contribution])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+    use crate::units::{Bandwidth, Bytes, TimeDelta};
+
+    fn snapshot(ret: u32) -> VirtualSnapshot {
+        VirtualSnapshot::new(
+            ProtectionParams::builder()
+                .accumulation_window(TimeDelta::from_hours(12.0))
+                .propagation_window(TimeDelta::ZERO)
+                .retention_count(ret)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn ctx(workload: &crate::workload::Workload) -> LevelContext<'_> {
+        LevelContext {
+            workload,
+            level_index: 1,
+            source_host: Some(DeviceId(0)),
+            host: DeviceId(0),
+            transports: &[],
+            prev_retention_window: None,
+        }
+    }
+
+    #[test]
+    fn bandwidth_is_twice_the_update_rate() {
+        let workload = crate::presets::cello_workload();
+        let demands = snapshot(4).demands(&ctx(&workload)).unwrap();
+        assert_eq!(demands[0].bandwidth, Bandwidth::from_kib_per_sec(2.0 * 799.0));
+    }
+
+    #[test]
+    fn capacity_is_far_below_full_mirrors() {
+        // The whole point of Table 7's "snapshot" what-if: virtual
+        // snapshots store only unique updates, not retCnt+1 full copies.
+        let workload = crate::presets::cello_workload();
+        let demands = snapshot(4).demands(&ctx(&workload)).unwrap();
+        assert!(demands[0].capacity < Bytes::from_gib(100.0));
+        assert!(demands[0].capacity > Bytes::ZERO);
+    }
+
+    #[test]
+    fn capacity_grows_with_retention() {
+        let workload = crate::presets::cello_workload();
+        let few = snapshot(2).demands(&ctx(&workload)).unwrap()[0].capacity;
+        let many = snapshot(12).demands(&ctx(&workload)).unwrap()[0].capacity;
+        assert!(many > few);
+    }
+
+    #[test]
+    fn capacity_never_exceeds_dataset() {
+        let workload = crate::presets::cello_workload();
+        let demands = snapshot(10_000).demands(&ctx(&workload)).unwrap();
+        assert!(demands[0].capacity <= workload.data_capacity());
+    }
+}

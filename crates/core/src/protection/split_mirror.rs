@@ -1,0 +1,141 @@
+//! Split-mirror point-in-time copies (§3.2.3).
+//!
+//! A circular buffer of `retCnt + 1` full mirrors is maintained on the
+//! same array as the primary: `retCnt` accessible split mirrors plus one
+//! undergoing *resilvering* (being brought back up to date before its next
+//! split). Resilvering must propagate every unique update since that
+//! mirror was last split — `(retCnt + 1)` accumulation windows ago — by
+//! reading the new values from the primary and writing them to the
+//! mirror.
+
+use crate::demands::DemandContribution;
+use crate::error::Error;
+use crate::protection::{LevelContext, ProtectionParams};
+use crate::units::TimeDelta;
+use serde::{Deserialize, Serialize};
+
+/// A split-mirror PiT level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitMirror {
+    params: ProtectionParams,
+}
+
+impl SplitMirror {
+    /// Creates a split-mirror level with the given window/retention
+    /// parameters. A new mirror is split every
+    /// [`accumulation_window`](ProtectionParams::accumulation_window).
+    pub fn new(params: ProtectionParams) -> SplitMirror {
+        SplitMirror { params }
+    }
+
+    /// The level's window/retention parameters.
+    pub fn params(&self) -> &ProtectionParams {
+        &self.params
+    }
+
+    /// Total number of mirror copies held: `retCnt` accessible plus one
+    /// resilvering.
+    pub fn mirror_count(&self) -> u32 {
+        self.params.retention_count() + 1
+    }
+
+    pub(crate) fn demands(
+        &self,
+        ctx: &LevelContext<'_>,
+    ) -> Result<Vec<DemandContribution>, Error> {
+        let workload = ctx.workload;
+        let mut contribution = DemandContribution::none(ctx.host);
+
+        // retCnt + 1 full copies of the dataset.
+        contribution.capacity = workload.data_capacity() * self.mirror_count() as f64;
+
+        // Resilvering: the eligible mirror is (retCnt + 1) windows stale;
+        // its catch-up bytes must move within one accumulation window,
+        // and each byte is read from the primary and written to the
+        // mirror on the same array.
+        let acc = self.params.accumulation_window();
+        let staleness: TimeDelta = acc * self.mirror_count() as f64;
+        let catch_up = workload.unique_bytes(staleness);
+        contribution.bandwidth = (catch_up / acc) * 2.0;
+
+        Ok(vec![contribution])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+    use crate::units::{Bandwidth, Bytes};
+
+    fn paper_split_mirror() -> SplitMirror {
+        SplitMirror::new(
+            ProtectionParams::builder()
+                .accumulation_window(TimeDelta::from_hours(12.0))
+                .propagation_window(TimeDelta::ZERO)
+                .retention_count(4)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn ctx(workload: &crate::workload::Workload) -> LevelContext<'_> {
+        LevelContext {
+            workload,
+            level_index: 1,
+            source_host: Some(DeviceId(0)),
+            host: DeviceId(0),
+            transports: &[],
+            prev_retention_window: None,
+        }
+    }
+
+    #[test]
+    fn five_mirrors_for_retention_count_four() {
+        assert_eq!(paper_split_mirror().mirror_count(), 5);
+    }
+
+    #[test]
+    fn capacity_is_five_full_copies() {
+        let workload = crate::presets::cello_workload();
+        let demands = paper_split_mirror().demands(&ctx(&workload)).unwrap();
+        assert_eq!(demands[0].capacity, Bytes::from_gib(5.0 * 1360.0));
+    }
+
+    #[test]
+    fn resilver_bandwidth_matches_paper_table_5() {
+        // 60 hours of unique updates at 317 KiB/s, moved in 12 hours,
+        // read + written: 2 × 317 × 5 = 3170 KiB/s ≈ 3.1 MiB/s, which is
+        // the paper's 0.6 % of the 512 MiB/s array.
+        let workload = crate::presets::cello_workload();
+        let demands = paper_split_mirror().demands(&ctx(&workload)).unwrap();
+        let expected = Bandwidth::from_kib_per_sec(2.0 * 317.0 * 5.0);
+        assert!(
+            demands[0].bandwidth.approx_eq(expected, 1e-6),
+            "got {}, expected {}",
+            demands[0].bandwidth,
+            expected
+        );
+        let array_bw = Bandwidth::from_mib_per_sec(512.0);
+        let percent = demands[0].bandwidth / array_bw * 100.0;
+        assert!((percent - 0.6).abs() < 0.05, "resilver share {percent:.2}%");
+    }
+
+    #[test]
+    fn more_retained_mirrors_cost_more_of_both() {
+        let workload = crate::presets::cello_workload();
+        let small = paper_split_mirror().demands(&ctx(&workload)).unwrap()[0];
+        let big = SplitMirror::new(
+            ProtectionParams::builder()
+                .accumulation_window(TimeDelta::from_hours(12.0))
+                .propagation_window(TimeDelta::ZERO)
+                .retention_count(8)
+                .build()
+                .unwrap(),
+        )
+        .demands(&ctx(&workload))
+        .unwrap()[0];
+        assert!(big.capacity > small.capacity);
+        assert!(big.bandwidth >= small.bandwidth);
+    }
+}

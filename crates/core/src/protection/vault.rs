@@ -1,0 +1,195 @@
+//! Remote vaulting: off-site archival of backup media (§2, §3.2.3).
+//!
+//! Every accumulation window, the oldest full backup's media are shipped
+//! (by the level's courier transport) to an off-site vault, which retains
+//! `retCnt` fulls. When the vault's hold window is at least the backup
+//! level's retention window, the tapes being shipped are exactly the ones
+//! whose retention just expired — vaulting then costs the tape library
+//! nothing. If media must leave *before* their backup retention expires
+//! (`holdW < retW_backup`), the library has to cut an extra copy for each
+//! shipment, adding read+write bandwidth and one full of capacity.
+
+use crate::demands::DemandContribution;
+use crate::error::Error;
+use crate::protection::{LevelContext, ProtectionParams};
+use crate::units::TimeDelta;
+use serde::{Deserialize, Serialize};
+
+/// A remote-vaulting level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteVault {
+    params: ProtectionParams,
+}
+
+impl RemoteVault {
+    /// Creates a vaulting level with the given window/retention
+    /// parameters. One shipment leaves per
+    /// [`accumulation_window`](ProtectionParams::accumulation_window).
+    pub fn new(params: ProtectionParams) -> RemoteVault {
+        RemoteVault { params }
+    }
+
+    /// The level's window/retention parameters.
+    pub fn params(&self) -> &ProtectionParams {
+        &self.params
+    }
+
+    /// Shipments dispatched per year.
+    pub fn shipments_per_year(&self) -> f64 {
+        TimeDelta::from_years(1.0) / self.params.accumulation_window()
+    }
+
+    /// Whether the tape library must cut extra copies because media ship
+    /// before their backup retention expires.
+    pub fn needs_extra_copy(&self, backup_retention: TimeDelta) -> bool {
+        self.params.hold_window() < backup_retention
+    }
+
+    pub(crate) fn demands(
+        &self,
+        ctx: &LevelContext<'_>,
+    ) -> Result<Vec<DemandContribution>, Error> {
+        let source = ctx.source_host.ok_or_else(|| {
+            Error::invalid("vault.source", "a vault level needs a backup level to ship from")
+        })?;
+        let data_capacity = ctx.workload.data_capacity();
+
+        let mut demands = Vec::with_capacity(2 + ctx.transports.len());
+
+        // Extra-copy rule on the source tape library.
+        let mut source_demand = DemandContribution::none(source);
+        if let Some(backup_retention) = ctx.prev_retention_window {
+            if self.needs_extra_copy(backup_retention) {
+                // One additional full copied (read + write on the same
+                // library) once per shipment cycle.
+                source_demand.bandwidth =
+                    (data_capacity / self.params.accumulation_window()) * 2.0;
+                source_demand.capacity = data_capacity;
+            }
+        }
+        demands.push(source_demand);
+
+        // The vault shelf retains retCnt fulls. Only full backups are
+        // sent off site.
+        demands.push(DemandContribution::capacity(
+            ctx.host,
+            data_capacity * self.params.retention_count() as f64,
+        ));
+
+        // Courier transports carry the shipments (cost only — couriers
+        // have no bandwidth constraint).
+        for &transport in ctx.transports {
+            let mut courier = DemandContribution::none(transport);
+            courier.shipments_per_year = self.shipments_per_year();
+            demands.push(courier);
+        }
+        Ok(demands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+    use crate::units::{Bandwidth, Bytes};
+
+    fn baseline_vault() -> RemoteVault {
+        RemoteVault::new(
+            ProtectionParams::builder()
+                .accumulation_window(TimeDelta::from_weeks(4.0))
+                .propagation_window(TimeDelta::from_hours(24.0))
+                .hold_window(TimeDelta::from_weeks(4.0) + TimeDelta::from_hours(12.0))
+                .retention_count(39)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn ctx<'a>(
+        workload: &'a crate::workload::Workload,
+        transports: &'a [DeviceId],
+        backup_retention: TimeDelta,
+    ) -> LevelContext<'a> {
+        LevelContext {
+            workload,
+            level_index: 3,
+            source_host: Some(DeviceId(1)),
+            host: DeviceId(2),
+            transports,
+            prev_retention_window: Some(backup_retention),
+        }
+    }
+
+    #[test]
+    fn vault_capacity_is_39_fulls() {
+        let workload = crate::presets::cello_workload();
+        let couriers = [DeviceId(3)];
+        let demands = baseline_vault()
+            .demands(&ctx(&workload, &couriers, TimeDelta::from_weeks(4.0)))
+            .unwrap();
+        // Paper Table 5: 39 × 1360 GiB = 51.8 TiB.
+        let vault_cap = demands[1].capacity;
+        assert!((vault_cap.as_tib() - 51.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn matched_hold_window_costs_the_library_nothing() {
+        let workload = crate::presets::cello_workload();
+        let demands = baseline_vault()
+            .demands(&ctx(&workload, &[], TimeDelta::from_weeks(4.0)))
+            .unwrap();
+        assert_eq!(demands[0].bandwidth, Bandwidth::ZERO);
+        assert_eq!(demands[0].capacity, Bytes::ZERO);
+    }
+
+    #[test]
+    fn early_shipment_requires_extra_copies() {
+        // The "weekly vault" what-if: 12-hour hold, far below the
+        // four-week backup retention.
+        let weekly = RemoteVault::new(
+            ProtectionParams::builder()
+                .accumulation_window(TimeDelta::from_weeks(1.0))
+                .propagation_window(TimeDelta::from_hours(24.0))
+                .hold_window(TimeDelta::from_hours(12.0))
+                .retention_count(156)
+                .build()
+                .unwrap(),
+        );
+        assert!(weekly.needs_extra_copy(TimeDelta::from_weeks(4.0)));
+        let workload = crate::presets::cello_workload();
+        let demands = weekly
+            .demands(&ctx(&workload, &[], TimeDelta::from_weeks(4.0)))
+            .unwrap();
+        assert!(demands[0].bandwidth > Bandwidth::ZERO);
+        assert_eq!(demands[0].capacity, workload.data_capacity());
+    }
+
+    #[test]
+    fn shipments_per_year() {
+        // Every four weeks → 13.03 shipments per year.
+        assert!((baseline_vault().shipments_per_year() - 365.0 / 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn courier_receives_shipment_demand() {
+        let workload = crate::presets::cello_workload();
+        let couriers = [DeviceId(3)];
+        let demands = baseline_vault()
+            .demands(&ctx(&workload, &couriers, TimeDelta::from_weeks(4.0)))
+            .unwrap();
+        let courier = demands
+            .iter()
+            .find(|d| d.device == DeviceId(3))
+            .expect("courier demand present");
+        assert!((courier.shipments_per_year - 365.0 / 28.0).abs() < 1e-9);
+        assert_eq!(courier.bandwidth, Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn vault_without_source_is_rejected() {
+        let workload = crate::presets::cello_workload();
+        let mut context = ctx(&workload, &[], TimeDelta::from_weeks(4.0));
+        context.source_host = None;
+        assert!(baseline_vault().demands(&context).is_err());
+    }
+}

@@ -1,0 +1,517 @@
+//! Plain-text rendering of evaluation results, in the shape of the
+//! paper's tables.
+//!
+//! These renderers back the CLI and the reproduction benchmarks; they are
+//! deliberately simple fixed-width tables with no external dependencies.
+
+use crate::analysis::Evaluation;
+use crate::units::TimeDelta;
+use std::fmt::Write as _;
+
+/// A minimal fixed-width text table builder.
+///
+/// ```
+/// use ssdep_core::report::TextTable;
+///
+/// let mut table = TextTable::new(["device", "bw", "cap"]);
+/// table.row(["disk array", "2.4%", "87.4%"]);
+/// let text = table.render();
+/// assert!(text.contains("disk array"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> TextTable
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut TextTable
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table with a header separator line.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(columns) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a duration the way the paper's tables quote them: seconds
+/// below a minute, hours otherwise.
+pub fn paper_time(t: TimeDelta) -> String {
+    if t.as_secs() < 60.0 {
+        format!("{:.3} s", t.as_secs())
+    } else {
+        format!("{:.1} hr", t.as_hours())
+    }
+}
+
+/// Renders an evaluation's utilization in the shape of paper Table 5.
+pub fn render_utilization(evaluation: &Evaluation) -> String {
+    let mut table = TextTable::new(["Device / technique", "Bandwidth", "Capacity"]);
+    for device in &evaluation.utilization.devices {
+        table.row([
+            device.device_name.clone(),
+            format!(
+                "{} ({})",
+                device.bandwidth_utilization, device.bandwidth_demand
+            ),
+            format!("{} ({})", device.capacity_utilization, device.capacity_demand),
+        ]);
+        for share in &device.shares {
+            table.row([
+                format!("  {}", share.level_name),
+                share.bandwidth_utilization.to_string(),
+                share.capacity_utilization.to_string(),
+            ]);
+        }
+    }
+    table.row([
+        "overall system".to_string(),
+        evaluation.utilization.system_bandwidth.to_string(),
+        evaluation.utilization.system_capacity.to_string(),
+    ]);
+    table.render()
+}
+
+/// Renders recovery/loss outcomes for several scenarios in the shape of
+/// paper Table 6.
+pub fn render_dependability(evaluations: &[Evaluation]) -> String {
+    let mut table = TextTable::new([
+        "Failure scope",
+        "Recovery source",
+        "Recovery time",
+        "Recent data loss",
+    ]);
+    for evaluation in evaluations {
+        table.row([
+            evaluation.scenario.scope.name().to_string(),
+            evaluation.recovery.source_level_name.clone(),
+            paper_time(evaluation.recovery.total_time),
+            format!("{:.0} hr", evaluation.loss.worst_loss.as_hours()),
+        ]);
+    }
+    table.render()
+}
+
+/// Renders an evaluation's cost breakdown in the shape of paper
+/// Figure 5.
+pub fn render_costs(evaluation: &Evaluation) -> String {
+    let mut table = TextTable::new(["Cost component", "Annual cost"]);
+    for outlay in &evaluation.cost.outlays_by_level {
+        table.row([format!("outlay: {}", outlay.level_name), outlay.outlay.to_string()]);
+    }
+    table.row([
+        "outlay: spares".to_string(),
+        evaluation.cost.spare_outlay.to_string(),
+    ]);
+    table.row([
+        "outlay: recovery facility".to_string(),
+        evaluation.cost.facility_outlay.to_string(),
+    ]);
+    table.row([
+        "penalty: data outage".to_string(),
+        evaluation.cost.unavailability_penalty.to_string(),
+    ]);
+    table.row([
+        "penalty: recent data loss".to_string(),
+        evaluation.cost.loss_penalty.to_string(),
+    ]);
+    table.row(["TOTAL".to_string(), evaluation.cost.total_cost.to_string()]);
+    table.render()
+}
+
+/// Renders the recovery timeline in the shape of paper Figure 4.
+pub fn render_recovery_timeline(evaluation: &Evaluation) -> String {
+    let mut table = TextTable::new(["Task", "Start", "Duration", "End"]);
+    for step in &evaluation.recovery.steps {
+        table.row([
+            step.description.clone(),
+            paper_time(step.start),
+            paper_time(step.duration),
+            paper_time(step.end()),
+        ]);
+    }
+    table.row([
+        "application running".to_string(),
+        paper_time(evaluation.recovery.total_time),
+        String::new(),
+        String::new(),
+    ]);
+    table.render()
+}
+
+/// Renders labeled values as a horizontal ASCII bar chart, scaled to
+/// `width` characters for the largest value.
+///
+/// ```
+/// use ssdep_core::report::render_bar_chart;
+///
+/// let chart = render_bar_chart(
+///     &[("outlays".to_string(), 1.0), ("penalties".to_string(), 3.0)],
+///     20,
+///     |v| format!("{v:.1}M"),
+/// );
+/// assert!(chart.contains("####"));
+/// ```
+pub fn render_bar_chart<F>(values: &[(String, f64)], width: usize, format: F) -> String
+where
+    F: Fn(f64) -> String,
+{
+    let max = values.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_width = values.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in values {
+        let bar = if max > 0.0 {
+            let cells = ((value / max) * width as f64).round() as usize;
+            "#".repeat(cells.min(width))
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_width$}  {bar:<width$}  {}",
+            format(*value)
+        );
+    }
+    out
+}
+
+/// Renders the paper's Figure 5 as stacked cost bars: one bar per
+/// failure scenario, annotated with the outlay/penalty split.
+pub fn render_cost_bars(evaluations: &[Evaluation]) -> String {
+    let values: Vec<(String, f64)> = evaluations
+        .iter()
+        .map(|e| {
+            (
+                format!(
+                    "{} (outlays {}, penalties {})",
+                    e.scenario.scope.name(),
+                    e.cost.total_outlays,
+                    e.cost.total_penalties()
+                ),
+                e.cost.total_cost.as_millions(),
+            )
+        })
+        .collect();
+    render_bar_chart(&values, 40, |v| format!("${v:.2}M"))
+}
+
+/// Renders the design's hierarchy as an indented tree (the paper's
+/// Figure 1): each level, its technique, host device, and transports.
+pub fn render_hierarchy(design: &crate::hierarchy::StorageDesign) -> String {
+    let mut out = format!("{}\n", design.name());
+    for (index, level) in design.levels().iter().enumerate() {
+        let host = design.device(level.host());
+        let _ = writeln!(
+            out,
+            "{}level {index}: {} [{}] on `{}` @ {}",
+            "  ".repeat(index + 1),
+            level.name(),
+            level.technique().name(),
+            host.name(),
+            host.location(),
+        );
+        for &transport in level.transports() {
+            let t = design.device(transport);
+            let _ = writeln!(
+                out,
+                "{}  via `{}` ({})",
+                "  ".repeat(index + 1),
+                t.name(),
+                t.kind(),
+            );
+        }
+    }
+    out
+}
+
+/// Renders each level's window parameters as a cadence table (the
+/// paper's Figure 2): what happens every accumulation window, how long
+/// it is held and propagated, and how long RPs live.
+pub fn render_policy_calendar(design: &crate::hierarchy::StorageDesign) -> String {
+    let mut table = TextTable::new([
+        "Level",
+        "New RP every",
+        "Held",
+        "Propagated over",
+        "RPs kept",
+        "Retained for",
+    ]);
+    for level in design.levels().iter().skip(1) {
+        match level.technique().params() {
+            Some(params) => table.row([
+                level.name().to_string(),
+                params.accumulation_window().to_string(),
+                params.hold_window().to_string(),
+                params.propagation_window().to_string(),
+                params.retention_count().to_string(),
+                params.retention_window().to_string(),
+            ]),
+            None => table.row([
+                level.name().to_string(),
+                "continuous".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "current".to_string(),
+                "-".to_string(),
+            ]),
+        };
+    }
+    table.render()
+}
+
+/// Renders the complete dependability dossier for a system: hierarchy,
+/// policy cadence, utilization, per-scenario dependability and costs,
+/// failure coverage, and the annualized risk profile — everything an
+/// administrator reviews before signing off on a design.
+///
+/// # Errors
+///
+/// Propagates evaluation errors (infeasible utilization aborts; coverage
+/// gaps are reported inline).
+pub fn render_full_report(
+    design: &crate::hierarchy::StorageDesign,
+    workload: &crate::workload::Workload,
+    requirements: &crate::requirements::BusinessRequirements,
+) -> Result<String, crate::error::Error> {
+    use crate::analysis;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== Design ==\n{}", render_hierarchy(design));
+    for warning in design.convention_warnings() {
+        let _ = writeln!(out, "warning: {warning}");
+    }
+    let _ = writeln!(out, "== Protection cadence ==\n{}", render_policy_calendar(design));
+
+    let scenarios = crate::presets::paper_failure_scenarios();
+    let mut evaluations = Vec::new();
+    for scenario in &scenarios {
+        evaluations.push(analysis::evaluate(design, workload, requirements, scenario)?);
+    }
+    let _ = writeln!(out, "== Normal mode utilization ==\n{}", render_utilization(&evaluations[0]));
+    let _ = writeln!(out, "== Dependability ==\n{}", render_dependability(&evaluations));
+    let _ = writeln!(out, "== Cost per failure scenario ==\n{}", render_cost_bars(&evaluations));
+
+    let coverage = analysis::coverage(
+        design,
+        workload,
+        requirements,
+        &analysis::coverage::default_ladder(),
+    )?;
+    let mut ladder = TextTable::new(["Failure scope", "Covered"]);
+    for row in &coverage.rows {
+        ladder.row([
+            row.scope.name().to_string(),
+            match &row.coverage {
+                analysis::ScopeCoverage::Covered { evaluation } => format!(
+                    "yes ({}, {:.0} hr loss)",
+                    paper_time(evaluation.recovery.total_time),
+                    evaluation.loss.worst_loss.as_hours()
+                ),
+                analysis::ScopeCoverage::NotCovered { reason } => format!("NO — {reason}"),
+            },
+        ]);
+    }
+    let _ = writeln!(out, "== Failure coverage ==\n{}", ladder.render());
+
+    let profile = analysis::risk_profile(
+        design,
+        workload,
+        requirements,
+        &crate::presets::paper_scenario_catalog(),
+    )?;
+    let _ = writeln!(
+        out,
+        "== Annualized risk ==\navailability {:.6} ({:.1} nines), \
+         E[downtime] {:.2} hr/yr, E[loss] {:.0} hr/yr, E[cost] {}/yr",
+        profile.availability,
+        profile.nines(),
+        profile.expected_annual_downtime.as_hours(),
+        profile.expected_annual_loss.as_hours(),
+        profile.expected_annual_cost,
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{FailureScenario, FailureScope, RecoveryTarget};
+
+    fn site_eval() -> Evaluation {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+        crate::analysis::evaluate(&design, &workload, &requirements, &scenario).unwrap()
+    }
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let mut table = TextTable::new(["a", "long header"]);
+        table.row(["wide cell content", "x"]);
+        let rendered = table.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].starts_with("wide cell content"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = TextTable::new(["a", "b", "c"]);
+        table.row(["only one"]);
+        let rendered = table.render();
+        assert!(rendered.contains("only one"));
+    }
+
+    #[test]
+    fn utilization_table_names_every_device_and_level() {
+        let text = render_utilization(&site_eval());
+        for name in ["primary array", "tape library", "tape vault", "split mirror", "overall system"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn dependability_table_shows_source_and_hours() {
+        let text = render_dependability(&[site_eval()]);
+        assert!(text.contains("site"));
+        assert!(text.contains("remote vaulting"));
+        assert!(text.contains("1429 hr"));
+    }
+
+    #[test]
+    fn cost_table_totals_are_present() {
+        let text = render_costs(&site_eval());
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("penalty: recent data loss"));
+    }
+
+    #[test]
+    fn timeline_contains_shipment_and_transfer() {
+        let text = render_recovery_timeline(&site_eval());
+        assert!(text.contains("ship media"));
+        assert!(text.contains("transfer"));
+        assert!(text.contains("application running"));
+    }
+
+    #[test]
+    fn paper_time_switches_units() {
+        assert_eq!(paper_time(TimeDelta::from_secs(0.004)), "0.004 s");
+        assert_eq!(paper_time(TimeDelta::from_hours(26.4)), "26.4 hr");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_the_largest_value() {
+        let chart = render_bar_chart(
+            &[("a".to_string(), 1.0), ("bb".to_string(), 4.0), ("c".to_string(), 0.0)],
+            20,
+            |v| format!("{v}"),
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].matches('#').count(), 20, "largest fills the width");
+        assert_eq!(lines[0].matches('#').count(), 5);
+        assert_eq!(lines[2].matches('#').count(), 0);
+    }
+
+    #[test]
+    fn cost_bars_make_the_site_bar_longest() {
+        let site = site_eval();
+        let chart = render_cost_bars(std::slice::from_ref(&site));
+        assert!(chart.contains("site"));
+        assert!(chart.contains("penalties"));
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn hierarchy_tree_walks_figure_1() {
+        let design = crate::presets::baseline_design();
+        let tree = render_hierarchy(&design);
+        assert!(tree.contains("level 0: primary copy"));
+        assert!(tree.contains("level 3: remote vaulting"));
+        assert!(tree.contains("via `air shipment` (courier)"));
+    }
+
+    #[test]
+    fn full_report_assembles_every_section() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let report = render_full_report(&design, &workload, &requirements).unwrap();
+        for section in [
+            "== Design ==",
+            "== Protection cadence ==",
+            "== Normal mode utilization ==",
+            "== Dependability ==",
+            "== Cost per failure scenario ==",
+            "== Failure coverage ==",
+            "== Annualized risk ==",
+        ] {
+            assert!(report.contains(section), "missing {section}");
+        }
+        assert!(report.contains("nines"));
+    }
+
+    #[test]
+    fn policy_calendar_lists_every_secondary_level() {
+        let design = crate::presets::baseline_design();
+        let calendar = render_policy_calendar(&design);
+        assert!(calendar.contains("split mirror"));
+        assert!(calendar.contains("4.0 wk"));
+        // Mirrors of the continuous kind render as such.
+        let mirror = crate::presets::async_batch_mirror_design(1);
+        let calendar = render_policy_calendar(&mirror);
+        assert!(calendar.contains("async batch mirror"));
+    }
+}

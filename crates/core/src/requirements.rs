@@ -1,0 +1,212 @@
+//! Business requirement inputs (§3.1.2): penalty rates and recovery
+//! objectives.
+
+use crate::error::Error;
+use crate::units::{MoneyRate, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// The business consequences of data unavailability and data loss.
+///
+/// Penalty rates convert the framework's recovery-time and recent-data-loss
+/// outputs into dollars; the optional objectives let tools (and the
+/// `ssdep-opt` search) flag designs that miss a recovery time objective
+/// (RTO) or recovery point objective (RPO).
+///
+/// ```
+/// use ssdep_core::requirements::BusinessRequirements;
+/// use ssdep_core::units::{MoneyRate, TimeDelta};
+///
+/// # fn main() -> Result<(), ssdep_core::Error> {
+/// let reqs = BusinessRequirements::builder()
+///     .unavailability_penalty_rate(MoneyRate::from_dollars_per_hour(50_000.0))
+///     .loss_penalty_rate(MoneyRate::from_dollars_per_hour(50_000.0))
+///     .recovery_time_objective(TimeDelta::from_hours(4.0))
+///     .build()?;
+/// assert!(reqs.recovery_time_objective().is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusinessRequirements {
+    unavailability_penalty_rate: MoneyRate,
+    loss_penalty_rate: MoneyRate,
+    recovery_time_objective: Option<TimeDelta>,
+    recovery_point_objective: Option<TimeDelta>,
+}
+
+impl BusinessRequirements {
+    /// Starts building a requirements description.
+    pub fn builder() -> BusinessRequirementsBuilder {
+        BusinessRequirementsBuilder::default()
+    }
+
+    /// Penalty per unit time of data unavailability (`unavailPenRate`).
+    pub fn unavailability_penalty_rate(&self) -> MoneyRate {
+        self.unavailability_penalty_rate
+    }
+
+    /// Penalty per time-unit's worth of lost updates (`lossPenRate`).
+    pub fn loss_penalty_rate(&self) -> MoneyRate {
+        self.loss_penalty_rate
+    }
+
+    /// Acceptable upper bound on recovery time, if one was set.
+    pub fn recovery_time_objective(&self) -> Option<TimeDelta> {
+        self.recovery_time_objective
+    }
+
+    /// Acceptable upper bound on recent data loss, if one was set.
+    pub fn recovery_point_objective(&self) -> Option<TimeDelta> {
+        self.recovery_point_objective
+    }
+
+    /// Whether a recovery outcome meets both objectives (missing
+    /// objectives always pass).
+    pub fn meets_objectives(&self, recovery_time: TimeDelta, data_loss: TimeDelta) -> bool {
+        self.recovery_time_objective
+            .is_none_or(|rto| recovery_time <= rto)
+            && self
+                .recovery_point_objective
+                .is_none_or(|rpo| data_loss <= rpo)
+    }
+}
+
+/// Incremental builder for [`BusinessRequirements`].
+#[derive(Debug, Clone, Default)]
+pub struct BusinessRequirementsBuilder {
+    unavailability_penalty_rate: Option<MoneyRate>,
+    loss_penalty_rate: Option<MoneyRate>,
+    recovery_time_objective: Option<TimeDelta>,
+    recovery_point_objective: Option<TimeDelta>,
+}
+
+impl BusinessRequirementsBuilder {
+    /// Sets the data-unavailability penalty rate (required).
+    pub fn unavailability_penalty_rate(mut self, rate: MoneyRate) -> Self {
+        self.unavailability_penalty_rate = Some(rate);
+        self
+    }
+
+    /// Sets the recent-data-loss penalty rate (required).
+    pub fn loss_penalty_rate(mut self, rate: MoneyRate) -> Self {
+        self.loss_penalty_rate = Some(rate);
+        self
+    }
+
+    /// Sets an RTO the design should meet (optional).
+    pub fn recovery_time_objective(mut self, rto: TimeDelta) -> Self {
+        self.recovery_time_objective = Some(rto);
+        self
+    }
+
+    /// Sets an RPO the design should meet (optional).
+    pub fn recovery_point_objective(mut self, rpo: TimeDelta) -> Self {
+        self.recovery_point_objective = Some(rpo);
+        self
+    }
+
+    /// Validates and builds the [`BusinessRequirements`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if a penalty rate is missing,
+    /// negative, or non-finite, or an objective is negative.
+    pub fn build(self) -> Result<BusinessRequirements, Error> {
+        let unavailability_penalty_rate = self
+            .unavailability_penalty_rate
+            .ok_or_else(|| Error::invalid("requirements.unavailPenRate", "missing"))?;
+        let loss_penalty_rate = self
+            .loss_penalty_rate
+            .ok_or_else(|| Error::invalid("requirements.lossPenRate", "missing"))?;
+        for (name, rate) in [
+            ("requirements.unavailPenRate", unavailability_penalty_rate),
+            ("requirements.lossPenRate", loss_penalty_rate),
+        ] {
+            if !(rate.value() >= 0.0 && rate.is_finite()) {
+                return Err(Error::invalid(name, "must be non-negative and finite"));
+            }
+        }
+        for (name, objective) in [
+            ("requirements.rto", self.recovery_time_objective),
+            ("requirements.rpo", self.recovery_point_objective),
+        ] {
+            if let Some(value) = objective {
+                if !(value.value() >= 0.0 && value.is_finite()) {
+                    return Err(Error::invalid(name, "must be non-negative and finite"));
+                }
+            }
+        }
+        Ok(BusinessRequirements {
+            unavailability_penalty_rate,
+            loss_penalty_rate,
+            recovery_time_objective: self.recovery_time_objective,
+            recovery_point_objective: self.recovery_point_objective,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reqs() -> BusinessRequirements {
+        BusinessRequirements::builder()
+            .unavailability_penalty_rate(MoneyRate::from_dollars_per_hour(50_000.0))
+            .loss_penalty_rate(MoneyRate::from_dollars_per_hour(50_000.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn objectives_default_to_pass() {
+        assert!(reqs().meets_objectives(TimeDelta::from_days(30.0), TimeDelta::from_days(365.0)));
+    }
+
+    #[test]
+    fn objectives_are_enforced_when_set() {
+        let reqs = BusinessRequirements::builder()
+            .unavailability_penalty_rate(MoneyRate::from_dollars_per_hour(1.0))
+            .loss_penalty_rate(MoneyRate::from_dollars_per_hour(1.0))
+            .recovery_time_objective(TimeDelta::from_hours(4.0))
+            .recovery_point_objective(TimeDelta::from_hours(24.0))
+            .build()
+            .unwrap();
+        assert!(reqs.meets_objectives(TimeDelta::from_hours(4.0), TimeDelta::from_hours(24.0)));
+        assert!(!reqs.meets_objectives(TimeDelta::from_hours(4.1), TimeDelta::from_hours(1.0)));
+        assert!(!reqs.meets_objectives(TimeDelta::from_hours(1.0), TimeDelta::from_hours(24.1)));
+    }
+
+    #[test]
+    fn builder_requires_rates() {
+        assert!(BusinessRequirements::builder().build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_negative_rates() {
+        let err = BusinessRequirements::builder()
+            .unavailability_penalty_rate(MoneyRate::from_dollars_per_hour(-1.0))
+            .loss_penalty_rate(MoneyRate::from_dollars_per_hour(1.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("unavailPenRate"));
+    }
+
+    #[test]
+    fn builder_rejects_negative_objectives() {
+        let err = BusinessRequirements::builder()
+            .unavailability_penalty_rate(MoneyRate::from_dollars_per_hour(1.0))
+            .loss_penalty_rate(MoneyRate::from_dollars_per_hour(1.0))
+            .recovery_time_objective(TimeDelta::from_hours(-1.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("rto"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = reqs();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: BusinessRequirements = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,764 @@
+//! Strongly typed scalar quantities used throughout the framework.
+//!
+//! All quantities are thin newtypes over `f64` ([C-NEWTYPE]): capacities in
+//! bytes, rates in bytes per second, durations in seconds, money in US
+//! dollars. The arithmetic that makes dimensional sense is implemented via
+//! `std::ops` (e.g. [`Bandwidth`] × [`TimeDelta`] = [`Bytes`]); anything
+//! else is a compile error, which catches the classic unit mix-ups these
+//! models are prone to.
+//!
+//! Binary prefixes are used for storage sizes (1 GiB = 2³⁰ bytes), matching
+//! the conventions of the paper's case study tables.
+//!
+//! ```
+//! use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+//!
+//! let window = TimeDelta::from_hours(48.0);
+//! let dataset = Bytes::from_gib(1360.0);
+//! let needed: Bandwidth = dataset / window;
+//! assert!(needed < Bandwidth::from_mib_per_sec(8.5));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the shared trait surface for a scalar `f64` newtype.
+macro_rules! scalar_unit {
+    ($(#[$meta:meta])* $name:ident, $unit_desc:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw magnitude in the base unit.
+            #[doc = concat!("The base unit is ", $unit_desc, ".")]
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` when the magnitude is exactly zero.
+            #[inline]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns `true` when the magnitude is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of `self` and `other`.
+            ///
+            /// `NaN` loses against any number, mirroring `f64::max`.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Clamps negative magnitudes to zero.
+            #[inline]
+            pub fn clamp_non_negative(self) -> $name {
+                $name(self.0.max(0.0))
+            }
+
+            /// Returns `true` if `self` and `other` differ by at most
+            /// `tolerance` in relative terms (or absolutely, when either
+            /// side is within `tolerance` of zero).
+            pub fn approx_eq(self, other: $name, tolerance: f64) -> bool {
+                let scale = self.0.abs().max(other.0.abs());
+                if scale <= tolerance {
+                    return true;
+                }
+                (self.0 - other.0).abs() <= tolerance * scale
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// The dimensionless ratio of two like quantities.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                iter.fold($name::ZERO, Add::add)
+            }
+        }
+    };
+}
+
+scalar_unit!(
+    /// A storage size or transfer amount, in bytes.
+    ///
+    /// Negative values are representable (differences) but every
+    /// model-facing constructor produces non-negative sizes.
+    Bytes,
+    "bytes"
+);
+
+scalar_unit!(
+    /// A data transfer rate, in bytes per second.
+    Bandwidth,
+    "bytes per second"
+);
+
+scalar_unit!(
+    /// A span of time, in seconds.
+    ///
+    /// The framework works with spans (windows, lags, durations) rather
+    /// than absolute timestamps, hence `TimeDelta` rather than `Instant`.
+    TimeDelta,
+    "seconds"
+);
+
+scalar_unit!(
+    /// An amount of money, in US dollars.
+    Money,
+    "US dollars"
+);
+
+scalar_unit!(
+    /// A money flow, in US dollars per second (penalty rates).
+    MoneyRate,
+    "US dollars per second"
+);
+
+const KIB: f64 = 1024.0;
+const MIB: f64 = 1024.0 * 1024.0;
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+const TIB: f64 = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+
+const MINUTE: f64 = 60.0;
+const HOUR: f64 = 3600.0;
+const DAY: f64 = 24.0 * HOUR;
+const WEEK: f64 = 7.0 * DAY;
+/// Seconds per (365-day) year, the annualization basis for cost models.
+const YEAR: f64 = 365.0 * DAY;
+
+impl Bytes {
+    /// Creates a size from a raw byte count.
+    #[inline]
+    pub fn from_bytes(bytes: f64) -> Bytes {
+        Bytes(bytes)
+    }
+
+    /// Creates a size in KiB (2¹⁰ bytes).
+    #[inline]
+    pub fn from_kib(kib: f64) -> Bytes {
+        Bytes(kib * KIB)
+    }
+
+    /// Creates a size in MiB (2²⁰ bytes).
+    #[inline]
+    pub fn from_mib(mib: f64) -> Bytes {
+        Bytes(mib * MIB)
+    }
+
+    /// Creates a size in GiB (2³⁰ bytes).
+    #[inline]
+    pub fn from_gib(gib: f64) -> Bytes {
+        Bytes(gib * GIB)
+    }
+
+    /// Creates a size in TiB (2⁴⁰ bytes).
+    #[inline]
+    pub fn from_tib(tib: f64) -> Bytes {
+        Bytes(tib * TIB)
+    }
+
+    /// The size expressed in KiB.
+    #[inline]
+    pub fn as_kib(self) -> f64 {
+        self.0 / KIB
+    }
+
+    /// The size expressed in MiB.
+    #[inline]
+    pub fn as_mib(self) -> f64 {
+        self.0 / MIB
+    }
+
+    /// The size expressed in GiB.
+    #[inline]
+    pub fn as_gib(self) -> f64 {
+        self.0 / GIB
+    }
+
+    /// The size expressed in TiB.
+    #[inline]
+    pub fn as_tib(self) -> f64 {
+        self.0 / TIB
+    }
+}
+
+impl Bandwidth {
+    /// Creates a rate from raw bytes per second.
+    #[inline]
+    pub fn from_bytes_per_sec(bps: f64) -> Bandwidth {
+        Bandwidth(bps)
+    }
+
+    /// Creates a rate in KiB/s.
+    #[inline]
+    pub fn from_kib_per_sec(kibps: f64) -> Bandwidth {
+        Bandwidth(kibps * KIB)
+    }
+
+    /// Creates a rate in MiB/s.
+    #[inline]
+    pub fn from_mib_per_sec(mibps: f64) -> Bandwidth {
+        Bandwidth(mibps * MIB)
+    }
+
+    /// Creates a rate from a link speed in megabits per second
+    /// (10⁶ bits, the telecom convention — an OC-3 is 155 Mbit/s).
+    #[inline]
+    pub fn from_megabits_per_sec(mbps: f64) -> Bandwidth {
+        Bandwidth(mbps * 1e6 / 8.0)
+    }
+
+    /// The rate expressed in KiB/s.
+    #[inline]
+    pub fn as_kib_per_sec(self) -> f64 {
+        self.0 / KIB
+    }
+
+    /// The rate expressed in MiB/s.
+    #[inline]
+    pub fn as_mib_per_sec(self) -> f64 {
+        self.0 / MIB
+    }
+}
+
+impl TimeDelta {
+    /// Creates a span from seconds.
+    #[inline]
+    pub fn from_secs(secs: f64) -> TimeDelta {
+        TimeDelta(secs)
+    }
+
+    /// Creates a span from minutes.
+    #[inline]
+    pub fn from_minutes(minutes: f64) -> TimeDelta {
+        TimeDelta(minutes * MINUTE)
+    }
+
+    /// Creates a span from hours.
+    #[inline]
+    pub fn from_hours(hours: f64) -> TimeDelta {
+        TimeDelta(hours * HOUR)
+    }
+
+    /// Creates a span from days.
+    #[inline]
+    pub fn from_days(days: f64) -> TimeDelta {
+        TimeDelta(days * DAY)
+    }
+
+    /// Creates a span from weeks.
+    #[inline]
+    pub fn from_weeks(weeks: f64) -> TimeDelta {
+        TimeDelta(weeks * WEEK)
+    }
+
+    /// Creates a span from (365-day) years.
+    #[inline]
+    pub fn from_years(years: f64) -> TimeDelta {
+        TimeDelta(years * YEAR)
+    }
+
+    /// The span expressed in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The span expressed in minutes.
+    #[inline]
+    pub fn as_minutes(self) -> f64 {
+        self.0 / MINUTE
+    }
+
+    /// The span expressed in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / HOUR
+    }
+
+    /// The span expressed in days.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.0 / DAY
+    }
+
+    /// The span expressed in weeks.
+    #[inline]
+    pub fn as_weeks(self) -> f64 {
+        self.0 / WEEK
+    }
+
+    /// The span expressed in (365-day) years.
+    #[inline]
+    pub fn as_years(self) -> f64 {
+        self.0 / YEAR
+    }
+}
+
+impl Money {
+    /// Creates an amount in US dollars.
+    #[inline]
+    pub fn from_dollars(dollars: f64) -> Money {
+        Money(dollars)
+    }
+
+    /// The amount expressed in US dollars.
+    #[inline]
+    pub fn as_dollars(self) -> f64 {
+        self.0
+    }
+
+    /// The amount expressed in millions of US dollars.
+    #[inline]
+    pub fn as_millions(self) -> f64 {
+        self.0 / 1e6
+    }
+}
+
+impl MoneyRate {
+    /// Creates a rate in US dollars per second.
+    #[inline]
+    pub fn from_dollars_per_sec(rate: f64) -> MoneyRate {
+        MoneyRate(rate)
+    }
+
+    /// Creates a rate in US dollars per hour (the business-continuity
+    /// community quotes outage penalties per hour).
+    #[inline]
+    pub fn from_dollars_per_hour(rate: f64) -> MoneyRate {
+        MoneyRate(rate / HOUR)
+    }
+
+    /// The rate expressed in US dollars per hour.
+    #[inline]
+    pub fn as_dollars_per_hour(self) -> f64 {
+        self.0 * HOUR
+    }
+}
+
+// --- Cross-unit arithmetic -------------------------------------------------
+
+impl Mul<TimeDelta> for Bandwidth {
+    type Output = Bytes;
+    /// Bytes transferred at this rate over a span.
+    #[inline]
+    fn mul(self, rhs: TimeDelta) -> Bytes {
+        Bytes(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Bandwidth> for TimeDelta {
+    type Output = Bytes;
+    #[inline]
+    fn mul(self, rhs: Bandwidth) -> Bytes {
+        Bytes(self.0 * rhs.0)
+    }
+}
+
+impl Div<TimeDelta> for Bytes {
+    type Output = Bandwidth;
+    /// The rate needed to move this size within a span.
+    #[inline]
+    fn div(self, rhs: TimeDelta) -> Bandwidth {
+        Bandwidth(self.0 / rhs.0)
+    }
+}
+
+impl Div<Bandwidth> for Bytes {
+    type Output = TimeDelta;
+    /// The span needed to move this size at a rate.
+    #[inline]
+    fn div(self, rhs: Bandwidth) -> TimeDelta {
+        TimeDelta(self.0 / rhs.0)
+    }
+}
+
+impl Mul<TimeDelta> for MoneyRate {
+    type Output = Money;
+    /// The penalty accrued at this rate over a span.
+    #[inline]
+    fn mul(self, rhs: TimeDelta) -> Money {
+        Money(self.0 * rhs.0)
+    }
+}
+
+impl Mul<MoneyRate> for TimeDelta {
+    type Output = Money;
+    #[inline]
+    fn mul(self, rhs: MoneyRate) -> Money {
+        Money(self.0 * rhs.0)
+    }
+}
+
+// --- Utilization -----------------------------------------------------------
+
+/// A utilization fraction, where `1.0` means a fully consumed resource.
+///
+/// Values above `1.0` are representable — they indicate an infeasible
+/// design and make the global model report an error — but the type keeps
+/// them so reports can show *how* overcommitted a device is.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Utilization(f64);
+
+impl Utilization {
+    /// The zero utilization.
+    pub const ZERO: Utilization = Utilization(0.0);
+
+    /// A fully consumed resource.
+    pub const FULL: Utilization = Utilization(1.0);
+
+    /// Creates a utilization from a fraction (`0.5` = 50 %).
+    #[inline]
+    pub fn from_fraction(fraction: f64) -> Utilization {
+        Utilization(fraction)
+    }
+
+    /// Creates a utilization from a percentage (`50.0` = 50 %).
+    #[inline]
+    pub fn from_percent(percent: f64) -> Utilization {
+        Utilization(percent / 100.0)
+    }
+
+    /// The utilization as a fraction.
+    #[inline]
+    pub fn as_fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The utilization as a percentage.
+    #[inline]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// `true` when the resource demand exceeds its capability.
+    #[inline]
+    pub fn is_overcommitted(self) -> bool {
+        self.0 > 1.0
+    }
+
+    /// Returns the larger of two utilizations.
+    #[inline]
+    pub fn max(self, other: Utilization) -> Utilization {
+        Utilization(self.0.max(other.0))
+    }
+}
+
+impl Add for Utilization {
+    type Output = Utilization;
+    #[inline]
+    fn add(self, rhs: Utilization) -> Utilization {
+        Utilization(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Utilization {
+    #[inline]
+    fn add_assign(&mut self, rhs: Utilization) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Utilization {
+    fn sum<I: Iterator<Item = Utilization>>(iter: I) -> Utilization {
+        iter.fold(Utilization::ZERO, Add::add)
+    }
+}
+
+// --- Display ---------------------------------------------------------------
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let magnitude = self.0.abs();
+        if magnitude >= TIB {
+            write!(f, "{:.1} TiB", self.as_tib())
+        } else if magnitude >= GIB {
+            write!(f, "{:.1} GiB", self.as_gib())
+        } else if magnitude >= MIB {
+            write!(f, "{:.1} MiB", self.as_mib())
+        } else if magnitude >= KIB {
+            write!(f, "{:.1} KiB", self.as_kib())
+        } else {
+            write!(f, "{:.0} B", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let magnitude = self.0.abs();
+        if magnitude >= MIB {
+            write!(f, "{:.1} MiB/s", self.as_mib_per_sec())
+        } else if magnitude >= KIB {
+            write!(f, "{:.1} KiB/s", self.as_kib_per_sec())
+        } else {
+            write!(f, "{:.0} B/s", self.0)
+        }
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let magnitude = self.0.abs();
+        if magnitude >= YEAR {
+            write!(f, "{:.1} yr", self.as_years())
+        } else if magnitude >= WEEK {
+            write!(f, "{:.1} wk", self.as_weeks())
+        } else if magnitude >= DAY {
+            write!(f, "{:.1} d", self.as_days())
+        } else if magnitude >= HOUR {
+            write!(f, "{:.1} hr", self.as_hours())
+        } else if magnitude >= MINUTE {
+            write!(f, "{:.1} min", self.as_minutes())
+        } else {
+            write!(f, "{:.3} s", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let magnitude = self.0.abs();
+        if magnitude >= 1e6 {
+            write!(f, "${:.2}M", self.as_millions())
+        } else if magnitude >= 1e3 {
+            write!(f, "${:.1}k", self.0 / 1e3)
+        } else {
+            write!(f, "${:.2}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for MoneyRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.0}/hr", self.as_dollars_per_hour())
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.as_percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors_scale_by_binary_prefixes() {
+        assert_eq!(Bytes::from_kib(1.0).value(), 1024.0);
+        assert_eq!(Bytes::from_mib(1.0).value(), 1024.0 * 1024.0);
+        assert_eq!(Bytes::from_gib(2.0).as_mib(), 2048.0);
+        assert_eq!(Bytes::from_tib(1.0).as_gib(), 1024.0);
+    }
+
+    #[test]
+    fn time_constructors_compose() {
+        assert_eq!(TimeDelta::from_minutes(1.0).as_secs(), 60.0);
+        assert_eq!(TimeDelta::from_hours(1.0).as_minutes(), 60.0);
+        assert_eq!(TimeDelta::from_days(7.0).as_weeks(), 1.0);
+        assert_eq!(TimeDelta::from_years(1.0).as_days(), 365.0);
+    }
+
+    #[test]
+    fn bandwidth_times_time_is_bytes() {
+        let moved = Bandwidth::from_mib_per_sec(8.0) * TimeDelta::from_secs(4.0);
+        assert_eq!(moved.as_mib(), 32.0);
+        // Commutes.
+        let moved2 = TimeDelta::from_secs(4.0) * Bandwidth::from_mib_per_sec(8.0);
+        assert_eq!(moved, moved2);
+    }
+
+    #[test]
+    fn bytes_over_bandwidth_is_time() {
+        let t = Bytes::from_gib(1.0) / Bandwidth::from_mib_per_sec(1024.0);
+        assert!((t.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_over_time_is_bandwidth() {
+        let bw = Bytes::from_gib(1360.0) / TimeDelta::from_hours(48.0);
+        assert!((bw.as_mib_per_sec() - 8.059).abs() < 0.01);
+    }
+
+    #[test]
+    fn money_rate_times_time_is_money() {
+        let rate = MoneyRate::from_dollars_per_hour(50_000.0);
+        let penalty = rate * TimeDelta::from_hours(217.0);
+        assert!((penalty.as_millions() - 10.85).abs() < 0.001);
+    }
+
+    #[test]
+    fn dollars_per_hour_roundtrip() {
+        let rate = MoneyRate::from_dollars_per_hour(50_000.0);
+        assert!((rate.as_dollars_per_hour() - 50_000.0).abs() < 1e-9);
+        assert!((rate.value() - 50_000.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn megabits_use_decimal_convention() {
+        let oc3 = Bandwidth::from_megabits_per_sec(155.0);
+        assert!((oc3.value() - 19_375_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ratio_of_like_units_is_dimensionless() {
+        let ratio = Bytes::from_gib(10.0) / Bytes::from_gib(4.0);
+        assert!((ratio - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums_accumulate() {
+        let total: Bytes = [1.0, 2.0, 3.0].iter().map(|g| Bytes::from_gib(*g)).sum();
+        assert_eq!(total, Bytes::from_gib(6.0));
+        let total: Utilization = [0.1, 0.2]
+            .iter()
+            .map(|f| Utilization::from_fraction(*f))
+            .sum();
+        assert!((total.as_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_flags_overcommit() {
+        assert!(!Utilization::from_percent(99.9).is_overcommitted());
+        assert!(!Utilization::FULL.is_overcommitted());
+        assert!(Utilization::from_percent(100.1).is_overcommitted());
+    }
+
+    #[test]
+    fn min_max_and_clamp() {
+        let a = TimeDelta::from_hours(2.0);
+        let b = TimeDelta::from_hours(3.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((a - b).clamp_non_negative(), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn approx_eq_is_relative() {
+        let a = Bytes::from_gib(100.0);
+        let b = Bytes::from_gib(100.4);
+        assert!(a.approx_eq(b, 0.005));
+        assert!(!a.approx_eq(b, 0.001));
+        assert!(Bytes::ZERO.approx_eq(Bytes::from_bytes(1e-13), 1e-12));
+    }
+
+    #[test]
+    fn display_picks_sensible_scales() {
+        assert_eq!(Bytes::from_gib(1360.0).to_string(), "1.3 TiB");
+        assert_eq!(Bytes::from_mib(1.5).to_string(), "1.5 MiB");
+        assert_eq!(Bytes::from_bytes(12.0).to_string(), "12 B");
+        assert_eq!(Bandwidth::from_mib_per_sec(12.4).to_string(), "12.4 MiB/s");
+        assert_eq!(TimeDelta::from_hours(26.4).to_string(), "1.1 d");
+        assert_eq!(TimeDelta::from_secs(0.004).to_string(), "0.004 s");
+        assert_eq!(Money::from_dollars(11_940_000.0).to_string(), "$11.94M");
+        assert_eq!(Utilization::from_percent(87.4).to_string(), "87.4%");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Bytes::ZERO).is_empty());
+        assert!(!format!("{:?}", Utilization::ZERO).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_is_transparent() {
+        let b = Bytes::from_gib(3.5);
+        let json = serde_json::to_string(&b).unwrap();
+        // Transparent: a bare number, no struct wrapper.
+        let raw: f64 = json.parse().unwrap();
+        assert_eq!(raw, b.value());
+        let back: Bytes = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -1,0 +1,546 @@
+//! The protected data object and its update behaviour (§3.1.1).
+//!
+//! Data protection techniques exploit a workload's update properties: some
+//! propagate every update (synchronous mirroring), others propagate only
+//! the *unique* updates accumulated over a window (batched mirroring,
+//! incremental backup, split-mirror resilvering). The [`Workload`] type
+//! therefore captures, besides capacity and average rates, the **batch
+//! update rate curve** `batchUpdR(win)`: the rate of unique (deduplicated)
+//! updates as a function of the accumulation window length. Longer windows
+//! absorb more overwrites, so the curve is non-increasing in the window.
+
+use crate::error::Error;
+use crate::units::{Bandwidth, Bytes, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// A single measured point of the batch update rate curve: over windows of
+/// length `window`, unique updates arrive at `rate` on average.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchRatePoint {
+    /// The accumulation window length this point was measured over.
+    pub window: TimeDelta,
+    /// The unique-update rate observed for that window length.
+    pub rate: Bandwidth,
+}
+
+/// A description of the primary data object and the I/O workload applied
+/// to it.
+///
+/// Construct with [`Workload::builder`], which validates the physical
+/// consistency of the parameters.
+///
+/// ```
+/// use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+/// use ssdep_core::workload::Workload;
+///
+/// # fn main() -> Result<(), ssdep_core::Error> {
+/// let wl = Workload::builder("cello")
+///     .data_capacity(Bytes::from_gib(1360.0))
+///     .avg_access_rate(Bandwidth::from_kib_per_sec(1028.0))
+///     .avg_update_rate(Bandwidth::from_kib_per_sec(799.0))
+///     .burst_multiplier(10.0)
+///     .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(727.0))
+///     .batch_rate(TimeDelta::from_hours(12.0), Bandwidth::from_kib_per_sec(350.0))
+///     .batch_rate(TimeDelta::from_hours(24.0), Bandwidth::from_kib_per_sec(317.0))
+///     .build()?;
+/// assert!(wl.batch_update_rate(TimeDelta::from_hours(24.0)) < wl.avg_update_rate());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    data_capacity: Bytes,
+    avg_access_rate: Bandwidth,
+    avg_update_rate: Bandwidth,
+    burst_multiplier: f64,
+    batch_curve: Vec<BatchRatePoint>,
+}
+
+impl Workload {
+    /// Starts building a workload description named `name`.
+    pub fn builder(name: impl Into<String>) -> WorkloadBuilder {
+        WorkloadBuilder {
+            name: name.into(),
+            data_capacity: None,
+            avg_access_rate: None,
+            avg_update_rate: None,
+            burst_multiplier: 1.0,
+            batch_curve: Vec::new(),
+        }
+    }
+
+    /// The workload's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size of the protected data object (`dataCap`).
+    pub fn data_capacity(&self) -> Bytes {
+        self.data_capacity
+    }
+
+    /// Average rate of read **and** write accesses (`avgAccessR`).
+    pub fn avg_access_rate(&self) -> Bandwidth {
+        self.avg_access_rate
+    }
+
+    /// Average rate of (non-unique) updates (`avgUpdateR`).
+    pub fn avg_update_rate(&self) -> Bandwidth {
+        self.avg_update_rate
+    }
+
+    /// Ratio of peak update rate to average update rate (`burstM`).
+    pub fn burst_multiplier(&self) -> f64 {
+        self.burst_multiplier
+    }
+
+    /// Worst-case (peak) update rate: `burstM × avgUpdateR`.
+    pub fn peak_update_rate(&self) -> Bandwidth {
+        self.avg_update_rate * self.burst_multiplier
+    }
+
+    /// Worst-case (peak) access rate: `burstM × avgAccessR`.
+    pub fn peak_access_rate(&self) -> Bandwidth {
+        self.avg_access_rate * self.burst_multiplier
+    }
+
+    /// The measured batch-update-rate curve points, sorted by window.
+    pub fn batch_curve(&self) -> &[BatchRatePoint] {
+        &self.batch_curve
+    }
+
+    /// Unique bytes updated within an accumulation window of length
+    /// `window` (`batchUpdR(win) × win`), the size of a *partial*
+    /// retrieval-point propagation.
+    ///
+    /// The value interpolates linearly between measured curve points (in
+    /// unique-bytes space, which keeps it monotone in `window`), is capped
+    /// by the total update volume `avgUpdateR × window`, and by the data
+    /// capacity — a window can never contain more unique bytes than the
+    /// dataset holds.
+    pub fn unique_bytes(&self, window: TimeDelta) -> Bytes {
+        let raw = self.uncapped_unique_bytes(window);
+        raw.min(self.avg_update_rate * window)
+            .min(self.data_capacity)
+            .clamp_non_negative()
+    }
+
+    /// The unique-update rate for windows of length `window`
+    /// (`batchUpdR(win)`), derived from [`Workload::unique_bytes`].
+    ///
+    /// Returns the average update rate for zero-length windows (no
+    /// overwrite absorption is possible in an instant).
+    pub fn batch_update_rate(&self, window: TimeDelta) -> Bandwidth {
+        if window <= TimeDelta::ZERO {
+            return self.avg_update_rate;
+        }
+        self.unique_bytes(window) / window
+    }
+
+    /// A proportionally grown (or shrunk) copy of this workload:
+    /// capacity, access/update rates, and the batch-update curve all
+    /// scale by `factor`, modeling organic dataset growth with unchanged
+    /// access patterns. The burst multiplier is shape, not volume, so it
+    /// stays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scaled(&self, factor: f64) -> Workload {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "growth factor must be positive and finite"
+        );
+        let mut builder = Workload::builder(format!("{} x{factor:.2}", self.name))
+            .data_capacity(self.data_capacity * factor)
+            .avg_access_rate(self.avg_access_rate * factor)
+            .avg_update_rate(self.avg_update_rate * factor)
+            .burst_multiplier(self.burst_multiplier);
+        for point in &self.batch_curve {
+            builder = builder.batch_rate(point.window, point.rate * factor);
+        }
+        builder
+            .build()
+            .expect("scaling preserves every builder invariant")
+    }
+
+    fn uncapped_unique_bytes(&self, window: TimeDelta) -> Bytes {
+        let curve = &self.batch_curve;
+        if window <= TimeDelta::ZERO {
+            return Bytes::ZERO;
+        }
+        let Some(first) = curve.first() else {
+            // No curve measured: assume no overwrite absorption at all.
+            return self.avg_update_rate * window;
+        };
+        if window <= first.window {
+            // Below the first measurement the first point's *rate* is the
+            // best available estimate.
+            return first.rate * window;
+        }
+        let last = curve.last().expect("non-empty curve has a last point");
+        if window >= last.window {
+            // Beyond the last measurement, unique updates keep arriving at
+            // the last observed rate.
+            return last.rate * window;
+        }
+        // Interpolate linearly in unique-bytes space between the two
+        // surrounding points.
+        let (mut lo, mut hi) = (first, first);
+        for point in curve.iter() {
+            if point.window <= window {
+                lo = point;
+            } else {
+                hi = point;
+                break;
+            }
+        }
+        let lo_bytes = lo.rate * lo.window;
+        let hi_bytes = hi.rate * hi.window;
+        let span = hi.window - lo.window;
+        let frac = (window - lo.window) / span;
+        lo_bytes + (hi_bytes - lo_bytes) * frac
+    }
+}
+
+/// Incremental builder for [`Workload`]; see [`Workload::builder`].
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    name: String,
+    data_capacity: Option<Bytes>,
+    avg_access_rate: Option<Bandwidth>,
+    avg_update_rate: Option<Bandwidth>,
+    burst_multiplier: f64,
+    batch_curve: Vec<BatchRatePoint>,
+}
+
+impl WorkloadBuilder {
+    /// Sets the size of the protected data object (required).
+    pub fn data_capacity(mut self, capacity: Bytes) -> Self {
+        self.data_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the average access (read+write) rate (required).
+    pub fn avg_access_rate(mut self, rate: Bandwidth) -> Self {
+        self.avg_access_rate = Some(rate);
+        self
+    }
+
+    /// Sets the average update rate (required).
+    pub fn avg_update_rate(mut self, rate: Bandwidth) -> Self {
+        self.avg_update_rate = Some(rate);
+        self
+    }
+
+    /// Sets the ratio of peak to average update rate (default `1.0`).
+    pub fn burst_multiplier(mut self, multiplier: f64) -> Self {
+        self.burst_multiplier = multiplier;
+        self
+    }
+
+    /// Adds one measured point of the batch-update-rate curve. Points may
+    /// be added in any order.
+    pub fn batch_rate(mut self, window: TimeDelta, rate: Bandwidth) -> Self {
+        self.batch_curve.push(BatchRatePoint { window, rate });
+        self
+    }
+
+    /// Validates the accumulated parameters and builds the [`Workload`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when a required field is
+    /// missing, a magnitude is non-positive or non-finite, the update rate
+    /// exceeds the access rate, the burst multiplier is below one, or the
+    /// batch curve is physically inconsistent (rates increasing with
+    /// window, unique bytes decreasing, rates above `avgUpdateR`).
+    pub fn build(self) -> Result<Workload, Error> {
+        let name = self.name;
+        let data_capacity = self
+            .data_capacity
+            .ok_or_else(|| Error::invalid("workload.dataCap", "missing"))?;
+        let avg_access_rate = self
+            .avg_access_rate
+            .ok_or_else(|| Error::invalid("workload.avgAccessR", "missing"))?;
+        let avg_update_rate = self
+            .avg_update_rate
+            .ok_or_else(|| Error::invalid("workload.avgUpdateR", "missing"))?;
+
+        if !(data_capacity.value() > 0.0 && data_capacity.is_finite()) {
+            return Err(Error::invalid("workload.dataCap", "must be positive and finite"));
+        }
+        if !(avg_access_rate.value() > 0.0 && avg_access_rate.is_finite()) {
+            return Err(Error::invalid("workload.avgAccessR", "must be positive and finite"));
+        }
+        if !(avg_update_rate.value() >= 0.0 && avg_update_rate.is_finite()) {
+            return Err(Error::invalid("workload.avgUpdateR", "must be non-negative and finite"));
+        }
+        if avg_update_rate > avg_access_rate {
+            return Err(Error::invalid(
+                "workload.avgUpdateR",
+                "updates are a subset of accesses, so avgUpdateR must not exceed avgAccessR",
+            ));
+        }
+        if !(self.burst_multiplier >= 1.0 && self.burst_multiplier.is_finite()) {
+            return Err(Error::invalid("workload.burstM", "must be >= 1 and finite"));
+        }
+
+        let mut batch_curve = self.batch_curve;
+        batch_curve.sort_by(|a, b| {
+            a.window
+                .partial_cmp(&b.window)
+                .expect("windows validated finite below")
+        });
+        for (i, point) in batch_curve.iter().enumerate() {
+            let path = format!("workload.batchUpdR[{i}]");
+            if !(point.window.value() > 0.0 && point.window.is_finite()) {
+                return Err(Error::invalid(path, "window must be positive and finite"));
+            }
+            if !(point.rate.value() >= 0.0 && point.rate.is_finite()) {
+                return Err(Error::invalid(path, "rate must be non-negative and finite"));
+            }
+            if point.rate > avg_update_rate {
+                return Err(Error::invalid(
+                    path,
+                    "unique-update rate cannot exceed the total update rate",
+                ));
+            }
+        }
+        for pair in batch_curve.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a.window == b.window {
+                return Err(Error::invalid(
+                    "workload.batchUpdR",
+                    format!("duplicate window {}", a.window),
+                ));
+            }
+            if b.rate > a.rate {
+                return Err(Error::invalid(
+                    "workload.batchUpdR",
+                    "rates must be non-increasing with window length (overwrites only help)",
+                ));
+            }
+            let (a_bytes, b_bytes) = (a.rate * a.window, b.rate * b.window);
+            if b_bytes < a_bytes {
+                return Err(Error::invalid(
+                    "workload.batchUpdR",
+                    "unique bytes must be non-decreasing with window length",
+                ));
+            }
+        }
+
+        Ok(Workload {
+            name,
+            data_capacity,
+            avg_access_rate,
+            avg_update_rate,
+            burst_multiplier: self.burst_multiplier,
+            batch_curve,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cello() -> Workload {
+        Workload::builder("cello")
+            .data_capacity(Bytes::from_gib(1360.0))
+            .avg_access_rate(Bandwidth::from_kib_per_sec(1028.0))
+            .avg_update_rate(Bandwidth::from_kib_per_sec(799.0))
+            .burst_multiplier(10.0)
+            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(727.0))
+            .batch_rate(TimeDelta::from_hours(12.0), Bandwidth::from_kib_per_sec(350.0))
+            .batch_rate(TimeDelta::from_hours(24.0), Bandwidth::from_kib_per_sec(317.0))
+            .batch_rate(TimeDelta::from_hours(48.0), Bandwidth::from_kib_per_sec(317.0))
+            .batch_rate(TimeDelta::from_weeks(1.0), Bandwidth::from_kib_per_sec(317.0))
+            .build()
+            .expect("cello parameters are valid")
+    }
+
+    #[test]
+    fn exact_knots_return_measured_rates() {
+        let wl = cello();
+        let r = wl.batch_update_rate(TimeDelta::from_hours(12.0));
+        assert!((r.as_kib_per_sec() - 350.0).abs() < 1e-6);
+        let r = wl.batch_update_rate(TimeDelta::from_weeks(1.0));
+        assert!((r.as_kib_per_sec() - 317.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn below_first_knot_uses_first_rate() {
+        let wl = cello();
+        let r = wl.batch_update_rate(TimeDelta::from_secs(10.0));
+        assert!((r.as_kib_per_sec() - 727.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beyond_last_knot_holds_last_rate() {
+        let wl = cello();
+        let r = wl.batch_update_rate(TimeDelta::from_weeks(3.0));
+        assert!((r.as_kib_per_sec() - 317.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_in_unique_bytes() {
+        let wl = cello();
+        let mut prev = Bytes::ZERO;
+        for hours in 1..200 {
+            let bytes = wl.unique_bytes(TimeDelta::from_hours(hours as f64));
+            assert!(
+                bytes >= prev,
+                "unique bytes decreased between {} and {} hours",
+                hours - 1,
+                hours
+            );
+            prev = bytes;
+        }
+    }
+
+    #[test]
+    fn unique_bytes_capped_by_dataset_size() {
+        let wl = cello();
+        let huge = wl.unique_bytes(TimeDelta::from_years(10.0));
+        assert_eq!(huge, wl.data_capacity());
+    }
+
+    #[test]
+    fn unique_bytes_capped_by_total_updates() {
+        // A workload with no curve falls back to the raw update volume.
+        let wl = Workload::builder("raw")
+            .data_capacity(Bytes::from_gib(100.0))
+            .avg_access_rate(Bandwidth::from_mib_per_sec(2.0))
+            .avg_update_rate(Bandwidth::from_mib_per_sec(1.0))
+            .build()
+            .unwrap();
+        let one_hour = wl.unique_bytes(TimeDelta::from_hours(1.0));
+        assert_eq!(one_hour, Bandwidth::from_mib_per_sec(1.0) * TimeDelta::from_hours(1.0));
+    }
+
+    #[test]
+    fn zero_window_has_zero_unique_bytes_and_avg_rate() {
+        let wl = cello();
+        assert_eq!(wl.unique_bytes(TimeDelta::ZERO), Bytes::ZERO);
+        assert_eq!(wl.batch_update_rate(TimeDelta::ZERO), wl.avg_update_rate());
+    }
+
+    #[test]
+    fn peak_rates_scale_by_burst_multiplier() {
+        let wl = cello();
+        assert!((wl.peak_update_rate().as_kib_per_sec() - 7990.0).abs() < 1e-6);
+        assert!((wl.peak_access_rate().as_kib_per_sec() - 10280.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builder_rejects_missing_fields() {
+        let err = Workload::builder("x").build().unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_update_exceeding_access() {
+        let err = Workload::builder("x")
+            .data_capacity(Bytes::from_gib(1.0))
+            .avg_access_rate(Bandwidth::from_kib_per_sec(10.0))
+            .avg_update_rate(Bandwidth::from_kib_per_sec(20.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("avgUpdateR"));
+    }
+
+    #[test]
+    fn builder_rejects_increasing_batch_rates() {
+        let err = Workload::builder("x")
+            .data_capacity(Bytes::from_gib(1.0))
+            .avg_access_rate(Bandwidth::from_kib_per_sec(100.0))
+            .avg_update_rate(Bandwidth::from_kib_per_sec(100.0))
+            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(10.0))
+            .batch_rate(TimeDelta::from_hours(1.0), Bandwidth::from_kib_per_sec(50.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("non-increasing"));
+    }
+
+    #[test]
+    fn builder_rejects_batch_rate_above_update_rate() {
+        let err = Workload::builder("x")
+            .data_capacity(Bytes::from_gib(1.0))
+            .avg_access_rate(Bandwidth::from_kib_per_sec(100.0))
+            .avg_update_rate(Bandwidth::from_kib_per_sec(50.0))
+            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(60.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("unique-update rate"));
+    }
+
+    #[test]
+    fn builder_rejects_burst_below_one() {
+        let err = Workload::builder("x")
+            .data_capacity(Bytes::from_gib(1.0))
+            .avg_access_rate(Bandwidth::from_kib_per_sec(100.0))
+            .avg_update_rate(Bandwidth::from_kib_per_sec(50.0))
+            .burst_multiplier(0.5)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("burstM"));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_windows() {
+        let err = Workload::builder("x")
+            .data_capacity(Bytes::from_gib(1.0))
+            .avg_access_rate(Bandwidth::from_kib_per_sec(100.0))
+            .avg_update_rate(Bandwidth::from_kib_per_sec(50.0))
+            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(10.0))
+            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(9.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate window"));
+    }
+
+    #[test]
+    fn curve_points_sort_on_build() {
+        let wl = Workload::builder("x")
+            .data_capacity(Bytes::from_gib(1.0))
+            .avg_access_rate(Bandwidth::from_kib_per_sec(100.0))
+            .avg_update_rate(Bandwidth::from_kib_per_sec(50.0))
+            .batch_rate(TimeDelta::from_hours(1.0), Bandwidth::from_kib_per_sec(10.0))
+            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(40.0))
+            .build()
+            .unwrap();
+        assert!(wl.batch_curve()[0].window < wl.batch_curve()[1].window);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let wl = cello();
+        let json = serde_json::to_string(&wl).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(wl, back);
+    }
+
+    #[test]
+    fn scaling_multiplies_volumes_and_keeps_shape() {
+        let wl = cello();
+        let grown = wl.scaled(3.0);
+        assert_eq!(grown.data_capacity(), wl.data_capacity() * 3.0);
+        assert_eq!(grown.avg_update_rate(), wl.avg_update_rate() * 3.0);
+        assert_eq!(grown.burst_multiplier(), wl.burst_multiplier());
+        let window = TimeDelta::from_hours(12.0);
+        assert!(grown
+            .batch_update_rate(window)
+            .approx_eq(wl.batch_update_rate(window) * 3.0, 1e-12));
+        // Shrinking works too.
+        let shrunk = wl.scaled(0.5);
+        assert_eq!(shrunk.data_capacity(), wl.data_capacity() * 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "growth factor")]
+    fn scaling_rejects_nonpositive_factors() {
+        cello().scaled(0.0);
+    }
+}

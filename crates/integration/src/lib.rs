@@ -1,0 +1,37 @@
+//! Shared fixtures for the workspace's cross-crate integration tests
+//! (the suites under the repository's top-level `tests/` directory).
+
+#![forbid(unsafe_code)]
+
+use ssdep_core::analysis::{evaluate, Evaluation};
+use ssdep_core::error::Error;
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::units::{Bytes, TimeDelta};
+
+/// Evaluates a design under the paper's case-study inputs for one scope.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn evaluate_paper(design: &StorageDesign, scope: FailureScope) -> Result<Evaluation, Error> {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let target = match scope {
+        FailureScope::DataObject { .. } => {
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) }
+        }
+        _ => RecoveryTarget::Now,
+    };
+    let scenario = FailureScenario::new(scope, target);
+    evaluate(design, &workload, &requirements, &scenario)
+}
+
+/// The paper's three case-study failure scopes.
+pub fn paper_scopes() -> [FailureScope; 3] {
+    [
+        FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+        FailureScope::Array,
+        FailureScope::Site,
+    ]
+}

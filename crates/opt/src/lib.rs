@@ -1,0 +1,46 @@
+//! # ssdep-opt — automated storage-design exploration
+//!
+//! The paper positions its evaluation framework as "the inner-most loop
+//! of an automated optimization loop to choose the best solution for a
+//! given set of business requirements" (§1, and its companion work,
+//! *Designing for disasters*, FAST '04). This crate supplies that loop:
+//!
+//! * [`space`] — a parameterized candidate space: point-in-time, backup,
+//!   vaulting, and mirroring policy choices over the case study's device
+//!   palette, materialized into concrete
+//!   [`StorageDesign`](ssdep_core::hierarchy::StorageDesign)s;
+//! * [`search`] — exhaustive enumeration (ranked by frequency-weighted
+//!   expected annual cost) and a coordinate-descent hill climber that
+//!   reaches comparable answers with a fraction of the evaluations;
+//! * [`pareto`] — the outlay-versus-penalty (and RTO/RPO) frontier, for
+//!   when the decision is a trade-off rather than one number.
+//!
+//! ```
+//! use ssdep_opt::space::DesignSpace;
+//! use ssdep_opt::search;
+//!
+//! # fn main() -> Result<(), ssdep_core::Error> {
+//! let workload = ssdep_core::presets::cello_workload();
+//! let requirements = ssdep_core::presets::paper_requirements();
+//! let scenarios = search::paper_scenarios();
+//! let space = DesignSpace::minimal();
+//! let result = search::exhaustive(&space, &workload, &requirements, &scenarios)?;
+//! assert!(!result.ranked.is_empty());
+//! // The cheapest feasible candidate comes first.
+//! assert!(result.ranked[0].expected_total <= result.ranked.last().unwrap().expected_total);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod pareto;
+pub mod search;
+pub mod space;
+pub mod sweep;
+
+pub use search::{exhaustive, hill_climb, CandidateOutcome, SearchResult};
+pub use space::{Candidate, DesignSpace};
+pub use sweep::{sweep, SweepPoint};

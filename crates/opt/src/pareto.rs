@@ -1,0 +1,146 @@
+//! Pareto frontiers over evaluated candidates.
+//!
+//! A single expected-cost number hides the trade-off between what you
+//! *pay* (outlays) and what you *risk* (penalties, recovery time, data
+//! loss). The frontier surfaces every candidate not dominated on both
+//! axes, which is how a storage administrator would actually choose.
+
+use crate::search::CandidateOutcome;
+
+/// Returns the subset of `outcomes` on the Pareto frontier of
+/// `(objective_a, objective_b)` (both minimized), in ascending order of
+/// the first objective.
+///
+/// A candidate is kept when no other candidate is at least as good on
+/// both objectives and strictly better on one.
+pub fn pareto_front<A, B>(
+    outcomes: &[CandidateOutcome],
+    objective_a: A,
+    objective_b: B,
+) -> Vec<&CandidateOutcome>
+where
+    A: Fn(&CandidateOutcome) -> f64,
+    B: Fn(&CandidateOutcome) -> f64,
+{
+    let mut indexed: Vec<(f64, f64, &CandidateOutcome)> = outcomes
+        .iter()
+        .map(|o| (objective_a(o), objective_b(o), o))
+        .collect();
+    indexed.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
+
+    let mut front: Vec<&CandidateOutcome> = Vec::new();
+    let mut best_b = f64::INFINITY;
+    for (_, b, outcome) in indexed {
+        if b < best_b {
+            front.push(outcome);
+            best_b = b;
+        }
+    }
+    front
+}
+
+/// The outlay-versus-expected-penalty frontier: the standard "how much
+/// protection is worth buying" curve.
+pub fn cost_risk_front(outcomes: &[CandidateOutcome]) -> Vec<&CandidateOutcome> {
+    pareto_front(
+        outcomes,
+        |o| o.outlays.as_dollars(),
+        |o| o.expected_penalties.as_dollars(),
+    )
+}
+
+/// The recovery-time-versus-data-loss frontier (the RTO/RPO plane).
+pub fn rto_rpo_front(outcomes: &[CandidateOutcome]) -> Vec<&CandidateOutcome> {
+    pareto_front(
+        outcomes,
+        |o| o.worst_recovery_time.as_secs(),
+        |o| o.worst_data_loss.as_secs(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{exhaustive, paper_scenarios};
+    use crate::space::DesignSpace;
+
+    fn outcomes() -> Vec<CandidateOutcome> {
+        let workload = ssdep_core::presets::cello_workload();
+        let requirements = ssdep_core::presets::paper_requirements();
+        exhaustive(
+            &DesignSpace::minimal(),
+            &workload,
+            &requirements,
+            &paper_scenarios(),
+        )
+        .unwrap()
+        .ranked
+    }
+
+    #[test]
+    fn frontier_members_are_mutually_non_dominated() {
+        let outcomes = outcomes();
+        let front = cost_risk_front(&outcomes);
+        assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                if std::ptr::eq(*a, *b) {
+                    continue;
+                }
+                let dominates = a.outlays <= b.outlays
+                    && a.expected_penalties <= b.expected_penalties
+                    && (a.outlays < b.outlays || a.expected_penalties < b.expected_penalties);
+                assert!(!dominates, "{} dominates {}", a.label, b.label);
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_member_is_dominated() {
+        let outcomes = outcomes();
+        let front = cost_risk_front(&outcomes);
+        for candidate in &outcomes {
+            let on_front = front.iter().any(|f| std::ptr::eq(*f, candidate));
+            if on_front {
+                continue;
+            }
+            let dominated = outcomes.iter().any(|other| {
+                other.outlays <= candidate.outlays
+                    && other.expected_penalties <= candidate.expected_penalties
+                    && (other.outlays < candidate.outlays
+                        || other.expected_penalties < candidate.expected_penalties)
+            });
+            assert!(dominated, "{} should be dominated", candidate.label);
+        }
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_monotone() {
+        let outcomes = outcomes();
+        let front = cost_risk_front(&outcomes);
+        for pair in front.windows(2) {
+            assert!(pair[0].outlays <= pair[1].outlays);
+            assert!(pair[0].expected_penalties >= pair[1].expected_penalties);
+        }
+    }
+
+    #[test]
+    fn rto_rpo_frontier_includes_the_lowest_loss_design() {
+        let outcomes = outcomes();
+        let front = rto_rpo_front(&outcomes);
+        let min_loss = outcomes
+            .iter()
+            .map(|o| o.worst_data_loss)
+            .fold(ssdep_core::units::TimeDelta::from_years(100.0), |a, b| a.min(b));
+        assert!(front.iter().any(|o| o.worst_data_loss == min_loss));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(cost_risk_front(&[]).is_empty());
+        let outcomes = outcomes();
+        let single = &outcomes[..1];
+        let front = cost_risk_front(single);
+        assert_eq!(front.len(), 1);
+    }
+}

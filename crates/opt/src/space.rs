@@ -1,0 +1,554 @@
+//! The candidate design space.
+//!
+//! A [`Candidate`] is one choice along each policy dimension —
+//! point-in-time copies, tape backup, remote vaulting, inter-array
+//! mirroring — over the paper's device palette (Table 4). A
+//! [`DesignSpace`] is a set of choices per dimension; its candidates are
+//! the cross product, filtered for structural sense (vaulting requires
+//! backup, a design must have at least one secondary copy).
+
+use serde::{Deserialize, Serialize};
+use ssdep_core::error::Error;
+use ssdep_core::hierarchy::{Level, StorageDesign};
+use ssdep_core::protection::{
+    Backup, IncrementalMode, IncrementalPolicy, PrimaryCopy, ProtectionParams, RemoteMirror,
+    RemoteVault, SplitMirror, Technique, VirtualSnapshot,
+};
+use ssdep_core::units::TimeDelta;
+
+/// The point-in-time dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PitChoice {
+    /// No PiT level.
+    None,
+    /// Split mirrors every `acc_hours`, `retained` kept.
+    SplitMirror {
+        /// Accumulation window in hours.
+        acc_hours: f64,
+        /// Retention count.
+        retained: u32,
+    },
+    /// Virtual snapshots every `acc_hours`, `retained` kept.
+    Snapshot {
+        /// Accumulation window in hours.
+        acc_hours: f64,
+        /// Retention count.
+        retained: u32,
+    },
+}
+
+/// The tape-backup dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackupChoice {
+    /// No backup level.
+    None,
+    /// Full backups every `acc_hours` over `prop_hours`, `retained`
+    /// cycles kept, optionally with daily cumulative incrementals.
+    Fulls {
+        /// Accumulation window in hours.
+        acc_hours: f64,
+        /// Propagation window in hours.
+        prop_hours: f64,
+        /// Retention count (cycles).
+        retained: u32,
+        /// Number of daily cumulative incrementals per cycle (0 = none).
+        daily_incrementals: u32,
+    },
+}
+
+/// The remote-vaulting dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VaultChoice {
+    /// No vault level.
+    None,
+    /// Ship every `acc_weeks`, hold `hold_hours`, keep `retained` fulls.
+    Ship {
+        /// Accumulation window in weeks.
+        acc_weeks: f64,
+        /// Hold window in hours.
+        hold_hours: f64,
+        /// Retention count.
+        retained: u32,
+    },
+}
+
+/// The inter-array mirroring dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MirrorChoice {
+    /// No mirror.
+    None,
+    /// Synchronous mirroring over `links` OC-3s.
+    Synchronous {
+        /// WAN link count.
+        links: u32,
+    },
+    /// Batched asynchronous mirroring with `acc_minutes` batches over
+    /// `links` OC-3s.
+    Batched {
+        /// Batch accumulation window in minutes.
+        acc_minutes: f64,
+        /// WAN link count.
+        links: u32,
+    },
+}
+
+/// One point of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Point-in-time choice.
+    pub pit: PitChoice,
+    /// Backup choice.
+    pub backup: BackupChoice,
+    /// Vaulting choice.
+    pub vault: VaultChoice,
+    /// Mirroring choice.
+    pub mirror: MirrorChoice,
+}
+
+impl Candidate {
+    /// Whether the combination is structurally sensible: vaulting needs
+    /// a backup to ship, backup needs a consistent PiT source, and at
+    /// least one secondary copy must exist.
+    pub fn is_coherent(&self) -> bool {
+        let has_secondary = !matches!(self.pit, PitChoice::None)
+            || !matches!(self.backup, BackupChoice::None)
+            || !matches!(self.mirror, MirrorChoice::None);
+        let vault_ok = matches!(self.vault, VaultChoice::None)
+            || !matches!(self.backup, BackupChoice::None);
+        let backup_ok = matches!(self.backup, BackupChoice::None)
+            || !matches!(self.pit, PitChoice::None);
+        has_secondary && vault_ok && backup_ok
+    }
+
+    /// A short descriptive name, e.g.
+    /// `"mirror12h-fulls168h+5i-vault4w-batch1m x10"`.
+    pub fn label(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        match self.pit {
+            PitChoice::None => {}
+            PitChoice::SplitMirror { acc_hours, retained } => {
+                parts.push(format!("mirror{acc_hours}h x{retained}"))
+            }
+            PitChoice::Snapshot { acc_hours, retained } => {
+                parts.push(format!("snap{acc_hours}h x{retained}"))
+            }
+        }
+        match self.backup {
+            BackupChoice::None => {}
+            BackupChoice::Fulls { acc_hours, daily_incrementals, .. } => {
+                if daily_incrementals > 0 {
+                    parts.push(format!("fulls{acc_hours}h+{daily_incrementals}i"));
+                } else {
+                    parts.push(format!("fulls{acc_hours}h"));
+                }
+            }
+        }
+        match self.vault {
+            VaultChoice::None => {}
+            VaultChoice::Ship { acc_weeks, .. } => parts.push(format!("vault{acc_weeks}w")),
+        }
+        match self.mirror {
+            MirrorChoice::None => {}
+            MirrorChoice::Synchronous { links } => parts.push(format!("sync x{links}")),
+            MirrorChoice::Batched { acc_minutes, links } => {
+                parts.push(format!("batch{acc_minutes}m x{links}"))
+            }
+        }
+        if parts.is_empty() {
+            "bare primary".to_string()
+        } else {
+            parts.join(" + ")
+        }
+    }
+
+    /// Builds the concrete design on the paper's device palette.
+    ///
+    /// # Errors
+    ///
+    /// Returns parameter-validation errors for non-physical choices
+    /// (e.g. a propagation window longer than the accumulation window).
+    pub fn materialize(&self) -> Result<StorageDesign, Error> {
+        let mut builder = StorageDesign::builder(self.label());
+        let array = builder.add_device(ssdep_core::presets::primary_array_spec())?;
+
+        builder.add_level(Level::new(
+            "primary copy",
+            Technique::PrimaryCopy(PrimaryCopy::new()),
+            array,
+        ));
+
+        match self.pit {
+            PitChoice::None => {}
+            PitChoice::SplitMirror { acc_hours, retained } => {
+                let params = pit_params(acc_hours, retained)?;
+                builder.add_level(Level::new(
+                    "split mirror",
+                    Technique::SplitMirror(SplitMirror::new(params)),
+                    array,
+                ));
+            }
+            PitChoice::Snapshot { acc_hours, retained } => {
+                let params = pit_params(acc_hours, retained)?;
+                builder.add_level(Level::new(
+                    "virtual snapshot",
+                    Technique::VirtualSnapshot(VirtualSnapshot::new(params)),
+                    array,
+                ));
+            }
+        }
+
+        let mut backup_built = false;
+        if let BackupChoice::Fulls { acc_hours, prop_hours, retained, daily_incrementals } =
+            self.backup
+        {
+            let tape = builder.add_device(ssdep_core::presets::tape_library_spec())?;
+            let full = ProtectionParams::builder()
+                .accumulation_window(TimeDelta::from_hours(acc_hours))
+                .propagation_window(TimeDelta::from_hours(prop_hours))
+                .hold_window(TimeDelta::from_hours(1.0))
+                .retention_count(retained)
+                .build()?;
+            let backup = if daily_incrementals == 0 {
+                Backup::full_only(full)?
+            } else {
+                Backup::with_incrementals(
+                    full,
+                    IncrementalPolicy {
+                        mode: IncrementalMode::Cumulative,
+                        accumulation_window: TimeDelta::from_hours(24.0),
+                        propagation_window: TimeDelta::from_hours(12.0),
+                        hold_window: TimeDelta::from_hours(1.0),
+                        count: daily_incrementals,
+                    },
+                )?
+            };
+            builder.add_level(Level::new("tape backup", Technique::Backup(backup), tape));
+            backup_built = true;
+        }
+
+        if let VaultChoice::Ship { acc_weeks, hold_hours, retained } = self.vault {
+            if !backup_built {
+                return Err(Error::invalid(
+                    "candidate.vault",
+                    "vaulting requires a backup level to ship from",
+                ));
+            }
+            let vault = builder.add_device(ssdep_core::presets::vault_spec())?;
+            let courier = builder.add_device(ssdep_core::presets::air_courier_spec())?;
+            let params = ProtectionParams::builder()
+                .accumulation_window(TimeDelta::from_weeks(acc_weeks))
+                .propagation_window(TimeDelta::from_hours(24.0))
+                .hold_window(TimeDelta::from_hours(hold_hours))
+                .retention_count(retained)
+                .build()?;
+            builder.add_level(
+                Level::new(
+                    "remote vaulting",
+                    Technique::RemoteVault(RemoteVault::new(params)),
+                    vault,
+                )
+                .with_transports([courier]),
+            );
+        }
+
+        match self.mirror {
+            MirrorChoice::None => {}
+            MirrorChoice::Synchronous { links } => {
+                let (remote, wan) = mirror_devices(&mut builder, links)?;
+                builder.add_level(
+                    Level::new(
+                        "sync mirror",
+                        Technique::RemoteMirror(RemoteMirror::synchronous()),
+                        remote,
+                    )
+                    .with_transports([wan]),
+                );
+            }
+            MirrorChoice::Batched { acc_minutes, links } => {
+                let (remote, wan) = mirror_devices(&mut builder, links)?;
+                let params = ProtectionParams::builder()
+                    .accumulation_window(TimeDelta::from_minutes(acc_minutes))
+                    .retention_count(1)
+                    .build()?;
+                builder.add_level(
+                    Level::new(
+                        "async batch mirror",
+                        Technique::RemoteMirror(RemoteMirror::batched(params)),
+                        remote,
+                    )
+                    .with_transports([wan]),
+                );
+            }
+        }
+
+        builder.recovery_site(paper_recovery_site());
+        builder.build()
+    }
+}
+
+fn pit_params(acc_hours: f64, retained: u32) -> Result<ProtectionParams, Error> {
+    ProtectionParams::builder()
+        .accumulation_window(TimeDelta::from_hours(acc_hours))
+        .propagation_window(TimeDelta::ZERO)
+        .retention_count(retained)
+        .build()
+}
+
+fn mirror_devices(
+    builder: &mut ssdep_core::hierarchy::StorageDesignBuilder,
+    links: u32,
+) -> Result<(ssdep_core::device::DeviceId, ssdep_core::device::DeviceId), Error> {
+    let remote = builder.add_device(ssdep_core::presets::remote_array_spec())?;
+    let wan = builder.add_device(ssdep_core::presets::oc3_links_spec(links))?;
+    Ok((remote, wan))
+}
+
+fn paper_recovery_site() -> ssdep_core::hierarchy::RecoverySite {
+    use ssdep_core::failure::Location;
+    ssdep_core::hierarchy::RecoverySite {
+        location: Location::new(
+            ssdep_core::presets::REMOTE_LOCATION.0,
+            ssdep_core::presets::REMOTE_LOCATION.1,
+            ssdep_core::presets::REMOTE_LOCATION.2,
+        ),
+        provisioning_time: TimeDelta::from_hours(9.0),
+        cost_factor: 0.2,
+    }
+}
+
+/// A set of choices per dimension; candidates are the coherent members
+/// of the cross product.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// Point-in-time choices.
+    pub pit: Vec<PitChoice>,
+    /// Backup choices.
+    pub backup: Vec<BackupChoice>,
+    /// Vaulting choices.
+    pub vault: Vec<VaultChoice>,
+    /// Mirroring choices.
+    pub mirror: Vec<MirrorChoice>,
+}
+
+impl DesignSpace {
+    /// A small space (a few dozen candidates) covering the paper's
+    /// Table 7 territory: split mirrors vs snapshots, weekly vs daily
+    /// fulls, four-weekly vs weekly vaulting, and batched mirroring over
+    /// 1 or 10 links.
+    pub fn minimal() -> DesignSpace {
+        DesignSpace {
+            pit: vec![
+                PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
+                PitChoice::Snapshot { acc_hours: 12.0, retained: 4 },
+            ],
+            backup: vec![
+                BackupChoice::Fulls {
+                    acc_hours: 168.0,
+                    prop_hours: 48.0,
+                    retained: 4,
+                    daily_incrementals: 0,
+                },
+                BackupChoice::Fulls {
+                    acc_hours: 24.0,
+                    prop_hours: 12.0,
+                    retained: 28,
+                    daily_incrementals: 0,
+                },
+            ],
+            vault: vec![
+                VaultChoice::Ship { acc_weeks: 4.0, hold_hours: 684.0, retained: 39 },
+                VaultChoice::Ship { acc_weeks: 1.0, hold_hours: 12.0, retained: 156 },
+            ],
+            mirror: vec![
+                MirrorChoice::None,
+                MirrorChoice::Batched { acc_minutes: 1.0, links: 1 },
+            ],
+        }
+    }
+
+    /// A broader space (hundreds of candidates) for search experiments.
+    pub fn broad() -> DesignSpace {
+        DesignSpace {
+            pit: vec![
+                PitChoice::None,
+                PitChoice::SplitMirror { acc_hours: 6.0, retained: 4 },
+                PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
+                PitChoice::Snapshot { acc_hours: 6.0, retained: 8 },
+                PitChoice::Snapshot { acc_hours: 12.0, retained: 4 },
+            ],
+            backup: vec![
+                BackupChoice::None,
+                BackupChoice::Fulls {
+                    acc_hours: 168.0,
+                    prop_hours: 48.0,
+                    retained: 4,
+                    daily_incrementals: 0,
+                },
+                BackupChoice::Fulls {
+                    acc_hours: 168.0,
+                    prop_hours: 48.0,
+                    retained: 4,
+                    daily_incrementals: 5,
+                },
+                BackupChoice::Fulls {
+                    acc_hours: 24.0,
+                    prop_hours: 12.0,
+                    retained: 28,
+                    daily_incrementals: 0,
+                },
+            ],
+            vault: vec![
+                VaultChoice::None,
+                VaultChoice::Ship { acc_weeks: 4.0, hold_hours: 684.0, retained: 39 },
+                VaultChoice::Ship { acc_weeks: 1.0, hold_hours: 12.0, retained: 156 },
+            ],
+            mirror: vec![
+                MirrorChoice::None,
+                MirrorChoice::Synchronous { links: 1 },
+                MirrorChoice::Batched { acc_minutes: 1.0, links: 1 },
+                MirrorChoice::Batched { acc_minutes: 1.0, links: 10 },
+            ],
+        }
+    }
+
+    /// Iterates the coherent candidates of the cross product.
+    pub fn candidates(&self) -> impl Iterator<Item = Candidate> + '_ {
+        self.pit.iter().flat_map(move |&pit| {
+            self.backup.iter().flat_map(move |&backup| {
+                self.vault.iter().flat_map(move |&vault| {
+                    self.mirror.iter().filter_map(move |&mirror| {
+                        let candidate = Candidate { pit, backup, vault, mirror };
+                        candidate.is_coherent().then_some(candidate)
+                    })
+                })
+            })
+        })
+    }
+
+    /// The number of coherent candidates.
+    pub fn len(&self) -> usize {
+        self.candidates().count()
+    }
+
+    /// Whether the space has no coherent candidate.
+    pub fn is_empty(&self) -> bool {
+        self.candidates().next().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_space_is_fully_coherent() {
+        let space = DesignSpace::minimal();
+        assert_eq!(space.len(), 2 * 2 * 2 * 2);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn broad_space_filters_incoherent_combinations() {
+        let space = DesignSpace::broad();
+        let total = 5 * 4 * 3 * 4;
+        assert!(space.len() < total, "incoherent combinations must be dropped");
+        for candidate in space.candidates() {
+            assert!(candidate.is_coherent());
+        }
+    }
+
+    #[test]
+    fn vault_without_backup_is_incoherent() {
+        let candidate = Candidate {
+            pit: PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
+            backup: BackupChoice::None,
+            vault: VaultChoice::Ship { acc_weeks: 4.0, hold_hours: 684.0, retained: 39 },
+            mirror: MirrorChoice::None,
+        };
+        assert!(!candidate.is_coherent());
+    }
+
+    #[test]
+    fn backup_without_pit_is_incoherent() {
+        let candidate = Candidate {
+            pit: PitChoice::None,
+            backup: BackupChoice::Fulls {
+                acc_hours: 168.0,
+                prop_hours: 48.0,
+                retained: 4,
+                daily_incrementals: 0,
+            },
+            vault: VaultChoice::None,
+            mirror: MirrorChoice::None,
+        };
+        assert!(!candidate.is_coherent());
+    }
+
+    #[test]
+    fn bare_primary_is_incoherent() {
+        let candidate = Candidate {
+            pit: PitChoice::None,
+            backup: BackupChoice::None,
+            vault: VaultChoice::None,
+            mirror: MirrorChoice::None,
+        };
+        assert!(!candidate.is_coherent());
+        assert_eq!(candidate.label(), "bare primary");
+    }
+
+    #[test]
+    fn every_minimal_candidate_materializes_and_evaluates() {
+        let workload = ssdep_core::presets::cello_workload();
+        let requirements = ssdep_core::presets::paper_requirements();
+        for candidate in DesignSpace::minimal().candidates() {
+            let design = candidate.materialize().unwrap_or_else(|e| {
+                panic!("{}: {e}", candidate.label());
+            });
+            let scenario = ssdep_core::failure::FailureScenario::new(
+                ssdep_core::failure::FailureScope::Array,
+                ssdep_core::failure::RecoveryTarget::Now,
+            );
+            ssdep_core::analysis::evaluate(&design, &workload, &requirements, &scenario)
+                .unwrap_or_else(|e| panic!("{}: {e}", candidate.label()));
+        }
+    }
+
+    #[test]
+    fn baseline_candidate_reproduces_the_baseline_design_shape() {
+        let candidate = Candidate {
+            pit: PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
+            backup: BackupChoice::Fulls {
+                acc_hours: 168.0,
+                prop_hours: 48.0,
+                retained: 4,
+                daily_incrementals: 0,
+            },
+            vault: VaultChoice::Ship { acc_weeks: 4.0, hold_hours: 684.0, retained: 39 },
+            mirror: MirrorChoice::None,
+        };
+        let design = candidate.materialize().unwrap();
+        assert_eq!(design.levels().len(), 4);
+        let reference = ssdep_core::presets::baseline_design();
+        assert_eq!(design.levels().len(), reference.levels().len());
+        assert_eq!(design.devices().len(), reference.devices().len());
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let candidate = Candidate {
+            pit: PitChoice::Snapshot { acc_hours: 6.0, retained: 8 },
+            backup: BackupChoice::Fulls {
+                acc_hours: 24.0,
+                prop_hours: 12.0,
+                retained: 28,
+                daily_incrementals: 5,
+            },
+            vault: VaultChoice::None,
+            mirror: MirrorChoice::Batched { acc_minutes: 1.0, links: 10 },
+        };
+        let label = candidate.label();
+        assert!(label.contains("snap6h"));
+        assert!(label.contains("+5i"));
+        assert!(label.contains("batch1m x10"));
+    }
+}

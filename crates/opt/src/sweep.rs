@@ -1,0 +1,404 @@
+//! One-dimensional parameter sweeps (sensitivity analysis / ablations).
+//!
+//! Sweeps answer "how does the outcome move as one design knob turns?" —
+//! the series behind figures like "data loss vs. vaulting interval" or
+//! "recovery time vs. link count". Each point evaluates a full design
+//! under a scenario set, so a sweep is a row of what-if experiments with
+//! a shared axis.
+
+use serde::{Deserialize, Serialize};
+use ssdep_core::analysis::{expected_annual_cost, WeightedScenario};
+use ssdep_core::error::Error;
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::requirements::BusinessRequirements;
+use ssdep_core::units::{Money, TimeDelta};
+use ssdep_core::workload::Workload;
+
+/// One evaluated point of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter's value at this point.
+    pub value: f64,
+    /// The design's label at this point.
+    pub label: String,
+    /// Annual outlays.
+    pub outlays: Money,
+    /// Frequency-weighted expected annual penalties.
+    pub expected_penalties: Money,
+    /// Expected total annual cost.
+    pub expected_total: Money,
+    /// Worst recovery time across the scenarios.
+    pub worst_recovery_time: TimeDelta,
+    /// Worst recent data loss across the scenarios.
+    pub worst_data_loss: TimeDelta,
+}
+
+/// Evaluates `make(value)` for every value, producing the sweep series.
+///
+/// # Errors
+///
+/// Propagates design-construction and evaluation errors — a sweep with a
+/// broken point is reported, not silently truncated.
+pub fn sweep<F>(
+    values: &[f64],
+    make: F,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<Vec<SweepPoint>, Error>
+where
+    F: Fn(f64) -> Result<StorageDesign, Error>,
+{
+    let mut points = Vec::with_capacity(values.len());
+    for &value in values {
+        let design = make(value)?;
+        let expected = expected_annual_cost(&design, workload, requirements, scenarios)?;
+        let mut worst_recovery_time = TimeDelta::ZERO;
+        let mut worst_data_loss = TimeDelta::ZERO;
+        for (_, evaluation) in &expected.evaluations {
+            worst_recovery_time = worst_recovery_time.max(evaluation.recovery.total_time);
+            worst_data_loss = worst_data_loss.max(evaluation.loss.worst_loss);
+        }
+        points.push(SweepPoint {
+            value,
+            label: design.name().to_string(),
+            outlays: expected.outlays,
+            expected_penalties: expected.expected_penalties,
+            expected_total: expected.total(),
+            worst_recovery_time,
+            worst_data_loss,
+        });
+    }
+    Ok(points)
+}
+
+/// Sweep the number of WAN links in the batched-mirror design
+/// (Table 7's 1-vs-10-links comparison as a full series).
+///
+/// # Errors
+///
+/// As [`sweep`].
+pub fn sweep_mirror_links(
+    links: &[u32],
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<Vec<SweepPoint>, Error> {
+    let values: Vec<f64> = links.iter().map(|&l| l as f64).collect();
+    sweep(
+        &values,
+        |value| Ok(ssdep_core::presets::async_batch_mirror_design(value as u32)),
+        workload,
+        requirements,
+        scenarios,
+    )
+}
+
+/// Sweep the vaulting interval (weeks) on the baseline design, keeping
+/// three years of retention (the Table 7 "weekly vault" knob as a
+/// series).
+///
+/// # Errors
+///
+/// As [`sweep`].
+pub fn sweep_vault_interval(
+    weeks: &[f64],
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<Vec<SweepPoint>, Error> {
+    use crate::space::{BackupChoice, Candidate, MirrorChoice, PitChoice, VaultChoice};
+    sweep(
+        weeks,
+        |weeks| {
+            let retained = ((156.0 / weeks).round() as u32).max(2);
+            Candidate {
+                pit: PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
+                backup: BackupChoice::Fulls {
+                    acc_hours: 168.0,
+                    prop_hours: 48.0,
+                    retained: 4,
+                    daily_incrementals: 0,
+                },
+                vault: VaultChoice::Ship { acc_weeks: weeks, hold_hours: 12.0, retained },
+                mirror: MirrorChoice::None,
+            }
+            .materialize()
+        },
+        workload,
+        requirements,
+        scenarios,
+    )
+}
+
+/// Sweep the full-backup interval (hours) with matching four-week
+/// retention — the weekly-vs-daily-fulls knob as a series.
+///
+/// # Errors
+///
+/// As [`sweep`].
+pub fn sweep_backup_interval(
+    hours: &[f64],
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<Vec<SweepPoint>, Error> {
+    use crate::space::{BackupChoice, Candidate, MirrorChoice, PitChoice, VaultChoice};
+    sweep(
+        hours,
+        |acc_hours| {
+            let retained = ((672.0 / acc_hours).round() as u32).max(2);
+            Candidate {
+                pit: PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
+                backup: BackupChoice::Fulls {
+                    acc_hours,
+                    prop_hours: (acc_hours / 2.0).min(48.0),
+                    retained,
+                    daily_incrementals: 0,
+                },
+                vault: VaultChoice::Ship { acc_weeks: 1.0, hold_hours: 12.0, retained: 156 },
+                mirror: MirrorChoice::None,
+            }
+            .materialize()
+        },
+        workload,
+        requirements,
+        scenarios,
+    )
+}
+
+/// One point of a dataset-growth sweep: at `factor ×` today's workload,
+/// either the evaluated outcome or why the design stops working.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum GrowthPoint {
+    /// The design still works at this growth factor.
+    Feasible {
+        /// The growth factor.
+        factor: f64,
+        /// The evaluated outcome.
+        point: SweepPoint,
+    },
+    /// The design breaks at this growth factor (a device runs out of
+    /// capacity or bandwidth).
+    Infeasible {
+        /// The growth factor.
+        factor: f64,
+        /// The feasibility error, rendered.
+        reason: String,
+    },
+}
+
+impl GrowthPoint {
+    /// Whether the point is feasible.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, GrowthPoint::Feasible { .. })
+    }
+
+    /// The growth factor.
+    pub fn factor(&self) -> f64 {
+        match self {
+            GrowthPoint::Feasible { factor, .. } | GrowthPoint::Infeasible { factor, .. } => {
+                *factor
+            }
+        }
+    }
+}
+
+/// Sweeps dataset growth: evaluates the design against
+/// [`Workload::scaled`] copies of the workload, answering "at what
+/// growth does this design break, and what does it cost before then?".
+/// Infeasible factors (overcommitted devices) become
+/// [`GrowthPoint::Infeasible`] entries rather than errors.
+///
+/// # Errors
+///
+/// Propagates evaluation errors other than feasibility
+/// ([`ssdep_core::Error::Overutilized`]).
+pub fn sweep_growth(
+    factors: &[f64],
+    design: &StorageDesign,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<Vec<GrowthPoint>, Error> {
+    let mut points = Vec::with_capacity(factors.len());
+    for &factor in factors {
+        let grown = workload.scaled(factor);
+        match expected_annual_cost(design, &grown, requirements, scenarios) {
+            Ok(expected) => {
+                let mut worst_recovery_time = TimeDelta::ZERO;
+                let mut worst_data_loss = TimeDelta::ZERO;
+                for (_, evaluation) in &expected.evaluations {
+                    worst_recovery_time = worst_recovery_time.max(evaluation.recovery.total_time);
+                    worst_data_loss = worst_data_loss.max(evaluation.loss.worst_loss);
+                }
+                points.push(GrowthPoint::Feasible {
+                    factor,
+                    point: SweepPoint {
+                        value: factor,
+                        label: design.name().to_string(),
+                        outlays: expected.outlays,
+                        expected_penalties: expected.expected_penalties,
+                        expected_total: expected.total(),
+                        worst_recovery_time,
+                        worst_data_loss,
+                    },
+                });
+            }
+            Err(error @ Error::Overutilized { .. }) => {
+                points.push(GrowthPoint::Infeasible { factor, reason: error.to_string() });
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(points)
+}
+
+/// Renders a sweep as a fixed-width table for terminals and
+/// EXPERIMENTS-style records.
+pub fn render(points: &[SweepPoint], axis: &str) -> String {
+    let mut table = ssdep_core::report::TextTable::new([
+        axis,
+        "Outlays",
+        "E[penalties]",
+        "E[total]",
+        "Worst RT",
+        "Worst DL",
+    ]);
+    for point in points {
+        table.row([
+            format!("{}", point.value),
+            point.outlays.to_string(),
+            point.expected_penalties.to_string(),
+            point.expected_total.to_string(),
+            format!("{:.1} hr", point.worst_recovery_time.as_hours()),
+            format!("{:.1} hr", point.worst_data_loss.as_hours()),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::paper_scenarios;
+
+    fn fixture() -> (Workload, BusinessRequirements, Vec<WeightedScenario>) {
+        (
+            ssdep_core::presets::cello_workload(),
+            ssdep_core::presets::paper_requirements(),
+            paper_scenarios(),
+        )
+    }
+
+    #[test]
+    fn link_sweep_trades_outlays_for_recovery_time() {
+        let (workload, requirements, scenarios) = fixture();
+        let hw_only: Vec<WeightedScenario> = scenarios.into_iter().skip(1).collect();
+        let points =
+            sweep_mirror_links(&[1, 2, 4, 8, 16], &workload, &requirements, &hw_only).unwrap();
+        assert_eq!(points.len(), 5);
+        for pair in points.windows(2) {
+            assert!(pair[1].outlays > pair[0].outlays, "links cost money");
+            assert!(
+                pair[1].worst_recovery_time < pair[0].worst_recovery_time,
+                "links buy recovery speed"
+            );
+            // Loss is link-count independent (batch window fixed).
+            assert!(pair[1]
+                .worst_data_loss
+                .approx_eq(pair[0].worst_data_loss, 1e-9));
+        }
+    }
+
+    #[test]
+    fn vault_interval_sweep_moves_site_loss_linearly() {
+        let (workload, requirements, scenarios) = fixture();
+        let points =
+            sweep_vault_interval(&[1.0, 2.0, 4.0], &workload, &requirements, &scenarios).unwrap();
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].worst_data_loss > pair[0].worst_data_loss,
+                "longer vault intervals lose more"
+            );
+        }
+        // Weekly vaulting reproduces Table 7's 253-hour site loss.
+        assert!((points[0].worst_data_loss.as_hours() - 253.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backup_interval_sweep_shows_the_freshness_cost_curve() {
+        let (workload, requirements, scenarios) = fixture();
+        let points = sweep_backup_interval(
+            &[24.0, 48.0, 96.0, 168.0],
+            &workload,
+            &requirements,
+            &scenarios,
+        )
+        .unwrap();
+        for pair in points.windows(2) {
+            assert!(pair[1].worst_data_loss >= pair[0].worst_data_loss);
+        }
+        // More frequent fulls demand more tape bandwidth → higher
+        // bandwidth-dependent outlays.
+        assert!(points[0].outlays > points.last().unwrap().outlays);
+    }
+
+    #[test]
+    fn growth_sweep_finds_the_breaking_point() {
+        let (workload, requirements, scenarios) = fixture();
+        let design = ssdep_core::presets::baseline_design();
+        // The baseline array runs at 87 % capacity: ~1.15× growth fills
+        // it; the tape and vault have far more headroom.
+        let points = sweep_growth(
+            &[0.5, 1.0, 1.1, 1.5, 4.0],
+            &design,
+            &workload,
+            &requirements,
+            &scenarios,
+        )
+        .unwrap();
+        assert!(points[0].is_feasible());
+        assert!(points[1].is_feasible());
+        assert!(!points[3].is_feasible(), "1.5x overfills the array");
+        assert!(!points[4].is_feasible());
+        match &points[3] {
+            GrowthPoint::Infeasible { reason, .. } => {
+                assert!(reason.contains("primary array"), "{reason}");
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+        // Costs grow with the dataset while it fits.
+        if let (GrowthPoint::Feasible { point: a, .. }, GrowthPoint::Feasible { point: b, .. }) =
+            (&points[0], &points[1])
+        {
+            assert!(b.outlays > a.outlays);
+        } else {
+            panic!("first two points must be feasible");
+        }
+    }
+
+    #[test]
+    fn render_produces_one_row_per_point() {
+        let (workload, requirements, scenarios) = fixture();
+        let hw_only: Vec<WeightedScenario> = scenarios.into_iter().skip(1).collect();
+        let points = sweep_mirror_links(&[1, 10], &workload, &requirements, &hw_only).unwrap();
+        let text = render(&points, "links");
+        assert_eq!(text.lines().count(), 4, "{text}");
+        assert!(text.contains("links"));
+    }
+
+    #[test]
+    fn broken_points_propagate_errors() {
+        let (workload, requirements, scenarios) = fixture();
+        let err = sweep(
+            &[1.0],
+            |_| Err(ssdep_core::Error::invalid("sweep.test", "intentional")),
+            &workload,
+            &requirements,
+            &scenarios,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("intentional"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The simulator's event queue.
+//!
+//! Events are ordered by time, then by a kind priority (completions
+//! before captures, so a level capturing at the same instant an upstream
+//! RP completes sees it), then by level, then by insertion order — a
+//! total, deterministic order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// An in-flight RP finishes propagating into `level` and becomes
+    /// restorable. `rp` indexes the simulation's RP arena.
+    Complete {
+        /// The receiving level.
+        level: usize,
+        /// Index into the RP arena.
+        rp: usize,
+    },
+    /// `level` captures its next RP.
+    Capture {
+        /// The capturing level.
+        level: usize,
+    },
+}
+
+impl Event {
+    fn priority(&self) -> (u8, usize) {
+        match self {
+            Event::Complete { level, .. } => (0, *level),
+            Event::Capture { level } => (1, *level),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, priority, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.event.priority().cmp(&self.event.priority()))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at simulated second `time`.
+    pub fn push(&mut self, time: f64, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// How many events are pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.push(5.0, Event::Capture { level: 1 });
+        queue.push(1.0, Event::Capture { level: 2 });
+        queue.push(3.0, Event::Capture { level: 3 });
+        let times: Vec<f64> = std::iter::from_fn(|| queue.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn completions_precede_captures_at_the_same_instant() {
+        let mut queue = EventQueue::new();
+        queue.push(2.0, Event::Capture { level: 1 });
+        queue.push(2.0, Event::Complete { level: 2, rp: 0 });
+        let (_, first) = queue.pop().unwrap();
+        assert!(matches!(first, Event::Complete { .. }));
+    }
+
+    #[test]
+    fn lower_levels_capture_first_at_ties() {
+        let mut queue = EventQueue::new();
+        queue.push(2.0, Event::Capture { level: 3 });
+        queue.push(2.0, Event::Capture { level: 1 });
+        let (_, first) = queue.pop().unwrap();
+        assert_eq!(first, Event::Capture { level: 1 });
+    }
+
+    #[test]
+    fn insertion_order_breaks_remaining_ties() {
+        let mut queue = EventQueue::new();
+        queue.push(1.0, Event::Complete { level: 1, rp: 7 });
+        queue.push(1.0, Event::Complete { level: 1, rp: 9 });
+        assert_eq!(queue.len(), 2);
+        let (_, first) = queue.pop().unwrap();
+        assert_eq!(first, Event::Complete { level: 1, rp: 7 });
+        assert!(!queue.is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Simulated failure injection and recovery execution.
+//!
+//! Given a completed [`SimReport`], a failure can be injected at any
+//! instant: the simulator determines which retrieval point each
+//! surviving level *actually* holds, picks the best source (as the
+//! analytic model does, but over real state instead of worst-case
+//! formulas), and executes the restore with the actual RP sizes through
+//! the same hop-timing engine the analytic side uses
+//! ([`ssdep_core::analysis::recovery_with_bytes`]).
+
+use crate::sim::SimReport;
+use ssdep_core::analysis::{recovery_with_bytes, RecoveryReport};
+use ssdep_core::demands::DemandSet;
+use ssdep_core::error::Error;
+use ssdep_core::failure::{FailureScenario, FailureScope};
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::units::{Bytes, TimeDelta};
+use ssdep_core::workload::Workload;
+
+/// The observed outcome of one injected failure.
+#[derive(Debug, Clone)]
+pub struct SimRecovery {
+    /// When the failure was injected (simulated seconds).
+    pub failure_time: f64,
+    /// The level the restore streamed from.
+    pub source_level: usize,
+    /// The *observed* recent data loss: how far the restored content
+    /// trails the recovery target.
+    pub observed_loss: TimeDelta,
+    /// The bytes the restore actually read.
+    pub restore_bytes: Bytes,
+    /// The executed recovery timeline.
+    pub recovery: RecoveryReport,
+}
+
+/// Injects a failure at `failure_time` and executes the recovery from
+/// the simulated state.
+///
+/// # Errors
+///
+/// Returns [`Error::NoRecoverySource`] when no surviving level holds a
+/// usable RP at that instant (e.g. before the pipeline has warmed up),
+/// and recovery errors from the hop engine.
+pub fn simulate_failure(
+    design: &StorageDesign,
+    workload: &Workload,
+    demands: &DemandSet,
+    report: &SimReport,
+    scenario: &FailureScenario,
+    failure_time: f64,
+) -> Result<SimRecovery, Error> {
+    let target_age = scenario.target.age().as_secs();
+    let cutoff = failure_time - target_age;
+
+    let mut best: Option<(usize, f64, Option<usize>)> = None;
+    for level in 0..design.levels().len() {
+        if design.level_unavailable(level, scenario) {
+            continue;
+        }
+        if level == 0 && matches!(scenario.scope, FailureScope::DataObject { .. }) {
+            continue;
+        }
+        if let Some((content, rp)) = report.restorable_at(level, failure_time, target_age) {
+            let loss = cutoff - content;
+            let better = best.is_none_or(|(_, best_loss, _)| loss < best_loss);
+            if better {
+                let rp_index = rp.map(|r| {
+                    report
+                        .rps()
+                        .iter()
+                        .position(|x| std::ptr::eq(x, r))
+                        .expect("rp comes from the report")
+                });
+                best = Some((level, loss, rp_index));
+            }
+        }
+    }
+    let Some((source_level, loss, rp_index)) = best else {
+        return Err(Error::NoRecoverySource { target: scenario.to_string() });
+    };
+
+    let needed = scenario.recovery_size(workload.data_capacity());
+    let restore_bytes = if needed < workload.data_capacity() {
+        // Object-level restore reads just the object.
+        needed
+    } else {
+        match rp_index {
+            Some(index) => report
+                .restore_set(&report.rps()[index])
+                .iter()
+                .map(|rp| rp.restore_bytes)
+                .sum(),
+            // Primary / continuous mirror: the full copy.
+            None => workload.data_capacity(),
+        }
+    };
+
+    let recovery = recovery_with_bytes(design, demands, scenario, source_level, restore_bytes)?;
+    Ok(SimRecovery {
+        failure_time,
+        source_level,
+        observed_loss: TimeDelta::from_secs(loss.max(0.0)),
+        restore_bytes,
+        recovery,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, Simulation};
+    use ssdep_core::failure::RecoveryTarget;
+
+    struct Fixture {
+        design: StorageDesign,
+        workload: Workload,
+        demands: DemandSet,
+        report: SimReport,
+    }
+
+    fn baseline(weeks: f64) -> Fixture {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::baseline_design();
+        let demands = design.demands(&workload).unwrap();
+        let report = Simulation::new(
+            &design,
+            &workload,
+            SimConfig::new(TimeDelta::from_weeks(weeks)),
+        )
+        .unwrap()
+        .run();
+        Fixture { design, workload, demands, report }
+    }
+
+    #[test]
+    fn array_failure_recovers_from_backup_with_observed_loss() {
+        let fixture = baseline(16.0);
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let t = TimeDelta::from_weeks(15.0).as_secs();
+        let outcome = simulate_failure(
+            &fixture.design,
+            &fixture.workload,
+            &fixture.demands,
+            &fixture.report,
+            &scenario,
+            t,
+        )
+        .unwrap();
+        assert_eq!(outcome.source_level, 2, "tape backup is the best survivor");
+        let analytic = ssdep_core::analysis::data_loss(&fixture.design, &scenario)
+            .unwrap()
+            .worst_loss;
+        assert!(outcome.observed_loss <= analytic);
+        assert!(outcome.observed_loss > TimeDelta::from_hours(40.0), "backups lag days");
+        assert_eq!(outcome.restore_bytes, fixture.workload.data_capacity());
+        assert!(outcome.recovery.total_time > TimeDelta::from_hours(1.0));
+    }
+
+    #[test]
+    fn object_rollback_uses_the_split_mirror() {
+        let fixture = baseline(8.0);
+        let scenario = FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        );
+        let t = TimeDelta::from_weeks(7.0).as_secs();
+        let outcome = simulate_failure(
+            &fixture.design,
+            &fixture.workload,
+            &fixture.demands,
+            &fixture.report,
+            &scenario,
+            t,
+        )
+        .unwrap();
+        assert_eq!(outcome.source_level, 1);
+        assert!(outcome.observed_loss <= TimeDelta::from_hours(12.0));
+        assert_eq!(outcome.restore_bytes, Bytes::from_mib(1.0));
+        assert!(outcome.recovery.total_time < TimeDelta::from_secs(1.0));
+    }
+
+    #[test]
+    fn failure_before_warmup_has_no_source() {
+        let fixture = baseline(8.0);
+        let scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+        // The vault's first RP completes ~8.2 weeks in; at week 2 a site
+        // disaster is unrecoverable.
+        let err = simulate_failure(
+            &fixture.design,
+            &fixture.workload,
+            &fixture.demands,
+            &fixture.report,
+            &scenario,
+            TimeDelta::from_weeks(2.0).as_secs(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::NoRecoverySource { .. }));
+    }
+
+    #[test]
+    fn site_failure_after_warmup_recovers_from_the_vault() {
+        let fixture = baseline(16.0);
+        let scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+        let outcome = simulate_failure(
+            &fixture.design,
+            &fixture.workload,
+            &fixture.demands,
+            &fixture.report,
+            &scenario,
+            TimeDelta::from_weeks(15.0).as_secs(),
+        )
+        .unwrap();
+        assert_eq!(outcome.source_level, 3);
+        assert!(outcome.recovery.total_time > TimeDelta::from_hours(24.0));
+        let analytic = ssdep_core::analysis::data_loss(&fixture.design, &scenario)
+            .unwrap()
+            .worst_loss;
+        assert!(outcome.observed_loss <= analytic);
+    }
+}

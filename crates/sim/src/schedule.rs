@@ -1,0 +1,304 @@
+//! Deriving executable capture schedules from technique models.
+//!
+//! The analytic side describes levels with windows; the simulator needs
+//! a concrete schedule: how often to capture, what kind of RP each
+//! capture produces, how long until it is restorable, and how many to
+//! retain.
+
+use serde::{Deserialize, Serialize};
+use ssdep_core::protection::{IncrementalMode, MirrorMode, Technique};
+use ssdep_core::units::{Bytes, TimeDelta};
+use ssdep_core::workload::Workload;
+
+/// What a scheduled capture produces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RpKind {
+    /// A complete copy of the dataset.
+    Full,
+    /// Changes since the last full (restore needs the full plus this).
+    CumulativeIncrement {
+        /// The update window this increment covers, for sizing.
+        window: TimeDelta,
+    },
+    /// Changes since the previous backup of any kind (restore needs the
+    /// full plus every increment after it).
+    DifferentialIncrement {
+        /// The update window this increment covers, for sizing.
+        window: TimeDelta,
+    },
+}
+
+impl RpKind {
+    /// Whether a restore can start from this RP alone.
+    pub fn is_full(&self) -> bool {
+        matches!(self, RpKind::Full)
+    }
+
+    /// The update window an incremental covers (`None` for fulls).
+    pub fn window(&self) -> Option<TimeDelta> {
+        match self {
+            RpKind::Full => None,
+            RpKind::CumulativeIncrement { window } | RpKind::DifferentialIncrement { window } => {
+                Some(*window)
+            }
+        }
+    }
+}
+
+/// One slot of a capture cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepSpec {
+    /// What this capture produces.
+    pub kind: RpKind,
+    /// Hold + propagation latency before the RP is restorable.
+    pub latency: TimeDelta,
+    /// The propagation (transfer) portion of the latency — the window
+    /// during which the bytes actually move and consume bandwidth.
+    pub propagation: TimeDelta,
+}
+
+/// The simulator's model of one level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LevelModel {
+    /// The live primary copy.
+    Primary,
+    /// A continuously maintained mirror whose content trails the primary
+    /// by at most `lag`.
+    Continuous {
+        /// Worst-case content staleness.
+        lag: TimeDelta,
+    },
+    /// A windowed RP schedule.
+    Scheduled {
+        /// Interval between captures.
+        period: TimeDelta,
+        /// The cycle of capture kinds, applied round-robin.
+        reps: Vec<RepSpec>,
+        /// How many completed RPs are retained.
+        retention: usize,
+        /// For levels that move only changed data on a "full" capture
+        /// (resilvering mirrors, snapshots, batched mirrors): the update
+        /// window whose unique bytes each capture transfers. `None`
+        /// means a full capture physically moves the whole dataset
+        /// (backup, vaulting).
+        full_transfer_window: Option<TimeDelta>,
+        /// Bytes a restore reads from a full RP at this level.
+        full_restore: Bytes,
+    },
+}
+
+/// Derives the executable schedule for one level's technique.
+pub fn level_model(technique: &Technique, workload: &Workload) -> LevelModel {
+    let data = workload.data_capacity();
+    match technique {
+        Technique::PrimaryCopy(_) => LevelModel::Primary,
+        Technique::SplitMirror(t) => {
+            let params = t.params();
+            let staleness = params.accumulation_window() * t.mirror_count() as f64;
+            LevelModel::Scheduled {
+                period: params.accumulation_window(),
+                reps: vec![RepSpec {
+                    kind: RpKind::Full,
+                    latency: params.transit_lag(),
+                    propagation: params.propagation_window(),
+                }],
+                retention: params.retention_count() as usize,
+                full_transfer_window: Some(staleness),
+                full_restore: data,
+            }
+        }
+        Technique::VirtualSnapshot(t) => {
+            let params = t.params();
+            LevelModel::Scheduled {
+                period: params.accumulation_window(),
+                reps: vec![RepSpec {
+                    kind: RpKind::Full,
+                    latency: params.transit_lag(),
+                    propagation: params.propagation_window(),
+                }],
+                retention: params.retention_count() as usize,
+                full_transfer_window: Some(params.accumulation_window()),
+                full_restore: data,
+            }
+        }
+        Technique::RemoteMirror(m) => match m.mode() {
+            MirrorMode::Synchronous => LevelModel::Continuous { lag: TimeDelta::ZERO },
+            MirrorMode::Asynchronous { write_lag } => LevelModel::Continuous { lag: *write_lag },
+            MirrorMode::Batched { params } => LevelModel::Scheduled {
+                period: params.accumulation_window(),
+                reps: vec![RepSpec {
+                    kind: RpKind::Full,
+                    latency: params.transit_lag(),
+                    propagation: params.propagation_window(),
+                }],
+                retention: params.retention_count() as usize,
+                full_transfer_window: Some(params.accumulation_window()),
+                full_restore: data,
+            },
+        },
+        Technique::Backup(b) => {
+            let full = b.full_params();
+            let full_rep = RepSpec {
+                kind: RpKind::Full,
+                latency: full.transit_lag(),
+                propagation: full.propagation_window(),
+            };
+            match b.incremental() {
+                None => LevelModel::Scheduled {
+                    period: full.accumulation_window(),
+                    reps: vec![full_rep],
+                    retention: full.retention_count() as usize,
+                    full_transfer_window: None,
+                    full_restore: data,
+                },
+                Some(incr) => {
+                    let captures_per_cycle = incr.count as usize + 1;
+                    let mut reps = Vec::with_capacity(captures_per_cycle);
+                    reps.push(full_rep);
+                    for k in 1..=incr.count {
+                        let kind = match incr.mode {
+                            IncrementalMode::Cumulative => RpKind::CumulativeIncrement {
+                                window: incr.accumulation_window * k as f64,
+                            },
+                            IncrementalMode::Differential => RpKind::DifferentialIncrement {
+                                window: incr.accumulation_window,
+                            },
+                        };
+                        reps.push(RepSpec {
+                            kind,
+                            latency: incr.hold_window + incr.propagation_window,
+                            propagation: incr.propagation_window,
+                        });
+                    }
+                    LevelModel::Scheduled {
+                        period: full.cycle_period() / captures_per_cycle as f64,
+                        reps,
+                        retention: full.retention_count() as usize * captures_per_cycle,
+                        full_transfer_window: None,
+                        full_restore: data,
+                    }
+                }
+            }
+        }
+        Technique::RemoteVault(t) => {
+            let params = t.params();
+            LevelModel::Scheduled {
+                period: params.accumulation_window(),
+                reps: vec![RepSpec {
+                    kind: RpKind::Full,
+                    latency: params.transit_lag(),
+                    propagation: params.propagation_window(),
+                }],
+                retention: params.retention_count() as usize,
+                full_transfer_window: None,
+                full_restore: data,
+            }
+        }
+        // `Technique` is non-exhaustive; new variants need an explicit
+        // simulator model before they can be executed.
+        other => unimplemented!("no simulator schedule for technique `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_models() -> Vec<LevelModel> {
+        let workload = ssdep_core::presets::cello_workload();
+        ssdep_core::presets::baseline_design()
+            .levels()
+            .iter()
+            .map(|l| level_model(l.technique(), &workload))
+            .collect()
+    }
+
+    #[test]
+    fn baseline_schedule_shapes() {
+        let models = baseline_models();
+        assert!(matches!(models[0], LevelModel::Primary));
+        match &models[1] {
+            LevelModel::Scheduled { period, retention, reps, full_transfer_window, .. } => {
+                assert_eq!(*period, TimeDelta::from_hours(12.0));
+                assert_eq!(*retention, 4);
+                assert_eq!(reps.len(), 1);
+                assert_eq!(reps[0].latency, TimeDelta::ZERO);
+                // A resilver catches up five windows of unique updates.
+                assert_eq!(*full_transfer_window, Some(TimeDelta::from_hours(60.0)));
+            }
+            other => panic!("split mirror should be scheduled, got {other:?}"),
+        }
+        match &models[3] {
+            LevelModel::Scheduled { period, retention, reps, full_transfer_window, .. } => {
+                assert_eq!(*period, TimeDelta::from_weeks(4.0));
+                assert_eq!(*retention, 39);
+                assert_eq!(*full_transfer_window, None);
+                // Hold 4 wk + 12 h plus a 24 h propagation.
+                assert_eq!(
+                    reps[0].latency,
+                    TimeDelta::from_weeks(4.0) + TimeDelta::from_hours(36.0)
+                );
+            }
+            other => panic!("vault should be scheduled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_and_incremental_cycle_shape() {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::weekly_vault_full_incremental_design();
+        let model = level_model(design.levels()[2].technique(), &workload);
+        match model {
+            LevelModel::Scheduled { period, reps, retention, .. } => {
+                // 6 captures per one-week cycle → 28-hour spacing.
+                assert_eq!(reps.len(), 6);
+                assert!((period.as_hours() - 28.0).abs() < 1e-9);
+                assert!(reps[0].kind.is_full());
+                assert!(!reps[1].kind.is_full());
+                assert_eq!(retention, 4 * 6);
+                // Cumulative increments cover growing windows.
+                assert!(reps[5].kind.window().unwrap() > reps[1].kind.window().unwrap());
+            }
+            other => panic!("expected scheduled backup, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mirror_modes_map_to_models() {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::async_batch_mirror_design(1);
+        let model = level_model(design.levels()[1].technique(), &workload);
+        match model {
+            LevelModel::Scheduled { period, full_transfer_window, full_restore, .. } => {
+                assert_eq!(period, TimeDelta::from_minutes(1.0));
+                // Each batch moves a minute of unique updates; the
+                // restore still reads the full copy.
+                assert_eq!(full_transfer_window, Some(TimeDelta::from_minutes(1.0)));
+                assert_eq!(full_restore, workload.data_capacity());
+            }
+            other => panic!("expected scheduled batch mirror, got {other:?}"),
+        }
+
+        use ssdep_core::protection::RemoteMirror;
+        let sync = Technique::RemoteMirror(RemoteMirror::synchronous());
+        assert!(matches!(
+            level_model(&sync, &workload),
+            LevelModel::Continuous { lag } if lag.is_zero()
+        ));
+        let asynchronous =
+            Technique::RemoteMirror(RemoteMirror::asynchronous(TimeDelta::from_secs(30.0)));
+        assert!(matches!(
+            level_model(&asynchronous, &workload),
+            LevelModel::Continuous { lag } if lag == TimeDelta::from_secs(30.0)
+        ));
+    }
+
+    #[test]
+    fn rp_kind_helpers() {
+        assert!(RpKind::Full.is_full());
+        assert_eq!(RpKind::Full.window(), None);
+        let incr = RpKind::DifferentialIncrement { window: TimeDelta::from_hours(24.0) };
+        assert!(!incr.is_full());
+        assert_eq!(incr.window(), Some(TimeDelta::from_hours(24.0)));
+    }
+}

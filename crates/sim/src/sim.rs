@@ -1,0 +1,742 @@
+//! The discrete-event simulation driver.
+//!
+//! [`Simulation::run`] executes every level's capture → hold/propagate →
+//! retain/expire pipeline over a time horizon and records the complete
+//! RP history, so failure queries can be answered for *any* instant
+//! after the fact via [`SimReport`].
+
+use crate::events::{Event, EventQueue};
+use crate::schedule::{level_model, LevelModel, RpKind};
+use serde::{Deserialize, Serialize};
+use ssdep_core::device::{DeviceId, DeviceKind};
+use ssdep_core::error::Error;
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+use ssdep_core::workload::Workload;
+use ssdep_workload::Trace;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Where per-capture update volumes come from.
+#[derive(Debug, Clone)]
+pub enum UpdateModel {
+    /// Use the workload's statistical `batchUpdR` curve (stationary).
+    Statistical,
+    /// Count unique extents from a concrete trace; windows beyond the
+    /// trace length wrap around.
+    Trace(Trace),
+}
+
+impl UpdateModel {
+    /// Unique bytes updated in simulated interval `[start, end)` seconds.
+    pub fn unique_bytes(&self, workload: &Workload, start: f64, end: f64) -> Bytes {
+        match self {
+            UpdateModel::Statistical => {
+                workload.unique_bytes(TimeDelta::from_secs((end - start).max(0.0)))
+            }
+            UpdateModel::Trace(trace) => {
+                let duration = trace.duration().as_secs();
+                let window = (end - start).max(0.0);
+                if window >= duration {
+                    // The whole trace (can't see more uniqueness than it
+                    // contains).
+                    return unique_in(trace, 0.0, duration);
+                }
+                let from = start.rem_euclid(duration);
+                let to = from + window;
+                if to <= duration {
+                    unique_in(trace, from, to)
+                } else {
+                    // Wrap: union of the tail and the head.
+                    let mut seen = std::collections::HashSet::new();
+                    for r in trace.slice(from, duration) {
+                        seen.insert(r.extent);
+                    }
+                    for r in trace.slice(0.0, to - duration) {
+                        seen.insert(r.extent);
+                    }
+                    trace.extent_size() * seen.len() as f64
+                }
+            }
+        }
+    }
+}
+
+fn unique_in(trace: &Trace, from: f64, to: f64) -> Bytes {
+    let mut seen = std::collections::HashSet::new();
+    for r in trace.slice(from, to) {
+        seen.insert(r.extent);
+    }
+    trace.extent_size() * seen.len() as f64
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// How long to simulate.
+    pub horizon: TimeDelta,
+    /// Where update volumes come from.
+    pub update_model: UpdateModel,
+}
+
+impl SimConfig {
+    /// A statistical-update configuration over `horizon`.
+    pub fn new(horizon: TimeDelta) -> SimConfig {
+        SimConfig { horizon, update_model: UpdateModel::Statistical }
+    }
+
+    /// Switches to trace-driven update volumes.
+    pub fn with_trace(mut self, trace: Trace) -> SimConfig {
+        self.update_model = UpdateModel::Trace(trace);
+        self
+    }
+}
+
+/// One simulated retrieval point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimRp {
+    /// The level holding this RP.
+    pub level: usize,
+    /// What the capture produced.
+    pub kind: RpKind,
+    /// The age reference of the data inside the RP (simulated seconds).
+    pub content_time: f64,
+    /// When the capture happened.
+    pub capture_time: f64,
+    /// When the RP became restorable at its level.
+    pub complete_time: f64,
+    /// When retention expired it (∞ while retained).
+    pub expire_time: f64,
+    /// Bytes moved to create it.
+    pub transfer_bytes: Bytes,
+    /// Bytes a restore reads from it.
+    pub restore_bytes: Bytes,
+}
+
+impl SimRp {
+    /// Whether this RP is retained and restorable at instant `t`.
+    pub fn restorable_at(&self, t: f64) -> bool {
+        self.complete_time <= t && t < self.expire_time
+    }
+}
+
+/// One propagation transfer occupying a device for an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XferJob {
+    /// The device the transfer occupies.
+    pub device: DeviceId,
+    /// Transfer start (simulated seconds).
+    pub start: f64,
+    /// Transfer end (simulated seconds).
+    pub end: f64,
+    /// Sustained rate during the transfer, bytes/second.
+    pub rate: f64,
+}
+
+/// The complete history of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    horizon: TimeDelta,
+    models: Vec<LevelModel>,
+    rps: Vec<SimRp>,
+    completed_per_level: Vec<Vec<usize>>,
+    bytes_moved: BTreeMap<DeviceId, Bytes>,
+    max_retained: Vec<usize>,
+    jobs: Vec<XferJob>,
+}
+
+impl SimReport {
+    /// The simulated horizon.
+    pub fn horizon(&self) -> TimeDelta {
+        self.horizon
+    }
+
+    /// The per-level executable models the run used.
+    pub fn models(&self) -> &[LevelModel] {
+        &self.models
+    }
+
+    /// Every RP ever captured, in capture order.
+    pub fn rps(&self) -> &[SimRp] {
+        &self.rps
+    }
+
+    /// How many RPs completed at `level` during the run.
+    pub fn completed_count(&self, level: usize) -> usize {
+        self.completed_per_level.get(level).map_or(0, Vec::len)
+    }
+
+    /// The most RPs `level` ever retained simultaneously.
+    pub fn max_retained(&self, level: usize) -> usize {
+        self.max_retained.get(level).copied().unwrap_or(0)
+    }
+
+    /// Total bytes moved through `device` by RP maintenance.
+    pub fn bytes_moved(&self, device: DeviceId) -> Bytes {
+        self.bytes_moved.get(&device).copied().unwrap_or(Bytes::ZERO)
+    }
+
+    /// The average RP-maintenance bandwidth on `device` over the run.
+    pub fn avg_bandwidth(&self, device: DeviceId) -> Bandwidth {
+        if self.horizon.is_zero() {
+            return Bandwidth::ZERO;
+        }
+        self.bytes_moved(device) / self.horizon
+    }
+
+    /// The propagation transfers that occupied `device`.
+    pub fn jobs_on(&self, device: DeviceId) -> impl Iterator<Item = &XferJob> {
+        self.jobs.iter().filter(move |j| j.device == device)
+    }
+
+    /// The peak *simultaneous* propagation bandwidth observed on
+    /// `device` — the quantity the analytic model provisions for
+    /// (§3.3.1's per-technique demands are sustained window rates, so
+    /// the observed peak must stay at or below their sum).
+    pub fn peak_bandwidth(&self, device: DeviceId) -> Bandwidth {
+        let mut boundaries: Vec<(f64, f64)> = Vec::new();
+        for job in self.jobs_on(device) {
+            boundaries.push((job.start, job.rate));
+            boundaries.push((job.end, -job.rate));
+        }
+        boundaries.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then(a.1.partial_cmp(&b.1).expect("finite rates"))
+        });
+        let mut current = 0.0f64;
+        let mut peak = 0.0f64;
+        for (_, delta) in boundaries {
+            current += delta;
+            peak = peak.max(current);
+        }
+        Bandwidth::from_bytes_per_sec(peak)
+    }
+
+    /// The newest state restorable from `level` at instant `t` for a
+    /// target `target_age` seconds before `t`.
+    ///
+    /// Returns the content time and the RP (if the level is scheduled;
+    /// continuous mirrors synthesize a virtual RP). `None` when the
+    /// level holds nothing usable.
+    pub fn restorable_at(
+        &self,
+        level: usize,
+        t: f64,
+        target_age: f64,
+    ) -> Option<(f64, Option<&SimRp>)> {
+        let cutoff = t - target_age;
+        match self.models.get(level)? {
+            LevelModel::Primary => {
+                if target_age == 0.0 {
+                    Some((t, None))
+                } else {
+                    None
+                }
+            }
+            LevelModel::Continuous { lag } => {
+                let content = t - lag.as_secs();
+                (content <= cutoff).then_some((content, None))
+            }
+            LevelModel::Scheduled { .. } => self
+                .completed_per_level
+                .get(level)?
+                .iter()
+                .map(|&i| &self.rps[i])
+                .filter(|rp| rp.restorable_at(t) && rp.content_time <= cutoff)
+                .max_by(|a, b| a.content_time.total_cmp(&b.content_time))
+                .map(|rp| (rp.content_time, Some(rp))),
+        }
+    }
+
+    /// Samples the staleness (age of the freshest restorable content) of
+    /// `level` every `step` seconds across `[from, to)` — the sawtooth
+    /// behind Figure 3, as actually executed. Instants where the level
+    /// holds nothing yield `None`.
+    pub fn staleness_series(
+        &self,
+        level: usize,
+        from: f64,
+        to: f64,
+        step: f64,
+    ) -> Vec<(f64, Option<f64>)> {
+        if step <= 0.0 || to <= from {
+            return Vec::new();
+        }
+        let mut series = Vec::new();
+        let mut t = from;
+        while t < to {
+            let staleness = self
+                .restorable_at(level, t, 0.0)
+                .map(|(content, _)| t - content);
+            series.push((t, staleness));
+            t += step;
+        }
+        series
+    }
+
+    /// The set of RPs a restore from `rp` must read: the RP itself, its
+    /// base full (for incrementals), and the intervening differentials.
+    pub fn restore_set<'a>(&'a self, rp: &'a SimRp) -> Vec<&'a SimRp> {
+        if rp.kind.is_full() {
+            return vec![rp];
+        }
+        let level_rps: Vec<&SimRp> = self.completed_per_level[rp.level]
+            .iter()
+            .map(|&i| &self.rps[i])
+            .collect();
+        let base = level_rps
+            .iter()
+            .copied()
+            .filter(|r| r.kind.is_full() && r.capture_time <= rp.capture_time)
+            .max_by(|a, b| a.capture_time.total_cmp(&b.capture_time));
+        let Some(base) = base else {
+            return vec![rp];
+        };
+        let mut set: Vec<&SimRp> = vec![base];
+        match rp.kind {
+            RpKind::CumulativeIncrement { .. } => set.push(rp),
+            RpKind::DifferentialIncrement { .. } => {
+                for r in level_rps.iter().copied().filter(|r| {
+                    !r.kind.is_full()
+                        && r.capture_time > base.capture_time
+                        && r.capture_time <= rp.capture_time
+                }) {
+                    set.push(r);
+                }
+            }
+            RpKind::Full => {}
+        }
+        set
+    }
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+#[derive(Debug)]
+pub struct Simulation {
+    design: StorageDesign,
+    workload: Workload,
+    config: SimConfig,
+    models: Vec<LevelModel>,
+}
+
+impl Simulation {
+    /// Prepares a simulation of `design` under `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a non-positive horizon.
+    pub fn new(
+        design: &StorageDesign,
+        workload: &Workload,
+        config: SimConfig,
+    ) -> Result<Simulation, Error> {
+        if !(config.horizon.value() > 0.0 && config.horizon.is_finite()) {
+            return Err(Error::invalid("sim.horizon", "must be positive and finite"));
+        }
+        let models = design
+            .levels()
+            .iter()
+            .map(|l| level_model(l.technique(), workload))
+            .collect();
+        Ok(Simulation {
+            design: design.clone(),
+            workload: workload.clone(),
+            config,
+            models,
+        })
+    }
+
+    /// Runs the pipeline to the horizon and returns the history.
+    pub fn run(self) -> SimReport {
+        let horizon = self.config.horizon.as_secs();
+        let levels = self.design.levels();
+        let mut queue = EventQueue::new();
+        let mut rps: Vec<SimRp> = Vec::new();
+        let mut completed: Vec<Vec<usize>> = vec![Vec::new(); levels.len()];
+        let mut retained: Vec<VecDeque<usize>> = vec![VecDeque::new(); levels.len()];
+        let mut max_retained = vec![0usize; levels.len()];
+        let mut next_rep = vec![0usize; levels.len()];
+        let mut bytes_moved: BTreeMap<DeviceId, Bytes> = BTreeMap::new();
+        let mut jobs: Vec<XferJob> = Vec::new();
+
+        for (index, model) in self.models.iter().enumerate() {
+            if let LevelModel::Scheduled { period, .. } = model {
+                if period.as_secs() > 0.0 {
+                    queue.push(period.as_secs(), Event::Capture { level: index });
+                }
+            }
+        }
+
+        while let Some((t, event)) = queue.pop() {
+            if t > horizon {
+                break;
+            }
+            match event {
+                Event::Capture { level } => {
+                    let LevelModel::Scheduled {
+                        period,
+                        reps,
+                        full_transfer_window,
+                        full_restore,
+                        ..
+                    } = &self.models[level]
+                    else {
+                        continue;
+                    };
+                    queue.push(t + period.as_secs(), Event::Capture { level });
+                    let rep = reps[next_rep[level] % reps.len()];
+
+                    // Content comes from the level above: the newest RP
+                    // captured so far. Per §3.2.1 the hold window starts
+                    // when that RP *arrives* at the upstream level, so
+                    // this level's latency chains onto the upstream
+                    // completion (Figure 3's Σ(holdW + propW)).
+                    let upstream = match &self.models[level - 1] {
+                        LevelModel::Primary => Some((t, t)),
+                        LevelModel::Continuous { lag } => Some((t - lag.as_secs(), t)),
+                        LevelModel::Scheduled { .. } => newest_captured(&rps, level - 1, t),
+                    };
+                    let Some((content_time, upstream_complete)) = upstream else {
+                        continue; // upstream has produced nothing yet
+                    };
+                    next_rep[level] += 1;
+                    let deadline = t.max(upstream_complete) + rep.latency.as_secs();
+
+                    let transfer_bytes = match rep.kind.window() {
+                        Some(window) => self.config.update_model.unique_bytes(
+                            &self.workload,
+                            t - window.as_secs(),
+                            t,
+                        ),
+                        None => match full_transfer_window {
+                            Some(window) => self.config.update_model.unique_bytes(
+                                &self.workload,
+                                t - window.as_secs(),
+                                t,
+                            ),
+                            None => self.workload.data_capacity(),
+                        },
+                    };
+                    let restore_bytes = if rep.kind.is_full() {
+                        *full_restore
+                    } else {
+                        transfer_bytes
+                    };
+                    let rp_index = rps.len();
+                    rps.push(SimRp {
+                        level,
+                        kind: rep.kind,
+                        content_time,
+                        capture_time: t,
+                        complete_time: deadline,
+                        expire_time: f64::INFINITY,
+                        transfer_bytes,
+                        restore_bytes,
+                    });
+                    queue.push(deadline, Event::Complete { level, rp: rp_index });
+
+                    // Record the transfer as a bandwidth-occupying job,
+                    // unless media move physically (couriers) — those
+                    // place no bandwidth demand (§3.2.3).
+                    let physical = levels[level]
+                        .transports()
+                        .iter()
+                        .any(|&d| matches!(self.design.device(d).kind(), DeviceKind::Courier));
+                    if !physical && transfer_bytes.value() > 0.0 {
+                        let (start, duration) = if rep.propagation.value() > 0.0 {
+                            (deadline - rep.propagation.as_secs(), rep.propagation.as_secs())
+                        } else {
+                            // Zero propagation window: the data spreads
+                            // over the accumulation period (resilvering).
+                            (t, period.as_secs())
+                        };
+                        let rate = transfer_bytes.value() / duration;
+                        let mut touched = vec![levels[level - 1].host(), levels[level].host()];
+                        touched.extend_from_slice(levels[level].transports());
+                        for device in touched {
+                            jobs.push(XferJob { device, start, end: start + duration, rate });
+                        }
+                    }
+                }
+                Event::Complete { level, rp } => {
+                    completed[level].push(rp);
+                    retained[level].push_back(rp);
+                    let LevelModel::Scheduled { retention, .. } = &self.models[level] else {
+                        continue;
+                    };
+                    while retained[level].len() > *retention {
+                        let expired = retained[level].pop_front().expect("non-empty");
+                        rps[expired].expire_time = t;
+                    }
+                    max_retained[level] = max_retained[level].max(retained[level].len());
+
+                    // Account the propagation traffic.
+                    let transfer = rps[rp].transfer_bytes;
+                    let source = levels[level - 1].host();
+                    let host = levels[level].host();
+                    *bytes_moved.entry(source).or_default() += transfer;
+                    *bytes_moved.entry(host).or_default() += transfer;
+                    for &t_dev in levels[level].transports() {
+                        *bytes_moved.entry(t_dev).or_default() += transfer;
+                    }
+                }
+            }
+        }
+
+        SimReport {
+            horizon: self.config.horizon,
+            models: self.models,
+            rps,
+            completed_per_level: completed,
+            bytes_moved,
+            max_retained,
+            jobs,
+        }
+    }
+}
+
+/// The newest upstream RP captured no later than `now`, as
+/// `(content_time, complete_time)`.
+fn newest_captured(rps: &[SimRp], level: usize, now: f64) -> Option<(f64, f64)> {
+    rps.iter()
+        .filter(|rp| rp.level == level && rp.capture_time <= now)
+        .max_by(|a, b| a.content_time.total_cmp(&b.content_time))
+        .map(|rp| (rp.content_time, rp.complete_time))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_report(weeks: f64) -> SimReport {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::baseline_design();
+        Simulation::new(&design, &workload, SimConfig::new(TimeDelta::from_weeks(weeks)))
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn pipeline_fills_in_schedule_order() {
+        let report = baseline_report(12.0);
+        // 12 weeks: mirrors every 12 h → ~167 completions; backups
+        // weekly → 11; vault every 4 weeks with a ~4.5-week latency → 1+.
+        assert!(report.completed_count(1) >= 160, "{}", report.completed_count(1));
+        assert!((10..=12).contains(&report.completed_count(2)), "{}", report.completed_count(2));
+        assert!(report.completed_count(3) >= 1);
+        assert_eq!(report.completed_count(0), 0, "the primary captures nothing");
+    }
+
+    #[test]
+    fn retention_never_exceeds_the_configured_count() {
+        let report = baseline_report(20.0);
+        assert!(report.max_retained(1) <= 4);
+        assert!(report.max_retained(2) <= 4);
+        assert!(report.max_retained(3) <= 39);
+    }
+
+    #[test]
+    fn expired_rps_are_not_restorable() {
+        let report = baseline_report(12.0);
+        let t = TimeDelta::from_weeks(11.0).as_secs();
+        let mirror_rps: Vec<&SimRp> = report
+            .rps()
+            .iter()
+            .filter(|rp| rp.level == 1 && rp.restorable_at(t))
+            .collect();
+        assert!(mirror_rps.len() <= 4);
+        // And the restorable set is the *newest* four.
+        let newest = report.restorable_at(1, t, 0.0).unwrap().0;
+        for rp in mirror_rps {
+            assert!(newest >= rp.content_time);
+        }
+    }
+
+    #[test]
+    fn observed_mirror_staleness_stays_within_the_analytic_lag() {
+        let report = baseline_report(12.0);
+        let design = ssdep_core::presets::baseline_design();
+        let analytic = design.levels()[1].technique().worst_own_lag().as_secs();
+        for step in 100..200 {
+            let t = step as f64 * 3600.0;
+            if let Some((content, _)) = report.restorable_at(1, t, 0.0) {
+                let staleness = t - content;
+                assert!(
+                    staleness <= analytic + 1e-6,
+                    "at t={t}: staleness {staleness} exceeds analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vault_content_is_weeks_stale_but_bounded() {
+        let report = baseline_report(30.0);
+        let design = ssdep_core::presets::baseline_design();
+        let ranges = ssdep_core::analysis::level_ranges(&design);
+        let analytic = ranges[3].max_lag.as_secs();
+        let t = TimeDelta::from_weeks(29.0).as_secs();
+        let (content, rp) = report.restorable_at(3, t, 0.0).expect("vault has an RP by week 29");
+        let staleness = t - content;
+        assert!(staleness > TimeDelta::from_weeks(4.0).as_secs(), "vault must lag weeks");
+        assert!(staleness <= analytic + 1e-6, "{staleness} vs analytic {analytic}");
+        assert!(rp.unwrap().kind.is_full());
+    }
+
+    #[test]
+    fn average_traffic_stays_below_provisioned_demands() {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::baseline_design();
+        let demands = design.demands(&workload).unwrap();
+        let report = baseline_report(16.0);
+        for id in design.device_ids() {
+            let index = id.index();
+            let simulated = report.avg_bandwidth(id);
+            let provisioned = demands.bandwidth_on(id) + workload.avg_access_rate();
+            assert!(
+                simulated <= provisioned * 1.05,
+                "device {index}: simulated {simulated} vs provisioned {provisioned}"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_peak_bandwidth_stays_within_analytic_provisioning() {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::baseline_design();
+        let demands = design.demands(&workload).unwrap();
+        let report = baseline_report(16.0);
+        for id in design.device_ids() {
+            let peak = report.peak_bandwidth(id);
+            // The analytic demand sums each technique's sustained window
+            // rate; overlapping jobs must never exceed it (small slack
+            // for f64 boundary arithmetic).
+            let provisioned = demands.bandwidth_on(id);
+            assert!(
+                peak <= provisioned * 1.001 + ssdep_core::units::Bandwidth::from_bytes_per_sec(1.0),
+                "{}: peak {peak} vs provisioned {provisioned}",
+                design.device(id).name()
+            );
+        }
+        // And the tape library's peak is the full-backup rate — the
+        // provisioning is tight, not slack.
+        let tape = design.device_id("tape library").unwrap();
+        let peak = report.peak_bandwidth(tape);
+        assert!(
+            (peak.as_mib_per_sec() - 8.06).abs() < 0.1,
+            "tape peak {peak}"
+        );
+    }
+
+    #[test]
+    fn staleness_series_is_a_sawtooth_bounded_by_the_analytic_lag() {
+        let report = baseline_report(12.0);
+        let design = ssdep_core::presets::baseline_design();
+        let analytic = ssdep_core::analysis::level_ranges(&design)[2].max_lag.as_secs();
+        let from = TimeDelta::from_weeks(6.0).as_secs();
+        let to = TimeDelta::from_weeks(10.0).as_secs();
+        let series = report.staleness_series(2, from, to, 3600.0);
+        assert!(!series.is_empty());
+        let values: Vec<f64> = series.iter().filter_map(|(_, s)| *s).collect();
+        assert!(!values.is_empty());
+        let max = values.iter().cloned().fold(0.0, f64::max);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max <= analytic + 1.0, "max {max} vs analytic {analytic}");
+        // A sawtooth: spans at least most of a weekly cycle.
+        assert!(max - min > TimeDelta::from_days(5.0).as_secs());
+        // Degenerate queries return nothing.
+        assert!(report.staleness_series(2, 10.0, 5.0, 60.0).is_empty());
+        assert!(report.staleness_series(2, 0.0, 10.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn courier_shipments_occupy_no_bandwidth() {
+        let report = baseline_report(16.0);
+        let design = ssdep_core::presets::baseline_design();
+        let vault = design.device_id("tape vault").unwrap();
+        let courier = design.device_id("air shipment").unwrap();
+        assert_eq!(report.jobs_on(vault).count(), 0);
+        assert_eq!(report.jobs_on(courier).count(), 0);
+        assert_eq!(report.peak_bandwidth(courier), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn primary_serves_only_now() {
+        let report = baseline_report(4.0);
+        let t = TimeDelta::from_weeks(3.0).as_secs();
+        assert!(report.restorable_at(0, t, 0.0).is_some());
+        assert!(report.restorable_at(0, t, 60.0).is_none());
+    }
+
+    #[test]
+    fn continuous_mirror_synthesizes_lagged_content() {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::async_batch_mirror_design(1);
+        let report = Simulation::new(
+            &design,
+            &workload,
+            SimConfig::new(TimeDelta::from_hours(2.0)),
+        )
+        .unwrap()
+        .run();
+        let t = 3600.0;
+        let (content, rp) = report.restorable_at(1, t, 0.0).unwrap();
+        // Batched mirror: newest completed batch is at most 2 minutes old.
+        assert!(t - content <= 120.0 + 1e-9, "staleness {}", t - content);
+        assert!(rp.is_some());
+    }
+
+    #[test]
+    fn restore_set_assembles_incremental_chains() {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::weekly_vault_full_incremental_design();
+        let report = Simulation::new(
+            &design,
+            &workload,
+            SimConfig::new(TimeDelta::from_weeks(6.0)),
+        )
+        .unwrap()
+        .run();
+        let t = TimeDelta::from_weeks(5.5).as_secs();
+        let (_, rp) = report.restorable_at(2, t, 0.0).expect("backup has RPs");
+        let rp = rp.unwrap();
+        let set = report.restore_set(rp);
+        if rp.kind.is_full() {
+            assert_eq!(set.len(), 1);
+        } else {
+            assert!(set.len() >= 2, "incremental restore needs its base full");
+            assert!(set[0].kind.is_full());
+        }
+        let total: Bytes = set.iter().map(|r| r.restore_bytes).sum();
+        assert!(total >= workload.data_capacity());
+    }
+
+    #[test]
+    fn zero_horizon_is_rejected() {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::baseline_design();
+        assert!(Simulation::new(&design, &workload, SimConfig::new(TimeDelta::ZERO)).is_err());
+    }
+
+    #[test]
+    fn trace_driven_sizes_wrap_and_bound() {
+        let trace = ssdep_workload::TraceGenerator::builder()
+            .duration(TimeDelta::from_hours(4.0))
+            .extent_count(5_000)
+            .updates_per_sec(2.0)
+            .locality(0.8, 100)
+            .seed(3)
+            .build()
+            .unwrap()
+            .generate();
+        let workload = ssdep_core::presets::cello_workload();
+        let model = UpdateModel::Trace(trace.clone());
+        let short = model.unique_bytes(&workload, 0.0, 600.0);
+        let wrapped = model.unique_bytes(&workload, 13_000.0, 15_000.0);
+        let whole = model.unique_bytes(&workload, 0.0, 1e9);
+        assert!(short > Bytes::ZERO);
+        assert!(wrapped > Bytes::ZERO);
+        assert!(whole <= trace.data_capacity());
+        assert!(short <= whole);
+    }
+}

@@ -1,0 +1,267 @@
+//! Sweeping failure times to validate the analytic worst cases.
+//!
+//! For each sampled failure instant, the observed data loss and recovery
+//! time must not exceed the analytic worst case; across enough samples
+//! the observed maximum should also *approach* the analytic bound,
+//! showing the bound is tight rather than merely safe.
+
+use crate::recovery::simulate_failure;
+use crate::sim::SimReport;
+use ssdep_core::analysis;
+use ssdep_core::demands::DemandSet;
+use ssdep_core::error::Error;
+use ssdep_core::failure::FailureScenario;
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::units::TimeDelta;
+use ssdep_core::workload::Workload;
+
+/// The result of validating one scenario against a simulation run.
+#[derive(Debug, Clone)]
+pub struct ValidationOutcome {
+    /// The validated scenario.
+    pub scenario: FailureScenario,
+    /// Analytic worst-case recent data loss.
+    pub analytic_loss: TimeDelta,
+    /// Analytic worst-case recovery time.
+    pub analytic_recovery: TimeDelta,
+    /// Largest observed data loss across samples.
+    pub observed_max_loss: TimeDelta,
+    /// Largest observed recovery time across samples.
+    pub observed_max_recovery: TimeDelta,
+    /// Failure instants that produced an outcome.
+    pub evaluated_samples: usize,
+    /// Failure instants where no surviving source existed (warmup).
+    pub skipped_samples: usize,
+    /// Samples whose observed loss exceeded the analytic bound.
+    pub loss_violations: usize,
+    /// Samples whose observed recovery exceeded the analytic bound.
+    pub recovery_violations: usize,
+}
+
+impl ValidationOutcome {
+    /// Whether every observation respected both analytic bounds.
+    pub fn bounds_hold(&self) -> bool {
+        self.loss_violations == 0 && self.recovery_violations == 0
+    }
+
+    /// How close the observed maximum loss came to the analytic bound
+    /// (1.0 = the bound is tight).
+    pub fn loss_tightness(&self) -> f64 {
+        if self.analytic_loss.is_zero() {
+            return 1.0;
+        }
+        self.observed_max_loss / self.analytic_loss
+    }
+}
+
+/// Validates a scenario by injecting failures at every time in
+/// `sample_times` (simulated seconds).
+///
+/// Samples where the pipeline has not warmed up enough to offer a source
+/// are skipped (counted in
+/// [`skipped_samples`](ValidationOutcome::skipped_samples)); other
+/// errors propagate.
+///
+/// # Errors
+///
+/// Propagates analytic evaluation errors and recovery-engine errors.
+pub fn validate_scenario(
+    design: &StorageDesign,
+    workload: &Workload,
+    demands: &DemandSet,
+    report: &SimReport,
+    scenario: &FailureScenario,
+    sample_times: &[f64],
+) -> Result<ValidationOutcome, Error> {
+    let analytic_loss = analysis::data_loss(design, scenario)?;
+    let analytic_recovery = analysis::recovery(
+        design,
+        workload,
+        demands,
+        scenario,
+        analytic_loss.source_level,
+    )?;
+
+    // Observed losses compare against the bound with a small slack for
+    // floating-point scheduling jitter.
+    let epsilon = TimeDelta::from_secs(1.0);
+
+    let mut outcome = ValidationOutcome {
+        scenario: scenario.clone(),
+        analytic_loss: analytic_loss.worst_loss,
+        analytic_recovery: analytic_recovery.total_time,
+        observed_max_loss: TimeDelta::ZERO,
+        observed_max_recovery: TimeDelta::ZERO,
+        evaluated_samples: 0,
+        skipped_samples: 0,
+        loss_violations: 0,
+        recovery_violations: 0,
+    };
+
+    for &t in sample_times {
+        match simulate_failure(design, workload, demands, report, scenario, t) {
+            Ok(observed) => {
+                outcome.evaluated_samples += 1;
+                outcome.observed_max_loss = outcome.observed_max_loss.max(observed.observed_loss);
+                outcome.observed_max_recovery = outcome
+                    .observed_max_recovery
+                    .max(observed.recovery.total_time);
+                if observed.observed_loss > outcome.analytic_loss + epsilon {
+                    outcome.loss_violations += 1;
+                }
+                if observed.recovery.total_time > outcome.analytic_recovery + epsilon {
+                    outcome.recovery_violations += 1;
+                }
+            }
+            Err(Error::NoRecoverySource { .. }) => outcome.skipped_samples += 1,
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(outcome)
+}
+
+/// Evenly spaced failure instants in `[start, end)`.
+pub fn sample_grid(start: TimeDelta, end: TimeDelta, samples: usize) -> Vec<f64> {
+    let (a, b) = (start.as_secs(), end.as_secs());
+    if samples == 0 || b <= a {
+        return Vec::new();
+    }
+    (0..samples)
+        .map(|i| a + (b - a) * (i as f64 + 0.37) / samples as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, Simulation};
+    use ssdep_core::failure::{FailureScope, RecoveryTarget};
+    use ssdep_core::units::Bytes;
+
+    struct Fixture {
+        design: StorageDesign,
+        workload: Workload,
+        demands: DemandSet,
+        report: SimReport,
+    }
+
+    fn fixture(design: StorageDesign, weeks: f64) -> Fixture {
+        let workload = ssdep_core::presets::cello_workload();
+        let demands = design.demands(&workload).unwrap();
+        let report = Simulation::new(
+            &design,
+            &workload,
+            SimConfig::new(TimeDelta::from_weeks(weeks)),
+        )
+        .unwrap()
+        .run();
+        Fixture { design, workload, demands, report }
+    }
+
+    fn run(fixture: &Fixture, scenario: FailureScenario, samples: usize) -> ValidationOutcome {
+        let grid = sample_grid(
+            TimeDelta::from_weeks(10.0),
+            fixture.report.horizon(),
+            samples,
+        );
+        validate_scenario(
+            &fixture.design,
+            &fixture.workload,
+            &fixture.demands,
+            &fixture.report,
+            &scenario,
+            &grid,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_array_bounds_hold_and_are_tight() {
+        let fixture = fixture(ssdep_core::presets::baseline_design(), 20.0);
+        let outcome = run(
+            &fixture,
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            64,
+        );
+        assert!(outcome.bounds_hold(), "{outcome:?}");
+        assert!(outcome.evaluated_samples > 50);
+        // The worst sampled instant should land within ~25 % of the
+        // 217-hour analytic bound.
+        assert!(
+            outcome.loss_tightness() > 0.75,
+            "loss tightness {:.2}",
+            outcome.loss_tightness()
+        );
+    }
+
+    #[test]
+    fn baseline_site_bounds_hold() {
+        let fixture = fixture(ssdep_core::presets::baseline_design(), 40.0);
+        let outcome = run(
+            &fixture,
+            FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+            64,
+        );
+        assert!(outcome.bounds_hold(), "{outcome:?}");
+        // Vault staleness swings over weeks; observed max should reach a
+        // healthy share of the 1429-hour bound.
+        assert!(
+            outcome.loss_tightness() > 0.5,
+            "loss tightness {:.2}",
+            outcome.loss_tightness()
+        );
+    }
+
+    #[test]
+    fn baseline_object_rollback_bounds_hold() {
+        let fixture = fixture(ssdep_core::presets::baseline_design(), 16.0);
+        let outcome = run(
+            &fixture,
+            FailureScenario::new(
+                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+                RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            ),
+            48,
+        );
+        assert!(outcome.bounds_hold(), "{outcome:?}");
+        assert!(outcome.observed_max_loss <= TimeDelta::from_hours(12.0));
+    }
+
+    #[test]
+    fn mirror_design_bounds_hold_with_minute_losses() {
+        let fixture = fixture(ssdep_core::presets::async_batch_mirror_design(1), 12.0);
+        let outcome = run(
+            &fixture,
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            48,
+        );
+        assert!(outcome.bounds_hold(), "{outcome:?}");
+        assert!(outcome.analytic_loss == TimeDelta::from_minutes(2.0));
+        assert!(outcome.observed_max_loss <= TimeDelta::from_minutes(2.0));
+        assert!(outcome.observed_max_loss >= TimeDelta::from_minutes(1.0));
+    }
+
+    #[test]
+    fn what_if_designs_all_respect_bounds_for_array_failures() {
+        for design in ssdep_core::presets::what_if_designs() {
+            let name = design.name().to_string();
+            let fixture = fixture(design, 16.0);
+            let outcome = run(
+                &fixture,
+                FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+                24,
+            );
+            assert!(outcome.bounds_hold(), "{name}: {outcome:?}");
+            assert!(outcome.evaluated_samples > 0, "{name} evaluated nothing");
+        }
+    }
+
+    #[test]
+    fn sample_grid_spans_the_interval() {
+        let grid = sample_grid(TimeDelta::from_hours(1.0), TimeDelta::from_hours(2.0), 10);
+        assert_eq!(grid.len(), 10);
+        assert!(grid[0] >= 3600.0);
+        assert!(*grid.last().unwrap() < 7200.0);
+        assert!(sample_grid(TimeDelta::from_hours(2.0), TimeDelta::from_hours(1.0), 5).is_empty());
+    }
+}

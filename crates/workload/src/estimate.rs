@@ -1,0 +1,309 @@
+//! Measuring workload statistics from a trace (the inverse of what the
+//! paper did with the real *cello* trace).
+//!
+//! The estimators compute exactly the parameters of the paper's Table 2:
+//! average update rate, burst multiplier (peak slot rate over average),
+//! and the batch update rate `batchUpdR(win)` — the unique-extent update
+//! rate per accumulation window, averaged over all whole windows in the
+//! trace.
+
+use crate::trace::Trace;
+use ssdep_core::error::Error;
+use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+use ssdep_core::workload::Workload;
+use std::collections::HashSet;
+
+/// The average (non-unique) update rate over the whole trace.
+pub fn avg_update_rate(trace: &Trace) -> Bandwidth {
+    trace.avg_update_rate()
+}
+
+/// The burst multiplier: the busiest `slot`'s update rate divided by the
+/// trace average. Returns 1 for empty traces.
+pub fn burst_multiplier(trace: &Trace, slot: TimeDelta) -> f64 {
+    let avg = trace.avg_update_rate();
+    if avg.value() <= 0.0 || slot.value() <= 0.0 {
+        return 1.0;
+    }
+    let slot_secs = slot.as_secs();
+    let slots = (trace.duration().as_secs() / slot_secs).floor() as u64;
+    let mut counts = vec![0u64; slots as usize];
+    for record in trace.records() {
+        let index = (record.time / slot_secs) as usize;
+        if index < counts.len() {
+            counts[index] += 1;
+        }
+    }
+    let peak = counts.iter().copied().max().unwrap_or(0);
+    let peak_rate = trace.extent_size() * peak as f64 / slot;
+    (peak_rate / avg).max(1.0)
+}
+
+/// Average unique bytes updated per window of length `window`, over all
+/// whole windows in the trace.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] if the trace is shorter than one
+/// window.
+pub fn unique_bytes_per_window(trace: &Trace, window: TimeDelta) -> Result<Bytes, Error> {
+    if window.value() <= 0.0 {
+        return Err(Error::invalid("estimate.window", "must be positive"));
+    }
+    let window_secs = window.as_secs();
+    let windows = (trace.duration().as_secs() / window_secs).floor() as u64;
+    if windows == 0 {
+        return Err(Error::invalid(
+            "estimate.window",
+            format!("trace ({}) is shorter than one window ({window})", trace.duration()),
+        ));
+    }
+    let mut total_unique = 0u64;
+    let mut seen: HashSet<u64> = HashSet::new();
+    for index in 0..windows {
+        seen.clear();
+        let start = index as f64 * window_secs;
+        for record in trace.slice(start, start + window_secs) {
+            seen.insert(record.extent);
+        }
+        total_unique += seen.len() as u64;
+    }
+    Ok(trace.extent_size() * (total_unique as f64 / windows as f64))
+}
+
+/// The batch update rate for windows of length `window`:
+/// unique bytes per window divided by the window length.
+///
+/// # Errors
+///
+/// As [`unique_bytes_per_window`].
+pub fn batch_update_rate(trace: &Trace, window: TimeDelta) -> Result<Bandwidth, Error> {
+    Ok(unique_bytes_per_window(trace, window)? / window)
+}
+
+/// A measured batch-update-rate curve, repaired to the physical
+/// monotonicity the [`Workload`] builder requires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredCurve {
+    /// `(window, rate)` points, windows ascending, rates non-increasing.
+    pub points: Vec<(TimeDelta, Bandwidth)>,
+}
+
+/// Measures the batch update rate at each requested window and repairs
+/// sampling noise so the curve satisfies the builder's invariants:
+/// rates non-increasing with window, unique bytes non-decreasing, and no
+/// rate above the trace's average update rate.
+///
+/// # Errors
+///
+/// As [`unique_bytes_per_window`] for each window.
+pub fn measure_curve(trace: &Trace, windows: &[TimeDelta]) -> Result<MeasuredCurve, Error> {
+    let mut sorted: Vec<TimeDelta> = windows.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite windows"));
+    sorted.dedup();
+    let avg = trace.avg_update_rate();
+
+    let mut points = Vec::with_capacity(sorted.len());
+    let mut prev_rate = avg;
+    let mut prev_bytes = Bytes::ZERO;
+    for window in sorted {
+        let mut rate = batch_update_rate(trace, window)?;
+        // Repair: unique rate can never exceed the average update rate,
+        // must not increase with the window, and the implied unique
+        // bytes must not shrink.
+        rate = rate.min(prev_rate).min(avg);
+        let mut bytes = rate * window;
+        if bytes < prev_bytes {
+            bytes = prev_bytes;
+            rate = bytes / window;
+        }
+        points.push((window, rate));
+        prev_rate = rate;
+        prev_bytes = bytes;
+    }
+    Ok(MeasuredCurve { points })
+}
+
+/// Measures a complete [`Workload`] description from a trace.
+///
+/// `access_rate` supplies the read+write access rate (traces record only
+/// updates); `burst_slot` is the peak-detection slot for the burst
+/// multiplier (the paper's burstiness is quoted against short peaks —
+/// one second is a reasonable default).
+///
+/// # Errors
+///
+/// Propagates estimator and [`Workload`] builder errors.
+pub fn workload_from_trace(
+    name: &str,
+    trace: &Trace,
+    access_rate: Bandwidth,
+    windows: &[TimeDelta],
+    burst_slot: TimeDelta,
+) -> Result<Workload, Error> {
+    let curve = measure_curve(trace, windows)?;
+    let mut builder = Workload::builder(name)
+        .data_capacity(trace.data_capacity())
+        .avg_access_rate(access_rate.max(trace.avg_update_rate()))
+        .avg_update_rate(trace.avg_update_rate())
+        .burst_multiplier(burst_multiplier(trace, burst_slot));
+    for (window, rate) in curve.points {
+        builder = builder.batch_rate(window, rate);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+    use crate::trace::UpdateRecord;
+
+    fn hand_trace() -> Trace {
+        // Ten seconds, four extents; extent 0 hammered.
+        Trace::from_records(
+            Bytes::from_mib(1.0),
+            4,
+            TimeDelta::from_secs(10.0),
+            vec![
+                UpdateRecord { time: 0.5, extent: 0 },
+                UpdateRecord { time: 1.5, extent: 0 },
+                UpdateRecord { time: 2.5, extent: 1 },
+                UpdateRecord { time: 3.5, extent: 0 },
+                UpdateRecord { time: 6.0, extent: 2 },
+                UpdateRecord { time: 9.5, extent: 0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn unique_counting_on_a_hand_trace() {
+        let trace = hand_trace();
+        // One 10 s window: extents {0,1,2} unique → 3 MiB.
+        let unique = unique_bytes_per_window(&trace, TimeDelta::from_secs(10.0)).unwrap();
+        assert_eq!(unique, Bytes::from_mib(3.0));
+        // Two 5 s windows: {0,1} and {2,0} → average 2 MiB.
+        let unique = unique_bytes_per_window(&trace, TimeDelta::from_secs(5.0)).unwrap();
+        assert_eq!(unique, Bytes::from_mib(2.0));
+    }
+
+    #[test]
+    fn batch_rate_declines_with_window_on_hot_traces() {
+        let trace = TraceGenerator::builder()
+            .duration(TimeDelta::from_hours(4.0))
+            .extent_count(20_000)
+            .updates_per_sec(10.0)
+            .locality(0.9, 200)
+            .seed(11)
+            .build()
+            .unwrap()
+            .generate();
+        let short = batch_update_rate(&trace, TimeDelta::from_secs(10.0)).unwrap();
+        let long = batch_update_rate(&trace, TimeDelta::from_hours(1.0)).unwrap();
+        assert!(
+            long < short * 0.5,
+            "long-window rate {long} not well below short-window {short}"
+        );
+    }
+
+    #[test]
+    fn uniform_traces_barely_dedup() {
+        let trace = TraceGenerator::builder()
+            .duration(TimeDelta::from_hours(1.0))
+            .extent_count(10_000_000)
+            .updates_per_sec(5.0)
+            .seed(3)
+            .build()
+            .unwrap()
+            .generate();
+        let short = batch_update_rate(&trace, TimeDelta::from_secs(60.0)).unwrap();
+        let long = batch_update_rate(&trace, TimeDelta::from_minutes(30.0)).unwrap();
+        assert!(long > short * 0.95, "uniform trace dedup should be negligible");
+    }
+
+    #[test]
+    fn burst_multiplier_sees_bursts() {
+        let quiet = TraceGenerator::builder()
+            .duration(TimeDelta::from_hours(1.0))
+            .extent_count(10_000)
+            .updates_per_sec(20.0)
+            .seed(5)
+            .build()
+            .unwrap()
+            .generate();
+        let bursty = TraceGenerator::builder()
+            .duration(TimeDelta::from_hours(1.0))
+            .extent_count(10_000)
+            .updates_per_sec(20.0)
+            .burst_multiplier(10.0)
+            .burst_duty(0.05)
+            .seed(5)
+            .build()
+            .unwrap()
+            .generate();
+        let slot = TimeDelta::from_secs(1.0);
+        let quiet_burst = burst_multiplier(&quiet, slot);
+        let bursty_burst = burst_multiplier(&bursty, slot);
+        assert!(bursty_burst > quiet_burst * 2.0, "{bursty_burst:.1} vs {quiet_burst:.1}");
+        assert!(bursty_burst > 6.0);
+    }
+
+    #[test]
+    fn measured_curve_is_monotone_even_with_noise() {
+        let trace = TraceGenerator::builder()
+            .duration(TimeDelta::from_hours(6.0))
+            .extent_count(30_000)
+            .updates_per_sec(3.0)
+            .locality(0.7, 500)
+            .seed(9)
+            .build()
+            .unwrap()
+            .generate();
+        let windows: Vec<TimeDelta> = [30.0, 60.0, 300.0, 1800.0, 3600.0, 7200.0]
+            .iter()
+            .map(|s| TimeDelta::from_secs(*s))
+            .collect();
+        let curve = measure_curve(&trace, &windows).unwrap();
+        for pair in curve.points.windows(2) {
+            assert!(pair[1].1 <= pair[0].1, "rates must not increase");
+            assert!(pair[1].1 * pair[1].0 >= pair[0].1 * pair[0].0, "bytes must not shrink");
+        }
+        assert!(curve.points[0].1 <= trace.avg_update_rate());
+    }
+
+    #[test]
+    fn workload_from_trace_builds_a_valid_workload() {
+        let trace = TraceGenerator::builder()
+            .duration(TimeDelta::from_hours(6.0))
+            .extent_count(30_000)
+            .updates_per_sec(3.0)
+            .locality(0.7, 500)
+            .burst_multiplier(8.0)
+            .seed(10)
+            .build()
+            .unwrap()
+            .generate();
+        let windows = [TimeDelta::from_minutes(1.0), TimeDelta::from_hours(1.0)];
+        let workload = workload_from_trace(
+            "synthetic",
+            &trace,
+            Bandwidth::from_mib_per_sec(5.0),
+            &windows,
+            TimeDelta::from_secs(1.0),
+        )
+        .unwrap();
+        assert_eq!(workload.data_capacity(), trace.data_capacity());
+        assert!(workload.burst_multiplier() > 1.0);
+        assert!(
+            workload.batch_update_rate(TimeDelta::from_hours(1.0))
+                < workload.avg_update_rate()
+        );
+    }
+
+    #[test]
+    fn window_longer_than_trace_is_rejected() {
+        let trace = hand_trace();
+        assert!(unique_bytes_per_window(&trace, TimeDelta::from_secs(60.0)).is_err());
+        assert!(unique_bytes_per_window(&trace, TimeDelta::ZERO).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Calibrating generator locality against a target batch-update-rate
+//! curve.
+//!
+//! Under the hot/cold two-population model, the expected number of unique
+//! extents touched in a window is closed-form (each population is an
+//! occupancy process), so we can search the `(hot_fraction, hot_extents)`
+//! plane directly against the paper's Table 2 targets instead of
+//! generating traces per candidate.
+
+use serde::{Deserialize, Serialize};
+use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+
+/// Expected unique extents touched within a window of `window_secs`
+/// seconds, for a hot/cold update mix.
+///
+/// With updates arriving Poisson at rate `r` over a population of `n`
+/// equally likely extents, the expected occupancy after time `w` is
+/// `n(1 − e^{−rw/n})`; the hot and cold populations contribute
+/// independently.
+pub fn expected_unique_extents(
+    window_secs: f64,
+    updates_per_sec: f64,
+    extent_count: u64,
+    hot_fraction: f64,
+    hot_extents: u64,
+) -> f64 {
+    let hot = hot_extents.min(extent_count) as f64;
+    let cold = (extent_count - hot_extents.min(extent_count)) as f64;
+    let hot_rate = hot_fraction * updates_per_sec;
+    let cold_rate = (1.0 - hot_fraction) * updates_per_sec;
+    let mut unique = 0.0;
+    if hot > 0.0 && hot_rate > 0.0 {
+        unique += hot * (1.0 - (-hot_rate * window_secs / hot).exp());
+    }
+    if cold > 0.0 && cold_rate > 0.0 {
+        unique += cold * (1.0 - (-cold_rate * window_secs / cold).exp());
+    }
+    unique
+}
+
+/// One point of the target curve: at windows of `window`, unique updates
+/// should arrive at `rate`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitTarget {
+    /// The accumulation window.
+    pub window: TimeDelta,
+    /// The target unique-update rate for that window.
+    pub rate: Bandwidth,
+}
+
+/// The outcome of a locality fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// Fraction of updates routed to the hot set.
+    pub hot_fraction: f64,
+    /// Number of extents in the hot set.
+    pub hot_extents: u64,
+    /// Root-mean-square relative error across the targets.
+    pub rms_relative_error: f64,
+}
+
+/// Searches `(hot_fraction, hot_extents)` for the combination whose
+/// analytic batch-update-rate curve best matches `targets` (in RMS
+/// relative error), for a generator with the given update rate, extent
+/// count, and extent size.
+///
+/// A coarse log-spaced grid is refined once around the best cell; the
+/// whole search is a few thousand closed-form evaluations.
+pub fn fit_locality(
+    targets: &[FitTarget],
+    updates_per_sec: f64,
+    extent_count: u64,
+    extent_size: Bytes,
+) -> FitResult {
+    let error_of = |hot_fraction: f64, hot_extents: u64| -> f64 {
+        let mut sum = 0.0;
+        for target in targets {
+            let unique = expected_unique_extents(
+                target.window.as_secs(),
+                updates_per_sec,
+                extent_count,
+                hot_fraction,
+                hot_extents,
+            );
+            let predicted = extent_size * unique / target.window;
+            let relative = (predicted - target.rate) / target.rate;
+            sum += relative * relative;
+        }
+        (sum / targets.len().max(1) as f64).sqrt()
+    };
+
+    let mut best = FitResult {
+        hot_fraction: 0.0,
+        hot_extents: 0,
+        rms_relative_error: error_of(0.0, 0),
+    };
+    let consider = |hot_fraction: f64, hot_extents: u64, best: &mut FitResult| {
+        if hot_extents == 0 || hot_extents >= extent_count {
+            return;
+        }
+        let error = error_of(hot_fraction, hot_extents);
+        if error < best.rms_relative_error {
+            *best = FitResult { hot_fraction, hot_extents, rms_relative_error: error };
+        }
+    };
+
+    // Coarse pass: duty fractions × log-spaced hot-set sizes.
+    let max_hot = (extent_count / 2).max(2);
+    let log_steps = 40;
+    for fi in 1..20 {
+        let hot_fraction = fi as f64 * 0.05;
+        for si in 0..=log_steps {
+            let hot = (2.0_f64.ln()
+                + (max_hot as f64).ln() * si as f64 / log_steps as f64)
+                .exp()
+                .round() as u64;
+            consider(hot_fraction, hot.max(2), &mut best);
+        }
+    }
+    // Refinement around the best cell.
+    let center_fraction = best.hot_fraction;
+    let center_hot = best.hot_extents.max(2);
+    for fi in -5i32..=5 {
+        let hot_fraction = (center_fraction + fi as f64 * 0.01).clamp(0.01, 0.99);
+        for si in -10i32..=10 {
+            let hot = (center_hot as f64 * 1.15_f64.powi(si)).round() as u64;
+            consider(hot_fraction, hot.max(2), &mut best);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_saturates_at_the_population() {
+        let unique = expected_unique_extents(1e12, 10.0, 1000, 0.0, 0);
+        assert!((unique - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn occupancy_is_nearly_linear_for_short_windows() {
+        // 10 updates/s over a huge population: almost no collisions.
+        let unique = expected_unique_extents(60.0, 10.0, 100_000_000, 0.0, 0);
+        assert!((unique - 600.0).abs() / 600.0 < 0.01);
+    }
+
+    #[test]
+    fn hot_population_collapses_long_window_uniqueness() {
+        let with_hot = expected_unique_extents(86_400.0, 1.0, 1_000_000, 0.8, 500);
+        let without = expected_unique_extents(86_400.0, 1.0, 1_000_000, 0.0, 0);
+        assert!(with_hot < without * 0.35);
+    }
+
+    #[test]
+    fn fit_recovers_a_known_configuration() {
+        // Build targets from a known (h, H), then fit them back.
+        let (h, hot, n, rate) = (0.6, 1500u64, 1_000_000u64, 0.8);
+        let extent = Bytes::from_mib(1.0);
+        let targets: Vec<FitTarget> = [60.0, 3600.0, 43_200.0, 86_400.0, 604_800.0]
+            .iter()
+            .map(|&w| FitTarget {
+                window: TimeDelta::from_secs(w),
+                rate: extent * expected_unique_extents(w, rate, n, h, hot) / TimeDelta::from_secs(w),
+            })
+            .collect();
+        let result = fit_locality(&targets, rate, n, extent);
+        assert!(result.rms_relative_error < 0.02, "error {}", result.rms_relative_error);
+        assert!((result.hot_fraction - h).abs() < 0.1);
+        let ratio = result.hot_extents as f64 / hot as f64;
+        assert!((0.5..2.0).contains(&ratio), "hot size {} vs {hot}", result.hot_extents);
+    }
+
+    #[test]
+    fn fit_against_cello_targets_is_reasonable() {
+        let result = crate::cello::cello_fit();
+        assert!(
+            result.rms_relative_error < 0.25,
+            "cello fit error {}",
+            result.rms_relative_error
+        );
+        assert!(result.hot_fraction > 0.0);
+        assert!(result.hot_extents > 0);
+    }
+}

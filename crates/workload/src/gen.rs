@@ -1,0 +1,448 @@
+//! Deterministic synthetic trace generation.
+//!
+//! The generator produces update traces with the two properties the
+//! dependability models care about:
+//!
+//! * **burstiness** — an ON/OFF modulated arrival process: most of the
+//!   time updates arrive at a low base rate, and during burst episodes at
+//!   `burst_multiplier ×` the average, with the duty cycle chosen so the
+//!   long-run average matches the configured rate;
+//! * **overwrite locality** — a hot/cold two-population model: a fraction
+//!   of updates lands on a small hot set of extents, so longer
+//!   accumulation windows absorb progressively more overwrites and the
+//!   measured `batchUpdR(win)` declines with the window, exactly as the
+//!   paper's Table 2 curve does.
+//!
+//! Generation is slot-based (one-second slots), seeded, and fully
+//! deterministic: the same parameters and seed always produce the same
+//! trace.
+
+use crate::trace::{Trace, UpdateRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use ssdep_core::error::Error;
+use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+
+/// A configured, seedable trace generator. Build with
+/// [`TraceGenerator::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceGenerator {
+    duration: TimeDelta,
+    extent_size: Bytes,
+    extent_count: u64,
+    updates_per_sec: f64,
+    burst_multiplier: f64,
+    burst_duty: f64,
+    mean_burst_secs: f64,
+    hot_fraction: f64,
+    hot_extents: u64,
+    diurnal_amplitude: f64,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Starts building a generator.
+    ///
+    /// Defaults: 1 MiB extents, no burstiness (`burst_multiplier = 1`),
+    /// 5 % burst duty cycle, one-minute mean bursts, no locality
+    /// (`hot_fraction = 0`), seed 0.
+    pub fn builder() -> TraceGeneratorBuilder {
+        TraceGeneratorBuilder {
+            duration: None,
+            extent_size: Bytes::from_mib(1.0),
+            extent_count: None,
+            updates_per_sec: None,
+            burst_multiplier: 1.0,
+            burst_duty: 0.05,
+            mean_burst_secs: 60.0,
+            hot_fraction: 0.0,
+            hot_extents: 0,
+            diurnal_amplitude: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The average update rate the generator aims for, in bytes/second.
+    pub fn target_update_rate(&self) -> Bandwidth {
+        (self.extent_size * self.updates_per_sec) / TimeDelta::from_secs(1.0)
+    }
+
+    /// The configured dataset capacity.
+    pub fn data_capacity(&self) -> Bytes {
+        self.extent_size * self.extent_count as f64
+    }
+
+    /// Generates the trace.
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total_slots = self.duration.as_secs().floor() as u64;
+
+        // Rates for the two states, preserving the long-run average:
+        // avg = duty × peak + (1 − duty) × low.
+        let peak = self.updates_per_sec * self.burst_multiplier;
+        let low = if self.burst_duty < 1.0 {
+            (self.updates_per_sec - self.burst_duty * peak) / (1.0 - self.burst_duty)
+        } else {
+            self.updates_per_sec
+        };
+        // State machine with the configured mean burst length and duty.
+        let exit_prob = 1.0 / self.mean_burst_secs.max(1.0);
+        let enter_prob = if self.burst_duty >= 1.0 {
+            1.0
+        } else {
+            (self.burst_duty * exit_prob / (1.0 - self.burst_duty)).min(1.0)
+        };
+
+        let mut bursting = false;
+        let mut records = Vec::new();
+        const DAY_SECS: f64 = 24.0 * 3600.0;
+        for slot in 0..total_slots {
+            bursting = if bursting {
+                rng.random::<f64>() >= exit_prob
+            } else {
+                rng.random::<f64>() < enter_prob
+            };
+            let mut rate = if bursting { peak } else { low };
+            if self.diurnal_amplitude > 0.0 {
+                // Sinusoidal day/night modulation; amplitude < 1 keeps
+                // the rate positive and the long-run average unchanged.
+                let phase = 2.0 * std::f64::consts::PI * (slot as f64) / DAY_SECS;
+                rate *= 1.0 + self.diurnal_amplitude * phase.sin();
+            }
+            let count = sample_poisson(&mut rng, rate);
+            let mut offsets: Vec<f64> = (0..count).map(|_| rng.random::<f64>()).collect();
+            offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite offsets"));
+            for offset in offsets {
+                let extent = self.pick_extent(&mut rng);
+                records.push(UpdateRecord { time: slot as f64 + offset, extent });
+            }
+        }
+        Trace::from_records(self.extent_size, self.extent_count, self.duration, records)
+    }
+
+    fn pick_extent(&self, rng: &mut StdRng) -> u64 {
+        let hot = self.hot_extents.min(self.extent_count);
+        if hot > 0 && rng.random::<f64>() < self.hot_fraction {
+            rng.random_range(0..hot)
+        } else if self.extent_count > hot {
+            rng.random_range(hot..self.extent_count)
+        } else {
+            rng.random_range(0..self.extent_count)
+        }
+    }
+}
+
+/// Draws from a Poisson distribution (Knuth's method below λ = 30, a
+/// clamped normal approximation above).
+fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let threshold = (-lambda).exp();
+        let mut product = rng.random::<f64>();
+        let mut count = 0u64;
+        while product > threshold {
+            product *= rng.random::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Box-Muller normal approximation N(λ, λ).
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (lambda + lambda.sqrt() * normal).round().max(0.0) as u64
+    }
+}
+
+/// Incremental builder for [`TraceGenerator`].
+#[derive(Debug, Clone)]
+pub struct TraceGeneratorBuilder {
+    duration: Option<TimeDelta>,
+    extent_size: Bytes,
+    extent_count: Option<u64>,
+    updates_per_sec: Option<f64>,
+    burst_multiplier: f64,
+    burst_duty: f64,
+    mean_burst_secs: f64,
+    hot_fraction: f64,
+    hot_extents: u64,
+    diurnal_amplitude: f64,
+    seed: u64,
+}
+
+impl TraceGeneratorBuilder {
+    /// Sets the trace duration (required).
+    pub fn duration(mut self, duration: TimeDelta) -> Self {
+        self.duration = Some(duration);
+        self
+    }
+
+    /// Sets the extent size (default 1 MiB).
+    pub fn extent_size(mut self, size: Bytes) -> Self {
+        self.extent_size = size;
+        self
+    }
+
+    /// Sets the number of extents in the dataset (required).
+    pub fn extent_count(mut self, count: u64) -> Self {
+        self.extent_count = Some(count);
+        self
+    }
+
+    /// Sets the long-run average update arrival rate, in extents per
+    /// second (required).
+    pub fn updates_per_sec(mut self, rate: f64) -> Self {
+        self.updates_per_sec = Some(rate);
+        self
+    }
+
+    /// Sets the peak-to-average burst ratio (default 1 = no bursts).
+    pub fn burst_multiplier(mut self, multiplier: f64) -> Self {
+        self.burst_multiplier = multiplier;
+        self
+    }
+
+    /// Sets the fraction of time spent bursting (default 0.05). Must
+    /// satisfy `duty × multiplier ≤ 1` so the off-state rate stays
+    /// non-negative.
+    pub fn burst_duty(mut self, duty: f64) -> Self {
+        self.burst_duty = duty;
+        self
+    }
+
+    /// Sets the mean burst episode length in seconds (default 60).
+    pub fn mean_burst_secs(mut self, secs: f64) -> Self {
+        self.mean_burst_secs = secs;
+        self
+    }
+
+    /// Routes `fraction` of updates onto a hot set of `extents` extents
+    /// (default: no locality).
+    pub fn locality(mut self, fraction: f64, extents: u64) -> Self {
+        self.hot_fraction = fraction;
+        self.hot_extents = extents;
+        self
+    }
+
+    /// Modulates the arrival rate sinusoidally over a 24-hour period
+    /// with relative amplitude `amplitude` in `[0, 1)` (default 0 = no
+    /// day/night pattern). The long-run average is unchanged.
+    pub fn diurnal_amplitude(mut self, amplitude: f64) -> Self {
+        self.diurnal_amplitude = amplitude;
+        self
+    }
+
+    /// Sets the RNG seed (default 0). Identical parameters + seed give
+    /// identical traces.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and builds the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for missing or non-physical
+    /// parameters (zero extents, negative rates, `duty × burst > 1`,
+    /// hot set larger than the dataset, …).
+    pub fn build(self) -> Result<TraceGenerator, Error> {
+        let duration = self.duration.ok_or_else(|| Error::invalid("gen.duration", "missing"))?;
+        if !(duration.value() > 0.0 && duration.is_finite()) {
+            return Err(Error::invalid("gen.duration", "must be positive and finite"));
+        }
+        let extent_count = self
+            .extent_count
+            .ok_or_else(|| Error::invalid("gen.extentCount", "missing"))?;
+        if extent_count == 0 {
+            return Err(Error::invalid("gen.extentCount", "must be at least 1"));
+        }
+        if !(self.extent_size.value() > 0.0 && self.extent_size.is_finite()) {
+            return Err(Error::invalid("gen.extentSize", "must be positive and finite"));
+        }
+        let updates_per_sec = self
+            .updates_per_sec
+            .ok_or_else(|| Error::invalid("gen.updatesPerSec", "missing"))?;
+        if !(updates_per_sec >= 0.0 && updates_per_sec.is_finite()) {
+            return Err(Error::invalid("gen.updatesPerSec", "must be non-negative and finite"));
+        }
+        if !(self.burst_multiplier >= 1.0 && self.burst_multiplier.is_finite()) {
+            return Err(Error::invalid("gen.burstMultiplier", "must be >= 1 and finite"));
+        }
+        if !(0.0 < self.burst_duty && self.burst_duty <= 1.0) {
+            return Err(Error::invalid("gen.burstDuty", "must be in (0, 1]"));
+        }
+        if self.burst_duty * self.burst_multiplier > 1.0 + 1e-12 {
+            return Err(Error::invalid(
+                "gen.burstDuty",
+                "duty × multiplier must not exceed 1, or the off-state rate goes negative",
+            ));
+        }
+        if !(self.mean_burst_secs > 0.0 && self.mean_burst_secs.is_finite()) {
+            return Err(Error::invalid("gen.meanBurstSecs", "must be positive and finite"));
+        }
+        if !(0.0..=1.0).contains(&self.hot_fraction) {
+            return Err(Error::invalid("gen.hotFraction", "must be in [0, 1]"));
+        }
+        if self.hot_fraction > 0.0 && (self.hot_extents == 0 || self.hot_extents >= extent_count) {
+            return Err(Error::invalid(
+                "gen.hotExtents",
+                "locality needs a hot set larger than 0 and smaller than the dataset",
+            ));
+        }
+        if !((0.0..1.0).contains(&self.diurnal_amplitude)) {
+            return Err(Error::invalid(
+                "gen.diurnalAmplitude",
+                "must be in [0, 1) to keep the rate positive",
+            ));
+        }
+        Ok(TraceGenerator {
+            duration,
+            extent_size: self.extent_size,
+            extent_count,
+            updates_per_sec,
+            burst_multiplier: self.burst_multiplier,
+            burst_duty: self.burst_duty,
+            mean_burst_secs: self.mean_burst_secs,
+            hot_fraction: self.hot_fraction,
+            hot_extents: self.hot_extents,
+            diurnal_amplitude: self.diurnal_amplitude,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> TraceGeneratorBuilder {
+        TraceGenerator::builder()
+            .duration(TimeDelta::from_hours(2.0))
+            .extent_count(50_000)
+            .updates_per_sec(5.0)
+            .seed(42)
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = base().build().unwrap().generate();
+        let b = base().build().unwrap().generate();
+        assert_eq!(a, b);
+        let c = base().seed(43).build().unwrap().generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn average_rate_is_close_to_target() {
+        let trace = base().build().unwrap().generate();
+        let per_sec = trace.records().len() as f64 / trace.duration().as_secs();
+        assert!(
+            (per_sec - 5.0).abs() / 5.0 < 0.05,
+            "generated {per_sec:.2} updates/s, wanted 5"
+        );
+    }
+
+    #[test]
+    fn bursts_raise_peak_but_not_average() {
+        let bursty = base()
+            .duration(TimeDelta::from_hours(12.0))
+            .burst_multiplier(10.0)
+            .burst_duty(0.05)
+            .build()
+            .unwrap()
+            .generate();
+        let per_sec = bursty.records().len() as f64 / bursty.duration().as_secs();
+        // Burst episodes are random, so the realized duty (and hence the
+        // average) wobbles; a 12-hour trace keeps it within ~15 %.
+        assert!((per_sec - 5.0).abs() / 5.0 < 0.15, "average drifted to {per_sec:.2}");
+        // Some one-second slot should see nearly the 10× peak.
+        let mut max_slot = 0usize;
+        let mut slot_counts = vec![0usize; bursty.duration().as_secs() as usize];
+        for r in bursty.records() {
+            slot_counts[r.time as usize] += 1;
+            max_slot = max_slot.max(slot_counts[r.time as usize]);
+        }
+        assert!(max_slot as f64 > 5.0 * 4.0, "peak slot only {max_slot}");
+    }
+
+    #[test]
+    fn locality_concentrates_updates_on_the_hot_set() {
+        let trace = base().locality(0.8, 100).build().unwrap().generate();
+        let hot_hits = trace.records().iter().filter(|r| r.extent < 100).count();
+        let fraction = hot_hits as f64 / trace.records().len() as f64;
+        assert!((fraction - 0.8).abs() < 0.05, "hot fraction {fraction:.2}");
+    }
+
+    #[test]
+    fn records_are_time_ordered_and_in_range() {
+        let trace = base().locality(0.5, 1000).burst_multiplier(5.0).build().unwrap().generate();
+        let mut last = 0.0;
+        for r in trace.records() {
+            assert!(r.time >= last);
+            assert!(r.extent < 50_000);
+            last = r.time;
+        }
+    }
+
+    #[test]
+    fn poisson_sampler_matches_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for lambda in [0.5, 5.0, 80.0] {
+            let n = 20_000;
+            let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda < 0.05,
+                "lambda {lambda}: mean {mean:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_parameters() {
+        assert!(TraceGenerator::builder().build().is_err());
+        assert!(base().burst_multiplier(10.0).burst_duty(0.5).build().is_err());
+        assert!(base().locality(0.5, 0).build().is_err());
+        assert!(base().locality(1.5, 10).build().is_err());
+        assert!(base().updates_per_sec(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn diurnal_modulation_creates_day_night_contrast() {
+        let trace = base()
+            .duration(TimeDelta::from_days(2.0))
+            .updates_per_sec(20.0)
+            .diurnal_amplitude(0.8)
+            .build()
+            .unwrap()
+            .generate();
+        // "Day" = first quarter of each cycle (sin > 0 peak region),
+        // "night" = third quarter.
+        let quarter = 6.0 * 3600.0;
+        let count_in = |start: f64, end: f64| trace.slice(start, end).count() as f64;
+        let day = count_in(0.0, quarter) + count_in(86_400.0, 86_400.0 + quarter);
+        let night =
+            count_in(2.0 * quarter, 3.0 * quarter) + count_in(86_400.0 + 2.0 * quarter, 86_400.0 + 3.0 * quarter);
+        assert!(day > night * 2.0, "day {day} vs night {night}");
+        // Long-run average preserved within tolerance.
+        let per_sec = trace.records().len() as f64 / trace.duration().as_secs();
+        assert!((per_sec - 20.0).abs() / 20.0 < 0.1, "average {per_sec:.1}");
+    }
+
+    #[test]
+    fn diurnal_amplitude_must_stay_below_one() {
+        assert!(base().diurnal_amplitude(1.0).build().is_err());
+        assert!(base().diurnal_amplitude(-0.1).build().is_err());
+        assert!(base().diurnal_amplitude(0.99).build().is_ok());
+    }
+
+    #[test]
+    fn zero_rate_gives_empty_trace() {
+        let trace = base().updates_per_sec(0.0).build().unwrap().generate();
+        assert!(trace.records().is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! # ssdep-workload — synthetic update traces and workload estimation
+//!
+//! The dependability framework in [`ssdep_core`] consumes workloads as
+//! summary statistics: data capacity, average access/update rates, a
+//! burst multiplier, and the batch-update-rate curve `batchUpdR(win)`
+//! (paper §3.1.1, Table 2). The paper measured those statistics from the
+//! *cello* workgroup file server trace, which is not publicly available —
+//! this crate substitutes for it:
+//!
+//! * [`trace`] — a block-extent update trace representation;
+//! * [`gen`] — a deterministic, seedable synthetic trace generator with
+//!   ON/OFF burstiness and hot/cold overwrite locality;
+//! * [`estimate`] — estimators that *measure* `avgUpdateR`, `burstM`, and
+//!   `batchUpdR(win)` from any trace (synthetic or converted from real
+//!   logs) and package them as an [`ssdep_core::Workload`];
+//! * [`fit`] — calibration: search generator parameters until the
+//!   measured statistics match a target curve;
+//! * [`cello`] — a generator configuration calibrated against the
+//!   paper's Table 2.
+//!
+//! Because the analytic models consume only the summary statistics, any
+//! trace whose measured statistics match the paper's exercises exactly
+//! the same model code paths — that is what makes the substitution sound.
+//!
+//! ```
+//! use ssdep_workload::gen::TraceGenerator;
+//! use ssdep_workload::estimate;
+//! use ssdep_core::units::TimeDelta;
+//!
+//! let trace = TraceGenerator::builder()
+//!     .duration(TimeDelta::from_hours(2.0))
+//!     .extent_count(10_000)
+//!     .updates_per_sec(5.0)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid generator parameters")
+//!     .generate();
+//! let rate = estimate::avg_update_rate(&trace);
+//! assert!(rate.value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cello;
+pub mod estimate;
+pub mod fit;
+pub mod gen;
+pub mod io;
+pub mod trace;
+
+pub use gen::TraceGenerator;
+pub use trace::{Trace, UpdateRecord};

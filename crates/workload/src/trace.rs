@@ -1,0 +1,185 @@
+//! Block-extent update trace representation.
+//!
+//! Updates are recorded at *extent* granularity (a fixed-size range of
+//! blocks, 1 MiB by default): fine enough to expose overwrite locality to
+//! the window-deduplication statistics, coarse enough that a multi-week
+//! trace of a workgroup server stays around a million records.
+
+use serde::{Deserialize, Serialize};
+use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+
+/// One recorded update: extent `extent` was (over)written at `time`
+/// after the trace start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateRecord {
+    /// Seconds since the trace started.
+    pub time: f64,
+    /// The extent index that was written.
+    pub extent: u64,
+}
+
+/// A sequence of extent updates over a fixed-size dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    extent_size: Bytes,
+    extent_count: u64,
+    duration: TimeDelta,
+    records: Vec<UpdateRecord>,
+}
+
+impl Trace {
+    /// Assembles a trace from raw parts. Records must be in
+    /// non-decreasing time order and reference extents below
+    /// `extent_count`; out-of-order or out-of-range records are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariants above are violated — traces are built by
+    /// generators/converters, so violations are programming errors.
+    pub fn from_records(
+        extent_size: Bytes,
+        extent_count: u64,
+        duration: TimeDelta,
+        records: Vec<UpdateRecord>,
+    ) -> Trace {
+        let mut last = 0.0;
+        for record in &records {
+            assert!(
+                record.time >= last && record.time <= duration.as_secs(),
+                "records must be time-ordered within the trace duration"
+            );
+            assert!(record.extent < extent_count, "extent index out of range");
+            last = record.time;
+        }
+        Trace { extent_size, extent_count, duration, records }
+    }
+
+    /// The size of one extent.
+    pub fn extent_size(&self) -> Bytes {
+        self.extent_size
+    }
+
+    /// How many extents the dataset spans.
+    pub fn extent_count(&self) -> u64 {
+        self.extent_count
+    }
+
+    /// The dataset size: `extent_count × extent_size`.
+    pub fn data_capacity(&self) -> Bytes {
+        self.extent_size * self.extent_count as f64
+    }
+
+    /// The trace's covered time span.
+    pub fn duration(&self) -> TimeDelta {
+        self.duration
+    }
+
+    /// The recorded updates, in time order.
+    pub fn records(&self) -> &[UpdateRecord] {
+        &self.records
+    }
+
+    /// Total bytes written over the whole trace (non-unique).
+    pub fn total_update_bytes(&self) -> Bytes {
+        self.extent_size * self.records.len() as f64
+    }
+
+    /// The average update rate over the whole trace.
+    pub fn avg_update_rate(&self) -> Bandwidth {
+        if self.duration.is_zero() {
+            return Bandwidth::ZERO;
+        }
+        self.total_update_bytes() / self.duration
+    }
+
+    /// Iterates the records falling in `[start, end)` seconds.
+    pub fn slice(&self, start: f64, end: f64) -> impl Iterator<Item = &UpdateRecord> {
+        let lo = self.records.partition_point(|r| r.time < start);
+        let hi = self.records.partition_point(|r| r.time < end);
+        self.records[lo..hi].iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Trace {
+        Trace::from_records(
+            Bytes::from_mib(1.0),
+            4,
+            TimeDelta::from_secs(10.0),
+            vec![
+                UpdateRecord { time: 1.0, extent: 0 },
+                UpdateRecord { time: 2.0, extent: 1 },
+                UpdateRecord { time: 2.0, extent: 0 },
+                UpdateRecord { time: 9.0, extent: 3 },
+            ],
+        )
+    }
+
+    #[test]
+    fn capacity_and_volume_derive_from_extents() {
+        let trace = toy();
+        assert_eq!(trace.data_capacity(), Bytes::from_mib(4.0));
+        assert_eq!(trace.total_update_bytes(), Bytes::from_mib(4.0));
+        assert_eq!(
+            trace.avg_update_rate(),
+            Bytes::from_mib(4.0) / TimeDelta::from_secs(10.0)
+        );
+    }
+
+    #[test]
+    fn slice_is_half_open() {
+        let trace = toy();
+        let in_window: Vec<u64> = trace.slice(1.0, 2.0).map(|r| r.extent).collect();
+        assert_eq!(in_window, vec![0]);
+        let in_window: Vec<u64> = trace.slice(0.0, 10.0).map(|r| r.extent).collect();
+        assert_eq!(in_window.len(), 4);
+        assert_eq!(trace.slice(3.0, 9.0).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_records_panic() {
+        Trace::from_records(
+            Bytes::from_mib(1.0),
+            4,
+            TimeDelta::from_secs(10.0),
+            vec![
+                UpdateRecord { time: 5.0, extent: 0 },
+                UpdateRecord { time: 1.0, extent: 1 },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_extent_panics() {
+        Trace::from_records(
+            Bytes::from_mib(1.0),
+            4,
+            TimeDelta::from_secs(10.0),
+            vec![UpdateRecord { time: 1.0, extent: 9 }],
+        );
+    }
+
+    #[test]
+    fn empty_trace_has_zero_rate() {
+        let trace = Trace::from_records(
+            Bytes::from_mib(1.0),
+            4,
+            TimeDelta::from_secs(10.0),
+            Vec::new(),
+        );
+        assert_eq!(trace.avg_update_rate(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let trace = toy();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+}

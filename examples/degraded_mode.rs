@@ -1,0 +1,63 @@
+//! Degraded-mode exposure analysis (the paper's §5 future work): what
+//! does each protection level's outage cost you if a failure strikes
+//! while it is down?
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p ssdep-core --example degraded_mode
+//! ```
+
+use ssdep_core::analysis::{degraded_exposure, DegradedOutcome};
+use ssdep_core::prelude::*;
+use ssdep_core::report::TextTable;
+
+fn main() -> Result<(), ssdep_core::Error> {
+    let workload = ssdep_core::presets::cello_workload();
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+
+    let scenarios = vec![
+        FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        ),
+        FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+    ];
+
+    let report = degraded_exposure(&design, &workload, &requirements, &scenarios)?;
+
+    let mut table = TextTable::new([
+        "Degraded level",
+        "Object failure",
+        "Array failure",
+        "Site disaster",
+    ]);
+    for row in &report.rows {
+        let mut cells = vec![row.level_name.clone()];
+        for outcome in &row.outcomes {
+            cells.push(match outcome {
+                DegradedOutcome::Recoverable { extra_loss, .. } if extra_loss.is_zero() => {
+                    "no change".to_string()
+                }
+                DegradedOutcome::Recoverable { extra_loss, evaluation, .. } => format!(
+                    "+{:.0} hr loss (via {})",
+                    extra_loss.as_hours(),
+                    evaluation.recovery.source_level_name
+                ),
+                DegradedOutcome::Unrecoverable => "UNRECOVERABLE".to_string(),
+            });
+        }
+        table.row(cells);
+    }
+
+    println!("== Exposure added by each level's outage ==\n{}", table.render());
+    if let Some(critical) = report.most_critical_level() {
+        println!(
+            "most critical technique: {} — lose it and a disaster somewhere in the \
+             scenario set becomes unrecoverable or far lossier",
+            critical.level_name
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Automated design exploration (the paper's §1/§5 optimization-loop
+//! use case): rank hundreds of candidate designs by expected annual
+//! cost, compare exhaustive search against hill climbing, and print the
+//! outlay-versus-risk Pareto frontier.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p ssdep-opt --release --example design_optimizer
+//! ```
+
+use ssdep_core::report::TextTable;
+use ssdep_opt::pareto;
+use ssdep_opt::search::{exhaustive, hill_climb, paper_scenarios};
+use ssdep_opt::space::DesignSpace;
+
+fn main() -> Result<(), ssdep_core::Error> {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenarios = paper_scenarios();
+    let space = DesignSpace::broad();
+    println!("searching {} coherent candidates...", space.len());
+
+    let result = exhaustive(&space, &workload, &requirements, &scenarios)?;
+    println!(
+        "{} feasible, {} infeasible, {} evaluations\n",
+        result.ranked.len(),
+        result.infeasible.len(),
+        result.evaluations
+    );
+
+    let mut table = TextTable::new([
+        "Rank",
+        "Design",
+        "Outlays",
+        "E[penalties]",
+        "E[total]",
+        "Worst RT",
+        "Worst DL",
+    ]);
+    for (rank, outcome) in result.ranked.iter().take(10).enumerate() {
+        table.row([
+            format!("{}", rank + 1),
+            outcome.label.clone(),
+            outcome.outlays.to_string(),
+            outcome.expected_penalties.to_string(),
+            outcome.expected_total.to_string(),
+            format!("{:.1} hr", outcome.worst_recovery_time.as_hours()),
+            format!("{:.1} hr", outcome.worst_data_loss.as_hours()),
+        ]);
+    }
+    println!("== Top 10 by expected annual cost ==\n{}", table.render());
+
+    let climbed = hill_climb(&space, &workload, &requirements, &scenarios)?;
+    if let (Some(best), Some(local)) = (result.best(), climbed.best()) {
+        println!(
+            "hill climb: {} evaluations (vs {}) -> {} at {} (global best: {} at {})\n",
+            climbed.evaluations,
+            result.evaluations,
+            local.label,
+            local.expected_total,
+            best.label,
+            best.expected_total
+        );
+    }
+
+    let mut frontier = TextTable::new(["Design", "Outlays", "E[penalties]"]);
+    for outcome in pareto::cost_risk_front(&result.ranked) {
+        frontier.row([
+            outcome.label.clone(),
+            outcome.outlays.to_string(),
+            outcome.expected_penalties.to_string(),
+        ]);
+    }
+    println!("== Outlay vs expected-penalty Pareto frontier ==\n{}", frontier.render());
+    Ok(())
+}

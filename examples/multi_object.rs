@@ -1,0 +1,80 @@
+//! Multi-object evaluation: several data objects protected by one
+//! hierarchy, with dependency-aware restore scheduling (paper §3.1.1's
+//! noted extension).
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p ssdep-core --example multi_object
+//! ```
+
+use ssdep_core::multi::{evaluate_multi, MultiObjectWorkload, ObjectSpec};
+use ssdep_core::prelude::*;
+use ssdep_core::report::TextTable;
+
+fn object(name: &str, gib: f64, update_kib: f64) -> ObjectSpec {
+    ObjectSpec::new(
+        Workload::builder(name)
+            .data_capacity(Bytes::from_gib(gib))
+            .avg_access_rate(Bandwidth::from_kib_per_sec(update_kib * 1.3))
+            .avg_update_rate(Bandwidth::from_kib_per_sec(update_kib))
+            .batch_rate(
+                TimeDelta::from_hours(12.0),
+                Bandwidth::from_kib_per_sec(update_kib * 0.4),
+            )
+            .build()
+            .expect("example workloads are valid"),
+    )
+}
+
+fn main() -> Result<(), ssdep_core::Error> {
+    // A database: the redo log is small but carries the business; the
+    // tablespace needs the log restored first; the archive is bulk.
+    let multi = MultiObjectWorkload::new(vec![
+        object("redo log", 40.0, 200.0)
+            .with_priority(1)
+            .with_business_weight(0.6),
+        object("tablespace", 600.0, 400.0)
+            .with_priority(10)
+            .depends_on("redo log")
+            .with_business_weight(0.3),
+        object("archive", 700.0, 150.0)
+            .with_priority(50)
+            .with_business_weight(0.1),
+    ])?;
+
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+
+    let evaluation = evaluate_multi(&design, &multi, &requirements, &scenario)?;
+
+    println!(
+        "array failure: restore everything from `{}`, worst-case loss {}\n",
+        evaluation.loss.source_level_name().unwrap_or("?"),
+        evaluation.loss.worst_loss
+    );
+
+    let mut table = TextTable::new(["#", "Object", "Restore bytes", "Ready at", "Outage penalty"]);
+    for outcome in &evaluation.objects {
+        table.row([
+            format!("{}", outcome.restore_position + 1),
+            outcome.name.clone(),
+            outcome.restore_bytes.to_string(),
+            outcome.ready_at.to_string(),
+            outcome.unavailability_penalty.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "last object usable after {}; total outage penalty {} + loss penalty {}",
+        evaluation.total_recovery_time,
+        evaluation.unavailability_penalty,
+        evaluation.loss_penalty
+    );
+    println!(
+        "\nthe redo log (60% of the business value, 3% of the bytes) is back in {},\n\
+         which is why restore ordering is worth modeling.",
+        evaluation.objects[0].ready_at
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: evaluate the paper's baseline design under the three
+//! case-study failure scenarios and print Table 5/6-style reports.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p ssdep-core --example quickstart
+//! ```
+
+use ssdep_core::prelude::*;
+use ssdep_core::report;
+
+fn main() -> Result<(), ssdep_core::Error> {
+    // 1. Describe the workload being protected (the paper's measured
+    //    *cello* workgroup file server; build your own with
+    //    `Workload::builder`).
+    let workload = ssdep_core::presets::cello_workload();
+
+    // 2. Pick a storage system design: split mirrors + weekly tape
+    //    backup + four-weekly vaulting.
+    let design = ssdep_core::presets::baseline_design();
+
+    // 3. State the business requirements: $50k/hour penalties for both
+    //    outage and data loss.
+    let requirements = ssdep_core::presets::paper_requirements();
+
+    // 4. Evaluate under the failure scenarios that worry you.
+    let scenarios = [
+        FailureScenario::new(
+            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        ),
+        FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+    ];
+
+    let mut evaluations = Vec::new();
+    for scenario in &scenarios {
+        evaluations.push(evaluate(&design, &workload, &requirements, scenario)?);
+    }
+
+    println!("design: {}\nworkload: {}\n", design.name(), workload.name());
+    println!("== Normal mode utilization ==\n{}", report::render_utilization(&evaluations[0]));
+    println!("== Dependability per failure scenario ==\n{}", report::render_dependability(&evaluations));
+    for evaluation in &evaluations {
+        println!(
+            "== Costs under {} failure ==\n{}",
+            evaluation.scenario.scope.name(),
+            report::render_costs(evaluation)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Annualized risk profiles and sensitivity sweeps: availability
+//! "nines", expected loss-hours per year, and how the outcome moves as
+//! one design knob turns.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p ssdep-opt --release --example risk_and_sweeps
+//! ```
+
+use ssdep_core::analysis::risk_profile;
+use ssdep_opt::search::paper_scenarios;
+use ssdep_opt::sweep;
+
+fn main() -> Result<(), ssdep_core::Error> {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenarios = paper_scenarios();
+
+    println!("== Annualized risk profiles ==");
+    for design in [
+        ssdep_core::presets::baseline_design(),
+        ssdep_core::presets::weekly_vault_daily_full_design(),
+    ] {
+        let profile = risk_profile(&design, &workload, &requirements, &scenarios)?;
+        println!(
+            "{:<24} availability {:.5} ({:.1} nines), E[downtime] {:.2} hr/yr, \
+             E[loss] {:.0} hr/yr, E[cost] {}",
+            design.name(),
+            profile.availability,
+            profile.nines(),
+            profile.expected_annual_downtime.as_hours(),
+            profile.expected_annual_loss.as_hours(),
+            profile.expected_annual_cost,
+        );
+    }
+
+    println!("\n== Sweep: vaulting interval (weeks) ==");
+    let points = sweep::sweep_vault_interval(
+        &[1.0, 2.0, 4.0, 8.0],
+        &workload,
+        &requirements,
+        &scenarios,
+    )?;
+    println!("{}", sweep::render(&points, "vault weeks"));
+
+    println!("== Sweep: WAN links under the batched mirror ==");
+    let hw_only: Vec<_> = scenarios.iter().skip(1).cloned().collect();
+    let points = sweep::sweep_mirror_links(&[1, 2, 4, 8, 16], &workload, &requirements, &hw_only)?;
+    println!("{}", sweep::render(&points, "links"));
+
+    println!("== Sweep: full-backup interval (hours) ==");
+    let points = sweep::sweep_backup_interval(
+        &[24.0, 48.0, 96.0, 168.0],
+        &workload,
+        &requirements,
+        &scenarios,
+    )?;
+    println!("{}", sweep::render(&points, "backup hours"));
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! An end-to-end design session for a small business: state the
+//! workload and requirements, search the candidate space, inspect the
+//! trade-off frontier, and sign off with the full dossier — the
+//! "automated optimization loop" workflow the paper's introduction
+//! motivates.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p ssdep-opt --release --example small_business
+//! ```
+
+use ssdep_core::analysis::WeightedScenario;
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::prelude::*;
+use ssdep_core::report;
+use ssdep_opt::{pareto, search, space::DesignSpace};
+
+fn main() -> Result<(), ssdep_core::Error> {
+    // 1. The business: a 400 GiB ERP system; an hour of downtime costs
+    //    $20k, an hour of lost updates $80k; contractual RPO of 48 h.
+    let workload = Workload::builder("erp")
+        .data_capacity(Bytes::from_gib(400.0))
+        .avg_access_rate(Bandwidth::from_kib_per_sec(600.0))
+        .avg_update_rate(Bandwidth::from_kib_per_sec(350.0))
+        .burst_multiplier(6.0)
+        .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(320.0))
+        .batch_rate(TimeDelta::from_hours(12.0), Bandwidth::from_kib_per_sec(150.0))
+        .batch_rate(TimeDelta::from_hours(24.0), Bandwidth::from_kib_per_sec(120.0))
+        .build()?;
+    let requirements = BusinessRequirements::builder()
+        .unavailability_penalty_rate(MoneyRate::from_dollars_per_hour(20_000.0))
+        .loss_penalty_rate(MoneyRate::from_dollars_per_hour(80_000.0))
+        .recovery_point_objective(TimeDelta::from_hours(48.0))
+        .build()?;
+
+    // 2. The threats this business plans for: weekly fat-fingered
+    //    deletions, an array loss per decade, a site disaster per
+    //    half-century.
+    let scenarios = vec![
+        WeightedScenario::new(
+            FailureScenario::new(
+                FailureScope::DataObject { size: Bytes::from_mib(64.0) },
+                RecoveryTarget::Before { age: TimeDelta::from_hours(12.0) },
+            ),
+            52.0,
+        ),
+        WeightedScenario::new(
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            0.1,
+        ),
+        WeightedScenario::new(
+            FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+            0.02,
+        ),
+    ];
+
+    // 3. Search the candidate space.
+    let space = DesignSpace::broad();
+    println!("searching {} candidate designs...", space.len());
+    let result = search::exhaustive(&space, &workload, &requirements, &scenarios)?;
+    println!(
+        "{} feasible; best overall: {} at {}/yr expected",
+        result.ranked.len(),
+        result.best().map(|b| b.label.as_str()).unwrap_or("-"),
+        result.best().map(|b| b.expected_total.to_string()).unwrap_or_default(),
+    );
+
+    // 4. The decision view: cheapest design meeting the RPO, and the
+    //    outlay-vs-risk frontier around it.
+    let chosen = result
+        .best_meeting_objectives()
+        .or_else(|| result.best())
+        .expect("some design is feasible");
+    println!(
+        "chosen (cheapest meeting the 48 h RPO): {} — outlays {}, E[penalties] {}\n",
+        chosen.label, chosen.outlays, chosen.expected_penalties
+    );
+    println!("outlay vs expected-penalty frontier:");
+    for outcome in pareto::cost_risk_front(&result.ranked).iter().take(6) {
+        println!(
+            "  {:<40} {:>9}  {:>9}",
+            outcome.label,
+            outcome.outlays.to_string(),
+            outcome.expected_penalties.to_string()
+        );
+    }
+
+    // 5. Sign-off: the full dossier for the chosen design.
+    let design = chosen.candidate.materialize()?;
+    println!("\n{}", report::render_full_report(&design, &workload, &requirements)?);
+    Ok(())
+}

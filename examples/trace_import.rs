@@ -1,0 +1,72 @@
+//! Driving the framework from a trace file: export a synthetic trace as
+//! CSV (standing in for a production write log), import it back, measure
+//! a workload, and produce the full dependability dossier.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p ssdep-workload --release --example trace_import
+//! ```
+
+use ssdep_core::report;
+use ssdep_core::units::{Bandwidth, TimeDelta};
+use ssdep_workload::{estimate, io, TraceGenerator};
+
+fn main() -> Result<(), ssdep_core::Error> {
+    // 1. A "production write log": here synthesized, in practice
+    //    converted from blktrace or an array audit log.
+    let trace = TraceGenerator::builder()
+        .duration(TimeDelta::from_hours(24.0))
+        .extent_count(1_392_640) // 1360 GiB at 1 MiB extents
+        .updates_per_sec(0.8)
+        .burst_multiplier(8.0)
+        .locality(0.6, 150)
+        .diurnal_amplitude(0.5)
+        .seed(2026)
+        .build()?
+        .generate();
+
+    let path = std::env::temp_dir().join("ssdep-example-trace.csv");
+    let mut file = std::fs::File::create(&path)
+        .map_err(|e| ssdep_core::Error::invalid("example.trace", e.to_string()))?;
+    io::write_csv(&trace, &mut file)?;
+    println!(
+        "wrote {} update records ({}) to {}",
+        trace.records().len(),
+        trace.total_update_bytes(),
+        path.display()
+    );
+
+    // 2. Import and measure.
+    let file = std::fs::File::open(&path)
+        .map_err(|e| ssdep_core::Error::invalid("example.trace", e.to_string()))?;
+    let imported = io::read_csv(std::io::BufReader::new(file))?;
+    let workload = estimate::workload_from_trace(
+        "imported write log",
+        &imported,
+        Bandwidth::from_kib_per_sec(1100.0),
+        &[
+            TimeDelta::from_minutes(1.0),
+            TimeDelta::from_hours(1.0),
+            TimeDelta::from_hours(12.0),
+        ],
+        TimeDelta::from_secs(30.0),
+    )?;
+    println!(
+        "measured: {} of data, {:.0} KiB/s updates, burst {:.1}x, \
+         batchUpdR(12h) {:.0} KiB/s\n",
+        workload.data_capacity(),
+        workload.avg_update_rate().as_kib_per_sec(),
+        workload.burst_multiplier(),
+        workload
+            .batch_update_rate(TimeDelta::from_hours(12.0))
+            .as_kib_per_sec(),
+    );
+
+    // 3. The measured workload drives the full dossier.
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+    println!("{}", report::render_full_report(&design, &workload, &requirements)?);
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

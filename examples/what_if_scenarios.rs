@@ -1,0 +1,59 @@
+//! The paper's §4.2 what-if exploration (Table 7): seven designs
+//! compared under array and site failures.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p ssdep-core --example what_if_scenarios
+//! ```
+
+use ssdep_core::prelude::*;
+use ssdep_core::report::TextTable;
+
+fn main() -> Result<(), ssdep_core::Error> {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+
+    let mut table = TextTable::new([
+        "Storage system design",
+        "Outlays",
+        "Array RT",
+        "Array DL",
+        "Array total",
+        "Site RT",
+        "Site DL",
+        "Site total",
+    ]);
+
+    for design in ssdep_core::presets::what_if_designs() {
+        let array = evaluate(
+            &design,
+            &workload,
+            &requirements,
+            &FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        )?;
+        let site = evaluate(
+            &design,
+            &workload,
+            &requirements,
+            &FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+        )?;
+        table.row([
+            design.name().to_string(),
+            array.cost.total_outlays.to_string(),
+            format!("{:.1} hr", array.recovery.total_time.as_hours()),
+            format!("{:.2} hr", array.loss.worst_loss.as_hours()),
+            array.cost.total_cost.to_string(),
+            format!("{:.1} hr", site.recovery.total_time.as_hours()),
+            format!("{:.2} hr", site.loss.worst_loss.as_hours()),
+            site.cost.total_cost.to_string(),
+        ]);
+    }
+
+    println!("== Table 7: what-if scenarios ==\n{}", table.render());
+    println!("Highlights the paper calls out:");
+    println!(" * weekly vaulting slashes site-disaster data loss (1429 -> ~253 hr);");
+    println!(" * daily fulls cut array-failure loss to ~37 hr;");
+    println!(" * batch mirroring reduces loss to minutes, trading transfer-bound recovery;");
+    println!(" * the single-link mirror has the lowest total cost despite slow recovery.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Reproducing the paper's Table 2 pipeline: generate a synthetic
+//! cello-like trace, *measure* its workload statistics, and compare them
+//! to the published values — then feed the measured workload into the
+//! dependability framework.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p ssdep-workload --release --example workload_calibration
+//! ```
+
+use ssdep_core::prelude::*;
+use ssdep_core::report::TextTable;
+use ssdep_workload::cello;
+
+fn main() -> Result<(), ssdep_core::Error> {
+    let fit = cello::cello_fit();
+    println!(
+        "locality fit: {:.0}% of updates on a {}-extent hot set (rms error {:.1}%)\n",
+        fit.hot_fraction * 100.0,
+        fit.hot_extents,
+        fit.rms_relative_error * 100.0
+    );
+
+    let duration = TimeDelta::from_days(4.0);
+    println!("generating a {duration} synthetic trace...");
+    let measured = cello::measured_cello_workload(duration, 42)?;
+
+    let paper = ssdep_core::presets::cello_workload();
+    let mut table = TextTable::new(["Statistic", "Paper (Table 2)", "Measured (synthetic)"]);
+    table.row([
+        "data capacity".to_string(),
+        paper.data_capacity().to_string(),
+        measured.data_capacity().to_string(),
+    ]);
+    table.row([
+        "avg update rate".to_string(),
+        format!("{:.0} KiB/s", paper.avg_update_rate().as_kib_per_sec()),
+        format!("{:.0} KiB/s", measured.avg_update_rate().as_kib_per_sec()),
+    ]);
+    table.row([
+        "burst multiplier".to_string(),
+        format!("{:.0}x", paper.burst_multiplier()),
+        format!("{:.1}x", measured.burst_multiplier()),
+    ]);
+    for window in [
+        TimeDelta::from_minutes(1.0),
+        TimeDelta::from_hours(12.0),
+        TimeDelta::from_hours(24.0),
+    ] {
+        table.row([
+            format!("batchUpdR({window})"),
+            format!("{:.0} KiB/s", paper.batch_update_rate(window).as_kib_per_sec()),
+            format!("{:.0} KiB/s", measured.batch_update_rate(window).as_kib_per_sec()),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    // The measured workload drops straight into the framework.
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+    let eval = evaluate(&design, &measured, &requirements, &scenario)?;
+    println!(
+        "baseline under array failure with the *measured* workload: RT {}, DL {}",
+        eval.recovery.total_time, eval.loss.worst_loss
+    );
+    Ok(())
+}

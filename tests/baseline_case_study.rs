@@ -1,0 +1,134 @@
+//! End-to-end reproduction of the paper's §4.1 baseline case study:
+//! Table 5 (utilization), Table 6 (recovery time / data loss), and
+//! Figure 5 (cost structure), checked against the published values.
+
+use ssdep_core::failure::FailureScope;
+use ssdep_core::units::{Bytes, TimeDelta, Utilization};
+use ssdep_integration::{evaluate_paper, paper_scopes};
+
+fn baseline() -> ssdep_core::hierarchy::StorageDesign {
+    ssdep_core::presets::baseline_design()
+}
+
+#[test]
+fn table5_bandwidth_utilization() {
+    let eval = evaluate_paper(&baseline(), FailureScope::Array).unwrap();
+    let array = eval.utilization.device("primary array").unwrap();
+    let tape = eval.utilization.device("tape library").unwrap();
+
+    // Paper Table 5 rows, within rounding.
+    assert!((array.bandwidth_utilization.as_percent() - 2.4).abs() < 0.1);
+    assert!((array.bandwidth_demand.as_mib_per_sec() - 12.4).abs() < 0.3);
+    assert!((tape.bandwidth_utilization.as_percent() - 3.4).abs() < 0.1);
+    assert!((tape.bandwidth_demand.as_mib_per_sec() - 8.1).abs() < 0.1);
+
+    // Per-technique shares on the array: 0.2 / 0.6 / 1.6 %.
+    let share = |name: &str| {
+        array
+            .shares
+            .iter()
+            .find(|s| s.level_name == name)
+            .map(|s| s.bandwidth_utilization.as_percent())
+            .unwrap()
+    };
+    assert!((share("primary copy") - 0.2).abs() < 0.05);
+    assert!((share("split mirror") - 0.6).abs() < 0.1);
+    assert!((share("tape backup") - 1.6).abs() < 0.1);
+}
+
+#[test]
+fn table5_capacity_utilization() {
+    let eval = evaluate_paper(&baseline(), FailureScope::Array).unwrap();
+    let array = eval.utilization.device("primary array").unwrap();
+    let tape = eval.utilization.device("tape library").unwrap();
+    let vault = eval.utilization.device("tape vault").unwrap();
+
+    assert!((array.capacity_utilization.as_percent() - 87.4).abs() < 0.3);
+    assert!((array.capacity_demand.as_tib() - 8.0).abs() < 0.1);
+    assert!((tape.capacity_utilization.as_percent() - 3.4).abs() < 0.1);
+    assert!((tape.capacity_demand.as_tib() - 6.6).abs() < 0.1);
+    assert!((vault.capacity_utilization.as_percent() - 2.6).abs() < 0.1);
+    assert!((vault.capacity_demand.as_tib() - 51.8).abs() < 0.1);
+
+    // Global: capacity bound by the array, bandwidth by the tape.
+    assert!((eval.utilization.system_capacity.as_percent() - 87.4).abs() < 0.3);
+    assert!((eval.utilization.system_bandwidth.as_percent() - 3.4).abs() < 0.1);
+    assert!(eval.utilization.system_capacity < Utilization::FULL);
+}
+
+#[test]
+fn table6_recovery_sources_and_data_loss() {
+    let design = baseline();
+    let cases = [
+        (paper_scopes()[0].clone(), "split mirror", 12.0),
+        (FailureScope::Array, "tape backup", 217.0),
+        (FailureScope::Site, "remote vaulting", 1429.0),
+    ];
+    for (scope, source, loss_hours) in cases {
+        let eval = evaluate_paper(&design, scope.clone()).unwrap();
+        assert_eq!(eval.loss.source_level_name(), Some(source), "{scope:?}");
+        assert!(
+            (eval.loss.worst_loss.as_hours() - loss_hours).abs() < 1e-6,
+            "{scope:?}: {} hr",
+            eval.loss.worst_loss.as_hours()
+        );
+    }
+}
+
+#[test]
+fn table6_recovery_times_track_the_paper() {
+    let design = baseline();
+    // Object: paper 0.004 s (intra-array copy).
+    let object = evaluate_paper(&design, paper_scopes()[0].clone()).unwrap();
+    assert!(object.recovery.total_time < TimeDelta::from_secs(0.01));
+    // Array: paper 2.4 hr; our bandwidth convention gives ~1.7 hr.
+    let array = evaluate_paper(&design, FailureScope::Array).unwrap();
+    let hours = array.recovery.total_time.as_hours();
+    assert!((1.4..=2.6).contains(&hours), "array RT {hours:.2} hr");
+    // Site: paper 26.4 hr; shipment-dominated.
+    let site = evaluate_paper(&design, FailureScope::Site).unwrap();
+    let hours = site.recovery.total_time.as_hours();
+    assert!((25.0..=27.0).contains(&hours), "site RT {hours:.2} hr");
+    // Ordering is strict.
+    assert!(object.recovery.total_time < array.recovery.total_time);
+    assert!(array.recovery.total_time < site.recovery.total_time);
+}
+
+#[test]
+fn figure5_cost_structure() {
+    let design = baseline();
+    let object = evaluate_paper(&design, paper_scopes()[0].clone()).unwrap();
+    let array = evaluate_paper(&design, FailureScope::Array).unwrap();
+    let site = evaluate_paper(&design, FailureScope::Site).unwrap();
+
+    // Outlays ~ $1M and identical across scenarios.
+    assert!((0.8..=1.1).contains(&array.cost.total_outlays.as_millions()));
+    assert_eq!(object.cost.total_outlays, site.cost.total_outlays);
+
+    // Array failure: paper total $11.94M (ours differs only through RT).
+    let array_total = array.cost.total_cost.as_millions();
+    assert!((11.0..=12.5).contains(&array_total), "array total ${array_total:.2}M");
+
+    // Site failure: paper total $71.94M; loss penalties dominate. Our
+    // consistent penalty arithmetic gives 1429.4 h + 25.6 h at $50k/hr
+    // ≈ $72.8M + outlays.
+    let site_total = site.cost.total_cost.as_millions();
+    assert!((70.0..=75.5).contains(&site_total), "site total ${site_total:.2}M");
+
+    // Loss penalties dwarf outage penalties for disasters.
+    assert!(site.cost.loss_penalty > site.cost.unavailability_penalty * 10.0);
+    assert!(array.cost.loss_penalty > array.cost.unavailability_penalty * 10.0);
+}
+
+#[test]
+fn object_failure_leaves_hardware_untouched() {
+    let design = baseline();
+    let eval = evaluate_paper(&design, paper_scopes()[0].clone()).unwrap();
+    // Recovery is a single intra-array transfer of the 1 MiB object.
+    assert_eq!(eval.recovery.restore_bytes, Bytes::from_mib(1.0));
+    assert!(eval
+        .recovery
+        .steps
+        .iter()
+        .all(|s| s.kind != ssdep_core::analysis::StepKind::Provisioning));
+}

@@ -1,0 +1,191 @@
+//! Integration coverage for the paper's §5 extensions: degraded-mode
+//! exposure, annualized risk, multi-object recovery, sensitivity sweeps,
+//! and trace CSV interchange — exercised together across crates.
+
+use ssdep_core::analysis::{degraded_exposure, risk_profile, WeightedScenario};
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::multi::{evaluate_multi, MultiObjectWorkload, ObjectSpec};
+use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+use ssdep_core::workload::Workload;
+
+fn catalog() -> Vec<WeightedScenario> {
+    vec![
+        WeightedScenario::new(
+            FailureScenario::new(
+                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+                RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            ),
+            12.0,
+        ),
+        WeightedScenario::new(
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            0.1,
+        ),
+        WeightedScenario::new(
+            FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+            0.02,
+        ),
+    ]
+}
+
+#[test]
+fn degraded_exposure_identifies_the_vault_as_critical() {
+    let workload = ssdep_core::presets::cello_workload();
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenarios: Vec<FailureScenario> =
+        catalog().into_iter().map(|w| w.scenario).collect();
+    let report = degraded_exposure(&design, &workload, &requirements, &scenarios).unwrap();
+    assert_eq!(report.most_critical_level().unwrap().level_name, "remote vaulting");
+    // Degrading the mirror shifts object recovery but never breaks it.
+    assert!(report.rows[0].outcomes.iter().all(|o| o.is_recoverable()));
+}
+
+#[test]
+fn degraded_scenarios_also_constrain_the_simulator() {
+    // The simulator must honour degraded levels the same way the
+    // analytic side does.
+    use ssdep_sim::{SimConfig, Simulation};
+    let workload = ssdep_core::presets::cello_workload();
+    let design = ssdep_core::presets::baseline_design();
+    let demands = design.demands(&workload).unwrap();
+    let report = Simulation::new(
+        &design,
+        &workload,
+        SimConfig::new(TimeDelta::from_weeks(16.0)),
+    )
+    .unwrap()
+    .run();
+    let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now)
+        .with_degraded_level(2); // tape backup down
+    let outcome = ssdep_sim::recovery::simulate_failure(
+        &design,
+        &workload,
+        &demands,
+        &report,
+        &scenario,
+        TimeDelta::from_weeks(15.0).as_secs(),
+    )
+    .unwrap();
+    assert_eq!(outcome.source_level, 3, "must fall through to the vault");
+    let analytic = ssdep_core::analysis::data_loss(&design, &scenario).unwrap();
+    assert_eq!(analytic.source_level, 3);
+    assert!(outcome.observed_loss <= analytic.worst_loss);
+}
+
+#[test]
+fn risk_profile_orders_designs_like_expected_cost() {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let baseline = risk_profile(
+        &ssdep_core::presets::baseline_design(),
+        &workload,
+        &requirements,
+        &catalog(),
+    )
+    .unwrap();
+    let daily = risk_profile(
+        &ssdep_core::presets::weekly_vault_daily_full_design(),
+        &workload,
+        &requirements,
+        &catalog(),
+    )
+    .unwrap();
+    assert!(daily.expected_annual_loss < baseline.expected_annual_loss);
+    assert!(daily.expected_annual_cost < baseline.expected_annual_cost);
+    assert!(baseline.nines() > 3.0);
+}
+
+#[test]
+fn multi_object_totals_match_a_single_combined_restore() {
+    // Three objects restored as one stream must finish exactly when one
+    // object of the combined size would.
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let object = |name: &str, gib: f64| {
+        ObjectSpec::new(
+            Workload::builder(name)
+                .data_capacity(Bytes::from_gib(gib))
+                .avg_access_rate(Bandwidth::from_kib_per_sec(300.0))
+                .avg_update_rate(Bandwidth::from_kib_per_sec(200.0))
+                .build()
+                .unwrap(),
+        )
+    };
+    let multi =
+        MultiObjectWorkload::new(vec![object("a", 500.0), object("b", 300.0), object("c", 200.0)])
+            .unwrap();
+    let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+    let evaluation = evaluate_multi(&design, &multi, &requirements, &scenario).unwrap();
+
+    let combined = Workload::builder("combined")
+        .data_capacity(Bytes::from_gib(1000.0))
+        .avg_access_rate(Bandwidth::from_kib_per_sec(900.0))
+        .avg_update_rate(Bandwidth::from_kib_per_sec(600.0))
+        .build()
+        .unwrap();
+    let single =
+        ssdep_core::analysis::evaluate(&design, &combined, &requirements, &scenario).unwrap();
+    // Not identical (multi aggregates per-object demands), but the total
+    // restore stream moves the same bytes over nearly the same path.
+    let ratio = evaluation.total_recovery_time / single.recovery.total_time;
+    assert!((0.9..1.1).contains(&ratio), "ratio {ratio:.3}");
+}
+
+#[test]
+fn sweeps_compose_with_the_optimizer_frontier() {
+    // The link sweep's endpoints must agree with the Table 7 presets.
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let hw: Vec<WeightedScenario> = catalog().into_iter().skip(1).collect();
+    let points =
+        ssdep_opt::sweep::sweep_mirror_links(&[1, 10], &workload, &requirements, &hw).unwrap();
+    let direct = ssdep_core::analysis::evaluate(
+        &ssdep_core::presets::async_batch_mirror_design(10),
+        &workload,
+        &requirements,
+        &FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+    )
+    .unwrap();
+    assert!(points[1]
+        .outlays
+        .approx_eq(direct.cost.total_outlays, 1e-9));
+}
+
+#[test]
+fn csv_traces_flow_into_full_evaluations() {
+    // Generate → export CSV → import → measure a workload → evaluate.
+    let trace = ssdep_workload::TraceGenerator::builder()
+        .duration(TimeDelta::from_hours(8.0))
+        .extent_count(1_392_640)
+        .extent_size(Bytes::from_mib(1.0))
+        .updates_per_sec(0.8)
+        .locality(0.6, 100)
+        .seed(4)
+        .build()
+        .unwrap()
+        .generate();
+    let mut csv = Vec::new();
+    ssdep_workload::io::write_csv(&trace, &mut csv).unwrap();
+    let imported = ssdep_workload::io::read_csv(csv.as_slice()).unwrap();
+    assert_eq!(imported, trace);
+
+    let workload = ssdep_workload::estimate::workload_from_trace(
+        "imported",
+        &imported,
+        Bandwidth::from_kib_per_sec(1100.0),
+        &[TimeDelta::from_minutes(1.0), TimeDelta::from_hours(1.0)],
+        TimeDelta::from_secs(30.0),
+    )
+    .unwrap();
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let evaluation = ssdep_core::analysis::evaluate(
+        &design,
+        &workload,
+        &requirements,
+        &FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+    )
+    .unwrap();
+    assert!((evaluation.loss.worst_loss.as_hours() - 217.0).abs() < 1e-6);
+}

@@ -1,0 +1,167 @@
+//! Cross-crate optimizer checks: the search must agree with direct
+//! evaluations of the presets and behave sanely as requirements change.
+
+use ssdep_core::analysis::WeightedScenario;
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::units::{Money, TimeDelta};
+use ssdep_opt::pareto;
+use ssdep_opt::search::{evaluate_candidate, exhaustive, hill_climb, paper_scenarios};
+use ssdep_opt::space::{BackupChoice, Candidate, DesignSpace, MirrorChoice, PitChoice, VaultChoice};
+
+fn baseline_candidate() -> Candidate {
+    Candidate {
+        pit: PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
+        backup: BackupChoice::Fulls {
+            acc_hours: 168.0,
+            prop_hours: 48.0,
+            retained: 4,
+            daily_incrementals: 0,
+        },
+        vault: VaultChoice::Ship { acc_weeks: 4.0, hold_hours: 684.0, retained: 39 },
+        mirror: MirrorChoice::None,
+    }
+}
+
+#[test]
+fn candidate_evaluation_matches_direct_preset_evaluation() {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenario = WeightedScenario::new(
+        FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        1.0,
+    );
+    let outcome =
+        evaluate_candidate(&baseline_candidate(), &workload, &requirements, &[scenario]).unwrap();
+
+    let design = ssdep_core::presets::baseline_design();
+    let direct = ssdep_core::analysis::evaluate(
+        &design,
+        &workload,
+        &requirements,
+        &FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+    )
+    .unwrap();
+
+    assert!(outcome.outlays.approx_eq(direct.cost.total_outlays, 1e-9));
+    assert!(outcome
+        .expected_penalties
+        .approx_eq(direct.cost.total_penalties(), 1e-9));
+    assert!((outcome.worst_data_loss.as_hours() - 217.0).abs() < 1e-6);
+}
+
+#[test]
+fn raising_loss_penalties_shifts_the_winner_toward_lower_loss() {
+    let workload = ssdep_core::presets::cello_workload();
+    let space = DesignSpace::minimal();
+
+    let reqs = |rate: f64| {
+        ssdep_core::requirements::BusinessRequirements::builder()
+            .unavailability_penalty_rate(
+                ssdep_core::units::MoneyRate::from_dollars_per_hour(rate),
+            )
+            .loss_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(rate))
+            .build()
+            .unwrap()
+    };
+
+    let cheap_rates = exhaustive(&space, &workload, &reqs(100.0), &paper_scenarios()).unwrap();
+    let dear_rates =
+        exhaustive(&space, &workload, &reqs(5_000_000.0), &paper_scenarios()).unwrap();
+    let cheap_best = cheap_rates.best().unwrap();
+    let dear_best = dear_rates.best().unwrap();
+    assert!(
+        dear_best.worst_data_loss <= cheap_best.worst_data_loss,
+        "dearer penalties must not pick a lossier design ({} vs {})",
+        dear_best.worst_data_loss,
+        cheap_best.worst_data_loss
+    );
+}
+
+#[test]
+fn hill_climb_uses_fewer_evaluations_on_the_broad_space() {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let space = DesignSpace::broad();
+    let full = exhaustive(&space, &workload, &requirements, &paper_scenarios()).unwrap();
+    let climbed = hill_climb(&space, &workload, &requirements, &paper_scenarios()).unwrap();
+    assert!(
+        climbed.evaluations < full.evaluations,
+        "{} vs {}",
+        climbed.evaluations,
+        full.evaluations
+    );
+    let best = full.best().unwrap().expected_total;
+    let local = climbed.best().unwrap().expected_total;
+    assert!(
+        local <= best * 1.25,
+        "hill climb landed at {local} vs global best {best}"
+    );
+}
+
+#[test]
+fn pareto_front_brackets_the_cost_range() {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let result =
+        exhaustive(&DesignSpace::broad(), &workload, &requirements, &paper_scenarios()).unwrap();
+    let front = pareto::cost_risk_front(&result.ranked);
+    assert!(!front.is_empty());
+    // The min-outlay and min-penalty candidates are always on the front.
+    let min_outlay = result
+        .ranked
+        .iter()
+        .map(|o| o.outlays)
+        .fold(Money::from_dollars(f64::INFINITY), Money::min);
+    let min_penalty = result
+        .ranked
+        .iter()
+        .map(|o| o.expected_penalties)
+        .fold(Money::from_dollars(f64::INFINITY), Money::min);
+    assert!(front.iter().any(|o| o.outlays == min_outlay));
+    assert!(front.iter().any(|o| o.expected_penalties == min_penalty));
+}
+
+#[test]
+fn infeasible_candidates_are_reported_not_dropped_silently() {
+    // A vault choice with an 11-hour hold but a 12-hour-holding vault
+    // params is fine; instead force infeasibility via an impossible
+    // backup window (propagation longer than accumulation).
+    let space = DesignSpace {
+        pit: vec![PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 }],
+        backup: vec![BackupChoice::Fulls {
+            acc_hours: 24.0,
+            prop_hours: 48.0, // propW > accW: invalid
+            retained: 4,
+            daily_incrementals: 0,
+        }],
+        vault: vec![VaultChoice::None],
+        mirror: vec![MirrorChoice::None],
+    };
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let result = exhaustive(&space, &workload, &requirements, &paper_scenarios()).unwrap();
+    assert!(result.ranked.is_empty());
+    assert_eq!(result.infeasible.len(), 1);
+    assert!(result.infeasible[0].reason.contains("propW"));
+}
+
+#[test]
+fn rto_rpo_front_is_consistent_with_objectives() {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::requirements::BusinessRequirements::builder()
+        .unavailability_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(50_000.0))
+        .loss_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(50_000.0))
+        .recovery_time_objective(TimeDelta::from_hours(30.0))
+        .recovery_point_objective(TimeDelta::from_hours(250.0))
+        .build()
+        .unwrap();
+    let result =
+        exhaustive(&DesignSpace::minimal(), &workload, &requirements, &paper_scenarios()).unwrap();
+    let front = pareto::rto_rpo_front(&result.ranked);
+    // Anyone meeting the objectives is dominated only by other feasible
+    // points; at least one frontier member should meet them.
+    assert!(front.iter().any(|o| o.meets_objectives), "front: {:?}", front
+        .iter()
+        .map(|o| (&o.label, o.worst_recovery_time, o.worst_data_loss))
+        .collect::<Vec<_>>());
+}

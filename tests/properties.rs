@@ -1,0 +1,176 @@
+//! Property-based tests over the framework's core invariants, driven by
+//! randomly generated workloads, protection parameters, and failure
+//! targets.
+
+use proptest::prelude::*;
+use ssdep_core::analysis;
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::protection::ProtectionParams;
+use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+use ssdep_core::workload::Workload;
+
+/// A strategy for physically consistent workloads.
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (
+        10.0f64..5000.0,   // GiB
+        64.0f64..8192.0,   // access KiB/s
+        0.1f64..1.0,       // update fraction of access
+        1.0f64..20.0,      // burst multiplier
+        0.2f64..1.0,       // unique fraction at one minute
+        0.05f64..1.0,      // long-window fraction of the short one
+    )
+        .prop_map(|(gib, access, update_frac, burst, short_unique, long_ratio)| {
+            let update = access * update_frac;
+            let short_rate = update * short_unique;
+            let long_rate = short_rate * long_ratio;
+            // Bytes monotonicity needs rate(12 h) × 12 h ≥ rate(1 min) × 1 min,
+            // which holds because long_ratio ≥ 0.05 ≫ 1/720.
+            Workload::builder("prop")
+                .data_capacity(Bytes::from_gib(gib))
+                .avg_access_rate(Bandwidth::from_kib_per_sec(access))
+                .avg_update_rate(Bandwidth::from_kib_per_sec(update))
+                .burst_multiplier(burst)
+                .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(short_rate))
+                .batch_rate(TimeDelta::from_hours(12.0), Bandwidth::from_kib_per_sec(long_rate))
+                .build()
+                .expect("strategy produces valid workloads")
+        })
+}
+
+/// A strategy for valid protection parameter sets.
+fn params_strategy() -> impl Strategy<Value = ProtectionParams> {
+    (
+        1.0f64..400.0, // accW hours
+        0.0f64..1.0,   // propW as a fraction of accW
+        0.0f64..100.0, // holdW hours
+        1u32..40,      // retCnt
+    )
+        .prop_map(|(acc, prop_frac, hold, ret)| {
+            ProtectionParams::builder()
+                .accumulation_window(TimeDelta::from_hours(acc))
+                .propagation_window(TimeDelta::from_hours(acc * prop_frac))
+                .hold_window(TimeDelta::from_hours(hold))
+                .retention_count(ret)
+                .build()
+                .expect("strategy produces valid params")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn unique_bytes_monotone_and_bounded(workload in workload_strategy(), hours in 0.01f64..10_000.0) {
+        let w1 = TimeDelta::from_hours(hours);
+        let w2 = TimeDelta::from_hours(hours * 1.5);
+        let u1 = workload.unique_bytes(w1);
+        let u2 = workload.unique_bytes(w2);
+        prop_assert!(u2 >= u1, "unique bytes decreased: {u1} -> {u2}");
+        prop_assert!(u1 <= workload.data_capacity());
+        prop_assert!(u1 <= workload.avg_update_rate() * w1 + Bytes::from_bytes(1.0));
+    }
+
+    #[test]
+    fn batch_rate_never_exceeds_update_rate(workload in workload_strategy(), hours in 0.001f64..10_000.0) {
+        let rate = workload.batch_update_rate(TimeDelta::from_hours(hours));
+        prop_assert!(rate <= workload.avg_update_rate() * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn lag_formulas_are_consistent(params in params_strategy()) {
+        prop_assert!(params.transit_lag() <= params.worst_own_lag());
+        prop_assert!(params.worst_own_lag().approx_eq(
+            params.transit_lag() + params.accumulation_window(), 1e-12));
+        prop_assert!(params.retention_span() <= params.retention_window());
+        prop_assert!(params.retention_span().value() >= 0.0);
+    }
+
+    #[test]
+    fn worst_lag_monotone_in_every_window(
+        acc in 1.0f64..200.0, hold in 0.0f64..50.0, prop_frac in 0.0f64..1.0, delta in 0.1f64..20.0,
+    ) {
+        let build = |acc: f64, hold: f64| {
+            ProtectionParams::builder()
+                .accumulation_window(TimeDelta::from_hours(acc))
+                .propagation_window(TimeDelta::from_hours(acc * prop_frac))
+                .hold_window(TimeDelta::from_hours(hold))
+                .retention_count(3)
+                .build()
+                .unwrap()
+        };
+        let base = build(acc, hold);
+        prop_assert!(build(acc + delta, hold).worst_own_lag() >= base.worst_own_lag());
+        prop_assert!(build(acc, hold + delta).worst_own_lag() >= base.worst_own_lag());
+    }
+
+    #[test]
+    fn baseline_loss_is_monotone_in_target_age_within_a_level(age_hours in 0.0f64..12.0) {
+        // While the target stays ahead of the split mirror's freshest
+        // guaranteed RP, loss shrinks as the target moves back in time.
+        let design = ssdep_core::presets::baseline_design();
+        let loss_at = |age: f64| {
+            let target = if age == 0.0 {
+                RecoveryTarget::Now
+            } else {
+                RecoveryTarget::Before { age: TimeDelta::from_hours(age) }
+            };
+            let scenario = FailureScenario::new(
+                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+                target,
+            );
+            analysis::data_loss(&design, &scenario).unwrap().worst_loss
+        };
+        let fresh = loss_at(age_hours * 0.5);
+        let older = loss_at(age_hours);
+        prop_assert!(older <= fresh + TimeDelta::from_secs(1e-6));
+    }
+
+    #[test]
+    fn recovery_time_is_monotone_in_restore_bytes(gib in 1.0f64..5000.0) {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::baseline_design();
+        let demands = design.demands(&workload).unwrap();
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let small = analysis::recovery_with_bytes(
+            &design, &demands, &scenario, 2, Bytes::from_gib(gib)).unwrap();
+        let large = analysis::recovery_with_bytes(
+            &design, &demands, &scenario, 2, Bytes::from_gib(gib * 2.0)).unwrap();
+        prop_assert!(large.total_time >= small.total_time);
+    }
+
+    #[test]
+    fn penalties_scale_linearly_with_rates(multiplier in 0.0f64..10.0) {
+        use ssdep_core::requirements::BusinessRequirements;
+        use ssdep_core::units::MoneyRate;
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::baseline_design();
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let reqs = |rate: f64| {
+            BusinessRequirements::builder()
+                .unavailability_penalty_rate(MoneyRate::from_dollars_per_hour(rate))
+                .loss_penalty_rate(MoneyRate::from_dollars_per_hour(rate))
+                .build()
+                .unwrap()
+        };
+        let base = analysis::evaluate(&design, &workload, &reqs(1000.0), &scenario).unwrap();
+        let scaled =
+            analysis::evaluate(&design, &workload, &reqs(1000.0 * multiplier), &scenario).unwrap();
+        prop_assert!(scaled
+            .cost
+            .total_penalties()
+            .approx_eq(base.cost.total_penalties() * multiplier, 1e-9));
+        // Outlays are independent of penalty rates.
+        prop_assert_eq!(scaled.cost.total_outlays, base.cost.total_outlays);
+    }
+
+    #[test]
+    fn guaranteed_ranges_nest_down_the_hierarchy(_seed in 0u8..1) {
+        for design in ssdep_core::presets::what_if_designs() {
+            let ranges = analysis::level_ranges(&design);
+            for pair in ranges.windows(2) {
+                prop_assert!(pair[1].min_lag >= pair[0].min_lag);
+                prop_assert!(pair[1].max_lag >= pair[0].max_lag);
+            }
+        }
+    }
+}

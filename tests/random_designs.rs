@@ -1,0 +1,227 @@
+//! Property tests over *randomly generated designs*: sample the
+//! candidate space's dimensions with random windows/retentions, and
+//! check that the framework's invariants hold for every coherent design
+//! that materializes.
+
+use proptest::prelude::*;
+use ssdep_core::analysis;
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::units::TimeDelta;
+use ssdep_opt::space::{BackupChoice, Candidate, MirrorChoice, PitChoice, VaultChoice};
+
+fn pit_strategy() -> impl Strategy<Value = PitChoice> {
+    prop_oneof![
+        Just(PitChoice::None),
+        (2.0f64..48.0, 2u32..12).prop_map(|(acc_hours, retained)| PitChoice::SplitMirror {
+            acc_hours,
+            retained
+        }),
+        (2.0f64..48.0, 2u32..24).prop_map(|(acc_hours, retained)| PitChoice::Snapshot {
+            acc_hours,
+            retained
+        }),
+    ]
+}
+
+fn backup_strategy() -> impl Strategy<Value = BackupChoice> {
+    prop_oneof![
+        Just(BackupChoice::None),
+        (24.0f64..336.0, 0.1f64..0.9, 2u32..16, 0u32..4).prop_map(
+            |(acc_hours, prop_frac, retained, incrementals)| {
+                // Incrementals are daily; they must fit inside the cycle.
+                let daily_incrementals =
+                    if acc_hours > (incrementals + 1) as f64 * 24.0 { incrementals } else { 0 };
+                BackupChoice::Fulls {
+                    acc_hours,
+                    prop_hours: acc_hours * prop_frac,
+                    retained,
+                    daily_incrementals,
+                }
+            }
+        ),
+    ]
+}
+
+fn vault_strategy() -> impl Strategy<Value = VaultChoice> {
+    prop_oneof![
+        Just(VaultChoice::None),
+        (1.0f64..8.0, 1.0f64..800.0, 4u32..200).prop_map(
+            |(acc_weeks, hold_hours, retained)| VaultChoice::Ship {
+                acc_weeks,
+                hold_hours,
+                retained
+            }
+        ),
+    ]
+}
+
+fn mirror_strategy() -> impl Strategy<Value = MirrorChoice> {
+    prop_oneof![
+        Just(MirrorChoice::None),
+        (1u32..12).prop_map(|links| MirrorChoice::Synchronous { links }),
+        (0.5f64..30.0, 1u32..12).prop_map(|(acc_minutes, links)| MirrorChoice::Batched {
+            acc_minutes,
+            links
+        }),
+    ]
+}
+
+fn candidate_strategy() -> impl Strategy<Value = Candidate> {
+    (pit_strategy(), backup_strategy(), vault_strategy(), mirror_strategy())
+        .prop_map(|(pit, backup, vault, mirror)| Candidate { pit, backup, vault, mirror })
+}
+
+/// A 20-week baseline simulation, built once and shared across property
+/// cases (simulation is deterministic, so sharing is sound).
+struct SimFixture {
+    design: ssdep_core::hierarchy::StorageDesign,
+    workload: ssdep_core::workload::Workload,
+    demands: ssdep_core::demands::DemandSet,
+    report: ssdep_sim::SimReport,
+}
+
+fn sim_fixture() -> &'static SimFixture {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<SimFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::baseline_design();
+        let demands = design.demands(&workload).unwrap();
+        let report = ssdep_sim::Simulation::new(
+            &design,
+            &workload,
+            ssdep_sim::SimConfig::new(TimeDelta::from_weeks(20.0)),
+        )
+        .unwrap()
+        .run();
+        SimFixture { design, workload, demands, report }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coherent_candidates_evaluate_with_sane_invariants(candidate in candidate_strategy()) {
+        prop_assume!(candidate.is_coherent());
+        let Ok(design) = candidate.materialize() else {
+            // Some sampled parameter combinations are validly rejected
+            // (e.g. retention shorter than span); that is correct
+            // behaviour, not a failure.
+            return Ok(());
+        };
+        let workload = ssdep_core::presets::cello_workload();
+        let requirements = ssdep_core::presets::paper_requirements();
+
+        for scope in [FailureScope::Array, FailureScope::Site] {
+            let scenario = FailureScenario::new(scope, RecoveryTarget::Now);
+            match analysis::evaluate(&design, &workload, &requirements, &scenario) {
+                Ok(evaluation) => {
+                    // Loss and recovery are non-negative and finite.
+                    prop_assert!(evaluation.loss.worst_loss.value() >= 0.0);
+                    prop_assert!(evaluation.loss.worst_loss.is_finite());
+                    prop_assert!(evaluation.recovery.total_time.value() >= 0.0);
+                    prop_assert!(evaluation.recovery.total_time.is_finite());
+                    // Penalties follow the rates exactly.
+                    let expected = requirements.loss_penalty_rate()
+                        * evaluation.loss.worst_loss
+                        + requirements.unavailability_penalty_rate()
+                            * evaluation.recovery.total_time;
+                    prop_assert!(evaluation.cost.total_penalties().approx_eq(expected, 1e-9));
+                    // The chosen source survived the failure.
+                    prop_assert!(!design.level_unavailable(
+                        evaluation.loss.source_level,
+                        &scenario
+                    ));
+                    // Steps never end after the reported total.
+                    for step in &evaluation.recovery.steps {
+                        prop_assert!(step.end() <= evaluation.recovery.total_time + TimeDelta::from_secs(1e-6));
+                    }
+                }
+                // Designs genuinely unable to recover (or overcommitted)
+                // must say so through the typed errors, never panic.
+                Err(ssdep_core::Error::NoRecoverySource { .. })
+                | Err(ssdep_core::Error::NoReplacement { .. })
+                | Err(ssdep_core::Error::Overutilized { .. }) => {}
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!(
+                        "unexpected error for {}: {other}",
+                        candidate.label()
+                    )));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn site_failures_never_lose_less_than_array_failures(candidate in candidate_strategy()) {
+        prop_assume!(candidate.is_coherent());
+        let Ok(design) = candidate.materialize() else { return Ok(()) };
+        let workload = ssdep_core::presets::cello_workload();
+        let requirements = ssdep_core::presets::paper_requirements();
+        let evaluate = |scope| {
+            analysis::evaluate(
+                &design,
+                &workload,
+                &requirements,
+                &FailureScenario::new(scope, RecoveryTarget::Now),
+            )
+        };
+        if let (Ok(array), Ok(site)) = (evaluate(FailureScope::Array), evaluate(FailureScope::Site)) {
+            // A site failure destroys at least everything an array
+            // failure does, so the best surviving source cannot be
+            // fresher.
+            prop_assert!(
+                site.loss.worst_loss >= array.loss.worst_loss - TimeDelta::from_secs(1e-6),
+                "{}: site {} < array {}",
+                candidate.label(),
+                site.loss.worst_loss,
+                array.loss.worst_loss
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_losses_are_bounded_at_arbitrary_instants(hours in 0.0f64..1680.0) {
+        // Random failure instants across ten weeks of simulated history:
+        // the observed loss must respect the analytic bound at every one
+        // of them, not just on a grid.
+        let fixture = sim_fixture();
+        let t = TimeDelta::from_weeks(10.0).as_secs() + hours * 3600.0;
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let analytic = analysis::data_loss(&fixture.design, &scenario).unwrap().worst_loss;
+        match ssdep_sim::recovery::simulate_failure(
+            &fixture.design,
+            &fixture.workload,
+            &fixture.demands,
+            &fixture.report,
+            &scenario,
+            t,
+        ) {
+            Ok(outcome) => {
+                prop_assert!(
+                    outcome.observed_loss <= analytic + TimeDelta::from_secs(1.0),
+                    "at t={t}: observed {} > analytic {}",
+                    outcome.observed_loss,
+                    analytic
+                );
+            }
+            Err(ssdep_core::Error::NoRecoverySource { .. }) => {}
+            Err(other) => return Err(TestCaseError::fail(other.to_string())),
+        }
+    }
+
+    #[test]
+    fn level_ranges_are_always_ordered(candidate in candidate_strategy()) {
+        prop_assume!(candidate.is_coherent());
+        let Ok(design) = candidate.materialize() else { return Ok(()) };
+        let ranges = analysis::level_ranges(&design);
+        for range in &ranges {
+            prop_assert!(range.min_lag <= range.max_lag);
+            prop_assert!(range.min_lag <= range.oldest_guaranteed);
+        }
+        for pair in ranges.windows(2) {
+            prop_assert!(pair[1].min_lag >= pair[0].min_lag);
+        }
+    }
+}

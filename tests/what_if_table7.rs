@@ -1,0 +1,217 @@
+//! Reproduction of the paper's §4.2 what-if exploration (Table 7): the
+//! *shape* of the comparison — who wins, by what order of magnitude,
+//! where the crossovers fall — must match the published table.
+
+use ssdep_core::failure::FailureScope;
+use ssdep_core::units::TimeDelta;
+use ssdep_integration::evaluate_paper;
+
+struct Row {
+    name: &'static str,
+    array_rt: f64,
+    array_dl: f64,
+    site_rt: f64,
+    site_dl: f64,
+    outlays: f64,
+    array_total: f64,
+    site_total: f64,
+}
+
+fn rows() -> Vec<Row> {
+    ssdep_core::presets::what_if_designs()
+        .into_iter()
+        .map(|design| {
+            let array = evaluate_paper(&design, FailureScope::Array)
+                .unwrap_or_else(|e| panic!("{}: {e}", design.name()));
+            let site = evaluate_paper(&design, FailureScope::Site)
+                .unwrap_or_else(|e| panic!("{}: {e}", design.name()));
+            Row {
+                name: match design.name() {
+                    "baseline" => "baseline",
+                    "weekly vault" => "weekly",
+                    "weekly vault, F+I" => "fi",
+                    "weekly vault, daily F" => "daily",
+                    "weekly vault, daily F, snapshot" => "snapshot",
+                    "asyncB mirror, 1 link(s)" => "mirror1",
+                    "asyncB mirror, 10 link(s)" => "mirror10",
+                    other => panic!("unexpected design {other}"),
+                },
+                array_rt: array.recovery.total_time.as_hours(),
+                array_dl: array.loss.worst_loss.as_hours(),
+                site_rt: site.recovery.total_time.as_hours(),
+                site_dl: site.loss.worst_loss.as_hours(),
+                outlays: array.cost.total_outlays.as_millions(),
+                array_total: array.cost.total_cost.as_millions(),
+                site_total: site.cost.total_cost.as_millions(),
+            }
+        })
+        .collect()
+}
+
+fn by<'a>(rows: &'a [Row], name: &str) -> &'a Row {
+    rows.iter().find(|r| r.name == name).unwrap()
+}
+
+#[test]
+fn data_loss_values_match_table_7_exactly() {
+    let rows = rows();
+    // Array-failure DL column: 217, 217, 73, 37, 37, 0.03, 0.03 hours.
+    assert!((by(&rows, "baseline").array_dl - 217.0).abs() < 1e-6);
+    assert!((by(&rows, "weekly").array_dl - 217.0).abs() < 1e-6);
+    assert!((by(&rows, "fi").array_dl - 73.0).abs() < 1e-6);
+    assert!((by(&rows, "daily").array_dl - 37.0).abs() < 1e-6);
+    assert!((by(&rows, "snapshot").array_dl - 37.0).abs() < 1e-6);
+    assert!((by(&rows, "mirror1").array_dl - 2.0 / 60.0).abs() < 1e-6);
+    // Site-disaster DL column: 1429, 253, 253, 217, 217, 0.03, 0.03.
+    assert!((by(&rows, "baseline").site_dl - 1429.0).abs() < 1e-6);
+    assert!((by(&rows, "weekly").site_dl - 253.0).abs() < 1e-6);
+    assert!((by(&rows, "fi").site_dl - 253.0).abs() < 1e-6);
+    assert!((by(&rows, "daily").site_dl - 217.0).abs() < 1e-6);
+    assert!((by(&rows, "snapshot").site_dl - 217.0).abs() < 1e-6);
+    assert!((by(&rows, "mirror10").site_dl - 2.0 / 60.0).abs() < 1e-6);
+}
+
+#[test]
+fn weekly_vaulting_slashes_site_loss_but_not_array_loss() {
+    let rows = rows();
+    let baseline = by(&rows, "baseline");
+    let weekly = by(&rows, "weekly");
+    assert!(weekly.site_dl < baseline.site_dl / 5.0);
+    assert_eq!(weekly.array_dl, baseline.array_dl);
+    // Total site cost drops roughly fivefold ($71.94M → $14.96M scale).
+    assert!(weekly.site_total < baseline.site_total / 4.0);
+}
+
+#[test]
+fn incrementals_trade_recovery_time_for_loss() {
+    let rows = rows();
+    let weekly = by(&rows, "weekly");
+    let fi = by(&rows, "fi");
+    // F+I cuts array-failure loss ~3× …
+    assert!(fi.array_dl < weekly.array_dl / 2.5);
+    // … at slightly longer recovery (restore full + incremental).
+    assert!(fi.array_rt > weekly.array_rt);
+    // Site-disaster behaviour is unchanged (vault still gets fulls).
+    assert!((fi.site_dl - weekly.site_dl).abs() < 1e-6);
+}
+
+#[test]
+fn daily_fulls_beat_incrementals_on_loss_and_restore_volume() {
+    let rows = rows();
+    let fi = by(&rows, "fi");
+    let daily = by(&rows, "daily");
+    assert!(daily.array_dl < fi.array_dl);
+    assert!(daily.site_dl < fi.site_dl);
+    assert!(daily.array_total < fi.array_total);
+    // The F+I restore must move a full *plus* the largest cumulative
+    // incremental; daily fulls restore exactly one full. (The paper's
+    // Table 7 shows this as 2.4 hr vs 4.0 hr; our available-bandwidth
+    // convention shifts the absolute times but the volume relation is
+    // structural.)
+    let workload = ssdep_core::presets::cello_workload();
+    let fi_eval = evaluate_paper(
+        &ssdep_core::presets::weekly_vault_full_incremental_design(),
+        FailureScope::Array,
+    )
+    .unwrap();
+    let daily_eval = evaluate_paper(
+        &ssdep_core::presets::weekly_vault_daily_full_design(),
+        FailureScope::Array,
+    )
+    .unwrap();
+    assert_eq!(daily_eval.recovery.restore_bytes, workload.data_capacity());
+    assert!(fi_eval.recovery.restore_bytes > workload.data_capacity());
+}
+
+#[test]
+fn snapshots_cut_outlays_without_hurting_dependability() {
+    let rows = rows();
+    let daily = by(&rows, "daily");
+    let snapshot = by(&rows, "snapshot");
+    // Paper: $1.01M → $0.76M outlays, same RT/DL.
+    assert!(snapshot.outlays < daily.outlays - 0.1);
+    assert!((snapshot.array_dl - daily.array_dl).abs() < 1e-6);
+    assert!((snapshot.array_rt - daily.array_rt).abs() < 0.2);
+}
+
+#[test]
+fn mirroring_reduces_loss_to_minutes_with_transfer_bound_recovery() {
+    let rows = rows();
+    let mirror1 = by(&rows, "mirror1");
+    let mirror10 = by(&rows, "mirror10");
+    // Two-minute loss for both (paper: 0.03 hr).
+    assert!(mirror1.array_dl < 0.05);
+    // One link: recovery is transfer-dominated, ~21.7 hr in the paper.
+    assert!((20.0..=24.0).contains(&mirror1.array_rt), "{}", mirror1.array_rt);
+    // Ten links recover an order of magnitude faster (paper 2.8 hr).
+    assert!(mirror10.array_rt < mirror1.array_rt / 5.0);
+    assert!((1.5..=3.5).contains(&mirror10.array_rt), "{}", mirror10.array_rt);
+    // Site recovery additionally waits on the shared facility.
+    assert!(mirror10.site_rt > mirror10.array_rt);
+    // Ten links cost several million more (paper $0.93M → $5.03M).
+    assert!(mirror10.outlays > mirror1.outlays + 3.0);
+}
+
+#[test]
+fn single_link_mirror_has_the_lowest_total_cost() {
+    // The paper's "ironic" headline: the cheapest overall design is the
+    // single-link mirror despite its slow recovery, because loss
+    // penalties vanish and outlays stay modest.
+    let rows = rows();
+    let mirror1 = by(&rows, "mirror1");
+    for row in &rows {
+        assert!(
+            mirror1.array_total <= row.array_total + 1e-9,
+            "{} beats mirror1 on array total ({:.2} vs {:.2})",
+            row.name,
+            row.array_total,
+            mirror1.array_total
+        );
+    }
+    // And mirror-10's extra links make it pricier overall than mirror-1
+    // (paper: $5.18M vs $2.01M).
+    let mirror10 = by(&rows, "mirror10");
+    assert!(mirror10.array_total > mirror1.array_total);
+}
+
+#[test]
+fn costs_are_dominated_by_penalties_exactly_when_loss_is_large() {
+    let rows = rows();
+    for row in &rows {
+        let penalties = row.array_total - row.outlays;
+        if row.array_dl > 100.0 {
+            assert!(penalties > row.outlays, "{}: penalties should dominate", row.name);
+        }
+        if row.array_dl < 1.0 {
+            assert!(penalties < row.outlays * 3.0, "{}: penalties should be modest", row.name);
+        }
+    }
+}
+
+#[test]
+fn every_what_if_design_is_feasible_and_warning_free_enough() {
+    for design in ssdep_core::presets::what_if_designs() {
+        let workload = ssdep_core::presets::cello_workload();
+        let report = ssdep_core::analysis::utilization(&design, &workload).unwrap();
+        report
+            .check()
+            .unwrap_or_else(|e| panic!("{} infeasible: {e}", design.name()));
+        // The weekly-vault variants legitimately warn about nothing
+        // fatal; just ensure warnings stay bounded.
+        assert!(design.convention_warnings().len() <= 2, "{}", design.name());
+    }
+}
+
+#[test]
+fn mirror_designs_cannot_serve_day_old_rollbacks() {
+    // A mirror keeps no history: a 24-hour-old corruption target must be
+    // unrecoverable (the reason real deployments keep PiT + backup too).
+    let design = ssdep_core::presets::async_batch_mirror_design(1);
+    let err = evaluate_paper(
+        &design,
+        FailureScope::DataObject { size: ssdep_core::units::Bytes::from_mib(1.0) },
+    )
+    .unwrap_err();
+    assert!(matches!(err, ssdep_core::Error::NoRecoverySource { .. }));
+    let _ = TimeDelta::ZERO; // keep the import used in all cfgs
+}

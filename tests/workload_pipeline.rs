@@ -1,0 +1,120 @@
+//! The Table 2 substitution pipeline end to end: synthesize a
+//! cello-like trace, measure a `Workload` from it, and feed the measured
+//! workload through the full dependability evaluation.
+
+use ssdep_core::analysis::evaluate;
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::units::{Bandwidth, TimeDelta};
+use ssdep_workload::{cello, estimate, TraceGenerator};
+
+#[test]
+fn measured_cello_workload_drives_the_baseline_evaluation() {
+    let measured = cello::measured_cello_workload(TimeDelta::from_days(2.0), 21).unwrap();
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+    let eval = evaluate(&design, &measured, &requirements, &scenario).unwrap();
+
+    // The lag arithmetic is workload-independent: 217 hours still.
+    assert!((eval.loss.worst_loss.as_hours() - 217.0).abs() < 1e-6);
+    // Utilization tracks the paper workload's within a couple of
+    // percentage points, since the measured statistics match Table 2.
+    let paper = ssdep_core::presets::cello_workload();
+    let reference = evaluate(&design, &paper, &requirements, &scenario).unwrap();
+    let measured_cap = eval
+        .utilization
+        .device("primary array")
+        .unwrap()
+        .capacity_utilization
+        .as_percent();
+    let reference_cap = reference
+        .utilization
+        .device("primary array")
+        .unwrap()
+        .capacity_utilization
+        .as_percent();
+    assert!(
+        (measured_cap - reference_cap).abs() < 2.0,
+        "array capacity {measured_cap:.1}% vs reference {reference_cap:.1}%"
+    );
+}
+
+#[test]
+fn estimator_statistics_converge_with_trace_length() {
+    // Longer traces estimate the configured rate more tightly.
+    let run = |hours: f64| {
+        let trace = TraceGenerator::builder()
+            .duration(TimeDelta::from_hours(hours))
+            .extent_count(40_000)
+            .updates_per_sec(4.0)
+            .locality(0.7, 400)
+            .seed(5)
+            .build()
+            .unwrap()
+            .generate();
+        let measured = estimate::avg_update_rate(&trace);
+        let target = trace.extent_size() * 4.0 / TimeDelta::from_secs(1.0);
+        (measured / target - 1.0).abs()
+    };
+    let short_err = run(1.0);
+    let long_err = run(16.0);
+    assert!(
+        long_err < short_err + 0.02,
+        "longer traces should not estimate much worse: {short_err:.4} -> {long_err:.4}"
+    );
+    assert!(long_err < 0.05);
+}
+
+#[test]
+fn hot_locality_shows_up_as_backup_savings() {
+    // Two workloads with identical rates but different locality: the
+    // one with heavy overwrites yields smaller incrementals, and the
+    // framework's backup model sees it.
+    let build = |hot_fraction: f64, hot: u64, seed: u64| {
+        let trace = TraceGenerator::builder()
+            .duration(TimeDelta::from_hours(12.0))
+            .extent_count(50_000)
+            .updates_per_sec(8.0)
+            .locality(hot_fraction, hot)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .generate();
+        estimate::workload_from_trace(
+            "synthetic",
+            &trace,
+            Bandwidth::from_mib_per_sec(16.0),
+            &[TimeDelta::from_minutes(1.0), TimeDelta::from_hours(1.0), TimeDelta::from_hours(6.0)],
+            TimeDelta::from_secs(1.0),
+        )
+        .unwrap()
+    };
+    let hot = build(0.9, 200, 1);
+    let cold = build(0.0, 1, 2);
+    let window = TimeDelta::from_hours(6.0);
+    assert!(
+        hot.unique_bytes(window) < cold.unique_bytes(window) / 2.0,
+        "hot {} vs cold {}",
+        hot.unique_bytes(window),
+        cold.unique_bytes(window)
+    );
+}
+
+#[test]
+fn cello_fit_reproduces_the_curve_shape() {
+    let fit = cello::cello_fit();
+    assert!(fit.rms_relative_error < 0.25);
+    // The fitted generator's analytic curve declines with the window,
+    // as Table 2's does.
+    let unique = |secs: f64| {
+        ssdep_workload::fit::expected_unique_extents(
+            secs,
+            cello::cello_updates_per_sec(),
+            cello::cello_extent_count(),
+            fit.hot_fraction,
+            fit.hot_extents,
+        ) / secs
+    };
+    assert!(unique(60.0) > unique(43_200.0));
+    assert!(unique(43_200.0) > unique(604_800.0) * 0.99);
+}
