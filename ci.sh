@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI entry point: build, test, lint.
+#
+# In network-restricted environments, run the same sequence through the
+# offline harness instead: `./devtools/offline-check.sh build --release`
+# etc. (see the header of that script).
+set -eu
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace

@@ -10,7 +10,10 @@
 //! * `baseline` — the paper's §4.1 case study tables;
 //! * `whatif` — the paper's Table 7 comparison;
 //! * `optimize [--broad]` — search the candidate space for the cheapest
-//!   design under the case-study scenario mix.
+//!   design under the case-study scenario mix;
+//! * `inject <spec.json> [--faults <plan.json>]` — simulate the design
+//!   under timed hardware faults and report the degraded-mode worst-case
+//!   data loss and recovery time against the fault-free baseline.
 
 use crate::spec::SystemSpec;
 use ssdep_core::analysis::evaluate;
@@ -76,6 +79,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
             report::render_full_report(&spec.design, &spec.workload, &spec.requirements)
                 .map_err(|e| e.to_string())
         }
+        "inject" => {
+            let path = iter.next().ok_or_else(usage_inject)?;
+            let rest: Vec<&String> = iter.collect();
+            let spec = load(path)?;
+            inject(&spec, &rest)
+        }
         "help" | "--help" | "-h" => Ok(help()),
         other => Err(format!("unknown command `{other}`\n\n{}", help())),
     }
@@ -85,6 +94,36 @@ fn usage_evaluate() -> String {
     "usage: ssdep evaluate <spec.json> [--scenario object|array|building|site|region] \
      [--age HOURS] [--size MIB] [--json]"
         .to_string()
+}
+
+fn usage_inject() -> String {
+    "usage: ssdep inject <spec.json> [--faults <plan.json>] \
+     [--scenario object|array|building|site|region] [--age HOURS] [--size MIB] \
+     [--horizon WEEKS] [--samples N]"
+        .to_string()
+}
+
+/// Renders a library error for the terminal, adding a hint for the
+/// conditions a user can act on. [`ssdep_core::Error`] is
+/// `#[non_exhaustive]`, so the wildcard arm — not an exhaustive match —
+/// keeps this compiling (with a plain rendering) when the library grows
+/// new variants.
+fn render_error(e: &ssdep_core::Error) -> String {
+    use ssdep_core::Error;
+    match e {
+        Error::FaultUnresolvable { .. } => format!(
+            "{e}\nhint: check the plan's device names, level indices, and scopes \
+             against the design"
+        ),
+        Error::NonFiniteInput { .. } => {
+            format!("{e}\nhint: a numeric field in the spec or fault plan is NaN or infinite")
+        }
+        Error::NoRecoverySource { .. } => format!(
+            "{e}\nhint: every level able to serve this scope was lost; add protection \
+             levels or reduce the fault plan"
+        ),
+        other => other.to_string(),
+    }
 }
 
 fn help() -> String {
@@ -106,7 +145,12 @@ fn help() -> String {
        coverage <spec.json>         which failure scopes the design survives\n\
        sweep [growth|links|vault|backup]  sensitivity sweep on the case study\n\
        compare <a.json> <b.json>    side-by-side evaluation of two designs\n\
-       report <spec.json>           the full dependability dossier\n"
+       report <spec.json>           the full dependability dossier\n\
+       inject <spec.json> [opts]    simulate timed hardware faults\n\
+         --faults <plan.json>       fault plan (default: the spec's `faults` section)\n\
+         --scenario <scope>         failure to recover from (default array)\n\
+         --horizon <weeks>          simulated span (default 16)\n\
+         --samples <n>              failure instants to sweep (default 48)\n"
         .to_string()
 }
 
@@ -559,6 +603,191 @@ fn optimize(broad: bool) -> Result<String, String> {
     Ok(out)
 }
 
+/// The worst observed outcome of a failure-time sweep over one
+/// simulation run.
+struct SweepWorst {
+    worst_loss: TimeDelta,
+    worst_recovery: TimeDelta,
+    evaluated: usize,
+    no_source: usize,
+}
+
+/// Sweeps `times` failure instants over a finished run and keeps the
+/// worst observed loss and recovery time. Instants with no surviving
+/// source are counted, not fatal — under a destructive fault plan the
+/// tail of the horizon may legitimately have nothing left to restore
+/// from.
+fn sweep_worst(
+    design: &ssdep_core::hierarchy::StorageDesign,
+    workload: &ssdep_core::workload::Workload,
+    demands: &ssdep_core::demands::DemandSet,
+    report: &ssdep_sim::SimReport,
+    scenario: &FailureScenario,
+    times: &[f64],
+) -> Result<SweepWorst, String> {
+    let mut worst = SweepWorst {
+        worst_loss: TimeDelta::ZERO,
+        worst_recovery: TimeDelta::ZERO,
+        evaluated: 0,
+        no_source: 0,
+    };
+    for &t in times {
+        match ssdep_sim::recovery::simulate_failure(design, workload, demands, report, scenario, t)
+        {
+            Ok(observed) => {
+                worst.evaluated += 1;
+                worst.worst_loss = worst.worst_loss.max(observed.observed_loss);
+                worst.worst_recovery = worst.worst_recovery.max(observed.recovery.total_time);
+            }
+            Err(ssdep_core::Error::NoRecoverySource { .. }) => worst.no_source += 1,
+            Err(other) => return Err(render_error(&other)),
+        }
+    }
+    Ok(worst)
+}
+
+fn inject(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
+    use ssdep_sim::{Disruption, FaultPlan, SimConfig, Simulation};
+
+    let mut plan: Option<FaultPlan> = None;
+    let mut horizon_weeks = 16.0f64;
+    let mut samples = 48usize;
+    let mut scenario_args: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--faults" => {
+                let path = iter.next().ok_or("--faults needs a file path")?;
+                let json = std::fs::read_to_string(path.as_str())
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                plan = Some(
+                    serde_json::from_str(&json)
+                        .map_err(|e| format!("invalid fault plan: {e}"))?,
+                );
+            }
+            "--horizon" => {
+                horizon_weeks = iter
+                    .next()
+                    .ok_or("--horizon needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --horizon: {e}"))?;
+            }
+            "--samples" => {
+                samples = iter
+                    .next()
+                    .ok_or("--samples needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --samples: {e}"))?;
+            }
+            "--scenario" | "--age" | "--size" => {
+                scenario_args.push(arg);
+                scenario_args.push(iter.next().ok_or_else(|| format!("{arg} needs a value"))?);
+            }
+            other => return Err(format!("unknown option `{other}`\n{}", usage_inject())),
+        }
+    }
+    let plan = plan.unwrap_or_else(|| spec.faults.clone());
+    if plan.is_empty() {
+        return Err(format!(
+            "no faults to inject: pass --faults <plan.json> or add a `faults` \
+             section to the spec\n{}",
+            usage_inject()
+        ));
+    }
+    let scenario = parse_scenario(&scenario_args)?;
+    let horizon = TimeDelta::from_weeks(horizon_weeks);
+
+    let demands = spec.design.demands(&spec.workload).map_err(|e| render_error(&e))?;
+    let clean = Simulation::new(&spec.design, &spec.workload, SimConfig::new(horizon))
+        .map_err(|e| render_error(&e))?
+        .run();
+    let faulted = Simulation::new(
+        &spec.design,
+        &spec.workload,
+        SimConfig::new(horizon).with_faults(plan.clone()),
+    )
+    .map_err(|e| render_error(&e))?
+    .run();
+
+    // Sample the back half of the horizon: the pipeline has warmed up and
+    // the (typically mid-horizon) faults have had time to bite.
+    let grid = ssdep_sim::validate::sample_grid(horizon * 0.5, horizon, samples);
+    let clean_worst =
+        sweep_worst(&spec.design, &spec.workload, &demands, &clean, &scenario, &grid)?;
+    let faulted_worst =
+        sweep_worst(&spec.design, &spec.workload, &demands, &faulted, &scenario, &grid)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Fault injection: {} ({} fault{}, {horizon_weeks} wk horizon) ==",
+        spec.design.name(),
+        plan.len(),
+        if plan.len() == 1 { "" } else { "s" },
+    );
+    for (level, destroyed) in (0..spec.design.levels().len())
+        .map(|l| (l, faulted.destroyed_at(l)))
+    {
+        if let Some(at) = destroyed {
+            let _ = writeln!(
+                out,
+                "level {level} ({}) destroyed at {:.1} hr",
+                spec.design.levels()[level].name(),
+                at / 3600.0
+            );
+        }
+    }
+    let (mut delayed_caps, mut delayed_comps, mut slowed, mut lost_rps, mut lost_flight) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
+    for disruption in faulted.disruptions() {
+        match disruption {
+            Disruption::DelayedCapture { .. } => delayed_caps += 1,
+            Disruption::DelayedCompletion { .. } => delayed_comps += 1,
+            Disruption::SlowedPropagation { .. } => slowed += 1,
+            Disruption::LostRetrievalPoints { count, .. } => lost_rps += count,
+            Disruption::LostInFlight { .. } => lost_flight += 1,
+            Disruption::CapturesCeased { .. } => {}
+        }
+    }
+    let _ = writeln!(
+        out,
+        "disruptions: {delayed_caps} delayed captures, {delayed_comps} delayed completions, \
+         {slowed} slowed transfers, {lost_rps} RPs lost, {lost_flight} lost in flight",
+    );
+
+    let mut table = report::TextTable::new([
+        format!("Worst case ({scenario})"),
+        "Fault-free".to_string(),
+        "With faults".to_string(),
+        "Delta".to_string(),
+    ]);
+    let delta_loss = faulted_worst.worst_loss.as_hours() - clean_worst.worst_loss.as_hours();
+    let delta_rec =
+        faulted_worst.worst_recovery.as_hours() - clean_worst.worst_recovery.as_hours();
+    table.row([
+        "recent data loss".to_string(),
+        format!("{:.1} hr", clean_worst.worst_loss.as_hours()),
+        format!("{:.1} hr", faulted_worst.worst_loss.as_hours()),
+        format!("{delta_loss:+.1} hr"),
+    ]);
+    table.row([
+        "recovery time".to_string(),
+        format!("{:.1} hr", clean_worst.worst_recovery.as_hours()),
+        format!("{:.1} hr", faulted_worst.worst_recovery.as_hours()),
+        format!("{delta_rec:+.1} hr"),
+    ]);
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(
+        out,
+        "samples: {} evaluated, {} with no surviving source (fault-free: {}/{})",
+        faulted_worst.evaluated,
+        faulted_worst.no_source,
+        clean_worst.evaluated,
+        clean_worst.no_source,
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,6 +937,67 @@ mod tests {
         let out = run(&args(&["optimize"])).unwrap();
         assert!(out.contains("candidates evaluated"));
         assert!(out.contains("Rank"));
+    }
+
+    #[test]
+    fn inject_reports_degraded_deltas() {
+        let path = std::env::temp_dir().join("ssdep-test-inject.json");
+        let mut spec = SystemSpec::baseline();
+        spec.faults = ssdep_sim::FaultPlan::new().with_fault(ssdep_sim::InjectedFault {
+            at: TimeDelta::from_weeks(8.0),
+            target: ssdep_sim::FaultTarget::Scope { scope: FailureScope::Site },
+            kind: ssdep_sim::FaultKind::PermanentDestruction,
+        });
+        std::fs::write(&path, spec.to_json()).unwrap();
+        let out = run(&args(&["inject", path.to_str().unwrap(), "--scenario", "array"])).unwrap();
+        assert!(out.contains("Fault injection"), "{out}");
+        assert!(out.contains("destroyed at"), "{out}");
+        assert!(out.contains("With faults"), "{out}");
+        assert!(out.contains("no surviving source"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inject_without_faults_demands_a_plan() {
+        let path = std::env::temp_dir().join("ssdep-test-inject-empty.json");
+        std::fs::write(&path, SystemSpec::baseline().to_json()).unwrap();
+        let err = run(&args(&["inject", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("no faults to inject"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inject_surfaces_fault_resolution_errors_with_hints() {
+        let path = std::env::temp_dir().join("ssdep-test-inject-bad.json");
+        std::fs::write(&path, SystemSpec::baseline().to_json()).unwrap();
+        let plan_path = std::env::temp_dir().join("ssdep-test-inject-bad-plan.json");
+        let plan = ssdep_sim::FaultPlan::new().with_fault(ssdep_sim::InjectedFault {
+            at: TimeDelta::from_weeks(1.0),
+            target: ssdep_sim::FaultTarget::Device { name: "flux capacitor".into() },
+            kind: ssdep_sim::FaultKind::PermanentDestruction,
+        });
+        std::fs::write(&plan_path, serde_json::to_string(&plan).unwrap()).unwrap();
+        let err = run(&args(&[
+            "inject",
+            path.to_str().unwrap(),
+            "--faults",
+            plan_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("injected fault #0"), "{err}");
+        assert!(err.contains("hint:"), "{err}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&plan_path).ok();
+    }
+
+    #[test]
+    fn render_error_hints_only_where_actionable() {
+        let err = ssdep_core::Error::fault_unresolvable(2, "no such device");
+        assert!(render_error(&err).contains("hint:"));
+        let err = ssdep_core::Error::non_finite("faults[0].at");
+        assert!(render_error(&err).contains("hint:"));
+        let err = ssdep_core::Error::invalid("x", "y");
+        assert_eq!(render_error(&err), err.to_string());
     }
 
     #[test]

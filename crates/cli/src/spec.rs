@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use ssdep_core::hierarchy::StorageDesign;
 use ssdep_core::requirements::BusinessRequirements;
 use ssdep_core::workload::Workload;
+use ssdep_sim::FaultPlan;
 
 /// A complete evaluable system: workload + design + requirements.
 ///
@@ -20,6 +21,11 @@ pub struct SystemSpec {
     pub design: StorageDesign,
     /// Penalty rates and objectives.
     pub requirements: BusinessRequirements,
+    /// Optional timed hardware faults for `ssdep inject`. Absent (or
+    /// empty) in specs that only use the analytic commands; old specs
+    /// without the field still parse.
+    #[serde(default, skip_serializing_if = "FaultPlan::is_empty")]
+    pub faults: FaultPlan,
 }
 
 impl SystemSpec {
@@ -29,6 +35,7 @@ impl SystemSpec {
             workload: ssdep_core::presets::cello_workload(),
             design: ssdep_core::presets::baseline_design(),
             requirements: ssdep_core::presets::paper_requirements(),
+            faults: FaultPlan::new(),
         }
     }
 
@@ -37,6 +44,9 @@ impl SystemSpec {
     /// # Panics
     ///
     /// Never: the spec types serialize infallibly to JSON.
+    // Plain-data serialization cannot fail; the expect documents that
+    // rather than forcing every caller through an impossible error.
+    #[allow(clippy::expect_used)]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("spec types serialize to JSON")
     }
@@ -67,6 +77,31 @@ mod tests {
     fn malformed_json_reports_an_error() {
         let err = SystemSpec::from_json("{not json").unwrap_err();
         assert!(err.contains("invalid spec"));
+    }
+
+    #[test]
+    fn specs_without_a_fault_section_still_parse() {
+        let json = SystemSpec::baseline().to_json();
+        assert!(!json.contains("\"faults\""), "empty plan should be omitted");
+        let spec = SystemSpec::from_json(&json).unwrap();
+        assert!(spec.faults.is_empty());
+    }
+
+    #[test]
+    fn fault_sections_roundtrip() {
+        use ssdep_core::units::TimeDelta;
+        use ssdep_sim::{FaultKind, FaultTarget, InjectedFault};
+        let mut spec = SystemSpec::baseline();
+        spec.faults = FaultPlan::new().with_fault(InjectedFault {
+            at: TimeDelta::from_weeks(8.0),
+            target: FaultTarget::Device { name: "tape library".into() },
+            kind: FaultKind::TransientOutage { repair_after: TimeDelta::from_hours(48.0) },
+        });
+        let json = spec.to_json();
+        assert!(json.contains("\"faults\""));
+        assert!(json.contains("TransientOutage"));
+        let back = SystemSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
     }
 
     #[test]

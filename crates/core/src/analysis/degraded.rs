@@ -90,7 +90,7 @@ impl DegradedReport {
                 (None, None) => std::cmp::Ordering::Equal,
                 (None, Some(_)) => std::cmp::Ordering::Greater,
                 (Some(_), None) => std::cmp::Ordering::Less,
-                (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite losses"),
+                (Some(x), Some(y)) => x.value().total_cmp(&y.value()),
             }
         })
     }

@@ -152,10 +152,11 @@ pub fn recovery_with_bytes(
     // Chain of levels whose hosts the data must traverse, source first,
     // ending at the device that will hold the restored primary.
     let mut chain = vec![source_level];
+    let mut last = source_level;
     for index in (0..source_level).rev() {
-        let last = *chain.last().expect("chain starts non-empty");
         if levels[index].host() != levels[last].host() {
             chain.push(index);
+            last = index;
         }
     }
 
@@ -295,11 +296,7 @@ pub fn recovery_with_bytes(
         }
     }
 
-    steps.sort_by(|a, b| {
-        a.start
-            .partial_cmp(&b.start)
-            .expect("step times are finite")
-    });
+    steps.sort_by(|a, b| a.start.value().total_cmp(&b.start.value()));
     Ok(RecoveryReport {
         source_level,
         source_level_name: source_name,

@@ -62,6 +62,22 @@ pub enum Error {
     /// The failure scenario destroyed every copy, including all secondary
     /// levels, so recovery is impossible.
     AllCopiesLost,
+    /// An injected fault could not be mapped onto the design it targets
+    /// (unknown device name, out-of-range level, or a scope that touches
+    /// nothing in the hierarchy).
+    FaultUnresolvable {
+        /// Zero-based index of the fault within its plan.
+        index: usize,
+        /// Why resolution failed.
+        reason: String,
+    },
+    /// A numeric input was NaN or infinite where the model requires a
+    /// finite value.
+    NonFiniteInput {
+        /// Dotted path naming the offending parameter, e.g.
+        /// `"faults[0].at"`.
+        parameter: String,
+    },
 }
 
 /// The device resource that an [`Error::Overutilized`] refers to.
@@ -115,6 +131,12 @@ impl fmt::Display for Error {
             Error::AllCopiesLost => {
                 f.write_str("failure scenario destroys every copy of the data")
             }
+            Error::FaultUnresolvable { index, reason } => {
+                write!(f, "injected fault #{index} cannot be resolved: {reason}")
+            }
+            Error::NonFiniteInput { parameter } => {
+                write!(f, "parameter `{parameter}` must be a finite number")
+            }
         }
     }
 }
@@ -126,6 +148,21 @@ impl Error {
     pub fn invalid(parameter: impl Into<String>, reason: impl Into<String>) -> Error {
         Error::InvalidParameter {
             parameter: parameter.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::NonFiniteInput`].
+    pub fn non_finite(parameter: impl Into<String>) -> Error {
+        Error::NonFiniteInput {
+            parameter: parameter.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::FaultUnresolvable`].
+    pub fn fault_unresolvable(index: usize, reason: impl Into<String>) -> Error {
+        Error::FaultUnresolvable {
+            index,
             reason: reason.into(),
         }
     }
@@ -164,5 +201,34 @@ mod tests {
     fn resource_kind_displays() {
         assert_eq!(ResourceKind::Capacity.to_string(), "capacity");
         assert_eq!(ResourceKind::Bandwidth.to_string(), "bandwidth");
+    }
+
+    #[test]
+    fn fault_unresolvable_display_names_the_fault() {
+        let err = Error::fault_unresolvable(3, "unknown device `tape silo`");
+        let msg = err.to_string();
+        assert!(msg.contains("#3"));
+        assert!(msg.contains("tape silo"));
+        assert_eq!(
+            err,
+            Error::FaultUnresolvable {
+                index: 3,
+                reason: "unknown device `tape silo`".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_input_display_names_the_parameter() {
+        let err = Error::non_finite("faults[0].at");
+        let msg = err.to_string();
+        assert!(msg.contains("faults[0].at"));
+        assert!(msg.contains("finite"));
+        assert_eq!(
+            err,
+            Error::NonFiniteInput {
+                parameter: "faults[0].at".into(),
+            }
+        );
     }
 }

@@ -244,17 +244,15 @@ impl StorageDesign {
     /// misconfigured.
     pub fn convention_warnings(&self) -> Vec<String> {
         let mut warnings = Vec::new();
-        let with_params: Vec<(usize, &Level)> = self
+        let with_params: Vec<(usize, &Level, &crate::protection::ProtectionParams)> = self
             .levels
             .iter()
             .enumerate()
-            .filter(|(_, l)| l.technique().params().is_some())
+            .filter_map(|(i, l)| l.technique().params().map(|p| (i, l, p)))
             .collect();
         for pair in with_params.windows(2) {
-            let (i, upper) = pair[0];
-            let (j, lower) = pair[1];
-            let up = upper.technique().params().expect("filtered");
-            let low = lower.technique().params().expect("filtered");
+            let (i, upper, up) = pair[0];
+            let (j, lower, low) = pair[1];
             if low.accumulation_window() < up.cycle_period() {
                 warnings.push(format!(
                     "level {j} ({}) accumulates faster than level {i} ({}) cycles \

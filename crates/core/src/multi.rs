@@ -151,13 +151,19 @@ impl MultiObjectWorkload {
     /// Useful for quick single-object approximations of a multi-object
     /// system (the aggregate's demands match the per-object sum for
     /// capacity, and closely for bandwidth).
-    pub fn combined_workload(&self) -> Workload {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the summed rates overflow
+    /// the builder's finiteness invariants (pathologically large
+    /// aggregates).
+    pub fn combined_workload(&self) -> Result<Workload, Error> {
         let mut windows: Vec<crate::units::TimeDelta> = self
             .objects
             .iter()
             .flat_map(|o| o.workload.batch_curve().iter().map(|p| p.window))
             .collect();
-        windows.sort_by(|a, b| a.partial_cmp(b).expect("finite windows"));
+        windows.sort_by(|a, b| a.value().total_cmp(&b.value()));
         windows.dedup();
 
         let total_capacity = self.total_capacity();
@@ -184,9 +190,7 @@ impl MultiObjectWorkload {
                 .sum();
             builder = builder.batch_rate(window, unique / window);
         }
-        builder
-            .build()
-            .expect("summing valid workloads preserves the builder invariants")
+        builder.build()
     }
 
     /// The restore order: a topological order of the dependency graph,
@@ -554,7 +558,7 @@ mod tests {
     #[test]
     fn combined_workload_sums_volumes() {
         let multi = trio();
-        let combined = multi.combined_workload();
+        let combined = multi.combined_workload().unwrap();
         assert_eq!(combined.data_capacity(), Bytes::from_gib(1340.0));
         assert!(combined
             .avg_update_rate()

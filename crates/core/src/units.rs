@@ -55,6 +55,42 @@ macro_rules! scalar_unit {
                 self.0.is_finite()
             }
 
+            /// Validates that the magnitude is finite (rejects NaN and
+            /// ±∞), passing the value through unchanged.
+            ///
+            /// On failure the returned
+            /// [`Error::NonFiniteInput`](crate::error::Error::NonFiniteInput)
+            /// names `parameter` so callers can point at the offending
+            /// input. Chain onto any constructor:
+            ///
+            /// ```
+            /// use ssdep_core::units::TimeDelta;
+            ///
+            /// assert!(TimeDelta::from_hours(4.0).ensure_finite("lag").is_ok());
+            /// assert!(TimeDelta::from_hours(f64::NAN).ensure_finite("lag").is_err());
+            /// ```
+            pub fn ensure_finite(self, parameter: &str) -> Result<$name, crate::error::Error> {
+                if self.0.is_finite() {
+                    Ok(self)
+                } else {
+                    Err(crate::error::Error::non_finite(parameter))
+                }
+            }
+
+            /// Validates that the magnitude is finite *and* non-negative,
+            /// passing the value through unchanged.
+            pub fn ensure_non_negative(
+                self,
+                parameter: &str,
+            ) -> Result<$name, crate::error::Error> {
+                let checked = self.ensure_finite(parameter)?;
+                if checked.0 < 0.0 {
+                    Err(crate::error::Error::invalid(parameter, "must not be negative"))
+                } else {
+                    Ok(checked)
+                }
+            }
+
             /// Returns the larger of `self` and `other`.
             ///
             /// `NaN` loses against any number, mirroring `f64::max`.
@@ -749,6 +785,32 @@ mod tests {
     fn debug_is_never_empty() {
         assert!(!format!("{:?}", Bytes::ZERO).is_empty());
         assert!(!format!("{:?}", Utilization::ZERO).is_empty());
+    }
+
+    #[test]
+    fn ensure_finite_rejects_nan_and_infinities() {
+        assert_eq!(
+            Bytes::from_gib(2.0).ensure_finite("size"),
+            Ok(Bytes::from_gib(2.0))
+        );
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Bytes::from_bytes(bad).ensure_finite("size").unwrap_err();
+            assert!(err.to_string().contains("size"), "message names parameter");
+        }
+    }
+
+    #[test]
+    fn ensure_non_negative_rejects_negatives_and_nan() {
+        assert_eq!(
+            TimeDelta::from_hours(1.0).ensure_non_negative("window"),
+            Ok(TimeDelta::from_hours(1.0))
+        );
+        assert_eq!(
+            TimeDelta::ZERO.ensure_non_negative("window"),
+            Ok(TimeDelta::ZERO)
+        );
+        assert!(TimeDelta::from_secs(-1.0).ensure_non_negative("window").is_err());
+        assert!(TimeDelta::from_secs(f64::NAN).ensure_non_negative("window").is_err());
     }
 
     #[test]

@@ -144,14 +144,17 @@ impl Workload {
     /// access patterns. The burst multiplier is shape, not volume, so it
     /// stays.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `factor` is not positive and finite.
-    pub fn scaled(&self, factor: f64) -> Workload {
-        assert!(
-            factor > 0.0 && factor.is_finite(),
-            "growth factor must be positive and finite"
-        );
+    /// Returns [`Error::InvalidParameter`] if `factor` is not positive
+    /// and finite.
+    pub fn scaled(&self, factor: f64) -> Result<Workload, Error> {
+        if !(factor > 0.0 && factor.is_finite()) {
+            return Err(Error::invalid(
+                "workload.growthFactor",
+                "growth factor must be positive and finite",
+            ));
+        }
         let mut builder = Workload::builder(format!("{} x{factor:.2}", self.name))
             .data_capacity(self.data_capacity * factor)
             .avg_access_rate(self.avg_access_rate * factor)
@@ -160,9 +163,7 @@ impl Workload {
         for point in &self.batch_curve {
             builder = builder.batch_rate(point.window, point.rate * factor);
         }
-        builder
-            .build()
-            .expect("scaling preserves every builder invariant")
+        builder.build()
     }
 
     fn uncapped_unique_bytes(&self, window: TimeDelta) -> Bytes {
@@ -179,7 +180,7 @@ impl Workload {
             // best available estimate.
             return first.rate * window;
         }
-        let last = curve.last().expect("non-empty curve has a last point");
+        let last = curve.last().unwrap_or(first);
         if window >= last.window {
             // Beyond the last measurement, unique updates keep arriving at
             // the last observed rate.
@@ -288,11 +289,7 @@ impl WorkloadBuilder {
         }
 
         let mut batch_curve = self.batch_curve;
-        batch_curve.sort_by(|a, b| {
-            a.window
-                .partial_cmp(&b.window)
-                .expect("windows validated finite below")
-        });
+        batch_curve.sort_by(|a, b| a.window.value().total_cmp(&b.window.value()));
         for (i, point) in batch_curve.iter().enumerate() {
             let path = format!("workload.batchUpdR[{i}]");
             if !(point.window.value() > 0.0 && point.window.is_finite()) {
@@ -525,7 +522,7 @@ mod tests {
     #[test]
     fn scaling_multiplies_volumes_and_keeps_shape() {
         let wl = cello();
-        let grown = wl.scaled(3.0);
+        let grown = wl.scaled(3.0).unwrap();
         assert_eq!(grown.data_capacity(), wl.data_capacity() * 3.0);
         assert_eq!(grown.avg_update_rate(), wl.avg_update_rate() * 3.0);
         assert_eq!(grown.burst_multiplier(), wl.burst_multiplier());
@@ -534,13 +531,15 @@ mod tests {
             .batch_update_rate(window)
             .approx_eq(wl.batch_update_rate(window) * 3.0, 1e-12));
         // Shrinking works too.
-        let shrunk = wl.scaled(0.5);
+        let shrunk = wl.scaled(0.5).unwrap();
         assert_eq!(shrunk.data_capacity(), wl.data_capacity() * 0.5);
     }
 
     #[test]
-    #[should_panic(expected = "growth factor")]
     fn scaling_rejects_nonpositive_factors() {
-        cello().scaled(0.0);
+        assert!(cello().scaled(0.0).is_err());
+        assert!(cello().scaled(-1.0).is_err());
+        assert!(cello().scaled(f64::NAN).is_err());
+        assert!(cello().scaled(f64::INFINITY).is_err());
     }
 }

@@ -135,11 +135,7 @@ pub fn exhaustive(
             }),
         }
     }
-    ranked.sort_by(|a, b| {
-        a.expected_total
-            .partial_cmp(&b.expected_total)
-            .expect("costs are finite")
-    });
+    ranked.sort_by(|a, b| a.expected_total.value().total_cmp(&b.expected_total.value()));
     Ok(SearchResult { ranked, infeasible, evaluations })
 }
 

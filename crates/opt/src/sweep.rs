@@ -223,7 +223,7 @@ pub fn sweep_growth(
 ) -> Result<Vec<GrowthPoint>, Error> {
     let mut points = Vec::with_capacity(factors.len());
     for &factor in factors {
-        let grown = workload.scaled(factor);
+        let grown = workload.scaled(factor)?;
         match expected_annual_cost(design, &grown, requirements, scenarios) {
             Ok(expected) => {
                 let mut worst_recovery_time = TimeDelta::ZERO;

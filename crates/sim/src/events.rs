@@ -1,9 +1,10 @@
 //! The simulator's event queue.
 //!
-//! Events are ordered by time, then by a kind priority (completions
-//! before captures, so a level capturing at the same instant an upstream
-//! RP completes sees it), then by level, then by insertion order — a
-//! total, deterministic order.
+//! Events are ordered by time, then by a kind priority (injected faults
+//! first, so state changes apply before anything else at that instant;
+//! then completions before captures, so a level capturing at the same
+//! instant an upstream RP completes sees it), then by level, then by
+//! insertion order — a total, deterministic order.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -24,13 +25,23 @@ pub enum Event {
         /// The capturing level.
         level: usize,
     },
+    /// An injected fault takes effect. `fault` indexes the simulation's
+    /// resolved fault list.
+    Fault {
+        /// Index into the resolved fault list.
+        fault: usize,
+    },
 }
 
 impl Event {
     fn priority(&self) -> (u8, usize) {
         match self {
-            Event::Complete { level, .. } => (0, *level),
-            Event::Capture { level } => (1, *level),
+            // Faults apply before any same-instant activity so that a
+            // capture or completion scheduled at the fault time already
+            // sees the degraded state.
+            Event::Fault { fault } => (0, *fault),
+            Event::Complete { level, .. } => (1, *level),
+            Event::Capture { level } => (2, *level),
         }
     }
 }
@@ -131,6 +142,21 @@ mod tests {
         queue.push(2.0, Event::Capture { level: 1 });
         let (_, first) = queue.pop().unwrap();
         assert_eq!(first, Event::Capture { level: 1 });
+    }
+
+    #[test]
+    fn faults_precede_everything_at_the_same_instant() {
+        let mut queue = EventQueue::new();
+        queue.push(2.0, Event::Complete { level: 0, rp: 0 });
+        queue.push(2.0, Event::Capture { level: 0 });
+        queue.push(2.0, Event::Fault { fault: 1 });
+        queue.push(2.0, Event::Fault { fault: 0 });
+        let (_, first) = queue.pop().unwrap();
+        assert_eq!(first, Event::Fault { fault: 0 });
+        let (_, second) = queue.pop().unwrap();
+        assert_eq!(second, Event::Fault { fault: 1 });
+        let (_, third) = queue.pop().unwrap();
+        assert!(matches!(third, Event::Complete { .. }));
     }
 
     #[test]

@@ -1,0 +1,508 @@
+//! Fault injection: timed hardware faults applied to a running
+//! simulation.
+//!
+//! The paper evaluates dependability by hypothesizing a *single* failure
+//! and asking what the design's windows guarantee afterwards (§3.3.2).
+//! This module complements those worst-case bounds by letting a
+//! simulation run *through* faults: a [`FaultPlan`] lists timed
+//! [`InjectedFault`]s, each striking part of the hierarchy — one device
+//! by name, one protection level, or every device inside a
+//! [`FailureScope`] (site, region, …) — with one of three behaviours:
+//!
+//! * [`FaultKind::TransientOutage`] — the affected levels go offline and
+//!   return after a repair delay with their retained contents intact.
+//!   Captures that land in the outage retry with bounded exponential
+//!   backoff and widen their transfer window to cover the backlog;
+//!   propagations that would complete mid-outage are deferred to repair.
+//! * [`FaultKind::PermanentDestruction`] — the affected levels and
+//!   everything they retain (or have in flight) are lost for the rest of
+//!   the run, and capture activity into or through them ceases.
+//! * [`FaultKind::BandwidthDegradation`] — transfers touching the
+//!   affected levels run at a fraction of their provisioned rate for a
+//!   while, stretching propagation windows and delaying completion.
+//!
+//! A plan is validated and mapped onto concrete hierarchy levels by
+//! [`FaultPlan::resolve`] before the run starts, so malformed plans are
+//! rejected with typed errors instead of surfacing mid-simulation.
+
+use serde::{Deserialize, Serialize};
+use ssdep_core::error::Error;
+use ssdep_core::failure::FailureScope;
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::units::TimeDelta;
+
+/// What an injected fault does to the hardware it strikes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The affected devices go offline, then return after `repair_after`
+    /// with their retained contents intact (a power loss, a switch
+    /// reboot, a severed-then-respliced link).
+    TransientOutage {
+        /// How long the outage lasts.
+        repair_after: TimeDelta,
+    },
+    /// The affected devices and everything they retain are destroyed for
+    /// the remainder of the run.
+    PermanentDestruction,
+    /// Transfers touching the affected devices run at `factor` of their
+    /// provisioned rate for `duration` (congestion, a degraded RAID
+    /// rebuild, a flaky long-haul link).
+    BandwidthDegradation {
+        /// Remaining fraction of the provisioned rate, in `(0, 1]`.
+        factor: f64,
+        /// How long the degradation lasts.
+        duration: TimeDelta,
+    },
+}
+
+/// Which part of the design a fault strikes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// A single device, by registered name. Every level the device hosts
+    /// or transports is affected.
+    Device {
+        /// The device's registered name.
+        name: String,
+    },
+    /// One protection level, by zero-based index.
+    Level {
+        /// The affected level.
+        index: usize,
+    },
+    /// Every level whose host or transport devices fall inside a failure
+    /// scope (correlated faults: a building, site or region event).
+    Scope {
+        /// The correlated failure scope.
+        scope: FailureScope,
+    },
+}
+
+/// One timed fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// When the fault strikes, measured from the start of the run.
+    pub at: TimeDelta,
+    /// What it strikes.
+    pub target: FaultTarget,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+/// An ordered list of faults to inject into one run.
+///
+/// The empty plan is the default and leaves the simulation untouched:
+/// running with `FaultPlan::default()` produces a report identical to a
+/// fault-free run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The faults, in declaration order.
+    pub faults: Vec<InjectedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Appends `fault` to the plan.
+    pub fn with_fault(mut self, fault: InjectedFault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// How many faults the plan injects.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Validates the plan against `design` and maps each fault onto the
+    /// concrete hierarchy levels it affects.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NonFiniteInput`] — a time, duration or factor is NaN
+    ///   or infinite.
+    /// * [`Error::InvalidParameter`] — a negative time or duration, or a
+    ///   degradation factor outside `(0, 1]`.
+    /// * [`Error::FaultUnresolvable`] — an unknown device name, an
+    ///   out-of-range level index, or a scope that touches no level of
+    ///   the hierarchy.
+    pub fn resolve(&self, design: &StorageDesign) -> Result<Vec<ResolvedFault>, Error> {
+        self.faults
+            .iter()
+            .enumerate()
+            .map(|(index, fault)| resolve_one(index, fault, design))
+            .collect()
+    }
+}
+
+/// A fault mapped onto the concrete hierarchy levels it affects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedFault {
+    /// When the fault strikes, simulated seconds.
+    pub at: f64,
+    /// The affected levels, ascending and de-duplicated.
+    pub levels: Vec<usize>,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+fn resolve_one(
+    index: usize,
+    fault: &InjectedFault,
+    design: &StorageDesign,
+) -> Result<ResolvedFault, Error> {
+    let at = fault
+        .at
+        .ensure_non_negative(&format!("faults[{index}].at"))?
+        .as_secs();
+    match fault.kind {
+        FaultKind::TransientOutage { repair_after } => {
+            repair_after.ensure_non_negative(&format!("faults[{index}].repair_after"))?;
+        }
+        FaultKind::PermanentDestruction => {}
+        FaultKind::BandwidthDegradation { factor, duration } => {
+            if !factor.is_finite() {
+                return Err(Error::non_finite(format!("faults[{index}].factor")));
+            }
+            if !(factor > 0.0 && factor <= 1.0) {
+                return Err(Error::invalid(
+                    format!("faults[{index}].factor"),
+                    "must be in (0, 1]",
+                ));
+            }
+            duration.ensure_non_negative(&format!("faults[{index}].duration"))?;
+        }
+    }
+
+    let levels = affected_levels(index, &fault.target, design)?;
+    Ok(ResolvedFault {
+        at,
+        levels,
+        kind: fault.kind.clone(),
+    })
+}
+
+/// The levels whose host or transport devices `target` strikes.
+fn affected_levels(
+    index: usize,
+    target: &FaultTarget,
+    design: &StorageDesign,
+) -> Result<Vec<usize>, Error> {
+    let levels = design.levels();
+    match target {
+        FaultTarget::Device { name } => {
+            let id = design.device_id(name).ok_or_else(|| {
+                Error::fault_unresolvable(index, format!("unknown device `{name}`"))
+            })?;
+            let affected: Vec<usize> = levels
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.host() == id || l.transports().contains(&id))
+                .map(|(i, _)| i)
+                .collect();
+            if affected.is_empty() {
+                return Err(Error::fault_unresolvable(
+                    index,
+                    format!("device `{name}` backs no hierarchy level"),
+                ));
+            }
+            Ok(affected)
+        }
+        FaultTarget::Level { index: level } => {
+            if *level >= levels.len() {
+                return Err(Error::fault_unresolvable(
+                    index,
+                    format!(
+                        "level {level} out of range (design has {} levels)",
+                        levels.len()
+                    ),
+                ));
+            }
+            Ok(vec![*level])
+        }
+        FaultTarget::Scope { scope } => {
+            let affected: Vec<usize> = levels
+                .iter()
+                .enumerate()
+                .filter(|(i, l)| {
+                    design.level_destroyed(*i, scope)
+                        || l.transports()
+                            .iter()
+                            .any(|&t| design.device_destroyed(t, scope))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if affected.is_empty() {
+                return Err(Error::fault_unresolvable(
+                    index,
+                    format!("scope `{}` touches no hierarchy level", scope.name()),
+                ));
+            }
+            Ok(affected)
+        }
+    }
+}
+
+/// One simulated consequence of an injected fault, in the order the run
+/// observed it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Disruption {
+    /// A capture found its level (or its direct upstream) in outage and
+    /// succeeded only after retrying.
+    DelayedCapture {
+        /// The capturing level.
+        level: usize,
+        /// The nominal schedule time the capture missed.
+        scheduled: f64,
+        /// When it finally captured.
+        actual: f64,
+        /// How many backoff retries it took.
+        retries: u32,
+    },
+    /// A propagation would have completed during an outage of the
+    /// receiving level and was deferred to the repair instant.
+    DelayedCompletion {
+        /// The receiving level.
+        level: usize,
+        /// Index into the report's RP list.
+        rp: usize,
+        /// The original completion deadline.
+        scheduled: f64,
+        /// When the RP actually became restorable.
+        actual: f64,
+    },
+    /// A propagation ran under bandwidth degradation and took longer.
+    SlowedPropagation {
+        /// The receiving level.
+        level: usize,
+        /// Index into the report's RP list.
+        rp: usize,
+        /// Extra propagation seconds beyond the provisioned window.
+        extra: f64,
+    },
+    /// A permanent destruction expired every retrieval point the level
+    /// retained.
+    LostRetrievalPoints {
+        /// The destroyed level.
+        level: usize,
+        /// How many retained RPs were lost.
+        count: usize,
+        /// When.
+        at: f64,
+    },
+    /// A permanent destruction caught a retrieval point still in flight;
+    /// it never became restorable.
+    LostInFlight {
+        /// The destroyed level.
+        level: usize,
+        /// Index into the report's RP list.
+        rp: usize,
+        /// When.
+        at: f64,
+    },
+    /// A level stopped capturing for the rest of the run because it (or
+    /// an upstream source) was permanently destroyed.
+    CapturesCeased {
+        /// The level that stopped.
+        level: usize,
+        /// When its next capture would have run.
+        at: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdep_core::units::TimeDelta;
+
+    fn plan_one(target: FaultTarget, kind: FaultKind) -> FaultPlan {
+        FaultPlan::new().with_fault(InjectedFault {
+            at: TimeDelta::from_hours(1.0),
+            target,
+            kind,
+        })
+    }
+
+    #[test]
+    fn empty_plan_resolves_to_nothing() {
+        let design = ssdep_core::presets::baseline_design();
+        assert!(FaultPlan::new().is_empty());
+        assert_eq!(FaultPlan::new().len(), 0);
+        assert_eq!(FaultPlan::new().resolve(&design), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn device_fault_maps_to_the_levels_it_backs() {
+        let design = ssdep_core::presets::baseline_design();
+        let plan = plan_one(
+            FaultTarget::Device { name: "tape library".into() },
+            FaultKind::PermanentDestruction,
+        );
+        let resolved = plan.resolve(&design).unwrap();
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].at, 3600.0);
+        let library = design.device_id("tape library").unwrap();
+        for &level in &resolved[0].levels {
+            let l = &design.levels()[level];
+            assert!(l.host() == library || l.transports().contains(&library));
+        }
+        assert!(!resolved[0].levels.is_empty());
+    }
+
+    #[test]
+    fn level_fault_maps_to_exactly_that_level() {
+        let design = ssdep_core::presets::baseline_design();
+        let plan = plan_one(
+            FaultTarget::Level { index: 2 },
+            FaultKind::TransientOutage { repair_after: TimeDelta::from_hours(6.0) },
+        );
+        let resolved = plan.resolve(&design).unwrap();
+        assert_eq!(resolved[0].levels, vec![2]);
+    }
+
+    #[test]
+    fn site_scope_strikes_every_colocated_level() {
+        let design = ssdep_core::presets::baseline_design();
+        let plan = plan_one(
+            FaultTarget::Scope { scope: FailureScope::Site },
+            FaultKind::PermanentDestruction,
+        );
+        let resolved = plan.resolve(&design).unwrap();
+        // The baseline keeps its primary, mirror and backup on the
+        // primary site; only the remote vault survives.
+        assert!(resolved[0].levels.len() >= 2);
+        assert!(resolved[0].levels.contains(&0));
+    }
+
+    #[test]
+    fn unknown_device_is_rejected_with_its_name() {
+        let design = ssdep_core::presets::baseline_design();
+        let plan = plan_one(
+            FaultTarget::Device { name: "quantum drive".into() },
+            FaultKind::PermanentDestruction,
+        );
+        let err = plan.resolve(&design).unwrap_err();
+        assert!(matches!(err, Error::FaultUnresolvable { index: 0, .. }));
+        assert!(err.to_string().contains("quantum drive"));
+    }
+
+    #[test]
+    fn out_of_range_level_is_rejected() {
+        let design = ssdep_core::presets::baseline_design();
+        let plan = plan_one(
+            FaultTarget::Level { index: 99 },
+            FaultKind::PermanentDestruction,
+        );
+        assert!(matches!(
+            plan.resolve(&design),
+            Err(Error::FaultUnresolvable { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn scope_touching_nothing_is_rejected() {
+        let design = ssdep_core::presets::baseline_design();
+        // Data-object corruption is not a hardware fault: no level's
+        // devices fall inside it.
+        let plan = plan_one(
+            FaultTarget::Scope {
+                scope: FailureScope::DataObject { size: ssdep_core::units::Bytes::from_gib(1.0) },
+            },
+            FaultKind::PermanentDestruction,
+        );
+        assert!(matches!(
+            plan.resolve(&design),
+            Err(Error::FaultUnresolvable { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_and_negative_inputs_are_rejected() {
+        let design = ssdep_core::presets::baseline_design();
+        let target = || FaultTarget::Level { index: 1 };
+
+        let plan = FaultPlan::new().with_fault(InjectedFault {
+            at: TimeDelta::from_secs(f64::NAN),
+            target: target(),
+            kind: FaultKind::PermanentDestruction,
+        });
+        assert!(matches!(plan.resolve(&design), Err(Error::NonFiniteInput { .. })));
+
+        let plan = FaultPlan::new().with_fault(InjectedFault {
+            at: TimeDelta::from_secs(-5.0),
+            target: target(),
+            kind: FaultKind::PermanentDestruction,
+        });
+        assert!(matches!(plan.resolve(&design), Err(Error::InvalidParameter { .. })));
+
+        let plan = plan_one(
+            target(),
+            FaultKind::TransientOutage { repair_after: TimeDelta::from_secs(f64::INFINITY) },
+        );
+        assert!(matches!(plan.resolve(&design), Err(Error::NonFiniteInput { .. })));
+
+        for factor in [0.0, -0.5, 1.5, f64::NAN] {
+            let plan = plan_one(
+                target(),
+                FaultKind::BandwidthDegradation {
+                    factor,
+                    duration: TimeDelta::from_hours(1.0),
+                },
+            );
+            assert!(plan.resolve(&design).is_err(), "factor {factor} accepted");
+        }
+    }
+
+    #[test]
+    fn errors_name_the_fault_by_plan_index() {
+        let design = ssdep_core::presets::baseline_design();
+        let plan = FaultPlan::new()
+            .with_fault(InjectedFault {
+                at: TimeDelta::from_hours(1.0),
+                target: FaultTarget::Level { index: 1 },
+                kind: FaultKind::PermanentDestruction,
+            })
+            .with_fault(InjectedFault {
+                at: TimeDelta::from_hours(2.0),
+                target: FaultTarget::Device { name: "missing".into() },
+                kind: FaultKind::PermanentDestruction,
+            });
+        assert!(matches!(
+            plan.resolve(&design),
+            Err(Error::FaultUnresolvable { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn plans_roundtrip_through_serde() {
+        let plan = FaultPlan::new()
+            .with_fault(InjectedFault {
+                at: TimeDelta::from_hours(12.0),
+                target: FaultTarget::Device { name: "tape library".into() },
+                kind: FaultKind::TransientOutage { repair_after: TimeDelta::from_hours(4.0) },
+            })
+            .with_fault(InjectedFault {
+                at: TimeDelta::from_days(2.0),
+                target: FaultTarget::Scope { scope: FailureScope::Site },
+                kind: FaultKind::PermanentDestruction,
+            })
+            .with_fault(InjectedFault {
+                at: TimeDelta::from_days(3.0),
+                target: FaultTarget::Level { index: 1 },
+                kind: FaultKind::BandwidthDegradation {
+                    factor: 0.25,
+                    duration: TimeDelta::from_hours(8.0),
+                },
+            });
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

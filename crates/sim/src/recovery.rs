@@ -64,13 +64,8 @@ pub fn simulate_failure(
             let loss = cutoff - content;
             let better = best.is_none_or(|(_, best_loss, _)| loss < best_loss);
             if better {
-                let rp_index = rp.map(|r| {
-                    report
-                        .rps()
-                        .iter()
-                        .position(|x| std::ptr::eq(x, r))
-                        .expect("rp comes from the report")
-                });
+                let rp_index =
+                    rp.and_then(|r| report.rps().iter().position(|x| std::ptr::eq(x, r)));
                 best = Some((level, loss, rp_index));
             }
         }

@@ -6,6 +6,7 @@
 //! retain.
 
 use serde::{Deserialize, Serialize};
+use ssdep_core::error::Error;
 use ssdep_core::protection::{IncrementalMode, MirrorMode, Technique};
 use ssdep_core::units::{Bytes, TimeDelta};
 use ssdep_core::workload::Workload;
@@ -88,9 +89,15 @@ pub enum LevelModel {
 }
 
 /// Derives the executable schedule for one level's technique.
-pub fn level_model(technique: &Technique, workload: &Workload) -> LevelModel {
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for a technique the simulator has
+/// no executable model for (`Technique` is non-exhaustive; new variants
+/// need an explicit schedule before they can be simulated).
+pub fn level_model(technique: &Technique, workload: &Workload) -> Result<LevelModel, Error> {
     let data = workload.data_capacity();
-    match technique {
+    Ok(match technique {
         Technique::PrimaryCopy(_) => LevelModel::Primary,
         Technique::SplitMirror(t) => {
             let params = t.params();
@@ -194,10 +201,13 @@ pub fn level_model(technique: &Technique, workload: &Workload) -> LevelModel {
                 full_restore: data,
             }
         }
-        // `Technique` is non-exhaustive; new variants need an explicit
-        // simulator model before they can be executed.
-        other => unimplemented!("no simulator schedule for technique `{other}`"),
-    }
+        other => {
+            return Err(Error::invalid(
+                "level.technique",
+                format!("no simulator schedule for technique `{other}`"),
+            ))
+        }
+    })
 }
 
 #[cfg(test)]
@@ -209,7 +219,7 @@ mod tests {
         ssdep_core::presets::baseline_design()
             .levels()
             .iter()
-            .map(|l| level_model(l.technique(), &workload))
+            .map(|l| level_model(l.technique(), &workload).unwrap())
             .collect()
     }
 
@@ -247,7 +257,7 @@ mod tests {
     fn full_and_incremental_cycle_shape() {
         let workload = ssdep_core::presets::cello_workload();
         let design = ssdep_core::presets::weekly_vault_full_incremental_design();
-        let model = level_model(design.levels()[2].technique(), &workload);
+        let model = level_model(design.levels()[2].technique(), &workload).unwrap();
         match model {
             LevelModel::Scheduled { period, reps, retention, .. } => {
                 // 6 captures per one-week cycle → 28-hour spacing.
@@ -267,7 +277,7 @@ mod tests {
     fn mirror_modes_map_to_models() {
         let workload = ssdep_core::presets::cello_workload();
         let design = ssdep_core::presets::async_batch_mirror_design(1);
-        let model = level_model(design.levels()[1].technique(), &workload);
+        let model = level_model(design.levels()[1].technique(), &workload).unwrap();
         match model {
             LevelModel::Scheduled { period, full_transfer_window, full_restore, .. } => {
                 assert_eq!(period, TimeDelta::from_minutes(1.0));
@@ -283,13 +293,13 @@ mod tests {
         let sync = Technique::RemoteMirror(RemoteMirror::synchronous());
         assert!(matches!(
             level_model(&sync, &workload),
-            LevelModel::Continuous { lag } if lag.is_zero()
+            Ok(LevelModel::Continuous { lag }) if lag.is_zero()
         ));
         let asynchronous =
             Technique::RemoteMirror(RemoteMirror::asynchronous(TimeDelta::from_secs(30.0)));
         assert!(matches!(
             level_model(&asynchronous, &workload),
-            LevelModel::Continuous { lag } if lag == TimeDelta::from_secs(30.0)
+            Ok(LevelModel::Continuous { lag }) if lag == TimeDelta::from_secs(30.0)
         ));
     }
 

@@ -6,6 +6,7 @@
 //! after the fact via [`SimReport`].
 
 use crate::events::{Event, EventQueue};
+use crate::fault::{Disruption, FaultKind, FaultPlan, ResolvedFault};
 use crate::schedule::{level_model, LevelModel, RpKind};
 use serde::{Deserialize, Serialize};
 use ssdep_core::device::{DeviceId, DeviceKind};
@@ -36,6 +37,12 @@ impl UpdateModel {
             }
             UpdateModel::Trace(trace) => {
                 let duration = trace.duration().as_secs();
+                if duration <= 0.0 || duration.is_nan() {
+                    // An empty or zero-length trace contributes no unique
+                    // updates; guarding here also keeps `rem_euclid(0)`
+                    // below from poisoning the arithmetic with NaN.
+                    return Bytes::ZERO;
+                }
                 let window = (end - start).max(0.0);
                 if window >= duration {
                     // The whole trace (can't see more uniqueness than it
@@ -77,17 +84,29 @@ pub struct SimConfig {
     pub horizon: TimeDelta,
     /// Where update volumes come from.
     pub update_model: UpdateModel,
+    /// Faults to inject during the run (empty = fault-free).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
     /// A statistical-update configuration over `horizon`.
     pub fn new(horizon: TimeDelta) -> SimConfig {
-        SimConfig { horizon, update_model: UpdateModel::Statistical }
+        SimConfig {
+            horizon,
+            update_model: UpdateModel::Statistical,
+            faults: FaultPlan::new(),
+        }
     }
 
     /// Switches to trace-driven update volumes.
     pub fn with_trace(mut self, trace: Trace) -> SimConfig {
         self.update_model = UpdateModel::Trace(trace);
+        self
+    }
+
+    /// Injects `faults` during the run.
+    pub fn with_faults(mut self, faults: FaultPlan) -> SimConfig {
+        self.faults = faults;
         self
     }
 }
@@ -134,7 +153,7 @@ pub struct XferJob {
 }
 
 /// The complete history of a simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     horizon: TimeDelta,
     models: Vec<LevelModel>,
@@ -143,6 +162,9 @@ pub struct SimReport {
     bytes_moved: BTreeMap<DeviceId, Bytes>,
     max_retained: Vec<usize>,
     jobs: Vec<XferJob>,
+    destroyed_at: Vec<Option<f64>>,
+    outages: Vec<Vec<(f64, f64)>>,
+    disruptions: Vec<Disruption>,
 }
 
 impl SimReport {
@@ -189,6 +211,30 @@ impl SimReport {
         self.jobs.iter().filter(move |j| j.device == device)
     }
 
+    /// When an injected fault permanently destroyed `level`, if one did.
+    pub fn destroyed_at(&self, level: usize) -> Option<f64> {
+        self.destroyed_at.get(level).copied().flatten()
+    }
+
+    /// The transient-outage intervals `[start, end)` injected at
+    /// `level`, merged and ascending.
+    pub fn outages(&self, level: usize) -> &[(f64, f64)] {
+        self.outages.get(level).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `level` was offline (in an injected outage) at `t`.
+    pub fn in_outage(&self, level: usize, t: f64) -> bool {
+        self.outages(level)
+            .iter()
+            .any(|&(start, end)| start <= t && t < end)
+    }
+
+    /// Every degraded-mode consequence of the injected faults, in the
+    /// order the run observed them. Empty for a fault-free run.
+    pub fn disruptions(&self) -> &[Disruption] {
+        &self.disruptions
+    }
+
     /// The peak *simultaneous* propagation bandwidth observed on
     /// `device` — the quantity the analytic model provisions for
     /// (§3.3.1's per-technique demands are sustained window rates, so
@@ -199,10 +245,7 @@ impl SimReport {
             boundaries.push((job.start, job.rate));
             boundaries.push((job.end, -job.rate));
         }
-        boundaries.sort_by(|a, b| {
-            a.0.total_cmp(&b.0)
-                .then(a.1.partial_cmp(&b.1).expect("finite rates"))
-        });
+        boundaries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         let mut current = 0.0f64;
         let mut peak = 0.0f64;
         for (_, delta) in boundaries {
@@ -217,7 +260,9 @@ impl SimReport {
     ///
     /// Returns the content time and the RP (if the level is scheduled;
     /// continuous mirrors synthesize a virtual RP). `None` when the
-    /// level holds nothing usable.
+    /// level holds nothing usable — including when an injected fault has
+    /// permanently destroyed the level by `t`, or when the level is
+    /// offline in a transient outage at `t`.
     pub fn restorable_at(
         &self,
         level: usize,
@@ -225,6 +270,9 @@ impl SimReport {
         target_age: f64,
     ) -> Option<(f64, Option<&SimRp>)> {
         let cutoff = t - target_age;
+        if self.destroyed_at(level).is_some_and(|d| d <= t) || self.in_outage(level, t) {
+            return None;
+        }
         match self.models.get(level)? {
             LevelModel::Primary => {
                 if target_age == 0.0 {
@@ -234,7 +282,15 @@ impl SimReport {
                 }
             }
             LevelModel::Continuous { lag } => {
-                let content = t - lag.as_secs();
+                // A mirror's content tracks its sources; if any upstream
+                // level was destroyed, the content froze at that instant.
+                let frozen = self
+                    .destroyed_at
+                    .iter()
+                    .take(level)
+                    .filter_map(|d| *d)
+                    .fold(f64::INFINITY, f64::min);
+                let content = t.min(frozen) - lag.as_secs();
                 (content <= cutoff).then_some((content, None))
             }
             LevelModel::Scheduled { .. } => self
@@ -317,6 +373,7 @@ pub struct Simulation {
     workload: Workload,
     config: SimConfig,
     models: Vec<LevelModel>,
+    faults: Vec<ResolvedFault>,
 }
 
 impl Simulation {
@@ -324,7 +381,11 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidParameter`] for a non-positive horizon.
+    /// Returns [`Error::InvalidParameter`] for a non-positive horizon or
+    /// a technique the simulator cannot schedule, and
+    /// [`Error::FaultUnresolvable`] / [`Error::NonFiniteInput`] when the
+    /// config's fault plan does not map onto `design` (see
+    /// [`FaultPlan::resolve`]).
     pub fn new(
         design: &StorageDesign,
         workload: &Workload,
@@ -337,16 +398,27 @@ impl Simulation {
             .levels()
             .iter()
             .map(|l| level_model(l.technique(), workload))
-            .collect();
+            .collect::<Result<Vec<_>, Error>>()?;
+        let faults = config.faults.resolve(design)?;
         Ok(Simulation {
             design: design.clone(),
             workload: workload.clone(),
             config,
             models,
+            faults,
         })
     }
 
     /// Runs the pipeline to the horizon and returns the history.
+    ///
+    /// With an empty fault plan the run is fault-free and this is the
+    /// plain capture → hold/propagate → retain pipeline. With faults the
+    /// pipeline degrades gracefully instead of stopping: blocked
+    /// captures retry with bounded backoff and widen their next window
+    /// over the backlog, completions into an offline level defer to the
+    /// repair instant, degraded links stretch propagation, and permanent
+    /// destructions expire everything the level held. Every such
+    /// deviation is recorded in [`SimReport::disruptions`].
     pub fn run(self) -> SimReport {
         let horizon = self.config.horizon.as_secs();
         let levels = self.design.levels();
@@ -358,10 +430,45 @@ impl Simulation {
         let mut next_rep = vec![0usize; levels.len()];
         let mut bytes_moved: BTreeMap<DeviceId, Bytes> = BTreeMap::new();
         let mut jobs: Vec<XferJob> = Vec::new();
+        let mut disruptions: Vec<Disruption> = Vec::new();
 
+        // Outage and slowdown intervals are known from the plan up
+        // front; destructions mutate run state (expiring RPs) and are
+        // woven in as top-priority events instead.
+        let mut fault_state: Vec<LevelFaultState> =
+            vec![LevelFaultState::default(); levels.len()];
+        for (index, fault) in self.faults.iter().enumerate() {
+            match fault.kind {
+                FaultKind::TransientOutage { repair_after } => {
+                    let end = fault.at + repair_after.as_secs();
+                    if end > fault.at {
+                        for &level in &fault.levels {
+                            fault_state[level].outages.push((fault.at, end));
+                        }
+                    }
+                }
+                FaultKind::BandwidthDegradation { factor, duration } => {
+                    let end = fault.at + duration.as_secs();
+                    if end > fault.at {
+                        for &level in &fault.levels {
+                            fault_state[level].slowdowns.push((fault.at, end, factor));
+                        }
+                    }
+                }
+                FaultKind::PermanentDestruction => {
+                    queue.push(fault.at, Event::Fault { fault: index });
+                }
+            }
+        }
+        for state in &mut fault_state {
+            merge_intervals(&mut state.outages);
+        }
+
+        let mut capture: Vec<CaptureState> = vec![CaptureState::default(); levels.len()];
         for (index, model) in self.models.iter().enumerate() {
             if let LevelModel::Scheduled { period, .. } = model {
                 if period.as_secs() > 0.0 {
+                    capture[index].next_nominal = period.as_secs();
                     queue.push(period.as_secs(), Event::Capture { level: index });
                 }
             }
@@ -372,6 +479,39 @@ impl Simulation {
                 break;
             }
             match event {
+                Event::Fault { fault } => {
+                    for &level in &self.faults[fault].levels {
+                        if fault_state[level].destroyed_at.is_some() {
+                            continue;
+                        }
+                        fault_state[level].destroyed_at = Some(t);
+                        let count = retained[level].len();
+                        for index in retained[level].drain(..) {
+                            rps[index].expire_time = t;
+                        }
+                        if count > 0 {
+                            disruptions.push(Disruption::LostRetrievalPoints {
+                                level,
+                                count,
+                                at: t,
+                            });
+                        }
+                        // RPs still propagating toward the level die with
+                        // it; their pending completions are dropped when
+                        // they fire.
+                        for (index, rp) in rps.iter_mut().enumerate() {
+                            if rp.level == level && rp.complete_time >= t && rp.expire_time > t
+                            {
+                                rp.expire_time = t;
+                                disruptions.push(Disruption::LostInFlight {
+                                    level,
+                                    rp: index,
+                                    at: t,
+                                });
+                            }
+                        }
+                    }
+                }
                 Event::Capture { level } => {
                     let LevelModel::Scheduled {
                         period,
@@ -383,7 +523,49 @@ impl Simulation {
                     else {
                         continue;
                     };
-                    queue.push(t + period.as_secs(), Event::Capture { level });
+                    let period_secs = period.as_secs();
+
+                    // A destroyed level — or a destroyed source anywhere
+                    // upstream — ends capture activity for good.
+                    if (0..=level).any(|l| fault_state[l].destroyed_at.is_some()) {
+                        if !capture[level].ceased {
+                            capture[level].ceased = true;
+                            disruptions.push(Disruption::CapturesCeased { level, at: t });
+                        }
+                        continue;
+                    }
+
+                    // An outage on this level or its direct upstream
+                    // blocks the capture: retry with bounded backoff (the
+                    // scheduler cannot know the repair time).
+                    if in_interval(&fault_state[level].outages, t)
+                        || in_interval(&fault_state[level - 1].outages, t)
+                    {
+                        let delay = retry_backoff(period_secs, capture[level].retries);
+                        capture[level].retries += 1;
+                        queue.push(t + delay, Event::Capture { level });
+                        continue;
+                    }
+
+                    let scheduled = capture[level].next_nominal;
+                    let retries = std::mem::take(&mut capture[level].retries);
+                    if retries > 0 {
+                        disruptions.push(Disruption::DelayedCapture {
+                            level,
+                            scheduled,
+                            actual: t,
+                            retries,
+                        });
+                    }
+                    // Stay on the nominal grid: the next capture runs at
+                    // the first schedule instant after the actual time.
+                    let mut next = scheduled + period_secs;
+                    while next <= t {
+                        next += period_secs;
+                    }
+                    capture[level].next_nominal = next;
+                    queue.push(next, Event::Capture { level });
+
                     let rep = reps[next_rep[level] % reps.len()];
 
                     // Content comes from the level above: the newest RP
@@ -400,18 +582,32 @@ impl Simulation {
                         continue; // upstream has produced nothing yet
                     };
                     next_rep[level] += 1;
-                    let deadline = t.max(upstream_complete) + rep.latency.as_secs();
 
+                    // A degraded link stretches the propagation part of
+                    // the latency by 1/factor.
+                    let factor = slowdown_factor(&fault_state[level].slowdowns, t);
+                    let prop_secs = rep.propagation.as_secs();
+                    let mut deadline = t.max(upstream_complete) + rep.latency.as_secs();
+                    let mut slowed_extra = 0.0;
+                    if factor < 1.0 && prop_secs > 0.0 {
+                        slowed_extra = prop_secs * (1.0 / factor - 1.0);
+                        deadline += slowed_extra;
+                    }
+
+                    // A capture delayed past its nominal instant widens
+                    // its update window back to that instant, catching up
+                    // the backlog accumulated during the outage.
+                    let backlog = t - scheduled;
                     let transfer_bytes = match rep.kind.window() {
                         Some(window) => self.config.update_model.unique_bytes(
                             &self.workload,
-                            t - window.as_secs(),
+                            t - window.as_secs() - backlog,
                             t,
                         ),
                         None => match full_transfer_window {
                             Some(window) => self.config.update_model.unique_bytes(
                                 &self.workload,
-                                t - window.as_secs(),
+                                t - window.as_secs() - backlog,
                                 t,
                             ),
                             None => self.workload.data_capacity(),
@@ -433,6 +629,13 @@ impl Simulation {
                         transfer_bytes,
                         restore_bytes,
                     });
+                    if slowed_extra > 0.0 {
+                        disruptions.push(Disruption::SlowedPropagation {
+                            level,
+                            rp: rp_index,
+                            extra: slowed_extra,
+                        });
+                    }
                     queue.push(deadline, Event::Complete { level, rp: rp_index });
 
                     // Record the transfer as a bandwidth-occupying job,
@@ -444,11 +647,13 @@ impl Simulation {
                         .any(|&d| matches!(self.design.device(d).kind(), DeviceKind::Courier));
                     if !physical && transfer_bytes.value() > 0.0 {
                         let (start, duration) = if rep.propagation.value() > 0.0 {
-                            (deadline - rep.propagation.as_secs(), rep.propagation.as_secs())
+                            let effective = prop_secs / factor;
+                            (deadline - effective, effective)
                         } else {
                             // Zero propagation window: the data spreads
-                            // over the accumulation period (resilvering).
-                            (t, period.as_secs())
+                            // over the accumulation period (resilvering),
+                            // longer if the link is degraded.
+                            (t, period_secs / factor)
                         };
                         let rate = transfer_bytes.value() / duration;
                         let mut touched = vec![levels[level - 1].host(), levels[level].host()];
@@ -459,13 +664,33 @@ impl Simulation {
                     }
                 }
                 Event::Complete { level, rp } => {
+                    // An RP bound for a destroyed level was lost in
+                    // flight (recorded at destruction time).
+                    if fault_state[level].destroyed_at.is_some() {
+                        continue;
+                    }
+                    // A level cannot commit an RP while offline: the
+                    // completion defers to the repair instant.
+                    if let Some(end) = interval_end(&fault_state[level].outages, t) {
+                        rps[rp].complete_time = end;
+                        disruptions.push(Disruption::DelayedCompletion {
+                            level,
+                            rp,
+                            scheduled: t,
+                            actual: end,
+                        });
+                        queue.push(end, Event::Complete { level, rp });
+                        continue;
+                    }
                     completed[level].push(rp);
                     retained[level].push_back(rp);
                     let LevelModel::Scheduled { retention, .. } = &self.models[level] else {
                         continue;
                     };
                     while retained[level].len() > *retention {
-                        let expired = retained[level].pop_front().expect("non-empty");
+                        let Some(expired) = retained[level].pop_front() else {
+                            break;
+                        };
                         rps[expired].expire_time = t;
                     }
                     max_retained[level] = max_retained[level].max(retained[level].len());
@@ -491,8 +716,75 @@ impl Simulation {
             bytes_moved,
             max_retained,
             jobs,
+            destroyed_at: fault_state.iter().map(|s| s.destroyed_at).collect(),
+            outages: fault_state.into_iter().map(|s| s.outages).collect(),
+            disruptions,
         }
     }
+}
+
+/// Per-level fault state assembled from the resolved plan.
+#[derive(Debug, Clone, Default)]
+struct LevelFaultState {
+    /// Merged `[start, end)` offline intervals.
+    outages: Vec<(f64, f64)>,
+    /// `(start, end, factor)` bandwidth-degradation intervals.
+    slowdowns: Vec<(f64, f64, f64)>,
+    /// Set by the destruction event when it fires.
+    destroyed_at: Option<f64>,
+}
+
+/// Per-level capture bookkeeping: the nominal schedule instant of the
+/// pending capture, and its outage-retry count.
+#[derive(Debug, Clone, Default)]
+struct CaptureState {
+    next_nominal: f64,
+    retries: u32,
+    ceased: bool,
+}
+
+/// Merges overlapping or adjacent `[start, end)` intervals in place.
+fn merge_intervals(intervals: &mut Vec<(f64, f64)>) {
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+    for &(start, end) in intervals.iter() {
+        match merged.last_mut() {
+            Some(last) if start <= last.1 => last.1 = last.1.max(end),
+            _ => merged.push((start, end)),
+        }
+    }
+    *intervals = merged;
+}
+
+/// Whether `t` falls inside any `[start, end)` interval.
+fn in_interval(intervals: &[(f64, f64)], t: f64) -> bool {
+    interval_end(intervals, t).is_some()
+}
+
+/// The end of the `[start, end)` interval covering `t`, if any.
+fn interval_end(intervals: &[(f64, f64)], t: f64) -> Option<f64> {
+    intervals
+        .iter()
+        .find(|&&(start, end)| start <= t && t < end)
+        .map(|&(_, end)| end)
+}
+
+/// The most severe bandwidth-degradation factor active at `t`.
+fn slowdown_factor(slowdowns: &[(f64, f64, f64)], t: f64) -> f64 {
+    slowdowns
+        .iter()
+        .filter(|&&(start, end, _)| start <= t && t < end)
+        .map(|&(_, _, factor)| factor)
+        .fold(1.0, f64::min)
+}
+
+/// Bounded exponential backoff for captures blocked by an outage: starts
+/// at a small fraction of the capture period (at least a second) and
+/// doubles up to a quarter period.
+fn retry_backoff(period: f64, retries: u32) -> f64 {
+    let base = (period / 64.0).max(1.0);
+    let cap = (period / 4.0).max(base);
+    (base * 2f64.powi(retries.min(30) as i32)).min(cap)
 }
 
 /// The newest upstream RP captured no later than `now`, as
@@ -716,6 +1008,281 @@ mod tests {
         let workload = ssdep_core::presets::cello_workload();
         let design = ssdep_core::presets::baseline_design();
         assert!(Simulation::new(&design, &workload, SimConfig::new(TimeDelta::ZERO)).is_err());
+    }
+
+    fn faulted_report(weeks: f64, plan: crate::fault::FaultPlan) -> SimReport {
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::baseline_design();
+        let config = SimConfig::new(TimeDelta::from_weeks(weeks)).with_faults(plan);
+        Simulation::new(&design, &workload, config).unwrap().run()
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_the_fault_free_report_exactly() {
+        let baseline = baseline_report(12.0);
+        let empty = faulted_report(12.0, crate::fault::FaultPlan::new());
+        assert_eq!(baseline, empty);
+        assert!(empty.disruptions().is_empty());
+        for level in 0..4 {
+            assert_eq!(empty.destroyed_at(level), None);
+            assert!(empty.outages(level).is_empty());
+        }
+    }
+
+    #[test]
+    fn fault_beyond_the_horizon_changes_nothing() {
+        use crate::fault::{FaultKind, FaultTarget, InjectedFault};
+        let baseline = baseline_report(12.0);
+        let plan = crate::fault::FaultPlan::new().with_fault(InjectedFault {
+            at: TimeDelta::from_weeks(40.0),
+            target: FaultTarget::Level { index: 2 },
+            kind: FaultKind::PermanentDestruction,
+        });
+        let report = faulted_report(12.0, plan);
+        assert!(report.disruptions().is_empty());
+        assert_eq!(report.destroyed_at(2), None);
+        assert_eq!(baseline.rps(), report.rps());
+        assert_eq!(
+            baseline.completed_count(2),
+            report.completed_count(2)
+        );
+    }
+
+    #[test]
+    fn transient_outage_delays_captures_then_catches_up() {
+        use crate::fault::{Disruption, FaultKind, FaultTarget, InjectedFault};
+        let baseline = baseline_report(16.0);
+        // Take the backup level offline for two days, starting just
+        // before its week-8 capture.
+        let outage_start = TimeDelta::from_weeks(8.0) - TimeDelta::from_hours(1.0);
+        let plan = crate::fault::FaultPlan::new().with_fault(InjectedFault {
+            at: outage_start,
+            target: FaultTarget::Level { index: 2 },
+            kind: FaultKind::TransientOutage { repair_after: TimeDelta::from_days(2.0) },
+        });
+        let report = faulted_report(16.0, plan);
+
+        // The blocked capture retried and succeeded after repair.
+        let delayed: Vec<&Disruption> = report
+            .disruptions()
+            .iter()
+            .filter(|d| matches!(d, Disruption::DelayedCapture { level: 2, .. }))
+            .collect();
+        assert!(!delayed.is_empty(), "{:?}", report.disruptions());
+        let Disruption::DelayedCapture { scheduled, actual, retries, .. } = delayed[0] else {
+            unreachable!();
+        };
+        assert!(*actual > *scheduled);
+        assert!(*retries > 0);
+        let repair = outage_start.as_secs() + TimeDelta::from_days(2.0).as_secs();
+        assert!(*actual >= repair, "capture at {actual} inside outage ending {repair}");
+
+        // While offline the level serves nothing; afterwards it recovers.
+        let mid_outage = outage_start.as_secs() + 3600.0;
+        assert!(report.in_outage(2, mid_outage));
+        assert!(report.restorable_at(2, mid_outage, 0.0).is_none());
+        let late = TimeDelta::from_weeks(15.0).as_secs();
+        assert!(report.restorable_at(2, late, 0.0).is_some());
+
+        // The delayed capture caught up the backlog: it moved at least
+        // as much as the corresponding fault-free capture.
+        let faulted_total: Bytes = report.rps().iter().filter(|r| r.level == 2).map(|r| r.transfer_bytes).sum();
+        let baseline_total: Bytes =
+            baseline.rps().iter().filter(|r| r.level == 2).map(|r| r.transfer_bytes).sum();
+        assert!(faulted_total >= baseline_total * 0.9);
+    }
+
+    #[test]
+    fn completion_into_an_outage_defers_to_repair() {
+        use crate::fault::{Disruption, FaultKind, FaultTarget, InjectedFault};
+        // The vault capture at week 4 chains onto the backup's own
+        // completion and lands at ~week 8.506; put the vault in outage
+        // across that completion instant.
+        let plan = crate::fault::FaultPlan::new().with_fault(InjectedFault {
+            at: TimeDelta::from_weeks(8.45),
+            target: FaultTarget::Level { index: 3 },
+            kind: FaultKind::TransientOutage { repair_after: TimeDelta::from_weeks(0.2) },
+        });
+        let report = faulted_report(16.0, plan);
+        let deferred: Vec<&Disruption> = report
+            .disruptions()
+            .iter()
+            .filter(|d| matches!(d, Disruption::DelayedCompletion { level: 3, .. }))
+            .collect();
+        assert!(!deferred.is_empty(), "{:?}", report.disruptions());
+        let Disruption::DelayedCompletion { rp, scheduled, actual, .. } = deferred[0] else {
+            unreachable!();
+        };
+        assert!(actual > scheduled);
+        assert_eq!(report.rps()[*rp].complete_time, *actual);
+        let repair = TimeDelta::from_weeks(8.65).as_secs();
+        assert!((actual - repair).abs() < 1.0, "deferred to {actual}, repair at {repair}");
+        // Whether or not a completion fell in the window, the level
+        // still works after repair.
+        let late = TimeDelta::from_weeks(15.0).as_secs();
+        assert!(report.restorable_at(3, late, 0.0).is_some());
+    }
+
+    #[test]
+    fn permanent_destruction_loses_rps_and_ceases_captures() {
+        use crate::fault::{Disruption, FaultKind, FaultTarget, InjectedFault};
+        let baseline = baseline_report(16.0);
+        let destroy_at = TimeDelta::from_weeks(8.0) + TimeDelta::from_hours(1.0);
+        let plan = crate::fault::FaultPlan::new().with_fault(InjectedFault {
+            at: destroy_at,
+            target: FaultTarget::Device { name: "tape library".into() },
+            kind: FaultKind::PermanentDestruction,
+        });
+        let report = faulted_report(16.0, plan);
+        let d = destroy_at.as_secs();
+
+        assert_eq!(report.destroyed_at(2), Some(d));
+        assert!(report
+            .disruptions()
+            .iter()
+            .any(|x| matches!(x, Disruption::LostRetrievalPoints { level: 2, count, .. } if *count > 0)));
+        assert!(report
+            .disruptions()
+            .iter()
+            .any(|x| matches!(x, Disruption::CapturesCeased { level: 2, .. })));
+
+        // Nothing is restorable from the destroyed level afterwards,
+        // and captures stopped: fewer completions than fault-free.
+        assert!(report.restorable_at(2, d + 1.0, 0.0).is_none());
+        assert!(report.restorable_at(2, TimeDelta::from_weeks(15.0).as_secs(), 0.0).is_none());
+        assert!(report.completed_count(2) < baseline.completed_count(2));
+        // Before the fault the level behaved normally.
+        assert!(report.restorable_at(2, d - 3600.0, 0.0).is_some());
+        // Surviving levels keep serving (the vault holds pre-fault RPs).
+        assert!(report
+            .restorable_at(3, TimeDelta::from_weeks(10.0).as_secs(), 0.0)
+            .is_some());
+    }
+
+    #[test]
+    fn destroying_the_primary_freezes_downstream_content() {
+        use crate::fault::{FaultKind, FaultTarget, InjectedFault};
+        let workload = ssdep_core::presets::cello_workload();
+        let design = ssdep_core::presets::async_batch_mirror_design(1);
+        let destroy_at = TimeDelta::from_minutes(50.0);
+        let plan = crate::fault::FaultPlan::new().with_fault(InjectedFault {
+            at: destroy_at,
+            target: FaultTarget::Level { index: 0 },
+            kind: FaultKind::PermanentDestruction,
+        });
+        let config = SimConfig::new(TimeDelta::from_hours(2.0)).with_faults(plan);
+        let report = Simulation::new(&design, &workload, config).unwrap().run();
+        // The primary serves nothing once destroyed.
+        assert!(report.restorable_at(0, destroy_at.as_secs() + 1.0, 0.0).is_none());
+        // The batched mirror keeps its last completed batch, but its
+        // content never advances past the destruction instant.
+        let late = TimeDelta::from_hours(1.9).as_secs();
+        if let Some((content, _)) = report.restorable_at(1, late, 0.0) {
+            assert!(content <= destroy_at.as_secs() + 1e-9, "content {content}");
+        }
+    }
+
+    #[test]
+    fn continuous_mirror_content_freezes_when_the_primary_dies() {
+        use crate::fault::{FaultKind, FaultTarget, InjectedFault};
+        use ssdep_core::hierarchy::{Level, StorageDesign};
+        use ssdep_core::protection::{PrimaryCopy, RemoteMirror, Technique};
+        let workload = ssdep_core::presets::cello_workload();
+        let mut builder = StorageDesign::builder("async mirror");
+        let array = builder
+            .add_device(ssdep_core::presets::primary_array_spec())
+            .unwrap();
+        let remote = builder
+            .add_device(ssdep_core::presets::remote_array_spec())
+            .unwrap();
+        builder.add_level(Level::new(
+            "primary copy",
+            Technique::PrimaryCopy(PrimaryCopy::new()),
+            array,
+        ));
+        builder.add_level(Level::new(
+            "async mirror",
+            Technique::RemoteMirror(RemoteMirror::asynchronous(TimeDelta::from_secs(30.0))),
+            remote,
+        ));
+        let design = builder.build().unwrap();
+
+        let destroy_at = TimeDelta::from_minutes(50.0);
+        let plan = crate::fault::FaultPlan::new().with_fault(InjectedFault {
+            at: destroy_at,
+            target: FaultTarget::Level { index: 0 },
+            kind: FaultKind::PermanentDestruction,
+        });
+        let config = SimConfig::new(TimeDelta::from_hours(2.0)).with_faults(plan);
+        let report = Simulation::new(&design, &workload, config).unwrap().run();
+
+        // Before the fault the mirror trails by exactly the write lag.
+        let before = TimeDelta::from_minutes(30.0).as_secs();
+        let (content, _) = report.restorable_at(1, before, 0.0).unwrap();
+        assert!((content - (before - 30.0)).abs() < 1e-9);
+        // Afterwards the mirror still serves, but its content froze at
+        // the destruction instant minus the lag.
+        let late = TimeDelta::from_hours(1.5).as_secs();
+        let (content, _) = report.restorable_at(1, late, 0.0).expect("mirror still serves");
+        assert!(
+            (content - (destroy_at.as_secs() - 30.0)).abs() < 1e-9,
+            "content {content}"
+        );
+        // The destroyed primary serves nothing.
+        assert!(report.restorable_at(0, late, 0.0).is_none());
+    }
+
+    #[test]
+    fn bandwidth_degradation_stretches_propagation() {
+        use crate::fault::{Disruption, FaultKind, FaultTarget, InjectedFault};
+        let baseline = baseline_report(16.0);
+        // Quarter-speed tape path across the week-8 backup capture.
+        let plan = crate::fault::FaultPlan::new().with_fault(InjectedFault {
+            at: TimeDelta::from_weeks(7.9),
+            target: FaultTarget::Level { index: 2 },
+            kind: FaultKind::BandwidthDegradation {
+                factor: 0.25,
+                duration: TimeDelta::from_days(2.0),
+            },
+        });
+        let report = faulted_report(16.0, plan);
+        let slowed: Vec<&Disruption> = report
+            .disruptions()
+            .iter()
+            .filter(|d| matches!(d, Disruption::SlowedPropagation { level: 2, .. }))
+            .collect();
+        assert!(!slowed.is_empty(), "{:?}", report.disruptions());
+        let Disruption::SlowedPropagation { rp, extra, .. } = slowed[0] else {
+            unreachable!();
+        };
+        assert!(*extra > 0.0);
+        // The affected RP completes later than its fault-free twin.
+        let faulted_rp = report.rps()[*rp];
+        let twin = baseline
+            .rps()
+            .iter()
+            .find(|r| r.level == 2 && r.capture_time == faulted_rp.capture_time)
+            .expect("same capture exists fault-free");
+        assert!(faulted_rp.complete_time > twin.complete_time);
+        assert!((faulted_rp.complete_time - twin.complete_time - extra).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_duration_trace_yields_zero_unique_bytes() {
+        let workload = ssdep_core::presets::cello_workload();
+        let trace = ssdep_workload::Trace::from_records(
+            Bytes::from_kib(4.0),
+            16,
+            TimeDelta::ZERO,
+            Vec::new(),
+        )
+        .unwrap();
+        let model = UpdateModel::Trace(trace);
+        // Regression: `start.rem_euclid(duration)` with duration 0 is
+        // NaN; the guard must short-circuit to zero instead.
+        let sampled = model.unique_bytes(&workload, 500.0, 900.0);
+        assert_eq!(sampled, Bytes::ZERO);
+        assert_eq!(model.unique_bytes(&workload, 0.0, 0.0), Bytes::ZERO);
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub struct MeasuredCurve {
 /// As [`unique_bytes_per_window`] for each window.
 pub fn measure_curve(trace: &Trace, windows: &[TimeDelta]) -> Result<MeasuredCurve, Error> {
     let mut sorted: Vec<TimeDelta> = windows.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite windows"));
+    sorted.sort_by(|a, b| a.value().total_cmp(&b.value()));
     sorted.dedup();
     let avg = trace.avg_update_rate();
 
@@ -174,6 +174,7 @@ mod tests {
                 UpdateRecord { time: 9.5, extent: 0 },
             ],
         )
+        .unwrap()
     }
 
     #[test]

@@ -112,13 +112,13 @@ impl TraceGenerator {
             }
             let count = sample_poisson(&mut rng, rate);
             let mut offsets: Vec<f64> = (0..count).map(|_| rng.random::<f64>()).collect();
-            offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite offsets"));
+            offsets.sort_by(f64::total_cmp);
             for offset in offsets {
                 let extent = self.pick_extent(&mut rng);
                 records.push(UpdateRecord { time: slot as f64 + offset, extent });
             }
         }
-        Trace::from_records(self.extent_size, self.extent_count, self.duration, records)
+        Trace::from_sorted_records(self.extent_size, self.extent_count, self.duration, records)
     }
 
     fn pick_extent(&self, rng: &mut StdRng) -> u64 {

@@ -131,12 +131,12 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Trace, Error> {
         records.push(UpdateRecord { time, extent });
     }
 
-    Ok(Trace::from_records(
+    Trace::from_records(
         Bytes::from_bytes(extent_bytes),
         extent_count,
         TimeDelta::from_secs(duration_secs),
         records,
-    ))
+    )
 }
 
 #[cfg(test)]

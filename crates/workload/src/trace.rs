@@ -6,6 +6,7 @@
 //! trace of a workgroup server stays around a million records.
 
 use serde::{Deserialize, Serialize};
+use ssdep_core::error::Error;
 use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
 
 /// One recorded update: extent `extent` was (over)written at `time`
@@ -32,25 +33,48 @@ impl Trace {
     /// non-decreasing time order and reference extents below
     /// `extent_count`; out-of-order or out-of-range records are rejected.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the invariants above are violated — traces are built by
-    /// generators/converters, so violations are programming errors.
+    /// Returns [`Error::InvalidParameter`] naming the offending record
+    /// when the invariants above are violated, or when `duration` is
+    /// negative or non-finite.
     pub fn from_records(
         extent_size: Bytes,
         extent_count: u64,
         duration: TimeDelta,
         records: Vec<UpdateRecord>,
-    ) -> Trace {
+    ) -> Result<Trace, Error> {
+        let duration = duration.ensure_non_negative("trace.duration")?;
         let mut last = 0.0;
-        for record in &records {
-            assert!(
-                record.time >= last && record.time <= duration.as_secs(),
-                "records must be time-ordered within the trace duration"
-            );
-            assert!(record.extent < extent_count, "extent index out of range");
+        for (i, record) in records.iter().enumerate() {
+            if !(record.time >= last && record.time <= duration.as_secs()) {
+                return Err(Error::invalid(
+                    format!("trace.records[{i}].time"),
+                    "records must be time-ordered within the trace duration",
+                ));
+            }
+            if record.extent >= extent_count {
+                return Err(Error::invalid(
+                    format!("trace.records[{i}].extent"),
+                    format!("extent index out of range (>= {extent_count})"),
+                ));
+            }
             last = record.time;
         }
+        Ok(Trace { extent_size, extent_count, duration, records })
+    }
+
+    /// Assembles a trace from records the caller has already produced in
+    /// sorted, in-range form (the generator's own output). Skips the
+    /// per-record validation; only reachable inside this crate.
+    pub(crate) fn from_sorted_records(
+        extent_size: Bytes,
+        extent_count: u64,
+        duration: TimeDelta,
+        records: Vec<UpdateRecord>,
+    ) -> Trace {
+        debug_assert!(records.windows(2).all(|w| w[0].time <= w[1].time));
+        debug_assert!(records.iter().all(|r| r.extent < extent_count));
         Trace { extent_size, extent_count, duration, records }
     }
 
@@ -116,6 +140,7 @@ mod tests {
                 UpdateRecord { time: 9.0, extent: 3 },
             ],
         )
+        .unwrap()
     }
 
     #[test]
@@ -140,9 +165,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time-ordered")]
-    fn out_of_order_records_panic() {
-        Trace::from_records(
+    fn out_of_order_records_are_rejected() {
+        let err = Trace::from_records(
             Bytes::from_mib(1.0),
             4,
             TimeDelta::from_secs(10.0),
@@ -150,18 +174,30 @@ mod tests {
                 UpdateRecord { time: 5.0, extent: 0 },
                 UpdateRecord { time: 1.0, extent: 1 },
             ],
-        );
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("records[1]"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_extent_panics() {
-        Trace::from_records(
+    fn out_of_range_extents_are_rejected() {
+        let err = Trace::from_records(
             Bytes::from_mib(1.0),
             4,
             TimeDelta::from_secs(10.0),
             vec![UpdateRecord { time: 1.0, extent: 9 }],
-        );
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("extent"), "{err}");
+    }
+
+    #[test]
+    fn negative_and_nan_durations_are_rejected() {
+        for bad in [TimeDelta::from_secs(-1.0), TimeDelta::from_secs(f64::NAN)] {
+            assert!(
+                Trace::from_records(Bytes::from_mib(1.0), 4, bad, Vec::new()).is_err()
+            );
+        }
     }
 
     #[test]
@@ -171,7 +207,8 @@ mod tests {
             4,
             TimeDelta::from_secs(10.0),
             Vec::new(),
-        );
+        )
+        .unwrap();
         assert_eq!(trace.avg_update_rate(), Bandwidth::ZERO);
     }
 

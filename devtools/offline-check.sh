@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds and tests the workspace with no network access by patching the
+# registry dependencies (serde, serde_json, rand, proptest, criterion)
+# to the compile-compatible stubs under devtools/stubs/. The committed
+# manifests keep referencing the real crates; the patch is applied only
+# through --config flags here, so CI with network is unaffected.
+#
+# Usage: devtools/offline-check.sh [cargo subcommand + args...]
+#        (defaults to: test -q)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+stubs="$repo/devtools/stubs"
+
+config_args=()
+for crate in serde serde_json rand proptest criterion; do
+  config_args+=(--config "patch.crates-io.$crate.path=\"$stubs/$crate\"")
+done
+
+export CARGO_NET_OFFLINE=true
+
+if [ "$#" -eq 0 ]; then
+  set -- test -q
+fi
+
+cd "$repo"
+exec cargo "${config_args[@]}" "$@"

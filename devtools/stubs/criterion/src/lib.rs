@@ -1,0 +1,87 @@
+//! Offline stand-in for `criterion` used only by
+//! `devtools/offline-check.sh`. Compiles the workspace benches; runs
+//! each closure once instead of measuring.
+
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+
+    /// Registers a single benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_once(name, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers and runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_once(&label, &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn run_once(name: &str, f: &mut impl FnMut(&mut Bencher)) {
+    let start = Instant::now();
+    let mut bencher = Bencher {};
+    f(&mut bencher);
+    println!("bench {name}: one pass in {:?} (offline stub, unmeasured)", start.elapsed());
+}
+
+/// Passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {}
+
+impl Bencher {
+    /// Runs the routine once (no statistical sampling in the stub).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

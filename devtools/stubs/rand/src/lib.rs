@@ -1,0 +1,117 @@
+//! Offline stand-in for `rand` 0.9 used only by
+//! `devtools/offline-check.sh`. Provides the tiny slice of the API this
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::random::<f64>()`, and
+//! `Rng::random_range` over integer ranges — all deterministic.
+
+use std::ops::Range;
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its standard distribution.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open).
+    fn random_range<T: UniformSample>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+/// Types with a standard (uniform) distribution.
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types uniformly sampleable over a half-open range.
+pub trait UniformSample: Sized {
+    /// Samples uniformly from `range`.
+    fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_impl {
+    ($($ty:ty),*) => {$(
+        impl UniformSample for $ty {
+            fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in random_range");
+                let span = (range.end - range.start) as u64;
+                // Modulo bias is acceptable for an offline test stub.
+                range.start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+uniform_impl!(u8, u16, u32, u64, usize);
+
+/// Standard RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic generator (SplitMix64 — not the real `StdRng`
+    /// algorithm, but statistically adequate for tests).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble small consecutive seeds apart before streaming.
+            let mut rng = StdRng { state: seed ^ 0x5851_f42d_4c95_7f2d };
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}

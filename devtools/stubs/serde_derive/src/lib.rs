@@ -1,0 +1,579 @@
+//! Offline stand-in for `serde_derive` used only by
+//! `devtools/offline-check.sh`.
+//!
+//! Parses the derive input token stream by hand (no `syn`/`quote`
+//! available offline) and emits impls of the stub `serde` crate's
+//! `Serialize`/`Deserialize` traits. Supports exactly what this
+//! workspace uses: non-generic named/tuple structs, enums with
+//! unit/tuple/struct variants (externally tagged), and the attributes
+//! `transparent`, `default`, `skip_serializing_if`, and `rename`.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => {
+            if ser {
+                gen_ser(&item)
+            } else {
+                gen_de(&item)
+            }
+        }
+        Err(msg) => return error(&msg),
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => error(&format!("stub serde_derive generated invalid code: {e}")),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("a string literal always lexes")
+}
+
+#[derive(Default, Clone)]
+struct Attrs {
+    transparent: bool,
+    default: bool,
+    skip_if: Option<String>,
+    rename: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: Attrs,
+}
+
+impl Field {
+    fn key(&self) -> String {
+        self.attrs.rename.clone().unwrap_or_else(|| self.name.clone())
+    }
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Plain type-parameter names (`T`, `U`, ...); bounds are dropped.
+    generics: Vec<String>,
+    attrs: Attrs,
+    body: Body,
+}
+
+impl Item {
+    /// `"Name"` or `"Name<T, U>"` as used in the impl target.
+    fn self_ty(&self) -> String {
+        if self.generics.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.generics.join(", "))
+        }
+    }
+
+    /// `""` or `"<T: ::serde::Trait, ...>"` for the impl header.
+    fn impl_generics(&self, trait_path: &str) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            let bounds: Vec<String> =
+                self.generics.iter().map(|g| format!("{g}: {trait_path}")).collect();
+            format!("<{}>", bounds.join(", "))
+        }
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Applies the options inside one `#[...]` attribute group (if it is a
+/// `serde` attribute) to `attrs`; other attributes are ignored.
+fn apply_attr_group(group: &Group, attrs: &mut Attrs) {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let is_serde = matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let Some(TokenTree::Group(inner)) = toks.get(1) else { return };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        let TokenTree::Ident(id) = &inner[i] else {
+            i += 1;
+            continue;
+        };
+        let key = id.to_string();
+        let mut value = None;
+        if matches!(inner.get(i + 1), Some(t) if is_punct(t, '=')) {
+            if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                let raw = lit.to_string();
+                value = Some(raw.trim_matches('"').to_string());
+                i += 2;
+            }
+        }
+        match (key.as_str(), value) {
+            ("transparent", _) => attrs.transparent = true,
+            ("default", _) => attrs.default = true,
+            ("skip_serializing_if", Some(path)) => attrs.skip_if = Some(path),
+            ("rename", Some(name)) => attrs.rename = Some(name),
+            _ => {}
+        }
+        i += 1;
+        if matches!(inner.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+    }
+}
+
+/// Consumes any leading `#[...]` attributes at `i`, folding serde
+/// options into a fresh `Attrs`.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> Attrs {
+    let mut attrs = Attrs::default();
+    while *i < toks.len() && is_punct(&toks[*i], '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            apply_attr_group(g, &mut attrs);
+            *i += 1;
+        }
+    }
+    attrs
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = Attrs::default();
+    let mut kind: Option<String> = None;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    apply_attr_group(g, &mut attrs);
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                i += 1;
+                if word == "struct" || word == "enum" {
+                    kind = Some(word);
+                    break;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.ok_or("stub serde_derive: expected `struct` or `enum`")?;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("stub serde_derive: expected a type name".to_string()),
+    };
+    i += 1;
+    let mut generics = Vec::new();
+    if matches!(toks.get(i), Some(t) if is_punct(t, '<')) {
+        i += 1;
+        let mut depth = 1i32;
+        let mut at_param_start = true;
+        while i < toks.len() && depth > 0 {
+            match &toks[i] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => at_param_start = true,
+                    '\'' => {
+                        return Err(format!(
+                            "stub serde_derive: lifetimes on `{name}` are not supported"
+                        ));
+                    }
+                    _ => {}
+                },
+                TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                    generics.push(id.to_string());
+                    at_param_start = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let body = if kind == "enum" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g)?)
+            }
+            _ => return Err(format!("stub serde_derive: expected enum body for `{name}`")),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g)?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Shape::Tuple(tuple_arity(g)))
+            }
+            Some(t) if is_punct(t, ';') => Body::Struct(Shape::Unit),
+            _ => return Err(format!("stub serde_derive: expected struct body for `{name}`")),
+        }
+    };
+    Ok(Item { name, generics, attrs, body })
+}
+
+fn parse_named_fields(group: &Group) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("stub serde_derive: expected a field name".to_string()),
+        };
+        i += 1;
+        if !matches!(toks.get(i), Some(t) if is_punct(t, ':')) {
+            return Err(format!("stub serde_derive: expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_type(&toks, &mut i);
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+/// Skips type tokens up to (and including) the next comma that sits
+/// outside any `<...>` nesting.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn tuple_arity(group: &Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut ends_with_comma = false;
+    for t in &toks {
+        ends_with_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    ends_with_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    commas + usize::from(!ends_with_comma)
+}
+
+fn parse_variants(group: &Group) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _attrs = take_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("stub serde_derive: expected a variant name".to_string()),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(tuple_arity(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g)?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn gen_ser(item: &Item) -> String {
+    let name = &item.name;
+    let self_ty = item.self_ty();
+    let impl_generics = item.impl_generics("::serde::Serialize");
+    let body = match &item.body {
+        Body::Struct(Shape::Named(fields)) => {
+            if item.attrs.transparent && fields.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let mut out = String::from(
+                    "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    let push = format!(
+                        "__fields.push((::std::string::String::from({key:?}), \
+                         ::serde::Serialize::to_value(&self.{field})));",
+                        key = f.key(),
+                        field = f.name
+                    );
+                    if let Some(path) = &f.attrs.skip_if {
+                        out.push_str(&format!("if !({path}(&self.{})) {{ {push} }}\n", f.name));
+                    } else {
+                        out.push_str(&push);
+                        out.push('\n');
+                    }
+                }
+                out.push_str("::serde::Value::Obj(__fields)");
+                out
+            }
+        }
+        Body::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Body::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from({vname:?})),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Obj(::std::vec![\
+                             (::std::string::String::from({vname:?}), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{0}: __{0}", f.name)).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({key:?}), \
+                                     ::serde::Serialize::to_value(__{field}))",
+                                    key = f.key(),
+                                    field = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Obj(::std::vec![\
+                             (::std::string::String::from({vname:?}), \
+                             ::serde::Value::Obj(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {self_ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Emits the expression for one named field during deserialization,
+/// reading from the entry slice bound to `entries_var`.
+fn de_named_field(type_name: &str, f: &Field, entries_var: &str) -> String {
+    let missing = if f.attrs.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::custom(\
+             \"{type_name}: missing field `{key}`\"))",
+            key = f.key()
+        )
+    };
+    format!(
+        "{field}: match ::serde::obj_get({entries_var}, {key:?}) {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => {missing},\n}}",
+        field = f.name,
+        key = f.key()
+    )
+}
+
+fn gen_de(item: &Item) -> String {
+    let name = &item.name;
+    let self_ty = item.self_ty();
+    let impl_generics = item.impl_generics("::serde::Deserialize");
+    let body = match &item.body {
+        Body::Struct(Shape::Named(fields)) => {
+            if item.attrs.transparent && fields.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0].name
+                )
+            } else {
+                let entries: Vec<String> =
+                    fields.iter().map(|f| de_named_field(name, f, "__entries")).collect();
+                format!(
+                    "let __entries = ::serde::Value::as_obj(__v).ok_or_else(|| \
+                     ::serde::DeError::custom(\"{name}: expected object, found another value\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{}\n}})",
+                    entries.join(",\n")
+                )
+            }
+        }
+        Body::Struct(Shape::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::Value::as_arr(__v).ok_or_else(|| \
+                 ::serde::DeError::custom(\"{name}: expected array\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"{name}: expected an array of {n} elements\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => tagged_arms.push_str(&format!(
+                        "{vname:?} => {{\n\
+                         let __items = ::serde::Value::as_arr(__inner).ok_or_else(|| \
+                         ::serde::DeError::custom(\"{name}::{vname}: expected array\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                         \"{name}::{vname}: expected an array of {n} elements\"));\n}}\n\
+                         ::std::result::Result::Ok({name}::{vname}({args}))\n}}\n",
+                        args = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )),
+                    Shape::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| de_named_field(&format!("{name}::{vname}"), f, "__ventries"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __ventries = ::serde::Value::as_obj(__inner).ok_or_else(|| \
+                             ::serde::DeError::custom(\"{name}::{vname}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{}\n}})\n}}\n",
+                            entries.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\
+                 \"{name}: unknown variant `{{}}`\", __other))),\n}},\n\
+                 ::serde::Value::Obj(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\
+                 \"{name}: unknown variant `{{}}`\", __other))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"{name}: expected a variant string or single-key object\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {self_ty} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -174,3 +174,104 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Fault-injection invariants. Each case runs full simulations, so the
+// case count stays low.
+
+use ssdep_sim::{FaultKind, FaultPlan, FaultTarget, InjectedFault, SimConfig, Simulation};
+
+/// Runs the baseline design for `weeks` under `faults`.
+fn simulate(weeks: f64, faults: FaultPlan) -> ssdep_sim::SimReport {
+    let workload = ssdep_core::presets::cello_workload();
+    let design = ssdep_core::presets::baseline_design();
+    let config = SimConfig::new(TimeDelta::from_weeks(weeks)).with_faults(faults);
+    Simulation::new(&design, &workload, config)
+        .expect("baseline design simulates")
+        .run()
+}
+
+#[test]
+fn an_empty_fault_plan_is_exactly_the_fault_free_run() {
+    for weeks in [6.0, 13.0] {
+        let clean = simulate(weeks, FaultPlan::new());
+        let empty = simulate(weeks, FaultPlan::new().with_fault(InjectedFault {
+            // A fault far beyond the horizon resolves but never fires.
+            at: TimeDelta::from_weeks(weeks * 10.0),
+            target: FaultTarget::Level { index: 1 },
+            kind: FaultKind::PermanentDestruction,
+        }));
+        assert_eq!(clean.rps(), empty.rps());
+        assert!(empty.disruptions().is_empty());
+        let no_plan = simulate(weeks, FaultPlan::new());
+        assert_eq!(clean, no_plan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // A transient outage that begins and repairs strictly inside one of
+    // the split mirror's 12-hour accumulation gaps blocks nothing: no
+    // capture, completion, or downstream pull falls inside it, so the
+    // produced retrieval points — and therefore any observed loss — are
+    // identical to the fault-free run.
+    #[test]
+    fn gap_sized_transient_outages_change_nothing(
+        window in 2u32..150,
+        offset_frac in 0.01f64..0.9,
+        duration_frac in 0.05f64..0.95,
+    ) {
+        let gap_start = f64::from(window) * 12.0;
+        let offset = 0.1 + offset_frac * 11.0;
+        let duration = duration_frac * (11.8 - offset).max(0.01);
+        let plan = FaultPlan::new().with_fault(InjectedFault {
+            at: TimeDelta::from_hours(gap_start + offset),
+            target: FaultTarget::Level { index: 1 },
+            kind: FaultKind::TransientOutage {
+                repair_after: TimeDelta::from_hours(duration),
+            },
+        });
+        let clean = simulate(12.0, FaultPlan::new());
+        let faulted = simulate(12.0, plan);
+        prop_assert_eq!(clean.rps(), faulted.rps());
+        prop_assert!(faulted.disruptions().is_empty(),
+            "{:?}", faulted.disruptions());
+    }
+
+    // Destroying a level can only ever make things worse: at every probe
+    // instant, every level's restorable content is no fresher than in
+    // the fault-free run, and nothing becomes restorable that wasn't.
+    #[test]
+    fn permanent_destruction_is_never_better_than_fault_free(
+        level in 0usize..4,
+        destroy_weeks in 2.0f64..10.0,
+    ) {
+        let plan = FaultPlan::new().with_fault(InjectedFault {
+            at: TimeDelta::from_weeks(destroy_weeks),
+            target: FaultTarget::Level { index: level },
+            kind: FaultKind::PermanentDestruction,
+        });
+        let clean = simulate(12.0, FaultPlan::new());
+        let faulted = simulate(12.0, plan);
+        for probe_level in 0..4 {
+            for hours in [1.0, 24.0 * 7.0, destroy_weeks * 168.0 - 1.0,
+                          destroy_weeks * 168.0 + 1.0, 11.0 * 168.0] {
+                let t = TimeDelta::from_hours(hours).as_secs();
+                let base = clean.restorable_at(probe_level, t, 0.0);
+                let degraded = faulted.restorable_at(probe_level, t, 0.0);
+                match (base, degraded) {
+                    (Some((b, _)), Some((d, _))) => prop_assert!(
+                        d <= b + 1e-9,
+                        "level {probe_level} at {hours} hr: {d} fresher than {b}"
+                    ),
+                    (None, Some(_)) => prop_assert!(
+                        false,
+                        "level {probe_level} at {hours} hr restorable only under faults"
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
