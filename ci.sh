@@ -1,11 +1,43 @@
 #!/bin/sh
-# CI entry point: build, test, lint.
+# CI entry point: build, test, lint, and a crash-resume smoke test.
 #
 # In network-restricted environments, run the same sequence through the
 # offline harness instead: `./devtools/offline-check.sh build --release`
 # etc. (see the header of that script).
 set -eu
 
+cargo fmt --all -- --check
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace
+
+# Crash-resume smoke test: run the supervised search to completion, then
+# run it again with a crash injected after three journal appends, resume
+# from the surviving checkpoint, and require the ranked output (from the
+# "Rank" table header on; the provenance lines legitimately differ) to be
+# identical to the uninterrupted run.
+SSDEP=target/release/ssdep
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+"$SSDEP" search --checkpoint "$SMOKE_DIR/full.jsonl" > "$SMOKE_DIR/full.out"
+
+if SSDEP_CRASH_AFTER=3 "$SSDEP" search --checkpoint "$SMOKE_DIR/crash.jsonl" \
+    > /dev/null 2>&1; then
+    echo "ci.sh: expected the crash-injected search to die" >&2
+    exit 1
+fi
+"$SSDEP" search --resume "$SMOKE_DIR/crash.jsonl" > "$SMOKE_DIR/resumed.out"
+
+sed -n '/^Rank/,$p' "$SMOKE_DIR/full.out" > "$SMOKE_DIR/full.rank"
+sed -n '/^Rank/,$p' "$SMOKE_DIR/resumed.out" > "$SMOKE_DIR/resumed.rank"
+if ! cmp -s "$SMOKE_DIR/full.rank" "$SMOKE_DIR/resumed.rank"; then
+    echo "ci.sh: resumed search output diverged from the full run:" >&2
+    diff "$SMOKE_DIR/full.rank" "$SMOKE_DIR/resumed.rank" >&2 || true
+    exit 1
+fi
+grep -q "3 resumed" "$SMOKE_DIR/resumed.out" || {
+    echo "ci.sh: resumed run did not replay the journaled prefix" >&2
+    exit 1
+}
+echo "crash-resume smoke test passed"

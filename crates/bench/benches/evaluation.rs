@@ -30,8 +30,12 @@ fn bench_evaluation(c: &mut Criterion) {
     });
 
     let object = FailureScenario::new(
-        FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-        RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+        FailureScope::DataObject {
+            size: Bytes::from_mib(1.0),
+        },
+        RecoveryTarget::Before {
+            age: TimeDelta::from_hours(24.0),
+        },
     );
     group.bench_function("baseline_object_rollback", |b| {
         b.iter(|| evaluate(&design, &workload, &requirements, black_box(&object)).unwrap())

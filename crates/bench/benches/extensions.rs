@@ -13,8 +13,12 @@ fn catalog() -> Vec<WeightedScenario> {
     vec![
         WeightedScenario::new(
             FailureScenario::new(
-                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-                RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+                FailureScope::DataObject {
+                    size: Bytes::from_mib(1.0),
+                },
+                RecoveryTarget::Before {
+                    age: TimeDelta::from_hours(24.0),
+                },
             ),
             12.0,
         ),
@@ -33,29 +37,22 @@ fn bench_extensions(c: &mut Criterion) {
     let workload = ssdep_core::presets::cello_workload();
     let design = ssdep_core::presets::baseline_design();
     let requirements = ssdep_core::presets::paper_requirements();
-    let scenarios: Vec<FailureScenario> =
-        catalog().into_iter().map(|w| w.scenario).collect();
+    let scenarios: Vec<FailureScenario> = catalog().into_iter().map(|w| w.scenario).collect();
 
     let mut group = c.benchmark_group("extensions");
     group.sample_size(40);
 
     group.bench_function("degraded_exposure_3x3", |b| {
         b.iter(|| {
-            analysis::degraded_exposure(
-                black_box(&design),
-                &workload,
-                &requirements,
-                &scenarios,
-            )
-            .unwrap()
+            analysis::degraded_exposure(black_box(&design), &workload, &requirements, &scenarios)
+                .unwrap()
         })
     });
 
     let weighted = catalog();
     group.bench_function("risk_profile", |b| {
         b.iter(|| {
-            analysis::risk_profile(&design, &workload, &requirements, black_box(&weighted))
-                .unwrap()
+            analysis::risk_profile(&design, &workload, &requirements, black_box(&weighted)).unwrap()
         })
     });
 

@@ -16,9 +16,7 @@ fn bench_optimizer(c: &mut Criterion) {
 
     let minimal = DesignSpace::minimal();
     group.bench_function("exhaustive_minimal_16", |b| {
-        b.iter(|| {
-            exhaustive(black_box(&minimal), &workload, &requirements, &scenarios).unwrap()
-        })
+        b.iter(|| exhaustive(black_box(&minimal), &workload, &requirements, &scenarios).unwrap())
     });
 
     let broad = DesignSpace::broad();

@@ -25,8 +25,7 @@ fn bench_submodels(c: &mut Criterion) {
     });
     group.bench_function("recovery_site", |b| {
         b.iter(|| {
-            analysis::recovery(&design, &workload, &demands, &scenario, loss.source_level)
-                .unwrap()
+            analysis::recovery(&design, &workload, &demands, &scenario, loss.source_level).unwrap()
         })
     });
     group.bench_function("utilization", |b| {

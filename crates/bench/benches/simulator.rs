@@ -28,9 +28,13 @@ fn bench_simulator(c: &mut Criterion) {
         })
     });
 
-    let report = Simulation::new(&design, &workload, SimConfig::new(TimeDelta::from_weeks(26.0)))
-        .unwrap()
-        .run();
+    let report = Simulation::new(
+        &design,
+        &workload,
+        SimConfig::new(TimeDelta::from_weeks(26.0)),
+    )
+    .unwrap()
+    .run();
     let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
     group.bench_function("inject_failure_and_recover", |b| {
         b.iter(|| {

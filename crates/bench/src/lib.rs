@@ -32,8 +32,12 @@ use std::fmt::Write as _;
 pub fn paper_scenarios() -> [FailureScenario; 3] {
     [
         FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         ),
         FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
         FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
@@ -113,8 +117,14 @@ pub fn table2(trace_days: f64, seed: u64) -> Result<String, Error> {
     ] {
         table.row([
             label.to_string(),
-            format!("{:.0} KiB/s", paper.batch_update_rate(window).as_kib_per_sec()),
-            format!("{:.0} KiB/s", measured.batch_update_rate(window).as_kib_per_sec()),
+            format!(
+                "{:.0} KiB/s",
+                paper.batch_update_rate(window).as_kib_per_sec()
+            ),
+            format!(
+                "{:.0} KiB/s",
+                measured.batch_update_rate(window).as_kib_per_sec()
+            ),
         ]);
     }
     let _ = writeln!(out, "{}", table.render());
@@ -127,9 +137,7 @@ pub fn table3_table4() -> String {
     let design = ssdep_core::presets::baseline_design();
     let mut out = String::new();
 
-    let mut policies = TextTable::new([
-        "Technique", "accW", "propW", "holdW", "retCnt", "retW",
-    ]);
+    let mut policies = TextTable::new(["Technique", "accW", "propW", "holdW", "retCnt", "retW"]);
     for level in design.levels().iter().skip(1) {
         if let Some(params) = level.technique().params() {
             policies.row([
@@ -142,21 +150,35 @@ pub fn table3_table4() -> String {
             ]);
         }
     }
-    let _ = writeln!(out, "== Table 3: protection technique parameters ==\n{}", policies.render());
+    let _ = writeln!(
+        out,
+        "== Table 3: protection technique parameters ==\n{}",
+        policies.render()
+    );
 
     let mut devices = TextTable::new([
-        "Device", "Usable capacity", "Max bandwidth", "devDelay", "Spare",
+        "Device",
+        "Usable capacity",
+        "Max bandwidth",
+        "devDelay",
+        "Spare",
     ]);
     for spec in design.devices() {
         devices.row([
             spec.name().to_string(),
-            spec.usable_capacity().map_or("n/a".to_string(), |c| c.to_string()),
-            spec.max_bandwidth().map_or("n/a".to_string(), |b| b.to_string()),
+            spec.usable_capacity()
+                .map_or("n/a".to_string(), |c| c.to_string()),
+            spec.max_bandwidth()
+                .map_or("n/a".to_string(), |b| b.to_string()),
             spec.access_delay().to_string(),
             spec.spare().to_string(),
         ]);
     }
-    let _ = writeln!(out, "== Table 4: device configuration ==\n{}", devices.render());
+    let _ = writeln!(
+        out,
+        "== Table 4: device configuration ==\n{}",
+        devices.render()
+    );
     out
 }
 
@@ -337,8 +359,7 @@ pub fn validate_sim(weeks: f64, samples: usize) -> Result<String, Error> {
         "Bounds hold",
     ]);
     for scenario in paper_scenarios() {
-        let outcome =
-            validate_scenario(&design, &workload, &demands, &report, &scenario, &grid)?;
+        let outcome = validate_scenario(&design, &workload, &demands, &report, &scenario, &grid)?;
         table.row([
             scenario.scope.name().to_string(),
             format!("{:.1} hr", outcome.analytic_loss.as_hours()),
@@ -346,7 +367,12 @@ pub fn validate_sim(weeks: f64, samples: usize) -> Result<String, Error> {
             format!("{:.2} hr", outcome.analytic_recovery.as_hours()),
             format!("{:.2} hr", outcome.observed_max_recovery.as_hours()),
             format!("{}", outcome.evaluated_samples),
-            if outcome.bounds_hold() { "yes" } else { "VIOLATED" }.to_string(),
+            if outcome.bounds_hold() {
+                "yes"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
         ]);
     }
     Ok(format!(

@@ -11,6 +11,11 @@
 //! * `whatif` — the paper's Table 7 comparison;
 //! * `optimize [--broad]` — search the candidate space for the cheapest
 //!   design under the case-study scenario mix;
+//! * `search [--broad] [--checkpoint F] [--resume F] [--deadline-secs S]
+//!   [--max-retries N]` — the same search run as a supervised batch:
+//!   per-candidate panic isolation and deadline budgets, transient-error
+//!   retries, progress checkpointed to an append-only journal, and
+//!   `--resume` to continue a killed run without repeating work;
 //! * `inject <spec.json> [--faults <plan.json>]` — simulate the design
 //!   under timed hardware faults and report the degraded-mode worst-case
 //!   data loss and recovery time against the fault-free baseline.
@@ -47,14 +52,22 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "baseline" => baseline(),
         "whatif" => whatif(),
         "optimize" => optimize(args.contains(&"--broad".to_string())),
+        "search" => {
+            let rest: Vec<&String> = iter.collect();
+            search_command(&rest)
+        }
         "degraded" => {
-            let path = iter.next().ok_or("usage: ssdep degraded <spec.json> [--catalog <file>]")?;
+            let path = iter
+                .next()
+                .ok_or("usage: ssdep degraded <spec.json> [--catalog <file>]")?;
             let rest: Vec<&String> = iter.collect();
             let spec = load(path)?;
             degraded(&spec, load_catalog(&rest)?)
         }
         "risk" => {
-            let path = iter.next().ok_or("usage: ssdep risk <spec.json> [--catalog <file>]")?;
+            let path = iter
+                .next()
+                .ok_or("usage: ssdep risk <spec.json> [--catalog <file>]")?;
             let rest: Vec<&String> = iter.collect();
             let spec = load(path)?;
             risk(&spec, load_catalog(&rest)?)
@@ -65,12 +78,19 @@ pub fn run(args: &[String]) -> Result<String, String> {
             coverage(&spec)
         }
         "sweep" => {
-            let axis = iter.next().map(String::as_str).unwrap_or("growth");
-            sweep(axis)
+            let rest: Vec<&String> = iter.collect();
+            match rest.split_first() {
+                Some((first, tail)) if !first.starts_with("--") => sweep(first, tail),
+                _ => sweep("growth", &rest),
+            }
         }
         "compare" => {
-            let path_a = iter.next().ok_or("usage: ssdep compare <a.json> <b.json>")?;
-            let path_b = iter.next().ok_or("usage: ssdep compare <a.json> <b.json>")?;
+            let path_a = iter
+                .next()
+                .ok_or("usage: ssdep compare <a.json> <b.json>")?;
+            let path_b = iter
+                .next()
+                .ok_or("usage: ssdep compare <a.json> <b.json>")?;
             compare(&load(path_a)?, &load(path_b)?)
         }
         "report" => {
@@ -140,10 +160,17 @@ fn help() -> String {
        baseline                     the paper's §4.1 case study\n\
        whatif                       the paper's Table 7 comparison\n\
        optimize [--broad]           search candidate designs for lowest cost\n\
+       search [opts]                the same search as a crash-tolerant batch\n\
+         --broad                    search the broad candidate space\n\
+         --checkpoint <file>        journal completed evaluations (JSON lines)\n\
+         --resume <file>            replay a journal, then continue into it\n\
+         --deadline-secs <s>        per-candidate wall-clock budget\n\
+         --max-retries <n>          retries for transient failures (default 2)\n\
        degraded <spec.json>         exposure matrix with each level out of service\n\
        risk <spec.json>             annualized availability / loss profile\n\
        coverage <spec.json>         which failure scopes the design survives\n\
        sweep [growth|links|vault|backup]  sensitivity sweep on the case study\n\
+         (links|vault|backup also take the supervisor flags above)\n\
        compare <a.json> <b.json>    side-by-side evaluation of two designs\n\
        report <spec.json>           the full dependability dossier\n\
        inject <spec.json> [opts]    simulate timed hardware faults\n\
@@ -188,7 +215,9 @@ fn parse_scenario(args: &[&String]) -> Result<FailureScenario, String> {
         }
     }
     let scope = match scope_name.as_str() {
-        "object" => FailureScope::DataObject { size: Bytes::from_mib(size_mib) },
+        "object" => FailureScope::DataObject {
+            size: Bytes::from_mib(size_mib),
+        },
         "array" => FailureScope::Array,
         "building" => FailureScope::Building,
         "site" => FailureScope::Site,
@@ -196,7 +225,9 @@ fn parse_scenario(args: &[&String]) -> Result<FailureScenario, String> {
         other => return Err(format!("unknown scenario `{other}`")),
     };
     let target = if age_hours > 0.0 {
-        RecoveryTarget::Before { age: TimeDelta::from_hours(age_hours) }
+        RecoveryTarget::Before {
+            age: TimeDelta::from_hours(age_hours),
+        }
     } else {
         RecoveryTarget::Now
     };
@@ -242,8 +273,17 @@ fn evaluate_command(spec: &SystemSpec, args: &[&String]) -> Result<String, Strin
         return serde_json::to_string_pretty(&evaluation).map_err(|e| e.to_string());
     }
     let mut out = String::new();
-    let _ = writeln!(out, "design: {}   scenario: {}", spec.design.name(), scenario);
-    let _ = writeln!(out, "\n== Utilization ==\n{}", report::render_utilization(&evaluation));
+    let _ = writeln!(
+        out,
+        "design: {}   scenario: {}",
+        spec.design.name(),
+        scenario
+    );
+    let _ = writeln!(
+        out,
+        "\n== Utilization ==\n{}",
+        report::render_utilization(&evaluation)
+    );
     let _ = writeln!(
         out,
         "== Dependability ==\n{}",
@@ -267,8 +307,12 @@ fn baseline() -> Result<String, String> {
     let spec = SystemSpec::baseline();
     let scenarios = [
         FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         ),
         FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
         FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
@@ -341,14 +385,15 @@ fn whatif() -> Result<String, String> {
             site.cost.total_cost.to_string(),
         ]);
     }
-    Ok(format!("== What-if scenarios (paper Table 7) ==\n{}", table.render()))
+    Ok(format!(
+        "== What-if scenarios (paper Table 7) ==\n{}",
+        table.render()
+    ))
 }
 
 /// Parses an optional `--catalog <file>` argument: a JSON array of
 /// weighted scenarios, falling back to [`default_catalog`].
-fn load_catalog(
-    args: &[&String],
-) -> Result<Vec<ssdep_core::analysis::WeightedScenario>, String> {
+fn load_catalog(args: &[&String]) -> Result<Vec<ssdep_core::analysis::WeightedScenario>, String> {
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg.as_str() == "--catalog" {
@@ -369,8 +414,12 @@ fn default_catalog() -> Vec<ssdep_core::analysis::WeightedScenario> {
     vec![
         WeightedScenario::new(
             FailureScenario::new(
-                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-                RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+                FailureScope::DataObject {
+                    size: Bytes::from_mib(1.0),
+                },
+                RecoveryTarget::Before {
+                    age: TimeDelta::from_hours(24.0),
+                },
             ),
             12.0,
         ),
@@ -390,12 +439,15 @@ fn degraded(
     catalog: Vec<ssdep_core::analysis::WeightedScenario>,
 ) -> Result<String, String> {
     use ssdep_core::analysis::{degraded_exposure, DegradedOutcome};
-    let scenarios: Vec<FailureScenario> =
-        catalog.into_iter().map(|w| w.scenario).collect();
+    let scenarios: Vec<FailureScenario> = catalog.into_iter().map(|w| w.scenario).collect();
     let report = degraded_exposure(&spec.design, &spec.workload, &spec.requirements, &scenarios)
         .map_err(|e| e.to_string())?;
     let mut headers = vec!["Degraded level".to_string()];
-    headers.extend(scenarios.iter().map(|s| format!("{} failure", s.scope.name())));
+    headers.extend(
+        scenarios
+            .iter()
+            .map(|s| format!("{} failure", s.scope.name())),
+    );
     let mut table = report::TextTable::new(headers);
     for row in &report.rows {
         let mut cells = vec![row.level_name.clone()];
@@ -412,7 +464,11 @@ fn degraded(
         }
         table.row(cells);
     }
-    let mut out = format!("== Degraded-mode exposure: {} ==\n{}", spec.design.name(), table.render());
+    let mut out = format!(
+        "== Degraded-mode exposure: {} ==\n{}",
+        spec.design.name(),
+        table.render()
+    );
     if let Some(critical) = report.most_critical_level() {
         out.push_str(&format!("most critical level: {}\n", critical.level_name));
     }
@@ -486,7 +542,8 @@ fn coverage(spec: &SystemSpec) -> Result<String, String> {
         &default_ladder(),
     )
     .map_err(|e| e.to_string())?;
-    let mut table = report::TextTable::new(["Failure scope", "Covered", "Recovery time", "Data loss"]);
+    let mut table =
+        report::TextTable::new(["Failure scope", "Covered", "Recovery time", "Data loss"]);
     for row in &report.rows {
         match &row.coverage {
             ScopeCoverage::Covered { evaluation } => table.row([
@@ -503,7 +560,11 @@ fn coverage(spec: &SystemSpec) -> Result<String, String> {
             ]),
         };
     }
-    let mut out = format!("== Failure coverage: {} ==\n{}", spec.design.name(), table.render());
+    let mut out = format!(
+        "== Failure coverage: {} ==\n{}",
+        spec.design.name(),
+        table.render()
+    );
     out.push_str(if report.fully_covered() {
         "every scope on the ladder is covered\n"
     } else {
@@ -512,13 +573,158 @@ fn coverage(spec: &SystemSpec) -> Result<String, String> {
     Ok(out)
 }
 
-fn sweep(axis: &str) -> Result<String, String> {
-    use ssdep_opt::sweep::{self, GrowthPoint};
+/// Parses the shared supervisor flags (`--checkpoint`, `--resume`,
+/// `--deadline-secs`, `--max-retries`) out of `args`, returning the
+/// configuration, whether any supervisor flag was present, and the
+/// arguments left over for the command to interpret.
+///
+/// `--resume F` without `--checkpoint` also appends new progress to `F`,
+/// so an interrupted run can be resumed repeatedly with one flag. The
+/// `SSDEP_CRASH_AFTER=<n>` environment variable arms a test-only hook
+/// that aborts the process after `n` journaled evaluations — it exists
+/// for the crash-resume smoke test in `ci.sh`.
+fn parse_supervisor_flags<'a>(
+    args: &[&'a String],
+) -> Result<(ssdep_opt::SupervisorConfig, bool, Vec<&'a String>), String> {
+    let mut config = ssdep_opt::SupervisorConfig::default();
+    let mut any = false;
+    let mut leftover = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--checkpoint" => {
+                let path = iter.next().ok_or("--checkpoint needs a file path")?;
+                config.checkpoint = Some(std::path::PathBuf::from(path.as_str()));
+                any = true;
+            }
+            "--resume" => {
+                let path = iter.next().ok_or("--resume needs a file path")?;
+                config.resume = Some(std::path::PathBuf::from(path.as_str()));
+                any = true;
+            }
+            "--deadline-secs" => {
+                let secs: f64 = iter
+                    .next()
+                    .ok_or("--deadline-secs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-secs: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--deadline-secs must be a positive number".to_string());
+                }
+                config.deadline = Some(std::time::Duration::from_secs_f64(secs));
+                any = true;
+            }
+            "--max-retries" => {
+                let retries: u32 = iter
+                    .next()
+                    .ok_or("--max-retries needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-retries: {e}"))?;
+                config.retry = ssdep_core::RetryPolicy::new(retries);
+                any = true;
+            }
+            _ => leftover.push(*arg),
+        }
+    }
+    if config.checkpoint.is_none() {
+        config.checkpoint = config.resume.clone();
+    }
+    if let Ok(text) = std::env::var("SSDEP_CRASH_AFTER") {
+        let n = text
+            .parse()
+            .map_err(|e| format!("bad SSDEP_CRASH_AFTER: {e}"))?;
+        config.crash_after_journaled = Some(n);
+    }
+    Ok((config, any, leftover))
+}
+
+/// Renders a supervised run's provenance and quarantine for any
+/// batch command's output header.
+fn render_provenance(provenance: &ssdep_opt::Provenance, failed: &[String]) -> String {
+    let mut out = format!("provenance: {}\n", provenance.summary());
+    for line in failed {
+        let _ = writeln!(out, "quarantined: {line}");
+    }
+    out
+}
+
+fn sweep(axis: &str, rest: &[&String]) -> Result<String, String> {
+    use ssdep_opt::sweep::{self, GrowthPoint, SweepSeries};
+    let (config, supervised, leftover) = parse_supervisor_flags(rest)?;
+    if let Some(unknown) = leftover.first() {
+        return Err(format!(
+            "unknown sweep option `{unknown}` \
+             (--checkpoint|--resume|--deadline-secs|--max-retries)"
+        ));
+    }
     let workload = ssdep_core::presets::cello_workload();
     let requirements = ssdep_core::presets::paper_requirements();
     let scenarios = default_catalog();
+
+    let render_series = |series: &SweepSeries, title: &str, axis_label: &str| {
+        let mut out = format!(
+            "== {title} ==\n{}",
+            sweep::render(&series.points, axis_label)
+        );
+        for broken in &series.broken {
+            let _ = writeln!(
+                out,
+                "broken: {axis_label} = {}: {}",
+                broken.value, broken.reason
+            );
+        }
+        out
+    };
+
+    // The supervised axes share one driver; growth keeps its bespoke
+    // feasibility-aware loop and does not take supervisor flags.
+    let supervised_axis =
+        |title: &str,
+         axis_label: &str,
+         values: &[f64],
+         make: fn(f64) -> Result<ssdep_core::hierarchy::StorageDesign, ssdep_core::Error>,
+         scenarios: &[ssdep_core::analysis::WeightedScenario]|
+         -> Result<String, String> {
+            let run = sweep::supervised_sweep(
+                axis_label,
+                values,
+                make,
+                &workload,
+                &requirements,
+                scenarios,
+                &ssdep_opt::Supervisor::new(config.clone()),
+            )
+            .map_err(|e| e.to_string())?;
+            let failed: Vec<String> = run
+                .failed
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{axis_label} = {}: {} [{} after {} attempt{}]",
+                        f.candidate.value,
+                        f.error,
+                        f.kind,
+                        f.attempts,
+                        if f.attempts == 1 { "" } else { "s" }
+                    )
+                })
+                .collect();
+            Ok(format!(
+                "{}{}",
+                render_provenance(&run.provenance, &failed),
+                render_series(&run.series, title, axis_label)
+            ))
+        };
+
     match axis {
         "growth" => {
+            if supervised {
+                return Err(
+                    "the growth sweep does not take supervisor flags; use them with \
+                     the links|vault|backup axes or `ssdep search`"
+                        .to_string(),
+                );
+            }
             let design = ssdep_core::presets::baseline_design();
             let points = sweep::sweep_growth(
                 &[0.5, 0.75, 1.0, 1.05, 1.1, 1.25, 1.5],
@@ -543,37 +749,116 @@ fn sweep(axis: &str) -> Result<String, String> {
                     }
                 };
             }
-            Ok(format!("== Dataset growth sweep (baseline design) ==\n{}", table.render()))
+            Ok(format!(
+                "== Dataset growth sweep (baseline design) ==\n{}",
+                table.render()
+            ))
         }
         "links" => {
             let hw: Vec<_> = scenarios.into_iter().skip(1).collect();
-            let points =
-                sweep::sweep_mirror_links(&[1, 2, 4, 8, 16], &workload, &requirements, &hw)
-                    .map_err(|e| e.to_string())?;
-            Ok(format!("== WAN link sweep ==\n{}", sweep::render(&points, "links")))
-        }
-        "vault" => {
-            let points = sweep::sweep_vault_interval(
-                &[1.0, 2.0, 4.0, 8.0],
-                &workload,
-                &requirements,
-                &scenarios,
+            supervised_axis(
+                "WAN link sweep",
+                "links",
+                &[1.0, 2.0, 4.0, 8.0, 16.0],
+                sweep::mirror_links_design,
+                &hw,
             )
-            .map_err(|e| e.to_string())?;
-            Ok(format!("== Vault interval sweep ==\n{}", sweep::render(&points, "weeks")))
         }
-        "backup" => {
-            let points = sweep::sweep_backup_interval(
-                &[24.0, 48.0, 96.0, 168.0],
-                &workload,
-                &requirements,
-                &scenarios,
-            )
-            .map_err(|e| e.to_string())?;
-            Ok(format!("== Backup interval sweep ==\n{}", sweep::render(&points, "hours")))
-        }
-        other => Err(format!("unknown sweep axis `{other}` (growth|links|vault|backup)")),
+        "vault" => supervised_axis(
+            "Vault interval sweep",
+            "weeks",
+            &[1.0, 2.0, 4.0, 8.0],
+            sweep::vault_interval_design,
+            &scenarios,
+        ),
+        "backup" => supervised_axis(
+            "Backup interval sweep",
+            "hours",
+            &[24.0, 48.0, 96.0, 168.0],
+            sweep::backup_interval_design,
+            &scenarios,
+        ),
+        other => Err(format!(
+            "unknown sweep axis `{other}` (growth|links|vault|backup)"
+        )),
     }
+}
+
+fn search_command(args: &[&String]) -> Result<String, String> {
+    use ssdep_opt::search::{paper_scenarios, supervised_exhaustive};
+    use ssdep_opt::space::DesignSpace;
+    let (config, _, leftover) = parse_supervisor_flags(args)?;
+    let mut broad = false;
+    for arg in &leftover {
+        match arg.as_str() {
+            "--broad" => broad = true,
+            other => {
+                return Err(format!(
+                    "unknown search option `{other}` \
+                     (--broad|--checkpoint|--resume|--deadline-secs|--max-retries)"
+                ))
+            }
+        }
+    }
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let space = if broad {
+        DesignSpace::broad()
+    } else {
+        DesignSpace::minimal()
+    };
+    let supervised = supervised_exhaustive(
+        &space,
+        &workload,
+        &requirements,
+        &paper_scenarios(),
+        &ssdep_opt::Supervisor::new(config),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let failed: Vec<String> = supervised
+        .failed
+        .iter()
+        .map(|f| {
+            format!(
+                "{}: {} [{} after {} attempt{}]",
+                f.candidate.label(),
+                f.error,
+                f.kind,
+                f.attempts,
+                if f.attempts == 1 { "" } else { "s" }
+            )
+        })
+        .collect();
+    let mut out = format!(
+        "== Supervised design-space search ({} candidates) ==\n{}",
+        supervised.provenance.total,
+        render_provenance(&supervised.provenance, &failed)
+    );
+    let result = &supervised.result;
+    let _ = writeln!(
+        out,
+        "{} feasible, {} infeasible",
+        result.ranked.len(),
+        result.infeasible.len()
+    );
+    let front =
+        ssdep_opt::pareto::qualified_cost_risk_front(&result.ranked, &supervised.provenance);
+    if let Some(caveat) = front.caveat() {
+        let _ = writeln!(out, "caveat: {caveat}");
+    }
+    let mut table = report::TextTable::new(["Rank", "Design", "E[total]/yr", "On frontier"]);
+    for (rank, outcome) in result.ranked.iter().take(10).enumerate() {
+        let on_front = front.members.iter().any(|m| std::ptr::eq(*m, outcome));
+        table.row([
+            format!("{}", rank + 1),
+            outcome.label.clone(),
+            outcome.expected_total.to_string(),
+            if on_front { "yes" } else { "" }.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+    Ok(out)
 }
 
 fn optimize(broad: bool) -> Result<String, String> {
@@ -581,7 +866,11 @@ fn optimize(broad: bool) -> Result<String, String> {
     use ssdep_opt::space::DesignSpace;
     let workload = ssdep_core::presets::cello_workload();
     let requirements = ssdep_core::presets::paper_requirements();
-    let space = if broad { DesignSpace::broad() } else { DesignSpace::minimal() };
+    let space = if broad {
+        DesignSpace::broad()
+    } else {
+        DesignSpace::minimal()
+    };
     let result = exhaustive(&space, &workload, &requirements, &paper_scenarios())
         .map_err(|e| e.to_string())?;
     let mut out = String::new();
@@ -610,13 +899,19 @@ struct SweepWorst {
     worst_recovery: TimeDelta,
     evaluated: usize,
     no_source: usize,
+    /// Failure instants whose evaluation broke unexpectedly, quarantined
+    /// with the supervisor's taxonomy instead of aborting the sweep.
+    failed: Vec<ssdep_opt::FailedOutcome<f64>>,
 }
 
 /// Sweeps `times` failure instants over a finished run and keeps the
 /// worst observed loss and recovery time. Instants with no surviving
 /// source are counted, not fatal — under a destructive fault plan the
 /// tail of the horizon may legitimately have nothing left to restore
-/// from.
+/// from. Any other per-instant error is quarantined as a
+/// [`ssdep_opt::FailedOutcome`] so one pathological instant cannot take
+/// down the whole comparison; quarantined instants are reported next to
+/// the sample counts.
 fn sweep_worst(
     design: &ssdep_core::hierarchy::StorageDesign,
     workload: &ssdep_core::workload::Workload,
@@ -624,12 +919,13 @@ fn sweep_worst(
     report: &ssdep_sim::SimReport,
     scenario: &FailureScenario,
     times: &[f64],
-) -> Result<SweepWorst, String> {
+) -> SweepWorst {
     let mut worst = SweepWorst {
         worst_loss: TimeDelta::ZERO,
         worst_recovery: TimeDelta::ZERO,
         evaluated: 0,
         no_source: 0,
+        failed: Vec::new(),
     };
     for &t in times {
         match ssdep_sim::recovery::simulate_failure(design, workload, demands, report, scenario, t)
@@ -640,10 +936,15 @@ fn sweep_worst(
                 worst.worst_recovery = worst.worst_recovery.max(observed.recovery.total_time);
             }
             Err(ssdep_core::Error::NoRecoverySource { .. }) => worst.no_source += 1,
-            Err(other) => return Err(render_error(&other)),
+            Err(other) => worst.failed.push(ssdep_opt::FailedOutcome {
+                candidate: t,
+                error: render_error(&other),
+                attempts: 1,
+                kind: ssdep_opt::FailureKind::Errored,
+            }),
         }
     }
-    Ok(worst)
+    worst
 }
 
 fn inject(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
@@ -661,8 +962,7 @@ fn inject(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
                 let json = std::fs::read_to_string(path.as_str())
                     .map_err(|e| format!("cannot read {path}: {e}"))?;
                 plan = Some(
-                    serde_json::from_str(&json)
-                        .map_err(|e| format!("invalid fault plan: {e}"))?,
+                    serde_json::from_str(&json).map_err(|e| format!("invalid fault plan: {e}"))?,
                 );
             }
             "--horizon" => {
@@ -697,7 +997,10 @@ fn inject(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
     let scenario = parse_scenario(&scenario_args)?;
     let horizon = TimeDelta::from_weeks(horizon_weeks);
 
-    let demands = spec.design.demands(&spec.workload).map_err(|e| render_error(&e))?;
+    let demands = spec
+        .design
+        .demands(&spec.workload)
+        .map_err(|e| render_error(&e))?;
     let clean = Simulation::new(&spec.design, &spec.workload, SimConfig::new(horizon))
         .map_err(|e| render_error(&e))?
         .run();
@@ -712,10 +1015,22 @@ fn inject(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
     // Sample the back half of the horizon: the pipeline has warmed up and
     // the (typically mid-horizon) faults have had time to bite.
     let grid = ssdep_sim::validate::sample_grid(horizon * 0.5, horizon, samples);
-    let clean_worst =
-        sweep_worst(&spec.design, &spec.workload, &demands, &clean, &scenario, &grid)?;
-    let faulted_worst =
-        sweep_worst(&spec.design, &spec.workload, &demands, &faulted, &scenario, &grid)?;
+    let clean_worst = sweep_worst(
+        &spec.design,
+        &spec.workload,
+        &demands,
+        &clean,
+        &scenario,
+        &grid,
+    );
+    let faulted_worst = sweep_worst(
+        &spec.design,
+        &spec.workload,
+        &demands,
+        &faulted,
+        &scenario,
+        &grid,
+    );
 
     let mut out = String::new();
     let _ = writeln!(
@@ -725,8 +1040,7 @@ fn inject(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
         plan.len(),
         if plan.len() == 1 { "" } else { "s" },
     );
-    for (level, destroyed) in (0..spec.design.levels().len())
-        .map(|l| (l, faulted.destroyed_at(l)))
+    for (level, destroyed) in (0..spec.design.levels().len()).map(|l| (l, faulted.destroyed_at(l)))
     {
         if let Some(at) = destroyed {
             let _ = writeln!(
@@ -762,8 +1076,7 @@ fn inject(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
         "Delta".to_string(),
     ]);
     let delta_loss = faulted_worst.worst_loss.as_hours() - clean_worst.worst_loss.as_hours();
-    let delta_rec =
-        faulted_worst.worst_recovery.as_hours() - clean_worst.worst_recovery.as_hours();
+    let delta_rec = faulted_worst.worst_recovery.as_hours() - clean_worst.worst_recovery.as_hours();
     table.row([
         "recent data loss".to_string(),
         format!("{:.1} hr", clean_worst.worst_loss.as_hours()),
@@ -785,6 +1098,20 @@ fn inject(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
         clean_worst.evaluated,
         clean_worst.no_source,
     );
+    for failure in clean_worst.failed.iter().chain(&faulted_worst.failed) {
+        let _ = writeln!(
+            out,
+            "quarantined: failure at {:.1} hr: {}",
+            failure.candidate / 3600.0,
+            failure.error
+        );
+    }
+    if !clean_worst.failed.is_empty() || !faulted_worst.failed.is_empty() {
+        let _ = writeln!(
+            out,
+            "warning: worst-case figures above cover only the surviving samples"
+        );
+    }
     Ok(out)
 }
 
@@ -927,9 +1254,34 @@ mod tests {
         assert!(out.contains("INFEASIBLE"));
         let out = run(&args(&["sweep", "links"])).unwrap();
         assert!(out.contains("links"));
+        assert!(out.contains("provenance:"), "{out}");
         let out = run(&args(&["sweep"])).unwrap();
         assert!(out.contains("growth sweep"));
         assert!(run(&args(&["sweep", "nonsense"])).is_err());
+        assert!(run(&args(&["sweep", "links", "--frobnicate"])).is_err());
+        // The growth axis has no supervised driver, so the flags are a
+        // user error there, not a silent no-op.
+        assert!(run(&args(&["sweep", "growth", "--deadline-secs", "10"])).is_err());
+    }
+
+    #[test]
+    fn sweep_resumes_from_its_checkpoint() {
+        let journal = std::env::temp_dir().join("ssdep-test-sweep-journal.jsonl");
+        std::fs::remove_file(&journal).ok();
+        let journal_arg = journal.to_str().unwrap();
+        let first = run(&args(&["sweep", "vault", "--checkpoint", journal_arg])).unwrap();
+        assert!(first.contains("4 evaluated, 0 resumed"), "{first}");
+        let second = run(&args(&["sweep", "vault", "--resume", journal_arg])).unwrap();
+        assert!(second.contains("0 evaluated, 4 resumed"), "{second}");
+        // Identical tables either way.
+        let table = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.contains("=="))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&first), table(&second));
+        std::fs::remove_file(&journal).ok();
     }
 
     #[test]
@@ -940,16 +1292,65 @@ mod tests {
     }
 
     #[test]
+    fn search_command_reports_provenance_and_frontier() {
+        let out = run(&args(&["search"])).unwrap();
+        assert!(out.contains("provenance:"), "{out}");
+        assert!(out.contains("Rank"), "{out}");
+        assert!(out.contains("On frontier"), "{out}");
+        assert!(run(&args(&["search", "--frobnicate"])).is_err());
+        assert!(run(&args(&["search", "--deadline-secs", "nope"])).is_err());
+        assert!(run(&args(&["search", "--deadline-secs", "-4"])).is_err());
+        assert!(run(&args(&["search", "--checkpoint"])).is_err());
+    }
+
+    #[test]
+    fn search_resumes_bit_for_bit() {
+        let journal = std::env::temp_dir().join("ssdep-test-search-journal.jsonl");
+        std::fs::remove_file(&journal).ok();
+        let journal_arg = journal.to_str().unwrap();
+        let full = run(&args(&["search", "--checkpoint", journal_arg])).unwrap();
+        let resumed = run(&args(&[
+            "search",
+            "--resume",
+            journal_arg,
+            "--max-retries",
+            "0",
+        ]))
+        .unwrap();
+        assert!(resumed.contains("0 evaluated"), "{resumed}");
+        let ranking = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("Rank"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            ranking(&full),
+            ranking(&resumed),
+            "resume must not change the ranking"
+        );
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
     fn inject_reports_degraded_deltas() {
         let path = std::env::temp_dir().join("ssdep-test-inject.json");
         let mut spec = SystemSpec::baseline();
         spec.faults = ssdep_sim::FaultPlan::new().with_fault(ssdep_sim::InjectedFault {
             at: TimeDelta::from_weeks(8.0),
-            target: ssdep_sim::FaultTarget::Scope { scope: FailureScope::Site },
+            target: ssdep_sim::FaultTarget::Scope {
+                scope: FailureScope::Site,
+            },
             kind: ssdep_sim::FaultKind::PermanentDestruction,
         });
         std::fs::write(&path, spec.to_json()).unwrap();
-        let out = run(&args(&["inject", path.to_str().unwrap(), "--scenario", "array"])).unwrap();
+        let out = run(&args(&[
+            "inject",
+            path.to_str().unwrap(),
+            "--scenario",
+            "array",
+        ]))
+        .unwrap();
         assert!(out.contains("Fault injection"), "{out}");
         assert!(out.contains("destroyed at"), "{out}");
         assert!(out.contains("With faults"), "{out}");
@@ -973,7 +1374,9 @@ mod tests {
         let plan_path = std::env::temp_dir().join("ssdep-test-inject-bad-plan.json");
         let plan = ssdep_sim::FaultPlan::new().with_fault(ssdep_sim::InjectedFault {
             at: TimeDelta::from_weeks(1.0),
-            target: ssdep_sim::FaultTarget::Device { name: "flux capacitor".into() },
+            target: ssdep_sim::FaultTarget::Device {
+                name: "flux capacitor".into(),
+            },
             kind: ssdep_sim::FaultKind::PermanentDestruction,
         });
         std::fs::write(&plan_path, serde_json::to_string(&plan).unwrap()).unwrap();
@@ -1002,7 +1405,9 @@ mod tests {
 
     #[test]
     fn unknown_inputs_are_rejected_with_usage() {
-        assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown command"));
+        assert!(run(&args(&["frobnicate"]))
+            .unwrap_err()
+            .contains("unknown command"));
         assert!(run(&args(&["evaluate"])).unwrap_err().contains("usage"));
         assert!(run(&args(&["validate", "/nonexistent/x.json"]))
             .unwrap_err()

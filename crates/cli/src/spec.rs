@@ -94,8 +94,12 @@ mod tests {
         let mut spec = SystemSpec::baseline();
         spec.faults = FaultPlan::new().with_fault(InjectedFault {
             at: TimeDelta::from_weeks(8.0),
-            target: FaultTarget::Device { name: "tape library".into() },
-            kind: FaultKind::TransientOutage { repair_after: TimeDelta::from_hours(48.0) },
+            target: FaultTarget::Device {
+                name: "tape library".into(),
+            },
+            kind: FaultKind::TransientOutage {
+                repair_after: TimeDelta::from_hours(48.0),
+            },
         });
         let json = spec.to_json();
         assert!(json.contains("\"faults\""));

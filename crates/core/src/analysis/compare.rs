@@ -100,7 +100,11 @@ pub fn compare(
         let a = evaluate(design_a, workload, requirements, scenario)?;
         let b = evaluate(design_b, workload, requirements, scenario)?;
         outlay_delta = b.cost.total_outlays - a.cost.total_outlays;
-        rows.push(ComparisonRow { scenario: scenario.clone(), a, b });
+        rows.push(ComparisonRow {
+            scenario: scenario.clone(),
+            a,
+            b,
+        });
     }
     Ok(DesignComparison {
         name_a: design_a.name().to_string(),
@@ -203,7 +207,10 @@ mod tests {
 
     #[test]
     fn comparison_respects_the_scenario_list() {
-        let scenarios = vec![FailureScenario::new(FailureScope::Array, RecoveryTarget::Now)];
+        let scenarios = vec![FailureScenario::new(
+            FailureScope::Array,
+            RecoveryTarget::Now,
+        )];
         let comparison = run(crate::presets::snapshot_design(), &scenarios);
         assert_eq!(comparison.rows.len(), 1);
         // Snapshots cut outlays versus split mirrors.

@@ -129,12 +129,8 @@ pub fn costs(
         .recovery_site()
         .map_or(Money::ZERO, |site| primary_site_outlay * site.cost_factor);
 
-    let total_outlays = outlays_by_level
-        .iter()
-        .map(|l| l.outlay)
-        .sum::<Money>()
-        + spare_outlay
-        + facility_outlay;
+    let total_outlays =
+        outlays_by_level.iter().map(|l| l.outlay).sum::<Money>() + spare_outlay + facility_outlay;
 
     let unavailability_penalty = requirements.unavailability_penalty_rate() * recovery_time;
     let loss_penalty = requirements.loss_penalty_rate() * data_loss;
@@ -264,7 +260,13 @@ mod tests {
             .loss_penalty_rate(crate::units::MoneyRate::ZERO)
             .build()
             .unwrap();
-        let report = costs(&design, &demands, &reqs, TimeDelta::from_hours(100.0), TimeDelta::from_hours(100.0));
+        let report = costs(
+            &design,
+            &demands,
+            &reqs,
+            TimeDelta::from_hours(100.0),
+            TimeDelta::from_hours(100.0),
+        );
         assert_eq!(report.total_penalties(), Money::ZERO);
         assert_eq!(report.total_cost, report.total_outlays);
     }

@@ -85,8 +85,12 @@ impl CoverageReport {
 pub fn default_ladder() -> Vec<FailureScenario> {
     vec![
         FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         ),
         FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
         FailureScenario::new(FailureScope::Building, RecoveryTarget::Now),
@@ -115,15 +119,22 @@ pub fn coverage(
     let mut rows = Vec::with_capacity(ladder.len());
     for scenario in ladder {
         let coverage = match evaluate(design, workload, requirements, scenario) {
-            Ok(evaluation) => ScopeCoverage::Covered { evaluation: Box::new(evaluation) },
+            Ok(evaluation) => ScopeCoverage::Covered {
+                evaluation: Box::new(evaluation),
+            },
             Err(
                 error @ (Error::NoRecoverySource { .. }
                 | Error::NoReplacement { .. }
                 | Error::AllCopiesLost),
-            ) => ScopeCoverage::NotCovered { reason: error.to_string() },
+            ) => ScopeCoverage::NotCovered {
+                reason: error.to_string(),
+            },
             Err(other) => return Err(other),
         };
-        rows.push(CoverageRow { scope: scenario.scope.clone(), coverage });
+        rows.push(CoverageRow {
+            scope: scenario.scope.clone(),
+            coverage,
+        });
     }
     Ok(CoverageReport { rows })
 }
@@ -144,7 +155,10 @@ mod tests {
         // rebuild the site, so even a regional disaster is covered.
         let report = run(&crate::presets::baseline_design());
         assert!(report.fully_covered(), "{report:#?}");
-        assert!(matches!(report.widest_covered(), Some(FailureScope::Region)));
+        assert!(matches!(
+            report.widest_covered(),
+            Some(FailureScope::Region)
+        ));
         // Loss grows (weakly) as scopes widen.
         let losses: Vec<f64> = report
             .rows
@@ -161,8 +175,14 @@ mod tests {
     fn mirror_design_does_not_cover_object_rollback() {
         let report = run(&crate::presets::async_batch_mirror_design(1));
         assert!(!report.fully_covered());
-        assert!(!report.rows[0].coverage.is_covered(), "mirrors keep no history");
-        assert!(report.rows[1].coverage.is_covered(), "array failures are covered");
+        assert!(
+            !report.rows[0].coverage.is_covered(),
+            "mirrors keep no history"
+        );
+        assert!(
+            report.rows[1].coverage.is_covered(),
+            "array failures are covered"
+        );
         // Building/site/region: the remote array survives (other
         // region) and the facility rebuilds the primary.
         assert!(report.rows[4].coverage.is_covered());
@@ -180,9 +200,15 @@ mod tests {
         }
         let design = builder.build().unwrap();
         let report = run(&design);
-        assert!(report.rows[0].coverage.is_covered(), "object rollback is local");
+        assert!(
+            report.rows[0].coverage.is_covered(),
+            "object rollback is local"
+        );
         assert!(report.rows[1].coverage.is_covered(), "array spare survives");
-        assert!(!report.rows[3].coverage.is_covered(), "site: nowhere to rebuild");
+        assert!(
+            !report.rows[3].coverage.is_covered(),
+            "site: nowhere to rebuild"
+        );
         match &report.rows[3].coverage {
             ScopeCoverage::NotCovered { reason } => {
                 assert!(reason.contains("neither a spare nor a recovery facility"));

@@ -104,10 +104,7 @@ pub fn data_loss(design: &StorageDesign, scenario: &FailureScenario) -> Result<L
             let lag = (range.max_lag - target_age).clamp_non_negative();
             (LossCase::NotYetPropagated, Some(lag))
         } else if range.covers(target_age) {
-            (
-                LossCase::Retained,
-                Some(level.technique().arrival_period()),
-            )
+            (LossCase::Retained, Some(level.technique().arrival_period()))
         } else {
             (LossCase::Expired, None)
         };
@@ -132,8 +129,14 @@ pub fn data_loss(design: &StorageDesign, scenario: &FailureScenario) -> Result<L
     }
 
     match best {
-        Some((source_level, worst_loss)) => Ok(LossReport { per_level, source_level, worst_loss }),
-        None => Err(Error::NoRecoverySource { target: scenario.to_string() }),
+        Some((source_level, worst_loss)) => Ok(LossReport {
+            per_level,
+            source_level,
+            worst_loss,
+        }),
+        None => Err(Error::NoRecoverySource {
+            target: scenario.to_string(),
+        }),
     }
 }
 
@@ -149,8 +152,12 @@ mod tests {
 
     fn object_scenario() -> FailureScenario {
         FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         )
     }
 
@@ -195,8 +202,12 @@ mod tests {
     #[test]
     fn ancient_target_is_unrecoverable() {
         let scenario = FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_years(10.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_years(10.0),
+            },
         );
         let err = data_loss(&baseline(), &scenario).unwrap_err();
         assert!(matches!(err, Error::NoRecoverySource { .. }));
@@ -207,8 +218,12 @@ mod tests {
         // A six-month-old version is long gone from mirrors and backups
         // but still vaulted.
         let scenario = FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_weeks(26.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_weeks(26.0),
+            },
         );
         let report = data_loss(&baseline(), &scenario).unwrap();
         assert_eq!(report.source_level_name(), Some("remote vaulting"));

@@ -85,14 +85,14 @@ impl DegradedReport {
     /// cells rank above any finite loss increase; finite rows rank by
     /// worst extra loss.
     pub fn most_critical_level(&self) -> Option<&DegradedRow> {
-        self.rows.iter().max_by(|a, b| {
-            match (a.worst_extra_loss(), b.worst_extra_loss()) {
+        self.rows
+            .iter()
+            .max_by(|a, b| match (a.worst_extra_loss(), b.worst_extra_loss()) {
                 (None, None) => std::cmp::Ordering::Equal,
                 (None, Some(_)) => std::cmp::Ordering::Greater,
                 (Some(_), None) => std::cmp::Ordering::Less,
                 (Some(x), Some(y)) => x.value().total_cmp(&y.value()),
-            }
-        })
+            })
     }
 }
 
@@ -121,9 +121,8 @@ pub fn degraded_exposure(
             let degraded_scenario = scenario.clone().with_degraded_level(level);
             match evaluate(design, workload, requirements, &degraded_scenario) {
                 Ok(evaluation) => {
-                    let extra_loss =
-                        (evaluation.loss.worst_loss - baseline.loss.worst_loss)
-                            .clamp_non_negative();
+                    let extra_loss = (evaluation.loss.worst_loss - baseline.loss.worst_loss)
+                        .clamp_non_negative();
                     let extra_recovery_time = (evaluation.recovery.total_time
                         - baseline.recovery.total_time)
                         .clamp_non_negative();
@@ -160,8 +159,12 @@ mod tests {
         let requirements = crate::presets::paper_requirements();
         let scenarios = vec![
             FailureScenario::new(
-                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-                RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+                FailureScope::DataObject {
+                    size: Bytes::from_mib(1.0),
+                },
+                RecoveryTarget::Before {
+                    age: TimeDelta::from_hours(24.0),
+                },
             ),
             FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
             FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
@@ -186,7 +189,11 @@ mod tests {
         // loss jumps from 12 h (mirror retained) to 193 h (backup lag
         // of 217 h minus the 24 h target age).
         match &mirror_row.outcomes[0] {
-            DegradedOutcome::Recoverable { evaluation, extra_loss, .. } => {
+            DegradedOutcome::Recoverable {
+                evaluation,
+                extra_loss,
+                ..
+            } => {
                 assert_eq!(evaluation.loss.source_level_name(), Some("tape backup"));
                 assert!((extra_loss.as_hours() - 181.0).abs() < 1e-6);
             }
@@ -195,7 +202,11 @@ mod tests {
         // But array failures never used the mirror (it dies with the
         // array), so its outage adds nothing there.
         match &mirror_row.outcomes[1] {
-            DegradedOutcome::Recoverable { extra_loss, extra_recovery_time, .. } => {
+            DegradedOutcome::Recoverable {
+                extra_loss,
+                extra_recovery_time,
+                ..
+            } => {
                 assert!(extra_loss.is_zero());
                 assert!(extra_recovery_time.is_zero());
             }
@@ -208,7 +219,11 @@ mod tests {
         let report = report();
         let backup_row = &report.rows[1];
         match &backup_row.outcomes[1] {
-            DegradedOutcome::Recoverable { evaluation, extra_loss, .. } => {
+            DegradedOutcome::Recoverable {
+                evaluation,
+                extra_loss,
+                ..
+            } => {
                 assert_eq!(evaluation.loss.source_level_name(), Some("remote vaulting"));
                 // 1429 − 217 = 1212 hours of extra exposure.
                 assert!((extra_loss.as_hours() - 1212.0).abs() < 1e-6);
@@ -221,7 +236,10 @@ mod tests {
     fn degraded_vault_makes_site_disasters_unrecoverable() {
         let report = report();
         let vault_row = &report.rows[2];
-        assert!(matches!(vault_row.outcomes[2], DegradedOutcome::Unrecoverable));
+        assert!(matches!(
+            vault_row.outcomes[2],
+            DegradedOutcome::Unrecoverable
+        ));
         assert_eq!(vault_row.worst_extra_loss(), None);
         // And the vault is therefore the most critical level.
         let critical = report.most_critical_level().unwrap();

@@ -28,7 +28,10 @@ pub struct WeightedScenario {
 impl WeightedScenario {
     /// Creates a weighted scenario.
     pub fn new(scenario: FailureScenario, annual_frequency: f64) -> WeightedScenario {
-        WeightedScenario { scenario, annual_frequency }
+        WeightedScenario {
+            scenario,
+            annual_frequency,
+        }
     }
 }
 
@@ -78,7 +81,11 @@ pub fn expected_annual_cost(
         expected_penalties += evaluation.cost.total_penalties() * weighted.annual_frequency;
         evaluations.push((weighted.annual_frequency, evaluation));
     }
-    Ok(ExpectedCost { outlays, expected_penalties, evaluations })
+    Ok(ExpectedCost {
+        outlays,
+        expected_penalties,
+        evaluations,
+    })
 }
 
 #[cfg(test)]
@@ -91,8 +98,12 @@ mod tests {
         vec![
             WeightedScenario::new(
                 FailureScenario::new(
-                    FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-                    RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+                    FailureScope::DataObject {
+                        size: Bytes::from_mib(1.0),
+                    },
+                    RecoveryTarget::Before {
+                        age: TimeDelta::from_hours(24.0),
+                    },
                 ),
                 12.0, // monthly user errors
             ),
@@ -122,7 +133,10 @@ mod tests {
             .map(|(f, e)| e.cost.total_penalties() * *f)
             .sum();
         assert!(expected.expected_penalties.approx_eq(manual, 1e-9));
-        assert_eq!(expected.total(), expected.outlays + expected.expected_penalties);
+        assert_eq!(
+            expected.total(),
+            expected.outlays + expected.expected_penalties
+        );
         assert!(expected.total() > expected.outlays);
     }
 

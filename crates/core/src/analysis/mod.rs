@@ -27,9 +27,9 @@ pub use coverage::{coverage, CoverageReport, CoverageRow, ScopeCoverage};
 pub use data_loss::{data_loss, LevelLoss, LossCase, LossReport};
 pub use degraded::{degraded_exposure, DegradedOutcome, DegradedReport, DegradedRow};
 pub use expected::{expected_annual_cost, ExpectedCost, WeightedScenario};
-pub use risk::{risk_profile, RiskProfile};
 pub use propagation::{level_ranges, LevelRange};
 pub use recovery::{recovery, recovery_with_bytes, RecoveryReport, RecoveryStep, StepKind};
+pub use risk::{risk_profile, RiskProfile};
 pub use utilization::{
     utilization, utilization_from_demands, DeviceUtilization, UtilizationReport,
 };
@@ -136,8 +136,12 @@ mod tests {
     #[test]
     fn table_6_object_row() {
         let eval = evaluate_baseline(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         );
         assert_eq!(eval.loss.source_level_name(), Some("split mirror"));
         assert!(eval.recovery.total_time < TimeDelta::from_secs(0.01));
@@ -165,8 +169,12 @@ mod tests {
     #[test]
     fn figure_5_penalties_dominate_disasters() {
         let object = evaluate_baseline(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         );
         let array = evaluate_baseline(FailureScope::Array, RecoveryTarget::Now);
         let site = evaluate_baseline(FailureScope::Site, RecoveryTarget::Now);

@@ -103,7 +103,11 @@ pub fn recovery(
     let restore_bytes = design
         .levels()
         .get(source_level)
-        .map(|level| level.technique().worst_restore_bytes(workload, recovery_size))
+        .map(|level| {
+            level
+                .technique()
+                .worst_restore_bytes(workload, recovery_size)
+        })
         .unwrap_or(recovery_size);
     recovery_with_bytes(design, demands, scenario, source_level, restore_bytes)
 }
@@ -218,11 +222,7 @@ pub fn recovery_with_bytes(
 
             if is_physical {
                 steps.push(RecoveryStep {
-                    description: format!(
-                        "ship media: {} -> {}",
-                        src_spec.name(),
-                        dst_spec.name()
-                    ),
+                    description: format!("ship media: {} -> {}", src_spec.name(), dst_spec.name()),
                     kind: StepKind::Shipment,
                     start: clock,
                     duration: ship_time,
@@ -243,7 +243,11 @@ pub fn recovery_with_bytes(
                 steps.push(RecoveryStep {
                     description: format!(
                         "load/seek media at {}",
-                        if is_physical { dst_spec.name() } else { src_spec.name() }
+                        if is_physical {
+                            dst_spec.name()
+                        } else {
+                            src_spec.name()
+                        }
                     ),
                     kind: StepKind::MediaHandling,
                     start: clock,
@@ -336,7 +340,9 @@ fn reprovision_time(
             return Ok(Some(site.provisioning_time));
         }
     }
-    Err(Error::NoReplacement { device: spec.name().to_string() })
+    Err(Error::NoReplacement {
+        device: spec.name().to_string(),
+    })
 }
 
 /// The bandwidth a device can devote to the restore stream.
@@ -370,7 +376,11 @@ mod tests {
         let workload = crate::presets::cello_workload();
         let design = crate::presets::baseline_design();
         let demands = design.demands(&workload).unwrap();
-        Fixture { design, workload, demands }
+        Fixture {
+            design,
+            workload,
+            demands,
+        }
     }
 
     fn run(fixture: &Fixture, scenario: &FailureScenario) -> RecoveryReport {
@@ -389,8 +399,12 @@ mod tests {
     fn object_recovery_is_a_millisecond_scale_intra_array_copy() {
         let fixture = baseline();
         let scenario = FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         );
         let report = run(&fixture, &scenario);
         assert_eq!(report.source_level_name, "split mirror");
@@ -490,8 +504,14 @@ mod tests {
     fn destroyed_source_is_rejected() {
         let fixture = baseline();
         let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
-        let err = recovery(&fixture.design, &fixture.workload, &fixture.demands, &scenario, 1)
-            .unwrap_err();
+        let err = recovery(
+            &fixture.design,
+            &fixture.workload,
+            &fixture.demands,
+            &scenario,
+            1,
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("did not survive"));
     }
 

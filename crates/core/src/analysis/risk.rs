@@ -92,8 +92,12 @@ mod tests {
         vec![
             WeightedScenario::new(
                 FailureScenario::new(
-                    FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-                    RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+                    FailureScope::DataObject {
+                        size: Bytes::from_mib(1.0),
+                    },
+                    RecoveryTarget::Before {
+                        age: TimeDelta::from_hours(24.0),
+                    },
                 ),
                 12.0,
             ),
@@ -141,8 +145,7 @@ mod tests {
         let requirements = crate::presets::paper_requirements();
         let baseline = baseline_profile();
         // Restrict the catalog to hardware failures the mirror covers.
-        let hw: Vec<WeightedScenario> =
-            catalog().into_iter().skip(1).collect();
+        let hw: Vec<WeightedScenario> = catalog().into_iter().skip(1).collect();
         let mirror = risk_profile(
             &crate::presets::async_batch_mirror_design(10),
             &workload,

@@ -103,7 +103,10 @@ impl UtilizationReport {
 ///
 /// Returns technique demand errors (e.g. a mirror level without a
 /// source).
-pub fn utilization(design: &StorageDesign, workload: &Workload) -> Result<UtilizationReport, Error> {
+pub fn utilization(
+    design: &StorageDesign,
+    workload: &Workload,
+) -> Result<UtilizationReport, Error> {
     let demands = design.demands(workload)?;
     Ok(utilization_from_demands(design, &demands))
 }
@@ -150,7 +153,11 @@ pub fn utilization_from_demands(design: &StorageDesign, demands: &DemandSet) -> 
         });
     }
 
-    UtilizationReport { devices, system_bandwidth, system_capacity }
+    UtilizationReport {
+        devices,
+        system_bandwidth,
+        system_capacity,
+    }
 }
 
 #[cfg(test)]
@@ -185,10 +192,18 @@ mod tests {
         let foreground = &array.shares[0];
         assert!((foreground.bandwidth_utilization.as_percent() - 0.2).abs() < 0.05);
         assert!((foreground.capacity_utilization.as_percent() - 14.6).abs() < 0.1);
-        let mirror = array.shares.iter().find(|s| s.level_name == "split mirror").unwrap();
+        let mirror = array
+            .shares
+            .iter()
+            .find(|s| s.level_name == "split mirror")
+            .unwrap();
         assert!((mirror.bandwidth_utilization.as_percent() - 0.6).abs() < 0.05);
         assert!((mirror.capacity_utilization.as_percent() - 72.8).abs() < 0.2);
-        let backup = array.shares.iter().find(|s| s.level_name == "tape backup").unwrap();
+        let backup = array
+            .shares
+            .iter()
+            .find(|s| s.level_name == "tape backup")
+            .unwrap();
         assert!((backup.bandwidth_utilization.as_percent() - 1.6).abs() < 0.05);
         assert_eq!(backup.capacity_utilization, Utilization::ZERO);
     }
@@ -237,7 +252,11 @@ mod tests {
                     .unwrap(),
             )
             .unwrap();
-        builder.add_level(Level::new("primary", Technique::PrimaryCopy(PrimaryCopy::new()), array));
+        builder.add_level(Level::new(
+            "primary",
+            Technique::PrimaryCopy(PrimaryCopy::new()),
+            array,
+        ));
         builder.add_level(Level::new(
             "split mirror",
             Technique::SplitMirror(SplitMirror::new(

@@ -39,12 +39,18 @@ impl DemandContribution {
 
     /// A pure bandwidth demand.
     pub fn bandwidth(device: DeviceId, bandwidth: Bandwidth) -> DemandContribution {
-        DemandContribution { bandwidth, ..DemandContribution::none(device) }
+        DemandContribution {
+            bandwidth,
+            ..DemandContribution::none(device)
+        }
     }
 
     /// A pure capacity demand.
     pub fn capacity(device: DeviceId, capacity: Bytes) -> DemandContribution {
-        DemandContribution { capacity, ..DemandContribution::none(device) }
+        DemandContribution {
+            capacity,
+            ..DemandContribution::none(device)
+        }
     }
 }
 

@@ -53,7 +53,9 @@ impl CostModel {
 
     /// Starts building a cost model (all components default to zero).
     pub fn builder() -> CostModelBuilder {
-        CostModelBuilder { model: CostModel::free() }
+        CostModelBuilder {
+            model: CostModel::free(),
+        }
     }
 
     /// The fixed annual component (`fixCost`).
@@ -175,13 +177,20 @@ mod tests {
             .per_shipment(Money::from_dollars(50.0))
             .build();
         assert_eq!(model.fixed(), Money::from_dollars(100.0));
-        assert_eq!(model.capacity_cost(Bytes::from_gib(10.0)), Money::from_dollars(20.0));
+        assert_eq!(
+            model.capacity_cost(Bytes::from_gib(10.0)),
+            Money::from_dollars(20.0)
+        );
         assert_eq!(
             model.bandwidth_cost(Bandwidth::from_mib_per_sec(3.0)),
             Money::from_dollars(15.0)
         );
         assert_eq!(model.shipment_cost(13.0), Money::from_dollars(650.0));
-        let total = model.annual_outlay(Bytes::from_gib(10.0), Bandwidth::from_mib_per_sec(3.0), 13.0);
+        let total = model.annual_outlay(
+            Bytes::from_gib(10.0),
+            Bandwidth::from_mib_per_sec(3.0),
+            13.0,
+        );
         assert_eq!(total, Money::from_dollars(785.0));
     }
 
@@ -198,7 +207,9 @@ mod tests {
 
     #[test]
     fn validate_rejects_negative_components() {
-        let model = CostModel::builder().fixed(Money::from_dollars(-1.0)).build();
+        let model = CostModel::builder()
+            .fixed(Money::from_dollars(-1.0))
+            .build();
         assert!(model.validate("x").is_err());
         assert!(CostModel::free().validate("x").is_ok());
     }

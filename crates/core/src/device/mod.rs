@@ -284,7 +284,10 @@ impl DeviceSpecBuilder {
                 return Err(Error::invalid(prefix("maxCapSlots"), "must be at least 1"));
             }
             if !(bank.per_slot.value() > 0.0 && bank.per_slot.is_finite()) {
-                return Err(Error::invalid(prefix("slotCap"), "must be positive and finite"));
+                return Err(Error::invalid(
+                    prefix("slotCap"),
+                    "must be positive and finite",
+                ));
             }
         }
         if let Some(bank) = self.bandwidth_slots {
@@ -292,16 +295,25 @@ impl DeviceSpecBuilder {
                 return Err(Error::invalid(prefix("maxBWSlots"), "must be at least 1"));
             }
             if !(bank.per_slot.value() > 0.0 && bank.per_slot.is_finite()) {
-                return Err(Error::invalid(prefix("slotBW"), "must be positive and finite"));
+                return Err(Error::invalid(
+                    prefix("slotBW"),
+                    "must be positive and finite",
+                ));
             }
         }
         if let Some(bw) = self.enclosure_bandwidth {
             if !(bw.value() > 0.0 && bw.is_finite()) {
-                return Err(Error::invalid(prefix("enclBW"), "must be positive and finite"));
+                return Err(Error::invalid(
+                    prefix("enclBW"),
+                    "must be positive and finite",
+                ));
             }
         }
         if !(self.access_delay.value() >= 0.0 && self.access_delay.is_finite()) {
-            return Err(Error::invalid(prefix("devDelay"), "must be non-negative and finite"));
+            return Err(Error::invalid(
+                prefix("devDelay"),
+                "must be non-negative and finite",
+            ));
         }
         self.cost.validate(&self.name)?;
         self.spare.validate(&self.name)?;
@@ -335,7 +347,11 @@ mod tests {
             .capacity_slots(256, Bytes::from_gib(73.0))
             .bandwidth_slots(256, Bandwidth::from_mib_per_sec(25.0))
             .enclosure_bandwidth(Bandwidth::from_mib_per_sec(512.0))
-            .cost(CostModel::builder().fixed(Money::from_dollars(123_297.0)).build())
+            .cost(
+                CostModel::builder()
+                    .fixed(Money::from_dollars(123_297.0))
+                    .build(),
+            )
             .build()
             .unwrap()
     }
@@ -353,14 +369,20 @@ mod tests {
             .build()
             .unwrap();
         // Two drives limit below the enclosure.
-        assert_eq!(tape.max_bandwidth(), Some(Bandwidth::from_mib_per_sec(120.0)));
+        assert_eq!(
+            tape.max_bandwidth(),
+            Some(Bandwidth::from_mib_per_sec(120.0))
+        );
     }
 
     #[test]
     fn raid_overhead_reduces_usable_capacity() {
         let a = array();
         assert_eq!(a.raw_capacity(), Some(Bytes::from_gib(256.0 * 73.0)));
-        assert_eq!(a.usable_capacity(), Some(Bytes::from_gib(256.0 * 73.0 / 2.0)));
+        assert_eq!(
+            a.usable_capacity(),
+            Some(Bytes::from_gib(256.0 * 73.0 / 2.0))
+        );
     }
 
     #[test]
@@ -386,7 +408,10 @@ mod tests {
             courier.bandwidth_utilization(Bandwidth::from_mib_per_sec(1e6)),
             Utilization::ZERO
         );
-        assert_eq!(courier.capacity_utilization(Bytes::from_tib(1e6)), Utilization::ZERO);
+        assert_eq!(
+            courier.capacity_utilization(Bytes::from_tib(1e6)),
+            Utilization::ZERO
+        );
     }
 
     #[test]
@@ -422,7 +447,9 @@ mod tests {
 
     #[test]
     fn builder_rejects_empty_name() {
-        let err = DeviceSpec::builder("", DeviceKind::Courier).build().unwrap_err();
+        let err = DeviceSpec::builder("", DeviceKind::Courier)
+            .build()
+            .unwrap_err();
         assert!(err.to_string().contains("name"));
     }
 

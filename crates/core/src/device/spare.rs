@@ -38,20 +38,30 @@ pub enum SpareSpec {
 impl SpareSpec {
     /// Convenience constructor for [`SpareSpec::Dedicated`].
     pub fn dedicated(provisioning_time: TimeDelta, cost_factor: f64) -> SpareSpec {
-        SpareSpec::Dedicated { provisioning_time, cost_factor }
+        SpareSpec::Dedicated {
+            provisioning_time,
+            cost_factor,
+        }
     }
 
     /// Convenience constructor for [`SpareSpec::Shared`].
     pub fn shared(provisioning_time: TimeDelta, cost_factor: f64) -> SpareSpec {
-        SpareSpec::Shared { provisioning_time, cost_factor }
+        SpareSpec::Shared {
+            provisioning_time,
+            cost_factor,
+        }
     }
 
     /// Time to provision the spare, or `None` when there is no spare.
     pub fn provisioning_time(&self) -> Option<TimeDelta> {
         match self {
             SpareSpec::None => None,
-            SpareSpec::Dedicated { provisioning_time, .. }
-            | SpareSpec::Shared { provisioning_time, .. } => Some(*provisioning_time),
+            SpareSpec::Dedicated {
+                provisioning_time, ..
+            }
+            | SpareSpec::Shared {
+                provisioning_time, ..
+            } => Some(*provisioning_time),
         }
     }
 
@@ -95,10 +105,15 @@ impl fmt::Display for SpareSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpareSpec::None => f.write_str("no spare"),
-            SpareSpec::Dedicated { provisioning_time, .. } => {
+            SpareSpec::Dedicated {
+                provisioning_time, ..
+            } => {
                 write!(f, "dedicated spare ({provisioning_time} to provision)")
             }
-            SpareSpec::Shared { provisioning_time, cost_factor } => write!(
+            SpareSpec::Shared {
+                provisioning_time,
+                cost_factor,
+            } => write!(
                 f,
                 "shared spare ({provisioning_time} to provision, {:.0}% cost)",
                 cost_factor * 100.0

@@ -3,6 +3,7 @@
 use crate::units::Utilization;
 use std::error;
 use std::fmt;
+use std::time::Duration;
 
 /// The error type returned by fallible `ssdep-core` operations.
 ///
@@ -78,6 +79,100 @@ pub enum Error {
         /// `"faults[0].at"`.
         parameter: String,
     },
+    /// An I/O operation against the outside world (trace files, spec
+    /// files, checkpoint journals) failed. Unlike every other variant,
+    /// these are [`ErrorClass::Transient`]: the environment — not the
+    /// model inputs — rejected the operation, so a retry may succeed.
+    Io {
+        /// What was being attempted, e.g. `"trace.csv read"`.
+        operation: String,
+        /// The underlying failure, rendered.
+        reason: String,
+    },
+}
+
+/// Bounded exponential backoff over [`ErrorClass::Transient`] failures.
+///
+/// `run` invokes an operation up to `1 + max_retries` times, sleeping
+/// `base_delay × 2^(attempt-1)` (capped at `max_delay`) between
+/// attempts. Permanent errors short-circuit on the first attempt; a
+/// transient error that survives every retry is returned with the
+/// attempt count appended to its message, so logs show how hard the
+/// operation was tried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many times a transient failure is retried (0 = fail fast).
+    pub max_retries: u32,
+    /// The delay before the first retry.
+    pub base_delay: Duration,
+    /// The ceiling on any single backoff delay.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries and the default 25 ms → 2 s
+    /// backoff curve.
+    pub const fn new(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+
+    /// A policy that retries without sleeping — for tests and for
+    /// callers that implement their own pacing.
+    pub const fn immediate(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The backoff delay before retry number `attempt` (1-based).
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        self.base_delay
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_delay)
+    }
+
+    /// Runs `op`, retrying transient failures per the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first permanent error, or the last transient error
+    /// (annotated with the attempt count) once retries are exhausted.
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T, Error>) -> Result<T, Error> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_transient() && attempt <= self.max_retries => {
+                    std::thread::sleep(self.delay_for(attempt));
+                }
+                Err(e) => return Err(e.with_attempts(attempt)),
+            }
+        }
+    }
+}
+
+/// Whether an error is worth retrying.
+///
+/// The evaluation supervisor's retry policy keys off this split:
+/// [`ErrorClass::Transient`] failures (I/O against traces, specs, and
+/// journals) are retried with bounded exponential backoff, while
+/// [`ErrorClass::Permanent`] failures (model and input errors, which are
+/// deterministic) are surfaced immediately — retrying them would only
+/// repeat the same answer more slowly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// The environment failed; the same call may succeed if retried.
+    Transient,
+    /// The inputs are wrong; retrying cannot change the outcome.
+    Permanent,
 }
 
 /// The device resource that an [`Error::Overutilized`] refers to.
@@ -111,9 +206,16 @@ impl fmt::Display for Error {
                 write!(f, "device `{name}` registered more than once")
             }
             Error::InconsistentHierarchy { level, reason } => {
-                write!(f, "hierarchy level {level} violates composition conventions: {reason}")
+                write!(
+                    f,
+                    "hierarchy level {level} violates composition conventions: {reason}"
+                )
             }
-            Error::Overutilized { device, resource, utilization } => {
+            Error::Overutilized {
+                device,
+                resource,
+                utilization,
+            } => {
                 write!(
                     f,
                     "device `{device}` {resource} overcommitted at {utilization}"
@@ -128,14 +230,15 @@ impl fmt::Display for Error {
                     "device `{device}` was destroyed and has neither a spare nor a recovery facility"
                 )
             }
-            Error::AllCopiesLost => {
-                f.write_str("failure scenario destroys every copy of the data")
-            }
+            Error::AllCopiesLost => f.write_str("failure scenario destroys every copy of the data"),
             Error::FaultUnresolvable { index, reason } => {
                 write!(f, "injected fault #{index} cannot be resolved: {reason}")
             }
             Error::NonFiniteInput { parameter } => {
                 write!(f, "parameter `{parameter}` must be a finite number")
+            }
+            Error::Io { operation, reason } => {
+                write!(f, "i/o failure during {operation}: {reason}")
             }
         }
     }
@@ -164,6 +267,43 @@ impl Error {
         Error::FaultUnresolvable {
             index,
             reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::Io`].
+    pub fn io(operation: impl Into<String>, reason: impl Into<String>) -> Error {
+        Error::Io {
+            operation: operation.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The retry classification of this error.
+    ///
+    /// Only [`Error::Io`] is [`ErrorClass::Transient`]; every model and
+    /// input error is deterministic, hence [`ErrorClass::Permanent`].
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            Error::Io { .. } => ErrorClass::Transient,
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// Whether a retry of the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
+
+    /// Annotates an [`Error::Io`] with how many attempts were made
+    /// before giving up; other variants pass through unchanged (their
+    /// first attempt is definitive).
+    pub fn with_attempts(self, attempts: u32) -> Error {
+        match self {
+            Error::Io { operation, reason } if attempts > 1 => Error::Io {
+                operation,
+                reason: format!("{reason} (after {attempts} attempts)"),
+            },
+            other => other,
         }
     }
 }
@@ -216,6 +356,87 @@ mod tests {
                 reason: "unknown device `tape silo`".into(),
             }
         );
+    }
+
+    #[test]
+    fn io_errors_are_transient_everything_else_permanent() {
+        let io = Error::io("trace.csv read", "connection reset");
+        assert_eq!(io.class(), ErrorClass::Transient);
+        assert!(io.is_transient());
+        let msg = io.to_string();
+        assert!(msg.contains("trace.csv read"), "{msg}");
+        assert!(msg.contains("connection reset"), "{msg}");
+
+        let permanent = [
+            Error::invalid("x", "y"),
+            Error::UnknownDevice { name: "t".into() },
+            Error::AllCopiesLost,
+            Error::fault_unresolvable(0, "nothing matches"),
+            Error::non_finite("p"),
+        ];
+        for err in permanent {
+            assert_eq!(err.class(), ErrorClass::Permanent, "{err}");
+            assert!(!err.is_transient(), "{err}");
+        }
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_until_success() {
+        let policy = RetryPolicy::immediate(3);
+        let mut calls = 0;
+        let result = policy.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(Error::io("journal read", "interrupted"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+    }
+
+    #[test]
+    fn retry_policy_fails_fast_on_permanent_errors() {
+        let policy = RetryPolicy::immediate(5);
+        let mut calls = 0;
+        let err = policy
+            .run::<()>(|| {
+                calls += 1;
+                Err(Error::invalid("x", "deterministically wrong"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 1, "permanent errors must not be retried");
+        assert!(!err.to_string().contains("attempts"));
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_attempt_count() {
+        let policy = RetryPolicy::immediate(2);
+        let mut calls = 0;
+        let err = policy
+            .run::<()>(|| {
+                calls += 1;
+                Err(Error::io("trace.csv read", "disk flaky"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 3, "1 attempt + 2 retries");
+        let msg = err.to_string();
+        assert!(msg.contains("after 3 attempts"), "{msg}");
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(45),
+        };
+        assert_eq!(policy.delay_for(1), Duration::from_millis(10));
+        assert_eq!(policy.delay_for(2), Duration::from_millis(20));
+        assert_eq!(policy.delay_for(3), Duration::from_millis(40));
+        assert_eq!(policy.delay_for(4), Duration::from_millis(45));
+        assert_eq!(policy.delay_for(64), Duration::from_millis(45));
     }
 
     #[test]

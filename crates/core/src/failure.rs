@@ -216,7 +216,11 @@ pub struct FailureScenario {
 impl FailureScenario {
     /// Creates a scenario from a scope and recovery target.
     pub fn new(scope: FailureScope, target: RecoveryTarget) -> FailureScenario {
-        FailureScenario { scope, target, degraded_levels: Vec::new() }
+        FailureScenario {
+            scope,
+            target,
+            degraded_levels: Vec::new(),
+        }
     }
 
     /// Marks a protection level as already out of service when the
@@ -290,7 +294,9 @@ mod tests {
     #[test]
     fn object_scope_destroys_no_hardware_but_array_destroys_primary() {
         let p = primary();
-        let scope = FailureScope::DataObject { size: Bytes::from_mib(1.0) };
+        let scope = FailureScope::DataObject {
+            size: Bytes::from_mib(1.0),
+        };
         assert!(!scope.destroys_location(&p, &p));
         assert!(!scope.destroys_primary());
         assert!(FailureScope::Array.destroys_primary());
@@ -301,8 +307,12 @@ mod tests {
     fn recovery_size_depends_on_scope() {
         let cap = Bytes::from_gib(1360.0);
         let object = FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         );
         assert_eq!(object.recovery_size(cap), Bytes::from_mib(1.0));
 
@@ -313,16 +323,23 @@ mod tests {
     #[test]
     fn object_size_clamped_to_dataset() {
         let scenario = FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_gib(5000.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_gib(5000.0),
+            },
             RecoveryTarget::Now,
         );
-        assert_eq!(scenario.recovery_size(Bytes::from_gib(10.0)), Bytes::from_gib(10.0));
+        assert_eq!(
+            scenario.recovery_size(Bytes::from_gib(10.0)),
+            Bytes::from_gib(10.0)
+        );
     }
 
     #[test]
     fn target_age() {
         assert_eq!(RecoveryTarget::Now.age(), TimeDelta::ZERO);
-        let before = RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) };
+        let before = RecoveryTarget::Before {
+            age: TimeDelta::from_hours(24.0),
+        };
         assert_eq!(before.age(), TimeDelta::from_hours(24.0));
     }
 
@@ -331,7 +348,9 @@ mod tests {
         assert_eq!(FailureScope::Site.to_string(), "site");
         let s = FailureScenario::new(
             FailureScope::Array,
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         );
         let text = s.to_string();
         assert!(text.contains("array"));
@@ -341,8 +360,12 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let s = FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         );
         let json = serde_json::to_string(&s).unwrap();
         let back: FailureScenario = serde_json::from_str(&json).unwrap();

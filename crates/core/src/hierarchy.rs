@@ -200,7 +200,11 @@ impl StorageDesign {
     /// Whether a level can serve a recovery under the full scenario:
     /// destroyed by the scope, or listed among the scenario's
     /// already-degraded levels.
-    pub fn level_unavailable(&self, level: usize, scenario: &crate::failure::FailureScenario) -> bool {
+    pub fn level_unavailable(
+        &self,
+        level: usize,
+        scenario: &crate::failure::FailureScenario,
+    ) -> bool {
         scenario.degraded_levels.contains(&level) || self.level_destroyed(level, &scenario.scope)
     }
 
@@ -307,7 +311,9 @@ impl StorageDesignBuilder {
     /// was already registered.
     pub fn add_device(&mut self, spec: DeviceSpec) -> Result<DeviceId, Error> {
         if self.names.contains_key(spec.name()) {
-            return Err(Error::DuplicateDevice { name: spec.name().to_string() });
+            return Err(Error::DuplicateDevice {
+                name: spec.name().to_string(),
+            });
         }
         let id = DeviceId(self.devices.len());
         self.names.insert(spec.name().to_string(), id);
@@ -360,7 +366,9 @@ impl StorageDesignBuilder {
             }
             for id in std::iter::once(level.host()).chain(level.transports().iter().copied()) {
                 if id.0 >= self.devices.len() {
-                    return Err(Error::UnknownDevice { name: format!("{id}") });
+                    return Err(Error::UnknownDevice {
+                        name: format!("{id}"),
+                    });
                 }
             }
             if !self.devices[level.host().0].kind().is_storage() {
@@ -423,7 +431,11 @@ mod tests {
         assert_eq!(design.levels()[3].name(), "remote vaulting");
         assert!(design.device_id("primary array").is_some());
         assert!(design.device_id("nonexistent").is_none());
-        assert!(design.convention_warnings().is_empty(), "{:?}", design.convention_warnings());
+        assert!(
+            design.convention_warnings().is_empty(),
+            "{:?}",
+            design.convention_warnings()
+        );
     }
 
     #[test]
@@ -431,7 +443,10 @@ mod tests {
         let design = crate::presets::baseline_design();
         let scope = FailureScope::Array;
         assert!(design.level_destroyed(0, &scope));
-        assert!(design.level_destroyed(1, &scope), "split mirror shares the array");
+        assert!(
+            design.level_destroyed(1, &scope),
+            "split mirror shares the array"
+        );
         assert!(!design.level_destroyed(2, &scope), "tape library survives");
         assert!(!design.level_destroyed(3, &scope), "vault survives");
     }
@@ -473,8 +488,16 @@ mod tests {
                     .unwrap(),
             )
             .unwrap();
-        builder.add_level(Level::new("p1", Technique::PrimaryCopy(PrimaryCopy::new()), array));
-        builder.add_level(Level::new("p2", Technique::PrimaryCopy(PrimaryCopy::new()), array));
+        builder.add_level(Level::new(
+            "p1",
+            Technique::PrimaryCopy(PrimaryCopy::new()),
+            array,
+        ));
+        builder.add_level(Level::new(
+            "p2",
+            Technique::PrimaryCopy(PrimaryCopy::new()),
+            array,
+        ));
         let err = builder.build().unwrap_err();
         assert!(err.to_string().contains("level 0"));
     }
@@ -483,7 +506,9 @@ mod tests {
     fn duplicate_device_names_are_rejected() {
         use crate::device::{DeviceKind, DeviceSpec};
         let mut builder = StorageDesign::builder("dup");
-        let spec = DeviceSpec::builder("a", DeviceKind::Courier).build().unwrap();
+        let spec = DeviceSpec::builder("a", DeviceKind::Courier)
+            .build()
+            .unwrap();
         builder.add_device(spec.clone()).unwrap();
         let err = builder.add_device(spec).unwrap_err();
         assert!(matches!(err, Error::DuplicateDevice { .. }));
@@ -495,7 +520,11 @@ mod tests {
         use crate::protection::PrimaryCopy;
         let mut builder = StorageDesign::builder("bad roles");
         let courier = builder
-            .add_device(DeviceSpec::builder("courier", DeviceKind::Courier).build().unwrap())
+            .add_device(
+                DeviceSpec::builder("courier", DeviceKind::Courier)
+                    .build()
+                    .unwrap(),
+            )
             .unwrap();
         builder.add_level(Level::new(
             "primary",

@@ -77,7 +77,7 @@ pub mod requirements;
 pub mod units;
 pub mod workload;
 
-pub use error::Error;
+pub use error::{Error, ErrorClass, RetryPolicy};
 pub use units::{Bandwidth, Bytes, Money, MoneyRate, TimeDelta, Utilization};
 pub use workload::Workload;
 

@@ -103,7 +103,10 @@ impl MultiObjectWorkload {
     /// graph has a cycle.
     pub fn new(objects: Vec<ObjectSpec>) -> Result<MultiObjectWorkload, Error> {
         if objects.is_empty() {
-            return Err(Error::invalid("multi.objects", "at least one object is required"));
+            return Err(Error::invalid(
+                "multi.objects",
+                "at least one object is required",
+            ));
         }
         let mut seen = BTreeMap::new();
         for (index, object) in objects.iter().enumerate() {
@@ -390,7 +393,10 @@ mod tests {
                 .data_capacity(Bytes::from_gib(gib))
                 .avg_access_rate(Bandwidth::from_kib_per_sec(400.0))
                 .avg_update_rate(Bandwidth::from_kib_per_sec(300.0))
-                .batch_rate(TimeDelta::from_hours(12.0), Bandwidth::from_kib_per_sec(120.0))
+                .batch_rate(
+                    TimeDelta::from_hours(12.0),
+                    Bandwidth::from_kib_per_sec(120.0),
+                )
                 .build()
                 .unwrap(),
         )
@@ -398,7 +404,9 @@ mod tests {
 
     fn trio() -> MultiObjectWorkload {
         MultiObjectWorkload::new(vec![
-            object("tablespace", 600.0).with_priority(10).depends_on("redo log"),
+            object("tablespace", 600.0)
+                .with_priority(10)
+                .depends_on("redo log"),
             object("redo log", 40.0).with_priority(1),
             object("archive", 700.0).with_priority(50),
         ])
@@ -412,10 +420,7 @@ mod tests {
     #[test]
     fn restore_order_respects_dependencies_then_priority() {
         let order = trio().restore_order().unwrap();
-        let names: Vec<&str> = order
-            .iter()
-            .map(|&i| trio_name(i))
-            .collect();
+        let names: Vec<&str> = order.iter().map(|&i| trio_name(i)).collect();
         assert_eq!(names, ["redo log", "tablespace", "archive"]);
     }
 
@@ -435,11 +440,9 @@ mod tests {
 
     #[test]
     fn unknown_dependencies_and_duplicates_are_rejected() {
-        let err = MultiObjectWorkload::new(vec![object("a", 1.0).depends_on("ghost")])
-            .unwrap_err();
+        let err = MultiObjectWorkload::new(vec![object("a", 1.0).depends_on("ghost")]).unwrap_err();
         assert!(err.to_string().contains("ghost"));
-        let err = MultiObjectWorkload::new(vec![object("a", 1.0), object("a", 2.0)])
-            .unwrap_err();
+        let err = MultiObjectWorkload::new(vec![object("a", 1.0), object("a", 2.0)]).unwrap_err();
         assert!(err.to_string().contains("duplicate"));
         assert!(MultiObjectWorkload::new(vec![]).is_err());
     }
@@ -492,7 +495,9 @@ mod tests {
         let log_first = evaluate_multi(&design, &trio(), &requirements, &scenario()).unwrap();
 
         let archive_first = MultiObjectWorkload::new(vec![
-            object("tablespace", 600.0).with_priority(10).depends_on("redo log"),
+            object("tablespace", 600.0)
+                .with_priority(10)
+                .depends_on("redo log"),
             object("redo log", 40.0).with_priority(60),
             object("archive", 700.0).with_priority(1),
         ])
@@ -524,10 +529,8 @@ mod tests {
             ])
             .unwrap()
         };
-        let log_first =
-            evaluate_multi(&design, &weighted(1), &requirements, &scenario()).unwrap();
-        let log_last =
-            evaluate_multi(&design, &weighted(999), &requirements, &scenario()).unwrap();
+        let log_first = evaluate_multi(&design, &weighted(1), &requirements, &scenario()).unwrap();
+        let log_last = evaluate_multi(&design, &weighted(999), &requirements, &scenario()).unwrap();
         assert_eq!(log_first.objects[0].name, "redo log");
         assert_eq!(log_last.objects.last().unwrap().name, "redo log");
         assert!(

@@ -79,7 +79,9 @@ pub fn baseline_design() -> StorageDesign {
     let array = builder
         .add_device(primary_array_spec())
         .expect("fresh builder has no duplicates");
-    let tape = builder.add_device(tape_library_spec()).expect("unique name");
+    let tape = builder
+        .add_device(tape_library_spec())
+        .expect("unique name");
     let vault = builder.add_device(vault_spec()).expect("unique name");
     let courier = builder.add_device(air_courier_spec()).expect("unique name");
 
@@ -107,7 +109,9 @@ pub fn baseline_design() -> StorageDesign {
         .with_transports([courier]),
     );
     builder.recovery_site(paper_recovery_site());
-    builder.build().expect("baseline preset is structurally valid")
+    builder
+        .build()
+        .expect("baseline preset is structurally valid")
 }
 
 #[cfg(test)]
@@ -118,7 +122,15 @@ mod tests {
     fn baseline_has_four_levels_in_figure_1_order() {
         let design = baseline_design();
         let names: Vec<&str> = design.levels().iter().map(|l| l.name()).collect();
-        assert_eq!(names, ["primary copy", "split mirror", "tape backup", "remote vaulting"]);
+        assert_eq!(
+            names,
+            [
+                "primary copy",
+                "split mirror",
+                "tape backup",
+                "remote vaulting"
+            ]
+        );
     }
 
     #[test]
@@ -147,7 +159,9 @@ mod tests {
     #[test]
     fn recovery_site_is_remote_shared() {
         let design = baseline_design();
-        let site = design.recovery_site().expect("baseline has a recovery facility");
+        let site = design
+            .recovery_site()
+            .expect("baseline has a recovery facility");
         assert_eq!(site.provisioning_time, TimeDelta::from_hours(9.0));
         assert!((site.cost_factor - 0.2).abs() < 1e-12);
         assert!(!site.location.same_region(design.primary_location()));

@@ -107,7 +107,11 @@ pub fn air_courier_spec() -> DeviceSpec {
     DeviceSpec::builder("air shipment", DeviceKind::Courier)
         .location(remote_location())
         .access_delay(TimeDelta::from_hours(24.0))
-        .cost(CostModel::builder().per_shipment(Money::from_dollars(50.0)).build())
+        .cost(
+            CostModel::builder()
+                .per_shipment(Money::from_dollars(50.0))
+                .build(),
+        )
         .build()
         .expect("courier preset parameters are valid")
 }
@@ -149,7 +153,11 @@ pub fn oc3_links_spec(count: u32) -> DeviceSpec {
     DeviceSpec::builder(format!("OC-3 x{count}"), DeviceKind::NetworkLink)
         .location(remote_location())
         .bandwidth_slots(count, Bandwidth::from_megabits_per_sec(155.0))
-        .cost(CostModel::builder().per_mib_per_sec(Money::from_dollars(23_535.0)).build())
+        .cost(
+            CostModel::builder()
+                .per_mib_per_sec(Money::from_dollars(23_535.0))
+                .build(),
+        )
         .build()
         .expect("link preset parameters are valid")
 }
@@ -161,7 +169,10 @@ mod tests {
     #[test]
     fn array_capability_matches_table_4() {
         let array = primary_array_spec();
-        assert_eq!(array.max_bandwidth(), Some(Bandwidth::from_mib_per_sec(512.0)));
+        assert_eq!(
+            array.max_bandwidth(),
+            Some(Bandwidth::from_mib_per_sec(512.0))
+        );
         assert_eq!(array.raw_capacity(), Some(Bytes::from_gib(18_688.0)));
         assert_eq!(array.usable_capacity(), Some(Bytes::from_gib(9_344.0)));
         assert!(array.spare().exists());
@@ -170,7 +181,10 @@ mod tests {
     #[test]
     fn tape_library_capability_matches_table_4() {
         let tape = tape_library_spec();
-        assert_eq!(tape.max_bandwidth(), Some(Bandwidth::from_mib_per_sec(240.0)));
+        assert_eq!(
+            tape.max_bandwidth(),
+            Some(Bandwidth::from_mib_per_sec(240.0))
+        );
         assert_eq!(tape.usable_capacity(), Some(Bytes::from_gib(200_000.0)));
         assert_eq!(tape.access_delay(), TimeDelta::from_hours(0.01));
     }
@@ -188,7 +202,10 @@ mod tests {
         let courier = air_courier_spec();
         assert_eq!(courier.access_delay(), TimeDelta::from_hours(24.0));
         assert_eq!(courier.max_bandwidth(), None);
-        assert_eq!(courier.cost().shipment_cost(13.0), Money::from_dollars(650.0));
+        assert_eq!(
+            courier.cost().shipment_cost(13.0),
+            Money::from_dollars(650.0)
+        );
     }
 
     #[test]

@@ -23,10 +23,9 @@ pub use devices::{
     air_courier_spec, disk_backup_spec, oc3_links_spec, primary_array_spec, remote_array_spec,
     tape_library_spec, vault_spec, PRIMARY_LOCATION, REMOTE_LOCATION,
 };
-pub use whatif::{
-    async_batch_mirror_design, disk_backup_design, snapshot_design,
-    weekly_vault_daily_full_design, weekly_vault_design, weekly_vault_full_incremental_design,
-    what_if_designs,
-};
 pub use scenarios::{paper_failure_scenarios, paper_scenario_catalog};
+pub use whatif::{
+    async_batch_mirror_design, disk_backup_design, snapshot_design, weekly_vault_daily_full_design,
+    weekly_vault_design, weekly_vault_full_incremental_design, what_if_designs,
+};
 pub use workloads::cello_workload;

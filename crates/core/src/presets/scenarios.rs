@@ -11,8 +11,12 @@ use crate::units::{Bytes, TimeDelta};
 pub fn paper_failure_scenarios() -> Vec<FailureScenario> {
     vec![
         FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         ),
         FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
         FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
@@ -40,7 +44,10 @@ mod tests {
     fn scenarios_match_the_case_study() {
         let scenarios = paper_failure_scenarios();
         assert_eq!(scenarios.len(), 3);
-        assert!(matches!(scenarios[0].scope, FailureScope::DataObject { .. }));
+        assert!(matches!(
+            scenarios[0].scope,
+            FailureScope::DataObject { .. }
+        ));
         assert_eq!(scenarios[0].target.age(), TimeDelta::from_hours(24.0));
         assert!(matches!(scenarios[2].scope, FailureScope::Site));
     }

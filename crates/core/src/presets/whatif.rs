@@ -96,7 +96,9 @@ fn tape_design(
         .with_transports([courier]),
     );
     builder.recovery_site(paper_recovery_site());
-    builder.build().expect("what-if preset is structurally valid")
+    builder
+        .build()
+        .expect("what-if preset is structurally valid")
 }
 
 /// Table 7 row 2: baseline policies with weekly vaulting.
@@ -172,7 +174,9 @@ pub fn async_batch_mirror_design(links: u32) -> StorageDesign {
         .with_transports([wan]),
     );
     builder.recovery_site(paper_recovery_site());
-    builder.build().expect("mirror preset is structurally valid")
+    builder
+        .build()
+        .expect("mirror preset is structurally valid")
 }
 
 /// Extension (not in the paper's Table 7): daily fulls to a
@@ -182,8 +186,12 @@ pub fn async_batch_mirror_design(links: u32) -> StorageDesign {
 /// much shorter array-failure recovery.
 pub fn disk_backup_design() -> StorageDesign {
     let mut builder = StorageDesign::builder("disk-to-disk backup");
-    let array = builder.add_device(super::devices::primary_array_spec()).expect("unique");
-    let appliance = builder.add_device(super::devices::disk_backup_spec()).expect("unique");
+    let array = builder
+        .add_device(super::devices::primary_array_spec())
+        .expect("unique");
+    let appliance = builder
+        .add_device(super::devices::disk_backup_spec())
+        .expect("unique");
 
     builder.add_level(Level::new(
         "primary copy",
@@ -208,7 +216,9 @@ pub fn disk_backup_design() -> StorageDesign {
         appliance,
     ));
     builder.recovery_site(paper_recovery_site());
-    builder.build().expect("disk backup preset is structurally valid")
+    builder
+        .build()
+        .expect("disk backup preset is structurally valid")
 }
 
 /// All seven designs of Table 7, baseline first, in row order.

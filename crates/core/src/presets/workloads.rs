@@ -15,11 +15,26 @@ pub fn cello_workload() -> Workload {
         .avg_access_rate(Bandwidth::from_kib_per_sec(1028.0))
         .avg_update_rate(Bandwidth::from_kib_per_sec(799.0))
         .burst_multiplier(10.0)
-        .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(727.0))
-        .batch_rate(TimeDelta::from_hours(12.0), Bandwidth::from_kib_per_sec(350.0))
-        .batch_rate(TimeDelta::from_hours(24.0), Bandwidth::from_kib_per_sec(317.0))
-        .batch_rate(TimeDelta::from_hours(48.0), Bandwidth::from_kib_per_sec(317.0))
-        .batch_rate(TimeDelta::from_weeks(1.0), Bandwidth::from_kib_per_sec(317.0))
+        .batch_rate(
+            TimeDelta::from_minutes(1.0),
+            Bandwidth::from_kib_per_sec(727.0),
+        )
+        .batch_rate(
+            TimeDelta::from_hours(12.0),
+            Bandwidth::from_kib_per_sec(350.0),
+        )
+        .batch_rate(
+            TimeDelta::from_hours(24.0),
+            Bandwidth::from_kib_per_sec(317.0),
+        )
+        .batch_rate(
+            TimeDelta::from_hours(48.0),
+            Bandwidth::from_kib_per_sec(317.0),
+        )
+        .batch_rate(
+            TimeDelta::from_weeks(1.0),
+            Bandwidth::from_kib_per_sec(317.0),
+        )
         .build()
         .expect("cello parameters are valid")
 }

@@ -62,7 +62,10 @@ impl Backup {
     /// sizes the required bandwidth).
     pub fn full_only(full: ProtectionParams) -> Result<Backup, Error> {
         Backup::validate_full(&full)?;
-        Ok(Backup { full, incremental: None })
+        Ok(Backup {
+            full,
+            incremental: None,
+        })
     }
 
     /// Creates a full + incremental cycle.
@@ -112,7 +115,10 @@ impl Backup {
                 "incrementals must fit within the full cycle period",
             ));
         }
-        Ok(Backup { full, incremental: Some(incremental) })
+        Ok(Backup {
+            full,
+            incremental: Some(incremental),
+        })
     }
 
     fn validate_full(full: &ProtectionParams) -> Result<(), Error> {
@@ -186,8 +192,7 @@ impl Backup {
     /// Capacity the backup device must hold: `retCnt` cycles plus one
     /// extra full.
     pub fn required_capacity(&self, workload: &Workload) -> Bytes {
-        self.cycle_bytes(workload) * self.full.retention_count() as f64
-            + workload.data_capacity()
+        self.cycle_bytes(workload) * self.full.retention_count() as f64 + workload.data_capacity()
     }
 
     pub(crate) fn arrival_period(&self) -> TimeDelta {
@@ -227,12 +232,12 @@ impl Backup {
         needed + incrementals
     }
 
-    pub(crate) fn demands(
-        &self,
-        ctx: &LevelContext<'_>,
-    ) -> Result<Vec<DemandContribution>, Error> {
+    pub(crate) fn demands(&self, ctx: &LevelContext<'_>) -> Result<Vec<DemandContribution>, Error> {
         let source = ctx.source_host.ok_or_else(|| {
-            Error::invalid("backup.source", "a backup level needs a source copy to read")
+            Error::invalid(
+                "backup.source",
+                "a backup level needs a source copy to read",
+            )
         })?;
         let rate = self.required_bandwidth(ctx.workload);
 
@@ -305,12 +310,17 @@ mod tests {
     #[test]
     fn cumulative_incrementals_grow_and_lag_matches_table_7() {
         let workload = crate::presets::cello_workload();
-        let backup =
-            Backup::with_incrementals(weekly_full(), daily_incrementals(IncrementalMode::Cumulative))
-                .unwrap();
+        let backup = Backup::with_incrementals(
+            weekly_full(),
+            daily_incrementals(IncrementalMode::Cumulative),
+        )
+        .unwrap();
         let first = backup.incremental_bytes(&workload, 1);
         let last = backup.incremental_bytes(&workload, 5);
-        assert!(last > first, "cumulative incrementals grow within the cycle");
+        assert!(
+            last > first,
+            "cumulative incrementals grow within the cycle"
+        );
         // Worst lag: full completion latency (1 + 48) + daily arrivals
         // (24) = 73 hr, Table 7's F+I data loss for array failures.
         assert!((backup.worst_own_lag().as_hours() - 73.0).abs() < 1e-9);
@@ -333,9 +343,11 @@ mod tests {
     fn restore_needs_full_plus_incrementals() {
         let workload = crate::presets::cello_workload();
         let full_only = Backup::full_only(weekly_full()).unwrap();
-        let with_incr =
-            Backup::with_incrementals(weekly_full(), daily_incrementals(IncrementalMode::Cumulative))
-                .unwrap();
+        let with_incr = Backup::with_incrementals(
+            weekly_full(),
+            daily_incrementals(IncrementalMode::Cumulative),
+        )
+        .unwrap();
         let cap = workload.data_capacity();
         assert_eq!(full_only.worst_restore_bytes(&workload, cap), cap);
         assert!(with_incr.worst_restore_bytes(&workload, cap) > cap);

@@ -188,10 +188,7 @@ impl Technique {
     /// Returns [`Error::InvalidParameter`] when the context is
     /// inconsistent with the technique (e.g. a mirror level with no
     /// source).
-    pub fn demands(
-        &self,
-        ctx: &LevelContext<'_>,
-    ) -> Result<Vec<DemandContribution>, Error> {
+    pub fn demands(&self, ctx: &LevelContext<'_>) -> Result<Vec<DemandContribution>, Error> {
         match self {
             Technique::PrimaryCopy(t) => t.demands(ctx),
             Technique::SplitMirror(t) => t.demands(ctx),
@@ -265,8 +262,9 @@ mod tests {
     #[test]
     fn pit_classification() {
         assert!(Technique::SplitMirror(SplitMirror::new(params(12.0, 4))).is_point_in_time());
-        assert!(Technique::VirtualSnapshot(VirtualSnapshot::new(params(12.0, 4)))
-            .is_point_in_time());
+        assert!(
+            Technique::VirtualSnapshot(VirtualSnapshot::new(params(12.0, 4))).is_point_in_time()
+        );
         assert!(!Technique::PrimaryCopy(PrimaryCopy::new()).is_point_in_time());
     }
 

@@ -244,7 +244,10 @@ impl ProtectionParamsBuilder {
             .retention_count
             .ok_or_else(|| Error::invalid("params.retCnt", "missing"))?;
         if retention_count == 0 {
-            return Err(Error::invalid("params.retCnt", "must retain at least one RP"));
+            return Err(Error::invalid(
+                "params.retCnt",
+                "must retain at least one RP",
+            ));
         }
         if cycle_count == 0 {
             return Err(Error::invalid("params.cycleCnt", "must be at least 1"));
@@ -274,7 +277,10 @@ impl ProtectionParamsBuilder {
             .retention_window
             .unwrap_or(cycle_period * retention_count as f64);
         if !(retention_window.value() >= 0.0 && retention_window.is_finite()) {
-            return Err(Error::invalid("params.retW", "must be non-negative and finite"));
+            return Err(Error::invalid(
+                "params.retW",
+                "must be non-negative and finite",
+            ));
         }
         let min_retention = cycle_period * (retention_count - 1) as f64;
         if retention_window < min_retention {

@@ -19,10 +19,7 @@ impl PrimaryCopy {
         PrimaryCopy {}
     }
 
-    pub(crate) fn demands(
-        &self,
-        ctx: &LevelContext<'_>,
-    ) -> Result<Vec<DemandContribution>, Error> {
+    pub(crate) fn demands(&self, ctx: &LevelContext<'_>) -> Result<Vec<DemandContribution>, Error> {
         let mut contribution = DemandContribution::none(ctx.host);
         contribution.bandwidth = ctx.workload.avg_access_rate();
         contribution.capacity = ctx.workload.data_capacity();

@@ -54,19 +54,25 @@ pub struct RemoteMirror {
 impl RemoteMirror {
     /// Creates a synchronous mirror.
     pub fn synchronous() -> RemoteMirror {
-        RemoteMirror { mode: MirrorMode::Synchronous }
+        RemoteMirror {
+            mode: MirrorMode::Synchronous,
+        }
     }
 
     /// Creates an asynchronous (write-behind) mirror whose secondary
     /// trails the primary by at most `write_lag`.
     pub fn asynchronous(write_lag: TimeDelta) -> RemoteMirror {
-        RemoteMirror { mode: MirrorMode::Asynchronous { write_lag } }
+        RemoteMirror {
+            mode: MirrorMode::Asynchronous { write_lag },
+        }
     }
 
     /// Creates a batched asynchronous mirror with the given batch
     /// schedule.
     pub fn batched(params: ProtectionParams) -> RemoteMirror {
-        RemoteMirror { mode: MirrorMode::Batched { params } }
+        RemoteMirror {
+            mode: MirrorMode::Batched { params },
+        }
     }
 
     /// The protocol this mirror runs.
@@ -135,10 +141,7 @@ impl RemoteMirror {
         }
     }
 
-    pub(crate) fn demands(
-        &self,
-        ctx: &LevelContext<'_>,
-    ) -> Result<Vec<DemandContribution>, Error> {
+    pub(crate) fn demands(&self, ctx: &LevelContext<'_>) -> Result<Vec<DemandContribution>, Error> {
         if ctx.source_host.is_none() {
             return Err(Error::invalid(
                 "remoteMirror.source",
@@ -245,6 +248,9 @@ mod tests {
             RemoteMirror::asynchronous(TimeDelta::from_secs(1.0)).name(),
             "async mirror"
         );
-        assert_eq!(RemoteMirror::batched(one_minute_batch()).name(), "async batch mirror");
+        assert_eq!(
+            RemoteMirror::batched(one_minute_batch()).name(),
+            "async batch mirror"
+        );
     }
 }

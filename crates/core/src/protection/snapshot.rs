@@ -31,10 +31,7 @@ impl VirtualSnapshot {
         &self.params
     }
 
-    pub(crate) fn demands(
-        &self,
-        ctx: &LevelContext<'_>,
-    ) -> Result<Vec<DemandContribution>, Error> {
+    pub(crate) fn demands(&self, ctx: &LevelContext<'_>) -> Result<Vec<DemandContribution>, Error> {
         let workload = ctx.workload;
         let mut contribution = DemandContribution::none(ctx.host);
 
@@ -84,7 +81,10 @@ mod tests {
     fn bandwidth_is_twice_the_update_rate() {
         let workload = crate::presets::cello_workload();
         let demands = snapshot(4).demands(&ctx(&workload)).unwrap();
-        assert_eq!(demands[0].bandwidth, Bandwidth::from_kib_per_sec(2.0 * 799.0));
+        assert_eq!(
+            demands[0].bandwidth,
+            Bandwidth::from_kib_per_sec(2.0 * 799.0)
+        );
     }
 
     #[test]

@@ -39,10 +39,7 @@ impl SplitMirror {
         self.params.retention_count() + 1
     }
 
-    pub(crate) fn demands(
-        &self,
-        ctx: &LevelContext<'_>,
-    ) -> Result<Vec<DemandContribution>, Error> {
+    pub(crate) fn demands(&self, ctx: &LevelContext<'_>) -> Result<Vec<DemandContribution>, Error> {
         let workload = ctx.workload;
         let mut contribution = DemandContribution::none(ctx.host);
 

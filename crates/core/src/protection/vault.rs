@@ -45,12 +45,12 @@ impl RemoteVault {
         self.params.hold_window() < backup_retention
     }
 
-    pub(crate) fn demands(
-        &self,
-        ctx: &LevelContext<'_>,
-    ) -> Result<Vec<DemandContribution>, Error> {
+    pub(crate) fn demands(&self, ctx: &LevelContext<'_>) -> Result<Vec<DemandContribution>, Error> {
         let source = ctx.source_host.ok_or_else(|| {
-            Error::invalid("vault.source", "a vault level needs a backup level to ship from")
+            Error::invalid(
+                "vault.source",
+                "a vault level needs a backup level to ship from",
+            )
         })?;
         let data_capacity = ctx.workload.data_capacity();
 
@@ -62,8 +62,7 @@ impl RemoteVault {
             if self.needs_extra_copy(backup_retention) {
                 // One additional full copied (read + write on the same
                 // library) once per shipment cycle.
-                source_demand.bandwidth =
-                    (data_capacity / self.params.accumulation_window()) * 2.0;
+                source_demand.bandwidth = (data_capacity / self.params.accumulation_window()) * 2.0;
                 source_demand.capacity = data_capacity;
             }
         }

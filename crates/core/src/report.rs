@@ -103,7 +103,10 @@ pub fn render_utilization(evaluation: &Evaluation) -> String {
                 "{} ({})",
                 device.bandwidth_utilization, device.bandwidth_demand
             ),
-            format!("{} ({})", device.capacity_utilization, device.capacity_demand),
+            format!(
+                "{} ({})",
+                device.capacity_utilization, device.capacity_demand
+            ),
         ]);
         for share in &device.shares {
             table.row([
@@ -146,7 +149,10 @@ pub fn render_dependability(evaluations: &[Evaluation]) -> String {
 pub fn render_costs(evaluation: &Evaluation) -> String {
     let mut table = TextTable::new(["Cost component", "Annual cost"]);
     for outlay in &evaluation.cost.outlays_by_level {
-        table.row([format!("outlay: {}", outlay.level_name), outlay.outlay.to_string()]);
+        table.row([
+            format!("outlay: {}", outlay.level_name),
+            outlay.outlay.to_string(),
+        ]);
     }
     table.row([
         "outlay: spares".to_string(),
@@ -329,16 +335,37 @@ pub fn render_full_report(
     for warning in design.convention_warnings() {
         let _ = writeln!(out, "warning: {warning}");
     }
-    let _ = writeln!(out, "== Protection cadence ==\n{}", render_policy_calendar(design));
+    let _ = writeln!(
+        out,
+        "== Protection cadence ==\n{}",
+        render_policy_calendar(design)
+    );
 
     let scenarios = crate::presets::paper_failure_scenarios();
     let mut evaluations = Vec::new();
     for scenario in &scenarios {
-        evaluations.push(analysis::evaluate(design, workload, requirements, scenario)?);
+        evaluations.push(analysis::evaluate(
+            design,
+            workload,
+            requirements,
+            scenario,
+        )?);
     }
-    let _ = writeln!(out, "== Normal mode utilization ==\n{}", render_utilization(&evaluations[0]));
-    let _ = writeln!(out, "== Dependability ==\n{}", render_dependability(&evaluations));
-    let _ = writeln!(out, "== Cost per failure scenario ==\n{}", render_cost_bars(&evaluations));
+    let _ = writeln!(
+        out,
+        "== Normal mode utilization ==\n{}",
+        render_utilization(&evaluations[0])
+    );
+    let _ = writeln!(
+        out,
+        "== Dependability ==\n{}",
+        render_dependability(&evaluations)
+    );
+    let _ = writeln!(
+        out,
+        "== Cost per failure scenario ==\n{}",
+        render_cost_bars(&evaluations)
+    );
 
     let coverage = analysis::coverage(
         design,
@@ -417,7 +444,13 @@ mod tests {
     #[test]
     fn utilization_table_names_every_device_and_level() {
         let text = render_utilization(&site_eval());
-        for name in ["primary array", "tape library", "tape vault", "split mirror", "overall system"] {
+        for name in [
+            "primary array",
+            "tape library",
+            "tape vault",
+            "split mirror",
+            "overall system",
+        ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
     }
@@ -454,7 +487,11 @@ mod tests {
     #[test]
     fn bar_chart_scales_to_the_largest_value() {
         let chart = render_bar_chart(
-            &[("a".to_string(), 1.0), ("bb".to_string(), 4.0), ("c".to_string(), 0.0)],
+            &[
+                ("a".to_string(), 1.0),
+                ("bb".to_string(), 4.0),
+                ("c".to_string(), 0.0),
+            ],
             20,
             |v| format!("{v}"),
         );

@@ -809,8 +809,12 @@ mod tests {
             TimeDelta::ZERO.ensure_non_negative("window"),
             Ok(TimeDelta::ZERO)
         );
-        assert!(TimeDelta::from_secs(-1.0).ensure_non_negative("window").is_err());
-        assert!(TimeDelta::from_secs(f64::NAN).ensure_non_negative("window").is_err());
+        assert!(TimeDelta::from_secs(-1.0)
+            .ensure_non_negative("window")
+            .is_err());
+        assert!(TimeDelta::from_secs(f64::NAN)
+            .ensure_non_negative("window")
+            .is_err());
     }
 
     #[test]

@@ -270,13 +270,22 @@ impl WorkloadBuilder {
             .ok_or_else(|| Error::invalid("workload.avgUpdateR", "missing"))?;
 
         if !(data_capacity.value() > 0.0 && data_capacity.is_finite()) {
-            return Err(Error::invalid("workload.dataCap", "must be positive and finite"));
+            return Err(Error::invalid(
+                "workload.dataCap",
+                "must be positive and finite",
+            ));
         }
         if !(avg_access_rate.value() > 0.0 && avg_access_rate.is_finite()) {
-            return Err(Error::invalid("workload.avgAccessR", "must be positive and finite"));
+            return Err(Error::invalid(
+                "workload.avgAccessR",
+                "must be positive and finite",
+            ));
         }
         if !(avg_update_rate.value() >= 0.0 && avg_update_rate.is_finite()) {
-            return Err(Error::invalid("workload.avgUpdateR", "must be non-negative and finite"));
+            return Err(Error::invalid(
+                "workload.avgUpdateR",
+                "must be non-negative and finite",
+            ));
         }
         if avg_update_rate > avg_access_rate {
             return Err(Error::invalid(
@@ -349,11 +358,26 @@ mod tests {
             .avg_access_rate(Bandwidth::from_kib_per_sec(1028.0))
             .avg_update_rate(Bandwidth::from_kib_per_sec(799.0))
             .burst_multiplier(10.0)
-            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(727.0))
-            .batch_rate(TimeDelta::from_hours(12.0), Bandwidth::from_kib_per_sec(350.0))
-            .batch_rate(TimeDelta::from_hours(24.0), Bandwidth::from_kib_per_sec(317.0))
-            .batch_rate(TimeDelta::from_hours(48.0), Bandwidth::from_kib_per_sec(317.0))
-            .batch_rate(TimeDelta::from_weeks(1.0), Bandwidth::from_kib_per_sec(317.0))
+            .batch_rate(
+                TimeDelta::from_minutes(1.0),
+                Bandwidth::from_kib_per_sec(727.0),
+            )
+            .batch_rate(
+                TimeDelta::from_hours(12.0),
+                Bandwidth::from_kib_per_sec(350.0),
+            )
+            .batch_rate(
+                TimeDelta::from_hours(24.0),
+                Bandwidth::from_kib_per_sec(317.0),
+            )
+            .batch_rate(
+                TimeDelta::from_hours(48.0),
+                Bandwidth::from_kib_per_sec(317.0),
+            )
+            .batch_rate(
+                TimeDelta::from_weeks(1.0),
+                Bandwidth::from_kib_per_sec(317.0),
+            )
             .build()
             .expect("cello parameters are valid")
     }
@@ -414,7 +438,10 @@ mod tests {
             .build()
             .unwrap();
         let one_hour = wl.unique_bytes(TimeDelta::from_hours(1.0));
-        assert_eq!(one_hour, Bandwidth::from_mib_per_sec(1.0) * TimeDelta::from_hours(1.0));
+        assert_eq!(
+            one_hour,
+            Bandwidth::from_mib_per_sec(1.0) * TimeDelta::from_hours(1.0)
+        );
     }
 
     #[test]
@@ -454,8 +481,14 @@ mod tests {
             .data_capacity(Bytes::from_gib(1.0))
             .avg_access_rate(Bandwidth::from_kib_per_sec(100.0))
             .avg_update_rate(Bandwidth::from_kib_per_sec(100.0))
-            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(10.0))
-            .batch_rate(TimeDelta::from_hours(1.0), Bandwidth::from_kib_per_sec(50.0))
+            .batch_rate(
+                TimeDelta::from_minutes(1.0),
+                Bandwidth::from_kib_per_sec(10.0),
+            )
+            .batch_rate(
+                TimeDelta::from_hours(1.0),
+                Bandwidth::from_kib_per_sec(50.0),
+            )
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("non-increasing"));
@@ -467,7 +500,10 @@ mod tests {
             .data_capacity(Bytes::from_gib(1.0))
             .avg_access_rate(Bandwidth::from_kib_per_sec(100.0))
             .avg_update_rate(Bandwidth::from_kib_per_sec(50.0))
-            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(60.0))
+            .batch_rate(
+                TimeDelta::from_minutes(1.0),
+                Bandwidth::from_kib_per_sec(60.0),
+            )
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("unique-update rate"));
@@ -491,8 +527,14 @@ mod tests {
             .data_capacity(Bytes::from_gib(1.0))
             .avg_access_rate(Bandwidth::from_kib_per_sec(100.0))
             .avg_update_rate(Bandwidth::from_kib_per_sec(50.0))
-            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(10.0))
-            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(9.0))
+            .batch_rate(
+                TimeDelta::from_minutes(1.0),
+                Bandwidth::from_kib_per_sec(10.0),
+            )
+            .batch_rate(
+                TimeDelta::from_minutes(1.0),
+                Bandwidth::from_kib_per_sec(9.0),
+            )
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("duplicate window"));
@@ -504,8 +546,14 @@ mod tests {
             .data_capacity(Bytes::from_gib(1.0))
             .avg_access_rate(Bandwidth::from_kib_per_sec(100.0))
             .avg_update_rate(Bandwidth::from_kib_per_sec(50.0))
-            .batch_rate(TimeDelta::from_hours(1.0), Bandwidth::from_kib_per_sec(10.0))
-            .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(40.0))
+            .batch_rate(
+                TimeDelta::from_hours(1.0),
+                Bandwidth::from_kib_per_sec(10.0),
+            )
+            .batch_rate(
+                TimeDelta::from_minutes(1.0),
+                Bandwidth::from_kib_per_sec(40.0),
+            )
             .build()
             .unwrap();
         assert!(wl.batch_curve()[0].window < wl.batch_curve()[1].window);

@@ -18,9 +18,9 @@ pub fn evaluate_paper(design: &StorageDesign, scope: FailureScope) -> Result<Eva
     let workload = ssdep_core::presets::cello_workload();
     let requirements = ssdep_core::presets::paper_requirements();
     let target = match scope {
-        FailureScope::DataObject { .. } => {
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) }
-        }
+        FailureScope::DataObject { .. } => RecoveryTarget::Before {
+            age: TimeDelta::from_hours(24.0),
+        },
         _ => RecoveryTarget::Now,
     };
     let scenario = FailureScenario::new(scope, target);
@@ -30,7 +30,9 @@ pub fn evaluate_paper(design: &StorageDesign, scope: FailureScope) -> Result<Eva
 /// The paper's three case-study failure scopes.
 pub fn paper_scopes() -> [FailureScope; 3] {
     [
-        FailureScope::DataObject { size: Bytes::from_mib(1.0) },
+        FailureScope::DataObject {
+            size: Bytes::from_mib(1.0),
+        },
         FailureScope::Array,
         FailureScope::Site,
     ]

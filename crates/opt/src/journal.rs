@@ -1,0 +1,269 @@
+//! Append-only JSON-lines checkpoint journals.
+//!
+//! The evaluation supervisor records one JSON line per finished task so
+//! a killed process can resume without repeating completed work. The
+//! format is deliberately dumb — human-greppable, append-only, no
+//! index — because crash tolerance comes from two properties only:
+//!
+//! * **appends are atomic at line granularity**: a line is written in
+//!   one `write` call and durability is forced with batched `fsync`s,
+//!   so after a crash the file is a prefix of the uninterrupted journal
+//!   plus at most one torn line;
+//! * **readers drop a torn tail**: a final line that does not parse is
+//!   treated as the crash artifact it is, while an unparsable line in
+//!   the middle of the file is reported as corruption.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use ssdep_core::error::Error;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only journal writer with batched durability.
+///
+/// Entries are buffered and flushed + `fsync`ed every `sync_every`
+/// appends (and on [`JournalWriter::sync`]); entries in an unflushed
+/// batch are lost by a crash, which is safe — resume simply repeats
+/// that work.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    sync_every: usize,
+    pending: usize,
+    appended: usize,
+}
+
+impl JournalWriter {
+    /// Opens `path` for appending, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transient [`Error::Io`] when the file cannot be
+    /// opened.
+    pub fn open(path: impl AsRef<Path>, sync_every: usize) -> Result<JournalWriter, Error> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| Error::io(format!("journal open `{}`", path.display()), e.to_string()))?;
+        Ok(JournalWriter {
+            path,
+            writer: BufWriter::new(file),
+            sync_every: sync_every.max(1),
+            pending: 0,
+            appended: 0,
+        })
+    }
+
+    /// Appends one entry as a single JSON line, syncing when the batch
+    /// fills.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the entry does not
+    /// serialize, and the transient [`Error::Io`] on write failures.
+    pub fn append<E: Serialize>(&mut self, entry: &E) -> Result<(), Error> {
+        let line = serde_json::to_string(entry)
+            .map_err(|e| Error::invalid("journal.entry", format!("not serializable: {e}")))?;
+        debug_assert!(!line.contains('\n'), "serde_json output is single-line");
+        writeln!(self.writer, "{line}").map_err(|e| self.io_error("journal append", e))?;
+        self.pending += 1;
+        self.appended += 1;
+        if self.pending >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered entries and forces them to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transient [`Error::Io`] on flush or fsync failure.
+    pub fn sync(&mut self) -> Result<(), Error> {
+        self.writer
+            .flush()
+            .map_err(|e| self.io_error("journal flush", e))?;
+        self.writer
+            .get_ref()
+            .sync_data()
+            .map_err(|e| self.io_error("journal fsync", e))?;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// How many entries have been appended through this writer.
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn io_error(&self, operation: &str, e: std::io::Error) -> Error {
+        Error::io(
+            format!("{operation} `{}`", self.path.display()),
+            e.to_string(),
+        )
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        // Best-effort durability on clean shutdown; a crash skips this
+        // and resume re-evaluates the unflushed batch.
+        let _ = self.sync();
+    }
+}
+
+/// Reads every entry of a journal, dropping a torn trailing line.
+///
+/// A missing file reads as empty (a resume before any checkpoint was
+/// written is a fresh start, not an error).
+///
+/// # Errors
+///
+/// Returns the transient [`Error::Io`] on read failures, and
+/// [`Error::InvalidParameter`] when a line *before* the last fails to
+/// parse — that is corruption, not a crash artifact.
+pub fn read_journal<E: DeserializeOwned>(path: impl AsRef<Path>) -> Result<Vec<E>, Error> {
+    let path = path.as_ref();
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(Error::io(
+                format!("journal open `{}`", path.display()),
+                e.to_string(),
+            ))
+        }
+    };
+    let reader = BufReader::new(file);
+    let lines: Vec<String> = reader
+        .lines()
+        .collect::<Result<_, _>>()
+        .map_err(|e| Error::io(format!("journal read `{}`", path.display()), e.to_string()))?;
+
+    let mut entries = Vec::with_capacity(lines.len());
+    let last = lines.len().saturating_sub(1);
+    for (index, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str(line) {
+            Ok(entry) => entries.push(entry),
+            // The torn tail of a crashed append: resume re-does that task.
+            Err(_) if index == last => break,
+            Err(e) => {
+                return Err(Error::invalid(
+                    format!("journal `{}`", path.display()),
+                    format!("corrupt entry at line {}: {e}", index + 1),
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Entry {
+        id: u32,
+        label: String,
+    }
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ssdep-journal-{name}-{}.jsonl", std::process::id()))
+    }
+
+    fn entries(n: u32) -> Vec<Entry> {
+        (0..n)
+            .map(|id| Entry {
+                id,
+                label: format!("task-{id}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_entry() {
+        let path = temp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let written = entries(10);
+        {
+            let mut writer = JournalWriter::open(&path, 4).unwrap();
+            for entry in &written {
+                writer.append(entry).unwrap();
+            }
+            writer.sync().unwrap();
+            assert_eq!(writer.appended(), 10);
+        }
+        let back: Vec<Entry> = read_journal(&path).unwrap();
+        assert_eq!(back, written);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_journal_reads_as_empty() {
+        let back: Vec<Entry> = read_journal("/nonexistent/ssdep-no-journal.jsonl").unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_mid_file_corruption_is_fatal() {
+        let path = temp("torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut writer = JournalWriter::open(&path, 1).unwrap();
+            for entry in entries(3) {
+                writer.append(&entry).unwrap();
+            }
+        }
+        // Tear the final line as a crash mid-append would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let torn = &text[..text.len() - 8];
+        std::fs::write(&path, torn).unwrap();
+        let back: Vec<Entry> = read_journal(&path).unwrap();
+        assert_eq!(back, entries(2), "torn tail must be dropped");
+
+        // Corruption before the tail is an error, not a silent skip.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[0] = "{ this is not json";
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let err = read_journal::<Entry>(&path).unwrap_err();
+        assert!(err.to_string().contains("corrupt entry at line 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopening_appends_rather_than_truncates() {
+        let path = temp("reopen");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut writer = JournalWriter::open(&path, 2).unwrap();
+            writer.append(&entries(1)[0]).unwrap();
+        }
+        {
+            let mut writer = JournalWriter::open(&path, 2).unwrap();
+            writer
+                .append(&Entry {
+                    id: 99,
+                    label: "resumed".into(),
+                })
+                .unwrap();
+        }
+        let back: Vec<Entry> = read_journal(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].id, 99);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -13,7 +13,11 @@
 //!   expected annual cost) and a coordinate-descent hill climber that
 //!   reaches comparable answers with a fraction of the evaluations;
 //! * [`pareto`] — the outlay-versus-penalty (and RTO/RPO) frontier, for
-//!   when the decision is a trade-off rather than one number.
+//!   when the decision is a trade-off rather than one number;
+//! * [`supervisor`] + [`journal`] — a crash-tolerant batch engine that
+//!   runs sweeps and searches with panic isolation, per-task deadlines,
+//!   transient-failure retries, and an append-only checkpoint journal so
+//!   a killed run resumes without repeating completed evaluations.
 //!
 //! ```
 //! use ssdep_opt::space::DesignSpace;
@@ -36,11 +40,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod journal;
 pub mod pareto;
 pub mod search;
 pub mod space;
+pub mod supervisor;
 pub mod sweep;
 
-pub use search::{exhaustive, hill_climb, CandidateOutcome, SearchResult};
+pub use search::{
+    exhaustive, hill_climb, supervised_exhaustive, CandidateOutcome, SearchResult,
+    SupervisedSearchResult,
+};
 pub use space::{Candidate, DesignSpace};
-pub use sweep::{sweep, SweepPoint};
+pub use supervisor::{
+    FailedOutcome, FailureKind, Provenance, SupervisedRun, Supervisor, SupervisorConfig,
+};
+pub use sweep::{sweep, SweepPoint, SweepSeries};

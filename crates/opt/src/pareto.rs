@@ -6,6 +6,7 @@
 //! axes, which is how a storage administrator would actually choose.
 
 use crate::search::CandidateOutcome;
+use crate::supervisor::Provenance;
 
 /// Returns the subset of `outcomes` on the Pareto frontier of
 /// `(objective_a, objective_b)` (both minimized), in ascending order of
@@ -56,6 +57,70 @@ pub fn rto_rpo_front(outcomes: &[CandidateOutcome]) -> Vec<&CandidateOutcome> {
         |o| o.worst_recovery_time.as_secs(),
         |o| o.worst_data_loss.as_secs(),
     )
+}
+
+/// A Pareto frontier qualified by the provenance of the evaluation run
+/// it was computed over.
+///
+/// A frontier over a degraded run (quarantined candidates) is a frontier
+/// over the *survivors only* — a missing candidate could have dominated
+/// members of the front. The qualification makes that explicit instead
+/// of letting a partial frontier masquerade as the full one.
+#[derive(Debug, Clone)]
+pub struct QualifiedFront<'a> {
+    /// The non-dominated surviving candidates, ascending in the first
+    /// objective.
+    pub members: Vec<&'a CandidateOutcome>,
+    /// How many evaluated outcomes the front was computed over.
+    pub surviving: usize,
+    /// How many candidates are unrepresented (quarantined by the
+    /// supervisor).
+    pub missing: usize,
+}
+
+impl QualifiedFront<'_> {
+    /// Whether the front covers every requested candidate.
+    pub fn is_complete(&self) -> bool {
+        self.missing == 0
+    }
+
+    /// A caveat line for display when the front is partial, e.g.
+    /// `"frontier covers 14 of 16 candidates (2 failed)"`.
+    pub fn caveat(&self) -> Option<String> {
+        if self.is_complete() {
+            return None;
+        }
+        Some(format!(
+            "frontier covers {} of {} candidates ({} failed)",
+            self.surviving,
+            self.surviving + self.missing,
+            self.missing
+        ))
+    }
+}
+
+/// [`cost_risk_front`] with explicit provenance of missing candidates.
+pub fn qualified_cost_risk_front<'a>(
+    outcomes: &'a [CandidateOutcome],
+    provenance: &Provenance,
+) -> QualifiedFront<'a> {
+    QualifiedFront {
+        members: cost_risk_front(outcomes),
+        surviving: outcomes.len(),
+        missing: provenance.failed,
+    }
+}
+
+/// [`rto_rpo_front`] with explicit provenance of missing candidates.
+pub fn qualified_rto_rpo_front<'a>(
+    outcomes: &'a [CandidateOutcome],
+    provenance: &Provenance,
+) -> QualifiedFront<'a> {
+    QualifiedFront {
+        members: rto_rpo_front(outcomes),
+        surviving: outcomes.len(),
+        missing: provenance.failed,
+    }
 }
 
 #[cfg(test)]
@@ -131,8 +196,35 @@ mod tests {
         let min_loss = outcomes
             .iter()
             .map(|o| o.worst_data_loss)
-            .fold(ssdep_core::units::TimeDelta::from_years(100.0), |a, b| a.min(b));
+            .fold(ssdep_core::units::TimeDelta::from_years(100.0), |a, b| {
+                a.min(b)
+            });
         assert!(front.iter().any(|o| o.worst_data_loss == min_loss));
+    }
+
+    #[test]
+    fn qualified_fronts_carry_their_caveat() {
+        let outcomes = outcomes();
+        let complete = Provenance {
+            total: outcomes.len(),
+            evaluated: outcomes.len(),
+            ..Provenance::default()
+        };
+        let front = qualified_cost_risk_front(&outcomes, &complete);
+        assert!(front.is_complete());
+        assert!(front.caveat().is_none());
+        assert_eq!(front.members.len(), cost_risk_front(&outcomes).len());
+
+        let degraded = Provenance {
+            total: outcomes.len() + 2,
+            evaluated: outcomes.len(),
+            failed: 2,
+            ..Provenance::default()
+        };
+        let partial = qualified_rto_rpo_front(&outcomes, &degraded);
+        assert!(!partial.is_complete());
+        let caveat = partial.caveat().unwrap();
+        assert!(caveat.contains("2 failed"), "{caveat}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! rather than ranked.
 
 use crate::space::{Candidate, DesignSpace};
+use crate::supervisor::{FailedOutcome, Provenance, Supervisor};
 use serde::{Deserialize, Serialize};
 use ssdep_core::analysis::{expected_annual_cost, WeightedScenario};
 use ssdep_core::error::Error;
@@ -135,8 +136,112 @@ pub fn exhaustive(
             }),
         }
     }
-    ranked.sort_by(|a, b| a.expected_total.value().total_cmp(&b.expected_total.value()));
-    Ok(SearchResult { ranked, infeasible, evaluations })
+    ranked.sort_by(|a, b| {
+        a.expected_total
+            .value()
+            .total_cmp(&b.expected_total.value())
+    });
+    Ok(SearchResult {
+        ranked,
+        infeasible,
+        evaluations,
+    })
+}
+
+/// The journaled outcome of one supervised candidate evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SearchOutcome {
+    /// The candidate evaluated.
+    Evaluated(CandidateOutcome),
+    /// The candidate was deterministically infeasible — the same
+    /// taxonomy [`exhaustive`] reports, preserved through the journal.
+    Infeasible {
+        /// The candidate's label.
+        label: String,
+        /// The evaluation error, rendered.
+        reason: String,
+    },
+}
+
+/// A supervised search's result: the ranking, the quarantined
+/// candidates, and where everything came from.
+#[derive(Debug, Clone)]
+pub struct SupervisedSearchResult {
+    /// The ranking over the surviving candidates — identical in shape to
+    /// [`exhaustive`]'s result, with `evaluations` counting only the
+    /// evaluations *this process* performed (resumed outcomes replay
+    /// from the journal without re-evaluating).
+    pub result: SearchResult,
+    /// Candidates quarantined by the supervisor (panics, deadline
+    /// misses, exhausted transient retries).
+    pub failed: Vec<FailedOutcome<Candidate>>,
+    /// Result provenance.
+    pub provenance: Provenance,
+}
+
+/// Runs [`exhaustive`] under a [`Supervisor`]: panic isolation and
+/// deadline budgets per candidate, transient-failure retries, and
+/// checkpoint/resume via the supervisor's journal.
+///
+/// Infeasible candidates keep their [`exhaustive`] semantics — they land
+/// in [`SearchResult::infeasible`], not in quarantine; the quarantine
+/// holds only supervisor-level failures. When any candidate is
+/// quarantined, the ranking and any frontier derived from it cover only
+/// the survivors — [`Provenance::is_complete`] says which case you are
+/// in.
+///
+/// # Errors
+///
+/// Returns journal I/O and serialization errors only — per-candidate
+/// failures never abort the search.
+pub fn supervised_exhaustive(
+    space: &DesignSpace,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+    supervisor: &Supervisor,
+) -> Result<SupervisedSearchResult, Error> {
+    let candidates: Vec<Candidate> = space.candidates().collect();
+    let workload = workload.clone();
+    let requirements = *requirements;
+    let scenarios = scenarios.to_vec();
+    let run = supervisor.run(&candidates, move |candidate: &Candidate| {
+        match evaluate_candidate(candidate, &workload, &requirements, &scenarios) {
+            Ok(outcome) => Ok(SearchOutcome::Evaluated(outcome)),
+            // Transient failures bubble to the supervisor's retry loop;
+            // deterministic ones are the candidate's honest verdict.
+            Err(error) if error.is_transient() => Err(error),
+            Err(error) => Ok(SearchOutcome::Infeasible {
+                label: candidate.label(),
+                reason: error.to_string(),
+            }),
+        }
+    })?;
+
+    let mut ranked = Vec::new();
+    let mut infeasible = Vec::new();
+    for (_, outcome) in run.completed {
+        match outcome {
+            SearchOutcome::Evaluated(outcome) => ranked.push(outcome),
+            SearchOutcome::Infeasible { label, reason } => {
+                infeasible.push(InfeasibleCandidate { label, reason })
+            }
+        }
+    }
+    ranked.sort_by(|a, b| {
+        a.expected_total
+            .value()
+            .total_cmp(&b.expected_total.value())
+    });
+    Ok(SupervisedSearchResult {
+        result: SearchResult {
+            ranked,
+            infeasible,
+            evaluations: run.provenance.evaluated,
+        },
+        failed: run.failed,
+        provenance: run.provenance,
+    })
 }
 
 /// Coordinate-descent hill climbing: starting from the first coherent
@@ -160,8 +265,8 @@ pub fn hill_climb(
     let mut infeasible = Vec::new();
 
     let score = |candidate: &Candidate,
-                     evaluations: &mut usize,
-                     infeasible: &mut Vec<InfeasibleCandidate>|
+                 evaluations: &mut usize,
+                 infeasible: &mut Vec<InfeasibleCandidate>|
      -> Option<CandidateOutcome> {
         if !candidate.is_coherent() {
             return None;
@@ -188,7 +293,11 @@ pub fn hill_climb(
         }
     }
     let Some(mut current) = current else {
-        return Ok(SearchResult { ranked: Vec::new(), infeasible, evaluations });
+        return Ok(SearchResult {
+            ranked: Vec::new(),
+            infeasible,
+            evaluations,
+        });
     };
 
     loop {
@@ -196,13 +305,21 @@ pub fn hill_climb(
         for dimension in 0..4 {
             let base = current.candidate;
             let options: Vec<Candidate> = match dimension {
-                0 => space.pit.iter().map(|&pit| Candidate { pit, ..base }).collect(),
+                0 => space
+                    .pit
+                    .iter()
+                    .map(|&pit| Candidate { pit, ..base })
+                    .collect(),
                 1 => space
                     .backup
                     .iter()
                     .map(|&backup| Candidate { backup, ..base })
                     .collect(),
-                2 => space.vault.iter().map(|&vault| Candidate { vault, ..base }).collect(),
+                2 => space
+                    .vault
+                    .iter()
+                    .map(|&vault| Candidate { vault, ..base })
+                    .collect(),
                 _ => space
                     .mirror
                     .iter()
@@ -226,7 +343,11 @@ pub fn hill_climb(
         }
     }
 
-    Ok(SearchResult { ranked: vec![current], infeasible, evaluations })
+    Ok(SearchResult {
+        ranked: vec![current],
+        infeasible,
+        evaluations,
+    })
 }
 
 /// Multi-start hill climbing: run [`hill_climb`]'s coordinate descent
@@ -246,7 +367,11 @@ pub fn multi_start_hill_climb(
 ) -> Result<SearchResult, Error> {
     let candidates: Vec<Candidate> = space.candidates().collect();
     if candidates.is_empty() || restarts == 0 {
-        return Ok(SearchResult { ranked: Vec::new(), infeasible: Vec::new(), evaluations: 0 });
+        return Ok(SearchResult {
+            ranked: Vec::new(),
+            infeasible: Vec::new(),
+            evaluations: 0,
+        });
     }
     let stride = (candidates.len() / restarts).max(1);
 
@@ -320,8 +445,7 @@ mod tests {
         // ~half-million-dollar mirror does not pay for itself; crank the
         // frequencies up and it must win.
         let (workload, requirements, rare) = fixture();
-        let result =
-            exhaustive(&DesignSpace::minimal(), &workload, &requirements, &rare).unwrap();
+        let result = exhaustive(&DesignSpace::minimal(), &workload, &requirements, &rare).unwrap();
         let best_rare = result.best().expect("some candidate is feasible");
         assert!(
             !best_rare.label.contains("batch"),
@@ -367,15 +491,16 @@ mod tests {
     fn objectives_filter_identifies_fast_recovery_designs() {
         let (workload, _, scenarios) = fixture();
         let strict = BusinessRequirements::builder()
-            .unavailability_penalty_rate(
-                ssdep_core::units::MoneyRate::from_dollars_per_hour(50_000.0),
-            )
-            .loss_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(50_000.0))
+            .unavailability_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(
+                50_000.0,
+            ))
+            .loss_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(
+                50_000.0,
+            ))
             .recovery_point_objective(TimeDelta::from_hours(1.0))
             .build()
             .unwrap();
-        let result =
-            exhaustive(&DesignSpace::minimal(), &workload, &strict, &scenarios).unwrap();
+        let result = exhaustive(&DesignSpace::minimal(), &workload, &strict, &scenarios).unwrap();
         let meeting = result.best_meeting_objectives();
         // Only mirrored designs can hold data loss under an hour.
         if let Some(best) = meeting {
@@ -420,6 +545,58 @@ mod tests {
         .unwrap();
         assert!(result.ranked.is_empty());
         assert_eq!(result.evaluations, 0);
+    }
+
+    #[test]
+    fn supervised_search_matches_exhaustive_and_resumes() {
+        let (workload, requirements, scenarios) = fixture();
+        let space = DesignSpace::minimal();
+        let plain = exhaustive(&space, &workload, &requirements, &scenarios).unwrap();
+
+        let path = std::env::temp_dir().join(format!(
+            "ssdep-search-supervised-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let config = crate::supervisor::SupervisorConfig {
+            checkpoint: Some(path.clone()),
+            resume: Some(path.clone()),
+            ..crate::supervisor::SupervisorConfig::default()
+        };
+        let supervised = supervised_exhaustive(
+            &space,
+            &workload,
+            &requirements,
+            &scenarios,
+            &Supervisor::new(config.clone()),
+        )
+        .unwrap();
+        assert!(supervised.failed.is_empty());
+        assert!(supervised.provenance.is_complete());
+        assert_eq!(supervised.result.evaluations, space.len());
+        assert_eq!(supervised.result.ranked.len(), plain.ranked.len());
+        assert_eq!(supervised.result.infeasible.len(), plain.infeasible.len());
+        for (a, b) in supervised.result.ranked.iter().zip(&plain.ranked) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.expected_total, b.expected_total);
+        }
+
+        // Resume: every outcome replays; the ranking is bit-for-bit.
+        let resumed = supervised_exhaustive(
+            &space,
+            &workload,
+            &requirements,
+            &scenarios,
+            &Supervisor::new(config),
+        )
+        .unwrap();
+        assert_eq!(resumed.provenance.resumed, space.len());
+        assert_eq!(resumed.result.evaluations, 0, "nothing re-evaluates");
+        for (a, b) in resumed.result.ranked.iter().zip(&plain.ranked) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.expected_total, b.expected_total);
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -113,10 +113,10 @@ impl Candidate {
         let has_secondary = !matches!(self.pit, PitChoice::None)
             || !matches!(self.backup, BackupChoice::None)
             || !matches!(self.mirror, MirrorChoice::None);
-        let vault_ok = matches!(self.vault, VaultChoice::None)
-            || !matches!(self.backup, BackupChoice::None);
-        let backup_ok = matches!(self.backup, BackupChoice::None)
-            || !matches!(self.pit, PitChoice::None);
+        let vault_ok =
+            matches!(self.vault, VaultChoice::None) || !matches!(self.backup, BackupChoice::None);
+        let backup_ok =
+            matches!(self.backup, BackupChoice::None) || !matches!(self.pit, PitChoice::None);
         has_secondary && vault_ok && backup_ok
     }
 
@@ -126,16 +126,22 @@ impl Candidate {
         let mut parts: Vec<String> = Vec::new();
         match self.pit {
             PitChoice::None => {}
-            PitChoice::SplitMirror { acc_hours, retained } => {
-                parts.push(format!("mirror{acc_hours}h x{retained}"))
-            }
-            PitChoice::Snapshot { acc_hours, retained } => {
-                parts.push(format!("snap{acc_hours}h x{retained}"))
-            }
+            PitChoice::SplitMirror {
+                acc_hours,
+                retained,
+            } => parts.push(format!("mirror{acc_hours}h x{retained}")),
+            PitChoice::Snapshot {
+                acc_hours,
+                retained,
+            } => parts.push(format!("snap{acc_hours}h x{retained}")),
         }
         match self.backup {
             BackupChoice::None => {}
-            BackupChoice::Fulls { acc_hours, daily_incrementals, .. } => {
+            BackupChoice::Fulls {
+                acc_hours,
+                daily_incrementals,
+                ..
+            } => {
                 if daily_incrementals > 0 {
                     parts.push(format!("fulls{acc_hours}h+{daily_incrementals}i"));
                 } else {
@@ -179,7 +185,10 @@ impl Candidate {
 
         match self.pit {
             PitChoice::None => {}
-            PitChoice::SplitMirror { acc_hours, retained } => {
+            PitChoice::SplitMirror {
+                acc_hours,
+                retained,
+            } => {
                 let params = pit_params(acc_hours, retained)?;
                 builder.add_level(Level::new(
                     "split mirror",
@@ -187,7 +196,10 @@ impl Candidate {
                     array,
                 ));
             }
-            PitChoice::Snapshot { acc_hours, retained } => {
+            PitChoice::Snapshot {
+                acc_hours,
+                retained,
+            } => {
                 let params = pit_params(acc_hours, retained)?;
                 builder.add_level(Level::new(
                     "virtual snapshot",
@@ -198,8 +210,12 @@ impl Candidate {
         }
 
         let mut backup_built = false;
-        if let BackupChoice::Fulls { acc_hours, prop_hours, retained, daily_incrementals } =
-            self.backup
+        if let BackupChoice::Fulls {
+            acc_hours,
+            prop_hours,
+            retained,
+            daily_incrementals,
+        } = self.backup
         {
             let tape = builder.add_device(ssdep_core::presets::tape_library_spec())?;
             let full = ProtectionParams::builder()
@@ -226,7 +242,12 @@ impl Candidate {
             backup_built = true;
         }
 
-        if let VaultChoice::Ship { acc_weeks, hold_hours, retained } = self.vault {
+        if let VaultChoice::Ship {
+            acc_weeks,
+            hold_hours,
+            retained,
+        } = self.vault
+        {
             if !backup_built {
                 return Err(Error::invalid(
                     "candidate.vault",
@@ -338,8 +359,14 @@ impl DesignSpace {
     pub fn minimal() -> DesignSpace {
         DesignSpace {
             pit: vec![
-                PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
-                PitChoice::Snapshot { acc_hours: 12.0, retained: 4 },
+                PitChoice::SplitMirror {
+                    acc_hours: 12.0,
+                    retained: 4,
+                },
+                PitChoice::Snapshot {
+                    acc_hours: 12.0,
+                    retained: 4,
+                },
             ],
             backup: vec![
                 BackupChoice::Fulls {
@@ -356,12 +383,23 @@ impl DesignSpace {
                 },
             ],
             vault: vec![
-                VaultChoice::Ship { acc_weeks: 4.0, hold_hours: 684.0, retained: 39 },
-                VaultChoice::Ship { acc_weeks: 1.0, hold_hours: 12.0, retained: 156 },
+                VaultChoice::Ship {
+                    acc_weeks: 4.0,
+                    hold_hours: 684.0,
+                    retained: 39,
+                },
+                VaultChoice::Ship {
+                    acc_weeks: 1.0,
+                    hold_hours: 12.0,
+                    retained: 156,
+                },
             ],
             mirror: vec![
                 MirrorChoice::None,
-                MirrorChoice::Batched { acc_minutes: 1.0, links: 1 },
+                MirrorChoice::Batched {
+                    acc_minutes: 1.0,
+                    links: 1,
+                },
             ],
         }
     }
@@ -371,10 +409,22 @@ impl DesignSpace {
         DesignSpace {
             pit: vec![
                 PitChoice::None,
-                PitChoice::SplitMirror { acc_hours: 6.0, retained: 4 },
-                PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
-                PitChoice::Snapshot { acc_hours: 6.0, retained: 8 },
-                PitChoice::Snapshot { acc_hours: 12.0, retained: 4 },
+                PitChoice::SplitMirror {
+                    acc_hours: 6.0,
+                    retained: 4,
+                },
+                PitChoice::SplitMirror {
+                    acc_hours: 12.0,
+                    retained: 4,
+                },
+                PitChoice::Snapshot {
+                    acc_hours: 6.0,
+                    retained: 8,
+                },
+                PitChoice::Snapshot {
+                    acc_hours: 12.0,
+                    retained: 4,
+                },
             ],
             backup: vec![
                 BackupChoice::None,
@@ -399,14 +449,28 @@ impl DesignSpace {
             ],
             vault: vec![
                 VaultChoice::None,
-                VaultChoice::Ship { acc_weeks: 4.0, hold_hours: 684.0, retained: 39 },
-                VaultChoice::Ship { acc_weeks: 1.0, hold_hours: 12.0, retained: 156 },
+                VaultChoice::Ship {
+                    acc_weeks: 4.0,
+                    hold_hours: 684.0,
+                    retained: 39,
+                },
+                VaultChoice::Ship {
+                    acc_weeks: 1.0,
+                    hold_hours: 12.0,
+                    retained: 156,
+                },
             ],
             mirror: vec![
                 MirrorChoice::None,
                 MirrorChoice::Synchronous { links: 1 },
-                MirrorChoice::Batched { acc_minutes: 1.0, links: 1 },
-                MirrorChoice::Batched { acc_minutes: 1.0, links: 10 },
+                MirrorChoice::Batched {
+                    acc_minutes: 1.0,
+                    links: 1,
+                },
+                MirrorChoice::Batched {
+                    acc_minutes: 1.0,
+                    links: 10,
+                },
             ],
         }
     }
@@ -417,7 +481,12 @@ impl DesignSpace {
             self.backup.iter().flat_map(move |&backup| {
                 self.vault.iter().flat_map(move |&vault| {
                     self.mirror.iter().filter_map(move |&mirror| {
-                        let candidate = Candidate { pit, backup, vault, mirror };
+                        let candidate = Candidate {
+                            pit,
+                            backup,
+                            vault,
+                            mirror,
+                        };
                         candidate.is_coherent().then_some(candidate)
                     })
                 })
@@ -451,7 +520,10 @@ mod tests {
     fn broad_space_filters_incoherent_combinations() {
         let space = DesignSpace::broad();
         let total = 5 * 4 * 3 * 4;
-        assert!(space.len() < total, "incoherent combinations must be dropped");
+        assert!(
+            space.len() < total,
+            "incoherent combinations must be dropped"
+        );
         for candidate in space.candidates() {
             assert!(candidate.is_coherent());
         }
@@ -460,9 +532,16 @@ mod tests {
     #[test]
     fn vault_without_backup_is_incoherent() {
         let candidate = Candidate {
-            pit: PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
+            pit: PitChoice::SplitMirror {
+                acc_hours: 12.0,
+                retained: 4,
+            },
             backup: BackupChoice::None,
-            vault: VaultChoice::Ship { acc_weeks: 4.0, hold_hours: 684.0, retained: 39 },
+            vault: VaultChoice::Ship {
+                acc_weeks: 4.0,
+                hold_hours: 684.0,
+                retained: 39,
+            },
             mirror: MirrorChoice::None,
         };
         assert!(!candidate.is_coherent());
@@ -516,14 +595,21 @@ mod tests {
     #[test]
     fn baseline_candidate_reproduces_the_baseline_design_shape() {
         let candidate = Candidate {
-            pit: PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
+            pit: PitChoice::SplitMirror {
+                acc_hours: 12.0,
+                retained: 4,
+            },
             backup: BackupChoice::Fulls {
                 acc_hours: 168.0,
                 prop_hours: 48.0,
                 retained: 4,
                 daily_incrementals: 0,
             },
-            vault: VaultChoice::Ship { acc_weeks: 4.0, hold_hours: 684.0, retained: 39 },
+            vault: VaultChoice::Ship {
+                acc_weeks: 4.0,
+                hold_hours: 684.0,
+                retained: 39,
+            },
             mirror: MirrorChoice::None,
         };
         let design = candidate.materialize().unwrap();
@@ -536,7 +622,10 @@ mod tests {
     #[test]
     fn labels_are_descriptive() {
         let candidate = Candidate {
-            pit: PitChoice::Snapshot { acc_hours: 6.0, retained: 8 },
+            pit: PitChoice::Snapshot {
+                acc_hours: 6.0,
+                retained: 8,
+            },
             backup: BackupChoice::Fulls {
                 acc_hours: 24.0,
                 prop_hours: 12.0,
@@ -544,7 +633,10 @@ mod tests {
                 daily_incrementals: 5,
             },
             vault: VaultChoice::None,
-            mirror: MirrorChoice::Batched { acc_minutes: 1.0, links: 10 },
+            mirror: MirrorChoice::Batched {
+                acc_minutes: 1.0,
+                links: 10,
+            },
         };
         let label = candidate.label();
         assert!(label.contains("snap6h"));

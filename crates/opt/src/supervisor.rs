@@ -1,0 +1,678 @@
+//! Crash-tolerant batch evaluation for sweeps and design-space search.
+//!
+//! The paper's payoff is evaluating *many* candidate designs; at scale,
+//! one poisoned candidate must not take the whole run down with it. The
+//! supervisor runs each task under panic isolation with an optional
+//! per-task deadline, retries transient failures with the shared
+//! [`RetryPolicy`] backoff, quarantines everything else into a typed
+//! [`FailedOutcome`], and journals completed tasks to an append-only
+//! checkpoint ([`crate::journal`]) so a killed process resumes with its
+//! finished work intact — bit-for-bit, because resumed outcomes are
+//! replayed from the journal rather than re-evaluated.
+//!
+//! Results always carry [`Provenance`]: how many tasks were requested,
+//! resumed, freshly evaluated, retried, and quarantined — so a degraded
+//! run is never silently presented as complete.
+
+use crate::journal::{read_journal, JournalWriter};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use ssdep_core::error::{Error, RetryPolicy};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a task was quarantined instead of completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The evaluation panicked; the panic was caught and isolated.
+    Panicked,
+    /// The evaluation returned an error that retries could not clear.
+    Errored,
+    /// The evaluation ran past its per-task deadline budget.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panicked => f.write_str("panicked"),
+            FailureKind::Errored => f.write_str("errored"),
+            FailureKind::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+/// One quarantined task: the candidate that failed, how, and after how
+/// many attempts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedOutcome<T> {
+    /// The task that failed.
+    pub candidate: T,
+    /// The failure, rendered.
+    pub error: String,
+    /// How many evaluation attempts were made.
+    pub attempts: u32,
+    /// The failure classification.
+    pub kind: FailureKind,
+}
+
+/// One journaled task record: exactly what the run produced for one
+/// item, replayed verbatim on resume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskRecord<T, O> {
+    /// The task completed with an outcome.
+    Completed {
+        /// The evaluated item.
+        item: T,
+        /// Its outcome.
+        outcome: O,
+    },
+    /// The task was quarantined.
+    Failed(FailedOutcome<T>),
+}
+
+impl<T: Serialize, O> TaskRecord<T, O> {
+    fn key(&self) -> Result<String, Error> {
+        match self {
+            TaskRecord::Completed { item, .. } => task_key(item),
+            TaskRecord::Failed(failed) => task_key(&failed.candidate),
+        }
+    }
+}
+
+/// The identity of a task inside a journal: its canonical JSON
+/// rendering. Two items resume-match exactly when they serialize
+/// identically.
+fn task_key<T: Serialize>(item: &T) -> Result<String, Error> {
+    serde_json::to_string(item)
+        .map_err(|e| Error::invalid("supervisor.task", format!("not serializable: {e}")))
+}
+
+/// Where each part of a supervised run's result came from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Tasks requested.
+    pub total: usize,
+    /// Outcomes replayed from the resume journal.
+    pub resumed: usize,
+    /// Fresh evaluations performed by this process.
+    pub evaluated: usize,
+    /// Transient-failure retries performed across all tasks.
+    pub retries: usize,
+    /// Tasks quarantined as [`FailedOutcome`]s (resumed or fresh).
+    pub failed: usize,
+}
+
+impl Provenance {
+    /// Tasks that produced a usable outcome.
+    pub fn completed(&self) -> usize {
+        self.total - self.failed
+    }
+
+    /// Whether every requested task completed — when false, downstream
+    /// rankings and frontiers cover only the surviving outcomes.
+    pub fn is_complete(&self) -> bool {
+        self.failed == 0
+    }
+
+    /// A one-line human summary, e.g.
+    /// `"16 tasks: 12 evaluated, 4 resumed, 0 failed (2 retries)"`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} tasks: {} evaluated, {} resumed, {} failed ({} retr{})",
+            self.total,
+            self.evaluated,
+            self.resumed,
+            self.failed,
+            self.retries,
+            if self.retries == 1 { "y" } else { "ies" },
+        )
+    }
+}
+
+/// The result of a supervised run.
+#[derive(Debug, Clone)]
+pub struct SupervisedRun<T, O> {
+    /// Tasks that completed, in input order, with their outcomes.
+    pub completed: Vec<(T, O)>,
+    /// Quarantined tasks, in input order.
+    pub failed: Vec<FailedOutcome<T>>,
+    /// Where the results came from.
+    pub provenance: Provenance,
+}
+
+/// Configuration for a [`Supervisor`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Per-task wall-clock budget. Tasks running past it are
+    /// quarantined as [`FailureKind::DeadlineExceeded`]. `None` (the
+    /// default) runs tasks inline with no timeout.
+    pub deadline: Option<Duration>,
+    /// Retry policy for transient ([`Error::is_transient`]) failures.
+    pub retry: RetryPolicy,
+    /// Journal to append completed tasks to (created if absent).
+    pub checkpoint: Option<PathBuf>,
+    /// Journal to replay completed tasks from before evaluating.
+    pub resume: Option<PathBuf>,
+    /// How many journal appends to batch between `fsync`s.
+    pub sync_every: usize,
+    /// Test hook: abort the process (as a crash would) immediately
+    /// after this many fresh journal appends have been made durable.
+    #[doc(hidden)]
+    pub crash_after_journaled: Option<usize>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            deadline: None,
+            retry: RetryPolicy::new(2),
+            checkpoint: None,
+            resume: None,
+            sync_every: 8,
+            crash_after_journaled: None,
+        }
+    }
+}
+
+/// A fault-tolerant batch evaluation engine — see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+}
+
+impl Supervisor {
+    /// A supervisor with the given configuration.
+    pub fn new(config: SupervisorConfig) -> Supervisor {
+        Supervisor { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Runs `eval` over every item, isolating panics, enforcing the
+    /// deadline budget, retrying transient errors, journaling progress,
+    /// and replaying any resumed outcomes.
+    ///
+    /// The `eval` closure returns `Ok(outcome)` for a finished task and
+    /// `Err` for failures; only transient errors are retried, so
+    /// closures should fold *expected* domain failures (e.g. an
+    /// infeasible candidate) into the outcome type rather than
+    /// returning them as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns journal I/O and serialization errors — per-task
+    /// evaluation failures never abort the run.
+    pub fn run<T, O, F>(&self, items: &[T], eval: F) -> Result<SupervisedRun<T, O>, Error>
+    where
+        T: Clone + Send + Serialize + DeserializeOwned + 'static,
+        O: Send + Serialize + DeserializeOwned + 'static,
+        F: Fn(&T) -> Result<O, Error> + Send + Sync + 'static,
+    {
+        let eval = Arc::new(eval);
+
+        // Replay journaled outcomes: last record per key wins, so a
+        // journal that was appended to across several resumes stays
+        // consistent.
+        let mut replay: HashMap<String, TaskRecord<T, O>> = HashMap::new();
+        if let Some(resume) = &self.config.resume {
+            for record in read_journal::<TaskRecord<T, O>>(resume)? {
+                replay.insert(record.key()?, record);
+            }
+        }
+
+        // Re-journal replayed records only when the checkpoint is a
+        // different file — same-file resume already holds them.
+        let rejournal_resumed = match (&self.config.checkpoint, &self.config.resume) {
+            (Some(checkpoint), Some(resume)) => checkpoint != resume,
+            _ => false,
+        };
+        let mut journal = match &self.config.checkpoint {
+            Some(path) => Some(JournalWriter::open(path, self.config.sync_every)?),
+            None => None,
+        };
+
+        let mut completed = Vec::new();
+        let mut failed = Vec::new();
+        let mut provenance = Provenance {
+            total: items.len(),
+            ..Provenance::default()
+        };
+        let mut fresh_journaled = 0usize;
+
+        for item in items {
+            let key = task_key(item)?;
+            let record = if let Some(replayed) = replay.remove(&key) {
+                provenance.resumed += 1;
+                if rejournal_resumed {
+                    if let Some(journal) = journal.as_mut() {
+                        journal.append(&replayed)?;
+                    }
+                }
+                replayed
+            } else {
+                let (outcome, attempts) = self.evaluate_isolated(item, &eval);
+                provenance.evaluated += 1;
+                provenance.retries += attempts.saturating_sub(1) as usize;
+                let record = match outcome {
+                    Ok(outcome) => TaskRecord::Completed {
+                        item: item.clone(),
+                        outcome,
+                    },
+                    Err((kind, error)) => TaskRecord::Failed(FailedOutcome {
+                        candidate: item.clone(),
+                        error,
+                        attempts,
+                        kind,
+                    }),
+                };
+                if let Some(journal) = journal.as_mut() {
+                    journal.append(&record)?;
+                    fresh_journaled += 1;
+                    if self.config.crash_after_journaled == Some(fresh_journaled) {
+                        // Emulate a kill arriving just after an fsync:
+                        // make this batch durable, then die without any
+                        // graceful shutdown.
+                        journal.sync()?;
+                        std::process::abort();
+                    }
+                }
+                record
+            };
+            match record {
+                TaskRecord::Completed { item, outcome } => completed.push((item, outcome)),
+                TaskRecord::Failed(outcome) => {
+                    provenance.failed += 1;
+                    failed.push(outcome);
+                }
+            }
+        }
+
+        if let Some(journal) = journal.as_mut() {
+            journal.sync()?;
+        }
+        Ok(SupervisedRun {
+            completed,
+            failed,
+            provenance,
+        })
+    }
+
+    /// Evaluates one item with isolation, deadline, and retries; returns
+    /// the outcome (or failure) and the number of attempts made.
+    fn evaluate_isolated<T, O, F>(
+        &self,
+        item: &T,
+        eval: &Arc<F>,
+    ) -> (Result<O, (FailureKind, String)>, u32)
+    where
+        T: Clone + Send + 'static,
+        O: Send + 'static,
+        F: Fn(&T) -> Result<O, Error> + Send + Sync + 'static,
+    {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.attempt_once(item, eval) {
+                Attempt::Completed(outcome) => return (Ok(outcome), attempt),
+                Attempt::Errored(e)
+                    if e.is_transient() && attempt <= self.config.retry.max_retries =>
+                {
+                    std::thread::sleep(self.config.retry.delay_for(attempt));
+                }
+                Attempt::Errored(e) => {
+                    let error = e.with_attempts(attempt).to_string();
+                    return (Err((FailureKind::Errored, error)), attempt);
+                }
+                Attempt::Panicked(message) => {
+                    return (Err((FailureKind::Panicked, message)), attempt)
+                }
+                Attempt::TimedOut(budget) => {
+                    let error = format!(
+                        "evaluation exceeded its deadline budget of {:.3} s",
+                        budget.as_secs_f64()
+                    );
+                    return (Err((FailureKind::DeadlineExceeded, error)), attempt);
+                }
+            }
+        }
+    }
+
+    fn attempt_once<T, O, F>(&self, item: &T, eval: &Arc<F>) -> Attempt<O>
+    where
+        T: Clone + Send + 'static,
+        O: Send + 'static,
+        F: Fn(&T) -> Result<O, Error> + Send + Sync + 'static,
+    {
+        let Some(deadline) = self.config.deadline else {
+            // No deadline: run inline under catch_unwind. AssertUnwindSafe
+            // is sound because a panicked evaluation's partial state is
+            // discarded wholesale — nothing of it is observed afterwards.
+            return match catch_unwind(AssertUnwindSafe(|| eval(item))) {
+                Ok(Ok(outcome)) => Attempt::Completed(outcome),
+                Ok(Err(e)) => Attempt::Errored(e),
+                Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
+            };
+        };
+
+        // With a deadline, the attempt runs on its own thread so a
+        // runaway evaluation can be abandoned. An abandoned thread is
+        // detached, not killed — it wastes CPU until it finishes, but
+        // the evaluations are pure so it cannot corrupt shared state.
+        let (sender, receiver) = mpsc::channel();
+        let worker_eval = Arc::clone(eval);
+        let worker_item = item.clone();
+        let spawned = std::thread::Builder::new()
+            .name("ssdep-supervised-eval".into())
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| worker_eval(&worker_item)));
+                let _ = sender.send(result);
+            });
+        let handle = match spawned {
+            Ok(handle) => handle,
+            Err(e) => return Attempt::Errored(Error::io("supervisor thread spawn", e.to_string())),
+        };
+        match receiver.recv_timeout(deadline) {
+            Ok(result) => {
+                let _ = handle.join();
+                match result {
+                    Ok(Ok(outcome)) => Attempt::Completed(outcome),
+                    Ok(Err(e)) => Attempt::Errored(e),
+                    Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                drop(handle);
+                Attempt::TimedOut(deadline)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = handle.join();
+                Attempt::Panicked("evaluation thread died without reporting".to_string())
+            }
+        }
+    }
+}
+
+enum Attempt<O> {
+    Completed(O),
+    Errored(Error),
+    Panicked(String),
+    TimedOut(Duration),
+}
+
+/// Renders a caught panic payload (the common `&str`/`String` payloads;
+/// anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ssdep-supervisor-{name}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn square(items: &[u32]) -> Vec<(u32, u64)> {
+        items
+            .iter()
+            .map(|&i| (i, u64::from(i) * u64::from(i)))
+            .collect()
+    }
+
+    #[test]
+    fn plain_run_completes_everything() {
+        let supervisor = Supervisor::default();
+        let items: Vec<u32> = (0..10).collect();
+        let run = supervisor
+            .run(&items, |&i: &u32| Ok(u64::from(i) * u64::from(i)))
+            .unwrap();
+        assert_eq!(run.completed, square(&items));
+        assert!(run.failed.is_empty());
+        assert_eq!(run.provenance.total, 10);
+        assert_eq!(run.provenance.evaluated, 10);
+        assert!(run.provenance.is_complete());
+    }
+
+    #[test]
+    fn panicking_task_is_quarantined_not_fatal() {
+        let supervisor = Supervisor::default();
+        let items: Vec<u32> = (0..6).collect();
+        let run = supervisor
+            .run(&items, |&i: &u32| {
+                assert!(i != 3, "poisoned task");
+                Ok(i)
+            })
+            .unwrap();
+        assert_eq!(run.completed.len(), 5);
+        assert_eq!(run.failed.len(), 1);
+        let failure = &run.failed[0];
+        assert_eq!(failure.candidate, 3);
+        assert_eq!(failure.kind, FailureKind::Panicked);
+        assert!(failure.error.contains("poisoned task"), "{}", failure.error);
+        assert_eq!(failure.attempts, 1, "panics are not retried");
+        assert_eq!(run.provenance.failed, 1);
+        assert!(!run.provenance.is_complete());
+    }
+
+    #[test]
+    fn transient_errors_are_retried_then_succeed() {
+        let supervisor = Supervisor::new(SupervisorConfig {
+            retry: RetryPolicy::immediate(3),
+            ..SupervisorConfig::default()
+        });
+        let flaky_calls = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&flaky_calls);
+        let run = supervisor
+            .run(&[7u32], move |&i: &u32| {
+                if counter.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(Error::io("flaky source", "simulated"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap();
+        assert_eq!(run.completed, vec![(7, 7)]);
+        assert_eq!(run.provenance.retries, 2);
+        assert_eq!(flaky_calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn permanent_errors_are_quarantined_without_retry() {
+        let supervisor = Supervisor::new(SupervisorConfig {
+            retry: RetryPolicy::immediate(5),
+            ..SupervisorConfig::default()
+        });
+        let calls = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&calls);
+        let run = supervisor
+            .run::<u32, u32, _>(&[1], move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                Err(Error::invalid("model", "deterministically broken"))
+            })
+            .unwrap();
+        assert_eq!(run.failed.len(), 1);
+        assert_eq!(run.failed[0].kind, FailureKind::Errored);
+        assert_eq!(run.failed[0].attempts, 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn exhausted_transient_retries_quarantine_with_attempt_count() {
+        let supervisor = Supervisor::new(SupervisorConfig {
+            retry: RetryPolicy::immediate(2),
+            ..SupervisorConfig::default()
+        });
+        let run = supervisor
+            .run::<u32, u32, _>(&[1], |_| Err(Error::io("dead source", "always down")))
+            .unwrap();
+        let failure = &run.failed[0];
+        assert_eq!(failure.kind, FailureKind::Errored);
+        assert_eq!(failure.attempts, 3);
+        assert!(
+            failure.error.contains("after 3 attempts"),
+            "{}",
+            failure.error
+        );
+    }
+
+    #[test]
+    fn deadline_quarantines_runaway_tasks() {
+        let supervisor = Supervisor::new(SupervisorConfig {
+            deadline: Some(Duration::from_millis(40)),
+            ..SupervisorConfig::default()
+        });
+        let items: Vec<u32> = vec![1, 2, 3];
+        let run = supervisor
+            .run(&items, |&i: &u32| {
+                if i == 2 {
+                    std::thread::sleep(Duration::from_secs(5));
+                }
+                Ok(i)
+            })
+            .unwrap();
+        assert_eq!(run.completed.len(), 2);
+        assert_eq!(run.failed.len(), 1);
+        assert_eq!(run.failed[0].candidate, 2);
+        assert_eq!(run.failed[0].kind, FailureKind::DeadlineExceeded);
+        assert!(
+            run.failed[0].error.contains("deadline"),
+            "{}",
+            run.failed[0].error
+        );
+    }
+
+    #[test]
+    fn checkpoint_then_resume_replays_bit_for_bit() {
+        let path = temp("resume");
+        std::fs::remove_file(&path).ok();
+        let items: Vec<u32> = (0..8).collect();
+
+        let config = SupervisorConfig {
+            checkpoint: Some(path.clone()),
+            resume: Some(path.clone()),
+            sync_every: 1,
+            ..SupervisorConfig::default()
+        };
+        let first = Supervisor::new(config.clone())
+            .run(&items[..5], |&i: &u32| Ok(u64::from(i) * u64::from(i)))
+            .unwrap();
+        assert_eq!(first.provenance.evaluated, 5);
+
+        // Second process: full item list, same journal. The five
+        // journaled outcomes replay; evaluation would now produce a
+        // *different* answer — replay must win for bit-for-bit resume.
+        let resumed = Supervisor::new(config)
+            .run(&items, |&i: &u32| Ok(u64::from(i) * u64::from(i) + 1_000))
+            .unwrap();
+        assert_eq!(resumed.provenance.resumed, 5);
+        assert_eq!(resumed.provenance.evaluated, 3);
+        for (item, outcome) in &resumed.completed {
+            let expected = if *item < 5 {
+                u64::from(*item) * u64::from(*item)
+            } else {
+                u64::from(*item) * u64::from(*item) + 1_000
+            };
+            assert_eq!(*outcome, expected, "item {item}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_into_a_fresh_checkpoint_copies_history() {
+        let old = temp("resume-old");
+        let new = temp("resume-new");
+        std::fs::remove_file(&old).ok();
+        std::fs::remove_file(&new).ok();
+        let items: Vec<u32> = (0..4).collect();
+        Supervisor::new(SupervisorConfig {
+            checkpoint: Some(old.clone()),
+            ..SupervisorConfig::default()
+        })
+        .run(&items[..2], |&i: &u32| Ok(i))
+        .unwrap();
+
+        Supervisor::new(SupervisorConfig {
+            checkpoint: Some(new.clone()),
+            resume: Some(old.clone()),
+            ..SupervisorConfig::default()
+        })
+        .run(&items, |&i: &u32| Ok(i))
+        .unwrap();
+
+        // The new checkpoint is self-contained: resuming from it alone
+        // replays everything.
+        let third = Supervisor::new(SupervisorConfig {
+            resume: Some(new.clone()),
+            ..SupervisorConfig::default()
+        })
+        .run(&items, |&i: &u32| Ok(i + 100))
+        .unwrap();
+        assert_eq!(third.provenance.resumed, 4);
+        assert_eq!(third.provenance.evaluated, 0);
+        std::fs::remove_file(&old).ok();
+        std::fs::remove_file(&new).ok();
+    }
+
+    #[test]
+    fn failed_outcomes_are_journaled_and_replayed() {
+        let path = temp("failed-replay");
+        std::fs::remove_file(&path).ok();
+        let config = SupervisorConfig {
+            checkpoint: Some(path.clone()),
+            resume: Some(path.clone()),
+            ..SupervisorConfig::default()
+        };
+        let first = Supervisor::new(config.clone())
+            .run(&[1u32, 2, 3], |&i: &u32| {
+                assert!(i != 2, "poison");
+                Ok(i)
+            })
+            .unwrap();
+        assert_eq!(first.failed.len(), 1);
+
+        // On resume the quarantine replays — the poison is not retried.
+        let resumed = Supervisor::new(config)
+            .run(&[1u32, 2, 3], |&i: &u32| Ok(i))
+            .unwrap();
+        assert_eq!(resumed.provenance.resumed, 3);
+        assert_eq!(resumed.provenance.evaluated, 0);
+        assert_eq!(resumed.failed.len(), 1);
+        assert_eq!(resumed.failed[0].candidate, 2);
+        assert_eq!(resumed.failed[0].kind, FailureKind::Panicked);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn provenance_summary_reads_well() {
+        let provenance = Provenance {
+            total: 16,
+            resumed: 4,
+            evaluated: 12,
+            retries: 1,
+            failed: 2,
+        };
+        let text = provenance.summary();
+        assert!(text.contains("16 tasks"), "{text}");
+        assert!(text.contains("1 retry"), "{text}");
+        assert_eq!(provenance.completed(), 14);
+    }
+}

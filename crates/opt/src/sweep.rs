@@ -6,6 +6,7 @@
 //! under a scenario set, so a sweep is a row of what-if experiments with
 //! a shared axis.
 
+use crate::supervisor::{FailedOutcome, Provenance, Supervisor};
 use serde::{Deserialize, Serialize};
 use ssdep_core::analysis::{expected_annual_cost, WeightedScenario};
 use ssdep_core::error::Error;
@@ -33,138 +34,299 @@ pub struct SweepPoint {
     pub worst_data_loss: TimeDelta,
 }
 
+/// A point where the sweep's design could not be built or evaluated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrokenPoint {
+    /// The swept parameter's value at this point.
+    pub value: f64,
+    /// The failure, rendered.
+    pub reason: String,
+}
+
+/// A sweep's result: the evaluated points plus any broken ones.
+///
+/// A broken point is *recorded*, never silently dropped — axis coverage
+/// is part of the answer, and [`SweepSeries::is_complete`] says whether
+/// the series covers every requested value.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepSeries {
+    /// The points that evaluated, in axis order.
+    pub points: Vec<SweepPoint>,
+    /// The points that broke, in axis order.
+    pub broken: Vec<BrokenPoint>,
+}
+
+impl SweepSeries {
+    /// Whether every requested value produced a point.
+    pub fn is_complete(&self) -> bool {
+        self.broken.is_empty()
+    }
+}
+
+/// Evaluates one sweep point.
+fn evaluate_point<F>(
+    value: f64,
+    make: &F,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<SweepPoint, Error>
+where
+    F: Fn(f64) -> Result<StorageDesign, Error>,
+{
+    let design = make(value)?;
+    let expected = expected_annual_cost(&design, workload, requirements, scenarios)?;
+    let mut worst_recovery_time = TimeDelta::ZERO;
+    let mut worst_data_loss = TimeDelta::ZERO;
+    for (_, evaluation) in &expected.evaluations {
+        worst_recovery_time = worst_recovery_time.max(evaluation.recovery.total_time);
+        worst_data_loss = worst_data_loss.max(evaluation.loss.worst_loss);
+    }
+    Ok(SweepPoint {
+        value,
+        label: design.name().to_string(),
+        outlays: expected.outlays,
+        expected_penalties: expected.expected_penalties,
+        expected_total: expected.total(),
+        worst_recovery_time,
+        worst_data_loss,
+    })
+}
+
 /// Evaluates `make(value)` for every value, producing the sweep series.
 ///
-/// # Errors
-///
-/// Propagates design-construction and evaluation errors — a sweep with a
-/// broken point is reported, not silently truncated.
+/// A value whose design fails to build or evaluate becomes a
+/// [`BrokenPoint`] and the sweep continues — a broken point is reported
+/// alongside the series, not allowed to abort the remaining axis.
 pub fn sweep<F>(
     values: &[f64],
     make: F,
     workload: &Workload,
     requirements: &BusinessRequirements,
     scenarios: &[WeightedScenario],
-) -> Result<Vec<SweepPoint>, Error>
+) -> SweepSeries
 where
     F: Fn(f64) -> Result<StorageDesign, Error>,
 {
-    let mut points = Vec::with_capacity(values.len());
+    let mut series = SweepSeries::default();
     for &value in values {
-        let design = make(value)?;
-        let expected = expected_annual_cost(&design, workload, requirements, scenarios)?;
-        let mut worst_recovery_time = TimeDelta::ZERO;
-        let mut worst_data_loss = TimeDelta::ZERO;
-        for (_, evaluation) in &expected.evaluations {
-            worst_recovery_time = worst_recovery_time.max(evaluation.recovery.total_time);
-            worst_data_loss = worst_data_loss.max(evaluation.loss.worst_loss);
+        match evaluate_point(value, &make, workload, requirements, scenarios) {
+            Ok(point) => series.points.push(point),
+            Err(error) => series.broken.push(BrokenPoint {
+                value,
+                reason: error.to_string(),
+            }),
         }
-        points.push(SweepPoint {
-            value,
-            label: design.name().to_string(),
-            outlays: expected.outlays,
-            expected_penalties: expected.expected_penalties,
-            expected_total: expected.total(),
-            worst_recovery_time,
-            worst_data_loss,
-        });
     }
-    Ok(points)
+    series
+}
+
+/// One task of a supervised sweep: the axis name plus the value, so the
+/// checkpoint journal is self-describing and resume-matching is exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepTask {
+    /// The axis being swept (e.g. `"links"`).
+    pub axis: String,
+    /// The swept parameter's value.
+    pub value: f64,
+}
+
+/// The journaled outcome of one supervised sweep task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SweepOutcome {
+    /// The point evaluated.
+    Evaluated(SweepPoint),
+    /// The point broke deterministically (design construction or
+    /// evaluation rejected it).
+    Broken {
+        /// The failure, rendered.
+        reason: String,
+    },
+}
+
+/// A supervised sweep's result: the series, the quarantined tasks, and
+/// where everything came from.
+#[derive(Debug, Clone)]
+pub struct SupervisedSweep {
+    /// The evaluated + broken points.
+    pub series: SweepSeries,
+    /// Tasks quarantined by the supervisor (panics, deadline misses,
+    /// exhausted transient retries).
+    pub failed: Vec<FailedOutcome<SweepTask>>,
+    /// Result provenance.
+    pub provenance: Provenance,
+}
+
+/// Runs [`sweep`] under a [`Supervisor`]: panic isolation and deadline
+/// budgets per point, transient-failure retries, and checkpoint/resume
+/// via the supervisor's journal.
+///
+/// Deterministically broken points keep their [`sweep`] semantics — they
+/// land in [`SweepSeries::broken`], not in quarantine; the quarantine
+/// holds only supervisor-level failures (panics, deadlines, exhausted
+/// retries).
+///
+/// # Errors
+///
+/// Returns journal I/O and serialization errors only — per-point
+/// failures never abort the sweep.
+pub fn supervised_sweep<F>(
+    axis: &str,
+    values: &[f64],
+    make: F,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+    supervisor: &Supervisor,
+) -> Result<SupervisedSweep, Error>
+where
+    F: Fn(f64) -> Result<StorageDesign, Error> + Send + Sync + 'static,
+{
+    let tasks: Vec<SweepTask> = values
+        .iter()
+        .map(|&value| SweepTask {
+            axis: axis.to_string(),
+            value,
+        })
+        .collect();
+    let workload = workload.clone();
+    let requirements = *requirements;
+    let scenarios = scenarios.to_vec();
+    let run = supervisor.run(&tasks, move |task: &SweepTask| {
+        match evaluate_point(task.value, &make, &workload, &requirements, &scenarios) {
+            Ok(point) => Ok(SweepOutcome::Evaluated(point)),
+            // Transient failures bubble to the supervisor's retry loop;
+            // deterministic ones are the point's honest outcome.
+            Err(error) if error.is_transient() => Err(error),
+            Err(error) => Ok(SweepOutcome::Broken {
+                reason: error.to_string(),
+            }),
+        }
+    })?;
+
+    let mut series = SweepSeries::default();
+    for (task, outcome) in run.completed {
+        match outcome {
+            SweepOutcome::Evaluated(point) => series.points.push(point),
+            SweepOutcome::Broken { reason } => series.broken.push(BrokenPoint {
+                value: task.value,
+                reason,
+            }),
+        }
+    }
+    Ok(SupervisedSweep {
+        series,
+        failed: run.failed,
+        provenance: run.provenance,
+    })
 }
 
 /// Sweep the number of WAN links in the batched-mirror design
 /// (Table 7's 1-vs-10-links comparison as a full series).
-///
-/// # Errors
-///
-/// As [`sweep`].
 pub fn sweep_mirror_links(
     links: &[u32],
     workload: &Workload,
     requirements: &BusinessRequirements,
     scenarios: &[WeightedScenario],
-) -> Result<Vec<SweepPoint>, Error> {
+) -> SweepSeries {
     let values: Vec<f64> = links.iter().map(|&l| l as f64).collect();
     sweep(
         &values,
-        |value| Ok(ssdep_core::presets::async_batch_mirror_design(value as u32)),
+        mirror_links_design,
         workload,
         requirements,
         scenarios,
     )
+}
+
+/// The design factory behind [`sweep_mirror_links`].
+pub fn mirror_links_design(value: f64) -> Result<StorageDesign, Error> {
+    Ok(ssdep_core::presets::async_batch_mirror_design(value as u32))
 }
 
 /// Sweep the vaulting interval (weeks) on the baseline design, keeping
 /// three years of retention (the Table 7 "weekly vault" knob as a
 /// series).
-///
-/// # Errors
-///
-/// As [`sweep`].
 pub fn sweep_vault_interval(
     weeks: &[f64],
     workload: &Workload,
     requirements: &BusinessRequirements,
     scenarios: &[WeightedScenario],
-) -> Result<Vec<SweepPoint>, Error> {
-    use crate::space::{BackupChoice, Candidate, MirrorChoice, PitChoice, VaultChoice};
+) -> SweepSeries {
     sweep(
         weeks,
-        |weeks| {
-            let retained = ((156.0 / weeks).round() as u32).max(2);
-            Candidate {
-                pit: PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
-                backup: BackupChoice::Fulls {
-                    acc_hours: 168.0,
-                    prop_hours: 48.0,
-                    retained: 4,
-                    daily_incrementals: 0,
-                },
-                vault: VaultChoice::Ship { acc_weeks: weeks, hold_hours: 12.0, retained },
-                mirror: MirrorChoice::None,
-            }
-            .materialize()
-        },
+        vault_interval_design,
         workload,
         requirements,
         scenarios,
     )
 }
 
+/// The design factory behind [`sweep_vault_interval`].
+pub fn vault_interval_design(weeks: f64) -> Result<StorageDesign, Error> {
+    use crate::space::{BackupChoice, Candidate, MirrorChoice, PitChoice, VaultChoice};
+    let retained = ((156.0 / weeks).round() as u32).max(2);
+    Candidate {
+        pit: PitChoice::SplitMirror {
+            acc_hours: 12.0,
+            retained: 4,
+        },
+        backup: BackupChoice::Fulls {
+            acc_hours: 168.0,
+            prop_hours: 48.0,
+            retained: 4,
+            daily_incrementals: 0,
+        },
+        vault: VaultChoice::Ship {
+            acc_weeks: weeks,
+            hold_hours: 12.0,
+            retained,
+        },
+        mirror: MirrorChoice::None,
+    }
+    .materialize()
+}
+
 /// Sweep the full-backup interval (hours) with matching four-week
 /// retention — the weekly-vs-daily-fulls knob as a series.
-///
-/// # Errors
-///
-/// As [`sweep`].
 pub fn sweep_backup_interval(
     hours: &[f64],
     workload: &Workload,
     requirements: &BusinessRequirements,
     scenarios: &[WeightedScenario],
-) -> Result<Vec<SweepPoint>, Error> {
-    use crate::space::{BackupChoice, Candidate, MirrorChoice, PitChoice, VaultChoice};
+) -> SweepSeries {
     sweep(
         hours,
-        |acc_hours| {
-            let retained = ((672.0 / acc_hours).round() as u32).max(2);
-            Candidate {
-                pit: PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
-                backup: BackupChoice::Fulls {
-                    acc_hours,
-                    prop_hours: (acc_hours / 2.0).min(48.0),
-                    retained,
-                    daily_incrementals: 0,
-                },
-                vault: VaultChoice::Ship { acc_weeks: 1.0, hold_hours: 12.0, retained: 156 },
-                mirror: MirrorChoice::None,
-            }
-            .materialize()
-        },
+        backup_interval_design,
         workload,
         requirements,
         scenarios,
     )
+}
+
+/// The design factory behind [`sweep_backup_interval`].
+pub fn backup_interval_design(acc_hours: f64) -> Result<StorageDesign, Error> {
+    use crate::space::{BackupChoice, Candidate, MirrorChoice, PitChoice, VaultChoice};
+    let retained = ((672.0 / acc_hours).round() as u32).max(2);
+    Candidate {
+        pit: PitChoice::SplitMirror {
+            acc_hours: 12.0,
+            retained: 4,
+        },
+        backup: BackupChoice::Fulls {
+            acc_hours,
+            prop_hours: (acc_hours / 2.0).min(48.0),
+            retained,
+            daily_incrementals: 0,
+        },
+        vault: VaultChoice::Ship {
+            acc_weeks: 1.0,
+            hold_hours: 12.0,
+            retained: 156,
+        },
+        mirror: MirrorChoice::None,
+    }
+    .materialize()
 }
 
 /// One point of a dataset-growth sweep: at `factor ×` today's workload,
@@ -246,7 +408,10 @@ pub fn sweep_growth(
                 });
             }
             Err(error @ Error::Overutilized { .. }) => {
-                points.push(GrowthPoint::Infeasible { factor, reason: error.to_string() });
+                points.push(GrowthPoint::Infeasible {
+                    factor,
+                    reason: error.to_string(),
+                });
             }
             Err(other) => return Err(other),
         }
@@ -295,8 +460,9 @@ mod tests {
     fn link_sweep_trades_outlays_for_recovery_time() {
         let (workload, requirements, scenarios) = fixture();
         let hw_only: Vec<WeightedScenario> = scenarios.into_iter().skip(1).collect();
-        let points =
-            sweep_mirror_links(&[1, 2, 4, 8, 16], &workload, &requirements, &hw_only).unwrap();
+        let series = sweep_mirror_links(&[1, 2, 4, 8, 16], &workload, &requirements, &hw_only);
+        assert!(series.is_complete());
+        let points = series.points;
         assert_eq!(points.len(), 5);
         for pair in points.windows(2) {
             assert!(pair[1].outlays > pair[0].outlays, "links cost money");
@@ -315,7 +481,8 @@ mod tests {
     fn vault_interval_sweep_moves_site_loss_linearly() {
         let (workload, requirements, scenarios) = fixture();
         let points =
-            sweep_vault_interval(&[1.0, 2.0, 4.0], &workload, &requirements, &scenarios).unwrap();
+            sweep_vault_interval(&[1.0, 2.0, 4.0], &workload, &requirements, &scenarios).points;
+        assert_eq!(points.len(), 3);
         for pair in points.windows(2) {
             assert!(
                 pair[1].worst_data_loss > pair[0].worst_data_loss,
@@ -335,7 +502,8 @@ mod tests {
             &requirements,
             &scenarios,
         )
-        .unwrap();
+        .points;
+        assert_eq!(points.len(), 4);
         for pair in points.windows(2) {
             assert!(pair[1].worst_data_loss >= pair[0].worst_data_loss);
         }
@@ -382,23 +550,98 @@ mod tests {
     fn render_produces_one_row_per_point() {
         let (workload, requirements, scenarios) = fixture();
         let hw_only: Vec<WeightedScenario> = scenarios.into_iter().skip(1).collect();
-        let points = sweep_mirror_links(&[1, 10], &workload, &requirements, &hw_only).unwrap();
+        let points = sweep_mirror_links(&[1, 10], &workload, &requirements, &hw_only).points;
         let text = render(&points, "links");
         assert_eq!(text.lines().count(), 4, "{text}");
         assert!(text.contains("links"));
     }
 
     #[test]
-    fn broken_points_propagate_errors() {
+    fn broken_points_are_recorded_and_the_sweep_continues() {
         let (workload, requirements, scenarios) = fixture();
-        let err = sweep(
-            &[1.0],
-            |_| Err(ssdep_core::Error::invalid("sweep.test", "intentional")),
+        let hw_only: Vec<WeightedScenario> = scenarios.into_iter().skip(1).collect();
+        let series = sweep(
+            &[1.0, 2.0, 4.0],
+            |value| {
+                if value == 2.0 {
+                    Err(ssdep_core::Error::invalid("sweep.test", "intentional"))
+                } else {
+                    mirror_links_design(value)
+                }
+            },
             &workload,
             &requirements,
-            &scenarios,
+            &hw_only,
+        );
+        assert!(!series.is_complete());
+        assert_eq!(
+            series.points.len(),
+            2,
+            "the rest of the axis still evaluates"
+        );
+        assert_eq!(series.broken.len(), 1);
+        assert_eq!(series.broken[0].value, 2.0);
+        assert!(series.broken[0].reason.contains("intentional"));
+    }
+
+    #[test]
+    fn supervised_sweep_matches_the_plain_sweep_and_checkpoints() {
+        let (workload, requirements, scenarios) = fixture();
+        let hw_only: Vec<WeightedScenario> = scenarios.into_iter().skip(1).collect();
+        let links = [1.0, 4.0, 16.0];
+        let plain = sweep(
+            &links,
+            mirror_links_design,
+            &workload,
+            &requirements,
+            &hw_only,
+        );
+
+        let path = std::env::temp_dir().join(format!(
+            "ssdep-sweep-supervised-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let config = crate::supervisor::SupervisorConfig {
+            checkpoint: Some(path.clone()),
+            resume: Some(path.clone()),
+            ..crate::supervisor::SupervisorConfig::default()
+        };
+        let supervised = supervised_sweep(
+            "links",
+            &links,
+            mirror_links_design,
+            &workload,
+            &requirements,
+            &hw_only,
+            &Supervisor::new(config.clone()),
         )
-        .unwrap_err();
-        assert!(err.to_string().contains("intentional"));
+        .unwrap();
+        assert!(supervised.failed.is_empty());
+        assert_eq!(supervised.provenance.evaluated, 3);
+        assert_eq!(
+            render(&supervised.series.points, "links"),
+            render(&plain.points, "links"),
+            "supervision must not change the numbers"
+        );
+
+        // Resume: everything replays, nothing re-evaluates.
+        let resumed = supervised_sweep(
+            "links",
+            &links,
+            mirror_links_design,
+            &workload,
+            &requirements,
+            &hw_only,
+            &Supervisor::new(config),
+        )
+        .unwrap();
+        assert_eq!(resumed.provenance.resumed, 3);
+        assert_eq!(resumed.provenance.evaluated, 0);
+        assert_eq!(
+            render(&resumed.series.points, "links"),
+            render(&plain.points, "links")
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

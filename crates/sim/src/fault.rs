@@ -342,7 +342,9 @@ mod tests {
     fn device_fault_maps_to_the_levels_it_backs() {
         let design = ssdep_core::presets::baseline_design();
         let plan = plan_one(
-            FaultTarget::Device { name: "tape library".into() },
+            FaultTarget::Device {
+                name: "tape library".into(),
+            },
             FaultKind::PermanentDestruction,
         );
         let resolved = plan.resolve(&design).unwrap();
@@ -361,7 +363,9 @@ mod tests {
         let design = ssdep_core::presets::baseline_design();
         let plan = plan_one(
             FaultTarget::Level { index: 2 },
-            FaultKind::TransientOutage { repair_after: TimeDelta::from_hours(6.0) },
+            FaultKind::TransientOutage {
+                repair_after: TimeDelta::from_hours(6.0),
+            },
         );
         let resolved = plan.resolve(&design).unwrap();
         assert_eq!(resolved[0].levels, vec![2]);
@@ -371,7 +375,9 @@ mod tests {
     fn site_scope_strikes_every_colocated_level() {
         let design = ssdep_core::presets::baseline_design();
         let plan = plan_one(
-            FaultTarget::Scope { scope: FailureScope::Site },
+            FaultTarget::Scope {
+                scope: FailureScope::Site,
+            },
             FaultKind::PermanentDestruction,
         );
         let resolved = plan.resolve(&design).unwrap();
@@ -385,7 +391,9 @@ mod tests {
     fn unknown_device_is_rejected_with_its_name() {
         let design = ssdep_core::presets::baseline_design();
         let plan = plan_one(
-            FaultTarget::Device { name: "quantum drive".into() },
+            FaultTarget::Device {
+                name: "quantum drive".into(),
+            },
             FaultKind::PermanentDestruction,
         );
         let err = plan.resolve(&design).unwrap_err();
@@ -413,7 +421,9 @@ mod tests {
         // devices fall inside it.
         let plan = plan_one(
             FaultTarget::Scope {
-                scope: FailureScope::DataObject { size: ssdep_core::units::Bytes::from_gib(1.0) },
+                scope: FailureScope::DataObject {
+                    size: ssdep_core::units::Bytes::from_gib(1.0),
+                },
             },
             FaultKind::PermanentDestruction,
         );
@@ -433,20 +443,31 @@ mod tests {
             target: target(),
             kind: FaultKind::PermanentDestruction,
         });
-        assert!(matches!(plan.resolve(&design), Err(Error::NonFiniteInput { .. })));
+        assert!(matches!(
+            plan.resolve(&design),
+            Err(Error::NonFiniteInput { .. })
+        ));
 
         let plan = FaultPlan::new().with_fault(InjectedFault {
             at: TimeDelta::from_secs(-5.0),
             target: target(),
             kind: FaultKind::PermanentDestruction,
         });
-        assert!(matches!(plan.resolve(&design), Err(Error::InvalidParameter { .. })));
+        assert!(matches!(
+            plan.resolve(&design),
+            Err(Error::InvalidParameter { .. })
+        ));
 
         let plan = plan_one(
             target(),
-            FaultKind::TransientOutage { repair_after: TimeDelta::from_secs(f64::INFINITY) },
+            FaultKind::TransientOutage {
+                repair_after: TimeDelta::from_secs(f64::INFINITY),
+            },
         );
-        assert!(matches!(plan.resolve(&design), Err(Error::NonFiniteInput { .. })));
+        assert!(matches!(
+            plan.resolve(&design),
+            Err(Error::NonFiniteInput { .. })
+        ));
 
         for factor in [0.0, -0.5, 1.5, f64::NAN] {
             let plan = plan_one(
@@ -471,7 +492,9 @@ mod tests {
             })
             .with_fault(InjectedFault {
                 at: TimeDelta::from_hours(2.0),
-                target: FaultTarget::Device { name: "missing".into() },
+                target: FaultTarget::Device {
+                    name: "missing".into(),
+                },
                 kind: FaultKind::PermanentDestruction,
             });
         assert!(matches!(
@@ -481,16 +504,41 @@ mod tests {
     }
 
     #[test]
+    fn resolution_errors_are_permanent_never_retried() {
+        // The evaluation supervisor retries transient failures; a fault
+        // plan that names a nonexistent device is deterministically
+        // wrong and must classify as permanent so supervised runs
+        // quarantine it immediately instead of retrying.
+        let design = ssdep_core::presets::baseline_design();
+        let plan = FaultPlan::new().with_fault(InjectedFault {
+            at: TimeDelta::from_hours(1.0),
+            target: FaultTarget::Device {
+                name: "missing".into(),
+            },
+            kind: FaultKind::PermanentDestruction,
+        });
+        let err = plan.resolve(&design).unwrap_err();
+        assert_eq!(err.class(), ssdep_core::ErrorClass::Permanent);
+        assert!(!err.is_transient());
+    }
+
+    #[test]
     fn plans_roundtrip_through_serde() {
         let plan = FaultPlan::new()
             .with_fault(InjectedFault {
                 at: TimeDelta::from_hours(12.0),
-                target: FaultTarget::Device { name: "tape library".into() },
-                kind: FaultKind::TransientOutage { repair_after: TimeDelta::from_hours(4.0) },
+                target: FaultTarget::Device {
+                    name: "tape library".into(),
+                },
+                kind: FaultKind::TransientOutage {
+                    repair_after: TimeDelta::from_hours(4.0),
+                },
             })
             .with_fault(InjectedFault {
                 at: TimeDelta::from_days(2.0),
-                target: FaultTarget::Scope { scope: FailureScope::Site },
+                target: FaultTarget::Scope {
+                    scope: FailureScope::Site,
+                },
                 kind: FaultKind::PermanentDestruction,
             })
             .with_fault(InjectedFault {

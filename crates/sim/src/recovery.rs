@@ -71,7 +71,9 @@ pub fn simulate_failure(
         }
     }
     let Some((source_level, loss, rp_index)) = best else {
-        return Err(Error::NoRecoverySource { target: scenario.to_string() });
+        return Err(Error::NoRecoverySource {
+            target: scenario.to_string(),
+        });
     };
 
     let needed = scenario.recovery_size(workload.data_capacity());
@@ -124,7 +126,12 @@ mod tests {
         )
         .unwrap()
         .run();
-        Fixture { design, workload, demands, report }
+        Fixture {
+            design,
+            workload,
+            demands,
+            report,
+        }
     }
 
     #[test]
@@ -146,7 +153,10 @@ mod tests {
             .unwrap()
             .worst_loss;
         assert!(outcome.observed_loss <= analytic);
-        assert!(outcome.observed_loss > TimeDelta::from_hours(40.0), "backups lag days");
+        assert!(
+            outcome.observed_loss > TimeDelta::from_hours(40.0),
+            "backups lag days"
+        );
         assert_eq!(outcome.restore_bytes, fixture.workload.data_capacity());
         assert!(outcome.recovery.total_time > TimeDelta::from_hours(1.0));
     }
@@ -155,8 +165,12 @@ mod tests {
     fn object_rollback_uses_the_split_mirror() {
         let fixture = baseline(8.0);
         let scenario = FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         );
         let t = TimeDelta::from_weeks(7.0).as_secs();
         let outcome = simulate_failure(

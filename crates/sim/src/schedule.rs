@@ -129,7 +129,9 @@ pub fn level_model(technique: &Technique, workload: &Workload) -> Result<LevelMo
             }
         }
         Technique::RemoteMirror(m) => match m.mode() {
-            MirrorMode::Synchronous => LevelModel::Continuous { lag: TimeDelta::ZERO },
+            MirrorMode::Synchronous => LevelModel::Continuous {
+                lag: TimeDelta::ZERO,
+            },
             MirrorMode::Asynchronous { write_lag } => LevelModel::Continuous { lag: *write_lag },
             MirrorMode::Batched { params } => LevelModel::Scheduled {
                 period: params.accumulation_window(),
@@ -228,7 +230,13 @@ mod tests {
         let models = baseline_models();
         assert!(matches!(models[0], LevelModel::Primary));
         match &models[1] {
-            LevelModel::Scheduled { period, retention, reps, full_transfer_window, .. } => {
+            LevelModel::Scheduled {
+                period,
+                retention,
+                reps,
+                full_transfer_window,
+                ..
+            } => {
                 assert_eq!(*period, TimeDelta::from_hours(12.0));
                 assert_eq!(*retention, 4);
                 assert_eq!(reps.len(), 1);
@@ -239,7 +247,13 @@ mod tests {
             other => panic!("split mirror should be scheduled, got {other:?}"),
         }
         match &models[3] {
-            LevelModel::Scheduled { period, retention, reps, full_transfer_window, .. } => {
+            LevelModel::Scheduled {
+                period,
+                retention,
+                reps,
+                full_transfer_window,
+                ..
+            } => {
                 assert_eq!(*period, TimeDelta::from_weeks(4.0));
                 assert_eq!(*retention, 39);
                 assert_eq!(*full_transfer_window, None);
@@ -259,7 +273,12 @@ mod tests {
         let design = ssdep_core::presets::weekly_vault_full_incremental_design();
         let model = level_model(design.levels()[2].technique(), &workload).unwrap();
         match model {
-            LevelModel::Scheduled { period, reps, retention, .. } => {
+            LevelModel::Scheduled {
+                period,
+                reps,
+                retention,
+                ..
+            } => {
                 // 6 captures per one-week cycle → 28-hour spacing.
                 assert_eq!(reps.len(), 6);
                 assert!((period.as_hours() - 28.0).abs() < 1e-9);
@@ -279,7 +298,12 @@ mod tests {
         let design = ssdep_core::presets::async_batch_mirror_design(1);
         let model = level_model(design.levels()[1].technique(), &workload).unwrap();
         match model {
-            LevelModel::Scheduled { period, full_transfer_window, full_restore, .. } => {
+            LevelModel::Scheduled {
+                period,
+                full_transfer_window,
+                full_restore,
+                ..
+            } => {
                 assert_eq!(period, TimeDelta::from_minutes(1.0));
                 // Each batch moves a minute of unique updates; the
                 // restore still reads the full copy.
@@ -307,7 +331,9 @@ mod tests {
     fn rp_kind_helpers() {
         assert!(RpKind::Full.is_full());
         assert_eq!(RpKind::Full.window(), None);
-        let incr = RpKind::DifferentialIncrement { window: TimeDelta::from_hours(24.0) };
+        let incr = RpKind::DifferentialIncrement {
+            window: TimeDelta::from_hours(24.0),
+        };
         assert!(!incr.is_full());
         assert_eq!(incr.window(), Some(TimeDelta::from_hours(24.0)));
     }

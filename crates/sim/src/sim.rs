@@ -195,7 +195,10 @@ impl SimReport {
 
     /// Total bytes moved through `device` by RP maintenance.
     pub fn bytes_moved(&self, device: DeviceId) -> Bytes {
-        self.bytes_moved.get(&device).copied().unwrap_or(Bytes::ZERO)
+        self.bytes_moved
+            .get(&device)
+            .copied()
+            .unwrap_or(Bytes::ZERO)
     }
 
     /// The average RP-maintenance bandwidth on `device` over the run.
@@ -435,8 +438,7 @@ impl Simulation {
         // Outage and slowdown intervals are known from the plan up
         // front; destructions mutate run state (expiring RPs) and are
         // woven in as top-priority events instead.
-        let mut fault_state: Vec<LevelFaultState> =
-            vec![LevelFaultState::default(); levels.len()];
+        let mut fault_state: Vec<LevelFaultState> = vec![LevelFaultState::default(); levels.len()];
         for (index, fault) in self.faults.iter().enumerate() {
             match fault.kind {
                 FaultKind::TransientOutage { repair_after } => {
@@ -500,8 +502,7 @@ impl Simulation {
                         // it; their pending completions are dropped when
                         // they fire.
                         for (index, rp) in rps.iter_mut().enumerate() {
-                            if rp.level == level && rp.complete_time >= t && rp.expire_time > t
-                            {
+                            if rp.level == level && rp.complete_time >= t && rp.expire_time > t {
                                 rp.expire_time = t;
                                 disruptions.push(Disruption::LostInFlight {
                                     level,
@@ -636,7 +637,13 @@ impl Simulation {
                             extra: slowed_extra,
                         });
                     }
-                    queue.push(deadline, Event::Complete { level, rp: rp_index });
+                    queue.push(
+                        deadline,
+                        Event::Complete {
+                            level,
+                            rp: rp_index,
+                        },
+                    );
 
                     // Record the transfer as a bandwidth-occupying job,
                     // unless media move physically (couriers) — those
@@ -659,7 +666,12 @@ impl Simulation {
                         let mut touched = vec![levels[level - 1].host(), levels[level].host()];
                         touched.extend_from_slice(levels[level].transports());
                         for device in touched {
-                            jobs.push(XferJob { device, start, end: start + duration, rate });
+                            jobs.push(XferJob {
+                                device,
+                                start,
+                                end: start + duration,
+                                rate,
+                            });
                         }
                     }
                 }
@@ -803,9 +815,13 @@ mod tests {
     fn baseline_report(weeks: f64) -> SimReport {
         let workload = ssdep_core::presets::cello_workload();
         let design = ssdep_core::presets::baseline_design();
-        Simulation::new(&design, &workload, SimConfig::new(TimeDelta::from_weeks(weeks)))
-            .unwrap()
-            .run()
+        Simulation::new(
+            &design,
+            &workload,
+            SimConfig::new(TimeDelta::from_weeks(weeks)),
+        )
+        .unwrap()
+        .run()
     }
 
     #[test]
@@ -813,8 +829,16 @@ mod tests {
         let report = baseline_report(12.0);
         // 12 weeks: mirrors every 12 h → ~167 completions; backups
         // weekly → 11; vault every 4 weeks with a ~4.5-week latency → 1+.
-        assert!(report.completed_count(1) >= 160, "{}", report.completed_count(1));
-        assert!((10..=12).contains(&report.completed_count(2)), "{}", report.completed_count(2));
+        assert!(
+            report.completed_count(1) >= 160,
+            "{}",
+            report.completed_count(1)
+        );
+        assert!(
+            (10..=12).contains(&report.completed_count(2)),
+            "{}",
+            report.completed_count(2)
+        );
         assert!(report.completed_count(3) >= 1);
         assert_eq!(report.completed_count(0), 0, "the primary captures nothing");
     }
@@ -868,10 +892,18 @@ mod tests {
         let ranges = ssdep_core::analysis::level_ranges(&design);
         let analytic = ranges[3].max_lag.as_secs();
         let t = TimeDelta::from_weeks(29.0).as_secs();
-        let (content, rp) = report.restorable_at(3, t, 0.0).expect("vault has an RP by week 29");
+        let (content, rp) = report
+            .restorable_at(3, t, 0.0)
+            .expect("vault has an RP by week 29");
         let staleness = t - content;
-        assert!(staleness > TimeDelta::from_weeks(4.0).as_secs(), "vault must lag weeks");
-        assert!(staleness <= analytic + 1e-6, "{staleness} vs analytic {analytic}");
+        assert!(
+            staleness > TimeDelta::from_weeks(4.0).as_secs(),
+            "vault must lag weeks"
+        );
+        assert!(
+            staleness <= analytic + 1e-6,
+            "{staleness} vs analytic {analytic}"
+        );
         assert!(rp.unwrap().kind.is_full());
     }
 
@@ -924,7 +956,9 @@ mod tests {
     fn staleness_series_is_a_sawtooth_bounded_by_the_analytic_lag() {
         let report = baseline_report(12.0);
         let design = ssdep_core::presets::baseline_design();
-        let analytic = ssdep_core::analysis::level_ranges(&design)[2].max_lag.as_secs();
+        let analytic = ssdep_core::analysis::level_ranges(&design)[2]
+            .max_lag
+            .as_secs();
         let from = TimeDelta::from_weeks(6.0).as_secs();
         let to = TimeDelta::from_weeks(10.0).as_secs();
         let series = report.staleness_series(2, from, to, 3600.0);
@@ -1042,10 +1076,7 @@ mod tests {
         assert!(report.disruptions().is_empty());
         assert_eq!(report.destroyed_at(2), None);
         assert_eq!(baseline.rps(), report.rps());
-        assert_eq!(
-            baseline.completed_count(2),
-            report.completed_count(2)
-        );
+        assert_eq!(baseline.completed_count(2), report.completed_count(2));
     }
 
     #[test]
@@ -1058,7 +1089,9 @@ mod tests {
         let plan = crate::fault::FaultPlan::new().with_fault(InjectedFault {
             at: outage_start,
             target: FaultTarget::Level { index: 2 },
-            kind: FaultKind::TransientOutage { repair_after: TimeDelta::from_days(2.0) },
+            kind: FaultKind::TransientOutage {
+                repair_after: TimeDelta::from_days(2.0),
+            },
         });
         let report = faulted_report(16.0, plan);
 
@@ -1069,13 +1102,22 @@ mod tests {
             .filter(|d| matches!(d, Disruption::DelayedCapture { level: 2, .. }))
             .collect();
         assert!(!delayed.is_empty(), "{:?}", report.disruptions());
-        let Disruption::DelayedCapture { scheduled, actual, retries, .. } = delayed[0] else {
+        let Disruption::DelayedCapture {
+            scheduled,
+            actual,
+            retries,
+            ..
+        } = delayed[0]
+        else {
             unreachable!();
         };
         assert!(*actual > *scheduled);
         assert!(*retries > 0);
         let repair = outage_start.as_secs() + TimeDelta::from_days(2.0).as_secs();
-        assert!(*actual >= repair, "capture at {actual} inside outage ending {repair}");
+        assert!(
+            *actual >= repair,
+            "capture at {actual} inside outage ending {repair}"
+        );
 
         // While offline the level serves nothing; afterwards it recovers.
         let mid_outage = outage_start.as_secs() + 3600.0;
@@ -1086,9 +1128,18 @@ mod tests {
 
         // The delayed capture caught up the backlog: it moved at least
         // as much as the corresponding fault-free capture.
-        let faulted_total: Bytes = report.rps().iter().filter(|r| r.level == 2).map(|r| r.transfer_bytes).sum();
-        let baseline_total: Bytes =
-            baseline.rps().iter().filter(|r| r.level == 2).map(|r| r.transfer_bytes).sum();
+        let faulted_total: Bytes = report
+            .rps()
+            .iter()
+            .filter(|r| r.level == 2)
+            .map(|r| r.transfer_bytes)
+            .sum();
+        let baseline_total: Bytes = baseline
+            .rps()
+            .iter()
+            .filter(|r| r.level == 2)
+            .map(|r| r.transfer_bytes)
+            .sum();
         assert!(faulted_total >= baseline_total * 0.9);
     }
 
@@ -1101,7 +1152,9 @@ mod tests {
         let plan = crate::fault::FaultPlan::new().with_fault(InjectedFault {
             at: TimeDelta::from_weeks(8.45),
             target: FaultTarget::Level { index: 3 },
-            kind: FaultKind::TransientOutage { repair_after: TimeDelta::from_weeks(0.2) },
+            kind: FaultKind::TransientOutage {
+                repair_after: TimeDelta::from_weeks(0.2),
+            },
         });
         let report = faulted_report(16.0, plan);
         let deferred: Vec<&Disruption> = report
@@ -1110,13 +1163,22 @@ mod tests {
             .filter(|d| matches!(d, Disruption::DelayedCompletion { level: 3, .. }))
             .collect();
         assert!(!deferred.is_empty(), "{:?}", report.disruptions());
-        let Disruption::DelayedCompletion { rp, scheduled, actual, .. } = deferred[0] else {
+        let Disruption::DelayedCompletion {
+            rp,
+            scheduled,
+            actual,
+            ..
+        } = deferred[0]
+        else {
             unreachable!();
         };
         assert!(actual > scheduled);
         assert_eq!(report.rps()[*rp].complete_time, *actual);
         let repair = TimeDelta::from_weeks(8.65).as_secs();
-        assert!((actual - repair).abs() < 1.0, "deferred to {actual}, repair at {repair}");
+        assert!(
+            (actual - repair).abs() < 1.0,
+            "deferred to {actual}, repair at {repair}"
+        );
         // Whether or not a completion fell in the window, the level
         // still works after repair.
         let late = TimeDelta::from_weeks(15.0).as_secs();
@@ -1130,17 +1192,18 @@ mod tests {
         let destroy_at = TimeDelta::from_weeks(8.0) + TimeDelta::from_hours(1.0);
         let plan = crate::fault::FaultPlan::new().with_fault(InjectedFault {
             at: destroy_at,
-            target: FaultTarget::Device { name: "tape library".into() },
+            target: FaultTarget::Device {
+                name: "tape library".into(),
+            },
             kind: FaultKind::PermanentDestruction,
         });
         let report = faulted_report(16.0, plan);
         let d = destroy_at.as_secs();
 
         assert_eq!(report.destroyed_at(2), Some(d));
-        assert!(report
-            .disruptions()
-            .iter()
-            .any(|x| matches!(x, Disruption::LostRetrievalPoints { level: 2, count, .. } if *count > 0)));
+        assert!(report.disruptions().iter().any(
+            |x| matches!(x, Disruption::LostRetrievalPoints { level: 2, count, .. } if *count > 0)
+        ));
         assert!(report
             .disruptions()
             .iter()
@@ -1149,7 +1212,9 @@ mod tests {
         // Nothing is restorable from the destroyed level afterwards,
         // and captures stopped: fewer completions than fault-free.
         assert!(report.restorable_at(2, d + 1.0, 0.0).is_none());
-        assert!(report.restorable_at(2, TimeDelta::from_weeks(15.0).as_secs(), 0.0).is_none());
+        assert!(report
+            .restorable_at(2, TimeDelta::from_weeks(15.0).as_secs(), 0.0)
+            .is_none());
         assert!(report.completed_count(2) < baseline.completed_count(2));
         // Before the fault the level behaved normally.
         assert!(report.restorable_at(2, d - 3600.0, 0.0).is_some());
@@ -1173,7 +1238,9 @@ mod tests {
         let config = SimConfig::new(TimeDelta::from_hours(2.0)).with_faults(plan);
         let report = Simulation::new(&design, &workload, config).unwrap().run();
         // The primary serves nothing once destroyed.
-        assert!(report.restorable_at(0, destroy_at.as_secs() + 1.0, 0.0).is_none());
+        assert!(report
+            .restorable_at(0, destroy_at.as_secs() + 1.0, 0.0)
+            .is_none());
         // The batched mirror keeps its last completed batch, but its
         // content never advances past the destruction instant.
         let late = TimeDelta::from_hours(1.9).as_secs();
@@ -1223,7 +1290,9 @@ mod tests {
         // Afterwards the mirror still serves, but its content froze at
         // the destruction instant minus the lag.
         let late = TimeDelta::from_hours(1.5).as_secs();
-        let (content, _) = report.restorable_at(1, late, 0.0).expect("mirror still serves");
+        let (content, _) = report
+            .restorable_at(1, late, 0.0)
+            .expect("mirror still serves");
         assert!(
             (content - (destroy_at.as_secs() - 30.0)).abs() < 1e-9,
             "content {content}"

@@ -155,7 +155,12 @@ mod tests {
         )
         .unwrap()
         .run();
-        Fixture { design, workload, demands, report }
+        Fixture {
+            design,
+            workload,
+            demands,
+            report,
+        }
     }
 
     fn run(fixture: &Fixture, scenario: FailureScenario, samples: usize) -> ValidationOutcome {
@@ -218,8 +223,12 @@ mod tests {
         let outcome = run(
             &fixture,
             FailureScenario::new(
-                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-                RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+                FailureScope::DataObject {
+                    size: Bytes::from_mib(1.0),
+                },
+                RecoveryTarget::Before {
+                    age: TimeDelta::from_hours(24.0),
+                },
             ),
             48,
         );

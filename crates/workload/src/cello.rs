@@ -42,7 +42,10 @@ pub fn cello_targets() -> Vec<FitTarget> {
         (TimeDelta::from_weeks(1.0), 317.0),
     ]
     .into_iter()
-    .map(|(window, kib)| FitTarget { window, rate: Bandwidth::from_kib_per_sec(kib) })
+    .map(|(window, kib)| FitTarget {
+        window,
+        rate: Bandwidth::from_kib_per_sec(kib),
+    })
     .collect()
 }
 
@@ -134,7 +137,10 @@ mod tests {
         assert_eq!(workload.data_capacity(), Bytes::from_gib(1360.0));
 
         let update = workload.avg_update_rate().as_kib_per_sec();
-        assert!((update - 799.0).abs() / 799.0 < 0.1, "update rate {update:.0} KiB/s");
+        assert!(
+            (update - 799.0).abs() / 799.0 < 0.1,
+            "update rate {update:.0} KiB/s"
+        );
 
         let minute = workload
             .batch_update_rate(TimeDelta::from_minutes(1.0))

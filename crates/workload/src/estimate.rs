@@ -55,7 +55,10 @@ pub fn unique_bytes_per_window(trace: &Trace, window: TimeDelta) -> Result<Bytes
     if windows == 0 {
         return Err(Error::invalid(
             "estimate.window",
-            format!("trace ({}) is shorter than one window ({window})", trace.duration()),
+            format!(
+                "trace ({}) is shorter than one window ({window})",
+                trace.duration()
+            ),
         ));
     }
     let mut total_unique = 0u64;
@@ -166,12 +169,30 @@ mod tests {
             4,
             TimeDelta::from_secs(10.0),
             vec![
-                UpdateRecord { time: 0.5, extent: 0 },
-                UpdateRecord { time: 1.5, extent: 0 },
-                UpdateRecord { time: 2.5, extent: 1 },
-                UpdateRecord { time: 3.5, extent: 0 },
-                UpdateRecord { time: 6.0, extent: 2 },
-                UpdateRecord { time: 9.5, extent: 0 },
+                UpdateRecord {
+                    time: 0.5,
+                    extent: 0,
+                },
+                UpdateRecord {
+                    time: 1.5,
+                    extent: 0,
+                },
+                UpdateRecord {
+                    time: 2.5,
+                    extent: 1,
+                },
+                UpdateRecord {
+                    time: 3.5,
+                    extent: 0,
+                },
+                UpdateRecord {
+                    time: 6.0,
+                    extent: 2,
+                },
+                UpdateRecord {
+                    time: 9.5,
+                    extent: 0,
+                },
             ],
         )
         .unwrap()
@@ -219,7 +240,10 @@ mod tests {
             .generate();
         let short = batch_update_rate(&trace, TimeDelta::from_secs(60.0)).unwrap();
         let long = batch_update_rate(&trace, TimeDelta::from_minutes(30.0)).unwrap();
-        assert!(long > short * 0.95, "uniform trace dedup should be negligible");
+        assert!(
+            long > short * 0.95,
+            "uniform trace dedup should be negligible"
+        );
     }
 
     #[test]
@@ -245,7 +269,10 @@ mod tests {
         let slot = TimeDelta::from_secs(1.0);
         let quiet_burst = burst_multiplier(&quiet, slot);
         let bursty_burst = burst_multiplier(&bursty, slot);
-        assert!(bursty_burst > quiet_burst * 2.0, "{bursty_burst:.1} vs {quiet_burst:.1}");
+        assert!(
+            bursty_burst > quiet_burst * 2.0,
+            "{bursty_burst:.1} vs {quiet_burst:.1}"
+        );
         assert!(bursty_burst > 6.0);
     }
 
@@ -267,7 +294,10 @@ mod tests {
         let curve = measure_curve(&trace, &windows).unwrap();
         for pair in curve.points.windows(2) {
             assert!(pair[1].1 <= pair[0].1, "rates must not increase");
-            assert!(pair[1].1 * pair[1].0 >= pair[0].1 * pair[0].0, "bytes must not shrink");
+            assert!(
+                pair[1].1 * pair[1].0 >= pair[0].1 * pair[0].0,
+                "bytes must not shrink"
+            );
         }
         assert!(curve.points[0].1 <= trace.avg_update_rate());
     }
@@ -296,8 +326,7 @@ mod tests {
         assert_eq!(workload.data_capacity(), trace.data_capacity());
         assert!(workload.burst_multiplier() > 1.0);
         assert!(
-            workload.batch_update_rate(TimeDelta::from_hours(1.0))
-                < workload.avg_update_rate()
+            workload.batch_update_rate(TimeDelta::from_hours(1.0)) < workload.avg_update_rate()
         );
     }
 

@@ -100,7 +100,11 @@ pub fn fit_locality(
         }
         let error = error_of(hot_fraction, hot_extents);
         if error < best.rms_relative_error {
-            *best = FitResult { hot_fraction, hot_extents, rms_relative_error: error };
+            *best = FitResult {
+                hot_fraction,
+                hot_extents,
+                rms_relative_error: error,
+            };
         }
     };
 
@@ -110,8 +114,7 @@ pub fn fit_locality(
     for fi in 1..20 {
         let hot_fraction = fi as f64 * 0.05;
         for si in 0..=log_steps {
-            let hot = (2.0_f64.ln()
-                + (max_hot as f64).ln() * si as f64 / log_steps as f64)
+            let hot = (2.0_f64.ln() + (max_hot as f64).ln() * si as f64 / log_steps as f64)
                 .exp()
                 .round() as u64;
             consider(hot_fraction, hot.max(2), &mut best);
@@ -163,14 +166,23 @@ mod tests {
             .iter()
             .map(|&w| FitTarget {
                 window: TimeDelta::from_secs(w),
-                rate: extent * expected_unique_extents(w, rate, n, h, hot) / TimeDelta::from_secs(w),
+                rate: extent * expected_unique_extents(w, rate, n, h, hot)
+                    / TimeDelta::from_secs(w),
             })
             .collect();
         let result = fit_locality(&targets, rate, n, extent);
-        assert!(result.rms_relative_error < 0.02, "error {}", result.rms_relative_error);
+        assert!(
+            result.rms_relative_error < 0.02,
+            "error {}",
+            result.rms_relative_error
+        );
         assert!((result.hot_fraction - h).abs() < 0.1);
         let ratio = result.hot_extents as f64 / hot as f64;
-        assert!((0.5..2.0).contains(&ratio), "hot size {} vs {hot}", result.hot_extents);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "hot size {} vs {hot}",
+            result.hot_extents
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ impl TraceGenerator {
             offsets.sort_by(f64::total_cmp);
             for offset in offsets {
                 let extent = self.pick_extent(&mut rng);
-                records.push(UpdateRecord { time: slot as f64 + offset, extent });
+                records.push(UpdateRecord {
+                    time: slot as f64 + offset,
+                    extent,
+                });
             }
         }
         Trace::from_sorted_records(self.extent_size, self.extent_count, self.duration, records)
@@ -250,9 +253,14 @@ impl TraceGeneratorBuilder {
     /// parameters (zero extents, negative rates, `duty × burst > 1`,
     /// hot set larger than the dataset, …).
     pub fn build(self) -> Result<TraceGenerator, Error> {
-        let duration = self.duration.ok_or_else(|| Error::invalid("gen.duration", "missing"))?;
+        let duration = self
+            .duration
+            .ok_or_else(|| Error::invalid("gen.duration", "missing"))?;
         if !(duration.value() > 0.0 && duration.is_finite()) {
-            return Err(Error::invalid("gen.duration", "must be positive and finite"));
+            return Err(Error::invalid(
+                "gen.duration",
+                "must be positive and finite",
+            ));
         }
         let extent_count = self
             .extent_count
@@ -261,16 +269,25 @@ impl TraceGeneratorBuilder {
             return Err(Error::invalid("gen.extentCount", "must be at least 1"));
         }
         if !(self.extent_size.value() > 0.0 && self.extent_size.is_finite()) {
-            return Err(Error::invalid("gen.extentSize", "must be positive and finite"));
+            return Err(Error::invalid(
+                "gen.extentSize",
+                "must be positive and finite",
+            ));
         }
         let updates_per_sec = self
             .updates_per_sec
             .ok_or_else(|| Error::invalid("gen.updatesPerSec", "missing"))?;
         if !(updates_per_sec >= 0.0 && updates_per_sec.is_finite()) {
-            return Err(Error::invalid("gen.updatesPerSec", "must be non-negative and finite"));
+            return Err(Error::invalid(
+                "gen.updatesPerSec",
+                "must be non-negative and finite",
+            ));
         }
         if !(self.burst_multiplier >= 1.0 && self.burst_multiplier.is_finite()) {
-            return Err(Error::invalid("gen.burstMultiplier", "must be >= 1 and finite"));
+            return Err(Error::invalid(
+                "gen.burstMultiplier",
+                "must be >= 1 and finite",
+            ));
         }
         if !(0.0 < self.burst_duty && self.burst_duty <= 1.0) {
             return Err(Error::invalid("gen.burstDuty", "must be in (0, 1]"));
@@ -282,7 +299,10 @@ impl TraceGeneratorBuilder {
             ));
         }
         if !(self.mean_burst_secs > 0.0 && self.mean_burst_secs.is_finite()) {
-            return Err(Error::invalid("gen.meanBurstSecs", "must be positive and finite"));
+            return Err(Error::invalid(
+                "gen.meanBurstSecs",
+                "must be positive and finite",
+            ));
         }
         if !(0.0..=1.0).contains(&self.hot_fraction) {
             return Err(Error::invalid("gen.hotFraction", "must be in [0, 1]"));
@@ -358,7 +378,10 @@ mod tests {
         let per_sec = bursty.records().len() as f64 / bursty.duration().as_secs();
         // Burst episodes are random, so the realized duty (and hence the
         // average) wobbles; a 12-hour trace keeps it within ~15 %.
-        assert!((per_sec - 5.0).abs() / 5.0 < 0.15, "average drifted to {per_sec:.2}");
+        assert!(
+            (per_sec - 5.0).abs() / 5.0 < 0.15,
+            "average drifted to {per_sec:.2}"
+        );
         // Some one-second slot should see nearly the 10× peak.
         let mut max_slot = 0usize;
         let mut slot_counts = vec![0usize; bursty.duration().as_secs() as usize];
@@ -379,7 +402,12 @@ mod tests {
 
     #[test]
     fn records_are_time_ordered_and_in_range() {
-        let trace = base().locality(0.5, 1000).burst_multiplier(5.0).build().unwrap().generate();
+        let trace = base()
+            .locality(0.5, 1000)
+            .burst_multiplier(5.0)
+            .build()
+            .unwrap()
+            .generate();
         let mut last = 0.0;
         for r in trace.records() {
             assert!(r.time >= last);
@@ -405,7 +433,11 @@ mod tests {
     #[test]
     fn builder_rejects_bad_parameters() {
         assert!(TraceGenerator::builder().build().is_err());
-        assert!(base().burst_multiplier(10.0).burst_duty(0.5).build().is_err());
+        assert!(base()
+            .burst_multiplier(10.0)
+            .burst_duty(0.5)
+            .build()
+            .is_err());
         assert!(base().locality(0.5, 0).build().is_err());
         assert!(base().locality(1.5, 10).build().is_err());
         assert!(base().updates_per_sec(-1.0).build().is_err());
@@ -425,8 +457,8 @@ mod tests {
         let quarter = 6.0 * 3600.0;
         let count_in = |start: f64, end: f64| trace.slice(start, end).count() as f64;
         let day = count_in(0.0, quarter) + count_in(86_400.0, 86_400.0 + quarter);
-        let night =
-            count_in(2.0 * quarter, 3.0 * quarter) + count_in(86_400.0 + 2.0 * quarter, 86_400.0 + 3.0 * quarter);
+        let night = count_in(2.0 * quarter, 3.0 * quarter)
+            + count_in(86_400.0 + 2.0 * quarter, 86_400.0 + 3.0 * quarter);
         assert!(day > night * 2.0, "day {day} vs night {night}");
         // Long-run average preserved within tolerance.
         let per_sec = trace.records().len() as f64 / trace.duration().as_secs();

@@ -14,9 +14,10 @@
 //! ```
 
 use crate::trace::{Trace, UpdateRecord};
-use ssdep_core::error::Error;
+use ssdep_core::error::{Error, RetryPolicy};
 use ssdep_core::units::{Bytes, TimeDelta};
 use std::io::{BufRead, Write};
+use std::path::Path;
 
 const HEADER_TAG: &str = "# ssdep-trace";
 
@@ -24,10 +25,10 @@ const HEADER_TAG: &str = "# ssdep-trace";
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidParameter`] wrapping the underlying I/O
+/// Returns the transient [`Error::Io`] wrapping the underlying I/O
 /// failure.
 pub fn write_csv<W: Write>(trace: &Trace, mut writer: W) -> Result<(), Error> {
-    let io = |e: std::io::Error| Error::invalid("trace.csv", format!("write failed: {e}"));
+    let io = |e: std::io::Error| Error::io("trace.csv write", e.to_string());
     writeln!(
         writer,
         "{HEADER_TAG},extent_bytes={},extent_count={},duration_secs={}",
@@ -46,11 +47,12 @@ pub fn write_csv<W: Write>(trace: &Trace, mut writer: W) -> Result<(), Error> {
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidParameter`] for I/O failures, a missing or
-/// malformed header, unparsable rows, out-of-order timestamps, or
-/// out-of-range extents.
+/// Returns the transient [`Error::Io`] for underlying I/O failures, and
+/// the permanent [`Error::InvalidParameter`] for a missing or malformed
+/// header, unparsable rows, out-of-order timestamps, or out-of-range
+/// extents — content errors are deterministic and must not be retried.
 pub fn read_csv<R: BufRead>(reader: R) -> Result<Trace, Error> {
-    let io = |e: std::io::Error| Error::invalid("trace.csv", format!("read failed: {e}"));
+    let io = |e: std::io::Error| Error::io("trace.csv read", e.to_string());
     let mut lines = reader.lines();
 
     let header = lines
@@ -68,7 +70,10 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Trace, Error> {
     let mut duration_secs = None;
     for field in header.split(',').skip(1) {
         let Some((key, value)) = field.split_once('=') else {
-            return Err(Error::invalid("trace.csv", format!("malformed header field `{field}`")));
+            return Err(Error::invalid(
+                "trace.csv",
+                format!("malformed header field `{field}`"),
+            ));
         };
         match key.trim() {
             "extent_bytes" => extent_bytes = value.trim().parse::<f64>().ok(),
@@ -82,12 +87,12 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Trace, Error> {
             }
         }
     }
-    let extent_bytes = extent_bytes
-        .ok_or_else(|| Error::invalid("trace.csv", "header missing extent_bytes"))?;
-    let extent_count = extent_count
-        .ok_or_else(|| Error::invalid("trace.csv", "header missing extent_count"))?;
-    let duration_secs = duration_secs
-        .ok_or_else(|| Error::invalid("trace.csv", "header missing duration_secs"))?;
+    let extent_bytes =
+        extent_bytes.ok_or_else(|| Error::invalid("trace.csv", "header missing extent_bytes"))?;
+    let extent_count =
+        extent_count.ok_or_else(|| Error::invalid("trace.csv", "header missing extent_count"))?;
+    let duration_secs =
+        duration_secs.ok_or_else(|| Error::invalid("trace.csv", "header missing duration_secs"))?;
 
     let mut records = Vec::new();
     let mut last_time = 0.0f64;
@@ -99,7 +104,10 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Trace, Error> {
         }
         let row = number + 2; // 1-based, after the header
         let Some((time, extent)) = trimmed.split_once(',') else {
-            return Err(Error::invalid("trace.csv", format!("row {row}: expected `time,extent`")));
+            return Err(Error::invalid(
+                "trace.csv",
+                format!("row {row}: expected `time,extent`"),
+            ));
         };
         let time: f64 = time
             .trim()
@@ -137,6 +145,47 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Trace, Error> {
         TimeDelta::from_secs(duration_secs),
         records,
     )
+}
+
+/// Reads a trace from a file, retrying transient I/O failures with
+/// bounded exponential backoff.
+///
+/// Opening and reading the file can fail transiently (network
+/// filesystems, contended spindles, interrupted syscalls); those
+/// attempts are repeated per `policy`, and an error that survives every
+/// retry carries the attempt count in its message. Content errors
+/// (malformed header, bad rows) are permanent and fail on the first
+/// attempt.
+///
+/// # Errors
+///
+/// As [`read_csv`], with transient failures retried first.
+pub fn read_csv_path(path: impl AsRef<Path>, policy: RetryPolicy) -> Result<Trace, Error> {
+    let path = path.as_ref();
+    policy.run(|| {
+        let file = std::fs::File::open(path)
+            .map_err(|e| Error::io(format!("trace open `{}`", path.display()), e.to_string()))?;
+        read_csv(std::io::BufReader::new(file))
+    })
+}
+
+/// Writes a trace to a file, retrying transient I/O failures with
+/// bounded exponential backoff (see [`read_csv_path`]).
+///
+/// # Errors
+///
+/// As [`write_csv`], with transient failures retried first.
+pub fn write_csv_path(
+    trace: &Trace,
+    path: impl AsRef<Path>,
+    policy: RetryPolicy,
+) -> Result<(), Error> {
+    let path = path.as_ref();
+    policy.run(|| {
+        let file = std::fs::File::create(path)
+            .map_err(|e| Error::io(format!("trace create `{}`", path.display()), e.to_string()))?;
+        write_csv(trace, std::io::BufWriter::new(file))
+    })
 }
 
 #[cfg(test)]
@@ -189,7 +238,10 @@ mod tests {
 # ssdep-trace,extent_bytes=4096,extent_count=10,duration_secs=60
 0.5,not-a-number
 ";
-        assert!(read_csv(bad_row.as_bytes()).unwrap_err().to_string().contains("row 2"));
+        assert!(read_csv(bad_row.as_bytes())
+            .unwrap_err()
+            .to_string()
+            .contains("row 2"));
 
         let out_of_order = "\
 # ssdep-trace,extent_bytes=4096,extent_count=10,duration_secs=60
@@ -218,6 +270,74 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("beyond"));
+    }
+
+    /// A reader whose underlying stream fails on the first `failures`
+    /// reads, then serves `payload` — models a flaky network filesystem.
+    struct FlakyReader {
+        payload: std::io::Cursor<Vec<u8>>,
+        failures: std::cell::Cell<u32>,
+    }
+
+    impl std::io::Read for FlakyReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let left = self.failures.get();
+            if left > 0 {
+                self.failures.set(left - 1);
+                // Not `Interrupted`: the std reader retries that kind
+                // internally and would spin through every injected failure.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "simulated transient failure",
+                ));
+            }
+            std::io::Read::read(&mut self.payload, buf)
+        }
+    }
+
+    #[test]
+    fn stream_failures_surface_as_transient_io_errors() {
+        let reader = FlakyReader {
+            payload: std::io::Cursor::new(Vec::new()),
+            failures: std::cell::Cell::new(1),
+        };
+        let err = read_csv(std::io::BufReader::new(reader)).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(err.to_string().contains("trace.csv read"), "{err}");
+        // Content errors stay permanent: never retried.
+        let parse_err = read_csv("not a trace\n".as_bytes()).unwrap_err();
+        assert!(!parse_err.is_transient(), "{parse_err}");
+    }
+
+    #[test]
+    fn path_roundtrip_with_retry_policy() {
+        use ssdep_core::error::RetryPolicy;
+        let trace = TraceGenerator::builder()
+            .duration(TimeDelta::from_minutes(5.0))
+            .extent_count(500)
+            .updates_per_sec(2.0)
+            .seed(4)
+            .build()
+            .unwrap()
+            .generate();
+        let path = std::env::temp_dir().join("ssdep-io-retry-roundtrip.csv");
+        write_csv_path(&trace, &path, RetryPolicy::immediate(2)).unwrap();
+        let back = read_csv_path(&path, RetryPolicy::immediate(2)).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_the_attempt_count() {
+        use ssdep_core::error::RetryPolicy;
+        let err = read_csv_path(
+            "/nonexistent/ssdep-no-such-trace.csv",
+            RetryPolicy::immediate(2),
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("after 3 attempts"), "{msg}");
+        assert!(msg.contains("trace open"), "{msg}");
     }
 
     #[test]

@@ -61,7 +61,12 @@ impl Trace {
             }
             last = record.time;
         }
-        Ok(Trace { extent_size, extent_count, duration, records })
+        Ok(Trace {
+            extent_size,
+            extent_count,
+            duration,
+            records,
+        })
     }
 
     /// Assembles a trace from records the caller has already produced in
@@ -75,7 +80,12 @@ impl Trace {
     ) -> Trace {
         debug_assert!(records.windows(2).all(|w| w[0].time <= w[1].time));
         debug_assert!(records.iter().all(|r| r.extent < extent_count));
-        Trace { extent_size, extent_count, duration, records }
+        Trace {
+            extent_size,
+            extent_count,
+            duration,
+            records,
+        }
     }
 
     /// The size of one extent.
@@ -134,10 +144,22 @@ mod tests {
             4,
             TimeDelta::from_secs(10.0),
             vec![
-                UpdateRecord { time: 1.0, extent: 0 },
-                UpdateRecord { time: 2.0, extent: 1 },
-                UpdateRecord { time: 2.0, extent: 0 },
-                UpdateRecord { time: 9.0, extent: 3 },
+                UpdateRecord {
+                    time: 1.0,
+                    extent: 0,
+                },
+                UpdateRecord {
+                    time: 2.0,
+                    extent: 1,
+                },
+                UpdateRecord {
+                    time: 2.0,
+                    extent: 0,
+                },
+                UpdateRecord {
+                    time: 9.0,
+                    extent: 3,
+                },
             ],
         )
         .unwrap()
@@ -171,8 +193,14 @@ mod tests {
             4,
             TimeDelta::from_secs(10.0),
             vec![
-                UpdateRecord { time: 5.0, extent: 0 },
-                UpdateRecord { time: 1.0, extent: 1 },
+                UpdateRecord {
+                    time: 5.0,
+                    extent: 0,
+                },
+                UpdateRecord {
+                    time: 1.0,
+                    extent: 1,
+                },
             ],
         )
         .unwrap_err();
@@ -185,7 +213,10 @@ mod tests {
             Bytes::from_mib(1.0),
             4,
             TimeDelta::from_secs(10.0),
-            vec![UpdateRecord { time: 1.0, extent: 9 }],
+            vec![UpdateRecord {
+                time: 1.0,
+                extent: 9,
+            }],
         )
         .unwrap_err();
         assert!(err.to_string().contains("extent"), "{err}");
@@ -194,9 +225,7 @@ mod tests {
     #[test]
     fn negative_and_nan_durations_are_rejected() {
         for bad in [TimeDelta::from_secs(-1.0), TimeDelta::from_secs(f64::NAN)] {
-            assert!(
-                Trace::from_records(Bytes::from_mib(1.0), 4, bad, Vec::new()).is_err()
-            );
+            assert!(Trace::from_records(Bytes::from_mib(1.0), 4, bad, Vec::new()).is_err());
         }
     }
 

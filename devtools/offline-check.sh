@@ -23,5 +23,11 @@ if [ "$#" -eq 0 ]; then
   set -- test -q
 fi
 
+# The --config flags go AFTER the subcommand: cargo does not forward
+# pre-subcommand config to external subcommands (clippy, fmt), so
+# `cargo --config ... clippy` would resolve without the stub patches.
+subcommand="$1"
+shift
+
 cd "$repo"
-exec cargo "${config_args[@]}" "$@"
+exec cargo "$subcommand" "${config_args[@]}" "$@"

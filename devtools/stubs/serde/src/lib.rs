@@ -96,6 +96,13 @@ impl fmt::Display for DeError {
 
 impl std::error::Error for DeError {}
 
+/// Mirror of `serde::de` for the subset this workspace uses. The stub's
+/// [`Deserialize`] is already owned (no borrowed lifetimes), so
+/// `DeserializeOwned` is the same trait.
+pub mod de {
+    pub use crate::{DeError, Deserialize as DeserializeOwned};
+}
+
 /// Conversion into the [`Value`] model.
 pub trait Serialize {
     /// Serializes `self` into a value tree.

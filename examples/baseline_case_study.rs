@@ -21,8 +21,12 @@ fn main() -> Result<(), ssdep_core::Error> {
         &workload,
         &requirements,
         &FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         ),
     )?;
     let array = evaluate(
@@ -43,7 +47,10 @@ fn main() -> Result<(), ssdep_core::Error> {
     println!("paper: array 2.4% bw / 87.4% cap; tape 3.4% / 3.4%; vault 2.6% cap\n");
 
     println!("== Table 6: worst-case recovery time and recent data loss ==");
-    println!("{}", report::render_dependability(&[object.clone(), array.clone(), site.clone()]));
+    println!(
+        "{}",
+        report::render_dependability(&[object.clone(), array.clone(), site.clone()])
+    );
     println!("paper: object 0.004 s / 12 hr; array 2.4 hr / 217 hr; site 26.4 hr / 1429 hr\n");
 
     println!("== Figure 4: site-disaster recovery timeline ==");

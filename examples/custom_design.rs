@@ -22,9 +22,15 @@ fn main() -> Result<(), ssdep_core::Error> {
         .avg_access_rate(Bandwidth::from_mib_per_sec(40.0))
         .avg_update_rate(Bandwidth::from_mib_per_sec(15.0))
         .burst_multiplier(4.0)
-        .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_mib_per_sec(9.0))
+        .batch_rate(
+            TimeDelta::from_minutes(1.0),
+            Bandwidth::from_mib_per_sec(9.0),
+        )
         .batch_rate(TimeDelta::from_hours(1.0), Bandwidth::from_mib_per_sec(3.0))
-        .batch_rate(TimeDelta::from_hours(24.0), Bandwidth::from_mib_per_sec(0.4))
+        .batch_rate(
+            TimeDelta::from_hours(24.0),
+            Bandwidth::from_mib_per_sec(0.4),
+        )
         .build()?;
 
     let hq = Location::new("eu-west", "hq", "dc-1");
@@ -78,7 +84,11 @@ fn main() -> Result<(), ssdep_core::Error> {
         DeviceSpec::builder("metro DWDM x4", DeviceKind::NetworkLink)
             .location(dr.clone())
             .bandwidth_slots(4, Bandwidth::from_megabits_per_sec(622.0))
-            .cost(CostModel::builder().per_mib_per_sec(Money::from_dollars(4_000.0)).build())
+            .cost(
+                CostModel::builder()
+                    .per_mib_per_sec(Money::from_dollars(4_000.0))
+                    .build(),
+            )
             .build()?,
     )?;
 
@@ -139,8 +149,12 @@ fn main() -> Result<(), ssdep_core::Error> {
     let mut evaluations = Vec::new();
     for scenario in [
         FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_gib(2.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(3.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_gib(2.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(3.0),
+            },
         ),
         FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
         FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
@@ -152,12 +166,22 @@ fn main() -> Result<(), ssdep_core::Error> {
             evaluation.recovery.source_level_name,
             evaluation.recovery.total_time,
             evaluation.loss.worst_loss,
-            if evaluation.meets_objectives(&requirements) { "MET" } else { "MISSED" },
+            if evaluation.meets_objectives(&requirements) {
+                "MET"
+            } else {
+                "MISSED"
+            },
         );
         evaluations.push(evaluation);
     }
 
-    println!("\n== Utilization ==\n{}", report::render_utilization(&evaluations[0]));
-    println!("== Site-failure timeline ==\n{}", report::render_recovery_timeline(&evaluations[2]));
+    println!(
+        "\n== Utilization ==\n{}",
+        report::render_utilization(&evaluations[0])
+    );
+    println!(
+        "== Site-failure timeline ==\n{}",
+        report::render_recovery_timeline(&evaluations[2])
+    );
     Ok(())
 }

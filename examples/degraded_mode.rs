@@ -18,8 +18,12 @@ fn main() -> Result<(), ssdep_core::Error> {
 
     let scenarios = vec![
         FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         ),
         FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
         FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
@@ -40,7 +44,11 @@ fn main() -> Result<(), ssdep_core::Error> {
                 DegradedOutcome::Recoverable { extra_loss, .. } if extra_loss.is_zero() => {
                     "no change".to_string()
                 }
-                DegradedOutcome::Recoverable { extra_loss, evaluation, .. } => format!(
+                DegradedOutcome::Recoverable {
+                    extra_loss,
+                    evaluation,
+                    ..
+                } => format!(
                     "+{:.0} hr loss (via {})",
                     extra_loss.as_hours(),
                     evaluation.recovery.source_level_name
@@ -51,7 +59,10 @@ fn main() -> Result<(), ssdep_core::Error> {
         table.row(cells);
     }
 
-    println!("== Exposure added by each level's outage ==\n{}", table.render());
+    println!(
+        "== Exposure added by each level's outage ==\n{}",
+        table.render()
+    );
     if let Some(critical) = report.most_critical_level() {
         println!(
             "most critical technique: {} — lose it and a disaster somewhere in the \

@@ -71,6 +71,9 @@ fn main() -> Result<(), ssdep_core::Error> {
             outcome.expected_penalties.to_string(),
         ]);
     }
-    println!("== Outlay vs expected-penalty Pareto frontier ==\n{}", frontier.render());
+    println!(
+        "== Outlay vs expected-penalty Pareto frontier ==\n{}",
+        frontier.render()
+    );
     Ok(())
 }

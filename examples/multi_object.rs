@@ -67,9 +67,7 @@ fn main() -> Result<(), ssdep_core::Error> {
     println!("{}", table.render());
     println!(
         "last object usable after {}; total outage penalty {} + loss penalty {}",
-        evaluation.total_recovery_time,
-        evaluation.unavailability_penalty,
-        evaluation.loss_penalty
+        evaluation.total_recovery_time, evaluation.unavailability_penalty, evaluation.loss_penalty
     );
     println!(
         "\nthe redo log (60% of the business value, 3% of the bytes) is back in {},\n\

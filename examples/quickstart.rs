@@ -26,8 +26,12 @@ fn main() -> Result<(), ssdep_core::Error> {
     // 4. Evaluate under the failure scenarios that worry you.
     let scenarios = [
         FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         ),
         FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
         FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
@@ -39,8 +43,14 @@ fn main() -> Result<(), ssdep_core::Error> {
     }
 
     println!("design: {}\nworkload: {}\n", design.name(), workload.name());
-    println!("== Normal mode utilization ==\n{}", report::render_utilization(&evaluations[0]));
-    println!("== Dependability per failure scenario ==\n{}", report::render_dependability(&evaluations));
+    println!(
+        "== Normal mode utilization ==\n{}",
+        report::render_utilization(&evaluations[0])
+    );
+    println!(
+        "== Dependability per failure scenario ==\n{}",
+        report::render_dependability(&evaluations)
+    );
     for evaluation in &evaluations {
         println!(
             "== Costs under {} failure ==\n{}",

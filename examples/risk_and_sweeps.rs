@@ -35,26 +35,29 @@ fn main() -> Result<(), ssdep_core::Error> {
     }
 
     println!("\n== Sweep: vaulting interval (weeks) ==");
-    let points = sweep::sweep_vault_interval(
-        &[1.0, 2.0, 4.0, 8.0],
-        &workload,
-        &requirements,
-        &scenarios,
-    )?;
-    println!("{}", sweep::render(&points, "vault weeks"));
+    let series =
+        sweep::sweep_vault_interval(&[1.0, 2.0, 4.0, 8.0], &workload, &requirements, &scenarios);
+    print_series(&series, "vault weeks");
 
     println!("== Sweep: WAN links under the batched mirror ==");
     let hw_only: Vec<_> = scenarios.iter().skip(1).cloned().collect();
-    let points = sweep::sweep_mirror_links(&[1, 2, 4, 8, 16], &workload, &requirements, &hw_only)?;
-    println!("{}", sweep::render(&points, "links"));
+    let series = sweep::sweep_mirror_links(&[1, 2, 4, 8, 16], &workload, &requirements, &hw_only);
+    print_series(&series, "links");
 
     println!("== Sweep: full-backup interval (hours) ==");
-    let points = sweep::sweep_backup_interval(
+    let series = sweep::sweep_backup_interval(
         &[24.0, 48.0, 96.0, 168.0],
         &workload,
         &requirements,
         &scenarios,
-    )?;
-    println!("{}", sweep::render(&points, "backup hours"));
+    );
+    print_series(&series, "backup hours");
     Ok(())
+}
+
+fn print_series(series: &sweep::SweepSeries, axis: &str) {
+    println!("{}", sweep::render(&series.points, axis));
+    for broken in &series.broken {
+        println!("!! {axis} = {}: {}", broken.value, broken.reason);
+    }
 }

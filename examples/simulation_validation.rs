@@ -31,8 +31,12 @@ fn main() -> Result<(), ssdep_core::Error> {
 
     let scenarios = [
         FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         ),
         FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
         FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
@@ -55,7 +59,12 @@ fn main() -> Result<(), ssdep_core::Error> {
             format!("{:.0} hr", outcome.observed_max_loss.as_hours()),
             format!("{:.2} hr", outcome.analytic_recovery.as_hours()),
             format!("{:.2} hr", outcome.observed_max_recovery.as_hours()),
-            if outcome.bounds_hold() { "yes" } else { "VIOLATED" }.to_string(),
+            if outcome.bounds_hold() {
+                "yes"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
         ]);
     }
     println!("\n{}", table.render());
@@ -68,10 +77,7 @@ fn main() -> Result<(), ssdep_core::Error> {
     let to = TimeDelta::from_weeks(22.0).as_secs();
     let series = report.staleness_series(2, from, to, 12.0 * 3600.0);
     let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
-    let max = series
-        .iter()
-        .filter_map(|(_, s)| *s)
-        .fold(1.0f64, f64::max);
+    let max = series.iter().filter_map(|(_, s)| *s).fold(1.0f64, f64::max);
     let sparkline: String = series
         .iter()
         .map(|(_, s)| match s {

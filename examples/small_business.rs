@@ -23,9 +23,18 @@ fn main() -> Result<(), ssdep_core::Error> {
         .avg_access_rate(Bandwidth::from_kib_per_sec(600.0))
         .avg_update_rate(Bandwidth::from_kib_per_sec(350.0))
         .burst_multiplier(6.0)
-        .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(320.0))
-        .batch_rate(TimeDelta::from_hours(12.0), Bandwidth::from_kib_per_sec(150.0))
-        .batch_rate(TimeDelta::from_hours(24.0), Bandwidth::from_kib_per_sec(120.0))
+        .batch_rate(
+            TimeDelta::from_minutes(1.0),
+            Bandwidth::from_kib_per_sec(320.0),
+        )
+        .batch_rate(
+            TimeDelta::from_hours(12.0),
+            Bandwidth::from_kib_per_sec(150.0),
+        )
+        .batch_rate(
+            TimeDelta::from_hours(24.0),
+            Bandwidth::from_kib_per_sec(120.0),
+        )
         .build()?;
     let requirements = BusinessRequirements::builder()
         .unavailability_penalty_rate(MoneyRate::from_dollars_per_hour(20_000.0))
@@ -39,8 +48,12 @@ fn main() -> Result<(), ssdep_core::Error> {
     let scenarios = vec![
         WeightedScenario::new(
             FailureScenario::new(
-                FailureScope::DataObject { size: Bytes::from_mib(64.0) },
-                RecoveryTarget::Before { age: TimeDelta::from_hours(12.0) },
+                FailureScope::DataObject {
+                    size: Bytes::from_mib(64.0),
+                },
+                RecoveryTarget::Before {
+                    age: TimeDelta::from_hours(12.0),
+                },
             ),
             52.0,
         ),
@@ -62,7 +75,10 @@ fn main() -> Result<(), ssdep_core::Error> {
         "{} feasible; best overall: {} at {}/yr expected",
         result.ranked.len(),
         result.best().map(|b| b.label.as_str()).unwrap_or("-"),
-        result.best().map(|b| b.expected_total.to_string()).unwrap_or_default(),
+        result
+            .best()
+            .map(|b| b.expected_total.to_string())
+            .unwrap_or_default(),
     );
 
     // 4. The decision view: cheapest design meeting the RPO, and the
@@ -87,6 +103,9 @@ fn main() -> Result<(), ssdep_core::Error> {
 
     // 5. Sign-off: the full dossier for the chosen design.
     let design = chosen.candidate.materialize()?;
-    println!("\n{}", report::render_full_report(&design, &workload, &requirements)?);
+    println!(
+        "\n{}",
+        report::render_full_report(&design, &workload, &requirements)?
+    );
     Ok(())
 }

@@ -65,7 +65,10 @@ fn main() -> Result<(), ssdep_core::Error> {
     // 3. The measured workload drives the full dossier.
     let design = ssdep_core::presets::baseline_design();
     let requirements = ssdep_core::presets::paper_requirements();
-    println!("{}", report::render_full_report(&design, &workload, &requirements)?);
+    println!(
+        "{}",
+        report::render_full_report(&design, &workload, &requirements)?
+    );
 
     std::fs::remove_file(&path).ok();
     Ok(())

@@ -49,8 +49,14 @@ fn main() -> Result<(), ssdep_core::Error> {
     ] {
         table.row([
             format!("batchUpdR({window})"),
-            format!("{:.0} KiB/s", paper.batch_update_rate(window).as_kib_per_sec()),
-            format!("{:.0} KiB/s", measured.batch_update_rate(window).as_kib_per_sec()),
+            format!(
+                "{:.0} KiB/s",
+                paper.batch_update_rate(window).as_kib_per_sec()
+            ),
+            format!(
+                "{:.0} KiB/s",
+                measured.batch_update_rate(window).as_kib_per_sec()
+            ),
         ]);
     }
     println!("\n{}", table.render());

@@ -107,13 +107,19 @@ fn figure5_cost_structure() {
 
     // Array failure: paper total $11.94M (ours differs only through RT).
     let array_total = array.cost.total_cost.as_millions();
-    assert!((11.0..=12.5).contains(&array_total), "array total ${array_total:.2}M");
+    assert!(
+        (11.0..=12.5).contains(&array_total),
+        "array total ${array_total:.2}M"
+    );
 
     // Site failure: paper total $71.94M; loss penalties dominate. Our
     // consistent penalty arithmetic gives 1429.4 h + 25.6 h at $50k/hr
     // ≈ $72.8M + outlays.
     let site_total = site.cost.total_cost.as_millions();
-    assert!((70.0..=75.5).contains(&site_total), "site total ${site_total:.2}M");
+    assert!(
+        (70.0..=75.5).contains(&site_total),
+        "site total ${site_total:.2}M"
+    );
 
     // Loss penalties dwarf outage penalties for disasters.
     assert!(site.cost.loss_penalty > site.cost.unavailability_penalty * 10.0);

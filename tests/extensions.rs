@@ -12,8 +12,12 @@ fn catalog() -> Vec<WeightedScenario> {
     vec![
         WeightedScenario::new(
             FailureScenario::new(
-                FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-                RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+                FailureScope::DataObject {
+                    size: Bytes::from_mib(1.0),
+                },
+                RecoveryTarget::Before {
+                    age: TimeDelta::from_hours(24.0),
+                },
             ),
             12.0,
         ),
@@ -33,10 +37,12 @@ fn degraded_exposure_identifies_the_vault_as_critical() {
     let workload = ssdep_core::presets::cello_workload();
     let design = ssdep_core::presets::baseline_design();
     let requirements = ssdep_core::presets::paper_requirements();
-    let scenarios: Vec<FailureScenario> =
-        catalog().into_iter().map(|w| w.scenario).collect();
+    let scenarios: Vec<FailureScenario> = catalog().into_iter().map(|w| w.scenario).collect();
     let report = degraded_exposure(&design, &workload, &requirements, &scenarios).unwrap();
-    assert_eq!(report.most_critical_level().unwrap().level_name, "remote vaulting");
+    assert_eq!(
+        report.most_critical_level().unwrap().level_name,
+        "remote vaulting"
+    );
     // Degrading the mirror shifts object recovery but never breaks it.
     assert!(report.rows[0].outcomes.iter().all(|o| o.is_recoverable()));
 }
@@ -56,8 +62,8 @@ fn degraded_scenarios_also_constrain_the_simulator() {
     )
     .unwrap()
     .run();
-    let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now)
-        .with_degraded_level(2); // tape backup down
+    let scenario =
+        FailureScenario::new(FailureScope::Array, RecoveryTarget::Now).with_degraded_level(2); // tape backup down
     let outcome = ssdep_sim::recovery::simulate_failure(
         &design,
         &workload,
@@ -112,9 +118,12 @@ fn multi_object_totals_match_a_single_combined_restore() {
                 .unwrap(),
         )
     };
-    let multi =
-        MultiObjectWorkload::new(vec![object("a", 500.0), object("b", 300.0), object("c", 200.0)])
-            .unwrap();
+    let multi = MultiObjectWorkload::new(vec![
+        object("a", 500.0),
+        object("b", 300.0),
+        object("c", 200.0),
+    ])
+    .unwrap();
     let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
     let evaluation = evaluate_multi(&design, &multi, &requirements, &scenario).unwrap();
 
@@ -138,8 +147,9 @@ fn sweeps_compose_with_the_optimizer_frontier() {
     let workload = ssdep_core::presets::cello_workload();
     let requirements = ssdep_core::presets::paper_requirements();
     let hw: Vec<WeightedScenario> = catalog().into_iter().skip(1).collect();
-    let points =
-        ssdep_opt::sweep::sweep_mirror_links(&[1, 10], &workload, &requirements, &hw).unwrap();
+    let series = ssdep_opt::sweep::sweep_mirror_links(&[1, 10], &workload, &requirements, &hw);
+    assert!(series.is_complete(), "broken: {:?}", series.broken);
+    let points = &series.points;
     let direct = ssdep_core::analysis::evaluate(
         &ssdep_core::presets::async_batch_mirror_design(10),
         &workload,
@@ -147,9 +157,7 @@ fn sweeps_compose_with_the_optimizer_frontier() {
         &FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
     )
     .unwrap();
-    assert!(points[1]
-        .outlays
-        .approx_eq(direct.cost.total_outlays, 1e-9));
+    assert!(points[1].outlays.approx_eq(direct.cost.total_outlays, 1e-9));
 }
 
 #[test]

@@ -6,18 +6,27 @@ use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
 use ssdep_core::units::{Money, TimeDelta};
 use ssdep_opt::pareto;
 use ssdep_opt::search::{evaluate_candidate, exhaustive, hill_climb, paper_scenarios};
-use ssdep_opt::space::{BackupChoice, Candidate, DesignSpace, MirrorChoice, PitChoice, VaultChoice};
+use ssdep_opt::space::{
+    BackupChoice, Candidate, DesignSpace, MirrorChoice, PitChoice, VaultChoice,
+};
 
 fn baseline_candidate() -> Candidate {
     Candidate {
-        pit: PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 },
+        pit: PitChoice::SplitMirror {
+            acc_hours: 12.0,
+            retained: 4,
+        },
         backup: BackupChoice::Fulls {
             acc_hours: 168.0,
             prop_hours: 48.0,
             retained: 4,
             daily_incrementals: 0,
         },
-        vault: VaultChoice::Ship { acc_weeks: 4.0, hold_hours: 684.0, retained: 39 },
+        vault: VaultChoice::Ship {
+            acc_weeks: 4.0,
+            hold_hours: 684.0,
+            retained: 39,
+        },
         mirror: MirrorChoice::None,
     }
 }
@@ -56,17 +65,14 @@ fn raising_loss_penalties_shifts_the_winner_toward_lower_loss() {
 
     let reqs = |rate: f64| {
         ssdep_core::requirements::BusinessRequirements::builder()
-            .unavailability_penalty_rate(
-                ssdep_core::units::MoneyRate::from_dollars_per_hour(rate),
-            )
+            .unavailability_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(rate))
             .loss_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(rate))
             .build()
             .unwrap()
     };
 
     let cheap_rates = exhaustive(&space, &workload, &reqs(100.0), &paper_scenarios()).unwrap();
-    let dear_rates =
-        exhaustive(&space, &workload, &reqs(5_000_000.0), &paper_scenarios()).unwrap();
+    let dear_rates = exhaustive(&space, &workload, &reqs(5_000_000.0), &paper_scenarios()).unwrap();
     let cheap_best = cheap_rates.best().unwrap();
     let dear_best = dear_rates.best().unwrap();
     assert!(
@@ -102,8 +108,13 @@ fn hill_climb_uses_fewer_evaluations_on_the_broad_space() {
 fn pareto_front_brackets_the_cost_range() {
     let workload = ssdep_core::presets::cello_workload();
     let requirements = ssdep_core::presets::paper_requirements();
-    let result =
-        exhaustive(&DesignSpace::broad(), &workload, &requirements, &paper_scenarios()).unwrap();
+    let result = exhaustive(
+        &DesignSpace::broad(),
+        &workload,
+        &requirements,
+        &paper_scenarios(),
+    )
+    .unwrap();
     let front = pareto::cost_risk_front(&result.ranked);
     assert!(!front.is_empty());
     // The min-outlay and min-penalty candidates are always on the front.
@@ -127,7 +138,10 @@ fn infeasible_candidates_are_reported_not_dropped_silently() {
     // params is fine; instead force infeasibility via an impossible
     // backup window (propagation longer than accumulation).
     let space = DesignSpace {
-        pit: vec![PitChoice::SplitMirror { acc_hours: 12.0, retained: 4 }],
+        pit: vec![PitChoice::SplitMirror {
+            acc_hours: 12.0,
+            retained: 4,
+        }],
         backup: vec![BackupChoice::Fulls {
             acc_hours: 24.0,
             prop_hours: 48.0, // propW > accW: invalid
@@ -149,19 +163,32 @@ fn infeasible_candidates_are_reported_not_dropped_silently() {
 fn rto_rpo_front_is_consistent_with_objectives() {
     let workload = ssdep_core::presets::cello_workload();
     let requirements = ssdep_core::requirements::BusinessRequirements::builder()
-        .unavailability_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(50_000.0))
-        .loss_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(50_000.0))
+        .unavailability_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(
+            50_000.0,
+        ))
+        .loss_penalty_rate(ssdep_core::units::MoneyRate::from_dollars_per_hour(
+            50_000.0,
+        ))
         .recovery_time_objective(TimeDelta::from_hours(30.0))
         .recovery_point_objective(TimeDelta::from_hours(250.0))
         .build()
         .unwrap();
-    let result =
-        exhaustive(&DesignSpace::minimal(), &workload, &requirements, &paper_scenarios()).unwrap();
+    let result = exhaustive(
+        &DesignSpace::minimal(),
+        &workload,
+        &requirements,
+        &paper_scenarios(),
+    )
+    .unwrap();
     let front = pareto::rto_rpo_front(&result.ranked);
     // Anyone meeting the objectives is dominated only by other feasible
     // points; at least one frontier member should meet them.
-    assert!(front.iter().any(|o| o.meets_objectives), "front: {:?}", front
-        .iter()
-        .map(|o| (&o.label, o.worst_recovery_time, o.worst_data_loss))
-        .collect::<Vec<_>>());
+    assert!(
+        front.iter().any(|o| o.meets_objectives),
+        "front: {:?}",
+        front
+            .iter()
+            .map(|o| (&o.label, o.worst_recovery_time, o.worst_data_loss))
+            .collect::<Vec<_>>()
+    );
 }

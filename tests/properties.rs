@@ -12,29 +12,37 @@ use ssdep_core::workload::Workload;
 /// A strategy for physically consistent workloads.
 fn workload_strategy() -> impl Strategy<Value = Workload> {
     (
-        10.0f64..5000.0,   // GiB
-        64.0f64..8192.0,   // access KiB/s
-        0.1f64..1.0,       // update fraction of access
-        1.0f64..20.0,      // burst multiplier
-        0.2f64..1.0,       // unique fraction at one minute
-        0.05f64..1.0,      // long-window fraction of the short one
+        10.0f64..5000.0, // GiB
+        64.0f64..8192.0, // access KiB/s
+        0.1f64..1.0,     // update fraction of access
+        1.0f64..20.0,    // burst multiplier
+        0.2f64..1.0,     // unique fraction at one minute
+        0.05f64..1.0,    // long-window fraction of the short one
     )
-        .prop_map(|(gib, access, update_frac, burst, short_unique, long_ratio)| {
-            let update = access * update_frac;
-            let short_rate = update * short_unique;
-            let long_rate = short_rate * long_ratio;
-            // Bytes monotonicity needs rate(12 h) × 12 h ≥ rate(1 min) × 1 min,
-            // which holds because long_ratio ≥ 0.05 ≫ 1/720.
-            Workload::builder("prop")
-                .data_capacity(Bytes::from_gib(gib))
-                .avg_access_rate(Bandwidth::from_kib_per_sec(access))
-                .avg_update_rate(Bandwidth::from_kib_per_sec(update))
-                .burst_multiplier(burst)
-                .batch_rate(TimeDelta::from_minutes(1.0), Bandwidth::from_kib_per_sec(short_rate))
-                .batch_rate(TimeDelta::from_hours(12.0), Bandwidth::from_kib_per_sec(long_rate))
-                .build()
-                .expect("strategy produces valid workloads")
-        })
+        .prop_map(
+            |(gib, access, update_frac, burst, short_unique, long_ratio)| {
+                let update = access * update_frac;
+                let short_rate = update * short_unique;
+                let long_rate = short_rate * long_ratio;
+                // Bytes monotonicity needs rate(12 h) × 12 h ≥ rate(1 min) × 1 min,
+                // which holds because long_ratio ≥ 0.05 ≫ 1/720.
+                Workload::builder("prop")
+                    .data_capacity(Bytes::from_gib(gib))
+                    .avg_access_rate(Bandwidth::from_kib_per_sec(access))
+                    .avg_update_rate(Bandwidth::from_kib_per_sec(update))
+                    .burst_multiplier(burst)
+                    .batch_rate(
+                        TimeDelta::from_minutes(1.0),
+                        Bandwidth::from_kib_per_sec(short_rate),
+                    )
+                    .batch_rate(
+                        TimeDelta::from_hours(12.0),
+                        Bandwidth::from_kib_per_sec(long_rate),
+                    )
+                    .build()
+                    .expect("strategy produces valid workloads")
+            },
+        )
 }
 
 /// A strategy for valid protection parameter sets.
@@ -195,12 +203,15 @@ fn simulate(weeks: f64, faults: FaultPlan) -> ssdep_sim::SimReport {
 fn an_empty_fault_plan_is_exactly_the_fault_free_run() {
     for weeks in [6.0, 13.0] {
         let clean = simulate(weeks, FaultPlan::new());
-        let empty = simulate(weeks, FaultPlan::new().with_fault(InjectedFault {
-            // A fault far beyond the horizon resolves but never fires.
-            at: TimeDelta::from_weeks(weeks * 10.0),
-            target: FaultTarget::Level { index: 1 },
-            kind: FaultKind::PermanentDestruction,
-        }));
+        let empty = simulate(
+            weeks,
+            FaultPlan::new().with_fault(InjectedFault {
+                // A fault far beyond the horizon resolves but never fires.
+                at: TimeDelta::from_weeks(weeks * 10.0),
+                target: FaultTarget::Level { index: 1 },
+                kind: FaultKind::PermanentDestruction,
+            }),
+        );
         assert_eq!(clean.rps(), empty.rps());
         assert!(empty.disruptions().is_empty());
         let no_plan = simulate(weeks, FaultPlan::new());

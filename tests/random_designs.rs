@@ -29,8 +29,11 @@ fn backup_strategy() -> impl Strategy<Value = BackupChoice> {
         (24.0f64..336.0, 0.1f64..0.9, 2u32..16, 0u32..4).prop_map(
             |(acc_hours, prop_frac, retained, incrementals)| {
                 // Incrementals are daily; they must fit inside the cycle.
-                let daily_incrementals =
-                    if acc_hours > (incrementals + 1) as f64 * 24.0 { incrementals } else { 0 };
+                let daily_incrementals = if acc_hours > (incrementals + 1) as f64 * 24.0 {
+                    incrementals
+                } else {
+                    0
+                };
                 BackupChoice::Fulls {
                     acc_hours,
                     prop_hours: acc_hours * prop_frac,
@@ -45,13 +48,13 @@ fn backup_strategy() -> impl Strategy<Value = BackupChoice> {
 fn vault_strategy() -> impl Strategy<Value = VaultChoice> {
     prop_oneof![
         Just(VaultChoice::None),
-        (1.0f64..8.0, 1.0f64..800.0, 4u32..200).prop_map(
-            |(acc_weeks, hold_hours, retained)| VaultChoice::Ship {
+        (1.0f64..8.0, 1.0f64..800.0, 4u32..200).prop_map(|(acc_weeks, hold_hours, retained)| {
+            VaultChoice::Ship {
                 acc_weeks,
                 hold_hours,
-                retained
+                retained,
             }
-        ),
+        }),
     ]
 }
 
@@ -59,16 +62,24 @@ fn mirror_strategy() -> impl Strategy<Value = MirrorChoice> {
     prop_oneof![
         Just(MirrorChoice::None),
         (1u32..12).prop_map(|links| MirrorChoice::Synchronous { links }),
-        (0.5f64..30.0, 1u32..12).prop_map(|(acc_minutes, links)| MirrorChoice::Batched {
-            acc_minutes,
-            links
-        }),
+        (0.5f64..30.0, 1u32..12)
+            .prop_map(|(acc_minutes, links)| MirrorChoice::Batched { acc_minutes, links }),
     ]
 }
 
 fn candidate_strategy() -> impl Strategy<Value = Candidate> {
-    (pit_strategy(), backup_strategy(), vault_strategy(), mirror_strategy())
-        .prop_map(|(pit, backup, vault, mirror)| Candidate { pit, backup, vault, mirror })
+    (
+        pit_strategy(),
+        backup_strategy(),
+        vault_strategy(),
+        mirror_strategy(),
+    )
+        .prop_map(|(pit, backup, vault, mirror)| Candidate {
+            pit,
+            backup,
+            vault,
+            mirror,
+        })
 }
 
 /// A 20-week baseline simulation, built once and shared across property
@@ -94,7 +105,12 @@ fn sim_fixture() -> &'static SimFixture {
         )
         .unwrap()
         .run();
-        SimFixture { design, workload, demands, report }
+        SimFixture {
+            design,
+            workload,
+            demands,
+            report,
+        }
     })
 }
 

@@ -28,8 +28,12 @@ fn baseline_bounds_hold_for_all_three_scopes() {
     let design = ssdep_core::presets::baseline_design();
     let scenarios = [
         FailureScenario::new(
-            FailureScope::DataObject { size: Bytes::from_mib(1.0) },
-            RecoveryTarget::Before { age: TimeDelta::from_hours(24.0) },
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
         ),
         FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
         FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
@@ -37,7 +41,10 @@ fn baseline_bounds_hold_for_all_three_scopes() {
     for scenario in scenarios {
         let outcome = validate(&design, scenario.clone(), 30.0, 48);
         assert!(outcome.bounds_hold(), "{scenario}: {outcome:?}");
-        assert!(outcome.evaluated_samples > 0, "{scenario}: nothing evaluated");
+        assert!(
+            outcome.evaluated_samples > 0,
+            "{scenario}: nothing evaluated"
+        );
     }
 }
 
@@ -102,8 +109,12 @@ fn differential_incrementals_respect_bounds_and_assemble_chains() {
     };
 
     let mut builder = StorageDesign::builder("differential backup");
-    let array = builder.add_device(ssdep_core::presets::primary_array_spec()).unwrap();
-    let tape = builder.add_device(ssdep_core::presets::tape_library_spec()).unwrap();
+    let array = builder
+        .add_device(ssdep_core::presets::primary_array_spec())
+        .unwrap();
+    let tape = builder
+        .add_device(ssdep_core::presets::tape_library_spec())
+        .unwrap();
     builder.add_level(Level::new(
         "primary copy",
         Technique::PrimaryCopy(PrimaryCopy::new()),

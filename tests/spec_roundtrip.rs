@@ -41,7 +41,10 @@ fn evaluations_serialize_for_tooling() {
     // JSON round-trips f64 to within an ULP; compare the decision-facing
     // quantities rather than bitwise equality.
     assert_eq!(back.loss.source_level, evaluation.loss.source_level);
-    assert!(back.loss.worst_loss.approx_eq(evaluation.loss.worst_loss, 1e-12));
+    assert!(back
+        .loss
+        .worst_loss
+        .approx_eq(evaluation.loss.worst_loss, 1e-12));
     assert!(back
         .recovery
         .total_time

@@ -1,0 +1,213 @@
+//! Crash-resume behaviour of the evaluation supervisor, end to end:
+//! a search that is killed partway through and resumed from its
+//! checkpoint journal must reproduce the uninterrupted run bit for bit,
+//! no matter where the kill landed — including mid-journal-line.
+
+use proptest::prelude::*;
+use ssdep_opt::search::{paper_scenarios, supervised_exhaustive};
+use ssdep_opt::space::{Candidate, DesignSpace};
+use ssdep_opt::{Supervisor, SupervisorConfig};
+use std::path::{Path, PathBuf};
+
+fn fixture() -> (
+    ssdep_core::workload::Workload,
+    ssdep_core::requirements::BusinessRequirements,
+    Vec<ssdep_core::analysis::WeightedScenario>,
+) {
+    (
+        ssdep_core::presets::cello_workload(),
+        ssdep_core::presets::paper_requirements(),
+        paper_scenarios(),
+    )
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ssdep-resume-{name}-{}.jsonl", std::process::id()))
+}
+
+fn config(checkpoint: &Path, resume: Option<&Path>) -> SupervisorConfig {
+    SupervisorConfig {
+        checkpoint: Some(checkpoint.to_path_buf()),
+        resume: resume.map(Path::to_path_buf),
+        // Every entry durable immediately: the tests slice the journal
+        // at arbitrary points and need all lines present.
+        sync_every: 1,
+        ..SupervisorConfig::default()
+    }
+}
+
+/// The ranking as comparable (label, cost) pairs.
+fn ranking(result: &ssdep_opt::SearchResult) -> Vec<(String, String)> {
+    result
+        .ranked
+        .iter()
+        .map(|o| (o.label.clone(), o.expected_total.to_string()))
+        .collect()
+}
+
+/// The cost/risk frontier as comparable labels.
+fn frontier(result: &ssdep_opt::SearchResult) -> Vec<String> {
+    ssdep_opt::pareto::cost_risk_front(&result.ranked)
+        .iter()
+        .map(|o| o.label.clone())
+        .collect()
+}
+
+#[test]
+fn interrupted_search_resumes_with_identical_frontiers() {
+    let (workload, requirements, scenarios) = fixture();
+    let space = DesignSpace::minimal();
+    let candidates: Vec<Candidate> = space.candidates().collect();
+
+    // The uninterrupted run: the ground truth.
+    let truth_journal = temp("truth");
+    std::fs::remove_file(&truth_journal).ok();
+    let truth = supervised_exhaustive(
+        &space,
+        &workload,
+        &requirements,
+        &scenarios,
+        &Supervisor::new(config(&truth_journal, None)),
+    )
+    .unwrap();
+    assert!(truth.provenance.is_complete());
+
+    // "Crash" partway: a process evaluates only the first seven
+    // candidates before dying — its journal holds exactly that prefix.
+    let crashed_journal = temp("crashed");
+    std::fs::remove_file(&crashed_journal).ok();
+    let prefix = &candidates[..7];
+    let supervisor = Supervisor::new(config(&crashed_journal, None));
+    let partial = supervisor
+        .run(prefix, {
+            let workload = workload.clone();
+            let requirements = requirements.clone();
+            let scenarios = scenarios.clone();
+            move |candidate: &Candidate| {
+                ssdep_opt::search::evaluate_candidate(
+                    candidate,
+                    &workload,
+                    &requirements,
+                    &scenarios,
+                )
+                .map(ssdep_opt::search::SearchOutcome::Evaluated)
+                .or_else(|e| {
+                    Ok(ssdep_opt::search::SearchOutcome::Infeasible {
+                        label: candidate.label(),
+                        reason: e.to_string(),
+                    })
+                })
+            }
+        })
+        .unwrap();
+    assert_eq!(partial.provenance.evaluated, 7);
+
+    // Resume over the full space from the crashed journal.
+    let resumed = supervised_exhaustive(
+        &space,
+        &workload,
+        &requirements,
+        &scenarios,
+        &Supervisor::new(config(&crashed_journal, Some(&crashed_journal))),
+    )
+    .unwrap();
+    assert_eq!(resumed.provenance.resumed, 7, "the prefix must replay");
+    assert_eq!(resumed.provenance.evaluated, candidates.len() - 7);
+    assert_eq!(ranking(&resumed.result), ranking(&truth.result));
+    assert_eq!(frontier(&resumed.result), frontier(&truth.result));
+
+    std::fs::remove_file(&truth_journal).ok();
+    std::fs::remove_file(&crashed_journal).ok();
+}
+
+#[test]
+fn poisoned_candidate_is_quarantined_and_survivors_are_ranked() {
+    let (workload, requirements, scenarios) = fixture();
+    let space = DesignSpace::minimal();
+    let candidates: Vec<Candidate> = space.candidates().collect();
+    let poison = candidates[3];
+
+    let run = Supervisor::default()
+        .run(&candidates, {
+            let workload = workload.clone();
+            let requirements = requirements.clone();
+            let scenarios = scenarios.clone();
+            move |candidate: &Candidate| {
+                assert!(*candidate != poison, "poisoned evaluation");
+                ssdep_opt::search::evaluate_candidate(
+                    candidate,
+                    &workload,
+                    &requirements,
+                    &scenarios,
+                )
+                .map(ssdep_opt::search::SearchOutcome::Evaluated)
+                .or_else(|e| {
+                    Ok(ssdep_opt::search::SearchOutcome::Infeasible {
+                        label: candidate.label(),
+                        reason: e.to_string(),
+                    })
+                })
+            }
+        })
+        .unwrap();
+
+    assert_eq!(run.failed.len(), 1, "exactly the poison is quarantined");
+    assert_eq!(run.failed[0].candidate, poison);
+    assert_eq!(run.failed[0].kind, ssdep_opt::FailureKind::Panicked);
+    assert!(run.failed[0].error.contains("poisoned evaluation"));
+    assert_eq!(run.completed.len(), candidates.len() - 1);
+    assert!(!run.provenance.is_complete());
+    assert_eq!(run.provenance.completed(), candidates.len() - 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Killing the process at ANY byte of the journal — including in the
+    /// middle of a line — and resuming reproduces the uninterrupted
+    /// outcomes exactly: full lines before the cut replay, a torn tail
+    /// is dropped and re-evaluated.
+    #[test]
+    fn resume_after_truncation_at_any_offset_reproduces_the_run(cut_fraction in 0.0f64..1.0) {
+        let (workload, requirements, scenarios) = fixture();
+        let space = DesignSpace::minimal();
+
+        let truth_journal = temp("prop-truth");
+        std::fs::remove_file(&truth_journal).ok();
+        let truth = supervised_exhaustive(
+            &space,
+            &workload,
+            &requirements,
+            &scenarios,
+            &Supervisor::new(config(&truth_journal, None)),
+        )
+        .unwrap();
+        let bytes = std::fs::read(&truth_journal).unwrap();
+        std::fs::remove_file(&truth_journal).ok();
+
+        // Truncate the journal at an arbitrary byte offset.
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        let full_lines_kept =
+            bytes[..cut].iter().filter(|&&b| b == b'\n').count();
+        let truncated_journal = temp("prop-truncated");
+        std::fs::write(&truncated_journal, &bytes[..cut]).unwrap();
+
+        let resumed = supervised_exhaustive(
+            &space,
+            &workload,
+            &requirements,
+            &scenarios,
+            &Supervisor::new(config(&truncated_journal, Some(&truncated_journal))),
+        )
+        .unwrap();
+        std::fs::remove_file(&truncated_journal).ok();
+
+        prop_assert_eq!(resumed.provenance.resumed, full_lines_kept);
+        prop_assert_eq!(
+            resumed.provenance.evaluated,
+            truth.provenance.total - full_lines_kept
+        );
+        prop_assert_eq!(ranking(&resumed.result), ranking(&truth.result));
+        prop_assert_eq!(frontier(&resumed.result), frontier(&truth.result));
+    }
+}

@@ -142,10 +142,18 @@ fn mirroring_reduces_loss_to_minutes_with_transfer_bound_recovery() {
     // Two-minute loss for both (paper: 0.03 hr).
     assert!(mirror1.array_dl < 0.05);
     // One link: recovery is transfer-dominated, ~21.7 hr in the paper.
-    assert!((20.0..=24.0).contains(&mirror1.array_rt), "{}", mirror1.array_rt);
+    assert!(
+        (20.0..=24.0).contains(&mirror1.array_rt),
+        "{}",
+        mirror1.array_rt
+    );
     // Ten links recover an order of magnitude faster (paper 2.8 hr).
     assert!(mirror10.array_rt < mirror1.array_rt / 5.0);
-    assert!((1.5..=3.5).contains(&mirror10.array_rt), "{}", mirror10.array_rt);
+    assert!(
+        (1.5..=3.5).contains(&mirror10.array_rt),
+        "{}",
+        mirror10.array_rt
+    );
     // Site recovery additionally waits on the shared facility.
     assert!(mirror10.site_rt > mirror10.array_rt);
     // Ten links cost several million more (paper $0.93M → $5.03M).
@@ -180,10 +188,18 @@ fn costs_are_dominated_by_penalties_exactly_when_loss_is_large() {
     for row in &rows {
         let penalties = row.array_total - row.outlays;
         if row.array_dl > 100.0 {
-            assert!(penalties > row.outlays, "{}: penalties should dominate", row.name);
+            assert!(
+                penalties > row.outlays,
+                "{}: penalties should dominate",
+                row.name
+            );
         }
         if row.array_dl < 1.0 {
-            assert!(penalties < row.outlays * 3.0, "{}: penalties should be modest", row.name);
+            assert!(
+                penalties < row.outlays * 3.0,
+                "{}: penalties should be modest",
+                row.name
+            );
         }
     }
 }
@@ -209,7 +225,9 @@ fn mirror_designs_cannot_serve_day_old_rollbacks() {
     let design = ssdep_core::presets::async_batch_mirror_design(1);
     let err = evaluate_paper(
         &design,
-        FailureScope::DataObject { size: ssdep_core::units::Bytes::from_mib(1.0) },
+        FailureScope::DataObject {
+            size: ssdep_core::units::Bytes::from_mib(1.0),
+        },
     )
     .unwrap_err();
     assert!(matches!(err, ssdep_core::Error::NoRecoverySource { .. }));

@@ -84,7 +84,11 @@ fn hot_locality_shows_up_as_backup_savings() {
             "synthetic",
             &trace,
             Bandwidth::from_mib_per_sec(16.0),
-            &[TimeDelta::from_minutes(1.0), TimeDelta::from_hours(1.0), TimeDelta::from_hours(6.0)],
+            &[
+                TimeDelta::from_minutes(1.0),
+                TimeDelta::from_hours(1.0),
+                TimeDelta::from_hours(6.0),
+            ],
             TimeDelta::from_secs(1.0),
         )
         .unwrap()
