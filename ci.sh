@@ -9,7 +9,7 @@ set -eu
 cargo fmt --all -- --check
 cargo build --release --workspace
 cargo test -q --workspace
-cargo clippy --workspace
+cargo clippy --workspace --all-targets
 
 # Crash-resume smoke test: run the supervised search to completion, then
 # run it again with a crash injected after three journal appends, resume
@@ -19,6 +19,45 @@ cargo clippy --workspace
 SSDEP=target/release/ssdep
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+# Preflight smoke test: every example spec must check clean; the
+# intentionally-broken one must exit 2 with byte-stable --json output,
+# and its --fix output must re-check without errors.
+for spec in examples/specs/*.json; do
+    case "$spec" in
+    *broken*) continue ;;
+    esac
+    "$SSDEP" check "$spec" > /dev/null || {
+        echo "ci.sh: expected $spec to check clean" >&2
+        exit 1
+    }
+done
+
+BROKEN=examples/specs/broken.json
+set +e
+"$SSDEP" check "$BROKEN" > /dev/null 2>&1
+BROKEN_STATUS=$?
+set -e
+if [ "$BROKEN_STATUS" -ne 2 ]; then
+    echo "ci.sh: expected exit 2 from check on $BROKEN, got $BROKEN_STATUS" >&2
+    exit 1
+fi
+"$SSDEP" check --json "$BROKEN" > "$SMOKE_DIR/check1.json" || true
+"$SSDEP" check --json "$BROKEN" > "$SMOKE_DIR/check2.json" || true
+if ! cmp -s "$SMOKE_DIR/check1.json" "$SMOKE_DIR/check2.json"; then
+    echo "ci.sh: check --json output is not stable across runs" >&2
+    exit 1
+fi
+grep -q '"D020"' "$SMOKE_DIR/check1.json" || {
+    echo "ci.sh: check --json lost the D020 diagnostic" >&2
+    exit 1
+}
+"$SSDEP" check --fix "$BROKEN" > "$SMOKE_DIR/fixed.json"
+"$SSDEP" check "$SMOKE_DIR/fixed.json" > /dev/null || {
+    echo "ci.sh: check --fix output did not re-check clean" >&2
+    exit 1
+}
+echo "preflight smoke test passed"
 
 "$SSDEP" search --checkpoint "$SMOKE_DIR/full.jsonl" > "$SMOKE_DIR/full.out"
 

@@ -3,6 +3,10 @@
 //! Subcommands:
 //!
 //! * `init` — print the paper's baseline system as a JSON spec to edit;
+//! * `check <spec.json> [--json] [--fix] [--deny-warnings]` — run the
+//!   whole preflight diagnostic catalog in one pass (every finding, no
+//!   first-error abort), optionally auto-repairing the spec; the exit
+//!   status is 0 clean / 1 warnings under `--deny-warnings` / 2 errors;
 //! * `validate <spec.json>` — demands, utilization, and convention
 //!   warnings;
 //! * `evaluate <spec.json> --scenario <scope> [--age HOURS] [--json]` —
@@ -33,7 +37,30 @@ use std::fmt::Write as _;
 /// # Errors
 ///
 /// Returns a user-facing error message.
+// The binary's `main` goes through `run_with_status` for the exit code;
+// this status-free form is the test suite's entry point.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn run(args: &[String]) -> Result<String, String> {
+    run_with_status(args).0
+}
+
+/// Runs the CLI and also returns the process exit status.
+///
+/// Most commands exit 0 on success and 1 on error; `ssdep check` uses
+/// the full ladder — 0 clean, 1 warnings under `--deny-warnings`, 2
+/// errors — so scripts can branch on the outcome without parsing text.
+pub fn run_with_status(args: &[String]) -> (Result<String, String>, u8) {
+    if args.first().map(String::as_str) == Some("check") {
+        let rest: Vec<&String> = args.iter().skip(1).collect();
+        return check_command(&rest);
+    }
+    match dispatch(args) {
+        Ok(output) => (Ok(output), 0),
+        Err(message) => (Err(message), 1),
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<String, String> {
     let mut iter = args.iter();
     let command = iter.next().map(String::as_str).unwrap_or("help");
     match command {
@@ -151,6 +178,11 @@ fn help() -> String {
      \n\
      commands:\n\
        init                         print the baseline system spec (JSON)\n\
+       check <spec.json> [opts]     preflight every invariant; report all findings\n\
+         --json                     emit the diagnostics as stable JSON\n\
+         --fix                      print the auto-repaired spec to stdout\n\
+         --deny-warnings            exit 1 when warnings remain\n\
+         (exit status: 0 clean, 1 denied warnings, 2 errors)\n\
        validate <spec.json>         check utilization and conventions\n\
        evaluate <spec.json> [opts]  evaluate one failure scenario\n\
          --scenario <scope>         object|array|building|site|region (default array)\n\
@@ -232,6 +264,169 @@ fn parse_scenario(args: &[&String]) -> Result<FailureScenario, String> {
         RecoveryTarget::Now
     };
     Ok(FailureScenario::new(scope, target))
+}
+
+fn usage_check() -> String {
+    "usage: ssdep check <spec.json> [--json] [--fix] [--deny-warnings]".to_string()
+}
+
+/// The stable machine-readable shape of `ssdep check --json`.
+#[derive(serde::Serialize)]
+struct CheckReport {
+    diagnostics: Vec<ssdep_core::diagnose::Diagnostic>,
+    summary: CheckSummary,
+}
+
+/// Severity counts for [`CheckReport`].
+#[derive(serde::Serialize)]
+struct CheckSummary {
+    errors: usize,
+    warnings: usize,
+    hints: usize,
+}
+
+/// The `D090` diagnostic: the spec file itself failed to parse, with the
+/// parser's position folded into the path so `--json` consumers get it
+/// without re-parsing the message.
+fn parse_diagnostic(error: &crate::spec::SpecError) -> ssdep_core::diagnose::Diagnostic {
+    use ssdep_core::diagnose::{Diagnostic, Severity};
+    let path = match (error.line, error.column) {
+        (Some(line), Some(column)) => format!("spec:{line}:{column}"),
+        _ => "spec".to_string(),
+    };
+    Diagnostic {
+        code: "D090".to_string(),
+        severity: Severity::Error,
+        path,
+        message: error.message.clone(),
+        suggestion: "fix the JSON syntax or field shape at the reported position".to_string(),
+        fixable: false,
+    }
+}
+
+/// Renders a diagnostic list for the terminal or (with `as_json`) as the
+/// stable [`CheckReport`] JSON, and returns the exit status: 0 clean, 1
+/// warnings present under `--deny-warnings`, 2 errors present.
+fn render_check(
+    diagnostics: Vec<ssdep_core::diagnose::Diagnostic>,
+    as_json: bool,
+    deny_warnings: bool,
+    header: &str,
+) -> (Result<String, String>, u8) {
+    use ssdep_core::diagnose::Severity;
+    let count = |severity: Severity| {
+        diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    };
+    let (errors, warnings, hints) = (
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Hint),
+    );
+    let status = if errors > 0 {
+        2
+    } else if warnings > 0 && deny_warnings {
+        1
+    } else {
+        0
+    };
+    if as_json {
+        let report = CheckReport {
+            diagnostics,
+            summary: CheckSummary {
+                errors,
+                warnings,
+                hints,
+            },
+        };
+        return (
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string()),
+            status,
+        );
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{header}");
+    for diagnostic in &diagnostics {
+        let _ = writeln!(out, "{diagnostic}");
+        if !diagnostic.suggestion.is_empty() {
+            let _ = writeln!(out, "  fix: {}", diagnostic.suggestion);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "summary: {errors} error{}, {warnings} warning{}, {hints} hint{}",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+        if hints == 1 { "" } else { "s" },
+    );
+    (Ok(out), status)
+}
+
+/// `ssdep check`: run the full preflight catalog over a spec and report
+/// every finding in one pass — no first-error abort.
+fn check_command(args: &[&String]) -> (Result<String, String>, u8) {
+    let mut path = None;
+    let mut as_json = false;
+    let mut fix = false;
+    let mut deny_warnings = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => as_json = true,
+            "--fix" => fix = true,
+            "--deny-warnings" => deny_warnings = true,
+            other if !other.starts_with("--") && path.is_none() => path = Some(other),
+            other => {
+                return (
+                    (Err(format!("unknown option `{other}`\n{}", usage_check()))),
+                    1,
+                )
+            }
+        }
+    }
+    let Some(path) = path else {
+        return (Err(usage_check()), 1);
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(e) => return (Err(format!("cannot read {path}: {e}")), 1),
+    };
+    // A spec that does not even parse is still a *diagnostic*, not an
+    // opaque failure: D090 with the parser's line/column.
+    let spec = match SystemSpec::from_json_detailed(&json) {
+        Ok(spec) => spec,
+        Err(error) => {
+            return render_check(
+                vec![parse_diagnostic(&error)],
+                as_json,
+                deny_warnings,
+                &format!("check: {path}"),
+            )
+        }
+    };
+    let scenarios: Vec<FailureScenario> =
+        default_catalog().into_iter().map(|w| w.scenario).collect();
+    if fix {
+        let repaired = ssdep_core::diagnose::repair(&spec.design, &spec.workload, &scenarios);
+        let after =
+            ssdep_core::diagnose::preflight_all(&repaired.design, &spec.workload, &scenarios);
+        let status = u8::from(after.has_errors()) * 2;
+        let fixed = SystemSpec {
+            design: repaired.design,
+            ..spec
+        };
+        // Stdout carries only the repaired spec so it pipes straight to
+        // a file; re-run `check` on the result to see what remains.
+        return (Ok(fixed.to_json()), status);
+    }
+    let report = ssdep_core::diagnose::preflight_all(&spec.design, &spec.workload, &scenarios);
+    render_check(
+        report.diagnostics().to_vec(),
+        as_json,
+        deny_warnings,
+        &format!("check: {path} (design: {})", spec.design.name()),
+    )
 }
 
 fn validate(spec: &SystemSpec) -> Result<String, String> {
@@ -1153,6 +1348,130 @@ mod tests {
         .unwrap();
         assert!(json_out.trim_start().starts_with('{'));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The baseline spec with three independent, fixable defects
+    /// injected through serde (the builders would reject them).
+    fn broken_spec_json() -> String {
+        let spec = SystemSpec::baseline();
+        let mut value = serde_json::to_value(&spec).unwrap();
+        // 1. propW > accW on the backup level.
+        value["design"]["levels"][2]["technique"]["Backup"]["full"]["propagation_window"] =
+            serde_json::json!(1.0e9);
+        // 2. A dangling transport on the vault level.
+        value["design"]["levels"][3]["transports"]
+            .as_array_mut()
+            .unwrap()
+            .push(serde_json::json!(99));
+        // 3. A negative spare provisioning time.
+        value["design"]["devices"][0]["spare"]["Dedicated"]["provisioning_time"] =
+            serde_json::json!(-5.0);
+        serde_json::to_string_pretty(&value).unwrap()
+    }
+
+    #[test]
+    fn check_passes_the_baseline_spec() {
+        let path = std::env::temp_dir().join("ssdep-test-check-clean.json");
+        std::fs::write(&path, SystemSpec::baseline().to_json()).unwrap();
+        let (result, status) = run_with_status(&args(&["check", path.to_str().unwrap()]));
+        let out = result.unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("summary: 0 errors, 0 warnings"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_reports_every_defect_in_one_run() {
+        let path = std::env::temp_dir().join("ssdep-test-check-broken.json");
+        std::fs::write(&path, broken_spec_json()).unwrap();
+        let (result, status) = run_with_status(&args(&["check", path.to_str().unwrap()]));
+        let out = result.unwrap();
+        assert_eq!(status, 2, "{out}");
+        for code in ["D020", "D004", "D009"] {
+            assert!(out.contains(code), "missing {code} in {out}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_fix_emits_a_spec_that_rechecks_clean() {
+        let path = std::env::temp_dir().join("ssdep-test-check-fix.json");
+        std::fs::write(&path, broken_spec_json()).unwrap();
+        let (result, status) = run_with_status(&args(&["check", path.to_str().unwrap(), "--fix"]));
+        let fixed = result.unwrap();
+        assert_eq!(status, 0, "repair clears every error: {fixed}");
+        let fixed_path = std::env::temp_dir().join("ssdep-test-check-fixed.json");
+        std::fs::write(&fixed_path, &fixed).unwrap();
+        let (recheck, recheck_status) =
+            run_with_status(&args(&["check", fixed_path.to_str().unwrap()]));
+        let out = recheck.unwrap();
+        assert_eq!(recheck_status, 0, "{out}");
+        assert!(out.contains("summary: 0 errors"), "{out}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&fixed_path).ok();
+    }
+
+    #[test]
+    fn check_json_output_is_stable_and_machine_readable() {
+        let path = std::env::temp_dir().join("ssdep-test-check-json.json");
+        std::fs::write(&path, broken_spec_json()).unwrap();
+        let check_args = args(&["check", path.to_str().unwrap(), "--json"]);
+        let (first, status) = run_with_status(&check_args);
+        let first = first.unwrap();
+        assert_eq!(status, 2);
+        assert!(first.trim_start().starts_with('{'), "{first}");
+        assert!(first.contains("\"summary\""), "{first}");
+        assert!(first.contains("\"D020\""), "{first}");
+        let (second, _) = run_with_status(&check_args);
+        assert_eq!(first, second.unwrap(), "byte-for-byte across runs");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_unparsable_spec_reports_d090_with_the_position() {
+        let path = std::env::temp_dir().join("ssdep-test-check-d090.json");
+        std::fs::write(&path, "{\n  broken").unwrap();
+        let (result, status) = run_with_status(&args(&["check", path.to_str().unwrap()]));
+        let out = result.unwrap();
+        assert_eq!(status, 2, "{out}");
+        assert!(out.contains("D090"), "{out}");
+        assert!(out.contains("spec:2:3"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_deny_warnings_gates_the_exit_status() {
+        let spec = SystemSpec::baseline();
+        let mut value = serde_json::to_value(&spec).unwrap();
+        // Vault retains fewer RPs than the backup above it → D031, a
+        // warning with no errors.
+        value["design"]["levels"][3]["technique"]["RemoteVault"]["params"]["retention_count"] =
+            serde_json::json!(2);
+        value["design"]["levels"][3]["technique"]["RemoteVault"]["params"]["retention_window"] =
+            serde_json::json!(1.0e9);
+        let path = std::env::temp_dir().join("ssdep-test-check-warn.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap()).unwrap();
+        let (result, status) = run_with_status(&args(&["check", path.to_str().unwrap()]));
+        assert_eq!(status, 0, "{:?}", result);
+        let (result, status) =
+            run_with_status(&args(&["check", path.to_str().unwrap(), "--deny-warnings"]));
+        let out = result.unwrap();
+        assert_eq!(status, 1, "{out}");
+        assert!(out.contains("D031"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_rejects_bad_usage() {
+        let (result, status) = run_with_status(&args(&["check"]));
+        assert!(result.unwrap_err().contains("usage"));
+        assert_eq!(status, 1);
+        let (result, status) = run_with_status(&args(&["check", "x.json", "--frobnicate"]));
+        assert!(result.unwrap_err().contains("unknown option"));
+        assert_eq!(status, 1);
+        let (result, status) = run_with_status(&args(&["check", "/nonexistent/spec.json"]));
+        assert!(result.unwrap_err().contains("cannot read"));
+        assert_eq!(status, 1);
     }
 
     #[test]

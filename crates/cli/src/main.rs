@@ -9,14 +9,10 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match app::run(&args) {
-        Ok(output) => {
-            println!("{output}");
-            ExitCode::SUCCESS
-        }
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
-        }
+    let (result, status) = app::run_with_status(&args);
+    match result {
+        Ok(output) => println!("{output}"),
+        Err(message) => eprintln!("error: {message}"),
     }
+    ExitCode::from(status)
 }

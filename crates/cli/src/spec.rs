@@ -55,10 +55,106 @@ impl SystemSpec {
     ///
     /// # Errors
     ///
-    /// Returns the JSON parse/shape error, stringified.
+    /// Returns the JSON parse/shape error, stringified. Use
+    /// [`SystemSpec::from_json_detailed`] when the caller needs the
+    /// parser's position as data.
     pub fn from_json(json: &str) -> Result<SystemSpec, String> {
-        serde_json::from_str(json).map_err(|e| format!("invalid spec: {e}"))
+        Self::from_json_detailed(json).map_err(|e| e.to_string())
     }
+
+    /// Parses a spec from JSON, preserving the parser's line/column.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] carrying the rendered parse/shape error
+    /// plus its 1-based line and column when the parser reported a
+    /// position.
+    pub fn from_json_detailed(json: &str) -> Result<SystemSpec, SpecError> {
+        serde_json::from_str(json).map_err(|e| SpecError::from_parse(e.to_string(), json))
+    }
+}
+
+/// A spec parse failure with the parser's position preserved as data.
+///
+/// `serde_json` reports positions inside its rendered message (`at line
+/// L column C`, or a byte offset in some implementations); this type
+/// recovers them so tools like `ssdep check` can emit a
+/// machine-readable `D090` diagnostic instead of an opaque string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The parse/shape error, rendered.
+    pub message: String,
+    /// 1-based line of the failure, when the parser reported one.
+    pub line: Option<usize>,
+    /// 1-based column of the failure, when the parser reported one.
+    pub column: Option<usize>,
+}
+
+impl SpecError {
+    /// Builds a [`SpecError`] from a rendered parser message, recovering
+    /// the position from `at line L column C` or, failing that, from a
+    /// byte `offset N` resolved against the source text.
+    fn from_parse(message: String, source: &str) -> SpecError {
+        let (line, column) = position_from_line_column(&message)
+            .or_else(|| {
+                trailing_number(&message, " offset ")
+                    .map(|offset| position_from_offset(source, offset))
+            })
+            .unwrap_or((None, None));
+        SpecError {
+            message,
+            line,
+            column,
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.line, self.column) {
+            (Some(line), Some(column)) => {
+                write!(
+                    f,
+                    "invalid spec at line {line}, column {column}: {}",
+                    self.message
+                )
+            }
+            _ => write!(f, "invalid spec: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Extracts `line L column C` from a rendered serde_json message.
+fn position_from_line_column(message: &str) -> Option<(Option<usize>, Option<usize>)> {
+    let line = trailing_number(message, " line ")?;
+    let column = trailing_number(message, " column ")?;
+    Some((Some(line), Some(column)))
+}
+
+/// Parses the number following the last occurrence of `marker`.
+fn trailing_number(message: &str, marker: &str) -> Option<usize> {
+    let start = message.rfind(marker)? + marker.len();
+    let digits: String = message[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Converts a byte offset into a 1-based (line, column) pair.
+fn position_from_offset(source: &str, offset: usize) -> (Option<usize>, Option<usize>) {
+    let clamped = offset.min(source.len());
+    let before = &source.as_bytes()[..clamped];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+    let column = clamped
+        - before
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1)
+        + 1;
+    (Some(line), Some(column))
 }
 
 #[cfg(test)]
@@ -77,6 +173,32 @@ mod tests {
     fn malformed_json_reports_an_error() {
         let err = SystemSpec::from_json("{not json").unwrap_err();
         assert!(err.contains("invalid spec"));
+    }
+
+    #[test]
+    fn parse_errors_carry_the_line_and_column() {
+        // The defect sits on line 2, column 3 — both the position-aware
+        // parser message formats must recover it.
+        let err = SystemSpec::from_json_detailed("{\n  broken").unwrap_err();
+        assert_eq!(err.line, Some(2), "{}", err.message);
+        assert_eq!(err.column, Some(3), "{}", err.message);
+        let rendered = err.to_string();
+        assert!(rendered.contains("invalid spec"), "{rendered}");
+        assert!(rendered.contains("line 2"), "{rendered}");
+        assert!(rendered.contains("column 3"), "{rendered}");
+    }
+
+    #[test]
+    fn offset_positions_resolve_against_the_source() {
+        let source = "line one\nline two\nline three";
+        assert_eq!(
+            position_from_offset(source, 9),
+            (Some(2), Some(1)),
+            "first byte of line two"
+        );
+        assert_eq!(position_from_offset(source, 0), (Some(1), Some(1)));
+        // Past-the-end offsets clamp instead of panicking.
+        assert_eq!(position_from_offset(source, 10_000), (Some(3), Some(11)));
     }
 
     #[test]

@@ -119,6 +119,245 @@ pub fn evaluate(
     })
 }
 
+/// An analysis section of the evaluation pipeline, as quarantined by
+/// [`evaluate_lenient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Section {
+    /// Normal-mode device utilization (§3.3.1).
+    #[serde(rename = "utilization")]
+    Utilization,
+    /// Recovery source and recent data loss (§3.3.3).
+    #[serde(rename = "dataLoss")]
+    DataLoss,
+    /// The recovery timeline (§3.3.4).
+    #[serde(rename = "recovery")]
+    Recovery,
+    /// Outlays and penalties (§3.3.5).
+    #[serde(rename = "cost")]
+    Cost,
+}
+
+impl std::fmt::Display for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Section::Utilization => f.write_str("utilization"),
+            Section::DataLoss => f.write_str("data loss"),
+            Section::Recovery => f.write_str("recovery"),
+            Section::Cost => f.write_str("cost"),
+        }
+    }
+}
+
+/// Why a section of a [`LenientEvaluation`] is missing or suspect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SectionCaveat {
+    /// The affected section.
+    pub section: Section,
+    /// Stable machine-readable cause: `invalid-input`, `overutilized`,
+    /// `no-recovery-source`, `all-copies-lost`, `no-replacement`,
+    /// `non-finite-cost`, or `upstream-unavailable`.
+    pub code: String,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl SectionCaveat {
+    fn new(section: Section, code: &str, reason: impl Into<String>) -> SectionCaveat {
+        SectionCaveat {
+            section,
+            code: code.to_string(),
+            reason: reason.into(),
+        }
+    }
+}
+
+/// A partial evaluation: every section that could be computed, plus
+/// explicit caveats for the ones that could not (§5's degraded modes of
+/// the *evaluation itself*).
+///
+/// Unlike [`evaluate`], one broken input — an inconsistent cost table, a
+/// scenario with no surviving copies — does not blank the whole report:
+/// each section is attempted independently and failures are recorded as
+/// [`SectionCaveat`]s with stable codes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LenientEvaluation {
+    /// The evaluated scenario.
+    pub scenario: FailureScenario,
+    /// Normal-mode utilization, when the demands could be derived. Kept
+    /// even when overcommitted (see the `overutilized` caveat).
+    pub utilization: Option<UtilizationReport>,
+    /// Recovery source and recent data loss, when a source survives.
+    pub loss: Option<LossReport>,
+    /// The recovery timeline, when a path exists.
+    pub recovery: Option<RecoveryReport>,
+    /// Outlays and penalties. Kept even when non-finite (see the
+    /// `non-finite-cost` caveat).
+    pub cost: Option<CostReport>,
+    /// Why any missing or suspect section is that way; empty for a fully
+    /// clean evaluation.
+    pub caveats: Vec<SectionCaveat>,
+}
+
+impl LenientEvaluation {
+    /// Whether every section was computed without caveat — in which case
+    /// the result matches [`evaluate`].
+    pub fn is_complete(&self) -> bool {
+        self.caveats.is_empty()
+    }
+
+    /// The caveats affecting one section.
+    pub fn caveats_for(&self, section: Section) -> impl Iterator<Item = &SectionCaveat> {
+        self.caveats.iter().filter(move |c| c.section == section)
+    }
+}
+
+/// Evaluates as much of the pipeline as the inputs allow, quarantining
+/// each section independently instead of aborting on the first error.
+///
+/// Sections degrade in dependency order: utilization needs the demand
+/// derivation; recovery needs demands and a loss source; cost needs all
+/// three. A structurally broken hierarchy (empty, or with dangling
+/// device references — states reachable only through deserialization)
+/// caveats everything rather than panicking.
+pub fn evaluate_lenient(
+    design: &StorageDesign,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenario: &FailureScenario,
+) -> LenientEvaluation {
+    let mut caveats = Vec::new();
+    if !crate::diagnose::structure_is_sound(design) {
+        let reason = "the hierarchy is empty or references unregistered devices; \
+                      run a preflight for details";
+        for section in [
+            Section::Utilization,
+            Section::DataLoss,
+            Section::Recovery,
+            Section::Cost,
+        ] {
+            caveats.push(SectionCaveat::new(section, "invalid-input", reason));
+        }
+        return LenientEvaluation {
+            scenario: scenario.clone(),
+            utilization: None,
+            loss: None,
+            recovery: None,
+            cost: None,
+            caveats,
+        };
+    }
+
+    let demands = match design.demands(workload) {
+        Ok(demands) => Some(demands),
+        Err(error) => {
+            caveats.push(SectionCaveat::new(
+                Section::Utilization,
+                "invalid-input",
+                format!("demand derivation failed: {error}"),
+            ));
+            None
+        }
+    };
+
+    let utilization = demands.as_ref().map(|demands| {
+        let report = utilization::utilization_from_demands(design, demands);
+        if let Err(error) = report.check() {
+            caveats.push(SectionCaveat::new(
+                Section::Utilization,
+                "overutilized",
+                error.to_string(),
+            ));
+        }
+        report
+    });
+
+    let loss = match data_loss::data_loss(design, scenario) {
+        Ok(loss) => Some(loss),
+        Err(error) => {
+            let code = match error {
+                Error::NoRecoverySource { .. } => "no-recovery-source",
+                Error::AllCopiesLost => "all-copies-lost",
+                _ => "invalid-input",
+            };
+            caveats.push(SectionCaveat::new(
+                Section::DataLoss,
+                code,
+                error.to_string(),
+            ));
+            None
+        }
+    };
+
+    let recovery = match (&demands, &loss) {
+        (Some(demands), Some(loss)) => {
+            match recovery::recovery(design, workload, demands, scenario, loss.source_level) {
+                Ok(recovery) => Some(recovery),
+                Err(error) => {
+                    let code = match error {
+                        Error::NoReplacement { .. } => "no-replacement",
+                        _ => "invalid-input",
+                    };
+                    caveats.push(SectionCaveat::new(
+                        Section::Recovery,
+                        code,
+                        error.to_string(),
+                    ));
+                    None
+                }
+            }
+        }
+        _ => {
+            caveats.push(SectionCaveat::new(
+                Section::Recovery,
+                "upstream-unavailable",
+                "recovery needs the demand derivation and a surviving loss source",
+            ));
+            None
+        }
+    };
+
+    let cost = match (&demands, &loss, &recovery) {
+        (Some(demands), Some(loss), Some(recovery)) => {
+            let report = cost::costs(
+                design,
+                demands,
+                requirements,
+                recovery.total_time,
+                loss.worst_loss,
+            );
+            if !report.total_cost.is_finite() {
+                caveats.push(SectionCaveat::new(
+                    Section::Cost,
+                    "non-finite-cost",
+                    format!(
+                        "the total cost is {}; an outlay component overflows or \
+                         is non-finite",
+                        report.total_cost
+                    ),
+                ));
+            }
+            Some(report)
+        }
+        _ => {
+            caveats.push(SectionCaveat::new(
+                Section::Cost,
+                "upstream-unavailable",
+                "cost needs demands, a loss source, and a recovery timeline",
+            ));
+            None
+        }
+    };
+
+    LenientEvaluation {
+        scenario: scenario.clone(),
+        utilization,
+        loss,
+        recovery,
+        cost,
+        caveats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +430,93 @@ mod tests {
         // Ordering of total cost follows failure scope severity.
         assert!(object.cost.total_cost < array.cost.total_cost);
         assert!(array.cost.total_cost < site.cost.total_cost);
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_inputs() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let strict = evaluate(&design, &workload, &requirements, &scenario).unwrap();
+        let lenient = evaluate_lenient(&design, &workload, &requirements, &scenario);
+        assert!(lenient.is_complete(), "{:?}", lenient.caveats);
+        assert_eq!(lenient.utilization.as_ref(), Some(&strict.utilization));
+        assert_eq!(lenient.loss.as_ref(), Some(&strict.loss));
+        assert_eq!(lenient.recovery.as_ref(), Some(&strict.recovery));
+        assert_eq!(lenient.cost.as_ref(), Some(&strict.cost));
+    }
+
+    #[test]
+    fn cost_only_breakage_keeps_the_other_sections() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        // Fixed outlays near f64::MAX overflow the outlay sum to
+        // infinity — individually valid, jointly non-finite, so only the
+        // cost table is wrong.
+        let mut value = serde_json::to_value(&design).unwrap();
+        value["devices"][0]["cost"]["fixed"] = serde_json::json!(1.0e308);
+        value["devices"][1]["cost"]["fixed"] = serde_json::json!(1.0e308);
+        let broken: crate::hierarchy::StorageDesign = serde_json::from_value(value).unwrap();
+
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        assert!(evaluate(&broken, &workload, &requirements, &scenario).is_ok());
+        let lenient = evaluate_lenient(&broken, &workload, &requirements, &scenario);
+        assert!(lenient.utilization.is_some());
+        assert!(lenient.loss.is_some());
+        assert!(lenient.recovery.is_some());
+        assert!(lenient.cost.is_some());
+        let caveat_codes: Vec<&str> = lenient
+            .caveats_for(Section::Cost)
+            .map(|c| c.code.as_str())
+            .collect();
+        assert_eq!(caveat_codes, ["non-finite-cost"]);
+        assert!(lenient.caveats_for(Section::Utilization).next().is_none());
+        assert!(lenient.caveats_for(Section::DataLoss).next().is_none());
+        assert!(lenient.caveats_for(Section::Recovery).next().is_none());
+    }
+
+    #[test]
+    fn lenient_quarantines_unreachable_scenarios() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        // Strip the off-site vault: a site disaster leaves no source.
+        let mut value = serde_json::to_value(&design).unwrap();
+        value["levels"].as_array_mut().unwrap().truncate(3);
+        let on_site: crate::hierarchy::StorageDesign = serde_json::from_value(value).unwrap();
+
+        let scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+        let lenient = evaluate_lenient(&on_site, &workload, &requirements, &scenario);
+        assert!(lenient.utilization.is_some(), "normal mode is unaffected");
+        assert!(lenient.loss.is_none());
+        assert!(lenient
+            .caveats_for(Section::DataLoss)
+            .any(|c| c.code == "no-recovery-source"));
+        assert!(lenient
+            .caveats_for(Section::Recovery)
+            .any(|c| c.code == "upstream-unavailable"));
+        assert!(lenient
+            .caveats_for(Section::Cost)
+            .any(|c| c.code == "upstream-unavailable"));
+    }
+
+    #[test]
+    fn lenient_never_panics_on_structurally_broken_designs() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let mut value = serde_json::to_value(&design).unwrap();
+        value["levels"][1]["host"] = serde_json::json!(77);
+        let broken: crate::hierarchy::StorageDesign = serde_json::from_value(value).unwrap();
+
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let lenient = evaluate_lenient(&broken, &workload, &requirements, &scenario);
+        assert!(lenient.utilization.is_none());
+        assert!(lenient.cost.is_none());
+        assert_eq!(lenient.caveats.len(), 4);
+        assert!(lenient.caveats.iter().all(|c| c.code == "invalid-input"));
     }
 
     #[test]

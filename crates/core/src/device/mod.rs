@@ -203,6 +203,83 @@ impl DeviceSpec {
         self.max_bandwidth()
             .map(|max| (max - committed).clamp_non_negative())
     }
+
+    /// Re-runs the builder's validation over a possibly-deserialized
+    /// spec (serde bypasses [`DeviceSpec::builder`], so a JSON spec can
+    /// carry values the builder would reject).
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceSpecBuilder::build`].
+    pub fn validate(&self) -> Result<(), Error> {
+        let prefix = |field: &str| format!("device[{}].{}", self.name, field);
+        if self.name.is_empty() {
+            return Err(Error::invalid("device.name", "must not be empty"));
+        }
+        if let Some(bank) = self.capacity_slots {
+            if bank.count == 0 {
+                return Err(Error::invalid(prefix("maxCapSlots"), "must be at least 1"));
+            }
+            if !(bank.per_slot.value() > 0.0 && bank.per_slot.is_finite()) {
+                return Err(Error::invalid(
+                    prefix("slotCap"),
+                    "must be positive and finite",
+                ));
+            }
+        }
+        if let Some(bank) = self.bandwidth_slots {
+            if bank.count == 0 {
+                return Err(Error::invalid(prefix("maxBWSlots"), "must be at least 1"));
+            }
+            if !(bank.per_slot.value() > 0.0 && bank.per_slot.is_finite()) {
+                return Err(Error::invalid(
+                    prefix("slotBW"),
+                    "must be positive and finite",
+                ));
+            }
+        }
+        if let Some(bw) = self.enclosure_bandwidth {
+            if !(bw.value() > 0.0 && bw.is_finite()) {
+                return Err(Error::invalid(
+                    prefix("enclBW"),
+                    "must be positive and finite",
+                ));
+            }
+        }
+        if !(self.access_delay.value() >= 0.0 && self.access_delay.is_finite()) {
+            return Err(Error::invalid(
+                prefix("devDelay"),
+                "must be non-negative and finite",
+            ));
+        }
+        self.cost.validate(&self.name)?;
+        self.spare.validate(&self.name)?;
+        if !(self.kind.capacity_overhead() >= 1.0 && self.kind.capacity_overhead().is_finite()) {
+            return Err(Error::invalid(
+                prefix("capacityOverhead"),
+                "redundancy overhead must be >= 1",
+            ));
+        }
+        Ok(())
+    }
+
+    /// A copy of this spec under a different name (used by the repair
+    /// pass to deduplicate device names).
+    pub(crate) fn with_name(&self, name: impl Into<String>) -> DeviceSpec {
+        DeviceSpec {
+            name: name.into(),
+            ..self.clone()
+        }
+    }
+
+    /// A copy of this spec with a different spare specification (used by
+    /// the repair pass to clamp bad spare values or add coverage).
+    pub(crate) fn with_spare(&self, spare: SpareSpec) -> DeviceSpec {
+        DeviceSpec {
+            spare,
+            ..self.clone()
+        }
+    }
 }
 
 /// Incremental builder for [`DeviceSpec`]; see [`DeviceSpec::builder`].
@@ -275,55 +352,7 @@ impl DeviceSpecBuilder {
     /// non-finite, a slot bank has zero slots, or the device has neither a
     /// capacity nor a bandwidth/delay role (it would be inert).
     pub fn build(self) -> Result<DeviceSpec, Error> {
-        let prefix = |field: &str| format!("device[{}].{}", self.name, field);
-        if self.name.is_empty() {
-            return Err(Error::invalid("device.name", "must not be empty"));
-        }
-        if let Some(bank) = self.capacity_slots {
-            if bank.count == 0 {
-                return Err(Error::invalid(prefix("maxCapSlots"), "must be at least 1"));
-            }
-            if !(bank.per_slot.value() > 0.0 && bank.per_slot.is_finite()) {
-                return Err(Error::invalid(
-                    prefix("slotCap"),
-                    "must be positive and finite",
-                ));
-            }
-        }
-        if let Some(bank) = self.bandwidth_slots {
-            if bank.count == 0 {
-                return Err(Error::invalid(prefix("maxBWSlots"), "must be at least 1"));
-            }
-            if !(bank.per_slot.value() > 0.0 && bank.per_slot.is_finite()) {
-                return Err(Error::invalid(
-                    prefix("slotBW"),
-                    "must be positive and finite",
-                ));
-            }
-        }
-        if let Some(bw) = self.enclosure_bandwidth {
-            if !(bw.value() > 0.0 && bw.is_finite()) {
-                return Err(Error::invalid(
-                    prefix("enclBW"),
-                    "must be positive and finite",
-                ));
-            }
-        }
-        if !(self.access_delay.value() >= 0.0 && self.access_delay.is_finite()) {
-            return Err(Error::invalid(
-                prefix("devDelay"),
-                "must be non-negative and finite",
-            ));
-        }
-        self.cost.validate(&self.name)?;
-        self.spare.validate(&self.name)?;
-        if !(self.kind.capacity_overhead() >= 1.0 && self.kind.capacity_overhead().is_finite()) {
-            return Err(Error::invalid(
-                prefix("capacityOverhead"),
-                "redundancy overhead must be >= 1",
-            ));
-        }
-        Ok(DeviceSpec {
+        let spec = DeviceSpec {
             name: self.name,
             kind: self.kind,
             location: self.location,
@@ -333,7 +362,9 @@ impl DeviceSpecBuilder {
             access_delay: self.access_delay,
             cost: self.cost,
             spare: self.spare,
-        })
+        };
+        spec.validate()?;
+        Ok(spec)
     }
 }
 

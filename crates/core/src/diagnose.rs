@@ -1,0 +1,1472 @@
+//! Preflight diagnostics and auto-repair over a design/workload/scenario
+//! triple.
+//!
+//! The evaluation pipeline is fail-fast: the first [`Error`] aborts the
+//! whole run. That is the right behaviour *inside* an evaluation, but the
+//! wrong interface for exploring many imperfect candidate designs (§3,
+//! §5) — a misconfigured spec should come back as *data to diagnose*, not
+//! as one opaque error per run. [`preflight`] therefore runs **every**
+//! cross-layer invariant check and accumulates the violations into
+//! [`Diagnostic`]s with stable machine-readable codes (`D001`…),
+//! severities, a dotted parameter path, and a concrete suggested fix.
+//! [`repair`] then applies the safe subset of those suggestions (clamp
+//! windows, drop dangling references, resize spare pools) and returns the
+//! fixed design plus the list of applied repairs; its output carries no
+//! fixable diagnostics on a second preflight.
+//!
+//! The full code catalog, with the paper section justifying each check,
+//! lives in `DESIGN.md` §10.
+
+use crate::analysis::{data_loss, recovery, utilization_from_demands};
+use crate::demands::DemandSet;
+use crate::device::{DeviceSpec, SpareSpec};
+use crate::error::Error;
+use crate::failure::{FailureScenario, FailureScope, Location, RecoveryTarget};
+use crate::hierarchy::{Level, RecoverySite, StorageDesign};
+use crate::protection::{
+    Backup, IncrementalPolicy, MirrorMode, ProtectionParams, RemoteMirror, RemoteVault,
+    SplitMirror, Technique, VirtualSnapshot,
+};
+use crate::units::TimeDelta;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// The design cannot be evaluated correctly until this is addressed.
+    #[serde(rename = "error")]
+    Error,
+    /// The design is evaluable but almost certainly misconfigured
+    /// (§3.2.1's soft composition conventions).
+    #[serde(rename = "warning")]
+    Warning,
+    /// An observation worth knowing that needs no action.
+    #[serde(rename = "hint")]
+    Hint,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Hint => f.write_str("hint"),
+        }
+    }
+}
+
+/// One accumulated preflight finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`D001`…); catalogued in
+    /// `DESIGN.md` §10.
+    pub code: String,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Dotted path to the offending parameter (e.g.
+    /// `levels[2].params.propW`).
+    pub path: String,
+    /// What is wrong.
+    pub message: String,
+    /// A concrete suggested fix.
+    pub suggestion: String,
+    /// Whether [`repair`] can apply the suggestion automatically.
+    pub fixable: bool,
+}
+
+impl Diagnostic {
+    fn new(
+        code: &str,
+        severity: Severity,
+        path: impl Into<String>,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+        fixable: bool,
+    ) -> Diagnostic {
+        Diagnostic {
+            code: code.to_string(),
+            severity,
+            path: path.into(),
+            message: message.into(),
+            suggestion: suggestion.into(),
+            fixable,
+        }
+    }
+
+    /// Whether this finding blocks correct evaluation.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.path, self.message
+        )
+    }
+}
+
+/// The accumulated result of a preflight run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Preflight {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Preflight {
+    /// Every finding, errors first within each check category.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.by_severity(Severity::Error)
+    }
+
+    /// The warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.by_severity(Severity::Warning)
+    }
+
+    /// The hint-severity findings.
+    pub fn hints(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.by_severity(Severity::Hint)
+    }
+
+    fn by_severity(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+
+    /// Whether any error-severity finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether any warning-severity finding is present.
+    pub fn has_warnings(&self) -> bool {
+        self.warnings().next().is_some()
+    }
+
+    /// Whether the run produced no findings at all (hints included).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// A one-line count summary, e.g. `2 errors, 1 warning, 0 hints`.
+    pub fn summary(&self) -> String {
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        let hints = self.hints().count();
+        format!(
+            "{errors} error{}, {warnings} warning{}, {hints} hint{}",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+            if hints == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// Runs every preflight check against a single failure scenario.
+///
+/// Equivalent to [`preflight_all`] with a one-element scenario slice.
+pub fn preflight(
+    design: &StorageDesign,
+    workload: &Workload,
+    scenario: &FailureScenario,
+) -> Preflight {
+    preflight_all(design, workload, std::slice::from_ref(scenario))
+}
+
+/// Runs every preflight check and accumulates all findings — no
+/// first-error abort.
+///
+/// Checks, in order: workload physics, hierarchy structure and device
+/// references (§3.2.1), per-device parameters (§3.2.2), the recovery
+/// site, per-level protection parameters (window consistency, §3.2.1),
+/// the soft composition conventions, capacity/bandwidth feasibility
+/// (§3.3.1), and per-scenario recovery-path reachability including
+/// spare-pool coverage (§3.3.4). Checks that would be meaningless (or
+/// panic) on a structurally broken hierarchy — feasibility and scenario
+/// reachability — run only once the structure is sound; everything else
+/// always runs, so one broken layer never hides another.
+pub fn preflight_all(
+    design: &StorageDesign,
+    workload: &Workload,
+    scenarios: &[FailureScenario],
+) -> Preflight {
+    let mut diags = Vec::new();
+    check_workload(workload, &mut diags);
+    let structure_sound = check_structure(design, &mut diags);
+    check_devices(design, &mut diags);
+    check_recovery_site(design, &mut diags);
+    check_techniques(design, &mut diags);
+    check_conventions(design, &mut diags);
+    if structure_sound {
+        let demands = check_feasibility(design, workload, &mut diags);
+        for scenario in scenarios {
+            check_scenario(design, workload, demands.as_ref(), scenario, &mut diags);
+        }
+        check_hints(design, &mut diags);
+    }
+    let mut seen = BTreeSet::new();
+    diags.retain(|d| seen.insert((d.code.clone(), d.path.clone(), d.message.clone())));
+    Preflight { diagnostics: diags }
+}
+
+fn check_workload(workload: &Workload, diags: &mut Vec<Diagnostic>) {
+    if let Err(error) = workload.validate() {
+        diags.push(Diagnostic::new(
+            "D011",
+            Severity::Error,
+            error_path(&error, "workload"),
+            error.to_string(),
+            "correct the workload measurement; the batch curve must be \
+             physically consistent",
+            false,
+        ));
+    }
+}
+
+/// Structural checks (D001–D007). Returns whether the hierarchy is sound
+/// enough — non-empty, with every device reference in range — for the
+/// demand/scenario analyses to run without panicking.
+fn check_structure(design: &StorageDesign, diags: &mut Vec<Diagnostic>) -> bool {
+    let devices = design.devices();
+    let levels = design.levels();
+    if levels.is_empty() {
+        diags.push(Diagnostic::new(
+            "D001",
+            Severity::Error,
+            "levels",
+            "a design needs at least the primary copy level",
+            "add a primary-copy level at index 0",
+            false,
+        ));
+        return false;
+    }
+    let mut references_sound = true;
+    for (index, level) in levels.iter().enumerate() {
+        let is_primary = matches!(level.technique(), Technique::PrimaryCopy(_));
+        if (index == 0) != is_primary {
+            diags.push(Diagnostic::new(
+                "D002",
+                Severity::Error,
+                format!("levels[{index}]"),
+                if index == 0 {
+                    format!("level 0 (`{}`) must be the primary copy", level.name())
+                } else {
+                    format!(
+                        "the primary copy may only appear at level 0, not level {index} (`{}`)",
+                        level.name()
+                    )
+                },
+                "reorder the hierarchy so the primary copy is level 0",
+                false,
+            ));
+        }
+        if level.host().index() >= devices.len() {
+            references_sound = false;
+            diags.push(Diagnostic::new(
+                "D003",
+                Severity::Error,
+                format!("levels[{index}].host"),
+                format!(
+                    "level `{}` hosts its RPs on {}, which is not registered \
+                     (the design has {} device{})",
+                    level.name(),
+                    level.host(),
+                    devices.len(),
+                    if devices.len() == 1 { "" } else { "s" },
+                ),
+                "point the host at a registered storage device",
+                false,
+            ));
+        } else if !devices[level.host().index()].kind().is_storage() {
+            diags.push(Diagnostic::new(
+                "D005",
+                Severity::Error,
+                format!("levels[{index}].host"),
+                format!(
+                    "host `{}` is a {}, not a storage device",
+                    devices[level.host().index()].name(),
+                    devices[level.host().index()].kind()
+                ),
+                "host RPs on a storage device and list interconnects as transports",
+                false,
+            ));
+        }
+        for (slot, &transport) in level.transports().iter().enumerate() {
+            if transport.index() >= devices.len() {
+                references_sound = false;
+                diags.push(Diagnostic::new(
+                    "D004",
+                    Severity::Error,
+                    format!("levels[{index}].transports[{slot}]"),
+                    format!(
+                        "level `{}` lists transport {}, which is not registered",
+                        level.name(),
+                        transport,
+                    ),
+                    "drop the dangling transport reference",
+                    true,
+                ));
+            } else if !devices[transport.index()].kind().is_transport() {
+                diags.push(Diagnostic::new(
+                    "D006",
+                    Severity::Error,
+                    format!("levels[{index}].transports[{slot}]"),
+                    format!(
+                        "transport `{}` is a {}, not an interconnect",
+                        devices[transport.index()].name(),
+                        devices[transport.index()].kind()
+                    ),
+                    "list only interconnect devices (links, couriers) as transports",
+                    false,
+                ));
+            }
+        }
+    }
+    let mut names: BTreeMap<&str, usize> = BTreeMap::new();
+    for (index, spec) in devices.iter().enumerate() {
+        if let Some(first) = names.insert(spec.name(), index) {
+            diags.push(Diagnostic::new(
+                "D007",
+                Severity::Error,
+                format!("device[{}]", spec.name()),
+                format!(
+                    "duplicate device name `{}` (devices #{first} and #{index})",
+                    spec.name()
+                ),
+                "rename one of the duplicates",
+                true,
+            ));
+        }
+    }
+    references_sound
+}
+
+fn check_devices(design: &StorageDesign, diags: &mut Vec<Diagnostic>) {
+    for spec in design.devices() {
+        if let Err(error) = spec.spare().validate(spec.name()) {
+            diags.push(Diagnostic::new(
+                "D009",
+                Severity::Error,
+                error_path(&error, "device.spare"),
+                error.to_string(),
+                "clamp the spare value to zero",
+                true,
+            ));
+        }
+        if let Err(error) = spec.validate() {
+            if !is_spare_error(&error) {
+                diags.push(Diagnostic::new(
+                    "D008",
+                    Severity::Error,
+                    error_path(&error, "device"),
+                    error.to_string(),
+                    "correct the device parameter; see Table 4 for \
+                     representative values",
+                    false,
+                ));
+            }
+        }
+    }
+}
+
+fn check_recovery_site(design: &StorageDesign, diags: &mut Vec<Diagnostic>) {
+    let Some(site) = design.recovery_site() else {
+        return;
+    };
+    if !(site.provisioning_time.value() >= 0.0 && site.provisioning_time.is_finite()) {
+        diags.push(Diagnostic::new(
+            "D010",
+            Severity::Error,
+            "recoverySite.provisioningTime",
+            format!(
+                "provisioning time {} must be non-negative and finite",
+                site.provisioning_time
+            ),
+            "clamp the provisioning time to zero",
+            true,
+        ));
+    }
+    if !(site.cost_factor >= 0.0 && site.cost_factor.is_finite()) {
+        diags.push(Diagnostic::new(
+            "D010",
+            Severity::Error,
+            "recoverySite.costFactor",
+            format!(
+                "cost factor {} must be non-negative and finite",
+                site.cost_factor
+            ),
+            "clamp the cost factor to zero",
+            true,
+        ));
+    }
+}
+
+fn check_techniques(design: &StorageDesign, diags: &mut Vec<Diagnostic>) {
+    for (index, level) in design.levels().iter().enumerate() {
+        if let Err(error) = level.technique().validate() {
+            let code = technique_code(&error);
+            diags.push(Diagnostic::new(
+                code,
+                Severity::Error,
+                format!("levels[{index}].{}", error_path(&error, "params")),
+                format!("level `{}`: {error}", level.name()),
+                match code {
+                    "D021" => {
+                        "raise the full propagation window above zero and make \
+                         the incrementals fit within the full cycle (or drop them)"
+                    }
+                    "D022" => "clamp the asynchronous write lag to zero",
+                    _ => {
+                        "clamp the windows to a consistent schedule: raise accW \
+                         to propW, cyclePer to accW, and retW to \
+                         (retCnt - 1) x cyclePer"
+                    }
+                },
+                true,
+            ));
+        }
+    }
+}
+
+/// The paper's soft composition conventions (§3.2.1): violations are
+/// evaluable but usually misconfigured, so they surface as warnings.
+fn check_conventions(design: &StorageDesign, diags: &mut Vec<Diagnostic>) {
+    let with_params: Vec<(usize, &Level, &ProtectionParams)> = design
+        .levels()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.technique().params().map(|p| (i, l, p)))
+        .collect();
+    for pair in with_params.windows(2) {
+        let (i, upper, up) = pair[0];
+        let (j, lower, low) = pair[1];
+        if low.accumulation_window() < up.cycle_period() {
+            diags.push(Diagnostic::new(
+                "D030",
+                Severity::Warning,
+                format!("levels[{j}].params.accW"),
+                format!(
+                    "level {j} (`{}`) accumulates faster than level {i} (`{}`) cycles \
+                     (accW {} < cyclePer {}), so some of its windows go unfilled",
+                    lower.name(),
+                    upper.name(),
+                    low.accumulation_window(),
+                    up.cycle_period(),
+                ),
+                "lengthen the lower level's accumulation window to at least the \
+                 upper level's cycle period",
+                false,
+            ));
+        }
+        if low.retention_count() < up.retention_count() {
+            diags.push(Diagnostic::new(
+                "D031",
+                Severity::Warning,
+                format!("levels[{j}].params.retCnt"),
+                format!(
+                    "level {j} (`{}`) retains fewer RPs than level {i} (`{}`) ({} < {})",
+                    lower.name(),
+                    upper.name(),
+                    low.retention_count(),
+                    up.retention_count(),
+                ),
+                "retain at least as many RPs as the level propagating into this one",
+                false,
+            ));
+        }
+        if up.hold_window() > low.retention_window() {
+            diags.push(Diagnostic::new(
+                "D032",
+                Severity::Warning,
+                format!("levels[{i}].params.holdW"),
+                format!(
+                    "level {i} (`{}`) holds RPs longer than level {j} (`{}`) retains \
+                     them (holdW {} > retW {})",
+                    upper.name(),
+                    lower.name(),
+                    up.hold_window(),
+                    low.retention_window(),
+                ),
+                "shorten the hold window or lengthen the lower level's retention",
+                false,
+            ));
+        }
+    }
+}
+
+/// Normal-mode feasibility (§3.3.1): derive demands and report *every*
+/// overcommitted device, not just the first.
+fn check_feasibility(
+    design: &StorageDesign,
+    workload: &Workload,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<DemandSet> {
+    let demands = match design.demands(workload) {
+        Ok(demands) => demands,
+        Err(error) => {
+            diags.push(Diagnostic::new(
+                "D042",
+                Severity::Error,
+                error_path(&error, "levels"),
+                format!("demand derivation failed: {error}"),
+                "fix the hierarchy composition so every level has the source \
+                 it needs",
+                false,
+            ));
+            return None;
+        }
+    };
+    let report = utilization_from_demands(design, &demands);
+    for device in &report.devices {
+        if device.capacity_utilization.is_overcommitted() {
+            diags.push(Diagnostic::new(
+                "D040",
+                Severity::Error,
+                format!("device[{}].capacity", device.device_name),
+                format!(
+                    "capacity overcommitted at {} ({} demanded)",
+                    device.capacity_utilization, device.capacity_demand,
+                ),
+                "add capacity slots or reduce the retention counts demanding them",
+                false,
+            ));
+        }
+        if device.bandwidth_utilization.is_overcommitted() {
+            diags.push(Diagnostic::new(
+                "D041",
+                Severity::Error,
+                format!("device[{}].bandwidth", device.device_name),
+                format!(
+                    "bandwidth overcommitted at {} ({} demanded)",
+                    device.bandwidth_utilization, device.bandwidth_demand,
+                ),
+                "add bandwidth slots or lengthen the propagation windows \
+                 demanding them",
+                false,
+            ));
+        }
+    }
+    Some(demands)
+}
+
+/// Per-scenario reachability (§3.3.3–3.3.4): runs the actual data-loss
+/// and recovery analyses so the verdict always agrees with
+/// [`crate::analysis::evaluate`].
+fn check_scenario(
+    design: &StorageDesign,
+    workload: &Workload,
+    demands: Option<&DemandSet>,
+    scenario: &FailureScenario,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !check_scenario_parameters(scenario, diags) {
+        return;
+    }
+    if let FailureScope::ProtectionLevel { level } = scenario.scope {
+        if level >= design.levels().len() {
+            diags.push(Diagnostic::new(
+                "D054",
+                Severity::Warning,
+                "scenario.scope.level",
+                format!(
+                    "scenario `{scenario}` degrades protection level {level}, but the \
+                     design has only {}",
+                    design.levels().len()
+                ),
+                "reference an existing hierarchy level",
+                false,
+            ));
+        }
+    }
+    let out_of_range: Vec<usize> = scenario
+        .degraded_levels
+        .iter()
+        .copied()
+        .filter(|&l| l >= design.levels().len())
+        .collect();
+    if !out_of_range.is_empty() {
+        diags.push(Diagnostic::new(
+            "D052",
+            Severity::Warning,
+            "scenario.degradedLevels",
+            format!(
+                "scenario `{scenario}` marks nonexistent level{} {out_of_range:?} as \
+                 degraded (the design has {} levels)",
+                if out_of_range.len() == 1 { "" } else { "s" },
+                design.levels().len()
+            ),
+            "reference only existing hierarchy levels",
+            false,
+        ));
+    }
+    let loss = match data_loss(design, scenario) {
+        Ok(loss) => loss,
+        Err(Error::NoRecoverySource { .. }) => {
+            diags.push(Diagnostic::new(
+                "D050",
+                Severity::Error,
+                "scenario",
+                format!("`{scenario}` leaves no surviving recovery source"),
+                "add a protection level that survives the scope (an off-site \
+                 vault or remote mirror) or relax the recovery target",
+                false,
+            ));
+            return;
+        }
+        Err(error) => {
+            diags.push(Diagnostic::new(
+                "D055",
+                Severity::Error,
+                "scenario",
+                format!("data-loss analysis failed under `{scenario}`: {error}"),
+                "fix the referenced parameter",
+                false,
+            ));
+            return;
+        }
+    };
+    let Some(demands) = demands else {
+        return;
+    };
+    match recovery(design, workload, demands, scenario, loss.source_level) {
+        Ok(_) => {}
+        Err(Error::NoReplacement { device }) => {
+            let fixable =
+                matches!(scenario.scope, FailureScope::Array) || design.recovery_site().is_none();
+            diags.push(Diagnostic::new(
+                "D051",
+                Severity::Error,
+                format!("device[{device}].spare"),
+                format!(
+                    "`{scenario}` destroys `{device}`, which has no spare and no \
+                     surviving recovery facility to rebuild on"
+                ),
+                if matches!(scenario.scope, FailureScope::Array) {
+                    "add a spare to the device (e.g. a shared spare pool, \
+                     9 h provisioning at 20 % cost)"
+                } else if design.recovery_site().is_none() {
+                    "declare an off-region recovery site (e.g. 9 h provisioning \
+                     at 20 % cost)"
+                } else {
+                    "move the recovery site outside the failure scope"
+                },
+                fixable,
+            ));
+        }
+        Err(error) => {
+            diags.push(Diagnostic::new(
+                "D055",
+                Severity::Error,
+                error_path(&error, "scenario"),
+                format!("recovery analysis failed under `{scenario}`: {error}"),
+                "free up bandwidth on the restore path or fix the referenced \
+                 parameter",
+                false,
+            ));
+        }
+    }
+}
+
+/// Validates the scenario's own numbers (D053). Returns whether the
+/// scenario is sound enough for the reachability analyses.
+fn check_scenario_parameters(scenario: &FailureScenario, diags: &mut Vec<Diagnostic>) -> bool {
+    let mut sound = true;
+    if let RecoveryTarget::Before { age } = scenario.target {
+        if !(age.value() >= 0.0 && age.is_finite()) {
+            sound = false;
+            diags.push(Diagnostic::new(
+                "D053",
+                Severity::Error,
+                "scenario.target.age",
+                format!("recovery target age {age} must be non-negative and finite"),
+                "use a non-negative, finite age (or `now`)",
+                false,
+            ));
+        }
+    }
+    if let FailureScope::DataObject { size } = scenario.scope {
+        if !(size.value() > 0.0 && size.is_finite()) {
+            sound = false;
+            diags.push(Diagnostic::new(
+                "D053",
+                Severity::Error,
+                "scenario.scope.size",
+                format!("corrupted-object size {size} must be positive and finite"),
+                "use a positive, finite object size",
+                false,
+            ));
+        }
+    }
+    sound
+}
+
+fn check_hints(design: &StorageDesign, diags: &mut Vec<Diagnostic>) {
+    let primary = design.primary_location().clone();
+    let all_on_site = design
+        .levels()
+        .iter()
+        .all(|level| design.device(level.host()).location().same_site(&primary));
+    if all_on_site {
+        diags.push(Diagnostic::new(
+            "D060",
+            Severity::Hint,
+            "levels",
+            "every protection level sits on the primary site, so a site or \
+             regional disaster destroys all copies at once",
+            "add an off-site level (remote vault or mirror) for disaster \
+             coverage",
+            false,
+        ));
+    }
+    if design.recovery_site().is_none() {
+        diags.push(Diagnostic::new(
+            "D061",
+            Severity::Hint,
+            "recoverySite",
+            "no standby recovery facility is declared; after a site disaster, \
+             replacement hardware must be rebuilt in place",
+            "declare a recovery site to bound post-disaster provisioning time",
+            false,
+        ));
+    }
+}
+
+/// The diagnostic code for a technique-validation error, by the parameter
+/// family the error names.
+fn technique_code(error: &Error) -> &'static str {
+    match error {
+        Error::InvalidParameter { parameter, .. } if parameter.starts_with("backup.") => "D021",
+        Error::InvalidParameter { parameter, .. } if parameter.starts_with("remoteMirror.") => {
+            "D022"
+        }
+        _ => "D020",
+    }
+}
+
+fn is_spare_error(error: &Error) -> bool {
+    matches!(
+        error,
+        Error::InvalidParameter { parameter, .. }
+            if parameter.contains(".spareTime") || parameter.contains(".spareDisc")
+    )
+}
+
+/// Whether the hierarchy is structurally sound enough for the analysis
+/// pipeline to run without panicking: non-empty, with every level's host
+/// and transport references inside the device table. (Deserialization
+/// bypasses the builder, so arbitrary specs can violate this.)
+pub(crate) fn structure_is_sound(design: &StorageDesign) -> bool {
+    let device_count = design.devices().len();
+    !design.levels().is_empty()
+        && design.levels().iter().all(|level| {
+            level.host().index() < device_count
+                && level.transports().iter().all(|t| t.index() < device_count)
+        })
+}
+
+/// The dotted parameter path an error names, or `fallback` when the error
+/// carries none.
+fn error_path(error: &Error, fallback: &str) -> String {
+    match error {
+        Error::InvalidParameter { parameter, .. } => parameter.clone(),
+        Error::NonFiniteInput { parameter } => parameter.clone(),
+        _ => fallback.to_string(),
+    }
+}
+
+/// One automatically applied repair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Repair {
+    /// The diagnostic code the repair addresses.
+    pub code: String,
+    /// The dotted path of the repaired parameter.
+    pub path: String,
+    /// What was changed, in words.
+    pub action: String,
+}
+
+/// The result of a [`repair`] pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Repaired {
+    /// The design with all safe repairs applied. Unfixable defects are
+    /// left in place so a follow-up [`preflight`] still reports them.
+    pub design: StorageDesign,
+    /// The repairs applied, in application order; empty when nothing was
+    /// fixable.
+    pub applied: Vec<Repair>,
+}
+
+/// Applies the safe subset of preflight suggestions and returns the
+/// repaired design plus the list of applied repairs.
+///
+/// Safe repairs: renaming duplicate devices (D007), dropping dangling
+/// transport references (D004), clamping negative/non-finite spare and
+/// recovery-site values (D009, D010), rebuilding inconsistent protection
+/// schedules with bandwidth-safe clamps (D020–D022 — `accW` is *raised*
+/// to `propW`, never the reverse, so the repaired level still keeps up),
+/// and adding spare coverage where a scenario would otherwise find no
+/// replacement hardware (D051). Unfixable defects (wrong device roles,
+/// overcommitted hardware, no surviving copies) are left untouched.
+///
+/// The output carries no fixable diagnostics: running [`repair`] on it
+/// again applies nothing (enforced by property test).
+pub fn repair(
+    design: &StorageDesign,
+    workload: &Workload,
+    scenarios: &[FailureScenario],
+) -> Repaired {
+    let mut applied = Vec::new();
+    let mut devices = design.devices().to_vec();
+    let mut site = design.recovery_site().cloned();
+
+    repair_device_names(&mut devices, &mut applied);
+    repair_spares(&mut devices, &mut applied);
+    let levels = repair_levels(design.levels(), devices.len(), &mut applied);
+    repair_site(&mut site, &mut applied);
+    // Coverage repairs never change the device count, so the levels'
+    // device references stay valid.
+    repair_coverage(
+        design.name(),
+        workload,
+        scenarios,
+        &mut devices,
+        &levels,
+        &mut site,
+        &mut applied,
+    );
+
+    Repaired {
+        design: StorageDesign::from_parts(design.name().to_string(), devices, levels, site),
+        applied,
+    }
+}
+
+fn repair_device_names(devices: &mut [DeviceSpec], applied: &mut Vec<Repair>) {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for spec in devices.iter_mut() {
+        if seen.contains(spec.name()) {
+            let base = spec.name().to_string();
+            let mut n = 2;
+            let mut renamed = format!("{base} #{n}");
+            while seen.contains(&renamed) {
+                n += 1;
+                renamed = format!("{base} #{n}");
+            }
+            applied.push(Repair {
+                code: "D007".to_string(),
+                path: format!("device[{base}]"),
+                action: format!("renamed duplicate device to `{renamed}`"),
+            });
+            *spec = spec.with_name(renamed);
+        }
+        seen.insert(spec.name().to_string());
+    }
+}
+
+fn repair_spares(devices: &mut [DeviceSpec], applied: &mut Vec<Repair>) {
+    for spec in devices.iter_mut() {
+        let (time, factor) = match spec.spare() {
+            SpareSpec::None => continue,
+            SpareSpec::Dedicated {
+                provisioning_time,
+                cost_factor,
+            }
+            | SpareSpec::Shared {
+                provisioning_time,
+                cost_factor,
+            } => (*provisioning_time, *cost_factor),
+        };
+        let clamped_time = clamp_delta(time);
+        let clamped_factor = if factor >= 0.0 && factor.is_finite() {
+            factor
+        } else {
+            0.0
+        };
+        if clamped_time == time && clamped_factor == factor {
+            continue;
+        }
+        let fixed = match spec.spare() {
+            SpareSpec::Dedicated { .. } => SpareSpec::dedicated(clamped_time, clamped_factor),
+            _ => SpareSpec::shared(clamped_time, clamped_factor),
+        };
+        applied.push(Repair {
+            code: "D009".to_string(),
+            path: format!("device[{}].spare", spec.name()),
+            action: "clamped the spare's provisioning time / cost factor to zero".to_string(),
+        });
+        *spec = spec.with_spare(fixed);
+    }
+}
+
+fn repair_levels(levels: &[Level], device_count: usize, applied: &mut Vec<Repair>) -> Vec<Level> {
+    let mut repaired = Vec::with_capacity(levels.len());
+    for (index, level) in levels.iter().enumerate() {
+        let mut transports: Vec<_> = level.transports().to_vec();
+        let before = transports.len();
+        transports.retain(|t| t.index() < device_count);
+        if transports.len() < before {
+            applied.push(Repair {
+                code: "D004".to_string(),
+                path: format!("levels[{index}].transports"),
+                action: format!(
+                    "dropped {} dangling transport reference{}",
+                    before - transports.len(),
+                    if before - transports.len() == 1 {
+                        ""
+                    } else {
+                        "s"
+                    },
+                ),
+            });
+        }
+        let mut technique = level.technique().clone();
+        if let Err(error) = technique.validate() {
+            if let Some(fixed) = repair_technique(&technique) {
+                applied.push(Repair {
+                    code: technique_code(&error).to_string(),
+                    path: format!("levels[{index}].{}", error_path(&error, "params")),
+                    action: format!("rebuilt the schedule with consistent windows (was: {error})"),
+                });
+                technique = fixed;
+            }
+        }
+        repaired.push(
+            Level::new(level.name().to_string(), technique, level.host())
+                .with_transports(transports),
+        );
+    }
+    repaired
+}
+
+fn repair_site(site: &mut Option<RecoverySite>, applied: &mut Vec<Repair>) {
+    let Some(site) = site.as_mut() else {
+        return;
+    };
+    if !(site.provisioning_time.value() >= 0.0 && site.provisioning_time.is_finite()) {
+        site.provisioning_time = TimeDelta::ZERO;
+        applied.push(Repair {
+            code: "D010".to_string(),
+            path: "recoverySite.provisioningTime".to_string(),
+            action: "clamped the provisioning time to zero".to_string(),
+        });
+    }
+    if !(site.cost_factor >= 0.0 && site.cost_factor.is_finite()) {
+        site.cost_factor = 0.0;
+        applied.push(Repair {
+            code: "D010".to_string(),
+            path: "recoverySite.costFactor".to_string(),
+            action: "clamped the cost factor to zero".to_string(),
+        });
+    }
+}
+
+/// Resolves D051 findings: re-runs the reachability analysis on the
+/// partially repaired design and adds spare coverage — a shared spare
+/// pool for array-scope gaps, an off-region recovery site for wider
+/// scopes — until no fixable gap remains.
+fn repair_coverage(
+    name: &str,
+    workload: &Workload,
+    scenarios: &[FailureScenario],
+    devices: &mut [DeviceSpec],
+    levels: &[Level],
+    site: &mut Option<RecoverySite>,
+    applied: &mut Vec<Repair>,
+) {
+    let probe = StorageDesign::from_parts(
+        name.to_string(),
+        devices.to_vec(),
+        levels.to_vec(),
+        site.clone(),
+    );
+    if !structure_is_sound(&probe) {
+        return;
+    }
+    // Each pass fixes at most one gap (a spare on one device, or the
+    // recovery site), so the bound is generous.
+    for _ in 0..devices.len() + 2 {
+        let candidate = StorageDesign::from_parts(
+            name.to_string(),
+            devices.to_vec(),
+            levels.to_vec(),
+            site.clone(),
+        );
+        let Ok(demands) = candidate.demands(workload) else {
+            return;
+        };
+        let mut fixed_one = false;
+        for scenario in scenarios {
+            if !check_scenario_parameters(scenario, &mut Vec::new()) {
+                continue;
+            }
+            let Ok(loss) = data_loss(&candidate, scenario) else {
+                continue;
+            };
+            let Err(Error::NoReplacement { device }) =
+                recovery(&candidate, workload, &demands, scenario, loss.source_level)
+            else {
+                continue;
+            };
+            if matches!(scenario.scope, FailureScope::Array) {
+                let Some(id) = candidate.device_id(&device) else {
+                    continue;
+                };
+                if devices[id.index()].spare().exists() {
+                    continue;
+                }
+                devices[id.index()] = devices[id.index()]
+                    .with_spare(SpareSpec::shared(TimeDelta::from_hours(9.0), 0.2));
+                applied.push(Repair {
+                    code: "D051".to_string(),
+                    path: format!("device[{device}].spare"),
+                    action: "added a shared spare pool (9 h provisioning, 20 % cost)".to_string(),
+                });
+                fixed_one = true;
+                break;
+            }
+            if site.is_none() {
+                let primary = candidate.primary_location();
+                *site = Some(RecoverySite {
+                    location: Location::new(
+                        format!("{}-recovery", primary.region()),
+                        "recovery-site",
+                        "recovery-facility",
+                    ),
+                    provisioning_time: TimeDelta::from_hours(9.0),
+                    cost_factor: 0.2,
+                });
+                applied.push(Repair {
+                    code: "D051".to_string(),
+                    path: "recoverySite".to_string(),
+                    action: "declared an off-region recovery site (9 h provisioning, \
+                             20 % cost)"
+                        .to_string(),
+                });
+                fixed_one = true;
+                break;
+            }
+        }
+        if !fixed_one {
+            return;
+        }
+    }
+}
+
+fn repair_technique(technique: &Technique) -> Option<Technique> {
+    match technique {
+        Technique::PrimaryCopy(_) => None,
+        Technique::SplitMirror(t) => Some(Technique::SplitMirror(SplitMirror::new(clamp_params(
+            t.params(),
+            false,
+        )?))),
+        Technique::VirtualSnapshot(t) => Some(Technique::VirtualSnapshot(VirtualSnapshot::new(
+            clamp_params(t.params(), false)?,
+        ))),
+        Technique::RemoteVault(t) => Some(Technique::RemoteVault(RemoteVault::new(clamp_params(
+            t.params(),
+            false,
+        )?))),
+        Technique::RemoteMirror(t) => match t.mode() {
+            MirrorMode::Synchronous => None,
+            MirrorMode::Asynchronous { write_lag } => Some(Technique::RemoteMirror(
+                RemoteMirror::asynchronous(clamp_delta(*write_lag)),
+            )),
+            MirrorMode::Batched { params } => Some(Technique::RemoteMirror(RemoteMirror::batched(
+                clamp_params(params, false)?,
+            ))),
+        },
+        Technique::Backup(t) => {
+            let full = clamp_params(t.full_params(), true)?;
+            let with_incrementals = t
+                .incremental()
+                .and_then(|incr| clamp_incremental(*incr, full.cycle_period()))
+                .and_then(|incr| Backup::with_incrementals(full, incr).ok());
+            match with_incrementals {
+                Some(backup) => Some(Technique::Backup(backup)),
+                None => Backup::full_only(full).ok().map(Technique::Backup),
+            }
+        }
+    }
+}
+
+/// Rebuilds a parameter set through the validating builder with
+/// bandwidth-safe clamps: `accW` is raised to `propW` (lengthening an
+/// accumulation window only *lowers* the batch update rate, so the level
+/// still keeps up), `cyclePer` to `accW`, and `retW` to `retCnt ×
+/// cyclePer`; non-finite windows reset to defaults and zero counts to
+/// one. `positive_prop` additionally forces a positive propagation window
+/// (the backup model sizes transfer bandwidth by it).
+fn clamp_params(params: &ProtectionParams, positive_prop: bool) -> Option<ProtectionParams> {
+    let mut acc = params.accumulation_window();
+    if !(acc.value() > 0.0 && acc.is_finite()) {
+        acc = TimeDelta::from_hours(24.0);
+    }
+    acc = cap_window(acc);
+    let mut prop = params.propagation_window();
+    if !(prop.value() >= 0.0 && prop.is_finite()) {
+        prop = TimeDelta::ZERO;
+    }
+    prop = cap_window(prop);
+    if positive_prop && prop.value() <= 0.0 {
+        prop = acc;
+    }
+    if prop > acc {
+        acc = prop;
+    }
+    let mut cycle = params.cycle_period();
+    if !(cycle.value() >= 0.0 && cycle.is_finite()) || cycle < acc {
+        cycle = acc;
+    }
+    cycle = cap_window(cycle);
+    let retention_count = params.retention_count().max(1);
+    let min_retention = cycle * (retention_count - 1) as f64;
+    let mut retention_window = params.retention_window();
+    if !(retention_window.value() >= 0.0 && retention_window.is_finite())
+        || retention_window < min_retention
+    {
+        retention_window = cycle * retention_count as f64;
+    }
+    ProtectionParams::builder()
+        .accumulation_window(acc)
+        .propagation_window(prop)
+        .hold_window(clamp_delta(params.hold_window()))
+        .cycle_count(params.cycle_count().max(1))
+        .cycle_period(cycle)
+        .retention_count(retention_count)
+        .retention_window(retention_window)
+        .copy_representation(params.copy_representation())
+        .propagation_representation(params.propagation_representation())
+        .build()
+        .ok()
+}
+
+/// Clamps an incremental policy to fit the backup constructor's rules, or
+/// `None` when the incrementals cannot be salvaged (the repair then falls
+/// back to fulls only).
+fn clamp_incremental(
+    mut incr: IncrementalPolicy,
+    full_cycle: TimeDelta,
+) -> Option<IncrementalPolicy> {
+    if incr.count == 0 {
+        return None;
+    }
+    if !(incr.accumulation_window.value() > 0.0 && incr.accumulation_window.is_finite()) {
+        return None;
+    }
+    incr.hold_window = clamp_delta(incr.hold_window);
+    if !(incr.propagation_window.value() > 0.0 && incr.propagation_window.is_finite()) {
+        incr.propagation_window = incr.accumulation_window;
+    }
+    if incr.accumulation_window * incr.count as f64 >= full_cycle {
+        return None;
+    }
+    Some(incr)
+}
+
+fn clamp_delta(delta: TimeDelta) -> TimeDelta {
+    if delta.value() >= 0.0 && delta.is_finite() {
+        delta
+    } else {
+        TimeDelta::ZERO
+    }
+}
+
+/// Ceiling for repaired schedule windows: a millennium. Larger windows
+/// (representable but absurd) make downstream products like
+/// `cyclePer x retCnt` overflow to infinity, so repairs clamp to this
+/// rather than preserving them.
+fn cap_window(delta: TimeDelta) -> TimeDelta {
+    let max = TimeDelta::from_hours(1000.0 * 365.25 * 24.0);
+    if delta > max {
+        max
+    } else {
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::RecoveryTarget;
+    use crate::units::Bytes;
+
+    fn fixture() -> (StorageDesign, Workload, Vec<FailureScenario>) {
+        (
+            crate::presets::baseline_design(),
+            crate::presets::cello_workload(),
+            vec![
+                FailureScenario::new(
+                    FailureScope::DataObject {
+                        size: Bytes::from_mib(1.0),
+                    },
+                    RecoveryTarget::Before {
+                        age: TimeDelta::from_hours(24.0),
+                    },
+                ),
+                FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+                FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+            ],
+        )
+    }
+
+    /// Serializes, mutates with `mutate`, and deserializes a design —
+    /// the only way to obtain the invalid states serde admits.
+    fn mutated(
+        design: &StorageDesign,
+        mutate: impl FnOnce(&mut serde_json::Value),
+    ) -> StorageDesign {
+        let mut value = serde_json::to_value(design).unwrap();
+        mutate(&mut value);
+        serde_json::from_value(value).unwrap()
+    }
+
+    #[test]
+    fn baseline_passes_with_no_errors_or_warnings() {
+        let (design, workload, scenarios) = fixture();
+        let report = preflight_all(&design, &workload, &scenarios);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics());
+        assert!(!report.has_warnings(), "{:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn multiple_independent_defects_are_all_reported() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            // 1. propW > accW on the backup level.
+            v["levels"][2]["technique"]["Backup"]["full"]["propagation_window"] =
+                serde_json::json!(1.0e9);
+            // 2. A dangling transport on the vault level.
+            v["levels"][3]["transports"]
+                .as_array_mut()
+                .unwrap()
+                .push(serde_json::json!(99));
+            // 3. A negative spare provisioning time.
+            v["devices"][0]["spare"]["Dedicated"]["provisioning_time"] = serde_json::json!(-5.0);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        let codes: Vec<&str> = report.errors().map(|d| d.code.as_str()).collect();
+        assert!(codes.contains(&"D020"), "{codes:?}");
+        assert!(codes.contains(&"D004"), "{codes:?}");
+        assert!(codes.contains(&"D009"), "{codes:?}");
+    }
+
+    #[test]
+    fn empty_hierarchy_reports_d001_without_panicking() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            v["levels"] = serde_json::json!([]);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.errors().any(|d| d.code == "D001"));
+    }
+
+    #[test]
+    fn dangling_host_reports_d003_without_panicking() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            v["levels"][0]["host"] = serde_json::json!(42);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.errors().any(|d| d.code == "D003"));
+    }
+
+    #[test]
+    fn duplicate_device_names_report_d007() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            let clone = v["devices"][0].clone();
+            v["devices"].as_array_mut().unwrap().push(clone);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.errors().any(|d| d.code == "D007" && d.fixable));
+    }
+
+    #[test]
+    fn overcommitted_devices_are_all_reported() {
+        let (design, workload, scenarios) = fixture();
+        // A 100× workload swamps the baseline palette.
+        let heavy = workload.scaled(100.0).unwrap();
+        let report = preflight_all(&design, &heavy, &scenarios);
+        assert!(
+            report
+                .errors()
+                .any(|d| d.code == "D040" || d.code == "D041"),
+            "{:?}",
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn on_site_only_design_reports_unreachable_site_scenario() {
+        let (design, workload, _) = fixture();
+        // Strip the off-site vault level: a site disaster then destroys
+        // every copy.
+        let on_site = mutated(&design, |v| {
+            v["levels"].as_array_mut().unwrap().truncate(3);
+        });
+        let scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+        let report = preflight(&on_site, &workload, &scenario);
+        assert!(report.errors().any(|d| d.code == "D050"));
+        assert!(report.hints().any(|d| d.code == "D060"));
+    }
+
+    #[test]
+    fn convention_violations_surface_as_warnings() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            // Vault retains fewer RPs than the backup above it.
+            v["levels"][3]["technique"]["RemoteVault"]["params"]["retention_count"] =
+                serde_json::json!(2);
+            v["levels"][3]["technique"]["RemoteVault"]["params"]["retention_window"] =
+                serde_json::json!(1.0e9);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.warnings().any(|d| d.code == "D031"));
+    }
+
+    #[test]
+    fn scenario_parameter_defects_report_d053() {
+        let (design, workload, _) = fixture();
+        let scenario = FailureScenario::new(
+            FailureScope::DataObject {
+                size: Bytes::from_mib(-1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(f64::NAN),
+            },
+        );
+        let report = preflight(&design, &workload, &scenario);
+        assert_eq!(report.errors().filter(|d| d.code == "D053").count(), 2);
+    }
+
+    #[test]
+    fn degraded_level_out_of_range_reports_d052() {
+        let (design, workload, _) = fixture();
+        let scenario =
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now).with_degraded_level(17);
+        let report = preflight(&design, &workload, &scenario);
+        assert!(report.warnings().any(|d| d.code == "D052"));
+    }
+
+    #[test]
+    fn repair_fixes_every_fixable_defect() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            v["levels"][2]["technique"]["Backup"]["full"]["propagation_window"] =
+                serde_json::json!(1.0e9);
+            v["levels"][3]["transports"]
+                .as_array_mut()
+                .unwrap()
+                .push(serde_json::json!(99));
+            v["devices"][0]["spare"]["Dedicated"]["provisioning_time"] = serde_json::json!(-5.0);
+            let clone = v["devices"][1].clone();
+            v["devices"].as_array_mut().unwrap().push(clone);
+        });
+        let before = preflight_all(&broken, &workload, &scenarios);
+        assert!(before.has_errors());
+
+        let repaired = repair(&broken, &workload, &scenarios);
+        assert!(repaired.applied.len() >= 4, "{:?}", repaired.applied);
+        let after = preflight_all(&repaired.design, &workload, &scenarios);
+        assert!(
+            after.diagnostics().iter().all(|d| !d.fixable),
+            "{:?}",
+            after.diagnostics()
+        );
+        assert!(!after.has_errors(), "{:?}", after.diagnostics());
+
+        // A second repair has nothing left to do.
+        let again = repair(&repaired.design, &workload, &scenarios);
+        assert!(again.applied.is_empty(), "{:?}", again.applied);
+    }
+
+    #[test]
+    fn repair_adds_spare_coverage_for_array_gaps() {
+        let (design, workload, _) = fixture();
+        // Remove the primary array's spare and the design's recovery
+        // site: an array failure then finds no replacement.
+        let uncovered = mutated(&design, |v| {
+            v["devices"][0]["spare"] = serde_json::json!("None");
+            v["recovery_site"] = serde_json::Value::Null;
+        });
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let report = preflight(&uncovered, &workload, &scenario);
+        assert!(report.errors().any(|d| d.code == "D051" && d.fixable));
+
+        let repaired = repair(&uncovered, &workload, &[scenario.clone()]);
+        assert!(repaired.applied.iter().any(|r| r.code == "D051"));
+        let after = preflight(&repaired.design, &workload, &scenario);
+        assert!(!after.has_errors(), "{:?}", after.diagnostics());
+    }
+
+    #[test]
+    fn repair_declares_a_recovery_site_for_wide_scopes() {
+        let (design, workload, _) = fixture();
+        let uncovered = mutated(&design, |v| {
+            v["recovery_site"] = serde_json::Value::Null;
+        });
+        let scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+        let repaired = repair(&uncovered, &workload, &[scenario.clone()]);
+        if repaired.applied.iter().any(|r| r.code == "D051") {
+            let site = repaired.design.recovery_site().expect("site declared");
+            assert!(!site
+                .location
+                .same_region(repaired.design.primary_location()));
+        }
+        let after = preflight(&repaired.design, &workload, &scenario);
+        assert!(
+            !after.errors().any(|d| d.fixable),
+            "{:?}",
+            after.diagnostics()
+        );
+    }
+
+    #[test]
+    fn diagnostics_serialize_stably() {
+        let diagnostic = Diagnostic::new(
+            "D020",
+            Severity::Error,
+            "levels[1].params.propW",
+            "message",
+            "suggestion",
+            true,
+        );
+        let json = serde_json::to_string(&diagnostic).unwrap();
+        assert!(json.contains("\"severity\":\"error\""));
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(diagnostic, back);
+        assert_eq!(
+            diagnostic.to_string(),
+            "error[D020] levels[1].params.propW: message"
+        );
+    }
+
+    #[test]
+    fn summary_counts_pluralize() {
+        let report = Preflight {
+            diagnostics: vec![Diagnostic::new(
+                "D061",
+                Severity::Hint,
+                "recoverySite",
+                "m",
+                "s",
+                false,
+            )],
+        };
+        assert_eq!(report.summary(), "0 errors, 0 warnings, 1 hint");
+        assert!(!report.is_clean());
+        assert!(!report.has_errors());
+    }
+}

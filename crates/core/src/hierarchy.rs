@@ -242,6 +242,53 @@ impl StorageDesign {
         Ok(set)
     }
 
+    /// Re-runs every check the builder applies, plus per-device and
+    /// per-technique parameter validation.
+    ///
+    /// Deserialized designs bypass the builder entirely, so a JSON spec
+    /// can carry values [`StorageDesign::builder`] would have rejected.
+    /// This validates such a design after the fact, returning the *first*
+    /// violation; [`crate::diagnose::preflight`] reports all of them.
+    ///
+    /// # Errors
+    ///
+    /// As [`StorageDesignBuilder::build`], plus [`Error::DuplicateDevice`]
+    /// for repeated device names and [`Error::InvalidParameter`] for
+    /// invalid device or protection parameters.
+    pub fn validate(&self) -> Result<(), Error> {
+        validate_structure(&self.devices, &self.levels, self.recovery_site.as_ref())?;
+        let mut seen = BTreeMap::new();
+        for (index, spec) in self.devices.iter().enumerate() {
+            if seen.insert(spec.name().to_string(), index).is_some() {
+                return Err(Error::DuplicateDevice {
+                    name: spec.name().to_string(),
+                });
+            }
+            spec.validate()?;
+        }
+        for level in &self.levels {
+            level.technique().validate()?;
+        }
+        Ok(())
+    }
+
+    /// Assembles a design without builder validation, for the repair
+    /// pass: a partially repaired design must remain representable even
+    /// while unfixable diagnostics are still present.
+    pub(crate) fn from_parts(
+        name: String,
+        devices: Vec<DeviceSpec>,
+        levels: Vec<Level>,
+        recovery_site: Option<RecoverySite>,
+    ) -> StorageDesign {
+        StorageDesign {
+            name,
+            devices,
+            levels,
+            recovery_site,
+        }
+    }
+
     /// Checks the paper's soft composition conventions (§3.2.1) and
     /// returns a human-readable warning for each violation. These are
     /// advisory: designs violating them are evaluable but usually
@@ -346,68 +393,7 @@ impl StorageDesignBuilder {
     /// device id; [`Error::InvalidParameter`] for a bad recovery-site
     /// configuration.
     pub fn build(self) -> Result<StorageDesign, Error> {
-        if self.levels.is_empty() {
-            return Err(Error::InconsistentHierarchy {
-                level: 0,
-                reason: "a design needs at least the primary copy level".into(),
-            });
-        }
-        for (index, level) in self.levels.iter().enumerate() {
-            let is_primary = matches!(level.technique(), Technique::PrimaryCopy(_));
-            if (index == 0) != is_primary {
-                return Err(Error::InconsistentHierarchy {
-                    level: index,
-                    reason: if index == 0 {
-                        "level 0 must be the primary copy".into()
-                    } else {
-                        "the primary copy may only appear at level 0".into()
-                    },
-                });
-            }
-            for id in std::iter::once(level.host()).chain(level.transports().iter().copied()) {
-                if id.0 >= self.devices.len() {
-                    return Err(Error::UnknownDevice {
-                        name: format!("{id}"),
-                    });
-                }
-            }
-            if !self.devices[level.host().0].kind().is_storage() {
-                return Err(Error::InconsistentHierarchy {
-                    level: index,
-                    reason: format!(
-                        "host `{}` is a {}, not a storage device",
-                        self.devices[level.host().0].name(),
-                        self.devices[level.host().0].kind()
-                    ),
-                });
-            }
-            for &t in level.transports() {
-                if !self.devices[t.0].kind().is_transport() {
-                    return Err(Error::InconsistentHierarchy {
-                        level: index,
-                        reason: format!(
-                            "transport `{}` is a {}, not an interconnect",
-                            self.devices[t.0].name(),
-                            self.devices[t.0].kind()
-                        ),
-                    });
-                }
-            }
-        }
-        if let Some(site) = &self.recovery_site {
-            if !(site.provisioning_time.value() >= 0.0 && site.provisioning_time.is_finite()) {
-                return Err(Error::invalid(
-                    "recoverySite.provisioningTime",
-                    "must be non-negative and finite",
-                ));
-            }
-            if !(site.cost_factor >= 0.0 && site.cost_factor.is_finite()) {
-                return Err(Error::invalid(
-                    "recoverySite.costFactor",
-                    "must be non-negative and finite",
-                ));
-            }
-        }
+        validate_structure(&self.devices, &self.levels, self.recovery_site.as_ref())?;
         Ok(StorageDesign {
             name: self.name,
             devices: self.devices,
@@ -415,6 +401,79 @@ impl StorageDesignBuilder {
             recovery_site: self.recovery_site,
         })
     }
+}
+
+/// The structural checks shared by [`StorageDesignBuilder::build`] and
+/// [`StorageDesign::validate`]: hierarchy composition rules, device
+/// references, device roles, and recovery-site parameters.
+fn validate_structure(
+    devices: &[DeviceSpec],
+    levels: &[Level],
+    recovery_site: Option<&RecoverySite>,
+) -> Result<(), Error> {
+    if levels.is_empty() {
+        return Err(Error::InconsistentHierarchy {
+            level: 0,
+            reason: "a design needs at least the primary copy level".into(),
+        });
+    }
+    for (index, level) in levels.iter().enumerate() {
+        let is_primary = matches!(level.technique(), Technique::PrimaryCopy(_));
+        if (index == 0) != is_primary {
+            return Err(Error::InconsistentHierarchy {
+                level: index,
+                reason: if index == 0 {
+                    "level 0 must be the primary copy".into()
+                } else {
+                    "the primary copy may only appear at level 0".into()
+                },
+            });
+        }
+        for id in std::iter::once(level.host()).chain(level.transports().iter().copied()) {
+            if id.0 >= devices.len() {
+                return Err(Error::UnknownDevice {
+                    name: format!("{id}"),
+                });
+            }
+        }
+        if !devices[level.host().0].kind().is_storage() {
+            return Err(Error::InconsistentHierarchy {
+                level: index,
+                reason: format!(
+                    "host `{}` is a {}, not a storage device",
+                    devices[level.host().0].name(),
+                    devices[level.host().0].kind()
+                ),
+            });
+        }
+        for &t in level.transports() {
+            if !devices[t.0].kind().is_transport() {
+                return Err(Error::InconsistentHierarchy {
+                    level: index,
+                    reason: format!(
+                        "transport `{}` is a {}, not an interconnect",
+                        devices[t.0].name(),
+                        devices[t.0].kind()
+                    ),
+                });
+            }
+        }
+    }
+    if let Some(site) = recovery_site {
+        if !(site.provisioning_time.value() >= 0.0 && site.provisioning_time.is_finite()) {
+            return Err(Error::invalid(
+                "recoverySite.provisioningTime",
+                "must be non-negative and finite",
+            ));
+        }
+        if !(site.cost_factor >= 0.0 && site.cost_factor.is_finite()) {
+            return Err(Error::invalid(
+                "recoverySite.costFactor",
+                "must be non-negative and finite",
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -66,6 +66,7 @@
 pub mod analysis;
 pub mod demands;
 pub mod device;
+pub mod diagnose;
 pub mod error;
 pub mod failure;
 pub mod hierarchy;
@@ -85,6 +86,7 @@ pub use workload::Workload;
 pub mod prelude {
     pub use crate::analysis::{evaluate, Evaluation};
     pub use crate::device::{DeviceId, DeviceKind, DeviceSpec};
+    pub use crate::diagnose::{preflight, preflight_all, repair, Diagnostic, Preflight, Severity};
     pub use crate::failure::{FailureScenario, FailureScope, RecoveryTarget};
     pub use crate::hierarchy::{Level, StorageDesign};
     pub use crate::protection::{ProtectionParams, Technique};

@@ -199,6 +199,40 @@ impl Technique {
         }
     }
 
+    /// Re-runs construction-time validation over a possibly-deserialized
+    /// technique (serde bypasses the constructors, so a JSON spec can
+    /// carry parameters the constructors would reject).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtectionParams::validate`] plus the technique-specific
+    /// constructor checks ([`Backup::full_only`],
+    /// [`Backup::with_incrementals`], a finite non-negative asynchronous
+    /// mirror write lag).
+    pub fn validate(&self) -> Result<(), Error> {
+        if let Some(params) = self.params() {
+            params.validate()?;
+        }
+        match self {
+            Technique::Backup(t) => match t.incremental() {
+                None => Backup::full_only(*t.full_params()).map(|_| ()),
+                Some(incr) => Backup::with_incrementals(*t.full_params(), *incr).map(|_| ()),
+            },
+            Technique::RemoteMirror(t) => {
+                if let MirrorMode::Asynchronous { write_lag } = *t.mode() {
+                    if !(write_lag.value() >= 0.0 && write_lag.is_finite()) {
+                        return Err(Error::invalid(
+                            "remoteMirror.writeLag",
+                            "must be non-negative and finite",
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Whether this level's RPs live on the same device as the primary
     /// copy (PiT techniques) — such levels are destroyed with the primary
     /// array and add no transfer hop during full-dataset recovery.

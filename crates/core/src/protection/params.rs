@@ -149,6 +149,28 @@ impl ProtectionParams {
     pub fn retention_span(&self) -> TimeDelta {
         self.cycle_period * (self.retention_count.saturating_sub(1)) as f64
     }
+
+    /// Re-runs the builder's validation over a possibly-deserialized
+    /// parameter set (serde bypasses [`ProtectionParams::builder`], so a
+    /// JSON spec can carry relationships the builder would reject).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtectionParamsBuilder::build`].
+    pub fn validate(&self) -> Result<(), Error> {
+        ProtectionParams::builder()
+            .accumulation_window(self.accumulation_window)
+            .propagation_window(self.propagation_window)
+            .hold_window(self.hold_window)
+            .cycle_count(self.cycle_count)
+            .cycle_period(self.cycle_period)
+            .retention_count(self.retention_count)
+            .retention_window(self.retention_window)
+            .copy_representation(self.copy_representation)
+            .propagation_representation(self.propagation_representation)
+            .build()
+            .map(|_| ())
+    }
 }
 
 /// Incremental builder for [`ProtectionParams`].

@@ -166,6 +166,25 @@ impl Workload {
         builder.build()
     }
 
+    /// Re-runs the builder's validation over a possibly-deserialized
+    /// workload (serde bypasses [`Workload::builder`], so a JSON spec can
+    /// carry values the builder would reject).
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkloadBuilder::build`].
+    pub fn validate(&self) -> Result<(), Error> {
+        let mut builder = Workload::builder(self.name.clone())
+            .data_capacity(self.data_capacity)
+            .avg_access_rate(self.avg_access_rate)
+            .avg_update_rate(self.avg_update_rate)
+            .burst_multiplier(self.burst_multiplier);
+        for point in &self.batch_curve {
+            builder = builder.batch_rate(point.window, point.rate);
+        }
+        builder.build().map(|_| ())
+    }
+
     fn uncapped_unique_bytes(&self, window: TimeDelta) -> Bytes {
         let curve = &self.batch_curve;
         if window <= TimeDelta::ZERO {

@@ -1,0 +1,215 @@
+//! Property tests over the preflight diagnostics engine.
+//!
+//! Serde deserialization bypasses the builders' validation, so any
+//! mutation of a serialized design is a state `preflight` must survive.
+//! Three invariants are checked over randomly mutated baseline designs:
+//!
+//! 1. `preflight_all` never panics;
+//! 2. whatever `StorageDesign::validate` rejects, preflight reports as
+//!    at least one error-severity diagnostic (no silent acceptance);
+//! 3. `repair`'s output carries no fixable diagnostics on a second
+//!    preflight, and a second repair pass applies nothing.
+
+use proptest::prelude::*;
+use ssdep_core::diagnose::{preflight_all, repair};
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::units::{Bytes, TimeDelta};
+use ssdep_core::workload::Workload;
+
+fn workload() -> Workload {
+    ssdep_core::presets::cello_workload()
+}
+
+fn scenarios() -> Vec<FailureScenario> {
+    vec![
+        FailureScenario::new(
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
+        ),
+        FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+    ]
+}
+
+/// One serde-level mutation of the serialized baseline design.
+#[derive(Clone, Debug)]
+enum Mutation {
+    /// Overwrite a numeric leaf with a hostile value.
+    Numeric { path: usize, value: f64 },
+    /// Point a level's host at an out-of-range device.
+    DanglingHost { level: usize },
+    /// Append an out-of-range transport reference.
+    DanglingTransport { level: usize },
+    /// Copy device 0's name onto device 1.
+    DuplicateName,
+    /// Drop the whole hierarchy.
+    EmptyLevels,
+    /// Truncate the hierarchy to its first `keep` levels.
+    Truncate { keep: usize },
+    /// Zero a retention count.
+    ZeroRetention,
+}
+
+const NUMERIC_LEAVES: usize = 11;
+
+/// The mutable numeric leaves of the serialized baseline design.
+fn numeric_leaf(v: &mut serde_json::Value, index: usize) -> &mut serde_json::Value {
+    let full = "full";
+    let params = "params";
+    match index {
+        0 => &mut v["levels"][2]["technique"]["Backup"][full]["propagation_window"],
+        1 => &mut v["levels"][2]["technique"]["Backup"][full]["accumulation_window"],
+        2 => &mut v["levels"][2]["technique"]["Backup"][full]["cycle_period"],
+        3 => &mut v["levels"][2]["technique"]["Backup"][full]["retention_window"],
+        4 => &mut v["levels"][1]["technique"]["SplitMirror"][params]["accumulation_window"],
+        5 => &mut v["levels"][1]["technique"]["SplitMirror"][params]["propagation_window"],
+        6 => &mut v["levels"][3]["technique"]["RemoteVault"][params]["hold_window"],
+        7 => &mut v["levels"][3]["technique"]["RemoteVault"][params]["retention_window"],
+        8 => &mut v["devices"][0]["spare"]["Dedicated"]["provisioning_time"],
+        9 => &mut v["recovery_site"]["provisioning_time"],
+        _ => &mut v["recovery_site"]["cost_factor"],
+    }
+}
+
+const HOSTILE: [f64; 5] = [-1.0, 0.0, -1.0e9, 1.0e9, 1.0e308];
+
+fn apply(value: &mut serde_json::Value, mutation: &Mutation) {
+    // An earlier EmptyLevels/Truncate may have removed the level a later
+    // mutation targets; skip rather than index out of bounds.
+    let levels = value["levels"]
+        .as_array_mut()
+        .map_or(0, |items| items.len());
+    match mutation {
+        Mutation::Numeric { path, value: v } => {
+            let needed = match path {
+                0..=3 => 3,
+                4 | 5 => 2,
+                6 | 7 => 4,
+                _ => 0,
+            };
+            if levels < needed {
+                return;
+            }
+            *numeric_leaf(value, *path) = serde_json::json!(*v);
+        }
+        Mutation::DanglingHost { level } => {
+            if *level >= levels {
+                return;
+            }
+            value["levels"][*level]["host"] = serde_json::json!(99);
+        }
+        Mutation::DanglingTransport { level } => {
+            if *level >= levels {
+                return;
+            }
+            value["levels"][*level]["transports"]
+                .as_array_mut()
+                .expect("transports is an array")
+                .push(serde_json::json!(99));
+        }
+        Mutation::DuplicateName => {
+            let name = value["devices"][0]["name"].clone();
+            value["devices"][1]["name"] = name;
+        }
+        Mutation::EmptyLevels => {
+            value["levels"] = serde_json::json!([]);
+        }
+        Mutation::Truncate { keep } => {
+            value["levels"]
+                .as_array_mut()
+                .expect("levels is an array")
+                .truncate(*keep);
+        }
+        Mutation::ZeroRetention => {
+            if levels < 4 {
+                return;
+            }
+            value["levels"][3]["technique"]["RemoteVault"]["params"]["retention_count"] =
+                serde_json::json!(0);
+        }
+    }
+}
+
+fn mutation() -> BoxedStrategy<Mutation> {
+    prop_oneof![
+        (0..NUMERIC_LEAVES, 0..HOSTILE.len()).prop_map(|(path, choice)| Mutation::Numeric {
+            path,
+            value: HOSTILE[choice],
+        }),
+        (0..4usize).prop_map(|level| Mutation::DanglingHost { level }),
+        (0..4usize).prop_map(|level| Mutation::DanglingTransport { level }),
+        Just(Mutation::DuplicateName),
+        Just(Mutation::EmptyLevels),
+        (1..4usize).prop_map(|keep| Mutation::Truncate { keep }),
+        Just(Mutation::ZeroRetention),
+    ]
+    .boxed()
+}
+
+/// Applies 1–3 mutations to the baseline design and deserializes the
+/// result; `None` when the mutated document no longer parses at all
+/// (that case belongs to the spec parser, not preflight).
+fn mutated(mutations: &[Mutation]) -> Option<StorageDesign> {
+    let baseline = ssdep_core::presets::baseline_design();
+    let mut value = serde_json::to_value(&baseline).expect("baseline serializes");
+    for mutation in mutations {
+        apply(&mut value, mutation);
+    }
+    serde_json::from_value(value).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn preflight_never_panics_and_never_misses_what_validate_rejects(
+        first in mutation(),
+        second in mutation(),
+        count in 1..3usize,
+    ) {
+        let plan: Vec<Mutation> = [first, second].into_iter().take(count).collect();
+        let Some(design) = mutated(&plan) else {
+            // The mutation broke serde itself; nothing for preflight.
+            return Ok(());
+        };
+        let report = preflight_all(&design, &workload(), &scenarios());
+        if design.validate().is_err() {
+            prop_assert!(
+                report.has_errors(),
+                "validate rejects {plan:?} but preflight found only {:?}",
+                report.diagnostics()
+            );
+        }
+    }
+
+    #[test]
+    fn repair_output_passes_a_second_preflight(
+        first in mutation(),
+        second in mutation(),
+        count in 1..3usize,
+    ) {
+        let plan: Vec<Mutation> = [first, second].into_iter().take(count).collect();
+        let Some(design) = mutated(&plan) else {
+            return Ok(());
+        };
+        let (workload, scenarios) = (workload(), scenarios());
+        let repaired = repair(&design, &workload, &scenarios);
+        let after = preflight_all(&repaired.design, &workload, &scenarios);
+        let leftover: Vec<_> = after.diagnostics().iter().filter(|d| d.fixable).collect();
+        prop_assert!(
+            leftover.is_empty(),
+            "repair of {plan:?} left fixable diagnostics: {leftover:?}"
+        );
+        let second_pass = repair(&repaired.design, &workload, &scenarios);
+        prop_assert!(
+            second_pass.applied.is_empty(),
+            "second repair of {plan:?} applied {:?}",
+            second_pass.applied
+        );
+    }
+}

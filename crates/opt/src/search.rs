@@ -8,10 +8,11 @@
 //! rather than ranked.
 
 use crate::space::{Candidate, DesignSpace};
-use crate::supervisor::{FailedOutcome, Provenance, Supervisor};
+use crate::supervisor::{FailedOutcome, FailureKind, Provenance, Supervisor};
 use serde::{Deserialize, Serialize};
 use ssdep_core::analysis::{expected_annual_cost, WeightedScenario};
 use ssdep_core::error::Error;
+use ssdep_core::hierarchy::StorageDesign;
 use ssdep_core::requirements::BusinessRequirements;
 use ssdep_core::units::{Money, TimeDelta};
 use ssdep_core::workload::Workload;
@@ -173,7 +174,9 @@ pub struct SupervisedSearchResult {
     /// from the journal without re-evaluating).
     pub result: SearchResult,
     /// Candidates quarantined by the supervisor (panics, deadline
-    /// misses, exhausted transient retries).
+    /// misses, exhausted transient retries) or rejected by the
+    /// preflight gate before any evaluation thread was spawned
+    /// ([`FailureKind::Rejected`]).
     pub failed: Vec<FailedOutcome<Candidate>>,
     /// Result provenance.
     pub provenance: Provenance,
@@ -185,7 +188,8 @@ pub struct SupervisedSearchResult {
 ///
 /// Infeasible candidates keep their [`exhaustive`] semantics — they land
 /// in [`SearchResult::infeasible`], not in quarantine; the quarantine
-/// holds only supervisor-level failures. When any candidate is
+/// holds supervisor-level failures plus candidates the preflight gate
+/// rejected before evaluation. When any candidate is
 /// quarantined, the ranking and any frontier derived from it cover only
 /// the survivors — [`Provenance::is_complete`] says which case you are
 /// in.
@@ -201,7 +205,28 @@ pub fn supervised_exhaustive(
     scenarios: &[WeightedScenario],
     supervisor: &Supervisor,
 ) -> Result<SupervisedSearchResult, Error> {
-    let candidates: Vec<Candidate> = space.candidates().collect();
+    // Preflight gate: statically invalid candidates are quarantined as
+    // `Rejected` before the supervisor spends an isolation thread or
+    // deadline budget on them. Scenario-level reachability is *not*
+    // checked here — an unreachable scenario is the evaluation's honest
+    // `Infeasible` verdict, and a candidate that fails to materialize
+    // keeps that same legacy path through the closure below.
+    let mut candidates = Vec::new();
+    let mut rejected = Vec::new();
+    for candidate in space.candidates() {
+        match candidate.materialize() {
+            Ok(design) => match preflight_rejection(&design, workload) {
+                Some(reason) => rejected.push(FailedOutcome {
+                    candidate,
+                    error: reason,
+                    attempts: 0,
+                    kind: FailureKind::Rejected,
+                }),
+                None => candidates.push(candidate),
+            },
+            Err(_) => candidates.push(candidate),
+        }
+    }
     let workload = workload.clone();
     let requirements = *requirements;
     let scenarios = scenarios.to_vec();
@@ -233,15 +258,40 @@ pub fn supervised_exhaustive(
             .value()
             .total_cmp(&b.expected_total.value())
     });
+    let mut provenance = run.provenance;
+    provenance.total += rejected.len();
+    provenance.failed += rejected.len();
+    let mut failed = run.failed;
+    failed.extend(rejected);
     Ok(SupervisedSearchResult {
         result: SearchResult {
             ranked,
             infeasible,
-            evaluations: run.provenance.evaluated,
+            evaluations: provenance.evaluated,
         },
-        failed: run.failed,
-        provenance: run.provenance,
+        failed,
+        provenance,
     })
+}
+
+/// Renders the error diagnostics that disqualify `design` before any
+/// evaluation is attempted, or `None` when the design passes.
+///
+/// Only the scenario-independent preflight checks run (structure,
+/// devices, techniques, workload, feasibility) — cheap relative to a
+/// full evaluation, and scenario reachability stays the evaluation's
+/// own verdict.
+pub(crate) fn preflight_rejection(design: &StorageDesign, workload: &Workload) -> Option<String> {
+    let report = ssdep_core::diagnose::preflight_all(design, workload, &[]);
+    if !report.has_errors() {
+        return None;
+    }
+    let rendered: Vec<String> = report.errors().map(|d| d.to_string()).collect();
+    Some(format!(
+        "preflight rejected ({}): {}",
+        report.summary(),
+        rendered.join("; ")
+    ))
 }
 
 /// Coordinate-descent hill climbing: starting from the first coherent
@@ -597,6 +647,40 @@ mod tests {
             assert_eq!(a.expected_total, b.expected_total);
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn preflight_invalid_candidates_are_rejected_without_evaluation() {
+        let (workload, requirements, scenarios) = fixture();
+        // 100× growth overcommits the primary array for every candidate
+        // in the space — the preflight gate must quarantine all of them
+        // before any evaluation thread is spawned.
+        let overgrown = workload.scaled(100.0).unwrap();
+        let space = DesignSpace::minimal();
+        let supervised = supervised_exhaustive(
+            &space,
+            &overgrown,
+            &requirements,
+            &scenarios,
+            &Supervisor::new(crate::supervisor::SupervisorConfig::default()),
+        )
+        .unwrap();
+        assert_eq!(supervised.failed.len(), space.len());
+        for outcome in &supervised.failed {
+            assert_eq!(outcome.kind, crate::supervisor::FailureKind::Rejected);
+            assert_eq!(outcome.attempts, 0, "no evaluation attempt was spent");
+            assert!(
+                outcome.error.contains("D040") || outcome.error.contains("D041"),
+                "the rejection carries the diagnostics: {}",
+                outcome.error
+            );
+        }
+        assert_eq!(supervised.provenance.evaluated, 0);
+        assert_eq!(supervised.provenance.failed, space.len());
+        assert_eq!(supervised.provenance.total, space.len());
+        assert!(supervised.result.ranked.is_empty());
+        assert!(supervised.result.infeasible.is_empty());
+        assert!(!supervised.provenance.is_complete());
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub enum FailureKind {
     Errored,
     /// The evaluation ran past its per-task deadline budget.
     DeadlineExceeded,
+    /// The candidate failed its preflight diagnostics and was quarantined
+    /// before evaluation — no isolation thread or deadline budget was
+    /// spent on it.
+    Rejected,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -42,6 +46,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Panicked => f.write_str("panicked"),
             FailureKind::Errored => f.write_str("errored"),
             FailureKind::DeadlineExceeded => f.write_str("deadline exceeded"),
+            FailureKind::Rejected => f.write_str("rejected"),
         }
     }
 }

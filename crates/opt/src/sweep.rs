@@ -6,7 +6,7 @@
 //! under a scenario set, so a sweep is a row of what-if experiments with
 //! a shared axis.
 
-use crate::supervisor::{FailedOutcome, Provenance, Supervisor};
+use crate::supervisor::{FailedOutcome, FailureKind, Provenance, Supervisor};
 use serde::{Deserialize, Serialize};
 use ssdep_core::analysis::{expected_annual_cost, WeightedScenario};
 use ssdep_core::error::Error;
@@ -151,7 +151,9 @@ pub struct SupervisedSweep {
     /// The evaluated + broken points.
     pub series: SweepSeries,
     /// Tasks quarantined by the supervisor (panics, deadline misses,
-    /// exhausted transient retries).
+    /// exhausted transient retries) or rejected by the preflight gate
+    /// before any evaluation thread was spawned
+    /// ([`FailureKind::Rejected`]).
     pub failed: Vec<FailedOutcome<SweepTask>>,
     /// Result provenance.
     pub provenance: Provenance,
@@ -163,8 +165,9 @@ pub struct SupervisedSweep {
 ///
 /// Deterministically broken points keep their [`sweep`] semantics — they
 /// land in [`SweepSeries::broken`], not in quarantine; the quarantine
-/// holds only supervisor-level failures (panics, deadlines, exhausted
-/// retries).
+/// holds supervisor-level failures (panics, deadlines, exhausted
+/// retries) and points rejected by the preflight gate before any
+/// evaluation thread was spawned.
 ///
 /// # Errors
 ///
@@ -182,13 +185,30 @@ pub fn supervised_sweep<F>(
 where
     F: Fn(f64) -> Result<StorageDesign, Error> + Send + Sync + 'static,
 {
-    let tasks: Vec<SweepTask> = values
-        .iter()
-        .map(|&value| SweepTask {
+    // Preflight gate: points whose design builds but is statically
+    // invalid are quarantined as `Rejected` without spending an
+    // isolation thread or deadline budget. Points whose design fails to
+    // build keep their legacy `Broken` path through the closure below.
+    let mut tasks = Vec::new();
+    let mut rejected = Vec::new();
+    for &value in values {
+        let task = SweepTask {
             axis: axis.to_string(),
             value,
-        })
-        .collect();
+        };
+        match make(value) {
+            Ok(design) => match crate::search::preflight_rejection(&design, workload) {
+                Some(reason) => rejected.push(FailedOutcome {
+                    candidate: task,
+                    error: reason,
+                    attempts: 0,
+                    kind: FailureKind::Rejected,
+                }),
+                None => tasks.push(task),
+            },
+            Err(_) => tasks.push(task),
+        }
+    }
     let workload = workload.clone();
     let requirements = *requirements;
     let scenarios = scenarios.to_vec();
@@ -214,10 +234,15 @@ where
             }),
         }
     }
+    let mut provenance = run.provenance;
+    provenance.total += rejected.len();
+    provenance.failed += rejected.len();
+    let mut failed = run.failed;
+    failed.extend(rejected);
     Ok(SupervisedSweep {
         series,
-        failed: run.failed,
-        provenance: run.provenance,
+        failed,
+        provenance,
     })
 }
 

@@ -59,6 +59,15 @@ impl Value {
         }
     }
 
+    /// Mutable array elements, if this is an array (mirrors
+    /// `serde_json::Value::as_array_mut`).
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Short name of the variant, for error messages.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -75,6 +84,61 @@ impl Value {
 /// Looks up `key` in an object's entry list.
 pub fn obj_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+static NULL: Value = Value::Null;
+
+// Mirrors `serde_json`'s Value indexing: `value["key"]` yields `Null`
+// for missing keys / non-objects, `value[i]` panics out of bounds, and
+// the mutable forms auto-vivify object entries (turning `Null` into an
+// empty object first) exactly like the real crate — so tests that
+// mutate serialized trees compile against both.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.as_obj()
+            .and_then(|entries| obj_get(entries, key))
+            .unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if matches!(self, Value::Null) {
+            *self = Value::Obj(Vec::new());
+        }
+        let Value::Obj(entries) = self else {
+            panic!("cannot index {} with a string key", self.kind());
+        };
+        if !entries.iter().any(|(k, _)| k == key) {
+            entries.push((key.to_string(), Value::Null));
+        }
+        entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| unreachable!("entry was just inserted"))
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        match self.as_arr().and_then(|items| items.get(index)) {
+            Some(item) => item,
+            None => panic!("index {index} out of bounds of {}", self.kind()),
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, index: usize) -> &mut Value {
+        let kind = self.kind();
+        match self.as_array_mut().and_then(|items| items.get_mut(index)) {
+            Some(item) => item,
+            None => panic!("index {index} out of bounds of {kind}"),
+        }
+    }
 }
 
 /// Deserialization error.
@@ -113,6 +177,18 @@ pub trait Serialize {
 pub trait Deserialize: Sized {
     /// Deserializes an instance from a value tree.
     fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
 }
 
 impl Serialize for bool {

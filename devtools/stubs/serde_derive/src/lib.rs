@@ -70,7 +70,16 @@ enum Shape {
 
 struct Variant {
     name: String,
+    attrs: Attrs,
     shape: Shape,
+}
+
+impl Variant {
+    /// The wire name: a `#[serde(rename = "...")]` override, or the
+    /// variant name itself.
+    fn key(&self) -> String {
+        self.attrs.rename.clone().unwrap_or_else(|| self.name.clone())
+    }
 }
 
 enum Body {
@@ -323,7 +332,7 @@ fn parse_variants(group: &Group) -> Result<Vec<Variant>, String> {
     let mut i = 0;
     let mut variants = Vec::new();
     while i < toks.len() {
-        let _attrs = take_attrs(&toks, &mut i);
+        let attrs = take_attrs(&toks, &mut i);
         let name = match toks.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             _ => return Err("stub serde_derive: expected a variant name".to_string()),
@@ -347,7 +356,7 @@ fn parse_variants(group: &Group) -> Result<Vec<Variant>, String> {
         if i < toks.len() {
             i += 1;
         }
-        variants.push(Variant { name, shape });
+        variants.push(Variant { name, attrs, shape });
     }
     Ok(variants)
 }
@@ -395,10 +404,11 @@ fn gen_ser(item: &Item) -> String {
             let mut arms = String::new();
             for v in variants {
                 let vname = &v.name;
+                let vkey = v.key();
                 match &v.shape {
                     Shape::Unit => arms.push_str(&format!(
                         "{name}::{vname} => \
-                         ::serde::Value::Str(::std::string::String::from({vname:?})),\n"
+                         ::serde::Value::Str(::std::string::String::from({vkey:?})),\n"
                     )),
                     Shape::Tuple(n) => {
                         let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
@@ -413,7 +423,7 @@ fn gen_ser(item: &Item) -> String {
                         };
                         arms.push_str(&format!(
                             "{name}::{vname}({}) => ::serde::Value::Obj(::std::vec![\
-                             (::std::string::String::from({vname:?}), {inner})]),\n",
+                             (::std::string::String::from({vkey:?}), {inner})]),\n",
                             binds.join(", ")
                         ));
                     }
@@ -433,7 +443,7 @@ fn gen_ser(item: &Item) -> String {
                             .collect();
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {} }} => ::serde::Value::Obj(::std::vec![\
-                             (::std::string::String::from({vname:?}), \
+                             (::std::string::String::from({vkey:?}), \
                              ::serde::Value::Obj(::std::vec![{}]))]),\n",
                             binds.join(", "),
                             entries.join(", ")
@@ -517,16 +527,17 @@ fn gen_de(item: &Item) -> String {
             let mut tagged_arms = String::new();
             for v in variants {
                 let vname = &v.name;
+                let vkey = v.key();
                 match &v.shape {
                     Shape::Unit => unit_arms.push_str(&format!(
-                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        "{vkey:?} => ::std::result::Result::Ok({name}::{vname}),\n"
                     )),
                     Shape::Tuple(1) => tagged_arms.push_str(&format!(
-                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                        "{vkey:?} => ::std::result::Result::Ok({name}::{vname}(\
                          ::serde::Deserialize::from_value(__inner)?)),\n"
                     )),
                     Shape::Tuple(n) => tagged_arms.push_str(&format!(
-                        "{vname:?} => {{\n\
+                        "{vkey:?} => {{\n\
                          let __items = ::serde::Value::as_arr(__inner).ok_or_else(|| \
                          ::serde::DeError::custom(\"{name}::{vname}: expected array\"))?;\n\
                          if __items.len() != {n} {{\n\
@@ -544,7 +555,7 @@ fn gen_de(item: &Item) -> String {
                             .map(|f| de_named_field(&format!("{name}::{vname}"), f, "__ventries"))
                             .collect();
                         tagged_arms.push_str(&format!(
-                            "{vname:?} => {{\n\
+                            "{vkey:?} => {{\n\
                              let __ventries = ::serde::Value::as_obj(__inner).ok_or_else(|| \
                              ::serde::DeError::custom(\"{name}::{vname}: expected object\"))?;\n\
                              ::std::result::Result::Ok({name}::{vname} {{\n{}\n}})\n}}\n",

@@ -2,8 +2,10 @@
 //! `devtools/offline-check.sh`. Serializes the stub `serde` crate's
 //! `Value` model to JSON text and parses it back.
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
 use std::fmt;
+
+pub use serde::Value;
 
 /// JSON serialization/deserialization error.
 #[derive(Debug, Clone)]
@@ -35,6 +37,36 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Deserializes a [`Value`] tree into `T`.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_value(&value)?)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal — the subset of the real
+/// `json!` macro this workspace's tests use (scalars, arrays, objects
+/// with string-literal keys).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Arr(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Obj(vec![ $( ($key.to_string(), $crate::json!($val)) ),* ])
+    };
+    ($other:expr) => {
+        match $crate::to_value(&$other) {
+            Ok(value) => value,
+            Err(_) => $crate::Value::Null,
+        }
+    };
 }
 
 /// Parses a JSON document into `T`.
