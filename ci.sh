@@ -11,6 +11,10 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets
 
+# Static-analysis gate: workspace lints clean, --json is byte-stable,
+# and a known-bad fixture still trips the lint (see devtools/lint-gate.sh).
+devtools/lint-gate.sh target/release/ssdep-lint
+
 # Crash-resume smoke test: run the supervised search to completion, then
 # run it again with a crash injected after three journal appends, resume
 # from the surviving checkpoint, and require the ranked output (from the

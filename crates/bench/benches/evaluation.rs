@@ -2,6 +2,9 @@
 //! meant to sit in an optimizer's inner loop (§1), so evaluations/second
 //! is its headline performance number.
 
+// Benchmarks unwrap on fixture setup: a panic aborts the bench run,
+// which is the right failure report outside the library policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssdep_core::analysis::{evaluate, expected_annual_cost, WeightedScenario};
 use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};

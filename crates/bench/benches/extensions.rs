@@ -1,6 +1,9 @@
 //! Latency of the extension analyses: degraded-mode matrices, risk
 //! profiles, coverage ladders, multi-object recovery, and growth sweeps.
 
+// Benchmarks unwrap on fixture setup: a panic aborts the bench run,
+// which is the right failure report outside the library policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssdep_core::analysis::{self, WeightedScenario};
 use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};

@@ -1,6 +1,9 @@
 //! Throughput of the automated design search (the paper's optimization
 //! loop use case).
 
+// Benchmarks unwrap on fixture setup: a panic aborts the bench run,
+// which is the right failure report outside the library policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssdep_opt::search::{exhaustive, hill_climb, paper_scenarios};
 use ssdep_opt::space::DesignSpace;

@@ -2,6 +2,9 @@
 //! isolation — the pieces an optimizer may call orders of magnitude more
 //! often than full evaluations.
 
+// Benchmarks unwrap on fixture setup: a panic aborts the bench run,
+// which is the right failure report outside the library policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssdep_core::analysis;
 use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};

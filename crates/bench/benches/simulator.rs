@@ -1,6 +1,9 @@
 //! Discrete-event simulator throughput: pipeline execution and failure
 //! injection.
 
+// Benchmarks unwrap on fixture setup: a panic aborts the bench run,
+// which is the right failure report outside the library policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
 use ssdep_core::units::TimeDelta;

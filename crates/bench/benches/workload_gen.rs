@@ -1,5 +1,8 @@
 //! Synthetic trace generation and estimation throughput.
 
+// Benchmarks unwrap on fixture setup: a panic aborts the bench run,
+// which is the right failure report outside the library policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssdep_core::units::TimeDelta;
 use ssdep_workload::{estimate, TraceGenerator};

@@ -1360,6 +1360,171 @@ mod tests {
         assert!(report.warnings().any(|d| d.code == "D052"));
     }
 
+    /// Serializes, mutates, and deserializes a workload — same trick as
+    /// [`mutated`], for the invalid workloads serde admits.
+    fn mutated_workload(
+        workload: &Workload,
+        mutate: impl FnOnce(&mut serde_json::Value),
+    ) -> Workload {
+        let mut value = serde_json::to_value(workload).unwrap();
+        mutate(&mut value);
+        serde_json::from_value(value).unwrap()
+    }
+
+    #[test]
+    fn invalid_workload_reports_d011() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated_workload(&workload, |v| {
+            v["avg_update_rate"] = serde_json::json!(-1.0);
+        });
+        let report = preflight_all(&design, &broken, &scenarios);
+        assert!(report.errors().any(|d| d.code == "D011"), "{report:?}");
+    }
+
+    #[test]
+    fn misplaced_primary_copy_reports_d002() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            // Swap the primary copy with the split mirror.
+            let primary = v["levels"][0].clone();
+            v["levels"][0] = v["levels"][1].clone();
+            v["levels"][1] = primary;
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.errors().any(|d| d.code == "D002"), "{report:?}");
+    }
+
+    #[test]
+    fn non_storage_host_reports_d005() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            // Host the primary copy on the air courier.
+            v["levels"][0]["host"] = serde_json::json!(3);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.errors().any(|d| d.code == "D005"), "{report:?}");
+    }
+
+    #[test]
+    fn storage_device_as_transport_reports_d006() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            // The vault level ships tapes over… the primary array.
+            v["levels"][3]["transports"][0] = serde_json::json!(0);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.errors().any(|d| d.code == "D006"), "{report:?}");
+    }
+
+    #[test]
+    fn bad_device_parameter_reports_d008() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            v["devices"][0]["access_delay"] = serde_json::json!(-1.0);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.errors().any(|d| d.code == "D008"), "{report:?}");
+    }
+
+    #[test]
+    fn negative_recovery_site_provisioning_reports_d010() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            v["recovery_site"]["provisioning_time"] = serde_json::json!(-5.0);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(
+            report.errors().any(|d| d.code == "D010" && d.fixable),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn zero_backup_propagation_window_reports_d021() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            v["levels"][2]["technique"]["Backup"]["full"]["propagation_window"] =
+                serde_json::json!(0.0);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.errors().any(|d| d.code == "D021"), "{report:?}");
+    }
+
+    #[test]
+    fn negative_async_write_lag_reports_d022() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::async_batch_mirror_design(1);
+        let broken = mutated(&design, |v| {
+            v["levels"][1]["technique"]["RemoteMirror"]["mode"] =
+                serde_json::json!({"Asynchronous": {"write_lag": (-5.0)}});
+        });
+        let report = preflight_all(&broken, &workload, &[]);
+        assert!(report.errors().any(|d| d.code == "D022"), "{report:?}");
+    }
+
+    #[test]
+    fn fast_lower_accumulation_reports_d030() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            // The vault accumulates every 2 days while the backup above
+            // it cycles weekly: most vault windows go unfilled.
+            v["levels"][3]["technique"]["RemoteVault"]["params"]["accumulation_window"] =
+                serde_json::json!(172_800.0);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.warnings().any(|d| d.code == "D030"), "{report:?}");
+    }
+
+    #[test]
+    fn hold_longer_than_lower_retention_reports_d032() {
+        let (design, workload, scenarios) = fixture();
+        let broken = mutated(&design, |v| {
+            // The backup holds RPs past the vault's ~3-year retention.
+            v["levels"][2]["technique"]["Backup"]["full"]["hold_window"] =
+                serde_json::json!(95_000_000.0);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(report.warnings().any(|d| d.code == "D032"), "{report:?}");
+    }
+
+    #[test]
+    fn mirror_without_source_reports_d042() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::async_batch_mirror_design(1);
+        let broken = mutated(&design, |v| {
+            // Keep only the mirror level: structurally sound (its host
+            // and transport exist) but it has no level to mirror from.
+            let mirror = v["levels"][1].clone();
+            v["levels"] = serde_json::json!([mirror]);
+        });
+        let report = preflight_all(&broken, &workload, &[]);
+        assert!(report.errors().any(|d| d.code == "D042"), "{report:?}");
+    }
+
+    #[test]
+    fn out_of_range_protection_level_reports_d054() {
+        let (design, workload, _) = fixture();
+        let scenario = FailureScenario::new(
+            FailureScope::ProtectionLevel { level: 17 },
+            RecoveryTarget::Now,
+        );
+        let report = preflight(&design, &workload, &scenario);
+        assert!(report.warnings().any(|d| d.code == "D054"), "{report:?}");
+    }
+
+    #[test]
+    fn zero_restore_bandwidth_reports_d055() {
+        let (design, workload, _) = fixture();
+        let broken = mutated(&design, |v| {
+            // A tape library with no enclosure bandwidth leaves nothing
+            // for the restore stream after an array loss.
+            v["devices"][1]["enclosure_bandwidth"] = serde_json::json!(0.0);
+        });
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let report = preflight(&broken, &workload, &scenario);
+        assert!(report.errors().any(|d| d.code == "D055"), "{report:?}");
+    }
+
     #[test]
     fn repair_fixes_every_fixable_defect() {
         let (design, workload, scenarios) = fixture();

@@ -4,18 +4,15 @@
 //! These presets are both a convenience for users and the fixture set the
 //! reproduction benchmarks run against.
 
-// Preset constructors `expect` on builders fed only compile-time
-// constants from the paper's tables: a failure is a programming error in
-// the preset itself, caught by the test suite, and the panic-free
+// The preset modules carry file-level `#![allow(clippy::expect_used)]`:
+// their constructors `expect` on builders fed only compile-time
+// constants from the paper's tables, so a failure is a programming error
+// in the preset itself, caught by the test suite. The panic-free
 // obligation applies to user-supplied inputs, not these fixtures.
-#[allow(clippy::expect_used)]
 mod baseline;
-#[allow(clippy::expect_used)]
 mod devices;
 mod scenarios;
-#[allow(clippy::expect_used)]
 mod whatif;
-#[allow(clippy::expect_used)]
 mod workloads;
 
 pub use baseline::{baseline_design, paper_requirements};

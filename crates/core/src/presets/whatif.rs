@@ -4,6 +4,11 @@
 //! improve some aspect of its dependability; policy parameters not
 //! explicitly changed stay at their baseline values.
 
+// Preset constructors `expect` on builders fed only compile-time
+// constants from the paper's tables: a failure is a programming error in
+// the preset itself, caught by the test suite. The panic-free obligation
+// applies to user-supplied inputs, not these fixtures.
+#![allow(clippy::expect_used)]
 use crate::hierarchy::{Level, StorageDesign};
 use crate::protection::{
     Backup, IncrementalMode, IncrementalPolicy, PrimaryCopy, ProtectionParams, RemoteMirror,

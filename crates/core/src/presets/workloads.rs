@@ -1,5 +1,10 @@
 //! Workload presets (paper Table 2).
 
+// Preset constructors `expect` on builders fed only compile-time
+// constants from the paper's tables: a failure is a programming error in
+// the preset itself, caught by the test suite. The panic-free obligation
+// applies to user-supplied inputs, not these fixtures.
+#![allow(clippy::expect_used)]
 use crate::units::{Bandwidth, Bytes, TimeDelta};
 use crate::workload::Workload;
 

@@ -216,6 +216,7 @@ where
     let mut out = String::new();
     for (label, value) in values {
         let bar = if max > 0.0 {
+            // ssdep-lint: allow(L005, ratio is in [0, 1] and width is a small cell count, so the cast is exact)
             let cells = ((value / max) * width as f64).round() as usize;
             "#".repeat(cells.min(width))
         } else {

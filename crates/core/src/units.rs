@@ -417,6 +417,49 @@ impl TimeDelta {
     pub fn as_years(self) -> f64 {
         self.0 / YEAR
     }
+
+    /// The span as a whole number of seconds, rounded toward zero.
+    /// Negative and NaN spans collapse to 0; overflow saturates.
+    #[inline]
+    pub fn whole_secs(self) -> u64 {
+        self.0.floor() as u64
+    }
+
+    /// How many whole `chunk`-sized pieces fit in this span (e.g. full
+    /// slots in a trace). Zero when `chunk` is not positive, so callers
+    /// cannot divide by zero by accident.
+    #[inline]
+    pub fn whole_divisions(self, chunk: TimeDelta) -> u64 {
+        if chunk.0 > 0.0 {
+            (self.0 / chunk.0).floor() as u64
+        } else {
+            0
+        }
+    }
+}
+
+/// Rounds to the nearest `u64`, collapsing NaN and negatives to 0 and
+/// saturating at `u64::MAX`. The model's counts (slots, extents,
+/// retained copies) come out of f64 arithmetic; this is the one sanctioned
+/// way to land them in an integer — a bare `as` cast truncates
+/// fractional values silently (and is flagged by `ssdep-lint` L005).
+#[inline]
+pub fn round_to_u64(x: f64) -> u64 {
+    x.round() as u64
+}
+
+/// Rounds to the nearest `u32`; same edge-case policy as
+/// [`round_to_u64`].
+#[inline]
+pub fn round_to_u32(x: f64) -> u32 {
+    x.round() as u32
+}
+
+/// Rounds to the nearest `usize`; same edge-case policy as
+/// [`round_to_u64`].
+#[inline]
+pub fn round_to_usize(x: f64) -> usize {
+    x.round() as usize
 }
 
 impl Money {
@@ -684,6 +727,27 @@ mod tests {
         assert_eq!(TimeDelta::from_hours(1.0).as_minutes(), 60.0);
         assert_eq!(TimeDelta::from_days(7.0).as_weeks(), 1.0);
         assert_eq!(TimeDelta::from_years(1.0).as_days(), 365.0);
+    }
+
+    #[test]
+    fn whole_conversions_round_and_saturate() {
+        assert_eq!(TimeDelta::from_secs(90.9).whole_secs(), 90);
+        assert_eq!(TimeDelta::from_secs(-5.0).whole_secs(), 0);
+        assert_eq!(TimeDelta::from_secs(f64::NAN).whole_secs(), 0);
+        let day = TimeDelta::from_days(1.0);
+        assert_eq!(TimeDelta::from_hours(50.0).whole_divisions(day), 2);
+        assert_eq!(day.whole_divisions(TimeDelta::from_secs(0.0)), 0);
+        assert_eq!(day.whole_divisions(TimeDelta::from_secs(-1.0)), 0);
+    }
+
+    #[test]
+    fn round_helpers_collapse_edge_cases() {
+        assert_eq!(round_to_u64(2.5), 3);
+        assert_eq!(round_to_u64(-1.0), 0);
+        assert_eq!(round_to_u64(f64::NAN), 0);
+        assert_eq!(round_to_u64(f64::INFINITY), u64::MAX);
+        assert_eq!(round_to_u32(1e20), u32::MAX);
+        assert_eq!(round_to_usize(7.49), 7);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! 3. `repair`'s output carries no fixable diagnostics on a second
 //!    preflight, and a second repair pass applies nothing.
 
+// Test helpers expect on fixture plumbing: a panic is the failure
+// report itself.
+#![allow(clippy::expect_used)]
 use proptest::prelude::*;
 use ssdep_core::diagnose::{preflight_all, repair};
 use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};

@@ -12,7 +12,7 @@ use ssdep_core::analysis::{expected_annual_cost, WeightedScenario};
 use ssdep_core::error::Error;
 use ssdep_core::hierarchy::StorageDesign;
 use ssdep_core::requirements::BusinessRequirements;
-use ssdep_core::units::{Money, TimeDelta};
+use ssdep_core::units::{round_to_u32, Money, TimeDelta};
 use ssdep_core::workload::Workload;
 
 /// One evaluated point of a sweep.
@@ -290,7 +290,7 @@ pub fn sweep_vault_interval(
 /// The design factory behind [`sweep_vault_interval`].
 pub fn vault_interval_design(weeks: f64) -> Result<StorageDesign, Error> {
     use crate::space::{BackupChoice, Candidate, MirrorChoice, PitChoice, VaultChoice};
-    let retained = ((156.0 / weeks).round() as u32).max(2);
+    let retained = round_to_u32(156.0 / weeks).max(2);
     Candidate {
         pit: PitChoice::SplitMirror {
             acc_hours: 12.0,
@@ -332,7 +332,7 @@ pub fn sweep_backup_interval(
 /// The design factory behind [`sweep_backup_interval`].
 pub fn backup_interval_design(acc_hours: f64) -> Result<StorageDesign, Error> {
     use crate::space::{BackupChoice, Candidate, MirrorChoice, PitChoice, VaultChoice};
-    let retained = ((672.0 / acc_hours).round() as u32).max(2);
+    let retained = round_to_u32(672.0 / acc_hours).max(2);
     Candidate {
         pit: PitChoice::SplitMirror {
             acc_hours: 12.0,

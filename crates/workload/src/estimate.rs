@@ -26,7 +26,7 @@ pub fn burst_multiplier(trace: &Trace, slot: TimeDelta) -> f64 {
         return 1.0;
     }
     let slot_secs = slot.as_secs();
-    let slots = (trace.duration().as_secs() / slot_secs).floor() as u64;
+    let slots = trace.duration().whole_divisions(slot);
     let mut counts = vec![0u64; slots as usize];
     for record in trace.records() {
         let index = (record.time / slot_secs) as usize;
@@ -51,7 +51,7 @@ pub fn unique_bytes_per_window(trace: &Trace, window: TimeDelta) -> Result<Bytes
         return Err(Error::invalid("estimate.window", "must be positive"));
     }
     let window_secs = window.as_secs();
-    let windows = (trace.duration().as_secs() / window_secs).floor() as u64;
+    let windows = trace.duration().whole_divisions(window);
     if windows == 0 {
         return Err(Error::invalid(
             "estimate.window",

@@ -8,7 +8,7 @@
 //! generating traces per candidate.
 
 use serde::{Deserialize, Serialize};
-use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+use ssdep_core::units::{round_to_u64, Bandwidth, Bytes, TimeDelta};
 
 /// Expected unique extents touched within a window of `window_secs`
 /// seconds, for a hot/cold update mix.
@@ -114,9 +114,9 @@ pub fn fit_locality(
     for fi in 1..20 {
         let hot_fraction = fi as f64 * 0.05;
         for si in 0..=log_steps {
-            let hot = (2.0_f64.ln() + (max_hot as f64).ln() * si as f64 / log_steps as f64)
-                .exp()
-                .round() as u64;
+            let hot = round_to_u64(
+                (2.0_f64.ln() + (max_hot as f64).ln() * si as f64 / log_steps as f64).exp(),
+            );
             consider(hot_fraction, hot.max(2), &mut best);
         }
     }
@@ -126,7 +126,7 @@ pub fn fit_locality(
     for fi in -5i32..=5 {
         let hot_fraction = (center_fraction + fi as f64 * 0.01).clamp(0.01, 0.99);
         for si in -10i32..=10 {
-            let hot = (center_hot as f64 * 1.15_f64.powi(si)).round() as u64;
+            let hot = round_to_u64(center_hot as f64 * 1.15_f64.powi(si));
             consider(hot_fraction, hot.max(2), &mut best);
         }
     }

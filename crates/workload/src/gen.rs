@@ -22,7 +22,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use ssdep_core::error::Error;
-use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
+use ssdep_core::units::{round_to_u64, Bandwidth, Bytes, TimeDelta};
 
 /// A configured, seedable trace generator. Build with
 /// [`TraceGenerator::builder`].
@@ -76,7 +76,7 @@ impl TraceGenerator {
     /// Generates the trace.
     pub fn generate(&self) -> Trace {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let total_slots = self.duration.as_secs().floor() as u64;
+        let total_slots = self.duration.whole_secs();
 
         // Rates for the two states, preserving the long-run average:
         // avg = duty × peak + (1 − duty) × low.
@@ -156,7 +156,7 @@ fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u64 {
         let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
         let u2: f64 = rng.random();
         let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        (lambda + lambda.sqrt() * normal).round().max(0.0) as u64
+        round_to_u64(lambda + lambda.sqrt() * normal)
     }
 }
 

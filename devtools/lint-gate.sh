@@ -1,0 +1,44 @@
+#!/bin/sh
+# Static-analysis gate shared by ci.sh (networked CI) and
+# offline-check.sh (network-restricted): the workspace must lint clean
+# under --deny-warnings, the --json report must be byte-identical across
+# two runs (CI diffs with cmp), and a deliberately-bad fixture must
+# exit 2 so a silently-neutered lint binary cannot pass the gate.
+#
+# Usage: devtools/lint-gate.sh <path-to-ssdep-lint-binary>
+set -eu
+
+LINT=${1:?usage: lint-gate.sh <ssdep-lint binary>}
+repo=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo"
+
+GATE_DIR=$(mktemp -d)
+trap 'rm -rf "$GATE_DIR"' EXIT
+
+"$LINT" --deny-warnings > /dev/null || {
+    echo "lint-gate: the workspace has lint findings:" >&2
+    "$LINT" >&2 || true
+    exit 1
+}
+
+"$LINT" --json > "$GATE_DIR/lint1.json"
+"$LINT" --json > "$GATE_DIR/lint2.json"
+if ! cmp -s "$GATE_DIR/lint1.json" "$GATE_DIR/lint2.json"; then
+    echo "lint-gate: --json output is not byte-stable across runs" >&2
+    exit 1
+fi
+
+set +e
+"$LINT" devtools/lint/tests/fixtures/bad_l002.rs > "$GATE_DIR/bad.out" 2>&1
+BAD_STATUS=$?
+set -e
+if [ "$BAD_STATUS" -ne 2 ]; then
+    echo "lint-gate: expected exit 2 on the known-bad fixture, got $BAD_STATUS" >&2
+    cat "$GATE_DIR/bad.out" >&2
+    exit 1
+fi
+grep -q 'L002' "$GATE_DIR/bad.out" || {
+    echo "lint-gate: the known-bad fixture did not report L002" >&2
+    exit 1
+}
+echo "static analysis gate passed"

@@ -1,0 +1,269 @@
+//! Lint findings and their human / machine renderings.
+//!
+//! The JSON form is hand-rolled (the lint crate is std-only by design)
+//! and **byte-stable**: findings are sorted on a total key, keys are
+//! emitted in a fixed order, and nothing time- or environment-dependent
+//! is included, so CI can diff two runs with `cmp`.
+
+use std::fmt;
+
+/// How serious a finding is — mirrors `ssdep check`'s ladder, minus
+/// hints (a lint that only hints is noise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Violates a hard policy; exits 2.
+    Error,
+    /// Worth fixing but does not gate by default; exits 1 under
+    /// `--deny-warnings`.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// One lint finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable machine-readable code (`L001`…); catalogued in
+    /// `DESIGN.md` §11.
+    pub code: String,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// A concrete suggested fix.
+    pub suggestion: String,
+}
+
+impl Finding {
+    /// Builds a finding; `path` is normalized to forward slashes.
+    pub fn new(
+        code: &str,
+        severity: Severity,
+        path: &str,
+        line: usize,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            code: code.to_string(),
+            severity,
+            path: path.replace('\\', "/"),
+            line,
+            message: message.into(),
+            suggestion: suggestion.into(),
+        }
+    }
+
+    /// The total sort key that makes reports deterministic.
+    fn sort_key(&self) -> (&str, usize, &str, &str) {
+        (&self.path, self.line, &self.code, &self.message)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}:{}: {}",
+            self.severity, self.code, self.path, self.line, self.message
+        )
+    }
+}
+
+/// A full lint report: sorted, deduplicated findings plus counts.
+#[derive(Debug, Default)]
+pub struct Report {
+    findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Builds a report: sorts on the total key and drops exact
+    /// duplicates (two rules may anchor the same defect to one line).
+    pub fn from_findings(mut findings: Vec<Finding>) -> Report {
+        findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        findings.dedup();
+        Report { findings }
+    }
+
+    /// Every finding, in report order.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// The process exit status: 0 clean, 1 denied warnings, 2 errors —
+    /// the same ladder as `ssdep check`.
+    pub fn exit_status(&self, deny_warnings: bool) -> u8 {
+        if self.errors() > 0 {
+            2
+        } else if deny_warnings && self.warnings() > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The human rendering: one line per finding, a `fix:` line when a
+    /// suggestion exists, and a count summary.
+    pub fn render_human(&self, header: &str) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{header}");
+        for finding in &self.findings {
+            let _ = writeln!(out, "{finding}");
+            if !finding.suggestion.is_empty() {
+                let _ = writeln!(out, "  fix: {}", finding.suggestion);
+            }
+        }
+        let (errors, warnings) = (self.errors(), self.warnings());
+        let _ = writeln!(
+            out,
+            "summary: {errors} error{}, {warnings} warning{}",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+        );
+        out
+    }
+
+    /// The byte-stable JSON rendering.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"code\": {},\n", json_str(&f.code)));
+            out.push_str(&format!(
+                "      \"severity\": {},\n",
+                json_str(&f.severity.to_string())
+            ));
+            out.push_str(&format!("      \"path\": {},\n", json_str(&f.path)));
+            out.push_str(&format!("      \"line\": {},\n", f.line));
+            out.push_str(&format!("      \"message\": {},\n", json_str(&f.message)));
+            out.push_str(&format!(
+                "      \"suggestion\": {}\n",
+                json_str(&f.suggestion)
+            ));
+            out.push_str("    }");
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\n    \"errors\": {},\n    \"warnings\": {}\n  }}\n}}\n",
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal, per RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(code: &str, path: &str, line: usize) -> Finding {
+        Finding::new(code, Severity::Error, path, line, "m", "s")
+    }
+
+    #[test]
+    fn findings_sort_and_dedup() {
+        let report = Report::from_findings(vec![
+            finding("L002", "b.rs", 9),
+            finding("L001", "a.rs", 3),
+            finding("L001", "a.rs", 3),
+        ]);
+        assert_eq!(report.findings().len(), 2);
+        assert_eq!(report.findings()[0].path, "a.rs");
+    }
+
+    #[test]
+    fn exit_ladder_matches_check() {
+        let clean = Report::from_findings(Vec::new());
+        assert_eq!(clean.exit_status(true), 0);
+        let warn = Report::from_findings(vec![Finding::new(
+            "L010",
+            Severity::Warning,
+            "a.rs",
+            1,
+            "m",
+            "",
+        )]);
+        assert_eq!(warn.exit_status(false), 0);
+        assert_eq!(warn.exit_status(true), 1);
+        let err = Report::from_findings(vec![finding("L002", "a.rs", 1)]);
+        assert_eq!(err.exit_status(false), 2);
+    }
+
+    #[test]
+    fn json_escapes_and_stays_stable() {
+        let report = Report::from_findings(vec![Finding::new(
+            "L002",
+            Severity::Error,
+            "a.rs",
+            1,
+            "uses \"quotes\"\nand newlines",
+            "",
+        )]);
+        let a = report.render_json();
+        let b = report.render_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"quotes\\\"\\nand"));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let report = Report::from_findings(Vec::new());
+        assert!(report.render_json().contains("\"findings\": []"));
+        assert!(report.render_human("lint").contains("0 errors, 0 warnings"));
+    }
+}

@@ -1,0 +1,658 @@
+//! A lightweight, std-only Rust lexer for the lint pass.
+//!
+//! The offline build environment has no `syn`, so `ssdep-lint` does its
+//! own scanning. The lexer does three things the lints need:
+//!
+//! 1. **Masking** — comments and the *contents* of string/char literals
+//!    are replaced with spaces (line structure preserved), so token
+//!    scans over the masked text can never fire inside `"…unwrap()…"`
+//!    or a doc comment.
+//! 2. **Pragmas** — `// ssdep-lint: allow(L00x, reason)` comments are
+//!    parsed into [`Pragma`]s, including malformed ones (missing code or
+//!    reason) so the driver can warn about them.
+//! 3. **Regions** — `#[cfg(test)]` / `#[test]` items and
+//!    `#[allow(clippy::…)]` scopes are resolved to per-line flags, so
+//!    lints skip test code and respect existing, clippy-visible
+//!    justifications instead of demanding a second pragma dialect.
+//!
+//! String literal contents are still collected (with line numbers) for
+//! the cross-artifact L004 check, which needs the `D0xx` codes that live
+//! *inside* strings.
+
+/// Line is inside a `#[cfg(test)]` item or a `#[test]` function.
+pub const FLAG_TEST: u8 = 1;
+/// Line is covered by `#[allow(clippy::unwrap_used)]`.
+pub const FLAG_ALLOW_UNWRAP: u8 = 2;
+/// Line is covered by `#[allow(clippy::expect_used)]`.
+pub const FLAG_ALLOW_EXPECT: u8 = 4;
+/// Line is covered by `#[allow(clippy::panic)]`.
+pub const FLAG_ALLOW_PANIC: u8 = 8;
+/// Line is covered by `#[allow(clippy::unreachable)]`.
+pub const FLAG_ALLOW_UNREACHABLE: u8 = 16;
+
+/// One `// ssdep-lint: …` comment, parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// The lint codes it allows (e.g. `L002`).
+    pub codes: Vec<String>,
+    /// The free-text justification after the codes.
+    pub reason: String,
+    /// Whether the comment is alone on its line (then it applies to the
+    /// *next* line instead of its own).
+    pub own_line: bool,
+    /// Why the pragma could not be parsed, when it could not.
+    pub malformed: Option<String>,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// The masked source as one string, newlines preserved.
+    pub masked: String,
+    /// Byte offset of the start of each line in `masked`.
+    line_starts: Vec<usize>,
+    /// Per-line region flags (`FLAG_*`), indexed by line - 1.
+    pub flags: Vec<u8>,
+    /// `ssdep-lint` pragmas, in file order.
+    pub pragmas: Vec<Pragma>,
+    /// String literal contents: (1-based line of the opening quote, text).
+    pub strings: Vec<(usize, String)>,
+}
+
+impl LexedFile {
+    /// Lexes `source` into masked text, pragmas, strings, and regions.
+    pub fn lex(source: &str) -> LexedFile {
+        let (masked, comments, strings) = mask(source);
+        let line_starts = line_starts(&masked);
+        let line_count = line_starts.len();
+        let mut file = LexedFile {
+            masked,
+            line_starts,
+            flags: vec![0; line_count],
+            pragmas: Vec::new(),
+            strings,
+        };
+        for (line, text, own_line) in comments {
+            if let Some(pragma) = parse_pragma(line, &text, own_line) {
+                file.pragmas.push(pragma);
+            }
+        }
+        mark_regions(&mut file);
+        file
+    }
+
+    /// The 1-based line containing byte offset `pos` of `masked`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        match self.line_starts.binary_search(&pos) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether the (1-based) line carries `flag`.
+    pub fn has_flag(&self, line: usize, flag: u8) -> bool {
+        self.flags
+            .get(line.saturating_sub(1))
+            .is_some_and(|f| f & flag != 0)
+    }
+}
+
+/// Byte offsets where each line starts.
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// A line comment: `(line, text-after-slashes, own_line)`.
+type LineComment = (usize, String, bool);
+/// A string literal's contents: `(line, text)`.
+type StringLiteral = (usize, String);
+
+/// Masks comments and literal contents. Returns the masked text, the
+/// line comments, and the string literal contents.
+#[allow(clippy::too_many_lines)]
+fn mask(source: &str) -> (String, Vec<LineComment>, Vec<StringLiteral>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+    let mut line = 1usize;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // Pushes a masked placeholder, preserving newlines.
+    fn push_masked(out: &mut String, c: char, line: &mut usize) {
+        if c == '\n' {
+            out.push('\n');
+            *line += 1;
+        } else {
+            out.push(' ');
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments): capture to EOL.
+                let start_line = line;
+                let mut text = String::new();
+                let mut j = i + 2;
+                // Doc comment slashes / inner-doc bangs are part of the
+                // marker, not the text.
+                while matches!(chars.get(j), Some('/' | '!')) {
+                    j += 1;
+                }
+                while j < chars.len() && chars[j] != '\n' {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                for _ in i..j {
+                    out.push(' ');
+                }
+                comments.push((start_line, text, !line_has_code));
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nested.
+                let mut depth = 1;
+                out.push_str("  ");
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        push_masked(&mut out, chars[i], &mut line);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Plain (or byte) string literal.
+                let start_line = line;
+                let mut text = String::new();
+                out.push(' ');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => {
+                            text.push(chars[i]);
+                            if let Some(&next) = chars.get(i + 1) {
+                                text.push(next);
+                                push_masked(&mut out, chars[i], &mut line);
+                                push_masked(&mut out, next, &mut line);
+                                i += 2;
+                            } else {
+                                push_masked(&mut out, chars[i], &mut line);
+                                i += 1;
+                            }
+                        }
+                        '"' => {
+                            out.push(' ');
+                            i += 1;
+                            break;
+                        }
+                        other => {
+                            text.push(other);
+                            push_masked(&mut out, other, &mut line);
+                            i += 1;
+                        }
+                    }
+                }
+                strings.push((start_line, text));
+                line_has_code = true;
+            }
+            'r' | 'b' if starts_raw_string(&chars, i) => {
+                // Raw (or raw byte) string: r"…", r#"…"#, br##"…"##…
+                let start_line = line;
+                let mut j = i;
+                if chars[j] == 'b' {
+                    out.push(' ');
+                    j += 1;
+                }
+                out.push(' ');
+                j += 1; // past 'r'
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    out.push(' ');
+                    j += 1;
+                }
+                out.push(' ');
+                j += 1; // past the opening quote
+                let mut text = String::new();
+                'raw: while j < chars.len() {
+                    if chars[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    text.push(chars[j]);
+                    push_masked(&mut out, chars[j], &mut line);
+                    j += 1;
+                }
+                strings.push((start_line, text));
+                i = j;
+                line_has_code = true;
+            }
+            '\'' => {
+                // Char literal vs lifetime. A lifetime is `'ident` not
+                // closed by a quote right after one char.
+                let is_char_literal = match chars.get(i + 1) {
+                    Some('\\') => true,
+                    Some(_) => chars.get(i + 2) == Some(&'\''),
+                    None => false,
+                };
+                if is_char_literal {
+                    out.push(' ');
+                    i += 1;
+                    if chars.get(i) == Some(&'\\') {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        push_masked(&mut out, chars[i], &mut line);
+                        i += 1;
+                    }
+                    // Consume to the closing quote (multi-char escapes
+                    // like '\u{1F600}').
+                    while i < chars.len() && chars[i] != '\'' {
+                        push_masked(&mut out, chars[i], &mut line);
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+                line_has_code = true;
+            }
+            '\n' => {
+                out.push('\n');
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            other => {
+                if !other.is_whitespace() {
+                    line_has_code = true;
+                }
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    (out, comments, strings)
+}
+
+/// Whether position `i` (at `r` or `b`) opens a raw string literal.
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (`var` vs `r"`).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    j += 1; // past 'r'
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Parses one line comment into a [`Pragma`], if it carries the marker.
+fn parse_pragma(line: usize, text: &str, own_line: bool) -> Option<Pragma> {
+    let rest = text.trim().strip_prefix("ssdep-lint:")?.trim();
+    let malformed = |why: &str| {
+        Some(Pragma {
+            line,
+            codes: Vec::new(),
+            reason: String::new(),
+            own_line,
+            malformed: Some(why.to_string()),
+        })
+    };
+    let Some(inner) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        return malformed("expected `allow(L00x, reason)`");
+    };
+    let mut codes = Vec::new();
+    let mut reason_parts: Vec<&str> = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if reason_parts.is_empty() && is_lint_code(part) {
+            codes.push(part.to_string());
+        } else {
+            reason_parts.push(part);
+        }
+    }
+    if codes.is_empty() {
+        return malformed("no lint code (expected `allow(L00x, reason)`)");
+    }
+    let reason = reason_parts.join(", ");
+    if reason.trim().is_empty() {
+        return malformed("missing reason (expected `allow(L00x, reason)`)");
+    }
+    Some(Pragma {
+        line,
+        codes,
+        reason,
+        own_line,
+        malformed: None,
+    })
+}
+
+/// Whether `s` looks like a lint code (`L` + 3 digits).
+fn is_lint_code(s: &str) -> bool {
+    s.len() == 4 && s.starts_with('L') && s[1..].bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Resolves `#[…]` attributes to per-line region flags.
+fn mark_regions(file: &mut LexedFile) {
+    let chars: Vec<char> = file.masked.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] != '#' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        let inner = chars.get(j) == Some(&'!');
+        if inner {
+            j += 1;
+        }
+        while j < chars.len() && chars[j].is_whitespace() {
+            j += 1;
+        }
+        if chars.get(j) != Some(&'[') {
+            i += 1;
+            continue;
+        }
+        // Balanced-bracket attribute content.
+        let mut depth = 0usize;
+        let mut content = String::new();
+        while j < chars.len() {
+            match chars[j] {
+                '[' => {
+                    depth += 1;
+                    if depth > 1 {
+                        content.push('[');
+                    }
+                }
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                    content.push(']');
+                }
+                c => content.push(c),
+            }
+            j += 1;
+        }
+        let flags = attr_flags(&content);
+        if flags == 0 {
+            i = j;
+            continue;
+        }
+        let start_line = file.line_of(byte_offset(&chars, attr_start));
+        let end = if inner {
+            chars.len()
+        } else {
+            item_extent_end(&chars, j)
+        };
+        let end_line = file.line_of(byte_offset(&chars, end.saturating_sub(1).max(attr_start)));
+        for l in start_line..=end_line.min(file.flags.len()) {
+            file.flags[l - 1] |= flags;
+        }
+        i = j;
+    }
+}
+
+/// Byte offset of char index `idx` (the masked text is almost always
+/// ASCII, but identifiers may not be).
+fn byte_offset(chars: &[char], idx: usize) -> usize {
+    chars[..idx.min(chars.len())]
+        .iter()
+        .map(|c| c.len_utf8())
+        .sum()
+}
+
+/// The region flags an attribute body implies.
+fn attr_flags(content: &str) -> u8 {
+    let compact: String = content.chars().filter(|c| !c.is_whitespace()).collect();
+    let mut flags = 0;
+    if compact == "test" || compact == "cfg(test)" {
+        flags |= FLAG_TEST;
+    }
+    if compact.starts_with("allow(") || compact.starts_with("expect(") {
+        if compact.contains("clippy::unwrap_used") {
+            flags |= FLAG_ALLOW_UNWRAP;
+        }
+        if compact.contains("clippy::expect_used") {
+            flags |= FLAG_ALLOW_EXPECT;
+        }
+        if compact.contains("clippy::panic") {
+            flags |= FLAG_ALLOW_PANIC;
+        }
+        if compact.contains("clippy::unreachable") {
+            flags |= FLAG_ALLOW_UNREACHABLE;
+        }
+    }
+    flags
+}
+
+/// The char index just past the item an outer attribute at `from`
+/// decorates: past further attributes, then to the `;` of a bodiless
+/// item or the matching `}` of its body.
+fn item_extent_end(chars: &[char], from: usize) -> usize {
+    let mut i = from;
+    // Skip whitespace and any further outer attributes.
+    loop {
+        while i < chars.len() && chars[i].is_whitespace() {
+            i += 1;
+        }
+        if chars.get(i) == Some(&'#') {
+            // Skip this attribute's brackets.
+            while i < chars.len() && chars[i] != '[' {
+                i += 1;
+            }
+            let mut depth = 0usize;
+            while i < chars.len() {
+                match chars[i] {
+                    '[' => depth += 1,
+                    ']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    // Scan the item header for `;` (no body) or `{` (body start).
+    while i < chars.len() {
+        match chars[i] {
+            ';' => return i + 1,
+            '{' => {
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    match chars[i] {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return chars.len();
+            }
+            _ => i += 1,
+        }
+    }
+    chars.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let src = "let a = \"call .unwrap() here\"; // and .unwrap() there\nlet b = 1;\n";
+        let lexed = LexedFile::lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].1, "call .unwrap() here");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_masked() {
+        let src =
+            "let re = r#\"x.unwrap()\"#;\nlet c = '\\'';\nlet q = 'u';\nfn f<'a>(x: &'a str) {}\n";
+        let lexed = LexedFile::lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(lexed.masked.contains("fn f<'a>"), "{}", lexed.masked);
+        assert_eq!(lexed.strings[0].1, "x.unwrap()");
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let src = "/* outer /* inner .unwrap() */ still */ let x = 1;\n";
+        let lexed = LexedFile::lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(lexed.masked.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_flagged() {
+        let src = "\
+fn live() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u8> = None;
+        x.unwrap();
+    }
+}
+";
+        let lexed = LexedFile::lex(src);
+        assert!(!lexed.has_flag(1, FLAG_TEST));
+        for line in 3..=10 {
+            assert!(lexed.has_flag(line, FLAG_TEST), "line {line} not flagged");
+        }
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let lexed = LexedFile::lex(src);
+        assert!(!lexed.has_flag(2, FLAG_TEST));
+    }
+
+    #[test]
+    fn allow_attributes_cover_their_item() {
+        let src = "\
+#[allow(clippy::expect_used)]
+pub fn preset() {
+    build().expect(\"valid\");
+}
+
+pub fn other() {}
+";
+        let lexed = LexedFile::lex(src);
+        assert!(lexed.has_flag(3, FLAG_ALLOW_EXPECT));
+        assert!(!lexed.has_flag(3, FLAG_ALLOW_UNWRAP));
+        assert!(!lexed.has_flag(6, FLAG_ALLOW_EXPECT));
+    }
+
+    #[test]
+    fn inner_allow_covers_the_whole_file() {
+        let src = "#![allow(clippy::unwrap_used)]\n\nfn f() { x.unwrap(); }\n";
+        let lexed = LexedFile::lex(src);
+        assert!(lexed.has_flag(3, FLAG_ALLOW_UNWRAP));
+    }
+
+    #[test]
+    fn pragmas_parse_codes_and_reason() {
+        let src = "\
+let v = risky(); // ssdep-lint: allow(L002, bounded by construction)
+// ssdep-lint: allow(L003, L005, sorted upstream, twice)
+// ssdep-lint: allow(L002)
+// ssdep-lint: deny(L002, nope)
+";
+        let lexed = LexedFile::lex(src);
+        assert_eq!(lexed.pragmas.len(), 4);
+        let p = &lexed.pragmas[0];
+        assert_eq!(p.codes, vec!["L002"]);
+        assert_eq!(p.reason, "bounded by construction");
+        assert!(!p.own_line);
+        assert!(p.malformed.is_none());
+        let p = &lexed.pragmas[1];
+        assert_eq!(p.codes, vec!["L003", "L005"]);
+        assert_eq!(p.reason, "sorted upstream, twice");
+        assert!(p.own_line);
+        assert!(lexed.pragmas[2].malformed.is_some());
+        assert!(lexed.pragmas[3].malformed.is_some());
+    }
+
+    #[test]
+    fn attribute_then_more_attributes_extends_to_item_body() {
+        let src = "\
+#[cfg(test)]
+#[derive(Debug)]
+struct Fixture {
+    value: u8,
+}
+fn live() {}
+";
+        let lexed = LexedFile::lex(src);
+        assert!(lexed.has_flag(4, FLAG_TEST));
+        assert!(!lexed.has_flag(6, FLAG_TEST));
+    }
+}

@@ -1,0 +1,21 @@
+//! `ssdep-lint` — workspace static analysis for the dependability
+//! framework.
+//!
+//! The runtime preflight (`ssdep check`, `D0xx`) validates *designs*;
+//! this crate validates the *codebase* against the same engineering
+//! policies, with the same shape: stable codes (`L0xx`), a catalog in
+//! `DESIGN.md` §11, suppression with mandatory justification, and the
+//! 0/1/2 exit ladder so CI treats both gates identically.
+//!
+//! It is std-only on purpose: the offline build harness has no `syn` or
+//! registry access, so [`lexer`] implements the small slice of Rust
+//! lexing the lints need (comment/string masking, attribute regions,
+//! pragma comments).
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+mod workspace;
+
+pub use findings::{Finding, Report, Severity};
+pub use workspace::{lint_paths, lint_workspace};

@@ -1,0 +1,71 @@
+//! CLI entry point for `ssdep-lint`.
+//!
+//! ```text
+//! ssdep-lint [--json] [--deny-warnings] [--root DIR] [FILES…]
+//! ```
+//!
+//! With no file arguments it lints the whole workspace under `--root`
+//! (default: the current directory), including the cross-artifact L004
+//! check. With file arguments it lints exactly those files with every
+//! lint family enabled — the mode the fixture suite uses.
+//!
+//! Exit status: 0 clean, 1 warnings under `--deny-warnings`, 2 errors —
+//! the same ladder as `ssdep check`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut root = PathBuf::from(".");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("ssdep-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                println!("usage: ssdep-lint [--json] [--deny-warnings] [--root DIR] [FILES...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("ssdep-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let result = if paths.is_empty() {
+        ssdep_lint::lint_workspace(&root)
+    } else {
+        ssdep_lint::lint_paths(&root, &paths)
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("ssdep-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        let scope = if paths.is_empty() {
+            "workspace".to_string()
+        } else {
+            format!("{} file(s)", paths.len())
+        };
+        print!("{}", report.render_human(&format!("ssdep-lint: {scope}")));
+    }
+    ExitCode::from(report.exit_status(deny_warnings))
+}

@@ -1,0 +1,896 @@
+//! The L0xx domain lints, over [`LexedFile`]s.
+//!
+//! Codes are stable and catalogued in `DESIGN.md` §11, mirroring the
+//! runtime diagnostics' `D0xx` scheme (`DESIGN.md` §10):
+//!
+//! * **L001** — raw `f64` in a public function signature of a core model
+//!   module where a `units.rs` newtype exists.
+//! * **L002** — `unwrap()` / `expect()` / `panic!()` / `unreachable!()`
+//!   in library (non-test, non-CLI) code.
+//! * **L003** — float ordering via `partial_cmp(..).unwrap()` or a
+//!   float comparator built on `partial_cmp` instead of `total_cmp`.
+//! * **L004** — `D0xx` cross-artifact consistency (source ↔ DESIGN.md
+//!   catalog ↔ tests); implemented in [`crate::workspace`].
+//! * **L005** — lossy `as` numeric casts (float → int truncation, or
+//!   `as f32` narrowing) in model code.
+//! * **L010** — an `ssdep-lint` pragma that is malformed or suppresses
+//!   nothing (so stale allowlists cannot linger).
+
+use crate::findings::{Finding, Severity};
+use crate::lexer::{
+    LexedFile, FLAG_ALLOW_EXPECT, FLAG_ALLOW_PANIC, FLAG_ALLOW_UNREACHABLE, FLAG_ALLOW_UNWRAP,
+    FLAG_TEST,
+};
+
+/// Which lint families apply to a file.
+#[derive(Debug, Clone, Copy)]
+pub struct Role {
+    /// Library code: the panic-free policy (L002) applies.
+    pub library: bool,
+    /// Model arithmetic: the lossy-cast policy (L005) applies.
+    pub model: bool,
+    /// Core model API surface: the dimensional-signature policy (L001)
+    /// applies.
+    pub signatures: bool,
+}
+
+impl Role {
+    /// Every policy applies — used for explicit file arguments and the
+    /// fixture suite.
+    pub const ALL: Role = Role {
+        library: true,
+        model: true,
+        signatures: true,
+    };
+}
+
+/// Runs every per-file lint and resolves pragmas. Returns the surviving
+/// findings plus L010s for unused or malformed pragmas.
+pub fn lint_file(path: &str, lexed: &LexedFile, role: Role) -> Vec<Finding> {
+    let findings = raw_findings(path, lexed, role);
+    apply_pragmas(path, lexed, findings)
+}
+
+/// The per-file findings *before* pragma suppression. The workspace
+/// driver uses this so cross-artifact (L004) findings can join the same
+/// pragma resolution.
+pub fn raw_findings(path: &str, lexed: &LexedFile, role: Role) -> Vec<Finding> {
+    let text = Text::new(lexed);
+    let mut findings = Vec::new();
+    if role.signatures {
+        lint_signatures(path, &text, &mut findings);
+    }
+    if role.library {
+        lint_panics(path, &text, &mut findings);
+    }
+    lint_float_ordering(path, &text, &mut findings);
+    if role.model {
+        lint_lossy_casts(path, &text, &mut findings);
+    }
+    findings
+}
+
+/// Applies `// ssdep-lint: allow(L00x, reason)` pragmas: a pragma on the
+/// same line as a finding (or alone on the line directly above it)
+/// suppresses matching codes. Unused and malformed pragmas become L010
+/// warnings so allowlists cannot go stale.
+pub fn apply_pragmas(path: &str, lexed: &LexedFile, findings: Vec<Finding>) -> Vec<Finding> {
+    let mut used = vec![false; lexed.pragmas.len()];
+    let mut kept = Vec::with_capacity(findings.len());
+    'findings: for finding in findings {
+        for (i, pragma) in lexed.pragmas.iter().enumerate() {
+            if pragma.malformed.is_some() || !pragma.codes.contains(&finding.code) {
+                continue;
+            }
+            let applies =
+                pragma.line == finding.line || (pragma.own_line && pragma.line + 1 == finding.line);
+            if applies {
+                used[i] = true;
+                continue 'findings;
+            }
+        }
+        kept.push(finding);
+    }
+    for (i, pragma) in lexed.pragmas.iter().enumerate() {
+        if let Some(why) = &pragma.malformed {
+            kept.push(Finding::new(
+                "L010",
+                Severity::Warning,
+                path,
+                pragma.line,
+                format!("malformed ssdep-lint pragma: {why}"),
+                "write `// ssdep-lint: allow(L00x, reason)` with a non-empty reason",
+            ));
+        } else if !used[i] {
+            kept.push(Finding::new(
+                "L010",
+                Severity::Warning,
+                path,
+                pragma.line,
+                format!(
+                    "unused ssdep-lint pragma: allow({}) suppresses nothing here",
+                    pragma.codes.join(", ")
+                ),
+                "remove the stale pragma (the violation it excused is gone)",
+            ));
+        }
+    }
+    kept
+}
+
+/// The masked text as a char vector with a per-char line map.
+struct Text<'a> {
+    chars: Vec<char>,
+    line_at: Vec<usize>,
+    lexed: &'a LexedFile,
+}
+
+impl<'a> Text<'a> {
+    fn new(lexed: &'a LexedFile) -> Text<'a> {
+        let chars: Vec<char> = lexed.masked.chars().collect();
+        let mut line_at = Vec::with_capacity(chars.len());
+        let mut line = 1usize;
+        for &c in &chars {
+            line_at.push(line);
+            if c == '\n' {
+                line += 1;
+            }
+        }
+        Text {
+            chars,
+            line_at,
+            lexed,
+        }
+    }
+
+    fn line(&self, i: usize) -> usize {
+        self.line_at
+            .get(i)
+            .copied()
+            .unwrap_or_else(|| self.line_at.last().copied().unwrap_or(1))
+    }
+
+    fn in_test(&self, i: usize) -> bool {
+        self.lexed.has_flag(self.line(i), FLAG_TEST)
+    }
+
+    fn allowed(&self, i: usize, flag: u8) -> bool {
+        self.lexed.has_flag(self.line(i), flag)
+    }
+
+    /// Yields `(start, end)` of each identifier token.
+    fn idents(&self) -> IdentIter<'_> {
+        IdentIter { text: self, i: 0 }
+    }
+
+    fn ident_at(&self, range: (usize, usize)) -> String {
+        self.chars[range.0..range.1].iter().collect()
+    }
+
+    /// First non-whitespace char index at or after `i`.
+    fn skip_ws(&self, mut i: usize) -> usize {
+        while i < self.chars.len() && self.chars[i].is_whitespace() {
+            i += 1;
+        }
+        i
+    }
+
+    /// Last non-whitespace char index strictly before `i`, if any.
+    fn prev_non_ws(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.chars[j].is_whitespace())
+    }
+
+    /// Index just past the `)`/`}`/`]`/`>` matching the opener at `open`.
+    fn match_delim(&self, open: usize) -> usize {
+        let (o, c) = match self.chars[open] {
+            '(' => ('(', ')'),
+            '[' => ('[', ']'),
+            '{' => ('{', '}'),
+            '<' => ('<', '>'),
+            _ => return open + 1,
+        };
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.chars.len() {
+            if self.chars[i] == o {
+                depth += 1;
+            } else if self.chars[i] == c {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.chars.len()
+    }
+
+    fn slice(&self, start: usize, end: usize) -> String {
+        self.chars[start.min(self.chars.len())..end.min(self.chars.len())]
+            .iter()
+            .collect()
+    }
+}
+
+struct IdentIter<'a> {
+    text: &'a Text<'a>,
+    i: usize,
+}
+
+impl Iterator for IdentIter<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        let chars = &self.text.chars;
+        while self.i < chars.len() {
+            let c = chars[self.i];
+            if c.is_alphabetic() || c == '_' {
+                let start = self.i;
+                while self.i < chars.len()
+                    && (chars[self.i].is_alphanumeric() || chars[self.i] == '_')
+                {
+                    self.i += 1;
+                }
+                return Some((start, self.i));
+            }
+            if c.is_ascii_digit() {
+                // Skip numeric literals whole so suffixes like `2f64`
+                // don't read as identifiers. A `.` only continues the
+                // literal when a digit follows — `1.0_f64.method()` must
+                // stop before `.method` so the call is still visible.
+                while self.i < chars.len() {
+                    let c = chars[self.i];
+                    let continues = c.is_alphanumeric()
+                        || c == '_'
+                        || (c == '.' && chars.get(self.i + 1).is_some_and(|n| n.is_ascii_digit()));
+                    if !continues {
+                        break;
+                    }
+                    self.i += 1;
+                }
+                continue;
+            }
+            self.i += 1;
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// L002 — panics in library code
+// ---------------------------------------------------------------------
+
+fn lint_panics(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
+    for (start, end) in text.idents() {
+        if text.in_test(start) {
+            continue;
+        }
+        let ident = text.ident_at((start, end));
+        let line = text.line(start);
+        match ident.as_str() {
+            "unwrap" | "expect" => {
+                let after_dot = text
+                    .prev_non_ws(start)
+                    .is_some_and(|j| text.chars[j] == '.');
+                let calls = text.chars.get(text.skip_ws(end)) == Some(&'(');
+                if !(after_dot && calls) {
+                    continue;
+                }
+                let flag = if ident == "unwrap" {
+                    FLAG_ALLOW_UNWRAP
+                } else {
+                    FLAG_ALLOW_EXPECT
+                };
+                if text.allowed(start, flag) {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    "L002",
+                    Severity::Error,
+                    path,
+                    line,
+                    format!("`.{ident}()` in library code can panic the evaluation pipeline"),
+                    "return a typed `Error` (crates/core/src/error.rs), or justify with \
+                     `#[allow(clippy::…_used)]` or `// ssdep-lint: allow(L002, reason)`",
+                ));
+            }
+            "panic" | "unreachable" => {
+                if text.chars.get(text.skip_ws(end)) != Some(&'!') {
+                    continue;
+                }
+                let flag = if ident == "panic" {
+                    FLAG_ALLOW_PANIC
+                } else {
+                    FLAG_ALLOW_UNREACHABLE
+                };
+                if text.allowed(start, flag) {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    "L002",
+                    Severity::Error,
+                    path,
+                    line,
+                    format!("`{ident}!` in library code can panic the evaluation pipeline"),
+                    "return a typed `Error` (crates/core/src/error.rs), or justify with \
+                     `// ssdep-lint: allow(L002, reason)`",
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L003 — float ordering
+// ---------------------------------------------------------------------
+
+const COMPARATOR_SINKS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+];
+
+fn lint_float_ordering(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
+    for (start, end) in text.idents() {
+        if text.in_test(start) {
+            continue;
+        }
+        let ident = text.ident_at((start, end));
+        if ident == "partial_cmp" {
+            // A `fn partial_cmp` *definition* (PartialOrd impl) is fine.
+            if preceded_by_keyword(text, start, "fn") {
+                continue;
+            }
+            let open = text.skip_ws(end);
+            if text.chars.get(open) != Some(&'(') {
+                continue;
+            }
+            let close = text.match_delim(open);
+            let mut after = text.skip_ws(close);
+            if text.chars.get(after) == Some(&'.') {
+                after = text.skip_ws(after + 1);
+                let rest: String = text.slice(after, after + 7);
+                if rest.starts_with("unwrap") || rest.starts_with("expect") {
+                    findings.push(Finding::new(
+                        "L003",
+                        Severity::Error,
+                        path,
+                        text.line(start),
+                        "float ordering via `partial_cmp(..).unwrap()` panics on NaN",
+                        "use `f64::total_cmp` (IEEE 754 total order) instead",
+                    ));
+                }
+            }
+        } else if COMPARATOR_SINKS.contains(&ident.as_str()) {
+            let open = text.skip_ws(end);
+            if text.chars.get(open) != Some(&'(') {
+                continue;
+            }
+            let close = text.match_delim(open);
+            let arg = text.slice(open, close);
+            if arg.contains("partial_cmp") {
+                findings.push(Finding::new(
+                    "L003",
+                    Severity::Error,
+                    path,
+                    text.line(start),
+                    format!("`{ident}` comparator built on `partial_cmp` is not a total order"),
+                    "compare with `f64::total_cmp` (or `Ord` keys) instead",
+                ));
+            }
+        }
+    }
+}
+
+/// Whether the token before `start` (skipping whitespace) is exactly the
+/// keyword `kw`.
+fn preceded_by_keyword(text: &Text<'_>, start: usize, kw: &str) -> bool {
+    let Some(last) = text.prev_non_ws(start) else {
+        return false;
+    };
+    let mut begin = last + 1;
+    while begin > 0 {
+        let c = text.chars[begin - 1];
+        if c.is_alphanumeric() || c == '_' {
+            begin -= 1;
+        } else {
+            break;
+        }
+    }
+    text.slice(begin, last + 1) == kw
+}
+
+// ---------------------------------------------------------------------
+// L005 — lossy numeric casts
+// ---------------------------------------------------------------------
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Substrings of a cast's source expression that mark it as float-valued
+/// (so the cast truncates).
+const FLOAT_MARKERS: &[&str] = &[
+    ".round(",
+    ".floor(",
+    ".ceil(",
+    ".trunc(",
+    ".sqrt(",
+    "as_secs(",
+    "as_minutes(",
+    "as_hours(",
+    "as_days(",
+    "as_weeks(",
+    "as_years(",
+    ".value(",
+    "f64",
+    "f32",
+];
+
+fn lint_lossy_casts(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
+    for (start, end) in text.idents() {
+        if text.in_test(start) || text.ident_at((start, end)) != "as" {
+            continue;
+        }
+        let ty_start = text.skip_ws(end);
+        let ty_end = ident_end(text, ty_start);
+        let ty = text.slice(ty_start, ty_end);
+        if ty == "f32" {
+            findings.push(Finding::new(
+                "L005",
+                Severity::Error,
+                path,
+                text.line(start),
+                "`as f32` in model code silently drops f64 precision",
+                "keep model arithmetic in f64 / the units.rs newtypes, or justify with \
+                 `// ssdep-lint: allow(L005, reason)`",
+            ));
+            continue;
+        }
+        if !INT_TYPES.contains(&ty.as_str()) {
+            continue;
+        }
+        let source = cast_source(text, start);
+        if is_floatish(&source) {
+            findings.push(Finding::new(
+                "L005",
+                Severity::Error,
+                path,
+                text.line(start),
+                format!(
+                    "float → `{ty}` `as` cast silently truncates fractions and collapses \
+                     NaN to 0"
+                ),
+                "use the sanctioned helpers in crates/core/src/units.rs (`round_to_u64`, \
+                 `whole_secs`, …) or justify with `// ssdep-lint: allow(L005, reason)`",
+            ));
+        }
+    }
+}
+
+fn ident_end(text: &Text<'_>, start: usize) -> usize {
+    let mut i = start;
+    while i < text.chars.len() && (text.chars[i].is_alphanumeric() || text.chars[i] == '_') {
+        i += 1;
+    }
+    i
+}
+
+/// The postfix expression to the left of an `as` keyword at `as_start`:
+/// identifier/method/index chains with balanced brackets. Conservative —
+/// it stops at any operator at depth 0, so `a + b.round() as u64` only
+/// captures `b.round()`.
+fn cast_source(text: &Text<'_>, as_start: usize) -> String {
+    let mut i = as_start;
+    // Skip whitespace between the expression and `as`.
+    while i > 0 && text.chars[i - 1].is_whitespace() {
+        i -= 1;
+    }
+    let end = i;
+    let mut depth = 0usize;
+    while i > 0 {
+        let c = text.chars[i - 1];
+        let consume = if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' {
+            true
+        } else if c == ')' || c == ']' {
+            depth += 1;
+            true
+        } else if c == '(' || c == '[' {
+            if depth == 0 {
+                false
+            } else {
+                depth -= 1;
+                true
+            }
+        } else {
+            depth > 0 // operators and whitespace only continue inside brackets
+        };
+        if !consume {
+            break;
+        }
+        i -= 1;
+    }
+    text.slice(i, end)
+}
+
+fn is_floatish(expr: &str) -> bool {
+    if FLOAT_MARKERS.iter().any(|m| expr.contains(m)) {
+        return true;
+    }
+    // A float literal: digit '.' digit.
+    let bytes = expr.as_bytes();
+    bytes
+        .windows(3)
+        .any(|w| w[0].is_ascii_digit() && w[1] == b'.' && w[2].is_ascii_digit())
+}
+
+// ---------------------------------------------------------------------
+// L001 — raw f64 in public model signatures
+// ---------------------------------------------------------------------
+
+/// Signature qualifiers that may sit between `pub` and `fn`.
+const FN_QUALIFIERS: &[&str] = &["const", "async", "unsafe", "extern"];
+
+fn lint_signatures(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
+    let idents: Vec<(usize, usize)> = text.idents().collect();
+    for (n, &(start, end)) in idents.iter().enumerate() {
+        if text.ident_at((start, end)) != "pub" || text.in_test(start) {
+            continue;
+        }
+        // `pub(crate)` and friends are not public API.
+        if text.chars.get(text.skip_ws(end)) == Some(&'(') {
+            continue;
+        }
+        // Walk qualifiers to `fn`, then the function name.
+        let mut k = n + 1;
+        while k < idents.len() && FN_QUALIFIERS.contains(&text.ident_at(idents[k]).as_str()) {
+            k += 1;
+        }
+        if k >= idents.len() || text.ident_at(idents[k]) != "fn" {
+            continue;
+        }
+        let Some(&name_tok) = idents.get(k + 1) else {
+            continue;
+        };
+        let fn_name = text.ident_at(name_tok);
+        // Find the parameter list, skipping generics.
+        let mut i = text.skip_ws(name_tok.1);
+        if text.chars.get(i) == Some(&'<') {
+            i = text.skip_ws(text.match_delim(i));
+        }
+        if text.chars.get(i) != Some(&'(') {
+            continue;
+        }
+        let params_end = text.match_delim(i);
+        let params = text.slice(i + 1, params_end.saturating_sub(1));
+        let line = text.line(start);
+        for (name, ty) in split_params(&params) {
+            if !contains_word(&ty, "f64") {
+                continue;
+            }
+            if let Some(newtype) = dimension_hint(&name) {
+                findings.push(Finding::new(
+                    "L001",
+                    Severity::Error,
+                    path,
+                    line,
+                    format!(
+                        "public model fn `{fn_name}` takes raw `f64` for `{name}`, which \
+                         reads as a dimensioned quantity"
+                    ),
+                    format!(
+                        "take `{newtype}` (crates/core/src/units.rs) so the unit is typed, \
+                         or justify with `// ssdep-lint: allow(L001, reason)`"
+                    ),
+                ));
+            }
+        }
+        // Return position: `-> … f64 …` with a dimensioned fn name.
+        let ret_end = signature_end(text, params_end);
+        let ret = text.slice(params_end, ret_end);
+        if ret.contains("->") && contains_word(&ret, "f64") {
+            if let Some(newtype) = dimension_hint(&fn_name) {
+                findings.push(Finding::new(
+                    "L001",
+                    Severity::Error,
+                    path,
+                    line,
+                    format!(
+                        "public model fn `{fn_name}` returns raw `f64` but its name reads \
+                         as a dimensioned quantity"
+                    ),
+                    format!(
+                        "return `{newtype}` (crates/core/src/units.rs) so the unit is typed, \
+                         or justify with `// ssdep-lint: allow(L001, reason)`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Index of the `{`, `;`, or `where` that ends a signature's return
+/// clause.
+fn signature_end(text: &Text<'_>, mut i: usize) -> usize {
+    while i < text.chars.len() {
+        match text.chars[i] {
+            '{' | ';' => return i,
+            'w' => {
+                let end = ident_end(text, i);
+                if text.slice(i, end) == "where" {
+                    return i;
+                }
+                i = end;
+            }
+            '<' | '(' | '[' => i = text.match_delim(i),
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Splits a parameter list at top-level commas into `(name, type)`
+/// pairs. Pattern parameters (tuples, `mut x`, …) reduce to their last
+/// identifier before the `:`.
+fn split_params(params: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    let mut parts: Vec<String> = Vec::new();
+    for c in params.chars() {
+        match c {
+            '(' | '[' | '<' => depth += 1,
+            ')' | ']' | '>' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    for part in parts {
+        let mut split = part.splitn(2, ':');
+        let pattern = split.next().unwrap_or("").trim();
+        let Some(ty) = split.next() else {
+            continue; // `self`, `&self`, …
+        };
+        let name = pattern
+            .rsplit(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .next()
+            .unwrap_or("")
+            .to_string();
+        if name.is_empty() {
+            continue;
+        }
+        out.push((name, ty.trim().to_string()));
+    }
+    out
+}
+
+/// Whether `needle` occurs in `haystack` as a whole word.
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Segments that mark an identifier as deliberately dimensionless —
+/// ratios, fractions, statistical weights — which raw `f64` is right
+/// for.
+const DIMENSIONLESS: &[&str] = &[
+    "factor",
+    "fraction",
+    "ratio",
+    "overhead",
+    "multiplier",
+    "weight",
+    "share",
+    "util",
+    "utilization",
+    "pct",
+    "percent",
+    "nines",
+    "frequency",
+    "freq",
+    "probability",
+    "prob",
+    "count",
+    "per",
+    "index",
+    "quantile",
+];
+
+/// Name-segment → `units.rs` newtype table for L001.
+const DIMENSIONED: &[(&[&str], &str)] = &[
+    (
+        &[
+            "secs", "seconds", "hours", "minutes", "days", "weeks", "years", "duration", "window",
+            "period", "latency", "lag", "delay", "deadline", "timeout", "age",
+        ],
+        "TimeDelta",
+    ),
+    (&["bytes", "capacity"], "Bytes"),
+    (&["bandwidth", "bps", "throughput"], "Bandwidth"),
+    (
+        &["dollars", "cost", "price", "outlay", "penalty"],
+        "Money (dollars)",
+    ),
+];
+
+/// The `units.rs` newtype an identifier's name implies, if any.
+fn dimension_hint(ident: &str) -> Option<&'static str> {
+    let segments: Vec<&str> = ident.split('_').filter(|s| !s.is_empty()).collect();
+    if segments
+        .iter()
+        .any(|s| DIMENSIONLESS.contains(&s.to_ascii_lowercase().as_str()))
+    {
+        return None;
+    }
+    for (markers, newtype) in DIMENSIONED {
+        if segments
+            .iter()
+            .any(|s| markers.contains(&s.to_ascii_lowercase().as_str()))
+        {
+            return Some(newtype);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, role: Role) -> Vec<Finding> {
+        let lexed = LexedFile::lex(src);
+        lint_file("test.rs", &lexed, role)
+    }
+
+    #[test]
+    fn l003_sees_methods_called_on_float_literals() {
+        let src = "fn f() { let _ = 1.0_f64.partial_cmp(&2.0).unwrap(); }\n";
+        let findings = run(src, Role::ALL);
+        assert_eq!(
+            findings.iter().filter(|f| f.code == "L003").count(),
+            1,
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn l002_fires_on_unwrap_and_panic_outside_tests() {
+        let src = "fn f() { x.unwrap(); }\nfn g() { panic!(\"boom\"); }\n";
+        let findings = run(src, Role::ALL);
+        assert_eq!(
+            findings.iter().filter(|f| f.code == "L002").count(),
+            2,
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn l002_respects_unwrap_or_and_clippy_allows() {
+        let src = "\
+fn f() { x.unwrap_or(0); }
+#[allow(clippy::unwrap_used)]
+fn g() { x.unwrap(); }
+fn h() { std::panic::catch_unwind(|| 1); }
+";
+        let findings = run(src, Role::ALL);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn l003_fires_on_partial_cmp_unwrap_and_sort_by() {
+        let src = "\
+fn f(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let _ = a.partial_cmp(&b).unwrap();
+}
+impl PartialOrd for X {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+";
+        let findings = run(src, Role::ALL);
+        let l003 = findings.iter().filter(|f| f.code == "L003").count();
+        assert_eq!(l003, 3, "{findings:?}"); // sort_by + 2 chained unwraps
+        assert!(findings.iter().all(|f| f.line <= 3), "{findings:?}");
+    }
+
+    #[test]
+    fn l005_fires_on_float_truncation_not_int_widening() {
+        let src = "\
+fn f(x: f64, n: u32) {
+    let a = x.round() as u64;
+    let b = n as f64;
+    let c = n as usize;
+    let d = (x * 10.0) as i32;
+    let e = x as f32;
+}
+";
+        let findings = run(src, Role::ALL);
+        let lines: Vec<usize> = findings
+            .iter()
+            .filter(|f| f.code == "L005")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![2, 5, 6], "{findings:?}");
+    }
+
+    #[test]
+    fn l001_fires_on_dimensioned_f64_params_and_returns() {
+        let src = "\
+pub fn set_window(window_secs: f64) {}
+pub fn scale(factor: f64) {}
+pub fn recovery_hours(&self) -> f64 { 0.0 }
+pub fn shipments_per_year(&self) -> f64 { 0.0 }
+fn private_window(window_secs: f64) {}
+";
+        let findings = run(src, Role::ALL);
+        let l001: Vec<usize> = findings
+            .iter()
+            .filter(|f| f.code == "L001")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(l001, vec![1, 3], "{findings:?}");
+        assert!(findings.iter().any(|f| f.suggestion.contains("TimeDelta")));
+    }
+
+    #[test]
+    fn pragmas_suppress_and_go_stale() {
+        let src = "\
+fn f() { x.unwrap(); } // ssdep-lint: allow(L002, init-only path, tested exhaustively)
+// ssdep-lint: allow(L002, the next line is innocent)
+fn g() { x.unwrap_or(1); }
+";
+        let findings = run(src, Role::ALL);
+        assert!(!findings.iter().any(|f| f.code == "L002"), "{findings:?}");
+        let stale: Vec<&Finding> = findings.iter().filter(|f| f.code == "L010").collect();
+        assert_eq!(stale.len(), 1, "{findings:?}");
+        assert_eq!(stale[0].line, 2);
+    }
+
+    #[test]
+    fn multi_code_pragma_covers_both_codes() {
+        let src = "let n = (x * 2.5) as u64; // ssdep-lint: allow(L005, L002, bounded by loop)\n";
+        let findings = run(src, Role::ALL);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn roles_gate_the_lint_families() {
+        let src = "fn f() { x.unwrap(); let y = z.round() as u64; }\n";
+        let quiet = run(
+            src,
+            Role {
+                library: false,
+                model: false,
+                signatures: false,
+            },
+        );
+        assert!(quiet.is_empty(), "{quiet:?}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Workspace walking, file roles, and the cross-artifact L004 check.
+//!
+//! L004 keeps the `D0xx` runtime-diagnostic scheme honest across three
+//! artifacts: every code *defined* in crate sources must have a row in
+//! the `DESIGN.md` §10 catalog and be *exercised* by at least one test;
+//! catalog rows with no defining source are flagged the other way.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::findings::{Finding, Report, Severity};
+use crate::lexer::{LexedFile, FLAG_TEST};
+use crate::rules::{self, Role};
+
+/// One lexed workspace source file.
+struct FileEntry {
+    /// Root-relative path with forward slashes.
+    rel: String,
+    lexed: LexedFile,
+    role: Role,
+}
+
+/// Lints the whole workspace under `root`: every `crates/*/src/**/*.rs`
+/// with its crate's role, plus the cross-artifact L004 check against
+/// `DESIGN.md` and `crates/*/tests`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut entries = Vec::new();
+    let mut test_files = Vec::new();
+    for crate_dir in sorted_dirs(&root.join("crates"))? {
+        let crate_name = file_name(&crate_dir);
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            for path in rust_files_under(&src)? {
+                let rel = relative(root, &path);
+                let source = fs::read_to_string(&path)?;
+                let role = role_for(&crate_name, &rel);
+                entries.push(FileEntry {
+                    rel,
+                    lexed: LexedFile::lex(&source),
+                    role,
+                });
+            }
+        }
+        let tests = crate_dir.join("tests");
+        if tests.is_dir() {
+            for path in rust_files_under(&tests)? {
+                let source = fs::read_to_string(&path)?;
+                test_files.push(LexedFile::lex(&source));
+            }
+        }
+    }
+
+    let mut per_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for entry in &entries {
+        per_file.insert(
+            entry.rel.clone(),
+            rules::raw_findings(&entry.rel, &entry.lexed, entry.role),
+        );
+    }
+    let mut catalog_findings = Vec::new();
+    lint_code_consistency(
+        root,
+        &entries,
+        &test_files,
+        &mut per_file,
+        &mut catalog_findings,
+    )?;
+
+    let mut all = catalog_findings;
+    for entry in &entries {
+        let raw = per_file.remove(&entry.rel).unwrap_or_default();
+        all.extend(rules::apply_pragmas(&entry.rel, &entry.lexed, raw));
+    }
+    Ok(Report::from_findings(all))
+}
+
+/// Lints explicit files (fixture / spot-check mode): every lint family
+/// applies and the cross-artifact check is skipped.
+pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Report> {
+    let mut all = Vec::new();
+    for path in paths {
+        let source = fs::read_to_string(path)?;
+        let rel = relative(root, path);
+        let lexed = LexedFile::lex(&source);
+        all.extend(rules::lint_file(&rel, &lexed, Role::ALL));
+    }
+    Ok(Report::from_findings(all))
+}
+
+/// The lint families a crate source file participates in.
+fn role_for(crate_name: &str, rel: &str) -> Role {
+    let units = rel.ends_with("/units.rs");
+    let library = !matches!(crate_name, "cli" | "bench");
+    let model = library && crate_name != "integration" && !units;
+    Role {
+        library,
+        // units.rs *defines* the newtypes, so raw f64 is its business.
+        signatures: crate_name == "core" && !units,
+        model,
+    }
+}
+
+// ---------------------------------------------------------------------
+// L004 — D0xx cross-artifact consistency
+// ---------------------------------------------------------------------
+
+fn lint_code_consistency(
+    root: &Path,
+    entries: &[FileEntry],
+    test_files: &[LexedFile],
+    per_file: &mut BTreeMap<String, Vec<Finding>>,
+    catalog_findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    // Defined: D-code string literals in non-test crate code, first
+    // occurrence wins as the anchor.
+    let mut defined: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    let mut tested: BTreeSet<String> = BTreeSet::new();
+    for entry in entries {
+        for (line, text) in &entry.lexed.strings {
+            if !is_diag_code(text) {
+                continue;
+            }
+            if entry.lexed.has_flag(*line, FLAG_TEST) {
+                tested.insert(text.clone());
+            } else {
+                defined
+                    .entry(text.clone())
+                    .or_insert_with(|| (entry.rel.clone(), *line));
+            }
+        }
+    }
+    for lexed in test_files {
+        for (_, text) in &lexed.strings {
+            if is_diag_code(text) {
+                tested.insert(text.clone());
+            }
+        }
+    }
+
+    // Catalog: `| D0xx | …` rows in DESIGN.md.
+    let design_path = root.join("DESIGN.md");
+    let design = if design_path.is_file() {
+        fs::read_to_string(&design_path)?
+    } else {
+        String::new()
+    };
+    let mut catalog: BTreeMap<String, usize> = BTreeMap::new();
+    for (idx, line) in design.lines().enumerate() {
+        let Some(rest) = line.trim_start().strip_prefix('|') else {
+            continue;
+        };
+        let Some(cell) = rest.split('|').next() else {
+            continue;
+        };
+        let code = cell.trim();
+        if !is_diag_code(code) {
+            continue;
+        }
+        let lineno = idx + 1;
+        if catalog.insert(code.to_string(), lineno).is_some() {
+            catalog_findings.push(Finding::new(
+                "L004",
+                Severity::Error,
+                "DESIGN.md",
+                lineno,
+                format!("diagnostic code {code} has a duplicate catalog row"),
+                "keep exactly one row per code in the DESIGN.md §10 catalog",
+            ));
+        }
+    }
+
+    for (code, (rel, line)) in &defined {
+        let mut push = |message: String, suggestion: String| {
+            let finding = Finding::new("L004", Severity::Error, rel, *line, message, suggestion);
+            per_file.entry(rel.clone()).or_default().push(finding);
+        };
+        if !catalog.contains_key(code) {
+            push(
+                format!("diagnostic code {code} is missing from the DESIGN.md §10 catalog"),
+                format!("add a `| {code} | … |` row describing the check"),
+            );
+        }
+        if !tested.contains(code) {
+            push(
+                format!("diagnostic code {code} is not exercised by any test"),
+                format!("add a test that asserts a diagnosis emits {code}"),
+            );
+        }
+    }
+    for (code, lineno) in &catalog {
+        if !defined.contains_key(code) {
+            catalog_findings.push(Finding::new(
+                "L004",
+                Severity::Warning,
+                "DESIGN.md",
+                *lineno,
+                format!("catalog row {code} has no defining source"),
+                "remove the stale row or implement the diagnostic",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Whether `s` is exactly a runtime diagnostic code (`D` + 3 digits).
+fn is_diag_code(s: &str) -> bool {
+    s.len() == 4 && s.starts_with('D') && s[1..].bytes().all(|b| b.is_ascii_digit())
+}
+
+// ---------------------------------------------------------------------
+// filesystem helpers (std-only, deterministic order)
+// ---------------------------------------------------------------------
+
+fn sorted_dirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Every `.rs` file under `dir`, recursively, in sorted order.
+fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        for entry in fs::read_dir(&current)?.collect::<io::Result<Vec<_>>>()? {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+/// `path` relative to `root`, forward-slashed; falls back to the path
+/// itself when it is not under `root`.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diag_codes_match_exactly() {
+        assert!(is_diag_code("D020"));
+        assert!(!is_diag_code("D20"));
+        assert!(!is_diag_code("D0200"));
+        assert!(!is_diag_code("L004"));
+        assert!(!is_diag_code("code D020"));
+    }
+
+    #[test]
+    fn roles_follow_crate_boundaries() {
+        let core = role_for("core", "crates/core/src/failure.rs");
+        assert!(core.library && core.model && core.signatures);
+        let units = role_for("core", "crates/core/src/units.rs");
+        assert!(units.library && !units.model && !units.signatures);
+        let cli = role_for("cli", "crates/cli/src/app.rs");
+        assert!(!cli.library && !cli.model && !cli.signatures);
+        let integration = role_for("integration", "crates/integration/src/lib.rs");
+        assert!(integration.library && !integration.model);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: every violation carries a justified pragma, so the lint
+//! must report nothing. Not compiled — lexed by the lint tests.
+
+// ssdep-lint: allow(L001, interop shim for a C caller that cannot take newtypes)
+pub fn set_accumulation_window(window_secs: f64) -> bool {
+    window_secs > 0.0
+}
+
+pub fn init(input: Option<u32>) -> u32 {
+    input.unwrap() // ssdep-lint: allow(L002, init-only path, exhaustively covered by tests)
+}
+
+pub fn rank(mut scores: Vec<f64>) -> Vec<f64> {
+    // ssdep-lint: allow(L003, L002, scores are clamped to finite values upstream)
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores
+}
+
+pub fn cells(ratio: f64, width: usize) -> usize {
+    // ssdep-lint: allow(L005, L002, ratio is bounded to the bar width by construction)
+    (ratio * width as f64).round() as usize
+}

@@ -1,0 +1,14 @@
+//! Known-bad fixture: raw `f64` dimensioned quantities in public
+//! signatures (L001). Not compiled — lexed by the lint tests.
+
+pub fn set_accumulation_window(window_secs: f64) -> bool {
+    window_secs > 0.0
+}
+
+pub fn provisioning_delay_hours(&self) -> f64 {
+    9.0
+}
+
+pub const fn shelf_capacity_bytes(slots: u64, per_slot_bytes: f64) -> f64 {
+    slots as f64 * per_slot_bytes
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture: panics in library code (L002). Not compiled —
+//! lexed by the lint tests.
+
+pub fn risky(input: Option<u32>) -> u32 {
+    let value = input.unwrap();
+    if value > 100 {
+        panic!("too big");
+    }
+    match value {
+        0 => unreachable!("filtered upstream"),
+        v => parse(v).expect("parses"),
+    }
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: float ordering through `partial_cmp` (L003). Not
+//! compiled — lexed by the lint tests.
+
+pub fn rank(mut scores: Vec<f64>) -> Option<f64> {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let best = scores
+        .iter()
+        .max_by(|a, b| a.partial_cmp(b).unwrap())
+        .copied();
+    let _ord = 1.0_f64.partial_cmp(&2.0).expect("comparable");
+    best
+}

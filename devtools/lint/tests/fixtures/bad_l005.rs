@@ -1,0 +1,9 @@
+//! Known-bad fixture: lossy numeric casts in model code (L005). Not
+//! compiled — lexed by the lint tests.
+
+pub fn lossy(window: TimeDelta, rate: f64) -> u64 {
+    let slots = window.as_secs() as u64;
+    let scaled = (rate * 2.5) as u32;
+    let narrow = rate as f32;
+    slots + scaled as u64 + narrow as u64
+}

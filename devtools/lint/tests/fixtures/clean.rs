@@ -1,0 +1,66 @@
+//! Fixture: constructs that *look* like violations but are not — the
+//! lint must stay silent. Not compiled — lexed by the lint tests.
+
+/// Doc comments may say `x.unwrap()` or `panic!` freely, and mention
+/// `partial_cmp(..).unwrap()` or casts like `1.5 as u64`.
+pub fn negatives(input: Option<u32>) -> u32 {
+    // Strings are masked: none of these fire.
+    let message = "call .unwrap() then panic!(now) and sort_by partial_cmp";
+    let raw = r#"also .expect("here") and 2.5 as u32"#;
+    let escaped = "quote \" then .unwrap()";
+    /* block comments too: x.unwrap(), 3.7 as i64 /* nested .expect("x") */ */
+    let fallback = input.unwrap_or(0);
+    let or_else = input.unwrap_or_else(|| message.len() as u32 + raw.len() as u32);
+    let ch = '"';
+    let escaped_char = '\'';
+    let _ = (escaped, ch, escaped_char);
+    let widened = fallback as u64 + u64::from(or_else);
+    widened as u32
+}
+
+/// Lifetimes must not confuse the char-literal scanner.
+pub fn lifetimes<'a>(first: &'a str, second: &'a str) -> &'a str {
+    if first.len() > second.len() {
+        first
+    } else {
+        second
+    }
+}
+
+/// `PartialOrd` implementations define `partial_cmp`; that is not a
+/// call site.
+impl PartialOrd for Thing {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.rank.partial_cmp(&other.rank)
+    }
+}
+
+/// Dimensionless f64 parameters are exactly right (no L001): ratios,
+/// factors, and `per`-rates carry no single unit.
+pub fn dimensionless(scale_factor: f64, load_fraction: f64, shipments_per_year: f64) -> f64 {
+    scale_factor * load_fraction * shipments_per_year
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_and_cast() {
+        let v: Option<f64> = Some(1.5);
+        let x = v.unwrap();
+        let n = (x * 10.0).round() as u64;
+        assert_eq!(n, 15);
+        let mut scores = vec![2.0, 1.0];
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if scores.is_empty() {
+            panic!("impossible");
+        }
+    }
+}
+
+#[allow(clippy::unwrap_used)]
+pub fn justified_by_clippy(input: Option<u32>) -> u32 {
+    // The clippy allow above is the justification dialect L002 respects.
+    input.unwrap()
+}

@@ -1,0 +1,14 @@
+//! L004 fixture (bad): D900 is defined but neither catalogued nor
+//! tested; D901 is catalogued twice; D902 is catalogued but undefined.
+
+pub fn diagnose() -> Vec<&'static str> {
+    vec!["D900", "D901"]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn d901_fires() {
+        assert!(super::diagnose().contains(&"D901"));
+    }
+}

@@ -1,0 +1,13 @@
+//! L004 fixture (good): every defined code is catalogued and tested.
+
+pub fn diagnose() -> Vec<&'static str> {
+    vec!["D900"]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn d900_fires() {
+        assert!(super::diagnose().contains(&"D900"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: stale and malformed pragmas must surface as L010 warnings.
+//! Not compiled — lexed by the lint tests.
+
+// ssdep-lint: allow(L002, nothing on the next line actually unwraps)
+pub fn innocent(input: Option<u32>) -> u32 {
+    input.unwrap_or(0)
+}
+
+// ssdep-lint: allow(L002)
+pub fn missing_reason(input: Option<u32>) -> u32 {
+    input.unwrap_or(1)
+}
+
+// ssdep-lint: deny(L002, wrong verb)
+pub fn wrong_verb(input: Option<u32>) -> u32 {
+    input.unwrap_or(2)
+}

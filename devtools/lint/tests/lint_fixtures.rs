@@ -1,0 +1,240 @@
+//! End-to-end fixture tests for `ssdep-lint`.
+//!
+//! Each deliberately-bad fixture under `tests/fixtures/` must fire exactly
+//! the lint it was written for, the pragma fixture must suppress every
+//! violation it contains, and the negative fixture must stay silent. The
+//! two `l004_*` trees are miniature workspaces exercising the
+//! cross-artifact D-code consistency pass.
+
+use std::path::{Path, PathBuf};
+
+use ssdep_lint::{lint_paths, lint_workspace, Finding, Report, Severity};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lint a single fixture file through the public entry point.
+fn lint_fixture(name: &str) -> Report {
+    let root = fixture_root();
+    lint_paths(&root, &[root.join(name)]).unwrap_or_else(|e| panic!("lint {name}: {e}"))
+}
+
+/// The codes of every finding in `report`, in report order.
+fn codes(report: &Report) -> Vec<&str> {
+    report.findings().iter().map(|f| f.code.as_str()).collect()
+}
+
+fn count(report: &Report, code: &str) -> usize {
+    report.findings().iter().filter(|f| f.code == code).count()
+}
+
+#[test]
+fn bad_l001_fires_on_raw_f64_signatures() {
+    let report = lint_fixture("bad_l001.rs");
+    assert_eq!(
+        count(&report, "L001"),
+        3,
+        "findings: {:#?}",
+        report.findings()
+    );
+    assert_eq!(codes(&report), ["L001"; 3], "no other lint may fire");
+    assert_eq!(report.exit_status(false), 2);
+    let lines: Vec<usize> = report.findings().iter().map(|f| f.line).collect();
+    assert_eq!(lines, [4, 8, 12]);
+    // Each finding names the newtype the signature should use instead.
+    let messages: String = report
+        .findings()
+        .iter()
+        .map(|f| format!("{}\n{}\n", f.message, f.suggestion))
+        .collect();
+    assert!(messages.contains("TimeDelta"), "messages: {messages}");
+    assert!(messages.contains("Bytes"), "messages: {messages}");
+}
+
+#[test]
+fn bad_l002_fires_on_panicking_calls() {
+    let report = lint_fixture("bad_l002.rs");
+    assert_eq!(
+        count(&report, "L002"),
+        4,
+        "findings: {:#?}",
+        report.findings()
+    );
+    assert_eq!(codes(&report), ["L002"; 4]);
+    assert_eq!(report.exit_status(false), 2);
+    let named: Vec<&str> = ["unwrap()", "panic!", "unreachable!", "expect()"]
+        .into_iter()
+        .filter(|what| report.findings().iter().any(|f| f.message.contains(what)))
+        .collect();
+    assert_eq!(named.len(), 4, "each construct named once; got {named:?}");
+}
+
+#[test]
+fn bad_l003_fires_on_float_ordering() {
+    let report = lint_fixture("bad_l003.rs");
+    assert_eq!(
+        count(&report, "L003"),
+        5,
+        "findings: {:#?}",
+        report.findings()
+    );
+    assert_eq!(report.exit_status(false), 2);
+    for finding in report.findings().iter().filter(|f| f.code == "L003") {
+        assert!(
+            finding.suggestion.contains("total_cmp"),
+            "L003 must point at total_cmp: {finding:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_l005_fires_on_lossy_casts() {
+    let report = lint_fixture("bad_l005.rs");
+    assert_eq!(
+        count(&report, "L005"),
+        3,
+        "findings: {:#?}",
+        report.findings()
+    );
+    assert_eq!(codes(&report), ["L005"; 3]);
+    assert_eq!(report.exit_status(false), 2);
+    assert!(
+        report.findings().iter().any(|f| f.message.contains("f32")),
+        "the f64 -> f32 narrowing cast must be reported"
+    );
+}
+
+#[test]
+fn allowed_fixture_is_fully_suppressed() {
+    let report = lint_fixture("allowed.rs");
+    assert!(
+        report.findings().is_empty(),
+        "justified pragmas must silence every lint: {:#?}",
+        report.findings()
+    );
+    assert_eq!(report.exit_status(true), 0);
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let report = lint_fixture("clean.rs");
+    assert!(
+        report.findings().is_empty(),
+        "false positives on the negative fixture: {:#?}",
+        report.findings()
+    );
+    assert_eq!(report.exit_status(true), 0);
+}
+
+#[test]
+fn stale_and_malformed_pragmas_warn() {
+    let report = lint_fixture("unused_pragma.rs");
+    assert_eq!(
+        count(&report, "L010"),
+        3,
+        "findings: {:#?}",
+        report.findings()
+    );
+    assert_eq!(codes(&report), ["L010"; 3]);
+    assert!(report
+        .findings()
+        .iter()
+        .all(|f| f.severity == Severity::Warning));
+    // Warnings alone pass by default and fail only under --deny-warnings.
+    assert_eq!(report.exit_status(false), 0);
+    assert_eq!(report.exit_status(true), 1);
+}
+
+#[test]
+fn l004_inconsistent_workspace_is_reported() {
+    let root = fixture_root().join("l004_bad");
+    let report = lint_workspace(&root).expect("lint l004_bad");
+    assert!(
+        report.findings().iter().all(|f| f.code == "L004"),
+        "only L004 expected: {:#?}",
+        report.findings()
+    );
+    assert_eq!(report.exit_status(false), 2);
+
+    let errors: Vec<&str> = report
+        .findings()
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert_eq!(errors.len(), 3, "errors: {errors:#?}");
+    assert!(
+        errors
+            .iter()
+            .any(|m| m.contains("D901") && m.contains("duplicate")),
+        "duplicate catalog row for D901: {errors:#?}"
+    );
+    assert!(
+        errors
+            .iter()
+            .any(|m| m.contains("D900") && m.contains("catalog")),
+        "D900 missing from the DESIGN.md catalog: {errors:#?}"
+    );
+    assert!(
+        errors
+            .iter()
+            .any(|m| m.contains("D900") && m.contains("test")),
+        "D900 never exercised by a test: {errors:#?}"
+    );
+
+    let warnings: Vec<&Finding> = report
+        .findings()
+        .iter()
+        .filter(|f| f.severity == Severity::Warning)
+        .collect();
+    assert_eq!(warnings.len(), 1, "warnings: {warnings:#?}");
+    assert!(
+        warnings[0].message.contains("D902"),
+        "stale catalog row D902: {warnings:#?}"
+    );
+    assert!(
+        warnings[0].path.ends_with("DESIGN.md"),
+        "stale rows anchor to the catalog file: {warnings:#?}"
+    );
+}
+
+#[test]
+fn l004_consistent_workspace_is_clean() {
+    let root = fixture_root().join("l004_good");
+    let report = lint_workspace(&root).expect("lint l004_good");
+    assert!(
+        report.findings().is_empty(),
+        "consistent D-code artifacts must lint clean: {:#?}",
+        report.findings()
+    );
+}
+
+#[test]
+fn json_rendering_is_byte_stable() {
+    let root = fixture_root();
+    let files: Vec<PathBuf> = ["bad_l001.rs", "bad_l002.rs", "bad_l003.rs", "bad_l005.rs"]
+        .iter()
+        .map(|n| root.join(n))
+        .collect();
+    let first = lint_paths(&root, &files).expect("first pass");
+    let second = lint_paths(&root, &files).expect("second pass");
+    assert_eq!(
+        first.render_json(),
+        second.render_json(),
+        "identical input must serialize to identical bytes"
+    );
+    // The JSON carries every field CI consumes.
+    let json = first.render_json();
+    for key in [
+        "\"code\"",
+        "\"severity\"",
+        "\"path\"",
+        "\"line\"",
+        "\"message\"",
+        "\"suggestion\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert!(json.ends_with('\n'), "JSON output is newline-terminated");
+}

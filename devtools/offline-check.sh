@@ -7,6 +7,9 @@
 #
 # Usage: devtools/offline-check.sh [cargo subcommand + args...]
 #        (defaults to: test -q)
+#
+# The pseudo-subcommand `lint` builds ssdep-lint offline and runs the
+# shared static-analysis gate (devtools/lint-gate.sh) with it.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,6 +24,14 @@ export CARGO_NET_OFFLINE=true
 
 if [ "$#" -eq 0 ]; then
   set -- test -q
+fi
+
+# `lint` is not a cargo subcommand: build the lint binary offline, then
+# hand it to the shared gate script.
+if [ "$1" = "lint" ]; then
+  cd "$repo"
+  cargo build "${config_args[@]}" --release -p ssdep-lint
+  exec "$repo/devtools/lint-gate.sh" "$repo/target/release/ssdep-lint"
 fi
 
 # The --config flags go AFTER the subcommand: cargo does not forward

@@ -11,8 +11,8 @@ use ssdep_core::multi::{evaluate_multi, MultiObjectWorkload, ObjectSpec};
 use ssdep_core::prelude::*;
 use ssdep_core::report::TextTable;
 
-fn object(name: &str, gib: f64, update_kib: f64) -> ObjectSpec {
-    ObjectSpec::new(
+fn object(name: &str, gib: f64, update_kib: f64) -> Result<ObjectSpec, ssdep_core::Error> {
+    Ok(ObjectSpec::new(
         Workload::builder(name)
             .data_capacity(Bytes::from_gib(gib))
             .avg_access_rate(Bandwidth::from_kib_per_sec(update_kib * 1.3))
@@ -21,23 +21,22 @@ fn object(name: &str, gib: f64, update_kib: f64) -> ObjectSpec {
                 TimeDelta::from_hours(12.0),
                 Bandwidth::from_kib_per_sec(update_kib * 0.4),
             )
-            .build()
-            .expect("example workloads are valid"),
-    )
+            .build()?,
+    ))
 }
 
 fn main() -> Result<(), ssdep_core::Error> {
     // A database: the redo log is small but carries the business; the
     // tablespace needs the log restored first; the archive is bulk.
     let multi = MultiObjectWorkload::new(vec![
-        object("redo log", 40.0, 200.0)
+        object("redo log", 40.0, 200.0)?
             .with_priority(1)
             .with_business_weight(0.6),
-        object("tablespace", 600.0, 400.0)
+        object("tablespace", 600.0, 400.0)?
             .with_priority(10)
             .depends_on("redo log")
             .with_business_weight(0.3),
-        object("archive", 700.0, 150.0)
+        object("archive", 700.0, 150.0)?
             .with_priority(50)
             .with_business_weight(0.1),
     ])?;

@@ -86,7 +86,9 @@ fn main() -> Result<(), ssdep_core::Error> {
     let chosen = result
         .best_meeting_objectives()
         .or_else(|| result.best())
-        .expect("some design is feasible");
+        .ok_or_else(|| {
+            ssdep_core::Error::invalid("smallBusiness.results", "no design in the sweep evaluated")
+        })?;
     println!(
         "chosen (cheapest meeting the 48 h RPO): {} — outlays {}, E[penalties] {}\n",
         chosen.label, chosen.outlays, chosen.expected_penalties

@@ -10,6 +10,8 @@ use ssdep_core::units::{Bandwidth, Bytes, TimeDelta};
 use ssdep_core::workload::Workload;
 
 /// A strategy for physically consistent workloads.
+// A panic in this test helper is the failure report itself.
+#[allow(clippy::expect_used)]
 fn workload_strategy() -> impl Strategy<Value = Workload> {
     (
         10.0f64..5000.0, // GiB
@@ -46,6 +48,8 @@ fn workload_strategy() -> impl Strategy<Value = Workload> {
 }
 
 /// A strategy for valid protection parameter sets.
+// A panic in this test helper is the failure report itself.
+#[allow(clippy::expect_used)]
 fn params_strategy() -> impl Strategy<Value = ProtectionParams> {
     (
         1.0f64..400.0, // accW hours
@@ -190,6 +194,8 @@ proptest! {
 use ssdep_sim::{FaultKind, FaultPlan, FaultTarget, InjectedFault, SimConfig, Simulation};
 
 /// Runs the baseline design for `weeks` under `faults`.
+// A panic in this test helper is the failure report itself.
+#[allow(clippy::expect_used)]
 fn simulate(weeks: f64, faults: FaultPlan) -> ssdep_sim::SimReport {
     let workload = ssdep_core::presets::cello_workload();
     let design = ssdep_core::presets::baseline_design();

@@ -91,6 +91,8 @@ struct SimFixture {
     report: ssdep_sim::SimReport,
 }
 
+// A panic in this test fixture is the failure report itself.
+#[allow(clippy::unwrap_used)]
 fn sim_fixture() -> &'static SimFixture {
     use std::sync::OnceLock;
     static FIXTURE: OnceLock<SimFixture> = OnceLock::new();

@@ -7,6 +7,8 @@ use ssdep_core::units::{Bytes, TimeDelta};
 use ssdep_sim::validate::{sample_grid, validate_scenario};
 use ssdep_sim::{SimConfig, Simulation};
 
+// A panic in this test helper is the failure report itself.
+#[allow(clippy::unwrap_used)]
 fn validate(
     design: &ssdep_core::hierarchy::StorageDesign,
     scenario: FailureScenario,

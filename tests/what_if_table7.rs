@@ -49,7 +49,9 @@ fn rows() -> Vec<Row> {
 }
 
 fn by<'a>(rows: &'a [Row], name: &str) -> &'a Row {
-    rows.iter().find(|r| r.name == name).unwrap()
+    rows.iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("no such design row: {name}"))
 }
 
 #[test]
