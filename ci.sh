@@ -10,6 +10,7 @@ cargo fmt --all -- --check
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets
+cargo bench --no-run --workspace
 
 # Static-analysis gate: workspace lints clean, --json is byte-stable,
 # and a known-bad fixture still trips the lint (see devtools/lint-gate.sh).
@@ -84,3 +85,19 @@ grep -q "3 resumed" "$SMOKE_DIR/resumed.out" || {
     exit 1
 }
 echo "crash-resume smoke test passed"
+
+# Parallel-determinism smoke test: a supervised sweep must emit
+# byte-identical --json output at any --jobs count (results land in
+# input-order slots regardless of worker completion order).
+"$SSDEP" sweep vault --json --jobs 1 > "$SMOKE_DIR/sweep-serial.json"
+"$SSDEP" sweep vault --json --jobs 4 > "$SMOKE_DIR/sweep-parallel.json"
+if ! cmp -s "$SMOKE_DIR/sweep-serial.json" "$SMOKE_DIR/sweep-parallel.json"; then
+    echo "ci.sh: sweep --json output differs between --jobs 1 and --jobs 4:" >&2
+    diff "$SMOKE_DIR/sweep-serial.json" "$SMOKE_DIR/sweep-parallel.json" >&2 || true
+    exit 1
+fi
+grep -q '"provenance"' "$SMOKE_DIR/sweep-serial.json" || {
+    echo "ci.sh: sweep --json lost its provenance section" >&2
+    exit 1
+}
+echo "parallel-determinism smoke test passed"

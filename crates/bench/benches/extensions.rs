@@ -40,7 +40,10 @@ fn bench_extensions(c: &mut Criterion) {
     let workload = ssdep_core::presets::cello_workload();
     let design = ssdep_core::presets::baseline_design();
     let requirements = ssdep_core::presets::paper_requirements();
-    let scenarios: Vec<FailureScenario> = catalog().into_iter().map(|w| w.scenario).collect();
+    let scenarios: Vec<FailureScenario> = catalog()
+        .into_iter()
+        .map(|w| w.scenario.as_ref().clone())
+        .collect();
 
     let mut group = c.benchmark_group("extensions");
     group.sample_size(40);

@@ -1,0 +1,213 @@
+//! Staged-evaluation performance snapshot (`BENCH_eval.json`'s
+//! generator).
+//!
+//! Measures three hot paths introduced by the staged engine:
+//!
+//! * **multi-scenario expected cost** — the seed serial path (one
+//!   single-shot `evaluate` per scenario, re-deriving demands and
+//!   utilization every time) against the staged path (one
+//!   `PreparedDesign`, one `evaluate_scenario` per scenario);
+//! * **100-point sweep** — the plain sweep driver over a 100-value
+//!   vault-interval axis;
+//! * **parallel vs. serial** — the same sweep under the supervisor at
+//!   `jobs = 1` and `jobs = 4`.
+//!
+//! Usage: `bench_eval [--json] [--iters N]`. With `--json` the numbers
+//! print as a stable JSON object; redirect to `BENCH_eval.json` to
+//! refresh the committed snapshot.
+
+// Benchmarks unwrap on fixture setup: a panic aborts the bench run,
+// which is the right failure report outside the library policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use ssdep_core::analysis::{evaluate, PreparedDesign, WeightedScenario};
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::units::{Bytes, TimeDelta};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The benchmark's scenario catalog: every scope on the ladder, plus
+/// the spread of object-corruption rollbacks that dominates real
+/// frequency catalogs (the paper's case study puts object corruption at
+/// monthly against 0.1/yr for array loss, so a representative catalog
+/// is rollback-heavy).
+fn scenario_grid() -> Vec<FailureScenario> {
+    let mut scenarios: Vec<FailureScenario> = [1.0, 8.0, 12.0, 24.0, 48.0]
+        .iter()
+        .map(|&age| {
+            FailureScenario::new(
+                FailureScope::DataObject {
+                    size: Bytes::from_mib(1.0),
+                },
+                RecoveryTarget::Before {
+                    age: TimeDelta::from_hours(age),
+                },
+            )
+        })
+        .collect();
+    scenarios.push(FailureScenario::new(
+        FailureScope::DataObject {
+            size: Bytes::from_mib(8.0),
+        },
+        RecoveryTarget::Now,
+    ));
+    scenarios.push(FailureScenario::new(
+        FailureScope::DataObject {
+            size: Bytes::from_mib(64.0),
+        },
+        RecoveryTarget::Now,
+    ));
+    scenarios.push(FailureScenario::new(
+        FailureScope::Array,
+        RecoveryTarget::Now,
+    ));
+    scenarios.push(FailureScenario::new(
+        FailureScope::Building,
+        RecoveryTarget::Now,
+    ));
+    scenarios.push(FailureScenario::new(
+        FailureScope::Site,
+        RecoveryTarget::Now,
+    ));
+    scenarios.push(FailureScenario::new(
+        FailureScope::Region,
+        RecoveryTarget::Now,
+    ));
+    scenarios
+}
+
+/// Nanoseconds per iteration of `work`, averaged over `iters` runs.
+fn time_ns(iters: u32, mut work: impl FnMut()) -> u128 {
+    // One warm-up pass keeps one-time costs (allocator growth, lazy
+    // statics) out of the measurement.
+    work();
+    let start = Instant::now();
+    for _ in 0..iters {
+        work();
+    }
+    start.elapsed().as_nanos() / u128::from(iters.max(1))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let as_json = args.iter().any(|a| a == "--json");
+    let mut iters: u32 = 300;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--iters" {
+            match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => iters = n,
+                None => {
+                    eprintln!("--iters needs a positive integer");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    let workload = ssdep_core::presets::cello_workload();
+    let design = ssdep_core::presets::baseline_design();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenarios = scenario_grid();
+
+    // -- The preparation stage alone (demands + utilization + ranges).
+    let prepare_ns = time_ns(iters, || {
+        black_box(PreparedDesign::prepare(&design, &workload).unwrap());
+    });
+
+    if std::env::var("BENCH_EVAL_PER_SCENARIO").is_ok() {
+        let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+        for scenario in &scenarios {
+            let ns = time_ns(iters, || {
+                black_box(prepared.evaluate_scenario(&requirements, scenario).unwrap());
+            });
+            println!("scenario stage {ns:>6} ns  {scenario}");
+        }
+    }
+
+    // -- Multi-scenario expected cost: seed serial vs staged. ---------
+    let seed_ns = time_ns(iters, || {
+        for scenario in &scenarios {
+            black_box(evaluate(&design, &workload, &requirements, scenario).unwrap());
+        }
+    });
+    // The staged arm drives the batch API end to end: one preparation,
+    // then `evaluate_scenario_shared` over already-shared scenarios (the
+    // form a weighted catalog holds them in).
+    let shared: Vec<std::sync::Arc<FailureScenario>> = scenarios
+        .iter()
+        .map(|s| std::sync::Arc::new(s.clone()))
+        .collect();
+    let staged_ns = time_ns(iters, || {
+        let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+        for scenario in &shared {
+            black_box(
+                prepared
+                    .evaluate_scenario_shared(&requirements, std::sync::Arc::clone(scenario))
+                    .unwrap(),
+            );
+        }
+    });
+    let speedup = seed_ns as f64 / staged_ns.max(1) as f64;
+
+    // -- 100-point sweep through the plain driver. --------------------
+    let values: Vec<f64> = (0..100).map(|i| 1.0 + f64::from(i) * 0.1).collect();
+    let catalog: Vec<WeightedScenario> = ssdep_core::presets::paper_scenario_catalog();
+    let sweep_start = Instant::now();
+    let series = ssdep_opt::sweep::sweep(
+        &values,
+        ssdep_opt::sweep::vault_interval_design,
+        &workload,
+        &requirements,
+        &catalog,
+    );
+    let sweep_secs = sweep_start.elapsed().as_secs_f64();
+    assert!(series.is_complete(), "the bench sweep must not break");
+
+    // -- Parallel vs. serial supervised sweep. ------------------------
+    let supervised_secs = |jobs: usize| {
+        let config = ssdep_opt::SupervisorConfig {
+            jobs,
+            ..ssdep_opt::SupervisorConfig::default()
+        };
+        let start = Instant::now();
+        let run = ssdep_opt::sweep::supervised_sweep(
+            "weeks",
+            &values,
+            ssdep_opt::sweep::vault_interval_design,
+            &workload,
+            &requirements,
+            &catalog,
+            &ssdep_opt::Supervisor::new(config),
+        )
+        .unwrap();
+        assert_eq!(run.series.points.len(), values.len());
+        start.elapsed().as_secs_f64()
+    };
+    let serial_secs = supervised_secs(1);
+    let parallel_secs = supervised_secs(4);
+
+    if as_json {
+        println!(
+            "{{\n  \"generator\": \"bench_eval --json --iters {iters}\",\n  \
+             \"multi_scenario\": {{\n    \"scenarios\": {nscen},\n    \
+             \"prepare_ns\": {prepare_ns},\n    \
+             \"seed_serial_ns_per_iter\": {seed_ns},\n    \
+             \"staged_ns_per_iter\": {staged_ns},\n    \
+             \"speedup\": {speedup:.2}\n  }},\n  \
+             \"sweep_100_points\": {{\n    \"points\": 100,\n    \
+             \"plain_secs\": {sweep_secs:.4},\n    \
+             \"supervised_jobs1_secs\": {serial_secs:.4},\n    \
+             \"supervised_jobs4_secs\": {parallel_secs:.4}\n  }}\n}}",
+            nscen = scenarios.len(),
+        );
+    } else {
+        println!("preparation stage alone: {prepare_ns} ns");
+        println!(
+            "multi-scenario ({} scenarios): seed {seed_ns} ns/iter, staged {staged_ns} ns/iter \
+             ({speedup:.2}x)",
+            scenarios.len()
+        );
+        println!("100-point sweep: plain {sweep_secs:.4} s");
+        println!("supervised sweep: jobs=1 {serial_secs:.4} s, jobs=4 {parallel_secs:.4} s");
+    }
+}

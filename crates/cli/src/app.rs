@@ -10,16 +10,19 @@
 //! * `validate <spec.json>` — demands, utilization, and convention
 //!   warnings;
 //! * `evaluate <spec.json> --scenario <scope> [--age HOURS] [--json]` —
-//!   full dependability evaluation under one failure scenario;
+//!   full dependability evaluation under one or more failure scenarios
+//!   (`--scenario` repeats; the design is prepared once and shared);
 //! * `baseline` — the paper's §4.1 case study tables;
 //! * `whatif` — the paper's Table 7 comparison;
 //! * `optimize [--broad]` — search the candidate space for the cheapest
 //!   design under the case-study scenario mix;
 //! * `search [--broad] [--checkpoint F] [--resume F] [--deadline-secs S]
-//!   [--max-retries N]` — the same search run as a supervised batch:
-//!   per-candidate panic isolation and deadline budgets, transient-error
-//!   retries, progress checkpointed to an append-only journal, and
-//!   `--resume` to continue a killed run without repeating work;
+//!   [--max-retries N] [--jobs N]` — the same search run as a supervised
+//!   batch: per-candidate panic isolation and deadline budgets,
+//!   transient-error retries, progress checkpointed to an append-only
+//!   journal, `--resume` to continue a killed run without repeating
+//!   work, and `--jobs` to evaluate candidates on parallel workers
+//!   (byte-identical output at any job count);
 //! * `inject <spec.json> [--faults <plan.json>]` — simulate the design
 //!   under timed hardware faults and report the degraded-mode worst-case
 //!   data loss and recovery time against the fault-free baseline.
@@ -138,8 +141,10 @@ fn dispatch(args: &[String]) -> Result<String, String> {
 }
 
 fn usage_evaluate() -> String {
-    "usage: ssdep evaluate <spec.json> [--scenario object|array|building|site|region] \
-     [--age HOURS] [--size MIB] [--json]"
+    "usage: ssdep evaluate <spec.json> [--scenario object|array|building|site|region]... \
+     [--age HOURS] [--size MIB] [--json]\n\
+     (--scenario repeats to evaluate several failures in one run; --age and --size \
+     apply to the most recent --scenario)"
         .to_string()
 }
 
@@ -184,11 +189,15 @@ fn help() -> String {
          --deny-warnings            exit 1 when warnings remain\n\
          (exit status: 0 clean, 1 denied warnings, 2 errors)\n\
        validate <spec.json>         check utilization and conventions\n\
-       evaluate <spec.json> [opts]  evaluate one failure scenario\n\
-         --scenario <scope>         object|array|building|site|region (default array)\n\
-         --age <hours>              recovery target age (default 0 = now)\n\
+       evaluate <spec.json> [opts]  evaluate one or more failure scenarios\n\
+         --scenario <scope>         object|array|building|site|region (default array);\n\
+                                    repeat to evaluate several scenarios with one\n\
+                                    shared preparation pass\n\
+         --age <hours>              recovery target age for the most recent\n\
+                                    --scenario (default 0 = now)\n\
          --size <mib>               corrupted object size for `object` (default 1)\n\
-         --json                     emit the evaluation as JSON\n\
+         --json                     emit the evaluation as JSON (an array when\n\
+                                    --scenario repeats)\n\
        baseline                     the paper's §4.1 case study\n\
        whatif                       the paper's Table 7 comparison\n\
        optimize [--broad]           search candidate designs for lowest cost\n\
@@ -198,10 +207,13 @@ fn help() -> String {
          --resume <file>            replay a journal, then continue into it\n\
          --deadline-secs <s>        per-candidate wall-clock budget\n\
          --max-retries <n>          retries for transient failures (default 2)\n\
+         --jobs <n>                 parallel evaluation workers (default 1);\n\
+                                    output is byte-identical at any job count\n\
        degraded <spec.json>         exposure matrix with each level out of service\n\
        risk <spec.json>             annualized availability / loss profile\n\
        coverage <spec.json>         which failure scopes the design survives\n\
        sweep [growth|links|vault|backup]  sensitivity sweep on the case study\n\
+         --json                     emit the series as stable JSON\n\
          (links|vault|backup also take the supervisor flags above)\n\
        compare <a.json> <b.json>    side-by-side evaluation of two designs\n\
        report <spec.json>           the full dependability dossier\n\
@@ -218,6 +230,35 @@ fn load(path: &str) -> Result<SystemSpec, String> {
     SystemSpec::from_json(&json)
 }
 
+/// Builds one scenario from its parsed scope name, recovery-target age,
+/// and (for `object`) corrupted-object size.
+fn resolve_scenario(
+    scope_name: &str,
+    age_hours: f64,
+    size_mib: f64,
+) -> Result<FailureScenario, String> {
+    let scope = match scope_name {
+        "object" => FailureScope::DataObject {
+            size: Bytes::from_mib(size_mib),
+        },
+        "array" => FailureScope::Array,
+        "building" => FailureScope::Building,
+        "site" => FailureScope::Site,
+        "region" => FailureScope::Region,
+        other => return Err(format!("unknown scenario `{other}`")),
+    };
+    let target = if age_hours > 0.0 {
+        RecoveryTarget::Before {
+            age: TimeDelta::from_hours(age_hours),
+        }
+    } else {
+        RecoveryTarget::Now
+    };
+    Ok(FailureScenario::new(scope, target))
+}
+
+/// Parses a *single* scenario: the last `--scenario` wins and `--age`/
+/// `--size` are order-independent. `inject` uses this form.
 fn parse_scenario(args: &[&String]) -> Result<FailureScenario, String> {
     let mut scope_name = "array".to_string();
     let mut age_hours = 0.0f64;
@@ -246,24 +287,79 @@ fn parse_scenario(args: &[&String]) -> Result<FailureScenario, String> {
             other => return Err(format!("unknown option `{other}`\n{}", usage_evaluate())),
         }
     }
-    let scope = match scope_name.as_str() {
-        "object" => FailureScope::DataObject {
-            size: Bytes::from_mib(size_mib),
-        },
-        "array" => FailureScope::Array,
-        "building" => FailureScope::Building,
-        "site" => FailureScope::Site,
-        "region" => FailureScope::Region,
-        other => return Err(format!("unknown scenario `{other}`")),
-    };
-    let target = if age_hours > 0.0 {
-        RecoveryTarget::Before {
-            age: TimeDelta::from_hours(age_hours),
+    resolve_scenario(&scope_name, age_hours, size_mib)
+}
+
+/// One scenario's worth of flags, before the scope name is resolved.
+struct ScenarioSpec {
+    scope_name: String,
+    age_hours: Option<f64>,
+    size_mib: Option<f64>,
+}
+
+/// Parses the `evaluate` command's scenario list. Each `--scenario`
+/// opens a new scenario and `--age`/`--size` bind to the most recent
+/// one; flags seen *before* the first `--scenario` apply to the first
+/// scenario unless it sets its own, which keeps single-scenario
+/// invocations order-independent exactly as they always were. With no
+/// `--scenario` at all the default is one array failure.
+fn parse_scenarios(args: &[&String]) -> Result<Vec<FailureScenario>, String> {
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    let mut pending_age: Option<f64> = None;
+    let mut pending_size: Option<f64> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scenario" => specs.push(ScenarioSpec {
+                scope_name: iter.next().ok_or("--scenario needs a value")?.to_string(),
+                age_hours: None,
+                size_mib: None,
+            }),
+            "--age" => {
+                let age = iter
+                    .next()
+                    .ok_or("--age needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --age: {e}"))?;
+                match specs.last_mut() {
+                    Some(spec) => spec.age_hours = Some(age),
+                    None => pending_age = Some(age),
+                }
+            }
+            "--size" => {
+                let size = iter
+                    .next()
+                    .ok_or("--size needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --size: {e}"))?;
+                match specs.last_mut() {
+                    Some(spec) => spec.size_mib = Some(size),
+                    None => pending_size = Some(size),
+                }
+            }
+            "--json" => {}
+            other => return Err(format!("unknown option `{other}`\n{}", usage_evaluate())),
         }
-    } else {
-        RecoveryTarget::Now
-    };
-    Ok(FailureScenario::new(scope, target))
+    }
+    if specs.is_empty() {
+        specs.push(ScenarioSpec {
+            scope_name: "array".to_string(),
+            age_hours: None,
+            size_mib: None,
+        });
+    }
+    specs[0].age_hours = specs[0].age_hours.or(pending_age);
+    specs[0].size_mib = specs[0].size_mib.or(pending_size);
+    specs
+        .iter()
+        .map(|spec| {
+            resolve_scenario(
+                &spec.scope_name,
+                spec.age_hours.unwrap_or(0.0),
+                spec.size_mib.unwrap_or(1.0),
+            )
+        })
+        .collect()
 }
 
 fn usage_check() -> String {
@@ -405,8 +501,10 @@ fn check_command(args: &[&String]) -> (Result<String, String>, u8) {
             )
         }
     };
-    let scenarios: Vec<FailureScenario> =
-        default_catalog().into_iter().map(|w| w.scenario).collect();
+    let scenarios: Vec<FailureScenario> = default_catalog()
+        .into_iter()
+        .map(|w| w.scenario.as_ref().clone())
+        .collect();
     if fix {
         let repaired = ssdep_core::diagnose::repair(&spec.design, &spec.workload, &scenarios);
         let after =
@@ -461,39 +559,106 @@ fn validate(spec: &SystemSpec) -> Result<String, String> {
 }
 
 fn evaluate_command(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
-    let scenario = parse_scenario(args)?;
-    let evaluation = evaluate(&spec.design, &spec.workload, &spec.requirements, &scenario)
+    let scenarios = parse_scenarios(args)?;
+    let as_json = args.iter().any(|a| a.as_str() == "--json");
+    if let [scenario] = scenarios.as_slice() {
+        // The single-scenario path goes through the legacy entry point
+        // (itself a thin wrapper over the staged pipeline) so its output
+        // stays byte-identical to every earlier release.
+        let evaluation = evaluate(&spec.design, &spec.workload, &spec.requirements, scenario)
+            .map_err(|e| e.to_string())?;
+        if as_json {
+            return serde_json::to_string_pretty(&evaluation).map_err(|e| e.to_string());
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "design: {}   scenario: {}",
+            spec.design.name(),
+            scenario
+        );
+        let _ = writeln!(
+            out,
+            "\n== Utilization ==\n{}",
+            report::render_utilization(&evaluation)
+        );
+        let _ = writeln!(
+            out,
+            "== Dependability ==\n{}",
+            report::render_dependability(std::slice::from_ref(&evaluation))
+        );
+        let _ = writeln!(
+            out,
+            "== Recovery timeline ==\n{}",
+            report::render_recovery_timeline(&evaluation)
+        );
+        let _ = writeln!(out, "== Costs ==\n{}", report::render_costs(&evaluation));
+        if evaluation.meets_objectives(&spec.requirements) {
+            let _ = writeln!(out, "objectives: met");
+        } else {
+            let _ = writeln!(out, "objectives: MISSED");
+        }
+        return Ok(out);
+    }
+    // Several scenarios share one PreparedDesign: demands, utilization,
+    // and propagation ranges are computed once, not once per scenario.
+    let prepared = ssdep_core::analysis::PreparedDesign::prepare(&spec.design, &spec.workload)
         .map_err(|e| e.to_string())?;
-    if args.iter().any(|a| a.as_str() == "--json") {
-        return serde_json::to_string_pretty(&evaluation).map_err(|e| e.to_string());
+    let mut evaluations = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        evaluations.push(
+            prepared
+                .evaluate_scenario(&spec.requirements, scenario)
+                .map_err(|e| format!("{scenario}: {e}"))?,
+        );
+    }
+    if as_json {
+        return serde_json::to_string_pretty(&evaluations).map_err(|e| e.to_string());
     }
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "design: {}   scenario: {}",
+        "design: {}   scenarios: {} (prepared once)",
         spec.design.name(),
-        scenario
+        scenarios.len()
     );
     let _ = writeln!(
         out,
         "\n== Utilization ==\n{}",
-        report::render_utilization(&evaluation)
+        report::render_utilization(&evaluations[0])
     );
     let _ = writeln!(
         out,
         "== Dependability ==\n{}",
-        report::render_dependability(std::slice::from_ref(&evaluation))
+        report::render_dependability(&evaluations)
     );
-    let _ = writeln!(
-        out,
-        "== Recovery timeline ==\n{}",
-        report::render_recovery_timeline(&evaluation)
-    );
-    let _ = writeln!(out, "== Costs ==\n{}", report::render_costs(&evaluation));
-    if evaluation.meets_objectives(&spec.requirements) {
-        let _ = writeln!(out, "objectives: met");
+    for evaluation in &evaluations {
+        let _ = writeln!(
+            out,
+            "== Recovery timeline: {} ==\n{}",
+            evaluation.scenario,
+            report::render_recovery_timeline(evaluation)
+        );
+        let _ = writeln!(
+            out,
+            "== Costs: {} ==\n{}",
+            evaluation.scenario,
+            report::render_costs(evaluation)
+        );
+    }
+    let met = evaluations
+        .iter()
+        .filter(|e| e.meets_objectives(&spec.requirements))
+        .count();
+    if met == evaluations.len() {
+        let _ = writeln!(out, "objectives: met under every scenario");
     } else {
-        let _ = writeln!(out, "objectives: MISSED");
+        let _ = writeln!(
+            out,
+            "objectives: MISSED under {} of {} scenarios",
+            evaluations.len() - met,
+            evaluations.len()
+        );
     }
     Ok(out)
 }
@@ -634,7 +799,10 @@ fn degraded(
     catalog: Vec<ssdep_core::analysis::WeightedScenario>,
 ) -> Result<String, String> {
     use ssdep_core::analysis::{degraded_exposure, DegradedOutcome};
-    let scenarios: Vec<FailureScenario> = catalog.into_iter().map(|w| w.scenario).collect();
+    let scenarios: Vec<FailureScenario> = catalog
+        .into_iter()
+        .map(|w| w.scenario.as_ref().clone())
+        .collect();
     let report = degraded_exposure(&spec.design, &spec.workload, &spec.requirements, &scenarios)
         .map_err(|e| e.to_string())?;
     let mut headers = vec!["Degraded level".to_string()];
@@ -769,9 +937,9 @@ fn coverage(spec: &SystemSpec) -> Result<String, String> {
 }
 
 /// Parses the shared supervisor flags (`--checkpoint`, `--resume`,
-/// `--deadline-secs`, `--max-retries`) out of `args`, returning the
-/// configuration, whether any supervisor flag was present, and the
-/// arguments left over for the command to interpret.
+/// `--deadline-secs`, `--max-retries`, `--jobs`) out of `args`,
+/// returning the configuration, whether any supervisor flag was
+/// present, and the arguments left over for the command to interpret.
 ///
 /// `--resume F` without `--checkpoint` also appends new progress to `F`,
 /// so an interrupted run can be resumed repeatedly with one flag. The
@@ -818,6 +986,18 @@ fn parse_supervisor_flags<'a>(
                 config.retry = ssdep_core::RetryPolicy::new(retries);
                 any = true;
             }
+            "--jobs" => {
+                let jobs: usize = iter
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                config.jobs = jobs;
+                any = true;
+            }
             _ => leftover.push(*arg),
         }
     }
@@ -843,14 +1023,30 @@ fn render_provenance(provenance: &ssdep_opt::Provenance, failed: &[String]) -> S
     out
 }
 
+/// The stable machine-readable shape of `ssdep sweep <axis> --json`:
+/// the same JSON at any `--jobs` count, so scripts can diff runs
+/// byte-for-byte.
+#[derive(serde::Serialize)]
+struct SweepReport {
+    axis: String,
+    series: ssdep_opt::sweep::SweepSeries,
+    provenance: ssdep_opt::Provenance,
+}
+
 fn sweep(axis: &str, rest: &[&String]) -> Result<String, String> {
     use ssdep_opt::sweep::{self, GrowthPoint, SweepSeries};
     let (config, supervised, leftover) = parse_supervisor_flags(rest)?;
-    if let Some(unknown) = leftover.first() {
-        return Err(format!(
-            "unknown sweep option `{unknown}` \
-             (--checkpoint|--resume|--deadline-secs|--max-retries)"
-        ));
+    let mut as_json = false;
+    for arg in &leftover {
+        match arg.as_str() {
+            "--json" => as_json = true,
+            unknown => {
+                return Err(format!(
+                    "unknown sweep option `{unknown}` \
+                     (--checkpoint|--resume|--deadline-secs|--max-retries|--jobs|--json)"
+                ))
+            }
+        }
     }
     let workload = ssdep_core::presets::cello_workload();
     let requirements = ssdep_core::presets::paper_requirements();
@@ -890,6 +1086,14 @@ fn sweep(axis: &str, rest: &[&String]) -> Result<String, String> {
                 &ssdep_opt::Supervisor::new(config.clone()),
             )
             .map_err(|e| e.to_string())?;
+            if as_json {
+                return serde_json::to_string_pretty(&SweepReport {
+                    axis: axis_label.to_string(),
+                    series: run.series,
+                    provenance: run.provenance,
+                })
+                .map_err(|e| e.to_string());
+            }
             let failed: Vec<String> = run
                 .failed
                 .iter()
@@ -929,6 +1133,9 @@ fn sweep(axis: &str, rest: &[&String]) -> Result<String, String> {
                 &scenarios,
             )
             .map_err(|e| e.to_string())?;
+            if as_json {
+                return serde_json::to_string_pretty(&points).map_err(|e| e.to_string());
+            }
             let mut table = report::TextTable::new(["Growth", "Outcome"]);
             for point in &points {
                 match point {
@@ -990,7 +1197,7 @@ fn search_command(args: &[&String]) -> Result<String, String> {
             other => {
                 return Err(format!(
                     "unknown search option `{other}` \
-                     (--broad|--checkpoint|--resume|--deadline-secs|--max-retries)"
+                     (--broad|--checkpoint|--resume|--deadline-secs|--max-retries|--jobs)"
                 ))
             }
         }
@@ -1750,5 +1957,86 @@ mod tests {
         let bad = String::from("--scenario");
         let worse = String::from("meteor");
         assert!(parse_scenario(&[&bad, &worse]).is_err());
+    }
+
+    #[test]
+    fn scenario_lists_bind_flags_to_the_most_recent_scenario() {
+        let list = args(&[
+            "--scenario",
+            "object",
+            "--size",
+            "2",
+            "--scenario",
+            "site",
+            "--age",
+            "48",
+        ]);
+        let refs: Vec<&String> = list.iter().collect();
+        let scenarios = parse_scenarios(&refs).unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert!(matches!(
+            scenarios[0].scope,
+            FailureScope::DataObject { .. }
+        ));
+        assert_eq!(scenarios[0].target.age(), TimeDelta::ZERO);
+        assert!(matches!(scenarios[1].scope, FailureScope::Site));
+        assert_eq!(scenarios[1].target.age(), TimeDelta::from_hours(48.0));
+
+        // Flags before the first --scenario still apply to it, so the
+        // historical single-scenario call shapes keep their meaning.
+        let leading = args(&["--age", "24", "--scenario", "object"]);
+        let refs: Vec<&String> = leading.iter().collect();
+        let scenarios = parse_scenarios(&refs).unwrap();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].target.age(), TimeDelta::from_hours(24.0));
+    }
+
+    #[test]
+    fn evaluate_handles_repeated_scenarios_with_one_preparation() {
+        let path = std::env::temp_dir().join("ssdep-test-multi-scenario.json");
+        std::fs::write(&path, SystemSpec::baseline().to_json()).unwrap();
+        let out = run(&args(&[
+            "evaluate",
+            path.to_str().unwrap(),
+            "--scenario",
+            "array",
+            "--scenario",
+            "site",
+        ]))
+        .unwrap();
+        assert!(out.contains("scenarios: 2 (prepared once)"), "{out}");
+        assert!(out.contains("== Recovery timeline: array failure"), "{out}");
+        assert!(out.contains("== Recovery timeline: site failure"), "{out}");
+        let json_out = run(&args(&[
+            "evaluate",
+            path.to_str().unwrap(),
+            "--scenario",
+            "array",
+            "--scenario",
+            "site",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json_out.trim_start().starts_with('['), "{json_out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_json_is_byte_identical_across_job_counts() {
+        let serial = run(&args(&["sweep", "vault", "--json", "--jobs", "1"])).unwrap();
+        let parallel = run(&args(&["sweep", "vault", "--json", "--jobs", "4"])).unwrap();
+        assert_eq!(serial, parallel, "--jobs must not change the output");
+        assert!(serial.trim_start().starts_with('{'), "{serial}");
+        assert!(serial.contains("\"series\""), "{serial}");
+        assert!(serial.contains("\"provenance\""), "{serial}");
+        assert!(run(&args(&["sweep", "links", "--jobs", "0"])).is_err());
+        assert!(run(&args(&["sweep", "links", "--jobs", "nope"])).is_err());
+    }
+
+    #[test]
+    fn search_output_is_identical_at_any_job_count() {
+        let serial = run(&args(&["search"])).unwrap();
+        let parallel = run(&args(&["search", "--jobs", "3"])).unwrap();
+        assert_eq!(serial, parallel, "--jobs must not change the output");
     }
 }

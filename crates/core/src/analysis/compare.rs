@@ -6,7 +6,8 @@
 //! under the same workload, requirements, and scenario list, and reports
 //! the per-scenario deltas.
 
-use crate::analysis::{evaluate, Evaluation};
+use crate::analysis::prepare::PreparedDesign;
+use crate::analysis::Evaluation;
 use crate::error::Error;
 use crate::failure::FailureScenario;
 use crate::hierarchy::StorageDesign;
@@ -96,9 +97,32 @@ pub fn compare(
 ) -> Result<DesignComparison, Error> {
     let mut rows = Vec::with_capacity(scenarios.len());
     let mut outlay_delta = Money::ZERO;
-    for scenario in scenarios {
-        let a = evaluate(design_a, workload, requirements, scenario)?;
-        let b = evaluate(design_b, workload, requirements, scenario)?;
+    let Some((first, rest)) = scenarios.split_first() else {
+        return Ok(DesignComparison {
+            name_a: design_a.name().to_string(),
+            name_b: design_b.name().to_string(),
+            outlay_delta,
+            rows,
+        });
+    };
+
+    // Each design is prepared once and reused across the scenario list.
+    // B's preparation is deferred past A's first evaluation so errors
+    // surface in the order the scenario-by-scenario loop always used:
+    // all of A's first-scenario pipeline before anything of B's.
+    let prepared_a = PreparedDesign::prepare(design_a, workload)?;
+    let first_a = prepared_a.evaluate_scenario(requirements, first)?;
+    let prepared_b = PreparedDesign::prepare(design_b, workload)?;
+    let first_b = prepared_b.evaluate_scenario(requirements, first)?;
+    outlay_delta = first_b.cost.total_outlays - first_a.cost.total_outlays;
+    rows.push(ComparisonRow {
+        scenario: first.clone(),
+        a: first_a,
+        b: first_b,
+    });
+    for scenario in rest {
+        let a = prepared_a.evaluate_scenario(requirements, scenario)?;
+        let b = prepared_b.evaluate_scenario(requirements, scenario)?;
         outlay_delta = b.cost.total_outlays - a.cost.total_outlays;
         rows.push(ComparisonRow {
             scenario: scenario.clone(),

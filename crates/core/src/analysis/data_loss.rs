@@ -81,8 +81,24 @@ impl LossReport {
 /// RP usable for the target — the recent updates (or, past every
 /// retention window, the entire object) are unrecoverable.
 pub fn data_loss(design: &StorageDesign, scenario: &FailureScenario) -> Result<LossReport, Error> {
+    data_loss_from_ranges(design, scenario, &level_ranges(design))
+}
+
+/// As [`data_loss`], but reusing precomputed
+/// [`level_ranges`](crate::analysis::level_ranges) — the
+/// scenario-independent §3.3.2 propagation analysis — so staged callers
+/// ([`PreparedDesign`](crate::analysis::PreparedDesign)) evaluating many
+/// scenarios against one design pay for it once.
+///
+/// # Errors
+///
+/// As [`data_loss`].
+pub fn data_loss_from_ranges(
+    design: &StorageDesign,
+    scenario: &FailureScenario,
+    ranges: &[LevelRange],
+) -> Result<LossReport, Error> {
     let target_age = scenario.target.age();
-    let ranges = level_ranges(design);
     let mut per_level = Vec::with_capacity(ranges.len());
     let mut best: Option<(usize, TimeDelta)> = None;
 
@@ -124,7 +140,7 @@ pub fn data_loss(design: &StorageDesign, scenario: &FailureScenario) -> Result<L
             level_name: level.name().to_string(),
             case,
             loss,
-            range,
+            range: range.clone(),
         });
     }
 

@@ -7,7 +7,8 @@
 //! (degraded level × failure scenario), highlighting which technique
 //! outage silently removes the most protection.
 
-use crate::analysis::{evaluate, Evaluation};
+use crate::analysis::prepare::PreparedDesign;
+use crate::analysis::Evaluation;
 use crate::error::Error;
 use crate::failure::FailureScenario;
 use crate::hierarchy::StorageDesign;
@@ -15,6 +16,7 @@ use crate::requirements::BusinessRequirements;
 use crate::units::TimeDelta;
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The outcome of one (degraded level, scenario) cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -109,17 +111,53 @@ pub fn degraded_exposure(
     requirements: &BusinessRequirements,
     scenarios: &[FailureScenario],
 ) -> Result<DegradedReport, Error> {
+    if scenarios.is_empty() {
+        // An empty catalog never touches the evaluation pipeline: the
+        // matrix simply has one empty row per secondary level.
+        let rows = design
+            .levels()
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(level, spec)| DegradedRow {
+                level,
+                level_name: spec.name().to_string(),
+                outcomes: Vec::new(),
+            })
+            .collect();
+        return Ok(DegradedReport {
+            healthy: Vec::new(),
+            rows,
+        });
+    }
+    let prepared = PreparedDesign::prepare(design, workload)?;
+    degraded_exposure_prepared(&prepared, requirements, scenarios)
+}
+
+/// As [`degraded_exposure`], evaluating the whole
+/// (level × scenario) matrix against an existing [`PreparedDesign`] —
+/// one preparation serves every cell.
+///
+/// # Errors
+///
+/// As [`degraded_exposure`], minus the preparation errors its caller
+/// has already surfaced.
+pub fn degraded_exposure_prepared(
+    prepared: &PreparedDesign,
+    requirements: &BusinessRequirements,
+    scenarios: &[FailureScenario],
+) -> Result<DegradedReport, Error> {
     let healthy: Vec<Evaluation> = scenarios
         .iter()
-        .map(|s| evaluate(design, workload, requirements, s))
+        .map(|s| prepared.evaluate_scenario(requirements, s))
         .collect::<Result<_, _>>()?;
 
     let mut rows = Vec::new();
-    for (level, spec) in design.levels().iter().enumerate().skip(1) {
+    for (level, spec) in prepared.design().levels().iter().enumerate().skip(1) {
         let mut outcomes = Vec::with_capacity(scenarios.len());
         for (scenario, baseline) in scenarios.iter().zip(&healthy) {
             let degraded_scenario = scenario.clone().with_degraded_level(level);
-            match evaluate(design, workload, requirements, &degraded_scenario) {
+            match prepared.evaluate_scenario_shared(requirements, Arc::new(degraded_scenario)) {
                 Ok(evaluation) => {
                     let extra_loss = (evaluation.loss.worst_loss - baseline.loss.worst_loss)
                         .clamp_non_negative();

@@ -7,7 +7,8 @@
 //! frequencies, it reports the design's expected annual cost — outlays
 //! plus frequency-weighted penalties.
 
-use crate::analysis::{evaluate, Evaluation};
+use crate::analysis::prepare::PreparedDesign;
+use crate::analysis::Evaluation;
 use crate::error::Error;
 use crate::failure::FailureScenario;
 use crate::hierarchy::StorageDesign;
@@ -15,12 +16,17 @@ use crate::requirements::BusinessRequirements;
 use crate::units::Money;
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A failure scenario annotated with how often it is expected per year.
+///
+/// The scenario is shared behind an [`Arc`] (serialized transparently)
+/// so every [`Evaluation`] produced from a catalog entry reuses one
+/// allocation instead of deep-cloning the scenario per evaluation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WeightedScenario {
     /// The scenario.
-    pub scenario: FailureScenario,
+    pub scenario: Arc<FailureScenario>,
     /// Expected occurrences per year (may be far below one).
     pub annual_frequency: f64,
 }
@@ -29,7 +35,7 @@ impl WeightedScenario {
     /// Creates a weighted scenario.
     pub fn new(scenario: FailureScenario, annual_frequency: f64) -> WeightedScenario {
         WeightedScenario {
-            scenario,
+            scenario: Arc::new(scenario),
             annual_frequency,
         }
     }
@@ -66,17 +72,42 @@ pub fn expected_annual_cost(
     requirements: &BusinessRequirements,
     scenarios: &[WeightedScenario],
 ) -> Result<ExpectedCost, Error> {
+    let Some(first) = scenarios.first() else {
+        return Ok(ExpectedCost {
+            outlays: Money::ZERO,
+            expected_penalties: Money::ZERO,
+            evaluations: Vec::new(),
+        });
+    };
+    // The first frequency is validated before the design is prepared so
+    // the staged path reports errors in the same order the per-scenario
+    // loop always has: frequency first, then the evaluation pipeline.
+    check_frequency(0, first)?;
+    let prepared = PreparedDesign::prepare(design, workload)?;
+    expected_annual_cost_prepared(&prepared, requirements, scenarios)
+}
+
+/// As [`expected_annual_cost`], evaluating every weighted scenario
+/// against an existing [`PreparedDesign`] — the demand derivation,
+/// utilization report, and propagation ranges are reused rather than
+/// recomputed per scenario.
+///
+/// # Errors
+///
+/// As [`expected_annual_cost`], minus the preparation errors its
+/// caller has already surfaced.
+pub fn expected_annual_cost_prepared(
+    prepared: &PreparedDesign,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<ExpectedCost, Error> {
     let mut outlays = Money::ZERO;
     let mut expected_penalties = Money::ZERO;
     let mut evaluations = Vec::with_capacity(scenarios.len());
     for (index, weighted) in scenarios.iter().enumerate() {
-        if !(weighted.annual_frequency >= 0.0 && weighted.annual_frequency.is_finite()) {
-            return Err(Error::invalid(
-                format!("scenarios[{index}].annualFrequency"),
-                "must be non-negative and finite",
-            ));
-        }
-        let evaluation = evaluate(design, workload, requirements, &weighted.scenario)?;
+        check_frequency(index, weighted)?;
+        let evaluation =
+            prepared.evaluate_scenario_shared(requirements, Arc::clone(&weighted.scenario))?;
         outlays = evaluation.cost.total_outlays;
         expected_penalties += evaluation.cost.total_penalties() * weighted.annual_frequency;
         evaluations.push((weighted.annual_frequency, evaluation));
@@ -86,6 +117,17 @@ pub fn expected_annual_cost(
         expected_penalties,
         evaluations,
     })
+}
+
+fn check_frequency(index: usize, weighted: &WeightedScenario) -> Result<(), Error> {
+    if weighted.annual_frequency >= 0.0 && weighted.annual_frequency.is_finite() {
+        Ok(())
+    } else {
+        Err(Error::invalid(
+            format!("scenarios[{index}].annualFrequency"),
+            "must be non-negative and finite",
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,14 @@
 //! 4. compute the worst-case recovery time along the recovery path
 //!    (§3.3.4),
 //! 5. price the design: outlays + penalties (§3.3.5).
+//!
+//! Steps 1–2 are scenario-independent; [`PreparedDesign`] (the
+//! [`prepare`] module) computes them once so multi-scenario callers —
+//! [`expected_annual_cost`], [`risk_profile`], [`degraded_exposure`],
+//! [`compare`] — reuse one preparation instead of redoing it per
+//! scenario. [`evaluate`] itself is a thin wrapper over
+//! [`PreparedDesign::evaluate_scenario`] and produces bit-for-bit
+//! identical results.
 
 pub mod compare;
 pub mod cost;
@@ -16,6 +24,7 @@ pub mod coverage;
 pub mod data_loss;
 pub mod degraded;
 pub mod expected;
+pub mod prepare;
 pub mod propagation;
 pub mod recovery;
 pub mod risk;
@@ -24,12 +33,17 @@ pub mod utilization;
 pub use compare::{compare, ComparisonRow, DesignComparison};
 pub use cost::{CostReport, LevelOutlay};
 pub use coverage::{coverage, CoverageReport, CoverageRow, ScopeCoverage};
-pub use data_loss::{data_loss, LevelLoss, LossCase, LossReport};
-pub use degraded::{degraded_exposure, DegradedOutcome, DegradedReport, DegradedRow};
-pub use expected::{expected_annual_cost, ExpectedCost, WeightedScenario};
+pub use data_loss::{data_loss, data_loss_from_ranges, LevelLoss, LossCase, LossReport};
+pub use degraded::{
+    degraded_exposure, degraded_exposure_prepared, DegradedOutcome, DegradedReport, DegradedRow,
+};
+pub use expected::{
+    expected_annual_cost, expected_annual_cost_prepared, ExpectedCost, WeightedScenario,
+};
+pub use prepare::PreparedDesign;
 pub use propagation::{level_ranges, LevelRange};
 pub use recovery::{recovery, recovery_with_bytes, RecoveryReport, RecoveryStep, StepKind};
-pub use risk::{risk_profile, RiskProfile};
+pub use risk::{risk_profile, risk_profile_prepared, RiskProfile};
 pub use utilization::{
     utilization, utilization_from_demands, DeviceUtilization, UtilizationReport,
 };
@@ -40,15 +54,23 @@ use crate::hierarchy::StorageDesign;
 use crate::requirements::BusinessRequirements;
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The complete dependability evaluation of one design under one failure
 /// scenario.
+///
+/// The scenario and the utilization report are held behind [`Arc`]s so
+/// batch producers (weighted catalogs, sweeps, the degraded-mode matrix)
+/// share one allocation per distinct scenario — and one per prepared
+/// design, since normal-mode utilization is scenario-independent —
+/// instead of deep-cloning them per outcome; both serialize
+/// transparently, exactly as owned values would.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Evaluation {
     /// The evaluated scenario.
-    pub scenario: FailureScenario,
+    pub scenario: Arc<FailureScenario>,
     /// Normal-mode device and system utilization (paper Table 5).
-    pub utilization: UtilizationReport,
+    pub utilization: Arc<UtilizationReport>,
     /// Recovery source and worst-case recent data loss (Table 6).
     pub loss: LossReport,
     /// Worst-case recovery timeline (Table 6, Figure 4).
@@ -98,25 +120,7 @@ pub fn evaluate(
     requirements: &BusinessRequirements,
     scenario: &FailureScenario,
 ) -> Result<Evaluation, Error> {
-    let demands = design.demands(workload)?;
-    let utilization = utilization::utilization_from_demands(design, &demands);
-    utilization.check()?;
-    let loss = data_loss::data_loss(design, scenario)?;
-    let recovery = recovery::recovery(design, workload, &demands, scenario, loss.source_level)?;
-    let cost = cost::costs(
-        design,
-        &demands,
-        requirements,
-        recovery.total_time,
-        loss.worst_loss,
-    );
-    Ok(Evaluation {
-        scenario: scenario.clone(),
-        utilization,
-        loss,
-        recovery,
-        cost,
-    })
+    PreparedDesign::prepare(design, workload)?.evaluate_scenario(requirements, scenario)
 }
 
 /// An analysis section of the evaluation pipeline, as quarantined by
@@ -162,7 +166,7 @@ pub struct SectionCaveat {
 }
 
 impl SectionCaveat {
-    fn new(section: Section, code: &str, reason: impl Into<String>) -> SectionCaveat {
+    pub(crate) fn new(section: Section, code: &str, reason: impl Into<String>) -> SectionCaveat {
         SectionCaveat {
             section,
             code: code.to_string(),
@@ -247,115 +251,56 @@ pub fn evaluate_lenient(
         };
     }
 
-    let demands = match design.demands(workload) {
-        Ok(demands) => Some(demands),
+    // The staged path covers every design whose demands derive; a failed
+    // demand derivation caveats the demand-dependent sections but still
+    // attempts the data-loss analysis, which needs only the hierarchy.
+    let prepared = match PreparedDesign::prepare(design, workload) {
+        Ok(prepared) => prepared,
         Err(error) => {
             caveats.push(SectionCaveat::new(
                 Section::Utilization,
                 "invalid-input",
                 format!("demand derivation failed: {error}"),
             ));
-            None
-        }
-    };
 
-    let utilization = demands.as_ref().map(|demands| {
-        let report = utilization::utilization_from_demands(design, demands);
-        if let Err(error) = report.check() {
-            caveats.push(SectionCaveat::new(
-                Section::Utilization,
-                "overutilized",
-                error.to_string(),
-            ));
-        }
-        report
-    });
-
-    let loss = match data_loss::data_loss(design, scenario) {
-        Ok(loss) => Some(loss),
-        Err(error) => {
-            let code = match error {
-                Error::NoRecoverySource { .. } => "no-recovery-source",
-                Error::AllCopiesLost => "all-copies-lost",
-                _ => "invalid-input",
-            };
-            caveats.push(SectionCaveat::new(
-                Section::DataLoss,
-                code,
-                error.to_string(),
-            ));
-            None
-        }
-    };
-
-    let recovery = match (&demands, &loss) {
-        (Some(demands), Some(loss)) => {
-            match recovery::recovery(design, workload, demands, scenario, loss.source_level) {
-                Ok(recovery) => Some(recovery),
+            let loss = match data_loss::data_loss(design, scenario) {
+                Ok(loss) => Some(loss),
                 Err(error) => {
                     let code = match error {
-                        Error::NoReplacement { .. } => "no-replacement",
+                        Error::NoRecoverySource { .. } => "no-recovery-source",
+                        Error::AllCopiesLost => "all-copies-lost",
                         _ => "invalid-input",
                     };
                     caveats.push(SectionCaveat::new(
-                        Section::Recovery,
+                        Section::DataLoss,
                         code,
                         error.to_string(),
                     ));
                     None
                 }
-            }
-        }
-        _ => {
+            };
+
             caveats.push(SectionCaveat::new(
                 Section::Recovery,
                 "upstream-unavailable",
                 "recovery needs the demand derivation and a surviving loss source",
             ));
-            None
-        }
-    };
-
-    let cost = match (&demands, &loss, &recovery) {
-        (Some(demands), Some(loss), Some(recovery)) => {
-            let report = cost::costs(
-                design,
-                demands,
-                requirements,
-                recovery.total_time,
-                loss.worst_loss,
-            );
-            if !report.total_cost.is_finite() {
-                caveats.push(SectionCaveat::new(
-                    Section::Cost,
-                    "non-finite-cost",
-                    format!(
-                        "the total cost is {}; an outlay component overflows or \
-                         is non-finite",
-                        report.total_cost
-                    ),
-                ));
-            }
-            Some(report)
-        }
-        _ => {
             caveats.push(SectionCaveat::new(
                 Section::Cost,
                 "upstream-unavailable",
                 "cost needs demands, a loss source, and a recovery timeline",
             ));
-            None
+            return LenientEvaluation {
+                scenario: scenario.clone(),
+                utilization: None,
+                loss,
+                recovery: None,
+                cost: None,
+                caveats,
+            };
         }
     };
-
-    LenientEvaluation {
-        scenario: scenario.clone(),
-        utilization,
-        loss,
-        recovery,
-        cost,
-        caveats,
-    }
+    prepared.evaluate_scenario_lenient(requirements, scenario)
 }
 
 #[cfg(test)]
@@ -441,7 +386,10 @@ mod tests {
         let strict = evaluate(&design, &workload, &requirements, &scenario).unwrap();
         let lenient = evaluate_lenient(&design, &workload, &requirements, &scenario);
         assert!(lenient.is_complete(), "{:?}", lenient.caveats);
-        assert_eq!(lenient.utilization.as_ref(), Some(&strict.utilization));
+        assert_eq!(
+            lenient.utilization.as_ref(),
+            Some(strict.utilization.as_ref())
+        );
         assert_eq!(lenient.loss.as_ref(), Some(&strict.loss));
         assert_eq!(lenient.recovery.as_ref(), Some(&strict.recovery));
         assert_eq!(lenient.cost.as_ref(), Some(&strict.cost));

@@ -1,0 +1,363 @@
+//! Staged evaluation: the scenario-independent half of the pipeline,
+//! computed once and reused across scenarios.
+//!
+//! The paper's evaluation factors cleanly in two: converting every
+//! level's policy into device demands (§3.2.3) and checking normal-mode
+//! utilization (§3.3.1) depend only on the (design, workload) pair,
+//! while data loss (§3.3.3), recovery (§3.3.4), and penalties (§3.3.5)
+//! depend on the failure scenario. [`PreparedDesign`] captures the first
+//! half — demands, the utilization report, and the level propagation
+//! ranges (§3.3.2) — so that evaluating N scenarios, a frequency-weighted
+//! catalog, or a degraded-mode matrix pays the preparation cost once
+//! instead of N times.
+//!
+//! [`evaluate`](super::evaluate()) is a thin wrapper over
+//! [`PreparedDesign::evaluate_scenario`]; the two paths produce
+//! bit-for-bit identical [`Evaluation`]s (a property test in the
+//! integration suite pins this, serialized caveats and errors included).
+
+use crate::analysis::propagation::{level_ranges, LevelRange};
+use crate::analysis::{cost, data_loss, recovery, utilization};
+use crate::analysis::{Evaluation, LenientEvaluation, Section, SectionCaveat};
+use crate::demands::DemandSet;
+use crate::error::Error;
+use crate::failure::FailureScenario;
+use crate::hierarchy::StorageDesign;
+use crate::requirements::BusinessRequirements;
+use crate::workload::Workload;
+use std::sync::Arc;
+
+/// The scenario-independent artifacts of one (design, workload) pair.
+///
+/// Build one with [`PreparedDesign::prepare`], then evaluate as many
+/// scenarios as needed against it:
+///
+/// ```
+/// use ssdep_core::prelude::*;
+/// use ssdep_core::analysis::PreparedDesign;
+///
+/// # fn main() -> Result<(), ssdep_core::Error> {
+/// let workload = ssdep_core::presets::cello_workload();
+/// let design = ssdep_core::presets::baseline_design();
+/// let requirements = ssdep_core::presets::paper_requirements();
+/// let prepared = PreparedDesign::prepare(&design, &workload)?;
+/// let array = prepared.evaluate_scenario(
+///     &requirements,
+///     &FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+/// )?;
+/// let site = prepared.evaluate_scenario(
+///     &requirements,
+///     &FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+/// )?;
+/// assert!(site.loss.worst_loss > array.loss.worst_loss);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedDesign {
+    design: StorageDesign,
+    workload: Workload,
+    demands: DemandSet,
+    // Shared, not owned: every evaluation of this prepared design hands
+    // out the same normal-mode report, so a K-scenario batch allocates
+    // it once instead of K times.
+    utilization: Arc<utilization::UtilizationReport>,
+    ranges: Vec<LevelRange>,
+}
+
+impl PreparedDesign {
+    /// Runs the scenario-independent stages for `design` under
+    /// `workload`: demand derivation, the normal-mode utilization
+    /// report, and the per-level propagation ranges.
+    ///
+    /// The utilization *feasibility check* (§3.3.1) is deliberately not
+    /// performed here — it stays in [`Self::evaluate_scenario`] so the
+    /// staged path reports [`Error::Overutilized`] at exactly the same
+    /// point in the pipeline as the single-shot path.
+    ///
+    /// # Errors
+    ///
+    /// Technique/structure errors propagated from the demand models.
+    pub fn prepare(design: &StorageDesign, workload: &Workload) -> Result<PreparedDesign, Error> {
+        let demands = design.demands(workload)?;
+        let utilization = Arc::new(utilization::utilization_from_demands(design, &demands));
+        let ranges = level_ranges(design);
+        Ok(PreparedDesign {
+            design: design.clone(),
+            workload: workload.clone(),
+            demands,
+            utilization,
+            ranges,
+        })
+    }
+
+    /// The prepared design.
+    pub fn design(&self) -> &StorageDesign {
+        &self.design
+    }
+
+    /// The prepared workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The derived device demands (§3.2.3).
+    pub fn demands(&self) -> &DemandSet {
+        &self.demands
+    }
+
+    /// The normal-mode utilization report (§3.3.1), not yet checked for
+    /// feasibility.
+    pub fn utilization(&self) -> &utilization::UtilizationReport {
+        &self.utilization
+    }
+
+    /// The per-level guaranteed RP age ranges (§3.3.2).
+    pub fn ranges(&self) -> &[LevelRange] {
+        &self.ranges
+    }
+
+    /// Runs the scenario-dependent stages against the prepared
+    /// artifacts: the §3.3.1 feasibility check, data loss, recovery,
+    /// and cost.
+    ///
+    /// # Errors
+    ///
+    /// As [`evaluate`](super::evaluate()): [`Error::Overutilized`],
+    /// [`Error::NoRecoverySource`], [`Error::NoReplacement`].
+    pub fn evaluate_scenario(
+        &self,
+        requirements: &BusinessRequirements,
+        scenario: &FailureScenario,
+    ) -> Result<Evaluation, Error> {
+        self.evaluate_scenario_shared(requirements, Arc::new(scenario.clone()))
+    }
+
+    /// As [`Self::evaluate_scenario`], taking an already-shared scenario
+    /// so batch callers (sweeps, weighted catalogs) avoid a deep clone
+    /// per evaluation — the returned [`Evaluation`] holds the same
+    /// `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::evaluate_scenario`].
+    pub fn evaluate_scenario_shared(
+        &self,
+        requirements: &BusinessRequirements,
+        scenario: Arc<FailureScenario>,
+    ) -> Result<Evaluation, Error> {
+        self.utilization.check()?;
+        let loss = data_loss::data_loss_from_ranges(&self.design, &scenario, &self.ranges)?;
+        let recovery = recovery::recovery(
+            &self.design,
+            &self.workload,
+            &self.demands,
+            &scenario,
+            loss.source_level,
+        )?;
+        let cost = cost::costs(
+            &self.design,
+            &self.demands,
+            requirements,
+            recovery.total_time,
+            loss.worst_loss,
+        );
+        Ok(Evaluation {
+            scenario,
+            utilization: Arc::clone(&self.utilization),
+            loss,
+            recovery,
+            cost,
+        })
+    }
+
+    /// The lenient counterpart of [`Self::evaluate_scenario`]: attempts
+    /// each scenario-dependent section independently and quarantines
+    /// failures as [`SectionCaveat`]s, exactly as
+    /// [`evaluate_lenient`](super::evaluate_lenient()) does once the
+    /// demand derivation has succeeded.
+    pub fn evaluate_scenario_lenient(
+        &self,
+        requirements: &BusinessRequirements,
+        scenario: &FailureScenario,
+    ) -> LenientEvaluation {
+        let mut caveats = Vec::new();
+
+        let report = (*self.utilization).clone();
+        if let Err(error) = report.check() {
+            caveats.push(SectionCaveat::new(
+                Section::Utilization,
+                "overutilized",
+                error.to_string(),
+            ));
+        }
+        let utilization = Some(report);
+
+        let loss = match data_loss::data_loss_from_ranges(&self.design, scenario, &self.ranges) {
+            Ok(loss) => Some(loss),
+            Err(error) => {
+                let code = match error {
+                    Error::NoRecoverySource { .. } => "no-recovery-source",
+                    Error::AllCopiesLost => "all-copies-lost",
+                    _ => "invalid-input",
+                };
+                caveats.push(SectionCaveat::new(
+                    Section::DataLoss,
+                    code,
+                    error.to_string(),
+                ));
+                None
+            }
+        };
+
+        let recovery = match &loss {
+            Some(loss) => {
+                match recovery::recovery(
+                    &self.design,
+                    &self.workload,
+                    &self.demands,
+                    scenario,
+                    loss.source_level,
+                ) {
+                    Ok(recovery) => Some(recovery),
+                    Err(error) => {
+                        let code = match error {
+                            Error::NoReplacement { .. } => "no-replacement",
+                            _ => "invalid-input",
+                        };
+                        caveats.push(SectionCaveat::new(
+                            Section::Recovery,
+                            code,
+                            error.to_string(),
+                        ));
+                        None
+                    }
+                }
+            }
+            None => {
+                caveats.push(SectionCaveat::new(
+                    Section::Recovery,
+                    "upstream-unavailable",
+                    "recovery needs the demand derivation and a surviving loss source",
+                ));
+                None
+            }
+        };
+
+        let cost = match (&loss, &recovery) {
+            (Some(loss), Some(recovery)) => {
+                let report = cost::costs(
+                    &self.design,
+                    &self.demands,
+                    requirements,
+                    recovery.total_time,
+                    loss.worst_loss,
+                );
+                if !report.total_cost.is_finite() {
+                    caveats.push(SectionCaveat::new(
+                        Section::Cost,
+                        "non-finite-cost",
+                        format!(
+                            "the total cost is {}; an outlay component overflows or \
+                             is non-finite",
+                            report.total_cost
+                        ),
+                    ));
+                }
+                Some(report)
+            }
+            _ => {
+                caveats.push(SectionCaveat::new(
+                    Section::Cost,
+                    "upstream-unavailable",
+                    "cost needs demands, a loss source, and a recovery timeline",
+                ));
+                None
+            }
+        };
+
+        LenientEvaluation {
+            scenario: scenario.clone(),
+            utilization,
+            loss,
+            recovery,
+            cost,
+            caveats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::evaluate;
+    use crate::failure::{FailureScope, RecoveryTarget};
+    use crate::units::{Bytes, TimeDelta};
+
+    fn fixture() -> (StorageDesign, Workload, BusinessRequirements) {
+        (
+            crate::presets::baseline_design(),
+            crate::presets::cello_workload(),
+            crate::presets::paper_requirements(),
+        )
+    }
+
+    #[test]
+    fn prepared_scenarios_match_single_shot_evaluations() {
+        let (design, workload, requirements) = fixture();
+        let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+        let scenarios = [
+            FailureScenario::new(
+                FailureScope::DataObject {
+                    size: Bytes::from_mib(1.0),
+                },
+                RecoveryTarget::Before {
+                    age: TimeDelta::from_hours(24.0),
+                },
+            ),
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+        ];
+        for scenario in &scenarios {
+            let staged = prepared.evaluate_scenario(&requirements, scenario).unwrap();
+            let single = evaluate(&design, &workload, &requirements, scenario).unwrap();
+            assert_eq!(staged, single);
+        }
+    }
+
+    #[test]
+    fn preparation_artifacts_are_exposed() {
+        let (design, workload, _) = fixture();
+        let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+        assert_eq!(prepared.design().name(), design.name());
+        assert_eq!(prepared.ranges().len(), design.levels().len());
+        assert!(prepared.utilization().check().is_ok());
+        assert_eq!(prepared.workload(), &workload);
+    }
+
+    #[test]
+    fn shared_scenarios_are_not_deep_cloned() {
+        let (design, workload, requirements) = fixture();
+        let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+        let scenario = Arc::new(FailureScenario::new(
+            FailureScope::Array,
+            RecoveryTarget::Now,
+        ));
+        let evaluation = prepared
+            .evaluate_scenario_shared(&requirements, Arc::clone(&scenario))
+            .unwrap();
+        assert!(Arc::ptr_eq(&evaluation.scenario, &scenario));
+    }
+
+    #[test]
+    fn overutilization_is_checked_per_scenario_not_at_preparation() {
+        let (design, workload, requirements) = fixture();
+        let overgrown = workload.scaled(4.0).unwrap();
+        let prepared = PreparedDesign::prepare(&design, &overgrown).unwrap();
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let err = prepared
+            .evaluate_scenario(&requirements, &scenario)
+            .unwrap_err();
+        assert!(matches!(err, Error::Overutilized { .. }));
+    }
+}

@@ -7,7 +7,10 @@
 //! the per-scenario evaluations with annual frequencies into those
 //! numbers.
 
-use crate::analysis::expected::{expected_annual_cost, WeightedScenario};
+use crate::analysis::expected::{
+    expected_annual_cost, expected_annual_cost_prepared, ExpectedCost, WeightedScenario,
+};
+use crate::analysis::prepare::PreparedDesign;
 use crate::error::Error;
 use crate::hierarchy::StorageDesign;
 use crate::requirements::BusinessRequirements;
@@ -58,7 +61,25 @@ pub fn risk_profile(
     scenarios: &[WeightedScenario],
 ) -> Result<RiskProfile, Error> {
     let expected = expected_annual_cost(design, workload, requirements, scenarios)?;
+    Ok(fold_profile(&expected))
+}
 
+/// As [`risk_profile`], folding evaluations produced from an existing
+/// [`PreparedDesign`] — one preparation serves the whole catalog.
+///
+/// # Errors
+///
+/// As [`expected_annual_cost_prepared`].
+pub fn risk_profile_prepared(
+    prepared: &PreparedDesign,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<RiskProfile, Error> {
+    let expected = expected_annual_cost_prepared(prepared, requirements, scenarios)?;
+    Ok(fold_profile(&expected))
+}
+
+fn fold_profile(expected: &ExpectedCost) -> RiskProfile {
     let mut expected_annual_downtime = TimeDelta::ZERO;
     let mut expected_annual_loss = TimeDelta::ZERO;
     let mut worst_case_recovery = TimeDelta::ZERO;
@@ -72,14 +93,14 @@ pub fn risk_profile(
     let year = TimeDelta::from_years(1.0);
     let availability = (1.0 - expected_annual_downtime / year).max(0.0);
 
-    Ok(RiskProfile {
+    RiskProfile {
         expected_annual_downtime,
         expected_annual_loss,
         availability,
         expected_annual_cost: expected.total(),
         worst_case_recovery,
         worst_case_loss,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,12 @@
 //! utilization from the aggregated technique demands; the global model
 //! takes the most heavily utilized device as the system utilization and
 //! flags any device whose demands exceed its capability.
+//!
+//! The report depends only on the (design, workload) pair — it is part
+//! of the scenario-independent preparation a
+//! [`PreparedDesign`](crate::analysis::PreparedDesign) caches, with the
+//! feasibility [`check`](UtilizationReport::check) deferred to each
+//! scenario evaluation.
 
 use crate::demands::DemandSet;
 use crate::error::{Error, ResourceKind};

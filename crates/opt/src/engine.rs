@@ -1,0 +1,407 @@
+//! Staged evaluation engine: fingerprint-keyed reuse of scenario-
+//! independent preparation across batch candidates.
+//!
+//! Every candidate evaluation in a sweep or search folds the same
+//! pipeline: derive demands, build the utilization report, compute
+//! propagation ranges — all independent of the failure scenario — then
+//! score each scenario. [`PreparedDesign`] (ssdep-core) captures the
+//! scenario-independent half; this module adds the batch-level layer on
+//! top:
+//!
+//! * [`Fingerprint`] — a stable 64-bit hash over the canonical JSON of a
+//!   `(design, workload)` pair, so structurally identical candidates
+//!   share one preparation even when they are distinct values;
+//! * [`EvalEngine`] — a bounded, least-recently-used memo cache of
+//!   [`PreparedDesign`] artifacts keyed by fingerprint, safe to share
+//!   across the supervisor's worker threads, with hit/miss counters
+//!   surfaced through [`Provenance::cache_hits`](crate::supervisor::Provenance).
+//!
+//! The cache only ever changes *how often* preparation runs, never what
+//! an evaluation returns: a hit hands back the same artifact a fresh
+//! [`PreparedDesign::prepare`] call would have produced, so engine-routed
+//! results stay bit-for-bit identical to the single-shot pipeline.
+
+use ssdep_core::analysis::{
+    expected_annual_cost, expected_annual_cost_prepared, ExpectedCost, PreparedDesign,
+    WeightedScenario,
+};
+use ssdep_core::error::Error;
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::requirements::BusinessRequirements;
+use ssdep_core::workload::Workload;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A stable identity for a `(design, workload)` preparation input.
+///
+/// The hash is FNV-1a over the canonical `serde_json` serialization of
+/// the design, a separator byte, and the serialization of the workload.
+/// Serialized form — not memory identity — is what keys the cache, so
+/// two independently constructed but structurally identical candidates
+/// collapse onto one preparation. Anything *not* serialized (business
+/// requirements, the scenario catalog) never invalidates a cached
+/// artifact, because preparation does not depend on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(hash, |acc, byte| {
+        (acc ^ u64::from(*byte)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+impl Fingerprint {
+    /// Fingerprints a `(design, workload)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns an invalid-parameter error if either value cannot be
+    /// serialized (not expected for well-formed designs).
+    pub fn of(design: &StorageDesign, workload: &Workload) -> Result<Fingerprint, Error> {
+        let design_json = serde_json::to_string(design)
+            .map_err(|e| Error::invalid("design", format!("cannot fingerprint: {e}")))?;
+        let workload_json = serde_json::to_string(workload)
+            .map_err(|e| Error::invalid("workload", format!("cannot fingerprint: {e}")))?;
+        let mut hash = fnv1a(FNV_OFFSET, design_json.as_bytes());
+        hash = fnv1a(hash, &[0x1f]);
+        hash = fnv1a(hash, workload_json.as_bytes());
+        Ok(Fingerprint(hash))
+    }
+
+    /// The raw 64-bit hash.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Tuning knobs for an [`EvalEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum number of prepared designs retained in the memo cache.
+    /// The least-recently-used entry is evicted when full. Zero disables
+    /// caching entirely (every call prepares afresh).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { cache_capacity: 64 }
+    }
+}
+
+struct CacheEntry {
+    prepared: Arc<PreparedDesign>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: HashMap<u64, CacheEntry>,
+    clock: u64,
+}
+
+/// A memo cache of scenario-independent preparation artifacts, shared
+/// across the evaluations of a batch run.
+///
+/// Thread-safe: the cache sits behind a mutex and the counters are
+/// atomic, so one engine can serve all of a supervisor's worker threads.
+/// Concurrent misses on the same fingerprint may both prepare (last
+/// insert wins); the artifacts are identical, so results never depend on
+/// the race — only the reported hit count can.
+pub struct EvalEngine {
+    config: EngineConfig,
+    cache: Mutex<CacheInner>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl fmt::Debug for EvalEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvalEngine")
+            .field("cache_capacity", &self.config.cache_capacity)
+            .field("cached", &self.lock().entries.len())
+            .field("hits", &self.cache_hits())
+            .field("misses", &self.cache_misses())
+            .finish()
+    }
+}
+
+impl Default for EvalEngine {
+    fn default() -> Self {
+        EvalEngine::new(EngineConfig::default())
+    }
+}
+
+impl EvalEngine {
+    /// Builds an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> EvalEngine {
+        EvalEngine {
+            config,
+            cache: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                clock: 0,
+            }),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        // A worker that panicked mid-evaluation never holds this lock
+        // (the cache is only touched between evaluations), but recover
+        // from poisoning anyway rather than propagate a panic.
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Prepares `design` under `workload`, reusing a cached artifact when
+    /// an identical pair was prepared before.
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedDesign::prepare`] (demand-model errors).
+    pub fn prepare(
+        &self,
+        design: &StorageDesign,
+        workload: &Workload,
+    ) -> Result<Arc<PreparedDesign>, Error> {
+        if self.config.cache_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(PreparedDesign::prepare(design, workload)?));
+        }
+        let key = Fingerprint::of(design, workload)?.value();
+        {
+            let mut inner = self.lock();
+            inner.clock += 1;
+            let stamp = inner.clock;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = stamp;
+                let prepared = Arc::clone(&entry.prepared);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(prepared);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(PreparedDesign::prepare(design, workload)?);
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if inner.entries.len() >= self.config.cache_capacity && !inner.entries.contains_key(&key) {
+            if let Some(evict) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| *k)
+            {
+                inner.entries.remove(&evict);
+            }
+        }
+        inner.entries.insert(
+            key,
+            CacheEntry {
+                prepared: Arc::clone(&prepared),
+                last_used: stamp,
+            },
+        );
+        Ok(prepared)
+    }
+
+    /// Frequency-weighted expected annual cost, routed through the memo
+    /// cache. Results (including error cases and their ordering) are
+    /// identical to [`expected_annual_cost`].
+    ///
+    /// # Errors
+    ///
+    /// As [`expected_annual_cost`].
+    pub fn expected_annual_cost(
+        &self,
+        design: &StorageDesign,
+        workload: &Workload,
+        requirements: &BusinessRequirements,
+        scenarios: &[WeightedScenario],
+    ) -> Result<ExpectedCost, Error> {
+        // The single-shot path short-circuits an empty catalog and
+        // validates the first scenario's frequency *before* preparing;
+        // defer to it in those cases so error ordering stays identical.
+        let Some(first) = scenarios.first() else {
+            return expected_annual_cost(design, workload, requirements, scenarios);
+        };
+        if !(first.annual_frequency >= 0.0 && first.annual_frequency.is_finite()) {
+            return expected_annual_cost(design, workload, requirements, scenarios);
+        }
+        let prepared = self.prepare(design, workload)?;
+        expected_annual_cost_prepared(&prepared, requirements, scenarios)
+    }
+
+    /// Number of cache hits so far.
+    pub fn cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (fresh preparations attempted) so far.
+    pub fn cache_misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of prepared designs currently cached.
+    pub fn cached_designs(&self) -> usize {
+        self.lock().entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdep_core::presets;
+
+    fn catalog() -> Vec<WeightedScenario> {
+        use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+        vec![
+            WeightedScenario::new(
+                FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+                0.1,
+            ),
+            WeightedScenario::new(
+                FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+                0.02,
+            ),
+        ]
+    }
+
+    #[test]
+    fn identical_inputs_share_one_preparation() {
+        let engine = EvalEngine::default();
+        let workload = presets::cello_workload();
+        let design = presets::baseline_design();
+        let first = engine.prepare(&design, &workload).unwrap();
+        // A structurally identical but independently built design hits.
+        let second = engine.prepare(&design.clone(), &workload).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(engine.cache_hits(), 1);
+        assert_eq!(engine.cache_misses(), 1);
+    }
+
+    #[test]
+    fn distinct_inputs_miss() {
+        let engine = EvalEngine::default();
+        let workload = presets::cello_workload();
+        engine
+            .prepare(&presets::baseline_design(), &workload)
+            .unwrap();
+        engine
+            .prepare(&presets::async_batch_mirror_design(10), &workload)
+            .unwrap();
+        assert_eq!(engine.cache_hits(), 0);
+        assert_eq!(engine.cache_misses(), 2);
+        // A changed workload also misses, even with the same design.
+        engine
+            .prepare(&presets::baseline_design(), &workload.scaled(2.0).unwrap())
+            .unwrap();
+        assert_eq!(engine.cache_misses(), 3);
+        assert_eq!(engine.cached_designs(), 3);
+    }
+
+    #[test]
+    fn engine_costs_match_the_single_shot_path() {
+        let engine = EvalEngine::default();
+        let workload = presets::cello_workload();
+        let design = presets::baseline_design();
+        let requirements = presets::paper_requirements();
+        let scenarios = catalog();
+        let single = expected_annual_cost(&design, &workload, &requirements, &scenarios).unwrap();
+        let routed = engine
+            .expected_annual_cost(&design, &workload, &requirements, &scenarios)
+            .unwrap();
+        let again = engine
+            .expected_annual_cost(&design, &workload, &requirements, &scenarios)
+            .unwrap();
+        let single_json = serde_json::to_string(&single).unwrap();
+        assert_eq!(serde_json::to_string(&routed).unwrap(), single_json);
+        assert_eq!(serde_json::to_string(&again).unwrap(), single_json);
+        assert_eq!(engine.cache_hits(), 1);
+    }
+
+    #[test]
+    fn engine_errors_match_the_single_shot_path() {
+        let engine = EvalEngine::default();
+        let workload = presets::cello_workload().scaled(4.0).unwrap();
+        let design = presets::baseline_design();
+        let requirements = presets::paper_requirements();
+        let scenarios = catalog();
+        let single = expected_annual_cost(&design, &workload, &requirements, &scenarios)
+            .unwrap_err()
+            .to_string();
+        let routed = engine
+            .expected_annual_cost(&design, &workload, &requirements, &scenarios)
+            .unwrap_err()
+            .to_string();
+        assert_eq!(routed, single);
+
+        // A bad leading frequency is rejected before any preparation.
+        let mut bad = catalog();
+        bad[0].annual_frequency = f64::NAN;
+        let misses = engine.cache_misses();
+        let err = engine
+            .expected_annual_cost(&design, &workload, &requirements, &bad)
+            .unwrap_err();
+        assert!(err.to_string().contains("scenarios[0].annualFrequency"));
+        assert_eq!(engine.cache_misses(), misses);
+    }
+
+    #[test]
+    fn the_cache_is_bounded_and_evicts_least_recently_used() {
+        let engine = EvalEngine::new(EngineConfig { cache_capacity: 2 });
+        let workload = presets::cello_workload();
+        let a = presets::async_batch_mirror_design(1);
+        let b = presets::async_batch_mirror_design(2);
+        let c = presets::async_batch_mirror_design(4);
+        engine.prepare(&a, &workload).unwrap();
+        engine.prepare(&b, &workload).unwrap();
+        engine.prepare(&a, &workload).unwrap(); // refresh a; b is now LRU
+        engine.prepare(&c, &workload).unwrap(); // evicts b
+        assert_eq!(engine.cached_designs(), 2);
+        engine.prepare(&a, &workload).unwrap();
+        assert_eq!(engine.cache_hits(), 2);
+        engine.prepare(&b, &workload).unwrap(); // must re-prepare
+        assert_eq!(engine.cache_misses(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let engine = EvalEngine::new(EngineConfig { cache_capacity: 0 });
+        let workload = presets::cello_workload();
+        let design = presets::baseline_design();
+        engine.prepare(&design, &workload).unwrap();
+        engine.prepare(&design, &workload).unwrap();
+        assert_eq!(engine.cache_hits(), 0);
+        assert_eq!(engine.cache_misses(), 2);
+        assert_eq!(engine.cached_designs(), 0);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_input_sensitive() {
+        let workload = presets::cello_workload();
+        let design = presets::baseline_design();
+        let fp1 = Fingerprint::of(&design, &workload).unwrap();
+        let fp2 = Fingerprint::of(&design.clone(), &workload).unwrap();
+        assert_eq!(fp1, fp2);
+        assert_eq!(format!("{fp1}").len(), 16);
+        let other = Fingerprint::of(&presets::async_batch_mirror_design(10), &workload).unwrap();
+        assert_ne!(fp1, other);
+        let scaled = Fingerprint::of(&design, &workload.scaled(2.0).unwrap()).unwrap();
+        assert_ne!(fp1, scaled);
+    }
+}

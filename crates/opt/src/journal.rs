@@ -12,6 +12,13 @@
 //! * **readers drop a torn tail**: a final line that does not parse is
 //!   treated as the crash artifact it is, while an unparsable line in
 //!   the middle of the file is reported as corruption.
+//!
+//! Record *order* carries no meaning: resume matches records to tasks by
+//! their serialized key, so journals written by parallel supervisor runs
+//! (whose append order follows completion, not input order) replay
+//! exactly like serial ones. Replayed outcomes are copied verbatim —
+//! resume never re-runs any part of the evaluation pipeline, including
+//! its scenario-independent preparation stage.
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;

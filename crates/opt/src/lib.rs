@@ -16,8 +16,14 @@
 //!   when the decision is a trade-off rather than one number;
 //! * [`supervisor`] + [`journal`] — a crash-tolerant batch engine that
 //!   runs sweeps and searches with panic isolation, per-task deadlines,
-//!   transient-failure retries, and an append-only checkpoint journal so
-//!   a killed run resumes without repeating completed evaluations.
+//!   transient-failure retries, optional parallel workers, and an
+//!   append-only checkpoint journal so a killed run resumes without
+//!   repeating completed evaluations;
+//! * [`engine`] — the staged-evaluation layer: a fingerprint-keyed memo
+//!   cache of scenario-independent
+//!   [`PreparedDesign`](ssdep_core::analysis::PreparedDesign) artifacts
+//!   shared across a batch, so structurally identical candidates prepare
+//!   once.
 //!
 //! ```
 //! use ssdep_opt::space::DesignSpace;
@@ -40,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod engine;
 pub mod journal;
 pub mod pareto;
 pub mod search;
@@ -47,9 +54,10 @@ pub mod space;
 pub mod supervisor;
 pub mod sweep;
 
+pub use engine::{EngineConfig, EvalEngine, Fingerprint};
 pub use search::{
-    exhaustive, hill_climb, supervised_exhaustive, CandidateOutcome, SearchResult,
-    SupervisedSearchResult,
+    exhaustive, hill_climb, hill_climb_with_engine, supervised_exhaustive, CandidateOutcome,
+    SearchResult, SupervisedSearchResult,
 };
 pub use space::{Candidate, DesignSpace};
 pub use supervisor::{

@@ -7,10 +7,11 @@
 //! cannot recover at all from some scenario, are reported as infeasible
 //! rather than ranked.
 
+use crate::engine::EvalEngine;
 use crate::space::{Candidate, DesignSpace};
 use crate::supervisor::{FailedOutcome, FailureKind, Provenance, Supervisor};
 use serde::{Deserialize, Serialize};
-use ssdep_core::analysis::{expected_annual_cost, WeightedScenario};
+use ssdep_core::analysis::{expected_annual_cost, ExpectedCost, WeightedScenario};
 use ssdep_core::error::Error;
 use ssdep_core::hierarchy::StorageDesign;
 use ssdep_core::requirements::BusinessRequirements;
@@ -92,6 +93,36 @@ pub fn evaluate_candidate(
 ) -> Result<CandidateOutcome, Error> {
     let design = candidate.materialize()?;
     let expected = expected_annual_cost(&design, workload, requirements, scenarios)?;
+    Ok(fold_candidate(candidate, requirements, &expected))
+}
+
+/// As [`evaluate_candidate`], routing preparation through a staged
+/// [`EvalEngine`] so repeated visits to the same candidate (hill-climb
+/// revisits, multi-start overlaps, retries) reuse the cached
+/// scenario-independent artifacts. The numbers are identical to
+/// [`evaluate_candidate`]'s.
+///
+/// # Errors
+///
+/// As [`evaluate_candidate`].
+pub fn evaluate_candidate_engine(
+    engine: &EvalEngine,
+    candidate: &Candidate,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<CandidateOutcome, Error> {
+    let design = candidate.materialize()?;
+    let expected = engine.expected_annual_cost(&design, workload, requirements, scenarios)?;
+    Ok(fold_candidate(candidate, requirements, &expected))
+}
+
+/// Folds an expected-cost evaluation into one candidate outcome.
+fn fold_candidate(
+    candidate: &Candidate,
+    requirements: &BusinessRequirements,
+    expected: &ExpectedCost,
+) -> CandidateOutcome {
     let mut worst_recovery_time = TimeDelta::ZERO;
     let mut worst_data_loss = TimeDelta::ZERO;
     let mut meets_objectives = true;
@@ -100,7 +131,7 @@ pub fn evaluate_candidate(
         worst_data_loss = worst_data_loss.max(evaluation.loss.worst_loss);
         meets_objectives &= evaluation.meets_objectives(requirements);
     }
-    Ok(CandidateOutcome {
+    CandidateOutcome {
         candidate: *candidate,
         label: candidate.label(),
         outlays: expected.outlays,
@@ -109,7 +140,7 @@ pub fn evaluate_candidate(
         worst_recovery_time,
         worst_data_loss,
         meets_objectives,
-    })
+    }
 }
 
 /// Exhaustively evaluates every coherent candidate of `space`.
@@ -227,11 +258,22 @@ pub fn supervised_exhaustive(
             Err(_) => candidates.push(candidate),
         }
     }
-    let workload = workload.clone();
+    // Share one set of inputs (and one staged engine) across every
+    // worker instead of cloning per task.
+    let engine = std::sync::Arc::clone(supervisor.engine());
+    let hits_before = engine.cache_hits();
+    let closure_engine = std::sync::Arc::clone(&engine);
+    let workload = std::sync::Arc::new(workload.clone());
     let requirements = *requirements;
-    let scenarios = scenarios.to_vec();
+    let scenarios = std::sync::Arc::new(scenarios.to_vec());
     let run = supervisor.run(&candidates, move |candidate: &Candidate| {
-        match evaluate_candidate(candidate, &workload, &requirements, &scenarios) {
+        match evaluate_candidate_engine(
+            &closure_engine,
+            candidate,
+            &workload,
+            &requirements,
+            &scenarios,
+        ) {
             Ok(outcome) => Ok(SearchOutcome::Evaluated(outcome)),
             // Transient failures bubble to the supervisor's retry loop;
             // deterministic ones are the candidate's honest verdict.
@@ -261,6 +303,7 @@ pub fn supervised_exhaustive(
     let mut provenance = run.provenance;
     provenance.total += rejected.len();
     provenance.failed += rejected.len();
+    provenance.cache_hits = engine.cache_hits().saturating_sub(hits_before);
     let mut failed = run.failed;
     failed.extend(rejected);
     Ok(SupervisedSearchResult {
@@ -300,12 +343,37 @@ pub(crate) fn preflight_rejection(design: &StorageDesign, workload: &Workload) -
 /// no progress.
 ///
 /// Evaluates `O(sweeps × Σ dimension sizes)` candidates instead of the
-/// full cross product.
+/// full cross product. Coordinate descent revisits neighborhoods as it
+/// converges, so evaluation routes through a fresh [`EvalEngine`] —
+/// revisited candidates skip their scenario-independent preparation.
 ///
 /// # Errors
 ///
 /// As [`exhaustive`].
 pub fn hill_climb(
+    space: &DesignSpace,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<SearchResult, Error> {
+    hill_climb_with_engine(
+        &EvalEngine::default(),
+        space,
+        workload,
+        requirements,
+        scenarios,
+    )
+}
+
+/// As [`hill_climb`], sharing an existing [`EvalEngine`] — callers that
+/// climb repeatedly over overlapping neighborhoods (multi-start) reuse
+/// one preparation cache across all the climbs.
+///
+/// # Errors
+///
+/// As [`exhaustive`].
+pub fn hill_climb_with_engine(
+    engine: &EvalEngine,
     space: &DesignSpace,
     workload: &Workload,
     requirements: &BusinessRequirements,
@@ -322,7 +390,7 @@ pub fn hill_climb(
             return None;
         }
         *evaluations += 1;
-        match evaluate_candidate(candidate, workload, requirements, scenarios) {
+        match evaluate_candidate_engine(engine, candidate, workload, requirements, scenarios) {
             Ok(outcome) => Some(outcome),
             Err(error) => {
                 infeasible.push(InfeasibleCandidate {
@@ -425,6 +493,9 @@ pub fn multi_start_hill_climb(
     }
     let stride = (candidates.len() / restarts).max(1);
 
+    // One preparation cache spans every restart: overlapping
+    // neighborhoods prepare once.
+    let engine = EvalEngine::default();
     let mut evaluations = 0;
     let mut infeasible = Vec::new();
     let mut best: Option<CandidateOutcome> = None;
@@ -437,7 +508,7 @@ pub fn multi_start_hill_climb(
             vault: reorder(&space.vault, &start.vault),
             mirror: reorder(&space.mirror, &start.mirror),
         };
-        let result = hill_climb(&seeded, workload, requirements, scenarios)?;
+        let result = hill_climb_with_engine(&engine, &seeded, workload, requirements, scenarios)?;
         evaluations += result.evaluations;
         infeasible.extend(result.infeasible);
         if let Some(outcome) = result.ranked.into_iter().next() {

@@ -110,6 +110,13 @@ pub struct Provenance {
     pub retries: usize,
     /// Tasks quarantined as [`FailedOutcome`]s (resumed or fresh).
     pub failed: usize,
+    /// Preparation-cache hits recorded by the staged evaluation engine
+    /// ([`EvalEngine`](crate::engine::EvalEngine)) during fresh
+    /// evaluations; zero for runs that never routed through an engine,
+    /// and always zero for replayed outcomes (resume skips preparation
+    /// entirely).
+    #[serde(default)]
+    pub cache_hits: usize,
 }
 
 impl Provenance {
@@ -125,9 +132,10 @@ impl Provenance {
     }
 
     /// A one-line human summary, e.g.
-    /// `"16 tasks: 12 evaluated, 4 resumed, 0 failed (2 retries)"`.
+    /// `"16 tasks: 12 evaluated, 4 resumed, 0 failed (2 retries)"`, with
+    /// a cache-hit note appended only when the engine recorded any.
     pub fn summary(&self) -> String {
-        format!(
+        let mut text = format!(
             "{} tasks: {} evaluated, {} resumed, {} failed ({} retr{})",
             self.total,
             self.evaluated,
@@ -135,7 +143,15 @@ impl Provenance {
             self.failed,
             self.retries,
             if self.retries == 1 { "y" } else { "ies" },
-        )
+        );
+        if self.cache_hits > 0 {
+            text.push_str(&format!(
+                ", {} cache hit{}",
+                self.cache_hits,
+                if self.cache_hits == 1 { "" } else { "s" },
+            ));
+        }
+        text
     }
 }
 
@@ -165,6 +181,13 @@ pub struct SupervisorConfig {
     pub resume: Option<PathBuf>,
     /// How many journal appends to batch between `fsync`s.
     pub sync_every: usize,
+    /// How many worker threads evaluate fresh tasks concurrently. `1`
+    /// (the default) keeps the classic serial loop. Higher values fan
+    /// fresh tasks out over a scoped worker pool; completed and failed
+    /// outcomes are still assembled in input order, so results are
+    /// byte-identical to a serial run — only the journal's append order
+    /// (which resume matches by key, not position) varies.
+    pub jobs: usize,
     /// Test hook: abort the process (as a crash would) immediately
     /// after this many fresh journal appends have been made durable.
     #[doc(hidden)]
@@ -179,6 +202,7 @@ impl Default for SupervisorConfig {
             checkpoint: None,
             resume: None,
             sync_every: 8,
+            jobs: 1,
             crash_after_journaled: None,
         }
     }
@@ -188,17 +212,39 @@ impl Default for SupervisorConfig {
 #[derive(Debug, Clone, Default)]
 pub struct Supervisor {
     config: SupervisorConfig,
+    engine: Arc<crate::engine::EvalEngine>,
 }
 
 impl Supervisor {
-    /// A supervisor with the given configuration.
+    /// A supervisor with the given configuration (and a fresh
+    /// default-capacity [`EvalEngine`](crate::engine::EvalEngine)).
     pub fn new(config: SupervisorConfig) -> Supervisor {
-        Supervisor { config }
+        Supervisor {
+            config,
+            engine: Arc::default(),
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SupervisorConfig {
         &self.config
+    }
+
+    /// The staged evaluation engine that batch helpers
+    /// ([`supervised_sweep`](crate::sweep::supervised_sweep),
+    /// [`supervised_exhaustive`](crate::search::supervised_exhaustive))
+    /// route preparation through. The generic [`run`](Supervisor::run)
+    /// loop itself never touches it.
+    pub fn engine(&self) -> &Arc<crate::engine::EvalEngine> {
+        &self.engine
+    }
+
+    /// Replaces the engine — e.g. to share one preparation cache across
+    /// several related runs.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Arc<crate::engine::EvalEngine>) -> Supervisor {
+        self.engine = engine;
+        self
     }
 
     /// Runs `eval` over every item, isolating panics, enforcing the
@@ -211,13 +257,19 @@ impl Supervisor {
     /// infeasible candidate) into the outcome type rather than
     /// returning them as errors.
     ///
+    /// With [`SupervisorConfig::jobs`] above one, fresh tasks are
+    /// claimed by a scoped worker pool; outcomes are journaled in
+    /// completion order (resume matches by key, so order is irrelevant)
+    /// and assembled into input order, so the returned run is identical
+    /// to a serial one.
+    ///
     /// # Errors
     ///
     /// Returns journal I/O and serialization errors — per-task
     /// evaluation failures never abort the run.
     pub fn run<T, O, F>(&self, items: &[T], eval: F) -> Result<SupervisedRun<T, O>, Error>
     where
-        T: Clone + Send + Serialize + DeserializeOwned + 'static,
+        T: Clone + Send + Sync + Serialize + DeserializeOwned + 'static,
         O: Send + Serialize + DeserializeOwned + 'static,
         F: Fn(&T) -> Result<O, Error> + Send + Sync + 'static,
     {
@@ -244,40 +296,54 @@ impl Supervisor {
             None => None,
         };
 
-        let mut completed = Vec::new();
-        let mut failed = Vec::new();
         let mut provenance = Provenance {
             total: items.len(),
             ..Provenance::default()
         };
         let mut fresh_journaled = 0usize;
 
-        for item in items {
+        // Replay pass: settle resumed outcomes into their input-order
+        // slots, leaving only fresh indices to evaluate.
+        let mut slots: Vec<Option<TaskRecord<T, O>>> = items.iter().map(|_| None).collect();
+        let mut fresh: Vec<usize> = Vec::new();
+        for (index, item) in items.iter().enumerate() {
             let key = task_key(item)?;
-            let record = if let Some(replayed) = replay.remove(&key) {
+            if let Some(replayed) = replay.remove(&key) {
                 provenance.resumed += 1;
                 if rejournal_resumed {
                     if let Some(journal) = journal.as_mut() {
                         journal.append(&replayed)?;
                     }
                 }
-                replayed
+                slots[index] = Some(replayed);
             } else {
+                fresh.push(index);
+            }
+        }
+
+        let build_record =
+            |item: &T, outcome: Result<O, (FailureKind, String)>, attempts: u32| match outcome {
+                Ok(outcome) => TaskRecord::Completed {
+                    item: item.clone(),
+                    outcome,
+                },
+                Err((kind, error)) => TaskRecord::Failed(FailedOutcome {
+                    candidate: item.clone(),
+                    error,
+                    attempts,
+                    kind,
+                }),
+            };
+
+        let jobs = self.config.jobs.max(1).min(fresh.len().max(1));
+        if jobs <= 1 {
+            // Serial path: evaluate fresh tasks in input order.
+            for &index in &fresh {
+                let item = &items[index];
                 let (outcome, attempts) = self.evaluate_isolated(item, &eval);
                 provenance.evaluated += 1;
                 provenance.retries += attempts.saturating_sub(1) as usize;
-                let record = match outcome {
-                    Ok(outcome) => TaskRecord::Completed {
-                        item: item.clone(),
-                        outcome,
-                    },
-                    Err((kind, error)) => TaskRecord::Failed(FailedOutcome {
-                        candidate: item.clone(),
-                        error,
-                        attempts,
-                        kind,
-                    }),
-                };
+                let record = build_record(item, outcome, attempts);
                 if let Some(journal) = journal.as_mut() {
                     journal.append(&record)?;
                     fresh_journaled += 1;
@@ -289,8 +355,57 @@ impl Supervisor {
                         std::process::abort();
                     }
                 }
-                record
-            };
+                slots[index] = Some(record);
+            }
+        } else {
+            // Parallel path: workers claim fresh indices from a shared
+            // cursor; the journal is written by this thread only, in
+            // completion order.
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let (sender, receiver) = mpsc::channel();
+            std::thread::scope(|scope| -> Result<(), Error> {
+                for _ in 0..jobs {
+                    let sender = sender.clone();
+                    let cursor = &cursor;
+                    let fresh = &fresh;
+                    let eval = &eval;
+                    scope.spawn(move || loop {
+                        let claim = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&index) = fresh.get(claim) else {
+                            break;
+                        };
+                        let (outcome, attempts) = self.evaluate_isolated(&items[index], eval);
+                        if sender.send((index, outcome, attempts)).is_err() {
+                            // The collector bailed on a journal error;
+                            // stop claiming work.
+                            break;
+                        }
+                    });
+                }
+                drop(sender);
+                while let Ok((index, outcome, attempts)) = receiver.recv() {
+                    provenance.evaluated += 1;
+                    provenance.retries += attempts.saturating_sub(1) as usize;
+                    let record = build_record(&items[index], outcome, attempts);
+                    if let Some(journal) = journal.as_mut() {
+                        journal.append(&record)?;
+                        fresh_journaled += 1;
+                        if self.config.crash_after_journaled == Some(fresh_journaled) {
+                            journal.sync()?;
+                            std::process::abort();
+                        }
+                    }
+                    slots[index] = Some(record);
+                }
+                Ok(())
+            })?;
+        }
+
+        // Assemble in input order so parallel runs are byte-identical to
+        // serial ones.
+        let mut completed = Vec::new();
+        let mut failed = Vec::new();
+        for record in slots.into_iter().flatten() {
             match record {
                 TaskRecord::Completed { item, outcome } => completed.push((item, outcome)),
                 TaskRecord::Failed(outcome) => {
@@ -674,10 +789,73 @@ mod tests {
             evaluated: 12,
             retries: 1,
             failed: 2,
+            cache_hits: 0,
         };
         let text = provenance.summary();
         assert!(text.contains("16 tasks"), "{text}");
         assert!(text.contains("1 retry"), "{text}");
+        assert!(!text.contains("cache"), "{text}");
         assert_eq!(provenance.completed(), 14);
+
+        let with_hits = Provenance {
+            cache_hits: 3,
+            ..provenance
+        };
+        assert!(with_hits.summary().ends_with("3 cache hits"));
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_in_input_order() {
+        let items: Vec<u32> = (0..24).collect();
+        let eval = |&i: &u32| -> Result<u64, Error> {
+            assert!(i != 9, "poisoned task");
+            Ok(u64::from(i) * u64::from(i))
+        };
+        let serial = Supervisor::default().run(&items, eval).unwrap();
+        let parallel = Supervisor::new(SupervisorConfig {
+            jobs: 4,
+            ..SupervisorConfig::default()
+        })
+        .run(&items, eval)
+        .unwrap();
+        assert_eq!(parallel.completed, serial.completed);
+        assert_eq!(parallel.failed, serial.failed);
+        assert_eq!(parallel.provenance, serial.provenance);
+        assert_eq!(parallel.failed.len(), 1);
+        assert_eq!(parallel.failed[0].candidate, 9);
+    }
+
+    #[test]
+    fn parallel_checkpoint_resumes_under_any_job_count() {
+        let path = temp("parallel-resume");
+        std::fs::remove_file(&path).ok();
+        let items: Vec<u32> = (0..12).collect();
+        let config = SupervisorConfig {
+            checkpoint: Some(path.clone()),
+            resume: Some(path.clone()),
+            sync_every: 1,
+            jobs: 3,
+            ..SupervisorConfig::default()
+        };
+        let first = Supervisor::new(config.clone())
+            .run(&items[..7], |&i: &u32| Ok(u64::from(i) + 1))
+            .unwrap();
+        assert_eq!(first.provenance.evaluated, 7);
+
+        // Resume serially: the journal written in completion order still
+        // replays, because matching is by key.
+        let resumed = Supervisor::new(SupervisorConfig { jobs: 1, ..config })
+            .run(&items, |&i: &u32| Ok(u64::from(i) + 1))
+            .unwrap();
+        assert_eq!(resumed.provenance.resumed, 7);
+        assert_eq!(resumed.provenance.evaluated, 5);
+        assert_eq!(
+            resumed.completed,
+            items
+                .iter()
+                .map(|&i| (i, u64::from(i) + 1))
+                .collect::<Vec<_>>()
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -6,6 +6,7 @@
 //! under a scenario set, so a sweep is a row of what-if experiments with
 //! a shared axis.
 
+use crate::engine::EvalEngine;
 use crate::supervisor::{FailedOutcome, FailureKind, Provenance, Supervisor};
 use serde::{Deserialize, Serialize};
 use ssdep_core::analysis::{expected_annual_cost, WeightedScenario};
@@ -63,7 +64,30 @@ impl SweepSeries {
     }
 }
 
-/// Evaluates one sweep point.
+/// Folds an expected-cost evaluation into one sweep point.
+fn fold_point(
+    value: f64,
+    label: &str,
+    expected: &ssdep_core::analysis::ExpectedCost,
+) -> SweepPoint {
+    let mut worst_recovery_time = TimeDelta::ZERO;
+    let mut worst_data_loss = TimeDelta::ZERO;
+    for (_, evaluation) in &expected.evaluations {
+        worst_recovery_time = worst_recovery_time.max(evaluation.recovery.total_time);
+        worst_data_loss = worst_data_loss.max(evaluation.loss.worst_loss);
+    }
+    SweepPoint {
+        value,
+        label: label.to_string(),
+        outlays: expected.outlays,
+        expected_penalties: expected.expected_penalties,
+        expected_total: expected.total(),
+        worst_recovery_time,
+        worst_data_loss,
+    }
+}
+
+/// Evaluates one sweep point through the single-shot pipeline.
 fn evaluate_point<F>(
     value: f64,
     make: &F,
@@ -76,21 +100,26 @@ where
 {
     let design = make(value)?;
     let expected = expected_annual_cost(&design, workload, requirements, scenarios)?;
-    let mut worst_recovery_time = TimeDelta::ZERO;
-    let mut worst_data_loss = TimeDelta::ZERO;
-    for (_, evaluation) in &expected.evaluations {
-        worst_recovery_time = worst_recovery_time.max(evaluation.recovery.total_time);
-        worst_data_loss = worst_data_loss.max(evaluation.loss.worst_loss);
-    }
-    Ok(SweepPoint {
-        value,
-        label: design.name().to_string(),
-        outlays: expected.outlays,
-        expected_penalties: expected.expected_penalties,
-        expected_total: expected.total(),
-        worst_recovery_time,
-        worst_data_loss,
-    })
+    Ok(fold_point(value, design.name(), &expected))
+}
+
+/// Evaluates one sweep point through a staged [`EvalEngine`] —
+/// preparation is memoized by fingerprint, the numbers are identical to
+/// [`evaluate_point`]'s.
+fn evaluate_point_engine<F>(
+    engine: &EvalEngine,
+    value: f64,
+    make: &F,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+) -> Result<SweepPoint, Error>
+where
+    F: Fn(f64) -> Result<StorageDesign, Error>,
+{
+    let design = make(value)?;
+    let expected = engine.expected_annual_cost(&design, workload, requirements, scenarios)?;
+    Ok(fold_point(value, design.name(), &expected))
 }
 
 /// Evaluates `make(value)` for every value, producing the sweep series.
@@ -209,11 +238,23 @@ where
             Err(_) => tasks.push(task),
         }
     }
-    let workload = workload.clone();
+    // Share one set of inputs (and one staged engine) across every
+    // worker instead of cloning per task.
+    let engine = std::sync::Arc::clone(supervisor.engine());
+    let hits_before = engine.cache_hits();
+    let closure_engine = std::sync::Arc::clone(&engine);
+    let workload = std::sync::Arc::new(workload.clone());
     let requirements = *requirements;
-    let scenarios = scenarios.to_vec();
+    let scenarios = std::sync::Arc::new(scenarios.to_vec());
     let run = supervisor.run(&tasks, move |task: &SweepTask| {
-        match evaluate_point(task.value, &make, &workload, &requirements, &scenarios) {
+        match evaluate_point_engine(
+            &closure_engine,
+            task.value,
+            &make,
+            &workload,
+            &requirements,
+            &scenarios,
+        ) {
             Ok(point) => Ok(SweepOutcome::Evaluated(point)),
             // Transient failures bubble to the supervisor's retry loop;
             // deterministic ones are the point's honest outcome.
@@ -237,6 +278,7 @@ where
     let mut provenance = run.provenance;
     provenance.total += rejected.len();
     provenance.failed += rejected.len();
+    provenance.cache_hits = engine.cache_hits().saturating_sub(hits_before);
     let mut failed = run.failed;
     failed.extend(rejected);
     Ok(SupervisedSweep {

@@ -371,6 +371,23 @@ tuple_impl! {
     (A.0, B.1, C.2, D.3 ; 4)
 }
 
+// Mirrors serde's `rc` feature: `Arc` serializes transparently as its
+// contents (no sharing is preserved across a round-trip, exactly like
+// the real crate).
+#[cfg(feature = "rc")]
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(feature = "rc")]
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Arr(self.iter().map(Serialize::to_value).collect())

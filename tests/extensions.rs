@@ -37,7 +37,10 @@ fn degraded_exposure_identifies_the_vault_as_critical() {
     let workload = ssdep_core::presets::cello_workload();
     let design = ssdep_core::presets::baseline_design();
     let requirements = ssdep_core::presets::paper_requirements();
-    let scenarios: Vec<FailureScenario> = catalog().into_iter().map(|w| w.scenario).collect();
+    let scenarios: Vec<FailureScenario> = catalog()
+        .into_iter()
+        .map(|w| w.scenario.as_ref().clone())
+        .collect();
     let report = degraded_exposure(&design, &workload, &requirements, &scenarios).unwrap();
     assert_eq!(
         report.most_critical_level().unwrap().level_name,

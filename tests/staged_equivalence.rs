@@ -1,0 +1,183 @@
+//! Staged-vs-legacy equivalence: the `PreparedDesign` pipeline and the
+//! `EvalEngine` memo cache must be *invisible* — every preset design ×
+//! scenario pair serializes bit-for-bit identically (via serde_json)
+//! whether it goes through the legacy single-shot `evaluate` or the
+//! staged path, and the error cases (`Overutilized`,
+//! `NoRecoverySource`) surface at the same pipeline point with the same
+//! rendered message.
+
+use ssdep_core::analysis::{evaluate, expected_annual_cost, PreparedDesign, WeightedScenario};
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::units::{Bytes, TimeDelta};
+use ssdep_core::Error;
+use ssdep_opt::EvalEngine;
+
+fn preset_designs() -> Vec<StorageDesign> {
+    let mut designs = ssdep_core::presets::what_if_designs();
+    designs.push(ssdep_core::presets::baseline_design());
+    designs
+}
+
+/// Every failure scope on the ladder, plus recovery-target and
+/// object-size variations.
+fn scenario_grid() -> Vec<FailureScenario> {
+    vec![
+        FailureScenario::new(
+            FailureScope::DataObject {
+                size: Bytes::from_mib(1.0),
+            },
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(24.0),
+            },
+        ),
+        FailureScenario::new(
+            FailureScope::DataObject {
+                size: Bytes::from_mib(64.0),
+            },
+            RecoveryTarget::Now,
+        ),
+        FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        FailureScenario::new(
+            FailureScope::Array,
+            RecoveryTarget::Before {
+                age: TimeDelta::from_hours(48.0),
+            },
+        ),
+        FailureScenario::new(FailureScope::Building, RecoveryTarget::Now),
+        FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+        FailureScenario::new(FailureScope::Region, RecoveryTarget::Now),
+    ]
+}
+
+/// Asserts that a staged and a legacy result are indistinguishable:
+/// equal JSON bytes on success, equal rendered errors on failure.
+#[allow(clippy::unwrap_used)] // a serialization failure should abort the test
+fn assert_equivalent(
+    staged: Result<ssdep_core::analysis::Evaluation, Error>,
+    legacy: Result<ssdep_core::analysis::Evaluation, Error>,
+    context: &str,
+) {
+    match (staged, legacy) {
+        (Ok(staged), Ok(legacy)) => {
+            assert_eq!(
+                serde_json::to_string(&staged).unwrap(),
+                serde_json::to_string(&legacy).unwrap(),
+                "staged and legacy evaluations must serialize identically: {context}"
+            );
+        }
+        (Err(staged), Err(legacy)) => {
+            assert_eq!(
+                staged.to_string(),
+                legacy.to_string(),
+                "staged and legacy errors must render identically: {context}"
+            );
+        }
+        (staged, legacy) => panic!(
+            "the paths disagree about success for {context}: \
+             staged {staged:?} vs legacy {legacy:?}"
+        ),
+    }
+}
+
+#[test]
+fn every_preset_design_and_scenario_is_path_independent() {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    for design in &preset_designs() {
+        let prepared = PreparedDesign::prepare(design, &workload).unwrap();
+        for scenario in &scenario_grid() {
+            let context = format!("{} under {scenario}", design.name());
+            assert_equivalent(
+                prepared.evaluate_scenario(&requirements, scenario),
+                evaluate(design, &workload, &requirements, scenario),
+                &context,
+            );
+        }
+    }
+}
+
+#[test]
+fn overutilization_errors_identically_on_both_paths() {
+    let workload = ssdep_core::presets::cello_workload();
+    let overgrown = workload.scaled(4.0).unwrap();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let design = ssdep_core::presets::baseline_design();
+    // Preparation itself succeeds — the feasibility check is a
+    // scenario-stage concern on both paths.
+    let prepared = PreparedDesign::prepare(&design, &overgrown).unwrap();
+    let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+    let staged = prepared
+        .evaluate_scenario(&requirements, &scenario)
+        .unwrap_err();
+    let legacy = evaluate(&design, &overgrown, &requirements, &scenario).unwrap_err();
+    assert!(matches!(staged, Error::Overutilized { .. }), "{staged}");
+    assert_eq!(staged.to_string(), legacy.to_string());
+}
+
+#[test]
+fn missing_recovery_source_errors_identically_on_both_paths() {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let design = ssdep_core::presets::baseline_design();
+    // Degrade every level: nothing survives to serve as a source.
+    let mut scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+    for level in 0..design.levels().len() {
+        scenario = scenario.with_degraded_level(level);
+    }
+    let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+    let staged = prepared
+        .evaluate_scenario(&requirements, &scenario)
+        .unwrap_err();
+    let legacy = evaluate(&design, &workload, &requirements, &scenario).unwrap_err();
+    assert!(matches!(staged, Error::NoRecoverySource { .. }), "{staged}");
+    assert_eq!(staged.to_string(), legacy.to_string());
+}
+
+#[test]
+fn engine_expected_costs_match_across_cache_hits_and_misses() {
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let catalog: Vec<WeightedScenario> = ssdep_core::presets::paper_scenario_catalog();
+    let engine = EvalEngine::default();
+    let mut successes = 0usize;
+    for design in &preset_designs() {
+        let legacy = expected_annual_cost(design, &workload, &requirements, &catalog);
+        // First call misses the cache, second hits it; both must match
+        // the single-shot path byte-for-byte — a design the legacy path
+        // rejects (e.g. one that cannot cover a catalog scenario) must
+        // be rejected identically by the engine.
+        for round in 0..2 {
+            let staged = engine.expected_annual_cost(design, &workload, &requirements, &catalog);
+            match (&staged, &legacy) {
+                (Ok(staged), Ok(legacy)) => {
+                    successes += 1;
+                    assert_eq!(
+                        serde_json::to_string(staged).unwrap(),
+                        serde_json::to_string(legacy).unwrap(),
+                        "round {round} for {}",
+                        design.name()
+                    );
+                }
+                (Err(staged), Err(legacy)) => {
+                    assert_eq!(
+                        staged.to_string(),
+                        legacy.to_string(),
+                        "round {round} for {}",
+                        design.name()
+                    );
+                }
+                (staged, legacy) => panic!(
+                    "the paths disagree about success for {} (round {round}): \
+                     engine {staged:?} vs legacy {legacy:?}",
+                    design.name()
+                ),
+            }
+        }
+    }
+    assert!(successes >= 2, "the catalog must evaluate some designs");
+    assert!(
+        engine.cache_hits() >= 1,
+        "the second rounds must hit the cache"
+    );
+}

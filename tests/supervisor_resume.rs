@@ -160,6 +160,51 @@ fn poisoned_candidate_is_quarantined_and_survivors_are_ranked() {
     assert_eq!(run.provenance.completed(), candidates.len() - 1);
 }
 
+#[test]
+fn resumed_runs_replay_without_re_preparing() {
+    let (workload, requirements, scenarios) = fixture();
+    let space = DesignSpace::minimal();
+    let journal = temp("no-reprepare");
+    std::fs::remove_file(&journal).ok();
+    let full = supervised_exhaustive(
+        &space,
+        &workload,
+        &requirements,
+        &scenarios,
+        &Supervisor::new(config(&journal, None)),
+    )
+    .unwrap();
+    assert!(full.provenance.is_complete());
+
+    // Resume with a fresh supervisor (and so a fresh, empty staged
+    // engine): every outcome replays from the journal verbatim, and the
+    // evaluation pipeline — including its preparation stage — never runs.
+    let supervisor = Supervisor::new(config(&journal, Some(&journal)));
+    let resumed =
+        supervised_exhaustive(&space, &workload, &requirements, &scenarios, &supervisor).unwrap();
+    assert_eq!(resumed.provenance.evaluated, 0, "nothing re-evaluates");
+    assert_eq!(resumed.provenance.resumed, full.provenance.total);
+    assert_eq!(
+        resumed.provenance.retries, 0,
+        "attempts stay zero on replay"
+    );
+    assert_eq!(resumed.provenance.cache_hits, 0);
+    assert_eq!(
+        supervisor.engine().cache_misses(),
+        0,
+        "replay must not prepare any design"
+    );
+    assert_eq!(supervisor.engine().cached_designs(), 0);
+
+    // The replayed outcomes are bit-for-bit the originals.
+    assert_eq!(
+        serde_json::to_string(&resumed.result.ranked).unwrap(),
+        serde_json::to_string(&full.result.ranked).unwrap(),
+    );
+    assert_eq!(frontier(&resumed.result), frontier(&full.result));
+    std::fs::remove_file(&journal).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
