@@ -101,3 +101,31 @@ grep -q '"provenance"' "$SMOKE_DIR/sweep-serial.json" || {
     exit 1
 }
 echo "parallel-determinism smoke test passed"
+
+# Composite-scenario smoke test: the new preset specs must pass the
+# strict gate, and a composite evaluation must produce byte-stable
+# --json output across runs.
+for spec in examples/specs/correlated_disaster.json \
+    examples/specs/human_error_drill.json examples/specs/k_out_of_n.json; do
+    "$SSDEP" check "$spec" --deny-warnings > /dev/null || {
+        echo "ci.sh: expected $spec to pass check --deny-warnings" >&2
+        exit 1
+    }
+done
+"$SSDEP" evaluate examples/specs/correlated_disaster.json \
+    --scenario correlated:site+array@0.5 --json > "$SMOKE_DIR/composite1.json"
+"$SSDEP" evaluate examples/specs/correlated_disaster.json \
+    --scenario correlated:site+array@0.5 --json > "$SMOKE_DIR/composite2.json"
+if ! cmp -s "$SMOKE_DIR/composite1.json" "$SMOKE_DIR/composite2.json"; then
+    echo "ci.sh: composite evaluate --json output is not stable across runs" >&2
+    exit 1
+fi
+grep -q '"recovery_inflation"' "$SMOKE_DIR/composite1.json" || {
+    echo "ci.sh: composite evaluate --json lost the inflation factor" >&2
+    exit 1
+}
+"$SSDEP" evaluate examples/specs/human_error_drill.json > /dev/null || {
+    echo "ci.sh: expected the human-error drill spec to evaluate" >&2
+    exit 1
+}
+echo "composite-scenario smoke test passed"

@@ -29,6 +29,7 @@
 
 use crate::spec::SystemSpec;
 use ssdep_core::analysis::evaluate;
+use ssdep_core::composite::{evaluate_composite, CompositeOutcome, CompositeScenario};
 use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
 use ssdep_core::report;
 use ssdep_core::units::{Bytes, TimeDelta};
@@ -144,7 +145,10 @@ fn usage_evaluate() -> String {
     "usage: ssdep evaluate <spec.json> [--scenario object|array|building|site|region]... \
      [--age HOURS] [--size MIB] [--json]\n\
      (--scenario repeats to evaluate several failures in one run; --age and --size \
-     apply to the most recent --scenario)"
+     apply to the most recent --scenario)\n\
+     composite scenario forms: correlated:<scope>+<scope>@<corr> (correlated \
+     multi-scope failure), second-fault:<first>+<second> (fault during recovery), \
+     human-error (corruption rolled back past --age hours)"
         .to_string()
 }
 
@@ -192,7 +196,9 @@ fn help() -> String {
        evaluate <spec.json> [opts]  evaluate one or more failure scenarios\n\
          --scenario <scope>         object|array|building|site|region (default array);\n\
                                     repeat to evaluate several scenarios with one\n\
-                                    shared preparation pass\n\
+                                    shared preparation pass; composite forms:\n\
+                                    correlated:site+array@0.8, second-fault:array+site,\n\
+                                    human-error\n\
          --age <hours>              recovery target age for the most recent\n\
                                     --scenario (default 0 = now)\n\
          --size <mib>               corrupted object size for `object` (default 1)\n\
@@ -230,6 +236,31 @@ fn load(path: &str) -> Result<SystemSpec, String> {
     SystemSpec::from_json(&json)
 }
 
+/// Resolves one scope name, using `size_mib` for `object` scopes.
+fn resolve_scope(scope_name: &str, size_mib: f64) -> Result<FailureScope, String> {
+    match scope_name {
+        "object" => Ok(FailureScope::DataObject {
+            size: Bytes::from_mib(size_mib),
+        }),
+        "array" => Ok(FailureScope::Array),
+        "building" => Ok(FailureScope::Building),
+        "site" => Ok(FailureScope::Site),
+        "region" => Ok(FailureScope::Region),
+        other => Err(format!("unknown scenario `{other}`")),
+    }
+}
+
+/// A positive age means point-in-time recovery; zero means "now".
+fn resolve_target(age_hours: f64) -> RecoveryTarget {
+    if age_hours > 0.0 {
+        RecoveryTarget::Before {
+            age: TimeDelta::from_hours(age_hours),
+        }
+    } else {
+        RecoveryTarget::Now
+    }
+}
+
 /// Builds one scenario from its parsed scope name, recovery-target age,
 /// and (for `object`) corrupted-object size.
 fn resolve_scenario(
@@ -237,24 +268,69 @@ fn resolve_scenario(
     age_hours: f64,
     size_mib: f64,
 ) -> Result<FailureScenario, String> {
-    let scope = match scope_name {
-        "object" => FailureScope::DataObject {
+    Ok(FailureScenario::new(
+        resolve_scope(scope_name, size_mib)?,
+        resolve_target(age_hours),
+    ))
+}
+
+/// Builds one possibly-composite scenario from its parsed name:
+///
+/// * a plain scope name (`array`) lowers to a single-fault scenario;
+/// * `correlated:<scope>+<scope>[+...]@<corr>` is a correlated
+///   multi-scope failure with correlation factor `corr` in (0, 1];
+/// * `second-fault:<first>+<second>` is a fault striking during the
+///   recovery from a first fault;
+/// * `human-error` is a corrupting operator mistake, sized by `--size`
+///   and rolled back past `--age` hours (default 24).
+fn resolve_composite(
+    name: &str,
+    age_hours: f64,
+    size_mib: f64,
+) -> Result<CompositeScenario, String> {
+    if let Some(rest) = name.strip_prefix("correlated:") {
+        let (scopes_part, corr_part) = rest.split_once('@').ok_or_else(|| {
+            format!(
+                "`{name}`: correlated scenarios need `@<correlation>` \
+                 (e.g. correlated:site+array@0.8)"
+            )
+        })?;
+        let scopes = scopes_part
+            .split('+')
+            .map(|scope| resolve_scope(scope, size_mib))
+            .collect::<Result<Vec<_>, _>>()?;
+        let correlation = corr_part
+            .parse()
+            .map_err(|e| format!("bad correlation `{corr_part}`: {e}"))?;
+        return Ok(CompositeScenario::Correlated {
+            scopes,
+            correlation,
+            target: resolve_target(age_hours),
+        });
+    }
+    if let Some(rest) = name.strip_prefix("second-fault:") {
+        let (first, second) = rest.split_once('+').ok_or_else(|| {
+            format!(
+                "`{name}`: second-fault scenarios need `<first>+<second>` \
+                 (e.g. second-fault:array+site)"
+            )
+        })?;
+        return Ok(CompositeScenario::SecondFault {
+            first: resolve_scope(first, size_mib)?,
+            second: resolve_scope(second, size_mib)?,
+            target: resolve_target(age_hours),
+        });
+    }
+    if name == "human-error" {
+        let age = if age_hours > 0.0 { age_hours } else { 24.0 };
+        return Ok(CompositeScenario::HumanError {
             size: Bytes::from_mib(size_mib),
-        },
-        "array" => FailureScope::Array,
-        "building" => FailureScope::Building,
-        "site" => FailureScope::Site,
-        "region" => FailureScope::Region,
-        other => return Err(format!("unknown scenario `{other}`")),
-    };
-    let target = if age_hours > 0.0 {
-        RecoveryTarget::Before {
-            age: TimeDelta::from_hours(age_hours),
-        }
-    } else {
-        RecoveryTarget::Now
-    };
-    Ok(FailureScenario::new(scope, target))
+            age: TimeDelta::from_hours(age),
+        });
+    }
+    Ok(CompositeScenario::Single {
+        scenario: resolve_scenario(name, age_hours, size_mib)?,
+    })
 }
 
 /// Parses a *single* scenario: the last `--scenario` wins and `--age`/
@@ -297,13 +373,14 @@ struct ScenarioSpec {
     size_mib: Option<f64>,
 }
 
-/// Parses the `evaluate` command's scenario list. Each `--scenario`
-/// opens a new scenario and `--age`/`--size` bind to the most recent
-/// one; flags seen *before* the first `--scenario` apply to the first
-/// scenario unless it sets its own, which keeps single-scenario
-/// invocations order-independent exactly as they always were. With no
-/// `--scenario` at all the default is one array failure.
-fn parse_scenarios(args: &[&String]) -> Result<Vec<FailureScenario>, String> {
+/// Parses the `evaluate` command's scenario list, composite forms
+/// included (see [`resolve_composite`]). Each `--scenario` opens a new
+/// scenario and `--age`/`--size` bind to the most recent one; flags seen
+/// *before* the first `--scenario` apply to the first scenario unless it
+/// sets its own, which keeps single-scenario invocations
+/// order-independent exactly as they always were. With no `--scenario`
+/// at all the default is one array failure.
+fn parse_scenarios(args: &[&String]) -> Result<Vec<CompositeScenario>, String> {
     let mut specs: Vec<ScenarioSpec> = Vec::new();
     let mut pending_age: Option<f64> = None;
     let mut pending_size: Option<f64> = None;
@@ -353,7 +430,7 @@ fn parse_scenarios(args: &[&String]) -> Result<Vec<FailureScenario>, String> {
     specs
         .iter()
         .map(|spec| {
-            resolve_scenario(
+            resolve_composite(
                 &spec.scope_name,
                 spec.age_hours.unwrap_or(0.0),
                 spec.size_mib.unwrap_or(1.0),
@@ -507,8 +584,12 @@ fn check_command(args: &[&String]) -> (Result<String, String>, u8) {
         .collect();
     if fix {
         let repaired = ssdep_core::diagnose::repair(&spec.design, &spec.workload, &scenarios);
-        let after =
-            ssdep_core::diagnose::preflight_all(&repaired.design, &spec.workload, &scenarios);
+        let after = ssdep_core::diagnose::preflight_with_composites(
+            &repaired.design,
+            &spec.workload,
+            &scenarios,
+            &spec.scenarios,
+        );
         let status = u8::from(after.has_errors()) * 2;
         let fixed = SystemSpec {
             design: repaired.design,
@@ -518,7 +599,12 @@ fn check_command(args: &[&String]) -> (Result<String, String>, u8) {
         // a file; re-run `check` on the result to see what remains.
         return (Ok(fixed.to_json()), status);
     }
-    let report = ssdep_core::diagnose::preflight_all(&spec.design, &spec.workload, &scenarios);
+    let report = ssdep_core::diagnose::preflight_with_composites(
+        &spec.design,
+        &spec.workload,
+        &scenarios,
+        &spec.scenarios,
+    );
     render_check(
         report.diagnostics().to_vec(),
         as_json,
@@ -559,8 +645,28 @@ fn validate(spec: &SystemSpec) -> Result<String, String> {
 }
 
 fn evaluate_command(spec: &SystemSpec, args: &[&String]) -> Result<String, String> {
-    let scenarios = parse_scenarios(args)?;
+    // The spec's own `scenarios` section is the default composite list;
+    // any explicit `--scenario` replaces it.
+    let composites = if args.iter().any(|a| a.as_str() == "--scenario") || spec.scenarios.is_empty()
+    {
+        parse_scenarios(args)?
+    } else {
+        spec.scenarios.clone()
+    };
     let as_json = args.iter().any(|a| a.as_str() == "--json");
+    // All-plain-scope requests keep the original single-fault paths (and
+    // their byte-identical output); any composite form switches to the
+    // composite report.
+    let singles: Option<Vec<FailureScenario>> = composites
+        .iter()
+        .map(|composite| match composite {
+            CompositeScenario::Single { scenario } => Some(scenario.clone()),
+            _ => None,
+        })
+        .collect();
+    let Some(scenarios) = singles else {
+        return evaluate_composites(spec, &composites, as_json);
+    };
     if let [scenario] = scenarios.as_slice() {
         // The single-scenario path goes through the legacy entry point
         // (itself a thin wrapper over the staged pipeline) so its output
@@ -658,6 +764,77 @@ fn evaluate_command(spec: &SystemSpec, args: &[&String]) -> Result<String, Strin
             "objectives: MISSED under {} of {} scenarios",
             evaluations.len() - met,
             evaluations.len()
+        );
+    }
+    Ok(out)
+}
+
+/// Evaluates and renders a composite-scenario list: the design is
+/// prepared once, each composite lowers onto the single-fault machinery,
+/// and the report leads with the end-to-end recovery math (prior
+/// recovery + inflated main recovery) the composite adds on top of the
+/// plain evaluation.
+fn evaluate_composites(
+    spec: &SystemSpec,
+    composites: &[CompositeScenario],
+    as_json: bool,
+) -> Result<String, String> {
+    let prepared = ssdep_core::analysis::PreparedDesign::prepare(&spec.design, &spec.workload)
+        .map_err(|e| e.to_string())?;
+    let mut outcomes: Vec<CompositeOutcome> = Vec::with_capacity(composites.len());
+    for composite in composites {
+        outcomes.push(
+            evaluate_composite(&prepared, &spec.requirements, composite)
+                .map_err(|e| format!("{composite}: {e}"))?,
+        );
+    }
+    if as_json {
+        return serde_json::to_string_pretty(&outcomes).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "design: {}   composite scenarios: {} (prepared once)",
+        spec.design.name(),
+        outcomes.len()
+    );
+    for outcome in &outcomes {
+        let _ = writeln!(out, "\n== {} ==", outcome.composite);
+        let _ = writeln!(out, "lowered to: {}", outcome.scenario);
+        if let Some(prior) = &outcome.prior_recovery {
+            let _ = writeln!(
+                out,
+                "first-fault recovery: {:.1} hr",
+                prior.total_time.as_hours()
+            );
+        }
+        if (outcome.recovery_inflation - 1.0).abs() > 1e-12 {
+            let _ = writeln!(
+                out,
+                "recovery inflation: x{:.2}",
+                outcome.recovery_inflation
+            );
+        }
+        let _ = writeln!(
+            out,
+            "worst-case data loss: {:.2} hr (source: {})",
+            outcome.evaluation.loss.worst_loss.as_hours(),
+            outcome
+                .evaluation
+                .loss
+                .source_level_name()
+                .unwrap_or("none"),
+        );
+        let _ = writeln!(
+            out,
+            "end-to-end recovery: {:.1} hr",
+            outcome.total_recovery.as_hours()
+        );
+        let _ = writeln!(
+            out,
+            "== Recovery timeline: {} ==\n{}",
+            outcome.scenario,
+            report::render_recovery_timeline(&outcome.evaluation)
         );
     }
     Ok(out)
@@ -1525,6 +1702,13 @@ mod tests {
         list.iter().map(ToString::to_string).collect()
     }
 
+    fn unwrap_single(composite: CompositeScenario) -> FailureScenario {
+        match composite {
+            CompositeScenario::Single { scenario } => scenario,
+            other => panic!("expected a plain scenario, got {other}"),
+        }
+    }
+
     #[test]
     fn init_emits_a_parsable_spec() {
         let json = run(&args(&["init"])).unwrap();
@@ -1584,6 +1768,97 @@ mod tests {
         let out = result.unwrap();
         assert_eq!(status, 0, "{out}");
         assert!(out.contains("summary: 0 errors, 0 warnings"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn evaluate_renders_composite_scenarios() {
+        let path = std::env::temp_dir().join("ssdep-test-evaluate-composite.json");
+        std::fs::write(&path, SystemSpec::baseline().to_json()).unwrap();
+        let out = run(&args(&[
+            "evaluate",
+            path.to_str().unwrap(),
+            "--scenario",
+            "correlated:site+array@0.5",
+            "--scenario",
+            "second-fault:array+site",
+            "--scenario",
+            "human-error",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("composite scenarios: 3 (prepared once)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("correlated site+array failures (correlation 0.5)"),
+            "{out}"
+        );
+        assert!(out.contains("recovery inflation: x1.50"), "{out}");
+        assert!(out.contains("first-fault recovery:"), "{out}");
+        assert!(out.contains("end-to-end recovery:"), "{out}");
+
+        // The JSON form carries the structured outcomes.
+        let json = run(&args(&[
+            "evaluate",
+            path.to_str().unwrap(),
+            "--scenario",
+            "human-error",
+            "--json",
+        ]))
+        .unwrap();
+        let outcomes: Vec<CompositeOutcome> = serde_json::from_str(&json).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].total_recovery > TimeDelta::ZERO);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn evaluate_uses_the_specs_scenarios_section_by_default() {
+        let mut spec = SystemSpec::baseline();
+        spec.scenarios = vec![CompositeScenario::Correlated {
+            scopes: vec![FailureScope::Site, FailureScope::Array],
+            correlation: 0.8,
+            target: RecoveryTarget::Now,
+        }];
+        let path = std::env::temp_dir().join("ssdep-test-evaluate-spec-scenarios.json");
+        std::fs::write(&path, spec.to_json()).unwrap();
+        let out = run(&args(&["evaluate", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("correlation 0.8"), "{out}");
+        // An explicit --scenario overrides the spec's list.
+        let out = run(&args(&[
+            "evaluate",
+            path.to_str().unwrap(),
+            "--scenario",
+            "array",
+        ]))
+        .unwrap();
+        assert!(out.contains("scenario: array failure"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_reports_composite_diagnostics_from_the_spec() {
+        let mut spec = SystemSpec::baseline();
+        spec.scenarios = vec![
+            CompositeScenario::Correlated {
+                scopes: vec![FailureScope::Site, FailureScope::Array],
+                correlation: 0.0,
+                target: RecoveryTarget::Now,
+            },
+            CompositeScenario::SecondFault {
+                first: FailureScope::Site,
+                second: FailureScope::Array,
+                target: RecoveryTarget::Now,
+            },
+        ];
+        let path = std::env::temp_dir().join("ssdep-test-check-composite.json");
+        std::fs::write(&path, spec.to_json()).unwrap();
+        let (result, status) = run_with_status(&args(&["check", path.to_str().unwrap()]));
+        let out = result.unwrap();
+        assert_eq!(status, 2, "{out}");
+        assert!(out.contains("D070"), "{out}");
+        assert!(out.contains("D074"), "{out}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -1972,7 +2247,11 @@ mod tests {
             "48",
         ]);
         let refs: Vec<&String> = list.iter().collect();
-        let scenarios = parse_scenarios(&refs).unwrap();
+        let scenarios: Vec<FailureScenario> = parse_scenarios(&refs)
+            .unwrap()
+            .into_iter()
+            .map(unwrap_single)
+            .collect();
         assert_eq!(scenarios.len(), 2);
         assert!(matches!(
             scenarios[0].scope,
@@ -1986,7 +2265,11 @@ mod tests {
         // historical single-scenario call shapes keep their meaning.
         let leading = args(&["--age", "24", "--scenario", "object"]);
         let refs: Vec<&String> = leading.iter().collect();
-        let scenarios = parse_scenarios(&refs).unwrap();
+        let scenarios: Vec<FailureScenario> = parse_scenarios(&refs)
+            .unwrap()
+            .into_iter()
+            .map(unwrap_single)
+            .collect();
         assert_eq!(scenarios.len(), 1);
         assert_eq!(scenarios[0].target.age(), TimeDelta::from_hours(24.0));
     }

@@ -2,6 +2,7 @@
 //! one document.
 
 use serde::{Deserialize, Serialize};
+use ssdep_core::composite::CompositeScenario;
 use ssdep_core::hierarchy::StorageDesign;
 use ssdep_core::requirements::BusinessRequirements;
 use ssdep_core::workload::Workload;
@@ -26,6 +27,11 @@ pub struct SystemSpec {
     /// without the field still parse.
     #[serde(default, skip_serializing_if = "FaultPlan::is_empty")]
     pub faults: FaultPlan,
+    /// Optional composite failure scenarios, checked by `ssdep check`
+    /// and evaluated by `ssdep evaluate`. Absent (or empty) in specs
+    /// that only use the built-in catalog; old specs still parse.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub scenarios: Vec<CompositeScenario>,
 }
 
 impl SystemSpec {
@@ -36,6 +42,7 @@ impl SystemSpec {
             design: ssdep_core::presets::baseline_design(),
             requirements: ssdep_core::presets::paper_requirements(),
             faults: FaultPlan::new(),
+            scenarios: Vec::new(),
         }
     }
 

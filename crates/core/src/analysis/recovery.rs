@@ -141,6 +141,12 @@ pub fn recovery_with_bytes(
     }
 
     let source_name = levels[source_level].name().to_string();
+    // Parallel-repair erasure coding streams k fragments concurrently,
+    // dividing the transfer time of the hop that reads the source.
+    let source_parallelism = levels[source_level]
+        .technique()
+        .repair_parallelism()
+        .max(1.0);
 
     // Nothing to do when the live primary serves.
     if source_level == 0 {
@@ -173,7 +179,7 @@ pub fn recovery_with_bytes(
         let spec = design.device(host);
         let available = available_bandwidth(design, demands, scenario, host);
         let duration = match available {
-            Some(bw) if bw.value() > 0.0 => restore_bytes / (bw / 2.0),
+            Some(bw) if bw.value() > 0.0 => restore_bytes / (bw / 2.0) / source_parallelism,
             _ => TimeDelta::ZERO,
         };
         if spec.access_delay().value() > 0.0 {
@@ -271,8 +277,13 @@ pub fn recovery_with_bytes(
                         });
                     }
                 }
+                let parallelism = if upper == source_level {
+                    source_parallelism
+                } else {
+                    1.0
+                };
                 let duration = match limit {
-                    Some(bw) if bw.value() > 0.0 => restore_bytes / bw,
+                    Some(bw) if bw.value() > 0.0 => restore_bytes / bw / parallelism,
                     Some(_) => {
                         return Err(Error::invalid(
                             "recovery.bandwidth",

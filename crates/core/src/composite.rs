@@ -1,0 +1,635 @@
+//! Composite failure scenarios: a scenario *algebra* over the paper's
+//! single-fault [`FailureScenario`].
+//!
+//! The paper evaluates one hypothesized failure at a time, but real
+//! dependability incidents compose: a second fault strikes while
+//! recovery from the first is still in progress, a regional disaster
+//! takes out nominally independent sites together, or a human error
+//! propagates through every synchronous mirror before anyone notices.
+//! A [`CompositeScenario`] describes such an incident declaratively and
+//! *lowers* to the single-fault vocabulary the analyses already speak:
+//! a base [`FailureScenario`] (whose `degraded_levels` carry the
+//! redundancy consumed by the other faults), an optional *prior*
+//! scenario whose recovery precedes the main one, and a recovery-time
+//! inflation factor for correlated logistics.
+//!
+//! Lowering is deterministic and total over valid inputs; invalid
+//! composites fail with [`Error::InvalidParameter`] whose dotted
+//! parameter paths (`composite.*`) map onto the `D07x` preflight
+//! diagnostics in [`crate::diagnose`].
+
+use crate::analysis::{
+    data_loss, evaluate_lenient, recovery, Evaluation, LenientEvaluation, PreparedDesign,
+    RecoveryReport, Section, SectionCaveat,
+};
+use crate::error::Error;
+use crate::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use crate::hierarchy::StorageDesign;
+use crate::requirements::BusinessRequirements;
+use crate::units::{Bytes, TimeDelta};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A composite failure scenario, lowered onto the single-fault analyses
+/// by [`CompositeScenario::lower`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CompositeScenario {
+    /// A plain single-fault scenario, embedded so catalogs can mix
+    /// simple and composite entries.
+    Single {
+        /// The wrapped scenario.
+        scenario: FailureScenario,
+    },
+    /// Correlated faults striking together: the widest scope sets the
+    /// hardware damage, narrower scopes consume redundancy as degraded
+    /// levels, and the correlation factor inflates the recovery time
+    /// (shared causes also entangle the recovery logistics).
+    Correlated {
+        /// The co-occurring failure scopes (at least two).
+        scopes: Vec<FailureScope>,
+        /// Coupling strength in `(0, 1]`: recovery time is inflated by
+        /// `1 + correlation`.
+        correlation: f64,
+        /// The point in time restoration should reach.
+        target: RecoveryTarget,
+    },
+    /// A second fault arriving while recovery from the first is still in
+    /// progress: the second fault is evaluated against the configuration
+    /// the first fault already degraded, and the first fault's recovery
+    /// time precedes the second's.
+    SecondFault {
+        /// The fault recovery was already underway for.
+        first: FailureScope,
+        /// The fault that strikes mid-recovery.
+        second: FailureScope,
+        /// The point in time the final restoration should reach.
+        target: RecoveryTarget,
+    },
+    /// An accidental delete/overwrite: no hardware fails, but the
+    /// corruption propagates through every continuously synchronized
+    /// mirror and is stopped only by point-in-time retention, so
+    /// recovery must reach back `age` before the error.
+    HumanError {
+        /// The amount of corrupted data to roll back.
+        size: Bytes,
+        /// How far before the error the last good version lies.
+        age: TimeDelta,
+    },
+}
+
+/// The result of lowering a [`CompositeScenario`] onto the single-fault
+/// vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredScenario {
+    /// The single-fault scenario the analyses evaluate.
+    pub scenario: FailureScenario,
+    /// A scenario whose recovery precedes `scenario`'s (second-fault
+    /// composites only).
+    pub prior: Option<FailureScenario>,
+    /// Multiplier on `scenario`'s recovery time (correlated logistics);
+    /// `1.0` when nothing inflates it.
+    pub recovery_inflation: f64,
+}
+
+/// Severity order of failure scopes, widest last.
+fn scope_rank(scope: &FailureScope) -> u8 {
+    match scope {
+        FailureScope::DataObject { .. } => 0,
+        FailureScope::ProtectionLevel { .. } => 1,
+        FailureScope::Array => 2,
+        FailureScope::Building => 3,
+        FailureScope::Site => 4,
+        FailureScope::Region => 5,
+    }
+}
+
+/// The hierarchy levels whose hosts `scope` destroys.
+fn destroyed_levels(design: &StorageDesign, scope: &FailureScope) -> Vec<usize> {
+    (0..design.levels().len())
+        .filter(|&level| design.level_destroyed(level, scope))
+        .collect()
+}
+
+impl CompositeScenario {
+    /// Lowers the composite onto the single-fault vocabulary for
+    /// `design`: the base scenario (with redundancy consumed by the
+    /// other faults marked degraded), an optional prior recovery, and
+    /// the recovery-time inflation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] with a `composite.*`
+    /// parameter path when the composite is self-contradictory: a
+    /// correlation outside `(0, 1]`, fewer than two correlated scopes,
+    /// or a human-error rollback with no positive age or size.
+    pub fn lower(&self, design: &StorageDesign) -> Result<LoweredScenario, Error> {
+        match self {
+            CompositeScenario::Single { scenario } => Ok(LoweredScenario {
+                scenario: scenario.clone(),
+                prior: None,
+                recovery_inflation: 1.0,
+            }),
+            CompositeScenario::Correlated {
+                scopes,
+                correlation,
+                target,
+            } => {
+                if !(correlation.is_finite() && *correlation > 0.0 && *correlation <= 1.0) {
+                    return Err(Error::invalid(
+                        "composite.correlation",
+                        "must lie in (0, 1]: 0 means independent faults (use \
+                         separate scenarios), 1 means a single shared cause",
+                    ));
+                }
+                if scopes.len() < 2 {
+                    return Err(Error::invalid(
+                        "composite.scopes",
+                        "a correlated scenario needs at least two failure scopes",
+                    ));
+                }
+                let mut base = scopes[0].clone();
+                for scope in &scopes[1..] {
+                    if scope_rank(scope) > scope_rank(&base) {
+                        base = scope.clone();
+                    }
+                }
+                let base_destroyed = destroyed_levels(design, &base);
+                let mut scenario = FailureScenario::new(base.clone(), *target);
+                for scope in scopes {
+                    if scope == &base {
+                        continue;
+                    }
+                    for level in destroyed_levels(design, scope) {
+                        if !base_destroyed.contains(&level) {
+                            scenario = scenario.with_degraded_level(level);
+                        }
+                    }
+                }
+                Ok(LoweredScenario {
+                    scenario,
+                    prior: None,
+                    recovery_inflation: 1.0 + correlation,
+                })
+            }
+            CompositeScenario::SecondFault {
+                first,
+                second,
+                target,
+            } => {
+                let mut scenario = FailureScenario::new(second.clone(), *target);
+                for level in destroyed_levels(design, first) {
+                    scenario = scenario.with_degraded_level(level);
+                }
+                Ok(LoweredScenario {
+                    scenario,
+                    prior: Some(FailureScenario::new(first.clone(), RecoveryTarget::Now)),
+                    recovery_inflation: 1.0,
+                })
+            }
+            CompositeScenario::HumanError { size, age } => {
+                if !(age.is_finite() && age.value() > 0.0) {
+                    return Err(Error::invalid(
+                        "composite.humanError.age",
+                        "recovering to now would restore the corrupted data; \
+                         a positive point-in-time age is required",
+                    ));
+                }
+                if !(size.is_finite() && size.value() > 0.0) {
+                    return Err(Error::invalid(
+                        "composite.humanError.size",
+                        "the corrupted object must have a positive finite size",
+                    ));
+                }
+                let mut scenario = FailureScenario::new(
+                    FailureScope::DataObject { size: *size },
+                    RecoveryTarget::Before { age: *age },
+                );
+                // The corruption mirrors faithfully: every continuously
+                // synchronized level (no point-in-time schedule) holds
+                // the corrupted content too and cannot serve.
+                for (index, level) in design.levels().iter().enumerate().skip(1) {
+                    if level.technique().params().is_none() {
+                        scenario = scenario.with_degraded_level(index);
+                    }
+                }
+                Ok(LoweredScenario {
+                    scenario,
+                    prior: None,
+                    recovery_inflation: 1.0,
+                })
+            }
+        }
+    }
+
+    /// A plain scenario standing in for the composite when lowering
+    /// fails — used to label quarantined sections and error reports.
+    pub fn fallback_scenario(&self) -> FailureScenario {
+        match self {
+            CompositeScenario::Single { scenario } => scenario.clone(),
+            CompositeScenario::Correlated { scopes, target, .. } => FailureScenario::new(
+                scopes.first().cloned().unwrap_or(FailureScope::Site),
+                *target,
+            ),
+            CompositeScenario::SecondFault { second, target, .. } => {
+                FailureScenario::new(second.clone(), *target)
+            }
+            CompositeScenario::HumanError { size, age } => FailureScenario::new(
+                FailureScope::DataObject { size: *size },
+                RecoveryTarget::Before { age: *age },
+            ),
+        }
+    }
+}
+
+impl fmt::Display for CompositeScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompositeScenario::Single { scenario } => scenario.fmt(f),
+            CompositeScenario::Correlated {
+                scopes,
+                correlation,
+                ..
+            } => {
+                let names: Vec<&str> = scopes.iter().map(FailureScope::name).collect();
+                write!(
+                    f,
+                    "correlated {} failures (correlation {correlation})",
+                    names.join("+")
+                )
+            }
+            CompositeScenario::SecondFault { first, second, .. } => {
+                write!(f, "{second} failure during recovery from {first} failure")
+            }
+            CompositeScenario::HumanError { size, age } => {
+                write!(
+                    f,
+                    "human error ({size} corrupted, last good version {age} old)"
+                )
+            }
+        }
+    }
+}
+
+/// The full analytic outcome of one composite scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeOutcome {
+    /// The composite as specified.
+    pub composite: CompositeScenario,
+    /// The single-fault scenario it lowered to.
+    pub scenario: FailureScenario,
+    /// The multiplier applied to the main recovery time.
+    pub recovery_inflation: f64,
+    /// The evaluation of the lowered scenario.
+    pub evaluation: Evaluation,
+    /// The preceding recovery (second-fault composites only).
+    pub prior_recovery: Option<RecoveryReport>,
+    /// End-to-end recovery time: the prior recovery (when any) plus the
+    /// main recovery scaled by the inflation factor.
+    pub total_recovery: TimeDelta,
+}
+
+/// Evaluates one composite scenario against a prepared design.
+///
+/// # Errors
+///
+/// Propagates lowering errors ([`Error::InvalidParameter`] with a
+/// `composite.*` path) and the single-fault evaluation errors of
+/// [`PreparedDesign::evaluate_scenario`].
+pub fn evaluate_composite(
+    prepared: &PreparedDesign,
+    requirements: &BusinessRequirements,
+    composite: &CompositeScenario,
+) -> Result<CompositeOutcome, Error> {
+    let lowered = composite.lower(prepared.design())?;
+    let evaluation = prepared.evaluate_scenario(requirements, &lowered.scenario)?;
+    let prior_recovery = match &lowered.prior {
+        Some(prior) => {
+            let loss = data_loss(prepared.design(), prior)?;
+            Some(recovery(
+                prepared.design(),
+                prepared.workload(),
+                prepared.demands(),
+                prior,
+                loss.source_level,
+            )?)
+        }
+        None => None,
+    };
+    let prior_time = prior_recovery
+        .as_ref()
+        .map_or(TimeDelta::ZERO, |r| r.total_time);
+    let total_recovery = prior_time + evaluation.recovery.total_time * lowered.recovery_inflation;
+    Ok(CompositeOutcome {
+        composite: composite.clone(),
+        scenario: lowered.scenario,
+        recovery_inflation: lowered.recovery_inflation,
+        evaluation,
+        prior_recovery,
+        total_recovery,
+    })
+}
+
+/// Evaluates a composite leniently: a composite that fails to lower
+/// quarantines every section with an `invalid-composite` caveat instead
+/// of erroring, and a lowered composite degrades section by section
+/// exactly as [`evaluate_lenient`] does — so one unsatisfiable
+/// composite cannot poison sibling scenarios in the same request.
+pub fn evaluate_composite_lenient(
+    design: &StorageDesign,
+    workload: &Workload,
+    requirements: &BusinessRequirements,
+    composite: &CompositeScenario,
+) -> LenientEvaluation {
+    match composite.lower(design) {
+        Ok(lowered) => evaluate_lenient(design, workload, requirements, &lowered.scenario),
+        Err(error) => {
+            let reason = error.to_string();
+            LenientEvaluation {
+                scenario: composite.fallback_scenario(),
+                utilization: None,
+                loss: None,
+                recovery: None,
+                cost: None,
+                caveats: [
+                    Section::Utilization,
+                    Section::DataLoss,
+                    Section::Recovery,
+                    Section::Cost,
+                ]
+                .into_iter()
+                .map(|section| SectionCaveat::new(section, "invalid-composite", reason.clone()))
+                .collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::evaluate;
+
+    fn baseline() -> (StorageDesign, Workload, BusinessRequirements) {
+        (
+            crate::presets::baseline_design(),
+            crate::presets::cello_workload(),
+            crate::presets::paper_requirements(),
+        )
+    }
+
+    #[test]
+    fn single_lowers_transparently() {
+        let (design, _, _) = baseline();
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let composite = CompositeScenario::Single {
+            scenario: scenario.clone(),
+        };
+        let lowered = composite.lower(&design).unwrap();
+        assert_eq!(lowered.scenario, scenario);
+        assert!(lowered.prior.is_none());
+        assert_eq!(lowered.recovery_inflation, 1.0);
+    }
+
+    #[test]
+    fn correlated_inflates_recovery_and_degrades_extra_scopes() {
+        let (design, workload, requirements) = baseline();
+        let composite = CompositeScenario::Correlated {
+            scopes: vec![
+                FailureScope::Array,
+                FailureScope::ProtectionLevel { level: 2 },
+            ],
+            correlation: 0.5,
+            target: RecoveryTarget::Now,
+        };
+        let lowered = composite.lower(&design).unwrap();
+        // The array failure is the wider scope; the degraded backup
+        // level rides along as consumed redundancy.
+        assert!(matches!(lowered.scenario.scope, FailureScope::Array));
+        assert_eq!(lowered.scenario.degraded_levels, vec![2]);
+        assert_eq!(lowered.recovery_inflation, 1.5);
+
+        let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+        let outcome = evaluate_composite(&prepared, &requirements, &composite).unwrap();
+        // With the tape backup degraded, the vault serves the restore.
+        assert_eq!(
+            outcome.evaluation.loss.source_level_name(),
+            Some("remote vaulting")
+        );
+        let base = outcome.evaluation.recovery.total_time;
+        assert_eq!(outcome.total_recovery, base * 1.5);
+    }
+
+    #[test]
+    fn correlated_rejects_bad_correlation_and_single_scope() {
+        let (design, _, _) = baseline();
+        for correlation in [0.0, -1.0, 1.5, f64::NAN] {
+            let composite = CompositeScenario::Correlated {
+                scopes: vec![FailureScope::Array, FailureScope::Site],
+                correlation,
+                target: RecoveryTarget::Now,
+            };
+            let err = composite.lower(&design).unwrap_err();
+            assert!(err.to_string().contains("composite.correlation"), "{err}");
+        }
+        let short = CompositeScenario::Correlated {
+            scopes: vec![FailureScope::Site],
+            correlation: 0.5,
+            target: RecoveryTarget::Now,
+        };
+        let err = short.lower(&design).unwrap_err();
+        assert!(err.to_string().contains("composite.scopes"), "{err}");
+    }
+
+    #[test]
+    fn second_fault_recovers_after_the_first() {
+        let (design, workload, requirements) = baseline();
+        let composite = CompositeScenario::SecondFault {
+            first: FailureScope::Array,
+            second: FailureScope::Site,
+            target: RecoveryTarget::Now,
+        };
+        let lowered = composite.lower(&design).unwrap();
+        assert!(matches!(lowered.scenario.scope, FailureScope::Site));
+        // The array fault consumed level 0 and the co-located split
+        // mirror before the site went down.
+        assert!(lowered.scenario.degraded_levels.contains(&0));
+        assert!(lowered.scenario.degraded_levels.contains(&1));
+        let prior = lowered.prior.expect("second fault has a prior recovery");
+        assert!(matches!(prior.scope, FailureScope::Array));
+
+        let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+        let outcome = evaluate_composite(&prepared, &requirements, &composite).unwrap();
+        let prior_time = outcome.prior_recovery.as_ref().unwrap().total_time;
+        assert!(prior_time > TimeDelta::ZERO);
+        assert_eq!(
+            outcome.total_recovery,
+            prior_time + outcome.evaluation.recovery.total_time
+        );
+        // The composite strictly dominates the plain site failure.
+        let site = evaluate(
+            &design,
+            &workload,
+            &requirements,
+            &FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+        )
+        .unwrap();
+        assert!(outcome.total_recovery > site.recovery.total_time);
+    }
+
+    #[test]
+    fn human_error_is_stopped_by_point_in_time_retention() {
+        let (design, workload, requirements) = baseline();
+        let composite = CompositeScenario::HumanError {
+            size: Bytes::from_mib(1.0),
+            age: TimeDelta::from_hours(24.0),
+        };
+        let lowered = composite.lower(&design).unwrap();
+        assert!(matches!(
+            lowered.scenario.scope,
+            FailureScope::DataObject { .. }
+        ));
+        // The baseline has no continuous mirror, so nothing is degraded
+        // and the split mirror serves the rollback.
+        assert!(lowered.scenario.degraded_levels.is_empty());
+        let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+        let outcome = evaluate_composite(&prepared, &requirements, &composite).unwrap();
+        assert_eq!(
+            outcome.evaluation.loss.source_level_name(),
+            Some("split mirror")
+        );
+    }
+
+    #[test]
+    fn human_error_propagates_through_continuous_mirrors() {
+        let (_, _, _) = baseline();
+        // An async-batch mirror design: level 1 is a *batched* mirror
+        // (point in time), so it still serves. Make it synchronous and
+        // it must be degraded instead.
+        let design = crate::presets::async_batch_mirror_design(1);
+        let mut value = serde_json::to_value(&design).unwrap();
+        value["levels"][1]["technique"]["RemoteMirror"]["mode"] = serde_json::json!("Synchronous");
+        let sync_design: StorageDesign = serde_json::from_value(value).unwrap();
+        let composite = CompositeScenario::HumanError {
+            size: Bytes::from_mib(1.0),
+            age: TimeDelta::from_hours(1.0),
+        };
+        let lowered = composite.lower(&sync_design).unwrap();
+        assert_eq!(lowered.scenario.degraded_levels, vec![1]);
+    }
+
+    #[test]
+    fn human_error_rejects_degenerate_windows() {
+        let (design, _, _) = baseline();
+        let no_age = CompositeScenario::HumanError {
+            size: Bytes::from_mib(1.0),
+            age: TimeDelta::ZERO,
+        };
+        let err = no_age.lower(&design).unwrap_err();
+        assert!(
+            err.to_string().contains("composite.humanError.age"),
+            "{err}"
+        );
+        let no_size = CompositeScenario::HumanError {
+            size: Bytes::ZERO,
+            age: TimeDelta::from_hours(24.0),
+        };
+        let err = no_size.lower(&design).unwrap_err();
+        assert!(
+            err.to_string().contains("composite.humanError.size"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lenient_quarantines_unsatisfiable_composites_without_poisoning_siblings() {
+        let (design, workload, requirements) = baseline();
+        let valid = CompositeScenario::Single {
+            scenario: FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        };
+        let broken = CompositeScenario::HumanError {
+            size: Bytes::from_mib(1.0),
+            age: TimeDelta::ZERO,
+        };
+        let results: Vec<LenientEvaluation> = [&valid, &broken]
+            .into_iter()
+            .map(|c| evaluate_composite_lenient(&design, &workload, &requirements, c))
+            .collect();
+        assert!(results[0].is_complete(), "{:?}", results[0].caveats);
+        assert!(!results[1].is_complete());
+        assert_eq!(results[1].caveats.len(), 4);
+        assert!(results[1]
+            .caveats
+            .iter()
+            .all(|c| c.code == "invalid-composite"));
+        assert!(results[1].utilization.is_none());
+    }
+
+    #[test]
+    fn lenient_degrades_per_section_for_satisfiable_but_unrecoverable_composites() {
+        let design = crate::presets::async_batch_mirror_design(1);
+        let workload = crate::presets::cello_workload();
+        let requirements = crate::presets::paper_requirements();
+        // The primary site fails while the only mirror is being rebuilt:
+        // no copy survives, but normal-mode utilization is still
+        // reportable.
+        let composite = CompositeScenario::SecondFault {
+            first: FailureScope::ProtectionLevel { level: 1 },
+            second: FailureScope::Site,
+            target: RecoveryTarget::Now,
+        };
+        let lenient = evaluate_composite_lenient(&design, &workload, &requirements, &composite);
+        assert!(lenient.utilization.is_some());
+        assert!(lenient
+            .caveats_for(Section::DataLoss)
+            .any(|c| c.code == "no-recovery-source"));
+    }
+
+    #[test]
+    fn displays_name_every_variant() {
+        let correlated = CompositeScenario::Correlated {
+            scopes: vec![FailureScope::Site, FailureScope::Array],
+            correlation: 0.5,
+            target: RecoveryTarget::Now,
+        };
+        assert_eq!(
+            correlated.to_string(),
+            "correlated site+array failures (correlation 0.5)"
+        );
+        let second = CompositeScenario::SecondFault {
+            first: FailureScope::Array,
+            second: FailureScope::Site,
+            target: RecoveryTarget::Now,
+        };
+        assert!(second.to_string().contains("during recovery from"));
+        let human = CompositeScenario::HumanError {
+            size: Bytes::from_mib(1.0),
+            age: TimeDelta::from_hours(24.0),
+        };
+        assert!(human.to_string().contains("human error"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let composites = vec![
+            CompositeScenario::Correlated {
+                scopes: vec![FailureScope::Site, FailureScope::Array],
+                correlation: 0.5,
+                target: RecoveryTarget::Now,
+            },
+            CompositeScenario::SecondFault {
+                first: FailureScope::Array,
+                second: FailureScope::Site,
+                target: RecoveryTarget::Now,
+            },
+            CompositeScenario::HumanError {
+                size: Bytes::from_mib(1.0),
+                age: TimeDelta::from_hours(24.0),
+            },
+        ];
+        let json = serde_json::to_string(&composites).unwrap();
+        let back: Vec<CompositeScenario> = serde_json::from_str(&json).unwrap();
+        assert_eq!(composites, back);
+    }
+}

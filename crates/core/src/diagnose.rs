@@ -18,13 +18,14 @@
 //! lives in `DESIGN.md` §10.
 
 use crate::analysis::{data_loss, recovery, utilization_from_demands};
+use crate::composite::CompositeScenario;
 use crate::demands::DemandSet;
 use crate::device::{DeviceSpec, SpareSpec};
 use crate::error::Error;
 use crate::failure::{FailureScenario, FailureScope, Location, RecoveryTarget};
 use crate::hierarchy::{Level, RecoverySite, StorageDesign};
 use crate::protection::{
-    Backup, IncrementalPolicy, MirrorMode, ProtectionParams, RemoteMirror, RemoteVault,
+    Backup, IncrementalPolicy, KOutOfN, MirrorMode, ProtectionParams, RemoteMirror, RemoteVault,
     SplitMirror, Technique, VirtualSnapshot,
 };
 use crate::units::TimeDelta;
@@ -219,6 +220,120 @@ pub fn preflight_all(
     let mut seen = BTreeSet::new();
     diags.retain(|d| seen.insert((d.code.clone(), d.path.clone(), d.message.clone())));
     Preflight { diagnostics: diags }
+}
+
+/// [`preflight_all`] plus the composite-scenario checks (D070–D074):
+/// every composite must lower onto the single-fault vocabulary, and each
+/// successfully lowered scenario is then checked for recovery-path
+/// reachability exactly like a plain scenario.
+///
+/// Composite checks need a structurally sound hierarchy (lowering walks
+/// the level/device tables), so — like the plain scenario checks — they
+/// run only once the structure checks pass.
+pub fn preflight_with_composites(
+    design: &StorageDesign,
+    workload: &Workload,
+    scenarios: &[FailureScenario],
+    composites: &[CompositeScenario],
+) -> Preflight {
+    let mut diags = Vec::new();
+    check_workload(workload, &mut diags);
+    let structure_sound = check_structure(design, &mut diags);
+    check_devices(design, &mut diags);
+    check_recovery_site(design, &mut diags);
+    check_techniques(design, &mut diags);
+    check_conventions(design, &mut diags);
+    if structure_sound {
+        let demands = check_feasibility(design, workload, &mut diags);
+        for scenario in scenarios {
+            check_scenario(design, workload, demands.as_ref(), scenario, &mut diags);
+        }
+        for (index, composite) in composites.iter().enumerate() {
+            if let Some(lowered) = check_composite(design, index, composite, &mut diags) {
+                check_scenario(design, workload, demands.as_ref(), &lowered, &mut diags);
+            }
+        }
+        check_hints(design, &mut diags);
+    }
+    let mut seen = BTreeSet::new();
+    diags.retain(|d| seen.insert((d.code.clone(), d.path.clone(), d.message.clone())));
+    Preflight { diagnostics: diags }
+}
+
+/// Composite-scenario checks (D070–D074). Returns the lowered
+/// single-fault scenario when the composite is evaluable so its recovery
+/// path can be checked with the plain-scenario machinery.
+fn check_composite(
+    design: &StorageDesign,
+    index: usize,
+    composite: &CompositeScenario,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<FailureScenario> {
+    let path = format!("composites[{index}]");
+    match composite.lower(design) {
+        Ok(lowered) => {
+            if let CompositeScenario::SecondFault { first, second, .. } = composite {
+                let destroyed = |scope: &FailureScope| -> Vec<usize> {
+                    (0..design.levels().len())
+                        .filter(|&level| design.level_destroyed(level, scope))
+                        .collect()
+                };
+                let first_destroyed = destroyed(first);
+                if destroyed(second)
+                    .iter()
+                    .all(|level| first_destroyed.contains(level))
+                {
+                    diags.push(Diagnostic::new(
+                        "D074",
+                        Severity::Warning,
+                        format!("{path}.second"),
+                        format!(
+                            "the {} second fault destroys no level the {} first \
+                             fault had not already consumed",
+                            second.name(),
+                            first.name()
+                        ),
+                        "widen the second fault's scope, or model the pair as a \
+                         single degraded scenario",
+                        false,
+                    ));
+                }
+            }
+            Some(lowered.scenario)
+        }
+        Err(error) => {
+            let (code, suggestion) = match &error {
+                Error::InvalidParameter { parameter, .. }
+                    if parameter == "composite.correlation" =>
+                {
+                    ("D070", "set the correlation factor to a value in (0, 1]")
+                }
+                Error::InvalidParameter { parameter, .. } if parameter == "composite.scopes" => (
+                    "D071",
+                    "list at least two correlated scopes, or use a plain scenario",
+                ),
+                Error::InvalidParameter { parameter, .. }
+                    if parameter.starts_with("composite.humanError") =>
+                {
+                    (
+                        "D072",
+                        "give the human-error rollback a positive point-in-time \
+                         age and a positive object size",
+                    )
+                }
+                _ => ("D070", "correct the composite scenario parameters"),
+            };
+            diags.push(Diagnostic::new(
+                code,
+                Severity::Error,
+                path,
+                format!("composite scenario `{composite}`: {error}"),
+                suggestion,
+                false,
+            ));
+            None
+        }
+    }
 }
 
 fn check_workload(workload: &Workload, diags: &mut Vec<Diagnostic>) {
@@ -428,6 +543,10 @@ fn check_techniques(design: &StorageDesign, diags: &mut Vec<Diagnostic>) {
                          the incrementals fit within the full cycle (or drop them)"
                     }
                     "D022" => "clamp the asynchronous write lag to zero",
+                    "D073" => {
+                        "keep at least one data fragment and more total fragments \
+                         than data fragments"
+                    }
                     _ => {
                         "clamp the windows to a consistent schedule: raise accW \
                          to propW, cyclePer to accW, and retW to \
@@ -751,6 +870,7 @@ fn technique_code(error: &Error) -> &'static str {
         Error::InvalidParameter { parameter, .. } if parameter.starts_with("remoteMirror.") => {
             "D022"
         }
+        Error::InvalidParameter { parameter, .. } if parameter.starts_with("kOutOfN.") => "D073",
         _ => "D020",
     }
 }
@@ -1097,6 +1217,15 @@ fn repair_technique(technique: &Technique) -> Option<Technique> {
                 Some(backup) => Some(Technique::Backup(backup)),
                 None => Backup::full_only(full).ok().map(Technique::Backup),
             }
+        }
+        Technique::KOutOfN(t) => {
+            let k = t.data_fragments().max(1);
+            Some(Technique::KOutOfN(KOutOfN::new(
+                k,
+                t.total_fragments().max(k + 1),
+                clamp_params(t.params(), false)?,
+                t.repair(),
+            )))
         }
     }
 }
@@ -1616,6 +1745,126 @@ mod tests {
             diagnostic.to_string(),
             "error[D020] levels[1].params.propW: message"
         );
+    }
+
+    #[test]
+    fn composite_preflight_is_clean_for_valid_composites() {
+        let (design, workload, scenarios) = fixture();
+        let composites = vec![
+            CompositeScenario::Correlated {
+                scopes: vec![FailureScope::Site, FailureScope::Array],
+                correlation: 0.5,
+                target: RecoveryTarget::Now,
+            },
+            CompositeScenario::SecondFault {
+                first: FailureScope::Array,
+                second: FailureScope::Site,
+                target: RecoveryTarget::Now,
+            },
+            CompositeScenario::HumanError {
+                size: Bytes::from_mib(1.0),
+                age: TimeDelta::from_hours(24.0),
+            },
+        ];
+        let report = preflight_with_composites(&design, &workload, &scenarios, &composites);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics());
+        assert!(!report.has_warnings(), "{:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn invalid_correlation_reports_d070() {
+        let (design, workload, _) = fixture();
+        let composite = CompositeScenario::Correlated {
+            scopes: vec![FailureScope::Site, FailureScope::Array],
+            correlation: 0.0,
+            target: RecoveryTarget::Now,
+        };
+        let report = preflight_with_composites(&design, &workload, &[], &[composite]);
+        assert!(
+            report
+                .errors()
+                .any(|d| d.code == "D070" && d.path == "composites[0]"),
+            "{:?}",
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn single_correlated_scope_reports_d071() {
+        let (design, workload, _) = fixture();
+        let composite = CompositeScenario::Correlated {
+            scopes: vec![FailureScope::Site],
+            correlation: 0.5,
+            target: RecoveryTarget::Now,
+        };
+        let report = preflight_with_composites(&design, &workload, &[], &[composite]);
+        assert!(
+            report.errors().any(|d| d.code == "D071"),
+            "{:?}",
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn degenerate_human_error_reports_d072() {
+        let (design, workload, _) = fixture();
+        let composite = CompositeScenario::HumanError {
+            size: Bytes::from_mib(1.0),
+            age: TimeDelta::ZERO,
+        };
+        let report = preflight_with_composites(&design, &workload, &[], &[composite]);
+        assert!(
+            report.errors().any(|d| d.code == "D072"),
+            "{:?}",
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn second_fault_inside_the_first_reports_d074() {
+        let (design, workload, _) = fixture();
+        // An array second fault after a site fault destroys nothing new.
+        let composite = CompositeScenario::SecondFault {
+            first: FailureScope::Site,
+            second: FailureScope::Array,
+            target: RecoveryTarget::Now,
+        };
+        let report = preflight_with_composites(&design, &workload, &[], &[composite]);
+        assert!(
+            report
+                .warnings()
+                .any(|d| d.code == "D074" && d.path == "composites[0].second"),
+            "{:?}",
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn redundancy_free_k_out_of_n_reports_d073_and_repair_fixes_it() {
+        let workload = crate::presets::cello_workload();
+        let scenarios = [FailureScenario::new(
+            FailureScope::Array,
+            RecoveryTarget::Now,
+        )];
+        let broken = mutated(&crate::presets::k_out_of_n_design(), |v| {
+            // n == k carries no redundancy.
+            v["levels"][1]["technique"]["KOutOfN"]["total_fragments"] = serde_json::json!(4);
+        });
+        let report = preflight_all(&broken, &workload, &scenarios);
+        assert!(
+            report.errors().any(|d| d.code == "D073" && d.fixable),
+            "{:?}",
+            report.diagnostics()
+        );
+
+        let repaired = repair(&broken, &workload, &scenarios);
+        assert!(
+            repaired.applied.iter().any(|r| r.code == "D073"),
+            "{:?}",
+            repaired.applied
+        );
+        let after = preflight_all(&repaired.design, &workload, &scenarios);
+        assert!(!after.has_errors(), "{:?}", after.diagnostics());
     }
 
     #[test]

@@ -64,6 +64,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod composite;
 pub mod demands;
 pub mod device;
 pub mod diagnose;
@@ -85,8 +86,14 @@ pub use workload::Workload;
 /// Commonly used items, importable with `use ssdep_core::prelude::*`.
 pub mod prelude {
     pub use crate::analysis::{evaluate, Evaluation};
+    pub use crate::composite::{
+        evaluate_composite, evaluate_composite_lenient, CompositeOutcome, CompositeScenario,
+    };
     pub use crate::device::{DeviceId, DeviceKind, DeviceSpec};
-    pub use crate::diagnose::{preflight, preflight_all, repair, Diagnostic, Preflight, Severity};
+    pub use crate::diagnose::{
+        preflight, preflight_all, preflight_with_composites, repair, Diagnostic, Preflight,
+        Severity,
+    };
     pub use crate::failure::{FailureScenario, FailureScope, RecoveryTarget};
     pub use crate::hierarchy::{Level, StorageDesign};
     pub use crate::protection::{ProtectionParams, Technique};

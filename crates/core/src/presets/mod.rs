@@ -22,7 +22,8 @@ pub use devices::{
 };
 pub use scenarios::{paper_failure_scenarios, paper_scenario_catalog};
 pub use whatif::{
-    async_batch_mirror_design, disk_backup_design, snapshot_design, weekly_vault_daily_full_design,
-    weekly_vault_design, weekly_vault_full_incremental_design, what_if_designs,
+    async_batch_mirror_design, disk_backup_design, k_out_of_n_design, k_out_of_n_design_with,
+    snapshot_design, weekly_vault_daily_full_design, weekly_vault_design,
+    weekly_vault_full_incremental_design, what_if_designs,
 };
 pub use workloads::cello_workload;

@@ -11,8 +11,8 @@
 #![allow(clippy::expect_used)]
 use crate::hierarchy::{Level, StorageDesign};
 use crate::protection::{
-    Backup, IncrementalMode, IncrementalPolicy, PrimaryCopy, ProtectionParams, RemoteMirror,
-    RemoteVault, SplitMirror, Technique, VirtualSnapshot,
+    Backup, IncrementalMode, IncrementalPolicy, KOutOfN, PrimaryCopy, ProtectionParams,
+    RemoteMirror, RemoteVault, RepairStrategy, SplitMirror, Technique, VirtualSnapshot,
 };
 use crate::units::TimeDelta;
 
@@ -226,6 +226,50 @@ pub fn disk_backup_design() -> StorageDesign {
         .expect("disk backup preset is structurally valid")
 }
 
+/// Extension (not in the paper's Table 7): the primary array protected
+/// by a 4-of-6 erasure-coded remote level with parallel fragment repair,
+/// shipped over ten OC-3 links.
+pub fn k_out_of_n_design() -> StorageDesign {
+    k_out_of_n_design_with(RepairStrategy::Parallel)
+}
+
+/// [`k_out_of_n_design`] with an explicit repair strategy, for comparing
+/// parallel and serial fragment-repair times.
+pub fn k_out_of_n_design_with(repair: RepairStrategy) -> StorageDesign {
+    let strategy = match repair {
+        RepairStrategy::Parallel => "parallel",
+        RepairStrategy::Serial => "serial",
+    };
+    let mut builder = StorageDesign::builder(format!("4-of-6 erasure, {strategy} repair"));
+    let array = builder.add_device(primary_array_spec()).expect("unique");
+    let remote = builder.add_device(remote_array_spec()).expect("unique");
+    let wan = builder.add_device(oc3_links_spec(10)).expect("unique");
+
+    builder.add_level(Level::new(
+        "primary copy",
+        Technique::PrimaryCopy(PrimaryCopy::new()),
+        array,
+    ));
+    let params = ProtectionParams::builder()
+        .accumulation_window(TimeDelta::from_hours(24.0))
+        .propagation_window(TimeDelta::from_hours(12.0))
+        .retention_count(4)
+        .build()
+        .expect("erasure preset parameters are valid");
+    builder.add_level(
+        Level::new(
+            "4-of-6 erasure coding",
+            Technique::KOutOfN(KOutOfN::new(4, 6, params, repair)),
+            remote,
+        )
+        .with_transports([wan]),
+    );
+    builder.recovery_site(paper_recovery_site());
+    builder
+        .build()
+        .expect("erasure preset is structurally valid")
+}
+
 /// All seven designs of Table 7, baseline first, in row order.
 pub fn what_if_designs() -> Vec<StorageDesign> {
     vec![
@@ -318,6 +362,25 @@ mod tests {
         assert!(disk.recovery.total_time < tape.recovery.total_time * 0.8);
         // And daily fulls cut the loss from 217 h to ~28.5 h.
         assert!(disk.loss.worst_loss < tape.loss.worst_loss / 5.0);
+    }
+
+    #[test]
+    fn erasure_preset_is_feasible_and_parallel_repair_is_faster() {
+        use crate::analysis::evaluate;
+        use crate::failure::{FailureScenario, FailureScope, RecoveryTarget};
+        let workload = super::super::cello_workload();
+        let requirements = super::super::paper_requirements();
+        let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+        let parallel = evaluate(&k_out_of_n_design(), &workload, &requirements, &scenario).unwrap();
+        let serial = evaluate(
+            &k_out_of_n_design_with(RepairStrategy::Serial),
+            &workload,
+            &requirements,
+            &scenario,
+        )
+        .unwrap();
+        // Reading four fragments concurrently beats one stream.
+        assert!(parallel.recovery.total_time < serial.recovery.total_time);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Erasure-coded k-out-of-n protection with deterministic repair-time
+//! math (Aggarwal et al., PAPERS.md).
+//!
+//! The dataset is encoded into `n` fragments of which any `k` suffice to
+//! reconstruct it, giving a storage blow-up of `n / k` instead of the
+//! full-copy factor of mirroring. The model reuses the common
+//! [`ProtectionParams`] vocabulary for its capture schedule (an encoded
+//! retrieval point is cut every accumulation window, propagated over the
+//! propagation window, and `retCnt` encodings are retained), and adds the
+//! repair-time distinction that matters downstream:
+//!
+//! * **parallel repair** streams the `k` needed fragments concurrently,
+//!   dividing the transfer time of a restore by `k`;
+//! * **serial repair** reads fragments one after another, so the restore
+//!   transfer runs at single-stream speed.
+//!
+//! [`crate::analysis::recovery`] consumes this via
+//! [`Technique::repair_parallelism`](crate::protection::Technique::repair_parallelism).
+
+use crate::demands::DemandContribution;
+use crate::error::Error;
+use crate::protection::{LevelContext, ProtectionParams};
+use serde::{Deserialize, Serialize};
+
+/// How a k-out-of-n level reads its fragments during a restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairStrategy {
+    /// All `k` needed fragments stream concurrently: the restore transfer
+    /// time is divided by `k`.
+    Parallel,
+    /// Fragments are read one after another at single-stream speed.
+    Serial,
+}
+
+/// An erasure-coded protection level: any `k` of `n` fragments
+/// reconstruct the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KOutOfN {
+    data_fragments: u32,
+    total_fragments: u32,
+    params: ProtectionParams,
+    repair: RepairStrategy,
+}
+
+impl KOutOfN {
+    /// Creates a k-out-of-n level: `data_fragments` (k) of
+    /// `total_fragments` (n) reconstruct the dataset, with the given
+    /// capture schedule and repair strategy.
+    pub fn new(
+        data_fragments: u32,
+        total_fragments: u32,
+        params: ProtectionParams,
+        repair: RepairStrategy,
+    ) -> KOutOfN {
+        KOutOfN {
+            data_fragments,
+            total_fragments,
+            params,
+            repair,
+        }
+    }
+
+    /// The number of fragments needed to reconstruct the dataset (k).
+    pub fn data_fragments(&self) -> u32 {
+        self.data_fragments
+    }
+
+    /// The total number of fragments stored (n).
+    pub fn total_fragments(&self) -> u32 {
+        self.total_fragments
+    }
+
+    /// The level's window/retention parameters.
+    pub fn params(&self) -> &ProtectionParams {
+        &self.params
+    }
+
+    /// The configured repair strategy.
+    pub fn repair(&self) -> RepairStrategy {
+        self.repair
+    }
+
+    /// The storage blow-up factor `n / k`.
+    pub fn expansion_factor(&self) -> f64 {
+        f64::from(self.total_fragments) / f64::from(self.data_fragments)
+    }
+
+    /// How many concurrent streams a restore reads with: `k` for
+    /// [`RepairStrategy::Parallel`], one for [`RepairStrategy::Serial`].
+    pub fn repair_parallelism(&self) -> f64 {
+        match self.repair {
+            RepairStrategy::Parallel => f64::from(self.data_fragments.max(1)),
+            RepairStrategy::Serial => 1.0,
+        }
+    }
+
+    /// Re-runs construction-time validation (serde bypasses the
+    /// constructor, so a JSON spec can carry fragment counts the model
+    /// cannot work with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `k` is zero or `n` does
+    /// not exceed `k` (no redundancy), plus the common
+    /// [`ProtectionParams::validate`] checks.
+    pub fn validate(&self) -> Result<(), Error> {
+        self.params.validate()?;
+        if self.data_fragments == 0 {
+            return Err(Error::invalid(
+                "kOutOfN.dataFragments",
+                "at least one data fragment is required to reconstruct the dataset",
+            ));
+        }
+        if self.total_fragments <= self.data_fragments {
+            return Err(Error::invalid(
+                "kOutOfN.totalFragments",
+                format!(
+                    "must exceed the {} data fragment(s), or the encoding carries no redundancy",
+                    self.data_fragments
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn demands(&self, ctx: &LevelContext<'_>) -> Result<Vec<DemandContribution>, Error> {
+        let source = ctx.source_host.ok_or_else(|| {
+            Error::invalid(
+                "kOutOfN.source",
+                "a k-out-of-n level needs an upstream copy to encode from",
+            )
+        })?;
+        let data = ctx.workload.data_capacity();
+        let encoded = data * self.expansion_factor();
+        // Each capture re-reads the window's updates from the source and
+        // writes the encoded fragments over the propagation window (the
+        // accumulation window when propagation is instantaneous).
+        let window = if self.params.propagation_window().is_zero() {
+            self.params.accumulation_window()
+        } else {
+            self.params.propagation_window()
+        };
+        let write_rate = encoded / window;
+
+        let mut demands = Vec::with_capacity(2 + ctx.transports.len());
+        let mut read = DemandContribution::none(source);
+        read.bandwidth = data / self.params.accumulation_window();
+        demands.push(read);
+
+        let mut host = DemandContribution::bandwidth(ctx.host, write_rate);
+        host.capacity = encoded * self.params.retention_count() as f64;
+        demands.push(host);
+
+        for &transport in ctx.transports {
+            demands.push(DemandContribution::bandwidth(transport, write_rate));
+        }
+        Ok(demands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+    use crate::units::TimeDelta;
+
+    fn params() -> ProtectionParams {
+        ProtectionParams::builder()
+            .accumulation_window(TimeDelta::from_hours(24.0))
+            .propagation_window(TimeDelta::from_hours(12.0))
+            .retention_count(4)
+            .build()
+            .unwrap()
+    }
+
+    fn four_of_six() -> KOutOfN {
+        KOutOfN::new(4, 6, params(), RepairStrategy::Parallel)
+    }
+
+    #[test]
+    fn expansion_and_parallelism() {
+        let t = four_of_six();
+        assert!((t.expansion_factor() - 1.5).abs() < 1e-12);
+        assert!((t.repair_parallelism() - 4.0).abs() < 1e-12);
+        let serial = KOutOfN::new(4, 6, params(), RepairStrategy::Serial);
+        assert!((serial.repair_parallelism() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_fragment_counts() {
+        assert!(four_of_six().validate().is_ok());
+        let no_data = KOutOfN::new(0, 6, params(), RepairStrategy::Parallel);
+        let err = no_data.validate().unwrap_err();
+        assert!(err.to_string().contains("kOutOfN.dataFragments"));
+        let no_redundancy = KOutOfN::new(6, 6, params(), RepairStrategy::Serial);
+        let err = no_redundancy.validate().unwrap_err();
+        assert!(err.to_string().contains("kOutOfN.totalFragments"));
+    }
+
+    #[test]
+    fn demands_scale_with_the_expansion_factor() {
+        let workload = crate::presets::cello_workload();
+        let ctx = LevelContext {
+            workload: &workload,
+            level_index: 1,
+            source_host: Some(DeviceId(0)),
+            host: DeviceId(1),
+            transports: &[DeviceId(2)],
+            prev_retention_window: None,
+        };
+        let demands = four_of_six().demands(&ctx).unwrap();
+        assert_eq!(demands.len(), 3);
+        let data = workload.data_capacity();
+        // Host retains retCnt encodings of 1.5x the dataset.
+        assert_eq!(demands[1].capacity, data * 1.5 * 4.0);
+        // Encoded writes move 1.5x the dataset per 12-hour propagation.
+        let expected = data * 1.5 / TimeDelta::from_hours(12.0);
+        assert!((demands[1].bandwidth.value() - expected.value()).abs() < 1e-6);
+        assert_eq!(demands[2].bandwidth, demands[1].bandwidth);
+        // Source is read at dataset-per-accumulation-window speed.
+        let read = data / TimeDelta::from_hours(24.0);
+        assert!((demands[0].bandwidth.value() - read.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_source_is_rejected() {
+        let workload = crate::presets::cello_workload();
+        let ctx = LevelContext {
+            workload: &workload,
+            level_index: 0,
+            source_host: None,
+            host: DeviceId(0),
+            transports: &[],
+            prev_retention_window: None,
+        };
+        assert!(four_of_six().demands(&ctx).is_err());
+    }
+}

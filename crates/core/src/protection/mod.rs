@@ -18,6 +18,7 @@
 //! add.
 
 mod backup;
+mod k_out_of_n;
 mod params;
 mod primary;
 mod remote_mirror;
@@ -26,6 +27,7 @@ mod split_mirror;
 mod vault;
 
 pub use backup::{Backup, IncrementalMode, IncrementalPolicy};
+pub use k_out_of_n::{KOutOfN, RepairStrategy};
 pub use params::{CopyRepresentation, ProtectionParams};
 pub use primary::PrimaryCopy;
 pub use remote_mirror::{MirrorMode, RemoteMirror};
@@ -85,6 +87,8 @@ pub enum Technique {
     Backup(Backup),
     /// Periodic shipment of backup media to an off-site vault.
     RemoteVault(RemoteVault),
+    /// Erasure-coded fragments: any `k` of `n` reconstruct the dataset.
+    KOutOfN(KOutOfN),
 }
 
 impl Technique {
@@ -97,6 +101,7 @@ impl Technique {
             Technique::RemoteMirror(m) => m.name(),
             Technique::Backup(_) => "backup",
             Technique::RemoteVault(_) => "remote vaulting",
+            Technique::KOutOfN(_) => "k-out-of-n",
         }
     }
 
@@ -112,6 +117,7 @@ impl Technique {
             Technique::RemoteMirror(t) => t.params(),
             Technique::Backup(t) => Some(t.full_params()),
             Technique::RemoteVault(t) => Some(t.params()),
+            Technique::KOutOfN(t) => Some(t.params()),
         }
     }
 
@@ -126,6 +132,7 @@ impl Technique {
             Technique::RemoteMirror(t) => t.worst_own_lag(),
             Technique::Backup(t) => t.worst_own_lag(),
             Technique::RemoteVault(t) => t.params().worst_own_lag(),
+            Technique::KOutOfN(t) => t.params().worst_own_lag(),
         }
     }
 
@@ -140,6 +147,7 @@ impl Technique {
             Technique::RemoteMirror(t) => t.transit_lag(),
             Technique::Backup(t) => t.full_params().transit_lag(),
             Technique::RemoteVault(t) => t.params().transit_lag(),
+            Technique::KOutOfN(t) => t.params().transit_lag(),
         }
     }
 
@@ -153,6 +161,7 @@ impl Technique {
             Technique::RemoteMirror(t) => t.arrival_period(),
             Technique::Backup(t) => t.arrival_period(),
             Technique::RemoteVault(t) => t.params().accumulation_window(),
+            Technique::KOutOfN(t) => t.params().accumulation_window(),
         }
     }
 
@@ -167,6 +176,7 @@ impl Technique {
             Technique::RemoteMirror(t) => t.retention_span(),
             Technique::Backup(t) => t.full_params().retention_span(),
             Technique::RemoteVault(t) => t.params().retention_span(),
+            Technique::KOutOfN(t) => t.params().retention_span(),
         }
     }
 
@@ -196,6 +206,7 @@ impl Technique {
             Technique::RemoteMirror(t) => t.demands(ctx),
             Technique::Backup(t) => t.demands(ctx),
             Technique::RemoteVault(t) => t.demands(ctx),
+            Technique::KOutOfN(t) => t.demands(ctx),
         }
     }
 
@@ -229,7 +240,19 @@ impl Technique {
                 }
                 Ok(())
             }
+            Technique::KOutOfN(t) => t.validate(),
             _ => Ok(()),
+        }
+    }
+
+    /// How many concurrent streams a restore from this level reads with.
+    /// One for every technique except a parallel-repair
+    /// [`Technique::KOutOfN`] level, which streams its `k` fragments
+    /// concurrently and divides the restore transfer time accordingly.
+    pub fn repair_parallelism(&self) -> f64 {
+        match self {
+            Technique::KOutOfN(t) => t.repair_parallelism(),
+            _ => 1.0,
         }
     }
 
@@ -308,6 +331,26 @@ mod tests {
         let t = Technique::SplitMirror(SplitMirror::new(params(12.0, 4)));
         let needed = Bytes::from_mib(1.0);
         assert_eq!(t.worst_restore_bytes(&wl, needed), needed);
+    }
+
+    #[test]
+    fn repair_parallelism_is_one_except_for_parallel_erasure_coding() {
+        assert_eq!(
+            Technique::PrimaryCopy(PrimaryCopy::new()).repair_parallelism(),
+            1.0
+        );
+        let parallel = Technique::KOutOfN(KOutOfN::new(
+            4,
+            6,
+            params(24.0, 4),
+            RepairStrategy::Parallel,
+        ));
+        assert_eq!(parallel.repair_parallelism(), 4.0);
+        assert_eq!(parallel.name(), "k-out-of-n");
+        let serial =
+            Technique::KOutOfN(KOutOfN::new(4, 6, params(24.0, 4), RepairStrategy::Serial));
+        assert_eq!(serial.repair_parallelism(), 1.0);
+        assert!(!serial.is_point_in_time());
     }
 
     #[test]

@@ -266,24 +266,25 @@ pub fn supervised_exhaustive(
     let workload = std::sync::Arc::new(workload.clone());
     let requirements = *requirements;
     let scenarios = std::sync::Arc::new(scenarios.to_vec());
-    let run = supervisor.run(&candidates, move |candidate: &Candidate| {
-        match evaluate_candidate_engine(
-            &closure_engine,
-            candidate,
-            &workload,
-            &requirements,
-            &scenarios,
-        ) {
-            Ok(outcome) => Ok(SearchOutcome::Evaluated(outcome)),
-            // Transient failures bubble to the supervisor's retry loop;
-            // deterministic ones are the candidate's honest verdict.
-            Err(error) if error.is_transient() => Err(error),
-            Err(error) => Ok(SearchOutcome::Infeasible {
-                label: candidate.label(),
-                reason: error.to_string(),
-            }),
-        }
-    })?;
+    let run =
+        supervisor.run_with_rejected(&candidates, rejected, move |candidate: &Candidate| {
+            match evaluate_candidate_engine(
+                &closure_engine,
+                candidate,
+                &workload,
+                &requirements,
+                &scenarios,
+            ) {
+                Ok(outcome) => Ok(SearchOutcome::Evaluated(outcome)),
+                // Transient failures bubble to the supervisor's retry loop;
+                // deterministic ones are the candidate's honest verdict.
+                Err(error) if error.is_transient() => Err(error),
+                Err(error) => Ok(SearchOutcome::Infeasible {
+                    label: candidate.label(),
+                    reason: error.to_string(),
+                }),
+            }
+        })?;
 
     let mut ranked = Vec::new();
     let mut infeasible = Vec::new();
@@ -301,18 +302,14 @@ pub fn supervised_exhaustive(
             .total_cmp(&b.expected_total.value())
     });
     let mut provenance = run.provenance;
-    provenance.total += rejected.len();
-    provenance.failed += rejected.len();
     provenance.cache_hits = engine.cache_hits().saturating_sub(hits_before);
-    let mut failed = run.failed;
-    failed.extend(rejected);
     Ok(SupervisedSearchResult {
         result: SearchResult {
             ranked,
             infeasible,
             evaluations: provenance.evaluated,
         },
-        failed,
+        failed: run.failed,
         provenance,
     })
 }
@@ -752,6 +749,69 @@ mod tests {
         assert!(supervised.result.ranked.is_empty());
         assert!(supervised.result.infeasible.is_empty());
         assert!(!supervised.provenance.is_complete());
+    }
+
+    #[test]
+    fn preflight_rejections_are_journaled_and_replay_without_retries() {
+        use crate::journal::read_journal;
+        use crate::supervisor::TaskRecord;
+        let (workload, requirements, scenarios) = fixture();
+        let overgrown = workload.scaled(100.0).unwrap();
+        let space = DesignSpace::minimal();
+        let path = std::env::temp_dir().join(format!(
+            "ssdep-search-rejected-journal-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let config = crate::supervisor::SupervisorConfig {
+            checkpoint: Some(path.clone()),
+            resume: Some(path.clone()),
+            ..crate::supervisor::SupervisorConfig::default()
+        };
+        let supervised = supervised_exhaustive(
+            &space,
+            &overgrown,
+            &requirements,
+            &scenarios,
+            &Supervisor::new(config.clone()),
+        )
+        .unwrap();
+        assert_eq!(supervised.failed.len(), space.len());
+
+        // Every rejection landed in the journal, with zero attempts.
+        let records = read_journal::<TaskRecord<Candidate, SearchOutcome>>(&path).unwrap();
+        assert_eq!(records.len(), space.len());
+        for record in &records {
+            match record {
+                TaskRecord::Failed(outcome) => {
+                    assert_eq!(outcome.kind, FailureKind::Rejected);
+                    assert_eq!(outcome.attempts, 0, "rejections are never evaluated");
+                }
+                TaskRecord::Completed { .. } => panic!("no candidate should complete"),
+            }
+        }
+
+        // A resumed run replays the rejections instead of re-reporting
+        // them as fresh, and still evaluates nothing.
+        let resumed = supervised_exhaustive(
+            &space,
+            &overgrown,
+            &requirements,
+            &scenarios,
+            &Supervisor::new(config),
+        )
+        .unwrap();
+        assert_eq!(resumed.provenance.resumed, space.len());
+        assert_eq!(resumed.provenance.evaluated, 0);
+        assert_eq!(resumed.failed.len(), supervised.failed.len());
+        for (a, b) in resumed.failed.iter().zip(&supervised.failed) {
+            assert_eq!(a.error, b.error);
+            assert_eq!(a.attempts, 0);
+        }
+        // Same-file resume does not grow the journal with duplicates.
+        let replayed = read_journal::<TaskRecord<Candidate, SearchOutcome>>(&path).unwrap();
+        assert_eq!(replayed.len(), space.len());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

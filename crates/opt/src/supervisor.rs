@@ -273,6 +273,35 @@ impl Supervisor {
         O: Send + Serialize + DeserializeOwned + 'static,
         F: Fn(&T) -> Result<O, Error> + Send + Sync + 'static,
     {
+        self.run_with_rejected(items, Vec::new(), eval)
+    }
+
+    /// [`run`](Supervisor::run), plus a set of candidates the caller
+    /// rejected before evaluation (e.g. a preflight gate).
+    ///
+    /// Rejected candidates are journaled as [`TaskRecord::Failed`] with
+    /// their caller-supplied outcome (conventionally
+    /// [`FailureKind::Rejected`] with zero attempts), so a resumed run
+    /// replays them instead of re-reporting them as fresh; they are never
+    /// evaluated or retried, do not advance the crash-injection counter,
+    /// and are appended after the evaluated results in the returned
+    /// failure list.
+    ///
+    /// # Errors
+    ///
+    /// Returns journal I/O and serialization errors — per-task
+    /// evaluation failures never abort the run.
+    pub fn run_with_rejected<T, O, F>(
+        &self,
+        items: &[T],
+        rejected: Vec<FailedOutcome<T>>,
+        eval: F,
+    ) -> Result<SupervisedRun<T, O>, Error>
+    where
+        T: Clone + Send + Sync + Serialize + DeserializeOwned + 'static,
+        O: Send + Serialize + DeserializeOwned + 'static,
+        F: Fn(&T) -> Result<O, Error> + Send + Sync + 'static,
+    {
         let eval = Arc::new(eval);
 
         // Replay journaled outcomes: last record per key wins, so a
@@ -297,10 +326,34 @@ impl Supervisor {
         };
 
         let mut provenance = Provenance {
-            total: items.len(),
+            total: items.len() + rejected.len(),
             ..Provenance::default()
         };
         let mut fresh_journaled = 0usize;
+
+        // Journal the caller-rejected candidates up front: they show up
+        // in the journal like any other failure (and replay on resume),
+        // but were never evaluated, so they do not advance the
+        // crash-injection counter.
+        let mut rejected_records: Vec<TaskRecord<T, O>> = Vec::with_capacity(rejected.len());
+        for outcome in rejected {
+            let key = task_key(&outcome.candidate)?;
+            if let Some(replayed) = replay.remove(&key) {
+                provenance.resumed += 1;
+                if rejournal_resumed {
+                    if let Some(journal) = journal.as_mut() {
+                        journal.append(&replayed)?;
+                    }
+                }
+                rejected_records.push(replayed);
+            } else {
+                let record = TaskRecord::Failed(outcome);
+                if let Some(journal) = journal.as_mut() {
+                    journal.append(&record)?;
+                }
+                rejected_records.push(record);
+            }
+        }
 
         // Replay pass: settle resumed outcomes into their input-order
         // slots, leaving only fresh indices to evaluate.
@@ -405,7 +458,7 @@ impl Supervisor {
         // serial ones.
         let mut completed = Vec::new();
         let mut failed = Vec::new();
-        for record in slots.into_iter().flatten() {
+        for record in slots.into_iter().flatten().chain(rejected_records) {
             match record {
                 TaskRecord::Completed { item, outcome } => completed.push((item, outcome)),
                 TaskRecord::Failed(outcome) => {

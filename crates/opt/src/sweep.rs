@@ -246,7 +246,7 @@ where
     let workload = std::sync::Arc::new(workload.clone());
     let requirements = *requirements;
     let scenarios = std::sync::Arc::new(scenarios.to_vec());
-    let run = supervisor.run(&tasks, move |task: &SweepTask| {
+    let run = supervisor.run_with_rejected(&tasks, rejected, move |task: &SweepTask| {
         match evaluate_point_engine(
             &closure_engine,
             task.value,
@@ -276,14 +276,10 @@ where
         }
     }
     let mut provenance = run.provenance;
-    provenance.total += rejected.len();
-    provenance.failed += rejected.len();
     provenance.cache_hits = engine.cache_hits().saturating_sub(hits_before);
-    let mut failed = run.failed;
-    failed.extend(rejected);
     Ok(SupervisedSweep {
         series,
-        failed,
+        failed: run.failed,
         provenance,
     })
 }

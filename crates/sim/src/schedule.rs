@@ -203,6 +203,22 @@ pub fn level_model(technique: &Technique, workload: &Workload) -> Result<LevelMo
                 full_restore: data,
             }
         }
+        Technique::KOutOfN(t) => {
+            let params = t.params();
+            // An encoded RP is cut per accumulation window; the restore
+            // still reads a dataset's worth of fragments.
+            LevelModel::Scheduled {
+                period: params.accumulation_window(),
+                reps: vec![RepSpec {
+                    kind: RpKind::Full,
+                    latency: params.transit_lag(),
+                    propagation: params.propagation_window(),
+                }],
+                retention: params.retention_count() as usize,
+                full_transfer_window: None,
+                full_restore: data,
+            }
+        }
         other => {
             return Err(Error::invalid(
                 "level.technique",

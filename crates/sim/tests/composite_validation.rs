@@ -1,0 +1,216 @@
+//! Cross-validation of the composite-scenario algebra against fault
+//! injection: every composite class is lowered to its single-fault
+//! scenario, replayed in the simulator, and the simulated windows must
+//! be bracketed by the analytic answer.
+
+use ssdep_core::composite::{evaluate_composite, CompositeScenario};
+use ssdep_core::demands::DemandSet;
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::protection::RepairStrategy;
+use ssdep_core::units::TimeDelta;
+use ssdep_core::workload::Workload;
+use ssdep_sim::recovery::simulate_failure;
+use ssdep_sim::validate::{sample_grid, validate_scenario, ValidationOutcome};
+use ssdep_sim::{SimConfig, SimReport, Simulation};
+
+struct Fixture {
+    design: StorageDesign,
+    workload: Workload,
+    demands: DemandSet,
+    report: SimReport,
+}
+
+// A panic in this test helper is the failure report itself.
+#[allow(clippy::unwrap_used)]
+fn fixture(design: StorageDesign, weeks: f64) -> Fixture {
+    let workload = ssdep_core::presets::cello_workload();
+    let demands = design.demands(&workload).unwrap();
+    let report = Simulation::new(
+        &design,
+        &workload,
+        SimConfig::new(TimeDelta::from_weeks(weeks)),
+    )
+    .unwrap()
+    .run();
+    Fixture {
+        design,
+        workload,
+        demands,
+        report,
+    }
+}
+
+// A panic in this test helper is the failure report itself.
+#[allow(clippy::unwrap_used)]
+fn validate(fixture: &Fixture, scenario: &FailureScenario, samples: usize) -> ValidationOutcome {
+    let grid = sample_grid(
+        TimeDelta::from_weeks(10.0),
+        fixture.report.horizon(),
+        samples,
+    );
+    validate_scenario(
+        &fixture.design,
+        &fixture.workload,
+        &fixture.demands,
+        &fixture.report,
+        scenario,
+        &grid,
+    )
+    .unwrap()
+}
+
+/// Lowers a composite on `design` and evaluates it analytically.
+// A panic in this test helper is the failure report itself.
+#[allow(clippy::unwrap_used)]
+fn lower_and_evaluate(
+    fixture: &Fixture,
+    composite: &CompositeScenario,
+) -> (FailureScenario, ssdep_core::composite::CompositeOutcome) {
+    let lowered = composite.lower(&fixture.design).unwrap();
+    let prepared =
+        ssdep_core::analysis::PreparedDesign::prepare(&fixture.design, &fixture.workload).unwrap();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let outcome = evaluate_composite(&prepared, &requirements, composite).unwrap();
+    (lowered.scenario, outcome)
+}
+
+#[test]
+fn correlated_composite_brackets_the_simulated_windows() {
+    let fixture = fixture(ssdep_core::presets::baseline_design(), 20.0);
+    let composite = CompositeScenario::Correlated {
+        scopes: vec![FailureScope::Site, FailureScope::Array],
+        correlation: 0.5,
+        target: RecoveryTarget::Now,
+    };
+    let (lowered, outcome) = lower_and_evaluate(&fixture, &composite);
+    // The lowered scenario's analytic windows bound every simulated
+    // replay of the same fault.
+    let validated = validate(&fixture, &lowered, 48);
+    assert!(validated.bounds_hold(), "{validated:?}");
+    assert!(validated.evaluated_samples > 30);
+    // The correlated composite only inflates from there: its end-to-end
+    // recovery dominates both the analytic and every observed window.
+    assert!(outcome.total_recovery >= validated.analytic_recovery);
+    assert!(outcome.total_recovery >= validated.observed_max_recovery);
+    assert!((outcome.recovery_inflation - 1.5).abs() < 1e-12);
+}
+
+#[test]
+fn second_fault_composite_dominates_the_simulated_plain_fault() {
+    let fixture = fixture(ssdep_core::presets::baseline_design(), 20.0);
+    let composite = CompositeScenario::SecondFault {
+        first: FailureScope::Array,
+        second: FailureScope::Site,
+        target: RecoveryTarget::Now,
+    };
+    let (lowered, outcome) = lower_and_evaluate(&fixture, &composite);
+    assert!(!lowered.degraded_levels.is_empty(), "{lowered:?}");
+    // Simulated replays of the degraded site fault stay within its
+    // analytic windows...
+    let validated = validate(&fixture, &lowered, 48);
+    assert!(validated.bounds_hold(), "{validated:?}");
+    // ...and the composite's end-to-end answer (first recovery + second
+    // recovery) dominates both the degraded and the plain site fault.
+    let plain = validate(
+        &fixture,
+        &FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+        48,
+    );
+    assert!(outcome.total_recovery >= validated.observed_max_recovery);
+    assert!(outcome.total_recovery > plain.analytic_recovery);
+}
+
+#[test]
+fn human_error_composite_is_stopped_by_retention_in_both_models() {
+    let fixture = fixture(ssdep_core::presets::baseline_design(), 20.0);
+    let composite = CompositeScenario::HumanError {
+        size: ssdep_core::units::Bytes::from_mib(1.0),
+        age: TimeDelta::from_hours(24.0),
+    };
+    let (lowered, outcome) = lower_and_evaluate(&fixture, &composite);
+    // The rollback lowers to a point-in-time object restore whose
+    // simulated replays respect the analytic windows.
+    let validated = validate(&fixture, &lowered, 48);
+    assert!(validated.bounds_hold(), "{validated:?}");
+    assert!(validated.evaluated_samples > 30);
+    assert!(outcome.total_recovery >= validated.observed_max_recovery);
+    // A point-in-time level serves the restore — the corruption did not
+    // propagate into it.
+    assert!(outcome.evaluation.loss.source_level_name().is_some());
+}
+
+#[test]
+fn k_out_of_n_repair_strategies_hold_in_simulation_and_order_correctly() {
+    let scenario = FailureScenario::new(FailureScope::Array, RecoveryTarget::Now);
+    let parallel = fixture(ssdep_core::presets::k_out_of_n_design(), 20.0);
+    let validated_parallel = validate(&parallel, &scenario, 48);
+    assert!(validated_parallel.bounds_hold(), "{validated_parallel:?}");
+    assert!(validated_parallel.evaluated_samples > 30);
+
+    let serial = fixture(
+        ssdep_core::presets::k_out_of_n_design_with(RepairStrategy::Serial),
+        20.0,
+    );
+    let validated_serial = validate(&serial, &scenario, 48);
+    assert!(validated_serial.bounds_hold(), "{validated_serial:?}");
+    // Serial repair reads fragments one stream at a time: both the
+    // analytic and the observed recovery dominate the parallel case.
+    assert!(validated_serial.analytic_recovery > validated_parallel.analytic_recovery);
+    assert!(validated_serial.observed_max_recovery > validated_parallel.observed_max_recovery);
+}
+
+#[test]
+fn every_preset_agrees_with_the_simulator_on_site_data_loss() {
+    let scenario = FailureScenario::new(FailureScope::Site, RecoveryTarget::Now);
+    let mut designs = ssdep_core::presets::what_if_designs();
+    designs.push(ssdep_core::presets::k_out_of_n_design());
+    for design in designs {
+        let name = design.name().to_string();
+        let workload = ssdep_core::presets::cello_workload();
+        let analytic = ssdep_core::analysis::data_loss(&design, &scenario);
+        let demands = design.demands(&workload).unwrap();
+        let report = Simulation::new(
+            &design,
+            &workload,
+            SimConfig::new(TimeDelta::from_weeks(20.0)),
+        )
+        .unwrap()
+        .run();
+        // Replay the site fault at sampled instants well past warmup.
+        let grid = sample_grid(TimeDelta::from_weeks(10.0), report.horizon(), 16);
+        let mut simulated_loss = false;
+        let mut simulated_total_loss = false;
+        for &at in &grid {
+            match simulate_failure(&design, &workload, &demands, &report, &scenario, at) {
+                Ok(recovery) => simulated_loss |= !recovery.observed_loss.is_zero(),
+                Err(_) => simulated_total_loss = true,
+            }
+        }
+        match analytic {
+            Ok(loss) => {
+                assert!(
+                    !simulated_total_loss,
+                    "{name}: analytic recovers but the simulator lost every copy"
+                );
+                // The analytic bound is a worst case: simulated loss may
+                // be zero at lucky instants, but never strictly positive
+                // when the analysis says no update can be lost.
+                if simulated_loss {
+                    assert!(
+                        !loss.worst_loss.is_zero(),
+                        "{name}: simulator observed loss the analysis rules out"
+                    );
+                }
+            }
+            Err(_) => {
+                // No analytic recovery source for a site fault: the
+                // simulator must agree that data is irrecoverable.
+                assert!(
+                    simulated_total_loss,
+                    "{name}: analysis finds no source but the simulator recovered"
+                );
+            }
+        }
+    }
+}
