@@ -86,6 +86,11 @@ grep -q "3 resumed" "$SMOKE_DIR/resumed.out" || {
 }
 echo "crash-resume smoke test passed"
 
+# Storage-fault smoke test: kill + corrupt + inspect/recover/resume
+# round-trip, ENOSPC-degraded run, and the bounded seeded torture
+# harness (see devtools/chaos-smoke.sh).
+devtools/chaos-smoke.sh "$SSDEP" target/release/ssdep-chaos
+
 # Parallel-determinism smoke test: a supervised sweep must emit
 # byte-identical --json output at any --jobs count (results land in
 # input-order slots regardless of worker completion order).

@@ -53,13 +53,36 @@ pub fn run(args: &[String]) -> Result<String, String> {
 /// Most commands exit 0 on success and 1 on error; `ssdep check` uses
 /// the full ladder — 0 clean, 1 warnings under `--deny-warnings`, 2
 /// errors — so scripts can branch on the outcome without parsing text.
+/// `ssdep journal inspect` exits 0 for a clean journal (a torn tail
+/// alone is still clean) and 1 when corrupt spans need recovery, and the
+/// supervised batch commands (`search`, `sweep`) exit 3 when the run
+/// completed but its checkpoint journal degraded mid-run — the results
+/// are valid, but not all of them are durably journaled.
 pub fn run_with_status(args: &[String]) -> (Result<String, String>, u8) {
-    if args.first().map(String::as_str) == Some("check") {
-        let rest: Vec<&String> = args.iter().skip(1).collect();
-        return check_command(&rest);
+    let rest: Vec<&String> = args.iter().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check_command(&rest),
+        Some("journal") => journal_command(&rest),
+        Some("search") => status_of(search_command(&rest)),
+        Some("sweep") => {
+            let result = match rest.split_first() {
+                Some((first, tail)) if !first.starts_with("--") => sweep(first, tail),
+                _ => sweep("growth", &rest),
+            };
+            status_of(result)
+        }
+        _ => match dispatch(args) {
+            Ok(output) => (Ok(output), 0),
+            Err(message) => (Err(message), 1),
+        },
     }
-    match dispatch(args) {
-        Ok(output) => (Ok(output), 0),
+}
+
+/// Folds a command's `(text, status)` success into the common
+/// `(result, status)` shape, mapping errors to exit 1.
+fn status_of(result: Result<(String, u8), String>) -> (Result<String, String>, u8) {
+    match result {
+        Ok((output, status)) => (Ok(output), status),
         Err(message) => (Err(message), 1),
     }
 }
@@ -83,10 +106,6 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "baseline" => baseline(),
         "whatif" => whatif(),
         "optimize" => optimize(args.contains(&"--broad".to_string())),
-        "search" => {
-            let rest: Vec<&String> = iter.collect();
-            search_command(&rest)
-        }
         "degraded" => {
             let path = iter
                 .next()
@@ -107,13 +126,6 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             let path = iter.next().ok_or("usage: ssdep coverage <spec.json>")?;
             let spec = load(path)?;
             coverage(&spec)
-        }
-        "sweep" => {
-            let rest: Vec<&String> = iter.collect();
-            match rest.split_first() {
-                Some((first, tail)) if !first.starts_with("--") => sweep(first, tail),
-                _ => sweep("growth", &rest),
-            }
         }
         "compare" => {
             let path_a = iter
@@ -215,6 +227,13 @@ fn help() -> String {
          --max-retries <n>          retries for transient failures (default 2)\n\
          --jobs <n>                 parallel evaluation workers (default 1);\n\
                                     output is byte-identical at any job count\n\
+         (search and the supervised sweeps exit 3 when the run completed\n\
+         but its checkpoint journal degraded mid-run, e.g. on a full disk)\n\
+       journal inspect <file> [--json]  classify a checkpoint journal's\n\
+                                    records, corruption, and torn tail\n\
+                                    (exit 0 clean, 1 needs recovery)\n\
+       journal recover <file> [--json]  quarantine corrupt lines into\n\
+                                    <file>.quarantine and keep the rest\n\
        degraded <spec.json>         exposure matrix with each level out of service\n\
        risk <spec.json>             annualized availability / loss profile\n\
        coverage <spec.json>         which failure scopes the design survives\n\
@@ -1120,9 +1139,11 @@ fn coverage(spec: &SystemSpec) -> Result<String, String> {
 ///
 /// `--resume F` without `--checkpoint` also appends new progress to `F`,
 /// so an interrupted run can be resumed repeatedly with one flag. The
-/// `SSDEP_CRASH_AFTER=<n>` environment variable arms a test-only hook
-/// that aborts the process after `n` journaled evaluations — it exists
-/// for the crash-resume smoke test in `ci.sh`.
+/// `SSDEP_CRASH_AFTER=<n>` and `SSDEP_JOURNAL_FAULT=<kind@N[@seed]>`
+/// environment variables arm test-only hooks (a crash after `n`
+/// journaled evaluations; injected journal storage faults) parsed by
+/// [`ssdep_opt::SupervisorConfig::apply_env_hooks`] — they exist for the
+/// crash-resume and chaos smoke tests in `ci.sh`.
 fn parse_supervisor_flags<'a>(
     args: &[&'a String],
 ) -> Result<(ssdep_opt::SupervisorConfig, bool, Vec<&'a String>), String> {
@@ -1181,12 +1202,9 @@ fn parse_supervisor_flags<'a>(
     if config.checkpoint.is_none() {
         config.checkpoint = config.resume.clone();
     }
-    if let Ok(text) = std::env::var("SSDEP_CRASH_AFTER") {
-        let n = text
-            .parse()
-            .map_err(|e| format!("bad SSDEP_CRASH_AFTER: {e}"))?;
-        config.crash_after_journaled = Some(n);
-    }
+    // The crash/fault env hooks are parsed by the library so binaries
+    // and integration tests share one implementation.
+    let config = config.apply_env_hooks().map_err(|e| e.to_string())?;
     Ok((config, any, leftover))
 }
 
@@ -1210,7 +1228,7 @@ struct SweepReport {
     provenance: ssdep_opt::Provenance,
 }
 
-fn sweep(axis: &str, rest: &[&String]) -> Result<String, String> {
+fn sweep(axis: &str, rest: &[&String]) -> Result<(String, u8), String> {
     use ssdep_opt::sweep::{self, GrowthPoint, SweepSeries};
     let (config, supervised, leftover) = parse_supervisor_flags(rest)?;
     let mut as_json = false;
@@ -1246,51 +1264,62 @@ fn sweep(axis: &str, rest: &[&String]) -> Result<String, String> {
 
     // The supervised axes share one driver; growth keeps its bespoke
     // feasibility-aware loop and does not take supervisor flags.
-    let supervised_axis =
-        |title: &str,
-         axis_label: &str,
-         values: &[f64],
-         make: fn(f64) -> Result<ssdep_core::hierarchy::StorageDesign, ssdep_core::Error>,
-         scenarios: &[ssdep_core::analysis::WeightedScenario]|
-         -> Result<String, String> {
-            let run = sweep::supervised_sweep(
-                axis_label,
-                values,
-                make,
-                &workload,
-                &requirements,
-                scenarios,
-                &ssdep_opt::Supervisor::new(config.clone()),
-            )
-            .map_err(|e| e.to_string())?;
-            if as_json {
-                return serde_json::to_string_pretty(&SweepReport {
-                    axis: axis_label.to_string(),
-                    series: run.series,
-                    provenance: run.provenance,
-                })
-                .map_err(|e| e.to_string());
-            }
-            let failed: Vec<String> = run
-                .failed
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{axis_label} = {}: {} [{} after {} attempt{}]",
-                        f.candidate.value,
-                        f.error,
-                        f.kind,
-                        f.attempts,
-                        if f.attempts == 1 { "" } else { "s" }
-                    )
-                })
-                .collect();
-            Ok(format!(
-                "{}{}",
-                render_provenance(&run.provenance, &failed),
-                render_series(&run.series, title, axis_label)
-            ))
+    let supervised_axis = |title: &str,
+                           axis_label: &str,
+                           values: &[f64],
+                           make: fn(
+        f64,
+    ) -> Result<
+        ssdep_core::hierarchy::StorageDesign,
+        ssdep_core::Error,
+    >,
+                           scenarios: &[ssdep_core::analysis::WeightedScenario]|
+     -> Result<(String, u8), String> {
+        let run = sweep::supervised_sweep(
+            axis_label,
+            values,
+            make,
+            &workload,
+            &requirements,
+            scenarios,
+            &ssdep_opt::Supervisor::new(config.clone()),
+        )
+        .map_err(|e| e.to_string())?;
+        let status = if run.provenance.journal_degraded {
+            3
+        } else {
+            0
         };
+        if as_json {
+            let text = serde_json::to_string_pretty(&SweepReport {
+                axis: axis_label.to_string(),
+                series: run.series,
+                provenance: run.provenance,
+            })
+            .map_err(|e| e.to_string())?;
+            return Ok((text, status));
+        }
+        let failed: Vec<String> = run
+            .failed
+            .iter()
+            .map(|f| {
+                format!(
+                    "{axis_label} = {}: {} [{} after {} attempt{}]",
+                    f.candidate.value,
+                    f.error,
+                    f.kind,
+                    f.attempts,
+                    if f.attempts == 1 { "" } else { "s" }
+                )
+            })
+            .collect();
+        let mut out = render_provenance(&run.provenance, &failed);
+        if let Some(journal_error) = &run.journal_error {
+            let _ = writeln!(out, "caveat: checkpoint journal lost mid-run ({journal_error}); rerun once space/IO recovers to re-checkpoint");
+        }
+        let _ = write!(out, "{}", render_series(&run.series, title, axis_label));
+        Ok((out, status))
+    };
 
     match axis {
         "growth" => {
@@ -1311,7 +1340,8 @@ fn sweep(axis: &str, rest: &[&String]) -> Result<String, String> {
             )
             .map_err(|e| e.to_string())?;
             if as_json {
-                return serde_json::to_string_pretty(&points).map_err(|e| e.to_string());
+                let text = serde_json::to_string_pretty(&points).map_err(|e| e.to_string())?;
+                return Ok((text, 0));
             }
             let mut table = report::TextTable::new(["Growth", "Outcome"]);
             for point in &points {
@@ -1328,9 +1358,12 @@ fn sweep(axis: &str, rest: &[&String]) -> Result<String, String> {
                     }
                 };
             }
-            Ok(format!(
-                "== Dataset growth sweep (baseline design) ==\n{}",
-                table.render()
+            Ok((
+                format!(
+                    "== Dataset growth sweep (baseline design) ==\n{}",
+                    table.render()
+                ),
+                0,
             ))
         }
         "links" => {
@@ -1363,7 +1396,132 @@ fn sweep(axis: &str, rest: &[&String]) -> Result<String, String> {
     }
 }
 
-fn search_command(args: &[&String]) -> Result<String, String> {
+/// `ssdep journal inspect|recover <path> [--json]` — checkpoint-journal
+/// forensics. `inspect` classifies every line without modifying the
+/// file and exits 1 when corrupt spans need recovery (0 for a clean
+/// journal, torn tail included); `recover` moves corrupt lines into a
+/// `<path>.quarantine` sidecar, atomically rewrites the journal with
+/// only intact records, and exits 0.
+fn journal_command(args: &[&String]) -> (Result<String, String>, u8) {
+    let usage = "usage: ssdep journal inspect|recover <path> [--json]";
+    let mut as_json = false;
+    let mut positional: Vec<&str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => as_json = true,
+            other if other.starts_with("--") => {
+                return (Err(format!("unknown journal option `{other}`\n{usage}")), 1)
+            }
+            other => positional.push(other),
+        }
+    }
+    let (action, path) = match positional[..] {
+        [action, path] => (action, path),
+        _ => return (Err(usage.to_string()), 1),
+    };
+    match action {
+        "inspect" => match ssdep_opt::inspect_journal(path) {
+            Ok(report) => {
+                let status = if report.is_clean() { 0 } else { 1 };
+                let text = if as_json {
+                    match serde_json::to_string_pretty(&report) {
+                        Ok(text) => text,
+                        Err(e) => return (Err(e.to_string()), 1),
+                    }
+                } else {
+                    render_inspect(&report)
+                };
+                (Ok(text), status)
+            }
+            Err(e) => (Err(e.to_string()), 1),
+        },
+        "recover" => match ssdep_opt::salvage_journal(path) {
+            Ok(report) => {
+                let text = if as_json {
+                    match serde_json::to_string_pretty(&report) {
+                        Ok(text) => text,
+                        Err(e) => return (Err(e.to_string()), 1),
+                    }
+                } else {
+                    render_salvage(&report)
+                };
+                (Ok(text), 0)
+            }
+            Err(e) => (Err(e.to_string()), 1),
+        },
+        other => (Err(format!("unknown journal action `{other}`\n{usage}")), 1),
+    }
+}
+
+fn render_inspect(report: &ssdep_opt::InspectReport) -> String {
+    let mut out = format!("journal: {}\n", report.path);
+    let _ = writeln!(
+        out,
+        "lines: {} ({} v2 records, {} v1 records)",
+        report.lines, report.v2_records, report.v1_records
+    );
+    let _ = writeln!(
+        out,
+        "max sequence: {} ({} missing)",
+        report.max_seq, report.missing_seqs
+    );
+    if report.torn_tail {
+        let _ = writeln!(out, "torn tail: yes (crash artifact; dropped on resume)");
+    }
+    for span in &report.corrupt_spans {
+        let _ = writeln!(
+            out,
+            "corrupt: lines {}-{} ({} bytes): {}",
+            span.first_line, span.last_line, span.bytes, span.reason
+        );
+    }
+    if report.is_clean() {
+        let _ = writeln!(out, "verdict: clean — resumes as-is");
+    } else {
+        let _ = writeln!(
+            out,
+            "verdict: CORRUPT — run `ssdep journal recover {}`",
+            report.path
+        );
+    }
+    out
+}
+
+fn render_salvage(report: &ssdep_opt::SalvageReport) -> String {
+    if report.quarantined_lines == 0 {
+        return format!(
+            "journal: {}\nnothing to recover — {} intact record{} kept, file untouched\n",
+            report.path,
+            report.kept,
+            if report.kept == 1 { "" } else { "s" },
+        );
+    }
+    let mut out = format!("journal: {}\n", report.path);
+    let _ = writeln!(
+        out,
+        "recovered: {} intact record{} kept",
+        report.kept,
+        if report.kept == 1 { "" } else { "s" },
+    );
+    let _ = writeln!(
+        out,
+        "quarantined: {} line{} ({} bytes) -> {}",
+        report.quarantined_lines,
+        if report.quarantined_lines == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.quarantined_bytes,
+        report.quarantine,
+    );
+    if report.torn_tail_dropped {
+        let _ = writeln!(out, "torn tail: dropped (crash artifact)");
+    }
+    out
+}
+
+fn search_command(args: &[&String]) -> Result<(String, u8), String> {
     use ssdep_opt::search::{paper_scenarios, supervised_exhaustive};
     use ssdep_opt::space::DesignSpace;
     let (config, _, leftover) = parse_supervisor_flags(args)?;
@@ -1414,6 +1572,13 @@ fn search_command(args: &[&String]) -> Result<String, String> {
         supervised.provenance.total,
         render_provenance(&supervised.provenance, &failed)
     );
+    if let Some(journal_error) = &supervised.journal_error {
+        let _ = writeln!(
+            out,
+            "caveat: checkpoint journal lost mid-run ({journal_error}); rerun once \
+             space/IO recovers to re-checkpoint"
+        );
+    }
     let result = &supervised.result;
     let _ = writeln!(
         out,
@@ -1437,7 +1602,12 @@ fn search_command(args: &[&String]) -> Result<String, String> {
         ]);
     }
     let _ = writeln!(out, "{}", table.render());
-    Ok(out)
+    let status = if supervised.provenance.journal_degraded {
+        3
+    } else {
+        0
+    };
+    Ok((out, status))
 }
 
 fn optimize(broad: bool) -> Result<String, String> {
@@ -2321,5 +2491,73 @@ mod tests {
         let serial = run(&args(&["search"])).unwrap();
         let parallel = run(&args(&["search", "--jobs", "3"])).unwrap();
         assert_eq!(serial, parallel, "--jobs must not change the output");
+    }
+
+    #[test]
+    fn journal_inspect_and_recover_drive_the_exit_ladder() {
+        let path = std::env::temp_dir().join(format!(
+            "ssdep-test-journal-cli-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        {
+            let mut writer = ssdep_opt::JournalWriter::open(&path, 1).unwrap();
+            for i in 0..4u32 {
+                writer.append(&i).unwrap();
+            }
+        }
+        let path_str = path.to_str().unwrap();
+
+        // Clean journal: inspect exits 0.
+        let (result, status) = run_with_status(&args(&["journal", "inspect", path_str]));
+        let out = result.unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("verdict: clean"), "{out}");
+
+        // Corrupt a middle line: inspect exits 1 and the JSON report is
+        // byte-stable across runs.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[1] = "v2:not a frame".to_string();
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let (result, status) = run_with_status(&args(&["journal", "inspect", path_str, "--json"]));
+        let first_json = result.unwrap();
+        assert_eq!(status, 1, "{first_json}");
+        assert!(first_json.contains("\"corrupt_spans\""), "{first_json}");
+        let (result, _) = run_with_status(&args(&["journal", "inspect", path_str, "--json"]));
+        assert_eq!(first_json, result.unwrap(), "inspect --json must be stable");
+
+        // Recover exits 0, quarantines the bad line, and the journal is
+        // clean again.
+        let (result, status) = run_with_status(&args(&["journal", "recover", path_str]));
+        let out = result.unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("quarantined: 1 line"), "{out}");
+        let (result, status) = run_with_status(&args(&["journal", "inspect", path_str]));
+        assert_eq!(status, 0, "{}", result.unwrap());
+        let quarantine = format!("{path_str}.quarantine");
+        assert!(std::fs::read_to_string(&quarantine)
+            .unwrap()
+            .contains("not a frame"));
+
+        // Usage errors.
+        assert!(run(&args(&["journal"])).is_err());
+        assert!(run(&args(&["journal", "inspect"])).is_err());
+        assert!(run(&args(&["journal", "shred", path_str])).is_err());
+        assert!(run(&args(&["journal", "inspect", path_str, "--verbose"])).is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&quarantine).ok();
+    }
+
+    #[test]
+    fn journal_inspect_of_a_missing_file_is_an_error() {
+        let (result, status) = run_with_status(&args(&[
+            "journal",
+            "inspect",
+            "/nonexistent/ssdep-no-such-journal.jsonl",
+        ]));
+        assert_eq!(status, 1);
+        let message = result.unwrap_err();
+        assert!(message.contains("ssdep-no-such-journal.jsonl"), "{message}");
     }
 }

@@ -278,6 +278,20 @@ impl Error {
         }
     }
 
+    /// [`Error::io`] with the file the operation touched spelled out in
+    /// the operation — ``journal append `/path/to/file` `` — so every I/O
+    /// failure names the artifact a user must look at, not just the verb.
+    pub fn io_at(
+        operation: impl Into<String>,
+        path: &std::path::Path,
+        reason: impl Into<String>,
+    ) -> Error {
+        Error::Io {
+            operation: format!("{} `{}`", operation.into(), path.display()),
+            reason: reason.into(),
+        }
+    }
+
     /// The retry classification of this error.
     ///
     /// Only [`Error::Io`] is [`ErrorClass::Transient`]; every model and

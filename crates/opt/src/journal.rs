@@ -1,17 +1,34 @@
-//! Append-only JSON-lines checkpoint journals.
+//! Append-only checkpoint journals with checksummed v2 framing,
+//! corruption inspection, and salvage.
 //!
-//! The evaluation supervisor records one JSON line per finished task so
-//! a killed process can resume without repeating completed work. The
-//! format is deliberately dumb — human-greppable, append-only, no
-//! index — because crash tolerance comes from two properties only:
+//! The evaluation supervisor records one line per finished task so a
+//! killed process can resume without repeating completed work. Crash
+//! tolerance rests on two properties:
 //!
-//! * **appends are atomic at line granularity**: a line is written in
-//!   one `write` call and durability is forced with batched `fsync`s,
+//! * **appends are atomic at line granularity**: a line is handed to the
+//!   sink in one write and durability is forced with batched `fsync`s,
 //!   so after a crash the file is a prefix of the uninterrupted journal
 //!   plus at most one torn line;
 //! * **readers drop a torn tail**: a final line that does not parse is
 //!   treated as the crash artifact it is, while an unparsable line in
-//!   the middle of the file is reported as corruption.
+//!   the middle of the file is reported as corruption — recoverable via
+//!   [`salvage_journal`] (CLI: `ssdep journal recover`), which moves the
+//!   corrupt spans into a `.quarantine` sidecar.
+//!
+//! # Record framing
+//!
+//! Version 2 frames every record with a sequence number and a CRC32
+//! (IEEE) over `"<seq>:<payload>"`:
+//!
+//! ```text
+//! v2:<seq>:<crc32 hex8>:<payload JSON>\n
+//! ```
+//!
+//! Readers accept v1 journals — plain JSON lines, everything written
+//! before framing existed — unchanged, line by line, so old checkpoints
+//! resume bit for bit. The CRC turns silent bit rot into a *located*
+//! corruption report instead of a JSON parse error (or worse, a wrong
+//! but parsable record).
 //!
 //! Record *order* carries no meaning: resume matches records to tasks by
 //! their serialized key, so journals written by parallel supervisor runs
@@ -19,64 +36,221 @@
 //! exactly like serial ones. Replayed outcomes are copied verbatim —
 //! resume never re-runs any part of the evaluation pipeline, including
 //! its scenario-independent preparation stage.
+//!
+//! Writes go through the [`JournalSink`](crate::sink::JournalSink) seam,
+//! so storage faults (EIO, ENOSPC, short writes) are injectable and the
+//! whole failure matrix is testable from library code — see
+//! [`crate::sink`] and `DESIGN.md` §14.
 
+use crate::sink::{FaultySink, FileSink, IoFaultPlan, JournalSink};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use ssdep_core::error::Error;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use ssdep_core::error::{Error, RetryPolicy};
 use std::path::{Path, PathBuf};
 
-/// An append-only journal writer with batched durability.
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3), table-driven, std-only
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// The CRC32 (IEEE) checksum journal frames carry.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Frame parsing (shared by the reader, inspector, and salvager)
+// ---------------------------------------------------------------------
+
+/// One parsed journal line, format identified but payload not yet
+/// deserialized.
+enum Framed<'a> {
+    /// Whitespace only — readers skip it.
+    Blank,
+    /// A v1 plain-JSON line (no frame, no checksum).
+    V1(&'a str),
+    /// A v2 frame whose checksum verified.
+    V2 { seq: u64, payload: &'a str },
+}
+
+/// Parses one raw line into its frame, verifying the v2 checksum.
+/// Returns the corruption reason on any mismatch.
+fn parse_frame(raw: &[u8]) -> Result<Framed<'_>, String> {
+    let text = std::str::from_utf8(raw).map_err(|e| format!("invalid UTF-8: {e}"))?;
+    if text.trim().is_empty() {
+        return Ok(Framed::Blank);
+    }
+    let Some(rest) = text.strip_prefix("v2:") else {
+        return Ok(Framed::V1(text));
+    };
+    let (seq_text, rest) = rest
+        .split_once(':')
+        .ok_or("v2 frame is missing its sequence field")?;
+    let (crc_text, payload) = rest
+        .split_once(':')
+        .ok_or("v2 frame is missing its checksum field")?;
+    let seq: u64 = seq_text
+        .parse()
+        .map_err(|_| format!("v2 frame has a malformed sequence number `{seq_text}`"))?;
+    let stored = u32::from_str_radix(crc_text, 16)
+        .map_err(|_| format!("v2 frame has a malformed checksum `{crc_text}`"))?;
+    let computed = crc32(format!("{seq}:{payload}").as_bytes());
+    if computed != stored {
+        return Err(format!(
+            "checksum mismatch on record {seq}: stored {stored:08x}, computed {computed:08x}"
+        ));
+    }
+    Ok(Framed::V2 { seq, payload })
+}
+
+/// Splits a journal's bytes into lines, dropping the empty artifact a
+/// trailing newline produces (but keeping interior blanks and a final
+/// unterminated fragment).
+fn split_lines(bytes: &[u8]) -> Vec<&[u8]> {
+    let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    if lines.last().is_some_and(|l| l.is_empty()) {
+        lines.pop();
+    }
+    lines
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// An append-only journal writer with v2 framing, batched durability,
+/// and per-append retries through a [`JournalSink`].
 ///
-/// Entries are buffered and flushed + `fsync`ed every `sync_every`
-/// appends (and on [`JournalWriter::sync`]); entries in an unflushed
-/// batch are lost by a crash, which is safe — resume simply repeats
-/// that work.
+/// Entries are framed (`v2:<seq>:<crc32>:<json>`) and handed to the sink
+/// one line per append; the batch is `fsync`ed every `sync_every`
+/// appends (and on [`JournalWriter::sync`]). Entries in an unflushed
+/// batch are lost by a crash, which is safe — resume simply repeats that
+/// work. Append failures are retried under the configured
+/// [`RetryPolicy`], with a sink rollback between attempts so a torn
+/// fragment can never end up concatenated with the retried record.
 #[derive(Debug)]
 pub struct JournalWriter {
     path: PathBuf,
-    writer: BufWriter<File>,
+    sink: Box<dyn JournalSink>,
     sync_every: usize,
     pending: usize,
     appended: usize,
+    next_seq: u64,
+    retry: RetryPolicy,
 }
 
 impl JournalWriter {
-    /// Opens `path` for appending, creating it if absent.
+    /// Opens `path` for appending, creating it if absent. Sequence
+    /// numbering continues from the highest intact v2 record already in
+    /// the file.
     ///
     /// # Errors
     ///
     /// Returns the transient [`Error::Io`] when the file cannot be
-    /// opened.
+    /// opened or scanned.
     pub fn open(path: impl AsRef<Path>, sync_every: usize) -> Result<JournalWriter, Error> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| Error::io(format!("journal open `{}`", path.display()), e.to_string()))?;
+        let next_seq = scan_next_seq(&path)?;
+        let sink = FileSink::open(&path)
+            .map_err(|e| Error::io_at("journal open", &path, e.to_string()))?;
         Ok(JournalWriter {
             path,
-            writer: BufWriter::new(file),
+            sink: Box::new(sink),
             sync_every: sync_every.max(1),
             pending: 0,
             appended: 0,
+            next_seq,
+            // No retries by default: a bare writer keeps the historic
+            // fail-fast behavior; the supervisor installs its policy.
+            retry: RetryPolicy::immediate(0),
         })
     }
 
-    /// Appends one entry as a single JSON line, syncing when the batch
-    /// fills.
+    /// Installs a retry policy for append and fsync failures.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> JournalWriter {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the byte sink — e.g. with a memory or instrumented sink
+    /// in tests.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Box<dyn JournalSink>) -> JournalWriter {
+        self.sink = sink;
+        self
+    }
+
+    /// Wraps the current sink in deterministic fault injection.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: IoFaultPlan) -> JournalWriter {
+        let inner = std::mem::replace(&mut self.sink, Box::new(crate::sink::NullSink));
+        self.sink = Box::new(FaultySink::new(inner, plan));
+        self
+    }
+
+    /// Appends one entry as a framed line, retrying under the writer's
+    /// [`RetryPolicy`] and syncing when the batch fills.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidParameter`] when the entry does not
-    /// serialize, and the transient [`Error::Io`] on write failures.
+    /// serialize, and the transient [`Error::Io`] when writes (and their
+    /// retries) fail.
     pub fn append<E: Serialize>(&mut self, entry: &E) -> Result<(), Error> {
-        let line = serde_json::to_string(entry)
+        let payload = serde_json::to_string(entry)
             .map_err(|e| Error::invalid("journal.entry", format!("not serializable: {e}")))?;
-        debug_assert!(!line.contains('\n'), "serde_json output is single-line");
-        writeln!(self.writer, "{line}").map_err(|e| self.io_error("journal append", e))?;
+        debug_assert!(!payload.contains('\n'), "serde_json output is single-line");
+        let seq = self.next_seq;
+        let crc = crc32(format!("{seq}:{payload}").as_bytes());
+        let line = format!("v2:{seq}:{crc:08x}:{payload}\n");
+
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.sink.append(line.as_bytes()) {
+                Ok(()) => break,
+                Err(e) => {
+                    // Remove any torn fragment before retrying: a retry
+                    // on top of a partial write would corrupt the middle
+                    // of the journal, not its tail. If even the rollback
+                    // fails, stop — the torn bytes stay at the tail,
+                    // where readers already tolerate them.
+                    let rolled_back = self.sink.rollback().is_ok();
+                    if !rolled_back || attempt > self.retry.max_retries {
+                        return Err(Error::io_at("journal append", &self.path, e.to_string())
+                            .with_attempts(attempt));
+                    }
+                    std::thread::sleep(self.retry.delay_for(attempt));
+                }
+            }
+        }
+        self.next_seq += 1;
         self.pending += 1;
         self.appended += 1;
         if self.pending >= self.sync_every {
@@ -85,21 +259,30 @@ impl JournalWriter {
         Ok(())
     }
 
-    /// Flushes buffered entries and forces them to stable storage.
+    /// Forces appended entries to stable storage, retrying under the
+    /// writer's [`RetryPolicy`].
     ///
     /// # Errors
     ///
-    /// Returns the transient [`Error::Io`] on flush or fsync failure.
+    /// Returns the transient [`Error::Io`] on fsync failure.
     pub fn sync(&mut self) -> Result<(), Error> {
-        self.writer
-            .flush()
-            .map_err(|e| self.io_error("journal flush", e))?;
-        self.writer
-            .get_ref()
-            .sync_data()
-            .map_err(|e| self.io_error("journal fsync", e))?;
-        self.pending = 0;
-        Ok(())
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.sink.sync() {
+                Ok(()) => {
+                    self.pending = 0;
+                    return Ok(());
+                }
+                Err(_) if attempt <= self.retry.max_retries => {
+                    std::thread::sleep(self.retry.delay_for(attempt));
+                }
+                Err(e) => {
+                    return Err(Error::io_at("journal fsync", &self.path, e.to_string())
+                        .with_attempts(attempt))
+                }
+            }
+        }
     }
 
     /// How many entries have been appended through this writer.
@@ -111,13 +294,6 @@ impl JournalWriter {
     pub fn path(&self) -> &Path {
         &self.path
     }
-
-    fn io_error(&self, operation: &str, e: std::io::Error) -> Error {
-        Error::io(
-            format!("{operation} `{}`", self.path.display()),
-            e.to_string(),
-        )
-    }
 }
 
 impl Drop for JournalWriter {
@@ -128,7 +304,30 @@ impl Drop for JournalWriter {
     }
 }
 
-/// Reads every entry of a journal, dropping a torn trailing line.
+/// The sequence number the next record appended to `path` should carry:
+/// one past the highest intact v2 record, or 1 for fresh/missing/v1-only
+/// journals.
+fn scan_next_seq(path: &Path) -> Result<u64, Error> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(1),
+        Err(e) => return Err(Error::io_at("journal open", path, e.to_string())),
+    };
+    let mut max_seq = 0u64;
+    for raw in split_lines(&bytes) {
+        if let Ok(Framed::V2 { seq, .. }) = parse_frame(raw) {
+            max_seq = max_seq.max(seq);
+        }
+    }
+    Ok(max_seq + 1)
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// Reads every entry of a journal (v1 plain lines and v2 frames alike),
+/// dropping a torn trailing line.
 ///
 /// A missing file reads as empty (a resume before any checkpoint was
 /// written is a fresh start, not an error).
@@ -136,45 +335,306 @@ impl Drop for JournalWriter {
 /// # Errors
 ///
 /// Returns the transient [`Error::Io`] on read failures, and
-/// [`Error::InvalidParameter`] when a line *before* the last fails to
-/// parse — that is corruption, not a crash artifact.
+/// [`Error::InvalidParameter`] when a line *before* the last fails its
+/// checksum or does not parse — that is corruption, not a crash
+/// artifact; the message names the journal and points at
+/// `ssdep journal recover`.
 pub fn read_journal<E: DeserializeOwned>(path: impl AsRef<Path>) -> Result<Vec<E>, Error> {
     let path = path.as_ref();
-    let file = match File::open(path) {
-        Ok(file) => file,
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => {
-            return Err(Error::io(
-                format!("journal open `{}`", path.display()),
-                e.to_string(),
-            ))
-        }
+        Err(e) => return Err(Error::io_at("journal open", path, e.to_string())),
     };
-    let reader = BufReader::new(file);
-    let lines: Vec<String> = reader
-        .lines()
-        .collect::<Result<_, _>>()
-        .map_err(|e| Error::io(format!("journal read `{}`", path.display()), e.to_string()))?;
-
+    let lines = split_lines(&bytes);
     let mut entries = Vec::with_capacity(lines.len());
     let last = lines.len().saturating_sub(1);
-    for (index, line) in lines.iter().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde_json::from_str(line) {
-            Ok(entry) => entries.push(entry),
+    for (index, raw) in lines.iter().enumerate() {
+        let parsed: Result<Option<E>, String> = match parse_frame(raw) {
+            Ok(Framed::Blank) => Ok(None),
+            Ok(Framed::V1(payload)) | Ok(Framed::V2 { payload, .. }) => {
+                serde_json::from_str(payload)
+                    .map(Some)
+                    .map_err(|e| e.to_string())
+            }
+            Err(reason) => Err(reason),
+        };
+        match parsed {
+            Ok(Some(entry)) => entries.push(entry),
+            Ok(None) => {}
             // The torn tail of a crashed append: resume re-does that task.
             Err(_) if index == last => break,
-            Err(e) => {
+            Err(reason) => {
                 return Err(Error::invalid(
                     format!("journal `{}`", path.display()),
-                    format!("corrupt entry at line {}: {e}", index + 1),
+                    format!(
+                        "corrupt entry at line {}: {reason}; run `ssdep journal recover \
+                         {}` to quarantine the corrupt span and keep the intact records",
+                        index + 1,
+                        path.display(),
+                    ),
                 ))
             }
         }
     }
     Ok(entries)
+}
+
+// ---------------------------------------------------------------------
+// Inspection and salvage
+// ---------------------------------------------------------------------
+
+/// A run of consecutive corrupt lines found by [`inspect_journal`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CorruptSpan {
+    /// First corrupt line (1-based).
+    pub first_line: usize,
+    /// Last corrupt line (1-based, inclusive).
+    pub last_line: usize,
+    /// Total bytes across the span's lines.
+    pub bytes: usize,
+    /// Why the first line of the span failed.
+    pub reason: String,
+}
+
+/// What [`inspect_journal`] found, machine-readable (`--json` emits it
+/// verbatim).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct InspectReport {
+    /// The journal inspected.
+    pub path: String,
+    /// Total lines (including corrupt and blank ones).
+    pub lines: usize,
+    /// Intact v1 (plain JSON) records.
+    pub v1_records: usize,
+    /// Intact v2 (framed, checksummed) records.
+    pub v2_records: usize,
+    /// Whether the final line is a torn crash artifact (dropped by
+    /// readers; not corruption).
+    pub torn_tail: bool,
+    /// Highest sequence number among intact v2 records.
+    pub max_seq: u64,
+    /// Sequence numbers missing from the intact v2 records — each one is
+    /// a record that existed and was lost (to corruption or salvage).
+    pub missing_seqs: usize,
+    /// Corrupt line runs, in file order. Empty means every record is
+    /// intact (a torn tail alone still counts as clean).
+    pub corrupt_spans: Vec<CorruptSpan>,
+}
+
+impl InspectReport {
+    /// Whether the journal resumes without salvage: no mid-file
+    /// corruption (a torn tail is a tolerated crash artifact).
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_spans.is_empty()
+    }
+}
+
+/// What [`salvage_journal`] did, machine-readable.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SalvageReport {
+    /// The journal salvaged (rewritten in place when anything was
+    /// quarantined).
+    pub path: String,
+    /// The sidecar holding every quarantined line verbatim.
+    pub quarantine: String,
+    /// Intact records kept.
+    pub kept: usize,
+    /// Lines moved to the quarantine sidecar.
+    pub quarantined_lines: usize,
+    /// Bytes moved to the quarantine sidecar.
+    pub quarantined_bytes: usize,
+    /// Whether a torn final line was among the quarantined lines.
+    pub torn_tail_dropped: bool,
+}
+
+/// Per-line verdicts shared by [`inspect_journal`] and
+/// [`salvage_journal`].
+enum Verdict {
+    Blank,
+    V1,
+    V2(u64),
+    Corrupt(String),
+}
+
+fn classify(raw: &[u8]) -> Verdict {
+    match parse_frame(raw) {
+        Ok(Framed::Blank) => Verdict::Blank,
+        Ok(Framed::V1(payload)) => match serde_json::from_str::<serde_json::Value>(payload) {
+            Ok(_) => Verdict::V1,
+            Err(e) => Verdict::Corrupt(format!("invalid JSON: {e}")),
+        },
+        Ok(Framed::V2 { seq, payload }) => {
+            match serde_json::from_str::<serde_json::Value>(payload) {
+                Ok(_) => Verdict::V2(seq),
+                Err(e) => Verdict::Corrupt(format!("record {seq}: invalid payload JSON: {e}")),
+            }
+        }
+        Err(reason) => Verdict::Corrupt(reason),
+    }
+}
+
+/// Reads a journal's raw bytes for inspection/salvage (a missing file is
+/// an error here — there is nothing to inspect).
+fn read_raw(path: &Path) -> Result<Vec<u8>, Error> {
+    std::fs::read(path).map_err(|e| Error::io_at("journal open", path, e.to_string()))
+}
+
+/// Classifies every line of the journal at `path` without modifying it:
+/// intact records by version, corrupt spans, torn tail, and sequence
+/// coverage.
+///
+/// # Errors
+///
+/// Returns the transient [`Error::Io`] when the file cannot be read.
+pub fn inspect_journal(path: impl AsRef<Path>) -> Result<InspectReport, Error> {
+    let path = path.as_ref();
+    let bytes = read_raw(path)?;
+    let lines = split_lines(&bytes);
+    let last = lines.len().saturating_sub(1);
+
+    let mut report = InspectReport {
+        path: path.display().to_string(),
+        lines: lines.len(),
+        v1_records: 0,
+        v2_records: 0,
+        torn_tail: false,
+        max_seq: 0,
+        missing_seqs: 0,
+        corrupt_spans: Vec::new(),
+    };
+    let mut seqs: Vec<u64> = Vec::new();
+    let mut open_span: Option<CorruptSpan> = None;
+    for (index, raw) in lines.iter().enumerate() {
+        let verdict = classify(raw);
+        if let Verdict::Corrupt(reason) = verdict {
+            if index == last && !lines.is_empty() {
+                // The final line is a torn crash artifact, not
+                // corruption — unless it extends a corrupt run, in which
+                // case the run itself is still real corruption.
+                report.torn_tail = true;
+                continue;
+            }
+            match &mut open_span {
+                Some(span) => {
+                    span.last_line = index + 1;
+                    span.bytes += raw.len();
+                }
+                None => {
+                    open_span = Some(CorruptSpan {
+                        first_line: index + 1,
+                        last_line: index + 1,
+                        bytes: raw.len(),
+                        reason,
+                    });
+                }
+            }
+            continue;
+        }
+        if let Some(span) = open_span.take() {
+            report.corrupt_spans.push(span);
+        }
+        match verdict {
+            Verdict::V1 => report.v1_records += 1,
+            Verdict::V2(seq) => {
+                report.v2_records += 1;
+                seqs.push(seq);
+            }
+            // Blank lines count nothing; Corrupt already continued.
+            _ => {}
+        }
+    }
+    if let Some(span) = open_span {
+        report.corrupt_spans.push(span);
+    }
+    seqs.sort_unstable();
+    seqs.dedup();
+    report.max_seq = seqs.last().copied().unwrap_or(0);
+    report.missing_seqs = seqs
+        .windows(2)
+        .map(|w| (w[1] - w[0] - 1) as usize)
+        .sum::<usize>();
+    Ok(report)
+}
+
+/// Rewrites the journal at `path` keeping every intact line verbatim and
+/// moving corrupt lines (and a torn tail) into a `<path>.quarantine`
+/// sidecar, so a corrupted journal resumes again without losing any
+/// intact record. The rewrite is atomic: intact lines are written to a
+/// temporary file, fsynced, and renamed over the journal. A journal with
+/// nothing to quarantine is left untouched.
+///
+/// # Errors
+///
+/// Returns the transient [`Error::Io`] on read, write, or rename
+/// failures.
+pub fn salvage_journal(path: impl AsRef<Path>) -> Result<SalvageReport, Error> {
+    use std::io::Write as _;
+
+    let path = path.as_ref();
+    let bytes = read_raw(path)?;
+    let lines = split_lines(&bytes);
+    let last = lines.len().saturating_sub(1);
+
+    let quarantine_path = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".quarantine");
+        PathBuf::from(os)
+    };
+    let mut report = SalvageReport {
+        path: path.display().to_string(),
+        quarantine: quarantine_path.display().to_string(),
+        kept: 0,
+        quarantined_lines: 0,
+        quarantined_bytes: 0,
+        torn_tail_dropped: false,
+    };
+
+    let mut kept: Vec<&[u8]> = Vec::with_capacity(lines.len());
+    let mut quarantined: Vec<&[u8]> = Vec::new();
+    for (index, raw) in lines.iter().enumerate() {
+        match classify(raw) {
+            Verdict::Blank => {}
+            Verdict::V1 | Verdict::V2(_) => {
+                report.kept += 1;
+                kept.push(raw);
+            }
+            Verdict::Corrupt(_) => {
+                if index == last {
+                    report.torn_tail_dropped = true;
+                }
+                report.quarantined_lines += 1;
+                report.quarantined_bytes += raw.len();
+                quarantined.push(raw);
+            }
+        }
+    }
+    if quarantined.is_empty() {
+        return Ok(report);
+    }
+
+    let write_lines = |target: &Path, lines: &[&[u8]]| -> Result<std::fs::File, Error> {
+        let io_err =
+            |e: std::io::Error| Error::io_at("journal salvage write", target, e.to_string());
+        let mut file = std::fs::File::create(target).map_err(io_err)?;
+        for line in lines {
+            file.write_all(line).map_err(io_err)?;
+            file.write_all(b"\n").map_err(io_err)?;
+        }
+        file.sync_data().map_err(io_err)?;
+        Ok(file)
+    };
+
+    write_lines(&quarantine_path, &quarantined)?;
+    let tmp_path = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    write_lines(&tmp_path, &kept)?;
+    std::fs::rename(&tmp_path, path)
+        .map_err(|e| Error::io_at("journal salvage rename", path, e.to_string()))?;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -199,6 +659,13 @@ mod tests {
                 label: format!("task-{id}"),
             })
             .collect()
+    }
+
+    fn write_all(path: &Path, entries: &[Entry], sync_every: usize) {
+        let mut writer = JournalWriter::open(path, sync_every).unwrap();
+        for entry in entries {
+            writer.append(entry).unwrap();
+        }
     }
 
     #[test]
@@ -229,12 +696,7 @@ mod tests {
     fn torn_tail_is_dropped_mid_file_corruption_is_fatal() {
         let path = temp("torn");
         std::fs::remove_file(&path).ok();
-        {
-            let mut writer = JournalWriter::open(&path, 1).unwrap();
-            for entry in entries(3) {
-                writer.append(&entry).unwrap();
-            }
-        }
+        write_all(&path, &entries(3), 1);
         // Tear the final line as a crash mid-append would.
         let text = std::fs::read_to_string(&path).unwrap();
         let torn = &text[..text.len() - 8];
@@ -244,10 +706,19 @@ mod tests {
 
         // Corruption before the tail is an error, not a silent skip.
         let mut lines: Vec<&str> = text.lines().collect();
-        lines[0] = "{ this is not json";
+        lines[0] = "v2: this is not a frame";
         std::fs::write(&path, lines.join("\n")).unwrap();
         let err = read_journal::<Entry>(&path).unwrap_err();
-        assert!(err.to_string().contains("corrupt entry at line 1"), "{err}");
+        let message = err.to_string();
+        assert!(message.contains("corrupt entry at line 1"), "{message}");
+        assert!(
+            message.contains(&path.display().to_string()),
+            "the error must name the journal: {message}"
+        );
+        assert!(
+            message.contains("journal recover"),
+            "the error must point at salvage: {message}"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -271,6 +742,220 @@ mod tests {
         let back: Vec<Entry> = read_journal(&path).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back[1].id, 99);
+        // Sequence numbering continued across the reopen.
+        let report = inspect_journal(&path).unwrap();
+        assert_eq!(report.v2_records, 2);
+        assert_eq!(report.max_seq, 2);
+        assert_eq!(report.missing_seqs, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_plain_json_journals_still_read() {
+        let path = temp("v1");
+        let written = entries(4);
+        let mut text = String::new();
+        for entry in &written {
+            text.push_str(&serde_json::to_string(entry).unwrap());
+            text.push('\n');
+        }
+        std::fs::write(&path, &text).unwrap();
+        let back: Vec<Entry> = read_journal(&path).unwrap();
+        assert_eq!(back, written);
+
+        // A writer opened on a v1 journal appends v2 frames after them.
+        {
+            let mut writer = JournalWriter::open(&path, 1).unwrap();
+            writer
+                .append(&Entry {
+                    id: 50,
+                    label: "new".into(),
+                })
+                .unwrap();
+        }
+        let mixed: Vec<Entry> = read_journal(&path).unwrap();
+        assert_eq!(mixed.len(), 5);
+        assert_eq!(mixed[4].id, 50);
+        let report = inspect_journal(&path).unwrap();
+        assert_eq!(report.v1_records, 4);
+        assert_eq!(report.v2_records, 1);
+        assert!(report.is_clean());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc_catches_a_single_flipped_bit() {
+        let path = temp("bitflip");
+        std::fs::remove_file(&path).ok();
+        write_all(&path, &entries(3), 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload bit in the middle record.
+        let line_len = bytes.len() / 3;
+        bytes[line_len + line_len / 2] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_journal::<Entry>(&path).unwrap_err();
+        assert!(err.to_string().contains("corrupt entry at line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inspect_reports_clean_torn_and_corrupt() {
+        let path = temp("inspect");
+        std::fs::remove_file(&path).ok();
+        write_all(&path, &entries(5), 1);
+        let clean = inspect_journal(&path).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.v2_records, 5);
+        assert_eq!(clean.max_seq, 5);
+        assert!(!clean.torn_tail);
+
+        // Tear the tail: still clean, but the tear is reported.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 5]).unwrap();
+        let torn = inspect_journal(&path).unwrap();
+        assert!(torn.is_clean());
+        assert!(torn.torn_tail);
+        assert_eq!(torn.v2_records, 4);
+
+        // Corrupt lines 2-3: one span, two lines.
+        let lines: Vec<&str> = text.lines().collect();
+        let mut mangled: Vec<String> = lines.iter().map(|l| (*l).to_string()).collect();
+        mangled[1] = "v2:garbage".to_string();
+        mangled[2] = "also not a record".to_string();
+        std::fs::write(&path, format!("{}\n", mangled.join("\n"))).unwrap();
+        let corrupt = inspect_journal(&path).unwrap();
+        assert!(!corrupt.is_clean());
+        assert_eq!(corrupt.corrupt_spans.len(), 1);
+        assert_eq!(corrupt.corrupt_spans[0].first_line, 2);
+        assert_eq!(corrupt.corrupt_spans[0].last_line, 3);
+        assert_eq!(corrupt.v2_records, 3);
+        assert_eq!(corrupt.missing_seqs, 2, "records 2 and 3 are gone");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_quarantines_corruption_and_the_journal_reads_again() {
+        let path = temp("salvage");
+        std::fs::remove_file(&path).ok();
+        write_all(&path, &entries(6), 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[2] = "v2:3:deadbeef:{\"id\":2,\"label\":\"tampered\"}".to_string();
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        assert!(read_journal::<Entry>(&path).is_err(), "corrupt pre-salvage");
+
+        let report = salvage_journal(&path).unwrap();
+        assert_eq!(report.kept, 5);
+        assert_eq!(report.quarantined_lines, 1);
+        assert!(!report.torn_tail_dropped);
+
+        let back: Vec<Entry> = read_journal(&path).unwrap();
+        let expected: Vec<Entry> = entries(6).into_iter().filter(|e| e.id != 2).collect();
+        assert_eq!(back, expected, "every intact record survives");
+        let quarantined = std::fs::read_to_string(&report.quarantine).unwrap();
+        assert!(quarantined.contains("tampered"), "{quarantined}");
+
+        // Salvage of a clean journal is a no-op (and keeps no sidecar).
+        std::fs::remove_file(&report.quarantine).ok();
+        let noop = salvage_journal(&path).unwrap();
+        assert_eq!(noop.quarantined_lines, 0);
+        assert!(!Path::new(&noop.quarantine).exists());
+
+        // A writer opened after salvage does not reuse lost sequence
+        // numbers.
+        {
+            let mut writer = JournalWriter::open(&path, 1).unwrap();
+            writer
+                .append(&Entry {
+                    id: 7,
+                    label: "after-salvage".into(),
+                })
+                .unwrap();
+        }
+        let inspected = inspect_journal(&path).unwrap();
+        assert_eq!(inspected.max_seq, 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_every_zero_is_clamped_and_one_syncs_each_append() {
+        let path = temp("sync-zero");
+        std::fs::remove_file(&path).ok();
+        // sync_every == 0 must not divide-by-zero or never-sync; it
+        // behaves as 1 (every append durable).
+        {
+            let mut writer = JournalWriter::open(&path, 0).unwrap();
+            for entry in entries(3) {
+                writer.append(&entry).unwrap();
+            }
+            // Every line is already on disk before the writer drops.
+            let on_disk = std::fs::read_to_string(&path).unwrap();
+            assert_eq!(on_disk.lines().count(), 3);
+        }
+        let back: Vec<Entry> = read_journal(&path).unwrap();
+        assert_eq!(back, entries(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_larger_than_entry_count_flushes_on_drop() {
+        let path = temp("big-batch");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut writer = JournalWriter::open(&path, 100).unwrap();
+            for entry in entries(3) {
+                writer.append(&entry).unwrap();
+            }
+            // The batch never filled — drop's best-effort sync persists it.
+        }
+        let back: Vec<Entry> = read_journal(&path).unwrap();
+        assert_eq!(back, entries(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_retries_through_transient_faults() {
+        use crate::sink::{FaultKind, IoFaultPlan};
+        let path = temp("retry");
+        std::fs::remove_file(&path).ok();
+        let mut writer = JournalWriter::open(&path, 1)
+            .unwrap()
+            .with_retry(RetryPolicy::immediate(2))
+            .with_fault_plan(IoFaultPlan::new(FaultKind::ShortWrite, 2));
+        for entry in entries(4) {
+            writer.append(&entry).unwrap();
+        }
+        drop(writer);
+        let back: Vec<Entry> = read_journal(&path).unwrap();
+        assert_eq!(back, entries(4), "the retried record is intact, once");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_without_retries_fails_and_leaves_no_torn_middle() {
+        use crate::sink::{FaultKind, IoFaultPlan};
+        let path = temp("no-retry");
+        std::fs::remove_file(&path).ok();
+        let mut writer = JournalWriter::open(&path, 1)
+            .unwrap()
+            .with_fault_plan(IoFaultPlan::new(FaultKind::ShortWrite, 2));
+        let items = entries(3);
+        writer.append(&items[0]).unwrap();
+        assert!(writer.append(&items[1]).is_err(), "no retries configured");
+        writer.append(&items[2]).unwrap();
+        drop(writer);
+        // The failed append was rolled back: the journal holds exactly
+        // the two successful records, fully intact.
+        let back: Vec<Entry> = read_journal(&path).unwrap();
+        assert_eq!(back, vec![items[0].clone(), items[2].clone()]);
+        assert!(inspect_journal(&path).unwrap().is_clean());
         std::fs::remove_file(&path).ok();
     }
 }

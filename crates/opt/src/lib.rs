@@ -50,15 +50,20 @@ pub mod engine;
 pub mod journal;
 pub mod pareto;
 pub mod search;
+pub mod sink;
 pub mod space;
 pub mod supervisor;
 pub mod sweep;
 
 pub use engine::{EngineConfig, EvalEngine, Fingerprint};
+pub use journal::{
+    inspect_journal, read_journal, salvage_journal, InspectReport, JournalWriter, SalvageReport,
+};
 pub use search::{
     exhaustive, hill_climb, hill_climb_with_engine, supervised_exhaustive, CandidateOutcome,
     SearchResult, SupervisedSearchResult,
 };
+pub use sink::{FaultKind, FaultySink, FileSink, IoFaultPlan, JournalSink};
 pub use space::{Candidate, DesignSpace};
 pub use supervisor::{
     FailedOutcome, FailureKind, Provenance, SupervisedRun, Supervisor, SupervisorConfig,

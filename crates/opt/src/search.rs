@@ -211,6 +211,9 @@ pub struct SupervisedSearchResult {
     pub failed: Vec<FailedOutcome<Candidate>>,
     /// Result provenance.
     pub provenance: Provenance,
+    /// The journal failure behind [`Provenance::journal_degraded`], when
+    /// the run shed its checkpoint and finished in memory.
+    pub journal_error: Option<String>,
 }
 
 /// Runs [`exhaustive`] under a [`Supervisor`]: panic isolation and
@@ -311,6 +314,7 @@ pub fn supervised_exhaustive(
         },
         failed: run.failed,
         provenance,
+        journal_error: run.journal_error,
     })
 }
 

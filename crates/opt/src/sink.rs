@@ -1,0 +1,548 @@
+//! Byte sinks under the checkpoint journal, including deterministic
+//! storage-fault injection.
+//!
+//! The journal's crash-consistency contract ("a prefix of the
+//! uninterrupted journal plus at most one torn line") only holds if the
+//! byte layer cooperates: each record must land in one append, a failed
+//! append must not leave half a record *in front of* the retried copy,
+//! and durability is whatever `fsync` says it is. [`JournalSink`] is
+//! that byte layer as a seam:
+//!
+//! * [`FileSink`] — the real thing: an append-mode file that tracks the
+//!   last known-good length so a failed append can be
+//!   [rolled back](JournalSink::rollback) before a retry;
+//! * [`FaultySink`] — the same interface with storage faults injected on
+//!   a deterministic, seeded schedule ([`IoFaultPlan`]): EIO on the nth
+//!   append, persistent ENOSPC, short writes that leave a torn prefix,
+//!   and fsync failures. The faults this framework *models* become
+//!   faults its own journal can be *tested against*, from library code,
+//!   with no platform hooks.
+//!
+//! The free function [`flip_bits_in_file`] covers the read side: seeded
+//! bit rot for corruption and salvage tests.
+
+use ssdep_core::error::Error;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only byte sink a [`JournalWriter`](crate::journal::JournalWriter)
+/// writes framed records through.
+///
+/// The contract the journal relies on:
+///
+/// * [`append`](JournalSink::append) writes the whole buffer or reports
+///   an error; after an error the sink may hold a partial suffix;
+/// * [`rollback`](JournalSink::rollback) discards any bytes appended
+///   since the last successful append, so a retry cannot concatenate a
+///   torn fragment with the retried record (which would corrupt the
+///   *middle* of the journal instead of its tail);
+/// * [`sync`](JournalSink::sync) makes every successful append durable.
+pub trait JournalSink: std::fmt::Debug + Send {
+    /// Appends one framed record (a full line, newline included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure; a partial write errors.
+    fn append(&mut self, line: &[u8]) -> io::Result<()>;
+
+    /// Forces every successful append to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush or fsync failures.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Discards any partially-appended bytes from a failed
+    /// [`append`](JournalSink::append), restoring the sink to its last
+    /// consistent length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the truncation failure — the caller must then stop
+    /// writing, leaving the torn bytes at the tail where readers
+    /// tolerate them.
+    fn rollback(&mut self) -> io::Result<()>;
+
+    /// A human-readable description of where the bytes go.
+    fn describe(&self) -> String;
+
+    /// Writes `fragment` *without* advancing the rollback point — the
+    /// torn half of a simulated partial write, which the next
+    /// [`rollback`](JournalSink::rollback) must remove. Fault injection
+    /// uses this; sinks without physical storage may drop the fragment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    fn tear(&mut self, _fragment: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The production [`JournalSink`]: an append-mode file with
+/// known-good-length tracking for rollback.
+///
+/// Appends go through one `write_all` per record on a raw (unbuffered)
+/// handle, so a record is either fully handed to the OS or the failure
+/// is reported while the file still ends at a record boundary plus at
+/// most the torn fragment [`rollback`](JournalSink::rollback) removes.
+#[derive(Debug)]
+pub struct FileSink {
+    path: PathBuf,
+    file: File,
+    /// Length of the file after the last successful append — the
+    /// rollback point.
+    committed: u64,
+}
+
+impl FileSink {
+    /// Opens `path` for appending, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open and metadata failures.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<FileSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let committed = file.metadata()?.len();
+        Ok(FileSink {
+            path,
+            file,
+            committed,
+        })
+    }
+}
+
+/// A sink that discards everything. Placeholder for swapping a real
+/// sink out of a structure (e.g. to wrap it in a [`FaultySink`]); also
+/// handy for tests that want journaling side effects without a file.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl JournalSink for NullSink {
+    fn append(&mut self, _line: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn rollback(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "null".to_string()
+    }
+}
+
+impl JournalSink for Box<dyn JournalSink> {
+    fn append(&mut self, line: &[u8]) -> io::Result<()> {
+        (**self).append(line)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+
+    fn rollback(&mut self) -> io::Result<()> {
+        (**self).rollback()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+
+    fn tear(&mut self, fragment: &[u8]) -> io::Result<()> {
+        (**self).tear(fragment)
+    }
+}
+
+impl JournalSink for FileSink {
+    fn append(&mut self, line: &[u8]) -> io::Result<()> {
+        self.file.write_all(line)?;
+        self.committed += line.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn rollback(&mut self) -> io::Result<()> {
+        self.file.set_len(self.committed)?;
+        // O_APPEND repositions every write at the end, but keep the
+        // logical cursor honest for any future non-append use.
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("file `{}`", self.path.display())
+    }
+
+    fn tear(&mut self, fragment: &[u8]) -> io::Result<()> {
+        // Deliberately leaves `committed` alone: these bytes are the
+        // torn fragment rollback is expected to truncate away.
+        self.file.write_all(fragment)
+    }
+}
+
+/// Which storage fault an [`IoFaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The nth append fails with EIO *once*; the retry succeeds. Models
+    /// a transient medium error.
+    AppendEio,
+    /// Every append from the nth on fails with ENOSPC. Models a full
+    /// disk: retries cannot clear it, the run must degrade.
+    AppendEnospc,
+    /// The nth append writes a seeded prefix of the record, then fails
+    /// once. Models a torn write the rollback path must clean up.
+    ShortWrite,
+    /// The nth sync fails with EIO once.
+    SyncEio,
+    /// Every sync from the nth on fails with ENOSPC.
+    SyncEnospc,
+}
+
+/// A deterministic storage-fault schedule for [`FaultySink`].
+///
+/// `at` is the 1-based ordinal of the append (or sync, for the sync
+/// kinds) the fault first strikes; `seed` drives the LCG that picks
+/// short-write lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    /// Which fault to inject.
+    pub kind: FaultKind,
+    /// 1-based operation ordinal the fault first strikes.
+    pub at: usize,
+    /// Seed for fault-shape randomness (short-write lengths).
+    pub seed: u64,
+}
+
+impl IoFaultPlan {
+    /// A plan injecting `kind` at operation `at`, seeded by `at`.
+    pub fn new(kind: FaultKind, at: usize) -> IoFaultPlan {
+        IoFaultPlan {
+            kind,
+            at,
+            seed: at as u64,
+        }
+    }
+
+    /// Parses the `SSDEP_JOURNAL_FAULT` environment format:
+    /// `eio@N`, `enospc@N`, `short@N`, `sync-eio@N`, or `sync-enospc@N`,
+    /// with an optional trailing `@SEED`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for unknown kinds or
+    /// unparsable ordinals.
+    pub fn parse(text: &str) -> Result<IoFaultPlan, Error> {
+        let bad = |why: &str| {
+            Error::invalid(
+                "journal.fault_plan",
+                format!("`{text}`: {why} (expected kind@N[@seed] with kind one of eio, enospc, short, sync-eio, sync-enospc)"),
+            )
+        };
+        let mut parts = text.split('@');
+        let kind = match parts.next().unwrap_or("") {
+            "eio" => FaultKind::AppendEio,
+            "enospc" => FaultKind::AppendEnospc,
+            "short" => FaultKind::ShortWrite,
+            "sync-eio" => FaultKind::SyncEio,
+            "sync-enospc" => FaultKind::SyncEnospc,
+            _ => return Err(bad("unknown fault kind")),
+        };
+        let at: usize = parts
+            .next()
+            .ok_or_else(|| bad("missing operation ordinal"))?
+            .parse()
+            .map_err(|_| bad("operation ordinal is not a number"))?;
+        if at == 0 {
+            return Err(bad("operation ordinal is 1-based"));
+        }
+        let seed = match parts.next() {
+            Some(seed) => seed.parse().map_err(|_| bad("seed is not a number"))?,
+            None => at as u64,
+        };
+        if parts.next().is_some() {
+            return Err(bad("too many `@` fields"));
+        }
+        Ok(IoFaultPlan { kind, at, seed })
+    }
+}
+
+/// A [`JournalSink`] that injects the faults of an [`IoFaultPlan`] into
+/// an inner sink on a deterministic schedule.
+#[derive(Debug)]
+pub struct FaultySink<S> {
+    inner: S,
+    plan: IoFaultPlan,
+    appends: usize,
+    syncs: usize,
+    /// Whether a single-shot fault has already fired.
+    fired: bool,
+    rng: Lcg,
+}
+
+impl<S: JournalSink> FaultySink<S> {
+    /// Wraps `inner` with the fault schedule of `plan`.
+    pub fn new(inner: S, plan: IoFaultPlan) -> FaultySink<S> {
+        FaultySink {
+            inner,
+            plan,
+            appends: 0,
+            syncs: 0,
+            fired: false,
+            rng: Lcg::new(plan.seed),
+        }
+    }
+
+    fn injected(&self, what: &str) -> io::Error {
+        io::Error::other(format!("injected {what} (fault plan {:?})", self.plan.kind))
+    }
+}
+
+impl<S: JournalSink> JournalSink for FaultySink<S> {
+    fn append(&mut self, line: &[u8]) -> io::Result<()> {
+        self.appends += 1;
+        match self.plan.kind {
+            FaultKind::AppendEio if self.appends == self.plan.at && !self.fired => {
+                self.fired = true;
+                return Err(self.injected("EIO"));
+            }
+            FaultKind::AppendEnospc if self.appends >= self.plan.at => {
+                return Err(self.injected("ENOSPC: no space left on device"));
+            }
+            FaultKind::ShortWrite if self.appends == self.plan.at && !self.fired => {
+                self.fired = true;
+                // Write a strict, seeded prefix, then fail — the torn
+                // fragment is exactly what rollback must remove.
+                let keep = (self.rng.below(line.len().max(1) as u64)) as usize;
+                self.inner.tear(&line[..keep])?;
+                return Err(self.injected("short write"));
+            }
+            _ => {}
+        }
+        self.inner.append(line)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.syncs += 1;
+        match self.plan.kind {
+            FaultKind::SyncEio if self.syncs == self.plan.at && !self.fired => {
+                self.fired = true;
+                return Err(self.injected("EIO during fsync"));
+            }
+            FaultKind::SyncEnospc if self.syncs >= self.plan.at => {
+                return Err(self.injected("ENOSPC during fsync"));
+            }
+            _ => {}
+        }
+        self.inner.sync()
+    }
+
+    fn rollback(&mut self) -> io::Result<()> {
+        self.inner.rollback()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} with injected faults {:?}",
+            self.inner.describe(),
+            self.plan
+        )
+    }
+
+    fn tear(&mut self, fragment: &[u8]) -> io::Result<()> {
+        self.inner.tear(fragment)
+    }
+}
+
+/// A deterministic linear congruential generator for fault shapes and
+/// chaos schedules — seeded, portable, and dependency-free.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// A generator over Knuth's MMIX constants.
+    pub fn new(seed: u64) -> Lcg {
+        Lcg(seed)
+    }
+
+    /// The next raw 64-bit state.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// A value in `0..bound` (`0` when `bound` is `0`). The high bits
+    /// carry the quality in an LCG, so fold them in before reducing.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        let raw = self.next_u64();
+        (raw ^ (raw >> 32)) % bound
+    }
+}
+
+/// Flips `flips` seeded bit positions in the file at `path` and returns
+/// the flipped byte offsets — read-side bit rot for corruption tests.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on read or write failures.
+pub fn flip_bits_in_file(
+    path: impl AsRef<Path>,
+    seed: u64,
+    flips: usize,
+) -> Result<Vec<u64>, Error> {
+    let path = path.as_ref();
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| Error::io_at("bit-flip read", path, e.to_string()))?;
+    let mut rng = Lcg::new(seed);
+    let mut offsets = Vec::with_capacity(flips);
+    if !bytes.is_empty() {
+        for _ in 0..flips {
+            let offset = rng.below(bytes.len() as u64);
+            let bit = rng.below(8) as u32;
+            bytes[offset as usize] ^= 1 << bit;
+            offsets.push(offset);
+        }
+    }
+    std::fs::write(path, &bytes)
+        .map_err(|e| Error::io_at("bit-flip write", path, e.to_string()))?;
+    Ok(offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ssdep-sink-{name}-{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn file_sink_rolls_back_to_the_last_committed_length() {
+        let path = temp("rollback");
+        std::fs::remove_file(&path).ok();
+        let mut sink = FileSink::open(&path).unwrap();
+        sink.append(b"first line\n").unwrap();
+        // Simulate a torn append by writing behind the sink's back.
+        {
+            let mut raw = OpenOptions::new().append(true).open(&path).unwrap();
+            raw.write_all(b"torn fragm").unwrap();
+        }
+        sink.rollback().unwrap();
+        sink.append(b"second line\n").unwrap();
+        sink.sync().unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"first line\nsecond line\n".to_vec()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eio_fires_once_and_the_retry_succeeds() {
+        let path = temp("eio");
+        std::fs::remove_file(&path).ok();
+        let inner = FileSink::open(&path).unwrap();
+        let mut sink = FaultySink::new(inner, IoFaultPlan::new(FaultKind::AppendEio, 2));
+        sink.append(b"a\n").unwrap();
+        let err = sink.append(b"b\n").unwrap_err();
+        assert!(err.to_string().contains("EIO"), "{err}");
+        sink.rollback().unwrap();
+        sink.append(b"b\n").unwrap();
+        sink.sync().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"a\nb\n".to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn enospc_is_persistent() {
+        let path = temp("enospc");
+        std::fs::remove_file(&path).ok();
+        let inner = FileSink::open(&path).unwrap();
+        let mut sink = FaultySink::new(inner, IoFaultPlan::new(FaultKind::AppendEnospc, 2));
+        sink.append(b"a\n").unwrap();
+        for _ in 0..4 {
+            let err = sink.append(b"b\n").unwrap_err();
+            assert!(err.to_string().contains("ENOSPC"), "{err}");
+            sink.rollback().unwrap();
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"a\n".to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_write_leaves_a_strict_prefix_and_rollback_removes_it() {
+        let path = temp("short");
+        std::fs::remove_file(&path).ok();
+        let inner = FileSink::open(&path).unwrap();
+        let mut sink = FaultySink::new(inner, IoFaultPlan::new(FaultKind::ShortWrite, 1));
+        let line = b"a fairly long journal record line\n";
+        let err = sink.append(line).unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        let torn = std::fs::read(&path).unwrap();
+        assert!(torn.len() < line.len(), "must be a strict prefix");
+        assert_eq!(&line[..torn.len()], &torn[..]);
+        sink.rollback().unwrap();
+        sink.append(line).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), line.to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_plans_parse_and_reject() {
+        assert_eq!(
+            IoFaultPlan::parse("eio@3").unwrap(),
+            IoFaultPlan {
+                kind: FaultKind::AppendEio,
+                at: 3,
+                seed: 3
+            }
+        );
+        assert_eq!(
+            IoFaultPlan::parse("sync-enospc@2@77").unwrap(),
+            IoFaultPlan {
+                kind: FaultKind::SyncEnospc,
+                at: 2,
+                seed: 77
+            }
+        );
+        for bad in ["", "eio", "eio@0", "eio@x", "flood@1", "eio@1@2@3"] {
+            assert!(IoFaultPlan::parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_deterministic_per_seed() {
+        let path_a = temp("flip-a");
+        let path_b = temp("flip-b");
+        let payload = vec![0u8; 256];
+        std::fs::write(&path_a, &payload).unwrap();
+        std::fs::write(&path_b, &payload).unwrap();
+        let flips_a = flip_bits_in_file(&path_a, 42, 5).unwrap();
+        let flips_b = flip_bits_in_file(&path_b, 42, 5).unwrap();
+        assert_eq!(flips_a, flips_b);
+        assert_eq!(
+            std::fs::read(&path_a).unwrap(),
+            std::fs::read(&path_b).unwrap()
+        );
+        assert_ne!(std::fs::read(&path_a).unwrap(), payload, "bits flipped");
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
+    }
+}

@@ -13,8 +13,16 @@
 //! Results always carry [`Provenance`]: how many tasks were requested,
 //! resumed, freshly evaluated, retried, and quarantined — so a degraded
 //! run is never silently presented as complete.
+//!
+//! The journal itself is treated as a component that can fail: append
+//! and fsync errors are retried under the same [`RetryPolicy`], and if
+//! they persist (a full disk, a dead device) the run sheds the journal
+//! and finishes in memory, flagging [`Provenance::journal_degraded`] —
+//! a sweep is never lost to the storage fault its checkpoint was meant
+//! to survive.
 
 use crate::journal::{read_journal, JournalWriter};
+use crate::sink::IoFaultPlan;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use ssdep_core::error::{Error, RetryPolicy};
@@ -89,6 +97,30 @@ impl<T: Serialize, O> TaskRecord<T, O> {
     }
 }
 
+/// Appends `record` to the checkpoint journal, degrading to in-memory
+/// mode on failure: the first journal error that survives the writer's
+/// own retries is recorded, the writer is dropped (its best-effort sync
+/// preserves whatever did land on disk), and the run continues without
+/// checkpointing — a full disk must cost the journal, never the sweep.
+/// Returns whether the record was journaled.
+fn append_or_degrade<T: Serialize, O: Serialize>(
+    journal: &mut Option<JournalWriter>,
+    journal_error: &mut Option<String>,
+    record: &TaskRecord<T, O>,
+) -> bool {
+    let Some(writer) = journal.as_mut() else {
+        return false;
+    };
+    match writer.append(record) {
+        Ok(()) => true,
+        Err(e) => {
+            *journal_error = Some(e.to_string());
+            *journal = None;
+            false
+        }
+    }
+}
+
 /// The identity of a task inside a journal: its canonical JSON
 /// rendering. Two items resume-match exactly when they serialize
 /// identically.
@@ -117,6 +149,13 @@ pub struct Provenance {
     /// entirely).
     #[serde(default)]
     pub cache_hits: usize,
+    /// Whether checkpointing was abandoned mid-run after a journal
+    /// write failure that retries could not clear (e.g. a full disk).
+    /// The results themselves are complete and correct — they were
+    /// assembled in memory — but some may not be durably journaled, so
+    /// a later `--resume` re-evaluates them.
+    #[serde(default)]
+    pub journal_degraded: bool,
 }
 
 impl Provenance {
@@ -151,6 +190,9 @@ impl Provenance {
                 if self.cache_hits == 1 { "" } else { "s" },
             ));
         }
+        if self.journal_degraded {
+            text.push_str("; journal degraded — results were NOT fully checkpointed");
+        }
         text
     }
 }
@@ -164,6 +206,9 @@ pub struct SupervisedRun<T, O> {
     pub failed: Vec<FailedOutcome<T>>,
     /// Where the results came from.
     pub provenance: Provenance,
+    /// The journal failure that forced the run to continue in-memory,
+    /// when [`Provenance::journal_degraded`] is set.
+    pub journal_error: Option<String>,
 }
 
 /// Configuration for a [`Supervisor`].
@@ -192,6 +237,11 @@ pub struct SupervisorConfig {
     /// after this many fresh journal appends have been made durable.
     #[doc(hidden)]
     pub crash_after_journaled: Option<usize>,
+    /// Test hook: inject deterministic storage faults into the
+    /// checkpoint journal's sink (see [`IoFaultPlan`]). This is how the
+    /// degraded-journal path is exercised without a genuinely full disk.
+    #[doc(hidden)]
+    pub journal_faults: Option<IoFaultPlan>,
 }
 
 impl Default for SupervisorConfig {
@@ -204,7 +254,40 @@ impl Default for SupervisorConfig {
             sync_every: 8,
             jobs: 1,
             crash_after_journaled: None,
+            journal_faults: None,
         }
+    }
+}
+
+impl SupervisorConfig {
+    /// Applies the fault-injection environment hooks every binary and
+    /// integration test shares, instead of each reimplementing the
+    /// parsing:
+    ///
+    /// * `SSDEP_CRASH_AFTER=<n>` — abort the process after `n` fresh
+    ///   journal appends are durable ([`crash_after_journaled`]);
+    /// * `SSDEP_JOURNAL_FAULT=<kind@N[@seed]>` — inject a storage fault
+    ///   into the journal sink ([`journal_faults`]; see
+    ///   [`IoFaultPlan::parse`] for the format).
+    ///
+    /// [`crash_after_journaled`]: SupervisorConfig::crash_after_journaled
+    /// [`journal_faults`]: SupervisorConfig::journal_faults
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when either variable is set
+    /// but unparsable.
+    pub fn apply_env_hooks(mut self) -> Result<SupervisorConfig, Error> {
+        if let Ok(text) = std::env::var("SSDEP_CRASH_AFTER") {
+            let n = text.parse().map_err(|e| {
+                Error::invalid("SSDEP_CRASH_AFTER", format!("bad SSDEP_CRASH_AFTER: {e}"))
+            })?;
+            self.crash_after_journaled = Some(n);
+        }
+        if let Ok(text) = std::env::var("SSDEP_JOURNAL_FAULT") {
+            self.journal_faults = Some(IoFaultPlan::parse(&text)?);
+        }
+        Ok(self)
     }
 }
 
@@ -320,8 +403,24 @@ impl Supervisor {
             (Some(checkpoint), Some(resume)) => checkpoint != resume,
             _ => false,
         };
+        // A checkpoint that cannot even be opened degrades the run the
+        // same way an append failure would: the sweep's results matter
+        // more than the journal that was meant to protect them.
+        let mut journal_error: Option<String> = None;
         let mut journal = match &self.config.checkpoint {
-            Some(path) => Some(JournalWriter::open(path, self.config.sync_every)?),
+            Some(path) => match JournalWriter::open(path, self.config.sync_every) {
+                Ok(writer) => {
+                    let writer = writer.with_retry(self.config.retry);
+                    Some(match self.config.journal_faults {
+                        Some(plan) => writer.with_fault_plan(plan),
+                        None => writer,
+                    })
+                }
+                Err(e) => {
+                    journal_error = Some(e.to_string());
+                    None
+                }
+            },
             None => None,
         };
 
@@ -341,16 +440,12 @@ impl Supervisor {
             if let Some(replayed) = replay.remove(&key) {
                 provenance.resumed += 1;
                 if rejournal_resumed {
-                    if let Some(journal) = journal.as_mut() {
-                        journal.append(&replayed)?;
-                    }
+                    append_or_degrade(&mut journal, &mut journal_error, &replayed);
                 }
                 rejected_records.push(replayed);
             } else {
                 let record = TaskRecord::Failed(outcome);
-                if let Some(journal) = journal.as_mut() {
-                    journal.append(&record)?;
-                }
+                append_or_degrade(&mut journal, &mut journal_error, &record);
                 rejected_records.push(record);
             }
         }
@@ -364,9 +459,7 @@ impl Supervisor {
             if let Some(replayed) = replay.remove(&key) {
                 provenance.resumed += 1;
                 if rejournal_resumed {
-                    if let Some(journal) = journal.as_mut() {
-                        journal.append(&replayed)?;
-                    }
+                    append_or_degrade(&mut journal, &mut journal_error, &replayed);
                 }
                 slots[index] = Some(replayed);
             } else {
@@ -397,14 +490,15 @@ impl Supervisor {
                 provenance.evaluated += 1;
                 provenance.retries += attempts.saturating_sub(1) as usize;
                 let record = build_record(item, outcome, attempts);
-                if let Some(journal) = journal.as_mut() {
-                    journal.append(&record)?;
+                if append_or_degrade(&mut journal, &mut journal_error, &record) {
                     fresh_journaled += 1;
                     if self.config.crash_after_journaled == Some(fresh_journaled) {
                         // Emulate a kill arriving just after an fsync:
                         // make this batch durable, then die without any
                         // graceful shutdown.
-                        journal.sync()?;
+                        if let Some(writer) = journal.as_mut() {
+                            let _ = writer.sync();
+                        }
                         std::process::abort();
                     }
                 }
@@ -416,7 +510,7 @@ impl Supervisor {
             // completion order.
             let cursor = std::sync::atomic::AtomicUsize::new(0);
             let (sender, receiver) = mpsc::channel();
-            std::thread::scope(|scope| -> Result<(), Error> {
+            std::thread::scope(|scope| {
                 for _ in 0..jobs {
                     let sender = sender.clone();
                     let cursor = &cursor;
@@ -429,8 +523,7 @@ impl Supervisor {
                         };
                         let (outcome, attempts) = self.evaluate_isolated(&items[index], eval);
                         if sender.send((index, outcome, attempts)).is_err() {
-                            // The collector bailed on a journal error;
-                            // stop claiming work.
+                            // The collector is gone; stop claiming work.
                             break;
                         }
                     });
@@ -440,18 +533,18 @@ impl Supervisor {
                     provenance.evaluated += 1;
                     provenance.retries += attempts.saturating_sub(1) as usize;
                     let record = build_record(&items[index], outcome, attempts);
-                    if let Some(journal) = journal.as_mut() {
-                        journal.append(&record)?;
+                    if append_or_degrade(&mut journal, &mut journal_error, &record) {
                         fresh_journaled += 1;
                         if self.config.crash_after_journaled == Some(fresh_journaled) {
-                            journal.sync()?;
+                            if let Some(writer) = journal.as_mut() {
+                                let _ = writer.sync();
+                            }
                             std::process::abort();
                         }
                     }
                     slots[index] = Some(record);
                 }
-                Ok(())
-            })?;
+            });
         }
 
         // Assemble in input order so parallel runs are byte-identical to
@@ -468,13 +561,19 @@ impl Supervisor {
             }
         }
 
-        if let Some(journal) = journal.as_mut() {
-            journal.sync()?;
+        if let Some(writer) = journal.as_mut() {
+            if let Err(e) = writer.sync() {
+                journal_error.get_or_insert(e.to_string());
+                journal = None;
+            }
         }
+        drop(journal);
+        provenance.journal_degraded = journal_error.is_some();
         Ok(SupervisedRun {
             completed,
             failed,
             provenance,
+            journal_error,
         })
     }
 
@@ -843,6 +942,7 @@ mod tests {
             retries: 1,
             failed: 2,
             cache_hits: 0,
+            journal_degraded: false,
         };
         let text = provenance.summary();
         assert!(text.contains("16 tasks"), "{text}");
@@ -909,6 +1009,101 @@ mod tests {
                 .map(|&i| (i, u64::from(i) + 1))
                 .collect::<Vec<_>>()
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_journal_eio_is_retried_and_the_run_stays_checkpointed() {
+        use crate::sink::{FaultKind, IoFaultPlan};
+        let path = temp("journal-eio");
+        std::fs::remove_file(&path).ok();
+        let run = Supervisor::new(SupervisorConfig {
+            checkpoint: Some(path.clone()),
+            retry: RetryPolicy::immediate(2),
+            sync_every: 1,
+            journal_faults: Some(IoFaultPlan::new(FaultKind::AppendEio, 3)),
+            ..SupervisorConfig::default()
+        })
+        .run(&(0..6u32).collect::<Vec<_>>(), |&i: &u32| Ok(u64::from(i)))
+        .unwrap();
+        assert!(!run.provenance.journal_degraded, "{:?}", run.journal_error);
+        assert_eq!(run.completed.len(), 6);
+        // Every outcome is durably journaled — a resume replays them all.
+        let resumed = Supervisor::new(SupervisorConfig {
+            resume: Some(path.clone()),
+            ..SupervisorConfig::default()
+        })
+        .run(&(0..6u32).collect::<Vec<_>>(), |_| {
+            Err::<u64, _>(Error::invalid("eval", "must not re-run"))
+        })
+        .unwrap();
+        assert_eq!(resumed.provenance.resumed, 6);
+        assert_eq!(resumed.provenance.evaluated, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persistent_enospc_degrades_the_journal_but_never_the_results() {
+        use crate::sink::{FaultKind, IoFaultPlan};
+        let path = temp("journal-enospc");
+        std::fs::remove_file(&path).ok();
+        let items: Vec<u32> = (0..8).collect();
+        let fault_free = Supervisor::default()
+            .run(&items, |&i: &u32| Ok(u64::from(i) * 3))
+            .unwrap();
+        let degraded = Supervisor::new(SupervisorConfig {
+            checkpoint: Some(path.clone()),
+            retry: RetryPolicy::immediate(1),
+            sync_every: 1,
+            journal_faults: Some(IoFaultPlan::new(FaultKind::AppendEnospc, 3)),
+            ..SupervisorConfig::default()
+        })
+        .run(&items, |&i: &u32| Ok(u64::from(i) * 3))
+        .unwrap();
+        // The sweep survived the full disk, results identical.
+        assert_eq!(degraded.completed, fault_free.completed);
+        assert!(degraded.provenance.journal_degraded);
+        let error = degraded.journal_error.as_deref().unwrap();
+        assert!(error.contains("ENOSPC"), "{error}");
+        assert!(
+            error.contains(&path.display().to_string()),
+            "the journal error names the file: {error}"
+        );
+        assert!(
+            degraded.provenance.summary().contains("journal degraded"),
+            "{}",
+            degraded.provenance.summary()
+        );
+        // Whatever did land before the disk filled is intact — the
+        // degraded journal resumes, it just covers fewer tasks.
+        let records = read_journal::<TaskRecord<u32, u64>>(&path).unwrap();
+        assert!(records.len() < items.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn same_file_resume_does_not_duplicate_replayed_records() {
+        let path = temp("same-file-rejournal");
+        std::fs::remove_file(&path).ok();
+        let items: Vec<u32> = (0..5).collect();
+        let config = SupervisorConfig {
+            checkpoint: Some(path.clone()),
+            resume: Some(path.clone()),
+            sync_every: 1,
+            ..SupervisorConfig::default()
+        };
+        Supervisor::new(config.clone())
+            .run(&items, |&i: &u32| Ok(u64::from(i)))
+            .unwrap();
+        let after_first = read_journal::<TaskRecord<u32, u64>>(&path).unwrap().len();
+        // Resuming into the same file must not re-append the replayed
+        // records — they are already there.
+        let resumed = Supervisor::new(config)
+            .run(&items, |&i: &u32| Ok(u64::from(i)))
+            .unwrap();
+        assert_eq!(resumed.provenance.resumed, 5);
+        let after_second = read_journal::<TaskRecord<u32, u64>>(&path).unwrap().len();
+        assert_eq!(after_first, after_second, "no duplicate records");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -186,6 +186,9 @@ pub struct SupervisedSweep {
     pub failed: Vec<FailedOutcome<SweepTask>>,
     /// Result provenance.
     pub provenance: Provenance,
+    /// The journal failure behind [`Provenance::journal_degraded`], when
+    /// the run shed its checkpoint and finished in memory.
+    pub journal_error: Option<String>,
 }
 
 /// Runs [`sweep`] under a [`Supervisor`]: panic isolation and deadline
@@ -281,6 +284,7 @@ where
         series,
         failed: run.failed,
         provenance,
+        journal_error: run.journal_error,
     })
 }
 

@@ -1,0 +1,287 @@
+//! Chaos harness: seeded storage-fault torture for the checkpoint path.
+//!
+//! Each seed drives one torture loop: a partial run checkpoints some
+//! work, the journal is damaged the way real storage fails (torn tail,
+//! bit rot, garbage spans), salvage quarantines the damage, and a
+//! resumed run must reach an answer byte-identical to a fault-free run
+//! without re-evaluating any record that survived. Separate loops
+//! inject write-side faults (EIO, short writes, ENOSPC) through the
+//! supervisor's sink seam and assert the retry and degraded-mode
+//! contracts. The CLI-level version of the same loop lives in
+//! `devtools/chaos` (`ssdep-chaos`) and `devtools/chaos-smoke.sh`.
+
+use ssdep_core::error::RetryPolicy;
+use ssdep_opt::journal::{inspect_journal, read_journal, salvage_journal};
+use ssdep_opt::sink::{flip_bits_in_file, FaultKind, IoFaultPlan, Lcg};
+use ssdep_opt::supervisor::TaskRecord;
+use ssdep_opt::{Supervisor, SupervisorConfig};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+const TASKS: u32 = 20;
+
+/// The (deterministic) evaluation under torture: cheap, but with an
+/// answer that detects any re-evaluation-with-drift bug.
+fn eval(i: u32) -> u64 {
+    u64::from(i) * u64::from(i) + 17
+}
+
+fn temp(name: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ssdep-chaos-{name}-{seed}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn config(path: &Path) -> SupervisorConfig {
+    SupervisorConfig {
+        checkpoint: Some(path.to_path_buf()),
+        resume: Some(path.to_path_buf()),
+        sync_every: 1,
+        ..SupervisorConfig::default()
+    }
+}
+
+fn cleanup(path: &Path) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(format!("{}.quarantine", path.display())).ok();
+}
+
+#[test]
+fn torture_seeds_resume_to_the_fault_free_answer() {
+    let items: Vec<u32> = (0..TASKS).collect();
+    let reference = Supervisor::default()
+        .run(&items, |&i: &u32| Ok(eval(i)))
+        .unwrap()
+        .completed;
+
+    for seed in 1..=10u64 {
+        let mut rng = Lcg::new(seed);
+        let path = temp("torture", seed);
+        cleanup(&path);
+
+        // Phase 1: a run dies after finishing k of the tasks (the kill
+        // is simulated by only handing it the first k items — the
+        // journal state is identical to an abort after task k).
+        let k = 1 + rng.below(u64::from(TASKS) - 1) as usize;
+        Supervisor::new(config(&path))
+            .run(&items[..k], |&i: &u32| Ok(eval(i)))
+            .unwrap();
+
+        // Phase 2: seeded storage damage.
+        match rng.below(3) {
+            0 => {
+                // A torn tail, as a crash mid-append leaves behind.
+                let bytes = std::fs::read(&path).unwrap();
+                let cut = (1 + rng.below(30) as usize).min(bytes.len() - 1);
+                std::fs::write(&path, &bytes[..bytes.len() - cut]).unwrap();
+            }
+            1 => {
+                // Silent bit rot somewhere in the file.
+                flip_bits_in_file(&path, seed, 1 + rng.below(3) as usize).unwrap();
+            }
+            _ => {
+                // A garbage span spliced into the middle.
+                let text = std::fs::read_to_string(&path).unwrap();
+                let mut lines: Vec<&str> = text.lines().collect();
+                let at = rng.below(lines.len() as u64) as usize;
+                lines.insert(at, "v2:99:zzzzzzzz:{\"garbage\":true}");
+                std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+            }
+        }
+
+        // Phase 3: salvage. Afterwards the journal must read cleanly,
+        // and every surviving record must carry the fault-free answer —
+        // salvage never invents or mangles a record.
+        salvage_journal(&path).unwrap();
+        assert!(inspect_journal(&path).unwrap().is_clean(), "seed {seed}");
+        let surviving = read_journal::<TaskRecord<u32, u64>>(&path).unwrap();
+        let mut survivors: HashSet<u32> = HashSet::new();
+        for record in &surviving {
+            match record {
+                TaskRecord::Completed { item, outcome } => {
+                    assert_eq!(*outcome, eval(*item), "seed {seed}");
+                    survivors.insert(*item);
+                }
+                TaskRecord::Failed(failed) => {
+                    panic!("seed {seed}: unexpected failure record {failed:?}")
+                }
+            }
+        }
+
+        // Phase 4: resume over the full item list. No surviving task is
+        // re-evaluated, and the final answer is byte-identical to the
+        // fault-free run.
+        let evaluated: Arc<Mutex<Vec<u32>>> = Arc::default();
+        let log = Arc::clone(&evaluated);
+        let resumed = Supervisor::new(config(&path))
+            .run(&items, move |&i: &u32| {
+                log.lock().unwrap().push(i);
+                Ok(eval(i))
+            })
+            .unwrap();
+        assert_eq!(resumed.completed, reference, "seed {seed}");
+        assert_eq!(resumed.provenance.resumed, survivors.len(), "seed {seed}");
+        let evaluated = evaluated.lock().unwrap();
+        assert_eq!(
+            evaluated.len(),
+            items.len() - survivors.len(),
+            "seed {seed}"
+        );
+        for i in evaluated.iter() {
+            assert!(
+                !survivors.contains(i),
+                "seed {seed}: surviving task {i} was re-evaluated"
+            );
+        }
+        cleanup(&path);
+    }
+}
+
+#[test]
+fn injected_transient_write_faults_are_survived_without_degradation() {
+    let items: Vec<u32> = (0..TASKS).collect();
+    let reference = Supervisor::default()
+        .run(&items, |&i: &u32| Ok(eval(i)))
+        .unwrap()
+        .completed;
+
+    for seed in 1..=8u64 {
+        let mut rng = Lcg::new(seed);
+        let path = temp("transient", seed);
+        cleanup(&path);
+        let kind = if seed % 2 == 0 {
+            FaultKind::AppendEio
+        } else {
+            FaultKind::ShortWrite
+        };
+        let at = 1 + rng.below(u64::from(TASKS)) as usize;
+        let mut cfg = config(&path);
+        cfg.retry = RetryPolicy::immediate(2);
+        cfg.journal_faults = Some(IoFaultPlan { kind, at, seed });
+        let run = Supervisor::new(cfg)
+            .run(&items, |&i: &u32| Ok(eval(i)))
+            .unwrap();
+        assert!(
+            !run.provenance.journal_degraded,
+            "seed {seed}: retries must clear a transient {kind:?}"
+        );
+        assert_eq!(run.completed, reference, "seed {seed}");
+        assert!(inspect_journal(&path).unwrap().is_clean(), "seed {seed}");
+
+        // The journal is complete: a resume replays everything.
+        let resumed = Supervisor::new(config(&path))
+            .run(&items, |_: &u32| -> Result<u64, _> {
+                Err(ssdep_core::Error::invalid("eval", "must not re-run"))
+            })
+            .unwrap();
+        assert_eq!(resumed.provenance.resumed, items.len(), "seed {seed}");
+        assert_eq!(resumed.completed, reference, "seed {seed}");
+        cleanup(&path);
+    }
+}
+
+#[test]
+fn injected_enospc_degrades_the_journal_never_the_run() {
+    let items: Vec<u32> = (0..TASKS).collect();
+    let reference = Supervisor::default()
+        .run(&items, |&i: &u32| Ok(eval(i)))
+        .unwrap()
+        .completed;
+
+    for seed in 1..=8u64 {
+        let mut rng = Lcg::new(seed);
+        let path = temp("enospc", seed);
+        cleanup(&path);
+        let at = 1 + rng.below(u64::from(TASKS)) as usize;
+        let mut cfg = config(&path);
+        cfg.retry = RetryPolicy::immediate(1);
+        cfg.journal_faults = Some(IoFaultPlan::new(FaultKind::AppendEnospc, at));
+        let run = Supervisor::new(cfg)
+            .run(&items, |&i: &u32| Ok(eval(i)))
+            .unwrap();
+        assert!(run.provenance.journal_degraded, "seed {seed}");
+        assert!(run.journal_error.is_some(), "seed {seed}");
+        // The full sweep survived the full disk.
+        assert_eq!(run.completed, reference, "seed {seed}");
+        // Whatever landed before the disk filled still resumes.
+        let records = read_journal::<TaskRecord<u32, u64>>(&path).unwrap();
+        assert!(records.len() < items.len(), "seed {seed}");
+        for record in &records {
+            match record {
+                TaskRecord::Completed { item, outcome } => {
+                    assert_eq!(*outcome, eval(*item), "seed {seed}")
+                }
+                TaskRecord::Failed(failed) => {
+                    panic!("seed {seed}: unexpected failure record {failed:?}")
+                }
+            }
+        }
+        cleanup(&path);
+    }
+}
+
+/// The acceptance-criterion shape on the real search space: torture the
+/// checkpoint of a supervised exhaustive search, salvage, resume, and
+/// demand a byte-identical ranking with no completed candidate
+/// re-evaluated.
+#[test]
+fn search_ranking_is_byte_identical_after_torture_and_salvage() {
+    use ssdep_opt::search::{paper_scenarios, supervised_exhaustive};
+    use ssdep_opt::space::DesignSpace;
+
+    let workload = ssdep_core::presets::cello_workload();
+    let requirements = ssdep_core::presets::paper_requirements();
+    let scenarios = paper_scenarios();
+    let space = DesignSpace::minimal();
+    let fault_free = supervised_exhaustive(
+        &space,
+        &workload,
+        &requirements,
+        &scenarios,
+        &Supervisor::default(),
+    )
+    .unwrap();
+    let reference = serde_json::to_string(&fault_free.result.ranked).unwrap();
+
+    for seed in [3u64, 11] {
+        let path = temp("search", seed);
+        cleanup(&path);
+        let full = supervised_exhaustive(
+            &space,
+            &workload,
+            &requirements,
+            &scenarios,
+            &Supervisor::new(config(&path)),
+        )
+        .unwrap();
+        assert!(full.provenance.evaluated > 0);
+
+        // Bit rot strikes the finished checkpoint; salvage quarantines
+        // the damaged records.
+        flip_bits_in_file(&path, seed, 2).unwrap();
+        salvage_journal(&path).unwrap();
+        assert!(inspect_journal(&path).unwrap().is_clean(), "seed {seed}");
+
+        // The resumed search re-evaluates only what the rot destroyed
+        // and lands on the identical ranking, byte for byte.
+        let resumed = supervised_exhaustive(
+            &space,
+            &workload,
+            &requirements,
+            &scenarios,
+            &Supervisor::new(config(&path)),
+        )
+        .unwrap();
+        let lost = full.provenance.total - resumed.provenance.resumed;
+        assert_eq!(resumed.provenance.evaluated, lost, "seed {seed}");
+        assert!(
+            lost < full.provenance.total,
+            "seed {seed}: salvage must keep most records"
+        );
+        let ranking = serde_json::to_string(&resumed.result.ranked).unwrap();
+        assert_eq!(ranking, reference, "seed {seed}");
+        cleanup(&path);
+    }
+}

@@ -1,0 +1,113 @@
+#!/bin/sh
+# Storage-fault smoke test shared by ci.sh (networked CI) and
+# offline-check.sh (network-restricted): kill a checkpointed search
+# mid-run, corrupt the surviving journal, and require the
+# inspect/recover/resume pipeline to reproduce the fault-free ranking
+# byte for byte. Then fill the disk (injected ENOSPC) and require the
+# run to finish degraded — exit 3, caveat printed, results intact.
+# Finally the seeded torture harness (ssdep-chaos) runs a bounded
+# number of seeds.
+#
+# Usage: devtools/chaos-smoke.sh <ssdep binary> <ssdep-chaos binary>
+set -eu
+
+SSDEP=${1:?usage: chaos-smoke.sh <ssdep binary> <ssdep-chaos binary>}
+CHAOS=${2:?usage: chaos-smoke.sh <ssdep binary> <ssdep-chaos binary>}
+repo=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo"
+
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+# Fault-free reference ranking.
+"$SSDEP" search --checkpoint "$SMOKE_DIR/full.jsonl" > "$SMOKE_DIR/full.out"
+sed -n '/^Rank/,$p' "$SMOKE_DIR/full.out" > "$SMOKE_DIR/full.rank"
+
+# Kill after three journal appends, then rot a byte inside the first
+# record's sequence field — a deterministic mid-file corruption.
+if SSDEP_CRASH_AFTER=3 "$SSDEP" search --checkpoint "$SMOKE_DIR/crash.jsonl" \
+    > /dev/null 2>&1; then
+    echo "chaos-smoke: expected the crash-injected search to die" >&2
+    exit 1
+fi
+printf 'X' | dd of="$SMOKE_DIR/crash.jsonl" bs=1 seek=3 conv=notrunc 2> /dev/null
+
+# inspect must flag the corruption (exit 1) with byte-stable --json.
+set +e
+"$SSDEP" journal inspect "$SMOKE_DIR/crash.jsonl" --json > "$SMOKE_DIR/inspect1.json"
+INSPECT_STATUS=$?
+set -e
+if [ "$INSPECT_STATUS" -ne 1 ]; then
+    echo "chaos-smoke: expected exit 1 from inspect of a corrupt journal," \
+        "got $INSPECT_STATUS" >&2
+    exit 1
+fi
+"$SSDEP" journal inspect "$SMOKE_DIR/crash.jsonl" --json \
+    > "$SMOKE_DIR/inspect2.json" || true
+if ! cmp -s "$SMOKE_DIR/inspect1.json" "$SMOKE_DIR/inspect2.json"; then
+    echo "chaos-smoke: journal inspect --json is not stable across runs" >&2
+    exit 1
+fi
+grep -q '"corrupt_spans"' "$SMOKE_DIR/inspect1.json" || {
+    echo "chaos-smoke: inspect --json lost the corrupt-span report" >&2
+    exit 1
+}
+
+# recover quarantines the span; the journal then inspects clean.
+"$SSDEP" journal recover "$SMOKE_DIR/crash.jsonl" > "$SMOKE_DIR/recover.out"
+grep -q 'quarantined' "$SMOKE_DIR/recover.out" || {
+    echo "chaos-smoke: recover did not report a quarantined span" >&2
+    exit 1
+}
+if [ ! -s "$SMOKE_DIR/crash.jsonl.quarantine" ]; then
+    echo "chaos-smoke: recover left no quarantine sidecar" >&2
+    exit 1
+fi
+"$SSDEP" journal inspect "$SMOKE_DIR/crash.jsonl" > /dev/null || {
+    echo "chaos-smoke: journal still corrupt after recover" >&2
+    exit 1
+}
+
+# The salvaged journal resumes to the identical ranking.
+"$SSDEP" search --resume "$SMOKE_DIR/crash.jsonl" > "$SMOKE_DIR/resumed.out"
+sed -n '/^Rank/,$p' "$SMOKE_DIR/resumed.out" > "$SMOKE_DIR/resumed.rank"
+if ! cmp -s "$SMOKE_DIR/full.rank" "$SMOKE_DIR/resumed.rank"; then
+    echo "chaos-smoke: post-recover resume diverged from the full run:" >&2
+    diff "$SMOKE_DIR/full.rank" "$SMOKE_DIR/resumed.rank" >&2 || true
+    exit 1
+fi
+grep -q 'resumed' "$SMOKE_DIR/resumed.out" || {
+    echo "chaos-smoke: resumed run did not replay the salvaged prefix" >&2
+    exit 1
+}
+
+# Injected ENOSPC after two appends: the run must finish degraded —
+# exit 3, a caveat in the output, and the ranking still intact.
+set +e
+SSDEP_JOURNAL_FAULT=enospc@2 "$SSDEP" search \
+    --checkpoint "$SMOKE_DIR/enospc.jsonl" > "$SMOKE_DIR/enospc.out" 2>&1
+ENOSPC_STATUS=$?
+set -e
+if [ "$ENOSPC_STATUS" -ne 3 ]; then
+    echo "chaos-smoke: expected exit 3 from the ENOSPC-degraded search," \
+        "got $ENOSPC_STATUS" >&2
+    exit 1
+fi
+grep -q 'caveat: checkpoint journal lost mid-run' "$SMOKE_DIR/enospc.out" || {
+    echo "chaos-smoke: degraded search printed no journal caveat" >&2
+    exit 1
+}
+sed -n '/^Rank/,$p' "$SMOKE_DIR/enospc.out" > "$SMOKE_DIR/enospc.rank"
+if ! cmp -s "$SMOKE_DIR/full.rank" "$SMOKE_DIR/enospc.rank"; then
+    echo "chaos-smoke: ENOSPC leaked into the ranking:" >&2
+    diff "$SMOKE_DIR/full.rank" "$SMOKE_DIR/enospc.rank" >&2 || true
+    exit 1
+fi
+
+# Bounded seeded torture via the harness binary.
+"$CHAOS" --seeds 2 || {
+    echo "chaos-smoke: ssdep-chaos reported a contract violation" >&2
+    exit 1
+}
+
+echo "chaos smoke test passed"

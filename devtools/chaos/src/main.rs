@@ -1,0 +1,310 @@
+//! `ssdep-chaos`: seeded storage-fault torture harness for the
+//! checkpoint journal, runnable as a standalone binary.
+//!
+//! Each seed drives the same loop as `crates/opt/tests/chaos.rs`, but as
+//! an operator-facing tool with per-seed status lines: a partial run
+//! checkpoints some work, the journal is damaged the way real storage
+//! fails (torn tail, bit rot, garbage spans), salvage quarantines the
+//! damage, and a resumed run must reach an answer identical to a
+//! fault-free run without re-evaluating any surviving record. Two more
+//! loops inject write-side faults (EIO / short writes, then persistent
+//! ENOSPC) and assert the retry and degraded-mode contracts.
+//!
+//! Usage: `ssdep-chaos [--seeds N]` (default 8). Exits nonzero if any
+//! seed violates a contract.
+
+use ssdep_core::error::RetryPolicy;
+use ssdep_opt::journal::{inspect_journal, read_journal, salvage_journal};
+use ssdep_opt::sink::{flip_bits_in_file, FaultKind, IoFaultPlan, Lcg};
+use ssdep_opt::supervisor::TaskRecord;
+use ssdep_opt::{Supervisor, SupervisorConfig};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+const TASKS: u32 = 20;
+
+/// Deterministic toy evaluation: cheap, but with an answer that exposes
+/// any re-evaluation-with-drift bug.
+fn eval(i: u32) -> u64 {
+    u64::from(i) * u64::from(i) + 17
+}
+
+fn temp(name: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ssdep-chaos-bin-{name}-{seed}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn config(path: &Path) -> SupervisorConfig {
+    SupervisorConfig {
+        checkpoint: Some(path.to_path_buf()),
+        resume: Some(path.to_path_buf()),
+        sync_every: 1,
+        ..SupervisorConfig::default()
+    }
+}
+
+fn cleanup(path: &Path) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(format!("{}.quarantine", path.display())).ok();
+}
+
+fn check(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(what.to_string())
+    }
+}
+
+/// One torture loop: partial run, seeded damage, salvage, resume,
+/// verify the answer and the no-re-evaluation contract.
+fn torture(seed: u64, reference: &[(u32, u64)]) -> Result<String, String> {
+    let items: Vec<u32> = (0..TASKS).collect();
+    let mut rng = Lcg::new(seed);
+    let path = temp("torture", seed);
+    cleanup(&path);
+
+    let k = 1 + rng.below(u64::from(TASKS) - 1) as usize;
+    Supervisor::new(config(&path))
+        .run(&items[..k], |&i: &u32| Ok(eval(i)))
+        .map_err(|e| format!("partial run: {e}"))?;
+
+    let damage = match rng.below(3) {
+        0 => {
+            let bytes = std::fs::read(&path).map_err(|e| format!("read: {e}"))?;
+            let cut = (1 + rng.below(30) as usize).min(bytes.len() - 1);
+            std::fs::write(&path, &bytes[..bytes.len() - cut]).map_err(|e| format!("tear: {e}"))?;
+            format!("torn tail ({cut} bytes)")
+        }
+        1 => {
+            let flips = 1 + rng.below(3) as usize;
+            flip_bits_in_file(&path, seed, flips).map_err(|e| format!("flip: {e}"))?;
+            format!("bit rot ({flips} flips)")
+        }
+        _ => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("read: {e}"))?;
+            let mut lines: Vec<&str> = text.lines().collect();
+            let at = rng.below(lines.len() as u64) as usize;
+            lines.insert(at, "v2:99:zzzzzzzz:{\"garbage\":true}");
+            std::fs::write(&path, format!("{}\n", lines.join("\n")))
+                .map_err(|e| format!("splice: {e}"))?;
+            format!("garbage span at line {}", at + 1)
+        }
+    };
+
+    salvage_journal(&path).map_err(|e| format!("salvage: {e}"))?;
+    let report = inspect_journal(&path).map_err(|e| format!("inspect: {e}"))?;
+    check(report.is_clean(), "journal still corrupt after salvage")?;
+
+    let mut survivors: HashSet<u32> = HashSet::new();
+    for record in
+        read_journal::<TaskRecord<u32, u64>>(&path).map_err(|e| format!("read back: {e}"))?
+    {
+        match record {
+            TaskRecord::Completed { item, outcome } => {
+                check(
+                    outcome == eval(item),
+                    "salvaged record carries a wrong answer",
+                )?;
+                survivors.insert(item);
+            }
+            TaskRecord::Failed(_) => return Err("unexpected failure record".into()),
+        }
+    }
+
+    let evaluated: Arc<Mutex<Vec<u32>>> = Arc::default();
+    let log = Arc::clone(&evaluated);
+    let resumed = Supervisor::new(config(&path))
+        .run(&items, move |&i: &u32| {
+            if let Ok(mut log) = log.lock() {
+                log.push(i);
+            }
+            Ok(eval(i))
+        })
+        .map_err(|e| format!("resume: {e}"))?;
+    check(
+        resumed.completed == reference,
+        "resumed answer differs from fault-free run",
+    )?;
+    check(
+        resumed.provenance.resumed == survivors.len(),
+        "resumed count disagrees with the salvaged journal",
+    )?;
+    let evaluated = evaluated
+        .lock()
+        .map_err(|_| "eval log poisoned".to_string())?;
+    check(
+        evaluated.len() == items.len() - survivors.len(),
+        "resume re-evaluated a surviving task",
+    )?;
+    for i in evaluated.iter() {
+        check(
+            !survivors.contains(i),
+            "resume re-evaluated a surviving task",
+        )?;
+    }
+    cleanup(&path);
+    Ok(format!(
+        "{damage}; {} survived, {} re-evaluated",
+        survivors.len(),
+        evaluated.len()
+    ))
+}
+
+/// Transient EIO / short writes through the sink seam: retries must
+/// clear them with no degradation and a complete journal.
+fn transient(seed: u64, reference: &[(u32, u64)]) -> Result<String, String> {
+    let items: Vec<u32> = (0..TASKS).collect();
+    let mut rng = Lcg::new(seed);
+    let path = temp("transient", seed);
+    cleanup(&path);
+    let kind = if seed.is_multiple_of(2) {
+        FaultKind::AppendEio
+    } else {
+        FaultKind::ShortWrite
+    };
+    let at = 1 + rng.below(u64::from(TASKS)) as usize;
+    let mut cfg = config(&path);
+    cfg.retry = RetryPolicy::immediate(2);
+    cfg.journal_faults = Some(IoFaultPlan { kind, at, seed });
+    let run = Supervisor::new(cfg)
+        .run(&items, |&i: &u32| Ok(eval(i)))
+        .map_err(|e| format!("run: {e}"))?;
+    check(
+        !run.provenance.journal_degraded,
+        "retries failed to clear a transient fault",
+    )?;
+    check(
+        run.completed == reference,
+        "answer drifted under transient faults",
+    )?;
+    let records =
+        read_journal::<TaskRecord<u32, u64>>(&path).map_err(|e| format!("read back: {e}"))?;
+    check(
+        records.len() == items.len(),
+        "journal is incomplete after retries",
+    )?;
+    cleanup(&path);
+    Ok(format!("{kind:?}@{at} retried cleanly"))
+}
+
+/// Persistent ENOSPC: the journal degrades, the run never does, and the
+/// pre-fault prefix of the journal stays valid.
+fn enospc(seed: u64, reference: &[(u32, u64)]) -> Result<String, String> {
+    let items: Vec<u32> = (0..TASKS).collect();
+    let mut rng = Lcg::new(seed);
+    let path = temp("enospc", seed);
+    cleanup(&path);
+    let at = 1 + rng.below(u64::from(TASKS)) as usize;
+    let mut cfg = config(&path);
+    cfg.retry = RetryPolicy::immediate(1);
+    cfg.journal_faults = Some(IoFaultPlan::new(FaultKind::AppendEnospc, at));
+    let run = Supervisor::new(cfg)
+        .run(&items, |&i: &u32| Ok(eval(i)))
+        .map_err(|e| format!("run: {e}"))?;
+    check(
+        run.provenance.journal_degraded,
+        "ENOSPC did not degrade the journal",
+    )?;
+    check(
+        run.journal_error.is_some(),
+        "degraded run carries no journal error",
+    )?;
+    check(run.completed == reference, "ENOSPC leaked into the results")?;
+    let records =
+        read_journal::<TaskRecord<u32, u64>>(&path).map_err(|e| format!("read back: {e}"))?;
+    check(
+        records.len() < items.len(),
+        "journal claims more than fit on disk",
+    )?;
+    cleanup(&path);
+    Ok(format!(
+        "ENOSPC@{at} degraded the journal, {} records landed",
+        records.len()
+    ))
+}
+
+fn parse_seeds(args: &[String]) -> Result<u64, String> {
+    let mut seeds = 8u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--seeds needs a value".to_string())?;
+                seeds = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --seeds value `{value}`"))?;
+                if seeds == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+            }
+            "--help" | "-h" => {
+                return Err("usage: ssdep-chaos [--seeds N]".to_string());
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}`; usage: ssdep-chaos [--seeds N]"
+                ))
+            }
+        }
+    }
+    Ok(seeds)
+}
+
+/// One named torture phase: a check function run once per seed.
+type Phase = fn(u64, &[(u32, u64)]) -> Result<String, String>;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds = match parse_seeds(&args) {
+        Ok(seeds) => seeds,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let items: Vec<u32> = (0..TASKS).collect();
+    let reference = match Supervisor::default().run(&items, |&i: &u32| Ok(eval(i))) {
+        Ok(run) => run.completed,
+        Err(e) => {
+            eprintln!("fault-free reference run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0u32;
+    let phases: [(&str, Phase); 3] = [
+        ("torture", torture),
+        ("transient", transient),
+        ("enospc", enospc),
+    ];
+    for (name, phase) in phases {
+        for seed in 1..=seeds {
+            match phase(seed, &reference) {
+                Ok(detail) => println!("ok   {name} seed {seed}: {detail}"),
+                Err(why) => {
+                    failures += 1;
+                    println!("FAIL {name} seed {seed}: {why}");
+                }
+            }
+        }
+    }
+
+    if failures == 0 {
+        println!(
+            "chaos: {} loops over {seeds} seeds, all contracts held",
+            3 * seeds
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos: {failures} contract violation(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -15,6 +15,9 @@
 //!   `as f32` narrowing) in model code.
 //! * **L010** — an `ssdep-lint` pragma that is malformed or suppresses
 //!   nothing (so stale allowlists cannot linger).
+//! * **L011** — direct `File::create` / `OpenOptions` in checkpoint
+//!   code outside the journal sink seam, where fault injection and
+//!   rollback cannot see the write.
 
 use crate::findings::{Finding, Severity};
 use crate::lexer::{
@@ -32,6 +35,8 @@ pub struct Role {
     /// Core model API surface: the dimensional-signature policy (L001)
     /// applies.
     pub signatures: bool,
+    /// Checkpoint code: the journal-sink-seam policy (L011) applies.
+    pub io_seam: bool,
 }
 
 impl Role {
@@ -41,6 +46,7 @@ impl Role {
         library: true,
         model: true,
         signatures: true,
+        io_seam: true,
     };
 }
 
@@ -66,6 +72,9 @@ pub fn raw_findings(path: &str, lexed: &LexedFile, role: Role) -> Vec<Finding> {
     lint_float_ordering(path, &text, &mut findings);
     if role.model {
         lint_lossy_casts(path, &text, &mut findings);
+    }
+    if role.io_seam {
+        lint_io_seam(path, &text, &mut findings);
     }
     findings
 }
@@ -528,6 +537,49 @@ fn is_floatish(expr: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------
+// L011 — checkpoint file I/O outside the journal sink seam
+// ---------------------------------------------------------------------
+
+fn lint_io_seam(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
+    for (start, end) in text.idents() {
+        if text.in_test(start) {
+            continue;
+        }
+        let ident = text.ident_at((start, end));
+        let construct = match ident.as_str() {
+            // The import alone marks the file as opening files behind
+            // the seam's back; call sites then add their own findings.
+            "OpenOptions" => "`OpenOptions`",
+            "File" => {
+                let colons = text.skip_ws(end);
+                if text.slice(colons, colons + 2) != "::" {
+                    continue;
+                }
+                let method_start = text.skip_ws(colons + 2);
+                let method = text.slice(method_start, ident_end(text, method_start));
+                if method != "create" && method != "create_new" {
+                    continue;
+                }
+                "`File::create`"
+            }
+            _ => continue,
+        };
+        findings.push(Finding::new(
+            "L011",
+            Severity::Error,
+            path,
+            text.line(start),
+            format!(
+                "{construct} in checkpoint code bypasses the journal sink seam, so fault \
+                 injection and rollback never see the write"
+            ),
+            "route the file through `JournalSink`/`FileSink` (crates/opt/src/sink.rs), or \
+             justify with `// ssdep-lint: allow(L011, reason)`",
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
 // L001 — raw f64 in public model signatures
 // ---------------------------------------------------------------------
 
@@ -882,15 +934,47 @@ fn g() { x.unwrap_or(1); }
 
     #[test]
     fn roles_gate_the_lint_families() {
-        let src = "fn f() { x.unwrap(); let y = z.round() as u64; }\n";
+        let src = "\
+fn f() { x.unwrap(); let y = z.round() as u64; }
+fn g() { let _ = std::fs::File::create(\"x\"); }
+";
         let quiet = run(
             src,
             Role {
                 library: false,
                 model: false,
                 signatures: false,
+                io_seam: false,
             },
         );
         assert!(quiet.is_empty(), "{quiet:?}");
+    }
+
+    #[test]
+    fn l011_fires_on_direct_file_io_outside_tests() {
+        let src = "\
+use std::fs::OpenOptions;
+fn f() { let _ = std::fs::File::create(\"j\"); }
+fn g() { let _ = OpenOptions::new().append(true).open(\"j\"); }
+fn h() { let _ = std::fs::File::open(\"j\"); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = std::fs::File::create(\"scratch\"); }
+}
+";
+        let findings = run(src, Role::ALL);
+        let l011: Vec<usize> = findings
+            .iter()
+            .filter(|f| f.code == "L011")
+            .map(|f| f.line)
+            .collect();
+        // The import, the create call, and the OpenOptions call site —
+        // but not the read-side `File::open` or the test module.
+        assert_eq!(l011, vec![1, 2, 3], "{findings:?}");
+        assert!(findings
+            .iter()
+            .filter(|f| f.code == "L011")
+            .all(|f| f.suggestion.contains("sink.rs")));
     }
 }

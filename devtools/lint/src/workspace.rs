@@ -94,11 +94,15 @@ fn role_for(crate_name: &str, rel: &str) -> Role {
     let units = rel.ends_with("/units.rs");
     let library = !matches!(crate_name, "cli" | "bench");
     let model = library && crate_name != "integration" && !units;
+    // journal.rs and sink.rs *are* the seam: salvage and FileSink own
+    // the raw file handles everything else must route through.
+    let seam = rel.ends_with("/journal.rs") || rel.ends_with("/sink.rs");
     Role {
         library,
         // units.rs *defines* the newtypes, so raw f64 is its business.
         signatures: crate_name == "core" && !units,
         model,
+        io_seam: crate_name == "opt" && !seam,
     }
 }
 
@@ -278,5 +282,14 @@ mod tests {
         assert!(!cli.library && !cli.model && !cli.signatures);
         let integration = role_for("integration", "crates/integration/src/lib.rs");
         assert!(integration.library && !integration.model);
+        assert!(!core.io_seam && !cli.io_seam);
+        let supervisor = role_for("opt", "crates/opt/src/supervisor.rs");
+        assert!(supervisor.io_seam, "opt code must go through the sink seam");
+        let journal = role_for("opt", "crates/opt/src/journal.rs");
+        let sink = role_for("opt", "crates/opt/src/sink.rs");
+        assert!(
+            !journal.io_seam && !sink.io_seam,
+            "the seam itself is exempt"
+        );
     }
 }

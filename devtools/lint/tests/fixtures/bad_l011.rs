@@ -1,0 +1,28 @@
+//! Deliberately-bad fixture: checkpoint code opening files directly
+//! instead of going through the journal sink seam. Every `File::create`
+//! and `OpenOptions` mention below must fire L011.
+
+use std::fs::OpenOptions;
+
+fn checkpoint_directly(path: &str) -> std::io::Result<()> {
+    let _ = std::fs::File::create(path)?;
+    Ok(())
+}
+
+fn append_directly(path: &str) -> std::io::Result<()> {
+    let _ = OpenOptions::new().append(true).open(path)?;
+    Ok(())
+}
+
+fn read_side_is_fine(path: &str) -> std::io::Result<Vec<u8>> {
+    let _ = std::fs::File::open(path)?;
+    std::fs::read(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_in_tests_are_fine() {
+        let _ = std::fs::File::create("scratch.tmp");
+    }
+}

@@ -106,6 +106,25 @@ fn bad_l005_fires_on_lossy_casts() {
 }
 
 #[test]
+fn bad_l011_fires_on_direct_checkpoint_io() {
+    let report = lint_fixture("bad_l011.rs");
+    assert_eq!(
+        count(&report, "L011"),
+        3,
+        "findings: {:#?}",
+        report.findings()
+    );
+    assert_eq!(codes(&report), ["L011"; 3]);
+    assert_eq!(report.exit_status(false), 2);
+    for finding in report.findings() {
+        assert!(
+            finding.suggestion.contains("JournalSink"),
+            "L011 must point at the sink seam: {finding:?}"
+        );
+    }
+}
+
+#[test]
 fn allowed_fixture_is_fully_suppressed() {
     let report = lint_fixture("allowed.rs");
     assert!(

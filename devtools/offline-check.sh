@@ -9,7 +9,10 @@
 #        (defaults to: test -q)
 #
 # The pseudo-subcommand `lint` builds ssdep-lint offline and runs the
-# shared static-analysis gate (devtools/lint-gate.sh) with it.
+# shared static-analysis gate (devtools/lint-gate.sh) with it. The
+# pseudo-subcommand `chaos` builds the CLI and the torture harness
+# offline and runs the storage-fault smoke test
+# (devtools/chaos-smoke.sh).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -32,6 +35,15 @@ if [ "$1" = "lint" ]; then
   cd "$repo"
   cargo build "${config_args[@]}" --release -p ssdep-lint
   exec "$repo/devtools/lint-gate.sh" "$repo/target/release/ssdep-lint"
+fi
+
+# `chaos` is not a cargo subcommand either: build the CLI and the
+# torture harness offline, then hand both to the smoke script.
+if [ "$1" = "chaos" ]; then
+  cd "$repo"
+  cargo build "${config_args[@]}" --release -p ssdep-cli -p ssdep-chaos
+  exec "$repo/devtools/chaos-smoke.sh" "$repo/target/release/ssdep" \
+    "$repo/target/release/ssdep-chaos"
 fi
 
 # The --config flags go AFTER the subcommand: cargo does not forward
