@@ -91,6 +91,11 @@ echo "crash-resume smoke test passed"
 # harness (see devtools/chaos-smoke.sh).
 devtools/chaos-smoke.sh "$SSDEP" target/release/ssdep-chaos
 
+# Daemon smoke test: start `ssdep serve`, probe /healthz, byte-stable
+# /evaluate, streamed /sweep, SIGTERM drain, then the seeded service
+# fault torture harness (see devtools/serve-smoke.sh).
+devtools/serve-smoke.sh "$SSDEP" target/release/ssdep-serve-chaos
+
 # Parallel-determinism smoke test: a supervised sweep must emit
 # byte-identical --json output at any --jobs count (results land in
 # input-order slots regardless of worker completion order).

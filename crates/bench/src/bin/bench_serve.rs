@@ -1,0 +1,219 @@
+//! Daemon load-test snapshot (`BENCH_serve.json`'s generator).
+//!
+//! Starts an in-process `ssdep-serve` daemon on an ephemeral port,
+//! drives it with concurrent closed-loop HTTP clients posting the
+//! paper's baseline system against an 11-scenario catalog, and reports
+//! throughput (requests/sec and scenario evaluations/sec) plus the
+//! daemon's own p50/p99 latency histogram from `/metrics`.
+//!
+//! Usage: `bench_serve [--json] [--requests N] [--clients C]`. With
+//! `--json` the numbers print as a stable JSON object; redirect to
+//! `BENCH_serve.json` to refresh the committed snapshot.
+
+// Benchmarks unwrap on fixture setup: a panic aborts the bench run,
+// which is the right failure report outside the library policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use serde::Serialize;
+use ssdep_core::composite::CompositeScenario;
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::units::{Bytes, TimeDelta};
+use ssdep_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// The same scenario spread `bench_eval` measures: five aged
+/// object-corruption rollbacks, two recover-to-now object losses, and
+/// the four hardware scopes.
+fn scenario_grid() -> Vec<CompositeScenario> {
+    let mut scenarios: Vec<FailureScenario> = [1.0, 8.0, 12.0, 24.0, 48.0]
+        .iter()
+        .map(|&age| {
+            FailureScenario::new(
+                FailureScope::DataObject {
+                    size: Bytes::from_mib(1.0),
+                },
+                RecoveryTarget::Before {
+                    age: TimeDelta::from_hours(age),
+                },
+            )
+        })
+        .collect();
+    for size in [8.0, 64.0] {
+        scenarios.push(FailureScenario::new(
+            FailureScope::DataObject {
+                size: Bytes::from_mib(size),
+            },
+            RecoveryTarget::Now,
+        ));
+    }
+    for scope in [
+        FailureScope::Array,
+        FailureScope::Building,
+        FailureScope::Site,
+        FailureScope::Region,
+    ] {
+        scenarios.push(FailureScenario::new(scope, RecoveryTarget::Now));
+    }
+    scenarios
+        .into_iter()
+        .map(|scenario| CompositeScenario::Single { scenario })
+        .collect()
+}
+
+/// The paper's baseline system plus the scenario catalog, as one
+/// `/evaluate` body.
+fn evaluate_body() -> String {
+    #[derive(Serialize)]
+    struct Body {
+        workload: ssdep_core::Workload,
+        design: ssdep_core::hierarchy::StorageDesign,
+        requirements: ssdep_core::requirements::BusinessRequirements,
+        scenarios: Vec<CompositeScenario>,
+    }
+    serde_json::to_string(&Body {
+        workload: ssdep_core::presets::cello_workload(),
+        design: ssdep_core::presets::baseline_design(),
+        requirements: ssdep_core::presets::paper_requirements(),
+        scenarios: scenario_grid(),
+    })
+    .unwrap()
+}
+
+/// One closed-loop HTTP exchange; returns the response head's status.
+fn exchange(addr: &str, method: &str, path: &str, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect to the daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let head = String::from_utf8_lossy(&response);
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    status
+}
+
+/// Reads the body of a GET as a string (for `/metrics`).
+fn fetch(addr: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to the daemon");
+    let request = format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    match response.find("\r\n\r\n") {
+        Some(at) => response[at + 4..].to_string(),
+        None => response,
+    }
+}
+
+/// Pulls the integer value of `"key":<n>` out of a flat JSON object.
+fn field_u64(json: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\":");
+    let at = json.find(&marker).expect("metrics field present");
+    json[at + marker.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("metrics field is an integer")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let as_json = args.iter().any(|a| a == "--json");
+    let mut requests: usize = 2000;
+    let mut clients: usize = 4;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let target: &mut usize = match arg.as_str() {
+            "--requests" => &mut requests,
+            "--clients" => &mut clients,
+            _ => continue,
+        };
+        match iter.next().and_then(|v| v.parse().ok()) {
+            Some(n) if n > 0 => *target = n,
+            _ => {
+                eprintln!("{arg} needs a positive integer");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let jobs = clients.max(1);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs,
+        queue_depth: (clients * 4).max(8),
+        deadline: Duration::from_secs(30),
+        fault: None,
+    })
+    .expect("start the daemon");
+    let addr = server.addr().to_string();
+    let body = evaluate_body();
+    let scenarios_per_request = scenario_grid().len();
+
+    // Warm the engine's memo cache so the snapshot measures the steady
+    // state, not the one-time preparation.
+    assert_eq!(exchange(&addr, "POST", "/evaluate", &body), 200);
+
+    let per_client = requests.div_ceil(clients.max(1));
+    let total_requests = per_client * clients;
+    let start = Instant::now();
+    let workers: Vec<std::thread::JoinHandle<()>> = (0..clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = body.clone();
+            std::thread::spawn(move || {
+                for _ in 0..per_client {
+                    assert_eq!(exchange(&addr, "POST", "/evaluate", &body), 200);
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let metrics = fetch(&addr, "/metrics");
+    let p50_micros = field_u64(&metrics, "p50_micros");
+    let p99_micros = field_u64(&metrics, "p99_micros");
+
+    server.begin_shutdown();
+    let summary = server.drain();
+    assert_eq!(summary.stuck_threads, 0, "drain abandoned stuck threads");
+
+    let requests_per_sec = total_requests as f64 / elapsed;
+    let evals_per_sec = requests_per_sec * scenarios_per_request as f64;
+
+    if as_json {
+        println!(
+            "{{\n  \"generator\": \"bench_serve --json --requests {requests} --clients \
+             {clients}\",\n  \"config\": {{\n    \"requests\": {total_requests},\n    \
+             \"clients\": {clients},\n    \"jobs\": {jobs},\n    \
+             \"scenarios_per_request\": {scenarios_per_request}\n  }},\n  \
+             \"throughput\": {{\n    \"elapsed_secs\": {elapsed:.4},\n    \
+             \"requests_per_sec\": {requests_per_sec:.0},\n    \
+             \"evals_per_sec\": {evals_per_sec:.0}\n  }},\n  \
+             \"latency\": {{\n    \"p50_micros\": {p50_micros},\n    \
+             \"p99_micros\": {p99_micros}\n  }}\n}}"
+        );
+    } else {
+        println!(
+            "{total_requests} requests x {scenarios_per_request} scenarios over {clients} \
+             clients in {elapsed:.3} s"
+        );
+        println!("throughput: {requests_per_sec:.0} req/s = {evals_per_sec:.0} evals/s");
+        println!("daemon latency: p50 {p50_micros} us, p99 {p99_micros} us");
+    }
+}

@@ -64,6 +64,7 @@ pub fn run_with_status(args: &[String]) -> (Result<String, String>, u8) {
         Some("check") => check_command(&rest),
         Some("journal") => journal_command(&rest),
         Some("search") => status_of(search_command(&rest)),
+        Some("serve") => status_of(serve_command(&rest)),
         Some("sweep") => {
             let result = match rest.split_first() {
                 Some((first, tail)) if !first.starts_with("--") => sweep(first, tail),
@@ -194,6 +195,67 @@ fn render_error(e: &ssdep_core::Error) -> String {
     }
 }
 
+/// `ssdep serve`: run the evaluation daemon until SIGTERM/SIGINT, then
+/// drain gracefully. Prints the listen address eagerly (the only
+/// command that writes before returning — a daemon's port must be
+/// observable while it runs), blocks until a shutdown signal, and exits
+/// 0 after a clean drain.
+fn serve_command(args: &[&String]) -> Result<(String, u8), String> {
+    use ssdep_serve::{ServeConfig, ServeFaultPlan, Server};
+
+    let mut config = ServeConfig::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value_for = |name: &str| {
+            iter.next()
+                .map(|v| (*v).clone())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value_for("--addr")?,
+            "--jobs" => {
+                config.jobs = value_for("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = value_for("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth: {e}"))?;
+            }
+            "--deadline-secs" => {
+                let secs: f64 = value_for("--deadline-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-secs: {e}"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err("--deadline-secs must be a positive number".to_string());
+                }
+                config.deadline = std::time::Duration::from_secs_f64(secs);
+            }
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    config.fault = ServeFaultPlan::from_env().map_err(|e| e.to_string())?;
+
+    let server = Server::start(config).map_err(|e| e.to_string())?;
+    ssdep_serve::signal::install();
+    // Eager: the daemon blocks from here until a signal arrives, and
+    // `--addr :0` callers need the real port now, not after drain.
+    println!("ssdep serve: listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let summary = server.run_until(ssdep_serve::signal::shutdown_requested);
+    let status = u8::from(summary.stuck_threads > 0);
+    Ok((
+        format!(
+            "ssdep serve: drained — {} served, {} shed, {} stuck thread(s)",
+            summary.served, summary.shed, summary.stuck_threads
+        ),
+        status,
+    ))
+}
+
 fn help() -> String {
     "ssdep — storage system dependability evaluation\n\
      \n\
@@ -240,6 +302,20 @@ fn help() -> String {
        sweep [growth|links|vault|backup]  sensitivity sweep on the case study\n\
          --json                     emit the series as stable JSON\n\
          (links|vault|backup also take the supervisor flags above)\n\
+       serve [opts]                 run the HTTP evaluation daemon until\n\
+                                    SIGTERM/SIGINT, then drain in-flight work\n\
+                                    and exit 0; endpoints: POST /evaluate,\n\
+                                    POST /sweep (JSON-lines stream),\n\
+                                    GET /healthz, GET /metrics\n\
+         --addr <host:port>         listen address (default 127.0.0.1:7878;\n\
+                                    port 0 picks a free port)\n\
+         --jobs <n>                 worker threads (default 4)\n\
+         --queue-depth <n>          admission queue depth; arrivals past it\n\
+                                    are shed with 429 Retry-After (default 32)\n\
+         --deadline-secs <s>        per-request evaluation deadline; over it\n\
+                                    the request is answered 504 (default 10)\n\
+         (SSDEP_SERVE_FAULT=slow|queue-full|journal-eio@N[@seed] injects a\n\
+         deterministic fault into the Nth accepted request)\n\
        compare <a.json> <b.json>    side-by-side evaluation of two designs\n\
        report <spec.json>           the full dependability dossier\n\
        inject <spec.json> [opts]    simulate timed hardware faults\n\
@@ -1181,7 +1257,8 @@ fn parse_supervisor_flags<'a>(
                     .ok_or("--max-retries needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --max-retries: {e}"))?;
-                config.retry = ssdep_core::RetryPolicy::new(retries);
+                config.retry = ssdep_core::RetryPolicy::new(retries)
+                    .with_jitter(ssdep_opt::supervisor::RETRY_JITTER_SEED);
                 any = true;
             }
             "--jobs" => {

@@ -1,0 +1,97 @@
+//! End-to-end contract for the degraded exit path: a supervised search
+//! whose checkpoint journal dies mid-run (`SSDEP_JOURNAL_FAULT`) must
+//! finish the evaluation, print the journal caveat, and exit 3 — while
+//! the same search with healthy storage exits 0 with an identical
+//! ranking.
+
+// Test harness code: a panic is the right failure report here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A scratch directory unique to this test process, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("ssdep-degraded-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn ssdep() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ssdep"));
+    // A stale fault plan in the ambient environment must not leak in.
+    cmd.env_remove("SSDEP_JOURNAL_FAULT")
+        .env_remove("SSDEP_CRASH_AFTER");
+    cmd
+}
+
+/// The ranked tail of a search's stdout (from the `Rank` table header
+/// on); the provenance lines above it legitimately differ per run.
+fn ranking(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    match text.find("\nRank") {
+        Some(at) => text[at + 1..].to_string(),
+        None => panic!("search output has no ranking table:\n{text}"),
+    }
+}
+
+#[test]
+fn journal_loss_mid_search_degrades_to_exit_3_with_a_caveat() {
+    let scratch = Scratch::new("enospc");
+
+    let clean = ssdep()
+        .arg("search")
+        .arg("--checkpoint")
+        .arg(scratch.path("clean.jsonl"))
+        .output()
+        .expect("run clean search");
+    assert!(
+        clean.status.success(),
+        "clean search failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    let degraded = ssdep()
+        .arg("search")
+        .arg("--checkpoint")
+        .arg(scratch.path("degraded.jsonl"))
+        .env("SSDEP_JOURNAL_FAULT", "enospc@2")
+        .output()
+        .expect("run degraded search");
+    assert_eq!(
+        degraded.status.code(),
+        Some(3),
+        "expected the degraded-storage exit code; stderr: {}",
+        String::from_utf8_lossy(&degraded.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&degraded.stdout);
+    assert!(
+        stdout.contains("caveat: checkpoint journal lost mid-run"),
+        "degraded search printed no journal caveat:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("rerun once space/IO recovers to re-checkpoint"),
+        "caveat lost its operator guidance:\n{stdout}"
+    );
+
+    // Storage loss may cost the checkpoint, never the answer.
+    assert_eq!(
+        ranking(&clean.stdout),
+        ranking(&degraded.stdout),
+        "journal loss leaked into the ranking"
+    );
+}

@@ -99,6 +99,13 @@ pub enum Error {
 /// transient error that survives every retry is returned with the
 /// attempt count appended to its message, so logs show how hard the
 /// operation was tried.
+///
+/// With a [`jitter seed`](RetryPolicy::with_jitter) set, each delay is
+/// drawn deterministically from `[backoff/2, backoff]` — callers that
+/// retry the same shared fault from many workers (parallel sweeps, serve
+/// handlers) salt the draw per task so the herd spreads out instead of
+/// re-colliding in lockstep. Without a seed the classic exact-backoff
+/// curve applies unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// How many times a transient failure is retried (0 = fail fast).
@@ -107,6 +114,9 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// The ceiling on any single backoff delay.
     pub max_delay: Duration,
+    /// Seed for deterministic delay jitter; `None` keeps the exact
+    /// exponential curve.
+    pub jitter_seed: Option<u64>,
 }
 
 impl RetryPolicy {
@@ -117,6 +127,7 @@ impl RetryPolicy {
             max_retries,
             base_delay: Duration::from_millis(25),
             max_delay: Duration::from_secs(2),
+            jitter_seed: None,
         }
     }
 
@@ -127,15 +138,52 @@ impl RetryPolicy {
             max_retries,
             base_delay: Duration::ZERO,
             max_delay: Duration::ZERO,
+            jitter_seed: None,
         }
     }
 
+    /// The same policy with deterministic delay jitter seeded by `seed`.
+    pub const fn with_jitter(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
     /// The backoff delay before retry number `attempt` (1-based).
+    ///
+    /// With a jitter seed, this is the `salt = 0` draw of
+    /// [`delay_for_task`](RetryPolicy::delay_for_task).
     pub fn delay_for(&self, attempt: u32) -> Duration {
+        self.delay_for_task(attempt, 0)
+    }
+
+    /// The backoff delay before retry number `attempt` (1-based) of the
+    /// task identified by `salt`.
+    ///
+    /// Without a jitter seed, `salt` is ignored and the exact
+    /// exponential curve applies. With one, the delay is a deterministic
+    /// draw from `[backoff/2, backoff]` keyed by `(seed, salt, attempt)`
+    /// — the same inputs always sleep the same amount, but two tasks
+    /// retrying the same shared fault desynchronize instead of hammering
+    /// it again simultaneously.
+    pub fn delay_for_task(&self, attempt: u32, salt: u64) -> Duration {
         let doublings = attempt.saturating_sub(1).min(16);
-        self.base_delay
+        let full = self
+            .base_delay
             .saturating_mul(1u32 << doublings)
-            .min(self.max_delay)
+            .min(self.max_delay);
+        let Some(seed) = self.jitter_seed else {
+            return full;
+        };
+        let nanos = full.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if nanos < 2 {
+            return full;
+        }
+        let half = nanos / 2;
+        let span = nanos - half + 1;
+        let draw = splitmix64(
+            seed ^ splitmix64(salt.wrapping_add(0x9e37_79b9_7f4a_7c15)) ^ u64::from(attempt),
+        );
+        Duration::from_nanos(half + draw % span)
     }
 
     /// Runs `op`, retrying transient failures per the policy.
@@ -144,19 +192,42 @@ impl RetryPolicy {
     ///
     /// Returns the first permanent error, or the last transient error
     /// (annotated with the attempt count) once retries are exhausted.
-    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T, Error>) -> Result<T, Error> {
+    pub fn run<T>(&self, op: impl FnMut() -> Result<T, Error>) -> Result<T, Error> {
+        self.run_salted(0, op)
+    }
+
+    /// [`run`](RetryPolicy::run) with a caller-chosen jitter salt, so
+    /// concurrent tasks sharing one policy draw distinct backoff delays.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](RetryPolicy::run).
+    pub fn run_salted<T>(
+        &self,
+        salt: u64,
+        mut op: impl FnMut() -> Result<T, Error>,
+    ) -> Result<T, Error> {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
             match op() {
                 Ok(value) => return Ok(value),
                 Err(e) if e.is_transient() && attempt <= self.max_retries => {
-                    std::thread::sleep(self.delay_for(attempt));
+                    std::thread::sleep(self.delay_for_task(attempt, salt));
                 }
                 Err(e) => return Err(e.with_attempts(attempt)),
             }
         }
     }
+}
+
+/// SplitMix64: a tiny, well-mixed 64-bit hash used to derive the
+/// deterministic retry jitter from `(seed, salt, attempt)`.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Whether an error is worth retrying.
@@ -445,12 +516,61 @@ mod tests {
             max_retries: 10,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(45),
+            jitter_seed: None,
         };
         assert_eq!(policy.delay_for(1), Duration::from_millis(10));
         assert_eq!(policy.delay_for(2), Duration::from_millis(20));
         assert_eq!(policy.delay_for(3), Duration::from_millis(40));
         assert_eq!(policy.delay_for(4), Duration::from_millis(45));
         assert_eq!(policy.delay_for(64), Duration::from_millis(45));
+        // Salts are inert without a jitter seed.
+        assert_eq!(policy.delay_for_task(3, 7), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(45),
+            jitter_seed: None,
+        }
+        .with_jitter(42);
+        for attempt in 1..=6 {
+            let exact = RetryPolicy {
+                jitter_seed: None,
+                ..policy
+            }
+            .delay_for(attempt);
+            for salt in 0..16u64 {
+                let jittered = policy.delay_for_task(attempt, salt);
+                assert_eq!(
+                    jittered,
+                    policy.delay_for_task(attempt, salt),
+                    "same (seed, salt, attempt) must sleep the same amount"
+                );
+                assert!(jittered >= exact / 2, "{jittered:?} < {exact:?}/2");
+                assert!(jittered <= exact, "{jittered:?} > {exact:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_desynchronizes_salts_and_seeds() {
+        let policy = RetryPolicy::new(4).with_jitter(1);
+        let delays: Vec<Duration> = (0..8u64).map(|s| policy.delay_for_task(2, s)).collect();
+        assert!(
+            delays.windows(2).any(|w| w[0] != w[1]),
+            "every salt drew the identical delay: {delays:?}"
+        );
+        let reseeded = RetryPolicy::new(4).with_jitter(2);
+        assert!(
+            (0..8u64).any(|s| policy.delay_for_task(2, s) != reseeded.delay_for_task(2, s)),
+            "changing the seed never changed a draw"
+        );
+        // Zero-delay policies stay zero-delay under jitter.
+        let instant = RetryPolicy::immediate(2).with_jitter(9);
+        assert_eq!(instant.delay_for_task(1, 3), Duration::ZERO);
     }
 
     #[test]

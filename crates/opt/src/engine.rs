@@ -11,15 +11,27 @@
 //! * [`Fingerprint`] — a stable 64-bit hash over the canonical JSON of a
 //!   `(design, workload)` pair, so structurally identical candidates
 //!   share one preparation even when they are distinct values;
-//! * [`EvalEngine`] — a bounded, least-recently-used memo cache of
-//!   [`PreparedDesign`] artifacts keyed by fingerprint, safe to share
-//!   across the supervisor's worker threads, with hit/miss counters
-//!   surfaced through [`Provenance::cache_hits`](crate::supervisor::Provenance).
+//! * [`EvalEngine`] — a byte-budgeted, least-recently-used memo cache of
+//!   [`PreparedDesign`] artifacts keyed by fingerprint, sharded across
+//!   several locks so a daemon's worker threads (or the supervisor's
+//!   `--jobs` pool) don't serialize on one mutex, with hit/miss/byte
+//!   counters surfaced through
+//!   [`Provenance::cache_hits`](crate::supervisor::Provenance) and
+//!   [`Provenance::cache_bytes`](crate::supervisor::Provenance).
 //!
 //! The cache only ever changes *how often* preparation runs, never what
 //! an evaluation returns: a hit hands back the same artifact a fresh
 //! [`PreparedDesign::prepare`] call would have produced, so engine-routed
 //! results stay bit-for-bit identical to the single-shot pipeline.
+//!
+//! ### Why bytes, not entries
+//!
+//! A long-running `ssdep serve` node caches whatever traffic sends it:
+//! ten-device case-study designs and thousand-device imports compete for
+//! the same slots. An entry-count cap treats those as equal; a byte
+//! budget (estimated by each entry's serialized fingerprint payload,
+//! which tracks design size) keeps the resident footprint bounded no
+//! matter the mix.
 
 use ssdep_core::analysis::{
     expected_annual_cost, expected_annual_cost_prepared, ExpectedCost, PreparedDesign,
@@ -63,6 +75,20 @@ impl Fingerprint {
     /// Returns an invalid-parameter error if either value cannot be
     /// serialized (not expected for well-formed designs).
     pub fn of(design: &StorageDesign, workload: &Workload) -> Result<Fingerprint, Error> {
+        Ok(Fingerprint::weigh(design, workload)?.0)
+    }
+
+    /// Fingerprints a `(design, workload)` pair and reports the size of
+    /// the serialized payload that was hashed — the byte-cost estimate
+    /// the [`EvalEngine`] charges a cached entry against its budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fingerprint::of`].
+    pub fn weigh(
+        design: &StorageDesign,
+        workload: &Workload,
+    ) -> Result<(Fingerprint, usize), Error> {
         let design_json = serde_json::to_string(design)
             .map_err(|e| Error::invalid("design", format!("cannot fingerprint: {e}")))?;
         let workload_json = serde_json::to_string(workload)
@@ -70,7 +96,8 @@ impl Fingerprint {
         let mut hash = fnv1a(FNV_OFFSET, design_json.as_bytes());
         hash = fnv1a(hash, &[0x1f]);
         hash = fnv1a(hash, workload_json.as_bytes());
-        Ok(Fingerprint(hash))
+        let weight = design_json.len() + 1 + workload_json.len();
+        Ok((Fingerprint(hash), weight))
     }
 
     /// The raw 64-bit hash.
@@ -88,48 +115,71 @@ impl fmt::Display for Fingerprint {
 /// Tuning knobs for an [`EvalEngine`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Maximum number of prepared designs retained in the memo cache.
-    /// The least-recently-used entry is evicted when full. Zero disables
-    /// caching entirely (every call prepares afresh).
-    pub cache_capacity: usize,
+    /// Byte budget for the memo cache, charged by each entry's
+    /// serialized fingerprint payload (see [`Fingerprint::weigh`]).
+    /// Least-recently-used entries are evicted when a shard overflows
+    /// its share. Zero disables caching entirely (every call prepares
+    /// afresh).
+    pub cache_bytes: usize,
+    /// Number of independent lock shards the cache is split across.
+    /// Rounded up to a power of two, minimum 1. More shards mean less
+    /// contention between concurrent workers and a finer-grained (per-
+    /// shard) byte budget.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { cache_capacity: 64 }
+        EngineConfig {
+            // Generous for batch runs (a case-study payload is a few
+            // KiB), yet firmly bounded for a long-running daemon.
+            cache_bytes: 8 * 1024 * 1024,
+            shards: 8,
+        }
     }
 }
 
 struct CacheEntry {
     prepared: Arc<PreparedDesign>,
     last_used: u64,
+    weight: usize,
 }
 
-struct CacheInner {
+#[derive(Default)]
+struct Shard {
     entries: HashMap<u64, CacheEntry>,
     clock: u64,
+    bytes: usize,
 }
 
 /// A memo cache of scenario-independent preparation artifacts, shared
-/// across the evaluations of a batch run.
+/// across the evaluations of a batch run or the requests of a daemon.
 ///
-/// Thread-safe: the cache sits behind a mutex and the counters are
-/// atomic, so one engine can serve all of a supervisor's worker threads.
-/// Concurrent misses on the same fingerprint may both prepare (last
-/// insert wins); the artifacts are identical, so results never depend on
-/// the race — only the reported hit count can.
+/// Thread-safe: the cache is split into power-of-two lock shards keyed
+/// by fingerprint, and the counters are atomic, so one engine can serve
+/// all of a supervisor's worker threads (or all of a server's handler
+/// threads) without funnelling them through a single mutex. Concurrent
+/// misses on the same fingerprint may both prepare (last insert wins);
+/// the artifacts are identical, so results never depend on the race —
+/// only the reported hit count can.
 pub struct EvalEngine {
     config: EngineConfig,
-    cache: Mutex<CacheInner>,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget: `cache_bytes / shards.len()`, at least 1
+    /// so a nonzero budget never rounds down to "cache nothing".
+    shard_budget: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    bytes: AtomicUsize,
 }
 
 impl fmt::Debug for EvalEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EvalEngine")
-            .field("cache_capacity", &self.config.cache_capacity)
-            .field("cached", &self.lock().entries.len())
+            .field("cache_bytes", &self.config.cache_bytes)
+            .field("shards", &self.shards.len())
+            .field("cached", &self.cached_designs())
+            .field("resident_bytes", &self.cached_bytes())
             .field("hits", &self.cache_hits())
             .field("misses", &self.cache_misses())
             .finish()
@@ -145,22 +195,25 @@ impl Default for EvalEngine {
 impl EvalEngine {
     /// Builds an engine with the given configuration.
     pub fn new(config: EngineConfig) -> EvalEngine {
+        let shards = config.shards.max(1).next_power_of_two();
+        let shard_budget = (config.cache_bytes / shards).max(usize::from(config.cache_bytes > 0));
         EvalEngine {
             config,
-            cache: Mutex::new(CacheInner {
-                entries: HashMap::new(),
-                clock: 0,
-            }),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+    fn shard(&self, key: u64) -> MutexGuard<'_, Shard> {
+        // Fingerprints are FNV-mixed, so the low bits index uniformly.
+        let index = (key as usize) & (self.shards.len() - 1);
         // A worker that panicked mid-evaluation never holds this lock
         // (the cache is only touched between evaluations), but recover
         // from poisoning anyway rather than propagate a panic.
-        match self.cache.lock() {
+        match self.shards[index].lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
@@ -177,45 +230,70 @@ impl EvalEngine {
         design: &StorageDesign,
         workload: &Workload,
     ) -> Result<Arc<PreparedDesign>, Error> {
-        if self.config.cache_capacity == 0 {
+        if self.config.cache_bytes == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::new(PreparedDesign::prepare(design, workload)?));
         }
-        let key = Fingerprint::of(design, workload)?.value();
+        let (fingerprint, weight) = Fingerprint::weigh(design, workload)?;
+        let key = fingerprint.value();
         {
-            let mut inner = self.lock();
-            inner.clock += 1;
-            let stamp = inner.clock;
-            if let Some(entry) = inner.entries.get_mut(&key) {
+            let mut shard = self.shard(key);
+            shard.clock += 1;
+            let stamp = shard.clock;
+            if let Some(entry) = shard.entries.get_mut(&key) {
                 entry.last_used = stamp;
                 let prepared = Arc::clone(&entry.prepared);
-                drop(inner);
+                drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(prepared);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let prepared = Arc::new(PreparedDesign::prepare(design, workload)?);
-        let mut inner = self.lock();
-        inner.clock += 1;
-        let stamp = inner.clock;
-        if inner.entries.len() >= self.config.cache_capacity && !inner.entries.contains_key(&key) {
-            if let Some(evict) = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(k, _)| *k)
-            {
-                inner.entries.remove(&evict);
-            }
+        // An artifact too heavy for a whole shard would only evict
+        // everything else and then be evicted itself — serve it uncached.
+        if weight > self.shard_budget {
+            return Ok(prepared);
         }
-        inner.entries.insert(
+        let mut shard = self.shard(key);
+        shard.clock += 1;
+        let stamp = shard.clock;
+        let mut freed = 0usize;
+        if let Some(previous) = shard.entries.insert(
             key,
             CacheEntry {
                 prepared: Arc::clone(&prepared),
                 last_used: stamp,
+                weight,
             },
-        );
+        ) {
+            // A racing miss on the same fingerprint beat us here; the
+            // artifacts are identical, so only the accounting changes.
+            freed += previous.weight;
+        }
+        shard.bytes = shard.bytes + weight - freed;
+        while shard.bytes > self.shard_budget {
+            // The entry just inserted carries the freshest stamp, so the
+            // minimum is always an older resident.
+            let Some(evict) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            if let Some(entry) = shard.entries.remove(&evict) {
+                shard.bytes -= entry.weight;
+                freed += entry.weight;
+            }
+        }
+        let charged = weight.saturating_sub(freed);
+        if charged > 0 {
+            self.bytes.fetch_add(charged, Ordering::Relaxed);
+        } else {
+            self.bytes.fetch_sub(freed - weight, Ordering::Relaxed);
+        }
         Ok(prepared)
     }
 
@@ -256,9 +334,20 @@ impl EvalEngine {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of prepared designs currently cached.
+    /// Number of prepared designs currently cached, across all shards.
     pub fn cached_designs(&self) -> usize {
-        self.lock().entries.len()
+        (0..self.shards.len())
+            .map(|i| match self.shards[i].lock() {
+                Ok(guard) => guard.entries.len(),
+                Err(poisoned) => poisoned.into_inner().entries.len(),
+            })
+            .sum()
+    }
+
+    /// Estimated resident bytes currently cached (the sum of every
+    /// entry's serialized fingerprint payload), across all shards.
+    pub fn cached_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -281,6 +370,10 @@ mod tests {
         ]
     }
 
+    fn weight_of(design: &StorageDesign, workload: &Workload) -> usize {
+        Fingerprint::weigh(design, workload).unwrap().1
+    }
+
     #[test]
     fn identical_inputs_share_one_preparation() {
         let engine = EvalEngine::default();
@@ -292,6 +385,7 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(engine.cache_hits(), 1);
         assert_eq!(engine.cache_misses(), 1);
+        assert_eq!(engine.cached_bytes(), weight_of(&design, &workload));
     }
 
     #[test]
@@ -362,17 +456,24 @@ mod tests {
     }
 
     #[test]
-    fn the_cache_is_bounded_and_evicts_least_recently_used() {
-        let engine = EvalEngine::new(EngineConfig { cache_capacity: 2 });
+    fn the_cache_is_byte_bounded_and_evicts_least_recently_used() {
         let workload = presets::cello_workload();
         let a = presets::async_batch_mirror_design(1);
         let b = presets::async_batch_mirror_design(2);
         let c = presets::async_batch_mirror_design(4);
+        // Room for exactly two of the three structurally similar
+        // designs; one shard so they all share a budget.
+        let two = weight_of(&a, &workload) + weight_of(&b, &workload);
+        let engine = EvalEngine::new(EngineConfig {
+            cache_bytes: two,
+            shards: 1,
+        });
         engine.prepare(&a, &workload).unwrap();
         engine.prepare(&b, &workload).unwrap();
         engine.prepare(&a, &workload).unwrap(); // refresh a; b is now LRU
         engine.prepare(&c, &workload).unwrap(); // evicts b
         assert_eq!(engine.cached_designs(), 2);
+        assert!(engine.cached_bytes() <= two);
         engine.prepare(&a, &workload).unwrap();
         assert_eq!(engine.cache_hits(), 2);
         engine.prepare(&b, &workload).unwrap(); // must re-prepare
@@ -380,8 +481,26 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_disables_caching() {
-        let engine = EvalEngine::new(EngineConfig { cache_capacity: 0 });
+    fn an_oversized_artifact_is_served_uncached() {
+        let workload = presets::cello_workload();
+        let design = presets::baseline_design();
+        let engine = EvalEngine::new(EngineConfig {
+            cache_bytes: weight_of(&design, &workload) - 1,
+            shards: 1,
+        });
+        engine.prepare(&design, &workload).unwrap();
+        engine.prepare(&design, &workload).unwrap();
+        assert_eq!(engine.cache_hits(), 0, "nothing fits, so nothing hits");
+        assert_eq!(engine.cached_designs(), 0);
+        assert_eq!(engine.cached_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let engine = EvalEngine::new(EngineConfig {
+            cache_bytes: 0,
+            shards: 4,
+        });
         let workload = presets::cello_workload();
         let design = presets::baseline_design();
         engine.prepare(&design, &workload).unwrap();
@@ -389,6 +508,31 @@ mod tests {
         assert_eq!(engine.cache_hits(), 0);
         assert_eq!(engine.cache_misses(), 2);
         assert_eq!(engine.cached_designs(), 0);
+        assert_eq!(engine.cached_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_workers_agree_on_the_accounting() {
+        let engine = Arc::new(EvalEngine::default());
+        let workload = presets::cello_workload();
+        let designs: Vec<StorageDesign> = (1..=4).map(presets::async_batch_mirror_design).collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4usize {
+                let engine = Arc::clone(&engine);
+                let workload = workload.clone();
+                let designs = designs.clone();
+                scope.spawn(move || {
+                    for round in 0..8usize {
+                        let design = &designs[(worker + round) % designs.len()];
+                        engine.prepare(design, &workload).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.cache_hits() + engine.cache_misses(), 32);
+        assert_eq!(engine.cached_designs(), 4);
+        let expected: usize = designs.iter().map(|d| weight_of(d, &workload)).sum();
+        assert_eq!(engine.cached_bytes(), expected);
     }
 
     #[test]
@@ -403,5 +547,11 @@ mod tests {
         assert_ne!(fp1, other);
         let scaled = Fingerprint::of(&design, &workload.scaled(2.0).unwrap()).unwrap();
         assert_ne!(fp1, scaled);
+        // The weight is the serialized payload length, stable across
+        // structurally identical values.
+        let (fp3, weight) = Fingerprint::weigh(&design, &workload).unwrap();
+        assert_eq!(fp1, fp3);
+        assert!(weight > 2);
+        assert_eq!(weight, Fingerprint::weigh(&design, &workload).unwrap().1);
     }
 }

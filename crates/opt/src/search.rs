@@ -306,6 +306,7 @@ pub fn supervised_exhaustive(
     });
     let mut provenance = run.provenance;
     provenance.cache_hits = engine.cache_hits().saturating_sub(hits_before);
+    provenance.cache_bytes = engine.cached_bytes();
     Ok(SupervisedSearchResult {
         result: SearchResult {
             ranked,

@@ -33,6 +33,10 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// The default jitter seed for supervised retry backoff. Any fixed
+/// value works — determinism is the point; this one spells "ssdepPR8".
+pub const RETRY_JITTER_SEED: u64 = 0x7373_6465_7050_5238;
+
 /// Why a task was quarantined instead of completing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FailureKind {
@@ -149,6 +153,11 @@ pub struct Provenance {
     /// entirely).
     #[serde(default)]
     pub cache_hits: usize,
+    /// Estimated resident bytes held by the evaluation engine's memo
+    /// cache when the run finished (see `EvalEngine::cached_bytes`);
+    /// zero for runs that never routed through an engine.
+    #[serde(default)]
+    pub cache_bytes: usize,
     /// Whether checkpointing was abandoned mid-run after a journal
     /// write failure that retries could not clear (e.g. a full disk).
     /// The results themselves are complete and correct — they were
@@ -189,6 +198,9 @@ impl Provenance {
                 self.cache_hits,
                 if self.cache_hits == 1 { "" } else { "s" },
             ));
+        }
+        if self.cache_bytes > 0 {
+            text.push_str(&format!(" ({} cached bytes)", self.cache_bytes));
         }
         if self.journal_degraded {
             text.push_str("; journal degraded — results were NOT fully checkpointed");
@@ -248,7 +260,10 @@ impl Default for SupervisorConfig {
     fn default() -> SupervisorConfig {
         SupervisorConfig {
             deadline: None,
-            retry: RetryPolicy::new(2),
+            // Jittered by default: parallel workers that trip over the
+            // same transient fault (one flaky disk under --jobs N) must
+            // not sleep identical backoffs and re-collide in lockstep.
+            retry: RetryPolicy::new(2).with_jitter(RETRY_JITTER_SEED),
             checkpoint: None,
             resume: None,
             sync_every: 8,
@@ -486,7 +501,7 @@ impl Supervisor {
             // Serial path: evaluate fresh tasks in input order.
             for &index in &fresh {
                 let item = &items[index];
-                let (outcome, attempts) = self.evaluate_isolated(item, &eval);
+                let (outcome, attempts) = self.evaluate_isolated(item, &eval, index as u64);
                 provenance.evaluated += 1;
                 provenance.retries += attempts.saturating_sub(1) as usize;
                 let record = build_record(item, outcome, attempts);
@@ -521,7 +536,8 @@ impl Supervisor {
                         let Some(&index) = fresh.get(claim) else {
                             break;
                         };
-                        let (outcome, attempts) = self.evaluate_isolated(&items[index], eval);
+                        let (outcome, attempts) =
+                            self.evaluate_isolated(&items[index], eval, index as u64);
                         if sender.send((index, outcome, attempts)).is_err() {
                             // The collector is gone; stop claiming work.
                             break;
@@ -578,11 +594,14 @@ impl Supervisor {
     }
 
     /// Evaluates one item with isolation, deadline, and retries; returns
-    /// the outcome (or failure) and the number of attempts made.
+    /// the outcome (or failure) and the number of attempts made. `salt`
+    /// identifies the task (its input index) so jittered retry policies
+    /// spread concurrent workers out after a shared transient fault.
     fn evaluate_isolated<T, O, F>(
         &self,
         item: &T,
         eval: &Arc<F>,
+        salt: u64,
     ) -> (Result<O, (FailureKind, String)>, u32)
     where
         T: Clone + Send + 'static,
@@ -597,7 +616,7 @@ impl Supervisor {
                 Attempt::Errored(e)
                     if e.is_transient() && attempt <= self.config.retry.max_retries =>
                 {
-                    std::thread::sleep(self.config.retry.delay_for(attempt));
+                    std::thread::sleep(self.config.retry.delay_for_task(attempt, salt));
                 }
                 Attempt::Errored(e) => {
                     let error = e.with_attempts(attempt).to_string();
@@ -942,6 +961,7 @@ mod tests {
             retries: 1,
             failed: 2,
             cache_hits: 0,
+            cache_bytes: 0,
             journal_degraded: false,
         };
         let text = provenance.summary();
@@ -955,6 +975,15 @@ mod tests {
             ..provenance
         };
         assert!(with_hits.summary().ends_with("3 cache hits"));
+
+        let with_bytes = Provenance {
+            cache_hits: 3,
+            cache_bytes: 2048,
+            ..provenance
+        };
+        assert!(with_bytes
+            .summary()
+            .ends_with("3 cache hits (2048 cached bytes)"));
     }
 
     #[test]

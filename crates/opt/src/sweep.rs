@@ -280,6 +280,7 @@ where
     }
     let mut provenance = run.provenance;
     provenance.cache_hits = engine.cache_hits().saturating_sub(hits_before);
+    provenance.cache_bytes = engine.cached_bytes();
     Ok(SupervisedSweep {
         series,
         failed: run.failed,

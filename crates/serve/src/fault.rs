@@ -1,0 +1,159 @@
+//! Deterministic service-fault injection, mirroring the checkpoint
+//! journal's `SSDEP_JOURNAL_FAULT` hook one layer up.
+//!
+//! A [`ServeFaultPlan`] arms exactly one fault at one admission ordinal,
+//! so a chaos harness can script "the third request hits a full queue"
+//! or "the first request's checkpoint disk dies" and assert the exact
+//! observable response — no timing races, no flaky sleeps.
+
+use ssdep_core::error::Error;
+
+/// The environment variable the daemon reads its fault plan from.
+pub const ENV: &str = "SSDEP_SERVE_FAULT";
+
+/// Which service fault a [`ServeFaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFaultKind {
+    /// The nth request's evaluation stalls past its deadline budget.
+    /// The supervisor quarantines it and the daemon answers `504`.
+    Slow,
+    /// The nth request is admitted as if the work queue were full: shed
+    /// with `429 Retry-After`, regardless of actual depth.
+    QueueFull,
+    /// The nth request runs with a checkpoint journal whose disk fails
+    /// on the first append (persistently, so retries cannot clear it).
+    /// The run degrades to in-memory, results still return `200`, and
+    /// the daemon's health flips to degraded.
+    JournalEio,
+}
+
+/// A deterministic service-fault schedule.
+///
+/// `at` is the 1-based admission ordinal of the request the fault
+/// strikes (each accepted connection counts, including ones later
+/// shed); `seed` is reserved for fault shaping and keeps the format
+/// aligned with [`IoFaultPlan`](ssdep_opt::sink::IoFaultPlan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    /// Which fault to inject.
+    pub kind: ServeFaultKind,
+    /// 1-based admission ordinal the fault strikes.
+    pub at: usize,
+    /// Seed for fault-shape randomness.
+    pub seed: u64,
+}
+
+impl ServeFaultPlan {
+    /// A plan injecting `kind` at request `at`, seeded by `at`.
+    pub fn new(kind: ServeFaultKind, at: usize) -> ServeFaultPlan {
+        ServeFaultPlan {
+            kind,
+            at,
+            seed: at as u64,
+        }
+    }
+
+    /// Parses the `SSDEP_SERVE_FAULT` environment format:
+    /// `slow@N`, `queue-full@N`, or `journal-eio@N`, with an optional
+    /// trailing `@SEED`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for unknown kinds or
+    /// unparsable ordinals.
+    pub fn parse(text: &str) -> Result<ServeFaultPlan, Error> {
+        let bad = |why: &str| {
+            Error::invalid(
+                "serve.fault_plan",
+                format!(
+                    "`{text}`: {why} (expected kind@N[@seed] with kind one of slow, queue-full, journal-eio)"
+                ),
+            )
+        };
+        let mut parts = text.split('@');
+        let kind = match parts.next().unwrap_or("") {
+            "slow" => ServeFaultKind::Slow,
+            "queue-full" => ServeFaultKind::QueueFull,
+            "journal-eio" => ServeFaultKind::JournalEio,
+            _ => return Err(bad("unknown fault kind")),
+        };
+        let at: usize = parts
+            .next()
+            .ok_or_else(|| bad("missing request ordinal"))?
+            .parse()
+            .map_err(|_| bad("unparsable request ordinal"))?;
+        if at == 0 {
+            return Err(bad("ordinals are 1-based; `@0` never fires"));
+        }
+        let seed = match parts.next() {
+            None => at as u64,
+            Some(text) => text.parse().map_err(|_| bad("unparsable seed"))?,
+        };
+        if parts.next().is_some() {
+            return Err(bad("too many `@` fields"));
+        }
+        Ok(ServeFaultPlan { kind, at, seed })
+    }
+
+    /// Reads and parses [`ENV`], `None` when unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the variable is set but
+    /// unparsable — a daemon must refuse to start with a half-armed
+    /// fault plan rather than silently ignore it.
+    pub fn from_env() -> Result<Option<ServeFaultPlan>, Error> {
+        match std::env::var(ENV) {
+            Ok(text) => Ok(Some(ServeFaultPlan::parse(&text)?)),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Whether the fault strikes the request with this 1-based
+    /// admission ordinal. Single-shot: exactly one request is hit.
+    pub fn fires(&self, request_no: usize) -> bool {
+        request_no == self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind_and_optional_seed() {
+        let plan = ServeFaultPlan::parse("slow@3").unwrap();
+        assert_eq!(plan, ServeFaultPlan::new(ServeFaultKind::Slow, 3));
+        let plan = ServeFaultPlan::parse("queue-full@1@99").unwrap();
+        assert_eq!(plan.kind, ServeFaultKind::QueueFull);
+        assert_eq!(plan.at, 1);
+        assert_eq!(plan.seed, 99);
+        let plan = ServeFaultPlan::parse("journal-eio@2").unwrap();
+        assert_eq!(plan.kind, ServeFaultKind::JournalEio);
+        assert_eq!(plan.seed, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for text in [
+            "",
+            "slow",
+            "slow@",
+            "slow@x",
+            "slow@0",
+            "eio@1",
+            "slow@1@2@3",
+        ] {
+            let err = ServeFaultPlan::parse(text).unwrap_err().to_string();
+            assert!(err.contains("serve.fault_plan"), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn fires_exactly_once() {
+        let plan = ServeFaultPlan::new(ServeFaultKind::Slow, 2);
+        assert!(!plan.fires(1));
+        assert!(plan.fires(2));
+        assert!(!plan.fires(3));
+    }
+}

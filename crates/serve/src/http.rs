@@ -1,0 +1,315 @@
+//! A deliberately minimal HTTP/1.1 layer: just enough protocol to
+//! carry JSON evaluation traffic, with hard input limits so a
+//! misbehaving client cannot exhaust the daemon.
+//!
+//! Every response is fully assembled in memory and written with a
+//! single `write_all` — the daemon never starts a body it cannot
+//! finish, so clients never observe torn JSON (the chaos harness
+//! asserts this). The one exception, sweep streaming, writes whole
+//! newline-delimited JSON documents per call for the same reason.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request: method, target path, body bytes.
+#[derive(Debug)]
+pub struct Request {
+    /// The HTTP method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target (path + optional query), e.g. `/evaluate`.
+    pub target: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read; each maps to one response status.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Malformed request line, header, or length field → `400`.
+    Malformed(String),
+    /// Head or body over the hard caps → `413`.
+    TooLarge(String),
+    /// The socket timed out mid-request → `408`.
+    TimedOut,
+    /// The peer vanished or the socket failed → no response possible.
+    Disconnected,
+}
+
+impl RequestError {
+    /// The response status this error maps to (`None`: peer is gone,
+    /// nothing to send).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            RequestError::Malformed(_) => Some(400),
+            RequestError::TooLarge(_) => Some(413),
+            RequestError::TimedOut => Some(408),
+            RequestError::Disconnected => None,
+        }
+    }
+
+    /// A one-line description for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            RequestError::Malformed(why) => format!("malformed request: {why}"),
+            RequestError::TooLarge(why) => format!("request too large: {why}"),
+            RequestError::TimedOut => "request timed out".to_string(),
+            RequestError::Disconnected => "client disconnected".to_string(),
+        }
+    }
+}
+
+fn io_error(e: &io::Error) -> RequestError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => RequestError::TimedOut,
+        _ => RequestError::Disconnected,
+    }
+}
+
+/// Reads one HTTP/1.1 request from the stream, enforcing
+/// [`MAX_HEAD_BYTES`] and [`MAX_BODY_BYTES`].
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] describing the response (if any) the
+/// caller should send.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let mut head_budget = MAX_HEAD_BYTES;
+    let request_line = read_line(&mut reader, &mut head_budget)?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| RequestError::Malformed("empty request line".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing request target".to_string()))?
+        .to_string();
+    match parts.next() {
+        Some(version) if version.starts_with("HTTP/1.") => {}
+        _ => {
+            return Err(RequestError::Malformed(
+                "expected an HTTP/1.x version".to_string(),
+            ))
+        }
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(&mut reader, &mut head_budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!(
+                "header without a colon: `{line}`"
+            )));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().map_err(|_| {
+                RequestError::Malformed(format!("unparsable Content-Length `{}`", value.trim()))
+            })?;
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| io_error(&e))?;
+    Ok(Request {
+        method,
+        target,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, charging the head budget.
+fn read_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    budget: &mut usize,
+) -> Result<String, RequestError> {
+    let mut raw = Vec::new();
+    let chunk = reader
+        .by_ref()
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut raw)
+        .map_err(|e| io_error(&e))?;
+    if chunk == 0 {
+        return Err(RequestError::Disconnected);
+    }
+    if chunk > *budget {
+        return Err(RequestError::TooLarge(format!(
+            "request head exceeds the {MAX_HEAD_BYTES}-byte cap"
+        )));
+    }
+    *budget -= chunk;
+    if raw.last() == Some(&b'\n') {
+        raw.pop();
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".to_string()))
+}
+
+/// The canonical reason phrase for the statuses the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete JSON response (status, headers, body) with a
+/// single `write_all`, closing delimited by `Content-Length`.
+///
+/// # Errors
+///
+/// Returns socket write errors; the caller treats them as a vanished
+/// peer.
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut message = head.into_bytes();
+    message.extend_from_slice(body.as_bytes());
+    stream.write_all(&message)?;
+    stream.flush()
+}
+
+/// Starts a newline-delimited-JSON streaming response. The body is
+/// delimited by connection close; emit documents with
+/// [`write_stream_line`] and then drop the stream.
+///
+/// # Errors
+///
+/// Returns socket write errors.
+pub fn write_stream_head(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Emits one whole JSON document as a stream line (document + `\n` in
+/// one `write_all`, then flush — a line is never left half-written).
+///
+/// # Errors
+///
+/// Returns socket write errors.
+pub fn write_stream_line(stream: &mut TcpStream, document: &str) -> io::Result<()> {
+    let mut line = Vec::with_capacity(document.len() + 1);
+    line.extend_from_slice(document.as_bytes());
+    line.push(b'\n');
+    stream.write_all(&line)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&raw).unwrap();
+            stream.flush().unwrap();
+            // Hold the socket open until the server side is done.
+            let mut sink = Vec::new();
+            let _ = stream.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let parsed = read_request(&mut stream);
+        drop(stream);
+        client.join().unwrap();
+        parsed
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let request =
+            roundtrip(b"POST /evaluate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"")
+                .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.target, "/evaluate");
+        assert_eq!(request.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn parses_a_bare_get() {
+        let request = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.target, "/healthz");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: many\r\n\r\n",
+        ] {
+            let err = roundtrip(raw).unwrap_err();
+            assert_eq!(err.status(), Some(400), "{raw:?}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_before_reading_them() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = roundtrip(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), Some(413), "{err:?}");
+    }
+
+    #[test]
+    fn error_statuses_have_reasons() {
+        for status in [200, 400, 404, 408, 413, 422, 429, 500, 503, 504] {
+            assert_ne!(reason(status), "Unknown", "{status}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `ssdep-serve`: a fault-tolerant HTTP evaluation daemon over ssdep's
+//! dependability models.
+//!
+//! The paper frames the analytic engine as the inner loop of an
+//! automated optimization system; this crate is that loop's service
+//! skin, built with the same dependability discipline the engine
+//! applies to storage designs:
+//!
+//! * [`server`] — the daemon: bounded admission, per-request deadlines,
+//!   a degraded-mode breaker, graceful drain;
+//! * [`http`] — a minimal std-only HTTP/1.1 layer with hard input caps
+//!   and never-torn JSON responses;
+//! * [`pool`] — the bounded queue and deadline-bounded joins (the only
+//!   module allowed to construct queues or join threads, enforced by
+//!   `ssdep-lint` L012);
+//! * [`metrics`] — lock-free counters, latency percentiles, and the
+//!   latched degraded breaker behind `GET /metrics` and `GET /healthz`;
+//! * [`fault`] — deterministic fault injection (`SSDEP_SERVE_FAULT`),
+//!   the service-layer mirror of the journal's `SSDEP_JOURNAL_FAULT`;
+//! * [`signal`] — SIGTERM/SIGINT to a shutdown flag, with no
+//!   dependencies beyond a two-line `signal(2)` FFI.
+//!
+//! Everything is std-only: no async runtime, no HTTP framework — a
+//! thread pool over a bounded queue is sufficient for the workload and
+//! keeps every failure mode inspectable.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fault;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+pub mod signal;
+
+pub use fault::{ServeFaultKind, ServeFaultPlan};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{DrainSummary, ServeConfig, Server};

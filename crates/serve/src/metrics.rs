@@ -1,0 +1,235 @@
+//! Operational counters for the daemon: request outcomes, queue depth,
+//! a latched degraded-mode breaker, and a lock-free latency histogram.
+//!
+//! The histogram is power-of-two bucketed (microseconds): recording is
+//! one atomic increment, and percentiles are read by walking the bucket
+//! counts — coarse (each estimate is the upper bound of its bucket) but
+//! allocation-free and safe to hammer from every worker thread.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 holds sub-microsecond
+/// samples), so 40 buckets span past 9 minutes.
+const BUCKETS: usize = 40;
+
+/// Shared operational counters; one instance per server.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    served: AtomicUsize,
+    shed: AtomicUsize,
+    deadline_exceeded: AtomicUsize,
+    errors: AtomicUsize,
+    queue_depth: AtomicUsize,
+    degraded: AtomicBool,
+    degraded_reason: Mutex<Option<String>>,
+    latency_buckets: Vec<AtomicUsize>,
+}
+
+/// A point-in-time copy of the counters, serialized by `GET /metrics`.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests answered (any status except shed).
+    pub served: usize,
+    /// Requests shed by admission control (`429`).
+    pub shed: usize,
+    /// Requests quarantined by the per-request deadline (`504`).
+    pub deadline_exceeded: usize,
+    /// Requests that failed before evaluation (parse errors, panics).
+    pub errors: usize,
+    /// Jobs currently queued awaiting a worker.
+    pub queue_depth: usize,
+    /// Whether the degraded-mode breaker has latched.
+    pub degraded: bool,
+    /// Why it latched, when it has.
+    pub degraded_reason: Option<String>,
+    /// Median request latency, microseconds (bucket upper bound).
+    pub p50_micros: u64,
+    /// 99th-percentile request latency, microseconds (bucket upper bound).
+    pub p99_micros: u64,
+    /// Evaluation-engine memo cache hits since start.
+    pub cache_hits: usize,
+    /// Evaluation-engine memo cache misses since start.
+    pub cache_misses: usize,
+    /// Estimated resident bytes in the memo cache.
+    pub cache_bytes: usize,
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Metrics {
+        Metrics {
+            latency_buckets: (0..BUCKETS).map(|_| AtomicUsize::new(0)).collect(),
+            ..Metrics::default()
+        }
+    }
+
+    /// Counts one answered request and records its latency.
+    pub fn record_served(&self, latency: Duration) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        if let Some(cell) = self.latency_buckets.get(bucket) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one request shed by admission control.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request quarantined by its deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request that failed before producing results.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One job entered the admission queue.
+    pub fn enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One job left the admission queue for a worker.
+    pub fn dequeued(&self) {
+        // Saturating: a racing snapshot must never see a wrapped gauge.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                Some(depth.saturating_sub(1))
+            });
+    }
+
+    /// Latches the degraded-mode breaker (first reason wins; the
+    /// breaker never resets for the life of the process — a disk that
+    /// failed once is not trusted again without an operator restart).
+    pub fn trip_degraded(&self, reason: &str) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            let mut slot = match self.degraded_reason.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *slot = Some(reason.to_string());
+        }
+    }
+
+    /// Whether the degraded breaker has latched.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> usize {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed so far.
+    pub fn shed(&self) -> usize {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// The latency (bucket upper bound, microseconds) at or below which
+    /// `quantile` of recorded requests fall; zero with no samples.
+    pub fn latency_quantile_micros(&self, quantile: f64) -> u64 {
+        let counts: Vec<usize> = self
+            .latency_buckets
+            .iter()
+            .map(|cell| cell.load(Ordering::Relaxed))
+            .collect();
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let quantile = quantile.clamp(0.0, 1.0);
+        // ssdep-lint: allow(L005, rank is an integer ceil in [1, total] by construction)
+        let rank = ((total as f64) * quantile).ceil().max(1.0) as usize;
+        let mut seen = 0usize;
+        for (bucket, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return upper_bound_micros(bucket);
+            }
+        }
+        upper_bound_micros(BUCKETS - 1)
+    }
+
+    /// A point-in-time snapshot, folding in the evaluation engine's
+    /// cache counters.
+    pub fn snapshot(&self, engine: &ssdep_opt::EvalEngine) -> MetricsSnapshot {
+        let degraded_reason = match self.degraded_reason.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        MetricsSnapshot {
+            served: self.served(),
+            shed: self.shed(),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            degraded: self.is_degraded(),
+            degraded_reason,
+            p50_micros: self.latency_quantile_micros(0.50),
+            p99_micros: self.latency_quantile_micros(0.99),
+            cache_hits: engine.cache_hits(),
+            cache_misses: engine.cache_misses(),
+            cache_bytes: engine.cached_bytes(),
+        }
+    }
+}
+
+/// Upper bound, in microseconds, of power-of-two bucket `bucket`.
+fn upper_bound_micros(bucket: usize) -> u64 {
+    if bucket >= 63 {
+        u64::MAX
+    } else {
+        1u64 << bucket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let metrics = Metrics::new();
+        assert_eq!(metrics.latency_quantile_micros(0.99), 0);
+        for _ in 0..99 {
+            metrics.record_served(Duration::from_micros(100));
+        }
+        metrics.record_served(Duration::from_micros(40_000));
+        // 100µs lands in (64,128]; 40ms in (32768,65536].
+        assert_eq!(metrics.latency_quantile_micros(0.50), 128);
+        assert_eq!(metrics.latency_quantile_micros(0.98), 128);
+        assert_eq!(metrics.latency_quantile_micros(1.0), 65_536);
+        assert_eq!(metrics.served(), 100);
+    }
+
+    #[test]
+    fn the_degraded_breaker_latches_the_first_reason() {
+        let metrics = Metrics::new();
+        assert!(!metrics.is_degraded());
+        metrics.trip_degraded("disk on fire");
+        metrics.trip_degraded("second opinion");
+        assert!(metrics.is_degraded());
+        let snapshot = metrics.snapshot(&ssdep_opt::EvalEngine::default());
+        assert_eq!(snapshot.degraded_reason.as_deref(), Some("disk on fire"));
+    }
+
+    #[test]
+    fn the_queue_gauge_never_wraps() {
+        let metrics = Metrics::new();
+        metrics.enqueued();
+        metrics.dequeued();
+        metrics.dequeued(); // spurious extra decrement
+        let snapshot = metrics.snapshot(&ssdep_opt::EvalEngine::default());
+        assert_eq!(snapshot.queue_depth, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The daemon's bounded-concurrency seams: a fixed-depth admission
+//! queue and a deadline-bounded thread join.
+//!
+//! This module is the only place in `ssdep-serve` allowed to construct
+//! queues or join threads (enforced offline by `ssdep-lint` L012):
+//! every queue here is depth-bounded so overload sheds instead of
+//! accumulating, and every join carries a deadline so a stuck worker
+//! can never wedge shutdown.
+
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The sending half of a bounded work queue.
+///
+/// Dropping (all clones of) the sender closes the queue: workers see
+/// the disconnect after draining what was admitted — that *is* the
+/// graceful-drain mechanism.
+#[derive(Debug)]
+pub struct WorkQueue<T> {
+    sender: SyncSender<T>,
+}
+
+impl<T> Clone for WorkQueue<T> {
+    fn clone(&self) -> WorkQueue<T> {
+        WorkQueue {
+            sender: self.sender.clone(),
+        }
+    }
+}
+
+/// Why a job was not admitted; the job rides back to the caller.
+#[derive(Debug)]
+pub enum Rejected<T> {
+    /// The queue is at depth — shed the job (`429`).
+    Full(T),
+    /// The queue is closed (shutdown) — refuse the job.
+    Closed(T),
+}
+
+impl<T> WorkQueue<T> {
+    /// A queue admitting at most `depth` jobs beyond what workers have
+    /// claimed (minimum 1 — a zero-depth rendezvous queue would shed
+    /// every job that arrives while all workers are busy, even idle
+    /// ones racing to claim it).
+    pub fn bounded(depth: usize) -> (WorkQueue<T>, Receiver<T>) {
+        let (sender, receiver) = std::sync::mpsc::sync_channel(depth.max(1));
+        (WorkQueue { sender }, receiver)
+    }
+
+    /// Admits a job without blocking; overload and shutdown hand the
+    /// job back instead of queueing it.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::Full`] at depth, [`Rejected::Closed`] after the
+    /// receiver is gone.
+    pub fn try_admit(&self, job: T) -> Result<(), Rejected<T>> {
+        match self.sender.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) => Err(Rejected::Full(job)),
+            Err(TrySendError::Disconnected(job)) => Err(Rejected::Closed(job)),
+        }
+    }
+}
+
+/// The outcome of a deadline-bounded join.
+#[derive(Debug)]
+pub enum Joined<T> {
+    /// The thread finished; its result.
+    Finished(T),
+    /// The thread finished by panicking.
+    Panicked,
+    /// The thread was still running at the deadline; the handle rides
+    /// back so the caller can abandon it deliberately.
+    TimedOut(JoinHandle<T>),
+}
+
+/// Joins `handle`, giving up after `deadline` — a shutdown path must
+/// never block forever on one stuck thread.
+pub fn join_with_deadline<T>(handle: JoinHandle<T>, deadline: Duration) -> Joined<T> {
+    let started = Instant::now();
+    while !handle.is_finished() {
+        if started.elapsed() >= deadline {
+            return Joined::TimedOut(handle);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    match handle.join() {
+        Ok(value) => Joined::Finished(value),
+        Err(_) => Joined::Panicked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_queue_sheds_at_depth_and_closes_on_disconnect() {
+        let (queue, receiver) = WorkQueue::bounded(2);
+        queue.try_admit(1).unwrap();
+        queue.try_admit(2).unwrap();
+        match queue.try_admit(3) {
+            Err(Rejected::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(receiver.recv().unwrap(), 1);
+        queue.try_admit(4).unwrap();
+        drop(receiver);
+        match queue.try_admit(5) {
+            Err(Rejected::Closed(5)) => {}
+            other => panic!("expected Closed(5), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_depth_is_promoted_to_one() {
+        let (queue, receiver) = WorkQueue::bounded(0);
+        queue.try_admit(1).unwrap();
+        assert!(matches!(queue.try_admit(2), Err(Rejected::Full(2))));
+        assert_eq!(receiver.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn joins_report_finish_panic_and_timeout() {
+        let finished = std::thread::spawn(|| 7);
+        assert!(matches!(
+            join_with_deadline(finished, Duration::from_secs(5)),
+            Joined::Finished(7)
+        ));
+
+        let panicked = std::thread::spawn(|| -> u32 { panic!("boom") });
+        assert!(matches!(
+            join_with_deadline(panicked, Duration::from_secs(5)),
+            Joined::Panicked
+        ));
+
+        let (release, gate) = std::sync::mpsc::channel::<()>();
+        let stuck = std::thread::spawn(move || {
+            let _ = gate.recv();
+            0
+        });
+        let outcome = join_with_deadline(stuck, Duration::from_millis(20));
+        let Joined::TimedOut(handle) = outcome else {
+            panic!("expected TimedOut");
+        };
+        release.send(()).unwrap();
+        assert!(matches!(
+            join_with_deadline(handle, Duration::from_secs(5)),
+            Joined::Finished(0)
+        ));
+    }
+}

@@ -1,0 +1,906 @@
+//! The evaluation daemon: a bounded thread-pool HTTP server wrapping
+//! the supervised evaluation pipeline.
+//!
+//! The dependability story, layer by layer:
+//!
+//! * **admission control** — accepted connections pass through a
+//!   depth-bounded [`WorkQueue`]; at depth the daemon answers
+//!   `429 Retry-After: 1` immediately instead of queueing unboundedly;
+//! * **deadlines** — every evaluation runs under a single-task
+//!   [`Supervisor`] with [`SupervisorConfig::deadline`] armed, so a
+//!   stalled model computation is quarantined and answered `504` while
+//!   the worker thread moves on;
+//! * **degraded mode** — a request that asks for checkpointing and hits
+//!   a persistent journal fault still returns its results (`200`), but
+//!   latches the [`Metrics`] breaker: `/healthz` reports `503 degraded`
+//!   from then on, steering load balancers away without killing the
+//!   process;
+//! * **graceful drain** — shutdown stops the accept loop, closes the
+//!   queue, lets workers finish everything already admitted, and joins
+//!   them under a deadline so one stuck request cannot wedge exit.
+
+use crate::fault::{ServeFaultKind, ServeFaultPlan};
+use crate::http::{self, Request};
+use crate::metrics::Metrics;
+use crate::pool::{join_with_deadline, Joined, Rejected, WorkQueue};
+use serde::{Deserialize, Serialize};
+use ssdep_core::composite::{evaluate_composite, CompositeOutcome, CompositeScenario};
+use ssdep_core::failure::{FailureScenario, FailureScope, RecoveryTarget};
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::requirements::BusinessRequirements;
+use ssdep_core::workload::Workload;
+use ssdep_core::{Error, RetryPolicy};
+use ssdep_opt::{EvalEngine, FailureKind, FaultKind, IoFaultPlan, Supervisor, SupervisorConfig};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long the daemon's sockets may idle mid-request before the read
+/// or write is abandoned.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+/// How often the accept loop polls for shutdown between connections.
+// The idle-accept sleep is the daemon's floor on connection latency: a
+// closed-loop client waits half of it on average just to be accepted.
+// 1ms keeps the idle wakeup cost negligible (~1k cheap EWOULDBLOCK
+// accepts/sec) without putting a 10ms tax on every request.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+/// Upper bound on `/sweep` scale points per request.
+const MAX_SWEEP_POINTS: usize = 256;
+
+/// Daemon configuration (`ssdep serve` flags map onto this 1:1).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads evaluating requests.
+    pub jobs: usize,
+    /// Admission-queue depth beyond in-flight work; arrivals past it
+    /// are shed with `429`.
+    pub queue_depth: usize,
+    /// Per-request evaluation deadline.
+    pub deadline: Duration,
+    /// Deterministic fault injection (`SSDEP_SERVE_FAULT`).
+    pub fault: Option<ServeFaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            jobs: 4,
+            queue_depth: 32,
+            deadline: Duration::from_secs(10),
+            fault: None,
+        }
+    }
+}
+
+/// What the daemon did between start and drain.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DrainSummary {
+    /// Requests answered.
+    pub served: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Threads abandoned because they outlived the drain deadline.
+    pub stuck_threads: usize,
+}
+
+/// State shared by the accept loop and every worker.
+struct Inner {
+    metrics: Metrics,
+    engine: EvalEngine,
+    deadline: Duration,
+    fault: Option<ServeFaultPlan>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A running daemon; drop-in handle for the CLI and tests.
+pub struct Server {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener and starts the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind/configuration failures; once this returns `Ok`, the
+    /// daemon no longer fails as a whole — individual requests do.
+    pub fn start(config: ServeConfig) -> Result<Server, Error> {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| {
+            Error::invalid("serve.addr", format!("cannot bind {}: {e}", config.addr))
+        })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::invalid("serve.addr", format!("no local address: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::invalid("serve.addr", format!("cannot poll listener: {e}")))?;
+
+        let inner = Arc::new(Inner {
+            metrics: Metrics::new(),
+            engine: EvalEngine::default(),
+            deadline: config.deadline,
+            fault: config.fault,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+
+        let (queue, receiver) = WorkQueue::bounded(config.queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.jobs.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let receiver = Arc::clone(&receiver);
+                thread::spawn(move || worker_loop(&inner, &receiver))
+            })
+            .collect();
+        let accept = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || accept_loop(&inner, &listener, &queue))
+        };
+
+        Ok(Server {
+            addr,
+            inner,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown flag, for bridging external signals.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.inner.shutdown)
+    }
+
+    /// Stops accepting new connections; already-admitted work drains.
+    pub fn begin_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until `should_stop` reports true (polled a few times per
+    /// socket timeout), then drains and returns the summary.
+    pub fn run_until(self, should_stop: impl Fn() -> bool) -> DrainSummary {
+        while !should_stop() && !self.inner.shutdown.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(25));
+        }
+        self.drain()
+    }
+
+    /// Begins shutdown (idempotent) and drains: the accept loop exits,
+    /// the queue closes, workers finish everything already admitted,
+    /// and each thread is joined under a deadline so one stuck request
+    /// cannot wedge the process.
+    pub fn drain(mut self) -> DrainSummary {
+        self.begin_shutdown();
+        // Budget: every queued job may legitimately take a full
+        // deadline (plus socket time); beyond that a thread is stuck.
+        let grace = self
+            .inner
+            .deadline
+            .saturating_add(SOCKET_TIMEOUT)
+            .saturating_mul(2)
+            .saturating_add(Duration::from_secs(5));
+        let mut stuck = 0usize;
+        if let Some(accept) = self.accept.take() {
+            if matches!(join_with_deadline(accept, grace), Joined::TimedOut(_)) {
+                stuck += 1;
+            }
+        }
+        for worker in self.workers.drain(..) {
+            if matches!(join_with_deadline(worker, grace), Joined::TimedOut(_)) {
+                stuck += 1;
+            }
+        }
+        DrainSummary {
+            served: self.inner.metrics.served(),
+            shed: self.inner.metrics.shed(),
+            stuck_threads: stuck,
+        }
+    }
+}
+
+/// Accepts connections until shutdown, assigning each a 1-based
+/// admission ordinal and shedding at queue depth. Exiting drops the
+/// queue's sender, which is what lets workers drain and stop.
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener, queue: &WorkQueue<(usize, TcpStream)>) {
+    let mut admitted = 0usize;
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                admitted += 1;
+                let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+                let forced_full = matches!(
+                    inner.fault,
+                    Some(plan) if plan.kind == ServeFaultKind::QueueFull && plan.fires(admitted)
+                );
+                if forced_full {
+                    shed(inner, stream);
+                    continue;
+                }
+                match queue.try_admit((admitted, stream)) {
+                    Ok(()) => inner.metrics.enqueued(),
+                    Err(Rejected::Full((_, stream))) => shed(inner, stream),
+                    Err(Rejected::Closed(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (EMFILE, aborted handshakes) must
+            // not kill the daemon; back off and keep listening.
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Answers `429 Retry-After: 1` on a connection that admission control
+/// turned away.
+///
+/// The pending request is briefly drained first: closing a socket with
+/// unread receive data sends RST, which would destroy the in-flight
+/// `429` — the one response an overloaded client must still see.
+fn shed(inner: &Arc<Inner>, mut stream: TcpStream) {
+    inner.metrics.record_shed();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 64 * 1024 {
+        match io::Read::read(&mut stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+    let _ = http::write_json(
+        &mut stream,
+        429,
+        &[("Retry-After", "1")],
+        "{\"error\":\"overloaded: admission queue is full\",\"retryAfterSecs\":1}",
+    );
+}
+
+/// Claims jobs until the queue closes (= drain). Each job is handled
+/// under `catch_unwind` so a handler bug degrades one response to a
+/// `500`, never the pool.
+fn worker_loop(inner: &Arc<Inner>, receiver: &Arc<Mutex<Receiver<(usize, TcpStream)>>>) {
+    loop {
+        let job = {
+            let guard = match receiver.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        let Ok((request_no, mut stream)) = job else {
+            return;
+        };
+        inner.metrics.dequeued();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(inner, request_no, &mut stream)
+        }));
+        if outcome.is_err() {
+            inner.metrics.record_error();
+            let _ = http::write_json(
+                &mut stream,
+                500,
+                &[],
+                "{\"error\":\"internal error: handler panicked\"}",
+            );
+        }
+    }
+}
+
+/// Reads, routes, and answers one connection.
+fn handle_connection(inner: &Arc<Inner>, request_no: usize, stream: &mut TcpStream) {
+    let started = Instant::now();
+    let request = match http::read_request(stream) {
+        Ok(request) => request,
+        Err(error) => {
+            inner.metrics.record_error();
+            if let Some(status) = error.status() {
+                let body = error_body(&error.message());
+                let _ = http::write_json(stream, status, &[], &body);
+            }
+            return;
+        }
+    };
+    match (request.method.as_str(), path_of(&request.target)) {
+        ("GET", "/healthz") => {
+            let (status, body) = healthz(inner);
+            let _ = http::write_json(stream, status, &[], &body);
+        }
+        ("GET", "/metrics") => {
+            let body = to_json(&inner.metrics.snapshot(&inner.engine));
+            let _ = http::write_json(stream, 200, &[], &body);
+        }
+        ("POST", "/evaluate") => {
+            let (status, body) = handle_evaluate(inner, request_no, &request);
+            if matches!(status, 422 | 400) {
+                inner.metrics.record_error();
+            }
+            let _ = http::write_json(stream, status, &[], &body);
+        }
+        ("POST", "/sweep") => handle_sweep(inner, request_no, &request, stream),
+        ("GET" | "POST", _) => {
+            let _ = http::write_json(stream, 404, &[], "{\"error\":\"no such endpoint\"}");
+        }
+        _ => {
+            let _ = http::write_json(stream, 405, &[], "{\"error\":\"method not allowed\"}");
+        }
+    }
+    inner.metrics.record_served(started.elapsed());
+}
+
+/// Strips a query string; routing is path-only.
+fn path_of(target: &str) -> &str {
+    target.split('?').next().unwrap_or(target)
+}
+
+fn healthz(inner: &Arc<Inner>) -> (u16, String) {
+    if inner.metrics.is_degraded() {
+        let snapshot = inner.metrics.snapshot(&inner.engine);
+        let reason = snapshot
+            .degraded_reason
+            .unwrap_or_else(|| "unknown".to_string());
+        return (
+            503,
+            format!(
+                "{{\"status\":\"degraded\",\"reason\":{}}}",
+                json_string(&reason)
+            ),
+        );
+    }
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return (503, "{\"status\":\"draining\"}".to_string());
+    }
+    (200, "{\"status\":\"ok\"}".to_string())
+}
+
+/// The body every evaluation endpoint accepts: a system spec's
+/// analytic fields. Unknown fields (e.g. a spec file's `faults` plan,
+/// which is `ssdep inject` input, not service input) are ignored.
+#[derive(Debug, Deserialize)]
+struct EvaluateRequest {
+    workload: Workload,
+    design: StorageDesign,
+    requirements: BusinessRequirements,
+    #[serde(default)]
+    scenarios: Vec<CompositeScenario>,
+}
+
+/// `POST /sweep`: the evaluate body plus the workload scale factors to
+/// stream through.
+#[derive(Debug, Deserialize)]
+struct SweepRequest {
+    workload: Workload,
+    design: StorageDesign,
+    requirements: BusinessRequirements,
+    #[serde(default)]
+    scenarios: Vec<CompositeScenario>,
+    #[serde(default)]
+    scales: Vec<f64>,
+}
+
+/// One `/sweep` stream line: a scale point's outcomes or its failure.
+#[derive(Debug, Serialize)]
+struct SweepLine {
+    scale: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    outcomes: Option<Vec<CompositeOutcome>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    error: Option<String>,
+}
+
+/// The `/sweep` stream trailer: emitted after the last point, so its
+/// presence is the client's proof the stream was not truncated.
+#[derive(Debug, Serialize)]
+struct SweepTrailer {
+    done: bool,
+    points: usize,
+    failed: usize,
+}
+
+/// How one supervised evaluation concluded, folded to a response.
+enum EvalVerdict {
+    Ok(Vec<CompositeOutcome>),
+    DeadlineExceeded,
+    Panicked(String),
+    Failed(String),
+}
+
+fn handle_evaluate(inner: &Arc<Inner>, request_no: usize, request: &Request) -> (u16, String) {
+    let parsed: EvaluateRequest = match parse_body(&request.body) {
+        Ok(parsed) => parsed,
+        Err(e) => return (400, error_body(&format!("bad evaluate body: {e}"))),
+    };
+    let scenarios = catalog_or_default(parsed.scenarios);
+    match run_supervised(
+        inner,
+        request_no,
+        &parsed.workload,
+        &parsed.design,
+        &parsed.requirements,
+        &scenarios,
+    ) {
+        Ok(EvalVerdict::Ok(outcomes)) => match serde_json::to_string(&outcomes) {
+            Ok(body) => (200, body),
+            Err(e) => (500, error_body(&format!("cannot serialize outcomes: {e}"))),
+        },
+        Ok(EvalVerdict::DeadlineExceeded) => {
+            inner.metrics.record_deadline_exceeded();
+            (
+                504,
+                format!(
+                    "{{\"error\":\"deadline exceeded\",\"deadlineSecs\":{}}}",
+                    inner.deadline.as_secs()
+                ),
+            )
+        }
+        Ok(EvalVerdict::Panicked(why)) => (500, error_body(&why)),
+        Ok(EvalVerdict::Failed(why)) => (422, error_body(&why)),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+fn handle_sweep(inner: &Arc<Inner>, request_no: usize, request: &Request, stream: &mut TcpStream) {
+    let parsed: SweepRequest = match parse_body(&request.body) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            let _ = http::write_json(
+                stream,
+                400,
+                &[],
+                &error_body(&format!("bad sweep body: {e}")),
+            );
+            return;
+        }
+    };
+    let scales = if parsed.scales.is_empty() {
+        vec![0.25, 0.5, 1.0, 2.0, 4.0]
+    } else {
+        parsed.scales
+    };
+    if scales.len() > MAX_SWEEP_POINTS {
+        let _ = http::write_json(
+            stream,
+            422,
+            &[],
+            &error_body(&format!(
+                "{} scale points exceed the cap of {MAX_SWEEP_POINTS}",
+                scales.len()
+            )),
+        );
+        return;
+    }
+    let scenarios = catalog_or_default(parsed.scenarios);
+    if http::write_stream_head(stream).is_err() {
+        return;
+    }
+    // Once streaming starts the request runs to completion even during
+    // drain: stopping between lines would hand the client a truncated
+    // (though never torn) stream for no benefit — the trailer is the
+    // client's completeness proof either way.
+    let mut failed = 0usize;
+    for (index, &scale) in scales.iter().enumerate() {
+        // Injected faults target the request, which for a sweep means
+        // its first point — deterministic for the chaos harness.
+        let point_no = if index == 0 { request_no } else { 0 };
+        let line = sweep_point(
+            inner,
+            point_no,
+            scale,
+            &parsed.workload,
+            &parsed.design,
+            &parsed.requirements,
+            &scenarios,
+        );
+        if line.error.is_some() {
+            failed += 1;
+        }
+        if http::write_stream_line(stream, &to_json(&line)).is_err() {
+            return; // Client hung up; the work already done is cached.
+        }
+    }
+    let trailer = SweepTrailer {
+        done: true,
+        points: scales.len(),
+        failed,
+    };
+    let _ = http::write_stream_line(stream, &to_json(&trailer));
+}
+
+fn sweep_point(
+    inner: &Arc<Inner>,
+    point_no: usize,
+    scale: f64,
+    workload: &Workload,
+    design: &StorageDesign,
+    requirements: &BusinessRequirements,
+    scenarios: &[CompositeScenario],
+) -> SweepLine {
+    let fail = |why: String| SweepLine {
+        scale,
+        outcomes: None,
+        error: Some(why),
+    };
+    let scaled = match workload.scaled(scale) {
+        Ok(scaled) => scaled,
+        Err(e) => return fail(e.to_string()),
+    };
+    match run_supervised(inner, point_no, &scaled, design, requirements, scenarios) {
+        Ok(EvalVerdict::Ok(outcomes)) => SweepLine {
+            scale,
+            outcomes: Some(outcomes),
+            error: None,
+        },
+        Ok(EvalVerdict::DeadlineExceeded) => {
+            inner.metrics.record_deadline_exceeded();
+            fail("deadline exceeded".to_string())
+        }
+        Ok(EvalVerdict::Panicked(why)) | Ok(EvalVerdict::Failed(why)) => fail(why),
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+/// An explicit catalog, or the paper's default scenario (full array
+/// failure, recover to now).
+fn catalog_or_default(scenarios: Vec<CompositeScenario>) -> Vec<CompositeScenario> {
+    if scenarios.is_empty() {
+        vec![CompositeScenario::Single {
+            scenario: FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+        }]
+    } else {
+        scenarios
+    }
+}
+
+/// Runs one request's scenario catalog under a single-task-pool
+/// supervisor: the shared engine prepares (and memoizes) the design,
+/// the configured deadline bounds every scenario, and injected faults
+/// (slow, journal-eio) strike here when armed for `request_no`.
+fn run_supervised(
+    inner: &Arc<Inner>,
+    request_no: usize,
+    workload: &Workload,
+    design: &StorageDesign,
+    requirements: &BusinessRequirements,
+    scenarios: &[CompositeScenario],
+) -> Result<EvalVerdict, Error> {
+    let prepared = match inner.engine.prepare(design, workload) {
+        Ok(prepared) => prepared,
+        Err(e) => return Ok(EvalVerdict::Failed(e.to_string())),
+    };
+
+    let mut config = SupervisorConfig {
+        deadline: Some(inner.deadline),
+        ..SupervisorConfig::default()
+    };
+    let mut slow = false;
+    let mut fault_journal: Option<PathBuf> = None;
+    if let Some(plan) = inner.fault {
+        if plan.fires(request_no) {
+            match plan.kind {
+                ServeFaultKind::Slow => slow = true,
+                ServeFaultKind::QueueFull => {} // handled at admission
+                ServeFaultKind::JournalEio => {
+                    let path = std::env::temp_dir().join(format!(
+                        "ssdep-serve-fault-{}-{request_no}.journal",
+                        std::process::id()
+                    ));
+                    config.checkpoint = Some(path.clone());
+                    // Persistent append failure: retries cannot clear
+                    // it, so the run must shed the journal and degrade
+                    // rather than stall or die.
+                    config.journal_faults = Some(IoFaultPlan::new(FaultKind::AppendEnospc, 1));
+                    config.retry = RetryPolicy::immediate(1);
+                    fault_journal = Some(path);
+                }
+            }
+        }
+    }
+
+    let deadline = inner.deadline;
+    let requirements = *requirements;
+    // The whole catalog runs as ONE supervised task: the deadline is a
+    // per-request budget (not per-scenario), and the supervisor spawns
+    // a single watchdog thread per request instead of one per scenario
+    // — the difference between ~4k and ~20k scenario evals/sec on one
+    // core.
+    let catalog: Vec<CompositeScenario> = scenarios.to_vec();
+    let run = Supervisor::new(config).run(
+        std::slice::from_ref(&catalog),
+        move |batch: &Vec<CompositeScenario>| {
+            if slow {
+                // Stall past the budget; the supervisor quarantines the
+                // task and the response is a deterministic 504.
+                thread::sleep(deadline.saturating_add(Duration::from_millis(50)));
+            }
+            let mut outcomes = Vec::with_capacity(batch.len());
+            for scenario in batch {
+                outcomes.push(evaluate_composite(&prepared, &requirements, scenario)?);
+            }
+            Ok(outcomes)
+        },
+    );
+    if let Some(path) = fault_journal {
+        let _ = std::fs::remove_file(path);
+    }
+    let run = run?;
+
+    if run.provenance.journal_degraded {
+        let reason = run
+            .journal_error
+            .unwrap_or_else(|| "checkpoint journal failed".to_string());
+        inner
+            .metrics
+            .trip_degraded(&format!("checkpoint journal degraded: {reason}"));
+    }
+
+    if run
+        .failed
+        .iter()
+        .any(|f| f.kind == FailureKind::DeadlineExceeded)
+    {
+        return Ok(EvalVerdict::DeadlineExceeded);
+    }
+    if let Some(panicked) = run.failed.iter().find(|f| f.kind == FailureKind::Panicked) {
+        return Ok(EvalVerdict::Panicked(panicked.error.clone()));
+    }
+    if let Some(failed) = run.failed.first() {
+        return Ok(EvalVerdict::Failed(failed.error.clone()));
+    }
+    Ok(EvalVerdict::Ok(
+        run.completed
+            .into_iter()
+            .next()
+            .map(|(_, outcomes)| outcomes)
+            .unwrap_or_default(),
+    ))
+}
+
+fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value)
+        .unwrap_or_else(|e| format!("{{\"error\":\"serialization failed: {e}\"}}"))
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":{}}}", json_string(message))
+}
+
+/// Parses a request body as UTF-8 JSON.
+fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|e| format!("body is not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+/// Renders `text` as a JSON string literal.
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            control if (control as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", control as u32));
+            }
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn baseline_body() -> String {
+        #[derive(Serialize)]
+        struct Body {
+            workload: Workload,
+            design: StorageDesign,
+            requirements: BusinessRequirements,
+        }
+        serde_json::to_string(&Body {
+            workload: ssdep_core::presets::cello_workload(),
+            design: ssdep_core::presets::baseline_design(),
+            requirements: ssdep_core::presets::paper_requirements(),
+        })
+        .unwrap()
+    }
+
+    fn http_call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn start(config: ServeConfig) -> Server {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..config
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn healthz_metrics_and_404() {
+        let server = start(ServeConfig::default());
+        let addr = server.addr();
+        let (status, body) = http_call(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"ok\"}");
+        let (status, body) = http_call(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cache_hits\""), "{body}");
+        let (status, _) = http_call(addr, "GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = http_call(addr, "PUT", "/healthz", "");
+        assert_eq!(status, 405);
+        server.drain();
+    }
+
+    #[test]
+    fn evaluate_is_byte_stable_and_validates() {
+        let server = start(ServeConfig::default());
+        let addr = server.addr();
+        let body = baseline_body();
+        let (status, first) = http_call(addr, "POST", "/evaluate", &body);
+        assert_eq!(status, 200, "{first}");
+        let parsed: Vec<serde_json::Value> = serde_json::from_str(&first).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let (status, second) = http_call(addr, "POST", "/evaluate", &body);
+        assert_eq!(status, 200);
+        assert_eq!(first, second, "responses must be byte-stable");
+        let (status, _) = http_call(addr, "POST", "/evaluate", "{not json");
+        assert_eq!(status, 400);
+        let summary = server.drain();
+        assert_eq!(summary.served, 3);
+        assert_eq!(summary.stuck_threads, 0);
+    }
+
+    #[test]
+    fn sweep_streams_lines_and_a_trailer() {
+        let server = start(ServeConfig::default());
+        let addr = server.addr();
+        let body = baseline_body();
+        let body = format!("{}{}", &body[..body.len() - 1], ",\"scales\":[0.5,1.0]}");
+        let (status, stream) = http_call(addr, "POST", "/sweep", &body);
+        assert_eq!(status, 200, "{stream}");
+        let lines: Vec<&str> = stream.lines().collect();
+        assert_eq!(lines.len(), 3, "{stream}");
+        for line in &lines {
+            let _: serde_json::Value = serde_json::from_str(line).unwrap();
+        }
+        assert!(lines[2].contains("\"done\":true"), "{}", lines[2]);
+        server.drain();
+    }
+
+    #[test]
+    fn slow_fault_answers_504_within_budget() {
+        let server = start(ServeConfig {
+            deadline: Duration::from_millis(200),
+            fault: Some(ServeFaultPlan::new(ServeFaultKind::Slow, 1)),
+            ..ServeConfig::default()
+        });
+        let addr = server.addr();
+        let (status, body) = http_call(addr, "POST", "/evaluate", &baseline_body());
+        assert_eq!(status, 504, "{body}");
+        assert!(body.contains("deadline exceeded"), "{body}");
+        // The next request is past the fault ordinal and succeeds.
+        let (status, _) = http_call(addr, "POST", "/evaluate", &baseline_body());
+        assert_eq!(status, 200);
+        server.drain();
+    }
+
+    #[test]
+    fn journal_fault_degrades_health_but_still_answers() {
+        // Ordinal 2: the fault must strike the evaluate call, not the
+        // health probe before it (every accepted connection counts).
+        let server = start(ServeConfig {
+            fault: Some(ServeFaultPlan::new(ServeFaultKind::JournalEio, 2)),
+            ..ServeConfig::default()
+        });
+        let addr = server.addr();
+        let (status, _) = http_call(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        let (status, body) = http_call(addr, "POST", "/evaluate", &baseline_body());
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = http_call(addr, "GET", "/healthz", "");
+        assert_eq!(status, 503);
+        assert!(body.contains("degraded"), "{body}");
+        server.drain();
+    }
+
+    #[test]
+    fn queue_full_fault_sheds_with_retry_after() {
+        let server = start(ServeConfig {
+            fault: Some(ServeFaultPlan::new(ServeFaultKind::QueueFull, 1)),
+            ..ServeConfig::default()
+        });
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 429"), "{raw}");
+        assert!(raw.contains("Retry-After: 1"), "{raw}");
+        let summary = server.drain();
+        assert_eq!(summary.shed, 1);
+        server_summary_is_consistent(summary);
+    }
+
+    fn server_summary_is_consistent(summary: DrainSummary) {
+        assert_eq!(summary.stuck_threads, 0);
+    }
+
+    #[test]
+    fn drain_completes_in_flight_work() {
+        let server = start(ServeConfig {
+            jobs: 2,
+            ..ServeConfig::default()
+        });
+        let addr = server.addr();
+        let body = baseline_body();
+        let worker = thread::spawn(move || http_call(addr, "POST", "/evaluate", &body));
+        // Give the request time to be admitted, then begin shutdown.
+        thread::sleep(Duration::from_millis(30));
+        server.begin_shutdown();
+        let summary = server.drain();
+        let (status, _) = worker.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(summary.stuck_threads, 0);
+        assert!(summary.served >= 1, "{summary:?}");
+    }
+}

@@ -1,0 +1,98 @@
+//! SIGTERM/SIGINT → a process-wide shutdown flag.
+//!
+//! The handler is the minimum async-signal-safe program: one relaxed
+//! atomic store. Everything else (draining the queue, joining workers,
+//! the exit code) happens on ordinary threads that poll
+//! [`shutdown_requested`].
+//!
+//! `std` exposes no signal API and the workspace takes no external
+//! crates, so registration goes through a two-line `signal(2)` FFI on
+//! Unix; elsewhere [`install`] is a no-op returning `false` and the
+//! daemon only stops via [`request_shutdown`] (e.g. tests) or process
+//! kill.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal has arrived (or was requested in-process).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests shutdown from ordinary code — the same flag the signal
+/// handler sets, so tests and embedders can drive the drain path
+/// without delivering a real signal.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag. Test hook: the flag is process-global, and tests
+/// sharing a process must be able to rearm it.
+#[doc(hidden)]
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM and SIGINT handlers. Returns whether both
+/// registrations took effect (`false` on non-Unix platforms, where the
+/// daemon runs without signal-driven drain).
+pub fn install() -> bool {
+    platform::install()
+}
+
+#[cfg(unix)]
+mod platform {
+    use std::sync::atomic::Ordering;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    // The libc crate is off-limits (no external dependencies), so this
+    // declares the two constants and one function it needs directly.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    /// `SIG_ERR` is `(sighandler_t)-1`.
+    const SIG_ERR: usize = usize::MAX;
+
+    #[allow(unsafe_code)]
+    pub fn install() -> bool {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: `signal(2)` with a handler that only performs an
+        // atomic store is async-signal-safe; the handler pointer has
+        // static lifetime.
+        unsafe { signal(SIGINT, on_signal) != SIG_ERR && signal(SIGTERM, on_signal) != SIG_ERR }
+    }
+}
+
+#[cfg(not(unix))]
+mod platform {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_flag_arms_and_resets() {
+        reset();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn handlers_install_on_unix() {
+        assert!(install());
+    }
+}

@@ -1,0 +1,409 @@
+//! `ssdep-serve-chaos`: seeded torture harness for the evaluation
+//! daemon, plus a tiny dependency-free HTTP client for smoke scripts.
+//!
+//! Chaos mode (the default) spins up an in-process [`Server`] per phase
+//! per seed, injects each deterministic service fault
+//! (`slow`, `queue-full`, `journal-eio`), and asserts the daemon's
+//! robustness contracts:
+//!
+//! * it never crashes and never returns a torn JSON body — every
+//!   response body (and every sweep stream line) must parse;
+//! * overload and injected queue faults shed with `429 Retry-After`;
+//! * slow requests are answered `504` within the deadline budget while
+//!   later requests still succeed;
+//! * a journal fault degrades `/healthz` to `503` without dropping the
+//!   faulted request's results;
+//! * shutdown mid-sweep drains: the stream completes with its trailer
+//!   and every thread joins.
+//!
+//! Usage: `ssdep-serve-chaos [--seeds N]` (default 8); exits nonzero on
+//! any contract violation. Client mode, for shell smokes that may not
+//! have curl: `ssdep-serve-chaos probe <addr> <path>` (GET) and
+//! `ssdep-serve-chaos post <addr> <path> <body-file>` — both print the
+//! body to stdout and exit 0 only for a 200.
+
+use serde::Serialize;
+use ssdep_serve::{ServeConfig, ServeFaultKind, ServeFaultPlan, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn check(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(what.to_string())
+    }
+}
+
+/// The paper's baseline system as an `/evaluate` body.
+fn baseline_body() -> String {
+    #[derive(Serialize)]
+    struct Body {
+        workload: ssdep_core::Workload,
+        design: ssdep_core::hierarchy::StorageDesign,
+        requirements: ssdep_core::requirements::BusinessRequirements,
+    }
+    serde_json::to_string(&Body {
+        workload: ssdep_core::presets::cello_workload(),
+        design: ssdep_core::presets::baseline_design(),
+        requirements: ssdep_core::presets::paper_requirements(),
+    })
+    .unwrap_or_default()
+}
+
+/// A raw HTTP exchange: status, headers (joined), body.
+struct Exchange {
+    status: u16,
+    head: String,
+    body: String,
+}
+
+/// Issues one request and reads the connection to EOF.
+fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> Result<Exchange, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: chaos\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("recv: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header/body split in `{raw}`"))?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("no status in `{head}`"))?;
+    Ok(Exchange {
+        status,
+        head: head.to_string(),
+        body: body.to_string(),
+    })
+}
+
+/// The never-torn-JSON contract: every response body parses whole.
+fn parse_json(exchange: &Exchange, context: &str) -> Result<serde_json::Value, String> {
+    serde_json::from_str(&exchange.body)
+        .map_err(|e| format!("{context}: torn/unparsable body `{}`: {e}", exchange.body))
+}
+
+fn start(fault: Option<ServeFaultPlan>, deadline: Duration) -> Result<Server, String> {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        queue_depth: 8,
+        deadline,
+        fault,
+    })
+    .map_err(|e| format!("start: {e}"))
+}
+
+/// Slow fault: request k stalls past the deadline and is answered 504;
+/// every other request succeeds with byte-identical bodies.
+fn slow(seed: u64) -> Result<String, String> {
+    let total = 2 + (seed % 3) as usize; // 2..=4 requests
+    let hit = 1 + (seed as usize % total);
+    let server = start(
+        Some(ServeFaultPlan::new(ServeFaultKind::Slow, hit)),
+        Duration::from_millis(150),
+    )?;
+    let addr = server.addr();
+    let body = baseline_body();
+    let mut ok_bodies: Vec<String> = Vec::new();
+    for request_no in 1..=total {
+        let exchange = call(addr, "POST", "/evaluate", &body)?;
+        parse_json(&exchange, "evaluate")?;
+        if request_no == hit {
+            check(
+                exchange.status == 504,
+                &format!(
+                    "request {request_no} should be 504, got {}",
+                    exchange.status
+                ),
+            )?;
+            check(
+                exchange.body.contains("deadline exceeded"),
+                "504 body names the deadline",
+            )?;
+        } else {
+            check(
+                exchange.status == 200,
+                &format!(
+                    "request {request_no} should be 200, got {}",
+                    exchange.status
+                ),
+            )?;
+            ok_bodies.push(exchange.body);
+        }
+    }
+    check(
+        ok_bodies.windows(2).all(|pair| pair[0] == pair[1]),
+        "successful responses are byte-identical",
+    )?;
+    let summary = server.drain();
+    check(summary.stuck_threads == 0, "drain left no stuck threads")?;
+    Ok(format!("{total} requests, 504 at #{hit}, drained clean"))
+}
+
+/// Queue-full fault: request k is shed with `429 Retry-After`; the
+/// others are served.
+fn queue_full(seed: u64) -> Result<String, String> {
+    let total = 2 + (seed % 3) as usize;
+    let hit = 1 + (seed as usize % total);
+    let server = start(
+        Some(ServeFaultPlan::new(ServeFaultKind::QueueFull, hit)),
+        Duration::from_secs(10),
+    )?;
+    let addr = server.addr();
+    let body = baseline_body();
+    for request_no in 1..=total {
+        let exchange = call(addr, "POST", "/evaluate", &body)?;
+        parse_json(&exchange, "evaluate")?;
+        if request_no == hit {
+            check(
+                exchange.status == 429,
+                &format!(
+                    "request {request_no} should shed 429, got {}",
+                    exchange.status
+                ),
+            )?;
+            check(
+                exchange.head.contains("Retry-After: 1"),
+                "429 carries Retry-After",
+            )?;
+        } else {
+            check(
+                exchange.status == 200,
+                &format!(
+                    "request {request_no} should be 200, got {}",
+                    exchange.status
+                ),
+            )?;
+        }
+    }
+    let summary = server.drain();
+    check(summary.shed == 1, "exactly one request shed")?;
+    check(summary.stuck_threads == 0, "drain left no stuck threads")?;
+    Ok(format!("{total} requests, shed at #{hit}, drained clean"))
+}
+
+/// Journal fault: the faulted request still answers 200 with results,
+/// but `/healthz` latches to `503 degraded` and `/metrics` agrees.
+fn journal_eio(seed: u64) -> Result<String, String> {
+    let total = 1 + (seed % 3) as usize;
+    let hit = 1 + (seed as usize % total);
+    let server = start(
+        Some(ServeFaultPlan::new(ServeFaultKind::JournalEio, hit)),
+        Duration::from_secs(10),
+    )?;
+    let addr = server.addr();
+    let body = baseline_body();
+    for request_no in 1..=total {
+        let exchange = call(addr, "POST", "/evaluate", &body)?;
+        parse_json(&exchange, "evaluate")?;
+        check(
+            exchange.status == 200,
+            &format!(
+                "request {request_no} still answers 200 under a journal fault, got {}",
+                exchange.status
+            ),
+        )?;
+    }
+    let health = call(addr, "GET", "/healthz", "")?;
+    parse_json(&health, "healthz")?;
+    check(
+        health.status == 503,
+        &format!(
+            "healthz degrades to 503 after the journal fault, got {}",
+            health.status
+        ),
+    )?;
+    check(health.body.contains("degraded"), "healthz names degraded")?;
+    let metrics = call(addr, "GET", "/metrics", "")?;
+    parse_json(&metrics, "metrics")?;
+    check(
+        metrics.body.contains("\"degraded\":true"),
+        "metrics breaker is latched",
+    )?;
+    let summary = server.drain();
+    check(summary.stuck_threads == 0, "drain left no stuck threads")?;
+    Ok(format!(
+        "{total} requests, journal fault at #{hit}, health degraded, drained clean"
+    ))
+}
+
+/// Drain mid-sweep: shutdown arrives while a sweep streams; the stream
+/// still completes with its trailer, and every line parses.
+fn drain_mid_sweep(seed: u64) -> Result<String, String> {
+    let server = start(None, Duration::from_secs(10))?;
+    let addr = server.addr();
+    let points = 2 + (seed % 3) as usize;
+    let scales: Vec<String> = (0..points).map(|i| format!("{}.0", i + 1)).collect();
+    let body = baseline_body();
+    let body = format!(
+        "{},\"scales\":[{}]}}",
+        &body[..body.len() - 1],
+        scales.join(",")
+    );
+    let sweeper = std::thread::spawn(move || call(addr, "POST", "/sweep", &body));
+    // Let the sweep be admitted, then pull the plug.
+    std::thread::sleep(Duration::from_millis(30));
+    server.begin_shutdown();
+    let summary = server.drain();
+    let exchange = sweeper.join().map_err(|_| "sweep client panicked")??;
+    check(
+        exchange.status == 200,
+        &format!("sweep stream is 200, got {}", exchange.status),
+    )?;
+    let lines: Vec<&str> = exchange.body.lines().collect();
+    check(
+        lines.len() == points + 1,
+        &format!("expected {} stream lines, got {}", points + 1, lines.len()),
+    )?;
+    for line in &lines {
+        serde_json::from_str::<serde_json::Value>(line)
+            .map_err(|e| format!("torn sweep line `{line}`: {e}"))?;
+    }
+    check(
+        lines.last().is_some_and(|l| l.contains("\"done\":true")),
+        "stream ends with the completion trailer",
+    )?;
+    check(summary.stuck_threads == 0, "drain left no stuck threads")?;
+    Ok(format!(
+        "{points}-point sweep survived shutdown, trailer present"
+    ))
+}
+
+fn parse_seeds(args: &[String]) -> Result<u64, String> {
+    let mut seeds = 8u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--seeds needs a value".to_string())?;
+                seeds = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --seeds value `{value}`"))?;
+                if seeds == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: ssdep-serve-chaos [--seeds N] | probe <addr> <path> | post <addr> <path> <body-file>"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`; try --help")),
+        }
+    }
+    Ok(seeds)
+}
+
+/// Client mode for shell smokes: one GET or POST, body to stdout,
+/// exit 0 only on HTTP 200.
+fn client(method: &str, args: &[String]) -> ExitCode {
+    let (addr_text, path, body) = match (args.first(), args.get(1)) {
+        (Some(addr), Some(path)) if method == "GET" => (addr, path, String::new()),
+        (Some(addr), Some(path)) if args.len() == 3 => {
+            let file = &args[2];
+            match std::fs::read_to_string(file) {
+                Ok(body) => (addr, path, body),
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: ssdep-serve-chaos probe <addr> <path> | post <addr> <path> <body-file>"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr: SocketAddr = match addr_text.parse() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("bad address `{addr_text}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match call(addr, method, path, &body) {
+        Ok(exchange) => {
+            println!("{}", exchange.body);
+            if exchange.status == 200 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("HTTP {}", exchange.status);
+                ExitCode::FAILURE
+            }
+        }
+        Err(why) => {
+            eprintln!("{why}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One named chaos phase: a contract check run once per seed.
+type Phase = fn(u64) -> Result<String, String>;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("probe") => return client("GET", &args[1..]),
+        Some("post") => return client("POST", &args[1..]),
+        _ => {}
+    }
+    let seeds = match parse_seeds(&args) {
+        Ok(seeds) => seeds,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0u32;
+    let phases: [(&str, Phase); 4] = [
+        ("slow", slow),
+        ("queue-full", queue_full),
+        ("journal-eio", journal_eio),
+        ("drain-mid-sweep", drain_mid_sweep),
+    ];
+    for (name, phase) in phases {
+        for seed in 1..=seeds {
+            match phase(seed) {
+                Ok(detail) => println!("ok   {name} seed {seed}: {detail}"),
+                Err(why) => {
+                    failures += 1;
+                    println!("FAIL {name} seed {seed}: {why}");
+                }
+            }
+        }
+    }
+
+    if failures == 0 {
+        println!(
+            "serve-chaos: {} loops over {seeds} seeds, all contracts held",
+            4 * seeds
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("serve-chaos: {failures} contract violation(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -41,4 +41,18 @@ grep -q 'L002' "$GATE_DIR/bad.out" || {
     echo "lint-gate: the known-bad fixture did not report L002" >&2
     exit 1
 }
+
+set +e
+"$LINT" devtools/lint/tests/fixtures/bad_l012.rs > "$GATE_DIR/bad12.out" 2>&1
+BAD12_STATUS=$?
+set -e
+if [ "$BAD12_STATUS" -ne 2 ]; then
+    echo "lint-gate: expected exit 2 on the bounded-queue fixture, got $BAD12_STATUS" >&2
+    cat "$GATE_DIR/bad12.out" >&2
+    exit 1
+fi
+grep -q 'L012' "$GATE_DIR/bad12.out" || {
+    echo "lint-gate: the bounded-queue fixture did not report L012" >&2
+    exit 1
+}
 echo "static analysis gate passed"

@@ -18,6 +18,10 @@
 //! * **L011** — direct `File::create` / `OpenOptions` in checkpoint
 //!   code outside the journal sink seam, where fault injection and
 //!   rollback cannot see the write.
+//! * **L012** — unbounded queue construction (`mpsc::channel`,
+//!   `VecDeque::new`) or a bare `JoinHandle::join()` in daemon code
+//!   outside the admission seam, where backpressure and drain deadlines
+//!   cannot apply.
 
 use crate::findings::{Finding, Severity};
 use crate::lexer::{
@@ -37,6 +41,9 @@ pub struct Role {
     pub signatures: bool,
     /// Checkpoint code: the journal-sink-seam policy (L011) applies.
     pub io_seam: bool,
+    /// Daemon code: the bounded-queue / deadlined-join policy (L012)
+    /// applies.
+    pub bounded: bool,
 }
 
 impl Role {
@@ -47,6 +54,7 @@ impl Role {
         model: true,
         signatures: true,
         io_seam: true,
+        bounded: true,
     };
 }
 
@@ -75,6 +83,9 @@ pub fn raw_findings(path: &str, lexed: &LexedFile, role: Role) -> Vec<Finding> {
     }
     if role.io_seam {
         lint_io_seam(path, &text, &mut findings);
+    }
+    if role.bounded {
+        lint_bounded(path, &text, &mut findings);
     }
     findings
 }
@@ -580,6 +591,91 @@ fn lint_io_seam(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
+// L012 — unbounded queues and undeadlined joins in daemon code
+// ---------------------------------------------------------------------
+
+fn lint_bounded(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
+    for (start, end) in text.idents() {
+        if text.in_test(start) {
+            continue;
+        }
+        let ident = text.ident_at((start, end));
+        let line = text.line(start);
+        match ident.as_str() {
+            // `channel()` / `channel::<T>()` is std's *unbounded* mpsc
+            // constructor; `sync_channel` (a different identifier) is
+            // the bounded one the admission seam wraps.
+            "channel" => {
+                let after = text.skip_ws(end);
+                let calls = text.chars.get(after) == Some(&'(')
+                    || (text.slice(after, after + 2) == "::"
+                        && text.chars.get(text.skip_ws(after + 2)) == Some(&'<'));
+                if !calls {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    "L012",
+                    Severity::Error,
+                    path,
+                    line,
+                    "unbounded `mpsc::channel` in daemon code cannot shed load — the queue \
+                     grows until memory does the admission control",
+                    "hand off through `WorkQueue::bounded` (crates/serve/src/pool.rs) so \
+                     overload answers 429, or justify with `// ssdep-lint: allow(L012, reason)`",
+                ));
+            }
+            "VecDeque" => {
+                let colons = text.skip_ws(end);
+                if text.slice(colons, colons + 2) != "::" {
+                    continue;
+                }
+                let method_start = text.skip_ws(colons + 2);
+                if text.slice(method_start, ident_end(text, method_start)) != "new" {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    "L012",
+                    Severity::Error,
+                    path,
+                    line,
+                    "unbounded `VecDeque::new` backlog in daemon code cannot shed load",
+                    "use a depth-capped queue (`WorkQueue::bounded`, crates/serve/src/pool.rs) \
+                     or justify with `// ssdep-lint: allow(L012, reason)`",
+                ));
+            }
+            // A bare `.join()` blocks forever on a stuck worker, so a
+            // drain can never finish. The seam's `join_with_deadline`
+            // polls with a bound instead.
+            "join" => {
+                let after_dot = text
+                    .prev_non_ws(start)
+                    .is_some_and(|j| text.chars[j] == '.');
+                let open = text.skip_ws(end);
+                // The `)` must be *immediately* after the `(`: masked
+                // string literals read as whitespace, so skipping it
+                // would mistake `join(", ")` for an empty call.
+                let empty_call =
+                    text.chars.get(open) == Some(&'(') && text.chars.get(open + 1) == Some(&')');
+                if !(after_dot && empty_call) {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    "L012",
+                    Severity::Error,
+                    path,
+                    line,
+                    "bare `JoinHandle::join()` in daemon code blocks a drain forever if the \
+                     worker is stuck",
+                    "join through `join_with_deadline` (crates/serve/src/pool.rs) so drains \
+                     are bounded, or justify with `// ssdep-lint: allow(L012, reason)`",
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // L001 — raw f64 in public model signatures
 // ---------------------------------------------------------------------
 
@@ -937,6 +1033,7 @@ fn g() { x.unwrap_or(1); }
         let src = "\
 fn f() { x.unwrap(); let y = z.round() as u64; }
 fn g() { let _ = std::fs::File::create(\"x\"); }
+fn h() { let (_tx, _rx) = std::sync::mpsc::channel::<u64>(); }
 ";
         let quiet = run(
             src,
@@ -945,9 +1042,39 @@ fn g() { let _ = std::fs::File::create(\"x\"); }
                 model: false,
                 signatures: false,
                 io_seam: false,
+                bounded: false,
             },
         );
         assert!(quiet.is_empty(), "{quiet:?}");
+    }
+
+    #[test]
+    fn l012_fires_on_unbounded_queues_and_bare_joins() {
+        let src = "\
+fn a() { let (_tx, _rx) = std::sync::mpsc::channel::<u64>(); }
+fn b() -> std::collections::VecDeque<u64> { std::collections::VecDeque::new() }
+fn c(h: std::thread::JoinHandle<()>) { let _ = h.join(); }
+fn d() { let (_tx, _rx) = std::sync::mpsc::sync_channel::<u64>(8); }
+fn e(parts: &[&str]) -> String { parts.join(\", \") }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let (_tx, _rx) = std::sync::mpsc::channel::<u64>(); }
+}
+";
+        let findings = run(src, Role::ALL);
+        let l012: Vec<usize> = findings
+            .iter()
+            .filter(|f| f.code == "L012")
+            .map(|f| f.line)
+            .collect();
+        // The unbounded channel, the VecDeque backlog, and the bare
+        // join — but not sync_channel, str::join(sep), or test code.
+        assert_eq!(l012, vec![1, 2, 3], "{findings:?}");
+        assert!(findings
+            .iter()
+            .filter(|f| f.code == "L012")
+            .all(|f| f.suggestion.contains("pool.rs")));
     }
 
     #[test]

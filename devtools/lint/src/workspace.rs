@@ -97,12 +97,16 @@ fn role_for(crate_name: &str, rel: &str) -> Role {
     // journal.rs and sink.rs *are* the seam: salvage and FileSink own
     // the raw file handles everything else must route through.
     let seam = rel.ends_with("/journal.rs") || rel.ends_with("/sink.rs");
+    // pool.rs *is* the admission seam: WorkQueue and join_with_deadline
+    // own the raw channel and join everything else must route through.
+    let admission_seam = rel.ends_with("/pool.rs");
     Role {
         library,
         // units.rs *defines* the newtypes, so raw f64 is its business.
         signatures: crate_name == "core" && !units,
         model,
         io_seam: crate_name == "opt" && !seam,
+        bounded: crate_name == "serve" && !admission_seam,
     }
 }
 
@@ -291,5 +295,13 @@ mod tests {
             !journal.io_seam && !sink.io_seam,
             "the seam itself is exempt"
         );
+        let server = role_for("serve", "crates/serve/src/server.rs");
+        assert!(
+            server.bounded,
+            "serve code must go through the admission seam"
+        );
+        let pool = role_for("serve", "crates/serve/src/pool.rs");
+        assert!(!pool.bounded, "the admission seam itself is exempt");
+        assert!(!supervisor.bounded && !cli.bounded);
     }
 }

@@ -1,0 +1,17 @@
+//! Deliberately-bad fixture: unbounded handoffs and undeadlined joins
+//! that L012 must flag. Exercised by devtools/lint-gate.sh, which
+//! requires exit 2 and an L012 finding on this file.
+
+use std::collections::VecDeque;
+
+fn unbounded_handoff() {
+    let (_tx, _rx) = std::sync::mpsc::channel::<u64>();
+}
+
+fn unbounded_backlog() -> VecDeque<u64> {
+    VecDeque::new()
+}
+
+fn undeadlined_drain(handle: std::thread::JoinHandle<()>) {
+    let _ = handle.join();
+}

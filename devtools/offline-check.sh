@@ -46,6 +46,15 @@ if [ "$1" = "chaos" ]; then
     "$repo/target/release/ssdep-chaos"
 fi
 
+# `serve` builds the CLI (which embeds the daemon) and the service
+# torture harness offline, then runs the daemon smoke test.
+if [ "$1" = "serve" ]; then
+  cd "$repo"
+  cargo build "${config_args[@]}" --release -p ssdep-cli -p ssdep-chaos
+  exec "$repo/devtools/serve-smoke.sh" "$repo/target/release/ssdep" \
+    "$repo/target/release/ssdep-serve-chaos"
+fi
+
 # The --config flags go AFTER the subcommand: cargo does not forward
 # pre-subcommand config to external subcommands (clippy, fmt), so
 # `cargo --config ... clippy` would resolve without the stub patches.

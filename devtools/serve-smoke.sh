@@ -1,0 +1,128 @@
+#!/bin/sh
+# Daemon smoke test shared by ci.sh (networked CI) and offline-check.sh
+# (network-restricted): start `ssdep serve` on an ephemeral port, probe
+# /healthz, evaluate the baseline spec twice and require byte-identical
+# responses, stream a /sweep, then SIGTERM the daemon and require a
+# graceful drain (exit 0 and the drain summary printed). Finally the
+# in-process torture harness (ssdep-serve-chaos) runs a bounded number
+# of seeds across every injected fault.
+#
+# Usage: devtools/serve-smoke.sh <ssdep binary> <ssdep-serve-chaos binary>
+set -eu
+
+SSDEP=${1:?usage: serve-smoke.sh <ssdep binary> <ssdep-serve-chaos binary>}
+SERVE_CHAOS=${2:?usage: serve-smoke.sh <ssdep binary> <ssdep-serve-chaos binary>}
+repo=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo"
+
+SMOKE_DIR=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2> /dev/null
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+# Start the daemon on an ephemeral port; it prints the bound address
+# eagerly before blocking on signals.
+"$SSDEP" serve --addr 127.0.0.1:0 --jobs 2 --queue-depth 8 \
+    > "$SMOKE_DIR/serve.out" 2>&1 &
+SERVE_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^ssdep serve: listening on //p' "$SMOKE_DIR/serve.out")
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$SERVE_PID" 2> /dev/null; then
+        echo "serve-smoke: daemon died before listening:" >&2
+        cat "$SMOKE_DIR/serve.out" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve-smoke: daemon never printed its listen address" >&2
+    exit 1
+fi
+
+# Liveness.
+"$SERVE_CHAOS" probe "$ADDR" /healthz > "$SMOKE_DIR/healthz.json" || {
+    echo "serve-smoke: /healthz probe failed" >&2
+    exit 1
+}
+grep -q '"status":"ok"' "$SMOKE_DIR/healthz.json" || {
+    echo "serve-smoke: /healthz did not report ok" >&2
+    exit 1
+}
+
+# The baseline spec evaluates, twice, byte-stably.
+"$SSDEP" init > "$SMOKE_DIR/spec.json"
+"$SERVE_CHAOS" post "$ADDR" /evaluate "$SMOKE_DIR/spec.json" \
+    > "$SMOKE_DIR/eval1.json" || {
+    echo "serve-smoke: POST /evaluate failed" >&2
+    exit 1
+}
+"$SERVE_CHAOS" post "$ADDR" /evaluate "$SMOKE_DIR/spec.json" \
+    > "$SMOKE_DIR/eval2.json" || {
+    echo "serve-smoke: second POST /evaluate failed" >&2
+    exit 1
+}
+if ! cmp -s "$SMOKE_DIR/eval1.json" "$SMOKE_DIR/eval2.json"; then
+    echo "serve-smoke: /evaluate responses are not byte-stable:" >&2
+    diff "$SMOKE_DIR/eval1.json" "$SMOKE_DIR/eval2.json" >&2 || true
+    exit 1
+fi
+grep -q '"evaluation"' "$SMOKE_DIR/eval1.json" || {
+    echo "serve-smoke: /evaluate response carries no evaluation" >&2
+    exit 1
+}
+
+# A sweep streams JSON lines ending in the completion trailer.
+"$SERVE_CHAOS" post "$ADDR" /sweep "$SMOKE_DIR/spec.json" \
+    > "$SMOKE_DIR/sweep.ndjson" || {
+    echo "serve-smoke: POST /sweep failed" >&2
+    exit 1
+}
+grep -q '"done":true' "$SMOKE_DIR/sweep.ndjson" || {
+    echo "serve-smoke: /sweep stream has no completion trailer" >&2
+    exit 1
+}
+
+# Metrics reflect the traffic.
+"$SERVE_CHAOS" probe "$ADDR" /metrics > "$SMOKE_DIR/metrics.json" || {
+    echo "serve-smoke: /metrics probe failed" >&2
+    exit 1
+}
+grep -q '"cache_hits":' "$SMOKE_DIR/metrics.json" || {
+    echo "serve-smoke: /metrics lost the cache counters" >&2
+    exit 1
+}
+
+# SIGTERM must drain gracefully: exit 0 and a drain summary printed.
+kill -TERM "$SERVE_PID"
+SERVE_STATUS=0
+wait "$SERVE_PID" || SERVE_STATUS=$?
+SERVE_PID=""
+if [ "$SERVE_STATUS" -ne 0 ]; then
+    echo "serve-smoke: expected exit 0 after SIGTERM drain, got $SERVE_STATUS" >&2
+    cat "$SMOKE_DIR/serve.out" >&2
+    exit 1
+fi
+grep -q 'drained' "$SMOKE_DIR/serve.out" || {
+    echo "serve-smoke: daemon exited without printing the drain summary" >&2
+    cat "$SMOKE_DIR/serve.out" >&2
+    exit 1
+}
+grep -q '0 stuck thread' "$SMOKE_DIR/serve.out" || {
+    echo "serve-smoke: drain abandoned stuck threads" >&2
+    cat "$SMOKE_DIR/serve.out" >&2
+    exit 1
+}
+
+# Bounded seeded torture across every injected fault.
+"$SERVE_CHAOS" --seeds 2 || {
+    echo "serve-smoke: ssdep-serve-chaos reported a contract violation" >&2
+    exit 1
+}
+
+echo "serve smoke test passed"
