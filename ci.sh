@@ -16,6 +16,34 @@ cargo bench --no-run --workspace
 # and a known-bad fixture still trips the lint (see devtools/lint-gate.sh).
 devtools/lint-gate.sh target/release/ssdep-lint
 
+# Best-effort ThreadSanitizer stage: crates/serve carries the daemon's
+# cross-thread lock traffic, so its tests run under TSan when the
+# nightly toolchain is available with rust-src (which -Zbuild-std needs
+# to instrument std itself). An unavailable toolchain or a failed
+# *build* skips with a notice — but a data race found by a
+# successfully-built run fails CI.
+TSAN_HOST=$(rustc -vV | sed -n 's/^host: //p')
+if rustup component list --toolchain nightly 2>/dev/null \
+    | grep -q '^rust-src (installed)$'; then
+    TSAN_LOG=$(mktemp)
+    if RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q -p ssdep-serve \
+        -Zbuild-std --target "$TSAN_HOST" --target-dir target/tsan \
+        --no-run > "$TSAN_LOG" 2>&1; then
+        RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q -p ssdep-serve \
+            -Zbuild-std --target "$TSAN_HOST" --target-dir target/tsan || {
+            echo "ci.sh: ThreadSanitizer found a data race in crates/serve" >&2
+            exit 1
+        }
+        echo "thread sanitizer stage passed"
+    else
+        echo "ci.sh: notice: ThreadSanitizer build unavailable here; skipping the stage" >&2
+        tail -3 "$TSAN_LOG" >&2 || true
+    fi
+    rm -f "$TSAN_LOG"
+else
+    echo "ci.sh: notice: nightly rust-src not installed; skipping the ThreadSanitizer stage" >&2
+fi
+
 # Crash-resume smoke test: run the supervised search to completion, then
 # run it again with a crash injected after three journal appends, resume
 # from the surviving checkpoint, and require the ranked output (from the

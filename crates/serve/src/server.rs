@@ -294,6 +294,7 @@ fn worker_loop(inner: &Arc<Inner>, receiver: &Arc<Mutex<Receiver<(usize, TcpStre
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
+            // ssdep-lint: allow(L021, the shared-Receiver handoff protocol — exactly one idle worker holds the lock while parked in recv, and the senders never take it)
             guard.recv()
         };
         let Ok((request_no, mut stream)) = job else {

@@ -28,31 +28,77 @@ if ! cmp -s "$GATE_DIR/lint1.json" "$GATE_DIR/lint2.json"; then
     exit 1
 fi
 
+# Each known-bad fixture must exit 2 and report its own code — a
+# silently-neutered rule cannot pass the gate.
+for code in L002 L012 L021 L022 L023; do
+    lower=$(echo "$code" | tr 'A-Z' 'a-z')
+    fixture="devtools/lint/tests/fixtures/bad_$lower.rs"
+    set +e
+    "$LINT" "$fixture" > "$GATE_DIR/bad.out" 2>&1
+    BAD_STATUS=$?
+    set -e
+    if [ "$BAD_STATUS" -ne 2 ]; then
+        echo "lint-gate: expected exit 2 on $fixture, got $BAD_STATUS" >&2
+        cat "$GATE_DIR/bad.out" >&2
+        exit 1
+    fi
+    grep -q "$code" "$GATE_DIR/bad.out" || {
+        echo "lint-gate: $fixture did not report $code" >&2
+        exit 1
+    }
+done
+
+# The clean counterparts must stay silent: false-positive pressure on
+# the concurrency lints fails the gate too.
+for lower in l021 l022 l023; do
+    fixture="devtools/lint/tests/fixtures/clean_$lower.rs"
+    "$LINT" --deny-warnings "$fixture" > /dev/null || {
+        echo "lint-gate: false positives on $fixture:" >&2
+        "$LINT" "$fixture" >&2 || true
+        exit 1
+    }
+done
+
+# The cross-file deadlock fixture workspace: the lock-order graph must
+# find the cycle (exit 2, both sites named), and the consistent-order
+# twin must pass.
 set +e
-"$LINT" devtools/lint/tests/fixtures/bad_l002.rs > "$GATE_DIR/bad.out" 2>&1
-BAD_STATUS=$?
+"$LINT" --root devtools/lint/tests/fixtures/l020_cycle > "$GATE_DIR/cycle.out" 2>&1
+CYCLE_STATUS=$?
 set -e
-if [ "$BAD_STATUS" -ne 2 ]; then
-    echo "lint-gate: expected exit 2 on the known-bad fixture, got $BAD_STATUS" >&2
-    cat "$GATE_DIR/bad.out" >&2
+if [ "$CYCLE_STATUS" -ne 2 ]; then
+    echo "lint-gate: expected exit 2 on the l020_cycle workspace, got $CYCLE_STATUS" >&2
+    cat "$GATE_DIR/cycle.out" >&2
     exit 1
 fi
-grep -q 'L002' "$GATE_DIR/bad.out" || {
-    echo "lint-gate: the known-bad fixture did not report L002" >&2
+grep -q 'L020' "$GATE_DIR/cycle.out" || {
+    echo "lint-gate: the l020_cycle workspace did not report L020" >&2
+    exit 1
+}
+grep -q 'crates/serve/src/lib.rs' "$GATE_DIR/cycle.out" \
+    && grep -q 'crates/opt/src/lib.rs' "$GATE_DIR/cycle.out" || {
+    echo "lint-gate: the L020 finding must name both acquisition sites" >&2
+    cat "$GATE_DIR/cycle.out" >&2
+    exit 1
+}
+"$LINT" --deny-warnings --root devtools/lint/tests/fixtures/l020_clean > /dev/null || {
+    echo "lint-gate: false positive on the consistent-order l020_clean workspace" >&2
     exit 1
 }
 
-set +e
-"$LINT" devtools/lint/tests/fixtures/bad_l012.rs > "$GATE_DIR/bad12.out" 2>&1
-BAD12_STATUS=$?
-set -e
-if [ "$BAD12_STATUS" -ne 2 ]; then
-    echo "lint-gate: expected exit 2 on the bounded-queue fixture, got $BAD12_STATUS" >&2
-    cat "$GATE_DIR/bad12.out" >&2
-    exit 1
-fi
-grep -q 'L012' "$GATE_DIR/bad12.out" || {
-    echo "lint-gate: the bounded-queue fixture did not report L012" >&2
+# --explain must know every shipped code (smoke: one old, one new) and
+# reject unknown ones.
+"$LINT" --explain L002 > /dev/null
+"$LINT" --explain L020 | grep -q 'lock-order' || {
+    echo "lint-gate: --explain L020 did not print the catalog entry" >&2
     exit 1
 }
+set +e
+"$LINT" --explain L999 > /dev/null 2>&1
+EXPLAIN_STATUS=$?
+set -e
+if [ "$EXPLAIN_STATUS" -ne 2 ]; then
+    echo "lint-gate: --explain on an unknown code must exit 2, got $EXPLAIN_STATUS" >&2
+    exit 1
+fi
 echo "static analysis gate passed"

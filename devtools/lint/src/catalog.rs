@@ -1,0 +1,185 @@
+//! The built-in lint catalog behind `ssdep-lint --explain L0xx`.
+//!
+//! One entry per stable code, mirroring the `DESIGN.md` §11 table (a
+//! test cross-checks that every entry here has a catalog row there, the
+//! same mechanism L004 applies to the runtime `D0xx` codes). Each entry
+//! carries the rationale and a concrete fix example so the explanation
+//! is actionable offline, without opening the design doc.
+
+use crate::findings::Severity;
+
+/// One catalog entry: what a code means and how to fix it.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogEntry {
+    pub code: &'static str,
+    pub severity: Severity,
+    /// One-line summary of what the lint fires on.
+    pub title: &'static str,
+    /// Why the policy exists in this repo.
+    pub rationale: &'static str,
+    /// A concrete before/after fix example.
+    pub fix: &'static str,
+}
+
+/// Every stable lint code, in code order.
+pub const CATALOG: &[CatalogEntry] = &[
+    CatalogEntry {
+        code: "L001",
+        severity: Severity::Error,
+        title: "raw `f64` in a public core-model signature where a units.rs newtype exists",
+        rationale: "The paper's model mixes seconds, bytes, bandwidth, and dollars; a raw f64 \
+                    parameter named `window_secs` compiles when handed hours. The newtypes in \
+                    crates/core/src/units.rs make the dimension part of the type.",
+        fix: "before: pub fn set_window(window_secs: f64)\n\
+              after:  pub fn set_window(window: TimeDelta)",
+    },
+    CatalogEntry {
+        code: "L002",
+        severity: Severity::Error,
+        title: "`unwrap()` / `expect()` / `panic!` / `unreachable!` in library code",
+        rationale: "The evaluation pipeline is panic-free by policy: a panic in a sweep worker \
+                    poisons locks and aborts the batch instead of quarantining one candidate.",
+        fix: "before: let plan = build().unwrap();\n\
+              after:  let plan = build().map_err(Error::from)?;",
+    },
+    CatalogEntry {
+        code: "L003",
+        severity: Severity::Error,
+        title: "float ordering via `partial_cmp` instead of `total_cmp`",
+        rationale: "`partial_cmp(..).unwrap()` panics on NaN and a partial comparator breaks \
+                    sort invariants; IEEE 754 total order is deterministic for every input.",
+        fix: "before: v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+              after:  v.sort_by(|a, b| a.total_cmp(b));",
+    },
+    CatalogEntry {
+        code: "L004",
+        severity: Severity::Error,
+        title: "`D0xx` diagnostic codes inconsistent across source, DESIGN.md catalog, and tests",
+        rationale: "The runtime preflight catalog is an API contract; a code that is defined but \
+                    undocumented or untested silently drifts.",
+        fix: "add the missing `| D0xx | … |` row to DESIGN.md §10 and a test asserting the \
+              diagnosis emits the code (or delete the stale row)",
+    },
+    CatalogEntry {
+        code: "L005",
+        severity: Severity::Error,
+        title: "lossy `as` numeric cast in model code",
+        rationale: "float -> int `as` casts truncate fractions and collapse NaN to 0 silently, \
+                    which corrupts recovery-time and capacity math.",
+        fix: "before: let n = (secs / step) as u64;\n\
+              after:  let n = round_to_u64(secs / step)?;  // crates/core/src/units.rs",
+    },
+    CatalogEntry {
+        code: "L010",
+        severity: Severity::Warning,
+        title: "malformed or unused `// ssdep-lint: allow(...)` pragma",
+        rationale: "A suppression that no longer suppresses anything is a stale allowlist entry; \
+                    a malformed one silently fails to apply.",
+        fix: "write `// ssdep-lint: allow(L00x, reason)` with a non-empty reason, and delete \
+              pragmas whose violation is gone",
+    },
+    CatalogEntry {
+        code: "L011",
+        severity: Severity::Error,
+        title: "direct `File::create` / `OpenOptions` in checkpoint code outside the sink seam",
+        rationale: "Fault injection and rollback live in the JournalSink seam \
+                    (crates/opt/src/sink.rs); a raw file handle bypasses both, so chaos tests \
+                    cannot see the write.",
+        fix: "before: let f = File::create(path)?;\n\
+              after:  let sink = FileSink::open(path)?;  // crates/opt/src/sink.rs",
+    },
+    CatalogEntry {
+        code: "L012",
+        severity: Severity::Error,
+        title: "unbounded queue or bare `JoinHandle::join()` in daemon code",
+        rationale: "An unbounded `mpsc::channel` or `VecDeque::new` backlog grows until memory \
+                    does the admission control, and a bare join blocks a SIGTERM drain forever \
+                    on a stuck worker.",
+        fix: "hand off through `WorkQueue::bounded` and join through `join_with_deadline` \
+              (crates/serve/src/pool.rs)",
+    },
+    CatalogEntry {
+        code: "L020",
+        severity: Severity::Error,
+        title: "lock-order cycle in the workspace acquired-while-holding graph",
+        rationale: "Two call paths that take the same locks in opposite orders deadlock the \
+                    serve thread pool under concurrency; the cross-file graph catches the \
+                    inversion even when each file looks locally consistent.",
+        fix: "pick one global acquisition order (document it next to the lock fields) and \
+              re-order the minority site, or merge the locks into one",
+    },
+    CatalogEntry {
+        code: "L021",
+        severity: Severity::Error,
+        title: "a Mutex/RwLock guard held across blocking I/O",
+        rationale: "`sync_all`, `write_all`, TcpStream ops, `recv`, and `join` can block \
+                    indefinitely; holding a guard across them stalls every thread contending \
+                    for that lock and can freeze a graceful drain.",
+        fix: "before: let g = state.lock()…; stream.write_all(&g)?;\n\
+              after:  let bytes = { let g = state.lock()…; g.clone() }; \
+              stream.write_all(&bytes)?;",
+    },
+    CatalogEntry {
+        code: "L022",
+        severity: Severity::Error,
+        title: "`Ordering::Relaxed` on an atomic that gates cross-thread control flow",
+        rationale: "Relaxed loads may observe a flag arbitrarily late: a `while \
+                    !done.load(Relaxed)` spin or a shutdown latch can miss the store and run \
+                    forever. Counters may relax; control flow may not.",
+        fix: "before: while !shutdown.load(Ordering::Relaxed) { … }\n\
+              after:  while !shutdown.load(Ordering::SeqCst) { … }  // or Acquire/Release pairs",
+    },
+    CatalogEntry {
+        code: "L023",
+        severity: Severity::Error,
+        title: "`HashMap`/`HashSet` iteration feeding a byte-stable output path",
+        rationale: "Hash iteration order differs per process, but journal lines, `/evaluate` \
+                    JSON, and `--json` CLI output are contractually byte-stable (CI diffs them \
+                    with cmp). One unsorted loop breaks resume and the gate.",
+        fix: "before: for (k, v) in map.iter() { out.push_str(k); }\n\
+              after:  let mut keys: Vec<_> = map.keys().collect(); keys.sort(); \
+              // or use a BTreeMap",
+    },
+];
+
+/// Looks up a catalog entry by code.
+pub fn entry(code: &str) -> Option<&'static CatalogEntry> {
+    CATALOG.iter().find(|e| e.code == code)
+}
+
+/// Renders one entry for `--explain`.
+pub fn render(entry: &CatalogEntry) -> String {
+    format!(
+        "{} ({}) — {}\n\nwhy it matters here:\n  {}\n\nfix:\n  {}\n",
+        entry.code,
+        entry.severity,
+        entry.title,
+        entry.rationale,
+        entry.fix.replace('\n', "\n  ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        let codes: Vec<&str> = CATALOG.iter().map(|e| e.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "catalog must stay in code order");
+    }
+
+    #[test]
+    fn every_code_renders() {
+        for e in CATALOG {
+            let text = render(e);
+            assert!(text.contains(e.code));
+            assert!(text.contains("fix:"));
+        }
+        assert!(entry("L020").is_some());
+        assert!(entry("L999").is_none());
+    }
+}

@@ -1,0 +1,243 @@
+//! The workspace-wide lock-acquisition graph behind **L020**.
+//!
+//! Nodes are normalized lock paths ([`crate::parser`]); a directed edge
+//! `A → B` records that somewhere in the workspace a guard on `A` was
+//! still live when `B` was acquired, with both acquisition sites kept
+//! for the report. A cycle in this graph is a lock-order inversion: two
+//! threads running the participating functions concurrently can each
+//! hold one lock while waiting for the other — the classic deadlock the
+//! serve thread pool and the sharded `EvalEngine` must never reach.
+//!
+//! Detection is deterministic: edges are deduplicated first-site-wins in
+//! file order, adjacency is sorted, and each simple cycle is reported
+//! exactly once, rotated so its lexicographically smallest lock comes
+//! first. Self-edges (re-acquiring a lock already held) are reported as
+//! single-lock cycles, except for indexed families like `shards[_]`,
+//! where two sites may legitimately address different elements.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::findings::{Finding, Severity};
+
+/// One acquired-while-holding observation.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// The lock whose guard was live.
+    pub held: String,
+    /// The lock acquired under it.
+    pub acquired: String,
+    /// Where the held lock was acquired.
+    pub held_file: String,
+    pub held_line: usize,
+    /// Where the nested acquisition happened.
+    pub acquired_file: String,
+    pub acquired_line: usize,
+}
+
+/// Builds L020 findings for every lock-order cycle in `edges`. Returns
+/// `(anchor file, finding)` pairs so the workspace driver can join them
+/// into per-file pragma resolution.
+pub fn lock_order_findings(edges: &[LockEdge]) -> Vec<(String, Finding)> {
+    // Deduplicate by (held, acquired), first site wins — edges arrive in
+    // sorted file order, so this is deterministic.
+    let mut unique: BTreeMap<(String, String), &LockEdge> = BTreeMap::new();
+    for edge in edges {
+        unique
+            .entry((edge.held.clone(), edge.acquired.clone()))
+            .or_insert(edge);
+    }
+
+    let mut findings = Vec::new();
+
+    // Self-edges: re-acquiring a lock already held is an immediate
+    // self-deadlock with std's non-reentrant Mutex. Indexed families
+    // (`shards[_]`) are exempt — distinct elements are distinct locks.
+    for ((held, acquired), edge) in &unique {
+        if held == acquired && !held.contains("[_]") {
+            findings.push((
+                edge.acquired_file.clone(),
+                Finding::new(
+                    "L020",
+                    Severity::Error,
+                    &edge.acquired_file,
+                    edge.acquired_line,
+                    format!(
+                        "lock `{held}` is acquired again while already held (guard taken at \
+                         {}:{}) — std mutexes are not reentrant, so this self-deadlocks",
+                        edge.held_file, edge.held_line
+                    ),
+                    "drop the first guard before re-acquiring, or pass the guard down instead \
+                     of the lock",
+                ),
+            ));
+        }
+    }
+
+    // Adjacency over the non-self edges, sorted for determinism.
+    let mut adjacency: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (held, acquired) in unique.keys() {
+        if held != acquired {
+            adjacency.entry(held).or_default().push(acquired);
+        }
+    }
+    for targets in adjacency.values_mut() {
+        targets.sort_unstable();
+        targets.dedup();
+    }
+
+    // Enumerate simple cycles: DFS from each start node in sorted order,
+    // visiting only nodes >= the start so every cycle is found exactly
+    // once, anchored at its smallest lock. Depth-capped as a backstop —
+    // real lock graphs here have a handful of nodes.
+    const MAX_CYCLE: usize = 8;
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<&str> = adjacency.keys().copied().collect();
+    for &start in &nodes {
+        let mut path: Vec<&str> = vec![start];
+        let mut cycles: Vec<Vec<String>> = Vec::new();
+        dfs_cycles(start, start, &adjacency, &mut path, &mut cycles, MAX_CYCLE);
+        for cycle in cycles {
+            if seen.insert(cycle.clone()) {
+                findings.push(cycle_finding(&cycle, &unique));
+            }
+        }
+    }
+    findings
+}
+
+fn dfs_cycles<'a>(
+    start: &'a str,
+    current: &'a str,
+    adjacency: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+    cycles: &mut Vec<Vec<String>>,
+    max_len: usize,
+) {
+    let Some(nexts) = adjacency.get(current) else {
+        return;
+    };
+    for &next in nexts {
+        if next == start {
+            if path.len() >= 2 {
+                cycles.push(path.iter().map(|s| (*s).to_string()).collect());
+            }
+            continue;
+        }
+        // Only nodes greater than the start (canonical anchor) and not
+        // already on the path (simple cycles only).
+        if next <= start || path.contains(&next) || path.len() >= max_len {
+            continue;
+        }
+        path.push(next);
+        dfs_cycles(start, next, adjacency, path, cycles, max_len);
+        path.pop();
+    }
+}
+
+/// Renders one cycle as a finding naming every acquisition site on it.
+fn cycle_finding(
+    cycle: &[String],
+    unique: &BTreeMap<(String, String), &LockEdge>,
+) -> (String, Finding) {
+    let ring: String = cycle
+        .iter()
+        .chain(cycle.first())
+        .map(|n| format!("`{n}`"))
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    let mut sites = Vec::new();
+    let mut anchor: Option<&LockEdge> = None;
+    for i in 0..cycle.len() {
+        let held = &cycle[i];
+        let acquired = &cycle[(i + 1) % cycle.len()];
+        if let Some(edge) = unique.get(&(held.clone(), acquired.clone())) {
+            sites.push(format!(
+                "`{acquired}` is acquired at {}:{} while `{held}` is held (guard taken at \
+                 {}:{})",
+                edge.acquired_file, edge.acquired_line, edge.held_file, edge.held_line
+            ));
+            if anchor.is_none() {
+                anchor = Some(edge);
+            }
+        }
+    }
+    let (anchor_file, anchor_line) = anchor
+        .map(|e| (e.acquired_file.clone(), e.acquired_line))
+        .unwrap_or_else(|| (String::from("<unknown>"), 0));
+    let finding = Finding::new(
+        "L020",
+        Severity::Error,
+        &anchor_file,
+        anchor_line,
+        format!("lock-order cycle {ring}: {}", sites.join("; ")),
+        "pick one global acquisition order for these locks and use it at every site, or \
+         merge them into one lock; justify an impossible interleaving with \
+         `// ssdep-lint: allow(L020, reason)`",
+    );
+    (anchor_file, finding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(held: &str, acquired: &str, file: &str, line: usize) -> LockEdge {
+        LockEdge {
+            held: held.to_string(),
+            acquired: acquired.to_string(),
+            held_file: file.to_string(),
+            held_line: line.saturating_sub(1),
+            acquired_file: file.to_string(),
+            acquired_line: line,
+        }
+    }
+
+    #[test]
+    fn consistent_order_has_no_findings() {
+        let edges = vec![
+            edge("alpha", "beta", "a.rs", 10),
+            edge("alpha", "beta", "b.rs", 20),
+            edge("beta", "gamma", "a.rs", 30),
+        ];
+        assert!(lock_order_findings(&edges).is_empty());
+    }
+
+    #[test]
+    fn two_lock_cycle_names_both_sites() {
+        let edges = vec![
+            edge("alpha", "beta", "crates/serve/src/lib.rs", 15),
+            edge("beta", "alpha", "crates/opt/src/lib.rs", 25),
+        ];
+        let findings = lock_order_findings(&edges);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let (file, finding) = &findings[0];
+        assert_eq!(file, "crates/serve/src/lib.rs");
+        assert!(finding.message.contains("crates/serve/src/lib.rs:15"));
+        assert!(finding.message.contains("crates/opt/src/lib.rs:25"));
+        assert!(finding.message.contains("`alpha` -> `beta` -> `alpha`"));
+    }
+
+    #[test]
+    fn each_cycle_reported_once() {
+        let edges = vec![
+            edge("a", "b", "x.rs", 1),
+            edge("b", "c", "x.rs", 2),
+            edge("c", "a", "x.rs", 3),
+            edge("b", "a", "y.rs", 4),
+        ];
+        let findings = lock_order_findings(&edges);
+        // One 3-cycle a->b->c->a and one 2-cycle a->b->a.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn self_edge_is_a_self_deadlock_except_indexed_families() {
+        let edges = vec![
+            edge("journal", "journal", "x.rs", 7),
+            edge("shards[_]", "shards[_]", "y.rs", 9),
+        ];
+        let findings = lock_order_findings(&edges);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].1.message.contains("not reentrant"));
+    }
+}

@@ -12,8 +12,11 @@
 //! lexing the lints need (comment/string masking, attribute regions,
 //! pragma comments).
 
+pub mod catalog;
 pub mod findings;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 mod workspace;
 

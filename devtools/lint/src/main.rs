@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! ssdep-lint [--json] [--deny-warnings] [--root DIR] [FILES…]
+//! ssdep-lint --explain L0xx
 //! ```
 //!
 //! With no file arguments it lints the whole workspace under `--root`
 //! (default: the current directory), including the cross-artifact L004
 //! check. With file arguments it lints exactly those files with every
-//! lint family enabled — the mode the fixture suite uses.
+//! lint family enabled — the mode the fixture suite uses. `--explain`
+//! prints the catalog entry for one code (rationale + fix example) and
+//! exits without linting anything.
 //!
 //! Exit status: 0 clean, 1 warnings under `--deny-warnings`, 2 errors —
 //! the same ladder as `ssdep check`.
@@ -32,8 +35,16 @@ fn main() -> ExitCode {
                 };
                 root = PathBuf::from(dir);
             }
+            "--explain" => {
+                let Some(code) = args.next() else {
+                    eprintln!("ssdep-lint: --explain needs a lint code (e.g. L020)");
+                    return ExitCode::from(2);
+                };
+                return explain(&code);
+            }
             "--help" | "-h" => {
                 println!("usage: ssdep-lint [--json] [--deny-warnings] [--root DIR] [FILES...]");
+                println!("       ssdep-lint --explain L0xx");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -68,4 +79,26 @@ fn main() -> ExitCode {
         print!("{}", report.render_human(&format!("ssdep-lint: {scope}")));
     }
     ExitCode::from(report.exit_status(deny_warnings))
+}
+
+/// Prints the catalog entry for `code`, or the list of known codes when
+/// the code is unknown (exit 2, same as any other usage error).
+fn explain(code: &str) -> ExitCode {
+    match ssdep_lint::catalog::entry(code) {
+        Some(entry) => {
+            print!("{}", ssdep_lint::catalog::render(entry));
+            ExitCode::SUCCESS
+        }
+        None => {
+            let known: Vec<&str> = ssdep_lint::catalog::CATALOG
+                .iter()
+                .map(|e| e.code)
+                .collect();
+            eprintln!(
+                "ssdep-lint: unknown lint code `{code}`; known codes: {}",
+                known.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
 }

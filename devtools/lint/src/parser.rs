@@ -1,0 +1,600 @@
+//! A std-only block/brace-tree parser layered over [`crate::lexer`],
+//! tracking `MutexGuard` / `RwLockGuard` bindings and their live scopes.
+//!
+//! The lexer gives us masked text (comments and string contents are
+//! spaces, line structure preserved); this module adds just enough
+//! structure for the concurrency lints:
+//!
+//! * a brace tree (every `{` paired with its `}`), so a binding's
+//!   enclosing block — and therefore a guard's drop point — is known;
+//! * recognition of lock acquisitions: `expr.lock()` always, and
+//!   zero-argument `expr.read()` / `expr.write()` (which discriminates
+//!   `RwLock` from `io::Read::read(&mut buf)` — the I/O forms always
+//!   take arguments, and masked string arguments still occupy columns);
+//! * the **live scope** of each acquired guard, by statement shape:
+//!   - `let g = expr.lock()…;` (incl. `.unwrap()` chains and
+//!     `let g = match expr.lock() { Ok(g) => g, Err(p) => p.into_inner() }`)
+//!     lives to the end of the enclosing block, truncated at `drop(g)`;
+//!   - `if let Ok(g) = expr.lock()` / `while let …` lives for the
+//!     condition's body block;
+//!   - a bare `match expr.lock() { … }` scrutinee lives for the match
+//!     body;
+//!   - any other expression temporary lives to the end of its statement.
+//!
+//! **Known limits** (documented in `DESIGN.md` §11): no macro expansion,
+//! no trait dispatch, and no interprocedural analysis — a guard returned
+//! from a helper (`fn shard(&self) -> MutexGuard<'_, Shard>`) is
+//! invisible at its call sites, and lock paths are matched nominally by
+//! field name, so two same-named fields on different structs alias.
+
+use crate::lexer::{LexedFile, FLAG_TEST};
+
+/// What kind of lock an acquisition takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `Mutex::lock()`.
+    Mutex,
+    /// `RwLock::read()`.
+    RwRead,
+    /// `RwLock::write()`.
+    RwWrite,
+}
+
+/// One lock acquisition with the char range where its guard is live.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    /// Normalized lock path (`shards[_]`, `receiver`, `alpha`), keyed by
+    /// the trailing field name so call sites in different files match.
+    pub path: String,
+    /// What kind of lock this is.
+    pub kind: LockKind,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// Char index (into the masked text) of the acquisition method.
+    pub pos: usize,
+    /// Live scope as a half-open char range of the masked text.
+    pub scope: (usize, usize),
+    /// The binding name, when the guard is `let`-bound.
+    pub binding: Option<String>,
+    /// Whether the acquisition sits in a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// The parsed view of one file: its guards with live scopes.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub guards: Vec<Guard>,
+}
+
+impl ParsedFile {
+    /// Parses the lexed file's masked text.
+    pub fn parse(lexed: &LexedFile) -> ParsedFile {
+        Parser::new(lexed).run()
+    }
+
+    /// Pairs `(holding, acquired)` of guard indices where the second
+    /// acquisition happens inside the first guard's live scope — the
+    /// acquired-while-holding edge set the lock-order graph consumes.
+    pub fn nested_acquisitions(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, held) in self.guards.iter().enumerate() {
+            for (j, acq) in self.guards.iter().enumerate() {
+                if i != j && acq.pos > held.scope.0 && acq.pos < held.scope.1 {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    line_at: Vec<usize>,
+    /// `(open, close)` char indices of every brace pair, in open order.
+    blocks: Vec<(usize, usize)>,
+    lexed: &'a LexedFile,
+}
+
+impl<'a> Parser<'a> {
+    fn new(lexed: &'a LexedFile) -> Parser<'a> {
+        let chars: Vec<char> = lexed.masked.chars().collect();
+        let mut line_at = Vec::with_capacity(chars.len());
+        let mut line = 1usize;
+        for &c in &chars {
+            line_at.push(line);
+            if c == '\n' {
+                line += 1;
+            }
+        }
+        let blocks = brace_pairs(&chars);
+        Parser {
+            chars,
+            line_at,
+            blocks,
+            lexed,
+        }
+    }
+
+    fn run(&self) -> ParsedFile {
+        let mut guards = Vec::new();
+        let mut i = 0usize;
+        while i < self.chars.len() {
+            let c = self.chars[i];
+            if !(c.is_alphabetic() || c == '_') {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < self.chars.len() && (self.chars[i].is_alphanumeric() || self.chars[i] == '_')
+            {
+                i += 1;
+            }
+            let ident: String = self.chars[start..i].iter().collect();
+            let kind = match ident.as_str() {
+                "lock" => LockKind::Mutex,
+                "read" => LockKind::RwRead,
+                "write" => LockKind::RwWrite,
+                _ => continue,
+            };
+            if let Some(guard) = self.guard_at(start, i, kind) {
+                guards.push(guard);
+            }
+        }
+        ParsedFile { guards }
+    }
+
+    /// Builds the [`Guard`] for a candidate acquisition ident, if the
+    /// surrounding shape really is one.
+    fn guard_at(&self, start: usize, end: usize, kind: LockKind) -> Option<Guard> {
+        // Must be `.method()` — a *zero-argument* call. The I/O forms
+        // (`read(&mut buf)`, `write(b"…")`) always pass arguments, and
+        // masked literals still occupy their columns, so requiring `)`
+        // immediately after `(` rejects them.
+        let dot = self.prev_non_ws(start)?;
+        if self.chars[dot] != '.' {
+            return None;
+        }
+        let open = self.skip_ws(end);
+        if self.chars.get(open) != Some(&'(') || self.chars.get(open + 1) != Some(&')') {
+            return None;
+        }
+        let after_call = open + 2;
+
+        let chain_start = self.chain_start(dot);
+        let raw: String = self.chars[chain_start..dot].iter().collect();
+        let path = normalize_lock_path(&raw);
+        if path.is_empty() {
+            return None;
+        }
+
+        let stmt_start = self.statement_start(chain_start);
+        let head: String = self.chars[stmt_start..chain_start].iter().collect();
+        let head = head.trim();
+
+        let mut binding = None;
+        let scope = if head.starts_with("if") || head.starts_with("while") {
+            // `if let Ok(g) = expr.lock()` — the guard lives for the
+            // condition's body block.
+            binding = let_pattern_binding(head);
+            self.next_block_extent(after_call)
+        } else if head.starts_with("let") {
+            // `let g = expr.lock()…;` or `let g = match expr.lock() {…};`
+            // — lives to the end of the enclosing block, truncated at
+            // `drop(g)`.
+            binding = let_pattern_binding(head);
+            let block_end = self.enclosing_block_end(stmt_start);
+            let mut scope_end = block_end;
+            if let Some(name) = &binding {
+                if let Some(dropped) = self.drop_pos(after_call, block_end, name) {
+                    scope_end = dropped;
+                }
+            }
+            (after_call, scope_end)
+        } else if head.contains("match") {
+            // Bare `match expr.lock() { … }` scrutinee: lives for the
+            // match body.
+            self.next_block_extent(after_call)
+        } else {
+            // Expression temporary: lives to the end of the statement.
+            (after_call, self.statement_end(after_call))
+        };
+
+        Some(Guard {
+            path,
+            kind,
+            line: self.line(start),
+            pos: start,
+            scope,
+            binding,
+            in_test: self.lexed.has_flag(self.line(start), FLAG_TEST),
+        })
+    }
+
+    fn line(&self, i: usize) -> usize {
+        self.line_at
+            .get(i)
+            .copied()
+            .unwrap_or_else(|| self.line_at.last().copied().unwrap_or(1))
+    }
+
+    fn skip_ws(&self, mut i: usize) -> usize {
+        while i < self.chars.len() && self.chars[i].is_whitespace() {
+            i += 1;
+        }
+        i
+    }
+
+    fn prev_non_ws(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.chars[j].is_whitespace())
+    }
+
+    /// Start of the postfix receiver chain whose final `.` sits at `dot`:
+    /// identifiers, `.`/`::`, and balanced `(…)` / `[…]` groups.
+    fn chain_start(&self, dot: usize) -> usize {
+        let mut i = dot;
+        let mut depth = 0usize;
+        while i > 0 {
+            let c = self.chars[i - 1];
+            let consume = if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' {
+                true
+            } else if c == ')' || c == ']' {
+                depth += 1;
+                true
+            } else if c == '(' || c == '[' {
+                if depth == 0 {
+                    false
+                } else {
+                    depth -= 1;
+                    true
+                }
+            } else {
+                depth > 0
+            };
+            if !consume {
+                break;
+            }
+            i -= 1;
+        }
+        i
+    }
+
+    /// First char of the statement containing `pos`: just past the
+    /// nearest preceding `;`, `{`, or `}`.
+    fn statement_start(&self, pos: usize) -> usize {
+        let mut i = pos;
+        while i > 0 {
+            match self.chars[i - 1] {
+                ';' | '{' | '}' => return i,
+                _ => i -= 1,
+            }
+        }
+        0
+    }
+
+    /// Char index just past the end of the statement starting inside the
+    /// current nesting at `from`: a `;` or `,` at relative depth 0, or
+    /// the close of the enclosing block.
+    fn statement_end(&self, from: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = from;
+        while i < self.chars.len() {
+            match self.chars[i] {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    if depth == 0 {
+                        return i;
+                    }
+                    depth -= 1;
+                }
+                ';' | ',' if depth == 0 => return i,
+                _ => {}
+            }
+            i += 1;
+        }
+        self.chars.len()
+    }
+
+    /// Close index of the innermost brace pair containing `pos`, or the
+    /// file end when `pos` is at the top level.
+    fn enclosing_block_end(&self, pos: usize) -> usize {
+        let mut best: Option<(usize, usize)> = None;
+        for &(open, close) in &self.blocks {
+            if open < pos && pos <= close && best.is_none_or(|(o, _)| open > o) {
+                best = Some((open, close));
+            }
+        }
+        best.map_or(self.chars.len(), |(_, close)| close)
+    }
+
+    /// Scope of the next block after `from`: `(from, close-of-that-block)`.
+    /// Used for `if let` bodies and bare `match` scrutinees.
+    fn next_block_extent(&self, from: usize) -> (usize, usize) {
+        for &(open, close) in &self.blocks {
+            if open >= from {
+                return (from, close);
+            }
+        }
+        (from, self.chars.len())
+    }
+
+    /// Position of `drop(name)` between `from` and `until`, if any.
+    fn drop_pos(&self, from: usize, until: usize, name: &str) -> Option<usize> {
+        let mut i = from;
+        while i + 4 < until.min(self.chars.len()) {
+            if self.chars[i..].starts_with(&['d', 'r', 'o', 'p'])
+                && (i == 0 || !is_ident_char(self.chars[i - 1]))
+            {
+                let mut j = self.skip_ws(i + 4);
+                if self.chars.get(j) == Some(&'(') {
+                    j = self.skip_ws(j + 1);
+                    let name_chars: Vec<char> = name.chars().collect();
+                    if self.chars[j..].starts_with(&name_chars[..]) {
+                        let after = self.skip_ws(j + name_chars.len());
+                        if self.chars.get(after) == Some(&')') {
+                            return Some(i);
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Every `{`/`}` pair in the masked text, by a simple depth stack.
+fn brace_pairs(chars: &[char]) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        match c {
+            '{' => stack.push(i),
+            '}' => {
+                if let Some(open) = stack.pop() {
+                    pairs.push((open, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// The binding name of a `let` pattern head (`let g =`, `let mut g =`,
+/// `if let Ok(mut g) =`): the last identifier between `let` and `=`,
+/// skipping `mut` and pattern constructors.
+fn let_pattern_binding(head: &str) -> Option<String> {
+    let eq = head.find('=')?;
+    let let_pos = head.find("let")?;
+    if let_pos >= eq {
+        return None;
+    }
+    let pattern = &head[let_pos + 3..eq];
+    let mut last = None;
+    let mut current = String::new();
+    for c in pattern.chars().chain(std::iter::once(' ')) {
+        if is_ident_char(c) {
+            current.push(c);
+        } else if !current.is_empty() {
+            let word = std::mem::take(&mut current);
+            if word != "mut"
+                && word != "ref"
+                && !word.chars().next().is_some_and(char::is_uppercase)
+            {
+                last = Some(word);
+            }
+        }
+    }
+    last
+}
+
+/// Normalizes a receiver chain to a lock path: whitespace stripped,
+/// outer parens/borrows peeled, `self.` dropped, index expressions
+/// collapsed to `[_]`, call arguments collapsed to `()` — then keyed by
+/// the trailing field segment so acquisition sites in different files
+/// (through different local names) match nominally.
+fn normalize_lock_path(raw: &str) -> String {
+    // Peel leading borrows / `mut ` / outer parens (token-wise, so a
+    // field named `mutex` keeps its name).
+    let mut s = raw.trim().to_string();
+    loop {
+        let mut t = s.trim().to_string();
+        if let Some(rest) = t.strip_prefix(['&', '*']) {
+            t = rest.to_string();
+        } else if let Some(rest) = t.strip_prefix("mut ") {
+            t = rest.to_string();
+        } else if t.starts_with('(') && t.ends_with(')') && t.len() >= 2 {
+            t = t[1..t.len() - 1].to_string();
+        }
+        if t == s {
+            break;
+        }
+        s = t;
+    }
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    let s = s.strip_prefix("self.").unwrap_or(&s).to_string();
+    // Collapse bracket / paren groups so `shards[index]` and
+    // `shards[(i + 1) % n]` both read `shards[_]`.
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for c in s.chars() {
+        match c {
+            '[' => {
+                if depth == 0 {
+                    out.push_str("[_");
+                }
+                depth += 1;
+            }
+            '(' => {
+                if depth == 0 {
+                    out.push('(');
+                }
+                depth += 1;
+            }
+            ']' | ')' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    out.push(c);
+                }
+            }
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    // Key by the trailing field segment: `shared.alpha` and
+    // `state.alpha` are the same lock field.
+    let trimmed = out.trim_end_matches('.');
+    let key = match trimmed.rfind('.') {
+        Some(i) if i + 1 < trimmed.len() => &trimmed[i + 1..],
+        _ => trimmed,
+    };
+    key.trim_start_matches(':').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        ParsedFile::parse(&LexedFile::lex(src))
+    }
+
+    #[test]
+    fn normalizes_lock_paths() {
+        assert_eq!(normalize_lock_path("self.shards[index]"), "shards[_]");
+        assert_eq!(normalize_lock_path("shared.alpha"), "alpha");
+        assert_eq!(normalize_lock_path("receiver"), "receiver");
+        assert_eq!(normalize_lock_path("(*map)"), "map");
+        assert_eq!(normalize_lock_path("&state.beta"), "beta");
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end() {
+        let src = "\
+fn f(m: &std::sync::Mutex<u64>) {
+    let g = m.lock().unwrap_or_else(|p| p.into_inner());
+    work();
+    more();
+}
+";
+        let parsed = parse(src);
+        assert_eq!(parsed.guards.len(), 1);
+        let g = &parsed.guards[0];
+        assert_eq!(g.path, "m");
+        assert_eq!(g.binding.as_deref(), Some("g"));
+        assert_eq!(g.kind, LockKind::Mutex);
+        // Scope reaches past both calls to the closing brace.
+        let tail: String = src.chars().take(g.scope.1).collect();
+        assert!(tail.contains("more()"), "scope too short: {g:?}");
+    }
+
+    #[test]
+    fn drop_truncates_the_scope() {
+        let src = "\
+fn f(m: &std::sync::Mutex<u64>) {
+    let g = match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    drop(g);
+    after();
+}
+";
+        let parsed = parse(src);
+        assert_eq!(parsed.guards.len(), 1);
+        let g = &parsed.guards[0];
+        assert_eq!(g.binding.as_deref(), Some("g"));
+        let scope_text: String = src
+            .chars()
+            .skip(g.scope.0)
+            .take(g.scope.1 - g.scope.0)
+            .collect();
+        assert!(
+            !scope_text.contains("after()"),
+            "drop(g) must end the scope: {scope_text}"
+        );
+    }
+
+    #[test]
+    fn match_temporary_scopes_to_the_match_body() {
+        let src = "\
+fn len(m: &std::sync::Mutex<Vec<u64>>) -> usize {
+    match m.lock() {
+        Ok(g) => g.len(),
+        Err(p) => p.into_inner().len(),
+    }
+}
+fn after() {}
+";
+        let parsed = parse(src);
+        assert_eq!(parsed.guards.len(), 1);
+        let g = &parsed.guards[0];
+        let scope_text: String = src
+            .chars()
+            .skip(g.scope.0)
+            .take(g.scope.1 - g.scope.0)
+            .collect();
+        assert!(scope_text.contains("into_inner"));
+        assert!(!scope_text.contains("fn after"));
+    }
+
+    #[test]
+    fn rwlock_read_is_zero_arg_only() {
+        let src = "\
+fn f(l: &std::sync::RwLock<u64>, s: &mut std::net::TcpStream, buf: &mut [u8]) {
+    let g = l.read().unwrap_or_else(|p| p.into_inner());
+    let _ = std::io::Read::read(s, buf);
+    let _n = s.read(buf);
+}
+";
+        let parsed = parse(src);
+        assert_eq!(parsed.guards.len(), 1, "{:?}", parsed.guards);
+        assert_eq!(parsed.guards[0].kind, LockKind::RwRead);
+        assert_eq!(parsed.guards[0].path, "l");
+    }
+
+    #[test]
+    fn nested_acquisitions_form_edges() {
+        let src = "\
+fn f(s: &Shared) {
+    let a = match s.alpha.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    let b = match s.beta.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    let _ = (*a, *b);
+}
+";
+        let parsed = parse(src);
+        assert_eq!(parsed.guards.len(), 2);
+        let edges = parsed.nested_acquisitions();
+        assert_eq!(edges, vec![(0, 1)], "alpha holds while beta acquires");
+        assert_eq!(parsed.guards[0].path, "alpha");
+        assert_eq!(parsed.guards[1].path, "beta");
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(m: &std::sync::Mutex<u64>) {
+        let g = m.lock().unwrap();
+        let _ = *g;
+    }
+}
+";
+        let parsed = parse(src);
+        assert_eq!(parsed.guards.len(), 1);
+        assert!(parsed.guards[0].in_test);
+    }
+}

@@ -22,12 +22,24 @@
 //!   `VecDeque::new`) or a bare `JoinHandle::join()` in daemon code
 //!   outside the admission seam, where backpressure and drain deadlines
 //!   cannot apply.
+//! * **L020** — lock-order cycles in the workspace acquired-while-
+//!   holding graph; implemented in [`crate::graph`] over the per-file
+//!   guard scopes from [`crate::parser`].
+//! * **L021** — a Mutex/RwLock guard held across blocking I/O
+//!   (`sync_all`, `write_all`, TcpStream ops, `recv`, `.join()`).
+//! * **L022** — `Ordering::Relaxed` on an atomic that gates cross-
+//!   thread control flow (flags read in loop conditions or latch
+//!   checks).
+//! * **L023** — `HashMap`/`HashSet` iteration feeding byte-stable
+//!   output paths (journal lines, `/evaluate` JSON, `--json` CLI
+//!   output), which must use `BTreeMap` or a sorted collect.
 
 use crate::findings::{Finding, Severity};
 use crate::lexer::{
     LexedFile, FLAG_ALLOW_EXPECT, FLAG_ALLOW_PANIC, FLAG_ALLOW_UNREACHABLE, FLAG_ALLOW_UNWRAP,
     FLAG_TEST,
 };
+use crate::parser::ParsedFile;
 
 /// Which lint families apply to a file.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +56,12 @@ pub struct Role {
     /// Daemon code: the bounded-queue / deadlined-join policy (L012)
     /// applies.
     pub bounded: bool,
+    /// Cross-thread code: the guard-liveness and memory-ordering
+    /// policies (L020/L021/L022) apply.
+    pub concurrency: bool,
+    /// Byte-stable output code: the deterministic-iteration policy
+    /// (L023) applies.
+    pub stable: bool,
 }
 
 impl Role {
@@ -55,6 +73,8 @@ impl Role {
         signatures: true,
         io_seam: true,
         bounded: true,
+        concurrency: true,
+        stable: true,
     };
 }
 
@@ -86,6 +106,14 @@ pub fn raw_findings(path: &str, lexed: &LexedFile, role: Role) -> Vec<Finding> {
     }
     if role.bounded {
         lint_bounded(path, &text, &mut findings);
+    }
+    if role.concurrency {
+        let parsed = ParsedFile::parse(lexed);
+        lint_guard_blocking(path, &text, &parsed, &mut findings);
+        lint_relaxed_ordering(path, &text, &mut findings);
+    }
+    if role.stable {
+        lint_hash_iteration(path, &text, &mut findings);
     }
     findings
 }
@@ -676,6 +704,664 @@ fn lint_bounded(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
+// L021 — guard held across blocking I/O
+// ---------------------------------------------------------------------
+
+/// Calls that can block indefinitely while a guard pins a lock. `join`
+/// is matched only as an empty call (`.join()`), so `slice.join(", ")`
+/// — whose masked string argument still occupies columns — never
+/// matches. Condvar `wait*` is deliberately absent: waiting *with* the
+/// guard is that API's contract.
+const BLOCKING_CALLS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "flush",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "accept",
+    "connect",
+    "sleep",
+    "join",
+];
+
+fn lint_guard_blocking(
+    path: &str,
+    text: &Text<'_>,
+    parsed: &ParsedFile,
+    findings: &mut Vec<Finding>,
+) {
+    for guard in &parsed.guards {
+        if guard.in_test {
+            continue;
+        }
+        for (start, end) in text.idents() {
+            if start <= guard.scope.0 || start >= guard.scope.1 || text.in_test(start) {
+                continue;
+            }
+            let ident = text.ident_at((start, end));
+            if !BLOCKING_CALLS.contains(&ident.as_str()) {
+                continue;
+            }
+            let open = text.skip_ws(end);
+            if text.chars.get(open) != Some(&'(') {
+                continue;
+            }
+            if ident == "join" && text.chars.get(open + 1) != Some(&')') {
+                continue;
+            }
+            // Method (`.recv(`) or path (`thread::sleep(`) calls only —
+            // a local fn named `connect` is out of scope.
+            let Some(prev) = text.prev_non_ws(start) else {
+                continue;
+            };
+            if text.chars[prev] != '.' && text.chars[prev] != ':' {
+                continue;
+            }
+            findings.push(Finding::new(
+                "L021",
+                Severity::Error,
+                path,
+                text.line(start),
+                format!(
+                    "`{ident}` can block while the guard on `{}` (acquired line {}) is still \
+                     live — every thread contending for that lock stalls behind this I/O",
+                    guard.path, guard.line
+                ),
+                "shrink the critical section: copy what you need out of the guard, \
+                 `drop(guard)`, then block — or justify an intentional handoff with \
+                 `// ssdep-lint: allow(L021, reason)`",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L022 — Relaxed ordering on control-flow atomics
+// ---------------------------------------------------------------------
+
+/// `_`-separated name segments that mark an atomic as a cross-thread
+/// control-flow flag rather than a counter.
+const FLAG_SEGMENTS: &[&str] = &[
+    "shutdown",
+    "stop",
+    "stopped",
+    "halt",
+    "halted",
+    "done",
+    "closed",
+    "closing",
+    "draining",
+    "drained",
+    "cancel",
+    "cancelled",
+    "canceled",
+    "quit",
+    "exit",
+    "latch",
+    "degraded",
+    "sealed",
+    "terminate",
+    "terminated",
+];
+
+/// A `while`/`if` condition span and its body, as char ranges.
+struct CondSpan {
+    is_loop: bool,
+    cond: (usize, usize),
+    body: (usize, usize),
+}
+
+fn condition_spans(text: &Text<'_>) -> Vec<CondSpan> {
+    let mut spans = Vec::new();
+    for (start, end) in text.idents() {
+        let ident = text.ident_at((start, end));
+        let is_loop = match ident.as_str() {
+            "while" => true,
+            "if" => false,
+            _ => continue,
+        };
+        // Condition runs to the first `{` outside brackets.
+        let mut depth = 0i32;
+        let mut i = end;
+        let mut open = None;
+        while i < text.chars.len() {
+            match text.chars[i] {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' if depth == 0 => {
+                    open = Some(i);
+                    break;
+                }
+                ';' if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(open) = open else { continue };
+        spans.push(CondSpan {
+            is_loop,
+            cond: (end, open),
+            body: (open, text.match_delim(open)),
+        });
+    }
+    spans
+}
+
+fn lint_relaxed_ordering(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
+    let spans = condition_spans(text);
+    for (start, end) in text.idents() {
+        if text.in_test(start) || text.ident_at((start, end)) != "Relaxed" {
+            continue;
+        }
+        // Must be `Ordering::Relaxed`.
+        let Some(colon) = text.prev_non_ws(start) else {
+            continue;
+        };
+        if text.chars[colon] != ':' || colon == 0 || text.chars[colon - 1] != ':' {
+            continue;
+        }
+        // The atomic method whose argument list we are inside.
+        let Some((method, receiver)) = enclosing_atomic_call(text, start) else {
+            continue;
+        };
+        // RMWs (`fetch_add` claim counters, compare_exchange loops) are
+        // the legitimate Relaxed users here.
+        if method.starts_with("fetch_") || method.starts_with("compare_exchange") {
+            continue;
+        }
+        let is_load = method == "load";
+        let flaggish = flag_named(&receiver);
+        let mut why = None;
+        if is_load {
+            for span in &spans {
+                if start > span.cond.0 && start < span.cond.1 {
+                    if span.is_loop {
+                        why = Some("is read in a loop condition".to_string());
+                    } else if body_redirects(text, span.body) {
+                        why = Some(
+                            "is read in a latch check that redirects control flow".to_string(),
+                        );
+                    }
+                    if why.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        if why.is_none() && flaggish && (is_load || method == "store" || method == "swap") {
+            why = Some(format!("`{receiver}` names a cross-thread flag"));
+        }
+        let Some(why) = why else { continue };
+        findings.push(Finding::new(
+            "L022",
+            Severity::Error,
+            path,
+            text.line(start),
+            format!(
+                "`Ordering::Relaxed` on an atomic that gates cross-thread control flow ({why}) \
+                 — the {method} may observe the other thread's update arbitrarily late"
+            ),
+            "use `Ordering::SeqCst` (or a documented Acquire/Release pair) for flags and \
+             latches; Relaxed is for counters — or justify with \
+             `// ssdep-lint: allow(L022, reason)`",
+        ));
+    }
+}
+
+/// The method call whose argument list contains `pos`, with its
+/// receiver's trailing path — `(load, "inner.shutdown")` for
+/// `inner.shutdown.load(Ordering::Relaxed)`.
+fn enclosing_atomic_call(text: &Text<'_>, pos: usize) -> Option<(String, String)> {
+    let mut depth = 0usize;
+    let mut i = pos;
+    let open = loop {
+        if i == 0 {
+            return None;
+        }
+        match text.chars[i - 1] {
+            ')' => depth += 1,
+            '(' => {
+                if depth == 0 {
+                    break i - 1;
+                }
+                depth -= 1;
+            }
+            '{' | '}' | ';' if depth == 0 => return None,
+            _ => {}
+        }
+        i -= 1;
+    };
+    let method_end = open;
+    let mut method_start = method_end;
+    while method_start > 0 && {
+        let c = text.chars[method_start - 1];
+        c.is_alphanumeric() || c == '_'
+    } {
+        method_start -= 1;
+    }
+    if method_start == method_end {
+        return None;
+    }
+    let method = text.slice(method_start, method_end);
+    let receiver = match text.prev_non_ws(method_start) {
+        Some(dot) if text.chars[dot] == '.' => {
+            let mut j = dot;
+            let mut bdepth = 0usize;
+            while j > 0 {
+                let c = text.chars[j - 1];
+                let consume = if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' {
+                    true
+                } else if c == ')' || c == ']' {
+                    bdepth += 1;
+                    true
+                } else if c == '(' || c == '[' {
+                    if bdepth == 0 {
+                        false
+                    } else {
+                        bdepth -= 1;
+                        true
+                    }
+                } else {
+                    bdepth > 0
+                };
+                if !consume {
+                    break;
+                }
+                j -= 1;
+            }
+            text.slice(j, dot)
+        }
+        _ => String::new(),
+    };
+    Some((method, receiver))
+}
+
+/// Whether the last `.`-segment of `receiver` contains a flag-like
+/// `_`-separated name segment.
+fn flag_named(receiver: &str) -> bool {
+    let last = receiver.rsplit('.').next().unwrap_or(receiver);
+    last.split(|c: char| !c.is_alphanumeric())
+        .flat_map(|part| part.split('_'))
+        .any(|seg| FLAG_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+/// Whether a condition body contains `break`/`return` — the latch shape.
+fn body_redirects(text: &Text<'_>, body: (usize, usize)) -> bool {
+    for (start, end) in text.idents() {
+        if start <= body.0 || start >= body.1 {
+            continue;
+        }
+        let ident = text.ident_at((start, end));
+        if ident == "break" || ident == "return" {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// L023 — hash iteration feeding byte-stable outputs
+// ---------------------------------------------------------------------
+
+/// Iterator-producing methods whose order leaks into the result.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Statement substrings that prove the iteration's consumer is order-
+/// insensitive or re-sorted: reductions, membership, size, a sorted
+/// container, or an in-statement sort.
+const ORDER_INSENSITIVE: &[&str] = &[
+    ".min",
+    ".max",
+    ".sum",
+    ".count",
+    ".any",
+    ".all",
+    ".fold",
+    ".len",
+    ".is_empty",
+    ".sort",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+fn lint_hash_iteration(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
+    let names = hash_container_names(text);
+    if names.is_empty() {
+        return;
+    }
+    for (start, end) in text.idents() {
+        if text.in_test(start) {
+            continue;
+        }
+        let ident = text.ident_at((start, end));
+        if HASH_ITER_METHODS.contains(&ident.as_str()) {
+            let Some(dot) = text.prev_non_ws(start) else {
+                continue;
+            };
+            if text.chars[dot] != '.' || text.chars.get(text.skip_ws(end)) != Some(&'(') {
+                continue;
+            }
+            let Some(name) = receiver_field(text, dot, &names) else {
+                continue;
+            };
+            if stable_consumer(text, start) {
+                continue;
+            }
+            push_l023(path, text, start, &name, findings);
+        } else if ident == "for" {
+            // `for pat in <expr> {` — iterating a hash container by
+            // reference has the same nondeterministic order.
+            let Some(name) = for_loop_hash_source(text, end, &names) else {
+                continue;
+            };
+            push_l023(path, text, start, &name, findings);
+        }
+    }
+}
+
+fn push_l023(path: &str, text: &Text<'_>, start: usize, name: &str, findings: &mut Vec<Finding>) {
+    findings.push(Finding::new(
+        "L023",
+        Severity::Error,
+        path,
+        text.line(start),
+        format!(
+            "iteration over hash container `{name}` feeds an output path required to be \
+             byte-stable, but `HashMap`/`HashSet` order differs per process"
+        ),
+        "use a `BTreeMap`/`BTreeSet`, or collect and sort before emitting \
+         (`let mut v: Vec<_> = m.keys().collect(); v.sort();`), or justify with \
+         `// ssdep-lint: allow(L023, reason)`",
+    ));
+}
+
+/// Names bound to `HashMap`/`HashSet` values in this file: type
+/// ascriptions (`name: HashMap<…>` on fields, params, and lets — with
+/// `&`/`mut`/lifetimes peeled) and `let name = HashMap::new()`-style
+/// constructions.
+fn hash_container_names(text: &Text<'_>) -> Vec<String> {
+    let mut names = Vec::new();
+    let idents: Vec<(usize, usize)> = text.idents().collect();
+    for (n, &(start, end)) in idents.iter().enumerate() {
+        let ident = text.ident_at((start, end));
+        if ident != "HashMap" && ident != "HashSet" {
+            continue;
+        }
+        // `use std::collections::HashMap` / `HashMap::new()` receivers
+        // are type positions, not bindings.
+        if let Some(prev) = text.prev_non_ws(start) {
+            if text.chars[prev] == ':' && prev > 0 && text.chars[prev - 1] == ':' {
+                // `::HashMap` — a path segment. `let m = HashMap::new()`
+                // is handled below via the `=` that precedes the path.
+                if let Some(before) = ascribed_or_assigned_name(text, &idents, n) {
+                    names.push(before);
+                }
+                continue;
+            }
+        }
+        if let Some(name) = ascribed_or_assigned_name(text, &idents, n) {
+            names.push(name);
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// The binding name for the `HashMap`/`HashSet` token at ident index
+/// `n`: either `name : [&|mut|'a ]* Hash…` or `let name = …Hash…::new()`.
+fn ascribed_or_assigned_name(
+    text: &Text<'_>,
+    idents: &[(usize, usize)],
+    n: usize,
+) -> Option<String> {
+    let (start, _) = idents[n];
+    // Walk back over `&`, `'a`, `mut`, and path prefixes to the `:` or
+    // `=` that introduces this type/value.
+    let mut i = start;
+    loop {
+        let prev = text.prev_non_ws(i)?;
+        let c = text.chars[prev];
+        if c == '&' || c == '\'' {
+            i = prev;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            // `mut` qualifier or a path segment like `std`/`collections`.
+            let mut s = prev;
+            while s > 0 && (text.chars[s - 1].is_alphanumeric() || text.chars[s - 1] == '_') {
+                s -= 1;
+            }
+            let word = text.slice(s, prev + 1);
+            if word == "mut" {
+                i = s;
+                continue;
+            }
+            return None;
+        }
+        if c == ':' && prev > 0 && text.chars[prev - 1] == ':' {
+            // `::` path separator — keep walking left past the segment.
+            i = prev - 1;
+            continue;
+        }
+        if c == ':' {
+            // Ascription: the name is the ident just before the colon.
+            let named = text.prev_non_ws(prev)?;
+            if !(text.chars[named].is_alphanumeric() || text.chars[named] == '_') {
+                return None;
+            }
+            let mut s = named;
+            while s > 0 && (text.chars[s - 1].is_alphanumeric() || text.chars[s - 1] == '_') {
+                s -= 1;
+            }
+            let name = text.slice(s, named + 1);
+            return if name.is_empty() { None } else { Some(name) };
+        }
+        if c == '=' {
+            // Assignment: `let name = HashMap::new()` — require the
+            // statement head to be a `let` binding.
+            let named = text.prev_non_ws(prev)?;
+            if !(text.chars[named].is_alphanumeric() || text.chars[named] == '_') {
+                return None;
+            }
+            let mut s = named;
+            while s > 0 && (text.chars[s - 1].is_alphanumeric() || text.chars[s - 1] == '_') {
+                s -= 1;
+            }
+            let name = text.slice(s, named + 1);
+            // The token before must be `let` or `let mut`.
+            let mut check = s;
+            for _ in 0..2 {
+                let p = text.prev_non_ws(check)?;
+                if !(text.chars[p].is_alphanumeric() || text.chars[p] == '_') {
+                    return None;
+                }
+                let mut ws = p;
+                while ws > 0 && (text.chars[ws - 1].is_alphanumeric() || text.chars[ws - 1] == '_')
+                {
+                    ws -= 1;
+                }
+                let word = text.slice(ws, p + 1);
+                if word == "let" {
+                    return Some(name);
+                }
+                if word != "mut" {
+                    return None;
+                }
+                check = ws;
+            }
+            return None;
+        }
+        return None;
+    }
+}
+
+/// The registered container name a `.method()` receiver ends in, if any
+/// (`shard.entries.iter()` matches a registered `entries`).
+fn receiver_field(text: &Text<'_>, dot: usize, names: &[String]) -> Option<String> {
+    let mut j = dot;
+    let mut depth = 0usize;
+    while j > 0 {
+        let c = text.chars[j - 1];
+        let consume = if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' {
+            true
+        } else if c == ')' || c == ']' {
+            depth += 1;
+            true
+        } else if c == '(' || c == '[' {
+            if depth == 0 {
+                false
+            } else {
+                depth -= 1;
+                true
+            }
+        } else {
+            depth > 0
+        };
+        if !consume {
+            break;
+        }
+        j -= 1;
+    }
+    let chain = text.slice(j, dot);
+    let last = chain
+        .rsplit('.')
+        .next()
+        .unwrap_or(&chain)
+        .trim_end_matches(|c: char| !(c.is_alphanumeric() || c == '_'));
+    let last = match last.rfind(|c: char| !(c.is_alphanumeric() || c == '_')) {
+        Some(i) => &last[i + 1..],
+        None => last,
+    };
+    names.iter().find(|n| n.as_str() == last).cloned()
+}
+
+/// Whether the statement containing the iteration (or the statements
+/// that follow it in the same block, for `let v = …collect(); v.sort()`)
+/// proves the consumer order-insensitive.
+fn stable_consumer(text: &Text<'_>, pos: usize) -> bool {
+    // Statement span: back to `;`/`{`/`}`, forward to a `;` at depth 0
+    // or the start of a block (a loop/if header) or the block close.
+    let mut start = pos;
+    while start > 0 && !matches!(text.chars[start - 1], ';' | '{' | '}') {
+        start -= 1;
+    }
+    let mut depth = 0i32;
+    let mut end = pos;
+    while end < text.chars.len() {
+        match text.chars[end] {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            '{' if depth == 0 => break,
+            '}' if depth == 0 => break,
+            ';' if depth == 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    let stmt = text.slice(start, end);
+    if ORDER_INSENSITIVE.iter().any(|m| stmt.contains(m)) {
+        return true;
+    }
+    // `let name = …collect…;` followed by `name.sort…` later in the
+    // same enclosing block is the sanctioned sorted-collect shape.
+    let head = stmt.trim_start();
+    if head.starts_with("let") && stmt.contains("collect") {
+        let Some(eq) = stmt.find('=') else {
+            return false;
+        };
+        let name = stmt[..eq]
+            .trim_start()
+            .trim_start_matches("let")
+            .trim()
+            .trim_start_matches("mut")
+            .trim();
+        let name: String = name
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            let mut bdepth = 0i32;
+            let mut i = end;
+            let needle: Vec<char> = format!("{name}.sort").chars().collect();
+            while i < text.chars.len() {
+                match text.chars[i] {
+                    '{' => bdepth += 1,
+                    '}' => {
+                        if bdepth == 0 {
+                            break;
+                        }
+                        bdepth -= 1;
+                    }
+                    _ => {}
+                }
+                if text.chars[i..].starts_with(&needle[..])
+                    && (i == 0
+                        || !(text.chars[i - 1].is_alphanumeric() || text.chars[i - 1] == '_'))
+                {
+                    return true;
+                }
+                i += 1;
+            }
+        }
+    }
+    false
+}
+
+/// The registered container a `for pat in <expr> {` loop iterates, if
+/// any. `end` is just past the `for` keyword.
+fn for_loop_hash_source(text: &Text<'_>, end: usize, names: &[String]) -> Option<String> {
+    // Find the `in` keyword at depth 0 before the loop body `{`.
+    let mut depth = 0i32;
+    let mut i = end;
+    let mut in_end = None;
+    while i < text.chars.len() {
+        match text.chars[i] {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            '{' if depth == 0 => break,
+            'i' if depth == 0
+                && text.chars.get(i + 1) == Some(&'n')
+                && (i == 0 || !is_word_char(text.chars[i - 1]))
+                && text.chars.get(i + 2).is_some_and(|c| !is_word_char(*c)) =>
+            {
+                in_end = Some(i + 2);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let body_open = i;
+    let expr = text.slice(text.skip_ws(in_end?), body_open);
+    // The iterated expression's trailing field: strip borrows and any
+    // trailing `.iter()`-style call (already handled by the method arm).
+    let expr = expr.trim().trim_start_matches(['&', '*']);
+    let expr = expr.trim_start_matches("mut ").trim();
+    if expr.contains('(') {
+        return None; // method-call iterations are the other arm's job
+    }
+    let last = expr.rsplit('.').next().unwrap_or(expr).trim();
+    names.iter().find(|n| n.as_str() == last).cloned()
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+// ---------------------------------------------------------------------
 // L001 — raw f64 in public model signatures
 // ---------------------------------------------------------------------
 
@@ -1043,6 +1729,8 @@ fn h() { let (_tx, _rx) = std::sync::mpsc::channel::<u64>(); }
                 signatures: false,
                 io_seam: false,
                 bounded: false,
+                concurrency: false,
+                stable: false,
             },
         );
         assert!(quiet.is_empty(), "{quiet:?}");
@@ -1103,5 +1791,124 @@ mod tests {
             .iter()
             .filter(|f| f.code == "L011")
             .all(|f| f.suggestion.contains("sink.rs")));
+    }
+
+    #[test]
+    fn l021_fires_on_blocking_calls_under_a_live_guard() {
+        let src = "\
+fn held(m: &std::sync::Mutex<Vec<u8>>, s: &mut std::net::TcpStream) {
+    let g = match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    let _ = std::io::Write::write_all(s, &g);
+}
+fn released(m: &std::sync::Mutex<Vec<u8>>, s: &mut std::net::TcpStream) {
+    let bytes = {
+        let g = match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        g.clone()
+    };
+    let _ = std::io::Write::write_all(s, &bytes);
+}
+fn dropped(m: &std::sync::Mutex<u64>) {
+    let g = match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    drop(g);
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+";
+        let findings = run(src, Role::ALL);
+        let l021: Vec<usize> = findings
+            .iter()
+            .filter(|f| f.code == "L021")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(l021, vec![6], "{findings:?}");
+        assert!(findings
+            .iter()
+            .filter(|f| f.code == "L021")
+            .all(|f| f.message.contains("`m`")));
+    }
+
+    #[test]
+    fn l022_fires_on_relaxed_control_flow_not_counters() {
+        let src = "\
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+fn spin(flag: &AtomicBool) {
+    while !flag.load(Ordering::Relaxed) {}
+}
+fn latch(shutdown: &AtomicBool) -> bool {
+    if shutdown.load(Ordering::Relaxed) {
+        return true;
+    }
+    false
+}
+fn store_flag(shutdown: &AtomicBool) {
+    shutdown.store(true, Ordering::Relaxed);
+}
+fn counters(hits: &AtomicU64) {
+    hits.fetch_add(1, Ordering::Relaxed);
+    let _ = hits.load(Ordering::Relaxed);
+}
+fn seqcst(shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) {}
+}
+";
+        let findings = run(src, Role::ALL);
+        let l022: Vec<usize> = findings
+            .iter()
+            .filter(|f| f.code == "L022")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(l022, vec![3, 6, 12], "{findings:?}");
+    }
+
+    #[test]
+    fn l023_fires_on_hash_iteration_and_accepts_sorted_collects() {
+        let src = "\
+use std::collections::{BTreeMap, HashMap};
+pub struct Catalog {
+    rows: HashMap<String, u64>,
+    sorted: BTreeMap<String, u64>,
+}
+pub fn unstable(c: &Catalog) -> String {
+    let mut out = String::new();
+    for (k, _v) in c.rows.iter() {
+        out.push_str(k);
+    }
+    out
+}
+pub fn sorted_collect(c: &Catalog) -> Vec<String> {
+    let mut keys: Vec<String> = c.rows.keys().cloned().collect();
+    keys.sort();
+    keys
+}
+pub fn reduction(c: &Catalog) -> u64 {
+    c.rows.values().sum()
+}
+pub fn btree_is_fine(c: &Catalog) -> String {
+    let mut out = String::new();
+    for (k, _v) in c.sorted.iter() {
+        out.push_str(k);
+    }
+    out
+}
+";
+        let findings = run(src, Role::ALL);
+        let l023: Vec<usize> = findings
+            .iter()
+            .filter(|f| f.code == "L023")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(l023, vec![8], "{findings:?}");
+        assert!(findings
+            .iter()
+            .filter(|f| f.code == "L023")
+            .all(|f| f.suggestion.contains("BTreeMap")));
     }
 }

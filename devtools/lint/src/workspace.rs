@@ -11,7 +11,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::findings::{Finding, Report, Severity};
+use crate::graph::{self, LockEdge};
 use crate::lexer::{LexedFile, FLAG_TEST};
+use crate::parser::ParsedFile;
 use crate::rules::{self, Role};
 
 /// One lexed workspace source file.
@@ -67,6 +69,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         &mut per_file,
         &mut catalog_findings,
     )?;
+    lint_lock_order(&entries, &mut per_file);
 
     let mut all = catalog_findings;
     for entry in &entries {
@@ -77,16 +80,71 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
 }
 
 /// Lints explicit files (fixture / spot-check mode): every lint family
-/// applies and the cross-artifact check is skipped.
+/// applies, the given files form one lock-order graph scope, and the
+/// cross-artifact check is skipped.
 pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Report> {
-    let mut all = Vec::new();
+    let mut entries = Vec::new();
     for path in paths {
         let source = fs::read_to_string(path)?;
         let rel = relative(root, path);
-        let lexed = LexedFile::lex(&source);
-        all.extend(rules::lint_file(&rel, &lexed, Role::ALL));
+        if entries.iter().any(|e: &FileEntry| e.rel == rel) {
+            continue;
+        }
+        entries.push(FileEntry {
+            rel,
+            lexed: LexedFile::lex(&source),
+            role: Role::ALL,
+        });
+    }
+    let mut per_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for entry in &entries {
+        per_file.insert(
+            entry.rel.clone(),
+            rules::raw_findings(&entry.rel, &entry.lexed, entry.role),
+        );
+    }
+    lint_lock_order(&entries, &mut per_file);
+    let mut all = Vec::new();
+    for entry in &entries {
+        let raw = per_file.remove(&entry.rel).unwrap_or_default();
+        all.extend(rules::apply_pragmas(&entry.rel, &entry.lexed, raw));
     }
     Ok(Report::from_findings(all))
+}
+
+// ---------------------------------------------------------------------
+// L020 — workspace lock-order graph
+// ---------------------------------------------------------------------
+
+/// Builds the acquired-while-holding edge set over every concurrency-
+/// role file and joins each cycle finding into `per_file`, so L020
+/// participates in the same pragma resolution as per-file lints.
+fn lint_lock_order(entries: &[FileEntry], per_file: &mut BTreeMap<String, Vec<Finding>>) {
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for entry in entries {
+        if !entry.role.concurrency {
+            continue;
+        }
+        let parsed = ParsedFile::parse(&entry.lexed);
+        for (held_idx, acquired_idx) in parsed.nested_acquisitions() {
+            let held = &parsed.guards[held_idx];
+            let acquired = &parsed.guards[acquired_idx];
+            if held.in_test || acquired.in_test {
+                continue;
+            }
+            edges.push(LockEdge {
+                held: held.path.clone(),
+                acquired: acquired.path.clone(),
+                held_file: entry.rel.clone(),
+                held_line: held.line,
+                acquired_file: entry.rel.clone(),
+                acquired_line: acquired.line,
+            });
+        }
+    }
+    for (rel, finding) in graph::lock_order_findings(&edges) {
+        per_file.entry(rel).or_default().push(finding);
+    }
 }
 
 /// The lint families a crate source file participates in.
@@ -107,6 +165,12 @@ fn role_for(crate_name: &str, rel: &str) -> Role {
         model,
         io_seam: crate_name == "opt" && !seam,
         bounded: crate_name == "serve" && !admission_seam,
+        // The crates with cross-thread lock traffic: the serve thread
+        // pool and the sharded EvalEngine / parallel supervisor.
+        concurrency: matches!(crate_name, "serve" | "opt"),
+        // The crates whose outputs are contractually byte-stable:
+        // journal lines (opt), /evaluate JSON (serve), --json (cli).
+        stable: matches!(crate_name, "serve" | "opt" | "cli"),
     }
 }
 
@@ -303,5 +367,15 @@ mod tests {
         let pool = role_for("serve", "crates/serve/src/pool.rs");
         assert!(!pool.bounded, "the admission seam itself is exempt");
         assert!(!supervisor.bounded && !cli.bounded);
+        assert!(
+            server.concurrency && supervisor.concurrency,
+            "serve and opt carry the cross-thread lock traffic"
+        );
+        assert!(!core.concurrency && !cli.concurrency);
+        assert!(
+            server.stable && supervisor.stable && cli.stable,
+            "journal, /evaluate, and --json outputs are byte-stable"
+        );
+        assert!(!core.stable && !integration.stable);
     }
 }

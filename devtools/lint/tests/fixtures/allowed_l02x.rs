@@ -1,0 +1,65 @@
+//! Fixture: every concurrency/determinism violation carries a justified
+//! pragma, so the lint must report nothing. Not compiled — lexed by the
+//! lint tests.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+pub struct OrderedPair {
+    pub alpha: Mutex<u64>,
+    pub beta: Mutex<u64>,
+}
+
+pub fn forward(pair: &OrderedPair) -> u64 {
+    let a = match pair.alpha.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    // ssdep-lint: allow(L020, both locks are only ever taken by the single maintenance thread)
+    let b = match pair.beta.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *a + *b
+}
+
+pub fn reverse(pair: &OrderedPair) -> u64 {
+    let b = match pair.beta.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let a = match pair.alpha.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *a + *b
+}
+
+pub fn serialized_write(socket: &Mutex<TcpStream>, payload: &[u8]) -> std::io::Result<()> {
+    let mut guard = match socket.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    // ssdep-lint: allow(L021, single-writer socket - the lock IS the write serialization point)
+    guard.write_all(payload)
+}
+
+pub fn best_effort_probe(closed: &AtomicBool) -> bool {
+    // ssdep-lint: allow(L022, advisory fast-path probe; the authoritative check re-reads under the lock)
+    closed.load(Ordering::Relaxed)
+}
+
+pub fn debug_dump(cache: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    // ssdep-lint: allow(L023, operator debug dump - never journaled or diffed by CI)
+    for (key, value) in cache.iter() {
+        out.push_str(key);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,32 @@
+//! Deliberately-bad fixture: Mutex/RwLock guards held across blocking
+//! I/O that L021 must flag. Exercised by devtools/lint-gate.sh, which
+//! requires exit 2 and an L021 finding on this file.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{mpsc::Receiver, Mutex, RwLock};
+
+pub fn write_under_lock(state: &Mutex<Vec<u8>>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let guard = match state.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    stream.write_all(&guard)
+}
+
+pub fn fsync_under_read(index: &RwLock<u64>, file: &std::fs::File) -> std::io::Result<u64> {
+    let snapshot = match index.read() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    file.sync_all()?;
+    Ok(*snapshot)
+}
+
+pub fn recv_under_lock(jobs: &Mutex<Receiver<u64>>) -> Option<u64> {
+    let guard = match jobs.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard.recv().ok()
+}

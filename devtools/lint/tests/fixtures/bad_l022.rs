@@ -1,0 +1,22 @@
+//! Deliberately-bad fixture: `Ordering::Relaxed` on atomics gating
+//! cross-thread control flow, which L022 must flag. Exercised by
+//! devtools/lint-gate.sh, which requires exit 2 and an L022 finding.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn spin_until_done(done: &AtomicBool) {
+    while !done.load(Ordering::Relaxed) {
+        std::hint::spin_loop();
+    }
+}
+
+pub fn latch_check(ready: &AtomicBool) -> bool {
+    if ready.load(Ordering::Relaxed) {
+        return true;
+    }
+    false
+}
+
+pub fn raise_stop_flag(stop: &AtomicBool) {
+    stop.store(true, Ordering::Relaxed);
+}

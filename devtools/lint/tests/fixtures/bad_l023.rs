@@ -1,0 +1,20 @@
+//! Deliberately-bad fixture: `HashMap` iteration feeding byte-stable
+//! output, which L023 must flag. Exercised by devtools/lint-gate.sh,
+//! which requires exit 2 and an L023 finding on this file.
+
+use std::collections::HashMap;
+
+pub fn render_counts(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (key, value) in counts.iter() {
+        out.push_str(key);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+pub fn journal_keys(index: &HashMap<String, u64>) -> Vec<String> {
+    index.keys().cloned().collect()
+}

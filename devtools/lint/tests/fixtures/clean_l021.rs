@@ -1,0 +1,53 @@
+//! Fixture: guard/blocking-I/O shapes that *look* like L021 violations
+//! but are not — the lint must stay silent. Not compiled — lexed by the
+//! lint tests.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+/// The canonical fix shape: copy out of the guard inside a block, let
+/// the guard drop with the block, then do the blocking write.
+pub fn copy_then_write(state: &Mutex<Vec<u8>>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let bytes = {
+        let guard = match state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.clone()
+    };
+    stream.write_all(&bytes)
+}
+
+/// An explicit `drop(guard)` before the blocking call ends the scope.
+pub fn drop_then_sync(state: &Mutex<u64>, file: &std::fs::File) -> std::io::Result<()> {
+    let guard = match state.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let _snapshot = *guard;
+    drop(guard);
+    file.sync_all()
+}
+
+/// `write(buf)` takes arguments, so it is I/O, not a lock acquisition —
+/// no guard exists here at all.
+pub fn io_write_is_not_a_lock(stream: &mut TcpStream, buf: &[u8]) -> std::io::Result<usize> {
+    stream.write(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests may hold guards across blocking calls: deterministic
+    /// single-threaded harnesses do it on purpose.
+    #[test]
+    fn tests_may_block_under_guard(state: &Mutex<Vec<u8>>, stream: &mut TcpStream) {
+        let guard = match state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = stream.write_all(&guard);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: atomic shapes that *look* like L022 violations but are not
+//! — the lint must stay silent. Not compiled — lexed by the lint tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Control flow under SeqCst is exactly what the lint asks for.
+pub fn seqcst_spin(done: &AtomicBool) {
+    while !done.load(Ordering::SeqCst) {
+        std::hint::spin_loop();
+    }
+}
+
+/// Acquire on the latch read pairs with a Release store elsewhere.
+pub fn acquire_latch(shutdown: &AtomicBool) -> bool {
+    shutdown.load(Ordering::Acquire)
+}
+
+/// Counters may relax: fetch_* RMWs and statistics loads do not gate
+/// control flow, and `total`/`hits` are not flag names.
+pub fn relaxed_counters(hits: &AtomicU64, total: &AtomicU64) -> u64 {
+    hits.fetch_add(1, Ordering::Relaxed);
+    total.load(Ordering::Relaxed)
+}
+
+/// Release on the publishing side of a flag is correct.
+pub fn publish(done: &AtomicBool) {
+    done.store(true, Ordering::Release);
+}

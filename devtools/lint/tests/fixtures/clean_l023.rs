@@ -1,0 +1,36 @@
+//! Fixture: container-iteration shapes that *look* like L023 violations
+//! but are not — the lint must stay silent. Not compiled — lexed by the
+//! lint tests.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The sorted-collect fix shape: collect, sort, then emit.
+pub fn render_sorted(counts: &HashMap<String, u64>) -> String {
+    let mut keys: Vec<String> = counts.keys().cloned().collect();
+    keys.sort();
+    let mut out = String::new();
+    for key in &keys {
+        out.push_str(key);
+        out.push('\n');
+    }
+    out
+}
+
+/// `BTreeMap` iterates in key order; emitting from it directly is the
+/// other fix shape.
+pub fn btree_renders_directly(ordered: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (key, value) in ordered.iter() {
+        out.push_str(key);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Order-insensitive reductions do not depend on iteration order.
+pub fn reductions(sizes: &HashMap<String, u64>, seen: &HashSet<String>) -> (u64, usize) {
+    let total: u64 = sizes.values().sum();
+    (total, seen.len())
+}

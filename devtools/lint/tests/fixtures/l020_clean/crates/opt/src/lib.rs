@@ -1,0 +1,22 @@
+//! The other half of the clean L020 fixture workspace: the same
+//! `alpha`-before-`beta` global order as the serve side — consistent
+//! orders never cycle.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub alpha: Mutex<u64>,
+    pub beta: Mutex<u64>,
+}
+
+pub fn opt_path(shared: &Shared) -> u64 {
+    let a = match shared.alpha.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let b = match shared.beta.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *a + *b
+}

@@ -1,0 +1,22 @@
+//! Half of the clean L020 fixture workspace: both sides take `alpha`
+//! before `beta`, so the acquired-while-holding graph has edges but no
+//! cycle — the lint must stay silent.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub alpha: Mutex<u64>,
+    pub beta: Mutex<u64>,
+}
+
+pub fn serve_path(shared: &Shared) -> u64 {
+    let a = match shared.alpha.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let b = match shared.beta.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *a + *b
+}

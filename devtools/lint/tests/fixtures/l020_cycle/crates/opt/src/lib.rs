@@ -1,0 +1,23 @@
+//! The other half of the deliberately-bad L020 fixture workspace: this
+//! side takes `beta` before `alpha`, inverting the serve side's order.
+//! Each file is locally consistent; only the cross-file graph sees the
+//! deadlock.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub alpha: Mutex<u64>,
+    pub beta: Mutex<u64>,
+}
+
+pub fn opt_path(shared: &Shared) -> u64 {
+    let b = match shared.beta.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let a = match shared.alpha.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *a + *b
+}

@@ -1,0 +1,23 @@
+//! Half of the deliberately-bad L020 fixture workspace: the serve side
+//! takes `alpha` before `beta`, the opt side takes them in the opposite
+//! order — a cross-file lock-order cycle the workspace graph must find,
+//! naming both acquisition sites.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub alpha: Mutex<u64>,
+    pub beta: Mutex<u64>,
+}
+
+pub fn serve_path(shared: &Shared) -> u64 {
+    let a = match shared.alpha.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let b = match shared.beta.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *a + *b
+}

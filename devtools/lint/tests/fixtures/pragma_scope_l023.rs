@@ -1,0 +1,17 @@
+//! Fixture: two identical violations, one pragma — the pragma must
+//! suppress exactly the finding on its own/next line, leaving the other
+//! to fire. Not compiled — lexed by the lint tests.
+
+use std::collections::HashMap;
+
+pub fn two_loops(cache: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    // ssdep-lint: allow(L023, the first loop feeds a debug sink only)
+    for (key, _value) in cache.iter() {
+        out.push_str(key);
+    }
+    for (key, _value) in cache.iter() {
+        out.push_str(key);
+    }
+    out
+}

@@ -230,12 +230,188 @@ fn l004_consistent_workspace_is_clean() {
 }
 
 #[test]
+fn bad_l021_fires_on_guard_across_blocking_io() {
+    let report = lint_fixture("bad_l021.rs");
+    assert_eq!(
+        count(&report, "L021"),
+        3,
+        "findings: {:#?}",
+        report.findings()
+    );
+    assert_eq!(codes(&report), ["L021"; 3], "no other lint may fire");
+    assert_eq!(report.exit_status(false), 2);
+    let lines: Vec<usize> = report.findings().iter().map(|f| f.line).collect();
+    assert_eq!(lines, [14, 22, 31]);
+    // Each finding names the blocking call and the acquisition line.
+    let messages: String = report
+        .findings()
+        .iter()
+        .map(|f| format!("{}\n", f.message))
+        .collect();
+    for what in ["`write_all`", "`sync_all`", "`recv`", "acquired line 10"] {
+        assert!(messages.contains(what), "messages: {messages}");
+    }
+}
+
+#[test]
+fn clean_l021_fixture_is_silent() {
+    let report = lint_fixture("clean_l021.rs");
+    assert!(
+        report.findings().is_empty(),
+        "copy-out, drop, arg-taking write, and test regions must not fire: {:#?}",
+        report.findings()
+    );
+}
+
+#[test]
+fn bad_l022_fires_on_relaxed_control_flow() {
+    let report = lint_fixture("bad_l022.rs");
+    assert_eq!(
+        count(&report, "L022"),
+        3,
+        "findings: {:#?}",
+        report.findings()
+    );
+    assert_eq!(codes(&report), ["L022"; 3]);
+    assert_eq!(report.exit_status(false), 2);
+    let lines: Vec<usize> = report.findings().iter().map(|f| f.line).collect();
+    assert_eq!(lines, [8, 14, 21], "spin loop, latch check, flag store");
+    let messages: String = report
+        .findings()
+        .iter()
+        .map(|f| format!("{}\n", f.message))
+        .collect();
+    assert!(
+        messages.contains("loop condition") && messages.contains("latch"),
+        "each finding explains which control-flow shape fired: {messages}"
+    );
+}
+
+#[test]
+fn clean_l022_fixture_is_silent() {
+    let report = lint_fixture("clean_l022.rs");
+    assert!(
+        report.findings().is_empty(),
+        "SeqCst/Acquire flags and Relaxed counters must not fire: {:#?}",
+        report.findings()
+    );
+}
+
+#[test]
+fn bad_l023_fires_on_hash_iteration() {
+    let report = lint_fixture("bad_l023.rs");
+    assert_eq!(
+        count(&report, "L023"),
+        2,
+        "findings: {:#?}",
+        report.findings()
+    );
+    assert_eq!(codes(&report), ["L023"; 2]);
+    assert_eq!(report.exit_status(false), 2);
+    let lines: Vec<usize> = report.findings().iter().map(|f| f.line).collect();
+    assert_eq!(lines, [9, 19]);
+    for finding in report.findings() {
+        assert!(
+            finding.suggestion.contains("BTreeMap"),
+            "L023 must point at the ordered alternative: {finding:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_l023_fixture_is_silent() {
+    let report = lint_fixture("clean_l023.rs");
+    assert!(
+        report.findings().is_empty(),
+        "sorted collects, BTreeMap, and reductions must not fire: {:#?}",
+        report.findings()
+    );
+}
+
+#[test]
+fn allowed_l02x_fixture_is_fully_suppressed() {
+    let report = lint_fixture("allowed_l02x.rs");
+    assert!(
+        report.findings().is_empty(),
+        "justified pragmas must silence L020-L023 (and leave no stale L010): {:#?}",
+        report.findings()
+    );
+    assert_eq!(report.exit_status(true), 0);
+}
+
+#[test]
+fn a_pragma_suppresses_exactly_one_finding() {
+    let report = lint_fixture("pragma_scope_l023.rs");
+    // Two identical violations, one pragma: exactly the un-annotated
+    // loop survives, and the pragma is counted as used (no L010).
+    assert_eq!(codes(&report), ["L023"], "{:#?}", report.findings());
+    assert_eq!(report.findings()[0].line, 13);
+    assert_eq!(report.exit_status(false), 2);
+}
+
+#[test]
+fn l020_cycle_workspace_names_both_acquisition_sites() {
+    let root = fixture_root().join("l020_cycle");
+    let report = lint_workspace(&root).expect("lint l020_cycle");
+    assert_eq!(codes(&report), ["L020"], "{:#?}", report.findings());
+    assert_eq!(report.exit_status(false), 2);
+    let finding = &report.findings()[0];
+    assert!(
+        finding.message.contains("`alpha` -> `beta` -> `alpha`"),
+        "the cycle is spelled out: {finding:?}"
+    );
+    for site in ["crates/serve/src/lib.rs:18", "crates/opt/src/lib.rs:18"] {
+        assert!(
+            finding.message.contains(site),
+            "both acquisition sites are named: {finding:?}"
+        );
+    }
+}
+
+#[test]
+fn l020_consistent_order_workspace_is_clean() {
+    let root = fixture_root().join("l020_clean");
+    let report = lint_workspace(&root).expect("lint l020_clean");
+    assert!(
+        report.findings().is_empty(),
+        "a consistent global lock order must not fire: {:#?}",
+        report.findings()
+    );
+}
+
+#[test]
+fn every_catalog_code_has_a_design_doc_row() {
+    // The same discipline L004 enforces on runtime D-codes, applied to
+    // the lint's own codes: every `--explain` entry must have a row in
+    // the DESIGN.md §11 catalog table.
+    let design_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md");
+    let design = std::fs::read_to_string(&design_path).expect("read DESIGN.md");
+    for entry in ssdep_lint::catalog::CATALOG {
+        let row = format!("| {} ", entry.code);
+        assert!(
+            design.contains(&row),
+            "{} is explained by the tool but missing from DESIGN.md §11",
+            entry.code
+        );
+    }
+}
+
+#[test]
 fn json_rendering_is_byte_stable() {
     let root = fixture_root();
-    let files: Vec<PathBuf> = ["bad_l001.rs", "bad_l002.rs", "bad_l003.rs", "bad_l005.rs"]
-        .iter()
-        .map(|n| root.join(n))
-        .collect();
+    let files: Vec<PathBuf> = [
+        "bad_l001.rs",
+        "bad_l002.rs",
+        "bad_l003.rs",
+        "bad_l005.rs",
+        "bad_l021.rs",
+        "bad_l022.rs",
+        "bad_l023.rs",
+        "pragma_scope_l023.rs",
+    ]
+    .iter()
+    .map(|n| root.join(n))
+    .collect();
     let first = lint_paths(&root, &files).expect("first pass");
     let second = lint_paths(&root, &files).expect("second pass");
     assert_eq!(
