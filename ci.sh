@@ -16,6 +16,15 @@ cargo bench --no-run --workspace
 # and a known-bad fixture still trips the lint (see devtools/lint-gate.sh).
 devtools/lint-gate.sh target/release/ssdep-lint
 
+# Perf smoke gate: a quick candidate enumeration (a few thousand
+# designs, best-of-3 per arm) must keep the supervised hot path within
+# generous budgets — supervised jobs=1 within 2x of the plain driver,
+# and jobs=4 within 1.5x of jobs=1 (on a single-core host parallelism
+# cannot win; it must at least not regress). Catches reintroduced
+# per-candidate overheads (serde fingerprints, per-attempt thread
+# spawns, O(shard) cache evictions) without a long benchmark run.
+target/release/bench_eval --gate
+
 # Best-effort ThreadSanitizer stage: crates/serve carries the daemon's
 # cross-thread lock traffic, so its tests run under TSan when the
 # nightly toolchain is available with rust-src (which -Zbuild-std needs

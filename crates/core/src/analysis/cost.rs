@@ -65,16 +65,56 @@ pub fn costs(
     recovery_time: TimeDelta,
     data_loss: TimeDelta,
 ) -> CostReport {
-    let mut outlays_by_level: Vec<LevelOutlay> = design
+    let mut per_level = vec![Money::ZERO; design.levels().len()];
+    let mut contributing = Vec::new();
+    let (spare_outlay, facility_outlay) =
+        accumulate_outlays(design, demands, &mut per_level, &mut contributing);
+
+    let outlays_by_level: Vec<LevelOutlay> = design
         .levels()
         .iter()
+        .zip(per_level.iter())
         .enumerate()
-        .map(|(level, l)| LevelOutlay {
+        .map(|(level, (l, outlay))| LevelOutlay {
             level,
             level_name: l.name().to_string(),
-            outlay: Money::ZERO,
+            outlay: *outlay,
         })
         .collect();
+
+    let total_outlays =
+        outlays_by_level.iter().map(|l| l.outlay).sum::<Money>() + spare_outlay + facility_outlay;
+
+    let unavailability_penalty = requirements.unavailability_penalty_rate() * recovery_time;
+    let loss_penalty = requirements.loss_penalty_rate() * data_loss;
+    let total_cost = total_outlays + unavailability_penalty + loss_penalty;
+
+    CostReport {
+        outlays_by_level,
+        spare_outlay,
+        facility_outlay,
+        total_outlays,
+        unavailability_penalty,
+        loss_penalty,
+        total_cost,
+    }
+}
+
+/// The per-device outlay attribution shared by the report and scored
+/// paths. Fills `per_level` (one [`Money`] slot per hierarchy level,
+/// pre-zeroed by the caller) and returns `(spare_outlay,
+/// facility_outlay)`. `contributing` is reusable scratch: its capacity
+/// survives between calls so the scored sweep loop stays allocation-free.
+///
+/// The accumulation order — devices outer, contributing levels inner,
+/// additions in this exact sequence — is the float-op order both paths
+/// must share for byte-identical rendered output.
+pub(crate) fn accumulate_outlays(
+    design: &StorageDesign,
+    demands: &DemandSet,
+    per_level: &mut [Money],
+    contributing: &mut Vec<(usize, crate::demands::DemandContribution)>,
+) -> (Money, Money) {
     let mut spare_outlay = Money::ZERO;
     let mut primary_site_outlay = Money::ZERO;
 
@@ -84,7 +124,7 @@ pub fn costs(
         let is_link = matches!(spec.kind(), DeviceKind::NetworkLink);
 
         // Levels contributing to this device, in hierarchy order.
-        let mut contributing: Vec<(usize, crate::demands::DemandContribution)> = Vec::new();
+        contributing.clear();
         for level in demands.levels() {
             for c in level.contributions.iter().filter(|c| c.device == id) {
                 if c.bandwidth.value() > 0.0
@@ -115,7 +155,7 @@ pub fn costs(
                 outlay += cost.bandwidth_cost(c.bandwidth);
             }
             outlay += cost.shipment_cost(c.shipments_per_year);
-            outlays_by_level[*level].outlay += outlay;
+            per_level[*level] += outlay;
             device_total += outlay;
         }
 
@@ -129,22 +169,7 @@ pub fn costs(
         .recovery_site()
         .map_or(Money::ZERO, |site| primary_site_outlay * site.cost_factor);
 
-    let total_outlays =
-        outlays_by_level.iter().map(|l| l.outlay).sum::<Money>() + spare_outlay + facility_outlay;
-
-    let unavailability_penalty = requirements.unavailability_penalty_rate() * recovery_time;
-    let loss_penalty = requirements.loss_penalty_rate() * data_loss;
-    let total_cost = total_outlays + unavailability_penalty + loss_penalty;
-
-    CostReport {
-        outlays_by_level,
-        spare_outlay,
-        facility_outlay,
-        total_outlays,
-        unavailability_penalty,
-        loss_penalty,
-        total_cost,
-    }
+    (spare_outlay, facility_outlay)
 }
 
 #[cfg(test)]

@@ -105,25 +105,7 @@ pub fn data_loss_from_ranges(
     for range in ranges {
         let index = range.level;
         let level = &design.levels()[index];
-        let destroyed = design.level_unavailable(index, scenario)
-            || (index == 0 && matches!(scenario.scope, FailureScope::DataObject { .. }));
-        let (case, loss) = if destroyed {
-            (LossCase::Destroyed, None)
-        } else if index == 0 {
-            // The live primary: serves only "now", with no loss.
-            if target_age.is_zero() {
-                (LossCase::Retained, Some(TimeDelta::ZERO))
-            } else {
-                (LossCase::Expired, None)
-            }
-        } else if range.too_recent(target_age) {
-            let lag = (range.max_lag - target_age).clamp_non_negative();
-            (LossCase::NotYetPropagated, Some(lag))
-        } else if range.covers(target_age) {
-            (LossCase::Retained, Some(level.technique().arrival_period()))
-        } else {
-            (LossCase::Expired, None)
-        };
+        let (case, loss) = level_case(design, scenario, range, target_age);
 
         if let Some(loss) = loss {
             let better = match best {
@@ -153,6 +135,70 @@ pub fn data_loss_from_ranges(
         None => Err(Error::NoRecoverySource {
             target: scenario.to_string(),
         }),
+    }
+}
+
+/// As [`data_loss_from_ranges`], reduced to the `(source_level,
+/// worst_loss)` pair the scored sweep path needs — no per-level vector,
+/// no name strings, zero heap allocation on the success path. Runs the
+/// same selection loop, so the chosen source and loss are identical to
+/// the report's.
+///
+/// # Errors
+///
+/// As [`data_loss`].
+pub fn data_loss_totals(
+    design: &StorageDesign,
+    scenario: &FailureScenario,
+    ranges: &[LevelRange],
+) -> Result<(usize, TimeDelta), Error> {
+    let target_age = scenario.target.age();
+    let mut best: Option<(usize, TimeDelta)> = None;
+    for range in ranges {
+        let (_, loss) = level_case(design, scenario, range, target_age);
+        if let Some(loss) = loss {
+            let better = match best {
+                None => true,
+                Some((_, best_loss)) => loss < best_loss,
+            };
+            if better {
+                best = Some((range.level, loss));
+            }
+        }
+    }
+    best.ok_or_else(|| Error::NoRecoverySource {
+        target: scenario.to_string(),
+    })
+}
+
+/// The §3.3.3 three-case decision for one level, shared by the report
+/// and scored paths so they cannot drift.
+fn level_case(
+    design: &StorageDesign,
+    scenario: &FailureScenario,
+    range: &LevelRange,
+    target_age: TimeDelta,
+) -> (LossCase, Option<TimeDelta>) {
+    let index = range.level;
+    let destroyed = design.level_unavailable(index, scenario)
+        || (index == 0 && matches!(scenario.scope, FailureScope::DataObject { .. }));
+    if destroyed {
+        (LossCase::Destroyed, None)
+    } else if index == 0 {
+        // The live primary: serves only "now", with no loss.
+        if target_age.is_zero() {
+            (LossCase::Retained, Some(TimeDelta::ZERO))
+        } else {
+            (LossCase::Expired, None)
+        }
+    } else if range.too_recent(target_age) {
+        let lag = (range.max_lag - target_age).clamp_non_negative();
+        (LossCase::NotYetPropagated, Some(lag))
+    } else if range.covers(target_age) {
+        let level = &design.levels()[index];
+        (LossCase::Retained, Some(level.technique().arrival_period()))
+    } else {
+        (LossCase::Expired, None)
     }
 }
 

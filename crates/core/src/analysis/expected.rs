@@ -119,7 +119,15 @@ pub fn expected_annual_cost_prepared(
     })
 }
 
-fn check_frequency(index: usize, weighted: &WeightedScenario) -> Result<(), Error> {
+/// Validates one weighted scenario's annual frequency. Public so staged
+/// callers (the opt engine's scored path) can preserve the report
+/// path's error ordering: frequency first, then the evaluation
+/// pipeline.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] for a negative or non-finite frequency.
+pub fn check_frequency(index: usize, weighted: &WeightedScenario) -> Result<(), Error> {
     if weighted.annual_frequency >= 0.0 && weighted.annual_frequency.is_finite() {
         Ok(())
     } else {

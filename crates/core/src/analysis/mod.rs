@@ -28,22 +28,29 @@ pub mod prepare;
 pub mod propagation;
 pub mod recovery;
 pub mod risk;
+pub mod score;
 pub mod utilization;
 
 pub use compare::{compare, ComparisonRow, DesignComparison};
 pub use cost::{CostReport, LevelOutlay};
 pub use coverage::{coverage, CoverageReport, CoverageRow, ScopeCoverage};
-pub use data_loss::{data_loss, data_loss_from_ranges, LevelLoss, LossCase, LossReport};
+pub use data_loss::{
+    data_loss, data_loss_from_ranges, data_loss_totals, LevelLoss, LossCase, LossReport,
+};
 pub use degraded::{
     degraded_exposure, degraded_exposure_prepared, DegradedOutcome, DegradedReport, DegradedRow,
 };
 pub use expected::{
-    expected_annual_cost, expected_annual_cost_prepared, ExpectedCost, WeightedScenario,
+    check_frequency, expected_annual_cost, expected_annual_cost_prepared, ExpectedCost,
+    WeightedScenario,
 };
 pub use prepare::PreparedDesign;
 pub use propagation::{level_ranges, LevelRange};
-pub use recovery::{recovery, recovery_with_bytes, RecoveryReport, RecoveryStep, StepKind};
+pub use recovery::{
+    recovery, recovery_total_time, recovery_with_bytes, RecoveryReport, RecoveryStep, StepKind,
+};
 pub use risk::{risk_profile, risk_profile_prepared, RiskProfile};
+pub use score::{expected_summary, score_scenario, EvalScratch, ExpectedSummary, ScenarioScore};
 pub use utilization::{
     utilization, utilization_from_demands, DeviceUtilization, UtilizationReport,
 };

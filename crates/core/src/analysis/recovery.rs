@@ -99,8 +99,21 @@ pub fn recovery(
     scenario: &FailureScenario,
     source_level: usize,
 ) -> Result<RecoveryReport, Error> {
+    let restore_bytes = restore_size(design, workload, scenario, source_level);
+    recovery_with_bytes(design, demands, scenario, source_level, restore_bytes)
+}
+
+/// The analytic worst-case restore size when `source_level` serves: the
+/// scenario's recovery size inflated by the source technique's restore
+/// amplification (a full plus incrementals can exceed the dataset).
+pub(crate) fn restore_size(
+    design: &StorageDesign,
+    workload: &Workload,
+    scenario: &FailureScenario,
+    source_level: usize,
+) -> Bytes {
     let recovery_size = scenario.recovery_size(workload.data_capacity());
-    let restore_bytes = design
+    design
         .levels()
         .get(source_level)
         .map(|level| {
@@ -108,8 +121,36 @@ pub fn recovery(
                 .technique()
                 .worst_restore_bytes(workload, recovery_size)
         })
-        .unwrap_or(recovery_size);
-    recovery_with_bytes(design, demands, scenario, source_level, restore_bytes)
+        .unwrap_or(recovery_size)
+}
+
+/// As [`recovery`], reduced to the total time the scored sweep path
+/// needs: the same hop walk with the same error cases, but no timeline
+/// steps and no description strings — the only heap traffic is the
+/// reused `chain` scratch vector (which keeps its capacity between
+/// scenarios).
+///
+/// # Errors
+///
+/// As [`recovery`].
+pub fn recovery_total_time(
+    design: &StorageDesign,
+    workload: &Workload,
+    demands: &DemandSet,
+    scenario: &FailureScenario,
+    source_level: usize,
+    chain: &mut Vec<usize>,
+) -> Result<TimeDelta, Error> {
+    let restore_bytes = restore_size(design, workload, scenario, source_level);
+    recovery_core(
+        design,
+        demands,
+        scenario,
+        source_level,
+        restore_bytes,
+        chain,
+        &mut IgnoreSteps,
+    )
 }
 
 /// Like [`recovery`], but with an explicitly supplied restore size —
@@ -126,6 +167,93 @@ pub fn recovery_with_bytes(
     source_level: usize,
     restore_bytes: Bytes,
 ) -> Result<RecoveryReport, Error> {
+    let mut sink = CollectSteps { steps: Vec::new() };
+    let mut chain = Vec::new();
+    let total_time = recovery_core(
+        design,
+        demands,
+        scenario,
+        source_level,
+        restore_bytes,
+        &mut chain,
+        &mut sink,
+    )?;
+    let mut steps = sink.steps;
+    steps.sort_by(|a, b| a.start.value().total_cmp(&b.start.value()));
+    Ok(RecoveryReport {
+        source_level,
+        source_level_name: design.levels()[source_level].name().to_string(),
+        // The live primary serves in place: nothing is read back.
+        restore_bytes: if source_level == 0 {
+            Bytes::ZERO
+        } else {
+            restore_bytes
+        },
+        total_time,
+        steps,
+    })
+}
+
+/// Where the hop walk reports its timeline: the report path collects
+/// [`RecoveryStep`]s, the scored path discards them (and never runs the
+/// description formatter, keeping that path allocation-free).
+trait StepSink {
+    fn push(
+        &mut self,
+        kind: StepKind,
+        start: TimeDelta,
+        duration: TimeDelta,
+        describe: &mut dyn FnMut() -> String,
+    );
+}
+
+struct CollectSteps {
+    steps: Vec<RecoveryStep>,
+}
+
+impl StepSink for CollectSteps {
+    fn push(
+        &mut self,
+        kind: StepKind,
+        start: TimeDelta,
+        duration: TimeDelta,
+        describe: &mut dyn FnMut() -> String,
+    ) {
+        self.steps.push(RecoveryStep {
+            description: describe(),
+            kind,
+            start,
+            duration,
+        });
+    }
+}
+
+struct IgnoreSteps;
+
+impl StepSink for IgnoreSteps {
+    fn push(
+        &mut self,
+        _kind: StepKind,
+        _start: TimeDelta,
+        _duration: TimeDelta,
+        _describe: &mut dyn FnMut() -> String,
+    ) {
+    }
+}
+
+/// The §3.3.4 hop walk shared by the report and scored paths: validates
+/// the source, builds the host chain into the reusable `chain` scratch,
+/// and returns the recovery clock. All timeline output goes through
+/// `sink` so the two paths cannot drift.
+fn recovery_core<S: StepSink>(
+    design: &StorageDesign,
+    demands: &DemandSet,
+    scenario: &FailureScenario,
+    source_level: usize,
+    restore_bytes: Bytes,
+    chain: &mut Vec<usize>,
+    sink: &mut S,
+) -> Result<TimeDelta, Error> {
     let levels = design.levels();
     if source_level >= levels.len() {
         return Err(Error::invalid(
@@ -140,7 +268,6 @@ pub fn recovery_with_bytes(
         ));
     }
 
-    let source_name = levels[source_level].name().to_string();
     // Parallel-repair erasure coding streams k fragments concurrently,
     // dividing the transfer time of the hop that reads the source.
     let source_parallelism = levels[source_level]
@@ -150,18 +277,13 @@ pub fn recovery_with_bytes(
 
     // Nothing to do when the live primary serves.
     if source_level == 0 {
-        return Ok(RecoveryReport {
-            source_level,
-            source_level_name: source_name,
-            restore_bytes: Bytes::ZERO,
-            total_time: TimeDelta::ZERO,
-            steps: Vec::new(),
-        });
+        return Ok(TimeDelta::ZERO);
     }
 
     // Chain of levels whose hosts the data must traverse, source first,
     // ending at the device that will hold the restored primary.
-    let mut chain = vec![source_level];
+    chain.clear();
+    chain.push(source_level);
     let mut last = source_level;
     for index in (0..source_level).rev() {
         if levels[index].host() != levels[last].host() {
@@ -170,7 +292,6 @@ pub fn recovery_with_bytes(
         }
     }
 
-    let mut steps = Vec::new();
     let mut clock = TimeDelta::ZERO;
 
     if chain.len() == 1 {
@@ -183,24 +304,21 @@ pub fn recovery_with_bytes(
             _ => TimeDelta::ZERO,
         };
         if spec.access_delay().value() > 0.0 {
-            steps.push(RecoveryStep {
-                description: format!("position media on {}", spec.name()),
-                kind: StepKind::MediaHandling,
-                start: clock,
-                duration: spec.access_delay(),
-            });
+            sink.push(
+                StepKind::MediaHandling,
+                clock,
+                spec.access_delay(),
+                &mut || format!("position media on {}", spec.name()),
+            );
             clock += spec.access_delay();
         }
-        steps.push(RecoveryStep {
-            description: format!("intra-device copy on {}", spec.name()),
-            kind: StepKind::Transfer,
-            start: clock,
-            duration,
+        sink.push(StepKind::Transfer, clock, duration, &mut || {
+            format!("intra-device copy on {}", spec.name())
         });
         clock += duration;
     } else {
-        for pair in chain.windows(2) {
-            let (upper, lower) = (pair[0], pair[1]);
+        for pair_start in 0..chain.len() - 1 {
+            let (upper, lower) = (chain[pair_start], chain[pair_start + 1]);
             let src = levels[upper].host();
             let dst = levels[lower].host();
             let transports = levels[upper].transports();
@@ -218,20 +336,17 @@ pub fn recovery_with_bytes(
             // Destination reprovisioning runs from failure time.
             let provisioning = reprovision_time(design, scenario, dst)?;
             if let Some(par_fix) = provisioning {
-                steps.push(RecoveryStep {
-                    description: format!("reprovision {}", dst_spec.name()),
-                    kind: StepKind::Provisioning,
-                    start: TimeDelta::ZERO,
-                    duration: par_fix,
-                });
+                sink.push(
+                    StepKind::Provisioning,
+                    TimeDelta::ZERO,
+                    par_fix,
+                    &mut || format!("reprovision {}", dst_spec.name()),
+                );
             }
 
             if is_physical {
-                steps.push(RecoveryStep {
-                    description: format!("ship media: {} -> {}", src_spec.name(), dst_spec.name()),
-                    kind: StepKind::Shipment,
-                    start: clock,
-                    duration: ship_time,
+                sink.push(StepKind::Shipment, clock, ship_time, &mut || {
+                    format!("ship media: {} -> {}", src_spec.name(), dst_spec.name())
                 });
             }
             let arrival = clock + ship_time;
@@ -246,18 +361,15 @@ pub fn recovery_with_bytes(
                 }
             }
             if ser_fix > TimeDelta::ZERO {
-                steps.push(RecoveryStep {
-                    description: format!(
+                sink.push(StepKind::MediaHandling, clock, ser_fix, &mut || {
+                    format!(
                         "load/seek media at {}",
                         if is_physical {
                             dst_spec.name()
                         } else {
                             src_spec.name()
                         }
-                    ),
-                    kind: StepKind::MediaHandling,
-                    start: clock,
-                    duration: ser_fix,
+                    )
                 });
                 clock += ser_fix;
             }
@@ -296,29 +408,19 @@ pub fn recovery_with_bytes(
                     }
                     None => TimeDelta::ZERO,
                 };
-                steps.push(RecoveryStep {
-                    description: format!(
+                sink.push(StepKind::Transfer, clock, duration, &mut || {
+                    format!(
                         "transfer {restore_bytes}: {} -> {}",
                         src_spec.name(),
                         dst_spec.name()
-                    ),
-                    kind: StepKind::Transfer,
-                    start: clock,
-                    duration,
+                    )
                 });
                 clock += duration;
             }
         }
     }
 
-    steps.sort_by(|a, b| a.start.value().total_cmp(&b.start.value()));
-    Ok(RecoveryReport {
-        source_level,
-        source_level_name: source_name,
-        restore_bytes,
-        total_time: clock,
-        steps,
-    })
+    Ok(clock)
 }
 
 /// How long it takes to stand in a replacement for `device`, or `None`

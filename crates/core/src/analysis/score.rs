@@ -1,0 +1,339 @@
+//! The scored (allocation-free) evaluation path for enumeration loops.
+//!
+//! A full [`Evaluation`](super::Evaluation) carries per-level vectors,
+//! display-name strings, and a recovery timeline — exactly what a
+//! report needs and exactly what a 10^5-candidate sweep does not: at
+//! microsecond-scale analytic work, the heap traffic of building (and
+//! dropping) those reports dominates the arithmetic. This module runs
+//! the same pipeline — utilization check, data loss, recovery, cost, in
+//! the same order with the same error cases and the same float-op
+//! order — but folds each scenario straight into the scalar
+//! [`ScenarioScore`] the optimizer ranks on, reusing an [`EvalScratch`]
+//! arena so the per-scenario inner loop performs zero heap allocation
+//! after preparation.
+//!
+//! Equivalence with the report path is a contract, not an aspiration:
+//! the shared helpers ([`data_loss_totals`](super::data_loss_totals),
+//! [`recovery_total_time`](super::recovery::recovery_total_time),
+//! [`accumulate_outlays`](super::cost::accumulate_outlays)) are the
+//! *same code* the report path runs, and the tests below pin every
+//! scored number bit-for-bit against the folded full reports.
+
+use crate::analysis::expected::{check_frequency, WeightedScenario};
+use crate::analysis::prepare::PreparedDesign;
+use crate::analysis::{cost, data_loss, recovery};
+use crate::demands::DemandContribution;
+use crate::error::Error;
+use crate::failure::FailureScenario;
+use crate::requirements::BusinessRequirements;
+use crate::units::{Money, TimeDelta};
+
+/// Reusable scratch buffers for the scored path. Construct once per
+/// worker (or thread) and pass to every call: the buffers keep their
+/// capacity between scenarios and candidates, so after the first few
+/// calls the inner loop stops touching the allocator entirely.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Per-level outlay accumulation (one slot per hierarchy level).
+    level_outlays: Vec<Money>,
+    /// Per-device contributing-level collection for cost attribution.
+    contributing: Vec<(usize, DemandContribution)>,
+    /// The recovery hop chain.
+    chain: Vec<usize>,
+}
+
+impl EvalScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+}
+
+/// One scenario's evaluation, reduced to the scalars optimizers fold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioScore {
+    /// Total annual outlays (scenario-independent in practice).
+    pub total_outlays: Money,
+    /// Unavailability + loss penalties for this scenario.
+    pub total_penalties: Money,
+    /// Worst-case recovery time.
+    pub recovery_time: TimeDelta,
+    /// Worst-case recent data loss.
+    pub worst_loss: TimeDelta,
+    /// Whether the outcome meets the requirements' RTO/RPO objectives.
+    pub meets_objectives: bool,
+}
+
+/// The scored counterpart of folding an
+/// [`ExpectedCost`](super::ExpectedCost) the way the sweep and search
+/// drivers do: last scenario's outlays, frequency-weighted penalties,
+/// worst recovery/loss maxima, and the AND of per-scenario objective
+/// checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpectedSummary {
+    /// Annual outlays (the last evaluated scenario's, as in the report
+    /// path — outlays are scenario-independent).
+    pub outlays: Money,
+    /// Frequency-weighted expected annual penalties.
+    pub expected_penalties: Money,
+    /// Worst recovery time across the catalog.
+    pub worst_recovery_time: TimeDelta,
+    /// Worst recent data loss across the catalog.
+    pub worst_data_loss: TimeDelta,
+    /// Whether every scenario met the RTO/RPO objectives.
+    pub meets_objectives: bool,
+    /// How many scenarios were evaluated.
+    pub evaluations: usize,
+}
+
+impl ExpectedSummary {
+    /// The all-zero summary of an empty scenario catalog.
+    pub fn empty() -> ExpectedSummary {
+        ExpectedSummary {
+            outlays: Money::ZERO,
+            expected_penalties: Money::ZERO,
+            worst_recovery_time: TimeDelta::ZERO,
+            worst_data_loss: TimeDelta::ZERO,
+            meets_objectives: true,
+            evaluations: 0,
+        }
+    }
+
+    /// Expected total annual cost: outlays + expected penalties.
+    pub fn total(&self) -> Money {
+        self.outlays + self.expected_penalties
+    }
+}
+
+/// Scores one scenario against a prepared design: the same pipeline as
+/// [`PreparedDesign::evaluate_scenario`] — utilization check, data
+/// loss, recovery, cost, in that order with identical error cases — but
+/// producing only scalars, with all working memory in `scratch`.
+///
+/// # Errors
+///
+/// As [`PreparedDesign::evaluate_scenario`]: [`Error::Overutilized`],
+/// [`Error::NoRecoverySource`], [`Error::NoReplacement`].
+pub fn score_scenario(
+    prepared: &PreparedDesign,
+    requirements: &BusinessRequirements,
+    scenario: &FailureScenario,
+    scratch: &mut EvalScratch,
+) -> Result<ScenarioScore, Error> {
+    prepared.utilization().check()?;
+    let (source_level, worst_loss) =
+        data_loss::data_loss_totals(prepared.design(), scenario, prepared.ranges())?;
+    let recovery_time = recovery::recovery_total_time(
+        prepared.design(),
+        prepared.workload(),
+        prepared.demands(),
+        scenario,
+        source_level,
+        &mut scratch.chain,
+    )?;
+
+    let levels = prepared.design().levels().len();
+    scratch.level_outlays.clear();
+    scratch.level_outlays.resize(levels, Money::ZERO);
+    let (spare_outlay, facility_outlay) = cost::accumulate_outlays(
+        prepared.design(),
+        prepared.demands(),
+        &mut scratch.level_outlays,
+        &mut scratch.contributing,
+    );
+    let total_outlays =
+        scratch.level_outlays.iter().copied().sum::<Money>() + spare_outlay + facility_outlay;
+    let unavailability_penalty = requirements.unavailability_penalty_rate() * recovery_time;
+    let loss_penalty = requirements.loss_penalty_rate() * worst_loss;
+
+    Ok(ScenarioScore {
+        total_outlays,
+        total_penalties: unavailability_penalty + loss_penalty,
+        recovery_time,
+        worst_loss,
+        meets_objectives: requirements.meets_objectives(recovery_time, worst_loss),
+    })
+}
+
+/// Scores a weighted scenario catalog against a prepared design, folding
+/// the way the sweep/search drivers fold an
+/// [`ExpectedCost`](super::ExpectedCost): penalties accumulate in
+/// catalog order (identical float-op order), worst values fold through
+/// [`TimeDelta::max`], and objectives AND together.
+///
+/// # Errors
+///
+/// As [`expected_annual_cost_prepared`](super::expected_annual_cost_prepared):
+/// the first scenario evaluation error, or [`Error::InvalidParameter`]
+/// for a negative or non-finite frequency.
+pub fn expected_summary(
+    prepared: &PreparedDesign,
+    requirements: &BusinessRequirements,
+    scenarios: &[WeightedScenario],
+    scratch: &mut EvalScratch,
+) -> Result<ExpectedSummary, Error> {
+    let mut summary = ExpectedSummary::empty();
+    for (index, weighted) in scenarios.iter().enumerate() {
+        check_frequency(index, weighted)?;
+        let score = score_scenario(prepared, requirements, &weighted.scenario, scratch)?;
+        summary.outlays = score.total_outlays;
+        summary.expected_penalties += score.total_penalties * weighted.annual_frequency;
+        summary.worst_recovery_time = summary.worst_recovery_time.max(score.recovery_time);
+        summary.worst_data_loss = summary.worst_data_loss.max(score.worst_loss);
+        summary.meets_objectives &= score.meets_objectives;
+        summary.evaluations += 1;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{FailureScope, RecoveryTarget};
+    use crate::units::Bytes;
+
+    fn scenario_grid() -> Vec<FailureScenario> {
+        let mut grid = vec![
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            FailureScenario::new(FailureScope::Building, RecoveryTarget::Now),
+            FailureScenario::new(FailureScope::Site, RecoveryTarget::Now),
+            FailureScenario::new(
+                FailureScope::ProtectionLevel { level: 2 },
+                RecoveryTarget::Now,
+            ),
+        ];
+        for hours in [1.0, 24.0, 168.0] {
+            grid.push(FailureScenario::new(
+                FailureScope::DataObject {
+                    size: Bytes::from_mib(1.0),
+                },
+                RecoveryTarget::Before {
+                    age: TimeDelta::from_hours(hours),
+                },
+            ));
+        }
+        grid
+    }
+
+    fn designs() -> Vec<crate::hierarchy::StorageDesign> {
+        vec![
+            crate::presets::baseline_design(),
+            crate::presets::async_batch_mirror_design(1),
+            crate::presets::async_batch_mirror_design(10),
+        ]
+    }
+
+    #[test]
+    fn scored_scenarios_match_the_full_reports_bit_for_bit() {
+        let workload = crate::presets::cello_workload();
+        let requirements = crate::presets::paper_requirements();
+        let mut scratch = EvalScratch::new();
+        for design in designs() {
+            let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+            for scenario in scenario_grid() {
+                let report = prepared.evaluate_scenario(&requirements, &scenario);
+                let score = score_scenario(&prepared, &requirements, &scenario, &mut scratch);
+                match (report, score) {
+                    (Ok(report), Ok(score)) => {
+                        assert_eq!(score.total_outlays, report.cost.total_outlays);
+                        assert_eq!(score.total_penalties, report.cost.total_penalties());
+                        assert_eq!(score.recovery_time, report.recovery.total_time);
+                        assert_eq!(score.worst_loss, report.loss.worst_loss);
+                        assert_eq!(
+                            score.meets_objectives,
+                            report.meets_objectives(&requirements)
+                        );
+                    }
+                    (Err(report_err), Err(score_err)) => {
+                        assert_eq!(report_err.to_string(), score_err.to_string());
+                    }
+                    (report, score) => {
+                        panic!("paths disagree: report {report:?} vs score {score:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expected_summary_matches_the_folded_expected_cost() {
+        let workload = crate::presets::cello_workload();
+        let requirements = crate::presets::paper_requirements();
+        let mut scratch = EvalScratch::new();
+        for design in designs() {
+            let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+            // Keep the scenarios this design can actually serve; the
+            // error-parity case is covered by the bit-for-bit test.
+            let scenarios: Vec<WeightedScenario> = scenario_grid()
+                .into_iter()
+                .zip([12.0, 0.1, 0.01, 0.5, 4.0, 2.0, 1.0])
+                .filter(|(scenario, _)| prepared.evaluate_scenario(&requirements, scenario).is_ok())
+                .map(|(scenario, freq)| WeightedScenario::new(scenario, freq))
+                .collect();
+            assert!(scenarios.len() >= 4, "grid too thin for {}", design.name());
+            let expected = crate::analysis::expected_annual_cost_prepared(
+                &prepared,
+                &requirements,
+                &scenarios,
+            )
+            .unwrap();
+            let summary =
+                expected_summary(&prepared, &requirements, &scenarios, &mut scratch).unwrap();
+
+            assert_eq!(summary.outlays, expected.outlays);
+            assert_eq!(summary.expected_penalties, expected.expected_penalties);
+            assert_eq!(summary.total(), expected.total());
+            assert_eq!(summary.evaluations, expected.evaluations.len());
+
+            // Fold the report path exactly the way sweep/search do.
+            let mut worst_recovery_time = TimeDelta::ZERO;
+            let mut worst_data_loss = TimeDelta::ZERO;
+            let mut meets = true;
+            for (_, evaluation) in &expected.evaluations {
+                worst_recovery_time = worst_recovery_time.max(evaluation.recovery.total_time);
+                worst_data_loss = worst_data_loss.max(evaluation.loss.worst_loss);
+                meets &= evaluation.meets_objectives(&requirements);
+            }
+            assert_eq!(summary.worst_recovery_time, worst_recovery_time);
+            assert_eq!(summary.worst_data_loss, worst_data_loss);
+            assert_eq!(summary.meets_objectives, meets);
+        }
+    }
+
+    #[test]
+    fn empty_catalog_scores_zero() {
+        let summary = ExpectedSummary::empty();
+        assert_eq!(summary.total(), Money::ZERO);
+        assert!(summary.meets_objectives);
+
+        let workload = crate::presets::cello_workload();
+        let prepared =
+            PreparedDesign::prepare(&crate::presets::baseline_design(), &workload).unwrap();
+        let scored = expected_summary(
+            &prepared,
+            &crate::presets::paper_requirements(),
+            &[],
+            &mut EvalScratch::new(),
+        )
+        .unwrap();
+        assert_eq!(scored, summary);
+    }
+
+    #[test]
+    fn bad_frequency_errors_match_the_report_path() {
+        let workload = crate::presets::cello_workload();
+        let design = crate::presets::baseline_design();
+        let requirements = crate::presets::paper_requirements();
+        let prepared = PreparedDesign::prepare(&design, &workload).unwrap();
+        let bad = vec![WeightedScenario::new(
+            FailureScenario::new(FailureScope::Array, RecoveryTarget::Now),
+            f64::NAN,
+        )];
+        let report_err =
+            crate::analysis::expected_annual_cost(&design, &workload, &requirements, &bad)
+                .unwrap_err();
+        let score_err =
+            expected_summary(&prepared, &requirements, &bad, &mut EvalScratch::new()).unwrap_err();
+        assert_eq!(report_err.to_string(), score_err.to_string());
+    }
+}

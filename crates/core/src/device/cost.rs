@@ -214,3 +214,17 @@ mod tests {
         assert!(CostModel::free().validate("x").is_ok());
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for CostModel {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.fixed.fingerprint_into(hasher);
+            self.per_gib.fingerprint_into(hasher);
+            self.per_mib_per_sec.fingerprint_into(hasher);
+            self.per_shipment.fingerprint_into(hasher);
+        }
+    }
+}

@@ -114,3 +114,23 @@ mod tests {
         assert_eq!(DeviceKind::VaultShelf.to_string(), "vault");
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for DeviceKind {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            match self {
+                DeviceKind::DiskArray { capacity_overhead } => {
+                    hasher.write_u8(0);
+                    capacity_overhead.fingerprint_into(hasher);
+                }
+                DeviceKind::TapeLibrary => hasher.write_u8(1),
+                DeviceKind::VaultShelf => hasher.write_u8(2),
+                DeviceKind::NetworkLink => hasher.write_u8(3),
+                DeviceKind::Courier => hasher.write_u8(4),
+            }
+        }
+    }
+}

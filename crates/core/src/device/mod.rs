@@ -498,3 +498,40 @@ mod tests {
         assert_eq!(a, back);
     }
 }
+
+/// Structural fingerprinting (cache keys) — lives here because the
+/// fields are private. Every serialized field is visited in declaration
+/// order; see `crate::fingerprint` for the stability contract.
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for DeviceId {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            hasher.write_len(self.0);
+        }
+    }
+
+    impl<T: Fingerprintable> Fingerprintable for SlotBank<T> {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            // Count and per-slot size hash separately: two banks with
+            // the same product are different devices.
+            self.count.fingerprint_into(hasher);
+            self.per_slot.fingerprint_into(hasher);
+        }
+    }
+
+    impl Fingerprintable for DeviceSpec {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.name.fingerprint_into(hasher);
+            self.kind.fingerprint_into(hasher);
+            self.location.fingerprint_into(hasher);
+            self.capacity_slots.fingerprint_into(hasher);
+            self.bandwidth_slots.fingerprint_into(hasher);
+            self.enclosure_bandwidth.fingerprint_into(hasher);
+            self.access_delay.fingerprint_into(hasher);
+            self.cost.fingerprint_into(hasher);
+            self.spare.fingerprint_into(hasher);
+        }
+    }
+}

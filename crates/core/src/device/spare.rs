@@ -166,3 +166,32 @@ mod tests {
         assert!(text.contains("20%"));
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for SpareSpec {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            match self {
+                SpareSpec::None => hasher.write_u8(0),
+                SpareSpec::Dedicated {
+                    provisioning_time,
+                    cost_factor,
+                } => {
+                    hasher.write_u8(1);
+                    provisioning_time.fingerprint_into(hasher);
+                    cost_factor.fingerprint_into(hasher);
+                }
+                SpareSpec::Shared {
+                    provisioning_time,
+                    cost_factor,
+                } => {
+                    hasher.write_u8(2);
+                    provisioning_time.fingerprint_into(hasher);
+                    cost_factor.fingerprint_into(hasher);
+                }
+            }
+        }
+    }
+}

@@ -213,7 +213,12 @@ impl RetryPolicy {
             match op() {
                 Ok(value) => return Ok(value),
                 Err(e) if e.is_transient() && attempt <= self.max_retries => {
-                    std::thread::sleep(self.delay_for_task(attempt, salt));
+                    let delay = self.delay_for_task(attempt, salt);
+                    // An immediate policy's zero backoff is not a sleep
+                    // at all — skip the syscall on the retry hot path.
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
                 }
                 Err(e) => return Err(e.with_attempts(attempt)),
             }

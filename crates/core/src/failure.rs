@@ -384,3 +384,16 @@ mod tests {
         assert!(s.to_string().contains("already degraded"));
     }
 }
+
+mod location_fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for Location {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.region.fingerprint_into(hasher);
+            self.site.fingerprint_into(hasher);
+            self.building.fingerprint_into(hasher);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Structural fingerprinting for cache keys.
+//!
+//! [`FingerprintHasher`] is an FNV-1a stream over the primitive values
+//! of a model object, visited in declaration order. It replaces
+//! serde-JSON serialization on the evaluation-cache key path: hashing
+//! the fields directly skips the string formatting, heap allocation,
+//! and float-to-decimal conversion that dominated `EvalEngine::prepare`
+//! at microsecond-scale work items.
+//!
+//! Stability contract (see DESIGN.md §16):
+//!
+//! - every serde-serialized field is fed to the hasher, in the order the
+//!   fields are declared (which is the order serde emits them);
+//! - enum variants write a one-byte discriminant tag before their
+//!   payload, `Option` writes a presence byte, and collections/strings
+//!   write their length first, so concatenation ambiguities cannot
+//!   alias two different structures;
+//! - floats hash their IEEE 754 bit pattern (`to_bits`), so `-0.0` and
+//!   `0.0` are *distinct* keys (serde-JSON also distinguishes them)
+//!   and every NaN pattern hashes consistently with itself.
+//!
+//! Adding, removing, reordering, or renaming a serialized field — or
+//! reordering enum variants — is fingerprint-breaking: old and new
+//! processes will disagree on keys. That is fine for the in-process
+//! memo cache (fingerprints are never persisted), but any future
+//! on-disk cache must version the hash. A test in `crates/opt` pins the
+//! structural fingerprint against the serde-JSON fallback over the
+//! preset corpus and a randomized design-space sample so a missed field
+//! shows up as a collision between distinct designs.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An FNV-1a accumulator with framing helpers for structured values.
+///
+/// Also counts the bytes hashed: the count serves as the cache-weight
+/// estimate for the byte-budgeted memo cache (proportional to the
+/// structural size of the design, like the JSON length it replaces).
+#[derive(Debug, Clone)]
+pub struct FingerprintHasher {
+    state: u64,
+    bytes: usize,
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> FingerprintHasher {
+        FingerprintHasher::new()
+    }
+}
+
+impl FingerprintHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> FingerprintHasher {
+        FingerprintHasher {
+            state: FNV_OFFSET,
+            bytes: 0,
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// Total bytes hashed so far (the cache-weight estimate).
+    pub fn bytes_hashed(&self) -> usize {
+        self.bytes
+    }
+
+    /// Feeds raw bytes through FNV-1a.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut state = self.state;
+        for byte in bytes {
+            state ^= u64::from(*byte);
+            state = state.wrapping_mul(FNV_PRIME);
+        }
+        self.state = state;
+        self.bytes += bytes.len();
+    }
+
+    /// Hashes one byte — used for enum discriminants and `Option` tags.
+    pub fn write_u8(&mut self, value: u8) {
+        self.write_bytes(&[value]);
+    }
+
+    /// Hashes a `u32` (little-endian).
+    pub fn write_u32(&mut self, value: u32) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Hashes a `u64` (little-endian).
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Hashes a `usize` widened to `u64`, for collection lengths.
+    pub fn write_len(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Hashes an `f64` by IEEE 754 bit pattern.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Hashes a `bool` as one byte.
+    pub fn write_bool(&mut self, value: bool) {
+        self.write_u8(u8::from(value));
+    }
+
+    /// Hashes a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// cannot alias.
+    pub fn write_str(&mut self, value: &str) {
+        self.write_len(value.len());
+        self.write_bytes(value.as_bytes());
+    }
+}
+
+/// A model value that can feed its structure to a [`FingerprintHasher`].
+///
+/// Implementations live in each type's own module (the fields are
+/// private) and must visit every serde-serialized field in declaration
+/// order — see the module docs for the stability contract.
+pub trait Fingerprintable {
+    /// Feeds this value's serialized fields to the hasher.
+    fn fingerprint_into(&self, hasher: &mut FingerprintHasher);
+}
+
+impl<T: Fingerprintable + ?Sized> Fingerprintable for &T {
+    fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+        (**self).fingerprint_into(hasher);
+    }
+}
+
+impl<T: Fingerprintable> Fingerprintable for Option<T> {
+    fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+        match self {
+            None => hasher.write_u8(0),
+            Some(value) => {
+                hasher.write_u8(1);
+                value.fingerprint_into(hasher);
+            }
+        }
+    }
+}
+
+impl<T: Fingerprintable> Fingerprintable for Vec<T> {
+    fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+        hasher.write_len(self.len());
+        for item in self {
+            item.fingerprint_into(hasher);
+        }
+    }
+}
+
+impl Fingerprintable for f64 {
+    fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+        hasher.write_f64(*self);
+    }
+}
+
+impl Fingerprintable for u32 {
+    fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+        hasher.write_u32(*self);
+    }
+}
+
+impl Fingerprintable for str {
+    fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+        hasher.write_str(self);
+    }
+}
+
+impl Fingerprintable for String {
+    fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+        hasher.write_str(self);
+    }
+}
+
+macro_rules! unit_fingerprint {
+    ($($unit:ty),* $(,)?) => {
+        $(impl Fingerprintable for $unit {
+            fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+                hasher.write_f64(self.value());
+            }
+        })*
+    };
+}
+
+unit_fingerprint!(
+    crate::units::TimeDelta,
+    crate::units::Bytes,
+    crate::units::Bandwidth,
+    crate::units::Money,
+    crate::units::MoneyRate,
+);
+
+impl Fingerprintable for crate::units::Utilization {
+    fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+        hasher.write_f64(self.as_fraction());
+    }
+}
+
+/// Hashes a `(design, workload)` pair into the evaluation-cache key and
+/// its byte weight, with a domain-separating tag between the two so a
+/// field sliding from one side to the other cannot alias.
+pub fn fingerprint_pair<D: Fingerprintable, W: Fingerprintable>(
+    design: &D,
+    workload: &W,
+) -> (u64, usize) {
+    let mut hasher = FingerprintHasher::new();
+    design.fingerprint_into(&mut hasher);
+    hasher.write_u8(0x1f);
+    workload.fingerprint_into(&mut hasher);
+    (hasher.finish(), hasher.bytes_hashed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_separates_adjacent_strings() {
+        let mut ab_c = FingerprintHasher::new();
+        "ab".fingerprint_into(&mut ab_c);
+        "c".fingerprint_into(&mut ab_c);
+        let mut a_bc = FingerprintHasher::new();
+        "a".fingerprint_into(&mut a_bc);
+        "bc".fingerprint_into(&mut a_bc);
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+
+    #[test]
+    fn option_tags_disambiguate_presence() {
+        let mut none_then_one = FingerprintHasher::new();
+        Option::<u32>::None.fingerprint_into(&mut none_then_one);
+        1u32.fingerprint_into(&mut none_then_one);
+        let mut some_one = FingerprintHasher::new();
+        Some(1u32).fingerprint_into(&mut some_one);
+        // Same payload bytes either way; the tags must still separate
+        // "absent, then a bare 1" from "present 1".
+        assert_ne!(none_then_one.finish(), some_one.finish());
+    }
+
+    #[test]
+    fn negative_zero_is_a_distinct_key() {
+        let mut pos = FingerprintHasher::new();
+        0.0f64.fingerprint_into(&mut pos);
+        let mut neg = FingerprintHasher::new();
+        (-0.0f64).fingerprint_into(&mut neg);
+        assert_ne!(pos.finish(), neg.finish());
+    }
+
+    #[test]
+    fn bytes_hashed_tracks_every_write() {
+        let mut hasher = FingerprintHasher::new();
+        hasher.write_u8(7);
+        hasher.write_f64(1.5);
+        "abc".fingerprint_into(&mut hasher);
+        // 1 + 8 + (8 len prefix + 3 payload)
+        assert_eq!(hasher.bytes_hashed(), 20);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_hashers() {
+        let run = || {
+            let mut hasher = FingerprintHasher::new();
+            hasher.write_str("design");
+            hasher.write_f64(3.25);
+            hasher.write_u32(9);
+            hasher.finish()
+        };
+        assert_eq!(run(), run());
+    }
+}

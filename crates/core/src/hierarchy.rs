@@ -614,3 +614,37 @@ mod tests {
         assert_eq!(design, back);
     }
 }
+
+/// Structural fingerprinting (cache keys) — lives here because the
+/// fields are private. Every serialized field is visited in declaration
+/// order; see `crate::fingerprint` for the stability contract.
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for StorageDesign {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.name.fingerprint_into(hasher);
+            self.devices.fingerprint_into(hasher);
+            self.levels.fingerprint_into(hasher);
+            self.recovery_site.fingerprint_into(hasher);
+        }
+    }
+
+    impl Fingerprintable for Level {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.name.fingerprint_into(hasher);
+            self.technique.fingerprint_into(hasher);
+            self.host.fingerprint_into(hasher);
+            self.transports.fingerprint_into(hasher);
+        }
+    }
+
+    impl Fingerprintable for RecoverySite {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.location.fingerprint_into(hasher);
+            self.provisioning_time.fingerprint_into(hasher);
+            self.cost_factor.fingerprint_into(hasher);
+        }
+    }
+}

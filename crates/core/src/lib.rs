@@ -70,6 +70,7 @@ pub mod device;
 pub mod diagnose;
 pub mod error;
 pub mod failure;
+pub mod fingerprint;
 pub mod hierarchy;
 pub mod multi;
 pub mod presets;

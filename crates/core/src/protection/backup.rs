@@ -407,3 +407,34 @@ mod tests {
         assert!(backup.demands(&context).is_err());
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for IncrementalMode {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            match self {
+                IncrementalMode::Cumulative => hasher.write_u8(0),
+                IncrementalMode::Differential => hasher.write_u8(1),
+            }
+        }
+    }
+
+    impl Fingerprintable for IncrementalPolicy {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.mode.fingerprint_into(hasher);
+            self.accumulation_window.fingerprint_into(hasher);
+            self.propagation_window.fingerprint_into(hasher);
+            self.hold_window.fingerprint_into(hasher);
+            self.count.fingerprint_into(hasher);
+        }
+    }
+
+    impl Fingerprintable for Backup {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.full.fingerprint_into(hasher);
+            self.incremental.fingerprint_into(hasher);
+        }
+    }
+}

@@ -236,3 +236,26 @@ mod tests {
         assert!(four_of_six().demands(&ctx).is_err());
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for RepairStrategy {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            match self {
+                RepairStrategy::Parallel => hasher.write_u8(0),
+                RepairStrategy::Serial => hasher.write_u8(1),
+            }
+        }
+    }
+
+    impl Fingerprintable for KOutOfN {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.data_fragments.fingerprint_into(hasher);
+            self.total_fragments.fingerprint_into(hasher);
+            self.params.fingerprint_into(hasher);
+            self.repair.fingerprint_into(hasher);
+        }
+    }
+}

@@ -361,3 +361,43 @@ mod tests {
         assert_eq!(t, back);
     }
 }
+
+mod technique_fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for Technique {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            match self {
+                Technique::PrimaryCopy(t) => {
+                    hasher.write_u8(0);
+                    t.fingerprint_into(hasher);
+                }
+                Technique::SplitMirror(t) => {
+                    hasher.write_u8(1);
+                    t.fingerprint_into(hasher);
+                }
+                Technique::VirtualSnapshot(t) => {
+                    hasher.write_u8(2);
+                    t.fingerprint_into(hasher);
+                }
+                Technique::RemoteMirror(t) => {
+                    hasher.write_u8(3);
+                    t.fingerprint_into(hasher);
+                }
+                Technique::Backup(t) => {
+                    hasher.write_u8(4);
+                    t.fingerprint_into(hasher);
+                }
+                Technique::RemoteVault(t) => {
+                    hasher.write_u8(5);
+                    t.fingerprint_into(hasher);
+                }
+                Technique::KOutOfN(t) => {
+                    hasher.write_u8(6);
+                    t.fingerprint_into(hasher);
+                }
+            }
+        }
+    }
+}

@@ -449,3 +449,31 @@ mod tests {
         assert_eq!(p, back);
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for CopyRepresentation {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            match self {
+                CopyRepresentation::Full => hasher.write_u8(0),
+                CopyRepresentation::Partial => hasher.write_u8(1),
+            }
+        }
+    }
+
+    impl Fingerprintable for ProtectionParams {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.accumulation_window.fingerprint_into(hasher);
+            self.propagation_window.fingerprint_into(hasher);
+            self.hold_window.fingerprint_into(hasher);
+            self.cycle_count.fingerprint_into(hasher);
+            self.cycle_period.fingerprint_into(hasher);
+            self.retention_count.fingerprint_into(hasher);
+            self.retention_window.fingerprint_into(hasher);
+            self.copy_representation.fingerprint_into(hasher);
+            self.propagation_representation.fingerprint_into(hasher);
+        }
+    }
+}

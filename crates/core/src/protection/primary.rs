@@ -52,3 +52,14 @@ mod tests {
         assert_eq!(demands[0].shipments_per_year, 0.0);
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for PrimaryCopy {
+        fn fingerprint_into(&self, _hasher: &mut FingerprintHasher) {
+            // No fields; the Technique discriminant tag identifies it.
+        }
+    }
+}

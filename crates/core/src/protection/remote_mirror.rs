@@ -254,3 +254,30 @@ mod tests {
         );
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for MirrorMode {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            match self {
+                MirrorMode::Synchronous => hasher.write_u8(0),
+                MirrorMode::Asynchronous { write_lag } => {
+                    hasher.write_u8(1);
+                    write_lag.fingerprint_into(hasher);
+                }
+                MirrorMode::Batched { params } => {
+                    hasher.write_u8(2);
+                    params.fingerprint_into(hasher);
+                }
+            }
+        }
+    }
+
+    impl Fingerprintable for RemoteMirror {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.mode.fingerprint_into(hasher);
+        }
+    }
+}

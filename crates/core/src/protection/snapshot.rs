@@ -112,3 +112,14 @@ mod tests {
         assert!(demands[0].capacity <= workload.data_capacity());
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for VirtualSnapshot {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.params.fingerprint_into(hasher);
+        }
+    }
+}

@@ -136,3 +136,14 @@ mod tests {
         assert!(big.bandwidth >= small.bandwidth);
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for SplitMirror {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.params.fingerprint_into(hasher);
+        }
+    }
+}

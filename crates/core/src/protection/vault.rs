@@ -192,3 +192,14 @@ mod tests {
         assert!(baseline_vault().demands(&context).is_err());
     }
 }
+
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for RemoteVault {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.params.fingerprint_into(hasher);
+        }
+    }
+}

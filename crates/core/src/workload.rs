@@ -610,3 +610,29 @@ mod tests {
         assert!(cello().scaled(f64::INFINITY).is_err());
     }
 }
+
+/// Structural fingerprinting (cache keys) — lives here because the
+/// fields are private. Every serialized field is visited in declaration
+/// order; see `crate::fingerprint` for the stability contract.
+mod fingerprints {
+    use super::*;
+    use crate::fingerprint::{FingerprintHasher, Fingerprintable};
+
+    impl Fingerprintable for BatchRatePoint {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.window.fingerprint_into(hasher);
+            self.rate.fingerprint_into(hasher);
+        }
+    }
+
+    impl Fingerprintable for Workload {
+        fn fingerprint_into(&self, hasher: &mut FingerprintHasher) {
+            self.name.fingerprint_into(hasher);
+            self.data_capacity.fingerprint_into(hasher);
+            self.avg_access_rate.fingerprint_into(hasher);
+            self.avg_update_rate.fingerprint_into(hasher);
+            self.burst_multiplier.fingerprint_into(hasher);
+            self.batch_curve.fingerprint_into(hasher);
+        }
+    }
+}

@@ -8,9 +8,13 @@
 //! scenario-independent half; this module adds the batch-level layer on
 //! top:
 //!
-//! * [`Fingerprint`] — a stable 64-bit hash over the canonical JSON of a
-//!   `(design, workload)` pair, so structurally identical candidates
-//!   share one preparation even when they are distinct values;
+//! * [`Fingerprint`] — a stable 64-bit *structural* hash walking the
+//!   fields of a `(design, workload)` pair directly (see
+//!   [`ssdep_core::fingerprint`]); no serialization runs on the hot
+//!   path, so fingerprinting a candidate allocates nothing. The old
+//!   serde-JSON hash survives as [`Fingerprint::weigh_serde`], a
+//!   sanctioned fallback pinned equivalent by the collision-freedom
+//!   suite in `tests/fingerprint_equivalence.rs`;
 //! * [`EvalEngine`] — a byte-budgeted, least-recently-used memo cache of
 //!   [`PreparedDesign`] artifacts keyed by fingerprint, sharded across
 //!   several locks so a daemon's worker threads (or the supervisor's
@@ -24,37 +28,49 @@
 //! [`PreparedDesign::prepare`] call would have produced, so engine-routed
 //! results stay bit-for-bit identical to the single-shot pipeline.
 //!
+//! ### Single-flight preparation
+//!
+//! Concurrent misses on one fingerprint do *not* each prepare: the first
+//! claimant becomes the flight leader and prepares once; the rest park on
+//! a condvar and receive the leader's artifact (counted as hits, and as
+//! [`EvalEngine::cache_dedup_waits`]). If the leader's preparation
+//! errors, waiters retry from the top so every caller still observes the
+//! deterministic per-input error.
+//!
 //! ### Why bytes, not entries
 //!
 //! A long-running `ssdep serve` node caches whatever traffic sends it:
 //! ten-device case-study designs and thousand-device imports compete for
 //! the same slots. An entry-count cap treats those as equal; a byte
-//! budget (estimated by each entry's serialized fingerprint payload,
-//! which tracks design size) keeps the resident footprint bounded no
-//! matter the mix.
+//! budget (each entry is charged the number of bytes its structural
+//! fingerprint hashed, which tracks design size) keeps the resident
+//! footprint bounded no matter the mix.
 
 use ssdep_core::analysis::{
-    expected_annual_cost, expected_annual_cost_prepared, ExpectedCost, PreparedDesign,
-    WeightedScenario,
+    check_frequency, expected_annual_cost, expected_annual_cost_prepared, EvalScratch,
+    ExpectedCost, ExpectedSummary, PreparedDesign, WeightedScenario,
 };
 use ssdep_core::error::Error;
+use ssdep_core::fingerprint::fingerprint_pair;
 use ssdep_core::hierarchy::StorageDesign;
 use ssdep_core::requirements::BusinessRequirements;
 use ssdep_core::workload::Workload;
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// A stable identity for a `(design, workload)` preparation input.
 ///
-/// The hash is FNV-1a over the canonical `serde_json` serialization of
-/// the design, a separator byte, and the serialization of the workload.
-/// Serialized form — not memory identity — is what keys the cache, so
-/// two independently constructed but structurally identical candidates
-/// collapse onto one preparation. Anything *not* serialized (business
-/// requirements, the scenario catalog) never invalidates a cached
-/// artifact, because preparation does not depend on it.
+/// The hash is FNV-1a over a structural walk of the design's fields, a
+/// separator byte, and a walk of the workload's fields (see
+/// [`ssdep_core::fingerprint`] for the framing rules). Structure — not
+/// memory identity — is what keys the cache, so two independently
+/// constructed but structurally identical candidates collapse onto one
+/// preparation. Anything *not* walked (business requirements, the
+/// scenario catalog) never invalidates a cached artifact, because
+/// preparation does not depend on it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fingerprint(u64);
 
@@ -72,26 +88,55 @@ impl Fingerprint {
     ///
     /// # Errors
     ///
-    /// Returns an invalid-parameter error if either value cannot be
-    /// serialized (not expected for well-formed designs).
+    /// Infallible today (the structural walk cannot fail); the `Result`
+    /// is kept so callers that stored the serde-era signature need no
+    /// change.
     pub fn of(design: &StorageDesign, workload: &Workload) -> Result<Fingerprint, Error> {
         Ok(Fingerprint::weigh(design, workload)?.0)
     }
 
-    /// Fingerprints a `(design, workload)` pair and reports the size of
-    /// the serialized payload that was hashed — the byte-cost estimate
+    /// Fingerprints a `(design, workload)` pair and reports how many
+    /// bytes the structural walk fed the hash — the byte-cost estimate
     /// the [`EvalEngine`] charges a cached entry against its budget.
     ///
     /// # Errors
     ///
-    /// As [`Fingerprint::of`].
+    /// As [`Fingerprint::of`] (infallible today).
     pub fn weigh(
         design: &StorageDesign,
         workload: &Workload,
     ) -> Result<(Fingerprint, usize), Error> {
-        let design_json = serde_json::to_string(design)
+        let (hash, bytes) = fingerprint_pair(design, workload);
+        Ok((Fingerprint(hash), bytes))
+    }
+
+    /// The serde-era fingerprint: FNV-1a over the canonical JSON of the
+    /// pair. Kept as a sanctioned fallback off the hot path — the
+    /// fingerprint-equivalence suite asserts the structural hash
+    /// separates every pair this one does, so a regression in the
+    /// structural walk is caught against this reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an invalid-parameter error if either value cannot be
+    /// serialized (not expected for well-formed designs).
+    pub fn of_serde(design: &StorageDesign, workload: &Workload) -> Result<Fingerprint, Error> {
+        Ok(Fingerprint::weigh_serde(design, workload)?.0)
+    }
+
+    /// As [`Fingerprint::of_serde`], also reporting the serialized
+    /// payload length (the serde-era weight estimate).
+    ///
+    /// # Errors
+    ///
+    /// As [`Fingerprint::of_serde`].
+    pub fn weigh_serde(
+        design: &StorageDesign,
+        workload: &Workload,
+    ) -> Result<(Fingerprint, usize), Error> {
+        let design_json = serde_json::to_string(design) // ssdep-lint: allow(L013, serde fallback kept off the hot path as the equivalence reference)
             .map_err(|e| Error::invalid("design", format!("cannot fingerprint: {e}")))?;
-        let workload_json = serde_json::to_string(workload)
+        let workload_json = serde_json::to_string(workload) // ssdep-lint: allow(L013, serde fallback kept off the hot path as the equivalence reference)
             .map_err(|e| Error::invalid("workload", format!("cannot fingerprint: {e}")))?;
         let mut hash = fnv1a(FNV_OFFSET, design_json.as_bytes());
         hash = fnv1a(hash, &[0x1f]);
@@ -104,6 +149,18 @@ impl Fingerprint {
     pub fn value(self) -> u64 {
         self.0
     }
+}
+
+/// Runs `f` with this thread's reusable [`EvalScratch`]. Supervisor
+/// workers and daemon handler threads are long-lived, so each amortizes
+/// one scratch allocation across every candidate it evaluates — the
+/// scored inner loop allocates nothing per candidate.
+pub fn with_scratch<R>(f: impl FnOnce(&mut EvalScratch) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<EvalScratch> =
+            std::cell::RefCell::new(EvalScratch::new());
+    }
+    SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 impl fmt::Display for Fingerprint {
@@ -148,8 +205,65 @@ struct CacheEntry {
 #[derive(Default)]
 struct Shard {
     entries: HashMap<u64, CacheEntry>,
+    /// LRU index: `last_used` stamp -> fingerprint key. Stamps are
+    /// unique (the clock ticks once per touch), so eviction pops the
+    /// smallest stamp in `O(log n)` instead of scanning every resident —
+    /// the scan turned each insert into an `O(shard)` pass once an
+    /// enumeration-scale run filled the budget.
+    order: BTreeMap<u64, u64>,
     clock: u64,
     bytes: usize,
+}
+
+/// One in-flight preparation, shared between the leader doing the work
+/// and the followers parked on the condvar.
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    Preparing,
+    /// `None` means the leader's preparation errored; followers retry
+    /// from the top so each observes the (deterministic) error itself.
+    Done(Option<Arc<PreparedDesign>>),
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(FlightState::Preparing),
+            done: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Option<Arc<PreparedDesign>> {
+        let mut state = match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        loop {
+            match &*state {
+                FlightState::Done(result) => return result.clone(),
+                FlightState::Preparing => {
+                    state = match self.done.wait(state) {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, result: Option<Arc<PreparedDesign>>) {
+        let mut state = match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *state = FlightState::Done(result);
+        drop(state);
+        self.done.notify_all();
+    }
 }
 
 /// A memo cache of scenario-independent preparation artifacts, shared
@@ -159,18 +273,23 @@ struct Shard {
 /// by fingerprint, and the counters are atomic, so one engine can serve
 /// all of a supervisor's worker threads (or all of a server's handler
 /// threads) without funnelling them through a single mutex. Concurrent
-/// misses on the same fingerprint may both prepare (last insert wins);
-/// the artifacts are identical, so results never depend on the race —
-/// only the reported hit count can.
+/// misses on the same fingerprint prepare exactly once: the first
+/// claimant leads the flight, the rest wait and share its artifact
+/// (counted in [`EvalEngine::cache_dedup_waits`]).
 pub struct EvalEngine {
     config: EngineConfig,
     shards: Vec<Mutex<Shard>>,
+    /// In-flight preparations, sharded like `shards` but behind their
+    /// own locks so flight bookkeeping never contends with cache
+    /// lookups (and no lock is ever taken while another is held).
+    pending: Vec<Mutex<HashMap<u64, Arc<Flight>>>>,
     /// Per-shard byte budget: `cache_bytes / shards.len()`, at least 1
     /// so a nonzero budget never rounds down to "cache nothing".
     shard_budget: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
     bytes: AtomicUsize,
+    dedup_waits: AtomicUsize,
 }
 
 impl fmt::Debug for EvalEngine {
@@ -182,6 +301,7 @@ impl fmt::Debug for EvalEngine {
             .field("resident_bytes", &self.cached_bytes())
             .field("hits", &self.cache_hits())
             .field("misses", &self.cache_misses())
+            .field("dedup_waits", &self.cache_dedup_waits())
             .finish()
     }
 }
@@ -200,10 +320,12 @@ impl EvalEngine {
         EvalEngine {
             config,
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            pending: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             shard_budget,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             bytes: AtomicUsize::new(0),
+            dedup_waits: AtomicUsize::new(0),
         }
     }
 
@@ -219,8 +341,18 @@ impl EvalEngine {
         }
     }
 
+    fn pending(&self, key: u64) -> MutexGuard<'_, HashMap<u64, Arc<Flight>>> {
+        let index = (key as usize) & (self.pending.len() - 1);
+        match self.pending[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Prepares `design` under `workload`, reusing a cached artifact when
-    /// an identical pair was prepared before.
+    /// an identical pair was prepared before. Concurrent misses on one
+    /// fingerprint are single-flighted: exactly one caller prepares, the
+    /// rest wait for (and share) its artifact.
     ///
     /// # Errors
     ///
@@ -236,51 +368,96 @@ impl EvalEngine {
         }
         let (fingerprint, weight) = Fingerprint::weigh(design, workload)?;
         let key = fingerprint.value();
-        {
-            let mut shard = self.shard(key);
-            shard.clock += 1;
-            let stamp = shard.clock;
-            if let Some(entry) = shard.entries.get_mut(&key) {
-                entry.last_used = stamp;
-                let prepared = Arc::clone(&entry.prepared);
-                drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(prepared);
+        loop {
+            {
+                let mut guard = self.shard(key);
+                let shard = &mut *guard;
+                shard.clock += 1;
+                let stamp = shard.clock;
+                if let Some(entry) = shard.entries.get_mut(&key) {
+                    shard.order.remove(&entry.last_used);
+                    shard.order.insert(stamp, key);
+                    entry.last_used = stamp;
+                    let prepared = Arc::clone(&entry.prepared);
+                    drop(guard);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(prepared);
+                }
             }
+            // Miss: lead a new flight, or follow one already in the air.
+            let flight = {
+                let mut pending = self.pending(key);
+                match pending.entry(key) {
+                    Entry::Occupied(in_flight) => {
+                        let flight = Arc::clone(in_flight.get());
+                        drop(pending);
+                        self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                        match flight.wait() {
+                            Some(prepared) => {
+                                self.hits.fetch_add(1, Ordering::Relaxed);
+                                return Ok(prepared);
+                            }
+                            // The leader errored; retry so this caller
+                            // observes the error (or a fresh success)
+                            // itself.
+                            None => continue,
+                        }
+                    }
+                    Entry::Vacant(slot) => {
+                        let flight = Arc::new(Flight::new());
+                        slot.insert(Arc::clone(&flight));
+                        flight
+                    }
+                }
+            };
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let result = PreparedDesign::prepare(design, workload).map(Arc::new);
+            if let Ok(prepared) = &result {
+                self.cache_insert(key, weight, prepared);
+            }
+            // Land the flight only after the cache insert, so a follower
+            // that loops (rather than waits) still finds the artifact.
+            self.pending(key).remove(&key);
+            flight.resolve(result.as_ref().ok().map(Arc::clone));
+            return result;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let prepared = Arc::new(PreparedDesign::prepare(design, workload)?);
-        // An artifact too heavy for a whole shard would only evict
-        // everything else and then be evicted itself — serve it uncached.
+    }
+
+    /// Inserts a freshly prepared artifact, charging its weight against
+    /// the shard budget and evicting least-recently-used residents to
+    /// make room. Oversized artifacts (heavier than a whole shard) are
+    /// skipped: caching one would only evict everything else and then be
+    /// evicted itself.
+    fn cache_insert(&self, key: u64, weight: usize, prepared: &Arc<PreparedDesign>) {
         if weight > self.shard_budget {
-            return Ok(prepared);
+            return;
         }
-        let mut shard = self.shard(key);
+        let mut guard = self.shard(key);
+        let shard = &mut *guard;
         shard.clock += 1;
         let stamp = shard.clock;
         let mut freed = 0usize;
         if let Some(previous) = shard.entries.insert(
             key,
             CacheEntry {
-                prepared: Arc::clone(&prepared),
+                prepared: Arc::clone(prepared),
                 last_used: stamp,
                 weight,
             },
         ) {
-            // A racing miss on the same fingerprint beat us here; the
-            // artifacts are identical, so only the accounting changes.
+            // Single-flight makes a same-key resident unlikely (the
+            // leader checked the cache first), but an entry inserted
+            // between our miss and this insert is replaced harmlessly:
+            // the artifacts are identical, so only accounting changes.
+            shard.order.remove(&previous.last_used);
             freed += previous.weight;
         }
+        shard.order.insert(stamp, key);
         shard.bytes = shard.bytes + weight - freed;
         while shard.bytes > self.shard_budget {
             // The entry just inserted carries the freshest stamp, so the
-            // minimum is always an older resident.
-            let Some(evict) = shard
-                .entries
-                .iter()
-                .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(k, _)| *k)
-            else {
+            // oldest stamp in the index is always an older resident.
+            let Some((_, evict)) = shard.order.pop_first() else {
                 break;
             };
             if let Some(entry) = shard.entries.remove(&evict) {
@@ -288,13 +465,13 @@ impl EvalEngine {
                 freed += entry.weight;
             }
         }
+        drop(guard);
         let charged = weight.saturating_sub(freed);
         if charged > 0 {
             self.bytes.fetch_add(charged, Ordering::Relaxed);
         } else {
             self.bytes.fetch_sub(freed - weight, Ordering::Relaxed);
         }
-        Ok(prepared)
     }
 
     /// Frequency-weighted expected annual cost, routed through the memo
@@ -324,6 +501,34 @@ impl EvalEngine {
         expected_annual_cost_prepared(&prepared, requirements, scenarios)
     }
 
+    /// Frequency-weighted expected summary — the allocation-free scored
+    /// twin of [`EvalEngine::expected_annual_cost`]. Routes preparation
+    /// through the memo cache and folds every scenario through the
+    /// reusable `scratch` buffers, so a sweep's inner loop allocates
+    /// nothing per candidate. Errors (including their ordering) are
+    /// identical to the report path.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalEngine::expected_annual_cost`].
+    pub fn expected_summary(
+        &self,
+        design: &StorageDesign,
+        workload: &Workload,
+        requirements: &BusinessRequirements,
+        scenarios: &[WeightedScenario],
+        scratch: &mut EvalScratch,
+    ) -> Result<ExpectedSummary, Error> {
+        let Some(first) = scenarios.first() else {
+            return Ok(ExpectedSummary::empty());
+        };
+        // The report path validates the first frequency *before*
+        // preparing; mirror that so error ordering stays identical.
+        check_frequency(0, first)?;
+        let prepared = self.prepare(design, workload)?;
+        ssdep_core::analysis::expected_summary(&prepared, requirements, scenarios, scratch)
+    }
+
     /// Number of cache hits so far.
     pub fn cache_hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
@@ -332,6 +537,14 @@ impl EvalEngine {
     /// Number of cache misses (fresh preparations attempted) so far.
     pub fn cache_misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of times a caller waited on another caller's in-flight
+    /// preparation instead of preparing the same pair itself (the
+    /// single-flight dedup counter; such waits are also counted as
+    /// hits).
+    pub fn cache_dedup_waits(&self) -> usize {
+        self.dedup_waits.load(Ordering::Relaxed)
     }
 
     /// Number of prepared designs currently cached, across all shards.
@@ -553,5 +766,78 @@ mod tests {
         assert_eq!(fp1, fp3);
         assert!(weight > 2);
         assert_eq!(weight, Fingerprint::weigh(&design, &workload).unwrap().1);
+    }
+
+    #[test]
+    fn the_serde_fallback_separates_what_the_structural_hash_does() {
+        let workload = presets::cello_workload();
+        let a = presets::baseline_design();
+        let b = presets::async_batch_mirror_design(10);
+        let serde_a = Fingerprint::of_serde(&a, &workload).unwrap();
+        let serde_b = Fingerprint::of_serde(&b, &workload).unwrap();
+        assert_ne!(serde_a, serde_b);
+        assert_eq!(
+            serde_a,
+            Fingerprint::of_serde(&a.clone(), &workload).unwrap()
+        );
+    }
+
+    #[test]
+    fn racing_misses_prepare_once() {
+        let engine = Arc::new(EvalEngine::default());
+        let workload = presets::cello_workload();
+        let design = presets::baseline_design();
+        std::thread::scope(|scope| {
+            for _ in 0..8usize {
+                let engine = Arc::clone(&engine);
+                let workload = workload.clone();
+                let design = design.clone();
+                scope.spawn(move || {
+                    engine.prepare(&design, &workload).unwrap();
+                });
+            }
+        });
+        // Whether the racers overlapped (flight followers) or serialized
+        // (plain cache hits), single-flight guarantees one preparation.
+        assert_eq!(engine.cache_misses(), 1);
+        assert_eq!(engine.cache_hits(), 7);
+        assert!(engine.cache_dedup_waits() <= 7);
+        assert_eq!(engine.cached_designs(), 1);
+    }
+
+    #[test]
+    fn engine_scored_summary_matches_the_expected_cost_fold() {
+        let engine = EvalEngine::default();
+        let workload = presets::cello_workload();
+        let design = presets::baseline_design();
+        let requirements = presets::paper_requirements();
+        let scenarios = catalog();
+        let mut scratch = EvalScratch::new();
+        let summary = engine
+            .expected_summary(&design, &workload, &requirements, &scenarios, &mut scratch)
+            .unwrap();
+        let cost = engine
+            .expected_annual_cost(&design, &workload, &requirements, &scenarios)
+            .unwrap();
+        assert_eq!(summary.outlays, cost.outlays);
+        assert_eq!(summary.expected_penalties, cost.expected_penalties);
+        assert_eq!(summary.total(), cost.total());
+        assert_eq!(summary.evaluations, cost.evaluations.len());
+
+        let empty = engine
+            .expected_summary(&design, &workload, &requirements, &[], &mut scratch)
+            .unwrap();
+        assert_eq!(empty.evaluations, 0);
+
+        // A bad leading frequency is rejected before any preparation,
+        // exactly like the report path.
+        let mut bad = catalog();
+        bad[0].annual_frequency = -1.0;
+        let misses = engine.cache_misses();
+        let err = engine
+            .expected_summary(&design, &workload, &requirements, &bad, &mut scratch)
+            .unwrap_err();
+        assert!(err.to_string().contains("scenarios[0].annualFrequency"));
+        assert_eq!(engine.cache_misses(), misses);
     }
 }

@@ -99,8 +99,11 @@ pub fn evaluate_candidate(
 /// As [`evaluate_candidate`], routing preparation through a staged
 /// [`EvalEngine`] so repeated visits to the same candidate (hill-climb
 /// revisits, multi-start overlaps, retries) reuse the cached
-/// scenario-independent artifacts. The numbers are identical to
-/// [`evaluate_candidate`]'s.
+/// scenario-independent artifacts. The per-scenario fold runs on the
+/// allocation-free scored path with this thread's reusable scratch; the
+/// numbers are identical to [`evaluate_candidate`]'s because the scored
+/// fold performs the same float operations in the same order as the
+/// report path (pinned bit-for-bit in `ssdep-core`).
 ///
 /// # Errors
 ///
@@ -113,8 +116,19 @@ pub fn evaluate_candidate_engine(
     scenarios: &[WeightedScenario],
 ) -> Result<CandidateOutcome, Error> {
     let design = candidate.materialize()?;
-    let expected = engine.expected_annual_cost(&design, workload, requirements, scenarios)?;
-    Ok(fold_candidate(candidate, requirements, &expected))
+    let summary = crate::engine::with_scratch(|scratch| {
+        engine.expected_summary(&design, workload, requirements, scenarios, scratch)
+    })?;
+    Ok(CandidateOutcome {
+        candidate: *candidate,
+        label: candidate.label(),
+        outlays: summary.outlays,
+        expected_penalties: summary.expected_penalties,
+        expected_total: summary.total(),
+        worst_recovery_time: summary.worst_recovery_time,
+        worst_data_loss: summary.worst_data_loss,
+        meets_objectives: summary.meets_objectives,
+    })
 }
 
 /// Folds an expected-cost evaluation into one candidate outcome.

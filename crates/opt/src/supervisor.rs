@@ -10,6 +10,16 @@
 //! finished work intact — bit-for-bit, because resumed outcomes are
 //! replayed from the journal rather than re-evaluated.
 //!
+//! With [`SupervisorConfig::jobs`] above one, fresh tasks are claimed
+//! in chunks from a work-stealing queue (one compare-and-swap per run
+//! of tasks; a worker that runs dry steals the back half of the fullest
+//! remaining range) and outcomes flow over a bounded channel to a
+//! dedicated journal-writer thread, so workers never block on
+//! checkpoint I/O. Each worker reuses one deadline-watchdog thread
+//! across attempts instead of spawning one per attempt. Results are
+//! still assembled in input order, so a parallel run returns
+//! byte-identical results to a serial one.
+//!
 //! Results always carry [`Provenance`]: how many tasks were requested,
 //! resumed, freshly evaluated, retried, and quarantined — so a degraded
 //! run is never silently presented as complete.
@@ -29,6 +39,7 @@ use ssdep_core::error::{Error, RetryPolicy};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -451,8 +462,15 @@ impl Supervisor {
         // crash-injection counter.
         let mut rejected_records: Vec<TaskRecord<T, O>> = Vec::with_capacity(rejected.len());
         for outcome in rejected {
-            let key = task_key(&outcome.candidate)?;
-            if let Some(replayed) = replay.remove(&key) {
+            // Serializing the task key is only needed while replay
+            // candidates remain — a fresh (or exhausted) journal skips
+            // the per-item serialization entirely.
+            let replayed = if replay.is_empty() {
+                None
+            } else {
+                replay.remove(&task_key(&outcome.candidate)?)
+            };
+            if let Some(replayed) = replayed {
                 provenance.resumed += 1;
                 if rejournal_resumed {
                     append_or_degrade(&mut journal, &mut journal_error, &replayed);
@@ -466,18 +484,25 @@ impl Supervisor {
         }
 
         // Replay pass: settle resumed outcomes into their input-order
-        // slots, leaving only fresh indices to evaluate.
+        // slots, leaving only fresh indices to evaluate. Without a
+        // resume journal every item is fresh and no task key is ever
+        // serialized — the common no-resume sweep pays nothing here.
         let mut slots: Vec<Option<TaskRecord<T, O>>> = items.iter().map(|_| None).collect();
         let mut fresh: Vec<usize> = Vec::new();
-        for (index, item) in items.iter().enumerate() {
-            let key = task_key(item)?;
-            if let Some(replayed) = replay.remove(&key) {
-                provenance.resumed += 1;
-                if rejournal_resumed {
-                    append_or_degrade(&mut journal, &mut journal_error, &replayed);
+        if replay.is_empty() {
+            fresh.extend(0..items.len());
+        } else {
+            for (index, item) in items.iter().enumerate() {
+                if !replay.is_empty() {
+                    if let Some(replayed) = replay.remove(&task_key(item)?) {
+                        provenance.resumed += 1;
+                        if rejournal_resumed {
+                            append_or_degrade(&mut journal, &mut journal_error, &replayed);
+                        }
+                        slots[index] = Some(replayed);
+                        continue;
+                    }
                 }
-                slots[index] = Some(replayed);
-            } else {
                 fresh.push(index);
             }
         }
@@ -499,9 +524,11 @@ impl Supervisor {
         let jobs = self.config.jobs.max(1).min(fresh.len().max(1));
         if jobs <= 1 {
             // Serial path: evaluate fresh tasks in input order.
+            let mut runner = DeadlineRunner::new();
             for &index in &fresh {
                 let item = &items[index];
-                let (outcome, attempts) = self.evaluate_isolated(item, &eval, index as u64);
+                let (outcome, attempts) =
+                    self.evaluate_isolated(item, &eval, index as u64, &mut runner);
                 provenance.evaluated += 1;
                 provenance.retries += attempts.saturating_sub(1) as usize;
                 let record = build_record(item, outcome, attempts);
@@ -520,47 +547,81 @@ impl Supervisor {
                 slots[index] = Some(record);
             }
         } else {
-            // Parallel path: workers claim fresh indices from a shared
-            // cursor; the journal is written by this thread only, in
-            // completion order.
-            let cursor = std::sync::atomic::AtomicUsize::new(0);
-            let (sender, receiver) = mpsc::channel();
-            std::thread::scope(|scope| {
-                for _ in 0..jobs {
-                    let sender = sender.clone();
-                    let cursor = &cursor;
+            // Parallel path: workers claim chunked runs of fresh indices
+            // from a work-stealing queue — one compare-and-swap per run
+            // instead of one per item — and send outcomes over a bounded
+            // channel to a dedicated journal-writer thread, so a worker
+            // never blocks on checkpoint I/O (a full channel is
+            // backpressure, not disk latency). The journal is written in
+            // completion order; resume matches by key, so order is
+            // irrelevant.
+            let queue = WorkQueue::partition(fresh.len(), jobs);
+            let chunk = (fresh.len() / (jobs * 8)).clamp(1, 64);
+            let (sender, receiver) =
+                mpsc::sync_channel::<(usize, Result<O, (FailureKind, String)>, u32)>(jobs * 32);
+            let crash_after = self.config.crash_after_journaled;
+            let (journal_after, error_after, slots_after, evaluated, retries) =
+                std::thread::scope(|scope| {
                     let fresh = &fresh;
-                    let eval = &eval;
-                    scope.spawn(move || loop {
-                        let claim = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(&index) = fresh.get(claim) else {
-                            break;
-                        };
-                        let (outcome, attempts) =
-                            self.evaluate_isolated(&items[index], eval, index as u64);
-                        if sender.send((index, outcome, attempts)).is_err() {
-                            // The collector is gone; stop claiming work.
-                            break;
-                        }
-                    });
-                }
-                drop(sender);
-                while let Ok((index, outcome, attempts)) = receiver.recv() {
-                    provenance.evaluated += 1;
-                    provenance.retries += attempts.saturating_sub(1) as usize;
-                    let record = build_record(&items[index], outcome, attempts);
-                    if append_or_degrade(&mut journal, &mut journal_error, &record) {
-                        fresh_journaled += 1;
-                        if self.config.crash_after_journaled == Some(fresh_journaled) {
-                            if let Some(writer) = journal.as_mut() {
-                                let _ = writer.sync();
+                    let queue = &queue;
+                    let build_record = &build_record;
+                    let writer = scope.spawn(move || {
+                        let mut journal = journal;
+                        let mut journal_error = journal_error;
+                        let mut slots = slots;
+                        let mut fresh_journaled = fresh_journaled;
+                        let mut evaluated = 0usize;
+                        let mut retries = 0usize;
+                        while let Ok((index, outcome, attempts)) = receiver.recv() {
+                            evaluated += 1;
+                            retries += attempts.saturating_sub(1) as usize;
+                            let record = build_record(&items[index], outcome, attempts);
+                            if append_or_degrade(&mut journal, &mut journal_error, &record) {
+                                fresh_journaled += 1;
+                                if crash_after == Some(fresh_journaled) {
+                                    if let Some(writer) = journal.as_mut() {
+                                        let _ = writer.sync();
+                                    }
+                                    std::process::abort();
+                                }
                             }
-                            std::process::abort();
+                            slots[index] = Some(record);
                         }
+                        (journal, journal_error, slots, evaluated, retries)
+                    });
+                    for worker in 0..jobs {
+                        let sender = sender.clone();
+                        let eval = &eval;
+                        scope.spawn(move || {
+                            let mut runner = DeadlineRunner::new();
+                            while let Some((lo, hi)) = queue.claim(worker, chunk) {
+                                for &index in &fresh[lo..hi] {
+                                    let (outcome, attempts) = self.evaluate_isolated(
+                                        &items[index],
+                                        eval,
+                                        index as u64,
+                                        &mut runner,
+                                    );
+                                    if sender.send((index, outcome, attempts)).is_err() {
+                                        // The journal writer is gone;
+                                        // stop claiming work.
+                                        return;
+                                    }
+                                }
+                            }
+                        });
                     }
-                    slots[index] = Some(record);
-                }
-            });
+                    drop(sender);
+                    match writer.join() {
+                        Ok(state) => state,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                });
+            journal = journal_after;
+            journal_error = error_after;
+            slots = slots_after;
+            provenance.evaluated += evaluated;
+            provenance.retries += retries;
         }
 
         // Assemble in input order so parallel runs are byte-identical to
@@ -597,11 +658,13 @@ impl Supervisor {
     /// the outcome (or failure) and the number of attempts made. `salt`
     /// identifies the task (its input index) so jittered retry policies
     /// spread concurrent workers out after a shared transient fault.
+    /// `runner` is the calling worker's reusable deadline watchdog.
     fn evaluate_isolated<T, O, F>(
         &self,
         item: &T,
         eval: &Arc<F>,
         salt: u64,
+        runner: &mut DeadlineRunner,
     ) -> (Result<O, (FailureKind, String)>, u32)
     where
         T: Clone + Send + 'static,
@@ -611,12 +674,17 @@ impl Supervisor {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            match self.attempt_once(item, eval) {
+            match self.attempt_once(item, eval, runner) {
                 Attempt::Completed(outcome) => return (Ok(outcome), attempt),
                 Attempt::Errored(e)
                     if e.is_transient() && attempt <= self.config.retry.max_retries =>
                 {
-                    std::thread::sleep(self.config.retry.delay_for_task(attempt, salt));
+                    let delay = self.config.retry.delay_for_task(attempt, salt);
+                    // An immediate policy's zero backoff is not a sleep
+                    // at all — skip the syscall on the retry hot path.
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
                 }
                 Attempt::Errored(e) => {
                     let error = e.with_attempts(attempt).to_string();
@@ -636,7 +704,12 @@ impl Supervisor {
         }
     }
 
-    fn attempt_once<T, O, F>(&self, item: &T, eval: &Arc<F>) -> Attempt<O>
+    fn attempt_once<T, O, F>(
+        &self,
+        item: &T,
+        eval: &Arc<F>,
+        runner: &mut DeadlineRunner,
+    ) -> Attempt<O>
     where
         T: Clone + Send + 'static,
         O: Send + 'static,
@@ -653,39 +726,211 @@ impl Supervisor {
             };
         };
 
-        // With a deadline, the attempt runs on its own thread so a
-        // runaway evaluation can be abandoned. An abandoned thread is
-        // detached, not killed — it wastes CPU until it finishes, but
-        // the evaluations are pure so it cannot corrupt shared state.
-        let (sender, receiver) = mpsc::channel();
+        // With a deadline, the attempt runs on the worker's reusable
+        // watchdog thread so a runaway evaluation can be abandoned. An
+        // abandoned watchdog is detached, not killed — it wastes CPU
+        // until the runaway finishes, but the evaluations are pure so
+        // it cannot corrupt shared state.
         let worker_eval = Arc::clone(eval);
         let worker_item = item.clone();
-        let spawned = std::thread::Builder::new()
-            .name("ssdep-supervised-eval".into())
-            .spawn(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| worker_eval(&worker_item)));
-                let _ = sender.send(result);
-            });
-        let handle = match spawned {
-            Ok(handle) => handle,
-            Err(e) => return Attempt::Errored(Error::io("supervisor thread spawn", e.to_string())),
-        };
-        match receiver.recv_timeout(deadline) {
-            Ok(result) => {
-                let _ = handle.join();
-                match result {
-                    Ok(Ok(outcome)) => Attempt::Completed(outcome),
-                    Ok(Err(e)) => Attempt::Errored(e),
-                    Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
+        let attempt = runner.run(deadline, move || {
+            catch_unwind(AssertUnwindSafe(move || worker_eval(&worker_item)))
+        });
+        match attempt {
+            Err(e) => Attempt::Errored(e),
+            Ok(Watchdog::TimedOut) => Attempt::TimedOut(deadline),
+            Ok(Watchdog::Died) => {
+                Attempt::Panicked("evaluation thread died without reporting".to_string())
+            }
+            Ok(Watchdog::Finished(Ok(Ok(outcome)))) => Attempt::Completed(outcome),
+            Ok(Watchdog::Finished(Ok(Err(e)))) => Attempt::Errored(e),
+            Ok(Watchdog::Finished(Err(payload))) => {
+                Attempt::Panicked(panic_message(payload.as_ref()))
+            }
+        }
+    }
+}
+
+/// A chunked work-stealing queue over the indices `0..len` of a fresh-
+/// task list. Each worker owns one contiguous range, claims chunks off
+/// its own front, and steals the back half of the fullest other range
+/// when its own runs dry. Ranges are packed `(lo << 32) | hi` into one
+/// atomic per worker so both claiming and stealing are a single
+/// compare-and-swap — no locks, and no per-item claim traffic.
+struct WorkQueue {
+    ranges: Vec<AtomicU64>,
+}
+
+impl WorkQueue {
+    fn partition(len: usize, workers: usize) -> WorkQueue {
+        // Indices are packed into u32 halves; a batch beyond 2^32 tasks
+        // would exhaust memory on journal records long before this.
+        assert!(
+            u32::try_from(len).is_ok(),
+            "work-stealing queue supports at most 2^32 - 1 tasks"
+        );
+        let workers = workers.max(1);
+        let ranges = (0..workers)
+            .map(|worker| {
+                let lo = len * worker / workers;
+                let hi = len * (worker + 1) / workers;
+                AtomicU64::new(pack_range(lo, hi))
+            })
+            .collect();
+        WorkQueue { ranges }
+    }
+
+    /// Claims up to `chunk` indices for `worker` — from its own range,
+    /// or by stealing once it runs dry. `None` when every range is
+    /// empty (the queue is drained; the worker should exit).
+    fn claim(&self, worker: usize, chunk: usize) -> Option<(usize, usize)> {
+        loop {
+            if let Some(run) = self.claim_front(worker, chunk) {
+                return Some(run);
+            }
+            if !self.steal_into(worker) {
+                return None;
+            }
+        }
+    }
+
+    fn claim_front(&self, worker: usize, chunk: usize) -> Option<(usize, usize)> {
+        let slot = &self.ranges[worker];
+        let mut current = slot.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack_range(current);
+            if lo >= hi {
+                return None;
+            }
+            let next = (lo + chunk).min(hi);
+            match slot.compare_exchange_weak(
+                current,
+                pack_range(next, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((lo, next)),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Steals the back half of the fullest foreign range into `worker`'s
+    /// own (empty) slot. Only the owner claims from a slot's front and
+    /// only a successful compare-and-swap moves a slot's back, so the
+    /// store into the thief's drained slot cannot race a claim. Returns
+    /// false once every range is empty.
+    fn steal_into(&self, worker: usize) -> bool {
+        loop {
+            let mut victim: Option<(usize, u64, usize)> = None;
+            for (other, slot) in self.ranges.iter().enumerate() {
+                if other == worker {
+                    continue;
+                }
+                let observed = slot.load(Ordering::Acquire);
+                let (lo, hi) = unpack_range(observed);
+                let remaining = hi.saturating_sub(lo);
+                if remaining > 0 && victim.is_none_or(|(_, _, best)| remaining > best) {
+                    victim = Some((other, observed, remaining));
                 }
             }
+            let Some((other, observed, remaining)) = victim else {
+                return false;
+            };
+            let (lo, hi) = unpack_range(observed);
+            let split = hi - remaining.div_ceil(2);
+            if self.ranges[other]
+                .compare_exchange(
+                    observed,
+                    pack_range(lo, split),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                // The victim's range moved under us; rescan for the new
+                // fullest range.
+                continue;
+            }
+            self.ranges[worker].store(pack_range(split, hi), Ordering::Release);
+            return true;
+        }
+    }
+}
+
+fn pack_range(lo: usize, hi: usize) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+fn unpack_range(packed: u64) -> (usize, usize) {
+    ((packed >> 32) as usize, (packed & 0xffff_ffff) as usize)
+}
+
+/// The outcome of one watchdog-supervised attempt.
+enum Watchdog<R> {
+    Finished(R),
+    TimedOut,
+    Died,
+}
+
+/// A reusable deadline watchdog: one long-lived thread per worker runs
+/// deadline-bounded attempts, so retrying a flaky task does not pay a
+/// fresh thread spawn per attempt. The thread is spawned lazily on the
+/// first deadline-bearing attempt; a timed-out attempt abandons it (the
+/// runaway evaluation owns it until it finishes, after which the
+/// orphaned thread exits) and the next attempt spawns a replacement.
+struct DeadlineRunner {
+    jobs: Option<mpsc::Sender<Box<dyn FnOnce() + Send>>>,
+}
+
+impl DeadlineRunner {
+    fn new() -> DeadlineRunner {
+        DeadlineRunner { jobs: None }
+    }
+
+    fn run<R: Send + 'static>(
+        &mut self,
+        deadline: Duration,
+        task: impl FnOnce() -> R + Send + 'static,
+    ) -> Result<Watchdog<R>, Error> {
+        if self.jobs.is_none() {
+            let (job_sender, job_receiver) = mpsc::channel::<Box<dyn FnOnce() + Send>>();
+            std::thread::Builder::new()
+                .name("ssdep-supervised-eval".into())
+                .spawn(move || {
+                    while let Ok(job) = job_receiver.recv() {
+                        job();
+                    }
+                })
+                .map_err(|e| Error::io("supervisor thread spawn", e.to_string()))?;
+            self.jobs = Some(job_sender);
+        }
+        let Some(sender) = self.jobs.as_ref() else {
+            return Ok(Watchdog::Died);
+        };
+        let (result_sender, result_receiver) = mpsc::channel();
+        let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+            let _ = result_sender.send(task());
+        });
+        if sender.send(job).is_err() {
+            // The watchdog exited (it only does so when its sender
+            // drops, so this is unexpected); retire it so the next
+            // attempt respawns.
+            self.jobs = None;
+            return Ok(Watchdog::Died);
+        }
+        match result_receiver.recv_timeout(deadline) {
+            Ok(result) => Ok(Watchdog::Finished(result)),
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                drop(handle);
-                Attempt::TimedOut(deadline)
+                // Abandon the watchdog to the runaway task: dropping the
+                // job sender lets the thread exit once the task
+                // finishes; the next attempt spawns a fresh one.
+                self.jobs = None;
+                Ok(Watchdog::TimedOut)
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                let _ = handle.join();
-                Attempt::Panicked("evaluation thread died without reporting".to_string())
+                self.jobs = None;
+                Ok(Watchdog::Died)
             }
         }
     }

@@ -104,8 +104,11 @@ where
 }
 
 /// Evaluates one sweep point through a staged [`EvalEngine`] —
-/// preparation is memoized by fingerprint, the numbers are identical to
-/// [`evaluate_point`]'s.
+/// preparation is memoized by fingerprint and the per-scenario fold runs
+/// on the allocation-free scored path with this thread's reusable
+/// scratch. The numbers are identical to [`evaluate_point`]'s: the
+/// scored fold performs the same float operations in the same order as
+/// the report path (pinned bit-for-bit in `ssdep-core`).
 fn evaluate_point_engine<F>(
     engine: &EvalEngine,
     value: f64,
@@ -118,8 +121,18 @@ where
     F: Fn(f64) -> Result<StorageDesign, Error>,
 {
     let design = make(value)?;
-    let expected = engine.expected_annual_cost(&design, workload, requirements, scenarios)?;
-    Ok(fold_point(value, design.name(), &expected))
+    let summary = crate::engine::with_scratch(|scratch| {
+        engine.expected_summary(&design, workload, requirements, scenarios, scratch)
+    })?;
+    Ok(SweepPoint {
+        value,
+        label: design.name().to_string(),
+        outlays: summary.outlays,
+        expected_penalties: summary.expected_penalties,
+        expected_total: summary.total(),
+        worst_recovery_time: summary.worst_recovery_time,
+        worst_data_loss: summary.worst_data_loss,
+    })
 }
 
 /// Evaluates `make(value)` for every value, producing the sweep series.

@@ -1,0 +1,124 @@
+//! Fingerprint equivalence suite: the structural fingerprint must
+//! induce exactly the same equality partition as the serde-JSON
+//! reference over every preset spec plus a deterministic sample of the
+//! broad candidate space — no collisions between distinct inputs, no
+//! spurious inequality between identical ones — and must be stable
+//! across recomputation, clones, and threads. This is the gate that
+//! keeps the serde fallback ([`Fingerprint::of_serde`]) honest as the
+//! equivalence reference while the structural hash carries the hot
+//! path.
+
+// Test helpers expect on corpus plumbing: a panic is the failure
+// report itself.
+#![allow(clippy::expect_used)]
+use ssdep_core::hierarchy::StorageDesign;
+use ssdep_core::presets;
+use ssdep_core::workload::Workload;
+use ssdep_opt::sink::Lcg;
+use ssdep_opt::space::DesignSpace;
+use ssdep_opt::Fingerprint;
+
+/// Every preset design, a duplicated baseline (so the equal side of the
+/// partition is exercised), and a seeded sample of the broad candidate
+/// space. Deterministic: the same corpus every run, on every machine.
+fn corpus() -> Vec<(StorageDesign, Workload)> {
+    let workload = presets::cello_workload();
+    let mut pairs = vec![
+        (presets::baseline_design(), workload.clone()),
+        (presets::baseline_design(), workload.clone()),
+    ];
+    for design in presets::what_if_designs() {
+        pairs.push((design, workload.clone()));
+    }
+    let space = DesignSpace::broad();
+    let candidates: Vec<_> = space.candidates().collect();
+    let mut rng = Lcg::new(0x05ee_d0f1_e1d5_u64);
+    for _ in 0..200 {
+        let pick = rng.below(candidates.len() as u64) as usize;
+        if let Ok(design) = candidates[pick].materialize() {
+            pairs.push((design, workload.clone()));
+        }
+    }
+    pairs
+}
+
+/// The serde-JSON rendering of a pair — the ground truth for "are these
+/// inputs structurally identical?".
+fn json_pair(design: &StorageDesign, workload: &Workload) -> String {
+    let design = serde_json::to_string(design).expect("design to JSON");
+    let workload = serde_json::to_string(workload).expect("workload to JSON");
+    format!("{design}\u{1f}{workload}")
+}
+
+#[test]
+fn structural_fingerprints_partition_exactly_like_the_serde_json_reference() {
+    let corpus = corpus();
+    let entries: Vec<(Fingerprint, Fingerprint, String)> = corpus
+        .iter()
+        .map(|(design, workload)| {
+            (
+                Fingerprint::of(design, workload).expect("structural fingerprint"),
+                Fingerprint::of_serde(design, workload).expect("serde fingerprint"),
+                json_pair(design, workload),
+            )
+        })
+        .collect();
+    for (i, a) in entries.iter().enumerate() {
+        for (j, b) in entries.iter().enumerate().skip(i + 1) {
+            let same_input = a.2 == b.2;
+            assert_eq!(
+                a.0 == b.0,
+                same_input,
+                "structural fingerprint disagrees with the JSON reference for \
+                 corpus entries {i} and {j}: {} vs {} (same_input = {same_input})",
+                a.0,
+                b.0,
+            );
+            assert_eq!(
+                a.1 == b.1,
+                same_input,
+                "the serde fallback itself collided or split on corpus entries {i} and {j}",
+            );
+        }
+    }
+    // The corpus must actually exercise both sides of the partition.
+    let distinct: std::collections::BTreeSet<u64> = entries.iter().map(|e| e.0.value()).collect();
+    assert!(
+        distinct.len() > 10,
+        "corpus too uniform: {}",
+        distinct.len()
+    );
+    assert!(
+        distinct.len() < entries.len(),
+        "corpus has no identical pair, the equality side is untested"
+    );
+}
+
+#[test]
+fn fingerprints_are_stable_across_recomputation_clones_and_threads() {
+    for (design, workload) in corpus() {
+        let (first, bytes) =
+            Fingerprint::weigh(&design, &workload).expect("structural fingerprint");
+        assert!(
+            bytes > 0,
+            "a non-empty model hashes a non-empty byte stream"
+        );
+        let (again, bytes_again) = Fingerprint::weigh(&design, &workload).expect("recomputation");
+        assert_eq!(first, again, "recomputation must not drift");
+        assert_eq!(bytes, bytes_again, "hashed byte count must not drift");
+        let (cloned_design, cloned_workload) = (design.clone(), workload.clone());
+        assert_eq!(
+            first,
+            Fingerprint::of(&cloned_design, &cloned_workload).expect("clone fingerprint"),
+            "a deep clone is structurally identical, its fingerprint must match"
+        );
+        let from_thread = std::thread::spawn(move || Fingerprint::of(&design, &workload))
+            .join()
+            .expect("fingerprint thread")
+            .expect("fingerprint on another thread");
+        assert_eq!(
+            first, from_thread,
+            "fingerprints must not depend on the thread"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Chunked-claim parallel supervision contracts: results assembled in
+//! input order are byte-identical at every job count, the checkpoint
+//! journal carries the same record set whether one worker or eight
+//! wrote it (append order may vary — resume matches by key, not
+//! position), a serial journal is bit-for-bit reproducible, and
+//! `--resume` replays completed work without re-evaluating a single
+//! task regardless of which job count produced the journal.
+
+// Test helpers expect on journal plumbing: a panic is the failure
+// report itself.
+#![allow(clippy::expect_used)]
+use ssdep_opt::{Supervisor, SupervisorConfig};
+use std::path::{Path, PathBuf};
+
+const TASKS: u32 = 200;
+
+/// A run's completed results plus its sorted journal record payloads.
+type RunShape = (Vec<(u32, u64)>, Vec<String>);
+
+/// Deterministic, input-sensitive evaluation: any reordering or
+/// re-evaluation-with-drift bug changes an observable answer.
+fn eval(i: u32) -> u64 {
+    u64::from(i).wrapping_mul(2_654_435_761).rotate_left(7) ^ 0xa5a5_5a5a
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ssdep-parallel-journal-{name}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn supervisor(jobs: usize, checkpoint: Option<PathBuf>, resume: Option<PathBuf>) -> Supervisor {
+    Supervisor::new(SupervisorConfig {
+        jobs,
+        checkpoint,
+        resume,
+        sync_every: 1,
+        ..SupervisorConfig::default()
+    })
+}
+
+/// The journal's record payloads, sorted — the multiset identity that
+/// must hold across job counts. The `v2:<seq>:<crc>:` frame prefix is
+/// stripped: sequence numbers (and therefore CRCs) follow append order,
+/// which is exactly what parallel claiming is allowed to vary.
+fn sorted_records(path: &Path) -> Vec<String> {
+    let bytes = std::fs::read(path).expect("read journal");
+    let mut records: Vec<String> = String::from_utf8(bytes)
+        .expect("journal is UTF-8")
+        .lines()
+        .map(|line| {
+            line.splitn(4, ':')
+                .nth(3)
+                .unwrap_or_else(|| panic!("unframed journal line: {line}"))
+                .to_string()
+        })
+        .collect();
+    records.sort();
+    records
+}
+
+#[test]
+fn results_and_journal_records_are_identical_at_every_job_count() {
+    let items: Vec<u32> = (0..TASKS).collect();
+    let mut reference: Option<RunShape> = None;
+    for jobs in [1usize, 2, 8] {
+        let path = temp(&format!("jobs{jobs}"));
+        std::fs::remove_file(&path).ok();
+        let run = supervisor(jobs, Some(path.clone()), None)
+            .run(&items, |&i: &u32| Ok(eval(i)))
+            .expect("supervised run");
+        assert!(run.failed.is_empty(), "jobs={jobs}: {:?}", run.failed);
+        assert_eq!(run.provenance.evaluated, items.len());
+        assert!(!run.provenance.journal_degraded);
+        let lines = sorted_records(&path);
+        assert_eq!(lines.len(), items.len(), "one journal record per task");
+        match &reference {
+            None => reference = Some((run.completed.clone(), lines)),
+            Some((completed, records)) => {
+                assert_eq!(
+                    &run.completed, completed,
+                    "jobs={jobs}: results must be byte-identical to the serial run"
+                );
+                assert_eq!(
+                    &lines, records,
+                    "jobs={jobs}: the journal must carry the same record set"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn a_serial_journal_is_bit_for_bit_reproducible() {
+    let items: Vec<u32> = (0..TASKS).collect();
+    let mut runs = Vec::new();
+    for pass in 0..2 {
+        let path = temp(&format!("repro{pass}"));
+        std::fs::remove_file(&path).ok();
+        supervisor(1, Some(path.clone()), None)
+            .run(&items, |&i: &u32| Ok(eval(i)))
+            .expect("supervised run");
+        runs.push(std::fs::read(&path).expect("read journal"));
+        std::fs::remove_file(&path).ok();
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "two serial runs must write identical bytes"
+    );
+}
+
+#[test]
+fn resume_replays_fully_whoever_wrote_the_journal() {
+    let items: Vec<u32> = (0..TASKS).collect();
+    let reference = supervisor(1, None, None)
+        .run(&items, |&i: &u32| Ok(eval(i)))
+        .expect("reference run")
+        .completed;
+    // Journals written at each job count, each resumed at a *different*
+    // job count: the chunked-claim order a parallel run journaled in
+    // must replay cleanly under any later topology.
+    for (writer_jobs, resume_jobs) in [(1usize, 8usize), (2, 1), (8, 2)] {
+        let path = temp(&format!("resume-w{writer_jobs}-r{resume_jobs}"));
+        std::fs::remove_file(&path).ok();
+        supervisor(writer_jobs, Some(path.clone()), None)
+            .run(&items, |&i: &u32| Ok(eval(i)))
+            .expect("journaling run");
+        let resumed = supervisor(resume_jobs, None, Some(path.clone()))
+            .run(&items, |&i: &u32| -> Result<u64, ssdep_core::Error> {
+                // Any fresh evaluation lands in `failed` and trips the
+                // assertions below: a full journal must replay fully.
+                Err(ssdep_core::Error::invalid(
+                    "resume",
+                    format!("task {i} was re-evaluated despite a complete journal"),
+                ))
+            })
+            .expect("resumed run");
+        assert_eq!(
+            resumed.provenance.resumed,
+            items.len(),
+            "w{writer_jobs}-r{resume_jobs}"
+        );
+        assert_eq!(
+            resumed.provenance.evaluated, 0,
+            "w{writer_jobs}-r{resume_jobs}"
+        );
+        assert!(resumed.failed.is_empty(), "{:?}", resumed.failed);
+        assert_eq!(
+            resumed.completed, reference,
+            "replayed results must be byte-identical to a fresh run"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn a_partial_parallel_journal_resumes_without_repeating_work() {
+    let items: Vec<u32> = (0..TASKS).collect();
+    let half = &items[..(TASKS as usize) / 2];
+    let path = temp("partial");
+    std::fs::remove_file(&path).ok();
+    supervisor(8, Some(path.clone()), None)
+        .run(half, |&i: &u32| Ok(eval(i)))
+        .expect("half run");
+    let run = supervisor(2, Some(path.clone()), Some(path.clone()))
+        .run(&items, |&i: &u32| Ok(eval(i)))
+        .expect("resumed full run");
+    assert_eq!(run.provenance.resumed, half.len());
+    assert_eq!(run.provenance.evaluated, items.len() - half.len());
+    let expected: Vec<(u32, u64)> = items.iter().map(|&i| (i, eval(i))).collect();
+    assert_eq!(run.completed, expected);
+    // The topped-up journal now covers everything: a second resume
+    // replays fully.
+    let replayed = supervisor(1, None, Some(path.clone()))
+        .run(&items, |&i: &u32| Ok(eval(i)))
+        .expect("full replay");
+    assert_eq!(replayed.provenance.resumed, items.len());
+    assert_eq!(replayed.provenance.evaluated, 0);
+    std::fs::remove_file(&path).ok();
+}

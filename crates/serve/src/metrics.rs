@@ -56,6 +56,9 @@ pub struct MetricsSnapshot {
     pub cache_misses: usize,
     /// Estimated resident bytes in the memo cache.
     pub cache_bytes: usize,
+    /// Prepares deduplicated by single-flight: requests that waited on a
+    /// concurrent in-flight prepare instead of repeating it.
+    pub dedup_waits: usize,
 }
 
 impl Metrics {
@@ -180,6 +183,7 @@ impl Metrics {
             cache_hits: engine.cache_hits(),
             cache_misses: engine.cache_misses(),
             cache_bytes: engine.cached_bytes(),
+            dedup_waits: engine.cache_dedup_waits(),
         }
     }
 }

@@ -30,7 +30,7 @@ fi
 
 # Each known-bad fixture must exit 2 and report its own code — a
 # silently-neutered rule cannot pass the gate.
-for code in L002 L012 L021 L022 L023; do
+for code in L002 L012 L013 L021 L022 L023; do
     lower=$(echo "$code" | tr 'A-Z' 'a-z')
     fixture="devtools/lint/tests/fixtures/bad_$lower.rs"
     set +e
@@ -50,7 +50,7 @@ done
 
 # The clean counterparts must stay silent: false-positive pressure on
 # the concurrency lints fails the gate too.
-for lower in l021 l022 l023; do
+for lower in l013 l021 l022 l023; do
     fixture="devtools/lint/tests/fixtures/clean_$lower.rs"
     "$LINT" --deny-warnings "$fixture" > /dev/null || {
         echo "lint-gate: false positives on $fixture:" >&2

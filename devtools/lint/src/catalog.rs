@@ -99,6 +99,18 @@ pub const CATALOG: &[CatalogEntry] = &[
               (crates/serve/src/pool.rs)",
     },
     CatalogEntry {
+        code: "L013",
+        severity: Severity::Error,
+        title: "`serde_json::to_string`/`to_vec` in evaluation hot-path code",
+        rationale: "Serializing the whole design/workload per candidate dominates \
+                    microsecond-scale evaluations; the structural fingerprint walks the \
+                    model without allocating, so a serde call on the hot path is a silent \
+                    5x tax on every supervised run.",
+        fix: "hash with `ssdep_core::fingerprint::fingerprint_pair` \
+              (crates/core/src/fingerprint.rs); a deliberate serialization seam (the serde \
+              equivalence fallback) is justified with `// ssdep-lint: allow(L013, reason)`",
+    },
+    CatalogEntry {
         code: "L020",
         severity: Severity::Error,
         title: "lock-order cycle in the workspace acquired-while-holding graph",

@@ -22,6 +22,10 @@
 //!   `VecDeque::new`) or a bare `JoinHandle::join()` in daemon code
 //!   outside the admission seam, where backpressure and drain deadlines
 //!   cannot apply.
+//! * **L013** — `serde_json::to_string` / `to_vec` in evaluation
+//!   hot-path modules outside an explicitly allowed serialization seam,
+//!   where the structural fingerprint exists to avoid per-candidate
+//!   serialization.
 //! * **L020** — lock-order cycles in the workspace acquired-while-
 //!   holding graph; implemented in [`crate::graph`] over the per-file
 //!   guard scopes from [`crate::parser`].
@@ -56,6 +60,9 @@ pub struct Role {
     /// Daemon code: the bounded-queue / deadlined-join policy (L012)
     /// applies.
     pub bounded: bool,
+    /// Evaluation hot-path code: the no-serde-serialization policy
+    /// (L013) applies.
+    pub hot_path: bool,
     /// Cross-thread code: the guard-liveness and memory-ordering
     /// policies (L020/L021/L022) apply.
     pub concurrency: bool,
@@ -73,6 +80,7 @@ impl Role {
         signatures: true,
         io_seam: true,
         bounded: true,
+        hot_path: true,
         concurrency: true,
         stable: true,
     };
@@ -106,6 +114,9 @@ pub fn raw_findings(path: &str, lexed: &LexedFile, role: Role) -> Vec<Finding> {
     }
     if role.bounded {
         lint_bounded(path, &text, &mut findings);
+    }
+    if role.hot_path {
+        lint_hot_serde(path, &text, &mut findings);
     }
     if role.concurrency {
         let parsed = ParsedFile::parse(lexed);
@@ -614,6 +625,47 @@ fn lint_io_seam(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
             ),
             "route the file through `JournalSink`/`FileSink` (crates/opt/src/sink.rs), or \
              justify with `// ssdep-lint: allow(L011, reason)`",
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// L013 — serde serialization in evaluation hot-path code
+// ---------------------------------------------------------------------
+
+fn lint_hot_serde(path: &str, text: &Text<'_>, findings: &mut Vec<Finding>) {
+    for (start, end) in text.idents() {
+        if text.in_test(start) {
+            continue;
+        }
+        if text.ident_at((start, end)) != "serde_json" {
+            continue;
+        }
+        let colons = text.skip_ws(end);
+        if text.slice(colons, colons + 2) != "::" {
+            continue;
+        }
+        let method_start = text.skip_ws(colons + 2);
+        let method = text.slice(method_start, ident_end(text, method_start));
+        if method != "to_string"
+            && method != "to_vec"
+            && method != "to_string_pretty"
+            && method != "to_vec_pretty"
+        {
+            continue;
+        }
+        findings.push(Finding::new(
+            "L013",
+            Severity::Error,
+            path,
+            text.line(start),
+            format!(
+                "`serde_json::{method}` in evaluation hot-path code serializes the whole \
+                 model per candidate — the cost the structural fingerprint exists to avoid"
+            ),
+            "hash with `ssdep_core::fingerprint::fingerprint_pair` \
+             (crates/core/src/fingerprint.rs), or justify with \
+             `// ssdep-lint: allow(L013, reason)`",
         ));
     }
 }
@@ -1720,6 +1772,7 @@ fn g() { x.unwrap_or(1); }
 fn f() { x.unwrap(); let y = z.round() as u64; }
 fn g() { let _ = std::fs::File::create(\"x\"); }
 fn h() { let (_tx, _rx) = std::sync::mpsc::channel::<u64>(); }
+fn i() { let _ = serde_json::to_string(&x); }
 ";
         let quiet = run(
             src,
@@ -1729,11 +1782,29 @@ fn h() { let (_tx, _rx) = std::sync::mpsc::channel::<u64>(); }
                 signatures: false,
                 io_seam: false,
                 bounded: false,
+                hot_path: false,
                 concurrency: false,
                 stable: false,
             },
         );
         assert!(quiet.is_empty(), "{quiet:?}");
+    }
+
+    #[test]
+    fn l013_fires_on_hot_path_serialization_only() {
+        let src = "\
+fn a(d: &D) { let _ = serde_json::to_string(d); }
+fn b(d: &D) { let _ = serde_json :: to_vec(d); }
+fn c(bytes: &[u8]) { let _ = serde_json::from_slice::<D>(bytes); }
+fn d(d: &D) { let _ = other_json::to_string(d); }
+";
+        let findings = run(src, Role::ALL);
+        let l013: Vec<usize> = findings
+            .iter()
+            .filter(|f| f.code == "L013")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(l013, [1, 2], "{findings:?}");
     }
 
     #[test]

@@ -158,6 +158,13 @@ fn role_for(crate_name: &str, rel: &str) -> Role {
     // pool.rs *is* the admission seam: WorkQueue and join_with_deadline
     // own the raw channel and join everything else must route through.
     let admission_seam = rel.ends_with("/pool.rs");
+    // The modules the supervisor hot path runs through per candidate:
+    // the staged engine (fingerprint + prepare) and the core analysis
+    // fold. Serialization there is a per-candidate tax the structural
+    // fingerprint exists to remove; anything legitimate (the serde
+    // equivalence fallback) carries an explicit pragma.
+    let hot_path = (crate_name == "opt" && rel.ends_with("/engine.rs"))
+        || (crate_name == "core" && rel.contains("/analysis/"));
     Role {
         library,
         // units.rs *defines* the newtypes, so raw f64 is its business.
@@ -165,6 +172,7 @@ fn role_for(crate_name: &str, rel: &str) -> Role {
         model,
         io_seam: crate_name == "opt" && !seam,
         bounded: crate_name == "serve" && !admission_seam,
+        hot_path,
         // The crates with cross-thread lock traffic: the serve thread
         // pool and the sharded EvalEngine / parallel supervisor.
         concurrency: matches!(crate_name, "serve" | "opt"),

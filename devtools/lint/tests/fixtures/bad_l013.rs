@@ -1,0 +1,15 @@
+//! Deliberately-bad fixture: serde serialization on the evaluation
+//! hot path that L013 must flag. Exercised by devtools/lint-gate.sh,
+//! which requires exit 2 and an L013 finding on this file.
+
+fn fingerprint_via_serde(design: &Design) -> Result<String, Error> {
+    serde_json::to_string(design)
+}
+
+fn bytes_via_serde(workload: &Workload) -> Result<Vec<u8>, Error> {
+    serde_json::to_vec(workload)
+}
+
+fn weigh_pretty(design: &Design) -> Result<String, Error> {
+    serde_json::to_string_pretty(design)
+}

@@ -125,6 +125,39 @@ fn bad_l011_fires_on_direct_checkpoint_io() {
 }
 
 #[test]
+fn bad_l013_fires_on_hot_path_serialization() {
+    let report = lint_fixture("bad_l013.rs");
+    assert_eq!(
+        count(&report, "L013"),
+        3,
+        "findings: {:#?}",
+        report.findings()
+    );
+    assert_eq!(codes(&report), ["L013"; 3], "no other lint may fire");
+    assert_eq!(report.exit_status(false), 2);
+    let lines: Vec<usize> = report.findings().iter().map(|f| f.line).collect();
+    assert_eq!(lines, [6, 10, 14], "to_string, to_vec, to_string_pretty");
+    for finding in report.findings() {
+        assert!(
+            finding.suggestion.contains("fingerprint_pair"),
+            "L013 must point at the structural fingerprint: {finding:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_l013_fixture_is_silent() {
+    let report = lint_fixture("clean_l013.rs");
+    assert!(
+        report.findings().is_empty(),
+        "structural hashing, the pragma'd fallback, deserialization, and \
+         test regions must not fire: {:#?}",
+        report.findings()
+    );
+    assert_eq!(report.exit_status(true), 0);
+}
+
+#[test]
 fn allowed_fixture_is_fully_suppressed() {
     let report = lint_fixture("allowed.rs");
     assert!(
